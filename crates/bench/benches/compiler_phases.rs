@@ -1,0 +1,62 @@
+//! Criterion benches for the compiler phases themselves: where the
+//! time goes inside one function master, and how compilation cost
+//! scales across the paper's function sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parcc::{compile_module_source, CompileOptions};
+use warp_codegen::phase3::{phase3, DEFAULT_MAX_II};
+use warp_ir::phase2::phase2;
+use warp_lang::phase1;
+use warp_target::CellConfig;
+use warp_workload::{synthetic_program, FunctionSize};
+
+fn bench_phase1(c: &mut Criterion) {
+    let src = synthetic_program(FunctionSize::Medium, 4);
+    c.bench_function("phase1/medium_x4", |b| {
+        b.iter(|| phase1(std::hint::black_box(&src)).expect("phase1"))
+    });
+}
+
+fn bench_phase2(c: &mut Criterion) {
+    let src = synthetic_program(FunctionSize::Medium, 1);
+    let checked = phase1(&src).unwrap();
+    let f = &checked.module.sections[0].functions[0];
+    c.bench_function("phase2/medium", |b| {
+        b.iter(|| {
+            phase2(
+                std::hint::black_box(f),
+                &checked.sections[0].symbol_tables[0],
+                &checked.sections[0].signatures,
+            )
+            .expect("phase2")
+        })
+    });
+}
+
+fn bench_phase3(c: &mut Criterion) {
+    let src = synthetic_program(FunctionSize::Medium, 1);
+    let checked = phase1(&src).unwrap();
+    let f = &checked.module.sections[0].functions[0];
+    let p2 = phase2(f, &checked.sections[0].symbol_tables[0], &checked.sections[0].signatures)
+        .unwrap();
+    let cfg = CellConfig::default();
+    c.bench_function("phase3/medium", |b| {
+        b.iter(|| phase3(std::hint::black_box(&p2), &cfg, DEFAULT_MAX_II).expect("phase3"))
+    });
+}
+
+fn bench_full_compile_by_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_compile");
+    group.sample_size(10);
+    for size in [FunctionSize::Tiny, FunctionSize::Small, FunctionSize::Medium, FunctionSize::Large]
+    {
+        let src = synthetic_program(size, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &src, |b, src| {
+            b.iter(|| compile_module_source(src, &CompileOptions::default()).expect("compile"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_phase1, bench_phase2, bench_phase3, bench_full_compile_by_size);
+criterion_main!(benches);

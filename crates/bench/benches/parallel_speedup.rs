@@ -1,0 +1,41 @@
+//! Criterion benches for real (threaded) parallel compilation of the
+//! paper's workloads — the modern analogue of the paper's experiment.
+//! Wall-clock speedup is bounded by the host's core count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parcc::threads::compile_parallel;
+use parcc::{compile_module_source, CompileOptions};
+use warp_workload::{synthetic_program, user_program, FunctionSize};
+
+fn bench_user_program(c: &mut Criterion) {
+    let src = user_program();
+    let opts = CompileOptions::default();
+    let mut group = c.benchmark_group("user_program");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| compile_module_source(&src, &opts).expect("seq"))
+    });
+    for workers in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("threads", workers), &workers, |b, &w| {
+            b.iter(|| compile_parallel(&src, &opts, w).expect("par"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_s4_large(c: &mut Criterion) {
+    let src = synthetic_program(FunctionSize::Large, 4);
+    let opts = CompileOptions::default();
+    let mut group = c.benchmark_group("s4_large");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| compile_module_source(&src, &opts).expect("seq"))
+    });
+    group.bench_function("threads_4", |b| {
+        b.iter(|| compile_parallel(&src, &opts, 4).expect("par"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_user_program, bench_s4_large);
+criterion_main!(benches);

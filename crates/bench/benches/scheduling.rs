@@ -1,0 +1,57 @@
+//! Criterion benches for the schedulers and the host simulator: the
+//! master's partitioning cost (paper: "scheduling time") and the
+//! discrete-event engine's throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parcc::simspec::{par_spec, seq_spec};
+use parcc::{compile_module_source, fcfs, grouped_lpt, CompileOptions, Experiment};
+use warp_netsim::simulate;
+use warp_workload::{synthetic_program, FunctionSize};
+
+fn bench_assignment(c: &mut Criterion) {
+    let src = synthetic_program(FunctionSize::Small, 8);
+    let result = compile_module_source(&src, &CompileOptions::default()).unwrap();
+    // Replicate records to larger counts for scaling.
+    let mut records = Vec::new();
+    while records.len() < 64 {
+        records.extend(result.records.iter().cloned());
+    }
+    let mut group = c.benchmark_group("assignment");
+    for n in [8usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("fcfs", n), &n, |b, &n| {
+            b.iter(|| fcfs(n, 14))
+        });
+        group.bench_with_input(BenchmarkId::new("grouped_lpt", n), &n, |b, &n| {
+            b.iter(|| grouped_lpt(&records[..n], 5))
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let e = Experiment::default();
+    let src = synthetic_program(FunctionSize::Medium, 4);
+    let result = compile_module_source(&src, &e.opts).unwrap();
+    let assignment = fcfs(result.records.len(), e.model.host.workstations - 1);
+    let mut group = c.benchmark_group("netsim");
+    group.bench_function("sequential_spec", |b| {
+        b.iter(|| simulate(e.model.host, seq_spec(&result, &e.model)))
+    });
+    group.bench_function("parallel_spec", |b| {
+        b.iter(|| simulate(e.model.host, par_spec(&result, &e.model, &assignment)))
+    });
+    group.finish();
+}
+
+fn bench_end_to_end_experiment(c: &mut Criterion) {
+    let e = Experiment::default();
+    let mut group = c.benchmark_group("experiment");
+    group.sample_size(10);
+    group.bench_function("medium_n4", |b| {
+        b.iter(|| e.synthetic(FunctionSize::Medium, 4).expect("experiment"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_assignment, bench_simulator, bench_end_to_end_experiment);
+criterion_main!(benches);

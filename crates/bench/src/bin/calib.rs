@@ -1,0 +1,48 @@
+//! Calibration helper: detailed process breakdown for key scenarios.
+//! Not part of the documented harness; used to tune the cost model.
+
+use parcc::{Experiment, Placement};
+use warp_workload::FunctionSize;
+
+fn show(label: &str, c: &parcc::Comparison) {
+    println!(
+        "{label:<22} seq={:>7.1}m par={:>7.1}m speedup={:>5.2} tot%={:>5.1} sys%={:>6.1} impl={:>6.2}m mem_ovh(seq)={:>6.1}m mem_ovh(par)={:>6.1}m",
+        c.seq.elapsed_s / 60.0,
+        c.par.elapsed_s / 60.0,
+        c.speedup,
+        c.overheads.total_frac * 100.0,
+        c.overheads.system_frac * 100.0,
+        c.overheads.implementation_s / 60.0,
+        c.seq.memory_overhead_s / 60.0,
+        c.par.memory_overhead_s / 60.0,
+    );
+}
+
+fn main() {
+    let e = Experiment::default();
+    for size in FunctionSize::ALL {
+        for n in [1usize, 2, 4, 8] {
+            let c = e.synthetic(size, n).unwrap();
+            show(&format!("{size} n={n}"), &c);
+        }
+    }
+    for p in [2usize, 3, 5, 9] {
+        let c = e.user_program(p).unwrap();
+        show(&format!("user P={p}"), &c);
+    }
+    // Detail: the user program at 9 processors, per process.
+    let src = warp_workload::user_program();
+    let r = parcc::compile_module_source(&src, &e.opts).unwrap();
+    let c = e.compare_result(&r, Placement::Fcfs);
+    println!("\nuser@9 parallel process detail:");
+    // re-simulate to get the report
+    let a = parcc::fcfs(r.records.len(), e.model.host.workstations - 1);
+    let rep = warp_netsim::simulate(e.model.host, parcc::simspec::par_spec(&r, &e.model, &a));
+    for p in &rep.processes {
+        println!(
+            "  {:<28} ws={:<2} start={:>7.1}s end={:>7.1}s cpu={:>7.1}s ovh={:>6.1}s net={:>5.1}s disk={:>5.1}s wait={:>6.1}s",
+            p.name, p.workstation, p.start_s, p.end_s, p.cpu_s, p.overhead_s, p.net_s, p.disk_s, p.wait_s
+        );
+    }
+    println!("  elapsed={:.1}s speedup={:.2}", rep.elapsed_s, c.speedup);
+}

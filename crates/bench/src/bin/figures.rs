@@ -1,0 +1,24 @@
+//! Regenerates the paper's figures. With no arguments prints all of
+//! them; otherwise prints the named ones (e.g. `figures fig6 fig11`).
+
+use parcc_bench::{render, EvalData, FIGURES};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let wanted: Vec<&str> = if args.is_empty() {
+        FIGURES.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for w in &wanted {
+        if !FIGURES.contains(w) {
+            eprintln!("unknown figure `{w}`; available: {}", FIGURES.join(" "));
+            std::process::exit(2);
+        }
+    }
+    eprintln!("compiling test programs and simulating (this takes a few seconds)...");
+    let data = EvalData::collect();
+    for w in wanted {
+        println!("{}", render(&data, w));
+    }
+}

@@ -1,0 +1,18 @@
+//! # parcc-bench
+//!
+//! The measurement harness: regenerates every table and figure of the
+//! paper's evaluation (§4, Figures 3–16) from the reproduction, and
+//! hosts the Criterion benches for real-machine parallel compilation.
+//!
+//! The `figures` binary prints the same series the paper plots:
+//!
+//! ```text
+//! cargo run -p parcc-bench --release --bin figures            # everything
+//! cargo run -p parcc-bench --release --bin figures -- fig6    # one figure
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod figures;
+
+pub use figures::{render, EvalData, FIGURES};

@@ -1,0 +1,63 @@
+//! # warp-codegen
+//!
+//! Compiler **phases 3 and 4** for the Warp parallel compiler:
+//! software pipelining and code generation (phase 3, the expensive part
+//! each function master runs in parallel) and assembly/linking
+//! (phase 4, run sequentially by the section masters and the master —
+//! paper §3.2).
+//!
+//! * [`vcode`] — virtual machine code between selection and emission;
+//! * [`select`](mod@select) — IR → machine ops (calling convention, address
+//!   arithmetic, call barriers);
+//! * [`regalloc`] — linear-scan allocation with loop-extended
+//!   intervals, spilling, and call-site save/restore;
+//! * [`mdeps`] — machine-level dependence graphs;
+//! * [`sched`] — acyclic list scheduling into wide instruction words;
+//! * [`pipeline`] — modulo scheduling (kernel, prologue/epilogue,
+//!   trip-count guard with plain-loop fallback);
+//! * [`emit`] — layout, branch fixups, call relocations;
+//! * [`link`] — phase 4: data rebasing, call resolution, module
+//!   assembly and I/O-driver generation;
+//! * [`phase3`](mod@phase3) — the per-function driver with work counters.
+//!
+//! # Example
+//!
+//! ```
+//! use warp_lang::phase1;
+//! use warp_ir::phase2::phase2;
+//! use warp_codegen::phase3::{phase3, DEFAULT_MAX_II};
+//! use warp_codegen::link::link_section;
+//! use warp_target::config::CellConfig;
+//!
+//! let src = "module m; section a on cells 0..0;\n\
+//!            function f(x: float): float\n\
+//!            var t: float; v: float[16]; i: int;\n\
+//!            begin t := 0.0; for i := 0 to 15 do t := t + v[i] * x; end; return t; end; end;";
+//! let checked = phase1(src)?;
+//! let cfg = CellConfig::default();
+//! let f = &checked.module.sections[0].functions[0];
+//! let p2 = phase2(f, &checked.sections[0].symbol_tables[0], &checked.sections[0].signatures)?;
+//! let p3 = phase3(&p2, &cfg, DEFAULT_MAX_II)?;
+//! let (image, _work) = link_section("a", 0, 0, vec![p3.image], &cfg)?;
+//! assert!(image.functions[0].is_linked());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod emit;
+pub mod link;
+pub mod mdeps;
+pub mod phase3;
+pub mod pipeline;
+pub mod regalloc;
+pub mod sched;
+pub mod select;
+pub mod vcode;
+
+pub use emit::{emit_function, EmitStats};
+pub use link::{assemble_module, link_section, LinkError, LinkWork};
+pub use phase3::{phase3, Phase3Error, Phase3Result, Phase3Work, DEFAULT_MAX_II};
+pub use pipeline::{plan_pipeline, LoopPlan, NoPipeline};
+pub use regalloc::{allocate, RegAllocError, RegAllocStats};
+pub use select::select;

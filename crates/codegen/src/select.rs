@@ -1,0 +1,381 @@
+//! Instruction selection: IR → virtual machine code.
+//!
+//! Nearly 1:1 — the IR was designed for this machine. The interesting
+//! bits:
+//!
+//! * array accesses expand to address arithmetic over [`VOperand::Addr`]
+//!   function-local addresses (rebased by the linker);
+//! * calls split their block (a call is a scheduling barrier) and
+//!   materialize the calling convention: arguments into `r1..`, result
+//!   out of `r0`;
+//! * parameters are moved from the argument registers into their
+//!   virtual registers in a small prologue.
+
+use crate::vcode::{VBlock, VDest, VFunc, VOp, VOperand, VTerm};
+use warp_ir::{BlockId, FuncIr, Inst, IrBinOp, IrType, IrUnOp, Term, Val};
+use warp_lang::ast::Direction;
+use warp_target::isa::{Opcode, QueueDir, Reg};
+
+fn qdir(d: Direction) -> QueueDir {
+    match d {
+        Direction::Left => QueueDir::Left,
+        Direction::Right => QueueDir::Right,
+    }
+}
+
+fn operand(v: Val) -> VOperand {
+    match v {
+        Val::Reg(r) => VOperand::Virt(r),
+        Val::ConstI(c) => VOperand::ImmI(c),
+        Val::ConstF(c) => VOperand::ImmF(c),
+    }
+}
+
+fn bin_opcode(op: IrBinOp, ty: IrType) -> Opcode {
+    use IrBinOp::*;
+    match (op, ty) {
+        (Add, IrType::Int) => Opcode::IAdd,
+        (Add, IrType::Float) => Opcode::FAdd,
+        (Sub, IrType::Int) => Opcode::ISub,
+        (Sub, IrType::Float) => Opcode::FSub,
+        (Mul, IrType::Int) => Opcode::IMul,
+        (Mul, IrType::Float) => Opcode::FMul,
+        (Div, _) => Opcode::FDiv,
+        (IDiv, _) => Opcode::IDiv,
+        (Mod, _) => Opcode::IMod,
+        (Min, IrType::Int) => Opcode::IMin,
+        (Min, IrType::Float) => Opcode::FMin,
+        (Max, IrType::Int) => Opcode::IMax,
+        (Max, IrType::Float) => Opcode::FMax,
+        (And, _) => Opcode::BAnd,
+        (Or, _) => Opcode::BOr,
+    }
+}
+
+fn un_opcode(op: IrUnOp, ty: IrType) -> Opcode {
+    use IrUnOp::*;
+    match (op, ty) {
+        (Neg, IrType::Int) => Opcode::INeg,
+        (Neg, IrType::Float) => Opcode::FNeg,
+        (Not, _) => Opcode::BNot,
+        (ItoF, _) => Opcode::ItoF,
+        (FtoI, _) => Opcode::FtoI,
+        (Abs, IrType::Int) => Opcode::IAbs,
+        (Abs, IrType::Float) => Opcode::FAbs,
+        (Floor, _) => Opcode::FFloor,
+        (Sqrt, _) => Opcode::FSqrt,
+        (Sin, _) => Opcode::FSin,
+        (Cos, _) => Opcode::FCos,
+        (Exp, _) => Opcode::FExp,
+        (Log, _) => Opcode::FLog,
+    }
+}
+
+/// Selects machine code for `f`. `pipelinable` lists the IR blocks that
+/// are single-block loops (from the phase-2 loop analysis).
+pub fn select(f: &FuncIr, pipelinable: &[BlockId]) -> VFunc {
+    // Array data layout: arrays in declaration order.
+    let mut array_base = Vec::with_capacity(f.arrays.len());
+    let mut next = 0u32;
+    for a in &f.arrays {
+        array_base.push(next);
+        next += a.words();
+    }
+
+    let mut vf = VFunc {
+        name: f.name.clone(),
+        blocks: Vec::new(),
+        param_count: f.params.len() as u16,
+        returns_value: f.ret.is_some(),
+        array_words: next,
+        data_words: next,
+        num_vregs: f.vreg_types.len() as u32,
+    };
+
+    // First pass: how many vblocks does each IR block produce (1 + #calls)?
+    let mut first_vblock = Vec::with_capacity(f.blocks.len());
+    let mut count = 0usize;
+    for b in &f.blocks {
+        first_vblock.push(count);
+        let calls = b.insts.iter().filter(|i| matches!(i, Inst::Call { .. })).count();
+        count += 1 + calls;
+    }
+
+    for (bi, block) in f.blocks.iter().enumerate() {
+        let mut cur_ops: Vec<VOp> = Vec::new();
+        // Entry prologue: move parameters out of the argument registers.
+        if bi == 0 {
+            for (i, (r, _)) in f.params.iter().enumerate() {
+                cur_ops.push(VOp {
+                    opcode: Opcode::Move,
+                    dst: VDest::Virt(*r),
+                    a: Some(VOperand::Phys(Reg::arg(i as u16))),
+                    b: None,
+                });
+            }
+        }
+        let mut emitted_blocks = 0usize;
+        for inst in &block.insts {
+            match inst {
+                Inst::Bin { op, ty, dst, a, b } => {
+                    cur_ops.push(VOp::v2(bin_opcode(*op, *ty), *dst, operand(*a), operand(*b)));
+                }
+                Inst::Un { op, ty, dst, a } => {
+                    cur_ops.push(VOp::v1(un_opcode(*op, *ty), *dst, operand(*a)));
+                }
+                Inst::Cmp { kind, ty, dst, a, b } => {
+                    let opc = match ty {
+                        IrType::Int => Opcode::ICmp(*kind),
+                        IrType::Float => Opcode::FCmp(*kind),
+                    };
+                    cur_ops.push(VOp::v2(opc, *dst, operand(*a), operand(*b)));
+                }
+                Inst::Copy { dst, src } => {
+                    cur_ops.push(VOp::v1(Opcode::Move, *dst, operand(*src)));
+                }
+                Inst::Load { dst, arr, index, .. } => {
+                    let base = array_base[arr.0 as usize];
+                    let addr = match index {
+                        Val::ConstI(c) => VOperand::Addr(base.wrapping_add(*c as u32)),
+                        other => {
+                            let t = vf.new_vreg();
+                            cur_ops.push(VOp::v2(
+                                Opcode::IAdd,
+                                t,
+                                operand(*other),
+                                VOperand::Addr(base),
+                            ));
+                            VOperand::Virt(t)
+                        }
+                    };
+                    cur_ops.push(VOp::v1(Opcode::Load, *dst, addr));
+                }
+                Inst::Store { arr, index, value, .. } => {
+                    let base = array_base[arr.0 as usize];
+                    let addr = match index {
+                        Val::ConstI(c) => VOperand::Addr(base.wrapping_add(*c as u32)),
+                        other => {
+                            let t = vf.new_vreg();
+                            cur_ops.push(VOp::v2(
+                                Opcode::IAdd,
+                                t,
+                                operand(*other),
+                                VOperand::Addr(base),
+                            ));
+                            VOperand::Virt(t)
+                        }
+                    };
+                    cur_ops.push(VOp {
+                        opcode: Opcode::Store,
+                        dst: VDest::None,
+                        a: Some(addr),
+                        b: Some(operand(*value)),
+                    });
+                }
+                Inst::Call { dst, callee, args } => {
+                    // Arguments into the convention registers.
+                    for (i, a) in args.iter().enumerate() {
+                        cur_ops.push(VOp {
+                            opcode: Opcode::Move,
+                            dst: VDest::Phys(Reg::arg(i as u16)),
+                            a: Some(operand(*a)),
+                            b: None,
+                        });
+                    }
+                    // Split: terminate this vblock with the call.
+                    let this_idx = first_vblock[bi] + emitted_blocks;
+                    vf.blocks.push(VBlock {
+                        ops: std::mem::take(&mut cur_ops),
+                        term: VTerm::Call { callee: callee.clone(), next: this_idx + 1 },
+                        is_pipeline_loop: false,
+                    });
+                    emitted_blocks += 1;
+                    if let Some(d) = dst {
+                        cur_ops.push(VOp {
+                            opcode: Opcode::Move,
+                            dst: VDest::Virt(*d),
+                            a: Some(VOperand::Phys(Reg::RET)),
+                            b: None,
+                        });
+                    }
+                }
+                Inst::Send { dir, value } => {
+                    cur_ops.push(VOp {
+                        opcode: Opcode::Send(qdir(*dir)),
+                        dst: VDest::None,
+                        a: Some(operand(*value)),
+                        b: None,
+                    });
+                }
+                Inst::Recv { dst, dir, .. } => {
+                    cur_ops.push(VOp {
+                        opcode: Opcode::Recv(qdir(*dir)),
+                        dst: VDest::Virt(*dst),
+                        a: None,
+                        b: None,
+                    });
+                }
+                Inst::Select { dst, cond, then_v, .. } => {
+                    cur_ops.push(VOp {
+                        opcode: Opcode::SelT,
+                        dst: VDest::Virt(*dst),
+                        a: Some(operand(*cond)),
+                        b: Some(operand(*then_v)),
+                    });
+                }
+            }
+        }
+        // Terminator.
+        let term = match &block.term {
+            Term::Jump(t) => VTerm::Jump(first_vblock[t.index()]),
+            Term::Branch { cond, then_blk, else_blk } => {
+                let cond = operand(*cond);
+                VTerm::Branch {
+                    cond,
+                    then_blk: first_vblock[then_blk.index()],
+                    else_blk: first_vblock[else_blk.index()],
+                }
+            }
+            Term::Return(v) => {
+                if let Some(v) = v {
+                    if f.ret.is_some() {
+                        cur_ops.push(VOp {
+                            opcode: Opcode::Move,
+                            dst: VDest::Phys(Reg::RET),
+                            a: Some(operand(*v)),
+                            b: None,
+                        });
+                    }
+                }
+                VTerm::Return
+            }
+        };
+        vf.blocks.push(VBlock { ops: cur_ops, term, is_pipeline_loop: false });
+    }
+
+    // Mark pipeline loops: a vblock that still branches to itself and
+    // originates from a pipelinable IR block.
+    for ir_b in pipelinable {
+        let v = first_vblock[ir_b.index()];
+        // Must not have been split by a call (the self-loop survives
+        // only if the IR block emitted exactly one vblock).
+        let vb = &vf.blocks[v];
+        let selfloop = match &vb.term {
+            VTerm::Branch { then_blk, else_blk, .. } => *then_blk == v || *else_blk == v,
+            _ => false,
+        };
+        if selfloop {
+            vf.blocks[v].is_pipeline_loop = true;
+        }
+    }
+
+    vf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warp_ir::phase2::phase2;
+    use warp_lang::phase1;
+
+    fn select_first(src: &str) -> VFunc {
+        let checked = phase1(src).expect("phase1");
+        let f = &checked.module.sections[0].functions[0];
+        let r = phase2(f, &checked.sections[0].symbol_tables[0], &checked.sections[0].signatures)
+            .expect("phase2");
+        select(&r.ir, &r.loops.pipelinable_blocks())
+    }
+
+    fn wrap(body: &str) -> String {
+        format!(
+            "module m; section a on cells 0..0; function f(x: float, n: int): float \
+             var t: float; v: float[8]; i: int; begin {body} end; end;"
+        )
+    }
+
+    #[test]
+    fn params_moved_from_arg_regs() {
+        let vf = select_first(&wrap("return x;"));
+        let d = vf.dump();
+        assert!(d.contains("mov v0, r1"), "{d}");
+        assert!(d.contains("mov v1, r2"), "{d}");
+        // Return value to r0.
+        assert!(d.contains("mov r0"), "{d}");
+    }
+
+    #[test]
+    fn constant_index_folds_into_address() {
+        let vf = select_first(&wrap("v[3] := x; return v[3];"));
+        let d = vf.dump();
+        assert!(d.contains("st _, @3"), "{d}");
+    }
+
+    #[test]
+    fn variable_index_adds_base() {
+        let vf = select_first(&wrap("v[n] := x; return 0.0;"));
+        let d = vf.dump();
+        // iadd t, vN, @0 then st _, t, ...
+        assert!(d.contains("@0"), "{d}");
+        assert!(d.contains("iadd"), "{d}");
+    }
+
+    #[test]
+    fn call_splits_block() {
+        let src = "module m; section a on cells 0..0; \
+             function g(y: float): float begin return y; end; \
+             function f(x: float): float var t: float; begin t := g(x) + 1.0; return t; end; end;";
+        let checked = phase1(src).unwrap();
+        let f = &checked.module.sections[0].functions[1];
+        let r = phase2(f, &checked.sections[0].symbol_tables[1], &checked.sections[0].signatures)
+            .unwrap();
+        let vf = select(&r.ir, &r.loops.pipelinable_blocks());
+        assert!(vf.blocks.len() >= 2, "{}", vf.dump());
+        let has_call = vf
+            .blocks
+            .iter()
+            .any(|b| matches!(&b.term, VTerm::Call { callee, .. } if callee == "g"));
+        assert!(has_call, "{}", vf.dump());
+        let d = vf.dump();
+        // Argument into r1; result out of r0.
+        assert!(d.contains("mov r1"), "{d}");
+        assert!(d.contains(", r0"), "{d}");
+    }
+
+    #[test]
+    fn pipeline_loop_marked() {
+        let vf = select_first(&wrap(
+            "t := 0.0; for i := 0 to 7 do t := t + v[i]; end; return t;",
+        ));
+        assert!(vf.blocks.iter().any(|b| b.is_pipeline_loop), "{}", vf.dump());
+    }
+
+    #[test]
+    fn loop_with_call_not_marked_pipelinable() {
+        let src = "module m; section a on cells 0..0; \
+             function g(y: float): float begin return y; end; \
+             function f(x: float): float var t: float; i: int; begin \
+             t := 0.0; for i := 0 to 7 do t := t + g(x); end; return t; end; end;";
+        let checked = phase1(src).unwrap();
+        let f = &checked.module.sections[0].functions[1];
+        let r = phase2(f, &checked.sections[0].symbol_tables[1], &checked.sections[0].signatures)
+            .unwrap();
+        let vf = select(&r.ir, &r.loops.pipelinable_blocks());
+        assert!(!vf.blocks.iter().any(|b| b.is_pipeline_loop), "{}", vf.dump());
+    }
+
+    #[test]
+    fn send_recv_selected() {
+        let vf = select_first(&wrap("receive(left, t); send(right, t); return t;"));
+        let d = vf.dump();
+        assert!(d.contains("recv.left"), "{d}");
+        assert!(d.contains("send.right"), "{d}");
+    }
+
+    #[test]
+    fn float_and_int_ops_selected_by_type() {
+        let vf = select_first(&wrap("t := x * x; i := n * n; return t + float(i);"));
+        let d = vf.dump();
+        assert!(d.contains("fmul"), "{d}");
+        assert!(d.contains("imul"), "{d}");
+    }
+}

@@ -1,0 +1,306 @@
+//! Virtual machine code: the representation between instruction
+//! selection and emission.
+//!
+//! A [`VOp`] is a machine operation ([`warp_target::isa::Opcode`]) whose
+//! operands may still be virtual registers; register allocation rewrites
+//! them to physical registers, and the schedulers then pack them into
+//! wide instruction words. Calls appear as block terminators
+//! ([`VTerm::Call`]) because a call is a scheduling barrier: the callee
+//! clobbers the register file.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use warp_ir::VirtReg;
+use warp_target::isa::{Opcode, Reg};
+
+/// An operand of a [`VOp`]: virtual or physical register, immediate, or
+/// a function-local data address (resolved by the linker).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum VOperand {
+    /// A virtual register (before allocation).
+    Virt(VirtReg),
+    /// A physical register (fixed by calling convention, or after
+    /// allocation).
+    Phys(Reg),
+    /// Integer immediate.
+    ImmI(i32),
+    /// Float immediate.
+    ImmF(f32),
+    /// Function-local data address (array bases, spill slots).
+    Addr(u32),
+}
+
+impl VOperand {
+    /// The virtual register, if this operand is one.
+    pub fn as_virt(self) -> Option<VirtReg> {
+        match self {
+            VOperand::Virt(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The physical register, if this operand is one.
+    pub fn as_phys(self) -> Option<Reg> {
+        match self {
+            VOperand::Phys(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for VOperand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VOperand::Virt(r) => write!(f, "{r}"),
+            VOperand::Phys(r) => write!(f, "{r}"),
+            VOperand::ImmI(v) => write!(f, "#{v}"),
+            VOperand::ImmF(v) => write!(f, "#{v:?}"),
+            VOperand::Addr(a) => write!(f, "@{a}"),
+        }
+    }
+}
+
+/// The destination of a [`VOp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VDest {
+    /// No destination (stores, sends).
+    None,
+    /// A virtual register.
+    Virt(VirtReg),
+    /// A physical register (calling convention).
+    Phys(Reg),
+}
+
+impl VDest {
+    /// The virtual register, if the destination is one.
+    pub fn as_virt(self) -> Option<VirtReg> {
+        match self {
+            VDest::Virt(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for VDest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VDest::None => write!(f, "_"),
+            VDest::Virt(r) => write!(f, "{r}"),
+            VDest::Phys(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+/// A machine operation over possibly-virtual operands.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VOp {
+    /// The machine opcode.
+    pub opcode: Opcode,
+    /// Destination.
+    pub dst: VDest,
+    /// First operand.
+    pub a: Option<VOperand>,
+    /// Second operand.
+    pub b: Option<VOperand>,
+}
+
+impl VOp {
+    /// Builds a two-operand op writing a virtual register.
+    pub fn v2(opcode: Opcode, dst: VirtReg, a: VOperand, b: VOperand) -> Self {
+        VOp { opcode, dst: VDest::Virt(dst), a: Some(a), b: Some(b) }
+    }
+
+    /// Builds a one-operand op writing a virtual register.
+    pub fn v1(opcode: Opcode, dst: VirtReg, a: VOperand) -> Self {
+        VOp { opcode, dst: VDest::Virt(dst), a: Some(a), b: None }
+    }
+
+    /// Operands in order.
+    pub fn operands(&self) -> impl Iterator<Item = VOperand> + '_ {
+        self.a.into_iter().chain(self.b)
+    }
+}
+
+impl fmt::Display for VOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.opcode.mnemonic(), self.dst)?;
+        for o in self.operands() {
+            write!(f, ", {o}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Block terminator at the virtual-code level. Targets are indices into
+/// [`VFunc::blocks`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum VTerm {
+    /// Unconditional jump.
+    Jump(usize),
+    /// Conditional branch on a register being nonzero.
+    Branch {
+        /// Condition operand (register after selection).
+        cond: VOperand,
+        /// Target when nonzero.
+        then_blk: usize,
+        /// Target when zero.
+        else_blk: usize,
+    },
+    /// Call `callee`, then continue at `next`. Argument and result
+    /// moves are materialized as ops around the call.
+    Call {
+        /// Name of the called function (resolved by the linker).
+        callee: String,
+        /// Fall-through block after the call returns.
+        next: usize,
+    },
+    /// Return from the function (the return value, if any, has been
+    /// moved to `r0` by a preceding op).
+    Return,
+}
+
+impl VTerm {
+    /// Successor block indices.
+    pub fn successors(&self) -> Vec<usize> {
+        match self {
+            VTerm::Jump(t) => vec![*t],
+            VTerm::Branch { then_blk, else_blk, .. } => vec![*then_blk, *else_blk],
+            VTerm::Call { next, .. } => vec![*next],
+            VTerm::Return => vec![],
+        }
+    }
+}
+
+/// A block of virtual code.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VBlock {
+    /// The operations, in program order (pre-scheduling).
+    pub ops: Vec<VOp>,
+    /// The terminator.
+    pub term: VTerm,
+    /// `true` if this block is a self-looping pipelinable loop body
+    /// (propagated from the IR loop analysis).
+    pub is_pipeline_loop: bool,
+}
+
+/// A function in virtual code, plus its data-memory layout.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VFunc {
+    /// Function name.
+    pub name: String,
+    /// Blocks; entry is block 0.
+    pub blocks: Vec<VBlock>,
+    /// Number of parameters (arrive in `r1..`).
+    pub param_count: u16,
+    /// `true` if the function returns a value in `r0`.
+    pub returns_value: bool,
+    /// Words of static data (arrays), before spill slots are added.
+    pub array_words: u32,
+    /// Total data words including spill slots (grows during register
+    /// allocation).
+    pub data_words: u32,
+    /// Number of virtual registers (indexes `VirtReg` space).
+    pub num_vregs: u32,
+}
+
+impl VFunc {
+    /// Allocates a fresh virtual register.
+    pub fn new_vreg(&mut self) -> VirtReg {
+        let r = VirtReg(self.num_vregs);
+        self.num_vregs += 1;
+        r
+    }
+
+    /// Allocates a data word (spill slot), returning its address.
+    pub fn new_data_word(&mut self) -> u32 {
+        let a = self.data_words;
+        self.data_words += 1;
+        a
+    }
+
+    /// Total operation count.
+    pub fn op_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.ops.len()).sum()
+    }
+
+    /// Predecessors of every block.
+    pub fn predecessors(&self) -> Vec<Vec<usize>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (i, b) in self.blocks.iter().enumerate() {
+            for s in b.term.successors() {
+                preds[s].push(i);
+            }
+        }
+        preds
+    }
+
+    /// Renders the virtual code as text.
+    pub fn dump(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "vfunc {}", self.name);
+        for (i, b) in self.blocks.iter().enumerate() {
+            let pl = if b.is_pipeline_loop { " (pipeline loop)" } else { "" };
+            let _ = writeln!(s, "vb{i}:{pl}");
+            for op in &b.ops {
+                let _ = writeln!(s, "  {op}");
+            }
+            let _ = match &b.term {
+                VTerm::Jump(t) => writeln!(s, "  jump vb{t}"),
+                VTerm::Branch { cond, then_blk, else_blk } => {
+                    writeln!(s, "  br {cond} ? vb{then_blk} : vb{else_blk}")
+                }
+                VTerm::Call { callee, next } => writeln!(s, "  call {callee} -> vb{next}"),
+                VTerm::Return => writeln!(s, "  ret"),
+            };
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warp_target::isa::Opcode;
+
+    #[test]
+    fn vop_display_and_accessors() {
+        let op = VOp::v2(
+            Opcode::IAdd,
+            VirtReg(3),
+            VOperand::Virt(VirtReg(1)),
+            VOperand::ImmI(2),
+        );
+        assert_eq!(op.to_string(), "iadd v3, v1, #2");
+        assert_eq!(op.dst.as_virt(), Some(VirtReg(3)));
+        assert_eq!(op.operands().count(), 2);
+    }
+
+    #[test]
+    fn vterm_successors() {
+        assert_eq!(VTerm::Jump(3).successors(), vec![3]);
+        assert_eq!(
+            VTerm::Branch { cond: VOperand::Virt(VirtReg(0)), then_blk: 1, else_blk: 2 }
+                .successors(),
+            vec![1, 2]
+        );
+        assert_eq!(VTerm::Call { callee: "g".into(), next: 4 }.successors(), vec![4]);
+        assert!(VTerm::Return.successors().is_empty());
+    }
+
+    #[test]
+    fn vfunc_allocators() {
+        let mut f = VFunc {
+            name: "f".into(),
+            blocks: vec![],
+            param_count: 0,
+            returns_value: false,
+            array_words: 4,
+            data_words: 4,
+            num_vregs: 10,
+        };
+        assert_eq!(f.new_vreg(), VirtReg(10));
+        assert_eq!(f.new_data_word(), 4);
+        assert_eq!(f.data_words, 5);
+    }
+}

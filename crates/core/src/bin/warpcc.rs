@@ -1,0 +1,248 @@
+//! `warpcc` — the Warp compiler driver, command-line edition.
+//!
+//! ```text
+//! warpcc [OPTIONS] <FILE | ->
+//!
+//!   --emit ast|ir|asm|summary   what to print (default: summary)
+//!   -o FILE                     write the binary download module
+//!   --inline                    enable the §5.1 inlining extension
+//!   --ifconv                    if-convert branchy loop bodies
+//!   --workers N                 compile functions with N threads
+//!   --run FUNC [ARGS...]        execute FUNC on a simulated cell
+//!                               (args are floats; use iN for ints)
+//!   --time                      print per-phase wall-clock times
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! warpcc program.w2
+//! warpcc --emit asm program.w2
+//! warpcc --workers 8 --time program.w2
+//! warpcc --run dot8 2.0 i4 program.w2
+//! ```
+
+use parcc::threads::compile_parallel;
+use parcc::{compile_module_source, CompileOptions, CompileResult};
+use std::io::Read;
+use std::process::ExitCode;
+use warp_target::interp::{Cell, Value};
+use warp_target::isa::Reg;
+
+struct Args {
+    emit: String,
+    inline: bool,
+    ifconv: bool,
+    workers: Option<usize>,
+    run: Option<(String, Vec<Value>)>,
+    time: bool,
+    input: Option<String>,
+    output: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        emit: "summary".to_string(),
+        inline: false,
+        ifconv: false,
+        workers: None,
+        run: None,
+        time: false,
+        input: None,
+        output: None,
+    };
+    let mut it = std::env::args().skip(1).peekable();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--emit" => {
+                args.emit = it.next().ok_or("--emit needs a value")?;
+                if !["ast", "ir", "asm", "summary"].contains(&args.emit.as_str()) {
+                    return Err(format!("unknown emit kind `{}`", args.emit));
+                }
+            }
+            "--inline" => args.inline = true,
+            "--ifconv" => args.ifconv = true,
+            "-o" => args.output = Some(it.next().ok_or("-o needs a path")?),
+            "--time" => args.time = true,
+            "--workers" => {
+                let n = it.next().ok_or("--workers needs a number")?;
+                args.workers = Some(n.parse().map_err(|_| format!("bad worker count `{n}`"))?);
+            }
+            "--run" => {
+                let func = it.next().ok_or("--run needs a function name")?;
+                let mut vals = Vec::new();
+                while let Some(next) = it.peek() {
+                    if next.starts_with("--") || !looks_like_value(next) {
+                        break;
+                    }
+                    let v = it.next().unwrap();
+                    vals.push(parse_value(&v)?);
+                }
+                args.run = Some((func, vals));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: warpcc [--emit ast|ir|asm|summary] [--inline] [--ifconv] \
+                     [--workers N] [--run FUNC ARGS...] [--time] [-o FILE] <FILE | ->"
+                );
+                std::process::exit(0);
+            }
+            other if args.input.is_none() => args.input = Some(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn looks_like_value(s: &str) -> bool {
+    s.parse::<f32>().is_ok() || (s.starts_with('i') && s[1..].parse::<i32>().is_ok())
+}
+
+fn parse_value(s: &str) -> Result<Value, String> {
+    if let Some(rest) = s.strip_prefix('i') {
+        if let Ok(v) = rest.parse::<i32>() {
+            return Ok(Value::I(v));
+        }
+    }
+    s.parse::<f32>().map(Value::F).map_err(|_| format!("bad argument `{s}` (float or iN)"))
+}
+
+fn read_input(path: &str) -> Result<String, String> {
+    if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        Ok(buf)
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))
+    }
+}
+
+fn summary(result: &CompileResult) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "module `{}`: {} section(s), {} function(s), {} download words",
+        result.module_image.name,
+        result.module_image.section_images.len(),
+        result.records.len(),
+        result.module_image.download_words()
+    );
+    let _ = writeln!(
+        out,
+        "{:>18} {:>6} {:>6} {:>7} {:>10} {:>9} {:>7}",
+        "function", "lines", "depth", "words", "units", "pipelined", "spills"
+    );
+    for r in &result.records {
+        let _ = writeln!(
+            out,
+            "{:>18} {:>6} {:>6} {:>7} {:>10} {:>9} {:>7}",
+            r.name,
+            r.lines,
+            r.loop_depth,
+            r.p3.words,
+            r.compile_units(),
+            r.p3.pipelined_loops,
+            r.p3.spills
+        );
+    }
+    out
+}
+
+fn real_main() -> Result<(), String> {
+    let args = parse_args()?;
+    let path = args.input.as_deref().ok_or("no input file (use - for stdin)")?;
+    let source = read_input(path)?;
+
+    let mut opts = CompileOptions::default();
+    if args.inline {
+        opts.inline = Some(warp_ir::InlinePolicy::default());
+    }
+    if args.ifconv {
+        opts.if_convert = Some(warp_ir::IfConvPolicy::default());
+    }
+
+    // Pre-compile emit modes that don't need the full pipeline.
+    if args.emit == "ast" {
+        let checked = warp_lang::phase1(&source).map_err(|e| e.to_string())?;
+        print!("{}", warp_lang::pretty::module_to_source(&checked.module));
+        return Ok(());
+    }
+    if args.emit == "ir" {
+        let (checked, _) = parcc::driver::prepare_module(&source, &opts)
+            .map_err(|e| e.to_string())?;
+        for (_, ir) in warp_ir::lower_module(&checked).map_err(|e| e.to_string())? {
+            let mut ir = ir;
+            warp_ir::optimize(&mut ir, 10);
+            print!("{}", ir.dump());
+        }
+        return Ok(());
+    }
+
+    let t0 = std::time::Instant::now();
+    let result = match args.workers {
+        None => compile_module_source(&source, &opts).map_err(|e| e.to_string())?,
+        Some(w) => {
+            let (r, report) = compile_parallel(&source, &opts, w).map_err(|e| e.to_string())?;
+            if args.time {
+                eprintln!(
+                    "phase1 {:?}, parallel compile {:?} ({w} workers), link {:?}",
+                    report.phase1_wall, report.compile_wall, report.link_wall
+                );
+            }
+            r
+        }
+    };
+    if args.time {
+        eprintln!("total {:?}", t0.elapsed());
+    }
+
+    if let Some(path) = &args.output {
+        let bytes = warp_target::download::encode(&result.module_image)
+            .map_err(|e| e.to_string())?;
+        std::fs::write(path, &bytes).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {} bytes to {path}", bytes.len());
+    }
+
+    match args.emit.as_str() {
+        "asm" => {
+            for sec in &result.module_image.section_images {
+                print!("{}", sec.disassemble());
+            }
+        }
+        _ => print!("{}", summary(&result)),
+    }
+
+    if let Some((func, vals)) = args.run {
+        let sec = result
+            .module_image
+            .section_images
+            .iter()
+            .find(|s| s.function_index(&func).is_some())
+            .ok_or(format!("function `{func}` not found"))?;
+        let mut cell = Cell::new(warp_target::CellConfig::default(), sec.clone())
+            .map_err(|e| e.to_string())?;
+        cell.set_strict(true);
+        cell.prepare_call(&func, &vals).map_err(|e| e.to_string())?;
+        cell.run(100_000_000).map_err(|e| e.to_string())?;
+        println!(
+            "{func}({}) = {} ({} cycles)",
+            vals.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", "),
+            cell.reg(Reg::RET).map_err(|e| e.to_string())?,
+            cell.cycle()
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("warpcc: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! The 1989 cost model: how real compilation work maps onto the
+//! simulated host.
+//!
+//! All calibration constants that are *not* part of the generic host
+//! hardware ([`warp_netsim::HostConfig`]) live here: Lisp heap sizes,
+//! message and file sizes, and the master/section-master bookkeeping
+//! costs. `CALIBRATED` is the configuration that reproduces the
+//! paper's figures; see EXPERIMENTS.md for the comparison.
+
+use crate::driver::FunctionRecord;
+use serde::{Deserialize, Serialize};
+use warp_netsim::HostConfig;
+
+/// Cost-model constants for replaying compilations in the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// The simulated host hardware.
+    pub host: HostConfig,
+    /// Live heap of a freshly initialized Lisp compiler image, words.
+    pub base_lisp_heap: u64,
+    /// Additional live heap per source line while compiling a function.
+    pub heap_per_line: u64,
+    /// Live heap per source line for the master's parse-only Lisp
+    /// child (ASTs are far more compact than the optimizer's working
+    /// set).
+    pub parse_heap_per_line: u64,
+    /// Fixed additional heap per function compilation.
+    pub fn_heap_base: u64,
+    /// Fraction (×1000) of a function's compile heap the sequential
+    /// compiler retains after finishing it (parse trees and images stay
+    /// live until assembly).
+    pub seq_retain_permille: u64,
+    /// Extra live heap of the sequential compiler's image: it carries
+    /// the parser, optimizer, code generator *and* assembler plus
+    /// whole-module structures, where a function master only needs the
+    /// middle phases for one function ("each works on a smaller
+    /// subproblem", §4.2.3).
+    pub seq_extra_heap: u64,
+    /// Paging traffic a Lisp process sends to the file server (diskless
+    /// workstations swap over the network): bytes per CPU work unit per
+    /// unit of heap excess ratio. This interleaves with compilation and
+    /// is the shared-resource cost that limits scaling (§5).
+    pub swap_bytes_per_unit: f64,
+    /// How many chunks a compile burst is split into so its paging I/O
+    /// interleaves with other processes' traffic.
+    pub compile_chunks: u64,
+    /// Master bookkeeping units per section (scheduling time, §4.2.3).
+    pub sched_units_per_section: u64,
+    /// Section-master units per function (interpret directives, start a
+    /// function master).
+    pub section_units_per_fn: u64,
+    /// Section-master units per function for combining results and
+    /// diagnostics.
+    pub combine_units_per_fn: u64,
+    /// Bytes of control message master → section master.
+    pub msg_bytes: u64,
+    /// Bytes of diagnostics a function master ships back.
+    pub diag_bytes: u64,
+}
+
+impl CostModel {
+    /// Live heap while a function master (or the sequential compiler)
+    /// compiles `rec`.
+    pub fn fn_heap(&self, rec: &FunctionRecord) -> u64 {
+        self.fn_heap_base + self.heap_per_line * rec.lines as u64
+    }
+
+    /// Heap the sequential compiler retains after finishing `rec`.
+    pub fn seq_retained(&self, rec: &FunctionRecord) -> u64 {
+        self.fn_heap(rec) * self.seq_retain_permille / 1000
+    }
+
+    /// Paging bytes shipped to the file server while executing `units`
+    /// of compile work with `heap` live words.
+    pub fn swap_bytes(&self, units: u64, heap: u64) -> u64 {
+        let mem = self.host.mem_words;
+        if heap <= mem {
+            return 0;
+        }
+        let excess = (heap - mem) as f64 / mem as f64;
+        (units as f64 * self.swap_bytes_per_unit * excess) as u64
+    }
+}
+
+/// The calibrated model used by the figure harness.
+pub const CALIBRATED: CostModel = CostModel {
+    host: HostConfig {
+        workstations: 15,
+        cpu_units_per_sec: 950.0,
+        mem_words: 1_050_000,
+        ethernet_bytes_per_sec: 1_000_000.0,
+        net_latency_s: 0.010,
+        disk_bytes_per_sec: 600_000.0,
+        disk_latency_s: 0.030,
+        lisp_image_bytes: 7_000_000,
+        lisp_init_units: 2_800,
+        c_startup_units: 60,
+        gc_coeff: 0.12,
+        gc_scale: 1_500_000.0,
+        gc_power: 1.2,
+        page_coeff: 0.3,
+        page_power: 1.0,
+    },
+    base_lisp_heap: 600_000,
+    heap_per_line: 3_200,
+    parse_heap_per_line: 150,
+    fn_heap_base: 30_000,
+    seq_retain_permille: 60,
+    seq_extra_heap: 300_000,
+    swap_bytes_per_unit: 253.0,
+    compile_chunks: 4,
+    sched_units_per_section: 120,
+    section_units_per_fn: 60,
+    combine_units_per_fn: 90,
+    msg_bytes: 2_048,
+    diag_bytes: 4_096,
+};
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CALIBRATED
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warp_ir::phase2::Phase2Work;
+    use warp_codegen::phase3::Phase3Work;
+
+    fn rec(lines: usize) -> FunctionRecord {
+        FunctionRecord {
+            section: 0,
+            name: "f".into(),
+            lines,
+            loop_depth: 2,
+            parse_units: 10,
+            p2: Phase2Work::default(),
+            p3: Phase3Work::default(),
+            object_bytes: 1000,
+            cost_estimate: 100,
+        }
+    }
+
+    #[test]
+    fn heap_scales_with_lines() {
+        let m = CALIBRATED;
+        assert!(m.fn_heap(&rec(360)) > m.fn_heap(&rec(35)));
+        assert!(m.seq_retained(&rec(100)) < m.fn_heap(&rec(100)));
+    }
+
+    #[test]
+    fn calibrated_fn_master_heaps_relative_to_memory() {
+        let m = CALIBRATED;
+        // A large-function master fits in memory (with the base image);
+        // the sequential compiler with several large functions does not.
+        // A medium-function master fits in memory; the sequential
+        // compiler's fatter image with the same function does not.
+        let medium_par = m.base_lisp_heap + m.fn_heap(&rec(107));
+        assert!(medium_par < m.host.mem_words, "{medium_par}");
+        let medium_seq = medium_par + m.seq_extra_heap;
+        assert!(medium_seq > m.host.mem_words, "{medium_seq}");
+        // Paging traffic only above memory, growing with excess.
+        assert_eq!(m.swap_bytes(1000, m.host.mem_words), 0);
+        assert!(m.swap_bytes(1000, 2 * m.host.mem_words) > 0);
+    }
+}

@@ -1,0 +1,424 @@
+//! The compiler driver: real, complete compilation of a Warp module.
+//!
+//! [`compile_module_source`] is the *sequential compiler* of the paper
+//! — the baseline "commonly in use" that every speedup is measured
+//! against. [`compile_function`] is the unit of work a *function
+//! master* performs (phases 2 and 3 for one function); the parallel
+//! executors in [`crate::threads`] and [`crate::simspec`] reuse it so
+//! that the parallel compiler provably performs the same work.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use warp_codegen::link::{assemble_module, link_section, LinkWork};
+use warp_codegen::phase3::{phase3, Phase3Work};
+use warp_ir::phase2::{phase2_opts, Phase2Work};
+use warp_lang::{CheckedModule, ParseWork, Phase1Error};
+use warp_target::program::{FunctionImage, ModuleImage};
+use warp_target::CellConfig;
+
+/// Compilation options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompileOptions {
+    /// Target cell configuration.
+    pub cell: CellConfig,
+    /// Bound on the modulo scheduler's II search.
+    pub max_ii: u32,
+    /// Procedure inlining (the paper's §5.1 extension); `None`
+    /// reproduces the published compiler, which performed "only
+    /// minimal inter-procedural optimizations".
+    pub inline: Option<warp_ir::InlinePolicy>,
+    /// Loop unrolling (the §6 compile-time-for-code-quality trade);
+    /// `None` reproduces the published compiler.
+    pub unroll: Option<warp_ir::UnrollPolicy>,
+    /// If-conversion: speculate small branch diamonds into selects so
+    /// branchy loop bodies become software-pipelinable.
+    pub if_convert: Option<warp_ir::IfConvPolicy>,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            cell: CellConfig::default(),
+            max_ii: warp_codegen::DEFAULT_MAX_II,
+            inline: None,
+            unroll: None,
+            if_convert: None,
+        }
+    }
+}
+
+impl CompileOptions {
+    /// Options with the §5.1 inlining extension enabled.
+    pub fn with_inlining() -> Self {
+        CompileOptions { inline: Some(warp_ir::InlinePolicy::default()), ..Self::default() }
+    }
+}
+
+/// Compilation errors from any phase.
+#[derive(Debug, Clone)]
+pub enum CompileError {
+    /// Phase 1 (parse / semantic check) failed; the master aborts the
+    /// compilation (paper §3.2).
+    Phase1(Phase1Error),
+    /// Lowering failed (internal error after a clean check).
+    Lower(warp_ir::LowerError),
+    /// Phase 3 failed for a function.
+    Phase3(warp_codegen::Phase3Error),
+    /// Linking failed.
+    Link(warp_codegen::LinkError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Phase1(e) => write!(f, "{e}"),
+            CompileError::Lower(e) => write!(f, "{e}"),
+            CompileError::Phase3(e) => write!(f, "{e}"),
+            CompileError::Link(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<Phase1Error> for CompileError {
+    fn from(e: Phase1Error) -> Self {
+        CompileError::Phase1(e)
+    }
+}
+
+impl From<warp_ir::LowerError> for CompileError {
+    fn from(e: warp_ir::LowerError) -> Self {
+        CompileError::Lower(e)
+    }
+}
+
+impl From<warp_codegen::Phase3Error> for CompileError {
+    fn from(e: warp_codegen::Phase3Error) -> Self {
+        CompileError::Phase3(e)
+    }
+}
+
+impl From<warp_codegen::LinkError> for CompileError {
+    fn from(e: warp_codegen::LinkError) -> Self {
+        CompileError::Link(e)
+    }
+}
+
+/// Everything measured about compiling one function — the deterministic
+/// work profile the host simulator turns into 1989 seconds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FunctionRecord {
+    /// Section index.
+    pub section: usize,
+    /// Function name.
+    pub name: String,
+    /// Source lines of the function (declaration through `end`).
+    pub lines: usize,
+    /// Maximum loop nesting depth.
+    pub loop_depth: usize,
+    /// Phase-1 work attributable to this function (its share of
+    /// parsing; a function master re-parses its own function).
+    pub parse_units: u64,
+    /// Phase-2 work counters.
+    pub p2: Phase2Work,
+    /// Phase-3 work counters.
+    pub p3: Phase3Work,
+    /// Size of the produced object in bytes (what travels back over
+    /// the network to the file server).
+    pub object_bytes: u64,
+    /// The load balancer's a-priori cost estimate (LoC × nesting,
+    /// §4.3) — available to the master *before* compilation.
+    pub cost_estimate: u64,
+}
+
+impl FunctionRecord {
+    /// Total compile work in abstract units (phases 2 + 3; the
+    /// function master's CPU burst).
+    pub fn compile_units(&self) -> u64 {
+        self.p2.units() + self.p3.units()
+    }
+
+    /// Total units including the function master's own parse.
+    pub fn total_units(&self) -> u64 {
+        self.parse_units + self.compile_units()
+    }
+}
+
+/// The result of compiling a whole module.
+#[derive(Debug, Clone)]
+pub struct CompileResult {
+    /// The final linked, downloadable image.
+    pub module_image: ModuleImage,
+    /// Per-function work records, in source order.
+    pub records: Vec<FunctionRecord>,
+    /// Phase-1 work for the whole module in abstract units.
+    pub phase1_units: u64,
+    /// Phase-4 (assembly/link) work in abstract units.
+    pub link_units: u64,
+}
+
+impl CompileResult {
+    /// Total work units across all phases (the sequential compiler's
+    /// CPU demand).
+    pub fn total_units(&self) -> u64 {
+        self.phase1_units
+            + self.records.iter().map(FunctionRecord::compile_units).sum::<u64>()
+            + self.link_units
+    }
+}
+
+/// Converts phase-1 parse counters to abstract work units.
+fn parse_units_of(work: &ParseWork) -> u64 {
+    work.tokens as u64 * 2 + work.statements as u64 * 3 + work.source_bytes as u64 / 8
+}
+
+/// Runs phase 1 on a module source (the master's sequential step).
+///
+/// # Errors
+///
+/// Returns the phase-1 diagnostics on failure.
+pub fn run_phase1(source: &str) -> Result<(CheckedModule, u64), CompileError> {
+    let checked = warp_lang::phase1(source)?;
+    let units = parse_units_of(&ParseWork::measure(source));
+    Ok((checked, units))
+}
+
+/// Phase 1 plus the optional inlining extension: the checked module the
+/// function masters will compile. When inlining runs, the transformed
+/// module is re-checked (and the extra work charged to phase 1).
+///
+/// # Errors
+///
+/// Returns the phase-1 diagnostics on failure.
+pub fn prepare_module(
+    source: &str,
+    opts: &CompileOptions,
+) -> Result<(CheckedModule, u64), CompileError> {
+    let (checked, mut units) = run_phase1(source)?;
+    match &opts.inline {
+        None => Ok((checked, units)),
+        Some(policy) => {
+            let (inlined, stats) = warp_ir::inline_module(&checked.module, policy);
+            // Charge the transform + re-check as additional setup work.
+            units += stats.inlined_calls as u64 * 200 + inlined.function_count() as u64 * 50;
+            let (rechecked, diags) = warp_lang::sema::check(inlined);
+            if diags.has_errors() {
+                // Cannot happen for a module that passed phase 1; keep a
+                // defensive error path rather than panicking.
+                let rendered = diags
+                    .iter()
+                    .map(|d| d.message.clone())
+                    .collect::<Vec<_>>()
+                    .join("; ");
+                return Err(CompileError::Phase1(warp_lang::Phase1Error {
+                    diagnostics: diags,
+                    rendered,
+                }));
+            }
+            Ok((rechecked, units))
+        }
+    }
+}
+
+/// Compiles one function (phases 2 + 3): the function master's job.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] if lowering or code generation fails.
+pub fn compile_function(
+    checked: &CheckedModule,
+    source: &str,
+    si: usize,
+    fi: usize,
+    opts: &CompileOptions,
+) -> Result<(FunctionImage, FunctionRecord), CompileError> {
+    let func = &checked.module.sections[si].functions[fi];
+    let symbols = &checked.sections[si].symbol_tables[fi];
+    let signatures = &checked.sections[si].signatures;
+    let p2 = phase2_opts(func, symbols, signatures, opts.unroll.as_ref(), opts.if_convert.as_ref())?;
+    let p3 = phase3(&p2, &opts.cell, opts.max_ii)?;
+    let lines = func.line_count(source);
+    let func_src_len = func.span.len() as usize;
+    // The function master re-parses (roughly) its own function's text.
+    let parse_units = (func_src_len as u64) / 4;
+    let object_bytes = u64::from(p3.image.code_words()) * 16 + u64::from(p3.image.data_words) * 4;
+    let record = FunctionRecord {
+        section: si,
+        name: func.name.clone(),
+        lines,
+        loop_depth: func.max_loop_depth(),
+        parse_units,
+        p2: p2.work,
+        p3: p3.work,
+        object_bytes,
+        cost_estimate: warp_workload::cost_estimate(lines, func.max_loop_depth()),
+    };
+    Ok((p3.image, record))
+}
+
+/// Converts link work counters to abstract units.
+fn link_units_of(work: &LinkWork) -> u64 {
+    work.words_scanned as u64 + work.addrs_rebased as u64 * 2 + work.calls_resolved as u64 * 4
+}
+
+/// Links per-function images into the final module image (phase 4, the
+/// section masters' + master's sequential step).
+///
+/// `images` must be in source order, grouped as produced by iterating
+/// `checked.module.functions()`.
+///
+/// # Errors
+///
+/// Returns [`CompileError::Link`] on unresolved calls or overflow.
+pub fn link_module(
+    checked: &CheckedModule,
+    images: Vec<FunctionImage>,
+    opts: &CompileOptions,
+) -> Result<(ModuleImage, u64), CompileError> {
+    let mut iter = images.into_iter();
+    let mut sections = Vec::new();
+    let mut units = 0u64;
+    for section in &checked.module.sections {
+        let fns: Vec<FunctionImage> = (0..section.functions.len())
+            .map(|_| iter.next().expect("image per function"))
+            .collect();
+        let (img, work) =
+            link_section(&section.name, section.first_cell, section.last_cell, fns, &opts.cell)?;
+        units += link_units_of(&work);
+        sections.push(img);
+    }
+    Ok((assemble_module(&checked.module.name, sections), units))
+}
+
+/// The sequential compiler: phase 1, then every function in source
+/// order, then assembly — all in one process (paper §3.2: "the
+/// sequential compiler runs as a Common Lisp process on a single SUN
+/// workstation").
+///
+/// # Errors
+///
+/// Returns the first error of any phase.
+pub fn compile_module_source(
+    source: &str,
+    opts: &CompileOptions,
+) -> Result<CompileResult, CompileError> {
+    let (checked, phase1_units) = prepare_module(source, opts)?;
+    let mut images = Vec::new();
+    let mut records = Vec::new();
+    for si in 0..checked.module.sections.len() {
+        for fi in 0..checked.module.sections[si].functions.len() {
+            let (img, rec) = compile_function(&checked, source, si, fi, opts)?;
+            images.push(img);
+            records.push(rec);
+        }
+    }
+    let (module_image, link_units) = link_module(&checked, images, opts)?;
+    Ok(CompileResult { module_image, records, phase1_units, link_units })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warp_workload::{synthetic_program, FunctionSize};
+
+    #[test]
+    fn compiles_synthetic_small_program() {
+        let src = synthetic_program(FunctionSize::Small, 2);
+        let r = compile_module_source(&src, &CompileOptions::default()).expect("compile");
+        assert_eq!(r.records.len(), 2);
+        assert_eq!(r.module_image.section_images.len(), 1);
+        assert!(r.module_image.section_images[0].functions.iter().all(|f| f.is_linked()));
+        assert!(r.phase1_units > 0);
+        assert!(r.link_units > 0);
+        assert!(r.total_units() > r.phase1_units);
+    }
+
+    #[test]
+    fn work_grows_with_size() {
+        let opts = CompileOptions::default();
+        let mut last = 0u64;
+        for size in [FunctionSize::Tiny, FunctionSize::Small, FunctionSize::Medium] {
+            let src = synthetic_program(size, 1);
+            let r = compile_module_source(&src, &opts).expect("compile");
+            let units = r.records[0].compile_units();
+            assert!(units > last, "{size}: {units} <= {last}");
+            last = units;
+        }
+    }
+
+    #[test]
+    fn parsing_is_small_fraction_of_total() {
+        // Paper §3.4: "a sequential compiler spends less than 5% of its
+        // time on parsing".
+        let src = synthetic_program(FunctionSize::Medium, 2);
+        let r = compile_module_source(&src, &CompileOptions::default()).unwrap();
+        let frac = r.phase1_units as f64 / r.total_units() as f64;
+        assert!(frac < 0.05, "parse fraction {frac}");
+    }
+
+    #[test]
+    fn phase1_error_aborts() {
+        let err = compile_module_source("module broken;", &CompileOptions::default());
+        assert!(matches!(err, Err(CompileError::Phase1(_))));
+    }
+
+    #[test]
+    fn records_carry_cost_estimates() {
+        let src = synthetic_program(FunctionSize::Large, 1);
+        let r = compile_module_source(&src, &CompileOptions::default()).unwrap();
+        let rec = &r.records[0];
+        assert!(rec.cost_estimate > 0);
+        assert!(rec.lines >= 280);
+        assert!(rec.loop_depth >= 2);
+        assert!(rec.object_bytes > 0);
+    }
+}
+
+#[cfg(test)]
+mod probe {
+    use super::*;
+    use warp_workload::{synthetic_program, user_program, FunctionSize};
+
+    /// Not a test: prints calibration data (work units and real wall
+    /// time per size). Run with `cargo test -p parcc --release probe
+    /// -- --ignored --nocapture`.
+    #[test]
+    #[ignore = "calibration probe, run manually"]
+    fn probe_work_units() {
+        let opts = CompileOptions::default();
+        for size in FunctionSize::ALL {
+            let src = synthetic_program(size, 1);
+            let t0 = std::time::Instant::now();
+            let r = compile_module_source(&src, &opts).expect("compile");
+            let dt = t0.elapsed();
+            let rec = &r.records[0];
+            println!(
+                "{size:>9}: lines={:>3} depth={} parse_u={:>6} p2_u={:>8} p3_u={:>9} total_u={:>9} obj={:>6}B wall={dt:?} (modulo_attempts={} pipelined={} spills={})",
+                rec.lines,
+                rec.loop_depth,
+                rec.parse_units,
+                rec.p2.units(),
+                rec.p3.units(),
+                rec.compile_units(),
+                rec.object_bytes,
+                rec.p3.modulo_attempts,
+                rec.p3.pipelined_loops,
+                rec.p3.spills,
+            );
+        }
+        let src = user_program();
+        let t0 = std::time::Instant::now();
+        let r = compile_module_source(&src, &opts).expect("user program");
+        println!("user program: total_u={} wall={:?}", r.total_units(), t0.elapsed());
+        for rec in &r.records {
+            println!(
+                "  {:>14}: lines={:>3} units={:>9} est={:>6}",
+                rec.name,
+                rec.lines,
+                rec.compile_units(),
+                rec.cost_estimate
+            );
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! High-level experiment runners: one call per paper measurement.
+//!
+//! Each runner really compiles the program (phases 1–4 in this
+//! process), then replays both the sequential and the parallel
+//! compilation through the host simulator and reports the paper's
+//! metrics. The figure harness in `parcc-bench` is a thin loop over
+//! these.
+
+use crate::costmodel::CostModel;
+use crate::driver::{compile_module_source, CompileError, CompileOptions, CompileResult};
+use crate::metrics::{overheads, speedup, Measurement, Overheads};
+use crate::scheduler::{fcfs, grouped_lpt, Assignment};
+use crate::simspec::{par_spec, seq_spec};
+use serde::{Deserialize, Serialize};
+use warp_netsim::simulate;
+use warp_workload::{call_heavy_program, synthetic_program, user_program, FunctionSize};
+
+/// How function masters are placed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Placement {
+    /// First-come-first-served over all free workstations (§3.3).
+    Fcfs,
+    /// Cost-estimate-driven grouping onto exactly this many processors
+    /// (§4.3).
+    Grouped {
+        /// Number of workstations running function masters.
+        processors: usize,
+    },
+}
+
+/// One seq-vs-parallel comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Comparison {
+    /// Sequential measurement.
+    pub seq: Measurement,
+    /// Parallel measurement.
+    pub par: Measurement,
+    /// Elapsed-time speedup.
+    pub speedup: f64,
+    /// Overhead decomposition (§4.2.3).
+    pub overheads: Overheads,
+    /// Number of functions compiled.
+    pub functions: usize,
+    /// Processors used by function masters.
+    pub processors: usize,
+}
+
+/// Experiment configuration.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// Compiler options.
+    pub opts: CompileOptions,
+    /// Host + cost model.
+    pub model: CostModel,
+}
+
+impl Default for Experiment {
+    fn default() -> Self {
+        Experiment { opts: CompileOptions::default(), model: CostModel::default() }
+    }
+}
+
+impl Experiment {
+    /// Compiles `source` and measures sequential vs parallel
+    /// compilation under `placement`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation errors.
+    pub fn compare_source(
+        &self,
+        source: &str,
+        placement: Placement,
+    ) -> Result<Comparison, CompileError> {
+        let result = compile_module_source(source, &self.opts)?;
+        Ok(self.compare_result(&result, placement))
+    }
+
+    /// Measures an already-compiled result.
+    pub fn compare_result(&self, result: &CompileResult, placement: Placement) -> Comparison {
+        let assignment: Assignment = match placement {
+            Placement::Fcfs => {
+                fcfs(result.records.len(), self.model.host.workstations.saturating_sub(1))
+            }
+            Placement::Grouped { processors } => grouped_lpt(&result.records, processors),
+        };
+        let seq_report = simulate(self.model.host, seq_spec(result, &self.model));
+        let par_report = simulate(self.model.host, par_spec(result, &self.model, &assignment));
+        let seq = Measurement::from_report(&seq_report);
+        let par = Measurement::from_report(&par_report);
+        let k = assignment.processors.max(1);
+        let overheads = overheads(&par, &seq, k);
+        Comparison {
+            speedup: speedup(&seq, &par),
+            overheads,
+            functions: result.records.len(),
+            processors: assignment.processors,
+            seq,
+            par,
+        }
+    }
+
+    /// The §4.2 synthetic measurement: `S_n` of a given size, FCFS.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation errors.
+    pub fn synthetic(&self, size: FunctionSize, n: usize) -> Result<Comparison, CompileError> {
+        self.compare_source(&synthetic_program(size, n), Placement::Fcfs)
+    }
+
+    /// The §4.3 user-program measurement on a given processor count
+    /// (9 = one per function, FCFS; fewer = grouped by cost estimate).
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation errors.
+    pub fn user_program(&self, processors: usize) -> Result<Comparison, CompileError> {
+        let placement = if processors >= 9 {
+            Placement::Fcfs
+        } else {
+            Placement::Grouped { processors }
+        };
+        self.compare_source(&user_program(), placement)
+    }
+}
+
+/// One point of the if-conversion ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IfConvPoint {
+    /// Whether if-conversion ran.
+    pub converted: bool,
+    /// Compile work units.
+    pub compile_units: u64,
+    /// Loops software-pipelined.
+    pub pipelined_loops: usize,
+    /// Cell cycles executing the kernel.
+    pub cycles: u64,
+}
+
+impl Experiment {
+    /// If-conversion ablation: a branchy loop kernel compiled with and
+    /// without speculation into selects. Conversion restores
+    /// pipelinability and cuts execution cycles at a modest compile-
+    /// time premium.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation errors.
+    pub fn ifconv_ablation(&self) -> Result<[IfConvPoint; 2], CompileError> {
+        const KERNEL: &str = "module k; section s on cells 0..0;
+            function clampsum(x: float): float
+            var t: float; u: float; i: int;
+            begin
+              t := 0.0;
+              for i := 0 to 63 do
+                u := float(i) * 0.25 + x;
+                if u > 8.0 then t := t + u * 0.5; else t := t - u; end;
+              end;
+              return t;
+            end;
+end;";
+        let mut out = [IfConvPoint { converted: false, compile_units: 0, pipelined_loops: 0, cycles: 0 }; 2];
+        for (k, convert) in [false, true].into_iter().enumerate() {
+            let mut opts = self.opts;
+            opts.if_convert = convert.then_some(warp_ir::IfConvPolicy::default());
+            let result = compile_module_source(KERNEL, &opts)?;
+            let rec = &result.records[0];
+            let image = result.module_image.section_images[0].clone();
+            let mut cell = warp_target::interp::Cell::new(opts.cell, image).expect("cell");
+            cell.set_strict(true);
+            cell.prepare_call("clampsum", &[warp_target::interp::Value::F(0.5)])
+                .expect("prepare");
+            cell.run(10_000_000).expect("kernel must execute cleanly");
+            out[k] = IfConvPoint {
+                converted: convert,
+                compile_units: rec.compile_units(),
+                pipelined_loops: rec.p3.pipelined_loops,
+                cycles: cell.cycle(),
+            };
+        }
+        Ok(out)
+    }
+}
+
+/// Result of the §5.1 inlining ablation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InlineAblation {
+    /// Without inlining (the published compiler).
+    pub baseline: Comparison,
+    /// With inlining + subsumed-helper removal.
+    pub inlined: Comparison,
+    /// Functions compiled without inlining.
+    pub baseline_functions: usize,
+    /// Functions compiled with inlining.
+    pub inlined_functions: usize,
+}
+
+impl Experiment {
+    /// The §5.1 ablation: a program of many small, frequently-called
+    /// functions, compiled with and without procedure inlining.
+    /// Inlining turns many tiny parallel tasks into a few medium ones —
+    /// the regime Figure 7 shows parallel compilation rewards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation errors.
+    pub fn inline_ablation(&self) -> Result<InlineAblation, CompileError> {
+        let src = call_heavy_program(4, 3);
+        let baseline_result = compile_module_source(&src, &self.opts)?;
+        let baseline = self.compare_result(&baseline_result, Placement::Fcfs);
+
+        let mut opts = self.opts;
+        opts.inline = Some(warp_ir::InlinePolicy {
+            drop_subsumed: true,
+            ..warp_ir::InlinePolicy::default()
+        });
+        let inlined_result = compile_module_source(&src, &opts)?;
+        let inlined = self.compare_result(&inlined_result, Placement::Fcfs);
+
+        Ok(InlineAblation {
+            baseline_functions: baseline_result.records.len(),
+            inlined_functions: inlined_result.records.len(),
+            baseline,
+            inlined,
+        })
+    }
+}
+
+/// One point of the §6 unrolling trade-off curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UnrollPoint {
+    /// Unroll factor requested (1 = off).
+    pub factor: u32,
+    /// Compile work in abstract units (what the function master pays).
+    pub compile_units: u64,
+    /// Code size in instruction words.
+    pub code_words: u32,
+    /// Cell cycles to execute the kernel (code quality).
+    pub cycles: u64,
+}
+
+impl Experiment {
+    /// The §6 trade: "the compiler can employ more time consuming
+    /// optimizations and thereby improve the quality of the code."
+    /// Compiles a vector kernel at unroll factors 1, 2 and 4 and
+    /// executes each on the strict machine interpreter: compile work
+    /// and code size rise, execution cycles fall.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation errors; panics only if the generated code
+    /// fails the strict interpreter (a compiler bug).
+    pub fn unroll_ablation(&self) -> Result<Vec<UnrollPoint>, CompileError> {
+        const KERNEL: &str = "module k; section s on cells 0..0;
+            function saxpy(aa: float): float
+            var v: float[64]; w: float[64]; acc: float; i: int;
+            begin
+              for i := 0 to 63 do v[i] := float(i) * 0.5; w[i] := float(i) * 0.25; end;
+              for i := 0 to 63 do v[i] := v[i] * aa + w[i]; end;
+              acc := 0.0;
+              for i := 0 to 63 do acc := acc + v[i]; end;
+              return acc;
+            end;
+end;";
+        let mut out = Vec::new();
+        for factor in [1u32, 2, 4] {
+            let mut opts = self.opts;
+            opts.unroll = (factor > 1).then_some(warp_ir::UnrollPolicy {
+                factor,
+                max_body_insts: 80,
+            });
+            let result = compile_module_source(KERNEL, &opts)?;
+            let rec = &result.records[0];
+            let image = result.module_image.section_images[0].clone();
+            let mut cell =
+                warp_target::interp::Cell::new(opts.cell, image).expect("cell");
+            cell.set_strict(true);
+            cell.prepare_call("saxpy", &[warp_target::interp::Value::F(1.5)])
+                .expect("prepare");
+            cell.run(10_000_000).expect("kernel must execute cleanly");
+            out.push(UnrollPoint {
+                factor,
+                compile_units: rec.compile_units(),
+                code_words: rec.p3.words,
+                cycles: cell.cycle(),
+            });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn medium_parallel_beats_sequential() {
+        let e = Experiment::default();
+        let c = e.synthetic(FunctionSize::Medium, 4).expect("compile");
+        assert!(c.speedup > 1.0, "speedup {}", c.speedup);
+        assert_eq!(c.functions, 4);
+        assert_eq!(c.processors, 4);
+    }
+
+    #[test]
+    fn tiny_parallel_is_not_worth_it() {
+        let e = Experiment::default();
+        let c = e.synthetic(FunctionSize::Tiny, 4).expect("compile");
+        assert!(c.speedup < 1.0, "tiny speedup {}", c.speedup);
+    }
+
+    #[test]
+    fn inlining_improves_call_heavy_speedup() {
+        let e = Experiment::default();
+        let a = e.inline_ablation().expect("ablation");
+        assert!(a.inlined_functions < a.baseline_functions, "{a:?}");
+        assert!(
+            a.inlined.speedup > a.baseline.speedup,
+            "inlined {} !> baseline {}",
+            a.inlined.speedup,
+            a.baseline.speedup
+        );
+    }
+
+    #[test]
+    fn unrolling_trades_compile_time_for_cycles() {
+        let e = Experiment::default();
+        let points = e.unroll_ablation().expect("ablation");
+        assert_eq!(points.len(), 3);
+        // Compile work and code size rise with the factor…
+        assert!(points[2].compile_units > points[0].compile_units, "{points:?}");
+        assert!(points[2].code_words > points[0].code_words, "{points:?}");
+        // …and the kernel gets faster (or at worst no slower).
+        assert!(points[2].cycles < points[0].cycles, "{points:?}");
+    }
+
+    #[test]
+    fn if_conversion_restores_pipelining() {
+        let e = Experiment::default();
+        let [base, conv] = e.ifconv_ablation().expect("ablation");
+        assert_eq!(base.pipelined_loops, 0, "{base:?}");
+        assert!(conv.pipelined_loops >= 1, "{conv:?}");
+        assert!(conv.cycles < base.cycles, "{base:?} vs {conv:?}");
+    }
+
+    #[test]
+    fn user_program_runs_on_various_processor_counts() {
+        let e = Experiment::default();
+        let c9 = e.user_program(9).expect("compile");
+        let c2 = e.user_program(2).expect("compile");
+        assert!(c9.speedup > c2.speedup, "9p {} vs 2p {}", c9.speedup, c2.speedup);
+        assert!(c2.speedup > 1.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! The §4.2.2 cross-check: a data-partitioned parallel assembler.
+//!
+//! The paper compares its measurements with Katseff's parallel
+//! assembler (*Using Data Partitioning to Implement a Parallel
+//! Assembler*, PPEALS 1988): "the speedup reported is about 6 for a
+//! large program and 4 for a small one; adding processors past 8 for
+//! the large program (5 for the small one) yields no further decrease
+//! in elapsed time. Since the amount of computation per processor is
+//! larger in our system, we are able to use more processors but also
+//! observe the dependence on the input size."
+//!
+//! This module reproduces that experiment shape on our stack: the
+//! *assembly* of a compiled module (rebasing, call resolution, output
+//! formatting) is data-partitioned across `k` assembler processes on
+//! the simulated host, with a sequential merge — the finer-grain,
+//! lower-computation-per-processor regime Katseff studied.
+
+use crate::costmodel::CostModel;
+use crate::driver::{compile_module_source, CompileError, CompileResult};
+use crate::experiment::Experiment;
+use serde::{Deserialize, Serialize};
+use warp_netsim::{simulate, ProcKind, ProcessSpec};
+use warp_workload::{synthetic_program, FunctionSize};
+
+/// One measured point of the sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AssemblerPoint {
+    /// Assembler processes used.
+    pub processors: usize,
+    /// Simulated elapsed seconds.
+    pub elapsed_s: f64,
+    /// Speedup over one assembler.
+    pub speedup: f64,
+}
+
+/// Sweep results for one program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AssemblerSweep {
+    /// Label ("large program" / "small program").
+    pub label: String,
+    /// Number of partitionable units (functions).
+    pub functions: usize,
+    /// Points for 1..=max processors.
+    pub points: Vec<AssemblerPoint>,
+}
+
+/// Assembly work for one function, in simulator units. Assembly is
+/// much cheaper per item than compilation — the point of the
+/// comparison: finer grain saturates earlier.
+fn asm_units(rec: &crate::driver::FunctionRecord) -> u64 {
+    u64::from(rec.p3.words) * 26 + rec.object_bytes / 16
+}
+
+/// Builds the simulated parallel assembly of `result` on `k`
+/// assemblers: partition functions LPT by assembly work, one C process
+/// per assembler, then a sequential merge pass.
+fn assembly_spec(result: &CompileResult, cm: &CostModel, k: usize) -> ProcessSpec {
+    let k = k.max(1);
+    // LPT partition of functions by assembly work.
+    let mut order: Vec<usize> = (0..result.records.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(asm_units(&result.records[i])));
+    let mut shares: Vec<(u64, Vec<usize>)> = vec![(0, Vec::new()); k.min(order.len()).max(1)];
+    for i in order {
+        let (load, items) =
+            shares.iter_mut().min_by_key(|(l, _)| *l).expect("at least one share");
+        *load += asm_units(&result.records[i]);
+        items.push(i);
+    }
+
+    let assemblers: Vec<ProcessSpec> = shares
+        .iter()
+        .enumerate()
+        .filter(|(_, (_, items))| !items.is_empty())
+        .map(|(a, (load, items))| {
+            let objects: u64 = items.iter().map(|&i| result.records[i].object_bytes).sum();
+            ProcessSpec::new(format!("assembler {a}"), 1 + a % (cm.host.workstations - 1), ProcKind::C)
+                // Read the objects from the file server, assemble, write
+                // the partial output back.
+                .disk(objects)
+                .cpu(*load)
+                .disk(objects / 2)
+        })
+        .collect();
+
+    let total_out: u64 = result.records.iter().map(|r| r.object_bytes).sum();
+    let merge_units: u64 = result.records.iter().map(asm_units).sum::<u64>() / 18
+        + result.records.len() as u64 * 40;
+    ProcessSpec::new("asm-master", 0, ProcKind::C)
+        .fork(assemblers)
+        .join()
+        // Sequential merge and final download-module formatting.
+        .cpu(merge_units)
+        .disk(total_out / 2)
+}
+
+/// Runs the sweep for one program.
+///
+/// # Errors
+///
+/// Propagates compilation errors.
+pub fn assembler_sweep(
+    e: &Experiment,
+    label: &str,
+    size: FunctionSize,
+    n: usize,
+    max_procs: usize,
+) -> Result<AssemblerSweep, CompileError> {
+    let src = synthetic_program(size, n);
+    let result = compile_module_source(&src, &e.opts)?;
+    let base = simulate(e.model.host, assembly_spec(&result, &e.model, 1)).elapsed_s;
+    let points = (1..=max_procs)
+        .map(|k| {
+            let elapsed = simulate(e.model.host, assembly_spec(&result, &e.model, k)).elapsed_s;
+            AssemblerPoint { processors: k, elapsed_s: elapsed, speedup: base / elapsed }
+        })
+        .collect();
+    Ok(AssemblerSweep { label: label.to_string(), functions: result.records.len(), points })
+}
+
+/// The two sweeps of the Katseff comparison: a large and a small
+/// program.
+///
+/// # Errors
+///
+/// Propagates compilation errors.
+pub fn katseff_comparison(e: &Experiment) -> Result<Vec<AssemblerSweep>, CompileError> {
+    Ok(vec![
+        assembler_sweep(e, "large program", FunctionSize::Large, 8, 12)?,
+        assembler_sweep(e, "small program", FunctionSize::Small, 5, 12)?,
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweeps_show_saturation_at_partition_count() {
+        let e = Experiment::default();
+        let sweeps = katseff_comparison(&e).expect("sweeps");
+        let large = &sweeps[0];
+        let small = &sweeps[1];
+
+        // Speedup grows up to the partition count…
+        let s8 = large.points[7].speedup;
+        assert!(s8 > 3.0, "large @8: {s8}");
+        // …and flattens beyond it (paper: "adding processors past 8 …
+        // yields no further decrease in elapsed time").
+        let s12 = large.points[11].speedup;
+        assert!((s12 - s8).abs() / s8 < 0.02, "large saturation: {s8} vs {s12}");
+
+        // The small program saturates at its 5 functions.
+        let s5 = small.points[4].speedup;
+        let s12s = small.points[11].speedup;
+        assert!((s12s - s5).abs() / s5 < 0.02, "small saturation: {s5} vs {s12s}");
+        // And tops out below the large program.
+        assert!(s5 < s8, "small {s5} !< large {s8}");
+    }
+
+    #[test]
+    fn speedups_monotone_until_saturation() {
+        let e = Experiment::default();
+        let s = assembler_sweep(&e, "t", FunctionSize::Large, 8, 8).unwrap();
+        for w in s.points.windows(2) {
+            assert!(
+                w[1].speedup >= w[0].speedup * 0.98,
+                "non-monotone: {:?}",
+                s.points
+            );
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! # parcc — the parallel compiler
+//!
+//! The paper's contribution (*Parallel Compilation for a Parallel
+//! Machine*, Gross/Zobel/Zolg, PLDI 1989): compile the functions of a
+//! Warp module in parallel on a network of workstations, one function
+//! master per function, coordinated by a master and per-section section
+//! masters (§3.2).
+//!
+//! * [`driver`] — the real compiler (phases 1–4) and the per-function
+//!   work records;
+//! * [`scheduler`] — FCFS distribution and cost-estimate grouping;
+//! * [`costmodel`] / [`simspec`] — replay real compilations through the
+//!   1989 host simulator;
+//! * [`metrics`] — elapsed/CPU measurements and the §4.2.3 overhead
+//!   decomposition (implementation vs system, possibly negative);
+//! * [`experiment`] — one-call runners for every measurement in the
+//!   evaluation, plus the §5.1 inlining ablation;
+//! * [`parmake`] — the §3.4 parallel-make baseline and the combined
+//!   parallel-make × parallel-compiler mode;
+//! * [`threads`] — real parallel compilation with OS threads (the same
+//!   hierarchy, on today's hardware).
+
+#![warn(missing_docs)]
+
+pub mod costmodel;
+pub mod driver;
+pub mod experiment;
+pub mod katseff;
+pub mod metrics;
+pub mod parmake;
+pub mod scheduler;
+pub mod simspec;
+pub mod threads;
+
+pub use costmodel::{CostModel, CALIBRATED};
+pub use driver::{
+    compile_function, compile_module_source, link_module, run_phase1, CompileError,
+    CompileOptions, CompileResult, FunctionRecord,
+};
+pub use experiment::{Comparison, Experiment, InlineAblation, Placement};
+pub use katseff::{assembler_sweep, katseff_comparison, AssemblerSweep};
+pub use parmake::{parmake_comparison, ParmakeReport, SystemModule};
+pub use metrics::{overheads, speedup, Measurement, Overheads};
+pub use scheduler::{fcfs, grouped_lpt, Assignment};

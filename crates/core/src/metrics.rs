@@ -1,0 +1,154 @@
+//! Measurements and the paper's overhead decomposition (§4.2).
+//!
+//! * *Elapsed (user) time* — wall clock until the master finishes.
+//! * *CPU time, per-processor* — the paper reports per-processor CPU
+//!   rather than cumulative ("we found the cumulative CPU time … not
+//!   nearly as informative").
+//! * *Total overhead* — parallel elapsed minus the ideal
+//!   `sequential / k`.
+//! * *Implementation overhead* — CPU the parallel scheme adds: the
+//!   master's setup (one extra parse) and scheduling, plus the section
+//!   masters' work.
+//! * *System overhead* — everything else: process startup, network and
+//!   file-server contention, GC, paging. **May be negative** when the
+//!   sequential compiler thrashes on a program that does not fit in one
+//!   workstation's memory (Figure 9).
+
+use crate::simspec::{FN_PREFIX, MASTER_NAME, PARSER_NAME, SECTION_PREFIX, SEQ_NAME};
+use serde::{Deserialize, Serialize};
+use warp_netsim::SimReport;
+
+/// One compilation measurement (sequential or parallel).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Measurement {
+    /// Elapsed wall-clock seconds (the user time of §4.2.1).
+    pub elapsed_s: f64,
+    /// Per-workstation CPU busy seconds.
+    pub cpu_per_processor: Vec<f64>,
+    /// Maximum per-processor CPU seconds (what the paper plots as "CPU
+    /// time" for the parallel compiler).
+    pub max_cpu_s: f64,
+    /// Master CPU seconds (setup + scheduling + assembly) — 0 for the
+    /// sequential compiler.
+    pub master_cpu_s: f64,
+    /// Parser-child CPU seconds (the extra parse).
+    pub parser_cpu_s: f64,
+    /// Section-master CPU seconds.
+    pub section_cpu_s: f64,
+    /// Function-master CPU seconds (or the whole sequential compiler).
+    pub compile_cpu_s: f64,
+    /// GC + paging overhead seconds across Lisp processes.
+    pub memory_overhead_s: f64,
+}
+
+impl Measurement {
+    /// Extracts a measurement from a simulator report.
+    pub fn from_report(report: &SimReport) -> Measurement {
+        let cpu_of = |prefix: &str| report.cpu_with_prefix(prefix);
+        let memory_overhead_s = report.processes.iter().map(|p| p.overhead_s).sum();
+        Measurement {
+            elapsed_s: report.elapsed_s,
+            cpu_per_processor: report.cpu_busy_s.clone(),
+            max_cpu_s: report.max_cpu_busy_s(),
+            master_cpu_s: cpu_of(MASTER_NAME),
+            parser_cpu_s: cpu_of(PARSER_NAME),
+            section_cpu_s: cpu_of(SECTION_PREFIX),
+            compile_cpu_s: cpu_of(FN_PREFIX) + cpu_of(SEQ_NAME),
+            memory_overhead_s,
+        }
+    }
+
+    /// Implementation overhead per §4.2.3: master time (setup +
+    /// scheduling) plus section time plus the extra parse.
+    pub fn implementation_overhead_s(&self) -> f64 {
+        self.master_cpu_s + self.parser_cpu_s + self.section_cpu_s
+    }
+}
+
+/// The overhead decomposition of one parallel run against its
+/// sequential baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Overheads {
+    /// Processors assumed for the ideal time (`min(k, functions)`).
+    pub k: usize,
+    /// `parallel_elapsed − sequential_elapsed / k` seconds.
+    pub total_s: f64,
+    /// Master + parser + section-master CPU seconds.
+    pub implementation_s: f64,
+    /// `total − implementation`; negative when the sequential compiler
+    /// thrashes.
+    pub system_s: f64,
+    /// Total overhead as a fraction of parallel elapsed time.
+    pub total_frac: f64,
+    /// System overhead as a fraction of parallel elapsed time.
+    pub system_frac: f64,
+}
+
+/// Computes the §4.2.3 decomposition.
+pub fn overheads(par: &Measurement, seq: &Measurement, k: usize) -> Overheads {
+    let k = k.max(1);
+    let ideal = seq.elapsed_s / k as f64;
+    let total = par.elapsed_s - ideal;
+    let implementation = par.implementation_overhead_s();
+    let system = total - implementation;
+    Overheads {
+        k,
+        total_s: total,
+        implementation_s: implementation,
+        system_s: system,
+        total_frac: total / par.elapsed_s,
+        system_frac: system / par.elapsed_s,
+    }
+}
+
+/// Speedup of `par` over `seq` on elapsed time.
+pub fn speedup(seq: &Measurement, par: &Measurement) -> f64 {
+    seq.elapsed_s / par.elapsed_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meas(elapsed: f64, master: f64, parser: f64, section: f64) -> Measurement {
+        Measurement {
+            elapsed_s: elapsed,
+            cpu_per_processor: vec![],
+            max_cpu_s: 0.0,
+            master_cpu_s: master,
+            parser_cpu_s: parser,
+            section_cpu_s: section,
+            compile_cpu_s: 0.0,
+            memory_overhead_s: 0.0,
+        }
+    }
+
+    #[test]
+    fn overhead_decomposition() {
+        let seq = meas(100.0, 0.0, 0.0, 0.0);
+        let par = meas(30.0, 1.0, 2.0, 1.0);
+        let o = overheads(&par, &seq, 4);
+        assert!((o.total_s - 5.0).abs() < 1e-9); // 30 - 25
+        assert!((o.implementation_s - 4.0).abs() < 1e-9);
+        assert!((o.system_s - 1.0).abs() < 1e-9);
+        assert!((o.total_frac - 5.0 / 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_system_overhead_possible() {
+        // Sequential thrashes: 100s for work the parallel version does
+        // in 26s on 4 processors with 1s of implementation overhead —
+        // total overhead 1s < implementation 4s → system −3s.
+        let seq = meas(100.0, 0.0, 0.0, 0.0);
+        let par = meas(26.0, 1.0, 2.0, 1.0);
+        let o = overheads(&par, &seq, 4);
+        assert!(o.system_s < 0.0, "{o:?}");
+    }
+
+    #[test]
+    fn speedup_is_elapsed_ratio() {
+        let seq = meas(120.0, 0.0, 0.0, 0.0);
+        let par = meas(30.0, 0.0, 0.0, 0.0);
+        assert!((speedup(&seq, &par) - 4.0).abs() < 1e-9);
+    }
+}

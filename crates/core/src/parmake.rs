@@ -1,0 +1,199 @@
+//! The §3.4 comparison: parallel `make` vs the parallel compiler.
+//!
+//! "While in parallel make several modules are compiled concurrently
+//! with a sequential compiler, our system compiles a single module with
+//! a parallel compiler. … In practice, both approaches could coexist,
+//! with the parallel compiler speeding up the individual translations,
+//! and the parallel make system organizing the system generation
+//! effort."
+//!
+//! This module builds a small multi-module *system* (a makefile with
+//! dependencies), compiles every module for real, and simulates four
+//! build strategies on the 1989 host:
+//!
+//! 1. **sequential make** — modules one after another, sequential
+//!    compiler;
+//! 2. **parallel make** — dependency levels in parallel, sequential
+//!    compiler per module (Baalbergen's scheme);
+//! 3. **parallel compiler** — modules one after another, each compiled
+//!    by the paper's parallel compiler;
+//! 4. **combined** — dependency levels in parallel *and* the parallel
+//!    compiler per module.
+
+use crate::costmodel::CostModel;
+use crate::driver::{compile_module_source, CompileError, CompileResult};
+use crate::experiment::Experiment;
+use crate::scheduler::Assignment;
+use crate::simspec::{par_spec, seq_spec};
+use serde::{Deserialize, Serialize};
+use warp_netsim::{simulate, ProcKind, ProcessSpec};
+use warp_workload::{synthetic_program, FunctionSize};
+
+/// One module of the system plus its dependency level (modules on the
+/// same level are independent and may build concurrently).
+#[derive(Debug, Clone)]
+pub struct SystemModule {
+    /// Module name (for reporting).
+    pub name: String,
+    /// Compiled result (real compilation).
+    pub result: CompileResult,
+    /// Dependency level (0 builds first).
+    pub level: usize,
+}
+
+/// Elapsed seconds per build strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParmakeReport {
+    /// Strategy 1: everything sequential.
+    pub sequential_s: f64,
+    /// Strategy 2: parallel make × sequential compiler.
+    pub parallel_make_s: f64,
+    /// Strategy 3: sequential make × parallel compiler.
+    pub parallel_compiler_s: f64,
+    /// Strategy 4: parallel make × parallel compiler.
+    pub combined_s: f64,
+}
+
+/// The default 4-module system: two independent leaf modules, a module
+/// depending on both, and a final link-ish module.
+///
+/// # Errors
+///
+/// Propagates compilation errors.
+pub fn default_system(e: &Experiment) -> Result<Vec<SystemModule>, CompileError> {
+    let specs = [
+        ("libmath", synthetic_program(FunctionSize::Medium, 2), 0),
+        ("libsignal", synthetic_program(FunctionSize::Medium, 3), 0),
+        ("kernels", synthetic_program(FunctionSize::Large, 2), 1),
+        ("app", synthetic_program(FunctionSize::Small, 4), 2),
+    ];
+    let mut out = Vec::new();
+    for (name, src, level) in specs {
+        out.push(SystemModule {
+            name: name.to_string(),
+            result: compile_module_source(&src, &e.opts)?,
+            level,
+        });
+    }
+    Ok(out)
+}
+
+/// Groups module indices by level, ascending.
+fn levels(modules: &[SystemModule]) -> Vec<Vec<usize>> {
+    let max = modules.iter().map(|m| m.level).max().unwrap_or(0);
+    (0..=max)
+        .map(|l| {
+            modules
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| m.level == l)
+                .map(|(i, _)| i)
+                .collect()
+        })
+        .collect()
+}
+
+/// Round-robin FCFS assignment starting at workstation offset `start`
+/// (so concurrent modules spread over different machines).
+fn offset_fcfs(n: usize, available: usize, start: usize) -> Assignment {
+    let available = available.max(1);
+    let workstation = (0..n).map(|i| 1 + (start + i) % available).collect();
+    Assignment { workstation, processors: n.min(available) }
+}
+
+/// Builds the simulation spec for one strategy.
+fn build_spec(
+    modules: &[SystemModule],
+    cm: &CostModel,
+    parallel_modules: bool,
+    parallel_compiler: bool,
+) -> ProcessSpec {
+    let avail = cm.host.workstations.saturating_sub(1).max(1);
+    let mut ws_cursor = 0usize;
+    let mut module_spec = |idx: usize, m: &SystemModule| -> ProcessSpec {
+        if parallel_compiler {
+            let a = offset_fcfs(m.result.records.len(), avail, ws_cursor);
+            ws_cursor += m.result.records.len();
+            let mut spec = par_spec(&m.result, cm, &a);
+            spec.name = format!("make {} (parallel-cc)", m.name);
+            spec
+        } else {
+            let mut spec = seq_spec(&m.result, cm);
+            // Each make job runs its compiler on its own workstation.
+            spec.workstation = 1 + idx % avail;
+            spec.name = format!("make {} (seqcc)", m.name);
+            spec
+        }
+    };
+
+    let mut root = ProcessSpec::new("make", 0, ProcKind::C);
+    if parallel_modules {
+        for level in levels(modules) {
+            let children: Vec<ProcessSpec> =
+                level.into_iter().map(|i| module_spec(i, &modules[i])).collect();
+            root = root.fork(children).join();
+        }
+    } else {
+        for (i, m) in modules.iter().enumerate() {
+            root = root.fork(vec![module_spec(i, m)]).join();
+        }
+    }
+    root
+}
+
+/// Runs all four strategies over [`default_system`].
+///
+/// # Errors
+///
+/// Propagates compilation errors.
+pub fn parmake_comparison(e: &Experiment) -> Result<ParmakeReport, CompileError> {
+    let modules = default_system(e)?;
+    Ok(parmake_comparison_of(&modules, &e.model))
+}
+
+/// Runs all four strategies over a caller-supplied system.
+pub fn parmake_comparison_of(modules: &[SystemModule], cm: &CostModel) -> ParmakeReport {
+    let run = |pm: bool, pc: bool| simulate(cm.host, build_spec(modules, cm, pm, pc)).elapsed_s;
+    ParmakeReport {
+        sequential_s: run(false, false),
+        parallel_make_s: run(true, false),
+        parallel_compiler_s: run(false, true),
+        combined_s: run(true, true),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategies_are_ordered_as_the_paper_argues() {
+        let e = Experiment::default();
+        let r = parmake_comparison(&e).expect("parmake");
+        // Both parallel strategies beat fully sequential builds.
+        assert!(r.parallel_make_s < r.sequential_s, "{r:?}");
+        assert!(r.parallel_compiler_s < r.sequential_s, "{r:?}");
+        // The combination is the best of all ("both approaches could
+        // coexist").
+        assert!(r.combined_s <= r.parallel_make_s + 1.0, "{r:?}");
+        assert!(r.combined_s <= r.parallel_compiler_s + 1.0, "{r:?}");
+    }
+
+    #[test]
+    fn levels_partition_modules() {
+        let e = Experiment::default();
+        let modules = default_system(&e).unwrap();
+        let ls = levels(&modules);
+        assert_eq!(ls.len(), 3);
+        assert_eq!(ls.iter().map(Vec::len).sum::<usize>(), modules.len());
+        assert_eq!(ls[0].len(), 2, "two independent leaf modules");
+    }
+
+    #[test]
+    fn offset_assignment_spreads_modules() {
+        let a = offset_fcfs(3, 10, 0);
+        let b = offset_fcfs(3, 10, 3);
+        assert_eq!(a.workstation, vec![1, 2, 3]);
+        assert_eq!(b.workstation, vec![4, 5, 6]);
+    }
+}

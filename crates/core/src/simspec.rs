@@ -1,0 +1,205 @@
+//! Building simulator process trees from real compilations.
+//!
+//! The compilation has already happened (really, in this process, via
+//! [`crate::driver`]); these functions translate its deterministic work
+//! profile into the process structure of paper §3.2 — master → section
+//! masters → function masters — or into the single sequential Lisp
+//! process, for the discrete-event host simulator.
+
+use crate::costmodel::CostModel;
+use crate::driver::CompileResult;
+use crate::scheduler::Assignment;
+use warp_netsim::{ProcKind, ProcessSpec};
+
+/// Name of the sequential-compiler process.
+pub const SEQ_NAME: &str = "seqc";
+/// Name of the master process.
+pub const MASTER_NAME: &str = "master";
+/// Name of the master's Lisp parser child.
+pub const PARSER_NAME: &str = "parser";
+/// Prefix of section-master process names.
+pub const SECTION_PREFIX: &str = "section-master";
+/// Prefix of function-master process names.
+pub const FN_PREFIX: &str = "fn-master";
+
+/// Appends a compile burst of `units` at `heap` live words: CPU work
+/// in chunks with its paging traffic to the file server interleaved
+/// (diskless workstations swap over the network — §4.2.3's "multiple
+/// processes swap off the same file server").
+fn compile_burst(mut p: ProcessSpec, cm: &CostModel, units: u64, heap: u64) -> ProcessSpec {
+    let chunks = cm.compile_chunks.max(1);
+    let swap = cm.swap_bytes(units, heap);
+    p = p.heap(heap);
+    for c in 0..chunks {
+        // Distribute remainders deterministically.
+        let u = units / chunks + u64::from(c < units % chunks);
+        p = p.cpu(u);
+        let b = swap / chunks + u64::from(c < swap % chunks);
+        if b > 0 {
+            p = p.disk(b);
+        }
+    }
+    p
+}
+
+/// The sequential compiler: one Lisp process on workstation 0 that
+/// parses, compiles every function in order (heap growing as it
+/// retains results), then assembles. Its image carries every phase
+/// plus whole-module data (`seq_extra_heap`), so larger programs push
+/// it past physical memory.
+pub fn seq_spec(result: &CompileResult, cm: &CostModel) -> ProcessSpec {
+    let base = cm.base_lisp_heap + cm.seq_extra_heap;
+    let mut p = ProcessSpec::new(SEQ_NAME, 0, ProcKind::Lisp)
+        .heap(base)
+        .cpu(result.phase1_units);
+    let mut retained = 0u64;
+    for rec in &result.records {
+        let heap = base + retained + cm.fn_heap(rec);
+        p = compile_burst(p, cm, rec.compile_units(), heap);
+        retained += cm.seq_retained(rec);
+    }
+    let object_bytes: u64 = result.records.iter().map(|r| r.object_bytes).sum();
+    p.heap(base + retained)
+        .cpu(result.link_units)
+        .disk(object_bytes)
+}
+
+/// The parallel compiler: the master (C) starts a Lisp parser for the
+/// setup parse, forks one section master (C) per section, each of which
+/// forks one function master (Lisp) per function on its assigned
+/// workstation; the master finally runs the sequential assembly phase.
+pub fn par_spec(result: &CompileResult, cm: &CostModel, assignment: &Assignment) -> ProcessSpec {
+    assert_eq!(assignment.workstation.len(), result.records.len());
+    let n_sections = 1 + result.records.iter().map(|r| r.section).max().unwrap_or(0);
+
+    let mut sections = Vec::with_capacity(n_sections);
+    for si in 0..n_sections {
+        let idxs: Vec<usize> = result
+            .records
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.section == si)
+            .map(|(i, _)| i)
+            .collect();
+        let mut fn_masters = Vec::with_capacity(idxs.len());
+        for &i in &idxs {
+            let rec = &result.records[i];
+            let ws = assignment.workstation[i];
+            let heap = cm.base_lisp_heap + cm.fn_heap(rec);
+            let fm = ProcessSpec::new(format!("{FN_PREFIX} {}", rec.name), ws, ProcKind::Lisp);
+            // The function master re-parses its function, then runs
+            // phases 2 + 3 (with its paging traffic, if any), then
+            // ships the object to the file server and its diagnostics
+            // to the section master.
+            let fm = compile_burst(fm, cm, rec.parse_units + rec.compile_units(), heap)
+                .disk(rec.object_bytes)
+                .net(cm.diag_bytes);
+            fn_masters.push(fm);
+        }
+        let nf = idxs.len() as u64;
+        sections.push(
+            ProcessSpec::new(format!("{SECTION_PREFIX} {si}"), 0, ProcKind::C)
+                .cpu(cm.section_units_per_fn * nf)
+                .fork(fn_masters)
+                .join()
+                // Combine results and diagnostic output (§3.2).
+                .cpu(cm.combine_units_per_fn * nf)
+                .net(cm.diag_bytes * nf),
+        );
+    }
+
+    let parser = ProcessSpec::new(PARSER_NAME, 0, ProcKind::Lisp)
+        .heap(cm.base_lisp_heap + cm.parse_heap_per_line * total_lines(result))
+        .cpu(result.phase1_units);
+    let object_bytes: u64 = result.records.iter().map(|r| r.object_bytes).sum();
+
+    ProcessSpec::new(MASTER_NAME, 0, ProcKind::C)
+        // Setup: one extra parse of the program, by a Lisp child.
+        .fork(vec![parser])
+        .join()
+        // Scheduling: coordinate section masters.
+        .cpu(cm.sched_units_per_section * n_sections as u64)
+        .net(cm.msg_bytes * n_sections as u64)
+        .fork(sections)
+        .join()
+        // Phase 4: assembly and download-module generation.
+        .cpu(result.link_units)
+        .disk(object_bytes)
+}
+
+fn total_lines(result: &CompileResult) -> u64 {
+    result.records.iter().map(|r| r.lines as u64).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::costmodel::CALIBRATED;
+    use crate::driver::{compile_module_source, CompileOptions};
+    use crate::scheduler::fcfs;
+    use warp_workload::{synthetic_program, FunctionSize};
+
+    fn compiled(n: usize) -> CompileResult {
+        let src = synthetic_program(FunctionSize::Small, n);
+        compile_module_source(&src, &CompileOptions::default()).expect("compile")
+    }
+
+    #[test]
+    fn seq_spec_is_single_process() {
+        let r = compiled(3);
+        let spec = seq_spec(&r, &CALIBRATED);
+        assert_eq!(spec.process_count(), 1);
+        assert_eq!(spec.name, SEQ_NAME);
+    }
+
+    #[test]
+    fn par_spec_has_paper_process_hierarchy() {
+        let r = compiled(3);
+        let a = fcfs(3, 8);
+        let spec = par_spec(&r, &CALIBRATED, &a);
+        // master + parser + 1 section master + 3 function masters.
+        assert_eq!(spec.process_count(), 6);
+    }
+
+    #[test]
+    fn fn_masters_go_to_assigned_workstations() {
+        let r = compiled(3);
+        let a = fcfs(3, 8);
+        let spec = par_spec(&r, &CALIBRATED, &a);
+        // Walk the tree and collect fn-master workstations.
+        fn collect(spec: &ProcessSpec, out: &mut Vec<(String, usize)>) {
+            if spec.name.starts_with(FN_PREFIX) {
+                out.push((spec.name.clone(), spec.workstation));
+            }
+            for s in &spec.steps {
+                if let warp_netsim::Step::Fork { children } = s {
+                    for c in children {
+                        collect(c, out);
+                    }
+                }
+            }
+        }
+        let mut ws = Vec::new();
+        collect(&spec, &mut ws);
+        assert_eq!(ws.len(), 3);
+        let stations: Vec<usize> = ws.iter().map(|(_, w)| *w).collect();
+        assert_eq!(stations, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simulated_seq_vs_par_sanity() {
+        // For several medium functions, parallel elapsed must be well
+        // below sequential elapsed in the simulator.
+        let src = synthetic_program(FunctionSize::Medium, 4);
+        let r = compile_module_source(&src, &CompileOptions::default()).unwrap();
+        let seq = warp_netsim::simulate(CALIBRATED.host, seq_spec(&r, &CALIBRATED));
+        let a = fcfs(4, CALIBRATED.host.workstations - 1);
+        let par = warp_netsim::simulate(CALIBRATED.host, par_spec(&r, &CALIBRATED, &a));
+        assert!(
+            par.elapsed_s < seq.elapsed_s,
+            "par {} !< seq {}",
+            par.elapsed_s,
+            seq.elapsed_s
+        );
+    }
+}

@@ -1,0 +1,179 @@
+//! Real parallel compilation with OS threads.
+//!
+//! The same master / section-master / function-master structure as the
+//! simulated 1989 system, executed with actual parallelism on the host
+//! machine: phase 1 runs sequentially, then one worker per function
+//! compiles concurrently (bounded by a worker budget), then the
+//! sections are linked sequentially. Used by the Criterion benches to
+//! demonstrate genuine wall-clock speedup of the same compiler.
+
+use crate::driver::{
+    compile_function, link_module, prepare_module, CompileError, CompileOptions, CompileResult,
+    FunctionRecord,
+};
+use crossbeam::channel::bounded;
+use std::time::{Duration, Instant};
+use warp_target::program::FunctionImage;
+
+/// Timing breakdown of a threaded parallel compilation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreadReport {
+    /// Total wall time.
+    pub wall: Duration,
+    /// Sequential phase-1 wall time.
+    pub phase1_wall: Duration,
+    /// Wall time of the parallel compilation phase.
+    pub compile_wall: Duration,
+    /// Sequential link wall time.
+    pub link_wall: Duration,
+    /// Per-function wall time, in source order.
+    pub per_function: Vec<(String, Duration)>,
+    /// Worker threads used.
+    pub workers: usize,
+}
+
+/// Compiles `source` with up to `workers` concurrent function masters.
+///
+/// # Errors
+///
+/// Propagates the first compilation error (the whole compilation is
+/// aborted, as the paper's master does).
+pub fn compile_parallel(
+    source: &str,
+    opts: &CompileOptions,
+    workers: usize,
+) -> Result<(CompileResult, ThreadReport), CompileError> {
+    let workers = workers.max(1);
+    let t0 = Instant::now();
+    let (checked, phase1_units) = prepare_module(source, opts)?;
+    let phase1_wall = t0.elapsed();
+
+    // The work list: every (section, function) pair in source order.
+    let jobs: Vec<(usize, usize)> = checked
+        .module
+        .sections
+        .iter()
+        .enumerate()
+        .flat_map(|(si, s)| (0..s.functions.len()).map(move |fi| (si, fi)))
+        .collect();
+
+    type Job = (usize, (usize, usize));
+    type Done = (usize, Result<(FunctionImage, FunctionRecord, Duration), CompileError>);
+
+    let tc = Instant::now();
+    let (job_tx, job_rx) = bounded::<Job>(jobs.len());
+    let (done_tx, done_rx) = bounded::<Done>(jobs.len());
+    for job in jobs.iter().copied().enumerate() {
+        job_tx.send(job).expect("queue jobs");
+    }
+    drop(job_tx);
+
+    let mut images: Vec<Option<FunctionImage>> = vec![None; jobs.len()];
+    let mut records: Vec<Option<FunctionRecord>> = vec![None; jobs.len()];
+    let mut timings: Vec<(String, Duration)> = vec![(String::new(), Duration::ZERO); jobs.len()];
+
+    std::thread::scope(|scope| {
+        // Section masters are folded into a worker pool: each worker
+        // plays function master for successive functions (the paper's
+        // FCFS distribution).
+        for _ in 0..workers.min(jobs.len().max(1)) {
+            let job_rx = job_rx.clone();
+            let done_tx = done_tx.clone();
+            let checked = &checked;
+            let opts = &*opts;
+            scope.spawn(move || {
+                while let Ok((idx, (si, fi))) = job_rx.recv() {
+                    let t = Instant::now();
+                    let out = compile_function(checked, source, si, fi, opts)
+                        .map(|(img, rec)| (img, rec, t.elapsed()));
+                    if done_tx.send((idx, out)).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        drop(done_tx);
+        drop(job_rx);
+        // The master collects results (any error aborts).
+        let mut first_err: Option<CompileError> = None;
+        while let Ok((idx, out)) = done_rx.recv() {
+            match out {
+                Ok((img, rec, dt)) => {
+                    timings[idx] = (rec.name.clone(), dt);
+                    images[idx] = Some(img);
+                    records[idx] = Some(rec);
+                }
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        Ok(())
+    })?;
+    let compile_wall = tc.elapsed();
+
+    let tl = Instant::now();
+    let images: Vec<FunctionImage> = images.into_iter().map(|i| i.expect("image")).collect();
+    let records: Vec<FunctionRecord> = records.into_iter().map(|r| r.expect("record")).collect();
+    let (module_image, link_units) = link_module(&checked, images, opts)?;
+    let link_wall = tl.elapsed();
+
+    Ok((
+        CompileResult { module_image, records, phase1_units, link_units },
+        ThreadReport {
+            wall: t0.elapsed(),
+            phase1_wall,
+            compile_wall,
+            link_wall,
+            per_function: timings,
+            workers,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::compile_module_source;
+    use warp_workload::{synthetic_program, user_program, FunctionSize};
+
+    #[test]
+    fn parallel_result_matches_sequential() {
+        let src = synthetic_program(FunctionSize::Small, 4);
+        let opts = CompileOptions::default();
+        let seq = compile_module_source(&src, &opts).expect("seq");
+        let (par, report) = compile_parallel(&src, &opts, 4).expect("par");
+        assert_eq!(seq.module_image, par.module_image, "bit-identical output");
+        assert_eq!(seq.records.len(), par.records.len());
+        assert_eq!(report.per_function.len(), 4);
+        assert!(report.wall >= report.phase1_wall);
+    }
+
+    #[test]
+    fn user_program_compiles_in_parallel() {
+        let src = user_program();
+        let opts = CompileOptions::default();
+        let seq = compile_module_source(&src, &opts).expect("seq");
+        let (par, _) = compile_parallel(&src, &opts, 8).expect("par");
+        assert_eq!(seq.module_image, par.module_image);
+    }
+
+    #[test]
+    fn phase1_error_propagates() {
+        let err = compile_parallel("module broken;", &CompileOptions::default(), 4);
+        assert!(matches!(err, Err(CompileError::Phase1(_))));
+    }
+
+    #[test]
+    fn single_worker_works() {
+        let src = synthetic_program(FunctionSize::Tiny, 2);
+        let (r, report) = compile_parallel(&src, &CompileOptions::default(), 1).unwrap();
+        assert_eq!(r.records.len(), 2);
+        assert_eq!(report.workers, 1);
+    }
+}

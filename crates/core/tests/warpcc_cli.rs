@@ -1,0 +1,125 @@
+//! End-to-end tests of the `warpcc` command-line driver.
+
+use std::process::Command;
+
+const PROGRAM: &str = "module cli;\nsection s on cells 0..1;\n\
+  function triple(x: float): float begin return x * 3.0; end;\n\
+end;\n";
+
+fn warpcc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_warpcc"))
+}
+
+fn write_program() -> tempfile_path::TempPath {
+    tempfile_path::write(PROGRAM)
+}
+
+/// Minimal temp-file helper (no extra dependencies).
+mod tempfile_path {
+    use std::path::PathBuf;
+
+    pub struct TempPath(pub PathBuf);
+
+    impl Drop for TempPath {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    pub fn write(contents: &str) -> TempPath {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "warpcc-test-{}-{}.w2",
+            std::process::id(),
+            contents.len()
+        ));
+        std::fs::write(&p, contents).expect("write temp program");
+        TempPath(p)
+    }
+}
+
+#[test]
+fn summary_lists_functions() {
+    let f = write_program();
+    let out = warpcc().arg(&f.0).output().expect("run warpcc");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("module `cli`"), "{stdout}");
+    assert!(stdout.contains("triple"), "{stdout}");
+}
+
+#[test]
+fn run_executes_function() {
+    let f = write_program();
+    let out = warpcc()
+        .args(["--run", "triple", "14.0"])
+        .arg(&f.0)
+        .output()
+        .expect("run warpcc");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("triple(14.0) = 42"), "{stdout}");
+}
+
+#[test]
+fn emit_asm_disassembles() {
+    let f = write_program();
+    let out = warpcc().args(["--emit", "asm"]).arg(&f.0).output().expect("run");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("section s"), "{stdout}");
+    assert!(stdout.contains("br: ret"), "{stdout}");
+}
+
+#[test]
+fn emit_ast_round_trips() {
+    let f = write_program();
+    let out = warpcc().args(["--emit", "ast"]).arg(&f.0).output().expect("run");
+    assert!(out.status.success());
+    let printed = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(warp_lang::phase1(&printed).is_ok(), "{printed}");
+}
+
+#[test]
+fn stdin_input_works() {
+    use std::io::Write as _;
+    let mut child = warpcc()
+        .arg("-")
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn");
+    child.stdin.as_mut().unwrap().write_all(PROGRAM.as_bytes()).unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+}
+
+#[test]
+fn bad_program_fails_with_diagnostics() {
+    let f = tempfile_path::write("module broken;\n");
+    let out = warpcc().arg(&f.0).output().expect("run");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error"), "{stderr}");
+}
+
+#[test]
+fn unknown_flag_rejected() {
+    let out = warpcc().arg("--frobnicate").output().expect("run");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn help_exits_cleanly() {
+    let out = warpcc().arg("--help").output().expect("run");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("usage: warpcc"), "{stdout}");
+}
+
+#[test]
+fn ifconv_flag_accepted() {
+    let f = tempfile_path::write(PROGRAM);
+    let out = warpcc().args(["--ifconv", "--inline"]).arg(&f.0).output().expect("run");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+}

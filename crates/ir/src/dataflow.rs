@@ -1,0 +1,301 @@
+//! Iterative dataflow analysis.
+//!
+//! Provides a dense bitset over virtual registers and the classic
+//! backward liveness analysis used by dead-code elimination and (in
+//! `warp-codegen`) register allocation. The number of worklist
+//! iterations is reported so the host simulator can charge phase-2
+//! work for it.
+
+use crate::ir::{BlockId, FuncIr, VirtReg};
+use serde::{Deserialize, Serialize};
+
+/// A dense bitset over virtual register numbers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegSet {
+    words: Vec<u64>,
+}
+
+impl RegSet {
+    /// An empty set sized for `n` registers.
+    pub fn new(n: usize) -> Self {
+        RegSet { words: vec![0; n.div_ceil(64)] }
+    }
+
+    /// Inserts `r`; returns `true` if it was newly inserted.
+    pub fn insert(&mut self, r: VirtReg) -> bool {
+        let (w, b) = (r.0 as usize / 64, r.0 as usize % 64);
+        let old = self.words[w];
+        self.words[w] |= 1 << b;
+        self.words[w] != old
+    }
+
+    /// Removes `r`.
+    pub fn remove(&mut self, r: VirtReg) {
+        let (w, b) = (r.0 as usize / 64, r.0 as usize % 64);
+        self.words[w] &= !(1 << b);
+    }
+
+    /// Membership test.
+    pub fn contains(&self, r: VirtReg) -> bool {
+        let (w, b) = (r.0 as usize / 64, r.0 as usize % 64);
+        self.words.get(w).is_some_and(|word| word & (1 << b) != 0)
+    }
+
+    /// Unions `other` into `self`; returns `true` if `self` changed.
+    pub fn union_with(&mut self, other: &RegSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let old = *a;
+            *a |= b;
+            changed |= *a != old;
+        }
+        changed
+    }
+
+    /// Number of registers in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates over members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = VirtReg> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64).filter_map(move |b| {
+                if w & (1u64 << b) != 0 {
+                    Some(VirtReg((wi * 64 + b) as u32))
+                } else {
+                    None
+                }
+            })
+        })
+    }
+}
+
+/// Result of liveness analysis.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    /// Registers live on entry to each block.
+    pub live_in: Vec<RegSet>,
+    /// Registers live on exit from each block.
+    pub live_out: Vec<RegSet>,
+    /// Number of worklist iterations until the fixpoint.
+    pub iterations: usize,
+}
+
+impl Liveness {
+    /// Registers live out of block `b`.
+    pub fn out(&self, b: BlockId) -> &RegSet {
+        &self.live_out[b.index()]
+    }
+
+    /// Registers live into block `b`.
+    pub fn into_block(&self, b: BlockId) -> &RegSet {
+        &self.live_in[b.index()]
+    }
+}
+
+/// Per-block `use`/`def` summary for liveness.
+fn block_use_def(f: &FuncIr, b: usize, nregs: usize) -> (RegSet, RegSet) {
+    let mut uses = RegSet::new(nregs);
+    let mut defs = RegSet::new(nregs);
+    let blk = &f.blocks[b];
+    for inst in &blk.insts {
+        for u in inst.used_regs() {
+            if !defs.contains(u) {
+                uses.insert(u);
+            }
+        }
+        if let Some(d) = inst.def() {
+            defs.insert(d);
+        }
+    }
+    match &blk.term {
+        crate::ir::Term::Branch { cond, .. } => {
+            if let Some(r) = cond.as_reg() {
+                if !defs.contains(r) {
+                    uses.insert(r);
+                }
+            }
+        }
+        crate::ir::Term::Return(Some(v)) => {
+            if let Some(r) = v.as_reg() {
+                if !defs.contains(r) {
+                    uses.insert(r);
+                }
+            }
+        }
+        _ => {}
+    }
+    (uses, defs)
+}
+
+/// Computes backward liveness over the function.
+pub fn liveness(f: &FuncIr) -> Liveness {
+    let nblocks = f.blocks.len();
+    let nregs = f.vreg_types.len();
+    let mut live_in = vec![RegSet::new(nregs); nblocks];
+    let mut live_out = vec![RegSet::new(nregs); nblocks];
+    let use_def: Vec<(RegSet, RegSet)> =
+        (0..nblocks).map(|b| block_use_def(f, b, nregs)).collect();
+    let preds = f.predecessors();
+
+    // Worklist seeded with all blocks in reverse order (approximates
+    // reverse dataflow order for our mostly-structured CFGs).
+    let mut worklist: Vec<usize> = (0..nblocks).rev().collect();
+    let mut on_list = vec![true; nblocks];
+    let mut iterations = 0usize;
+    while let Some(b) = worklist.pop() {
+        on_list[b] = false;
+        iterations += 1;
+        // live_out[b] = union of live_in of successors
+        let succs = f.blocks[b].term.successors();
+        let mut new_out = RegSet::new(nregs);
+        for s in &succs {
+            new_out.union_with(&live_in[s.index()]);
+        }
+        live_out[b] = new_out;
+        // live_in[b] = uses ∪ (live_out − defs)
+        let (uses, defs) = &use_def[b];
+        let mut new_in = uses.clone();
+        let mut out_minus_def = live_out[b].clone();
+        for d in defs.iter() {
+            out_minus_def.remove(d);
+        }
+        new_in.union_with(&out_minus_def);
+        if new_in != live_in[b] {
+            live_in[b] = new_in;
+            for p in &preds[b] {
+                if !on_list[p.index()] {
+                    on_list[p.index()] = true;
+                    worklist.push(p.index());
+                }
+            }
+        }
+    }
+    Liveness { live_in, live_out, iterations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::*;
+
+    #[test]
+    fn regset_basics() {
+        let mut s = RegSet::new(130);
+        assert!(s.is_empty());
+        assert!(s.insert(VirtReg(0)));
+        assert!(s.insert(VirtReg(129)));
+        assert!(!s.insert(VirtReg(0)));
+        assert!(s.contains(VirtReg(129)));
+        assert!(!s.contains(VirtReg(64)));
+        assert_eq!(s.len(), 2);
+        let members: Vec<u32> = s.iter().map(|r| r.0).collect();
+        assert_eq!(members, vec![0, 129]);
+        s.remove(VirtReg(0));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn regset_union() {
+        let mut a = RegSet::new(10);
+        a.insert(VirtReg(1));
+        let mut b = RegSet::new(10);
+        b.insert(VirtReg(2));
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b));
+        assert_eq!(a.len(), 2);
+    }
+
+    fn simple_loop_func() -> FuncIr {
+        // b0: v0 := 0; v1 := 10; jump b1
+        // b1: v2 := v0 < v1; br v2 ? b2 : b3
+        // b2: v0 := v0 + 1; jump b1
+        // b3: ret v0
+        let mut f = FuncIr {
+            name: "t".into(),
+            params: vec![],
+            ret: Some(IrType::Int),
+            blocks: vec![],
+            arrays: vec![],
+            vreg_types: vec![],
+        };
+        let v0 = f.new_vreg(IrType::Int);
+        let v1 = f.new_vreg(IrType::Int);
+        let v2 = f.new_vreg(IrType::Int);
+        let v3 = f.new_vreg(IrType::Int);
+        f.blocks = vec![
+            Block {
+                insts: vec![
+                    Inst::Copy { dst: v0, src: Val::ConstI(0) },
+                    Inst::Copy { dst: v1, src: Val::ConstI(10) },
+                ],
+                term: Term::Jump(BlockId(1)),
+            },
+            Block {
+                insts: vec![Inst::Cmp {
+                    kind: warp_target::isa::CmpKind::Lt,
+                    ty: IrType::Int,
+                    dst: v2,
+                    a: Val::Reg(v0),
+                    b: Val::Reg(v1),
+                }],
+                term: Term::Branch { cond: Val::Reg(v2), then_blk: BlockId(2), else_blk: BlockId(3) },
+            },
+            Block {
+                insts: vec![
+                    Inst::Bin { op: IrBinOp::Add, ty: IrType::Int, dst: v3, a: Val::Reg(v0), b: Val::ConstI(1) },
+                    Inst::Copy { dst: v0, src: Val::Reg(v3) },
+                ],
+                term: Term::Jump(BlockId(1)),
+            },
+            Block { insts: vec![], term: Term::Return(Some(Val::Reg(v0))) },
+        ];
+        f
+    }
+
+    #[test]
+    fn liveness_of_loop() {
+        let f = simple_loop_func();
+        let lv = liveness(&f);
+        // v0 and v1 are live around the loop header.
+        assert!(lv.into_block(BlockId(1)).contains(VirtReg(0)));
+        assert!(lv.into_block(BlockId(1)).contains(VirtReg(1)));
+        // v2 (the comparison) is not live into the header.
+        assert!(!lv.into_block(BlockId(1)).contains(VirtReg(2)));
+        // v0 live out of the loop body (feeds header and exit).
+        assert!(lv.out(BlockId(2)).contains(VirtReg(0)));
+        // Entry block needs nothing live-in.
+        assert!(lv.into_block(BlockId(0)).is_empty());
+        assert!(lv.iterations >= f.blocks.len());
+    }
+
+    #[test]
+    fn liveness_of_straight_line() {
+        let mut f = FuncIr {
+            name: "t".into(),
+            params: vec![],
+            ret: Some(IrType::Int),
+            blocks: vec![],
+            arrays: vec![],
+            vreg_types: vec![],
+        };
+        let a = f.new_vreg(IrType::Int);
+        let b = f.new_vreg(IrType::Int);
+        f.blocks = vec![Block {
+            insts: vec![
+                Inst::Copy { dst: a, src: Val::ConstI(1) },
+                Inst::Bin { op: IrBinOp::Add, ty: IrType::Int, dst: b, a: Val::Reg(a), b: Val::ConstI(2) },
+            ],
+            term: Term::Return(Some(Val::Reg(b))),
+        }];
+        let lv = liveness(&f);
+        assert!(lv.into_block(BlockId(0)).is_empty());
+        assert!(lv.out(BlockId(0)).is_empty());
+    }
+}

@@ -1,0 +1,652 @@
+//! Dependence analysis ("computation of global dependencies", phase 2).
+//!
+//! Builds the data-dependence graph of a basic block, including
+//! loop-carried dependences when the block is a self-looping loop body.
+//! The graph drives both the acyclic list scheduler and the modulo
+//! scheduler (software pipelining) in `warp-codegen`: recurrence
+//! circuits bound the initiation interval from below (RecMII).
+//!
+//! Memory dependences between array accesses use the classic ZIV/SIV
+//! subscript tests on indices that are affine in the loop's induction
+//! register; anything unanalyzable is a conservative distance-1
+//! dependence.
+
+use crate::ir::*;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The kind of a dependence edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DepKind {
+    /// Read-after-write (true dependence).
+    Flow,
+    /// Write-after-read.
+    Anti,
+    /// Write-after-write.
+    Output,
+    /// Ordering between side-effecting operations (queues, calls,
+    /// unanalyzable memory).
+    Order,
+}
+
+/// A dependence edge between two instructions of one block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DepEdge {
+    /// Source instruction index.
+    pub from: usize,
+    /// Destination instruction index.
+    pub to: usize,
+    /// Kind of dependence.
+    pub kind: DepKind,
+    /// Iteration distance: 0 = same iteration, k > 0 = k iterations
+    /// later. Non-loop blocks only have distance 0.
+    pub distance: u32,
+}
+
+/// The dependence graph of one block.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DepGraph {
+    /// Number of instructions.
+    pub n: usize,
+    /// All edges.
+    pub edges: Vec<DepEdge>,
+    /// Number of subscript tests performed (work units).
+    pub dep_tests: usize,
+}
+
+impl DepGraph {
+    /// Edges with distance 0 (the intra-iteration subgraph, acyclic).
+    pub fn intra_edges(&self) -> impl Iterator<Item = &DepEdge> {
+        self.edges.iter().filter(|e| e.distance == 0)
+    }
+
+    /// Edges carried around the loop.
+    pub fn carried_edges(&self) -> impl Iterator<Item = &DepEdge> {
+        self.edges.iter().filter(|e| e.distance > 0)
+    }
+}
+
+/// An index expression recognized as `coeff * induction + offset`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Affine {
+    coeff: i64,
+    offset: i64,
+}
+
+/// Recognizes the induction register of a single-block loop: a register
+/// `i` updated as `i := i ± c` (possibly through a copy of a fresh
+/// temporary) one or more times in the block — an unrolled loop updates
+/// it once per copy.
+///
+/// Returns `(register, total signed step per block iteration)`. Fails
+/// if more than one register looks like an induction variable or the
+/// updates mix signs.
+/// Recognizes the induction register of a single-block loop: the unique
+/// register whose value at block exit is its entry value plus a nonzero
+/// constant (`i := i ± c`, possibly through temporaries, possibly
+/// updated several times in an unrolled body).
+///
+/// Returns `(register, total signed step per block iteration)`.
+pub fn find_induction(block: &Block) -> Option<(VirtReg, i64)> {
+    use std::collections::HashSet;
+    // Symbolic ±constant chains from block-entry values:
+    // expr[r] = (root, delta) means r currently holds root@entry + delta.
+    let mut expr: HashMap<VirtReg, (VirtReg, i64)> = HashMap::new();
+    let mut defined: HashSet<VirtReg> = HashSet::new();
+    for inst in &block.insts {
+        match inst {
+            Inst::Bin { op, ty: IrType::Int, dst, a: Val::Reg(src), b: Val::ConstI(c) }
+                if *op == IrBinOp::Add || *op == IrBinOp::Sub =>
+            {
+                let c = if *op == IrBinOp::Add { *c as i64 } else { -(*c as i64) };
+                let entry = if let Some(&(root, delta)) = expr.get(src) {
+                    Some((root, delta + c))
+                } else if !defined.contains(src) {
+                    Some((*src, c))
+                } else {
+                    None
+                };
+                match entry {
+                    Some(e) => {
+                        expr.insert(*dst, e);
+                    }
+                    None => {
+                        expr.remove(dst);
+                    }
+                }
+                defined.insert(*dst);
+            }
+            Inst::Copy { dst, src: Val::Reg(s) } => {
+                let entry = if let Some(&e) = expr.get(s) {
+                    Some(e)
+                } else if !defined.contains(s) {
+                    Some((*s, 0))
+                } else {
+                    None
+                };
+                match entry {
+                    Some(e) => {
+                        expr.insert(*dst, e);
+                    }
+                    None => {
+                        expr.remove(dst);
+                    }
+                }
+                defined.insert(*dst);
+            }
+            other => {
+                if let Some(d) = other.def() {
+                    expr.remove(&d);
+                    defined.insert(d);
+                }
+            }
+        }
+    }
+    let mut candidates: Vec<(VirtReg, i64)> = expr
+        .iter()
+        .filter(|(r, (root, delta))| *r == root && *delta != 0 && defined.contains(r))
+        .map(|(r, (_, delta))| (*r, *delta))
+        .collect();
+    candidates.sort_by_key(|(r, _)| r.0);
+    if candidates.len() != 1 {
+        return None;
+    }
+    Some(candidates[0])
+}
+
+/// Tries to express `index` (at instruction position `pos`) as an
+/// affine function of the induction register, chasing same-block
+/// definitions upward.
+fn affine_of(
+    block: &Block,
+    pos: usize,
+    index: Val,
+    induction: Option<(VirtReg, i64)>,
+    depth: usize,
+) -> Option<Affine> {
+    if depth > 16 {
+        return None;
+    }
+    match index {
+        Val::ConstI(c) => Some(Affine { coeff: 0, offset: c as i64 }),
+        Val::ConstF(_) => None,
+        Val::Reg(r) => {
+            if let Some((ind, _)) = induction {
+                if r == ind {
+                    // Value of the induction register *at the top of the
+                    // iteration* — valid if no update precedes `pos`.
+                    let updated_before = block.insts[..pos].iter().any(|i| i.def() == Some(r));
+                    if !updated_before {
+                        return Some(Affine { coeff: 1, offset: 0 });
+                    } else {
+                        return None;
+                    }
+                }
+            }
+            // Chase the defining instruction before `pos`.
+            let def_pos = block.insts[..pos].iter().rposition(|i| i.def() == Some(r))?;
+            match &block.insts[def_pos] {
+                Inst::Copy { src, .. } => affine_of(block, def_pos, *src, induction, depth + 1),
+                Inst::Bin { op, ty: IrType::Int, a, b, .. } => {
+                    let fa = affine_of(block, def_pos, *a, induction, depth + 1)?;
+                    let fb = affine_of(block, def_pos, *b, induction, depth + 1)?;
+                    match op {
+                        IrBinOp::Add => {
+                            Some(Affine { coeff: fa.coeff + fb.coeff, offset: fa.offset + fb.offset })
+                        }
+                        IrBinOp::Sub => {
+                            Some(Affine { coeff: fa.coeff - fb.coeff, offset: fa.offset - fb.offset })
+                        }
+                        IrBinOp::Mul => {
+                            if fa.coeff == 0 {
+                                Some(Affine {
+                                    coeff: fa.offset * fb.coeff,
+                                    offset: fa.offset * fb.offset,
+                                })
+                            } else if fb.coeff == 0 {
+                                Some(Affine {
+                                    coeff: fb.offset * fa.coeff,
+                                    offset: fb.offset * fa.offset,
+                                })
+                            } else {
+                                None
+                            }
+                        }
+                        _ => None,
+                    }
+                }
+                _ => None,
+            }
+        }
+    }
+}
+
+/// Result of a subscript dependence test between two accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SubscriptDep {
+    /// No dependence between the accesses.
+    None,
+    /// Dependence at the given non-negative iteration distance.
+    Distance(u32),
+    /// Unknown — assume a loop-carried dependence of distance 1.
+    Unknown,
+}
+
+/// ZIV/SIV dependence test: access A at `a1*i + b1` (earlier in the
+/// block) and access B at `a2*i + b2`, where the induction register
+/// advances by `step` per block iteration (so the per-iteration index
+/// delta is `coeff * step`).
+fn subscript_test(fa: Option<Affine>, fb: Option<Affine>, step: i64, is_loop: bool) -> SubscriptDep {
+    match (fa, fb) {
+        (Some(x), Some(y)) => {
+            if x.coeff == y.coeff {
+                if x.coeff == 0 {
+                    // ZIV: both constant.
+                    if x.offset == y.offset {
+                        SubscriptDep::Distance(0)
+                    } else {
+                        SubscriptDep::None
+                    }
+                } else {
+                    // Strong SIV: distance = (b1 - b2) / (a * step).
+                    let denom = x.coeff * step;
+                    if denom == 0 {
+                        return SubscriptDep::Unknown;
+                    }
+                    let diff = x.offset - y.offset;
+                    if diff % denom != 0 {
+                        SubscriptDep::None
+                    } else {
+                        let d = diff / denom;
+                        if d == 0 {
+                            SubscriptDep::Distance(0)
+                        } else if !is_loop {
+                            SubscriptDep::None
+                        } else if d > 0 {
+                            SubscriptDep::Distance(d.min(u32::MAX as i64) as u32)
+                        } else {
+                            // Negative direction: the *other* ordering
+                            // carries it; for a conservative graph keep
+                            // a distance-|d| edge in the other direction
+                            // handled by the caller via symmetry.
+                            SubscriptDep::None
+                        }
+                    }
+                }
+            } else {
+                SubscriptDep::Unknown
+            }
+        }
+        _ => SubscriptDep::Unknown,
+    }
+}
+
+/// Builds the dependence graph of `block`.
+///
+/// `is_loop` marks a self-looping block; only then are loop-carried
+/// (distance ≥ 1) dependences generated.
+pub fn dep_graph(_func: &FuncIr, block: &Block, is_loop: bool) -> DepGraph {
+    let n = block.insts.len();
+    let mut edges: Vec<DepEdge> = Vec::new();
+    let mut dep_tests = 0usize;
+    let induction = if is_loop { find_induction(block) } else { None };
+
+    let push = |edges: &mut Vec<DepEdge>, from: usize, to: usize, kind: DepKind, distance: u32| {
+        if from == to && distance == 0 {
+            return;
+        }
+        if !edges
+            .iter()
+            .any(|e| e.from == from && e.to == to && e.kind == kind && e.distance == distance)
+        {
+            edges.push(DepEdge { from, to, kind, distance });
+        }
+    };
+
+    // ---- register dependences -----------------------------------------
+    // Within an iteration: classic def→use (flow), use→def (anti),
+    // def→def (output). Loop-carried: a use before the (re)definition in
+    // the same block reads the previous iteration's value.
+    for (j, inst_j) in block.insts.iter().enumerate() {
+        // Flow: last def of each used reg before j.
+        for u in inst_j.used_regs() {
+            match block.insts[..j].iter().rposition(|i| i.def() == Some(u)) {
+                Some(i) => push(&mut edges, i, j, DepKind::Flow, 0),
+                None => {
+                    if is_loop {
+                        // Defined later in the block? Then the use reads
+                        // last iteration's value — which comes from the
+                        // *last* def of the block.
+                        if let Some(i) =
+                            block.insts.iter().rposition(|i| i.def() == Some(u))
+                        {
+                            if i >= j {
+                                push(&mut edges, i, j, DepKind::Flow, 1);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(d) = inst_j.def() {
+            // Anti: uses of d before j (same iteration).
+            for (i, inst_i) in block.insts[..j].iter().enumerate() {
+                if inst_i.used_regs().contains(&d) {
+                    push(&mut edges, i, j, DepKind::Anti, 0);
+                }
+                if inst_i.def() == Some(d) {
+                    push(&mut edges, i, j, DepKind::Output, 0);
+                }
+            }
+        }
+    }
+
+    // ---- memory dependences --------------------------------------------
+    let accesses: Vec<(usize, ArrayId, Val, bool)> = block
+        .insts
+        .iter()
+        .enumerate()
+        .filter_map(|(i, inst)| match inst {
+            Inst::Load { arr, index, .. } => Some((i, *arr, *index, false)),
+            Inst::Store { arr, index, .. } => Some((i, *arr, *index, true)),
+            _ => None,
+        })
+        .collect();
+    for (x, &(i, arr_i, idx_i, wr_i)) in accesses.iter().enumerate() {
+        for &(j, arr_j, idx_j, wr_j) in accesses.iter().skip(x + 1) {
+            if arr_i != arr_j || (!wr_i && !wr_j) {
+                continue;
+            }
+            dep_tests += 1;
+            let fa = affine_of(block, i, idx_i, induction, 0);
+            let fb = affine_of(block, j, idx_j, induction, 0);
+            let step = induction.map(|(_, s)| s).unwrap_or(1);
+            let kind = match (wr_i, wr_j) {
+                (true, false) => DepKind::Flow,
+                (false, true) => DepKind::Anti,
+                (true, true) => DepKind::Output,
+                (false, false) => unreachable!(),
+            };
+            match subscript_test(fa, fb, step, is_loop) {
+                SubscriptDep::None => {
+                    // Also test the reversed (loop-carried j → i) direction.
+                    if is_loop {
+                        match subscript_test(fb, fa, step, true) {
+                            SubscriptDep::Distance(d) if d > 0 => {
+                                let rkind = match (wr_j, wr_i) {
+                                    (true, false) => DepKind::Flow,
+                                    (false, true) => DepKind::Anti,
+                                    (true, true) => DepKind::Output,
+                                    (false, false) => unreachable!(),
+                                };
+                                push(&mut edges, j, i, rkind, d);
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                SubscriptDep::Distance(d) => push(&mut edges, i, j, kind, d),
+                SubscriptDep::Unknown => {
+                    push(&mut edges, i, j, kind, 0);
+                    if is_loop {
+                        let rkind = match (wr_j, wr_i) {
+                            (true, false) => DepKind::Flow,
+                            (false, true) => DepKind::Anti,
+                            (true, true) => DepKind::Output,
+                            (false, false) => unreachable!(),
+                        };
+                        push(&mut edges, j, i, rkind, 1);
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- queue and call ordering ----------------------------------------
+    // Sends on the same queue must stay ordered; receives likewise; a
+    // call orders with every other effectful instruction (the callee
+    // may use the queues).
+    let effectful: Vec<(usize, &Inst)> = block
+        .insts
+        .iter()
+        .enumerate()
+        .filter(|(_, i)| matches!(i, Inst::Send { .. } | Inst::Recv { .. } | Inst::Call { .. }))
+        .collect();
+    for (x, &(i, inst_i)) in effectful.iter().enumerate() {
+        for &(j, inst_j) in effectful.iter().skip(x + 1) {
+            let ordered = match (inst_i, inst_j) {
+                (Inst::Send { dir: d1, .. }, Inst::Send { dir: d2, .. }) => d1 == d2,
+                (Inst::Recv { dir: d1, .. }, Inst::Recv { dir: d2, .. }) => d1 == d2,
+                (Inst::Call { .. }, _) | (_, Inst::Call { .. }) => true,
+                _ => false,
+            };
+            if ordered {
+                push(&mut edges, i, j, DepKind::Order, 0);
+                if is_loop {
+                    push(&mut edges, j, i, DepKind::Order, 1);
+                }
+            }
+        }
+    }
+
+    DepGraph { n, edges, dep_tests }
+}
+
+/// The scheduling delay an edge imposes between its endpoints.
+///
+/// Flow dependences require the producer's full latency; anti
+/// dependences allow the write in the same cycle as the read (the cell
+/// reads all operands before any write commits); output and order
+/// dependences require one cycle of separation.
+pub fn edge_delay(e: &DepEdge, latency: &[u32]) -> u32 {
+    match e.kind {
+        DepKind::Flow => latency[e.from],
+        DepKind::Anti => 0,
+        DepKind::Output | DepKind::Order => 1,
+    }
+}
+
+/// Computes the recurrence-constrained minimum initiation interval
+/// (RecMII) of a loop dependence graph given per-instruction latencies.
+///
+/// Uses the standard iterative shortest/longest path formulation: for
+/// each candidate II, a cycle with total delay L and total distance D
+/// is feasible iff `L <= II * D`. Returns the smallest II in
+/// `1..=max_ii` that satisfies all circuits, or `max_ii + 1`.
+pub fn rec_mii(graph: &DepGraph, latency: &[u32], max_ii: u32) -> u32 {
+    // Floyd–Warshall style longest-path with (latency - II*distance)
+    // weights; a positive cycle means II is infeasible.
+    let n = graph.n;
+    if n == 0 {
+        return 1;
+    }
+    'outer: for ii in 1..=max_ii {
+        const NEG: i64 = i64::MIN / 4;
+        let mut dist = vec![vec![NEG; n]; n];
+        for e in &graph.edges {
+            let w = edge_delay(e, latency) as i64 - (ii as i64) * (e.distance as i64);
+            if w > dist[e.from][e.to] {
+                dist[e.from][e.to] = w;
+            }
+        }
+        for k in 0..n {
+            for i in 0..n {
+                if dist[i][k] == NEG {
+                    continue;
+                }
+                for j in 0..n {
+                    if dist[k][j] == NEG {
+                        continue;
+                    }
+                    let via = dist[i][k] + dist[k][j];
+                    if via > dist[i][j] {
+                        dist[i][j] = via;
+                    }
+                }
+            }
+        }
+        for (i, row) in dist.iter().enumerate() {
+            if row[i] > 0 {
+                continue 'outer;
+            }
+        }
+        return ii;
+    }
+    max_ii + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_module;
+    use crate::loops::analyze_loops;
+    use warp_lang::phase1;
+
+    fn lowered(body: &str) -> FuncIr {
+        let src = format!(
+            "module m; section a on cells 0..0; function f(x: float, n: int): float \
+             var t: float; v: float[64]; w: float[64]; i: int; begin {body} end; end;"
+        );
+        let checked = phase1(&src).expect("phase1");
+        let mut f = lower_module(&checked).expect("lower").remove(0).1;
+        crate::opt::optimize(&mut f, 10);
+        f
+    }
+
+    fn loop_block(f: &FuncIr) -> &Block {
+        let li = analyze_loops(f);
+        let hdr = li.pipelinable_blocks()[0];
+        &f.blocks[hdr.index()]
+    }
+
+    #[test]
+    fn induction_variable_found() {
+        let f = lowered("t := 0.0; for i := 0 to 7 do t := t + v[i]; end; return t;");
+        let blk = loop_block(&f);
+        let (reg, step) = find_induction(blk).expect("induction");
+        assert_eq!(step, 1);
+        // The register must be an int.
+        assert_eq!(f.vreg_type(reg), IrType::Int);
+    }
+
+    #[test]
+    fn downto_induction_step_negative() {
+        let f = lowered("t := 0.0; for i := 7 downto 0 do t := t + v[i]; end; return t;");
+        let blk = loop_block(&f);
+        let (_, step) = find_induction(blk).expect("induction");
+        assert_eq!(step, -1);
+    }
+
+    #[test]
+    fn accumulator_has_carried_flow_dep() {
+        let f = lowered("t := 0.0; for i := 0 to 7 do t := t + v[i]; end; return t;");
+        let blk = loop_block(&f);
+        let g = dep_graph(&f, blk, true);
+        assert!(
+            g.carried_edges().any(|e| e.kind == DepKind::Flow),
+            "{:?}\n{}",
+            g.edges,
+            f.dump()
+        );
+    }
+
+    #[test]
+    fn independent_elements_no_memory_dep() {
+        // v[i] := w[i] * 2.0 — different arrays, no carried memory dep.
+        let f = lowered("for i := 0 to 63 do v[i] := w[i] * 2.0; end; return 0.0;");
+        let blk = loop_block(&f);
+        let g = dep_graph(&f, blk, true);
+        let mem_carried = g.carried_edges().any(|e| {
+            matches!(blk.insts[e.from], Inst::Load { .. } | Inst::Store { .. })
+                && matches!(blk.insts[e.to], Inst::Load { .. } | Inst::Store { .. })
+        });
+        assert!(!mem_carried, "{:?}", g.edges);
+    }
+
+    #[test]
+    fn recurrence_through_array_distance_detected() {
+        // v[i] := v[i-1] + 1.0: distance-1 flow from store to load.
+        let f = lowered("v[0] := x; for i := 1 to 63 do v[i] := v[i - 1] + 1.0; end; return v[63];");
+        let blk = loop_block(&f);
+        let g = dep_graph(&f, blk, true);
+        let found = g.edges.iter().any(|e| {
+            e.distance == 1
+                && e.kind == DepKind::Flow
+                && matches!(blk.insts[e.from], Inst::Store { .. })
+                && matches!(blk.insts[e.to], Inst::Load { .. })
+        });
+        assert!(found, "{:?}\n{}", g.edges, f.dump());
+        assert!(g.dep_tests > 0);
+    }
+
+    #[test]
+    fn same_element_distance_zero() {
+        // v[i] := v[i] + 1.0: flow within the iteration (load before store).
+        let f = lowered("for i := 0 to 63 do v[i] := v[i] + 1.0; end; return 0.0;");
+        let blk = loop_block(&f);
+        let g = dep_graph(&f, blk, true);
+        // load (earlier) → store (later) anti edge with distance 0.
+        let found = g.intra_edges().any(|e| {
+            e.kind == DepKind::Anti
+                && matches!(blk.insts[e.from], Inst::Load { .. })
+                && matches!(blk.insts[e.to], Inst::Store { .. })
+        });
+        assert!(found, "{:?}\n{}", g.edges, f.dump());
+    }
+
+    #[test]
+    fn sends_are_ordered() {
+        let f = lowered("for i := 0 to 7 do send(right, v[i]); send(right, w[i]); end; return 0.0;");
+        let blk = loop_block(&f);
+        let g = dep_graph(&f, blk, true);
+        let order_edges = g
+            .edges
+            .iter()
+            .filter(|e| e.kind == DepKind::Order)
+            .count();
+        assert!(order_edges >= 2, "{:?}", g.edges); // intra + carried
+    }
+
+    #[test]
+    fn rec_mii_of_accumulator_at_least_latency() {
+        // t := t + v[i] with FAdd latency 5 and distance 1 → RecMII >= 5.
+        let f = lowered("t := 0.0; for i := 0 to 63 do t := t + v[i]; end; return t;");
+        let blk = loop_block(&f);
+        let g = dep_graph(&f, blk, true);
+        let lat: Vec<u32> = blk
+            .insts
+            .iter()
+            .map(|i| match i {
+                Inst::Bin { ty: IrType::Float, .. } => 5,
+                Inst::Load { .. } => 3,
+                _ => 1,
+            })
+            .collect();
+        let mii = rec_mii(&g, &lat, 64);
+        assert!(mii >= 5, "mii={mii}\n{:?}", g.edges);
+        assert!(mii <= 10, "mii={mii}");
+    }
+
+    #[test]
+    fn rec_mii_of_independent_loop_is_one() {
+        let f = lowered("for i := 0 to 63 do v[i] := w[i] * 2.0; end; return 0.0;");
+        let blk = loop_block(&f);
+        let g = dep_graph(&f, blk, true);
+        // Remove the induction recurrence's effect: i := i + 1 has
+        // latency 1, so its self-circuit allows II = 1.
+        let lat: Vec<u32> = blk.insts.iter().map(|_| 1).collect();
+        let mii = rec_mii(&g, &lat, 64);
+        // Only the induction recurrence (i := i + 1 through a copy and
+        // the address chain feeding next iteration's loads) constrains
+        // the II; with unit latencies that bound is small.
+        assert!(mii <= 3, "mii={mii} {:?}", g.edges);
+    }
+
+    #[test]
+    fn non_loop_block_has_no_carried_edges() {
+        let f = lowered("t := x + 1.0; v[0] := t; return v[0];");
+        let g = dep_graph(&f, &f.blocks[0], false);
+        assert_eq!(g.carried_edges().count(), 0);
+        assert!(g.intra_edges().count() > 0);
+    }
+}

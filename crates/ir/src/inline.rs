@@ -1,0 +1,752 @@
+//! Procedure inlining (paper §5.1).
+//!
+//! The paper observes that "parallel compilation is of marginal value
+//! when compiling small functions" and concludes that *procedure
+//! inlining* "should be included in the compiler if the source programs
+//! consist of many small functions. Not only will procedure inlining
+//! allow the code generator to perform a better job, the increase in
+//! size of each function operated upon will also improve the speedup
+//! obtained by the parallel compiler."
+//!
+//! This pass implements that extension at the AST level, where the
+//! master process could run it right after the setup parse and before
+//! distributing functions. A call is inlined when the callee:
+//!
+//! * is in the same section (the language already requires this),
+//! * is small enough ([`InlinePolicy::max_callee_stmts`] body
+//!   statements),
+//! * is not (mutually) recursive, and
+//! * has *simple return structure*: `return` appears only as the last
+//!   statement of the body (so the body can be spliced in place; early
+//!   returns would need control-flow surgery).
+//!
+//! Callee parameters and locals are renamed with a unique prefix and
+//! the body is spliced before the call site; a call in expression
+//! position becomes a fresh result variable.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use warp_lang::ast::*;
+use warp_lang::span::Span;
+
+/// Inlining policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InlinePolicy {
+    /// Inline callees with at most this many statements (counted
+    /// recursively).
+    pub max_callee_stmts: usize,
+    /// Maximum rounds (bounds growth through chains of calls).
+    pub max_rounds: usize,
+    /// After inlining, remove helper functions that were inlined
+    /// somewhere and have no remaining call sites — they no longer
+    /// need their own function master.
+    pub drop_subsumed: bool,
+}
+
+impl Default for InlinePolicy {
+    fn default() -> Self {
+        InlinePolicy { max_callee_stmts: 40, max_rounds: 3, drop_subsumed: false }
+    }
+}
+
+/// What the pass did.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InlineStats {
+    /// Call sites replaced by callee bodies.
+    pub inlined_calls: usize,
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Functions whose bodies grew.
+    pub functions_changed: usize,
+    /// Subsumed helper functions removed (`drop_subsumed`).
+    pub functions_dropped: usize,
+    /// Names of callees that were inlined at least once (in order of
+    /// first inlining).
+    pub inlined_names: Vec<String>,
+}
+
+fn count_stmts(stmts: &[Stmt]) -> usize {
+    stmts
+        .iter()
+        .map(|s| {
+            1 + match s {
+                Stmt::If { arms, else_body, .. } => {
+                    arms.iter().map(|a| count_stmts(&a.body)).sum::<usize>()
+                        + count_stmts(else_body)
+                }
+                Stmt::While { body, .. } | Stmt::For { body, .. } => count_stmts(body),
+                _ => 0,
+            }
+        })
+        .sum()
+}
+
+/// `true` if `return` appears only as the final statement (or not at
+/// all): the body can be spliced without control-flow surgery.
+fn simple_return_structure(body: &[Stmt]) -> bool {
+    fn no_returns(stmts: &[Stmt]) -> bool {
+        stmts.iter().all(|s| match s {
+            Stmt::Return { .. } => false,
+            Stmt::If { arms, else_body, .. } => {
+                arms.iter().all(|a| no_returns(&a.body)) && no_returns(else_body)
+            }
+            Stmt::While { body, .. } | Stmt::For { body, .. } => no_returns(body),
+            _ => true,
+        })
+    }
+    match body.split_last() {
+        None => true,
+        Some((last, init)) => {
+            no_returns(init)
+                && match last {
+                    Stmt::Return { .. } => true,
+                    other => no_returns(std::slice::from_ref(other)),
+                }
+        }
+    }
+}
+
+/// `true` if `f` calls (transitively reaches) itself within `fns`.
+fn is_recursive(name: &str, fns: &HashMap<String, &Function>) -> bool {
+    fn callees(stmts: &[Stmt], out: &mut Vec<String>) {
+        fn in_expr(e: &Expr, out: &mut Vec<String>) {
+            match &e.kind {
+                ExprKind::Call { name, args } => {
+                    out.push(name.clone());
+                    args.iter().for_each(|a| in_expr(a, out));
+                }
+                ExprKind::Binary { lhs, rhs, .. } => {
+                    in_expr(lhs, out);
+                    in_expr(rhs, out);
+                }
+                ExprKind::Unary { expr, .. } => in_expr(expr, out),
+                ExprKind::LValue(lv) => lv.indices.iter().for_each(|i| in_expr(i, out)),
+                _ => {}
+            }
+        }
+        for s in stmts {
+            match s {
+                Stmt::Assign { target, value, .. } => {
+                    target.indices.iter().for_each(|i| in_expr(i, out));
+                    in_expr(value, out);
+                }
+                Stmt::If { arms, else_body, .. } => {
+                    for a in arms {
+                        in_expr(&a.cond, out);
+                        callees(&a.body, out);
+                    }
+                    callees(else_body, out);
+                }
+                Stmt::While { cond, body, .. } => {
+                    in_expr(cond, out);
+                    callees(body, out);
+                }
+                Stmt::For { from, to, by, body, .. } => {
+                    in_expr(from, out);
+                    in_expr(to, out);
+                    if let Some(b) = by {
+                        in_expr(b, out);
+                    }
+                    callees(body, out);
+                }
+                Stmt::Call { name, args, .. } => {
+                    out.push(name.clone());
+                    args.iter().for_each(|a| in_expr(a, out));
+                }
+                Stmt::Send { value, .. } => in_expr(value, out),
+                Stmt::Receive { target, .. } => {
+                    target.indices.iter().for_each(|i| in_expr(i, out))
+                }
+                Stmt::Return { value: Some(v), .. } => in_expr(v, out),
+                Stmt::Return { value: None, .. } => {}
+            }
+        }
+    }
+    // DFS over the call graph.
+    let mut stack = vec![name.to_string()];
+    let mut seen = std::collections::HashSet::new();
+    while let Some(cur) = stack.pop() {
+        let Some(f) = fns.get(&cur) else { continue };
+        let mut cs = Vec::new();
+        callees(&f.body, &mut cs);
+        for c in cs {
+            if c == name {
+                return true;
+            }
+            if seen.insert(c.clone()) {
+                stack.push(c);
+            }
+        }
+    }
+    false
+}
+
+/// Runs the inliner over a module, returning the transformed module.
+///
+/// The result should be re-checked (`warp_lang::sema::check`) before
+/// further compilation; the transformation preserves well-typedness by
+/// construction, so re-checking a previously clean module succeeds.
+pub fn inline_module(module: &Module, policy: &InlinePolicy) -> (Module, InlineStats) {
+    let mut module = module.clone();
+    let mut stats = InlineStats::default();
+    let mut ever_inlined: std::collections::HashSet<(usize, String)> =
+        std::collections::HashSet::new();
+    for _ in 0..policy.max_rounds {
+        stats.rounds += 1;
+        let mut changed = false;
+        for (si, section) in module.sections.iter_mut().enumerate() {
+            let before = stats.inlined_names.len();
+            changed |= inline_section(section, policy, &mut stats);
+            for name in stats.inlined_names[before..].iter() {
+                ever_inlined.insert((si, name.clone()));
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    if policy.drop_subsumed {
+        for (si, section) in module.sections.iter_mut().enumerate() {
+            // Remaining call targets anywhere in the section.
+            let mut called: Vec<String> = Vec::new();
+            for f in &section.functions {
+                collect_callees(&f.body, &mut called);
+            }
+            let keep_at_least_one = section.functions.len();
+            section.functions.retain(|f| {
+                let subsumed = ever_inlined.contains(&(si, f.name.clone()))
+                    && !called.contains(&f.name);
+                if subsumed {
+                    stats.functions_dropped += 1;
+                }
+                !subsumed
+            });
+            // A section must keep at least one function.
+            assert!(
+                !section.functions.is_empty(),
+                "drop_subsumed removed every function of a section ({keep_at_least_one} before)"
+            );
+        }
+    }
+    (module, stats)
+}
+
+fn collect_callees(stmts: &[Stmt], out: &mut Vec<String>) {
+    fn in_expr(e: &Expr, out: &mut Vec<String>) {
+        match &e.kind {
+            ExprKind::Call { name, args } => {
+                out.push(name.clone());
+                args.iter().for_each(|a| in_expr(a, out));
+            }
+            ExprKind::Binary { lhs, rhs, .. } => {
+                in_expr(lhs, out);
+                in_expr(rhs, out);
+            }
+            ExprKind::Unary { expr, .. } => in_expr(expr, out),
+            ExprKind::LValue(lv) => lv.indices.iter().for_each(|i| in_expr(i, out)),
+            _ => {}
+        }
+    }
+    for s in stmts {
+        match s {
+            Stmt::Assign { target, value, .. } => {
+                target.indices.iter().for_each(|i| in_expr(i, out));
+                in_expr(value, out);
+            }
+            Stmt::If { arms, else_body, .. } => {
+                for a in arms {
+                    in_expr(&a.cond, out);
+                    collect_callees(&a.body, out);
+                }
+                collect_callees(else_body, out);
+            }
+            Stmt::While { cond, body, .. } => {
+                in_expr(cond, out);
+                collect_callees(body, out);
+            }
+            Stmt::For { from, to, by, body, .. } => {
+                in_expr(from, out);
+                in_expr(to, out);
+                if let Some(b) = by {
+                    in_expr(b, out);
+                }
+                collect_callees(body, out);
+            }
+            Stmt::Call { name, args, .. } => {
+                out.push(name.clone());
+                args.iter().for_each(|a| in_expr(a, out));
+            }
+            Stmt::Send { value, .. } => in_expr(value, out),
+            Stmt::Receive { target, .. } => target.indices.iter().for_each(|i| in_expr(i, out)),
+            Stmt::Return { value: Some(v), .. } => in_expr(v, out),
+            Stmt::Return { value: None, .. } => {}
+        }
+    }
+}
+
+fn inline_section(section: &mut Section, policy: &InlinePolicy, stats: &mut InlineStats) -> bool {
+    // Snapshot callees (cloned) that qualify for inlining.
+    let originals: HashMap<String, Function> =
+        section.functions.iter().map(|f| (f.name.clone(), f.clone())).collect();
+    let by_ref: HashMap<String, &Function> =
+        originals.iter().map(|(k, v)| (k.clone(), v)).collect();
+    let inlinable: HashMap<String, Function> = originals
+        .iter()
+        .filter(|(name, f)| {
+            count_stmts(&f.body) <= policy.max_callee_stmts
+                && simple_return_structure(&f.body)
+                && !is_recursive(name, &by_ref)
+        })
+        .map(|(k, v)| (k.clone(), v.clone()))
+        .collect();
+    if inlinable.is_empty() {
+        return false;
+    }
+    let mut changed = false;
+    for f in &mut section.functions {
+        let mut ctx = Inliner {
+            inlinable: &inlinable,
+            self_name: f.name.clone(),
+            // Seed from the variable count so prefixes stay unique
+            // across rounds (each round appends variables).
+            counter: f.vars.len(),
+            new_vars: Vec::new(),
+            inlined: 0,
+            inlined_names: Vec::new(),
+        };
+        let body = std::mem::take(&mut f.body);
+        f.body = ctx.stmts(body);
+        f.vars.extend(ctx.new_vars);
+        if ctx.inlined > 0 {
+            stats.inlined_calls += ctx.inlined;
+            stats.functions_changed += 1;
+            stats.inlined_names.extend(ctx.inlined_names);
+            changed = true;
+        }
+    }
+    changed
+}
+
+struct Inliner<'a> {
+    inlinable: &'a HashMap<String, Function>,
+    self_name: String,
+    counter: usize,
+    new_vars: Vec<VarDecl>,
+    inlined: usize,
+    inlined_names: Vec<String>,
+}
+
+impl Inliner<'_> {
+    fn fresh_prefix(&mut self) -> String {
+        self.counter += 1;
+        format!("inl{}_{}_", self.counter, self.self_name)
+    }
+
+    fn stmts(&mut self, stmts: Vec<Stmt>) -> Vec<Stmt> {
+        let mut out = Vec::with_capacity(stmts.len());
+        for s in stmts {
+            self.stmt(s, &mut out);
+        }
+        out
+    }
+
+    fn stmt(&mut self, s: Stmt, out: &mut Vec<Stmt>) {
+        match s {
+            Stmt::Assign { target, value, span } => {
+                let value = self.expr(value, out);
+                let target = self.lvalue(target, out);
+                out.push(Stmt::Assign { target, value, span });
+            }
+            Stmt::If { arms, else_body, span } => {
+                // Conditions are hoisted before the `if` (they are
+                // evaluated exactly once on entry in either form).
+                let arms = arms
+                    .into_iter()
+                    .map(|a| IfArm { cond: self.expr(a.cond, out), body: self.stmts(a.body) })
+                    .collect();
+                let else_body = self.stmts(else_body);
+                out.push(Stmt::If { arms, else_body, span });
+            }
+            Stmt::While { cond, body, span } => {
+                // A call in a while condition would need re-evaluation
+                // per iteration; leave such conditions untouched.
+                let body = self.stmts(body);
+                out.push(Stmt::While { cond, body, span });
+            }
+            Stmt::For { var, from, to, downto, by, body, span } => {
+                let from = self.expr(from, out);
+                let to = self.expr(to, out);
+                let by = by.map(|b| self.expr(b, out));
+                let body = self.stmts(body);
+                out.push(Stmt::For { var, from, to, downto, by, body, span });
+            }
+            Stmt::Call { name, args, span } => {
+                if let Some(callee) = self.inlinable.get(&name).cloned() {
+                    let args = args.into_iter().map(|a| self.expr(a, out)).collect::<Vec<_>>();
+                    self.splice(&callee, args, out);
+                } else {
+                    let args = args.into_iter().map(|a| self.expr(a, out)).collect();
+                    out.push(Stmt::Call { name, args, span });
+                }
+            }
+            Stmt::Send { dir, value, span } => {
+                let value = self.expr(value, out);
+                out.push(Stmt::Send { dir, value, span });
+            }
+            Stmt::Receive { dir, target, span } => {
+                let target = self.lvalue(target, out);
+                out.push(Stmt::Receive { dir, target, span });
+            }
+            Stmt::Return { value, span } => {
+                let value = value.map(|v| self.expr(v, out));
+                out.push(Stmt::Return { value, span });
+            }
+        }
+    }
+
+    fn lvalue(&mut self, lv: LValue, out: &mut Vec<Stmt>) -> LValue {
+        LValue {
+            name: lv.name,
+            indices: lv.indices.into_iter().map(|i| self.expr(i, out)).collect(),
+            span: lv.span,
+        }
+    }
+
+    /// Rewrites an expression, hoisting inlinable calls into `out` and
+    /// replacing them with result variables.
+    fn expr(&mut self, e: Expr, out: &mut Vec<Stmt>) -> Expr {
+        let span = e.span;
+        match e.kind {
+            ExprKind::Call { name, args } => {
+                let args: Vec<Expr> = args.into_iter().map(|a| self.expr(a, out)).collect();
+                if let Some(callee) = self.inlinable.get(&name).cloned() {
+                    if let Some(ret_ty) = callee.ret.clone() {
+                        let result = self.splice_with_result(&callee, args, ret_ty, out);
+                        return Expr {
+                            kind: ExprKind::LValue(LValue {
+                                name: result,
+                                indices: vec![],
+                                span,
+                            }),
+                            span,
+                        };
+                    }
+                }
+                Expr { kind: ExprKind::Call { name, args }, span }
+            }
+            ExprKind::Binary { op, lhs, rhs } => Expr {
+                kind: ExprKind::Binary {
+                    op,
+                    lhs: Box::new(self.expr(*lhs, out)),
+                    rhs: Box::new(self.expr(*rhs, out)),
+                },
+                span,
+            },
+            ExprKind::Unary { op, expr } => Expr {
+                kind: ExprKind::Unary { op, expr: Box::new(self.expr(*expr, out)) },
+                span,
+            },
+            ExprKind::LValue(lv) => {
+                let lv = self.lvalue(lv, out);
+                Expr { kind: ExprKind::LValue(lv), span }
+            }
+            other => Expr { kind: other, span },
+        }
+    }
+
+    /// Splices a procedure call (no result).
+    fn splice(&mut self, callee: &Function, args: Vec<Expr>, out: &mut Vec<Stmt>) {
+        let prefix = self.fresh_prefix();
+        self.emit_body(callee, args, &prefix, out);
+        self.inlined += 1;
+        self.inlined_names.push(callee.name.clone());
+    }
+
+    /// Splices a function call, returning the result variable's name.
+    fn splice_with_result(
+        &mut self,
+        callee: &Function,
+        args: Vec<Expr>,
+        ret_ty: Type,
+        out: &mut Vec<Stmt>,
+    ) -> String {
+        let prefix = self.fresh_prefix();
+        let result = format!("{prefix}ret");
+        self.new_vars.push(VarDecl { name: result.clone(), ty: ret_ty, span: Span::point(0) });
+        let ret_expr = self.emit_body(callee, args, &prefix, out);
+        let value = ret_expr.unwrap_or(Expr { kind: ExprKind::IntLit(0), span: Span::point(0) });
+        out.push(Stmt::Assign {
+            target: LValue { name: result.clone(), indices: vec![], span: Span::point(0) },
+            value,
+            span: Span::point(0),
+        });
+        self.inlined += 1;
+        self.inlined_names.push(callee.name.clone());
+        result
+    }
+
+    /// Emits the renamed callee body (minus a trailing return); returns
+    /// the renamed return expression if there was one.
+    fn emit_body(
+        &mut self,
+        callee: &Function,
+        args: Vec<Expr>,
+        prefix: &str,
+        out: &mut Vec<Stmt>,
+    ) -> Option<Expr> {
+        // Parameters become locals initialized from the arguments.
+        let mut rename: HashMap<String, String> = HashMap::new();
+        for (p, arg) in callee.params.iter().zip(args) {
+            let new = format!("{prefix}{}", p.name);
+            rename.insert(p.name.clone(), new.clone());
+            self.new_vars.push(VarDecl { name: new.clone(), ty: p.ty.clone(), span: p.span });
+            out.push(Stmt::Assign {
+                target: LValue { name: new, indices: vec![], span: p.span },
+                value: arg,
+                span: p.span,
+            });
+        }
+        for v in &callee.vars {
+            let new = format!("{prefix}{}", v.name);
+            rename.insert(v.name.clone(), new.clone());
+            self.new_vars.push(VarDecl { name: new, ty: v.ty.clone(), span: v.span });
+        }
+        // Split a trailing return off the body.
+        let mut body = callee.body.clone();
+        let trailing_ret = match body.last() {
+            Some(Stmt::Return { .. }) => match body.pop() {
+                Some(Stmt::Return { value, .. }) => value,
+                _ => unreachable!(),
+            },
+            _ => None,
+        };
+        for s in body {
+            out.push(rename_stmt(s, &rename));
+        }
+        trailing_ret.map(|e| rename_expr(e, &rename))
+    }
+}
+
+fn rename_stmt(s: Stmt, map: &HashMap<String, String>) -> Stmt {
+    let rl = |lv: LValue| LValue {
+        name: map.get(&lv.name).cloned().unwrap_or(lv.name),
+        indices: lv.indices.into_iter().map(|i| rename_expr(i, map)).collect(),
+        span: lv.span,
+    };
+    match s {
+        Stmt::Assign { target, value, span } => {
+            Stmt::Assign { target: rl(target), value: rename_expr(value, map), span }
+        }
+        Stmt::If { arms, else_body, span } => Stmt::If {
+            arms: arms
+                .into_iter()
+                .map(|a| IfArm {
+                    cond: rename_expr(a.cond, map),
+                    body: a.body.into_iter().map(|s| rename_stmt(s, map)).collect(),
+                })
+                .collect(),
+            else_body: else_body.into_iter().map(|s| rename_stmt(s, map)).collect(),
+            span,
+        },
+        Stmt::While { cond, body, span } => Stmt::While {
+            cond: rename_expr(cond, map),
+            body: body.into_iter().map(|s| rename_stmt(s, map)).collect(),
+            span,
+        },
+        Stmt::For { var, from, to, downto, by, body, span } => Stmt::For {
+            var: map.get(&var).cloned().unwrap_or(var),
+            from: rename_expr(from, map),
+            to: rename_expr(to, map),
+            downto,
+            by: by.map(|b| rename_expr(b, map)),
+            body: body.into_iter().map(|s| rename_stmt(s, map)).collect(),
+            span,
+        },
+        Stmt::Call { name, args, span } => Stmt::Call {
+            name,
+            args: args.into_iter().map(|a| rename_expr(a, map)).collect(),
+            span,
+        },
+        Stmt::Send { dir, value, span } => {
+            Stmt::Send { dir, value: rename_expr(value, map), span }
+        }
+        Stmt::Receive { dir, target, span } => Stmt::Receive { dir, target: rl(target), span },
+        Stmt::Return { value, span } => {
+            Stmt::Return { value: value.map(|v| rename_expr(v, map)), span }
+        }
+    }
+}
+
+fn rename_expr(e: Expr, map: &HashMap<String, String>) -> Expr {
+    let span = e.span;
+    match e.kind {
+        ExprKind::LValue(lv) => Expr {
+            kind: ExprKind::LValue(LValue {
+                name: map.get(&lv.name).cloned().unwrap_or(lv.name),
+                indices: lv.indices.into_iter().map(|i| rename_expr(i, map)).collect(),
+                span: lv.span,
+            }),
+            span,
+        },
+        ExprKind::Binary { op, lhs, rhs } => Expr {
+            kind: ExprKind::Binary {
+                op,
+                lhs: Box::new(rename_expr(*lhs, map)),
+                rhs: Box::new(rename_expr(*rhs, map)),
+            },
+            span,
+        },
+        ExprKind::Unary { op, expr } => {
+            Expr { kind: ExprKind::Unary { op, expr: Box::new(rename_expr(*expr, map)) }, span }
+        }
+        ExprKind::Call { name, args } => Expr {
+            kind: ExprKind::Call {
+                name,
+                args: args.into_iter().map(|a| rename_expr(a, map)).collect(),
+            },
+            span,
+        },
+        other => Expr { kind: other, span },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warp_lang::interp::{AstInterp, RtValue};
+    use warp_lang::{phase1, sema};
+
+    fn inline_src(src: &str) -> (Module, InlineStats) {
+        let checked = phase1(src).expect("phase1");
+        let (m, stats) = inline_module(&checked.module, &InlinePolicy::default());
+        // The transformed module must still check.
+        let (_, diags) = sema::check(m.clone());
+        assert!(!diags.has_errors(), "inlined module fails check: {diags:?}");
+        (m, stats)
+    }
+
+    const CALLER: &str = "module m; section a on cells 0..0;\n\
+        function sq(y: float): float begin return y * y; end;\n\
+        function f(x: float): float var t: float; begin t := sq(x) + sq(x + 1.0); return t; end;\n\
+        end;";
+
+    #[test]
+    fn expression_calls_inlined() {
+        let (m, stats) = inline_src(CALLER);
+        assert_eq!(stats.inlined_calls, 2);
+        let f = m.sections[0].functions.iter().find(|f| f.name == "f").unwrap();
+        // No calls remain in f.
+        let has_call = format!("{:?}", f.body).contains("Call");
+        assert!(!has_call, "{:#?}", f.body);
+        // Fresh locals were added.
+        assert!(f.vars.len() > 1);
+    }
+
+    #[test]
+    fn inlined_module_is_semantically_identical() {
+        let checked = phase1(CALLER).unwrap();
+        let (inlined, _) = inline_module(&checked.module, &InlinePolicy::default());
+        let (chk2, d) = sema::check(inlined);
+        assert!(!d.has_errors());
+        for x in [-3.0f32, 0.0, 1.5, 7.25] {
+            let mut a = AstInterp::new(&checked, 0, 1_000_000);
+            let mut b = AstInterp::new(&chk2, 0, 1_000_000);
+            let ra = a.call("f", &[RtValue::F(x)]).unwrap();
+            let rb = b.call("f", &[RtValue::F(x)]).unwrap();
+            assert_eq!(ra, rb, "x={x}");
+        }
+    }
+
+    #[test]
+    fn procedure_call_statement_inlined() {
+        let src = "module m; section a on cells 0..0;\n\
+            function ping() begin send(right, 1.0); end;\n\
+            function f() begin ping(); ping(); return; end;\n\
+            end;";
+        let (m, stats) = inline_src(src);
+        assert_eq!(stats.inlined_calls, 2);
+        let f = m.sections[0].functions.iter().find(|f| f.name == "f").unwrap();
+        let sends = format!("{:?}", f.body).matches("Send").count();
+        assert_eq!(sends, 2);
+    }
+
+    #[test]
+    fn recursion_not_inlined() {
+        let src = "module m; section a on cells 0..0;\n\
+            function odd(k: int): int var r: int; begin \
+              if k = 0 then r := 0; else r := even(k - 1); end; return r; end;\n\
+            function even(k: int): int var r: int; begin \
+              if k = 0 then r := 1; else r := odd(k - 1); end; return r; end;\n\
+            function f(): int begin return even(4); end;\n\
+            end;";
+        let checked = phase1(src).expect("phase1");
+        let (_, stats) = inline_module(&checked.module, &InlinePolicy::default());
+        assert_eq!(stats.inlined_calls, 0, "mutual recursion must not inline");
+    }
+
+    #[test]
+    fn early_returns_block_inlining() {
+        let src = "module m; section a on cells 0..0;\n\
+            function pick(y: float): float begin \
+              if y > 0.0 then return y; end; return 0.0 - y; end;\n\
+            function f(x: float): float begin return pick(x); end;\n\
+            end;";
+        let checked = phase1(src).expect("phase1");
+        let (_, stats) = inline_module(&checked.module, &InlinePolicy::default());
+        assert_eq!(stats.inlined_calls, 0);
+    }
+
+    #[test]
+    fn large_callees_respect_policy() {
+        let mut body = String::new();
+        for _ in 0..60 {
+            body.push_str("u := u + 1.0; ");
+        }
+        let src = format!(
+            "module m; section a on cells 0..0;\n\
+             function big(y: float): float var u: float; begin u := y; {body} return u; end;\n\
+             function f(x: float): float begin return big(x); end;\n\
+             end;"
+        );
+        let checked = phase1(&src).expect("phase1");
+        let (_, stats) =
+            inline_module(&checked.module, &InlinePolicy { max_callee_stmts: 40, max_rounds: 3, drop_subsumed: false });
+        assert_eq!(stats.inlined_calls, 0);
+        let (_, stats) =
+            inline_module(&checked.module, &InlinePolicy { max_callee_stmts: 100, max_rounds: 3, drop_subsumed: false });
+        assert_eq!(stats.inlined_calls, 1);
+    }
+
+    #[test]
+    fn chains_inline_through_rounds() {
+        let src = "module m; section a on cells 0..0;\n\
+            function one(): float begin return 1.0; end;\n\
+            function two(): float begin return one() + one(); end;\n\
+            function f(): float begin return two(); end;\n\
+            end;";
+        let (m, stats) = inline_src(src);
+        assert!(stats.rounds >= 2);
+        let f = m.sections[0].functions.iter().find(|f| f.name == "f").unwrap();
+        assert!(!format!("{:?}", f.body).contains("Call"), "{stats:?}");
+        // Verify semantics end to end.
+        let (chk, d) = sema::check(m);
+        assert!(!d.has_errors());
+        let mut it = AstInterp::new(&chk, 0, 100_000);
+        assert_eq!(it.call("f", &[]).unwrap(), Some(RtValue::F(2.0)));
+    }
+
+    #[test]
+    fn call_in_loop_bound_inlined_outside() {
+        let src = "module m; section a on cells 0..0;\n\
+            function lim(): int begin return 7; end;\n\
+            function f(): float var t: float; i: int; begin \
+              t := 0.0; for i := 0 to lim() do t := t + 1.0; end; return t; end;\n\
+            end;";
+        let (m, stats) = inline_src(src);
+        assert_eq!(stats.inlined_calls, 1);
+        let (chk, d) = sema::check(m);
+        assert!(!d.has_errors());
+        let mut it = AstInterp::new(&chk, 0, 100_000);
+        assert_eq!(it.call("f", &[]).unwrap(), Some(RtValue::F(8.0)));
+    }
+}

@@ -1,0 +1,654 @@
+//! The mid-level three-address intermediate representation.
+//!
+//! Phase 2 of the compiler lowers each function's AST into a control
+//! flow graph of basic blocks over virtual registers. Scalars live in
+//! virtual registers (not SSA — registers are mutable, which matches
+//! the 1980s compiler the paper describes); arrays live in abstract
+//! array storage referenced by [`ArrayId`], which keeps array identity
+//! visible to the dependence analysis.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use warp_lang::ast::Direction;
+use warp_target::isa::CmpKind;
+
+/// A virtual register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VirtReg(pub u32);
+
+impl fmt::Display for VirtReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// An abstract array (one per array-typed variable of the function).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ArrayId(pub u32);
+
+impl fmt::Display for ArrayId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// A basic block identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// Index into the function's block vector.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// Scalar IR types. Booleans are represented as `Int` 0/1 after
+/// lowering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IrType {
+    /// 32-bit integer.
+    Int,
+    /// 32-bit float.
+    Float,
+}
+
+impl fmt::Display for IrType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            IrType::Int => "i32",
+            IrType::Float => "f32",
+        })
+    }
+}
+
+/// A value: a virtual register or a constant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Val {
+    /// Register value.
+    Reg(VirtReg),
+    /// Integer constant.
+    ConstI(i32),
+    /// Float constant.
+    ConstF(f32),
+}
+
+impl Val {
+    /// The register, if this is one.
+    pub fn as_reg(self) -> Option<VirtReg> {
+        match self {
+            Val::Reg(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// `true` if this value is a constant.
+    pub fn is_const(self) -> bool {
+        !matches!(self, Val::Reg(_))
+    }
+
+    /// The type of a constant value (`None` for registers).
+    pub fn const_type(self) -> Option<IrType> {
+        match self {
+            Val::ConstI(_) => Some(IrType::Int),
+            Val::ConstF(_) => Some(IrType::Float),
+            Val::Reg(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Val {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Val::Reg(r) => write!(f, "{r}"),
+            Val::ConstI(v) => write!(f, "{v}"),
+            Val::ConstF(v) => write!(f, "{v:?}"),
+        }
+    }
+}
+
+/// Binary IR operators. Comparison is a separate instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IrBinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Float division.
+    Div,
+    /// Integer division.
+    IDiv,
+    /// Integer remainder.
+    Mod,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Boolean and (operands 0/1).
+    And,
+    /// Boolean or.
+    Or,
+}
+
+impl IrBinOp {
+    /// `true` if the operator is commutative.
+    pub fn is_commutative(self) -> bool {
+        matches!(
+            self,
+            IrBinOp::Add | IrBinOp::Mul | IrBinOp::Min | IrBinOp::Max | IrBinOp::And | IrBinOp::Or
+        )
+    }
+}
+
+/// Unary IR operators, including math builtins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IrUnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Boolean not.
+    Not,
+    /// int → float conversion.
+    ItoF,
+    /// float → int truncation.
+    FtoI,
+    /// Absolute value.
+    Abs,
+    /// `floor` to integer.
+    Floor,
+    /// Square root.
+    Sqrt,
+    /// Sine.
+    Sin,
+    /// Cosine.
+    Cos,
+    /// Exponential.
+    Exp,
+    /// Natural log.
+    Log,
+}
+
+/// A three-address instruction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Inst {
+    /// `dst := a op b`
+    Bin {
+        /// The operator.
+        op: IrBinOp,
+        /// Operand/result type.
+        ty: IrType,
+        /// Destination register.
+        dst: VirtReg,
+        /// Left operand.
+        a: Val,
+        /// Right operand.
+        b: Val,
+    },
+    /// `dst := op a`
+    Un {
+        /// The operator.
+        op: IrUnOp,
+        /// Operand type (result type may differ for conversions).
+        ty: IrType,
+        /// Destination register.
+        dst: VirtReg,
+        /// Operand.
+        a: Val,
+    },
+    /// `dst := a cmp b` (result is Int 0/1).
+    Cmp {
+        /// The predicate.
+        kind: CmpKind,
+        /// Type of the compared operands.
+        ty: IrType,
+        /// Destination register.
+        dst: VirtReg,
+        /// Left operand.
+        a: Val,
+        /// Right operand.
+        b: Val,
+    },
+    /// `dst := src`
+    Copy {
+        /// Destination register.
+        dst: VirtReg,
+        /// Source value.
+        src: Val,
+    },
+    /// `dst := array[index]` (index already linearized to words).
+    Load {
+        /// Destination register.
+        dst: VirtReg,
+        /// Element type.
+        ty: IrType,
+        /// The array.
+        arr: ArrayId,
+        /// Linear element index.
+        index: Val,
+    },
+    /// `array[index] := value`
+    Store {
+        /// The array.
+        arr: ArrayId,
+        /// Linear element index.
+        index: Val,
+        /// Stored value.
+        value: Val,
+        /// Element type.
+        ty: IrType,
+    },
+    /// Call a function in the same section.
+    Call {
+        /// Destination for the return value, if used.
+        dst: Option<VirtReg>,
+        /// Callee name.
+        callee: String,
+        /// Arguments.
+        args: Vec<Val>,
+    },
+    /// Enqueue a value toward a neighbor.
+    Send {
+        /// Queue direction.
+        dir: Direction,
+        /// Sent value.
+        value: Val,
+    },
+    /// Dequeue a value from a neighbor.
+    Recv {
+        /// Destination register.
+        dst: VirtReg,
+        /// Queue direction.
+        dir: Direction,
+        /// Element type expected.
+        ty: IrType,
+    },
+    /// Conditional select: `dst := cond ? then_v : dst`. Reads its own
+    /// destination — produced by if-conversion.
+    Select {
+        /// Destination register (also an input).
+        dst: VirtReg,
+        /// Condition (Int 0/1).
+        cond: Val,
+        /// Value taken when the condition is nonzero.
+        then_v: Val,
+        /// Value type.
+        ty: IrType,
+    },
+}
+
+impl Inst {
+    /// The register defined by this instruction, if any.
+    pub fn def(&self) -> Option<VirtReg> {
+        match self {
+            Inst::Bin { dst, .. }
+            | Inst::Un { dst, .. }
+            | Inst::Cmp { dst, .. }
+            | Inst::Copy { dst, .. }
+            | Inst::Load { dst, .. }
+            | Inst::Recv { dst, .. }
+            | Inst::Select { dst, .. } => Some(*dst),
+            Inst::Call { dst, .. } => *dst,
+            Inst::Store { .. } | Inst::Send { .. } => None,
+        }
+    }
+
+    /// The values this instruction reads.
+    pub fn uses(&self) -> Vec<Val> {
+        match self {
+            Inst::Bin { a, b, .. } | Inst::Cmp { a, b, .. } => vec![*a, *b],
+            Inst::Un { a, .. } => vec![*a],
+            Inst::Copy { src, .. } => vec![*src],
+            Inst::Load { index, .. } => vec![*index],
+            Inst::Store { index, value, .. } => vec![*index, *value],
+            Inst::Call { args, .. } => args.clone(),
+            Inst::Send { value, .. } => vec![*value],
+            Inst::Recv { .. } => vec![],
+            // Select also reads its destination (kept when the
+            // condition is false).
+            Inst::Select { dst, cond, then_v, .. } => vec![Val::Reg(*dst), *cond, *then_v],
+        }
+    }
+
+    /// Registers read by this instruction.
+    pub fn used_regs(&self) -> Vec<VirtReg> {
+        self.uses().into_iter().filter_map(Val::as_reg).collect()
+    }
+
+    /// Replaces every use of register `from` with value `to`.
+    pub fn replace_uses(&mut self, from: VirtReg, to: Val) {
+        let rep = |v: &mut Val| {
+            if *v == Val::Reg(from) {
+                *v = to;
+            }
+        };
+        match self {
+            Inst::Bin { a, b, .. } | Inst::Cmp { a, b, .. } => {
+                rep(a);
+                rep(b);
+            }
+            Inst::Un { a, .. } => rep(a),
+            Inst::Copy { src, .. } => rep(src),
+            Inst::Load { index, .. } => rep(index),
+            Inst::Store { index, value, .. } => {
+                rep(index);
+                rep(value);
+            }
+            Inst::Call { args, .. } => args.iter_mut().for_each(rep),
+            Inst::Send { value, .. } => rep(value),
+            Inst::Recv { .. } => {}
+            // The destination of a Select is not a rewritable use.
+            Inst::Select { cond, then_v, .. } => {
+                rep(cond);
+                rep(then_v);
+            }
+        }
+    }
+
+    /// `true` for instructions that must keep their relative order with
+    /// other effectful instructions even if no register dependence
+    /// connects them (memory, queues, calls).
+    pub fn has_side_effects(&self) -> bool {
+        matches!(
+            self,
+            Inst::Store { .. } | Inst::Send { .. } | Inst::Recv { .. } | Inst::Call { .. }
+        )
+    }
+
+    /// `true` if removing this instruction when its result is dead is
+    /// safe.
+    pub fn is_removable_if_dead(&self) -> bool {
+        !self.has_side_effects()
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::Bin { op, ty, dst, a, b } => write!(f, "{dst} := {op:?}.{ty} {a}, {b}"),
+            Inst::Un { op, ty, dst, a } => write!(f, "{dst} := {op:?}.{ty} {a}"),
+            Inst::Cmp { kind, ty, dst, a, b } => write!(f, "{dst} := cmp.{kind}.{ty} {a}, {b}"),
+            Inst::Copy { dst, src } => write!(f, "{dst} := {src}"),
+            Inst::Load { dst, ty, arr, index } => write!(f, "{dst} := load.{ty} {arr}[{index}]"),
+            Inst::Store { arr, index, value, ty } => {
+                write!(f, "store.{ty} {arr}[{index}] := {value}")
+            }
+            Inst::Call { dst, callee, args } => {
+                if let Some(d) = dst {
+                    write!(f, "{d} := call {callee}(")?;
+                } else {
+                    write!(f, "call {callee}(")?;
+                }
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Inst::Send { dir, value } => write!(f, "send.{dir} {value}"),
+            Inst::Recv { dst, dir, ty } => write!(f, "{dst} := recv.{dir}.{ty}"),
+            Inst::Select { dst, cond, then_v, ty } => {
+                write!(f, "{dst} := select.{ty} {cond} ? {then_v} : {dst}")
+            }
+        }
+    }
+}
+
+/// Block terminator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Term {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Two-way branch on a boolean (Int 0/1) value.
+    Branch {
+        /// Condition value.
+        cond: Val,
+        /// Target when nonzero.
+        then_blk: BlockId,
+        /// Target when zero.
+        else_blk: BlockId,
+    },
+    /// Function return.
+    Return(Option<Val>),
+}
+
+impl Term {
+    /// Successor blocks.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Term::Jump(b) => vec![*b],
+            Term::Branch { then_blk, else_blk, .. } => vec![*then_blk, *else_blk],
+            Term::Return(_) => vec![],
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Jump(b) => write!(f, "jump {b}"),
+            Term::Branch { cond, then_blk, else_blk } => {
+                write!(f, "br {cond} ? {then_blk} : {else_blk}")
+            }
+            Term::Return(Some(v)) => write!(f, "ret {v}"),
+            Term::Return(None) => write!(f, "ret"),
+        }
+    }
+}
+
+/// A basic block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    /// The block's instructions.
+    pub insts: Vec<Inst>,
+    /// The terminator.
+    pub term: Term,
+}
+
+/// An array variable's storage description.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArrayInfo {
+    /// Source name.
+    pub name: String,
+    /// Dimensions, outermost first.
+    pub dims: Vec<u32>,
+    /// Element type.
+    pub ty: IrType,
+}
+
+impl ArrayInfo {
+    /// Total elements (= words).
+    pub fn words(&self) -> u32 {
+        self.dims.iter().product::<u32>().max(1)
+    }
+}
+
+/// The IR of one function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FuncIr {
+    /// Function name.
+    pub name: String,
+    /// Parameter registers with their types, in order.
+    pub params: Vec<(VirtReg, IrType)>,
+    /// Return type, if the function returns a value.
+    pub ret: Option<IrType>,
+    /// Basic blocks; [`BlockId`] indexes this vector. Block 0 is the
+    /// entry.
+    pub blocks: Vec<Block>,
+    /// Array storage.
+    pub arrays: Vec<ArrayInfo>,
+    /// Type of every virtual register, indexed by register number.
+    pub vreg_types: Vec<IrType>,
+}
+
+impl FuncIr {
+    /// The entry block.
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// Allocates a fresh virtual register of type `ty`.
+    pub fn new_vreg(&mut self, ty: IrType) -> VirtReg {
+        let r = VirtReg(self.vreg_types.len() as u32);
+        self.vreg_types.push(ty);
+        r
+    }
+
+    /// The type of register `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the register was not allocated by this function.
+    pub fn vreg_type(&self, r: VirtReg) -> IrType {
+        self.vreg_types[r.0 as usize]
+    }
+
+    /// The type of a value.
+    pub fn val_type(&self, v: Val) -> IrType {
+        match v {
+            Val::Reg(r) => self.vreg_type(r),
+            Val::ConstI(_) => IrType::Int,
+            Val::ConstF(_) => IrType::Float,
+        }
+    }
+
+    /// Total instruction count across all blocks.
+    pub fn inst_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+
+    /// Predecessor lists for every block.
+    pub fn predecessors(&self) -> Vec<Vec<BlockId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (i, b) in self.blocks.iter().enumerate() {
+            for s in b.term.successors() {
+                preds[s.index()].push(BlockId(i as u32));
+            }
+        }
+        preds
+    }
+
+    /// Total words of array storage.
+    pub fn array_words(&self) -> u32 {
+        self.arrays.iter().map(ArrayInfo::words).sum()
+    }
+
+    /// Renders the IR as text (for tests and debugging).
+    pub fn dump(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "func {} ({} blocks)", self.name, self.blocks.len());
+        for (i, b) in self.blocks.iter().enumerate() {
+            let _ = writeln!(s, "b{i}:");
+            for inst in &b.insts {
+                let _ = writeln!(s, "  {inst}");
+            }
+            let _ = writeln!(s, "  {}", b.term);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn func() -> FuncIr {
+        FuncIr {
+            name: "f".into(),
+            params: vec![],
+            ret: None,
+            blocks: vec![],
+            arrays: vec![],
+            vreg_types: vec![],
+        }
+    }
+
+    #[test]
+    fn vreg_allocation_and_types() {
+        let mut f = func();
+        let a = f.new_vreg(IrType::Int);
+        let b = f.new_vreg(IrType::Float);
+        assert_eq!(a, VirtReg(0));
+        assert_eq!(b, VirtReg(1));
+        assert_eq!(f.vreg_type(a), IrType::Int);
+        assert_eq!(f.val_type(Val::Reg(b)), IrType::Float);
+        assert_eq!(f.val_type(Val::ConstI(3)), IrType::Int);
+    }
+
+    #[test]
+    fn def_and_uses() {
+        let mut f = func();
+        let d = f.new_vreg(IrType::Int);
+        let s = f.new_vreg(IrType::Int);
+        let i = Inst::Bin { op: IrBinOp::Add, ty: IrType::Int, dst: d, a: Val::Reg(s), b: Val::ConstI(1) };
+        assert_eq!(i.def(), Some(d));
+        assert_eq!(i.used_regs(), vec![s]);
+        let st = Inst::Store { arr: ArrayId(0), index: Val::Reg(s), value: Val::Reg(d), ty: IrType::Int };
+        assert_eq!(st.def(), None);
+        assert_eq!(st.used_regs(), vec![s, d]);
+        assert!(st.has_side_effects());
+    }
+
+    #[test]
+    fn replace_uses_rewrites_all_positions() {
+        let mut f = func();
+        let a = f.new_vreg(IrType::Int);
+        let d = f.new_vreg(IrType::Int);
+        let mut i = Inst::Bin { op: IrBinOp::Mul, ty: IrType::Int, dst: d, a: Val::Reg(a), b: Val::Reg(a) };
+        i.replace_uses(a, Val::ConstI(7));
+        assert_eq!(i.used_regs(), Vec::<VirtReg>::new());
+        if let Inst::Bin { a, b, .. } = i {
+            assert_eq!(a, Val::ConstI(7));
+            assert_eq!(b, Val::ConstI(7));
+        }
+    }
+
+    #[test]
+    fn predecessors_computed() {
+        let mut f = func();
+        let c = f.new_vreg(IrType::Int);
+        f.blocks = vec![
+            Block {
+                insts: vec![],
+                term: Term::Branch { cond: Val::Reg(c), then_blk: BlockId(1), else_blk: BlockId(2) },
+            },
+            Block { insts: vec![], term: Term::Jump(BlockId(2)) },
+            Block { insts: vec![], term: Term::Return(None) },
+        ];
+        let preds = f.predecessors();
+        assert_eq!(preds[0], vec![]);
+        assert_eq!(preds[1], vec![BlockId(0)]);
+        assert_eq!(preds[2], vec![BlockId(0), BlockId(1)]);
+    }
+
+    #[test]
+    fn array_words() {
+        let a = ArrayInfo { name: "m".into(), dims: vec![4, 8], ty: IrType::Float };
+        assert_eq!(a.words(), 32);
+        let s = ArrayInfo { name: "x".into(), dims: vec![], ty: IrType::Float };
+        assert_eq!(s.words(), 1);
+    }
+
+    #[test]
+    fn dump_contains_blocks() {
+        let mut f = func();
+        let d = f.new_vreg(IrType::Int);
+        f.blocks = vec![Block {
+            insts: vec![Inst::Copy { dst: d, src: Val::ConstI(1) }],
+            term: Term::Return(Some(Val::Reg(d))),
+        }];
+        let text = f.dump();
+        assert!(text.contains("b0:"));
+        assert!(text.contains("v0 := 1"));
+        assert!(text.contains("ret v0"));
+    }
+}

@@ -1,0 +1,62 @@
+//! # warp-ir
+//!
+//! Compiler **phase 2** for the Warp parallel compiler: "construction
+//! of the flowgraph, local optimization, and computation of global
+//! dependencies" (paper §3.2).
+//!
+//! * [`ir`] — the three-address IR over virtual registers and abstract
+//!   arrays, organized as a CFG of basic blocks;
+//! * [`lower`] — AST → IR lowering (one function at a time — the unit
+//!   of parallel compilation);
+//! * [`opt`] — constant folding, local value numbering (CSE + copy and
+//!   constant propagation), dead-code elimination, unreachable-block
+//!   removal, iterated to a fixpoint;
+//! * [`dataflow`] — bitsets and iterative liveness analysis;
+//! * [`loops`] — dominators, natural loops, loop nesting depth;
+//! * [`deps`] — data-dependence graphs with ZIV/SIV subscript tests and
+//!   the RecMII bound used by the software pipeliner;
+//! * [`inline`] — procedure inlining, the paper's §5.1 extension for
+//!   programs of many small functions;
+//! * [`phase2`](mod@phase2) — the driver a function master runs, with deterministic
+//!   work counters for the host simulator.
+//!
+//! # Example
+//!
+//! ```
+//! use warp_lang::phase1;
+//! use warp_ir::phase2::phase2;
+//!
+//! let src = "module m; section a on cells 0..0;\n\
+//!            function f(x: float): float\n\
+//!            var t: float; v: float[8]; i: int;\n\
+//!            begin t := 0.0; for i := 0 to 7 do t := t + v[i] * x; end; return t; end; end;";
+//! let checked = phase1(src)?;
+//! let f = &checked.module.sections[0].functions[0];
+//! let result = phase2(f, &checked.sections[0].symbol_tables[0],
+//!                     &checked.sections[0].signatures)?;
+//! assert_eq!(result.loops.loops.len(), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dataflow;
+pub mod deps;
+pub mod ifconv;
+pub mod inline;
+pub mod ir;
+pub mod loops;
+pub mod lower;
+pub mod opt;
+pub mod phase2;
+pub mod unroll;
+
+pub use deps::{DepEdge, DepGraph, DepKind};
+pub use ifconv::{if_convert, IfConvPolicy, IfConvStats};
+pub use inline::{inline_module, InlinePolicy, InlineStats};
+pub use ir::{ArrayId, Block, BlockId, FuncIr, Inst, IrBinOp, IrType, IrUnOp, Term, Val, VirtReg};
+pub use loops::{Loop, LoopInfo};
+pub use lower::{lower_function, lower_module, LowerError};
+pub use opt::{optimize, OptStats};
+pub use phase2::{phase2, phase2_opts, phase2_with_unroll, Phase2Result, Phase2Work};
+pub use unroll::{unroll_loops, UnrollPolicy, UnrollStats};

@@ -1,0 +1,305 @@
+//! Dominator and natural-loop analysis.
+//!
+//! The software pipeliner in `warp-codegen` targets *innermost
+//! single-block loops* (a block that branches to itself) — the shape
+//! `for` loops lower to. This module finds loops generally (dominators
+//! → back edges → natural loops) so the nesting depth is available to
+//! the compile-cost heuristic the paper's load balancer uses (§4.3),
+//! and identifies the pipelinable ones.
+
+use crate::ir::{BlockId, FuncIr};
+use serde::{Deserialize, Serialize};
+
+/// Dominator tree (immediate dominators).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dominators {
+    /// `idom[b]` is the immediate dominator of block `b`; the entry's
+    /// idom is itself.
+    pub idom: Vec<BlockId>,
+    /// Reverse postorder of reachable blocks.
+    pub rpo: Vec<BlockId>,
+}
+
+impl Dominators {
+    /// `true` if `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            let next = self.idom[cur.index()];
+            if next == cur {
+                return cur == a;
+            }
+            cur = next;
+        }
+    }
+}
+
+/// Computes dominators with the Cooper–Harvey–Kennedy iterative
+/// algorithm.
+pub fn dominators(f: &FuncIr) -> Dominators {
+    let n = f.blocks.len();
+    // Reverse postorder.
+    let mut visited = vec![false; n];
+    let mut post: Vec<usize> = Vec::with_capacity(n);
+    // Iterative DFS.
+    let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+    visited[0] = true;
+    while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+        let succs = f.blocks[b].term.successors();
+        if *i < succs.len() {
+            let s = succs[*i].index();
+            *i += 1;
+            if !visited[s] {
+                visited[s] = true;
+                stack.push((s, 0));
+            }
+        } else {
+            post.push(b);
+            stack.pop();
+        }
+    }
+    let rpo: Vec<BlockId> = post.iter().rev().map(|&b| BlockId(b as u32)).collect();
+    let mut rpo_index = vec![usize::MAX; n];
+    for (i, b) in rpo.iter().enumerate() {
+        rpo_index[b.index()] = i;
+    }
+
+    let preds = f.predecessors();
+    let mut idom: Vec<Option<BlockId>> = vec![None; n];
+    idom[0] = Some(BlockId(0));
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in rpo.iter().skip(1) {
+            let mut new_idom: Option<BlockId> = None;
+            for &p in &preds[b.index()] {
+                if idom[p.index()].is_none() {
+                    continue;
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => intersect(cur, p, &idom, &rpo_index),
+                });
+            }
+            if let Some(ni) = new_idom {
+                if idom[b.index()] != Some(ni) {
+                    idom[b.index()] = Some(ni);
+                    changed = true;
+                }
+            }
+        }
+    }
+    let idom: Vec<BlockId> =
+        idom.into_iter().enumerate().map(|(i, d)| d.unwrap_or(BlockId(i as u32))).collect();
+    Dominators { idom, rpo }
+}
+
+fn intersect(
+    mut a: BlockId,
+    mut b: BlockId,
+    idom: &[Option<BlockId>],
+    rpo_index: &[usize],
+) -> BlockId {
+    while a != b {
+        while rpo_index[a.index()] > rpo_index[b.index()] {
+            a = idom[a.index()].expect("processed");
+        }
+        while rpo_index[b.index()] > rpo_index[a.index()] {
+            b = idom[b.index()].expect("processed");
+        }
+    }
+    a
+}
+
+/// One natural loop.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Loop {
+    /// The loop header (target of the back edge).
+    pub header: BlockId,
+    /// Blocks belonging to the loop, header included.
+    pub blocks: Vec<BlockId>,
+    /// Nesting depth (1 = outermost).
+    pub depth: usize,
+}
+
+impl Loop {
+    /// `true` if the loop is a single block branching to itself — the
+    /// shape the software pipeliner handles.
+    pub fn is_single_block(&self) -> bool {
+        self.blocks.len() == 1
+    }
+}
+
+/// The loop forest of a function.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoopInfo {
+    /// All natural loops, innermost-last order not guaranteed.
+    pub loops: Vec<Loop>,
+    /// Loop nesting depth of every block (0 = not in any loop).
+    pub block_depth: Vec<usize>,
+}
+
+impl LoopInfo {
+    /// The maximum nesting depth in the function.
+    pub fn max_depth(&self) -> usize {
+        self.block_depth.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Innermost single-block loops (candidates for software
+    /// pipelining), identified by their header block.
+    pub fn pipelinable_blocks(&self) -> Vec<BlockId> {
+        self.loops
+            .iter()
+            .filter(|l| l.is_single_block())
+            .map(|l| l.header)
+            .collect()
+    }
+}
+
+/// Finds natural loops from back edges (`tail → header` where header
+/// dominates tail).
+pub fn find_loops(f: &FuncIr, dom: &Dominators) -> LoopInfo {
+    let n = f.blocks.len();
+    let mut loops: Vec<Loop> = Vec::new();
+    let preds = f.predecessors();
+    for (b, blk) in f.blocks.iter().enumerate() {
+        for s in blk.term.successors() {
+            if dom.dominates(s, BlockId(b as u32)) {
+                // Back edge b → s: collect the natural loop.
+                let header = s;
+                let mut body = vec![header];
+                let mut stack = vec![BlockId(b as u32)];
+                while let Some(x) = stack.pop() {
+                    if body.contains(&x) {
+                        continue;
+                    }
+                    body.push(x);
+                    for &p in &preds[x.index()] {
+                        stack.push(p);
+                    }
+                }
+                body.sort_by_key(|b| b.0);
+                // Merge with an existing loop that has the same header.
+                if let Some(existing) = loops.iter_mut().find(|l| l.header == header) {
+                    for x in body {
+                        if !existing.blocks.contains(&x) {
+                            existing.blocks.push(x);
+                        }
+                    }
+                    existing.blocks.sort_by_key(|b| b.0);
+                } else {
+                    loops.push(Loop { header, blocks: body, depth: 0 });
+                }
+            }
+        }
+    }
+    // Depth: number of loops containing each block.
+    let mut block_depth = vec![0usize; n];
+    for (i, d) in block_depth.iter_mut().enumerate() {
+        *d = loops.iter().filter(|l| l.blocks.contains(&BlockId(i as u32))).count();
+    }
+    for l in &mut loops {
+        l.depth = block_depth[l.header.index()];
+    }
+    LoopInfo { loops, block_depth }
+}
+
+/// Convenience: dominators + loops in one call.
+pub fn analyze_loops(f: &FuncIr) -> LoopInfo {
+    let dom = dominators(f);
+    find_loops(f, &dom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_module;
+    use warp_lang::phase1;
+
+    fn lowered(body: &str) -> FuncIr {
+        let src = format!(
+            "module m; section a on cells 0..0; function f(x: float, n: int): float \
+             var t: float; v: float[8]; i: int; j: int; begin {body} end; end;"
+        );
+        let checked = phase1(&src).expect("phase1");
+        lower_module(&checked).expect("lower").remove(0).1
+    }
+
+    #[test]
+    fn straight_line_has_no_loops() {
+        let f = lowered("t := x; return t;");
+        let li = analyze_loops(&f);
+        assert!(li.loops.is_empty());
+        assert_eq!(li.max_depth(), 0);
+    }
+
+    #[test]
+    fn single_for_loop_found() {
+        let f = lowered("t := 0.0; for i := 0 to 7 do t := t + v[i]; end; return t;");
+        let li = analyze_loops(&f);
+        assert_eq!(li.loops.len(), 1);
+        assert!(li.loops[0].is_single_block(), "{:?}\n{}", li.loops, f.dump());
+        assert_eq!(li.max_depth(), 1);
+        assert_eq!(li.pipelinable_blocks().len(), 1);
+    }
+
+    #[test]
+    fn nested_loops_have_depth_two() {
+        let f = lowered(
+            "t := 0.0; for i := 0 to 3 do for j := 0 to 3 do t := t + v[j]; end; end; return t;",
+        );
+        let li = analyze_loops(&f);
+        assert_eq!(li.loops.len(), 2, "{}", f.dump());
+        assert_eq!(li.max_depth(), 2);
+        // The inner loop is single-block; the outer is not.
+        let single: Vec<bool> = li.loops.iter().map(Loop::is_single_block).collect();
+        assert!(single.contains(&true));
+        assert!(single.contains(&false));
+    }
+
+    #[test]
+    fn while_loop_is_multi_block() {
+        let f = lowered("while t < 10.0 do t := t + 1.0; end; return t;");
+        let li = analyze_loops(&f);
+        assert_eq!(li.loops.len(), 1);
+        // Header + body (while lowering keeps the test in the header).
+        assert!(li.loops[0].blocks.len() >= 2, "{}", f.dump());
+    }
+
+    #[test]
+    fn dominators_of_diamond() {
+        let f = lowered("if x > 0.0 then t := 1.0; else t := 2.0; end; return t;");
+        let dom = dominators(&f);
+        // Entry dominates everything.
+        for b in 0..f.blocks.len() {
+            assert!(dom.dominates(BlockId(0), BlockId(b as u32)));
+        }
+        // The two arms do not dominate the join.
+        let join = f
+            .blocks
+            .iter()
+            .position(|b| matches!(b.term, crate::ir::Term::Return(_)))
+            .unwrap();
+        let preds = f.predecessors();
+        // Return block's predecessor(s) that are arms should not dominate it if there are 2+.
+        if preds[join].len() >= 2 {
+            for p in &preds[join] {
+                assert!(!dom.dominates(*p, BlockId(join as u32)) || preds[join].len() == 1);
+            }
+        }
+    }
+
+    #[test]
+    fn triple_nesting_depth() {
+        let f = lowered(
+            "for i := 0 to 2 do for j := 0 to 2 do t := t + 1.0; end; \
+             for j := 0 to 2 do t := t * 1.5; end; end; return t;",
+        );
+        let li = analyze_loops(&f);
+        assert_eq!(li.loops.len(), 3, "{}", f.dump());
+        assert_eq!(li.max_depth(), 2);
+    }
+}

@@ -1,0 +1,830 @@
+//! Lowering from the checked AST to [`FuncIr`].
+//!
+//! Each function lowers independently — this is precisely what makes
+//! the paper's function-level parallel compilation possible: after the
+//! sequential phase 1, a function master needs only its own function's
+//! AST, its symbol table, and the section's signature map.
+//!
+//! Lowering decisions:
+//!
+//! * scalars (params and locals) live in virtual registers;
+//! * arrays live in per-function storage ([`ArrayId`]) with row-major
+//!   linearized indices;
+//! * `and`/`or` evaluate both operands (the Warp cell has no cheap
+//!   short-circuit branch, and branchless code schedules better);
+//! * `for` loops lower to a guarded do-while so the loop body is a
+//!   single self-looping block — the shape the software pipeliner
+//!   needs.
+
+use crate::ir::*;
+use std::collections::HashMap;
+use warp_lang::ast::{self, BinOp, Expr, ExprKind, LValue, ScalarType, Stmt, UnOp};
+use warp_lang::sema::{Signature, SymbolTable};
+use warp_lang::Span;
+use warp_target::isa::CmpKind;
+
+/// Error produced when lowering encounters an ill-formed construct.
+///
+/// After a clean semantic check these indicate an internal bug, but
+/// they are reported as errors rather than panics so a function master
+/// fails gracefully.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LowerError {
+    /// Explanation.
+    pub message: String,
+    /// Source location.
+    pub span: Span,
+}
+
+impl std::fmt::Display for LowerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lowering error: {}", self.message)
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+type Result<T> = std::result::Result<T, LowerError>;
+
+fn err<T>(span: Span, message: impl Into<String>) -> Result<T> {
+    Err(LowerError { message: message.into(), span })
+}
+
+#[derive(Debug, Clone)]
+enum Storage {
+    Scalar(VirtReg, IrType),
+    Array(ArrayId, Vec<u32>, IrType),
+}
+
+fn scalar_ir_type(t: &ast::Type) -> IrType {
+    match t.scalar {
+        ScalarType::Float => IrType::Float,
+        ScalarType::Int | ScalarType::Bool => IrType::Int,
+    }
+}
+
+/// Lowers one function to IR.
+///
+/// `symbols` is the function's table from the checker and `signatures`
+/// the section's signature map (needed to type call results).
+///
+/// # Errors
+///
+/// Returns [`LowerError`] on constructs the checker should have
+/// rejected (useful when lowering unchecked ASTs in tests).
+pub fn lower_function(
+    f: &ast::Function,
+    symbols: &SymbolTable,
+    signatures: &HashMap<String, Signature>,
+) -> Result<FuncIr> {
+    // The checker already resolved names; the symbol table is accepted
+    // for interface completeness (a function master receives exactly
+    // this triple) and used for consistency assertions in debug builds.
+    debug_assert!(f.params.iter().all(|p| symbols.get(&p.name).is_some()));
+    let mut lw = Lowerer {
+        func: FuncIr {
+            name: f.name.clone(),
+            params: Vec::new(),
+            ret: f.ret.as_ref().map(scalar_ir_type),
+            blocks: Vec::new(),
+            arrays: Vec::new(),
+            vreg_types: Vec::new(),
+        },
+        storage: HashMap::new(),
+        signatures,
+        cur: None,
+        cur_insts: Vec::new(),
+    };
+
+    // Parameters first: their registers are v0..vk-1 in order.
+    for p in &f.params {
+        if !p.ty.is_scalar() {
+            return err(p.span, format!("array parameter `{}`", p.name));
+        }
+        let ty = scalar_ir_type(&p.ty);
+        let r = lw.func.new_vreg(ty);
+        lw.func.params.push((r, ty));
+        lw.storage.insert(p.name.clone(), Storage::Scalar(r, ty));
+    }
+    for v in &f.vars {
+        if v.ty.is_scalar() {
+            let ty = scalar_ir_type(&v.ty);
+            let r = lw.func.new_vreg(ty);
+            lw.storage.insert(v.name.clone(), Storage::Scalar(r, ty));
+        } else {
+            let ty = scalar_ir_type(&v.ty);
+            let id = ArrayId(lw.func.arrays.len() as u32);
+            lw.func.arrays.push(ArrayInfo { name: v.name.clone(), dims: v.ty.dims.clone(), ty });
+            lw.storage.insert(v.name.clone(), Storage::Array(id, v.ty.dims.clone(), ty));
+        }
+        // Shadowing a parameter is a sema error; keep last binding.
+    }
+
+    let entry = lw.start_block();
+    debug_assert_eq!(entry, BlockId(0));
+    lw.stmts(&f.body)?;
+    if lw.cur.is_some() {
+        // Fell off the end: implicit return (default value for typed
+        // functions — the checker warned already).
+        let val = lw.func.ret.map(|ty| match ty {
+            IrType::Int => Val::ConstI(0),
+            IrType::Float => Val::ConstF(0.0),
+        });
+        lw.seal(Term::Return(val));
+    }
+    Ok(lw.func)
+}
+
+struct Lowerer<'a> {
+    func: FuncIr,
+    storage: HashMap<String, Storage>,
+    signatures: &'a HashMap<String, Signature>,
+    /// Block currently being filled, if any.
+    cur: Option<BlockId>,
+    cur_insts: Vec<Inst>,
+}
+
+impl Lowerer<'_> {
+    /// Opens a fresh block and makes it current.
+    fn start_block(&mut self) -> BlockId {
+        debug_assert!(self.cur.is_none(), "previous block not sealed");
+        let id = BlockId(self.func.blocks.len() as u32);
+        self.func
+            .blocks
+            .push(Block { insts: Vec::new(), term: Term::Return(None) });
+        self.cur = Some(id);
+        self.cur_insts = Vec::new();
+        id
+    }
+
+    /// Seals the current block with `term`.
+    fn seal(&mut self, term: Term) -> BlockId {
+        let id = self.cur.take().expect("no open block");
+        let blk = &mut self.func.blocks[id.index()];
+        blk.insts = std::mem::take(&mut self.cur_insts);
+        blk.term = term;
+        id
+    }
+
+    fn emit(&mut self, inst: Inst) {
+        debug_assert!(self.cur.is_some(), "emitting into sealed block");
+        self.cur_insts.push(inst);
+    }
+
+    fn emit_bin(&mut self, op: IrBinOp, ty: IrType, a: Val, b: Val) -> Val {
+        let dst = self.func.new_vreg(result_type_of_bin(op, ty));
+        self.emit(Inst::Bin { op, ty, dst, a, b });
+        Val::Reg(dst)
+    }
+
+    fn emit_un(&mut self, op: IrUnOp, ty: IrType, a: Val) -> Val {
+        let dst = self.func.new_vreg(result_type_of_un(op, ty));
+        self.emit(Inst::Un { op, ty, dst, a });
+        Val::Reg(dst)
+    }
+
+    /// Promotes `v` to float if it is an int.
+    fn to_float(&mut self, v: Val, ty: IrType) -> Val {
+        match ty {
+            IrType::Float => v,
+            IrType::Int => match v {
+                Val::ConstI(c) => Val::ConstF(c as f32),
+                _ => self.emit_un(IrUnOp::ItoF, IrType::Int, v),
+            },
+        }
+    }
+
+    /// Promotes a pair of operands to a common type.
+    fn unify(&mut self, a: Val, at: IrType, b: Val, bt: IrType) -> (Val, Val, IrType) {
+        if at == bt {
+            return (a, b, at);
+        }
+        let a = self.to_float(a, at);
+        let b = self.to_float(b, bt);
+        (a, b, IrType::Float)
+    }
+
+    fn stmts(&mut self, stmts: &[Stmt]) -> Result<()> {
+        for s in stmts {
+            if self.cur.is_none() {
+                // Unreachable statements after a return: put them in a
+                // fresh block so lowering stays total; the unreachable-
+                // block cleanup removes it.
+                self.start_block();
+            }
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) -> Result<()> {
+        match stmt {
+            Stmt::Assign { target, value, span } => {
+                let (v, vt) = self.expr(value)?;
+                match self.storage.get(&target.name).cloned() {
+                    Some(Storage::Scalar(dst, ty)) => {
+                        if !target.indices.is_empty() {
+                            return err(*span, "subscript on scalar");
+                        }
+                        let v = if ty == IrType::Float { self.to_float(v, vt) } else { v };
+                        self.emit(Inst::Copy { dst, src: v });
+                    }
+                    Some(Storage::Array(arr, dims, ty)) => {
+                        let index = self.linear_index(target, &dims, *span)?;
+                        let v = if ty == IrType::Float { self.to_float(v, vt) } else { v };
+                        self.emit(Inst::Store { arr, index, value: v, ty });
+                    }
+                    None => return err(*span, format!("undeclared `{}`", target.name)),
+                }
+                Ok(())
+            }
+            Stmt::If { arms, else_body, .. } => self.lower_if(arms, else_body),
+            Stmt::While { cond, body, .. } => self.lower_while(cond, body),
+            Stmt::For { var, from, to, downto, by, body, span } => {
+                self.lower_for(var, from, to, *downto, by.as_ref(), body, *span)
+            }
+            Stmt::Call { name, args, span } => {
+                self.lower_call(name, args, *span)?;
+                Ok(())
+            }
+            Stmt::Send { dir, value, .. } => {
+                let (v, vt) = self.expr(value)?;
+                // Queues carry typed words; send floats as floats.
+                let _ = vt;
+                self.emit(Inst::Send { dir: *dir, value: v });
+                Ok(())
+            }
+            Stmt::Receive { dir, target, span } => {
+                match self.storage.get(&target.name).cloned() {
+                    Some(Storage::Scalar(dst, ty)) => {
+                        if !target.indices.is_empty() {
+                            return err(*span, "subscript on scalar");
+                        }
+                        self.emit(Inst::Recv { dst, dir: *dir, ty });
+                    }
+                    Some(Storage::Array(arr, dims, ty)) => {
+                        let tmp = self.func.new_vreg(ty);
+                        self.emit(Inst::Recv { dst: tmp, dir: *dir, ty });
+                        let index = self.linear_index(target, &dims, *span)?;
+                        self.emit(Inst::Store { arr, index, value: Val::Reg(tmp), ty });
+                    }
+                    None => return err(*span, format!("undeclared `{}`", target.name)),
+                }
+                Ok(())
+            }
+            Stmt::Return { value, .. } => {
+                let v = match (value, self.func.ret) {
+                    (Some(e), Some(ret_ty)) => {
+                        let (v, vt) = self.expr(e)?;
+                        Some(if ret_ty == IrType::Float { self.to_float(v, vt) } else { v })
+                    }
+                    (Some(e), None) => {
+                        let (v, _) = self.expr(e)?;
+                        Some(v)
+                    }
+                    (None, Some(ret_ty)) => Some(match ret_ty {
+                        IrType::Int => Val::ConstI(0),
+                        IrType::Float => Val::ConstF(0.0),
+                    }),
+                    (None, None) => None,
+                };
+                self.seal(Term::Return(v));
+                Ok(())
+            }
+        }
+    }
+
+    fn lower_if(&mut self, arms: &[ast::IfArm], else_body: &[Stmt]) -> Result<()> {
+        // Reserve a join block id lazily: we need ids before blocks
+        // exist, so create placeholder blocks up front.
+        let mut exits: Vec<BlockId> = Vec::new();
+
+        // Lower chain iteratively.
+        let mut arm_iter = arms.iter().peekable();
+        while let Some(arm) = arm_iter.next() {
+            let (c, _) = self.expr(&arm.cond)?;
+            let cond_block_pending = self.cur.expect("open block");
+            let _ = cond_block_pending;
+            // Seal with placeholder branch; patch after targets known.
+            let here = self.seal(Term::Return(None));
+            // Body
+            let body_id = self.start_block();
+            self.stmts(&arm.body)?;
+            let body_exit = if self.cur.is_some() { Some(self.seal(Term::Return(None))) } else { None };
+            if let Some(e) = body_exit {
+                exits.push(e);
+            }
+            // Next arm / else
+            let next_id = self.start_block();
+            self.func.blocks[here.index()].term =
+                Term::Branch { cond: c, then_blk: body_id, else_blk: next_id };
+            if arm_iter.peek().is_none() {
+                // `next_id` holds the else body.
+                self.stmts(else_body)?;
+                let else_exit =
+                    if self.cur.is_some() { Some(self.seal(Term::Return(None))) } else { None };
+                if let Some(e) = else_exit {
+                    exits.push(e);
+                }
+            }
+        }
+
+        // Join block.
+        let join = self.start_block();
+        for e in exits {
+            self.func.blocks[e.index()].term = Term::Jump(join);
+        }
+        // If the final else fell through (sealed above), it was added to
+        // exits; nothing else to patch.
+        Ok(())
+    }
+
+    fn lower_while(&mut self, cond: &Expr, body: &[Stmt]) -> Result<()> {
+        let pre = self.seal(Term::Return(None));
+        let header = self.start_block();
+        self.func.blocks[pre.index()].term = Term::Jump(header);
+        let (c, _) = self.expr(cond)?;
+        let header_sealed = self.seal(Term::Return(None));
+        let body_id = self.start_block();
+        self.stmts(body)?;
+        if self.cur.is_some() {
+            self.seal(Term::Jump(header));
+        }
+        let exit = self.start_block();
+        self.func.blocks[header_sealed.index()].term =
+            Term::Branch { cond: c, then_blk: body_id, else_blk: exit };
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn lower_for(
+        &mut self,
+        var: &str,
+        from: &Expr,
+        to: &Expr,
+        downto: bool,
+        by: Option<&Expr>,
+        body: &[Stmt],
+        span: Span,
+    ) -> Result<()> {
+        let Some(Storage::Scalar(ivar, IrType::Int)) = self.storage.get(var).cloned() else {
+            return err(span, format!("loop variable `{var}` must be a declared int"));
+        };
+        // Evaluate bounds and step once, in the preheader.
+        let (from_v, _) = self.expr(from)?;
+        let (to_v, _) = self.expr(to)?;
+        let step_v = match by {
+            Some(e) => self.expr(e)?.0,
+            None => Val::ConstI(1),
+        };
+        // Materialize the limit and step in registers so the loop body
+        // doesn't re-evaluate them and they are loop-invariant by
+        // construction. Constants stay immediate — that keeps the
+        // induction update recognizable (`i := i + c`) for the
+        // dependence analysis.
+        let limit = if to_v.is_const() {
+            to_v
+        } else {
+            let r = self.func.new_vreg(IrType::Int);
+            self.emit(Inst::Copy { dst: r, src: to_v });
+            Val::Reg(r)
+        };
+        let step = if step_v.is_const() {
+            step_v
+        } else {
+            let r = self.func.new_vreg(IrType::Int);
+            self.emit(Inst::Copy { dst: r, src: step_v });
+            Val::Reg(r)
+        };
+        self.emit(Inst::Copy { dst: ivar, src: from_v });
+
+        // Guard: skip the loop entirely when the trip count is zero.
+        let cmp = if downto { CmpKind::Ge } else { CmpKind::Le };
+        let guard = self.func.new_vreg(IrType::Int);
+        self.emit(Inst::Cmp { kind: cmp, ty: IrType::Int, dst: guard, a: Val::Reg(ivar), b: limit });
+        let pre = self.seal(Term::Return(None));
+
+        // Loop body (do-while shape: body, increment, test, branch back).
+        let body_id = self.start_block();
+        self.stmts(body)?;
+        if self.cur.is_none() {
+            // Body ended with `return` on every path; no back edge.
+            let exit = self.start_block();
+            self.func.blocks[pre.index()].term =
+                Term::Branch { cond: Val::Reg(guard), then_blk: body_id, else_blk: exit };
+            return Ok(());
+        }
+        let next = if downto {
+            self.emit_bin(IrBinOp::Sub, IrType::Int, Val::Reg(ivar), step)
+        } else {
+            self.emit_bin(IrBinOp::Add, IrType::Int, Val::Reg(ivar), step)
+        };
+        self.emit(Inst::Copy { dst: ivar, src: next });
+        let again = self.func.new_vreg(IrType::Int);
+        self.emit(Inst::Cmp { kind: cmp, ty: IrType::Int, dst: again, a: Val::Reg(ivar), b: limit });
+        let body_sealed = self.seal(Term::Return(None));
+
+        let exit = self.start_block();
+        self.func.blocks[pre.index()].term =
+            Term::Branch { cond: Val::Reg(guard), then_blk: body_id, else_blk: exit };
+        self.func.blocks[body_sealed.index()].term =
+            Term::Branch { cond: Val::Reg(again), then_blk: body_id, else_blk: exit };
+        Ok(())
+    }
+
+    /// Lowers a call; returns the result value if the callee returns one.
+    fn lower_call(&mut self, name: &str, args: &[Expr], span: Span) -> Result<Option<(Val, IrType)>> {
+        // Builtins lower to IR operators.
+        if let Some(arity) = ast::builtin_arity(name) {
+            if args.len() != arity {
+                return err(span, format!("builtin `{name}` arity"));
+            }
+            let mut vals = Vec::new();
+            for a in args {
+                vals.push(self.expr(a)?);
+            }
+            return Ok(Some(self.lower_builtin(name, &vals, span)?));
+        }
+        let Some(sig) = self.signatures.get(name).cloned() else {
+            return err(span, format!("unknown function `{name}`"));
+        };
+        let mut arg_vals = Vec::new();
+        for (a, pty) in args.iter().zip(&sig.params) {
+            let (v, vt) = self.expr(a)?;
+            let want = scalar_ir_type(pty);
+            let v = if want == IrType::Float { self.to_float(v, vt) } else { v };
+            arg_vals.push(v);
+        }
+        let ret_ty = sig.ret.as_ref().map(scalar_ir_type);
+        let dst = ret_ty.map(|ty| self.func.new_vreg(ty));
+        self.emit(Inst::Call { dst, callee: name.to_string(), args: arg_vals });
+        Ok(dst.map(|d| (Val::Reg(d), ret_ty.unwrap())))
+    }
+
+    fn lower_builtin(
+        &mut self,
+        name: &str,
+        vals: &[(Val, IrType)],
+        span: Span,
+    ) -> Result<(Val, IrType)> {
+        let unary_f = |lw: &mut Self, op: IrUnOp, (v, t): (Val, IrType)| {
+            let v = lw.to_float(v, t);
+            (lw.emit_un(op, IrType::Float, v), IrType::Float)
+        };
+        Ok(match name {
+            "sqrt" => unary_f(self, IrUnOp::Sqrt, vals[0]),
+            "sin" => unary_f(self, IrUnOp::Sin, vals[0]),
+            "cos" => unary_f(self, IrUnOp::Cos, vals[0]),
+            "exp" => unary_f(self, IrUnOp::Exp, vals[0]),
+            "log" => unary_f(self, IrUnOp::Log, vals[0]),
+            "abs" => {
+                let (v, t) = vals[0];
+                (self.emit_un(IrUnOp::Abs, t, v), t)
+            }
+            "floor" => {
+                let (v, t) = vals[0];
+                let v = self.to_float(v, t);
+                (self.emit_un(IrUnOp::Floor, IrType::Float, v), IrType::Int)
+            }
+            "min" | "max" => {
+                let (a, at) = vals[0];
+                let (b, bt) = vals[1];
+                let (a, b, ty) = self.unify(a, at, b, bt);
+                let op = if name == "min" { IrBinOp::Min } else { IrBinOp::Max };
+                (self.emit_bin(op, ty, a, b), ty)
+            }
+            "float" => {
+                let (v, t) = vals[0];
+                (self.to_float(v, t), IrType::Float)
+            }
+            "int" => {
+                let (v, t) = vals[0];
+                match t {
+                    IrType::Int => (v, IrType::Int),
+                    IrType::Float => (self.emit_un(IrUnOp::FtoI, IrType::Float, v), IrType::Int),
+                }
+            }
+            _ => return err(span, format!("unhandled builtin `{name}`")),
+        })
+    }
+
+    /// Computes the row-major linear index of an array access.
+    fn linear_index(&mut self, lv: &LValue, dims: &[u32], span: Span) -> Result<Val> {
+        if lv.indices.len() != dims.len() {
+            return err(span, format!("`{}` needs {} subscripts", lv.name, dims.len()));
+        }
+        let mut acc: Option<Val> = None;
+        for (idx_expr, (i, _dim)) in lv.indices.iter().zip(dims.iter().enumerate()) {
+            let (v, vt) = self.expr(idx_expr)?;
+            if vt != IrType::Int {
+                return err(idx_expr.span, "subscript must be int");
+            }
+            acc = Some(match acc {
+                None => v,
+                Some(prev) => {
+                    let stride = dims[i] as i32;
+                    let scaled = self.emit_bin(IrBinOp::Mul, IrType::Int, prev, Val::ConstI(stride));
+                    self.emit_bin(IrBinOp::Add, IrType::Int, scaled, v)
+                }
+            });
+        }
+        Ok(acc.unwrap_or(Val::ConstI(0)))
+    }
+
+    /// Lowers an expression, returning its value and type.
+    fn expr(&mut self, e: &Expr) -> Result<(Val, IrType)> {
+        match &e.kind {
+            ExprKind::IntLit(v) => {
+                let v32 = i32::try_from(*v)
+                    .map_err(|_| LowerError { message: "int literal out of range".into(), span: e.span })?;
+                Ok((Val::ConstI(v32), IrType::Int))
+            }
+            ExprKind::FloatLit(v) => Ok((Val::ConstF(*v as f32), IrType::Float)),
+            ExprKind::BoolLit(v) => Ok((Val::ConstI(*v as i32), IrType::Int)),
+            ExprKind::LValue(lv) => match self.storage.get(&lv.name).cloned() {
+                Some(Storage::Scalar(r, ty)) => {
+                    if !lv.indices.is_empty() {
+                        return err(e.span, "subscript on scalar");
+                    }
+                    Ok((Val::Reg(r), ty))
+                }
+                Some(Storage::Array(arr, dims, ty)) => {
+                    let index = self.linear_index(lv, &dims, e.span)?;
+                    let dst = self.func.new_vreg(ty);
+                    self.emit(Inst::Load { dst, ty, arr, index });
+                    Ok((Val::Reg(dst), ty))
+                }
+                None => err(e.span, format!("undeclared `{}`", lv.name)),
+            },
+            ExprKind::Unary { op, expr } => {
+                let (v, t) = self.expr(expr)?;
+                match op {
+                    UnOp::Neg => Ok((self.emit_un(IrUnOp::Neg, t, v), t)),
+                    UnOp::Not => Ok((self.emit_un(IrUnOp::Not, IrType::Int, v), IrType::Int)),
+                }
+            }
+            ExprKind::Binary { op, lhs, rhs } => {
+                let (a, at) = self.expr(lhs)?;
+                let (b, bt) = self.expr(rhs)?;
+                self.lower_binop(*op, a, at, b, bt, e.span)
+            }
+            ExprKind::Call { name, args } => match self.lower_call(name, args, e.span)? {
+                Some(res) => Ok(res),
+                None => err(e.span, format!("procedure `{name}` used as expression")),
+            },
+        }
+    }
+
+    fn lower_binop(
+        &mut self,
+        op: BinOp,
+        a: Val,
+        at: IrType,
+        b: Val,
+        bt: IrType,
+        span: Span,
+    ) -> Result<(Val, IrType)> {
+        let _ = span;
+        match op {
+            BinOp::And => Ok((self.emit_bin(IrBinOp::And, IrType::Int, a, b), IrType::Int)),
+            BinOp::Or => Ok((self.emit_bin(IrBinOp::Or, IrType::Int, a, b), IrType::Int)),
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                let (a, b, ty) = self.unify(a, at, b, bt);
+                let kind = match op {
+                    BinOp::Eq => CmpKind::Eq,
+                    BinOp::Ne => CmpKind::Ne,
+                    BinOp::Lt => CmpKind::Lt,
+                    BinOp::Le => CmpKind::Le,
+                    BinOp::Gt => CmpKind::Gt,
+                    _ => CmpKind::Ge,
+                };
+                let dst = self.func.new_vreg(IrType::Int);
+                self.emit(Inst::Cmp { kind, ty, dst, a, b });
+                Ok((Val::Reg(dst), IrType::Int))
+            }
+            BinOp::Add | BinOp::Sub | BinOp::Mul => {
+                let (a, b, ty) = self.unify(a, at, b, bt);
+                let irop = match op {
+                    BinOp::Add => IrBinOp::Add,
+                    BinOp::Sub => IrBinOp::Sub,
+                    _ => IrBinOp::Mul,
+                };
+                Ok((self.emit_bin(irop, ty, a, b), ty))
+            }
+            BinOp::Div => {
+                let a = self.to_float(a, at);
+                let b = self.to_float(b, bt);
+                Ok((self.emit_bin(IrBinOp::Div, IrType::Float, a, b), IrType::Float))
+            }
+            BinOp::IDiv => Ok((self.emit_bin(IrBinOp::IDiv, IrType::Int, a, b), IrType::Int)),
+            BinOp::Mod => Ok((self.emit_bin(IrBinOp::Mod, IrType::Int, a, b), IrType::Int)),
+        }
+    }
+}
+
+fn result_type_of_bin(op: IrBinOp, operand_ty: IrType) -> IrType {
+    match op {
+        IrBinOp::And | IrBinOp::Or => IrType::Int,
+        IrBinOp::IDiv | IrBinOp::Mod => IrType::Int,
+        IrBinOp::Div => IrType::Float,
+        _ => operand_ty,
+    }
+}
+
+fn result_type_of_un(op: IrUnOp, operand_ty: IrType) -> IrType {
+    match op {
+        IrUnOp::Not => IrType::Int,
+        IrUnOp::ItoF => IrType::Float,
+        IrUnOp::FtoI | IrUnOp::Floor => IrType::Int,
+        IrUnOp::Sqrt | IrUnOp::Sin | IrUnOp::Cos | IrUnOp::Exp | IrUnOp::Log => IrType::Float,
+        IrUnOp::Neg | IrUnOp::Abs => operand_ty,
+    }
+}
+
+/// Lowers every function of a checked module, in source order, yielding
+/// `(section index, FuncIr)` pairs.
+///
+/// # Errors
+///
+/// Propagates the first [`LowerError`].
+pub fn lower_module(checked: &warp_lang::CheckedModule) -> Result<Vec<(usize, FuncIr)>> {
+    let mut out = Vec::new();
+    for (si, section) in checked.module.sections.iter().enumerate() {
+        let sigs = &checked.sections[si].signatures;
+        for (fi, f) in section.functions.iter().enumerate() {
+            let symbols = &checked.sections[si].symbol_tables[fi];
+            out.push((si, lower_function(f, symbols, sigs)?));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warp_lang::phase1;
+
+    fn lower_first(src: &str) -> FuncIr {
+        let checked = phase1(src).expect("phase1");
+        let fns = lower_module(&checked).expect("lower");
+        fns.into_iter().next().unwrap().1
+    }
+
+    fn wrap(body: &str) -> String {
+        format!(
+            "module m; section a on cells 0..0; function f(x: float, n: int): float \
+             var t: float; v: float[8]; m2: float[4][4]; i: int; j: int; begin {body} end; end;"
+        )
+    }
+
+    #[test]
+    fn straight_line_lowering() {
+        let f = lower_first(&wrap("t := x * 2.0 + 1.0; return t;"));
+        assert_eq!(f.blocks.len(), 1);
+        assert!(f.inst_count() >= 3); // mul, add, copy
+        assert!(matches!(f.blocks[0].term, Term::Return(Some(_))));
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.ret, Some(IrType::Float));
+    }
+
+    #[test]
+    fn int_to_float_promotion_inserted() {
+        let f = lower_first(&wrap("t := x + n; return t;"));
+        let has_itof = f.blocks[0]
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::Un { op: IrUnOp::ItoF, .. }));
+        assert!(has_itof, "{}", f.dump());
+    }
+
+    #[test]
+    fn array_access_linearized() {
+        let f = lower_first(&wrap("m2[i][j] := 1.0; t := m2[0][1]; return t;"));
+        let dump = f.dump();
+        // Store with computed index: i*4 + j
+        assert!(dump.contains("store"), "{dump}");
+        assert!(f.arrays.iter().any(|a| a.name == "m2" && a.dims == vec![4, 4]));
+        let has_mul = f.blocks[0]
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::Bin { op: IrBinOp::Mul, b: Val::ConstI(4), .. }));
+        assert!(has_mul, "{dump}");
+    }
+
+    #[test]
+    fn for_loop_shape_is_guarded_do_while() {
+        let f = lower_first(&wrap("t := 0.0; for i := 0 to 7 do t := t + v[i]; end; return t;"));
+        // Blocks: pre (guard), body (self-loop via branch), exit.
+        assert_eq!(f.blocks.len(), 3, "{}", f.dump());
+        let body = &f.blocks[1];
+        match &body.term {
+            Term::Branch { then_blk, .. } => assert_eq!(*then_blk, BlockId(1), "body must self-loop"),
+            t => panic!("body terminator {t}"),
+        }
+    }
+
+    #[test]
+    fn downto_uses_sub_and_ge() {
+        let f = lower_first(&wrap("for i := 7 downto 0 do t := t + 1.0; end; return t;"));
+        let body = &f.blocks[1];
+        let has_sub = body
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::Bin { op: IrBinOp::Sub, ty: IrType::Int, .. }));
+        assert!(has_sub, "{}", f.dump());
+        let has_ge = body
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::Cmp { kind: CmpKind::Ge, .. }));
+        assert!(has_ge);
+    }
+
+    #[test]
+    fn if_elsif_else_blocks() {
+        let f = lower_first(&wrap(
+            "if x > 1.0 then t := 1.0; elsif x > 0.0 then t := 2.0; else t := 3.0; end; return t;",
+        ));
+        // entry(br), arm1, next(br), arm2, else, join — at least 5 blocks.
+        assert!(f.blocks.len() >= 5, "{}", f.dump());
+        // All paths converge: exactly one Return.
+        let rets = f
+            .blocks
+            .iter()
+            .filter(|b| matches!(b.term, Term::Return(_)))
+            .count();
+        assert_eq!(rets, 1, "{}", f.dump());
+    }
+
+    #[test]
+    fn while_loop_header_and_exit() {
+        let f = lower_first(&wrap("while t < 10.0 do t := t + 1.0; end; return t;"));
+        assert_eq!(f.blocks.len(), 4, "{}", f.dump()); // pre, header, body, exit
+        match &f.blocks[1].term {
+            Term::Branch { .. } => {}
+            t => panic!("header terminator {t}"),
+        }
+    }
+
+    #[test]
+    fn send_receive_lowered() {
+        let f = lower_first(&wrap("receive(left, t); send(right, t * 2.0); return t;"));
+        let dump = f.dump();
+        assert!(dump.contains("recv.left"), "{dump}");
+        assert!(dump.contains("send.right"), "{dump}");
+    }
+
+    #[test]
+    fn builtins_lower_to_ops() {
+        let f = lower_first(&wrap("t := sqrt(x) + min(x, 1.0); i := floor(x); return t;"));
+        let dump = f.dump();
+        assert!(dump.contains("Sqrt"), "{dump}");
+        assert!(dump.contains("Min"), "{dump}");
+        assert!(dump.contains("Floor"), "{dump}");
+    }
+
+    #[test]
+    fn call_lowered_with_promotion() {
+        let src = "module m; section a on cells 0..0; \
+             function g(y: float): float begin return y; end; \
+             function f(n: int): float begin return g(n); end; end;";
+        let checked = phase1(src).unwrap();
+        let fns = lower_module(&checked).unwrap();
+        let f = &fns[1].1;
+        let dump = f.dump();
+        assert!(dump.contains("call g("), "{dump}");
+        assert!(dump.contains("ItoF"), "{dump}");
+    }
+
+    #[test]
+    fn implicit_return_value() {
+        let src = "module m; section a on cells 0..0; \
+             function f(): int var i: int; begin i := 1; end; end;";
+        let checked = phase1(src).unwrap();
+        let fns = lower_module(&checked).unwrap();
+        match &fns[0].1.blocks[0].term {
+            Term::Return(Some(Val::ConstI(0))) => {}
+            t => panic!("expected default return, got {t}"),
+        }
+    }
+
+    #[test]
+    fn return_inside_loop_handled() {
+        let f = lower_first(&wrap(
+            "for i := 0 to 7 do if v[i] > 1.0 then return v[i]; end; end; return 0.0;",
+        ));
+        // Should produce a valid CFG with multiple returns.
+        let rets = f.blocks.iter().filter(|b| matches!(b.term, Term::Return(_))).count();
+        assert!(rets >= 2, "{}", f.dump());
+    }
+
+    #[test]
+    fn bool_ops_eager() {
+        let f = lower_first(&wrap("if x > 0.0 and n > 1 then t := 1.0; end; return t;"));
+        let has_and = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .any(|i| matches!(i, Inst::Bin { op: IrBinOp::And, .. }));
+        assert!(has_and, "{}", f.dump());
+    }
+}

@@ -1,0 +1,808 @@
+//! Local optimization (compiler phase 2).
+//!
+//! The paper's phase 2 performs "construction of the flowgraph, local
+//! optimization, and computation of global dependencies". This module
+//! is the local-optimization part:
+//!
+//! * constant folding and algebraic simplification,
+//! * local value numbering (common-subexpression elimination together
+//!   with copy and constant propagation),
+//! * global dead-code elimination (built on liveness),
+//! * unreachable-block removal.
+//!
+//! The pass driver iterates to a fixpoint and reports counters that the
+//! host simulator charges as compilation work.
+
+use crate::dataflow::liveness;
+use crate::ir::*;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use warp_target::isa::CmpKind;
+
+/// Counters describing the work done and the improvements found.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OptStats {
+    /// Constants folded (including algebraic simplifications).
+    pub folded: usize,
+    /// Redundant expressions replaced by an earlier result.
+    pub cse_hits: usize,
+    /// Uses rewritten by copy/constant propagation.
+    pub propagated: usize,
+    /// Dead instructions removed.
+    pub dead_removed: usize,
+    /// Unreachable blocks removed.
+    pub unreachable_removed: usize,
+    /// Fixpoint iterations of the pass pipeline.
+    pub iterations: usize,
+    /// Total instructions visited across all passes (work units).
+    pub insts_visited: usize,
+}
+
+impl OptStats {
+    fn absorb(&mut self, other: OptStats) {
+        self.folded += other.folded;
+        self.cse_hits += other.cse_hits;
+        self.propagated += other.propagated;
+        self.dead_removed += other.dead_removed;
+        self.unreachable_removed += other.unreachable_removed;
+        self.insts_visited += other.insts_visited;
+    }
+
+    /// `true` if any pass changed the function.
+    fn changed(&self) -> bool {
+        self.folded + self.cse_hits + self.propagated + self.dead_removed + self.unreachable_removed
+            > 0
+    }
+}
+
+/// Runs the full local-optimization pipeline to a fixpoint (bounded at
+/// `max_iterations`).
+pub fn optimize(f: &mut FuncIr, max_iterations: usize) -> OptStats {
+    let mut total = OptStats::default();
+    for _ in 0..max_iterations {
+        total.iterations += 1;
+        let mut round = OptStats::default();
+        round.absorb(fold_constants(f));
+        round.absorb(local_value_numbering(f));
+        round.absorb(dead_code_elimination(f));
+        round.absorb(remove_unreachable_blocks(f));
+        round.absorb(merge_straightline_blocks(f));
+        let changed = round.changed();
+        total.absorb(round);
+        if !changed {
+            break;
+        }
+    }
+    total
+}
+
+// --------------------------------------------------------------------
+// Constant folding and algebraic simplification
+// --------------------------------------------------------------------
+
+fn fold_bin(op: IrBinOp, ty: IrType, a: Val, b: Val) -> Option<Val> {
+    match (a, b) {
+        (Val::ConstI(x), Val::ConstI(y)) => Some(match op {
+            IrBinOp::Add => Val::ConstI(x.wrapping_add(y)),
+            IrBinOp::Sub => Val::ConstI(x.wrapping_sub(y)),
+            IrBinOp::Mul => Val::ConstI(x.wrapping_mul(y)),
+            IrBinOp::Div => Val::ConstF(x as f32 / y as f32),
+            IrBinOp::IDiv => {
+                if y == 0 {
+                    return None;
+                }
+                Val::ConstI(x.wrapping_div(y))
+            }
+            IrBinOp::Mod => {
+                if y == 0 {
+                    return None;
+                }
+                Val::ConstI(x.wrapping_rem(y))
+            }
+            IrBinOp::Min => Val::ConstI(x.min(y)),
+            IrBinOp::Max => Val::ConstI(x.max(y)),
+            IrBinOp::And => Val::ConstI(((x != 0) && (y != 0)) as i32),
+            IrBinOp::Or => Val::ConstI(((x != 0) || (y != 0)) as i32),
+        }),
+        (Val::ConstF(x), Val::ConstF(y)) => Some(match op {
+            IrBinOp::Add => Val::ConstF(x + y),
+            IrBinOp::Sub => Val::ConstF(x - y),
+            IrBinOp::Mul => Val::ConstF(x * y),
+            IrBinOp::Div => Val::ConstF(x / y),
+            IrBinOp::Min => Val::ConstF(x.min(y)),
+            IrBinOp::Max => Val::ConstF(x.max(y)),
+            _ => return None,
+        }),
+        // Algebraic identities. Only exact ones: x*1, x+0, x-0, 0+x,
+        // 1*x, x*0 (int only — float 0*NaN differs), x div 1.
+        (x, Val::ConstI(1)) if op == IrBinOp::Mul || op == IrBinOp::IDiv => Some(x),
+        (x, Val::ConstI(0)) if op == IrBinOp::Add || op == IrBinOp::Sub => Some(x),
+        (Val::ConstI(0), x) if op == IrBinOp::Add => Some(x),
+        (Val::ConstI(1), x) if op == IrBinOp::Mul => Some(x),
+        (_, Val::ConstI(0)) if op == IrBinOp::Mul && ty == IrType::Int => Some(Val::ConstI(0)),
+        (Val::ConstI(0), _) if op == IrBinOp::Mul && ty == IrType::Int => Some(Val::ConstI(0)),
+        (x, Val::ConstF(c)) if op == IrBinOp::Mul && c == 1.0 => Some(x),
+        (Val::ConstF(c), x) if op == IrBinOp::Mul && c == 1.0 => Some(x),
+        (x, Val::ConstF(c)) if (op == IrBinOp::Add || op == IrBinOp::Sub) && c == 0.0 => Some(x),
+        _ => None,
+    }
+}
+
+fn fold_un(op: IrUnOp, a: Val) -> Option<Val> {
+    Some(match (op, a) {
+        (IrUnOp::Neg, Val::ConstI(x)) => Val::ConstI(x.wrapping_neg()),
+        (IrUnOp::Neg, Val::ConstF(x)) => Val::ConstF(-x),
+        (IrUnOp::Not, Val::ConstI(x)) => Val::ConstI((x == 0) as i32),
+        (IrUnOp::ItoF, Val::ConstI(x)) => Val::ConstF(x as f32),
+        (IrUnOp::FtoI, Val::ConstF(x)) => Val::ConstI(x as i32),
+        (IrUnOp::Abs, Val::ConstI(x)) => Val::ConstI(x.wrapping_abs()),
+        (IrUnOp::Abs, Val::ConstF(x)) => Val::ConstF(x.abs()),
+        (IrUnOp::Floor, Val::ConstF(x)) => Val::ConstI(x.floor() as i32),
+        (IrUnOp::Sqrt, Val::ConstF(x)) => Val::ConstF(x.sqrt()),
+        _ => return None,
+    })
+}
+
+fn fold_cmp(kind: CmpKind, a: Val, b: Val) -> Option<Val> {
+    let res = match (a, b) {
+        (Val::ConstI(x), Val::ConstI(y)) => kind.eval(x.cmp(&y)),
+        (Val::ConstF(x), Val::ConstF(y)) => match x.partial_cmp(&y) {
+            Some(ord) => kind.eval(ord),
+            None => matches!(kind, CmpKind::Ne),
+        },
+        _ => return None,
+    };
+    Some(Val::ConstI(res as i32))
+}
+
+/// Folds constant expressions into `Copy` instructions and resolves
+/// constant branches into jumps.
+pub fn fold_constants(f: &mut FuncIr) -> OptStats {
+    let mut stats = OptStats::default();
+    for block in &mut f.blocks {
+        for inst in &mut block.insts {
+            stats.insts_visited += 1;
+            let replacement = match inst {
+                Inst::Bin { op, ty, dst, a, b } => {
+                    fold_bin(*op, *ty, *a, *b).map(|v| Inst::Copy { dst: *dst, src: v })
+                }
+                Inst::Un { op, dst, a, .. } => {
+                    fold_un(*op, *a).map(|v| Inst::Copy { dst: *dst, src: v })
+                }
+                Inst::Cmp { kind, dst, a, b, .. } => {
+                    fold_cmp(*kind, *a, *b).map(|v| Inst::Copy { dst: *dst, src: v })
+                }
+                Inst::Select { dst, cond: Val::ConstI(c), then_v, .. } => Some(if *c != 0 {
+                    Inst::Copy { dst: *dst, src: *then_v }
+                } else {
+                    // Condition statically false: the select keeps the
+                    // old value — an identity copy DCE can drop.
+                    Inst::Copy { dst: *dst, src: Val::Reg(*dst) }
+                }),
+                _ => None,
+            };
+            if let Some(rep) = replacement {
+                *inst = rep;
+                stats.folded += 1;
+            }
+        }
+        // Constant branches become jumps.
+        if let Term::Branch { cond: Val::ConstI(c), then_blk, else_blk } = block.term {
+            block.term = Term::Jump(if c != 0 { then_blk } else { else_blk });
+            stats.folded += 1;
+        }
+    }
+    stats
+}
+
+// --------------------------------------------------------------------
+// Local value numbering
+// --------------------------------------------------------------------
+
+type Vn = u32;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum VnConst {
+    I(i32),
+    F(u32), // bit pattern, so it is Eq/Hash-able
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum ExprKey {
+    Bin(IrBinOp, IrType, Vn, Vn),
+    Un(IrUnOp, IrType, Vn),
+    Cmp(CmpKind, IrType, Vn, Vn),
+    Load(ArrayId, Vn),
+}
+
+/// Performs local value numbering on every block: CSE plus copy and
+/// constant propagation.
+pub fn local_value_numbering(f: &mut FuncIr) -> OptStats {
+    let mut stats = OptStats::default();
+    let nblocks = f.blocks.len();
+    for b in 0..nblocks {
+        lvn_block(f, b, &mut stats);
+    }
+    stats
+}
+
+fn lvn_block(f: &mut FuncIr, b: usize, stats: &mut OptStats) {
+    let mut next_vn: Vn = 0;
+    let mut fresh = || {
+        let v = next_vn;
+        next_vn += 1;
+        v
+    };
+    // Current value number held by each register.
+    let mut reg_vn: HashMap<VirtReg, Vn> = HashMap::new();
+    // Constant values by VN.
+    let mut vn_const: HashMap<Vn, VnConst> = HashMap::new();
+    let mut const_vn: Vec<(VnConst, Vn)> = Vec::new();
+    // Expression table: key → VN.
+    let mut exprs: Vec<(ExprKey, Vn)> = Vec::new();
+    // Leader: a register currently holding each VN.
+    let mut leader: HashMap<Vn, VirtReg> = HashMap::new();
+
+    // Take the instruction list to appease the borrow checker.
+    let mut insts = std::mem::take(&mut f.blocks[b].insts);
+
+    let vn_of_val = |v: Val,
+                         reg_vn: &mut HashMap<VirtReg, Vn>,
+                         vn_const: &mut HashMap<Vn, VnConst>,
+                         const_vn: &mut Vec<(VnConst, Vn)>,
+                         leader: &mut HashMap<Vn, VirtReg>,
+                         fresh: &mut dyn FnMut() -> Vn|
+     -> Vn {
+        match v {
+            Val::Reg(r) => *reg_vn.entry(r).or_insert_with(|| {
+                // First sighting of an incoming value: the register
+                // itself represents it from here on.
+                let vn = fresh();
+                leader.insert(vn, r);
+                vn
+            }),
+            Val::ConstI(c) => {
+                let key = VnConst::I(c);
+                if let Some((_, vn)) = const_vn.iter().find(|(k, _)| *k == key) {
+                    *vn
+                } else {
+                    let vn = fresh();
+                    const_vn.push((key, vn));
+                    vn_const.insert(vn, key);
+                    vn
+                }
+            }
+            Val::ConstF(c) => {
+                let key = VnConst::F(c.to_bits());
+                if let Some((_, vn)) = const_vn.iter().find(|(k, _)| *k == key) {
+                    *vn
+                } else {
+                    let vn = fresh();
+                    const_vn.push((key, vn));
+                    vn_const.insert(vn, key);
+                    vn
+                }
+            }
+        }
+    };
+
+    // Rewrites a use: constants win, then leaders (copy propagation).
+    let rewrite = |v: &mut Val,
+                   reg_vn: &mut HashMap<VirtReg, Vn>,
+                   vn_const: &mut HashMap<Vn, VnConst>,
+                   const_vn: &mut Vec<(VnConst, Vn)>,
+                   leader: &mut HashMap<Vn, VirtReg>,
+                   fresh: &mut dyn FnMut() -> Vn,
+                   stats: &mut OptStats| {
+        if let Val::Reg(r) = *v {
+            let vn = *reg_vn.entry(r).or_insert_with(|| fresh());
+            leader.entry(vn).or_insert(r);
+            if let Some(c) = vn_const.get(&vn) {
+                *v = match *c {
+                    VnConst::I(x) => Val::ConstI(x),
+                    VnConst::F(bits) => Val::ConstF(f32::from_bits(bits)),
+                };
+                stats.propagated += 1;
+            } else if let Some(l) = leader.get(&vn) {
+                if *l != r {
+                    *v = Val::Reg(*l);
+                    stats.propagated += 1;
+                }
+            }
+        }
+        let _ = const_vn;
+    };
+
+    // A definition of `dst` with value number `vn`.
+    let define = |dst: VirtReg,
+                  vn: Vn,
+                  reg_vn: &mut HashMap<VirtReg, Vn>,
+                  leader: &mut HashMap<Vn, VirtReg>| {
+        // If dst was the leader of its old VN, retire that leadership.
+        if let Some(old) = reg_vn.get(&dst) {
+            if leader.get(old) == Some(&dst) {
+                leader.remove(old);
+            }
+        }
+        reg_vn.insert(dst, vn);
+        leader.entry(vn).or_insert(dst);
+    };
+
+    for inst in &mut insts {
+        stats.insts_visited += 1;
+        // Rewrite uses first.
+        match inst {
+            Inst::Bin { a, b, .. } | Inst::Cmp { a, b, .. } => {
+                rewrite(a, &mut reg_vn, &mut vn_const, &mut const_vn, &mut leader, &mut fresh, stats);
+                rewrite(b, &mut reg_vn, &mut vn_const, &mut const_vn, &mut leader, &mut fresh, stats);
+            }
+            Inst::Un { a, .. } => {
+                rewrite(a, &mut reg_vn, &mut vn_const, &mut const_vn, &mut leader, &mut fresh, stats)
+            }
+            Inst::Copy { src, .. } => {
+                rewrite(src, &mut reg_vn, &mut vn_const, &mut const_vn, &mut leader, &mut fresh, stats)
+            }
+            Inst::Load { index, .. } => {
+                rewrite(index, &mut reg_vn, &mut vn_const, &mut const_vn, &mut leader, &mut fresh, stats)
+            }
+            Inst::Store { index, value, .. } => {
+                rewrite(index, &mut reg_vn, &mut vn_const, &mut const_vn, &mut leader, &mut fresh, stats);
+                rewrite(value, &mut reg_vn, &mut vn_const, &mut const_vn, &mut leader, &mut fresh, stats);
+            }
+            Inst::Call { args, .. } => {
+                for a in args {
+                    rewrite(a, &mut reg_vn, &mut vn_const, &mut const_vn, &mut leader, &mut fresh, stats);
+                }
+            }
+            Inst::Send { value, .. } => {
+                rewrite(value, &mut reg_vn, &mut vn_const, &mut const_vn, &mut leader, &mut fresh, stats)
+            }
+            Inst::Recv { .. } => {}
+            Inst::Select { cond, then_v, .. } => {
+                rewrite(cond, &mut reg_vn, &mut vn_const, &mut const_vn, &mut leader, &mut fresh, stats);
+                rewrite(then_v, &mut reg_vn, &mut vn_const, &mut const_vn, &mut leader, &mut fresh, stats);
+            }
+        }
+
+        // Number the definition / find redundancies.
+        match inst {
+            Inst::Copy { dst, src } => {
+                let vn =
+                    vn_of_val(*src, &mut reg_vn, &mut vn_const, &mut const_vn, &mut leader, &mut fresh);
+                define(*dst, vn, &mut reg_vn, &mut leader);
+            }
+            Inst::Bin { op, ty, dst, a, b } => {
+                let mut va =
+                    vn_of_val(*a, &mut reg_vn, &mut vn_const, &mut const_vn, &mut leader, &mut fresh);
+                let mut vb =
+                    vn_of_val(*b, &mut reg_vn, &mut vn_const, &mut const_vn, &mut leader, &mut fresh);
+                if op.is_commutative() && va > vb {
+                    std::mem::swap(&mut va, &mut vb);
+                }
+                let key = ExprKey::Bin(*op, *ty, va, vb);
+                if let Some((_, vn)) = exprs.iter().find(|(k, _)| *k == key) {
+                    if let Some(l) = leader.get(vn).copied() {
+                        let d = *dst;
+                        *inst = Inst::Copy { dst: d, src: Val::Reg(l) };
+                        stats.cse_hits += 1;
+                        define(d, *vn, &mut reg_vn, &mut leader);
+                        continue;
+                    }
+                }
+                let vn = fresh();
+                exprs.push((key, vn));
+                define(*dst, vn, &mut reg_vn, &mut leader);
+            }
+            Inst::Un { op, ty, dst, a } => {
+                let va = vn_of_val(*a, &mut reg_vn, &mut vn_const, &mut const_vn, &mut leader, &mut fresh);
+                let key = ExprKey::Un(*op, *ty, va);
+                if let Some((_, vn)) = exprs.iter().find(|(k, _)| *k == key) {
+                    if let Some(l) = leader.get(vn).copied() {
+                        let d = *dst;
+                        *inst = Inst::Copy { dst: d, src: Val::Reg(l) };
+                        stats.cse_hits += 1;
+                        define(d, *vn, &mut reg_vn, &mut leader);
+                        continue;
+                    }
+                }
+                let vn = fresh();
+                exprs.push((key, vn));
+                define(*dst, vn, &mut reg_vn, &mut leader);
+            }
+            Inst::Cmp { kind, ty, dst, a, b } => {
+                let va = vn_of_val(*a, &mut reg_vn, &mut vn_const, &mut const_vn, &mut leader, &mut fresh);
+                let vb = vn_of_val(*b, &mut reg_vn, &mut vn_const, &mut const_vn, &mut leader, &mut fresh);
+                let key = ExprKey::Cmp(*kind, *ty, va, vb);
+                if let Some((_, vn)) = exprs.iter().find(|(k, _)| *k == key) {
+                    if let Some(l) = leader.get(vn).copied() {
+                        let d = *dst;
+                        *inst = Inst::Copy { dst: d, src: Val::Reg(l) };
+                        stats.cse_hits += 1;
+                        define(d, *vn, &mut reg_vn, &mut leader);
+                        continue;
+                    }
+                }
+                let vn = fresh();
+                exprs.push((key, vn));
+                define(*dst, vn, &mut reg_vn, &mut leader);
+            }
+            Inst::Load { dst, arr, index, .. } => {
+                let vi = vn_of_val(*index, &mut reg_vn, &mut vn_const, &mut const_vn, &mut leader, &mut fresh);
+                let key = ExprKey::Load(*arr, vi);
+                if let Some((_, vn)) = exprs.iter().find(|(k, _)| *k == key) {
+                    if let Some(l) = leader.get(vn).copied() {
+                        let d = *dst;
+                        *inst = Inst::Copy { dst: d, src: Val::Reg(l) };
+                        stats.cse_hits += 1;
+                        define(d, *vn, &mut reg_vn, &mut leader);
+                        continue;
+                    }
+                }
+                let vn = fresh();
+                exprs.push((key, vn));
+                define(*dst, vn, &mut reg_vn, &mut leader);
+            }
+            Inst::Store { arr, .. } => {
+                // A store invalidates cached loads of the same array.
+                let a = *arr;
+                exprs.retain(|(k, _)| !matches!(k, ExprKey::Load(ar, _) if *ar == a));
+            }
+            Inst::Call { dst, .. } => {
+                // Arrays are function-local, so calls cannot write our
+                // arrays — cached loads survive. The result is opaque.
+                if let Some(d) = *dst {
+                    let vn = fresh();
+                    define(d, vn, &mut reg_vn, &mut leader);
+                }
+            }
+            Inst::Recv { dst, .. } => {
+                let vn = fresh();
+                define(*dst, vn, &mut reg_vn, &mut leader);
+            }
+            Inst::Select { dst, .. } => {
+                // The result depends on the run-time condition: a fresh
+                // value number, never CSE'd.
+                let vn = fresh();
+                define(*dst, vn, &mut reg_vn, &mut leader);
+            }
+            Inst::Send { .. } => {}
+        }
+    }
+
+    // Rewrite terminator uses.
+    let term = &mut f.blocks[b].term;
+    match term {
+        Term::Branch { cond, .. } => {
+            if let Val::Reg(r) = *cond {
+                if let Some(vn) = reg_vn.get(&r) {
+                    if let Some(c) = vn_const.get(vn) {
+                        *cond = match *c {
+                            VnConst::I(x) => Val::ConstI(x),
+                            VnConst::F(bits) => Val::ConstF(f32::from_bits(bits)),
+                        };
+                        stats.propagated += 1;
+                    } else if let Some(l) = leader.get(vn) {
+                        if *l != r {
+                            *cond = Val::Reg(*l);
+                            stats.propagated += 1;
+                        }
+                    }
+                }
+            }
+        }
+        Term::Return(Some(v)) => {
+            if let Val::Reg(r) = *v {
+                if let Some(vn) = reg_vn.get(&r) {
+                    if let Some(c) = vn_const.get(vn) {
+                        *v = match *c {
+                            VnConst::I(x) => Val::ConstI(x),
+                            VnConst::F(bits) => Val::ConstF(f32::from_bits(bits)),
+                        };
+                        stats.propagated += 1;
+                    } else if let Some(l) = leader.get(vn) {
+                        if *l != r {
+                            *v = Val::Reg(*l);
+                            stats.propagated += 1;
+                        }
+                    }
+                }
+            }
+        }
+        _ => {}
+    }
+
+    f.blocks[b].insts = insts;
+}
+
+// --------------------------------------------------------------------
+// Dead code elimination
+// --------------------------------------------------------------------
+
+/// Removes instructions whose results are never used (and which have
+/// no side effects), using global liveness.
+pub fn dead_code_elimination(f: &mut FuncIr) -> OptStats {
+    let mut stats = OptStats::default();
+    let lv = liveness(f);
+    for (bi, block) in f.blocks.iter_mut().enumerate() {
+        let mut live = lv.live_out[bi].clone();
+        // The terminator's own uses are live at the end of the block.
+        match &block.term {
+            Term::Branch { cond, .. } => {
+                if let Some(r) = cond.as_reg() {
+                    live.insert(r);
+                }
+            }
+            Term::Return(Some(v)) => {
+                if let Some(r) = v.as_reg() {
+                    live.insert(r);
+                }
+            }
+            _ => {}
+        }
+        // Walk backwards deciding per instruction.
+        let mut keep = vec![true; block.insts.len()];
+        for (ii, inst) in block.insts.iter().enumerate().rev() {
+            stats.insts_visited += 1;
+            let dead = match inst.def() {
+                Some(d) => !live.contains(d) && inst.is_removable_if_dead(),
+                None => false,
+            };
+            if dead {
+                keep[ii] = false;
+                stats.dead_removed += 1;
+                continue;
+            }
+            if let Some(d) = inst.def() {
+                live.remove(d);
+            }
+            for u in inst.used_regs() {
+                live.insert(u);
+            }
+        }
+        let mut it = keep.iter();
+        block.insts.retain(|_| *it.next().unwrap());
+    }
+    stats
+}
+
+// --------------------------------------------------------------------
+// Unreachable block removal
+// --------------------------------------------------------------------
+
+/// Removes blocks unreachable from the entry and compacts block ids.
+pub fn remove_unreachable_blocks(f: &mut FuncIr) -> OptStats {
+    let mut stats = OptStats::default();
+    let n = f.blocks.len();
+    let mut reachable = vec![false; n];
+    let mut stack = vec![0usize];
+    while let Some(b) = stack.pop() {
+        if reachable[b] {
+            continue;
+        }
+        reachable[b] = true;
+        for s in f.blocks[b].term.successors() {
+            stack.push(s.index());
+        }
+    }
+    if reachable.iter().all(|&r| r) {
+        return stats;
+    }
+    // Compact.
+    let mut remap = vec![u32::MAX; n];
+    let mut next = 0u32;
+    for (i, &r) in reachable.iter().enumerate() {
+        if r {
+            remap[i] = next;
+            next += 1;
+        }
+    }
+    let old_blocks = std::mem::take(&mut f.blocks);
+    for (i, mut b) in old_blocks.into_iter().enumerate() {
+        if !reachable[i] {
+            stats.unreachable_removed += 1;
+            continue;
+        }
+        match &mut b.term {
+            Term::Jump(t) => *t = BlockId(remap[t.index()]),
+            Term::Branch { then_blk, else_blk, .. } => {
+                *then_blk = BlockId(remap[then_blk.index()]);
+                *else_blk = BlockId(remap[else_blk.index()]);
+            }
+            Term::Return(_) => {}
+        }
+        f.blocks.push(b);
+    }
+    stats
+}
+
+// --------------------------------------------------------------------
+// Block straightening
+// --------------------------------------------------------------------
+
+/// Merges `a -> b` when `a` ends in an unconditional jump to `b` and
+/// `b` has no other predecessor. This turns diamond joins produced by
+/// folded branches back into straight-line code, which re-enables the
+/// (local) value numbering across the former block boundary.
+pub fn merge_straightline_blocks(f: &mut FuncIr) -> OptStats {
+    let mut stats = OptStats::default();
+    loop {
+        let preds = f.predecessors();
+        let mut merged = false;
+        for a in 0..f.blocks.len() {
+            let Term::Jump(b) = f.blocks[a].term else { continue };
+            if b.index() == a {
+                continue; // self-loop
+            }
+            if preds[b.index()].len() != 1 {
+                continue;
+            }
+            // Merge b into a.
+            let b_block = f.blocks[b.index()].clone();
+            f.blocks[a].insts.extend(b_block.insts);
+            f.blocks[a].term = b_block.term;
+            // b becomes unreachable; compact.
+            f.blocks[b.index()].insts.clear();
+            f.blocks[b.index()].term = Term::Return(None);
+            // Detach: nothing jumps to b anymore (a was its only pred).
+            stats.unreachable_removed += remove_unreachable_blocks(f).unreachable_removed;
+            merged = true;
+            break;
+        }
+        if !merged {
+            break;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_module;
+    use warp_lang::phase1;
+
+    fn lowered(body: &str) -> FuncIr {
+        let src = format!(
+            "module m; section a on cells 0..0; function f(x: float, n: int): float \
+             var t: float; u: float; v: float[8]; i: int; begin {body} end; end;"
+        );
+        let checked = phase1(&src).expect("phase1");
+        lower_module(&checked).expect("lower").remove(0).1
+    }
+
+    #[test]
+    fn folds_constant_arithmetic() {
+        let mut f = lowered("t := 2.0 * 3.0 + 1.0; return t;");
+        let stats = optimize(&mut f, 10);
+        assert!(stats.folded >= 2, "{stats:?}");
+        match f.blocks[0].term {
+            Term::Return(Some(Val::ConstF(v))) => assert_eq!(v, 7.0),
+            ref t => panic!("expected folded return, got {t:?}\n{}", f.dump()),
+        }
+    }
+
+    #[test]
+    fn folds_integer_identities() {
+        let mut f = lowered("i := n * 1 + 0; return float(i);");
+        optimize(&mut f, 10);
+        // n*1+0 should reduce to just the parameter register feeding ItoF.
+        let insts: Vec<_> = f.blocks[0].insts.iter().collect();
+        assert!(
+            !insts.iter().any(|i| matches!(i, Inst::Bin { op: IrBinOp::Mul, .. })),
+            "{}",
+            f.dump()
+        );
+    }
+
+    #[test]
+    fn cse_removes_redundant_expression() {
+        let mut f = lowered("t := x * x + 1.0; u := x * x + 1.0; return t + u;");
+        let stats = optimize(&mut f, 10);
+        assert!(stats.cse_hits >= 1, "{stats:?}\n{}", f.dump());
+        // Only one multiply should remain.
+        let muls = f.blocks[0]
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Bin { op: IrBinOp::Mul, .. }))
+            .count();
+        assert_eq!(muls, 1, "{}", f.dump());
+    }
+
+    #[test]
+    fn cse_of_loads_until_store() {
+        let mut f = lowered("t := v[n] + v[n]; v[0] := t; u := v[n]; return t + u;");
+        optimize(&mut f, 10);
+        // First two v[n] loads fuse; the one after the store must remain.
+        let loads = f.blocks[0]
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Load { .. }))
+            .count();
+        assert_eq!(loads, 2, "{}", f.dump());
+    }
+
+    #[test]
+    fn dce_removes_unused_computation() {
+        let mut f = lowered("t := x * 2.0; u := x * 3.0; return u;");
+        let stats = optimize(&mut f, 10);
+        assert!(stats.dead_removed >= 1, "{stats:?}");
+        let muls = f.blocks[0]
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Bin { op: IrBinOp::Mul, .. }))
+            .count();
+        assert_eq!(muls, 1, "{}", f.dump());
+    }
+
+    #[test]
+    fn dce_keeps_side_effects() {
+        let mut f = lowered("send(right, x * 2.0); return 0.0;");
+        optimize(&mut f, 10);
+        assert!(
+            f.blocks[0].insts.iter().any(|i| matches!(i, Inst::Send { .. })),
+            "{}",
+            f.dump()
+        );
+    }
+
+    #[test]
+    fn constant_branch_becomes_jump_and_unreachable_removed() {
+        let mut f = lowered("if 1 > 2 then t := 1.0; else t := 2.0; end; return t;");
+        let stats = optimize(&mut f, 10);
+        assert!(stats.unreachable_removed >= 1, "{stats:?}\n{}", f.dump());
+        // Result must be the constant 2.0.
+        let last = f.blocks.iter().find(|b| matches!(b.term, Term::Return(_))).unwrap();
+        match last.term {
+            Term::Return(Some(Val::ConstF(v))) => assert_eq!(v, 2.0),
+            ref t => panic!("{t:?}\n{}", f.dump()),
+        }
+    }
+
+    #[test]
+    fn copy_propagation_through_chain() {
+        let mut f = lowered("t := x; u := t; return u;");
+        optimize(&mut f, 10);
+        // Should return the parameter register directly.
+        match f.blocks[0].term {
+            Term::Return(Some(Val::Reg(r))) => assert_eq!(r, f.params[0].0, "{}", f.dump()),
+            ref t => panic!("{t:?}"),
+        }
+        assert!(f.blocks[0].insts.is_empty(), "{}", f.dump());
+    }
+
+    #[test]
+    fn loop_body_shrinks_but_loop_survives() {
+        let mut f = lowered(
+            "t := 0.0; for i := 0 to 7 do t := t + v[i] * 1.0 + 0.0; end; return t;",
+        );
+        let before = f.inst_count();
+        let stats = optimize(&mut f, 10);
+        assert!(f.inst_count() < before, "{stats:?}");
+        assert_eq!(f.blocks.len(), 3, "{}", f.dump());
+    }
+
+    #[test]
+    fn optimize_is_idempotent() {
+        let mut f = lowered("t := x * x; u := t + t; return min(u, t);");
+        optimize(&mut f, 10);
+        let once = f.clone();
+        let stats = optimize(&mut f, 10);
+        assert_eq!(f, once);
+        assert_eq!(stats.folded + stats.cse_hits + stats.dead_removed, 0, "{stats:?}");
+    }
+
+    #[test]
+    fn redefinition_invalidates_leader() {
+        // t is redefined between the two uses of t+1.0: the second
+        // t+1.0 must NOT be CSE'd to the first.
+        let mut f = lowered("t := x; u := t + 1.0; t := u; u := t + 1.0; return u;");
+        optimize(&mut f, 10);
+        // Semantically the result must be x + 2.0. Count adds: both remain.
+        let adds = f.blocks[0]
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Bin { op: IrBinOp::Add, .. }))
+            .count();
+        assert_eq!(adds, 2, "{}", f.dump());
+    }
+}

@@ -1,0 +1,210 @@
+//! Phase-2 driver: lower one function, optimize it, analyze its loops
+//! and dependences, and account for the work done.
+//!
+//! This is the first half of what a *function master* executes in the
+//! parallel compiler (paper §3.2); the second half (phase 3, software
+//! pipelining and code generation) lives in `warp-codegen`.
+
+use crate::deps::{dep_graph, DepGraph};
+use crate::ir::{BlockId, FuncIr};
+use crate::loops::{analyze_loops, LoopInfo};
+use crate::lower::{lower_function, LowerError};
+use crate::opt::{optimize, OptStats};
+use crate::ifconv::{if_convert, IfConvPolicy, IfConvStats};
+use crate::unroll::{unroll_loops, UnrollPolicy, UnrollStats};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use warp_lang::ast::Function;
+use warp_lang::sema::{Signature, SymbolTable};
+
+/// Deterministic work counters for phase 2, consumed by the host
+/// simulator to convert real compilations into 1989-scale times.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Phase2Work {
+    /// IR instructions after lowering (before optimization).
+    pub lowered_insts: usize,
+    /// IR instructions after optimization.
+    pub optimized_insts: usize,
+    /// Instructions visited by optimization passes.
+    pub opt_visits: usize,
+    /// Optimization pipeline iterations.
+    pub opt_iterations: usize,
+    /// Dependence subscript tests performed.
+    pub dep_tests: usize,
+    /// Dependence edges produced.
+    pub dep_edges: usize,
+    /// Number of loops analyzed.
+    pub loops: usize,
+}
+
+impl Phase2Work {
+    /// A single scalar work measure (used as the simulator's unit of
+    /// phase-2 CPU work). Weights reflect the relative cost of the
+    /// activities in a Lisp implementation of the era.
+    pub fn units(&self) -> u64 {
+        self.lowered_insts as u64 * 4
+            + self.opt_visits as u64 * 3
+            + self.dep_tests as u64 * 6
+            + self.dep_edges as u64 * 2
+            + self.loops as u64 * 20
+    }
+}
+
+/// Everything phase 2 produces for one function.
+#[derive(Debug, Clone)]
+pub struct Phase2Result {
+    /// The optimized IR.
+    pub ir: FuncIr,
+    /// Loop forest.
+    pub loops: LoopInfo,
+    /// Dependence graph for every block, indexed by block.
+    pub block_deps: Vec<DepGraph>,
+    /// Optimization statistics.
+    pub opt_stats: OptStats,
+    /// Loop-unrolling statistics (zero unless unrolling was requested).
+    pub unroll_stats: UnrollStats,
+    /// If-conversion statistics (zero unless requested).
+    pub ifconv_stats: IfConvStats,
+    /// Work counters.
+    pub work: Phase2Work,
+}
+
+impl Phase2Result {
+    /// The dependence graph of block `b`.
+    pub fn deps_of(&self, b: BlockId) -> &DepGraph {
+        &self.block_deps[b.index()]
+    }
+
+    /// `true` if block `b` is a pipelinable (single-block) loop.
+    pub fn is_pipeline_loop(&self, b: BlockId) -> bool {
+        self.loops.pipelinable_blocks().contains(&b)
+    }
+}
+
+/// Runs phase 2 on one function.
+///
+/// # Errors
+///
+/// Propagates [`LowerError`] (only possible on ASTs that did not pass
+/// the checker).
+pub fn phase2(
+    func: &Function,
+    symbols: &SymbolTable,
+    signatures: &HashMap<String, Signature>,
+) -> Result<Phase2Result, LowerError> {
+    phase2_opts(func, symbols, signatures, None, None)
+}
+
+/// Phase 2 with optional loop unrolling (the compile-time-for-code-
+/// quality trade of §6) applied after local optimization.
+///
+/// # Errors
+///
+/// Propagates [`LowerError`].
+pub fn phase2_with_unroll(
+    func: &Function,
+    symbols: &SymbolTable,
+    signatures: &HashMap<String, Signature>,
+    unroll: Option<&UnrollPolicy>,
+) -> Result<Phase2Result, LowerError> {
+    phase2_opts(func, symbols, signatures, unroll, None)
+}
+
+/// Phase 2 with all optional optimizations: if-conversion (making
+/// branchy loop bodies pipelinable) runs before unrolling.
+///
+/// # Errors
+///
+/// Propagates [`LowerError`].
+pub fn phase2_opts(
+    func: &Function,
+    symbols: &SymbolTable,
+    signatures: &HashMap<String, Signature>,
+    unroll: Option<&UnrollPolicy>,
+    ifconv: Option<&IfConvPolicy>,
+) -> Result<Phase2Result, LowerError> {
+    let mut ir = lower_function(func, symbols, signatures)?;
+    let lowered_insts = ir.inst_count();
+    let mut opt_stats = optimize(&mut ir, 10);
+    let mut ifconv_stats = IfConvStats::default();
+    if let Some(policy) = ifconv {
+        ifconv_stats = if_convert(&mut ir, policy);
+        if ifconv_stats.converted > 0 {
+            let again = optimize(&mut ir, 6);
+            opt_stats.insts_visited += again.insts_visited;
+            opt_stats.iterations += again.iterations;
+        }
+    }
+    let mut unroll_stats = UnrollStats::default();
+    if let Some(policy) = unroll {
+        unroll_stats = unroll_loops(&mut ir, policy);
+        if unroll_stats.unrolled > 0 {
+            // Clean up the duplicated bodies (CSE across copies etc.).
+            let again = optimize(&mut ir, 4);
+            opt_stats.insts_visited += again.insts_visited;
+            opt_stats.iterations += again.iterations;
+        }
+    }
+    let _ = (&unroll_stats, &ifconv_stats);
+    let loops = analyze_loops(&ir);
+    let pipelinable = loops.pipelinable_blocks();
+    let mut block_deps = Vec::with_capacity(ir.blocks.len());
+    let mut dep_tests = 0;
+    let mut dep_edges = 0;
+    for (bi, block) in ir.blocks.iter().enumerate() {
+        let is_loop = pipelinable.contains(&BlockId(bi as u32));
+        let g = dep_graph(&ir, block, is_loop);
+        dep_tests += g.dep_tests;
+        dep_edges += g.edges.len();
+        block_deps.push(g);
+    }
+    let work = Phase2Work {
+        lowered_insts,
+        optimized_insts: ir.inst_count(),
+        opt_visits: opt_stats.insts_visited,
+        opt_iterations: opt_stats.iterations,
+        dep_tests,
+        dep_edges,
+        loops: loops.loops.len(),
+    };
+    Ok(Phase2Result { ir, loops, block_deps, opt_stats, unroll_stats, ifconv_stats, work })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warp_lang::phase1;
+
+    fn run(body: &str) -> Phase2Result {
+        let src = format!(
+            "module m; section a on cells 0..0; function f(x: float, n: int): float \
+             var t: float; v: float[16]; i: int; begin {body} end; end;"
+        );
+        let checked = phase1(&src).expect("phase1");
+        let f = &checked.module.sections[0].functions[0];
+        phase2(f, &checked.sections[0].symbol_tables[0], &checked.sections[0].signatures)
+            .expect("phase2")
+    }
+
+    #[test]
+    fn phase2_produces_consistent_result() {
+        let r = run("t := 0.0; for i := 0 to 15 do t := t + v[i] * x; end; return t;");
+        assert_eq!(r.block_deps.len(), r.ir.blocks.len());
+        assert_eq!(r.loops.loops.len(), 1);
+        assert!(r.work.units() > 0);
+        assert!(r.work.optimized_insts <= r.work.lowered_insts);
+        let hdr = r.loops.pipelinable_blocks()[0];
+        assert!(r.is_pipeline_loop(hdr));
+        assert!(r.deps_of(hdr).carried_edges().count() > 0);
+    }
+
+    #[test]
+    fn work_scales_with_function_size() {
+        let small = run("t := x; return t;");
+        let large = run(
+            "t := 0.0; for i := 0 to 15 do t := t + v[i] * x; v[i] := t; end; \
+             for i := 0 to 15 do t := t + v[i]; end; return t;",
+        );
+        assert!(large.work.units() > small.work.units());
+    }
+}

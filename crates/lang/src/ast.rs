@@ -1,0 +1,635 @@
+//! Abstract syntax tree for the Warp (W2-style) language.
+//!
+//! A source *module* is the unit of compilation handed to the master
+//! process. It contains one or more *section programs*, each of which
+//! runs on a contiguous group of cells of the systolic array and
+//! contains one or more *functions* (paper §3.1, Figure 1). Functions
+//! are the unit of parallel compilation.
+
+use crate::span::Span;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A complete Warp program: `module S; section … end; …`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Module {
+    /// Module name.
+    pub name: String,
+    /// The section programs, in source order.
+    pub sections: Vec<Section>,
+    /// Span of the whole module.
+    pub span: Span,
+}
+
+impl Module {
+    /// Total number of functions across all sections — the number of
+    /// function-master processes the parallel compiler will create.
+    pub fn function_count(&self) -> usize {
+        self.sections.iter().map(|s| s.functions.len()).sum()
+    }
+
+    /// Iterates over `(section index, function)` pairs in source order.
+    pub fn functions(&self) -> impl Iterator<Item = (usize, &Function)> {
+        self.sections
+            .iter()
+            .enumerate()
+            .flat_map(|(i, s)| s.functions.iter().map(move |f| (i, f)))
+    }
+}
+
+/// A section program: the code for one group of processing elements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Section {
+    /// Section name.
+    pub name: String,
+    /// Inclusive range of cell indices this section occupies.
+    pub first_cell: u32,
+    /// Inclusive upper end of the cell range.
+    pub last_cell: u32,
+    /// The functions of this section, in source order.
+    pub functions: Vec<Function>,
+    /// Span of the whole section.
+    pub span: Span,
+}
+
+impl Section {
+    /// Number of cells this section occupies.
+    pub fn cell_count(&self) -> u32 {
+        self.last_cell - self.first_cell + 1
+    }
+}
+
+/// A function: the unit of work for one function-master process.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Function {
+    /// Function name (unique within its section).
+    pub name: String,
+    /// Formal parameters.
+    pub params: Vec<Param>,
+    /// Return type, or `None` for a procedure.
+    pub ret: Option<Type>,
+    /// Local variable declarations.
+    pub vars: Vec<VarDecl>,
+    /// The statements of the body.
+    pub body: Vec<Stmt>,
+    /// Span of the whole function.
+    pub span: Span,
+}
+
+impl Function {
+    /// Number of source lines covered by the function body, the paper's
+    /// rough size metric ("lines of code", §4.1 / Figure 7).
+    pub fn line_count(&self, source: &str) -> usize {
+        self.span.slice(source).lines().count()
+    }
+
+    /// Maximum loop nesting depth of the body; combined with line count
+    /// this forms the compile-time estimate used for load balancing
+    /// (paper §4.3).
+    pub fn max_loop_depth(&self) -> usize {
+        fn depth(stmts: &[Stmt]) -> usize {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    Stmt::While { body, .. } | Stmt::For { body, .. } => 1 + depth(body),
+                    Stmt::If { arms, else_body, .. } => arms
+                        .iter()
+                        .map(|a| depth(&a.body))
+                        .chain(std::iter::once(depth(else_body)))
+                        .max()
+                        .unwrap_or(0),
+                    _ => 0,
+                })
+                .max()
+                .unwrap_or(0)
+        }
+        depth(&self.body)
+    }
+}
+
+/// A formal parameter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Declared type.
+    pub ty: Type,
+    /// Span of the declaration.
+    pub span: Span,
+}
+
+/// A local variable declaration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VarDecl {
+    /// Variable name.
+    pub name: String,
+    /// Declared type.
+    pub ty: Type,
+    /// Span of the declaration.
+    pub span: Span,
+}
+
+/// Scalar element types of the Warp cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScalarType {
+    /// 32-bit integer (address/loop arithmetic).
+    Int,
+    /// 32-bit IEEE float (the Warp cell's primary datatype).
+    Float,
+    /// Boolean (conditions only; stored as int).
+    Bool,
+}
+
+impl fmt::Display for ScalarType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ScalarType::Int => "int",
+            ScalarType::Float => "float",
+            ScalarType::Bool => "bool",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A (possibly array) type: a scalar element type plus zero or more
+/// constant array dimensions, e.g. `float[16][16]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Type {
+    /// Element type.
+    pub scalar: ScalarType,
+    /// Array dimensions, outermost first; empty for scalars.
+    pub dims: Vec<u32>,
+}
+
+impl Type {
+    /// A scalar type with no array dimensions.
+    pub fn scalar(scalar: ScalarType) -> Self {
+        Type { scalar, dims: Vec::new() }
+    }
+
+    /// The `int` scalar type.
+    pub fn int() -> Self {
+        Type::scalar(ScalarType::Int)
+    }
+
+    /// The `float` scalar type.
+    pub fn float() -> Self {
+        Type::scalar(ScalarType::Float)
+    }
+
+    /// The `bool` scalar type.
+    pub fn bool() -> Self {
+        Type::scalar(ScalarType::Bool)
+    }
+
+    /// `true` if this is a scalar (non-array) type.
+    pub fn is_scalar(&self) -> bool {
+        self.dims.is_empty()
+    }
+
+    /// Total number of scalar elements (product of dimensions; 1 for
+    /// scalars). Saturates instead of overflowing.
+    pub fn element_count(&self) -> u64 {
+        self.dims.iter().fold(1u64, |acc, &d| acc.saturating_mul(d as u64))
+    }
+
+    /// Size in 32-bit words when stored in cell data memory.
+    pub fn size_words(&self) -> u64 {
+        self.element_count()
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.scalar)?;
+        for d in &self.dims {
+            write!(f, "[{d}]")?;
+        }
+        Ok(())
+    }
+}
+
+/// Which neighbor queue a `send`/`receive` uses.
+///
+/// Each Warp cell has unidirectional queues to its left and right
+/// neighbors; section boundaries map to the array boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// The queue toward the previous cell (toward the host interface).
+    Left,
+    /// The queue toward the next cell.
+    Right,
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Direction::Left => "left",
+            Direction::Right => "right",
+        })
+    }
+}
+
+/// A designatable location: a variable possibly indexed by array
+/// subscripts, e.g. `a`, `v[i]`, `m[i][j]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LValue {
+    /// Variable name.
+    pub name: String,
+    /// Subscript expressions, outermost first.
+    pub indices: Vec<Expr>,
+    /// Span of the whole lvalue.
+    pub span: Span,
+}
+
+/// One arm of an `if`/`elsif` chain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IfArm {
+    /// The guarding condition.
+    pub cond: Expr,
+    /// Statements executed when the condition holds.
+    pub body: Vec<Stmt>,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Stmt {
+    /// `target := value;`
+    Assign {
+        /// Destination location.
+        target: LValue,
+        /// Value assigned.
+        value: Expr,
+        /// Statement span.
+        span: Span,
+    },
+    /// `if c then … elsif c2 then … else … end;`
+    If {
+        /// The `if` and `elsif` arms in order.
+        arms: Vec<IfArm>,
+        /// The `else` body (empty when absent).
+        else_body: Vec<Stmt>,
+        /// Statement span.
+        span: Span,
+    },
+    /// `while c do … end;`
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Statement span.
+        span: Span,
+    },
+    /// `for i := a to|downto b [by s] do … end;`
+    For {
+        /// Induction variable name.
+        var: String,
+        /// Initial value.
+        from: Expr,
+        /// Final value (inclusive).
+        to: Expr,
+        /// `true` for `downto`.
+        downto: bool,
+        /// Optional step (defaults to 1).
+        by: Option<Expr>,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Statement span.
+        span: Span,
+    },
+    /// A procedure call statement `p(args);`.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Actual arguments.
+        args: Vec<Expr>,
+        /// Statement span.
+        span: Span,
+    },
+    /// `send(left|right, e);` — enqueue a value to a neighbor.
+    Send {
+        /// Which queue.
+        dir: Direction,
+        /// Value sent.
+        value: Expr,
+        /// Statement span.
+        span: Span,
+    },
+    /// `receive(left|right, x);` — dequeue a value from a neighbor.
+    Receive {
+        /// Which queue.
+        dir: Direction,
+        /// Where the received value is stored.
+        target: LValue,
+        /// Statement span.
+        span: Span,
+    },
+    /// `return e;` or `return;`
+    Return {
+        /// Returned value for functions; `None` in procedures.
+        value: Option<Expr>,
+        /// Statement span.
+        span: Span,
+    },
+}
+
+impl Stmt {
+    /// The source span of the statement.
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::Assign { span, .. }
+            | Stmt::If { span, .. }
+            | Stmt::While { span, .. }
+            | Stmt::For { span, .. }
+            | Stmt::Call { span, .. }
+            | Stmt::Send { span, .. }
+            | Stmt::Receive { span, .. }
+            | Stmt::Return { span, .. } => *span,
+        }
+    }
+}
+
+/// Binary operators, in increasing precedence groups:
+/// `or` < `and` < comparisons < `+ -` < `* / div mod`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    /// Logical or (short-circuit).
+    Or,
+    /// Logical and (short-circuit).
+    And,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (float division)
+    Div,
+    /// `div` (integer division)
+    IDiv,
+    /// `mod` (integer remainder)
+    Mod,
+}
+
+impl BinOp {
+    /// `true` for `= <> < <= > >=`.
+    pub fn is_comparison(self) -> bool {
+        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+    }
+
+    /// `true` for `and`/`or`.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+
+    /// `true` for the arithmetic operators.
+    pub fn is_arithmetic(self) -> bool {
+        !self.is_comparison() && !self.is_logical()
+    }
+
+    /// Source spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Or => "or",
+            BinOp::And => "and",
+            BinOp::Eq => "=",
+            BinOp::Ne => "<>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::IDiv => "div",
+            BinOp::Mod => "mod",
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnOp {
+    /// Arithmetic negation `-e`.
+    Neg,
+    /// Logical negation `not e`.
+    Not,
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            UnOp::Neg => "-",
+            UnOp::Not => "not",
+        })
+    }
+}
+
+/// An expression together with its span.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Expr {
+    /// The expression's structure.
+    pub kind: ExprKind,
+    /// Source span.
+    pub span: Span,
+}
+
+/// The structure of an expression.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ExprKind {
+    /// Integer literal.
+    IntLit(i64),
+    /// Float literal.
+    FloatLit(f64),
+    /// Boolean literal.
+    BoolLit(bool),
+    /// A variable reference or array element.
+    LValue(LValue),
+    /// A unary operation.
+    Unary {
+        /// The operator.
+        op: UnOp,
+        /// The operand.
+        expr: Box<Expr>,
+    },
+    /// A binary operation.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// A call used as an expression (user function or builtin).
+    Call {
+        /// Callee name.
+        name: String,
+        /// Actual arguments.
+        args: Vec<Expr>,
+    },
+}
+
+impl Expr {
+    /// Convenience constructor for an integer literal.
+    pub fn int(value: i64, span: Span) -> Self {
+        Expr { kind: ExprKind::IntLit(value), span }
+    }
+
+    /// `true` if this expression is a compile-time integer literal.
+    pub fn as_int_lit(&self) -> Option<i64> {
+        match self.kind {
+            ExprKind::IntLit(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// The builtin scalar math functions the Warp cell library provides.
+///
+/// `float(x)` and `int(x)` perform explicit conversions; the rest map to
+/// microcode library routines.
+pub const BUILTINS: &[(&str, usize)] = &[
+    ("sqrt", 1),
+    ("abs", 1),
+    ("sin", 1),
+    ("cos", 1),
+    ("exp", 1),
+    ("log", 1),
+    ("floor", 1),
+    ("min", 2),
+    ("max", 2),
+    ("float", 1),
+    ("int", 1),
+];
+
+/// Looks up a builtin by name, returning its arity.
+pub fn builtin_arity(name: &str) -> Option<usize> {
+    BUILTINS.iter().find(|(n, _)| *n == name).map(|&(_, a)| a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_fn(body: Vec<Stmt>) -> Function {
+        Function {
+            name: "f".into(),
+            params: vec![],
+            ret: None,
+            vars: vec![],
+            body,
+            span: Span::new(0, 0),
+        }
+    }
+
+    fn for_loop(body: Vec<Stmt>) -> Stmt {
+        Stmt::For {
+            var: "i".into(),
+            from: Expr::int(0, Span::point(0)),
+            to: Expr::int(9, Span::point(0)),
+            downto: false,
+            by: None,
+            body,
+            span: Span::point(0),
+        }
+    }
+
+    #[test]
+    fn loop_depth_counts_nesting() {
+        let f = dummy_fn(vec![for_loop(vec![for_loop(vec![for_loop(vec![])])])]);
+        assert_eq!(f.max_loop_depth(), 3);
+    }
+
+    #[test]
+    fn loop_depth_of_straightline_is_zero() {
+        let f = dummy_fn(vec![Stmt::Return { value: None, span: Span::point(0) }]);
+        assert_eq!(f.max_loop_depth(), 0);
+    }
+
+    #[test]
+    fn loop_depth_through_if() {
+        let inner = for_loop(vec![]);
+        let f = dummy_fn(vec![Stmt::If {
+            arms: vec![IfArm {
+                cond: Expr { kind: ExprKind::BoolLit(true), span: Span::point(0) },
+                body: vec![inner],
+            }],
+            else_body: vec![],
+            span: Span::point(0),
+        }]);
+        assert_eq!(f.max_loop_depth(), 1);
+    }
+
+    #[test]
+    fn type_display_and_size() {
+        let t = Type { scalar: ScalarType::Float, dims: vec![16, 16] };
+        assert_eq!(t.to_string(), "float[16][16]");
+        assert_eq!(t.element_count(), 256);
+        assert!(!t.is_scalar());
+        assert!(Type::int().is_scalar());
+    }
+
+    #[test]
+    fn builtin_lookup() {
+        assert_eq!(builtin_arity("sqrt"), Some(1));
+        assert_eq!(builtin_arity("min"), Some(2));
+        assert_eq!(builtin_arity("nope"), None);
+    }
+
+    #[test]
+    fn binop_classification() {
+        assert!(BinOp::Lt.is_comparison());
+        assert!(BinOp::And.is_logical());
+        assert!(BinOp::Add.is_arithmetic());
+        assert!(!BinOp::Add.is_comparison());
+    }
+
+    #[test]
+    fn module_function_count() {
+        let m = Module {
+            name: "s".into(),
+            sections: vec![
+                Section {
+                    name: "a".into(),
+                    first_cell: 0,
+                    last_cell: 3,
+                    functions: vec![dummy_fn(vec![]), dummy_fn(vec![])],
+                    span: Span::point(0),
+                },
+                Section {
+                    name: "b".into(),
+                    first_cell: 4,
+                    last_cell: 9,
+                    functions: vec![dummy_fn(vec![])],
+                    span: Span::point(0),
+                },
+            ],
+            span: Span::point(0),
+        };
+        assert_eq!(m.function_count(), 3);
+        assert_eq!(m.sections[1].cell_count(), 6);
+        let idx: Vec<usize> = m.functions().map(|(i, _)| i).collect();
+        assert_eq!(idx, vec![0, 0, 1]);
+    }
+}

@@ -1,0 +1,275 @@
+//! Diagnostics: errors and warnings with source locations.
+//!
+//! The paper's compiler reports syntax and semantic errors during the
+//! sequential phase 1 and aborts the parallel compilation when any are
+//! found; the diagnostic output produced *during* parallel compilation
+//! of individual functions is collected by the section masters and
+//! recombined in source order. [`DiagnosticBag`] supports both uses: it
+//! is an append-only sink that can be merged deterministically.
+
+use crate::span::{LineMap, Span};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How severe a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Severity {
+    /// Informational note (e.g. optimization report from a function master).
+    Note,
+    /// Suspicious but not fatal.
+    Warning,
+    /// Fatal: compilation of the module is aborted after phase 1.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single diagnostic message anchored to a source span.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Error, warning, or note.
+    pub severity: Severity,
+    /// Source location the message refers to.
+    pub span: Span,
+    /// Human-readable message, lowercase, no trailing punctuation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates an error diagnostic.
+    pub fn error(span: Span, message: impl Into<String>) -> Self {
+        Diagnostic { severity: Severity::Error, span, message: message.into() }
+    }
+
+    /// Creates a warning diagnostic.
+    pub fn warning(span: Span, message: impl Into<String>) -> Self {
+        Diagnostic { severity: Severity::Warning, span, message: message.into() }
+    }
+
+    /// Creates a note diagnostic.
+    pub fn note(span: Span, message: impl Into<String>) -> Self {
+        Diagnostic { severity: Severity::Note, span, message: message.into() }
+    }
+
+    /// Renders the diagnostic as `line:col: severity: message` using
+    /// `lines` to resolve the span.
+    pub fn render(&self, lines: &LineMap) -> String {
+        let pos = lines.line_col(self.span.start);
+        format!("{pos}: {}: {}", self.severity, self.message)
+    }
+
+    /// Renders the diagnostic with a source excerpt and a caret line
+    /// underlining the span:
+    ///
+    /// ```text
+    /// 3:9: error: undeclared variable `q`
+    ///     t := q * 2.0;
+    ///          ^
+    /// ```
+    pub fn render_with_source(&self, source: &str, lines: &LineMap) -> String {
+        let mut out = self.render(lines);
+        let pos = lines.line_col(self.span.start);
+        let Some(line_text) = source.lines().nth(pos.line as usize - 1) else {
+            return out;
+        };
+        out.push('\n');
+        out.push_str("    ");
+        out.push_str(line_text);
+        out.push('\n');
+        out.push_str("    ");
+        for _ in 0..pos.col.saturating_sub(1) {
+            out.push(' ');
+        }
+        // Caret width: clamp to the span portion on this line.
+        let width = (self.span.len() as usize)
+            .min(line_text.len().saturating_sub(pos.col as usize - 1))
+            .max(1);
+        for _ in 0..width {
+            out.push('^');
+        }
+        out
+    }
+}
+
+/// An append-only collection of diagnostics.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DiagnosticBag {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl DiagnosticBag {
+    /// Creates an empty bag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a diagnostic.
+    pub fn push(&mut self, diag: Diagnostic) {
+        self.diagnostics.push(diag);
+    }
+
+    /// Appends an error at `span`.
+    pub fn error(&mut self, span: Span, message: impl Into<String>) {
+        self.push(Diagnostic::error(span, message));
+    }
+
+    /// Appends a warning at `span`.
+    pub fn warning(&mut self, span: Span, message: impl Into<String>) {
+        self.push(Diagnostic::warning(span, message));
+    }
+
+    /// Appends a note at `span`.
+    pub fn note(&mut self, span: Span, message: impl Into<String>) {
+        self.push(Diagnostic::note(span, message));
+    }
+
+    /// `true` if any diagnostic is an [`Severity::Error`].
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// Number of error diagnostics.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Error).count()
+    }
+
+    /// All diagnostics in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter()
+    }
+
+    /// Number of diagnostics of any severity.
+    pub fn len(&self) -> usize {
+        self.diagnostics.len()
+    }
+
+    /// `true` if no diagnostics have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Merges `other` into `self` and re-sorts by source position so the
+    /// combined output matches what the sequential compiler would print.
+    ///
+    /// This mirrors the section master's job of combining the diagnostic
+    /// output of its function masters (paper §3.2).
+    pub fn merge_sorted(&mut self, other: DiagnosticBag) {
+        self.diagnostics.extend(other.diagnostics);
+        self.diagnostics
+            .sort_by_key(|d| (d.span.start, d.span.end, d.severity));
+    }
+
+    /// Renders every diagnostic with `lines`, one per line.
+    pub fn render_all(&self, lines: &LineMap) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.render(lines));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders every diagnostic with source excerpts and carets.
+    pub fn render_all_with_source(&self, source: &str) -> String {
+        let lines = crate::span::LineMap::new(source);
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.render_with_source(source, &lines));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl IntoIterator for DiagnosticBag {
+    type Item = Diagnostic;
+    type IntoIter = std::vec::IntoIter<Diagnostic>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.diagnostics.into_iter()
+    }
+}
+
+impl FromIterator<Diagnostic> for DiagnosticBag {
+    fn from_iter<I: IntoIterator<Item = Diagnostic>>(iter: I) -> Self {
+        DiagnosticBag { diagnostics: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<Diagnostic> for DiagnosticBag {
+    fn extend<I: IntoIterator<Item = Diagnostic>>(&mut self, iter: I) {
+        self.diagnostics.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_errors_distinguishes_severities() {
+        let mut bag = DiagnosticBag::new();
+        bag.warning(Span::new(0, 1), "odd");
+        assert!(!bag.has_errors());
+        bag.error(Span::new(2, 3), "bad");
+        assert!(bag.has_errors());
+        assert_eq!(bag.error_count(), 1);
+        assert_eq!(bag.len(), 2);
+    }
+
+    #[test]
+    fn merge_sorted_restores_source_order() {
+        let mut a = DiagnosticBag::new();
+        a.error(Span::new(10, 11), "later");
+        let mut b = DiagnosticBag::new();
+        b.error(Span::new(2, 3), "earlier");
+        a.merge_sorted(b);
+        let spans: Vec<u32> = a.iter().map(|d| d.span.start).collect();
+        assert_eq!(spans, vec![2, 10]);
+    }
+
+    #[test]
+    fn render_includes_position_and_severity() {
+        let lines = LineMap::new("abc\ndef");
+        let d = Diagnostic::error(Span::new(4, 5), "unexpected thing");
+        assert_eq!(d.render(&lines), "2:1: error: unexpected thing");
+    }
+
+    #[test]
+    fn caret_rendering_underlines_span() {
+        let source = "module m;\nsection s on cells 0..0;\n  t := qq * 2.0;";
+        let lines = LineMap::new(source);
+        // `qq` is at line 3, col 8, 2 bytes.
+        let start = source.find("qq").unwrap() as u32;
+        let d = Diagnostic::error(Span::new(start, start + 2), "undeclared variable `qq`");
+        let r = d.render_with_source(source, &lines);
+        assert!(r.contains("3:8: error"), "{r}");
+        assert!(r.contains("t := qq * 2.0;"), "{r}");
+        assert!(r.contains("       ^^"), "{r}");
+    }
+
+    #[test]
+    fn caret_rendering_survives_out_of_range_spans() {
+        let source = "x";
+        let lines = LineMap::new(source);
+        let d = Diagnostic::error(Span::new(50, 60), "weird");
+        let _ = d.render_with_source(source, &lines);
+    }
+
+    #[test]
+    fn collect_and_iterate() {
+        let bag: DiagnosticBag =
+            vec![Diagnostic::note(Span::point(0), "n")].into_iter().collect();
+        assert_eq!(bag.len(), 1);
+        assert_eq!(bag.into_iter().count(), 1);
+    }
+}

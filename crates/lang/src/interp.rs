@@ -1,0 +1,683 @@
+//! Reference interpreter over the AST.
+//!
+//! Defines the language's semantics independently of the compiler: the
+//! differential tests compile a function with the full pipeline, run
+//! the microcode on the strict machine interpreter, run the same source
+//! here, and require identical results. Arithmetic is deliberately
+//! `f32`/wrapping-`i32` to match the Warp cell exactly, so comparisons
+//! are bit-exact.
+
+use crate::ast::*;
+use crate::sema::CheckedModule;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+/// A runtime value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RtValue {
+    /// 32-bit integer (and booleans as 0/1).
+    I(i32),
+    /// 32-bit float.
+    F(f32),
+}
+
+impl RtValue {
+    fn as_i(self) -> Result<i32, EvalError> {
+        match self {
+            RtValue::I(v) => Ok(v),
+            RtValue::F(_) => Err(EvalError::Type("expected int, found float")),
+        }
+    }
+
+    fn as_f(self) -> Result<f32, EvalError> {
+        match self {
+            RtValue::F(v) => Ok(v),
+            RtValue::I(_) => Err(EvalError::Type("expected float, found int")),
+        }
+    }
+
+    fn truthy(self) -> Result<bool, EvalError> {
+        Ok(self.as_i()? != 0)
+    }
+}
+
+impl fmt::Display for RtValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtValue::I(v) => write!(f, "{v}"),
+            RtValue::F(v) => write!(f, "{v:?}"),
+        }
+    }
+}
+
+/// Evaluation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// A type error the checker should have caught.
+    Type(&'static str),
+    /// Unknown variable or function.
+    Unbound(String),
+    /// Array subscript out of range.
+    Bounds {
+        /// Array name.
+        name: String,
+        /// Offending linear index.
+        index: i64,
+    },
+    /// Integer division by zero.
+    DivByZero,
+    /// `receive` on an empty queue.
+    QueueEmpty,
+    /// Execution exceeded the step limit.
+    StepLimit,
+    /// Wrong number of call arguments.
+    Arity(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Type(m) => write!(f, "type error: {m}"),
+            EvalError::Unbound(n) => write!(f, "unbound name `{n}`"),
+            EvalError::Bounds { name, index } => {
+                write!(f, "index {index} out of bounds for `{name}`")
+            }
+            EvalError::DivByZero => write!(f, "integer division by zero"),
+            EvalError::QueueEmpty => write!(f, "receive on empty queue"),
+            EvalError::StepLimit => write!(f, "step limit exceeded"),
+            EvalError::Arity(n) => write!(f, "wrong argument count calling `{n}`"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// The neighbor queues of the interpreted cell.
+#[derive(Debug, Clone, Default)]
+pub struct QueueIo {
+    /// Incoming words from the left neighbor.
+    pub in_left: VecDeque<RtValue>,
+    /// Incoming words from the right neighbor.
+    pub in_right: VecDeque<RtValue>,
+    /// Words sent toward the left neighbor.
+    pub out_left: Vec<RtValue>,
+    /// Words sent toward the right neighbor.
+    pub out_right: Vec<RtValue>,
+}
+
+enum Binding {
+    Scalar(RtValue),
+    Array { dims: Vec<u32>, data: Vec<RtValue> },
+}
+
+enum Flow {
+    Normal,
+    Returned(Option<RtValue>),
+}
+
+/// Interprets functions of one section of a checked module.
+pub struct AstInterp<'a> {
+    checked: &'a CheckedModule,
+    section: usize,
+    /// Queue state (shared across nested calls — the cell's queues).
+    pub queues: QueueIo,
+    steps_left: u64,
+}
+
+impl<'a> AstInterp<'a> {
+    /// Creates an interpreter for section `section` with a step budget.
+    pub fn new(checked: &'a CheckedModule, section: usize, max_steps: u64) -> Self {
+        AstInterp { checked, section, queues: QueueIo::default(), steps_left: max_steps }
+    }
+
+    /// Calls function `name` with `args`, returning its value (`None`
+    /// for procedures).
+    ///
+    /// # Errors
+    ///
+    /// Any [`EvalError`]; execution state (queues) reflects the work
+    /// done so far.
+    pub fn call(&mut self, name: &str, args: &[RtValue]) -> Result<Option<RtValue>, EvalError> {
+        let func = self.checked.module.sections[self.section]
+            .functions
+            .iter()
+            .find(|f| f.name == name)
+            .ok_or_else(|| EvalError::Unbound(name.to_string()))?;
+        if func.params.len() != args.len() {
+            return Err(EvalError::Arity(name.to_string()));
+        }
+        let mut env: HashMap<String, Binding> = HashMap::new();
+        for (p, &v) in func.params.iter().zip(args) {
+            let v = coerce(&p.ty, v)?;
+            env.insert(p.name.clone(), Binding::Scalar(v));
+        }
+        for d in &func.vars {
+            let b = if d.ty.is_scalar() {
+                Binding::Scalar(default_of(&d.ty))
+            } else {
+                let n = d.ty.element_count() as usize;
+                Binding::Array { dims: d.ty.dims.clone(), data: vec![default_of(&d.ty); n] }
+            };
+            env.insert(d.name.clone(), b);
+        }
+        match self.block(&func.body, &mut env)? {
+            Flow::Returned(v) => Ok(v),
+            Flow::Normal => Ok(func.ret.as_ref().map(default_of)),
+        }
+    }
+
+    fn tick(&mut self) -> Result<(), EvalError> {
+        if self.steps_left == 0 {
+            return Err(EvalError::StepLimit);
+        }
+        self.steps_left -= 1;
+        Ok(())
+    }
+
+    fn block(
+        &mut self,
+        stmts: &[Stmt],
+        env: &mut HashMap<String, Binding>,
+    ) -> Result<Flow, EvalError> {
+        for s in stmts {
+            match self.stmt(s, env)? {
+                Flow::Normal => {}
+                r @ Flow::Returned(_) => return Ok(r),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn stmt(
+        &mut self,
+        stmt: &Stmt,
+        env: &mut HashMap<String, Binding>,
+    ) -> Result<Flow, EvalError> {
+        self.tick()?;
+        match stmt {
+            Stmt::Assign { target, value, .. } => {
+                let v = self.expr(value, env)?;
+                self.store(target, v, env)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::If { arms, else_body, .. } => {
+                for arm in arms {
+                    if self.expr(&arm.cond, env)?.truthy()? {
+                        return self.block(&arm.body, env);
+                    }
+                }
+                self.block(else_body, env)
+            }
+            Stmt::While { cond, body, .. } => {
+                while self.expr(cond, env)?.truthy()? {
+                    self.tick()?;
+                    match self.block(body, env)? {
+                        Flow::Normal => {}
+                        r @ Flow::Returned(_) => return Ok(r),
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::For { var, from, to, downto, by, body, .. } => {
+                let from = self.expr(from, env)?.as_i()?;
+                let to = self.expr(to, env)?.as_i()?;
+                let step = match by {
+                    Some(e) => self.expr(e, env)?.as_i()?,
+                    None => 1,
+                };
+                let mut i = from;
+                loop {
+                    let cont = if *downto { i >= to } else { i <= to };
+                    if !cont {
+                        break;
+                    }
+                    self.tick()?;
+                    set_scalar(env, var, RtValue::I(i))?;
+                    match self.block(body, env)? {
+                        Flow::Normal => {}
+                        r @ Flow::Returned(_) => return Ok(r),
+                    }
+                    // Re-read: the body may assign the loop variable.
+                    i = get_scalar(env, var)?.as_i()?;
+                    i = if *downto { i.wrapping_sub(step) } else { i.wrapping_add(step) };
+                    set_scalar(env, var, RtValue::I(i))?;
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Call { name, args, .. } => {
+                let vals = args
+                    .iter()
+                    .map(|a| self.expr(a, env))
+                    .collect::<Result<Vec<_>, _>>()?;
+                self.call_any(name, &vals)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::Send { dir, value, .. } => {
+                let v = self.expr(value, env)?;
+                match dir {
+                    Direction::Left => self.queues.out_left.push(v),
+                    Direction::Right => self.queues.out_right.push(v),
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Receive { dir, target, .. } => {
+                let v = match dir {
+                    Direction::Left => self.queues.in_left.pop_front(),
+                    Direction::Right => self.queues.in_right.pop_front(),
+                }
+                .ok_or(EvalError::QueueEmpty)?;
+                self.store(target, v, env)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::Return { value, .. } => {
+                let v = match value {
+                    Some(e) => Some(self.expr(e, env)?),
+                    None => None,
+                };
+                Ok(Flow::Returned(v))
+            }
+        }
+    }
+
+    fn store(
+        &mut self,
+        lv: &LValue,
+        v: RtValue,
+        env: &mut HashMap<String, Binding>,
+    ) -> Result<(), EvalError> {
+        // Evaluate subscripts before borrowing the binding mutably.
+        let idx = self.linear_index(lv, env)?;
+        let binding = env.get_mut(&lv.name).ok_or_else(|| EvalError::Unbound(lv.name.clone()))?;
+        match binding {
+            Binding::Scalar(slot) => {
+                let v = match *slot {
+                    RtValue::F(_) => promote(v),
+                    RtValue::I(_) => v,
+                };
+                *slot = v;
+            }
+            Binding::Array { data, .. } => {
+                let i = idx.ok_or(EvalError::Type("array store needs subscripts"))?;
+                let v = promote(v); // all generated arrays are float; int arrays keep ints below
+                let slot = data
+                    .get_mut(i as usize)
+                    .ok_or(EvalError::Bounds { name: lv.name.clone(), index: i })?;
+                let v = match *slot {
+                    RtValue::I(_) => v, // int array: keep as stored
+                    RtValue::F(_) => v,
+                };
+                *slot = v;
+            }
+        }
+        Ok(())
+    }
+
+    /// Row-major linear index of an lvalue's subscripts (`None` for
+    /// scalars), with bounds checking.
+    fn linear_index(
+        &mut self,
+        lv: &LValue,
+        env: &mut HashMap<String, Binding>,
+    ) -> Result<Option<i64>, EvalError> {
+        if lv.indices.is_empty() {
+            return Ok(None);
+        }
+        let idxs = lv
+            .indices
+            .iter()
+            .map(|e| self.expr(e, env).and_then(|v| v.as_i()))
+            .collect::<Result<Vec<i32>, _>>()?;
+        let dims = match env.get(&lv.name) {
+            Some(Binding::Array { dims, .. }) => dims.clone(),
+            Some(Binding::Scalar(_)) => return Err(EvalError::Type("subscript on scalar")),
+            None => return Err(EvalError::Unbound(lv.name.clone())),
+        };
+        let mut acc: i64 = 0;
+        for (k, (&i, &d)) in idxs.iter().zip(dims.iter()).enumerate() {
+            if i < 0 || i as u32 >= d {
+                return Err(EvalError::Bounds { name: lv.name.clone(), index: i as i64 });
+            }
+            acc = if k == 0 { i as i64 } else { acc * d as i64 + i as i64 };
+        }
+        Ok(Some(acc))
+    }
+
+    fn call_any(&mut self, name: &str, args: &[RtValue]) -> Result<Option<RtValue>, EvalError> {
+        if builtin_arity(name).is_some() {
+            return Ok(Some(eval_builtin(name, args)?));
+        }
+        self.call(name, args)
+    }
+
+    fn expr(
+        &mut self,
+        e: &Expr,
+        env: &mut HashMap<String, Binding>,
+    ) -> Result<RtValue, EvalError> {
+        self.tick()?;
+        match &e.kind {
+            ExprKind::IntLit(v) => Ok(RtValue::I(*v as i32)),
+            ExprKind::FloatLit(v) => Ok(RtValue::F(*v as f32)),
+            ExprKind::BoolLit(v) => Ok(RtValue::I(*v as i32)),
+            ExprKind::LValue(lv) => {
+                let idx = self.linear_index(lv, env)?;
+                match (env.get(&lv.name), idx) {
+                    (Some(Binding::Scalar(v)), None) => Ok(*v),
+                    (Some(Binding::Array { data, .. }), Some(i)) => data
+                        .get(i as usize)
+                        .copied()
+                        .ok_or(EvalError::Bounds { name: lv.name.clone(), index: i }),
+                    (Some(_), _) => Err(EvalError::Type("subscript mismatch")),
+                    (None, _) => Err(EvalError::Unbound(lv.name.clone())),
+                }
+            }
+            ExprKind::Unary { op, expr } => {
+                let v = self.expr(expr, env)?;
+                match op {
+                    UnOp::Neg => Ok(match v {
+                        RtValue::I(x) => RtValue::I(x.wrapping_neg()),
+                        RtValue::F(x) => RtValue::F(-x),
+                    }),
+                    UnOp::Not => Ok(RtValue::I((v.as_i()? == 0) as i32)),
+                }
+            }
+            ExprKind::Binary { op, lhs, rhs } => {
+                let a = self.expr(lhs, env)?;
+                let b = self.expr(rhs, env)?;
+                eval_binop(*op, a, b)
+            }
+            ExprKind::Call { name, args } => {
+                let vals = args
+                    .iter()
+                    .map(|a| self.expr(a, env))
+                    .collect::<Result<Vec<_>, _>>()?;
+                self.call_any(name, &vals)?
+                    .ok_or(EvalError::Type("procedure used as expression"))
+            }
+        }
+    }
+}
+
+fn default_of(t: &Type) -> RtValue {
+    match t.scalar {
+        ScalarType::Float => RtValue::F(0.0),
+        ScalarType::Int | ScalarType::Bool => RtValue::I(0),
+    }
+}
+
+fn coerce(t: &Type, v: RtValue) -> Result<RtValue, EvalError> {
+    match (t.scalar, v) {
+        (ScalarType::Float, RtValue::I(x)) => Ok(RtValue::F(x as f32)),
+        (ScalarType::Float, f @ RtValue::F(_)) => Ok(f),
+        (ScalarType::Int | ScalarType::Bool, i @ RtValue::I(_)) => Ok(i),
+        (ScalarType::Int | ScalarType::Bool, RtValue::F(_)) => {
+            Err(EvalError::Type("float passed for int parameter"))
+        }
+    }
+}
+
+fn promote(v: RtValue) -> RtValue {
+    match v {
+        RtValue::I(x) => RtValue::F(x as f32),
+        f => f,
+    }
+}
+
+fn get_scalar(env: &HashMap<String, Binding>, name: &str) -> Result<RtValue, EvalError> {
+    match env.get(name) {
+        Some(Binding::Scalar(v)) => Ok(*v),
+        _ => Err(EvalError::Unbound(name.to_string())),
+    }
+}
+
+fn set_scalar(
+    env: &mut HashMap<String, Binding>,
+    name: &str,
+    v: RtValue,
+) -> Result<(), EvalError> {
+    match env.get_mut(name) {
+        Some(Binding::Scalar(slot)) => {
+            *slot = v;
+            Ok(())
+        }
+        _ => Err(EvalError::Unbound(name.to_string())),
+    }
+}
+
+fn numeric_pair(a: RtValue, b: RtValue) -> (RtValue, RtValue) {
+    match (a, b) {
+        (RtValue::F(_), RtValue::I(y)) => (a, RtValue::F(y as f32)),
+        (RtValue::I(x), RtValue::F(_)) => (RtValue::F(x as f32), b),
+        _ => (a, b),
+    }
+}
+
+fn eval_binop(op: BinOp, a: RtValue, b: RtValue) -> Result<RtValue, EvalError> {
+    use BinOp::*;
+    match op {
+        And => Ok(RtValue::I((a.as_i()? != 0 && b.as_i()? != 0) as i32)),
+        Or => Ok(RtValue::I((a.as_i()? != 0 || b.as_i()? != 0) as i32)),
+        IDiv => {
+            let d = b.as_i()?;
+            if d == 0 {
+                return Err(EvalError::DivByZero);
+            }
+            Ok(RtValue::I(a.as_i()?.wrapping_div(d)))
+        }
+        Mod => {
+            let d = b.as_i()?;
+            if d == 0 {
+                return Err(EvalError::DivByZero);
+            }
+            Ok(RtValue::I(a.as_i()?.wrapping_rem(d)))
+        }
+        Div => {
+            let (a, b) = numeric_pair(a, b);
+            let (x, y) = match (a, b) {
+                (RtValue::I(x), RtValue::I(y)) => (x as f32, y as f32),
+                _ => (a.as_f()?, b.as_f()?),
+            };
+            Ok(RtValue::F(x / y))
+        }
+        Add | Sub | Mul => {
+            let (a, b) = numeric_pair(a, b);
+            Ok(match (a, b) {
+                (RtValue::I(x), RtValue::I(y)) => RtValue::I(match op {
+                    Add => x.wrapping_add(y),
+                    Sub => x.wrapping_sub(y),
+                    _ => x.wrapping_mul(y),
+                }),
+                _ => {
+                    let (x, y) = (a.as_f()?, b.as_f()?);
+                    RtValue::F(match op {
+                        Add => x + y,
+                        Sub => x - y,
+                        _ => x * y,
+                    })
+                }
+            })
+        }
+        Eq | Ne | Lt | Le | Gt | Ge => {
+            let (a, b) = numeric_pair(a, b);
+            let res = match (a, b) {
+                (RtValue::I(x), RtValue::I(y)) => cmp_eval(op, x.cmp(&y)),
+                _ => {
+                    let (x, y) = (a.as_f()?, b.as_f()?);
+                    match x.partial_cmp(&y) {
+                        Some(ord) => cmp_eval(op, ord),
+                        None => matches!(op, Ne),
+                    }
+                }
+            };
+            Ok(RtValue::I(res as i32))
+        }
+    }
+}
+
+fn cmp_eval(op: BinOp, ord: std::cmp::Ordering) -> bool {
+    use std::cmp::Ordering::*;
+    match op {
+        BinOp::Eq => ord == Equal,
+        BinOp::Ne => ord != Equal,
+        BinOp::Lt => ord == Less,
+        BinOp::Le => ord != Greater,
+        BinOp::Gt => ord == Greater,
+        BinOp::Ge => ord != Less,
+        _ => unreachable!("not a comparison"),
+    }
+}
+
+fn eval_builtin(name: &str, args: &[RtValue]) -> Result<RtValue, EvalError> {
+    if args.len() != builtin_arity(name).unwrap_or(0) {
+        return Err(EvalError::Arity(name.to_string()));
+    }
+    let f1 = |v: RtValue| -> Result<f32, EvalError> {
+        Ok(match v {
+            RtValue::I(x) => x as f32,
+            RtValue::F(x) => x,
+        })
+    };
+    Ok(match name {
+        "sqrt" => RtValue::F(f1(args[0])?.sqrt()),
+        "sin" => RtValue::F(f1(args[0])?.sin()),
+        "cos" => RtValue::F(f1(args[0])?.cos()),
+        "exp" => RtValue::F(f1(args[0])?.exp()),
+        "log" => RtValue::F(f1(args[0])?.ln()),
+        "floor" => RtValue::I(f1(args[0])?.floor() as i32),
+        "abs" => match args[0] {
+            RtValue::I(x) => RtValue::I(x.wrapping_abs()),
+            RtValue::F(x) => RtValue::F(x.abs()),
+        },
+        "min" | "max" => {
+            let take_min = name == "min";
+            match (args[0], args[1]) {
+                (RtValue::I(x), RtValue::I(y)) => {
+                    RtValue::I(if take_min { x.min(y) } else { x.max(y) })
+                }
+                (a, b) => {
+                    let (x, y) = (f1(a)?, f1(b)?);
+                    RtValue::F(if take_min { x.min(y) } else { x.max(y) })
+                }
+            }
+        }
+        "float" => RtValue::F(f1(args[0])?),
+        "int" => match args[0] {
+            RtValue::I(x) => RtValue::I(x),
+            RtValue::F(x) => RtValue::I(x as i32),
+        },
+        _ => return Err(EvalError::Unbound(name.to_string())),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase1;
+
+    fn run_f(src: &str, func: &str, args: &[RtValue]) -> RtValue {
+        let checked = phase1(src).expect("phase1");
+        let mut it = AstInterp::new(&checked, 0, 10_000_000);
+        it.call(func, args).expect("eval").expect("value")
+    }
+
+    fn wrap(body: &str) -> String {
+        format!(
+            "module m; section a on cells 0..0; function f(x: float, n: int): float \
+             var t: float; v: float[16]; i: int; begin {body} end; end;"
+        )
+    }
+
+    #[test]
+    fn arithmetic_and_loop() {
+        let got = run_f(
+            &wrap("t := 0.0; for i := 1 to 10 do t := t + float(i); end; return t;"),
+            "f",
+            &[RtValue::F(0.0), RtValue::I(0)],
+        );
+        assert_eq!(got, RtValue::F(55.0));
+    }
+
+    #[test]
+    fn downto_and_by() {
+        let got = run_f(
+            &wrap("t := 0.0; for i := 10 downto 2 by 2 do t := t + float(i); end; return t;"),
+            "f",
+            &[RtValue::F(0.0), RtValue::I(0)],
+        );
+        assert_eq!(got, RtValue::F(30.0)); // 10+8+6+4+2
+    }
+
+    #[test]
+    fn arrays_and_conditionals() {
+        let got = run_f(
+            &wrap(
+                "for i := 0 to 15 do v[i] := float(i) * 2.0; end; \
+                 t := 0.0; for i := 0 to 15 do if v[i] > 10.0 then t := t + v[i]; end; end; return t;",
+            ),
+            "f",
+            &[RtValue::F(0.0), RtValue::I(0)],
+        );
+        // elements 12..=30 step 2: 12+14+...+30 = 210
+        assert_eq!(got, RtValue::F(210.0));
+    }
+
+    #[test]
+    fn calls_between_functions() {
+        let src = "module m; section a on cells 0..0; \
+             function sq(y: float): float begin return y * y; end; \
+             function f(x: float): float begin return sq(x) + sq(x + 1.0); end; end;";
+        let got = run_f(src, "f", &[RtValue::F(2.0)]);
+        assert_eq!(got, RtValue::F(13.0));
+    }
+
+    #[test]
+    fn queues() {
+        let src = wrap("receive(left, t); send(right, t * 2.0); return t;");
+        let checked = phase1(&src).unwrap();
+        let mut it = AstInterp::new(&checked, 0, 100_000);
+        it.queues.in_left.push_back(RtValue::F(4.0));
+        let got = it.call("f", &[RtValue::F(0.0), RtValue::I(0)]).unwrap();
+        assert_eq!(got, Some(RtValue::F(4.0)));
+        assert_eq!(it.queues.out_right, vec![RtValue::F(8.0)]);
+    }
+
+    #[test]
+    fn receive_empty_queue_errors() {
+        let src = wrap("receive(left, t); return t;");
+        let checked = phase1(&src).unwrap();
+        let mut it = AstInterp::new(&checked, 0, 100_000);
+        let err = it.call("f", &[RtValue::F(0.0), RtValue::I(0)]).unwrap_err();
+        assert_eq!(err, EvalError::QueueEmpty);
+    }
+
+    #[test]
+    fn step_limit_stops_infinite_loop() {
+        let src = wrap("while 1 > 0 do t := t + 1.0; end; return t;");
+        let checked = phase1(&src).unwrap();
+        let mut it = AstInterp::new(&checked, 0, 10_000);
+        let err = it.call("f", &[RtValue::F(0.0), RtValue::I(0)]).unwrap_err();
+        assert_eq!(err, EvalError::StepLimit);
+    }
+
+    #[test]
+    fn int_division_semantics() {
+        let got = run_f(
+            &wrap("i := (0 - 7) div 2; return float(i);"),
+            "f",
+            &[RtValue::F(0.0), RtValue::I(0)],
+        );
+        assert_eq!(got, RtValue::F(-3.0)); // truncation toward zero
+    }
+
+    #[test]
+    fn implicit_promotion_in_assignment() {
+        let got = run_f(&wrap("t := n; return t;"), "f", &[RtValue::F(0.0), RtValue::I(7)]);
+        assert_eq!(got, RtValue::F(7.0));
+    }
+
+    #[test]
+    fn uninitialized_defaults_are_zero() {
+        let got = run_f(&wrap("return t + v[3];"), "f", &[RtValue::F(0.0), RtValue::I(0)]);
+        assert_eq!(got, RtValue::F(0.0));
+    }
+}

@@ -1,0 +1,270 @@
+//! Pretty printer: renders an AST back to parseable source text.
+//!
+//! Used by the workload generator tests (round-trip property: parsing
+//! the pretty-printed module yields an equivalent AST) and for dumping
+//! partitioned section programs the way the paper's master process
+//! hands them to section masters.
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Renders a module as source text that [`crate::parser::parse`]
+/// accepts and that parses back to an equivalent AST.
+pub fn module_to_source(module: &Module) -> String {
+    let mut p = Printer::default();
+    p.module(module);
+    p.out
+}
+
+/// Renders a single section as a standalone module (the partition a
+/// section master receives).
+pub fn section_to_source(module_name: &str, section: &Section) -> String {
+    let mut p = Printer::default();
+    let _ = writeln!(p.out, "module {module_name};");
+    p.section(section);
+    p.out
+}
+
+/// Renders one statement (chiefly for debugging and tests).
+pub fn stmt_to_source(stmt: &Stmt) -> String {
+    let mut p = Printer::default();
+    p.stmt(stmt);
+    p.out
+}
+
+/// Renders one expression.
+pub fn expr_to_source(expr: &Expr) -> String {
+    let mut p = Printer::default();
+    p.expr(expr);
+    p.out
+}
+
+#[derive(Default)]
+struct Printer {
+    out: String,
+    indent: usize,
+}
+
+impl Printer {
+    fn line(&mut self, text: &str) {
+        for _ in 0..self.indent {
+            self.out.push_str("  ");
+        }
+        self.out.push_str(text);
+        self.out.push('\n');
+    }
+
+    fn module(&mut self, m: &Module) {
+        self.line(&format!("module {};", m.name));
+        for s in &m.sections {
+            self.section(s);
+        }
+    }
+
+    fn section(&mut self, s: &Section) {
+        self.line(&format!("section {} on cells {}..{};", s.name, s.first_cell, s.last_cell));
+        self.indent += 1;
+        for f in &s.functions {
+            self.function(f);
+        }
+        self.indent -= 1;
+        self.line("end;");
+    }
+
+    fn function(&mut self, f: &Function) {
+        let params: Vec<String> =
+            f.params.iter().map(|p| format!("{}: {}", p.name, p.ty)).collect();
+        let ret = f.ret.as_ref().map(|t| format!(": {t}")).unwrap_or_default();
+        self.line(&format!("function {}({}){}", f.name, params.join(", "), ret));
+        if !f.vars.is_empty() {
+            self.line("var");
+            self.indent += 1;
+            for v in &f.vars {
+                self.line(&format!("{}: {};", v.name, v.ty));
+            }
+            self.indent -= 1;
+        }
+        self.line("begin");
+        self.indent += 1;
+        for s in &f.body {
+            self.stmt(s);
+        }
+        self.indent -= 1;
+        self.line("end;");
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Assign { target, value, .. } => {
+                let t = lvalue_str(target);
+                let v = expr_str(value);
+                self.line(&format!("{t} := {v};"));
+            }
+            Stmt::If { arms, else_body, .. } => {
+                for (i, arm) in arms.iter().enumerate() {
+                    let kw = if i == 0 { "if" } else { "elsif" };
+                    self.line(&format!("{kw} {} then", expr_str(&arm.cond)));
+                    self.indent += 1;
+                    for st in &arm.body {
+                        self.stmt(st);
+                    }
+                    self.indent -= 1;
+                }
+                if !else_body.is_empty() {
+                    self.line("else");
+                    self.indent += 1;
+                    for st in else_body {
+                        self.stmt(st);
+                    }
+                    self.indent -= 1;
+                }
+                self.line("end;");
+            }
+            Stmt::While { cond, body, .. } => {
+                self.line(&format!("while {} do", expr_str(cond)));
+                self.indent += 1;
+                for st in body {
+                    self.stmt(st);
+                }
+                self.indent -= 1;
+                self.line("end;");
+            }
+            Stmt::For { var, from, to, downto, by, body, .. } => {
+                let dir = if *downto { "downto" } else { "to" };
+                let by = by.as_ref().map(|b| format!(" by {}", expr_str(b))).unwrap_or_default();
+                self.line(&format!(
+                    "for {var} := {} {dir} {}{by} do",
+                    expr_str(from),
+                    expr_str(to)
+                ));
+                self.indent += 1;
+                for st in body {
+                    self.stmt(st);
+                }
+                self.indent -= 1;
+                self.line("end;");
+            }
+            Stmt::Call { name, args, .. } => {
+                let args: Vec<String> = args.iter().map(expr_str).collect();
+                self.line(&format!("{name}({});", args.join(", ")));
+            }
+            Stmt::Send { dir, value, .. } => {
+                self.line(&format!("send({dir}, {});", expr_str(value)));
+            }
+            Stmt::Receive { dir, target, .. } => {
+                self.line(&format!("receive({dir}, {});", lvalue_str(target)));
+            }
+            Stmt::Return { value, .. } => match value {
+                Some(v) => self.line(&format!("return {};", expr_str(v))),
+                None => self.line("return;"),
+            },
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        let s = expr_str(e);
+        self.out.push_str(&s);
+    }
+}
+
+fn lvalue_str(lv: &LValue) -> String {
+    let mut s = lv.name.clone();
+    for idx in &lv.indices {
+        let _ = write!(s, "[{}]", expr_str(idx));
+    }
+    s
+}
+
+fn expr_str(e: &Expr) -> String {
+    match &e.kind {
+        ExprKind::IntLit(v) => v.to_string(),
+        ExprKind::FloatLit(v) => {
+            // Always keep a decimal point (or exponent) so the literal
+            // lexes back as a float.
+            let s = format!("{v}");
+            if s.contains('.') || s.contains('e') || s.contains('E') {
+                s
+            } else {
+                format!("{s}.0")
+            }
+        }
+        ExprKind::BoolLit(v) => v.to_string(),
+        ExprKind::LValue(lv) => lvalue_str(lv),
+        ExprKind::Unary { op, expr } => match op {
+            UnOp::Neg => format!("-({})", expr_str(expr)),
+            UnOp::Not => format!("not ({})", expr_str(expr)),
+        },
+        ExprKind::Binary { op, lhs, rhs } => {
+            format!("({} {op} {})", expr_str(lhs), expr_str(rhs))
+        }
+        ExprKind::Call { name, args } => {
+            let args: Vec<String> = args.iter().map(expr_str).collect();
+            format!("{name}({})", args.join(", "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    const SRC: &str = "module s;\n\
+        section s1 on cells 0..3;\n\
+        function f(x: float): float\n\
+        var acc: float; i: int; v: float[4];\n\
+        begin\n\
+          acc := 0.0;\n\
+          for i := 0 to 3 do v[i] := x * 2.0; acc := acc + v[i]; end;\n\
+          if acc > 1.0 then acc := acc / 2.0; else acc := -acc; end;\n\
+          while acc > 0.0 do acc := acc - 1.0; end;\n\
+          send(right, acc);\n\
+          receive(left, x);\n\
+          return min(acc, x);\n\
+        end;\n\
+        end;";
+
+    /// Strips spans so ASTs can be compared structurally.
+    fn normalize(m: &Module) -> String {
+        // Pretty-printing is itself the normalization: if two modules
+        // print identically they are structurally equal.
+        module_to_source(m)
+    }
+
+    #[test]
+    fn round_trip_is_stable() {
+        let first = parse(SRC);
+        assert!(!first.diagnostics.has_errors(), "{:?}", first.diagnostics);
+        let printed = module_to_source(&first.module);
+        let second = parse(&printed);
+        assert!(!second.diagnostics.has_errors(), "reparse failed:\n{printed}\n{:?}", second.diagnostics);
+        assert_eq!(normalize(&first.module), normalize(&second.module));
+    }
+
+    #[test]
+    fn section_source_is_parseable() {
+        let out = parse(SRC);
+        let sec_src = section_to_source(&out.module.name, &out.module.sections[0]);
+        let re = parse(&sec_src);
+        assert!(!re.diagnostics.has_errors(), "{sec_src}\n{:?}", re.diagnostics);
+        assert_eq!(re.module.sections.len(), 1);
+    }
+
+    #[test]
+    fn float_literals_keep_decimal_point() {
+        let out = parse(SRC);
+        let printed = module_to_source(&out.module);
+        assert!(printed.contains("0.0") || printed.contains("0."));
+    }
+
+    #[test]
+    fn negative_literal_round_trips() {
+        let src = "module m; section a on cells 0..0; function f(): int begin return -5; end; end;";
+        let first = parse(src);
+        assert!(!first.diagnostics.has_errors());
+        let printed = module_to_source(&first.module);
+        let second = parse(&printed);
+        assert!(!second.diagnostics.has_errors());
+        assert_eq!(normalize(&first.module), normalize(&second.module));
+    }
+}

@@ -1,0 +1,180 @@
+//! Source positions and spans.
+//!
+//! Every token and AST node carries a [`Span`] so that diagnostics can
+//! point back into the original source text. Spans are byte offsets into
+//! the source string; [`LineMap`] converts them to line/column pairs for
+//! human-readable error messages.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into a source string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Span {
+    /// Byte offset of the first byte covered by this span.
+    pub start: u32,
+    /// Byte offset one past the last byte covered by this span.
+    pub end: u32,
+}
+
+impl Span {
+    /// Creates a span covering `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `start > end`.
+    pub fn new(start: u32, end: u32) -> Self {
+        debug_assert!(start <= end, "span start {start} after end {end}");
+        Span { start, end }
+    }
+
+    /// A zero-length span at `pos`, used for synthesized nodes.
+    pub fn point(pos: u32) -> Self {
+        Span { start: pos, end: pos }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Number of bytes covered.
+    pub fn len(self) -> u32 {
+        self.end - self.start
+    }
+
+    /// `true` if the span covers no bytes.
+    pub fn is_empty(self) -> bool {
+        self.start == self.end
+    }
+
+    /// The slice of `source` covered by this span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span is out of bounds for `source` or does not fall
+    /// on UTF-8 character boundaries.
+    pub fn slice(self, source: &str) -> &str {
+        &source[self.start as usize..self.end as usize]
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// A line/column position (both 1-based) for display purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LineCol {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in bytes, which equals characters for the
+    /// ASCII-only Warp language).
+    pub col: u32,
+}
+
+impl fmt::Display for LineCol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Maps byte offsets to line/column pairs.
+///
+/// Construction is `O(n)` in the source length; lookups are
+/// `O(log #lines)`.
+#[derive(Debug, Clone)]
+pub struct LineMap {
+    /// Byte offset at which each line starts. `line_starts[0] == 0`.
+    line_starts: Vec<u32>,
+}
+
+impl LineMap {
+    /// Builds a line map for `source`.
+    pub fn new(source: &str) -> Self {
+        let mut line_starts = vec![0u32];
+        for (i, b) in source.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i as u32 + 1);
+            }
+        }
+        LineMap { line_starts }
+    }
+
+    /// Converts a byte offset to a 1-based line/column pair.
+    ///
+    /// Offsets past the end of the source resolve to the end of the last
+    /// line rather than panicking, so diagnostics for EOF are printable.
+    pub fn line_col(&self, offset: u32) -> LineCol {
+        let line_idx = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        LineCol {
+            line: line_idx as u32 + 1,
+            col: offset - self.line_starts[line_idx] + 1,
+        }
+    }
+
+    /// Number of lines in the mapped source.
+    pub fn line_count(&self) -> usize {
+        self.line_starts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_covers_both() {
+        let a = Span::new(3, 7);
+        let b = Span::new(10, 12);
+        assert_eq!(a.merge(b), Span::new(3, 12));
+        assert_eq!(b.merge(a), Span::new(3, 12));
+    }
+
+    #[test]
+    fn point_is_empty() {
+        assert!(Span::point(5).is_empty());
+        assert!(!Span::new(5, 6).is_empty());
+        assert_eq!(Span::new(5, 9).len(), 4);
+    }
+
+    #[test]
+    fn slice_extracts_text() {
+        let src = "hello world";
+        assert_eq!(Span::new(6, 11).slice(src), "world");
+    }
+
+    #[test]
+    fn line_map_basic() {
+        let map = LineMap::new("ab\ncde\n\nf");
+        assert_eq!(map.line_col(0), LineCol { line: 1, col: 1 });
+        assert_eq!(map.line_col(1), LineCol { line: 1, col: 2 });
+        assert_eq!(map.line_col(3), LineCol { line: 2, col: 1 });
+        assert_eq!(map.line_col(5), LineCol { line: 2, col: 3 });
+        assert_eq!(map.line_col(7), LineCol { line: 3, col: 1 });
+        assert_eq!(map.line_col(8), LineCol { line: 4, col: 1 });
+        assert_eq!(map.line_count(), 4);
+    }
+
+    #[test]
+    fn line_map_offset_past_end() {
+        let map = LineMap::new("ab");
+        // Offset 2 == EOF: still maps to line 1.
+        assert_eq!(map.line_col(2), LineCol { line: 1, col: 3 });
+    }
+
+    #[test]
+    fn line_map_empty_source() {
+        let map = LineMap::new("");
+        assert_eq!(map.line_col(0), LineCol { line: 1, col: 1 });
+        assert_eq!(map.line_count(), 1);
+    }
+}

@@ -1,0 +1,270 @@
+//! Tokens of the Warp (W2-style) language.
+
+use crate::span::Span;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kind of a lexical token.
+///
+/// Keywords are distinguished from identifiers by the lexer; identifier
+/// text is interned in the surrounding [`Token`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[allow(missing_docs)] // keyword variants are self-describing
+pub enum TokenKind {
+    // Literals and identifiers
+    /// An identifier such as `foo`.
+    Ident(String),
+    /// An integer literal such as `42`.
+    IntLit(i64),
+    /// A floating-point literal such as `3.5` or `1.0e-3`.
+    FloatLit(f64),
+    /// A boolean literal `true` or `false`.
+    BoolLit(bool),
+
+    // Keywords
+    Module,
+    Section,
+    On,
+    Cells,
+    Function,
+    Var,
+    Begin,
+    End,
+    If,
+    Then,
+    Elsif,
+    Else,
+    While,
+    Do,
+    For,
+    To,
+    Downto,
+    By,
+    Return,
+    Send,
+    Receive,
+    Int,
+    Float,
+    Bool,
+    And,
+    Or,
+    Not,
+    Div,
+    Mod,
+
+    // Punctuation and operators
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+    /// `:`
+    Colon,
+    /// `:=`
+    Assign,
+    /// `..`
+    DotDot,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Returns the keyword kind for `text`, if `text` is a keyword.
+    pub fn keyword(text: &str) -> Option<TokenKind> {
+        Some(match text {
+            "module" => TokenKind::Module,
+            "section" => TokenKind::Section,
+            "on" => TokenKind::On,
+            "cells" => TokenKind::Cells,
+            "function" => TokenKind::Function,
+            "var" => TokenKind::Var,
+            "begin" => TokenKind::Begin,
+            "end" => TokenKind::End,
+            "if" => TokenKind::If,
+            "then" => TokenKind::Then,
+            "elsif" => TokenKind::Elsif,
+            "else" => TokenKind::Else,
+            "while" => TokenKind::While,
+            "do" => TokenKind::Do,
+            "for" => TokenKind::For,
+            "to" => TokenKind::To,
+            "downto" => TokenKind::Downto,
+            "by" => TokenKind::By,
+            "return" => TokenKind::Return,
+            "send" => TokenKind::Send,
+            "receive" => TokenKind::Receive,
+            "int" => TokenKind::Int,
+            "float" => TokenKind::Float,
+            "bool" => TokenKind::Bool,
+            "and" => TokenKind::And,
+            "or" => TokenKind::Or,
+            "not" => TokenKind::Not,
+            "div" => TokenKind::Div,
+            "mod" => TokenKind::Mod,
+            "true" => TokenKind::BoolLit(true),
+            "false" => TokenKind::BoolLit(false),
+            _ => return None,
+        })
+    }
+
+    /// A short human-readable description used in parse error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(name) => format!("identifier `{name}`"),
+            TokenKind::IntLit(v) => format!("integer literal `{v}`"),
+            TokenKind::FloatLit(v) => format!("float literal `{v}`"),
+            TokenKind::BoolLit(v) => format!("boolean literal `{v}`"),
+            TokenKind::Eof => "end of input".to_string(),
+            other => format!("`{}`", other.lexeme()),
+        }
+    }
+
+    /// The canonical source text of a fixed token (keywords and
+    /// punctuation). Literals and identifiers return a placeholder.
+    pub fn lexeme(&self) -> &'static str {
+        match self {
+            TokenKind::Module => "module",
+            TokenKind::Section => "section",
+            TokenKind::On => "on",
+            TokenKind::Cells => "cells",
+            TokenKind::Function => "function",
+            TokenKind::Var => "var",
+            TokenKind::Begin => "begin",
+            TokenKind::End => "end",
+            TokenKind::If => "if",
+            TokenKind::Then => "then",
+            TokenKind::Elsif => "elsif",
+            TokenKind::Else => "else",
+            TokenKind::While => "while",
+            TokenKind::Do => "do",
+            TokenKind::For => "for",
+            TokenKind::To => "to",
+            TokenKind::Downto => "downto",
+            TokenKind::By => "by",
+            TokenKind::Return => "return",
+            TokenKind::Send => "send",
+            TokenKind::Receive => "receive",
+            TokenKind::Int => "int",
+            TokenKind::Float => "float",
+            TokenKind::Bool => "bool",
+            TokenKind::And => "and",
+            TokenKind::Or => "or",
+            TokenKind::Not => "not",
+            TokenKind::Div => "div",
+            TokenKind::Mod => "mod",
+            TokenKind::LParen => "(",
+            TokenKind::RParen => ")",
+            TokenKind::LBracket => "[",
+            TokenKind::RBracket => "]",
+            TokenKind::Comma => ",",
+            TokenKind::Semicolon => ";",
+            TokenKind::Colon => ":",
+            TokenKind::Assign => ":=",
+            TokenKind::DotDot => "..",
+            TokenKind::Plus => "+",
+            TokenKind::Minus => "-",
+            TokenKind::Star => "*",
+            TokenKind::Slash => "/",
+            TokenKind::Eq => "=",
+            TokenKind::Ne => "<>",
+            TokenKind::Lt => "<",
+            TokenKind::Le => "<=",
+            TokenKind::Gt => ">",
+            TokenKind::Ge => ">=",
+            TokenKind::Ident(_) => "<ident>",
+            TokenKind::IntLit(_) => "<int>",
+            TokenKind::FloatLit(_) => "<float>",
+            TokenKind::BoolLit(_) => "<bool>",
+            TokenKind::Eof => "<eof>",
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(name) => write!(f, "{name}"),
+            TokenKind::IntLit(v) => write!(f, "{v}"),
+            TokenKind::FloatLit(v) => write!(f, "{v}"),
+            TokenKind::BoolLit(v) => write!(f, "{v}"),
+            other => write!(f, "{}", other.lexeme()),
+        }
+    }
+}
+
+/// A token together with its source span.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where in the source the token appears.
+    pub span: Span,
+}
+
+impl Token {
+    /// Creates a token.
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_round_trip() {
+        for kw in ["module", "section", "function", "while", "downto", "mod"] {
+            let kind = TokenKind::keyword(kw).expect("is a keyword");
+            assert_eq!(kind.lexeme(), kw);
+        }
+    }
+
+    #[test]
+    fn non_keywords_are_none() {
+        assert_eq!(TokenKind::keyword("modules"), None);
+        assert_eq!(TokenKind::keyword(""), None);
+        assert_eq!(TokenKind::keyword("x"), None);
+    }
+
+    #[test]
+    fn bool_literals_are_keywords() {
+        assert_eq!(TokenKind::keyword("true"), Some(TokenKind::BoolLit(true)));
+        assert_eq!(TokenKind::keyword("false"), Some(TokenKind::BoolLit(false)));
+    }
+
+    #[test]
+    fn describe_is_nonempty() {
+        assert_eq!(TokenKind::Assign.describe(), "`:=`");
+        assert_eq!(TokenKind::Ident("x".into()).describe(), "identifier `x`");
+        assert_eq!(TokenKind::Eof.describe(), "end of input");
+    }
+}

@@ -1,0 +1,133 @@
+//! Host-system configuration: the knobs of the 1989 environment.
+//!
+//! The paper's host is an Ethernet-based network of about 40 diskless
+//! SUN workstations sharing one file server (§3.3). All constants that
+//! determine the simulated timings live here, so the calibration that
+//! matches the paper's figures is explicit and in one place.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the simulated host system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HostConfig {
+    /// Number of workstations available to the compiler. The paper
+    /// notes 10–15 of the ~40 machines are usually free (§3.3).
+    pub workstations: usize,
+    /// Abstract compiler work units one workstation executes per
+    /// second when nothing else interferes (the compiler phases report
+    /// deterministic work-unit counts; this converts them to 1989
+    /// seconds).
+    pub cpu_units_per_sec: f64,
+    /// Real memory per workstation, in abstract heap words.
+    pub mem_words: u64,
+    /// Shared Ethernet bandwidth in bytes per second (10 Mbit/s ≈
+    /// 1.25 MB/s, minus protocol overhead).
+    pub ethernet_bytes_per_sec: f64,
+    /// Fixed per-transfer network latency in seconds (connection setup,
+    /// protocol handshake).
+    pub net_latency_s: f64,
+    /// File-server disk throughput in bytes per second.
+    pub disk_bytes_per_sec: f64,
+    /// Fixed per-request disk service latency in seconds.
+    pub disk_latency_s: f64,
+    /// Size of the Common Lisp core image a diskless workstation
+    /// downloads to start a Lisp process, in bytes.
+    pub lisp_image_bytes: u64,
+    /// CPU work units a fresh Lisp process spends interpreting its
+    /// initialization forms.
+    pub lisp_init_units: u64,
+    /// CPU work units to start a C process (master, section masters —
+    /// "these processes start up much faster", §3.2).
+    pub c_startup_units: u64,
+    /// GC overhead: multiplier is `1 + gc_coeff · (heap / gc_scale)^gc_power`
+    /// applied to Lisp CPU bursts.
+    pub gc_coeff: f64,
+    /// Heap scale at which GC overhead reaches `gc_coeff`.
+    pub gc_scale: f64,
+    /// Superlinearity of GC in heap size.
+    pub gc_power: f64,
+    /// Paging slowdown: when the heap resident on a workstation exceeds
+    /// its memory, CPU bursts are multiplied by
+    /// `1 + page_coeff · (excess / mem)^page_power`.
+    pub page_coeff: f64,
+    /// Superlinearity of paging in the excess ratio.
+    pub page_power: f64,
+}
+
+impl Default for HostConfig {
+    fn default() -> Self {
+        HostConfig {
+            workstations: 15,
+            cpu_units_per_sec: 14_000.0,
+            mem_words: 1_100_000,
+            ethernet_bytes_per_sec: 1_000_000.0,
+            net_latency_s: 0.010,
+            disk_bytes_per_sec: 600_000.0,
+            disk_latency_s: 0.030,
+            lisp_image_bytes: 7_000_000,
+            lisp_init_units: 28_000,
+            c_startup_units: 700,
+            gc_coeff: 0.9,
+            gc_scale: 700_000.0,
+            gc_power: 1.6,
+            page_coeff: 4.0,
+            page_power: 1.3,
+        }
+    }
+}
+
+impl HostConfig {
+    /// Combined CPU multiplier for a Lisp burst given the process heap
+    /// and the total heap resident on its workstation.
+    pub fn lisp_burst_factor(&self, own_heap: u64, resident_heap: u64) -> f64 {
+        self.gc_factor(own_heap) * self.page_factor(resident_heap)
+    }
+
+    /// GC overhead multiplier for a Lisp process with `heap` live words.
+    pub fn gc_factor(&self, heap: u64) -> f64 {
+        1.0 + self.gc_coeff * (heap as f64 / self.gc_scale).powf(self.gc_power)
+    }
+
+    /// Paging multiplier for `resident` total heap words on one
+    /// workstation.
+    pub fn page_factor(&self, resident: u64) -> f64 {
+        if resident <= self.mem_words {
+            1.0
+        } else {
+            let excess = (resident - self.mem_words) as f64 / self.mem_words as f64;
+            1.0 + self.page_coeff * excess.powf(self.page_power)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gc_factor_grows_superlinearly() {
+        let c = HostConfig::default();
+        let f1 = c.gc_factor(200_000);
+        let f2 = c.gc_factor(400_000);
+        let f4 = c.gc_factor(800_000);
+        assert!(f1 < f2 && f2 < f4);
+        // Superlinear: doubling heap more than doubles the overhead part.
+        assert!((f4 - 1.0) > 2.0 * (f2 - 1.0));
+    }
+
+    #[test]
+    fn page_factor_is_one_within_memory() {
+        let c = HostConfig::default();
+        assert_eq!(c.page_factor(c.mem_words / 2), 1.0);
+        assert_eq!(c.page_factor(c.mem_words), 1.0);
+        assert!(c.page_factor(c.mem_words * 2) > 2.0);
+    }
+
+    #[test]
+    fn burst_factor_combines_both() {
+        let c = HostConfig::default();
+        let f = c.lisp_burst_factor(c.mem_words, c.mem_words * 2);
+        assert!(f > c.gc_factor(c.mem_words));
+        assert!(f > c.page_factor(c.mem_words * 2));
+    }
+}

@@ -1,0 +1,576 @@
+//! The discrete-event engine.
+//!
+//! Deterministic: integer-nanosecond timestamps, FIFO resource queues,
+//! and a monotone sequence number breaking event ties. Resources are
+//! the per-workstation CPU, the shared Ethernet, and the file-server
+//! disk; contention emerges from queueing rather than analytic
+//! approximation — when eight Lisp images download at once, each one
+//! really waits for the others' packets (paper §4.2.3: "multiple lisp
+//! images are downloaded and multiple processes swap off the same file
+//! server").
+
+use crate::config::HostConfig;
+use crate::process::{ProcKind, ProcessSpec, Step};
+use crate::report::{ProcessReport, SimReport};
+use std::collections::{BinaryHeap, VecDeque};
+
+type Ns = u64;
+
+fn secs_to_ns(s: f64) -> Ns {
+    (s * 1e9).round() as Ns
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ResourceId {
+    Cpu(usize),
+    Ethernet,
+    Disk,
+}
+
+#[derive(Debug, Default)]
+struct Server {
+    busy: bool,
+    queue: VecDeque<usize>,
+    busy_ns: Ns,
+    last_acquire: Ns,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProcState {
+    /// Ready to start step `step`.
+    Ready,
+    /// Waiting in some resource queue.
+    Queued(ResourceId),
+    /// Holding a resource until the scheduled completion event.
+    Serving(ResourceId),
+    /// Blocked in `Join` until children finish.
+    Joining,
+    /// Finished.
+    Done,
+}
+
+struct Proc {
+    name: String,
+    kind: ProcKind,
+    workstation: usize,
+    steps: Vec<Step>,
+    step: usize,
+    /// For `Disk` steps: 0 = network phase pending, 1 = disk phase.
+    disk_phase: u8,
+    state: ProcState,
+    parent: Option<usize>,
+    live_children: usize,
+    heap: u64,
+    start_ns: Ns,
+    end_ns: Ns,
+    cpu_ns: Ns,
+    overhead_ns: Ns,
+    net_ns: Ns,
+    disk_ns: Ns,
+    wait_ns: Ns,
+    queued_since: Ns,
+}
+
+#[derive(PartialEq, Eq)]
+struct Event {
+    time: Ns,
+    seq: u64,
+    proc: usize,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap via reversal.
+        other.time.cmp(&self.time).then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The simulator.
+pub struct Simulation {
+    config: HostConfig,
+    procs: Vec<Proc>,
+    cpus: Vec<Server>,
+    ethernet: Server,
+    disk: Server,
+    events: BinaryHeap<Event>,
+    time: Ns,
+    seq: u64,
+}
+
+impl Simulation {
+    /// Creates a simulator for `config`.
+    pub fn new(config: HostConfig) -> Self {
+        Simulation {
+            cpus: (0..config.workstations.max(1)).map(|_| Server::default()).collect(),
+            ethernet: Server::default(),
+            disk: Server::default(),
+            procs: Vec::new(),
+            events: BinaryHeap::new(),
+            time: 0,
+            seq: 0,
+            config,
+        }
+    }
+
+    /// Runs `root` (plus everything it forks) to completion and returns
+    /// the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a process references a workstation index out of range,
+    /// or if the simulation deadlocks (a bug in the spec: `Join` with a
+    /// child that never terminates is impossible by construction).
+    pub fn run(&mut self, root: ProcessSpec) -> SimReport {
+        self.spawn(root, None);
+        // Drive: repeatedly dispatch ready processes, then pop events.
+        loop {
+            self.dispatch_all_ready();
+            let Some(ev) = self.events.pop() else { break };
+            self.time = ev.time;
+            self.complete(ev.proc);
+        }
+        assert!(
+            self.procs.iter().all(|p| p.state == ProcState::Done),
+            "simulation ended with live processes (deadlock in spec?)"
+        );
+        self.report()
+    }
+
+    fn spawn(&mut self, spec: ProcessSpec, parent: Option<usize>) -> usize {
+        assert!(
+            spec.workstation < self.cpus.len(),
+            "workstation {} out of range ({} exist)",
+            spec.workstation,
+            self.cpus.len()
+        );
+        // Prepend startup activities.
+        let mut steps = Vec::with_capacity(spec.steps.len() + 2);
+        match spec.kind {
+            ProcKind::C => steps.push(Step::Cpu { units: self.config.c_startup_units }),
+            ProcKind::Lisp => {
+                steps.push(Step::Disk { bytes: self.config.lisp_image_bytes });
+                steps.push(Step::Cpu { units: self.config.lisp_init_units });
+            }
+        }
+        steps.extend(spec.steps);
+        let id = self.procs.len();
+        self.procs.push(Proc {
+            name: spec.name,
+            kind: spec.kind,
+            workstation: spec.workstation,
+            steps,
+            step: 0,
+            disk_phase: 0,
+            state: ProcState::Ready,
+            parent,
+            live_children: 0,
+            heap: 0,
+            start_ns: self.time,
+            end_ns: 0,
+            cpu_ns: 0,
+            overhead_ns: 0,
+            net_ns: 0,
+            disk_ns: 0,
+            wait_ns: 0,
+            queued_since: 0,
+        });
+        if let Some(p) = parent {
+            self.procs[p].live_children += 1;
+        }
+        id
+    }
+
+    fn dispatch_all_ready(&mut self) {
+        loop {
+            let Some(pid) = self
+                .procs
+                .iter()
+                .position(|p| p.state == ProcState::Ready)
+            else {
+                return;
+            };
+            self.advance(pid);
+        }
+    }
+
+    /// Executes instantaneous steps and issues the next resource
+    /// request for process `pid` (which must be `Ready`).
+    fn advance(&mut self, pid: usize) {
+        loop {
+            if self.procs[pid].step >= self.procs[pid].steps.len() {
+                self.finish(pid);
+                return;
+            }
+            let step = self.procs[pid].steps[self.procs[pid].step].clone();
+            match step {
+                Step::SetHeap { words } => {
+                    self.procs[pid].heap = words;
+                    self.procs[pid].step += 1;
+                }
+                Step::Fork { children } => {
+                    self.procs[pid].step += 1;
+                    for child in children {
+                        self.spawn(child, Some(pid));
+                    }
+                    // Children are now Ready; the dispatch loop will
+                    // pick them up.
+                }
+                Step::Join => {
+                    if self.procs[pid].live_children == 0 {
+                        self.procs[pid].step += 1;
+                    } else {
+                        self.procs[pid].state = ProcState::Joining;
+                        return;
+                    }
+                }
+                Step::Cpu { .. } => {
+                    let ws = self.procs[pid].workstation;
+                    self.request(pid, ResourceId::Cpu(ws));
+                    return;
+                }
+                Step::Net { .. } => {
+                    self.request(pid, ResourceId::Ethernet);
+                    return;
+                }
+                Step::Disk { .. } => {
+                    // Phase 0: cross the network; phase 1: disk.
+                    if self.procs[pid].disk_phase == 0 {
+                        self.request(pid, ResourceId::Ethernet);
+                    } else {
+                        self.request(pid, ResourceId::Disk);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    fn server_mut(&mut self, r: ResourceId) -> &mut Server {
+        match r {
+            ResourceId::Cpu(w) => &mut self.cpus[w],
+            ResourceId::Ethernet => &mut self.ethernet,
+            ResourceId::Disk => &mut self.disk,
+        }
+    }
+
+    fn request(&mut self, pid: usize, r: ResourceId) {
+        let now = self.time;
+        let server = self.server_mut(r);
+        if server.busy {
+            server.queue.push_back(pid);
+            self.procs[pid].state = ProcState::Queued(r);
+            self.procs[pid].queued_since = now;
+        } else {
+            self.grant(pid, r);
+        }
+    }
+
+    fn grant(&mut self, pid: usize, r: ResourceId) {
+        let duration = self.service_duration(pid, r);
+        {
+            let now = self.time;
+            let server = self.server_mut(r);
+            server.busy = true;
+            server.last_acquire = now;
+        }
+        self.procs[pid].state = ProcState::Serving(r);
+        self.seq += 1;
+        self.events.push(Event { time: self.time + duration, seq: self.seq, proc: pid });
+    }
+
+    /// Service time of `pid`'s current step on resource `r`.
+    fn service_duration(&mut self, pid: usize, r: ResourceId) -> Ns {
+        let cfg = self.config;
+        let p = &self.procs[pid];
+        let step = &p.steps[p.step];
+        match (step, r) {
+            (Step::Cpu { units }, ResourceId::Cpu(ws)) => {
+                let base = *units as f64 / cfg.cpu_units_per_sec;
+                let factor = match p.kind {
+                    ProcKind::C => 1.0,
+                    ProcKind::Lisp => {
+                        // Run-to-completion: only the running process's
+                        // working set is resident (a queued process is
+                        // swapped out; its swap traffic is part of the
+                        // paging multiplier when *it* runs).
+                        let _ = ws;
+                        cfg.lisp_burst_factor(p.heap, p.heap)
+                    }
+                };
+                let total = secs_to_ns(base * factor);
+                let overhead = total.saturating_sub(secs_to_ns(base));
+                let p = &mut self.procs[pid];
+                p.cpu_ns += total;
+                p.overhead_ns += overhead;
+                total
+            }
+            (Step::Net { bytes }, ResourceId::Ethernet) => {
+                let d = secs_to_ns(cfg.net_latency_s + *bytes as f64 / cfg.ethernet_bytes_per_sec);
+                self.procs[pid].net_ns += d;
+                d
+            }
+            (Step::Disk { bytes }, ResourceId::Ethernet) => {
+                let d = secs_to_ns(cfg.net_latency_s + *bytes as f64 / cfg.ethernet_bytes_per_sec);
+                self.procs[pid].net_ns += d;
+                d
+            }
+            (Step::Disk { bytes }, ResourceId::Disk) => {
+                let d = secs_to_ns(cfg.disk_latency_s + *bytes as f64 / cfg.disk_bytes_per_sec);
+                self.procs[pid].disk_ns += d;
+                d
+            }
+            (s, r) => unreachable!("step {s:?} serving on {r:?}"),
+        }
+    }
+
+    /// Handles a service-completion event for `pid`.
+    fn complete(&mut self, pid: usize) {
+        let ProcState::Serving(r) = self.procs[pid].state else {
+            unreachable!("completion event for non-serving process");
+        };
+        // Release the resource and grant the next in line.
+        {
+            let now = self.time;
+            let server = self.server_mut(r);
+            server.busy = false;
+            server.busy_ns += now - server.last_acquire;
+        }
+        if let Some(next) = self.server_mut(r).queue.pop_front() {
+            let waited = self.time - self.procs[next].queued_since;
+            self.procs[next].wait_ns += waited;
+            self.grant(next, r);
+        }
+
+        // Advance the step (Disk has two phases).
+        let p = &mut self.procs[pid];
+        let is_disk = matches!(p.steps[p.step], Step::Disk { .. });
+        if is_disk && p.disk_phase == 0 {
+            p.disk_phase = 1;
+        } else {
+            p.disk_phase = 0;
+            p.step += 1;
+        }
+        p.state = ProcState::Ready;
+    }
+
+    fn finish(&mut self, pid: usize) {
+        self.procs[pid].state = ProcState::Done;
+        self.procs[pid].end_ns = self.time;
+        if let Some(parent) = self.procs[pid].parent {
+            self.procs[parent].live_children -= 1;
+            if self.procs[parent].live_children == 0
+                && self.procs[parent].state == ProcState::Joining
+            {
+                self.procs[parent].step += 1;
+                self.procs[parent].state = ProcState::Ready;
+            }
+        }
+    }
+
+    fn report(&self) -> SimReport {
+        let processes: Vec<ProcessReport> = self
+            .procs
+            .iter()
+            .map(|p| ProcessReport {
+                name: p.name.clone(),
+                kind: p.kind,
+                workstation: p.workstation,
+                start_s: p.start_ns as f64 / 1e9,
+                end_s: p.end_ns as f64 / 1e9,
+                cpu_s: p.cpu_ns as f64 / 1e9,
+                overhead_s: p.overhead_ns as f64 / 1e9,
+                net_s: p.net_ns as f64 / 1e9,
+                disk_s: p.disk_ns as f64 / 1e9,
+                wait_s: p.wait_ns as f64 / 1e9,
+            })
+            .collect();
+        SimReport {
+            elapsed_s: self.time as f64 / 1e9,
+            ethernet_busy_s: self.ethernet.busy_ns as f64 / 1e9,
+            disk_busy_s: self.disk.busy_ns as f64 / 1e9,
+            cpu_busy_s: self.cpus.iter().map(|c| c.busy_ns as f64 / 1e9).collect(),
+            processes,
+        }
+    }
+}
+
+/// Convenience: run one spec under `config`.
+pub fn simulate(config: HostConfig, root: ProcessSpec) -> SimReport {
+    Simulation::new(config).run(root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> HostConfig {
+        HostConfig {
+            workstations: 4,
+            cpu_units_per_sec: 1000.0,
+            mem_words: 1000,
+            ethernet_bytes_per_sec: 1000.0,
+            net_latency_s: 0.0,
+            disk_bytes_per_sec: 1000.0,
+            disk_latency_s: 0.0,
+            lisp_image_bytes: 0,
+            lisp_init_units: 0,
+            c_startup_units: 0,
+            gc_coeff: 0.0,
+            gc_scale: 1000.0,
+            gc_power: 1.0,
+            page_coeff: 1.0,
+            page_power: 1.0,
+        }
+    }
+
+    #[test]
+    fn single_cpu_burst_time() {
+        let r = simulate(cfg(), ProcessSpec::new("p", 0, ProcKind::C).cpu(500));
+        assert!((r.elapsed_s - 0.5).abs() < 1e-9, "{}", r.elapsed_s);
+        assert!((r.processes[0].cpu_s - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_children_on_distinct_workstations_overlap() {
+        let root = ProcessSpec::new("m", 0, ProcKind::C)
+            .fork(vec![
+                ProcessSpec::new("a", 1, ProcKind::C).cpu(1000),
+                ProcessSpec::new("b", 2, ProcKind::C).cpu(1000),
+            ])
+            .join();
+        let r = simulate(cfg(), root);
+        assert!((r.elapsed_s - 1.0).abs() < 1e-6, "{}", r.elapsed_s);
+    }
+
+    #[test]
+    fn same_workstation_serializes() {
+        let root = ProcessSpec::new("m", 0, ProcKind::C)
+            .fork(vec![
+                ProcessSpec::new("a", 1, ProcKind::C).cpu(1000),
+                ProcessSpec::new("b", 1, ProcKind::C).cpu(1000),
+            ])
+            .join();
+        let r = simulate(cfg(), root);
+        assert!((r.elapsed_s - 2.0).abs() < 1e-6, "{}", r.elapsed_s);
+        // The second process records queueing delay.
+        let total_wait: f64 = r.processes.iter().map(|p| p.wait_s).sum();
+        assert!(total_wait > 0.9);
+    }
+
+    #[test]
+    fn ethernet_contention_serializes_transfers() {
+        let root = ProcessSpec::new("m", 0, ProcKind::C)
+            .fork(vec![
+                ProcessSpec::new("a", 1, ProcKind::C).net(1000),
+                ProcessSpec::new("b", 2, ProcKind::C).net(1000),
+            ])
+            .join();
+        let r = simulate(cfg(), root);
+        assert!((r.elapsed_s - 2.0).abs() < 1e-6, "{}", r.elapsed_s);
+        assert!((r.ethernet_busy_s - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn disk_crosses_network_then_disk() {
+        let r = simulate(cfg(), ProcessSpec::new("p", 0, ProcKind::C).disk(1000));
+        // 1s network + 1s disk.
+        assert!((r.elapsed_s - 2.0).abs() < 1e-6, "{}", r.elapsed_s);
+        assert!((r.disk_busy_s - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lisp_startup_costs_applied() {
+        let mut c = cfg();
+        c.lisp_image_bytes = 2000; // 2s network + 2s disk
+        c.lisp_init_units = 500; // 0.5s
+        let r = simulate(c, ProcessSpec::new("l", 0, ProcKind::Lisp).cpu(0));
+        assert!((r.elapsed_s - 4.5).abs() < 1e-6, "{}", r.elapsed_s);
+    }
+
+    #[test]
+    fn paging_slows_big_heaps() {
+        let mut c = cfg();
+        c.page_coeff = 1.0;
+        // heap = 2×memory → factor 1 + (1000/1000)^1 = 2.
+        let r = simulate(
+            c,
+            ProcessSpec::new("l", 0, ProcKind::Lisp).heap(2000).cpu(1000),
+        );
+        assert!((r.elapsed_s - 2.0).abs() < 1e-6, "{}", r.elapsed_s);
+        assert!((r.processes[0].overhead_s - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn queued_processes_do_not_add_pressure() {
+        let mut c = cfg();
+        c.page_coeff = 1.0;
+        // Two Lisp processes, 800 words each, same workstation: under
+        // run-to-completion scheduling each runs with only its own
+        // working set resident — no paging (each fits alone).
+        let root = ProcessSpec::new("m", 0, ProcKind::C)
+            .fork(vec![
+                ProcessSpec::new("a", 1, ProcKind::Lisp).heap(800).cpu(1000),
+                ProcessSpec::new("b", 1, ProcKind::Lisp).heap(800).cpu(1000),
+            ])
+            .join();
+        let r = simulate(c, root);
+        let total_overhead: f64 = r.processes.iter().map(|p| p.overhead_s).sum();
+        assert_eq!(total_overhead, 0.0, "{:?}", r.processes);
+    }
+
+    #[test]
+    fn gc_overhead_counted() {
+        let mut c = cfg();
+        c.gc_coeff = 0.5;
+        c.gc_scale = 1000.0;
+        let r = simulate(c, ProcessSpec::new("l", 0, ProcKind::Lisp).heap(1000).cpu(1000));
+        // factor = 1.5 → 1.5 s.
+        assert!((r.elapsed_s - 1.5).abs() < 1e-6, "{}", r.elapsed_s);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let build = || {
+            ProcessSpec::new("m", 0, ProcKind::C)
+                .fork(vec![
+                    ProcessSpec::new("a", 1, ProcKind::Lisp).heap(500).cpu(700).disk(300),
+                    ProcessSpec::new("b", 2, ProcKind::Lisp).heap(600).cpu(900).disk(400),
+                    ProcessSpec::new("c", 3, ProcKind::Lisp).heap(700).cpu(1100).disk(500),
+                ])
+                .join()
+                .cpu(100)
+        };
+        let r1 = simulate(cfg(), build());
+        let r2 = simulate(cfg(), build());
+        assert_eq!(format!("{r1:?}"), format!("{r2:?}"));
+    }
+
+    #[test]
+    fn join_waits_for_all_children() {
+        let root = ProcessSpec::new("m", 0, ProcKind::C)
+            .fork(vec![
+                ProcessSpec::new("fast", 1, ProcKind::C).cpu(100),
+                ProcessSpec::new("slow", 2, ProcKind::C).cpu(2000),
+            ])
+            .join()
+            .cpu(100);
+        let r = simulate(cfg(), root);
+        assert!((r.elapsed_s - 2.1).abs() < 1e-6, "{}", r.elapsed_s);
+    }
+
+    #[test]
+    fn grandchildren_joined_transitively() {
+        let leaf = ProcessSpec::new("leaf", 2, ProcKind::C).cpu(1000);
+        let mid = ProcessSpec::new("mid", 1, ProcKind::C).fork(vec![leaf]).join();
+        let root = ProcessSpec::new("root", 0, ProcKind::C).fork(vec![mid]).join();
+        let r = simulate(cfg(), root);
+        assert!(r.elapsed_s >= 1.0);
+        assert!(r.processes.iter().all(|p| p.end_s > 0.0 || p.cpu_s == 0.0));
+    }
+}

@@ -1,0 +1,47 @@
+//! # warp-netsim
+//!
+//! Deterministic discrete-event simulation of the paper's host system:
+//! an Ethernet network of diskless SUN workstations sharing one file
+//! server (paper §3.3). The parallel compiler in `parcc` replays its
+//! real compilations through this simulator to obtain 1989-scale
+//! measurements — elapsed times in minutes, Lisp core-image downloads,
+//! garbage collection, and the swapping that makes the *sequential*
+//! compiler slower than the sum of its parts (the negative system
+//! overhead of Figure 9).
+//!
+//! * [`config`] — every cost constant of the simulated era, in one
+//!   place ([`config::HostConfig`]);
+//! * [`process`] — process scripts: CPU bursts, network and file-server
+//!   transfers, heap changes, fork/join;
+//! * [`engine`] — the event-driven core with FIFO resources;
+//! * [`report`] — per-process and per-resource accounting.
+//!
+//! # Example
+//!
+//! ```
+//! use warp_netsim::{simulate, HostConfig, ProcKind, ProcessSpec};
+//!
+//! // A master forks two workers on different workstations.
+//! let root = ProcessSpec::new("master", 0, ProcKind::C)
+//!     .cpu(1_000)
+//!     .fork(vec![
+//!         ProcessSpec::new("w1", 1, ProcKind::Lisp).heap(100_000).cpu(50_000),
+//!         ProcessSpec::new("w2", 2, ProcKind::Lisp).heap(100_000).cpu(50_000),
+//!     ])
+//!     .join();
+//! let report = simulate(HostConfig::default(), root);
+//! assert!(report.elapsed_s > 0.0);
+//! assert_eq!(report.processes.len(), 3);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod process;
+pub mod report;
+
+pub use config::HostConfig;
+pub use engine::{simulate, Simulation};
+pub use process::{ProcKind, ProcessSpec, Step};
+pub use report::{ProcessReport, SimReport};

@@ -1,0 +1,152 @@
+//! Simulated processes and their activity scripts.
+//!
+//! A process is a straight-line script of [`Step`]s; `Fork` starts
+//! children and `Join` waits for all of them — exactly the
+//! parent/child-only communication discipline of the paper's process
+//! hierarchy (§3.2: "processes on the same level of the hierarchy
+//! operate completely independent of each other").
+
+use serde::{Deserialize, Serialize};
+
+/// The flavor of a process, which determines startup and CPU cost
+/// modeling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProcKind {
+    /// A heavy-weight UNIX C process (master, section masters): fast
+    /// startup, no GC.
+    C,
+    /// A Common Lisp process (function masters, the sequential
+    /// compiler): core-image download at startup, GC overhead on every
+    /// burst.
+    Lisp,
+}
+
+/// One activity in a process script.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Step {
+    /// Execute `units` of compiler work on the process's workstation.
+    /// Lisp processes pay GC and paging multipliers.
+    Cpu {
+        /// Abstract work units.
+        units: u64,
+    },
+    /// Transfer `bytes` over the shared Ethernet (messages between
+    /// master processes, diagnostics, result collection).
+    Net {
+        /// Payload size.
+        bytes: u64,
+    },
+    /// Read or write `bytes` on the file server: crosses the Ethernet,
+    /// then occupies the file-server disk.
+    Disk {
+        /// Payload size.
+        bytes: u64,
+    },
+    /// Set the process's live heap to `words` (affects GC and the
+    /// workstation's paging pressure from now on).
+    SetHeap {
+        /// Live heap words.
+        words: u64,
+    },
+    /// Start child processes and continue immediately.
+    Fork {
+        /// Children to start.
+        children: Vec<ProcessSpec>,
+    },
+    /// Block until every child forked so far has finished.
+    Join,
+}
+
+/// A process to simulate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProcessSpec {
+    /// Name for reporting (e.g. `"fn-master f_large.3"`).
+    pub name: String,
+    /// Workstation index the process runs on.
+    pub workstation: usize,
+    /// C or Lisp.
+    pub kind: ProcKind,
+    /// The script.
+    pub steps: Vec<Step>,
+}
+
+impl ProcessSpec {
+    /// Creates a process with an empty script.
+    pub fn new(name: impl Into<String>, workstation: usize, kind: ProcKind) -> Self {
+        ProcessSpec { name: name.into(), workstation, kind, steps: Vec::new() }
+    }
+
+    /// Appends a CPU burst.
+    pub fn cpu(mut self, units: u64) -> Self {
+        self.steps.push(Step::Cpu { units });
+        self
+    }
+
+    /// Appends a network transfer.
+    pub fn net(mut self, bytes: u64) -> Self {
+        self.steps.push(Step::Net { bytes });
+        self
+    }
+
+    /// Appends a file-server transfer.
+    pub fn disk(mut self, bytes: u64) -> Self {
+        self.steps.push(Step::Disk { bytes });
+        self
+    }
+
+    /// Appends a heap-size change.
+    pub fn heap(mut self, words: u64) -> Self {
+        self.steps.push(Step::SetHeap { words });
+        self
+    }
+
+    /// Appends a fork of `children`.
+    pub fn fork(mut self, children: Vec<ProcessSpec>) -> Self {
+        self.steps.push(Step::Fork { children });
+        self
+    }
+
+    /// Appends a join.
+    pub fn join(mut self) -> Self {
+        self.steps.push(Step::Join);
+        self
+    }
+
+    /// Total processes in this spec tree (self + descendants).
+    pub fn process_count(&self) -> usize {
+        1 + self
+            .steps
+            .iter()
+            .map(|s| match s {
+                Step::Fork { children } => children.iter().map(ProcessSpec::process_count).sum(),
+                _ => 0,
+            })
+            .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let p = ProcessSpec::new("m", 0, ProcKind::C)
+            .cpu(10)
+            .net(100)
+            .fork(vec![ProcessSpec::new("c1", 1, ProcKind::Lisp).cpu(5)])
+            .join();
+        assert_eq!(p.steps.len(), 4);
+        assert_eq!(p.process_count(), 2);
+    }
+
+    #[test]
+    fn nested_process_count() {
+        let leaf = ProcessSpec::new("leaf", 2, ProcKind::Lisp);
+        let mid = ProcessSpec::new("mid", 1, ProcKind::C)
+            .fork(vec![leaf.clone(), leaf.clone(), leaf])
+            .join();
+        let root = ProcessSpec::new("root", 0, ProcKind::C).fork(vec![mid]).join();
+        assert_eq!(root.process_count(), 5);
+    }
+}

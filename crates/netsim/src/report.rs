@@ -1,0 +1,130 @@
+//! Simulation reports.
+
+use crate::process::ProcKind;
+use serde::{Deserialize, Serialize};
+
+/// Per-process accounting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProcessReport {
+    /// Process name.
+    pub name: String,
+    /// C or Lisp.
+    pub kind: ProcKind,
+    /// Workstation it ran on.
+    pub workstation: usize,
+    /// Simulated start time (seconds).
+    pub start_s: f64,
+    /// Simulated end time (seconds).
+    pub end_s: f64,
+    /// CPU seconds consumed (including GC/paging overhead).
+    pub cpu_s: f64,
+    /// Portion of `cpu_s` attributable to GC and paging.
+    pub overhead_s: f64,
+    /// Seconds of Ethernet occupancy.
+    pub net_s: f64,
+    /// Seconds of file-server disk occupancy.
+    pub disk_s: f64,
+    /// Seconds spent waiting in resource queues.
+    pub wait_s: f64,
+}
+
+impl ProcessReport {
+    /// Wall-clock lifetime of the process.
+    pub fn elapsed_s(&self) -> f64 {
+        self.end_s - self.start_s
+    }
+}
+
+/// The result of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Total simulated wall-clock time until the last process finished
+    /// — the *elapsed/user time* of the paper's measurements (§4.2.1).
+    pub elapsed_s: f64,
+    /// Total Ethernet busy time.
+    pub ethernet_busy_s: f64,
+    /// Total file-server disk busy time.
+    pub disk_busy_s: f64,
+    /// Per-workstation CPU busy time.
+    pub cpu_busy_s: Vec<f64>,
+    /// Per-process detail, in spawn order (index 0 is the root).
+    pub processes: Vec<ProcessReport>,
+}
+
+impl SimReport {
+    /// CPU seconds of the process named `name` (0.0 if absent).
+    pub fn cpu_of(&self, name: &str) -> f64 {
+        self.processes.iter().filter(|p| p.name == name).map(|p| p.cpu_s).sum()
+    }
+
+    /// Sum of CPU seconds over processes whose name starts with
+    /// `prefix`.
+    pub fn cpu_with_prefix(&self, prefix: &str) -> f64 {
+        self.processes
+            .iter()
+            .filter(|p| p.name.starts_with(prefix))
+            .map(|p| p.cpu_s)
+            .sum()
+    }
+
+    /// Maximum per-workstation CPU busy time — the paper reports CPU
+    /// time "on a per-processor basis" (§4.2.1).
+    pub fn max_cpu_busy_s(&self) -> f64 {
+        self.cpu_busy_s.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Number of workstations that actually executed anything.
+    pub fn workstations_used(&self) -> usize {
+        self.cpu_busy_s.iter().filter(|&&b| b > 0.0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SimReport {
+        SimReport {
+            elapsed_s: 10.0,
+            ethernet_busy_s: 2.0,
+            disk_busy_s: 1.0,
+            cpu_busy_s: vec![5.0, 7.0, 0.0],
+            processes: vec![
+                ProcessReport {
+                    name: "master".into(),
+                    kind: ProcKind::C,
+                    workstation: 0,
+                    start_s: 0.0,
+                    end_s: 10.0,
+                    cpu_s: 1.0,
+                    overhead_s: 0.0,
+                    net_s: 0.1,
+                    disk_s: 0.0,
+                    wait_s: 0.0,
+                },
+                ProcessReport {
+                    name: "fn-master 1".into(),
+                    kind: ProcKind::Lisp,
+                    workstation: 1,
+                    start_s: 1.0,
+                    end_s: 9.0,
+                    cpu_s: 7.0,
+                    overhead_s: 1.5,
+                    net_s: 0.5,
+                    disk_s: 0.3,
+                    wait_s: 0.2,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let r = report();
+        assert_eq!(r.cpu_of("master"), 1.0);
+        assert_eq!(r.cpu_with_prefix("fn-master"), 7.0);
+        assert_eq!(r.max_cpu_busy_s(), 7.0);
+        assert_eq!(r.workstations_used(), 2);
+        assert_eq!(r.processes[1].elapsed_s(), 8.0);
+    }
+}

@@ -1,0 +1,324 @@
+//! Synthetic function generator.
+//!
+//! The paper's benchmark functions are "derived from one of our largest
+//! application programs, a Monte Carlo style simulation": loop nests
+//! (deeply nested for the larger sizes) of floating-point work that is
+//! representative of a Warp computation kernel (§4.1). This generator
+//! reproduces that shape with exact line counts — 4, 35, 100, 280 and
+//! 360 lines — deterministically (seeded by the function name), so
+//! measurements are reproducible.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The five benchmark function sizes of §4.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FunctionSize {
+    /// 4 lines — `f_tiny`.
+    Tiny,
+    /// 35 lines — `f_small`.
+    Small,
+    /// 100 lines — `f_medium`.
+    Medium,
+    /// 280 lines — `f_large`.
+    Large,
+    /// 360 lines — `f_huge`.
+    Huge,
+}
+
+impl FunctionSize {
+    /// All sizes in increasing order.
+    pub const ALL: [FunctionSize; 5] = [
+        FunctionSize::Tiny,
+        FunctionSize::Small,
+        FunctionSize::Medium,
+        FunctionSize::Large,
+        FunctionSize::Huge,
+    ];
+
+    /// The body line count the paper reports for this size.
+    pub fn lines(self) -> usize {
+        match self {
+            FunctionSize::Tiny => 4,
+            FunctionSize::Small => 35,
+            FunctionSize::Medium => 100,
+            FunctionSize::Large => 280,
+            FunctionSize::Huge => 360,
+        }
+    }
+
+    /// Maximum loop nesting depth used at this size ("deeply nested
+    /// loop bodies in the case of the larger programs").
+    pub fn max_depth(self) -> usize {
+        match self {
+            FunctionSize::Tiny => 1,
+            FunctionSize::Small => 2,
+            FunctionSize::Medium => 3,
+            FunctionSize::Large => 4,
+            FunctionSize::Huge => 4,
+        }
+    }
+
+    /// The paper's name for the function.
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            FunctionSize::Tiny => "f_tiny",
+            FunctionSize::Small => "f_small",
+            FunctionSize::Medium => "f_medium",
+            FunctionSize::Large => "f_large",
+            FunctionSize::Huge => "f_huge",
+        }
+    }
+}
+
+impl fmt::Display for FunctionSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+/// Generates the source text of one synthetic function with exactly
+/// `lines` body lines and loop nests up to `max_depth` deep.
+///
+/// The *structure* is deterministic in `(lines, max_depth)` — a
+/// sequence of perfect loop nests ("kernels") whose innermost body
+/// width grows with the function size, padded with straight-line
+/// statements — so compile work scales predictably with size. The
+/// random seed (derived from the name) only varies the arithmetic
+/// inside the statements, giving every copy a distinct but equal-cost
+/// body ("it is desirable that the parallel tasks be of equal size",
+/// §4.1).
+pub fn function_source_with(name: &str, lines: usize, max_depth: usize) -> String {
+    function_source_shaped(name, lines, max_depth, None)
+}
+
+/// Like [`function_source_with`], with an explicit innermost kernel
+/// width (clamped to what fits in `lines`). Wider kernels make the
+/// software pipeliner work harder — used to give the user program's
+/// small functions the multi-minute compile times the paper reports
+/// for them (§4.3).
+pub fn function_source_shaped(
+    name: &str,
+    lines: usize,
+    max_depth: usize,
+    kernel_width: Option<usize>,
+) -> String {
+    let mut seed = 0u64;
+    for b in name.bytes() {
+        seed = seed.wrapping_mul(131).wrapping_add(b as u64);
+    }
+    seed = seed.wrapping_add(lines as u64);
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    let mut g = Gen { rng: &mut rng, lines: Vec::new(), indent: 2 };
+    g.skeleton(lines.saturating_sub(1).max(1), max_depth, kernel_width);
+    let mut body = g.lines;
+    // Final accumulator return (1 line).
+    body.push("    return acc;".to_string());
+
+    let header = format!("  function {name}(x: float, samples: int): float");
+    let vars = "  var\n    acc: float; t0: float; t1: float; t2: float; t3: float;\n    v: float[64]; w: float[64]; m: float[16][16];\n    seed: int; i0: int; i1: int; i2: int; i3: int; i4: int; i5: int;";
+    format!("{header}\n{vars}\n  begin\n{}\n  end;", body.join("\n"))
+}
+
+/// Generates the source of the paper-named function for `size`.
+pub fn function_source(name: &str, size: FunctionSize) -> String {
+    function_source_with(name, size.lines(), size.max_depth())
+}
+
+struct Gen<'a> {
+    rng: &'a mut SmallRng,
+    lines: Vec<String>,
+    indent: usize,
+}
+
+impl Gen<'_> {
+    fn push(&mut self, text: &str) {
+        let mut s = String::with_capacity(self.indent * 2 + text.len());
+        for _ in 0..self.indent {
+            s.push_str("  ");
+        }
+        s.push_str(text);
+        self.lines.push(s);
+    }
+
+    /// Emits exactly `budget` body lines: perfect loop nests of depth
+    /// `max_depth` with size-dependent innermost width, padded with
+    /// straight-line statements.
+    fn skeleton(&mut self, budget: usize, max_depth: usize, width_override: Option<usize>) {
+        // Innermost kernel width grows with the function size: bigger
+        // benchmark functions have fatter kernels, which is what makes
+        // their software pipelining disproportionately expensive.
+        let default_width = match budget {
+            0..=6 => 1,
+            7..=50 => 9,
+            51..=150 => 13,
+            151..=300 => 18,
+            _ => 22,
+        };
+        let kernel_width = width_override
+            .map(|w| w.clamp(1, budget.saturating_sub(2 * max_depth).max(1)))
+            .unwrap_or(default_width);
+        let mut remaining = budget;
+        let mut kernel_seq = 0usize;
+        while remaining > 0 {
+            let overhead = 2 * max_depth;
+            if remaining >= overhead + 1 && kernel_width > 1 || remaining == overhead + kernel_width
+            {
+                // A perfect nest: max_depth headers, B statements, ends.
+                let b = kernel_width.min(remaining - overhead);
+                if b >= 1 {
+                    self.kernel(max_depth, b, kernel_seq);
+                    remaining -= overhead + b;
+                    kernel_seq += 1;
+                    continue;
+                }
+            }
+            if remaining >= 3 && kernel_width == 1 {
+                // Tiny functions: one minimal loop.
+                self.kernel(1, remaining - 2, kernel_seq);
+                remaining = 0;
+                continue;
+            }
+            if remaining >= 5 && self.rng.gen_bool(0.12) {
+                let guard = self.float_const();
+                self.push(&format!("if t0 > {guard} then"));
+                self.indent += 1;
+                self.statement(0);
+                self.indent -= 1;
+                self.push("else");
+                self.indent += 1;
+                self.statement(0);
+                self.indent -= 1;
+                self.push("end;");
+                remaining -= 5;
+            } else {
+                self.statement(0);
+                remaining -= 1;
+            }
+        }
+    }
+
+    /// Emits a perfect nest of `depth` loops with `width` innermost
+    /// statements (2·depth + width lines).
+    fn kernel(&mut self, depth: usize, width: usize, seq: usize) {
+        let bounds = [15, 31, 63, 7, 23];
+        for d in 0..depth {
+            let bound = bounds[(seq + d) % bounds.len()];
+            self.push(&format!("for i{d} := 0 to {bound} do"));
+            self.indent += 1;
+        }
+        for _ in 0..width {
+            self.statement(depth);
+        }
+        for _ in 0..depth {
+            self.indent -= 1;
+            self.push("end;");
+        }
+    }
+
+    fn float_const(&mut self) -> String {
+        format!("{:.4}", self.rng.gen_range(0.1..4.0))
+    }
+
+    /// Emits one straight-line statement (1 line).
+    fn statement(&mut self, depth: usize) {
+        let idx = if depth == 0 {
+            "0".to_string()
+        } else {
+            // Prefer the innermost index (unit-stride kernels).
+            let d = if self.rng.gen_bool(0.7) { depth - 1 } else { self.rng.gen_range(0..depth) };
+            format!("i{}", d.min(5))
+        };
+        let c = self.float_const();
+        let t_dst = self.rng.gen_range(0..4);
+        let t_src = self.rng.gen_range(0..4);
+        let choice = self.rng.gen_range(0..10);
+        let stmt = match choice {
+            0 => format!("acc := acc + v[{idx}] * {c};"),
+            1 => format!("t{t_dst} := t{t_src} * {c} + acc;"),
+            2 => format!("v[{idx}] := t{t_dst} * {c} + w[{idx}];"),
+            3 => format!("w[{idx}] := sqrt(abs(t{t_src}) + {c});"),
+            4 => format!("t{t_dst} := exp(min(t{t_src}, 2.0)) * {c};"),
+            5 => format!("m[{idx} mod 16][{t_dst}] := m[{idx} mod 16][{t_src}] * {c} + t0;"),
+            6 => "seed := (seed * 25173 + 13849) mod 8192;".to_string(),
+            7 => format!("t{t_dst} := float(seed) * 0.0001 + x * {c};"),
+            8 => format!("acc := acc + m[{t_dst}][{t_src}] * x;"),
+            _ => format!("t{t_dst} := t{t_src} / ({c} + abs(x));"),
+        };
+        self.push(&stmt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body_lines(src: &str) -> usize {
+        // Lines strictly between `begin` and the final `end;`.
+        let begin = src.find("begin\n").unwrap() + 6;
+        let end = src.rfind("\n  end;").unwrap();
+        src[begin..end].lines().count()
+    }
+
+    #[test]
+    fn exact_line_counts() {
+        for size in FunctionSize::ALL {
+            let src = function_source("probe", size);
+            assert_eq!(
+                body_lines(&src),
+                size.lines(),
+                "{size}: wrong body line count\n{src}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let a = function_source("f1", FunctionSize::Medium);
+        let b = function_source("f1", FunctionSize::Medium);
+        assert_eq!(a, b);
+        let c = function_source("f2", FunctionSize::Medium);
+        assert_ne!(a, c, "different names should vary the body");
+    }
+
+    #[test]
+    fn sizes_are_ordered() {
+        assert!(FunctionSize::Tiny < FunctionSize::Huge);
+        assert_eq!(FunctionSize::ALL.len(), 5);
+        assert_eq!(FunctionSize::Large.lines(), 280);
+    }
+
+    #[test]
+    fn generated_function_parses_in_section() {
+        for size in FunctionSize::ALL {
+            let f = function_source("k", size);
+            let module = format!("module t;\nsection s on cells 0..9;\n{f}\nend;");
+            let checked = warp_lang::phase1(&module);
+            assert!(checked.is_ok(), "{size} failed: {}\n{module}", checked.unwrap_err());
+        }
+    }
+
+    #[test]
+    fn larger_sizes_have_deeper_nesting() {
+        let src = function_source("k", FunctionSize::Huge);
+        let module = format!("module t;\nsection s on cells 0..9;\n{src}\nend;");
+        let checked = warp_lang::phase1(&module).unwrap();
+        let depth = checked.module.sections[0].functions[0].max_loop_depth();
+        assert!(depth >= 3, "huge function should nest deeply, got {depth}");
+
+        let src = function_source("k", FunctionSize::Tiny);
+        let module = format!("module t;\nsection s on cells 0..9;\n{src}\nend;");
+        let checked = warp_lang::phase1(&module).unwrap();
+        let depth = checked.module.sections[0].functions[0].max_loop_depth();
+        assert_eq!(depth, 1, "tiny must still be a (single) loop nest");
+    }
+
+    #[test]
+    fn custom_line_count() {
+        let src = function_source_with("u", 45, 2);
+        assert_eq!(body_lines(&src), 45, "{src}");
+    }
+}

@@ -1,0 +1,38 @@
+//! # warp-workload
+//!
+//! Generators for the benchmark programs of the paper's evaluation
+//! (§4.1, §4.3):
+//!
+//! * the five synthetic function sizes `f_tiny` (4 lines), `f_small`
+//!   (35), `f_medium` (100), `f_large` (280) and `f_huge` (360) —
+//!   Monte-Carlo-style loop nests derived from the authors' largest
+//!   application;
+//! * the `S_n` program series: one section with `n` equal-size
+//!   functions, n ∈ {1, 2, 4, 8};
+//! * the 9-function mechanical-engineering *user program* (three
+//!   sections × three functions; three ~300-line and six 5–45-line
+//!   functions);
+//! * the lines-of-code × loop-nesting compile-cost heuristic used for
+//!   load balancing.
+//!
+//! # Example
+//!
+//! ```
+//! use warp_workload::{synthetic_program, FunctionSize};
+//!
+//! let src = synthetic_program(FunctionSize::Large, 4);
+//! let checked = warp_lang::phase1(&src)?;
+//! assert_eq!(checked.module.function_count(), 4);
+//! # Ok::<(), warp_lang::Phase1Error>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod programs;
+
+pub use gen::{function_source, function_source_with, FunctionSize};
+pub use programs::{
+    call_heavy_program, cost_estimate, cost_estimate_of, synthetic_program, user_program,
+    user_program_functions, UserFunction,
+};

@@ -1,0 +1,216 @@
+//! Complete benchmark programs: the `S_n` series and the user program.
+
+use crate::gen::{function_source, function_source_shaped, FunctionSize};
+use serde::{Deserialize, Serialize};
+
+/// The test programs of §4.1: `S_n` contains `n` copies of the size's
+/// function in a single section (the paper varied n ∈ {1, 2, 4, 8}).
+///
+/// Each copy has a distinct name (`f_large_1`, `f_large_2`, …) and —
+/// because the generator is seeded by name — a distinct body of
+/// identical size, so the parallel tasks are "of equal size" as the
+/// methodology requires while still being real, different functions.
+pub fn synthetic_program(size: FunctionSize, n_functions: usize) -> String {
+    assert!(n_functions >= 1, "a section needs at least one function");
+    let mut s = format!("module s_{}_{};\nsection main on cells 0..9;\n", size.paper_name(), n_functions);
+    for k in 1..=n_functions {
+        let name = format!("{}_{k}", size.paper_name());
+        s.push_str(&function_source(&name, size));
+        s.push('\n');
+    }
+    s.push_str("end;\n");
+    s
+}
+
+/// Description of one function of the user program.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UserFunction {
+    /// Function name.
+    pub name: String,
+    /// Body lines.
+    pub lines: usize,
+    /// Loop nesting depth used.
+    pub depth: usize,
+    /// Innermost kernel width (None = size default). The user
+    /// program's small functions have dense kernels — the paper's
+    /// 5–45-line functions took 2–6 minutes to compile.
+    pub width: Option<usize>,
+}
+
+/// The 9-function mechanical-engineering application of §4.3: three
+/// section programs with three functions each — per section one large
+/// function (~300 lines; the paper's three compiled in 19–22 minutes)
+/// and two small ones (5–45 lines; 2–6 minutes).
+pub fn user_program_functions() -> Vec<Vec<UserFunction>> {
+    vec![
+        vec![
+            UserFunction { name: "stress_solve".into(), lines: 300, depth: 4, width: None },
+            UserFunction { name: "load_vector".into(), lines: 10, depth: 1, width: Some(8) },
+            UserFunction { name: "clamp_bounds".into(), lines: 30, depth: 2, width: Some(22) },
+        ],
+        vec![
+            UserFunction { name: "stiffness_mat".into(), lines: 305, depth: 4, width: None },
+            UserFunction { name: "shape_fn".into(), lines: 20, depth: 2, width: Some(16) },
+            UserFunction { name: "jacobian".into(), lines: 45, depth: 2, width: Some(22) },
+        ],
+        vec![
+            UserFunction { name: "displacement".into(), lines: 295, depth: 4, width: None },
+            UserFunction { name: "residual".into(), lines: 5, depth: 1, width: Some(3) },
+            UserFunction { name: "convergence".into(), lines: 38, depth: 2, width: Some(22) },
+        ],
+    ]
+}
+
+/// Source text of the user program: three sections of three functions
+/// each on the 10-cell array.
+pub fn user_program() -> String {
+    let sections = user_program_functions();
+    let cell_ranges = [(0u32, 3u32), (4, 6), (7, 9)];
+    let mut s = String::from("module fem_app;\n");
+    for (si, (funcs, (lo, hi))) in sections.iter().zip(cell_ranges).enumerate() {
+        s.push_str(&format!("section stage{} on cells {lo}..{hi};\n", si + 1));
+        for f in funcs {
+            s.push_str(&function_source_shaped(&f.name, f.lines, f.depth, f.width));
+            s.push('\n');
+        }
+        s.push_str("end;\n");
+    }
+    s
+}
+
+/// A program of many *small, frequently-called* functions — the shape
+/// §5.1 says should be attacked with procedure inlining. `drivers`
+/// top-level functions each call `helpers` small helper functions from
+/// inside their loops; without inlining the parallel compiler sees
+/// `drivers × (1 + helpers)` small tasks, with inlining it sees
+/// `drivers` medium ones.
+pub fn call_heavy_program(drivers: usize, helpers: usize) -> String {
+    assert!(drivers >= 1 && helpers >= 1);
+    let mut s = String::from("module callheavy;
+section main on cells 0..9;
+");
+    for d in 0..drivers {
+        for h in 0..helpers {
+            s.push_str(&format!(
+                "  function help_{d}_{h}(y: float): float
+                   var u: float; w: float;
+                   begin
+                     u := y * {c1:.3} + {c2:.3};
+                     w := sqrt(abs(u) + 0.5);
+                     u := u + w * {c3:.3};
+                     w := min(u, 4.0) * max(w, 0.25);
+                     u := u * 0.5 + w;
+                     return u;
+                   end;
+",
+                c1 = 0.3 + 0.1 * (d + h) as f64,
+                c2 = 0.7 + 0.05 * h as f64,
+                c3 = 1.1 + 0.2 * d as f64,
+            ));
+        }
+        let mut calls = String::new();
+        for h in 0..helpers {
+            calls.push_str(&format!("      t := t + help_{d}_{h}(v[i]);
+"));
+        }
+        s.push_str(&format!(
+            "  function drive_{d}(x: float): float
+               var t: float; v: float[32]; i: int;
+               begin
+                 for i := 0 to 31 do v[i] := float(i) * 0.25 + x; end;
+                 t := 0.0;
+                 for i := 0 to 31 do
+{calls}      end;
+                 return t;
+               end;
+"
+        ));
+    }
+    s.push_str("end;
+");
+    s
+}
+
+/// The compile-time estimate the paper's load balancer uses: "a
+/// combination of lines of code and loop nesting can serve as
+/// approximation of the compilation time" (§4.3). The master parses the
+/// program anyway, so both quantities are free.
+pub fn cost_estimate(lines: usize, max_loop_depth: usize) -> u64 {
+    // Compilation cost grows superlinearly with size (scheduling is
+    // worse than linear) and with nesting (more loops to pipeline).
+    let l = lines as f64;
+    (l.powf(1.25) * (1.0 + 0.35 * max_loop_depth as f64)) as u64
+}
+
+/// Cost estimate straight from a parsed function.
+pub fn cost_estimate_of(f: &warp_lang::ast::Function, source: &str) -> u64 {
+    cost_estimate(f.line_count(source), f.max_loop_depth())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warp_lang::phase1;
+
+    #[test]
+    fn synthetic_programs_check_for_all_sizes_and_counts() {
+        for size in [FunctionSize::Tiny, FunctionSize::Medium, FunctionSize::Huge] {
+            for n in [1usize, 2, 8] {
+                let src = synthetic_program(size, n);
+                let checked = phase1(&src)
+                    .unwrap_or_else(|e| panic!("{size} n={n} failed:\n{e}"));
+                assert_eq!(checked.module.function_count(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn copies_have_distinct_bodies() {
+        let src = synthetic_program(FunctionSize::Small, 2);
+        let checked = phase1(&src).unwrap();
+        let f1 = &checked.module.sections[0].functions[0];
+        let f2 = &checked.module.sections[0].functions[1];
+        assert_ne!(f1.body, f2.body, "seeding by name should vary bodies");
+    }
+
+    #[test]
+    fn user_program_checks_and_has_paper_shape() {
+        let src = user_program();
+        let checked = phase1(&src).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(checked.module.sections.len(), 3);
+        assert_eq!(checked.module.function_count(), 9);
+        // Three large functions around 300 lines.
+        let large: Vec<usize> = checked
+            .module
+            .functions()
+            .map(|(_, f)| f.line_count(&src))
+            .filter(|&l| l > 200)
+            .collect();
+        assert_eq!(large.len(), 3, "{large:?}");
+        // Six small ones between 5 and ~50 lines of body.
+        let small = checked
+            .module
+            .functions()
+            .map(|(_, f)| f.line_count(&src))
+            .filter(|&l| l < 60)
+            .count();
+        assert_eq!(small, 6);
+    }
+
+    #[test]
+    fn cost_estimate_monotone_in_both_inputs() {
+        assert!(cost_estimate(100, 2) > cost_estimate(35, 2));
+        assert!(cost_estimate(100, 4) > cost_estimate(100, 2));
+        assert!(cost_estimate(360, 5) > cost_estimate(280, 4));
+        assert!(cost_estimate(4, 1) > 0);
+    }
+
+    #[test]
+    fn cost_estimate_of_parsed_function() {
+        let src = synthetic_program(FunctionSize::Medium, 1);
+        let checked = phase1(&src).unwrap();
+        let f = &checked.module.sections[0].functions[0];
+        let est = cost_estimate_of(f, &src);
+        assert!(est > cost_estimate(20, 1));
+    }
+}

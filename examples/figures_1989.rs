@@ -1,0 +1,36 @@
+//! Reproduce a slice of the paper's evaluation inline: Figure 6
+//! (speedup vs number of functions) and Figure 11 (user program).
+//! The full harness for every figure is `cargo run -p parcc-bench
+//! --release --bin figures`.
+//!
+//! ```text
+//! cargo run --release --example figures_1989
+//! ```
+
+use warp_parallel_compilation::parcc::Experiment;
+use warp_workload::FunctionSize;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let e = Experiment::default();
+    println!("Figure 6 — speedup over the sequential compiler:");
+    println!("{:>4} {:>8} {:>8} {:>8} {:>8} {:>8}", "n", "tiny", "small", "medium", "large", "huge");
+    for n in [1usize, 2, 4, 8] {
+        print!("{n:>4}");
+        for size in FunctionSize::ALL {
+            let c = e.synthetic(size, n)?;
+            print!(" {:>8.2}", c.speedup);
+        }
+        println!();
+    }
+    println!("\nFigure 11 — user program speedup vs processors:");
+    for p in [2usize, 3, 5, 9] {
+        let c = e.user_program(p)?;
+        println!(
+            "  {p} processors: speedup {:.2}  (seq {:.0} min, par {:.0} min)",
+            c.speedup,
+            c.seq.elapsed_s / 60.0,
+            c.par.elapsed_s / 60.0
+        );
+    }
+    Ok(())
+}

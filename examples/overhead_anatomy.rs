@@ -1,0 +1,42 @@
+//! The paper's overhead anatomy (§4.2.3) on the simulated 1989 host:
+//! total overhead, implementation overhead (master + section masters +
+//! the extra parse) and system overhead — including the *negative*
+//! system overhead of Figure 9, where the sequential compiler loses
+//! more time to swapping than the parallel compiler spends on startup.
+//!
+//! ```text
+//! cargo run --release --example overhead_anatomy
+//! ```
+
+use warp_parallel_compilation::parcc::Experiment;
+use warp_workload::FunctionSize;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let e = Experiment::default();
+    println!(
+        "{:>9} {:>3} {:>10} {:>10} {:>8} {:>9} {:>9} {:>9}",
+        "size", "n", "seq", "par", "speedup", "total%", "impl%", "system%"
+    );
+    for size in [FunctionSize::Tiny, FunctionSize::Medium, FunctionSize::Large] {
+        for n in [1usize, 2, 4, 8] {
+            let c = e.synthetic(size, n)?;
+            let o = &c.overheads;
+            println!(
+                "{:>9} {:>3} {:>9.1}m {:>9.1}m {:>8.2} {:>8.1}% {:>8.1}% {:>8.1}%",
+                size.paper_name(),
+                n,
+                c.seq.elapsed_s / 60.0,
+                c.par.elapsed_s / 60.0,
+                c.speedup,
+                o.total_frac * 100.0,
+                o.implementation_s / c.par.elapsed_s * 100.0,
+                o.system_frac * 100.0,
+            );
+        }
+    }
+    println!(
+        "\nNegative system overhead = the sequential compiler thrashes on a \
+         program that no longer fits one workstation's memory (paper Fig. 9)."
+    );
+    Ok(())
+}

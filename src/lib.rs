@@ -1,0 +1,41 @@
+//! Facade crate for the *Parallel Compilation for a Parallel Machine*
+//! reproduction (Gross, Zobel & Zolg, PLDI 1989).
+//!
+//! This crate re-exports the public surface of the workspace so that
+//! examples and downstream users can depend on a single crate:
+//!
+//! * [`lang`] — the Warp (W2-style) language front end: lexer, parser,
+//!   AST, semantic analysis (compiler phase 1).
+//! * [`target`] — the Warp cell machine model: functional units, wide
+//!   instruction words, and a microcode interpreter.
+//! * [`ir`] — flowgraph construction, local optimization and dependence
+//!   analysis (phase 2).
+//! * [`codegen`] — software pipelining, code generation, register
+//!   allocation and assembly (phases 3 and 4).
+//! * [`netsim`] — a discrete-event simulator of the 1989 host system
+//!   (diskless workstations, shared Ethernet, file server).
+//! * [`workload`] — generators for the paper's benchmark programs
+//!   (`f_tiny` … `f_huge`, the 9-function user program).
+//! * [`parcc`] — the paper's contribution: the parallel compilation
+//!   driver (master / section master / function master), schedulers,
+//!   and the measurement/overhead machinery.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use warp_parallel_compilation::parcc::{CompileOptions, compile_module_source};
+//!
+//! let source = warp_parallel_compilation::workload::synthetic_program(
+//!     warp_parallel_compilation::workload::FunctionSize::Small, 2);
+//! let result = compile_module_source(&source, &CompileOptions::default())?;
+//! assert_eq!(result.module_image.section_images.len(), 1);
+//! # Ok::<(), warp_parallel_compilation::parcc::CompileError>(())
+//! ```
+
+pub use parcc;
+pub use warp_codegen as codegen;
+pub use warp_ir as ir;
+pub use warp_lang as lang;
+pub use warp_netsim as netsim;
+pub use warp_target as target;
+pub use warp_workload as workload;

@@ -1,0 +1,147 @@
+//! Cross-crate integration: source → compiled module → execution on
+//! the simulated Warp array, plus parallel/sequential equivalence.
+
+use warp_parallel_compilation::parcc::{
+    compile_module_source, threads::compile_parallel, CompileOptions,
+};
+use warp_target::interp::{ArrayMachine, Cell, Value};
+use warp_target::isa::Reg;
+use warp_target::CellConfig;
+
+/// A two-section systolic program: the first cell squares its inputs
+/// and pushes them right; the second accumulates them.
+const PIPELINE: &str = "module pipe;\n\
+section producer on cells 0..0;\n\
+  function main()\n\
+  var i: int; v: float;\n\
+  begin\n\
+    for i := 1 to 8 do\n\
+      v := float(i);\n\
+      send(right, v * v);\n\
+    end;\n\
+    return;\n\
+  end;\n\
+end;\n\
+section consumer on cells 1..1;\n\
+  function main()\n\
+  var i: int; acc: float; v: float;\n\
+  begin\n\
+    acc := 0.0;\n\
+    for i := 1 to 8 do\n\
+      receive(left, v);\n\
+      acc := acc + v;\n\
+    end;\n\
+    send(right, acc);\n\
+    return;\n\
+  end;\n\
+end;\n";
+
+#[test]
+fn compiled_sections_run_as_systolic_pipeline() {
+    let result = compile_module_source(PIPELINE, &CompileOptions::default()).expect("compile");
+    assert_eq!(result.module_image.section_images.len(), 2);
+    let mut array =
+        ArrayMachine::new(CellConfig::default(), &result.module_image.section_images)
+            .expect("array");
+    assert_eq!(array.cell_count(), 2);
+    let stats = array.run(1_000_000).expect("run");
+    assert!(stats.cycles > 0);
+    // Sum of squares 1..8 = 204.
+    let out = array.cell_mut(1).out_right.pop_front().expect("result");
+    assert_eq!(out, Value::F(204.0));
+}
+
+#[test]
+fn io_driver_documents_the_module() {
+    let result = compile_module_source(PIPELINE, &CompileOptions::default()).unwrap();
+    let drv = &result.module_image.io_driver;
+    assert!(drv.contains("download_producer"), "{drv}");
+    assert!(drv.contains("invoke_consumer_main"), "{drv}");
+    assert!(result.module_image.download_words() > 0);
+}
+
+#[test]
+fn parallel_threads_produce_identical_module_image() {
+    let src = warp_workload::user_program();
+    let opts = CompileOptions::default();
+    let seq = compile_module_source(&src, &opts).expect("sequential");
+    for workers in [2usize, 4, 8] {
+        let (par, report) = compile_parallel(&src, &opts, workers).expect("parallel");
+        assert_eq!(seq.module_image, par.module_image, "workers={workers}");
+        assert_eq!(report.workers, workers);
+    }
+}
+
+#[test]
+fn multi_section_functions_execute_individually() {
+    // Compile the user program and execute one of its small functions
+    // on a cell under strict schedule checking.
+    let src = "module m;\n\
+        section s1 on cells 0..4;\n\
+        function poly(x: float): float\n\
+        var acc: float; i: int;\n\
+        begin\n\
+          acc := 0.0;\n\
+          for i := 0 to 9 do acc := acc * x + 1.0; end;\n\
+          return acc;\n\
+        end;\n\
+        end;\n\
+        section s2 on cells 5..9;\n\
+        function double(x: float): float begin return x + x; end;\n\
+        end;";
+    let result = compile_module_source(src, &CompileOptions::default()).expect("compile");
+    let img = result.module_image.section_images[0].clone();
+    let mut cell = Cell::new(CellConfig::default(), img).unwrap();
+    cell.set_strict(true);
+    cell.prepare_call("poly", &[Value::F(0.5)]).unwrap();
+    cell.run(1_000_000).unwrap();
+    // Horner with all-ones coefficients at x = 0.5: acc = sum 0.5^k, k=0..9.
+    let expect: f32 = (0..10).map(|k| 0.5f32.powi(k)).sum();
+    match cell.reg(Reg::RET).unwrap() {
+        Value::F(v) => assert!((v - expect).abs() < 1e-5, "{v} vs {expect}"),
+        other => panic!("{other:?}"),
+    }
+
+    let img2 = result.module_image.section_images[1].clone();
+    let mut cell2 = Cell::new(CellConfig::default(), img2).unwrap();
+    cell2.set_strict(true);
+    cell2.prepare_call("double", &[Value::F(21.0)]).unwrap();
+    cell2.run(10_000).unwrap();
+    assert_eq!(cell2.reg(Reg::RET).unwrap(), Value::F(42.0));
+}
+
+#[test]
+fn compilation_is_deterministic() {
+    let src = warp_workload::synthetic_program(warp_workload::FunctionSize::Small, 3);
+    let a = compile_module_source(&src, &CompileOptions::default()).unwrap();
+    let b = compile_module_source(&src, &CompileOptions::default()).unwrap();
+    assert_eq!(a.module_image, b.module_image);
+    assert_eq!(a.records, b.records);
+    assert_eq!(a.total_units(), b.total_units());
+}
+
+#[test]
+fn download_format_round_trips_real_modules() {
+    use warp_target::download::{decode, encode};
+    for src in [
+        PIPELINE.to_string(),
+        warp_workload::synthetic_program(warp_workload::FunctionSize::Medium, 2),
+        warp_workload::user_program(),
+    ] {
+        let result = compile_module_source(&src, &CompileOptions::default()).expect("compile");
+        let bytes = encode(&result.module_image).expect("encode");
+        let back = decode(&bytes).expect("decode");
+        assert_eq!(result.module_image, back);
+    }
+}
+
+#[test]
+fn downloaded_module_still_executes() {
+    use warp_target::download::{decode, encode};
+    let result = compile_module_source(PIPELINE, &CompileOptions::default()).unwrap();
+    let bytes = encode(&result.module_image).unwrap();
+    let back = decode(&bytes).unwrap();
+    let mut array = ArrayMachine::new(CellConfig::default(), &back.section_images).unwrap();
+    array.run(1_000_000).unwrap();
+    assert_eq!(array.cell_mut(1).out_right.pop_front(), Some(Value::F(204.0)));
+}

@@ -1,0 +1,49 @@
+//! The front end must never panic, whatever bytes arrive: lexer and
+//! parser report diagnostics and recover instead.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn lexer_never_panics(input in ".*") {
+        let out = warp_lang::lexer::lex(&input);
+        // The stream always ends with EOF and spans stay in bounds.
+        let last = out.tokens.last().expect("eof token");
+        prop_assert_eq!(last.span.start as usize, input.len());
+        for t in &out.tokens {
+            prop_assert!(t.span.end as usize <= input.len());
+            prop_assert!(t.span.start <= t.span.end);
+        }
+    }
+
+    #[test]
+    fn parser_never_panics(input in ".*") {
+        let _ = warp_lang::parser::parse(&input);
+    }
+
+    #[test]
+    fn parser_never_panics_on_token_soup(words in prop::collection::vec(
+        prop::sample::select(vec![
+            "module", "section", "function", "begin", "end", "if", "then",
+            "else", "while", "for", "do", "return", "var", ";", ":", ":=",
+            "(", ")", "[", "]", "..", "+", "-", "*", "/", "x", "42", "3.5",
+            "float", "int", "send", "receive", "on", "cells", "to",
+        ]),
+        0..64,
+    )) {
+        let input = words.join(" ");
+        let out = warp_lang::parser::parse(&input);
+        // Either it parsed or it produced diagnostics; never silence on
+        // garbage that is not a valid module.
+        if !input.starts_with("module") {
+            prop_assert!(out.diagnostics.has_errors());
+        }
+    }
+
+    #[test]
+    fn phase1_never_panics(input in ".*") {
+        let _ = warp_lang::phase1(&input);
+    }
+}

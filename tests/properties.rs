@@ -1,0 +1,142 @@
+//! Property-based tests on cross-crate invariants.
+
+use proptest::prelude::*;
+use warp_netsim::{simulate, HostConfig, ProcKind, ProcessSpec};
+use warp_workload::function_source_with;
+
+// ---------------------------------------------------------------------
+// Pretty-printer round trip over generated functions
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn pretty_print_round_trips(tag in 0u32..10_000, lines in 4usize..120, depth in 1usize..5) {
+        let f = function_source_with(&format!("fn{tag}"), lines, depth);
+        let src = format!("module m;\nsection s on cells 0..9;\n{f}\nend;");
+        let first = warp_lang::parser::parse(&src);
+        prop_assert!(!first.diagnostics.has_errors(), "{:?}", first.diagnostics);
+        let printed = warp_lang::pretty::module_to_source(&first.module);
+        let second = warp_lang::parser::parse(&printed);
+        prop_assert!(!second.diagnostics.has_errors(), "reparse failed:\n{printed}");
+        // Printing is the normal form: printing again must be stable.
+        prop_assert_eq!(printed, warp_lang::pretty::module_to_source(&second.module));
+    }
+
+    #[test]
+    fn generated_functions_always_check(tag in 0u32..10_000, lines in 4usize..200, depth in 1usize..5) {
+        let f = function_source_with(&format!("g{tag}"), lines, depth);
+        let src = format!("module m;\nsection s on cells 0..9;\n{f}\nend;");
+        prop_assert!(warp_lang::phase1(&src).is_ok());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Host-simulator invariants over random process trees
+// ---------------------------------------------------------------------
+
+fn leaf_strategy(ws_max: usize) -> impl Strategy<Value = ProcessSpec> {
+    (
+        0..ws_max,
+        prop::bool::ANY,
+        0u64..50_000,
+        0u64..2_000_000,
+        0u64..100_000,
+    )
+        .prop_map(|(ws, lisp, cpu, heap, bytes)| {
+            let kind = if lisp { ProcKind::Lisp } else { ProcKind::C };
+            ProcessSpec::new(format!("leaf-{ws}-{cpu}"), ws, kind)
+                .heap(heap)
+                .cpu(cpu)
+                .disk(bytes)
+        })
+}
+
+fn tree_strategy(ws_max: usize) -> impl Strategy<Value = ProcessSpec> {
+    let leaf = leaf_strategy(ws_max);
+    leaf.prop_recursive(3, 24, 4, move |inner| {
+        (prop::collection::vec(inner, 1..4), 0..ws_max, 0u64..10_000).prop_map(
+            |(children, ws, cpu)| {
+                ProcessSpec::new(format!("node-{ws}"), ws, ProcKind::C)
+                    .cpu(cpu)
+                    .fork(children)
+                    .join()
+            },
+        )
+    })
+}
+
+fn small_host() -> HostConfig {
+    HostConfig {
+        workstations: 4,
+        cpu_units_per_sec: 10_000.0,
+        mem_words: 1_000_000,
+        ethernet_bytes_per_sec: 500_000.0,
+        net_latency_s: 0.001,
+        disk_bytes_per_sec: 400_000.0,
+        disk_latency_s: 0.002,
+        lisp_image_bytes: 100_000,
+        lisp_init_units: 1_000,
+        c_startup_units: 100,
+        gc_coeff: 0.2,
+        gc_scale: 500_000.0,
+        gc_power: 1.5,
+        page_coeff: 1.0,
+        page_power: 1.0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn simulation_invariants(root in tree_strategy(4)) {
+        let report = simulate(small_host(), root.clone());
+        // Every process finished within the simulation.
+        for p in &report.processes {
+            prop_assert!(p.end_s >= p.start_s, "{p:?}");
+            prop_assert!(p.end_s <= report.elapsed_s + 1e-9, "{p:?}");
+            prop_assert!(p.cpu_s >= 0.0 && p.overhead_s <= p.cpu_s + 1e-9);
+        }
+        // Per-workstation busy time cannot exceed elapsed.
+        for &busy in &report.cpu_busy_s {
+            prop_assert!(busy <= report.elapsed_s + 1e-6, "{busy} > {}", report.elapsed_s);
+        }
+        // Resources cannot be busy longer than the run.
+        prop_assert!(report.ethernet_busy_s <= report.elapsed_s + 1e-6);
+        prop_assert!(report.disk_busy_s <= report.elapsed_s + 1e-6);
+        // Determinism: the same tree simulates identically.
+        let again = simulate(small_host(), root);
+        prop_assert_eq!(format!("{report:?}"), format!("{again:?}"));
+    }
+
+    #[test]
+    fn more_cpu_work_never_finishes_earlier(cpu in 1_000u64..200_000, extra in 1_000u64..200_000) {
+        let mk = |units: u64| {
+            ProcessSpec::new("p", 0, ProcKind::C).cpu(units)
+        };
+        let base = simulate(small_host(), mk(cpu)).elapsed_s;
+        let more = simulate(small_host(), mk(cpu + extra)).elapsed_s;
+        prop_assert!(more > base, "{more} !> {base}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scheduler invariants
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn fcfs_assignment_is_valid(n in 1usize..40, avail in 1usize..16) {
+        let a = warp_parallel_compilation::parcc::fcfs(n, avail);
+        prop_assert_eq!(a.workstation.len(), n);
+        prop_assert!(a.workstation.iter().all(|&w| (1..=avail).contains(&w)));
+        prop_assert_eq!(a.processors, n.min(avail));
+        // FCFS spreads maximally before wrapping.
+        let used: std::collections::HashSet<usize> = a.workstation.iter().copied().collect();
+        prop_assert_eq!(used.len(), n.min(avail));
+    }
+}

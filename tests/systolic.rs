@@ -1,0 +1,110 @@
+//! Multi-cell systolic executions of compiled modules.
+
+use warp_parallel_compilation::parcc::threads::compile_parallel;
+use warp_parallel_compilation::parcc::{compile_module_source, CompileOptions};
+use warp_target::interp::{ArrayMachine, Value};
+use warp_target::CellConfig;
+
+fn horner_module(coeffs: &[f32], points: usize) -> String {
+    let mut s = String::from("module horner;\n");
+    for (k, c) in coeffs.iter().enumerate() {
+        s.push_str(&format!(
+            "section stage{k} on cells {k}..{k};\n\
+             function main()\n\
+             var x: float; acc: float; i: int;\n\
+             begin\n\
+               for i := 1 to {points} do\n\
+                 receive(left, x); receive(left, acc);\n\
+                 acc := acc * x + {c:?};\n\
+                 send(right, x); send(right, acc);\n\
+               end;\n\
+               return;\n\
+             end;\nend;\n"
+        ));
+    }
+    s
+}
+
+#[test]
+fn four_cell_horner_matches_host() {
+    let coeffs = [2.0f32, -1.0, 0.5, 3.0];
+    let points = [0.0f32, 1.0, -2.0, 0.25];
+    let src = horner_module(&coeffs, points.len());
+    let result = compile_module_source(&src, &CompileOptions::default()).expect("compile");
+    assert_eq!(result.module_image.section_images.len(), 4);
+
+    let mut array =
+        ArrayMachine::new(CellConfig::default(), &result.module_image.section_images).unwrap();
+    for &x in &points {
+        array.cell_mut(0).in_left.push_back(Value::F(x));
+        array.cell_mut(0).in_left.push_back(Value::F(0.0));
+    }
+    array.run(1_000_000).expect("run");
+    let last = array.cell_count() - 1;
+    for &x in &points {
+        let _ = array.cell_mut(last).out_right.pop_front().expect("x echo");
+        let got = array.cell_mut(last).out_right.pop_front().expect("p(x)");
+        let want = coeffs.iter().fold(0.0f32, |acc, c| acc * x + c);
+        assert_eq!(got, Value::F(want), "x={x}");
+    }
+}
+
+#[test]
+fn ten_cell_pipeline_compiles_in_parallel_and_runs() {
+    let coeffs: Vec<f32> = (0..10).map(|k| (k as f32) * 0.25 - 1.0).collect();
+    let src = horner_module(&coeffs, 3);
+    let seq = compile_module_source(&src, &CompileOptions::default()).unwrap();
+    let (par, _) = compile_parallel(&src, &CompileOptions::default(), 8).unwrap();
+    assert_eq!(seq.module_image, par.module_image);
+
+    let mut array =
+        ArrayMachine::new(CellConfig::default(), &par.module_image.section_images).unwrap();
+    assert_eq!(array.cell_count(), 10);
+    for &x in &[0.5f32, -0.5, 2.0] {
+        array.cell_mut(0).in_left.push_back(Value::F(x));
+        array.cell_mut(0).in_left.push_back(Value::F(0.0));
+    }
+    let stats = array.run(10_000_000).unwrap();
+    assert!(stats.cycles > 0);
+    // Three (x, p(x)) pairs emerge.
+    assert_eq!(array.cell_mut(9).out_right.len(), 6);
+}
+
+#[test]
+fn queue_backpressure_stalls_but_completes() {
+    // A fast producer against a slow consumer: the producer must stall
+    // when the consumer's input queue fills, and everything still
+    // completes with all data intact.
+    let src = "module bp;\n\
+        section fast on cells 0..0;\n\
+        function main()\n\
+        var i: int;\n\
+        begin\n\
+          for i := 1 to 600 do send(right, float(i)); end;\n\
+          return;\n\
+        end;\nend;\n\
+        section slow on cells 1..1;\n\
+        function main()\n\
+        var i: int; j: int; v: float; acc: float; t: float;\n\
+        begin\n\
+          acc := 0.0;\n\
+          for i := 1 to 600 do\n\
+            receive(left, v);\n\
+            t := 0.0;\n\
+            for j := 1 to 3 do t := t + v; end;\n\
+            acc := acc + t;\n\
+          end;\n\
+          send(right, acc);\n\
+          return;\n\
+        end;\nend;\n";
+    let result = compile_module_source(src, &CompileOptions::default()).unwrap();
+    let mut array =
+        ArrayMachine::new(CellConfig::default(), &result.module_image.section_images).unwrap();
+    let stats = array.run(50_000_000).unwrap();
+    assert!(stats.stall_cycles > 0, "producer should hit backpressure");
+    // acc = 3 * sum(1..=600) = 3 * 180300
+    assert_eq!(
+        array.cell_mut(1).out_right.pop_front(),
+        Some(Value::F(3.0 * 180_300.0))
+    );
+}
