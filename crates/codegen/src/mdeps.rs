@@ -97,14 +97,16 @@ pub fn find_induction_phys(block: &VBlock) -> Option<(Reg, i64)> {
     induction_deltas(block).map(|(r, net, _)| (r, net))
 }
 
+/// Map of registers holding induction-chain values: `r -> (root,
+/// delta)` meaning `r = root@entry + delta`.
+pub type ChainMap = std::collections::HashMap<Reg, (Reg, i64)>;
+
 /// Symbolic induction analysis: expresses every register that is a
 /// ±constant chain from some block-entry value as `(root, delta)`.
 /// Returns the unique register `r` whose final value is `r@entry + net`
 /// with `net ≠ 0`, plus the map of all registers holding chain values
 /// (used to validate the exit compare).
-pub fn induction_deltas(
-    block: &VBlock,
-) -> Option<(Reg, i64, std::collections::HashMap<Reg, (Reg, i64)>)> {
+pub fn induction_deltas(block: &VBlock) -> Option<(Reg, i64, ChainMap)> {
     use std::collections::{HashMap, HashSet};
     let mut expr: HashMap<Reg, (Reg, i64)> = HashMap::new();
     let mut defined: HashSet<Reg> = HashSet::new();

@@ -364,9 +364,8 @@ fn plan_inner(
 
     let mii = res_mii(block);
     let mut attempts = 0usize;
-    let mut iis_tried = 0u32;
     for ii in mii..=max_ii {
-        iis_tried += 1;
+        let iis_tried = ii - mii + 1;
         let Some((placements, mrt)) = try_ii(block, graph, ii, &mut attempts) else {
             continue;
         };

@@ -306,8 +306,8 @@ fn spill(vf: &mut VFunc, victims: &HashSet<VirtReg>) -> usize {
 /// Fails if a valid allocation cannot be found after bounded respill
 /// rounds (pathological register pressure).
 pub fn allocate(vf: &mut VFunc, config: &CellConfig) -> Result<RegAllocStats, RegAllocError> {
-    let mut stats = RegAllocStats::default();
-    stats.call_save_ops = insert_call_saves(vf);
+    let mut stats =
+        RegAllocStats { call_save_ops: insert_call_saves(vf), ..Default::default() };
 
     let pool_size = config.num_regs.saturating_sub(FIRST_ALLOCATABLE);
     if pool_size < 4 {

@@ -34,7 +34,7 @@ fn block_strategy() -> impl Strategy<Value = VBlock> {
             .map(|(i, &(opx, a_sel, b_sel))| {
                 let opcode = pool[opx % pool.len()];
                 let avail = |sel: usize| -> VOperand {
-                    if i == 0 || sel % 3 == 0 {
+                    if i == 0 || sel.is_multiple_of(3) {
                         VOperand::Phys(Reg(1 + (sel % 2) as u16))
                     } else {
                         VOperand::Phys(Reg(12 + (sel % i) as u16))

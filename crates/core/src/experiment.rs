@@ -46,18 +46,12 @@ pub struct Comparison {
 }
 
 /// Experiment configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Experiment {
     /// Compiler options.
     pub opts: CompileOptions,
     /// Host + cost model.
     pub model: CostModel,
-}
-
-impl Default for Experiment {
-    fn default() -> Self {
-        Experiment { opts: CompileOptions::default(), model: CostModel::default() }
-    }
 }
 
 impl Experiment {

@@ -106,11 +106,13 @@ pub fn lower_function(
         lw.func.params.push((r, ty));
         lw.storage.insert(p.name.clone(), Storage::Scalar(r, ty));
     }
+    let mut scalar_locals = Vec::new();
     for v in &f.vars {
         if v.ty.is_scalar() {
             let ty = scalar_ir_type(&v.ty);
             let r = lw.func.new_vreg(ty);
             lw.storage.insert(v.name.clone(), Storage::Scalar(r, ty));
+            scalar_locals.push((r, ty));
         } else {
             let ty = scalar_ir_type(&v.ty);
             let id = ArrayId(lw.func.arrays.len() as u32);
@@ -122,6 +124,16 @@ pub fn lower_function(
 
     let entry = lw.start_block();
     debug_assert_eq!(entry, BlockId(0));
+    // Locals default to zero (the reference interpreter's `default_of`);
+    // dead-code elimination drops the inits for locals that are written
+    // before their first read.
+    for (r, ty) in scalar_locals {
+        let zero = match ty {
+            IrType::Int => Val::ConstI(0),
+            IrType::Float => Val::ConstF(0.0),
+        };
+        lw.emit(Inst::Copy { dst: r, src: zero });
+    }
     lw.stmts(&f.body)?;
     if lw.cur.is_some() {
         // Fell off the end: implicit return (default value for typed
@@ -184,6 +196,7 @@ impl Lowerer<'_> {
     }
 
     /// Promotes `v` to float if it is an int.
+    #[allow(clippy::wrong_self_convention)]
     fn to_float(&mut self, v: Val, ty: IrType) -> Val {
         match ty {
             IrType::Float => v,

@@ -295,7 +295,7 @@ fn lvn_block(f: &mut FuncIr, b: usize, stats: &mut OptStats) {
                    fresh: &mut dyn FnMut() -> Vn,
                    stats: &mut OptStats| {
         if let Val::Reg(r) = *v {
-            let vn = *reg_vn.entry(r).or_insert_with(|| fresh());
+            let vn = *reg_vn.entry(r).or_insert_with(&mut *fresh);
             leader.entry(vn).or_insert(r);
             if let Some(c) = vn_const.get(&vn) {
                 *v = match *c {

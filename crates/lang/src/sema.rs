@@ -769,7 +769,7 @@ mod tests {
             "module m; section a on cells 0..0; function f(): int var i: int; begin i := 1; end; end;",
         );
         assert!(!d.has_errors());
-        assert!(d.len() > 0);
+        assert!(!d.is_empty());
     }
 
     #[test]
@@ -848,7 +848,7 @@ mod tests {
              function f() begin g(); return; end; end;",
         );
         assert!(!d.has_errors());
-        assert!(d.len() > 0);
+        assert!(!d.is_empty());
     }
 
     #[test]

@@ -1,0 +1,47 @@
+//! Configuration of a Warp cell and the array built from them.
+
+use serde::{Deserialize, Serialize};
+
+/// Sizes of one cell and of the array. The defaults model the 10-cell
+/// Warp machine of the paper; tests shrink individual fields to stress
+/// the register allocator or the queue backpressure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CellConfig {
+    /// Number of cells in the linear array.
+    pub cells: u32,
+    /// Registers per cell.
+    pub num_regs: u16,
+    /// Words of data memory per cell.
+    pub data_mem_words: u32,
+    /// Words of instruction memory per cell.
+    pub inst_mem_words: u32,
+    /// Capacity of each inter-cell queue; a sender stalls when its
+    /// neighbour-facing queue is full.
+    pub queue_depth: u32,
+}
+
+impl Default for CellConfig {
+    fn default() -> CellConfig {
+        CellConfig {
+            cells: 10,
+            num_regs: 64,
+            data_mem_words: 16 * 1024,
+            inst_mem_words: 64 * 1024,
+            queue_depth: 64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_model_the_ten_cell_machine() {
+        let c = CellConfig::default();
+        assert_eq!(c.cells, 10);
+        assert_eq!(c.num_regs, 64);
+        assert!(c.data_mem_words < 1 << 20, "link tests overflow this bound");
+        assert!(c.queue_depth < 256, "backpressure tests rely on a small depth");
+    }
+}

@@ -1,0 +1,622 @@
+//! The download-module format of phase 4: a checksummed binary
+//! serialization of a [`ModuleImage`] as the host would download it to
+//! the array.
+//!
+//! The format is deliberately simple and fully self-describing: a
+//! magic header, length-prefixed strings, fixed-width little-endian
+//! integers, floats as IEEE-754 bit patterns (so round-trips are
+//! bit-exact), and a trailing FNV-1a checksum over everything before
+//! it. [`decode`] verifies the checksum and bounds-checks every read,
+//! so corrupted images are rejected rather than misinterpreted.
+
+use crate::isa::{BranchOp, CmpKind, Op, Opcode, Operand, QueueDir, Reg};
+use crate::program::{CallReloc, FunctionImage, ModuleImage, SectionImage};
+use crate::word::InstructionWord;
+use std::fmt;
+
+/// Magic bytes opening every download image.
+pub const MAGIC: &[u8; 8] = b"WARPDL01";
+
+/// Errors from [`encode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// A count (functions, words, string length) exceeds `u32`.
+    TooLarge(&'static str),
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::TooLarge(what) => write!(f, "{what} too large for the download format"),
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Errors from [`decode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The image does not start with [`MAGIC`].
+    BadMagic,
+    /// The image ends before a field is complete.
+    Truncated,
+    /// The trailing checksum does not match the payload.
+    ChecksumMismatch {
+        /// Checksum stored in the image.
+        stored: u32,
+        /// Checksum computed over the payload.
+        computed: u32,
+    },
+    /// An enum tag byte has no meaning.
+    BadTag(&'static str, u8),
+    /// A string field is not UTF-8.
+    BadString,
+    /// Bytes remain after the checksum.
+    TrailingBytes,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "not a download image (bad magic)"),
+            DecodeError::Truncated => write!(f, "download image is truncated"),
+            DecodeError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            DecodeError::BadTag(what, tag) => write!(f, "invalid {what} tag {tag:#04x}"),
+            DecodeError::BadString => write!(f, "string field is not UTF-8"),
+            DecodeError::TrailingBytes => write!(f, "trailing bytes after checksum"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn fnv1a(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn i32(&mut self, v: i32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn f32(&mut self, v: f32) {
+        self.u32(v.to_bits());
+    }
+
+    fn str(&mut self, s: &str) -> Result<(), EncodeError> {
+        let len = u32::try_from(s.len()).map_err(|_| EncodeError::TooLarge("string"))?;
+        self.u32(len);
+        self.buf.extend_from_slice(s.as_bytes());
+        Ok(())
+    }
+
+    fn count(&mut self, n: usize, what: &'static str) -> Result<(), EncodeError> {
+        self.u32(u32::try_from(n).map_err(|_| EncodeError::TooLarge(what))?);
+        Ok(())
+    }
+
+    fn reg(&mut self, r: Reg) {
+        self.u16(r.0);
+    }
+
+    fn operand(&mut self, o: Operand) {
+        match o {
+            Operand::Reg(r) => {
+                self.u8(0);
+                self.reg(r);
+            }
+            Operand::ImmI(v) => {
+                self.u8(1);
+                self.i32(v);
+            }
+            Operand::ImmF(v) => {
+                self.u8(2);
+                self.f32(v);
+            }
+            Operand::Addr(a) => {
+                self.u8(3);
+                self.u32(a);
+            }
+        }
+    }
+
+    fn opcode(&mut self, op: Opcode) {
+        let (tag, sub) = opcode_tag(op);
+        self.u8(tag);
+        if let Some(sub) = sub {
+            self.u8(sub);
+        }
+    }
+
+    fn op(&mut self, op: &Op) {
+        self.opcode(op.opcode);
+        match op.dst {
+            None => self.u8(0),
+            Some(r) => {
+                self.u8(1);
+                self.reg(r);
+            }
+        }
+        for operand in [op.a, op.b] {
+            match operand {
+                None => self.u8(0),
+                Some(o) => {
+                    self.u8(1);
+                    self.operand(o);
+                }
+            }
+        }
+    }
+
+    fn branch(&mut self, b: &BranchOp) {
+        match b {
+            BranchOp::Jump(t) => {
+                self.u8(0);
+                self.u32(*t);
+            }
+            BranchOp::BrTrue(r, t) => {
+                self.u8(1);
+                self.reg(*r);
+                self.u32(*t);
+            }
+            BranchOp::Call(t) => {
+                self.u8(2);
+                self.u32(*t);
+            }
+            BranchOp::Ret => self.u8(3),
+        }
+    }
+
+    fn word(&mut self, w: &InstructionWord) {
+        for (fu, _) in w.ops() {
+            self.u8(1 + fu.slot_index() as u8);
+        }
+        self.u8(0);
+        for (_, op) in w.ops() {
+            self.op(op);
+        }
+        match &w.branch {
+            None => self.u8(0),
+            Some(b) => {
+                self.u8(1);
+                self.branch(b);
+            }
+        }
+    }
+
+    fn function(&mut self, f: &FunctionImage) -> Result<(), EncodeError> {
+        self.str(&f.name)?;
+        self.u16(f.param_count);
+        self.u8(u8::from(f.returns_value));
+        self.u32(f.data_words);
+        self.count(f.call_relocs.len(), "call relocations")?;
+        for r in &f.call_relocs {
+            self.u32(r.word);
+            self.str(&r.callee)?;
+        }
+        self.count(f.code.len(), "code")?;
+        for w in &f.code {
+            self.word(w);
+        }
+        Ok(())
+    }
+
+    fn section(&mut self, s: &SectionImage) -> Result<(), EncodeError> {
+        self.str(&s.name)?;
+        self.u32(s.first_cell);
+        self.u32(s.last_cell);
+        self.u32(u32::try_from(s.entry).map_err(|_| EncodeError::TooLarge("entry index"))?);
+        self.u32(s.data_words);
+        self.count(s.data_bases.len(), "data bases")?;
+        for &b in &s.data_bases {
+            self.u32(b);
+        }
+        self.count(s.functions.len(), "functions")?;
+        for f in &s.functions {
+            self.function(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Encodes a module image as a checksummed download image.
+pub fn encode(module: &ModuleImage) -> Result<Vec<u8>, EncodeError> {
+    let mut w = Writer { buf: Vec::new() };
+    w.buf.extend_from_slice(MAGIC);
+    w.str(&module.name)?;
+    w.str(&module.io_driver)?;
+    w.count(module.section_images.len(), "sections")?;
+    for s in &module.section_images {
+        w.section(s)?;
+    }
+    let sum = fnv1a(&w.buf);
+    w.u32(sum);
+    Ok(w.buf)
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self.pos.checked_add(n).ok_or(DecodeError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn i32(&mut self) -> Result<i32, DecodeError> {
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn f32(&mut self) -> Result<f32, DecodeError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    fn str(&mut self) -> Result<String, DecodeError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::BadString)
+    }
+
+    /// Reads a count, rejecting values that could not possibly fit in
+    /// the remaining bytes (each element needs at least one byte).
+    fn count(&mut self) -> Result<usize, DecodeError> {
+        let n = self.u32()? as usize;
+        if n > self.bytes.len() - self.pos {
+            return Err(DecodeError::Truncated);
+        }
+        Ok(n)
+    }
+
+    fn reg(&mut self) -> Result<Reg, DecodeError> {
+        Ok(Reg(self.u16()?))
+    }
+
+    fn operand(&mut self) -> Result<Operand, DecodeError> {
+        match self.u8()? {
+            0 => Ok(Operand::Reg(self.reg()?)),
+            1 => Ok(Operand::ImmI(self.i32()?)),
+            2 => Ok(Operand::ImmF(self.f32()?)),
+            3 => Ok(Operand::Addr(self.u32()?)),
+            t => Err(DecodeError::BadTag("operand", t)),
+        }
+    }
+
+    fn opcode(&mut self) -> Result<Opcode, DecodeError> {
+        let tag = self.u8()?;
+        opcode_from_tag(tag, || self.u8())
+    }
+
+    fn op(&mut self) -> Result<Op, DecodeError> {
+        let opcode = self.opcode()?;
+        let dst = match self.u8()? {
+            0 => None,
+            1 => Some(self.reg()?),
+            t => return Err(DecodeError::BadTag("destination", t)),
+        };
+        let mut operands = [None, None];
+        for slot in &mut operands {
+            *slot = match self.u8()? {
+                0 => None,
+                1 => Some(self.operand()?),
+                t => return Err(DecodeError::BadTag("operand presence", t)),
+            };
+        }
+        Ok(Op { opcode, dst, a: operands[0], b: operands[1] })
+    }
+
+    fn branch(&mut self) -> Result<BranchOp, DecodeError> {
+        match self.u8()? {
+            0 => Ok(BranchOp::Jump(self.u32()?)),
+            1 => Ok(BranchOp::BrTrue(self.reg()?, self.u32()?)),
+            2 => Ok(BranchOp::Call(self.u32()?)),
+            3 => Ok(BranchOp::Ret),
+            t => Err(DecodeError::BadTag("branch", t)),
+        }
+    }
+
+    fn word(&mut self) -> Result<InstructionWord, DecodeError> {
+        let mut slots = Vec::new();
+        loop {
+            match self.u8()? {
+                0 => break,
+                s @ 1..=7 => slots.push(s - 1),
+                t => return Err(DecodeError::BadTag("slot", t)),
+            }
+            if slots.len() > 7 {
+                return Err(DecodeError::BadTag("slot list", 8));
+            }
+        }
+        let mut w = InstructionWord::new();
+        for slot in slots {
+            let op = self.op()?;
+            let fu = crate::fu::FuKind::ALL[usize::from(slot)];
+            w.replace(fu, op);
+        }
+        w.branch = match self.u8()? {
+            0 => None,
+            1 => Some(self.branch()?),
+            t => return Err(DecodeError::BadTag("branch presence", t)),
+        };
+        Ok(w)
+    }
+
+    fn function(&mut self) -> Result<FunctionImage, DecodeError> {
+        let name = self.str()?;
+        let param_count = self.u16()?;
+        let returns_value = self.u8()? != 0;
+        let data_words = self.u32()?;
+        let n_relocs = self.count()?;
+        let mut call_relocs = Vec::with_capacity(n_relocs);
+        for _ in 0..n_relocs {
+            let word = self.u32()?;
+            let callee = self.str()?;
+            call_relocs.push(CallReloc { word, callee });
+        }
+        let n_words = self.count()?;
+        let mut code = Vec::with_capacity(n_words);
+        for _ in 0..n_words {
+            code.push(self.word()?);
+        }
+        Ok(FunctionImage { name, code, data_words, param_count, returns_value, call_relocs })
+    }
+
+    fn section(&mut self) -> Result<SectionImage, DecodeError> {
+        let name = self.str()?;
+        let first_cell = self.u32()?;
+        let last_cell = self.u32()?;
+        let entry = self.u32()? as usize;
+        let data_words = self.u32()?;
+        let n_bases = self.count()?;
+        let mut data_bases = Vec::with_capacity(n_bases);
+        for _ in 0..n_bases {
+            data_bases.push(self.u32()?);
+        }
+        let n_functions = self.count()?;
+        let mut functions = Vec::with_capacity(n_functions);
+        for _ in 0..n_functions {
+            functions.push(self.function()?);
+        }
+        Ok(SectionImage { name, first_cell, last_cell, functions, data_bases, data_words, entry })
+    }
+}
+
+/// Decodes and checksum-verifies a download image.
+pub fn decode(bytes: &[u8]) -> Result<ModuleImage, DecodeError> {
+    if bytes.len() < MAGIC.len() + 4 {
+        return Err(DecodeError::Truncated);
+    }
+    if &bytes[..MAGIC.len()] != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let payload_end = bytes.len() - 4;
+    let stored = u32::from_le_bytes(bytes[payload_end..].try_into().expect("4 bytes"));
+    let computed = fnv1a(&bytes[..payload_end]);
+    if stored != computed {
+        return Err(DecodeError::ChecksumMismatch { stored, computed });
+    }
+    let mut r = Reader { bytes: &bytes[..payload_end], pos: MAGIC.len() };
+    let name = r.str()?;
+    let io_driver = r.str()?;
+    let n_sections = r.count()?;
+    let mut section_images = Vec::with_capacity(n_sections);
+    for _ in 0..n_sections {
+        section_images.push(r.section()?);
+    }
+    if r.pos != r.bytes.len() {
+        return Err(DecodeError::TrailingBytes);
+    }
+    Ok(ModuleImage { name, section_images, io_driver })
+}
+
+fn opcode_tag(op: Opcode) -> (u8, Option<u8>) {
+    let cmp = |k: CmpKind| {
+        Some(match k {
+            CmpKind::Eq => 0,
+            CmpKind::Ne => 1,
+            CmpKind::Lt => 2,
+            CmpKind::Le => 3,
+            CmpKind::Gt => 4,
+            CmpKind::Ge => 5,
+        })
+    };
+    let dir = |d: QueueDir| {
+        Some(match d {
+            QueueDir::Left => 0,
+            QueueDir::Right => 1,
+        })
+    };
+    match op {
+        Opcode::IAdd => (0, None),
+        Opcode::ISub => (1, None),
+        Opcode::IMul => (2, None),
+        Opcode::IDiv => (3, None),
+        Opcode::IMod => (4, None),
+        Opcode::INeg => (5, None),
+        Opcode::IAbs => (6, None),
+        Opcode::IMin => (7, None),
+        Opcode::IMax => (8, None),
+        Opcode::ICmp(k) => (9, cmp(k)),
+        Opcode::FAdd => (10, None),
+        Opcode::FSub => (11, None),
+        Opcode::FMul => (12, None),
+        Opcode::FDiv => (13, None),
+        Opcode::FNeg => (14, None),
+        Opcode::FAbs => (15, None),
+        Opcode::FMin => (16, None),
+        Opcode::FMax => (17, None),
+        Opcode::FSqrt => (18, None),
+        Opcode::FSin => (19, None),
+        Opcode::FCos => (20, None),
+        Opcode::FExp => (21, None),
+        Opcode::FLog => (22, None),
+        Opcode::FFloor => (23, None),
+        Opcode::FCmp(k) => (24, cmp(k)),
+        Opcode::ItoF => (25, None),
+        Opcode::FtoI => (26, None),
+        Opcode::BAnd => (27, None),
+        Opcode::BOr => (28, None),
+        Opcode::BNot => (29, None),
+        Opcode::Move => (30, None),
+        Opcode::Load => (31, None),
+        Opcode::Store => (32, None),
+        Opcode::Send(d) => (33, dir(d)),
+        Opcode::Recv(d) => (34, dir(d)),
+        Opcode::SelT => (35, None),
+    }
+}
+
+fn opcode_from_tag(
+    tag: u8,
+    mut sub: impl FnMut() -> Result<u8, DecodeError>,
+) -> Result<Opcode, DecodeError> {
+    let cmp = |s: u8| match s {
+        0 => Ok(CmpKind::Eq),
+        1 => Ok(CmpKind::Ne),
+        2 => Ok(CmpKind::Lt),
+        3 => Ok(CmpKind::Le),
+        4 => Ok(CmpKind::Gt),
+        5 => Ok(CmpKind::Ge),
+        t => Err(DecodeError::BadTag("comparison", t)),
+    };
+    let dir = |s: u8| match s {
+        0 => Ok(QueueDir::Left),
+        1 => Ok(QueueDir::Right),
+        t => Err(DecodeError::BadTag("queue direction", t)),
+    };
+    Ok(match tag {
+        0 => Opcode::IAdd,
+        1 => Opcode::ISub,
+        2 => Opcode::IMul,
+        3 => Opcode::IDiv,
+        4 => Opcode::IMod,
+        5 => Opcode::INeg,
+        6 => Opcode::IAbs,
+        7 => Opcode::IMin,
+        8 => Opcode::IMax,
+        9 => Opcode::ICmp(cmp(sub()?)?),
+        10 => Opcode::FAdd,
+        11 => Opcode::FSub,
+        12 => Opcode::FMul,
+        13 => Opcode::FDiv,
+        14 => Opcode::FNeg,
+        15 => Opcode::FAbs,
+        16 => Opcode::FMin,
+        17 => Opcode::FMax,
+        18 => Opcode::FSqrt,
+        19 => Opcode::FSin,
+        20 => Opcode::FCos,
+        21 => Opcode::FExp,
+        22 => Opcode::FLog,
+        23 => Opcode::FFloor,
+        24 => Opcode::FCmp(cmp(sub()?)?),
+        25 => Opcode::ItoF,
+        26 => Opcode::FtoI,
+        27 => Opcode::BAnd,
+        28 => Opcode::BOr,
+        29 => Opcode::BNot,
+        30 => Opcode::Move,
+        31 => Opcode::Load,
+        32 => Opcode::Store,
+        33 => Opcode::Send(dir(sub()?)?),
+        34 => Opcode::Recv(dir(sub()?)?),
+        35 => Opcode::SelT,
+        t => return Err(DecodeError::BadTag("opcode", t)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fu::FuKind;
+
+    fn fixture() -> ModuleImage {
+        let mut w0 = InstructionWord::new();
+        w0.replace(FuKind::Alu, Op::new2(Opcode::IAdd, Reg(12), Operand::Reg(Reg(1)), Operand::ImmI(3)));
+        w0.replace(FuKind::FAdd, Op::new2(Opcode::FAdd, Reg(13), Operand::ImmF(1.5), Operand::Reg(Reg(12))));
+        let w1 = InstructionWord::branch_only(BranchOp::Ret);
+        ModuleImage {
+            name: "m".into(),
+            io_driver: "driver text".into(),
+            section_images: vec![SectionImage {
+                name: "main".into(),
+                first_cell: 0,
+                last_cell: 9,
+                functions: vec![FunctionImage {
+                    name: "f".into(),
+                    code: vec![w0, w1],
+                    data_words: 12,
+                    param_count: 1,
+                    returns_value: true,
+                    call_relocs: vec![CallReloc { word: 0, callee: "g".into() }],
+                }],
+                data_bases: vec![0],
+                data_words: 12,
+                entry: 0,
+            }],
+        }
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let m = fixture();
+        let bytes = encode(&m).unwrap();
+        assert_eq!(decode(&bytes).unwrap(), m);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let m = fixture();
+        let bytes = encode(&m).unwrap();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            assert!(decode(&bad).is_err(), "flip at byte {i} went unnoticed");
+        }
+        assert!(decode(&bytes[..bytes.len() - 1]).is_err());
+        assert_eq!(decode(b"not an image at all"), Err(DecodeError::BadMagic));
+    }
+}

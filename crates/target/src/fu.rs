@@ -1,0 +1,87 @@
+//! The functional units of a Warp cell.
+//!
+//! A cell issues one wide instruction word per cycle; the word has one
+//! slot per functional unit, so up to seven operations (plus a branch)
+//! start together. The schedulers treat each unit as a resource with a
+//! per-opcode reservation time ([`crate::isa::Opcode::timing`]).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the seven functional units of a cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FuKind {
+    /// Pipelined floating-point adder (also compares, conversions of
+    /// the float flavour, and the microcoded transcendentals).
+    FAdd,
+    /// Pipelined floating-point multiplier (also iterative divide and
+    /// square root).
+    FMul,
+    /// Integer ALU (also the iterative integer divide/remainder).
+    Alu,
+    /// Address generation unit — a second integer ALU.
+    Agu,
+    /// Data-memory port.
+    Mem,
+    /// Queue port to the neighbour cells.
+    Queue,
+    /// Branch unit (holds the word's branch operation).
+    Branch,
+}
+
+impl FuKind {
+    /// Every unit, in slot order.
+    pub const ALL: [FuKind; 7] = [
+        FuKind::FAdd,
+        FuKind::FMul,
+        FuKind::Alu,
+        FuKind::Agu,
+        FuKind::Mem,
+        FuKind::Queue,
+        FuKind::Branch,
+    ];
+
+    /// The unit's fixed slot position within an instruction word.
+    pub fn slot_index(self) -> usize {
+        match self {
+            FuKind::FAdd => 0,
+            FuKind::FMul => 1,
+            FuKind::Alu => 2,
+            FuKind::Agu => 3,
+            FuKind::Mem => 4,
+            FuKind::Queue => 5,
+            FuKind::Branch => 6,
+        }
+    }
+
+    /// Short unit name used in listings.
+    pub fn name(self) -> &'static str {
+        match self {
+            FuKind::FAdd => "fadd",
+            FuKind::FMul => "fmul",
+            FuKind::Alu => "alu",
+            FuKind::Agu => "agu",
+            FuKind::Mem => "mem",
+            FuKind::Queue => "queue",
+            FuKind::Branch => "branch",
+        }
+    }
+}
+
+impl fmt::Display for FuKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_indices_are_dense_and_match_all_order() {
+        for (i, fu) in FuKind::ALL.into_iter().enumerate() {
+            assert_eq!(fu.slot_index(), i);
+        }
+    }
+}

@@ -1,0 +1,1098 @@
+//! Cycle-accurate interpreter for linked section images.
+//!
+//! A [`Cell`] executes one [`crate::word::InstructionWord`] per cycle:
+//! all placed operations read the register file as it stands at the
+//! start of the cycle, and each result is written back at the start of
+//! cycle `issue + latency`. In-flight writebacks survive taken
+//! branches — software-pipelined kernels depend on results landing
+//! after the backward branch. A word containing a `Recv` on an empty
+//! queue (or a `Send` into a full bounded queue) stalls atomically:
+//! the cycle counter advances but the word has no effect.
+//!
+//! In *strict* mode ([`Cell::set_strict`]) the cell faults on schedule
+//! hazards instead of silently misbehaving: issuing to a functional
+//! unit still reserved by an iterative operation, or letting an
+//! *undefined* value (from a register never written on the executed
+//! path) reach a consumption point — a branch condition, a memory
+//! address, a divisor, a queue send, or a host-side [`Cell::reg`]
+//! read. Merely *computing* with undefined values propagates
+//! undefinedness without faulting, so speculative reads in
+//! if-converted code stay legal. Data memory starts zero-filled and
+//! defined, matching the reference interpreter's zero defaults.
+//!
+//! An [`ArrayMachine`] wires cells into the linear array with bounded
+//! inter-cell queues, giving the backpressure behaviour of the real
+//! machine: a fast producer stalls when its consumer falls behind.
+
+use crate::config::CellConfig;
+use crate::fu::FuKind;
+use crate::isa::{BranchOp, CmpKind, Op, Opcode, Operand, QueueDir, Reg};
+use crate::program::SectionImage;
+use crate::word::InstructionWord;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A runtime value: the machine is word-addressed and every word is a
+/// single-precision float or a 32-bit integer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// A single-precision float.
+    F(f32),
+    /// A 32-bit integer.
+    I(i32),
+}
+
+impl Value {
+    fn as_f(self) -> f32 {
+        match self {
+            Value::F(x) => x,
+            Value::I(x) => x as f32,
+        }
+    }
+
+    fn as_i(self) -> i32 {
+        match self {
+            Value::I(x) => x,
+            Value::F(x) => x as i32,
+        }
+    }
+
+    fn truthy(self) -> bool {
+        match self {
+            Value::I(x) => x != 0,
+            Value::F(x) => x != 0.0,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::I(v) => write!(f, "{v}"),
+            Value::F(v) => match f.precision() {
+                Some(p) => write!(f, "{v:.p$}"),
+                None => write!(f, "{v:?}"),
+            },
+        }
+    }
+}
+
+/// What a fault was about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Strict mode: an undefined value (from a register that was never
+    /// written on the executed path) reached a consuming context — a
+    /// branch condition, a memory address, a divisor, a queue send, or
+    /// a host-side register read. Speculative reads of undefined
+    /// registers (if-converted code saves and discards values it may
+    /// not need) only *propagate* undefinedness; they do not fault.
+    UninitializedRead(Reg),
+    /// Strict mode: an operation was issued on a unit still reserved
+    /// by an earlier iterative operation.
+    StructuralHazard(FuKind),
+    /// A data-memory access outside the configured memory.
+    MemOutOfBounds(i64),
+    /// Integer division or remainder by zero.
+    DivisionByZero,
+    /// The program counter left the function's code.
+    PcOutOfBounds,
+    /// A call to a function index the section does not have.
+    BadCallTarget(u32),
+    /// An operation was missing a required operand.
+    MissingOperand,
+    /// A register number outside the configured register file.
+    BadRegister(Reg),
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::UninitializedRead(r) => write!(f, "read of uninitialized {r}"),
+            FaultKind::StructuralHazard(fu) => {
+                write!(f, "structural hazard: {fu} unit still reserved")
+            }
+            FaultKind::MemOutOfBounds(a) => write!(f, "memory access @{a} out of bounds"),
+            FaultKind::DivisionByZero => write!(f, "integer division by zero"),
+            FaultKind::PcOutOfBounds => write!(f, "program counter out of bounds"),
+            FaultKind::BadCallTarget(t) => write!(f, "call to unknown function index {t}"),
+            FaultKind::MissingOperand => write!(f, "operation is missing an operand"),
+            FaultKind::BadRegister(r) => write!(f, "register {r} outside the register file"),
+        }
+    }
+}
+
+/// Errors from building or running a cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InterpError {
+    /// The section's code does not fit the instruction memory.
+    CodeTooLarge {
+        /// Words required.
+        needed: u64,
+        /// Words available.
+        available: u32,
+    },
+    /// The section's data does not fit the data memory.
+    DataTooLarge {
+        /// Words required.
+        needed: u64,
+        /// Words available.
+        available: u32,
+    },
+    /// The section still has unresolved call relocations.
+    Unlinked(String),
+    /// [`Cell::prepare_call`] named a function the section lacks.
+    UnknownFunction(String),
+    /// [`Cell::prepare_call`] passed the wrong number of arguments.
+    ArityMismatch {
+        /// Function name.
+        name: String,
+        /// Parameters the function declares.
+        expected: u16,
+        /// Arguments supplied.
+        got: usize,
+    },
+    /// Execution did not halt within the cycle budget.
+    CycleLimit {
+        /// The budget that was exhausted.
+        limit: u64,
+    },
+    /// The machine faulted.
+    Fault {
+        /// Function index at the fault.
+        function: usize,
+        /// Word index at the fault.
+        pc: usize,
+        /// What went wrong.
+        kind: FaultKind,
+    },
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::CodeTooLarge { needed, available } => {
+                write!(f, "code of {needed} words exceeds instruction memory of {available}")
+            }
+            InterpError::DataTooLarge { needed, available } => {
+                write!(f, "data of {needed} words exceeds data memory of {available}")
+            }
+            InterpError::Unlinked(name) => {
+                write!(f, "function {name} has unresolved calls; link the section first")
+            }
+            InterpError::UnknownFunction(name) => write!(f, "no function named {name}"),
+            InterpError::ArityMismatch { name, expected, got } => {
+                write!(f, "{name} takes {expected} arguments, got {got}")
+            }
+            InterpError::CycleLimit { limit } => {
+                write!(f, "did not halt within {limit} cycles")
+            }
+            InterpError::Fault { function, pc, kind } => {
+                write!(f, "fault at fn{function} word {pc}: {kind}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// Result of a single [`Cell::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// A word was issued.
+    Ran,
+    /// The word stalled on a queue; the cycle counter advanced but
+    /// nothing else happened.
+    Stalled,
+    /// The cell has halted (return with an empty call stack).
+    Halted,
+}
+
+/// A register writeback in flight: `(due_cycle, dst, value, defined)`.
+type Writeback = (u64, Reg, Value, bool);
+
+/// One Warp cell executing a linked [`SectionImage`].
+pub struct Cell {
+    config: CellConfig,
+    image: SectionImage,
+    regs: Vec<Value>,
+    reg_def: Vec<bool>,
+    mem: Vec<Value>,
+    mem_def: Vec<bool>,
+    strict: bool,
+    fn_idx: usize,
+    pc: usize,
+    cycle: u64,
+    halted: bool,
+    call_stack: Vec<(usize, usize)>,
+    pending: Vec<Writeback>,
+    fu_free: [u64; 7],
+    cap_out_left: Option<usize>,
+    cap_out_right: Option<usize>,
+    /// Values arriving from the left neighbour (or the host).
+    pub in_left: VecDeque<Value>,
+    /// Values arriving from the right neighbour.
+    pub in_right: VecDeque<Value>,
+    /// Values sent towards the left neighbour.
+    pub out_left: VecDeque<Value>,
+    /// Values sent towards the right neighbour (or the host).
+    pub out_right: VecDeque<Value>,
+}
+
+impl Cell {
+    /// Builds a cell around a linked section, checking that the image
+    /// fits the configured memories.
+    pub fn new(config: CellConfig, image: SectionImage) -> Result<Cell, InterpError> {
+        let code_words = u64::from(image.code_words());
+        if code_words > u64::from(config.inst_mem_words) {
+            return Err(InterpError::CodeTooLarge {
+                needed: code_words,
+                available: config.inst_mem_words,
+            });
+        }
+        if u64::from(image.data_words) > u64::from(config.data_mem_words) {
+            return Err(InterpError::DataTooLarge {
+                needed: u64::from(image.data_words),
+                available: config.data_mem_words,
+            });
+        }
+        if let Some(unlinked) = image.functions.iter().find(|f| !f.is_linked()) {
+            return Err(InterpError::Unlinked(unlinked.name.clone()));
+        }
+        let entry = image.entry.min(image.functions.len().saturating_sub(1));
+        Ok(Cell {
+            regs: vec![Value::I(0); usize::from(config.num_regs)],
+            reg_def: vec![false; usize::from(config.num_regs)],
+            mem: vec![Value::I(0); config.data_mem_words as usize],
+            // Zero-filled data memory is defined by design: the paper's
+            // workloads read arrays the host never wrote.
+            mem_def: vec![true; config.data_mem_words as usize],
+            strict: false,
+            fn_idx: entry,
+            pc: 0,
+            cycle: 0,
+            halted: image.functions.is_empty(),
+            call_stack: Vec::new(),
+            pending: Vec::new(),
+            fu_free: [0; 7],
+            cap_out_left: None,
+            cap_out_right: None,
+            in_left: VecDeque::new(),
+            in_right: VecDeque::new(),
+            out_left: VecDeque::new(),
+            out_right: VecDeque::new(),
+            config,
+            image,
+        })
+    }
+
+    /// Enables or disables strict mode (fault on structural hazards
+    /// and uninitialized register reads).
+    pub fn set_strict(&mut self, strict: bool) {
+        self.strict = strict;
+    }
+
+    /// Cycles executed since the last [`Cell::prepare_call`].
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The configuration the cell was built with.
+    pub fn config(&self) -> &CellConfig {
+        &self.config
+    }
+
+    /// `true` once the cell has halted.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Arms the cell to run the named function: arguments are placed
+    /// in `r1..`, the program counter is set to the function's first
+    /// word, and all execution state (registers, pipeline, call stack,
+    /// cycle counter — but not data memory or the queues) is reset.
+    pub fn prepare_call(&mut self, name: &str, args: &[Value]) -> Result<(), InterpError> {
+        let idx = self
+            .image
+            .function_index(name)
+            .ok_or_else(|| InterpError::UnknownFunction(name.to_string()))?;
+        let expected = self.image.functions[idx].param_count;
+        if usize::from(expected) != args.len() {
+            return Err(InterpError::ArityMismatch {
+                name: name.to_string(),
+                expected,
+                got: args.len(),
+            });
+        }
+        self.start_at(idx);
+        for (i, &v) in args.iter().enumerate() {
+            let r = Reg::arg(i as u16);
+            self.regs[usize::from(r.0)] = v;
+            self.reg_def[usize::from(r.0)] = true;
+        }
+        Ok(())
+    }
+
+    /// Arms the cell at a function index without touching arguments —
+    /// used by [`ArrayMachine`] to start every cell in its section's
+    /// entry function.
+    fn start_at(&mut self, idx: usize) {
+        self.fn_idx = idx;
+        self.pc = 0;
+        self.cycle = 0;
+        self.halted = self.image.functions.is_empty();
+        self.call_stack.clear();
+        self.pending.clear();
+        self.fu_free = [0; 7];
+        self.regs.iter_mut().for_each(|v| *v = Value::I(0));
+        self.reg_def.iter_mut().for_each(|b| *b = false);
+    }
+
+    /// Reads a register as visible *now* (after any writebacks due
+    /// this cycle). Undefined registers read as integer zero; in
+    /// strict mode reading one from the host is an error, since a
+    /// value the program never produced is about to become visible.
+    pub fn reg(&self, r: Reg) -> Result<Value, InterpError> {
+        let i = usize::from(r.0);
+        if i >= self.regs.len() {
+            return Err(self.fault(FaultKind::BadRegister(r)));
+        }
+        if !self.reg_def[i] && self.strict {
+            return Err(self.fault(FaultKind::UninitializedRead(r)));
+        }
+        Ok(self.regs[i])
+    }
+
+    /// Where the cell is about to execute: `(function index, word
+    /// index, the word itself)` — for diagnostics.
+    pub fn debug_position(&self) -> (usize, usize, InstructionWord) {
+        let word = self
+            .image
+            .functions
+            .get(self.fn_idx)
+            .and_then(|f| f.code.get(self.pc))
+            .copied()
+            .unwrap_or_default();
+        (self.fn_idx, self.pc, word)
+    }
+
+    /// Runs until the cell halts, for at most `max_cycles` cycles.
+    /// Returns the number of cycles executed.
+    pub fn run(&mut self, max_cycles: u64) -> Result<u64, InterpError> {
+        let start = self.cycle;
+        while !self.halted {
+            if self.cycle - start >= max_cycles {
+                return Err(InterpError::CycleLimit { limit: max_cycles });
+            }
+            self.step()?;
+        }
+        Ok(self.cycle - start)
+    }
+
+    fn fault(&self, kind: FaultKind) -> InterpError {
+        InterpError::Fault { function: self.fn_idx, pc: self.pc, kind }
+    }
+
+    /// Applies every writeback due at or before the current cycle.
+    fn apply_due_writebacks(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let now = self.cycle;
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.pending[i].0 <= now {
+                let (_, r, v, def) = self.pending.remove(i);
+                self.regs[usize::from(r.0)] = v;
+                self.reg_def[usize::from(r.0)] = def;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Drains *all* in-flight writebacks — the pipeline empties when
+    /// the cell halts, so results of the final word are visible.
+    fn drain_writebacks(&mut self) {
+        for (_, r, v, def) in std::mem::take(&mut self.pending) {
+            self.regs[usize::from(r.0)] = v;
+            self.reg_def[usize::from(r.0)] = def;
+        }
+    }
+
+    /// The concrete value of an operand; undefined registers read as
+    /// integer zero (definedness travels separately, see
+    /// [`Cell::operand_def`]).
+    fn read_operand(&self, o: Option<Operand>) -> Result<Value, InterpError> {
+        match o {
+            None => Err(self.fault(FaultKind::MissingOperand)),
+            Some(Operand::Reg(r)) => {
+                if usize::from(r.0) >= self.regs.len() {
+                    return Err(self.fault(FaultKind::BadRegister(r)));
+                }
+                Ok(self.regs[usize::from(r.0)])
+            }
+            Some(Operand::ImmI(v)) => Ok(Value::I(v)),
+            Some(Operand::ImmF(v)) => Ok(Value::F(v)),
+            Some(Operand::Addr(a)) => Ok(Value::I(a as i32)),
+        }
+    }
+
+    /// `true` if the operand carries a defined value. Immediates are
+    /// always defined; a register is defined once a writeback landed
+    /// in it on the executed path.
+    fn operand_def(&self, o: Option<Operand>) -> bool {
+        match o {
+            Some(Operand::Reg(r)) => {
+                self.reg_def.get(usize::from(r.0)).copied().unwrap_or(false)
+            }
+            _ => true,
+        }
+    }
+
+    /// Strict mode: faults if `o` is an undefined register. Used where
+    /// an undefined value would be *consumed* rather than merely
+    /// copied around — addresses, divisors, branch conditions, sends.
+    fn require_def(&self, o: Option<Operand>) -> Result<(), InterpError> {
+        if self.strict && !self.operand_def(o) {
+            if let Some(Operand::Reg(r)) = o {
+                return Err(self.fault(FaultKind::UninitializedRead(r)));
+            }
+        }
+        Ok(())
+    }
+
+    fn mem_addr(&self, v: Value) -> Result<usize, InterpError> {
+        let a = i64::from(v.as_i());
+        if a < 0 || a >= self.mem.len() as i64 {
+            return Err(self.fault(FaultKind::MemOutOfBounds(a)));
+        }
+        Ok(a as usize)
+    }
+
+    fn in_queue(&self, dir: QueueDir) -> &VecDeque<Value> {
+        match dir {
+            QueueDir::Left => &self.in_left,
+            QueueDir::Right => &self.in_right,
+        }
+    }
+
+    /// `true` if the outgoing queue towards `dir` cannot accept
+    /// another value this cycle.
+    fn out_queue_full(&self, dir: QueueDir) -> bool {
+        match dir {
+            QueueDir::Left => {
+                self.cap_out_left.is_some_and(|cap| self.out_left.len() >= cap)
+            }
+            QueueDir::Right => {
+                self.cap_out_right.is_some_and(|cap| self.out_right.len() >= cap)
+            }
+        }
+    }
+
+    /// Executes one cycle.
+    pub fn step(&mut self) -> Result<StepOutcome, InterpError> {
+        if self.halted {
+            return Ok(StepOutcome::Halted);
+        }
+        // Writebacks land at the start of the cycle, so same-cycle
+        // reads observe them.
+        self.apply_due_writebacks();
+
+        let func = match self.image.functions.get(self.fn_idx) {
+            Some(f) => f,
+            None => return Err(self.fault(FaultKind::PcOutOfBounds)),
+        };
+        let word = match func.code.get(self.pc) {
+            Some(w) => *w,
+            None => return Err(self.fault(FaultKind::PcOutOfBounds)),
+        };
+
+        // Stall check before any side effect: the word issues
+        // atomically or not at all.
+        for (_, op) in word.ops() {
+            let stalled = match op.opcode {
+                Opcode::Recv(dir) => self.in_queue(dir).is_empty(),
+                Opcode::Send(dir) => self.out_queue_full(dir),
+                _ => false,
+            };
+            if stalled {
+                self.cycle += 1;
+                return Ok(StepOutcome::Stalled);
+            }
+        }
+
+        let mut reg_writes: Vec<Writeback> = Vec::new();
+        let mut mem_write: Option<(usize, Value, bool)> = None;
+        let mut queue_push: Option<(QueueDir, Value)> = None;
+
+        for (fu, op) in word.ops() {
+            let slot = fu.slot_index();
+            if self.strict && self.fu_free[slot] > self.cycle {
+                return Err(self.fault(FaultKind::StructuralHazard(fu)));
+            }
+            let timing = op.opcode.timing();
+            self.fu_free[slot] = self.cycle + u64::from(timing.initiation_interval);
+
+            let result = match op.opcode {
+                Opcode::Store => {
+                    self.require_def(op.a)?;
+                    let addr = self.mem_addr(self.read_operand(op.a)?)?;
+                    let v = self.read_operand(op.b)?;
+                    mem_write = Some((addr, v, self.operand_def(op.b)));
+                    None
+                }
+                Opcode::Send(dir) => {
+                    // The value leaves the cell: undefinedness would
+                    // become visible, so it must be defined.
+                    self.require_def(op.a)?;
+                    let v = self.read_operand(op.a)?;
+                    queue_push = Some((dir, v));
+                    None
+                }
+                Opcode::Recv(dir) => {
+                    // Checked nonempty above; popped now, visible at
+                    // writeback like any other result.
+                    let v = match dir {
+                        QueueDir::Left => self.in_left.pop_front(),
+                        QueueDir::Right => self.in_right.pop_front(),
+                    };
+                    Some((v.expect("stall check guarantees a value"), true))
+                }
+                _ => Some(self.compute(op)?),
+            };
+            if let (Some(dst), Some((v, def))) = (op.dst, result) {
+                if usize::from(dst.0) >= self.regs.len() {
+                    return Err(self.fault(FaultKind::BadRegister(dst)));
+                }
+                reg_writes.push((self.cycle + u64::from(timing.latency), dst, v, def));
+            }
+        }
+
+        // The branch condition reads the same cycle-start state as the
+        // rest of the word.
+        let mut next_fn = self.fn_idx;
+        let mut next_pc = self.pc + 1;
+        let mut halt = false;
+        match word.branch {
+            None => {}
+            Some(BranchOp::Jump(t)) => next_pc = t as usize,
+            Some(BranchOp::BrTrue(r, t)) => {
+                // An undefined condition means control flow the program
+                // never decided — consume, so strict mode faults.
+                self.require_def(Some(Operand::Reg(r)))?;
+                if self.reg(r)?.truthy() {
+                    next_pc = t as usize;
+                }
+            }
+            Some(BranchOp::Call(t)) => {
+                if t as usize >= self.image.functions.len() {
+                    return Err(self.fault(FaultKind::BadCallTarget(t)));
+                }
+                self.call_stack.push((self.fn_idx, self.pc + 1));
+                next_fn = t as usize;
+                next_pc = 0;
+            }
+            Some(BranchOp::Ret) => match self.call_stack.pop() {
+                Some((f, p)) => {
+                    next_fn = f;
+                    next_pc = p;
+                }
+                None => halt = true,
+            },
+        }
+
+        // Commit.
+        if let Some((addr, v, def)) = mem_write {
+            self.mem[addr] = v;
+            self.mem_def[addr] = def;
+        }
+        if let Some((dir, v)) = queue_push {
+            match dir {
+                QueueDir::Left => self.out_left.push_back(v),
+                QueueDir::Right => self.out_right.push_back(v),
+            }
+        }
+        self.pending.extend(reg_writes);
+        self.fn_idx = next_fn;
+        self.pc = next_pc;
+        self.cycle += 1;
+        if halt {
+            self.halted = true;
+            self.drain_writebacks();
+            return Ok(StepOutcome::Halted);
+        }
+        Ok(StepOutcome::Ran)
+    }
+
+    /// Pure computation of every opcode except memory and queue ops.
+    /// Returns the result and whether it is defined: an op computing
+    /// on an undefined input *propagates* undefinedness instead of
+    /// faulting, so speculative if-converted code can save and discard
+    /// values it may never need. Consumption points (addresses,
+    /// divisors) fault in strict mode.
+    fn compute(&self, op: &Op) -> Result<(Value, bool), InterpError> {
+        use Opcode::*;
+        let a = || self.read_operand(op.a);
+        let b = || self.read_operand(op.b);
+        // Default: defined iff every operand the op reads is defined.
+        // Unary ops carry no `b`, so the blanket check is exact.
+        let def = self.operand_def(op.a) && self.operand_def(op.b);
+        let v = match op.opcode {
+            IAdd => Value::I(a()?.as_i().wrapping_add(b()?.as_i())),
+            ISub => Value::I(a()?.as_i().wrapping_sub(b()?.as_i())),
+            IMul => Value::I(a()?.as_i().wrapping_mul(b()?.as_i())),
+            IDiv | IMod => {
+                // A divisor the program never produced is consumed
+                // here: its concrete value decides a fault.
+                self.require_def(op.b)?;
+                let (x, y) = (a()?.as_i(), b()?.as_i());
+                if y == 0 {
+                    return Err(self.fault(FaultKind::DivisionByZero));
+                }
+                if op.opcode == IDiv {
+                    Value::I(x.wrapping_div(y))
+                } else {
+                    Value::I(x.wrapping_rem(y))
+                }
+            }
+            INeg => Value::I(a()?.as_i().wrapping_neg()),
+            IAbs => Value::I(a()?.as_i().wrapping_abs()),
+            IMin => Value::I(a()?.as_i().min(b()?.as_i())),
+            IMax => Value::I(a()?.as_i().max(b()?.as_i())),
+            ICmp(k) => Value::I(cmp_holds(k, a()?.as_i().cmp(&b()?.as_i())) as i32),
+            FAdd => Value::F(a()?.as_f() + b()?.as_f()),
+            FSub => Value::F(a()?.as_f() - b()?.as_f()),
+            FMul => Value::F(a()?.as_f() * b()?.as_f()),
+            FDiv => Value::F(a()?.as_f() / b()?.as_f()),
+            FNeg => Value::F(-a()?.as_f()),
+            FAbs => Value::F(a()?.as_f().abs()),
+            FMin => Value::F(a()?.as_f().min(b()?.as_f())),
+            FMax => Value::F(a()?.as_f().max(b()?.as_f())),
+            FSqrt => Value::F(a()?.as_f().sqrt()),
+            FSin => Value::F(a()?.as_f().sin()),
+            FCos => Value::F(a()?.as_f().cos()),
+            FExp => Value::F(a()?.as_f().exp()),
+            FLog => Value::F(a()?.as_f().ln()),
+            FFloor => Value::I(a()?.as_f().floor() as i32),
+            FCmp(k) => {
+                let holds = match a()?.as_f().partial_cmp(&b()?.as_f()) {
+                    Some(ord) => cmp_holds(k, ord),
+                    None => k == CmpKind::Ne,
+                };
+                Value::I(holds as i32)
+            }
+            ItoF => Value::F(a()?.as_f()),
+            FtoI => Value::I(a()?.as_i()),
+            BAnd => Value::I((a()?.truthy() && b()?.truthy()) as i32),
+            BOr => Value::I((a()?.truthy() || b()?.truthy()) as i32),
+            BNot => Value::I(!a()?.truthy() as i32),
+            Move => a()?,
+            Load => {
+                // An undefined address could reach anywhere: consume.
+                self.require_def(op.a)?;
+                let addr = self.mem_addr(a()?)?;
+                return Ok((self.mem[addr], self.mem_def[addr]));
+            }
+            SelT => {
+                let dst = op.dst.ok_or_else(|| self.fault(FaultKind::MissingOperand))?;
+                if usize::from(dst.0) >= self.regs.len() {
+                    return Err(self.fault(FaultKind::BadRegister(dst)));
+                }
+                // dst keeps its own (possibly undefined) value when the
+                // condition is false; only the *selected* input decides
+                // definedness, plus the condition itself.
+                let cond = a()?;
+                let picked_def = if cond.truthy() {
+                    self.operand_def(op.b)
+                } else {
+                    self.reg_def[usize::from(dst.0)]
+                };
+                let picked =
+                    if cond.truthy() { b()? } else { self.regs[usize::from(dst.0)] };
+                return Ok((picked, self.operand_def(op.a) && picked_def));
+            }
+            Store | Send(_) | Recv(_) => unreachable!("handled in step"),
+        };
+        Ok((v, def))
+    }
+}
+
+fn cmp_holds(k: CmpKind, ord: Ordering) -> bool {
+    match k {
+        CmpKind::Eq => ord == Ordering::Equal,
+        CmpKind::Ne => ord != Ordering::Equal,
+        CmpKind::Lt => ord == Ordering::Less,
+        CmpKind::Le => ord != Ordering::Greater,
+        CmpKind::Gt => ord == Ordering::Greater,
+        CmpKind::Ge => ord != Ordering::Less,
+    }
+}
+
+/// Run statistics of an [`ArrayMachine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Stats {
+    /// Global cycles until every cell halted.
+    pub cycles: u64,
+    /// Total stalled cell-cycles (queue waits) across all cells.
+    pub stall_cycles: u64,
+}
+
+/// The linear array: one [`Cell`] per array position, with bounded
+/// queues between neighbours. Cell `i`'s `out_right` feeds cell
+/// `i + 1`'s `in_left` and vice versa; the outward-facing queues of
+/// the end cells stay unbounded for the host.
+pub struct ArrayMachine {
+    cells: Vec<Cell>,
+    queue_depth: usize,
+}
+
+impl ArrayMachine {
+    /// Builds the array: each section occupies the cells
+    /// `first_cell..=last_cell`, and every cell starts in its
+    /// section's entry function.
+    pub fn new(config: CellConfig, sections: &[SectionImage]) -> Result<ArrayMachine, InterpError> {
+        let mut ordered: Vec<&SectionImage> = sections.iter().collect();
+        ordered.sort_by_key(|s| s.first_cell);
+        let mut cells = Vec::new();
+        for sec in ordered {
+            for _ in sec.first_cell..=sec.last_cell {
+                let mut cell = Cell::new(config, sec.clone())?;
+                cell.start_at(sec.entry.min(sec.functions.len().saturating_sub(1)));
+                cells.push(cell);
+            }
+        }
+        let depth = config.queue_depth.max(1) as usize;
+        let n = cells.len();
+        for (i, cell) in cells.iter_mut().enumerate() {
+            if i > 0 {
+                cell.cap_out_left = Some(depth);
+            }
+            if i + 1 < n {
+                cell.cap_out_right = Some(depth);
+            }
+        }
+        Ok(ArrayMachine { cells, queue_depth: depth })
+    }
+
+    /// Number of cells in the array.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Mutable access to cell `i` — to push host inputs, pop outputs,
+    /// or inspect registers.
+    pub fn cell_mut(&mut self, i: usize) -> &mut Cell {
+        &mut self.cells[i]
+    }
+
+    /// Moves values across the inter-cell links, respecting the
+    /// bounded depth of the receiving queues.
+    fn transfer(&mut self) {
+        let depth = self.queue_depth;
+        for i in 0..self.cells.len().saturating_sub(1) {
+            let (left_half, right_half) = self.cells.split_at_mut(i + 1);
+            let left = &mut left_half[i];
+            let right = &mut right_half[0];
+            while !left.out_right.is_empty() && right.in_left.len() < depth {
+                right.in_left.push_back(left.out_right.pop_front().expect("nonempty"));
+            }
+            while !right.out_left.is_empty() && left.in_right.len() < depth {
+                left.in_right.push_back(right.out_left.pop_front().expect("nonempty"));
+            }
+        }
+    }
+
+    /// Runs every cell until all have halted, for at most `max_cycles`
+    /// global cycles.
+    pub fn run(&mut self, max_cycles: u64) -> Result<Stats, InterpError> {
+        let mut stats = Stats::default();
+        while self.cells.iter().any(|c| !c.halted) {
+            if stats.cycles >= max_cycles {
+                return Err(InterpError::CycleLimit { limit: max_cycles });
+            }
+            for cell in &mut self.cells {
+                if cell.halted {
+                    continue;
+                }
+                if cell.step()? == StepOutcome::Stalled {
+                    stats.stall_cycles += 1;
+                }
+            }
+            self.transfer();
+            stats.cycles += 1;
+        }
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{FunctionImage, SectionImage};
+
+    fn word(places: &[(FuKind, Op)], branch: Option<BranchOp>) -> InstructionWord {
+        let mut w = InstructionWord::new();
+        for &(fu, op) in places {
+            w.place(fu, op).expect("free slot");
+        }
+        w.branch = branch;
+        w
+    }
+
+    fn section(code: Vec<InstructionWord>, param_count: u16) -> SectionImage {
+        SectionImage {
+            name: "s".into(),
+            first_cell: 0,
+            last_cell: 0,
+            functions: vec![FunctionImage {
+                name: "f".into(),
+                code,
+                data_words: 16,
+                param_count,
+                returns_value: true,
+                call_relocs: vec![],
+            }],
+            data_bases: vec![0],
+            data_words: 16,
+            entry: 0,
+        }
+    }
+
+    fn mov(dst: Reg, v: Operand) -> Op {
+        Op::new1(Opcode::Move, dst, v)
+    }
+
+    #[test]
+    fn writeback_latency_is_visible() {
+        // fadd r12 <- 1.0 + 2.0 issued at cycle 0 lands at cycle 5:
+        // a same-word and a next-cycle reader both see the old value.
+        let code = vec![
+            word(
+                &[
+                    (FuKind::Alu, mov(Reg(12), Operand::ImmI(7))),
+                    (
+                        FuKind::FAdd,
+                        Op::new2(Opcode::FAdd, Reg(13), Operand::ImmF(1.0), Operand::ImmF(2.0)),
+                    ),
+                ],
+                None,
+            ),
+            word(&[(FuKind::Alu, mov(Reg(14), Operand::Reg(Reg(12))))], None),
+            InstructionWord::new(),
+            InstructionWord::new(),
+            InstructionWord::new(),
+            word(&[(FuKind::Alu, mov(Reg(0), Operand::Reg(Reg(13))))], None),
+            InstructionWord::branch_only(BranchOp::Ret),
+        ];
+        let mut cell = Cell::new(CellConfig::default(), section(code, 0)).unwrap();
+        cell.set_strict(true);
+        cell.prepare_call("f", &[]).unwrap();
+        cell.run(100).unwrap();
+        // mov r14 <- r12 at cycle 1 sees the cycle-1 writeback of r12.
+        assert_eq!(cell.reg(Reg(14)).unwrap(), Value::I(7));
+        // mov r0 <- r13 at cycle 5 sees the FAdd result exactly then.
+        assert_eq!(cell.reg(Reg(0)).unwrap(), Value::F(3.0));
+    }
+
+    #[test]
+    fn strict_mode_tracks_undefined_values_to_consumption() {
+        // Speculatively copying an undefined register is legal (the
+        // if-converter does exactly this); the undefinedness travels
+        // with the value and only faults where it is consumed — here,
+        // the host-side read of the return register.
+        let code = vec![
+            word(&[(FuKind::Alu, mov(Reg(0), Operand::Reg(Reg(20))))], None),
+            InstructionWord::branch_only(BranchOp::Ret),
+        ];
+        let mut cell = Cell::new(CellConfig::default(), section(code.clone(), 0)).unwrap();
+        cell.set_strict(true);
+        cell.prepare_call("f", &[]).unwrap();
+        cell.run(10).unwrap();
+        let err = cell.reg(Reg::RET).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                InterpError::Fault { kind: FaultKind::UninitializedRead(Reg(0)), .. }
+            ),
+            "{err}"
+        );
+        // Non-strict: the same program reads integer zero.
+        let mut cell = Cell::new(CellConfig::default(), section(code, 0)).unwrap();
+        cell.prepare_call("f", &[]).unwrap();
+        cell.run(10).unwrap();
+        assert_eq!(cell.reg(Reg::RET).unwrap(), Value::I(0));
+    }
+
+    #[test]
+    fn strict_mode_faults_on_undefined_branch_condition() {
+        let code = vec![
+            InstructionWord::branch_only(BranchOp::BrTrue(Reg(20), 0)),
+            InstructionWord::branch_only(BranchOp::Ret),
+        ];
+        let mut cell = Cell::new(CellConfig::default(), section(code.clone(), 0)).unwrap();
+        cell.set_strict(true);
+        cell.prepare_call("f", &[]).unwrap();
+        let err = cell.run(10).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                InterpError::Fault { kind: FaultKind::UninitializedRead(Reg(20)), .. }
+            ),
+            "{err}"
+        );
+        // Non-strict: the undefined condition reads zero — not taken.
+        let mut cell = Cell::new(CellConfig::default(), section(code, 0)).unwrap();
+        cell.prepare_call("f", &[]).unwrap();
+        cell.run(10).unwrap();
+        assert!(cell.is_halted());
+    }
+
+    #[test]
+    fn selt_discards_undefinedness_of_the_unselected_side() {
+        // cond = 1 selects the defined immediate even though the dst
+        // held an undefined value; the result is defined and clean.
+        let selt = Op::new2(Opcode::SelT, Reg(0), Operand::ImmI(1), Operand::ImmF(2.5));
+        let code = vec![
+            word(&[(FuKind::Alu, selt)], None),
+            InstructionWord::new(),
+            InstructionWord::branch_only(BranchOp::Ret),
+        ];
+        let mut cell = Cell::new(CellConfig::default(), section(code, 0)).unwrap();
+        cell.set_strict(true);
+        cell.prepare_call("f", &[]).unwrap();
+        cell.run(10).unwrap();
+        assert_eq!(cell.reg(Reg::RET).unwrap(), Value::F(2.5));
+    }
+
+    #[test]
+    fn strict_mode_faults_on_structural_hazard() {
+        // Back-to-back integer divides on the ALU violate the 8-cycle
+        // initiation interval.
+        let div =
+            Op::new2(Opcode::IDiv, Reg(12), Operand::ImmI(9), Operand::ImmI(3));
+        let code = vec![
+            word(&[(FuKind::Alu, div)], None),
+            word(&[(FuKind::Alu, div)], None),
+            InstructionWord::branch_only(BranchOp::Ret),
+        ];
+        let mut cell = Cell::new(CellConfig::default(), section(code, 0)).unwrap();
+        cell.set_strict(true);
+        cell.prepare_call("f", &[]).unwrap();
+        let err = cell.run(10).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                InterpError::Fault { kind: FaultKind::StructuralHazard(FuKind::Alu), .. }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn recv_stalls_until_data_arrives() {
+        let recv = Op { opcode: Opcode::Recv(QueueDir::Left), dst: Some(Reg(12)), a: None, b: None };
+        let send = Op { opcode: Opcode::Send(QueueDir::Right), dst: None, a: Some(Operand::Reg(Reg(12))), b: None };
+        let code = vec![
+            word(&[(FuKind::Queue, recv)], None),
+            word(&[(FuKind::Queue, send)], None),
+            InstructionWord::branch_only(BranchOp::Ret),
+        ];
+        let mut cell = Cell::new(CellConfig::default(), section(code, 0)).unwrap();
+        cell.prepare_call("f", &[]).unwrap();
+        assert_eq!(cell.step().unwrap(), StepOutcome::Stalled);
+        assert_eq!(cell.step().unwrap(), StepOutcome::Stalled);
+        cell.in_left.push_back(Value::F(4.5));
+        assert_eq!(cell.step().unwrap(), StepOutcome::Ran);
+        cell.run(10).unwrap();
+        assert_eq!(cell.out_right.pop_front(), Some(Value::F(4.5)));
+    }
+
+    #[test]
+    fn in_flight_writebacks_survive_a_taken_branch() {
+        // Kernel of a pipelined loop: the FAdd issued in the branch
+        // word completes after the backward branch is taken.
+        let fadd = Op::new2(Opcode::FAdd, Reg(13), Operand::Reg(Reg(13)), Operand::ImmF(1.0));
+        let dec = Op::new2(Opcode::ISub, Reg(12), Operand::Reg(Reg(12)), Operand::ImmI(1));
+        let code = vec![
+            // r13 := 0.0; r12 := 3 (counter)
+            word(
+                &[
+                    (FuKind::Alu, mov(Reg(13), Operand::ImmF(0.0))),
+                    (FuKind::Agu, mov(Reg(12), Operand::ImmI(3))),
+                ],
+                None,
+            ),
+            // kernel (ii = 5 to respect the FAdd self-dependence):
+            word(&[(FuKind::FAdd, fadd), (FuKind::Alu, dec)], None),
+            InstructionWord::new(),
+            InstructionWord::new(),
+            InstructionWord::new(),
+            word(&[], Some(BranchOp::BrTrue(Reg(12), 1))),
+            // epilogue: wait for the last fadd, move to r0.
+            InstructionWord::new(),
+            InstructionWord::new(),
+            InstructionWord::new(),
+            word(&[(FuKind::Alu, mov(Reg(0), Operand::Reg(Reg(13))))], None),
+            InstructionWord::branch_only(BranchOp::Ret),
+        ];
+        let mut cell = Cell::new(CellConfig::default(), section(code, 0)).unwrap();
+        cell.set_strict(true);
+        cell.prepare_call("f", &[]).unwrap();
+        cell.run(200).unwrap();
+        // 3 trips of the kernel: the branch sees the counter already
+        // decremented (3 -> 2, 2 -> 1 taken; 1 -> 0 falls through).
+        assert_eq!(cell.reg(Reg::RET).unwrap(), Value::F(3.0));
+    }
+
+    #[test]
+    fn array_backpressure_counts_stalls() {
+        // Producer floods 200 sends; consumer of one section recv-adds
+        // slowly. Queue depth limits occupancy and forces stalls.
+        let send = Op { opcode: Opcode::Send(QueueDir::Right), dst: None, a: Some(Operand::ImmF(2.0)), b: None };
+        let dec = Op::new2(Opcode::ISub, Reg(12), Operand::Reg(Reg(12)), Operand::ImmI(1));
+        let producer = SectionImage {
+            name: "p".into(),
+            first_cell: 0,
+            last_cell: 0,
+            functions: vec![FunctionImage {
+                name: "main".into(),
+                code: vec![
+                    word(&[(FuKind::Alu, mov(Reg(12), Operand::ImmI(199)))], None),
+                    word(&[(FuKind::Queue, send), (FuKind::Alu, dec)], Some(BranchOp::BrTrue(Reg(12), 1))),
+                    InstructionWord::branch_only(BranchOp::Ret),
+                ],
+                data_words: 0,
+                param_count: 0,
+                returns_value: false,
+                call_relocs: vec![],
+            }],
+            data_bases: vec![0],
+            data_words: 0,
+            entry: 0,
+        };
+        let recv = Op { opcode: Opcode::Recv(QueueDir::Left), dst: Some(Reg(13)), a: None, b: None };
+        let mut consumer = producer.clone();
+        consumer.name = "c".into();
+        consumer.first_cell = 1;
+        consumer.last_cell = 1;
+        // The producer's same-word branch reads the counter before the
+        // decrement lands (200 sends from 199); the consumer's branch
+        // sits after the decrement, so it needs 200 to balance.
+        consumer.functions[0].code = vec![
+            word(&[(FuKind::Alu, mov(Reg(12), Operand::ImmI(200)))], None),
+            word(&[(FuKind::Queue, recv), (FuKind::Alu, dec)], None),
+            InstructionWord::new(),
+            InstructionWord::new(),
+            word(&[], Some(BranchOp::BrTrue(Reg(12), 1))),
+            InstructionWord::branch_only(BranchOp::Ret),
+        ];
+        let config = CellConfig { queue_depth: 4, ..CellConfig::default() };
+        let mut array = ArrayMachine::new(config, &[producer, consumer]).unwrap();
+        let stats = array.run(100_000).unwrap();
+        assert!(stats.stall_cycles > 0, "{stats:?}");
+        assert!(array.cell_mut(0).out_right.is_empty());
+        assert!(array.cell_mut(1).in_left.is_empty());
+    }
+}

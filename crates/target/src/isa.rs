@@ -1,0 +1,477 @@
+//! The Warp cell instruction set.
+//!
+//! A cell executes wide microinstruction words; each word carries at
+//! most one [`Op`] per functional unit plus an optional branch. The
+//! opcodes here are the operation repertoire the code generator
+//! targets; [`Opcode::timing`] and [`Opcode::fu_candidates`] describe
+//! the machine resources the schedulers must respect.
+
+use crate::fu::FuKind;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A physical register. The calling convention fixes `r0` as the
+/// return-value register and `r1..` as argument registers.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Reg(pub u16);
+
+impl Reg {
+    /// The return-value register (`r0`).
+    pub const RET: Reg = Reg(0);
+
+    /// The register holding argument `i` (`r1` holds argument 0).
+    pub fn arg(i: u16) -> Reg {
+        Reg(1 + i)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// An operand of a machine [`Op`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Operand {
+    /// A register.
+    Reg(Reg),
+    /// Integer immediate.
+    ImmI(i32),
+    /// Float immediate.
+    ImmF(f32),
+    /// Function-local data-memory address; the linker rebases these to
+    /// absolute [`Operand::ImmI`] addresses.
+    Addr(u32),
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::ImmI(v) => write!(f, "#{v}"),
+            Operand::ImmF(v) => write!(f, "#{v:?}"),
+            Operand::Addr(a) => write!(f, "@{a}"),
+        }
+    }
+}
+
+/// Comparison predicate of [`Opcode::ICmp`] / [`Opcode::FCmp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpKind {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl CmpKind {
+    /// `true` if this predicate accepts the ordering `ord`.
+    pub fn eval(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering;
+        match self {
+            CmpKind::Eq => ord == Ordering::Equal,
+            CmpKind::Ne => ord != Ordering::Equal,
+            CmpKind::Lt => ord == Ordering::Less,
+            CmpKind::Le => ord != Ordering::Greater,
+            CmpKind::Gt => ord == Ordering::Greater,
+            CmpKind::Ge => ord != Ordering::Less,
+        }
+    }
+}
+
+impl fmt::Display for CmpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpKind::Eq => "eq",
+            CmpKind::Ne => "ne",
+            CmpKind::Lt => "lt",
+            CmpKind::Le => "le",
+            CmpKind::Gt => "gt",
+            CmpKind::Ge => "ge",
+        })
+    }
+}
+
+/// Which neighbour a queue operation talks to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QueueDir {
+    /// The left neighbour (towards the host interface).
+    Left,
+    /// The right neighbour (towards the array output).
+    Right,
+}
+
+/// Issue timing of an opcode: result `latency` in cycles, and the
+/// `initiation_interval` its functional unit stays reserved (iterative
+/// operations such as divide occupy their unit for many cycles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Timing {
+    /// Cycles until the result is written back and readable.
+    pub latency: u32,
+    /// Cycles until the functional unit can accept another operation.
+    pub initiation_interval: u32,
+}
+
+const fn t(latency: u32, initiation_interval: u32) -> Timing {
+    Timing { latency, initiation_interval }
+}
+
+/// Latency of the integer units (ALU and AGU).
+const INT: Timing = t(1, 1);
+/// Latency of the pipelined floating-point units.
+const FP: Timing = t(5, 1);
+
+const INT_UNITS: &[FuKind] = &[FuKind::Alu, FuKind::Agu];
+const FADD_UNIT: &[FuKind] = &[FuKind::FAdd];
+const FMUL_UNIT: &[FuKind] = &[FuKind::FMul];
+const ALU_UNIT: &[FuKind] = &[FuKind::Alu];
+const MEM_UNIT: &[FuKind] = &[FuKind::Mem];
+const QUEUE_UNIT: &[FuKind] = &[FuKind::Queue];
+
+/// A machine opcode. Integer arithmetic wraps; float arithmetic is
+/// IEEE single precision, matching the reference interpreter of the
+/// language front end bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Opcode {
+    /// Integer add (wrapping).
+    IAdd,
+    /// Integer subtract (wrapping).
+    ISub,
+    /// Integer multiply (wrapping).
+    IMul,
+    /// Integer divide (iterative; faults on division by zero).
+    IDiv,
+    /// Integer remainder (iterative; faults on division by zero).
+    IMod,
+    /// Integer negate.
+    INeg,
+    /// Integer absolute value.
+    IAbs,
+    /// Integer minimum.
+    IMin,
+    /// Integer maximum.
+    IMax,
+    /// Integer compare, producing 1 or 0.
+    ICmp(CmpKind),
+    /// Float add.
+    FAdd,
+    /// Float subtract.
+    FSub,
+    /// Float multiply.
+    FMul,
+    /// Float divide (iterative on the multiplier).
+    FDiv,
+    /// Float negate.
+    FNeg,
+    /// Float absolute value.
+    FAbs,
+    /// Float minimum.
+    FMin,
+    /// Float maximum.
+    FMax,
+    /// Float square root (iterative on the multiplier).
+    FSqrt,
+    /// Sine (microcoded, iterative).
+    FSin,
+    /// Cosine (microcoded, iterative).
+    FCos,
+    /// Exponential (microcoded, iterative).
+    FExp,
+    /// Natural logarithm (microcoded, iterative).
+    FLog,
+    /// Floor, producing an *integer* result.
+    FFloor,
+    /// Float compare, producing 1 or 0 (any comparison with NaN is
+    /// false except `Ne`).
+    FCmp(CmpKind),
+    /// Integer to float conversion.
+    ItoF,
+    /// Float to integer conversion (truncating).
+    FtoI,
+    /// Boolean and (operands are 0/1).
+    BAnd,
+    /// Boolean or (operands are 0/1).
+    BOr,
+    /// Boolean not (operands are 0/1).
+    BNot,
+    /// Register/immediate copy.
+    Move,
+    /// Load a data-memory word.
+    Load,
+    /// Store a data-memory word.
+    Store,
+    /// Push a value on the outgoing queue towards a neighbour.
+    Send(QueueDir),
+    /// Pop a value from the incoming queue from a neighbour; the whole
+    /// word stalls while the queue is empty.
+    Recv(QueueDir),
+    /// Conditional select: `dst := b` if `a` is nonzero, else `dst` is
+    /// left unchanged (reads its own destination).
+    SelT,
+}
+
+impl Opcode {
+    /// Assembly mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Opcode::IAdd => "iadd",
+            Opcode::ISub => "isub",
+            Opcode::IMul => "imul",
+            Opcode::IDiv => "idiv",
+            Opcode::IMod => "imod",
+            Opcode::INeg => "ineg",
+            Opcode::IAbs => "iabs",
+            Opcode::IMin => "imin",
+            Opcode::IMax => "imax",
+            Opcode::ICmp(k) => match k {
+                CmpKind::Eq => "icmp.eq",
+                CmpKind::Ne => "icmp.ne",
+                CmpKind::Lt => "icmp.lt",
+                CmpKind::Le => "icmp.le",
+                CmpKind::Gt => "icmp.gt",
+                CmpKind::Ge => "icmp.ge",
+            },
+            Opcode::FAdd => "fadd",
+            Opcode::FSub => "fsub",
+            Opcode::FMul => "fmul",
+            Opcode::FDiv => "fdiv",
+            Opcode::FNeg => "fneg",
+            Opcode::FAbs => "fabs",
+            Opcode::FMin => "fmin",
+            Opcode::FMax => "fmax",
+            Opcode::FSqrt => "fsqrt",
+            Opcode::FSin => "fsin",
+            Opcode::FCos => "fcos",
+            Opcode::FExp => "fexp",
+            Opcode::FLog => "flog",
+            Opcode::FFloor => "ffloor",
+            Opcode::FCmp(k) => match k {
+                CmpKind::Eq => "fcmp.eq",
+                CmpKind::Ne => "fcmp.ne",
+                CmpKind::Lt => "fcmp.lt",
+                CmpKind::Le => "fcmp.le",
+                CmpKind::Gt => "fcmp.gt",
+                CmpKind::Ge => "fcmp.ge",
+            },
+            Opcode::ItoF => "itof",
+            Opcode::FtoI => "ftoi",
+            Opcode::BAnd => "band",
+            Opcode::BOr => "bor",
+            Opcode::BNot => "bnot",
+            Opcode::Move => "mov",
+            Opcode::Load => "ld",
+            Opcode::Store => "st",
+            Opcode::Send(QueueDir::Left) => "send.left",
+            Opcode::Send(QueueDir::Right) => "send.right",
+            Opcode::Recv(QueueDir::Left) => "recv.left",
+            Opcode::Recv(QueueDir::Right) => "recv.right",
+            Opcode::SelT => "selt",
+        }
+    }
+
+    /// Latency and initiation interval.
+    pub fn timing(self) -> Timing {
+        match self {
+            Opcode::IAdd
+            | Opcode::ISub
+            | Opcode::IMul
+            | Opcode::INeg
+            | Opcode::IAbs
+            | Opcode::IMin
+            | Opcode::IMax
+            | Opcode::ICmp(_)
+            | Opcode::ItoF
+            | Opcode::FtoI
+            | Opcode::BAnd
+            | Opcode::BOr
+            | Opcode::BNot
+            | Opcode::Move
+            | Opcode::SelT => INT,
+            Opcode::IDiv | Opcode::IMod => t(8, 8),
+            Opcode::FAdd | Opcode::FSub | Opcode::FMul => FP,
+            Opcode::FNeg | Opcode::FAbs | Opcode::FMin | Opcode::FMax => FP,
+            Opcode::FFloor => FP,
+            Opcode::FCmp(_) => t(1, 1),
+            Opcode::FDiv => t(12, 12),
+            Opcode::FSqrt => t(8, 8),
+            Opcode::FSin | Opcode::FCos | Opcode::FExp | Opcode::FLog => t(10, 10),
+            Opcode::Load => t(2, 1),
+            Opcode::Store => t(1, 1),
+            Opcode::Send(_) | Opcode::Recv(_) => t(1, 1),
+        }
+    }
+
+    /// Functional units able to execute this opcode. Multi-candidate
+    /// opcodes may be placed on any of them by the schedulers.
+    pub fn fu_candidates(self) -> &'static [FuKind] {
+        match self {
+            Opcode::IAdd
+            | Opcode::ISub
+            | Opcode::IMul
+            | Opcode::INeg
+            | Opcode::IAbs
+            | Opcode::IMin
+            | Opcode::IMax
+            | Opcode::ICmp(_)
+            | Opcode::ItoF
+            | Opcode::FtoI
+            | Opcode::BAnd
+            | Opcode::BOr
+            | Opcode::BNot
+            | Opcode::Move
+            | Opcode::SelT => INT_UNITS,
+            Opcode::IDiv | Opcode::IMod => ALU_UNIT,
+            Opcode::FAdd
+            | Opcode::FSub
+            | Opcode::FNeg
+            | Opcode::FAbs
+            | Opcode::FMin
+            | Opcode::FMax
+            | Opcode::FFloor
+            | Opcode::FCmp(_)
+            | Opcode::FSin
+            | Opcode::FCos
+            | Opcode::FExp
+            | Opcode::FLog => FADD_UNIT,
+            Opcode::FMul | Opcode::FDiv | Opcode::FSqrt => FMUL_UNIT,
+            Opcode::Load | Opcode::Store => MEM_UNIT,
+            Opcode::Send(_) | Opcode::Recv(_) => QUEUE_UNIT,
+        }
+    }
+}
+
+/// A machine operation: opcode, optional destination register, and up
+/// to two operands. Stores and sends have no destination.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Op {
+    /// The opcode.
+    pub opcode: Opcode,
+    /// Destination register, if the operation produces a value.
+    pub dst: Option<Reg>,
+    /// First operand.
+    pub a: Option<Operand>,
+    /// Second operand.
+    pub b: Option<Operand>,
+}
+
+impl Op {
+    /// Builds a one-operand op writing `dst`.
+    pub fn new1(opcode: Opcode, dst: Reg, a: Operand) -> Op {
+        Op { opcode, dst: Some(dst), a: Some(a), b: None }
+    }
+
+    /// Builds a two-operand op writing `dst`.
+    pub fn new2(opcode: Opcode, dst: Reg, a: Operand, b: Operand) -> Op {
+        Op { opcode, dst: Some(dst), a: Some(a), b: Some(b) }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ", self.opcode.mnemonic())?;
+        match self.dst {
+            Some(r) => write!(f, "{r}")?,
+            None => write!(f, "_")?,
+        }
+        for o in self.a.iter().chain(self.b.iter()) {
+            write!(f, ", {o}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The branch slot of an instruction word. Jump and branch targets are
+/// word indices within the current function; call targets are function
+/// indices within the section (resolved by the linker).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BranchOp {
+    /// Unconditional jump to a word of the current function.
+    Jump(u32),
+    /// Branch to a word of the current function if the register is
+    /// nonzero.
+    BrTrue(Reg, u32),
+    /// Call the function with the given index in the section.
+    Call(u32),
+    /// Return to the caller, or halt if the call stack is empty.
+    Ret,
+}
+
+impl fmt::Display for BranchOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BranchOp::Jump(w) => write!(f, "jump {w}"),
+            BranchOp::BrTrue(r, w) => write!(f, "brtrue {r}, {w}"),
+            BranchOp::Call(t) => write!(f, "call {t}"),
+            BranchOp::Ret => write!(f, "ret"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calling_convention_registers() {
+        assert_eq!(Reg::RET, Reg(0));
+        assert_eq!(Reg::arg(0), Reg(1));
+        assert_eq!(Reg::arg(3), Reg(4));
+        assert_eq!(Reg(7).to_string(), "r7");
+    }
+
+    #[test]
+    fn mnemonics_cover_directions_and_predicates() {
+        assert_eq!(Opcode::Recv(QueueDir::Left).mnemonic(), "recv.left");
+        assert_eq!(Opcode::Send(QueueDir::Right).mnemonic(), "send.right");
+        assert_eq!(Opcode::ICmp(CmpKind::Lt).mnemonic(), "icmp.lt");
+        assert_eq!(Opcode::FCmp(CmpKind::Ge).mnemonic(), "fcmp.ge");
+    }
+
+    #[test]
+    fn iterative_ops_reserve_their_unit() {
+        assert_eq!(Opcode::FDiv.timing().initiation_interval, 12);
+        assert_eq!(Opcode::IDiv.timing(), Opcode::IMod.timing());
+        assert_eq!(Opcode::IDiv.timing().latency, Opcode::IDiv.timing().initiation_interval);
+        assert_eq!(Opcode::FAdd.timing(), Timing { latency: 5, initiation_interval: 1 });
+    }
+
+    #[test]
+    fn candidates_are_consistent_with_units() {
+        use crate::fu::FuKind;
+        assert_eq!(Opcode::IAdd.fu_candidates(), &[FuKind::Alu, FuKind::Agu]);
+        assert_eq!(Opcode::FDiv.fu_candidates(), &[FuKind::FMul]);
+        assert_eq!(Opcode::Load.fu_candidates(), &[FuKind::Mem]);
+        for op in [Opcode::FSqrt, Opcode::Recv(QueueDir::Left), Opcode::Store] {
+            assert_eq!(op.fu_candidates().len(), 1, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn op_display() {
+        let op = Op::new2(
+            Opcode::IAdd,
+            Reg(12),
+            Operand::Reg(Reg(13)),
+            Operand::ImmI(2),
+        );
+        assert_eq!(op.to_string(), "iadd r12, r13, #2");
+        let st = Op {
+            opcode: Opcode::Store,
+            dst: None,
+            a: Some(Operand::Addr(3)),
+            b: Some(Operand::Reg(Reg(5))),
+        };
+        assert_eq!(st.to_string(), "st _, @3, r5");
+    }
+}

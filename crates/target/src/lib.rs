@@ -1,0 +1,29 @@
+//! The Warp cell machine model for the *Parallel Compilation for a
+//! Parallel Machine* reproduction (Gross, Zobel & Zolg, PLDI 1989).
+//!
+//! The compiler in the sibling crates targets this model; the
+//! interpreter here doubles as the correctness oracle for everything
+//! the compiler produces. The crate covers:
+//!
+//! * [`isa`] — registers, operands, opcodes with per-opcode timing and
+//!   functional-unit candidates, and branch operations;
+//! * [`fu`] — the seven functional units of a cell, the resources the
+//!   list and modulo schedulers reserve;
+//! * [`word`] — the wide microinstruction word, one slot per unit;
+//! * [`config`] — cell and array sizes ([`CellConfig`]);
+//! * [`program`] — function, section, and module code images;
+//! * [`interp`] — the cycle-accurate interpreter: a single
+//!   [`interp::Cell`] or a full [`interp::ArrayMachine`] with bounded
+//!   inter-cell queues;
+//! * [`download`] — the checksummed binary download-module format of
+//!   compiler phase 4.
+
+pub mod config;
+pub mod download;
+pub mod fu;
+pub mod interp;
+pub mod isa;
+pub mod program;
+pub mod word;
+
+pub use config::CellConfig;

@@ -1,0 +1,193 @@
+//! Code images: the output of phase 3 (per function), of the linker
+//! (per section), and of phase 4 assembly (per module).
+
+use crate::word::InstructionWord;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// An unresolved call site: word `word` of the function calls `callee`
+/// by name; the linker patches the branch slot with the callee's
+/// function index.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CallReloc {
+    /// Word index of the call within the function's code.
+    pub word: u32,
+    /// Name of the called function.
+    pub callee: String,
+}
+
+/// Compiled code of one function, before or after linking.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FunctionImage {
+    /// Function name.
+    pub name: String,
+    /// The scheduled instruction words.
+    pub code: Vec<InstructionWord>,
+    /// Words of data memory the function owns (arrays and spill
+    /// slots); function-local until the linker assigns a base.
+    pub data_words: u32,
+    /// Number of parameters (passed in `r1..`).
+    pub param_count: u16,
+    /// `true` if the function leaves a value in `r0`.
+    pub returns_value: bool,
+    /// Call sites still to be resolved; empty once linked.
+    pub call_relocs: Vec<CallReloc>,
+}
+
+impl FunctionImage {
+    /// Number of instruction words.
+    pub fn code_words(&self) -> u32 {
+        self.code.len() as u32
+    }
+
+    /// `true` once every call site has been resolved.
+    pub fn is_linked(&self) -> bool {
+        self.call_relocs.is_empty()
+    }
+}
+
+/// The linked code of one section: every function of the section with
+/// data-memory bases assigned and calls resolved, ready to run on the
+/// cells `first_cell..=last_cell`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SectionImage {
+    /// Section name.
+    pub name: String,
+    /// First cell the section occupies.
+    pub first_cell: u32,
+    /// Last cell the section occupies (inclusive).
+    pub last_cell: u32,
+    /// The linked functions.
+    pub functions: Vec<FunctionImage>,
+    /// Absolute data-memory base of each function, parallel to
+    /// `functions`.
+    pub data_bases: Vec<u32>,
+    /// Total data-memory words of the section.
+    pub data_words: u32,
+    /// Index of the entry function each cell starts in.
+    pub entry: usize,
+}
+
+impl SectionImage {
+    /// Total instruction words over all functions.
+    pub fn code_words(&self) -> u32 {
+        self.functions.iter().map(FunctionImage::code_words).sum()
+    }
+
+    /// Index of the function named `name`.
+    pub fn function_index(&self, name: &str) -> Option<usize> {
+        self.functions.iter().position(|f| f.name == name)
+    }
+
+    /// A human-readable listing of the whole section.
+    pub fn disassemble(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "section {} on cells {}..{} ({} words code, {} words data)",
+            self.name,
+            self.first_cell,
+            self.last_cell,
+            self.code_words(),
+            self.data_words
+        );
+        for (i, f) in self.functions.iter().enumerate() {
+            let entry = if i == self.entry { " (entry)" } else { "" };
+            let base = self.data_bases.get(i).copied().unwrap_or(0);
+            let _ = writeln!(
+                s,
+                "fn {} {}{entry}: {} words, data base @{base}",
+                i,
+                f.name,
+                f.code.len()
+            );
+            for (w, word) in f.code.iter().enumerate() {
+                let _ = writeln!(s, "  {w:4}: {word}");
+            }
+        }
+        s
+    }
+}
+
+/// A fully assembled module: the download image of phase 4. One
+/// [`SectionImage`] per section program, plus the generated host I/O
+/// driver source.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModuleImage {
+    /// Module name.
+    pub name: String,
+    /// One linked image per section.
+    pub section_images: Vec<SectionImage>,
+    /// Generated host-side I/O driver (source text).
+    pub io_driver: String,
+}
+
+impl ModuleImage {
+    /// Size of the download image in 32-bit words: four words per
+    /// instruction, one per data word, plus per-section headers and
+    /// the I/O driver text.
+    pub fn download_words(&self) -> u32 {
+        let sections: u32 = self
+            .section_images
+            .iter()
+            .map(|s| 8 + s.code_words() * 4 + s.data_words)
+            .sum();
+        8 + sections + (self.io_driver.len() as u32).div_ceil(4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{BranchOp, Op, Opcode, Operand, Reg};
+    use crate::word::InstructionWord;
+
+    fn tiny_section() -> SectionImage {
+        let mut w = InstructionWord::new();
+        w.replace(
+            crate::fu::FuKind::Alu,
+            Op::new1(Opcode::Move, Reg(0), Operand::ImmI(7)),
+        );
+        SectionImage {
+            name: "main".into(),
+            first_cell: 0,
+            last_cell: 0,
+            functions: vec![FunctionImage {
+                name: "f".into(),
+                code: vec![w, InstructionWord::branch_only(BranchOp::Ret)],
+                data_words: 4,
+                param_count: 0,
+                returns_value: true,
+                call_relocs: vec![],
+            }],
+            data_bases: vec![0],
+            data_words: 4,
+            entry: 0,
+        }
+    }
+
+    #[test]
+    fn sizes_and_lookup() {
+        let sec = tiny_section();
+        assert_eq!(sec.code_words(), 2);
+        assert_eq!(sec.function_index("f"), Some(0));
+        assert_eq!(sec.function_index("g"), None);
+        assert!(sec.functions[0].is_linked());
+
+        let m = ModuleImage {
+            name: "m".into(),
+            section_images: vec![sec],
+            io_driver: "drive".into(),
+        };
+        assert!(m.download_words() > 0);
+    }
+
+    #[test]
+    fn disassembly_mentions_every_word() {
+        let sec = tiny_section();
+        let text = sec.disassemble();
+        assert!(text.contains("section main"));
+        assert!(text.contains("mov r0, #7"));
+        assert!(text.contains("ret"));
+    }
+}

@@ -1,0 +1,131 @@
+//! The wide microinstruction word: one slot per functional unit plus a
+//! branch slot.
+
+use crate::fu::FuKind;
+use crate::isa::{BranchOp, Op};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error from [`InstructionWord::place`]: the slot already holds an
+/// operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotOccupied {
+    /// The unit whose slot was already taken.
+    pub fu: FuKind,
+}
+
+impl fmt::Display for SlotOccupied {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} slot already occupied", self.fu)
+    }
+}
+
+impl std::error::Error for SlotOccupied {}
+
+/// One wide instruction word. Every cycle the cell issues one word:
+/// all placed operations start together, and the branch (if any)
+/// redirects the program counter for the next cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct InstructionWord {
+    slots: [Option<Op>; 7],
+    /// The branch slot.
+    pub branch: Option<BranchOp>,
+}
+
+impl InstructionWord {
+    /// An empty word (a machine no-op).
+    pub fn new() -> InstructionWord {
+        InstructionWord::default()
+    }
+
+    /// A word holding only a branch.
+    pub fn branch_only(branch: BranchOp) -> InstructionWord {
+        InstructionWord { slots: Default::default(), branch: Some(branch) }
+    }
+
+    /// Places `op` in the slot of `fu`; fails if the slot is taken.
+    pub fn place(&mut self, fu: FuKind, op: Op) -> Result<(), SlotOccupied> {
+        let slot = &mut self.slots[fu.slot_index()];
+        if slot.is_some() {
+            return Err(SlotOccupied { fu });
+        }
+        *slot = Some(op);
+        Ok(())
+    }
+
+    /// Overwrites the slot of `fu` with `op`.
+    pub fn replace(&mut self, fu: FuKind, op: Op) {
+        self.slots[fu.slot_index()] = Some(op);
+    }
+
+    /// The operation in the slot of `fu`, if any.
+    pub fn slot(&self, fu: FuKind) -> Option<&Op> {
+        self.slots[fu.slot_index()].as_ref()
+    }
+
+    /// `true` if no operation is placed and there is no branch.
+    pub fn is_empty(&self) -> bool {
+        self.branch.is_none() && self.slots.iter().all(Option::is_none)
+    }
+
+    /// The placed operations with their units, in slot order.
+    pub fn ops(&self) -> impl Iterator<Item = (FuKind, &Op)> {
+        FuKind::ALL
+            .into_iter()
+            .filter_map(move |fu| self.slots[fu.slot_index()].as_ref().map(|op| (fu, op)))
+    }
+}
+
+impl fmt::Display for InstructionWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        let mut first = true;
+        for (_, op) in self.ops() {
+            if !first {
+                write!(f, " | ")?;
+            }
+            write!(f, "{op}")?;
+            first = false;
+        }
+        if let Some(b) = &self.branch {
+            if !first {
+                write!(f, " | ")?;
+            }
+            write!(f, "br: {b}")?;
+            first = false;
+        }
+        if first {
+            write!(f, "nop")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Opcode, Operand, Reg};
+
+    fn iadd() -> Op {
+        Op::new2(Opcode::IAdd, Reg(12), Operand::Reg(Reg(13)), Operand::ImmI(1))
+    }
+
+    #[test]
+    fn place_rejects_double_booking() {
+        let mut w = InstructionWord::new();
+        assert!(w.is_empty());
+        w.place(FuKind::Alu, iadd()).unwrap();
+        assert_eq!(w.place(FuKind::Alu, iadd()), Err(SlotOccupied { fu: FuKind::Alu }));
+        w.place(FuKind::Agu, iadd()).unwrap();
+        assert_eq!(w.ops().count(), 2);
+        assert!(w.slot(FuKind::Alu).is_some());
+        assert!(w.slot(FuKind::Mem).is_none());
+    }
+
+    #[test]
+    fn branch_only_word_displays() {
+        let w = InstructionWord::branch_only(BranchOp::Jump(3));
+        assert_eq!(w.to_string(), "[br: jump 3]");
+        assert_eq!(InstructionWord::new().to_string(), "[nop]");
+    }
+}

@@ -165,7 +165,7 @@ impl Gen<'_> {
         let mut kernel_seq = 0usize;
         while remaining > 0 {
             let overhead = 2 * max_depth;
-            if remaining >= overhead + 1 && kernel_width > 1 || remaining == overhead + kernel_width
+            if remaining > overhead && kernel_width > 1 || remaining == overhead + kernel_width
             {
                 // A perfect nest: max_depth headers, B statements, ends.
                 let b = kernel_width.min(remaining - overhead);

@@ -1,0 +1,144 @@
+//! Offline stand-in for `criterion`, wide enough to compile and run the
+//! workspace's benches. It measures one timed pass per benchmark and
+//! prints the wall time — a smoke-run harness, not a statistics engine.
+//! Every bench closure still executes, so `cargo bench` doubles as an
+//! end-to-end check of the paths the benches exercise.
+
+use std::fmt;
+use std::time::Instant;
+
+/// Names a parameterized benchmark, as `group/function/parameter`.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id built from a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { name: format!("{}/{parameter}", function.into()) }
+    }
+
+    /// An id built from the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Passed to bench closures; `iter` runs and times the workload.
+pub struct Bencher {
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Runs `routine` once and records its wall time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let out = routine();
+        self.elapsed_ns = start.elapsed().as_nanos();
+        std::hint::black_box(out);
+    }
+}
+
+fn run_one(label: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher { elapsed_ns: 0 };
+    f(&mut b);
+    println!("bench {label}: {} ns/iter", b.elapsed_ns);
+}
+
+/// The benchmark driver handed to `criterion_group!` functions.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// A fresh driver.
+    pub fn new() -> Criterion {
+        Criterion::default()
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Criterion {
+        run_one(name, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _c: self, name: name.to_string() }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the smoke runner always does one
+    /// pass regardless.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(&format!("{}/{name}", self.name), f);
+        self
+    }
+
+    /// Runs a parameterized benchmark within the group.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{id}", self.name), |b| f(b, input));
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group function that runs each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::new();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` to run the listed group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_surface_compiles_and_runs() {
+        let mut c = Criterion::new();
+        c.bench_function("alone", |b| b.iter(|| 2 + 2));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10);
+        g.bench_function("inner", |b| b.iter(|| 3 * 3));
+        g.bench_with_input(BenchmarkId::new("param", 4), &4, |b, &x| b.iter(|| x * x));
+        g.bench_with_input(BenchmarkId::from_parameter(9), &9, |b, &x| b.iter(|| x + 1));
+        g.finish();
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only *decorates* types with `#[derive(Serialize,
+//! Deserialize)]`; nothing in-tree ever serializes. This crate provides
+//! the two trait names and re-exports the no-op derive macros so the
+//! build works without a registry. Derive macros and traits live in
+//! separate namespaces, so both exports coexist like in real serde.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Name-compatible stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Name-compatible stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -59,7 +59,7 @@ fn fconst(rng: &mut SmallRng) -> String {
 /// in-bounds index expression or a constant.
 fn fexpr(rng: &mut SmallRng, depth: usize) -> String {
     let idx = if depth > 0 {
-        format!("i{}", "") // loop var `i` is in scope inside loops
+        "i".to_string() // loop var `i` is in scope inside loops
     } else {
         format!("{}", rng.gen_range(0..24))
     };
@@ -68,13 +68,13 @@ fn fexpr(rng: &mut SmallRng, depth: usize) -> String {
         1 => format!("a[{idx}]"),
         2 => format!("b[{idx}]"),
         3 => "x".to_string(),
-        4 => format!("float(k) * 0.001"),
+        4 => "float(k) * 0.001".to_string(),
         5 => format!("sqrt(abs({}) + 0.5)", tvar(rng)),
         6 => format!("min({}, {})", tvar(rng), fconst(rng)),
         _ => fconst(rng),
     };
     if rng.gen_bool(0.5) {
-        let op = ["+", "-", "*"][rng.gen_range(0..3)];
+        let op = ["+", "-", "*"][rng.gen_range(0..3usize)];
         format!("{base} {op} {}", tvar(rng))
     } else {
         base
@@ -205,14 +205,20 @@ fn gen_stmt(rng: &mut SmallRng, out: &mut String, depth: usize) {
     }
 }
 
-fn machine_run_with(src: &str, x: f32, n: i32, opts: &CompileOptions) -> (f32, Vec<f32>, Vec<f32>) {
+fn machine_run_named(
+    src: &str,
+    fname: &str,
+    x: f32,
+    n: i32,
+    opts: &CompileOptions,
+) -> (f32, Vec<f32>, Vec<f32>) {
     let result = compile_module_source(src, opts)
         .unwrap_or_else(|e| panic!("compile failed: {e}\n{src}"));
     let image = result.module_image.section_images.into_iter().next().expect("section");
     let mut cell = Cell::new(opts.cell, image).expect("cell");
     cell.set_strict(true);
-    cell.prepare_call("f", &[Value::F(x), Value::I(n)]).expect("prepare");
-    cell.run(50_000_000).unwrap_or_else(|e| {
+    cell.prepare_call(fname, &[Value::F(x), Value::I(n)]).expect("prepare");
+    cell.run(4_000_000_000).unwrap_or_else(|e| {
         let (fi, pc, word) = cell.debug_position();
         panic!("machine error at fn{fi} pc{pc} ({word}): {e}\n{src}")
     });
@@ -229,11 +235,15 @@ fn machine_run_with(src: &str, x: f32, n: i32, opts: &CompileOptions) -> (f32, V
     (ret, left, right)
 }
 
-fn reference_run(src: &str, x: f32, n: i32) -> (f32, Vec<f32>, Vec<f32>) {
+fn machine_run_with(src: &str, x: f32, n: i32, opts: &CompileOptions) -> (f32, Vec<f32>, Vec<f32>) {
+    machine_run_named(src, "f", x, n, opts)
+}
+
+fn reference_run_named(src: &str, fname: &str, x: f32, n: i32) -> (f32, Vec<f32>, Vec<f32>) {
     let checked = phase1(src).expect("phase1");
-    let mut it = AstInterp::new(&checked, 0, 100_000_000);
+    let mut it = AstInterp::new(&checked, 0, 1_000_000_000);
     let got = it
-        .call("f", &[RtValue::F(x), RtValue::I(n)])
+        .call(fname, &[RtValue::F(x), RtValue::I(n)])
         .unwrap_or_else(|e| panic!("reference error: {e}\n{src}"))
         .expect("return value");
     let ret = match got {
@@ -247,6 +257,10 @@ fn reference_run(src: &str, x: f32, n: i32) -> (f32, Vec<f32>, Vec<f32>) {
     let left: Vec<f32> = it.queues.out_left.iter().map(fl).collect();
     let right: Vec<f32> = it.queues.out_right.iter().map(fl).collect();
     (ret, left, right)
+}
+
+fn reference_run(src: &str, x: f32, n: i32) -> (f32, Vec<f32>, Vec<f32>) {
+    reference_run_named(src, "f", x, n)
 }
 
 fn check_one_with(seed: u64, x: f32, n: i32, opts: &CompileOptions, label: &str) {
@@ -269,22 +283,32 @@ fn check_one(seed: u64, x: f32, n: i32) {
 
 /// All optimization-option sets the differential suite exercises.
 fn option_matrix() -> Vec<(CompileOptions, &'static str)> {
-    let mut inlined = CompileOptions::default();
-    inlined.inline = Some(warp_ir::InlinePolicy::default());
-    let mut unrolled = CompileOptions::default();
-    unrolled.unroll = Some(warp_ir::UnrollPolicy::default());
-    let mut ifconv = CompileOptions::default();
-    ifconv.if_convert = Some(warp_ir::IfConvPolicy::default());
-    let mut all = CompileOptions::default();
-    all.inline = Some(warp_ir::InlinePolicy::default());
-    all.unroll = Some(warp_ir::UnrollPolicy::default());
-    all.if_convert = Some(warp_ir::IfConvPolicy::default());
+    let inlined = CompileOptions {
+        inline: Some(warp_ir::InlinePolicy::default()),
+        ..CompileOptions::default()
+    };
+    let unrolled = CompileOptions {
+        unroll: Some(warp_ir::UnrollPolicy::default()),
+        ..CompileOptions::default()
+    };
+    let ifconv = CompileOptions {
+        if_convert: Some(warp_ir::IfConvPolicy::default()),
+        ..CompileOptions::default()
+    };
+    let all = CompileOptions {
+        inline: Some(warp_ir::InlinePolicy::default()),
+        unroll: Some(warp_ir::UnrollPolicy::default()),
+        if_convert: Some(warp_ir::IfConvPolicy::default()),
+        ..CompileOptions::default()
+    };
     // A starved register file: 20 registers leave only 8 allocatable,
     // forcing heavy spilling (including the SelT read-modify-write
     // spill path) through the whole pipeline.
-    let mut tight = CompileOptions::default();
-    tight.cell = CellConfig { num_regs: 20, ..CellConfig::default() };
-    tight.if_convert = Some(warp_ir::IfConvPolicy::default());
+    let tight = CompileOptions {
+        cell: CellConfig { num_regs: 20, ..CellConfig::default() },
+        if_convert: Some(warp_ir::IfConvPolicy::default()),
+        ..CompileOptions::default()
+    };
     vec![
         (CompileOptions::default(), "baseline"),
         (inlined, "inline"),
@@ -326,17 +350,69 @@ fn optimizations_preserve_semantics() {
     }
 }
 
-#[test]
-fn workload_functions_compile_and_verify_schedules() {
-    // The paper's benchmark functions go through the full pipeline and
-    // execute on the strict interpreter (schedule verification). They
-    // read uninitialized (integer-zero) memory as floats, so we only
-    // check that compilation succeeds and images link — execution
-    // correctness is covered by the differential tests above.
-    for size in warp_workload::FunctionSize::ALL {
-        let src = warp_workload::synthetic_program(size, 2);
-        let r = compile_module_source(&src, &CompileOptions::default())
-            .unwrap_or_else(|e| panic!("{size}: {e}"));
-        assert!(r.module_image.section_images[0].functions.iter().all(|f| f.is_linked()));
+/// Differential check of the workload functions of one size: full
+/// pipeline + strict machine interpreter vs. the AST reference
+/// interpreter, bit-identical.
+fn check_workload(
+    size: warp_workload::FunctionSize,
+    n_functions: usize,
+    opts: &CompileOptions,
+    label: &str,
+) {
+    let src = warp_workload::synthetic_program(size, n_functions);
+    for k in 1..=n_functions {
+        let fname = format!("{}_{k}", size.paper_name());
+        let (x, n) = (1.375f32, 6i32);
+        let (m_ret, m_l, m_r) = machine_run_named(&src, &fname, x, n, opts);
+        let (r_ret, r_l, r_r) = reference_run_named(&src, &fname, x, n);
+        assert_eq!(
+            m_ret.to_bits(),
+            r_ret.to_bits(),
+            "{fname} [{label}]: machine {m_ret} vs reference {r_ret}"
+        );
+        let bits = |v: &[f32]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&m_l), bits(&r_l), "{fname} [{label}]: left queue");
+        assert_eq!(bits(&m_r), bits(&r_r), "{fname} [{label}]: right queue");
     }
+}
+
+#[test]
+fn workload_f_tiny_matches_reference() {
+    // The paper's benchmark functions execute end-to-end on the strict
+    // interpreter (which verifies the generated schedules) and must
+    // match the reference interpreter bit-for-bit. The smallest size
+    // also runs the full optimization matrix.
+    for (opts, label) in option_matrix() {
+        check_workload(warp_workload::FunctionSize::Tiny, 2, &opts, label);
+    }
+}
+
+#[test]
+fn workload_f_small_matches_reference() {
+    check_workload(warp_workload::FunctionSize::Small, 2, &CompileOptions::default(), "baseline");
+}
+
+#[test]
+fn workload_f_medium_matches_reference() {
+    check_workload(warp_workload::FunctionSize::Medium, 2, &CompileOptions::default(), "baseline");
+}
+
+#[test]
+fn workload_f_large_matches_reference() {
+    // The two largest sizes run billions of machine cycles; one
+    // function each keeps the suite's runtime in check.
+    check_workload(warp_workload::FunctionSize::Large, 1, &CompileOptions::default(), "baseline");
+}
+
+#[test]
+fn workload_f_huge_matches_reference() {
+    // The biggest function gets the whole optimizer: inlining,
+    // unrolling, if-conversion — which also shortens its schedules.
+    let all = CompileOptions {
+        inline: Some(warp_ir::InlinePolicy::default()),
+        unroll: Some(warp_ir::UnrollPolicy::default()),
+        if_convert: Some(warp_ir::IfConvPolicy::default()),
+        ..CompileOptions::default()
+    };
+    check_workload(warp_workload::FunctionSize::Huge, 1, &all, "inline+unroll+ifconv");
 }

@@ -1,0 +1,98 @@
+//! Golden-file test pinning the phase-4 download format.
+//!
+//! The encoded bytes of a fixed fixture module are compared against
+//! `tests/golden/download_fixture.bin`. Any change to the binary
+//! format — field order, widths, tags, checksum — shows up as a diff
+//! here and must be deliberate. Regenerate with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test download_golden
+//! ```
+
+use warp_target::download;
+use warp_target::isa::{BranchOp, CmpKind, Op, Opcode, Operand, Reg};
+use warp_target::program::{CallReloc, FunctionImage, ModuleImage, SectionImage};
+use warp_target::word::InstructionWord;
+use warp_target::fu::FuKind;
+
+const GOLDEN: &str = "tests/golden/download_fixture.bin";
+
+/// A small module exercising every encoded construct: all operand
+/// kinds, every branch kind, multiple functions, relocations, and
+/// per-function data.
+fn fixture() -> ModuleImage {
+    let mut kernel_word = InstructionWord::new();
+    kernel_word
+        .place(FuKind::FAdd, Op::new2(Opcode::FAdd, Reg(13), Operand::Reg(Reg(13)), Operand::ImmF(1.5)))
+        .unwrap();
+    kernel_word
+        .place(FuKind::Alu, Op::new2(Opcode::ISub, Reg(12), Operand::Reg(Reg(12)), Operand::ImmI(1)))
+        .unwrap();
+    kernel_word
+        .place(FuKind::Mem, Op::new1(Opcode::Load, Reg(14), Operand::Addr(2)))
+        .unwrap();
+
+    let mut cmp_word = InstructionWord::new();
+    cmp_word
+        .place(FuKind::Agu, Op::new2(Opcode::ICmp(CmpKind::Ge), Reg(15), Operand::Reg(Reg(12)), Operand::ImmI(0)))
+        .unwrap();
+    cmp_word.branch = Some(BranchOp::BrTrue(Reg(15), 0));
+
+    let main = FunctionImage {
+        name: "main".into(),
+        code: vec![
+            kernel_word,
+            cmp_word,
+            InstructionWord::branch_only(BranchOp::Call(1)),
+            InstructionWord::branch_only(BranchOp::Jump(1)),
+            InstructionWord::branch_only(BranchOp::Ret),
+        ],
+        data_words: 4,
+        param_count: 2,
+        returns_value: true,
+        call_relocs: vec![CallReloc { word: 2, callee: "helper".into() }],
+    };
+    let helper = FunctionImage {
+        name: "helper".into(),
+        code: vec![InstructionWord::branch_only(BranchOp::Ret)],
+        data_words: 0,
+        param_count: 0,
+        returns_value: false,
+        call_relocs: vec![],
+    };
+    ModuleImage {
+        name: "fixture".into(),
+        section_images: vec![SectionImage {
+            name: "s0".into(),
+            first_cell: 0,
+            last_cell: 9,
+            functions: vec![main, helper],
+            data_bases: vec![0, 4],
+            data_words: 4,
+            entry: 0,
+        }],
+        io_driver: "generated host loop".into(),
+    }
+}
+
+#[test]
+fn download_encoding_matches_golden_file() {
+    let module = fixture();
+    let bytes = download::encode(&module).expect("encode");
+    assert_eq!(&bytes[..8], download::MAGIC, "image must open with the magic");
+    assert_eq!(download::decode(&bytes).expect("decode"), module);
+
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN, &bytes).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read(GOLDEN)
+        .expect("golden file missing — run with UPDATE_GOLDEN=1 to create it");
+    assert_eq!(
+        bytes, golden,
+        "download encoding changed ({} vs {} bytes); if intentional, \
+         regenerate with UPDATE_GOLDEN=1",
+        bytes.len(),
+        golden.len()
+    );
+}

@@ -1,0 +1,239 @@
+//! Property tests for the machine model.
+//!
+//! Three contracts of `warp-target` that the schedulers and the phase-4
+//! downloader rely on:
+//!
+//! * an [`InstructionWord`] can never hold two operations on the same
+//!   functional-unit slot;
+//! * the strict interpreter's structural-hazard detection agrees
+//!   exactly with the reservation-table model (`Opcode::timing`) for
+//!   random operation sequences;
+//! * the download format round-trips bit-exactly and its checksum
+//!   rejects any single-bit corruption.
+
+use proptest::prelude::*;
+use warp_target::download;
+use warp_target::fu::FuKind;
+use warp_target::interp::{Cell, FaultKind, InterpError};
+use warp_target::isa::{BranchOp, CmpKind, Op, Opcode, Operand, Reg};
+use warp_target::program::{CallReloc, FunctionImage, ModuleImage, SectionImage};
+use warp_target::word::InstructionWord;
+use warp_target::CellConfig;
+
+/// Pool of side-effect-free computational opcodes (constant divisors
+/// keep the iterative ops fault-free).
+const OPCODES: [Opcode; 14] = [
+    Opcode::IAdd,
+    Opcode::ISub,
+    Opcode::IMul,
+    Opcode::IDiv,
+    Opcode::IMod,
+    Opcode::IMin,
+    Opcode::ICmp(CmpKind::Lt),
+    Opcode::FAdd,
+    Opcode::FSub,
+    Opcode::FMul,
+    Opcode::FDiv,
+    Opcode::FSqrt,
+    Opcode::FExp,
+    Opcode::FMax,
+];
+
+/// A closed operation: immediates only, so it cannot fault on operand
+/// definedness, memory, or queues.
+fn closed_op(opcode: Opcode, dst: u16) -> Op {
+    let int = |v: i32| Operand::ImmI(v);
+    let flt = |v: f32| Operand::ImmF(v);
+    match opcode {
+        Opcode::IAdd | Opcode::ISub | Opcode::IMul | Opcode::IMin | Opcode::ICmp(_) => {
+            Op::new2(opcode, Reg(dst), int(21), int(4))
+        }
+        Opcode::IDiv | Opcode::IMod => Op::new2(opcode, Reg(dst), int(21), int(4)),
+        Opcode::FSqrt | Opcode::FExp => Op::new1(opcode, Reg(dst), flt(1.75)),
+        _ => Op::new2(opcode, Reg(dst), flt(1.75), flt(0.5)),
+    }
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0usize..OPCODES.len(), 12u16..28).prop_map(|(i, dst)| closed_op(OPCODES[i], dst))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Placing operations into a word succeeds exactly when the unit's
+    /// slot is still free, and never displaces an earlier occupant.
+    #[test]
+    fn instruction_words_never_double_book_a_slot(
+        placements in proptest::collection::vec((0usize..7, op_strategy()), 1..20)
+    ) {
+        let mut word = InstructionWord::new();
+        let mut occupant: [Option<Op>; 7] = [None; 7];
+        for (slot, op) in placements {
+            let fu = FuKind::ALL[slot];
+            let res = word.place(fu, op);
+            prop_assert_eq!(res.is_ok(), occupant[slot].is_none());
+            if occupant[slot].is_none() {
+                occupant[slot] = Some(op);
+            }
+        }
+        let expected = occupant.iter().flatten().count();
+        prop_assert_eq!(word.ops().count(), expected);
+        for fu in FuKind::ALL {
+            prop_assert_eq!(word.slot(fu).copied(), occupant[fu.slot_index()]);
+        }
+    }
+
+    /// The strict interpreter's hazard detection agrees with the
+    /// reservation-table model: a schedule padded per
+    /// `initiation_interval` always runs; the same ops packed
+    /// back-to-back fault if and only if the model says a unit is
+    /// still reserved.
+    #[test]
+    fn reservation_tables_and_strict_interpreter_agree(
+        ops in proptest::collection::vec(op_strategy(), 1..24)
+    ) {
+        // Legal schedule: pad every op to its unit's next free cycle.
+        let mut code = Vec::new();
+        let mut free = [0u64; 7];
+        for op in &ops {
+            let fu = op.opcode.fu_candidates()[0];
+            while (code.len() as u64) < free[fu.slot_index()] {
+                code.push(InstructionWord::new());
+            }
+            let mut w = InstructionWord::new();
+            w.place(fu, *op).unwrap();
+            free[fu.slot_index()] =
+                code.len() as u64 + u64::from(op.opcode.timing().initiation_interval);
+            code.push(w);
+        }
+        code.push(InstructionWord::branch_only(BranchOp::Ret));
+        run_strict(code).unwrap();
+
+        // Dense schedule: one op per consecutive word, no padding.
+        let mut code = Vec::new();
+        let mut free = [0u64; 7];
+        let mut violates = false;
+        for op in &ops {
+            let fu = op.opcode.fu_candidates()[0];
+            let cycle = code.len() as u64;
+            violates |= cycle < free[fu.slot_index()];
+            free[fu.slot_index()] = cycle + u64::from(op.opcode.timing().initiation_interval);
+            let mut w = InstructionWord::new();
+            w.place(fu, *op).unwrap();
+            code.push(w);
+        }
+        code.push(InstructionWord::branch_only(BranchOp::Ret));
+        match run_strict(code) {
+            Ok(()) => prop_assert!(!violates, "model predicted a hazard, none faulted"),
+            Err(InterpError::Fault { kind: FaultKind::StructuralHazard(_), .. }) => {
+                prop_assert!(violates, "faulted on a schedule the model calls legal")
+            }
+            Err(e) => prop_assert!(false, "unexpected error: {}", e),
+        }
+    }
+
+    /// `download::encode` → `decode` is the identity, and flipping any
+    /// single bit of the image makes `decode` reject it.
+    #[test]
+    fn download_round_trips_and_checksum_rejects_corruption(
+        module in module_strategy(),
+        flip in any::<u32>(),
+    ) {
+        let bytes = download::encode(&module).expect("encode");
+        let decoded = download::decode(&bytes).expect("decode");
+        prop_assert_eq!(&decoded, &module);
+
+        let mut corrupt = bytes.clone();
+        let pos = flip as usize % corrupt.len();
+        let bit = 1u8 << (flip % 8);
+        corrupt[pos] ^= bit;
+        prop_assert!(
+            download::decode(&corrupt).is_err(),
+            "decode accepted an image with bit {} of byte {} flipped",
+            flip % 8,
+            pos
+        );
+    }
+}
+
+fn run_strict(code: Vec<InstructionWord>) -> Result<(), InterpError> {
+    let image = SectionImage {
+        name: "s".into(),
+        first_cell: 0,
+        last_cell: 0,
+        functions: vec![FunctionImage {
+            name: "f".into(),
+            code,
+            data_words: 0,
+            param_count: 0,
+            returns_value: false,
+            call_relocs: vec![],
+        }],
+        data_bases: vec![0],
+        data_words: 0,
+        entry: 0,
+    };
+    let mut cell = Cell::new(CellConfig::default(), image).expect("cell");
+    cell.set_strict(true);
+    cell.prepare_call("f", &[]).expect("prepare");
+    cell.run(10_000).map(|_| ())
+}
+
+fn word_strategy() -> impl Strategy<Value = InstructionWord> {
+    (
+        proptest::collection::vec((0usize..6, op_strategy()), 0..4),
+        0u32..3,
+    )
+        .prop_map(|(placements, br)| {
+            let mut w = InstructionWord::new();
+            for (slot, op) in placements {
+                // Duplicate slots lose the race; that is fine here.
+                let _ = w.place(FuKind::ALL[slot], op);
+            }
+            w.branch = match br {
+                0 => None,
+                1 => Some(BranchOp::Jump(3)),
+                _ => Some(BranchOp::Ret),
+            };
+            w
+        })
+}
+
+fn function_strategy() -> impl Strategy<Value = FunctionImage> {
+    (
+        proptest::sample::select(vec!["f", "g", "kernel", "main"]),
+        proptest::collection::vec(word_strategy(), 1..12),
+        0u32..64,
+        0u16..4,
+        proptest::bool::ANY,
+    )
+        .prop_map(|(name, code, data_words, param_count, returns_value)| FunctionImage {
+            name: name.to_string(),
+            code,
+            data_words,
+            param_count,
+            returns_value,
+            call_relocs: vec![CallReloc { word: 0, callee: "g".into() }],
+        })
+}
+
+fn module_strategy() -> impl Strategy<Value = ModuleImage> {
+    proptest::collection::vec(function_strategy(), 1..4).prop_map(|functions| {
+        let data_bases = functions.iter().map(|f| f.data_words).collect();
+        let data_words = functions.iter().map(|f| f.data_words).sum();
+        ModuleImage {
+            name: "m".into(),
+            section_images: vec![SectionImage {
+                name: "s".into(),
+                first_cell: 0,
+                last_cell: 9,
+                functions,
+                data_bases,
+                data_words,
+                entry: 0,
+            }],
+            io_driver: "host loop".into(),
+        }
+    })
+}
