@@ -1,0 +1,43 @@
+//! # warp-analyze
+//!
+//! Static verification and lint subsystem for the Warp parallel
+//! compiler. Three layers, one per compiler representation:
+//!
+//! * **source** — the W2 lints ([`warp_lang::lint`], re-exported
+//!   here): unused variables, dead assignments, unreachable code;
+//! * **IR** — the phase-2 verifier ([`warp_ir::verify`], re-exported
+//!   here): CFG well-formedness, type consistency, def-before-use. It
+//!   runs at every pass boundary when `verify_each_pass` is enabled;
+//! * **machine code** — the [`machine`] verifier replays reservation
+//!   tables and writeback latencies over emitted
+//!   [`warp_target::program::FunctionImage`]s without executing them,
+//!   rejecting everything the strict interpreter would fault on
+//!   structurally; the [`schedule`] checker re-derives the modulo
+//!   schedule invariants (II ≥ resource MII, stage layout, counter
+//!   protocol) from phase 3's recorded loop plans.
+//!
+//! The machine verifier is *sound* with respect to the strict
+//! interpreter for structural faults: any `UninitializedRead`,
+//! `StructuralHazard`, `PcOutOfBounds`, `BadCallTarget`,
+//! `MissingOperand` or `BadRegister` fault the interpreter can raise
+//! is flagged statically (data-dependent faults — division by a
+//! runtime zero, a computed address out of bounds — are out of scope).
+//! The differential property test in the workspace root exercises this
+//! claim with hundreds of random single-point image corruptions.
+
+#![warn(missing_docs)]
+
+pub mod machine;
+pub mod schedule;
+
+pub use machine::{
+    verify_function_image, verify_module_image, verify_section_image, MachineError,
+};
+pub use schedule::{
+    resource_mii, verify_function_schedule, verify_pipelined_loop, ScheduleError,
+};
+
+// The source- and IR-level layers live with their representations;
+// re-export them so drivers depend on one analysis crate.
+pub use warp_ir::verify::{verify_after, verify_func, VerifyError};
+pub use warp_lang::lint::{lint_function, lint_module};

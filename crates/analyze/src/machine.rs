@@ -1,0 +1,758 @@
+//! Static verification of machine code images.
+//!
+//! Re-checks, *without executing*, every structural property the strict
+//! interpreter ([`warp_target::interp::Cell`]) enforces at run time:
+//!
+//! * **word legality** — every op sits on a functional unit that can
+//!   execute it, carries the operands its opcode needs, and names only
+//!   registers that exist in the configuration;
+//! * **control flow** — branch and call targets are in range, calls are
+//!   resolved (or covered by a relocation in unlinked images), and no
+//!   path can fall off the end of the code;
+//! * **structural hazards** — an op on a multi-cycle functional unit
+//!   (`initiation_interval > 1`) is never followed, along *any* control
+//!   path, by another op on the same unit within the occupancy window.
+//!   This is sound because a word issued `d` words later executes at
+//!   least `d` cycles later (queue stalls only widen the gap);
+//! * **definedness** — a latency-aware forward dataflow over the words
+//!   proves that no register is read before a writeback has landed in
+//!   it on every path, mirroring the interpreter's strict
+//!   `UninitializedRead` faults;
+//! * **constant faults** — constant divisors of zero and constant
+//!   addresses outside data memory, which the interpreter would fault
+//!   on unconditionally.
+//!
+//! Two documented approximations keep the analysis tractable: data
+//! memory is modelled as always-defined (the interpreter initializes it
+//! defined; poison can only enter through a store of an undefined
+//! value, and that store's *register* read is already flagged), and a
+//! call is assumed to land all in-flight writebacks and define the
+//! return register while leaving other registers untouched.
+
+use std::collections::BTreeSet;
+
+use warp_target::config::CellConfig;
+use warp_target::isa::{BranchOp, Op, Opcode, Operand, Reg};
+use warp_target::program::{FunctionImage, ModuleImage, SectionImage};
+
+/// One defect found by the static machine-code verifier.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MachineError {
+    /// Function the defect is in.
+    pub function: String,
+    /// Word index the defect is anchored to.
+    pub word: usize,
+    /// What is wrong, in a stable human-readable form.
+    pub message: String,
+}
+
+impl std::fmt::Display for MachineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "static check failed for `{}` word {}: {}",
+            self.function, self.word, self.message
+        )
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+/// `true` if the opcode reads its `a` operand.
+fn reads_a(op: Opcode) -> bool {
+    !matches!(op, Opcode::Recv(_))
+}
+
+/// `true` if the opcode reads its `b` operand.
+fn reads_b(op: Opcode) -> bool {
+    matches!(
+        op,
+        Opcode::IAdd
+            | Opcode::ISub
+            | Opcode::IMul
+            | Opcode::IDiv
+            | Opcode::IMod
+            | Opcode::IMin
+            | Opcode::IMax
+            | Opcode::ICmp(_)
+            | Opcode::FAdd
+            | Opcode::FSub
+            | Opcode::FMul
+            | Opcode::FDiv
+            | Opcode::FMin
+            | Opcode::FMax
+            | Opcode::FCmp(_)
+            | Opcode::BAnd
+            | Opcode::BOr
+            | Opcode::Store
+            | Opcode::SelT
+    )
+}
+
+/// `true` if the opcode produces a register result (so compiled code
+/// must name a destination).
+fn needs_dst(op: Opcode) -> bool {
+    !matches!(op, Opcode::Store | Opcode::Send(_))
+}
+
+/// Per-register dataflow fact: `vis` is "a defined value is visible
+/// now"; bit `k` of `pend` is "a writeback lands in `k + 1` cycles on
+/// every path here", with the matching bit of `pend_def` recording
+/// whether that writeback carries a defined value.
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct RegFact {
+    vis: bool,
+    pend: u16,
+    pend_def: u16,
+}
+
+impl RegFact {
+    const UNDEF: RegFact = RegFact { vis: false, pend: 0, pend_def: 0 };
+    const DEF: RegFact = RegFact { vis: true, pend: 0, pend_def: 0 };
+
+    /// Meet of two facts: defined only if defined on both paths, a
+    /// pending write survives only if present on both paths at the
+    /// same distance with the same definedness.
+    fn meet(&mut self, other: &RegFact) -> bool {
+        let vis = self.vis && other.vis;
+        let pend = self.pend & other.pend;
+        let pend_def = self.pend_def & other.pend_def & pend;
+        let changed = vis != self.vis || pend != self.pend || pend_def != self.pend_def;
+        self.vis = vis;
+        self.pend = pend;
+        self.pend_def = pend_def;
+        changed
+    }
+
+    /// Advances one word: the nearest pending writeback (if any) lands.
+    fn advance(&mut self) {
+        if self.pend & 1 != 0 {
+            self.vis = self.pend_def & 1 != 0;
+        }
+        self.pend >>= 1;
+        self.pend_def >>= 1;
+    }
+
+    /// Records a writeback issued now with the given latency.
+    fn write(&mut self, latency: u32, def: bool) {
+        let bit = 1u16 << (latency.clamp(1, 12) - 1);
+        self.pend |= bit;
+        if def {
+            self.pend_def |= bit;
+        } else {
+            self.pend_def &= !bit;
+        }
+    }
+
+    /// Lands every pending writeback (call boundary / halt drain).
+    fn land_all(&mut self) {
+        for k in 0..16 {
+            if self.pend & (1 << k) != 0 {
+                self.vis = self.pend_def & (1 << k) != 0;
+            }
+        }
+        self.pend = 0;
+        self.pend_def = 0;
+    }
+}
+
+struct Checker<'a> {
+    img: &'a FunctionImage,
+    config: &'a CellConfig,
+    function_count: Option<usize>,
+    errors: Vec<MachineError>,
+    seen: BTreeSet<(usize, String)>,
+}
+
+impl<'a> Checker<'a> {
+    fn report(&mut self, word: usize, message: String) {
+        if self.seen.insert((word, message.clone())) {
+            self.errors.push(MachineError {
+                function: self.img.name.clone(),
+                word,
+                message,
+            });
+        }
+    }
+
+    fn num_regs(&self) -> u16 {
+        self.config.num_regs
+    }
+
+    fn check_reg(&mut self, word: usize, r: Reg) -> bool {
+        if r.0 >= self.num_regs() {
+            self.report(word, format!("bad register r{}", r.0));
+            return false;
+        }
+        true
+    }
+
+    /// Word-local checks: unit legality, operand arity, register
+    /// bounds, constant addresses and divisors, same-word write ports.
+    fn check_words(&mut self) {
+        for (pc, word) in self.img.code.iter().enumerate() {
+            let mut dsts: Vec<Reg> = Vec::new();
+            for (fu, op) in word.ops() {
+                let op = *op;
+                if !op.opcode.fu_candidates().contains(&fu) {
+                    self.report(pc, format!("op cannot issue on the {} unit", fu.name()));
+                }
+                if reads_a(op.opcode) && op.a.is_none() {
+                    self.report(pc, "missing operand".to_string());
+                }
+                if reads_b(op.opcode) && op.b.is_none() {
+                    self.report(pc, "missing operand".to_string());
+                }
+                if needs_dst(op.opcode) {
+                    match op.dst {
+                        None => self.report(pc, "missing destination".to_string()),
+                        Some(d) => {
+                            if self.check_reg(pc, d) && dsts.contains(&d) {
+                                self.report(pc, format!("write-port conflict on r{}", d.0));
+                            }
+                            dsts.push(d);
+                        }
+                    }
+                }
+                for operand in [op.a, op.b].into_iter().flatten() {
+                    if let Operand::Reg(r) = operand {
+                        self.check_reg(pc, r);
+                    }
+                }
+                self.check_constants(pc, &op);
+            }
+            if let Some(BranchOp::BrTrue(r, _)) = word.branch {
+                self.check_reg(pc, r);
+            }
+        }
+    }
+
+    /// Constant addresses out of data memory and constant divisors of
+    /// zero — faults the interpreter raises regardless of input data.
+    fn check_constants(&mut self, pc: usize, op: &Op) {
+        match op.opcode {
+            Opcode::Load | Opcode::Store => {
+                let bound = i64::from(self.config.data_mem_words);
+                match op.a {
+                    Some(Operand::ImmI(v)) if i64::from(v) < 0 || i64::from(v) >= bound => {
+                        self.report(pc, format!("constant address {v} out of bounds"));
+                    }
+                    Some(Operand::Addr(a))
+                        if i64::from(a) >= bound
+                            || (!self.img.is_linked() && a >= self.img.data_words) =>
+                    {
+                        self.report(pc, format!("constant address {a} out of bounds"));
+                    }
+                    _ => {}
+                }
+            }
+            Opcode::IDiv | Opcode::IMod if op.b == Some(Operand::ImmI(0)) => {
+                self.report(pc, "constant zero divisor".to_string());
+            }
+            _ => {}
+        }
+    }
+
+    /// Successor word indices of `pc` (targets already range-checked
+    /// by [`Checker::check_control`]; out-of-range ones are skipped).
+    fn successors(&self, pc: usize) -> Vec<usize> {
+        let len = self.img.code.len();
+        let word = &self.img.code[pc];
+        let mut out = Vec::new();
+        match word.branch {
+            None => {
+                if pc + 1 < len {
+                    out.push(pc + 1);
+                }
+            }
+            Some(BranchOp::Jump(t)) => {
+                if (t as usize) < len {
+                    out.push(t as usize);
+                }
+            }
+            Some(BranchOp::BrTrue(_, t)) => {
+                if (t as usize) < len {
+                    out.push(t as usize);
+                }
+                if pc + 1 < len {
+                    out.push(pc + 1);
+                }
+            }
+            Some(BranchOp::Call(_)) => {
+                if pc + 1 < len {
+                    out.push(pc + 1);
+                }
+            }
+            Some(BranchOp::Ret) => {}
+        }
+        out
+    }
+
+    /// Branch/call target ranges, call resolution, and fall-off-the-end.
+    fn check_control(&mut self) {
+        let len = self.img.code.len();
+        if len == 0 {
+            self.report(0, "function has no code".to_string());
+            return;
+        }
+        for (pc, word) in self.img.code.iter().enumerate() {
+            let falls_through = match word.branch {
+                None | Some(BranchOp::BrTrue(..)) | Some(BranchOp::Call(_)) => true,
+                Some(BranchOp::Jump(_)) | Some(BranchOp::Ret) => false,
+            };
+            if falls_through && pc + 1 >= len {
+                self.report(pc, "control can fall off the end of the code".to_string());
+            }
+            match word.branch {
+                Some(BranchOp::Jump(t)) | Some(BranchOp::BrTrue(_, t)) if t as usize >= len => {
+                    self.report(pc, format!("branch target {t} out of range"));
+                }
+                Some(BranchOp::Call(t)) => {
+                    let has_reloc =
+                        self.img.call_relocs.iter().any(|r| r.word as usize == pc);
+                    if has_reloc {
+                        // The linker will patch this word; nothing to check.
+                    } else if t == u32::MAX {
+                        self.report(pc, "unresolved call".to_string());
+                    } else if let Some(n) = self.function_count {
+                        if t as usize >= n {
+                            self.report(pc, format!("call target {t} out of range"));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Path-based structural-hazard check. For every op whose unit
+    /// stays busy for `occ > 1` cycles, walk all control successors up
+    /// to `occ - 1` words ahead: any op on the same unit there would
+    /// re-issue while the unit is still occupied. Sound because a word
+    /// `d` words downstream executes at least `d` cycles later.
+    fn check_hazards(&mut self) {
+        for (pc, word) in self.img.code.iter().enumerate() {
+            for (fu, op) in word.ops() {
+                let occ = op.opcode.timing().initiation_interval;
+                if occ <= 1 {
+                    continue;
+                }
+                // BFS over word successors to distance occ - 1.
+                let mut frontier = vec![pc];
+                let mut visited = BTreeSet::new();
+                for dist in 1..occ as usize {
+                    let mut next = Vec::new();
+                    for &w in &frontier {
+                        for s in self.successors(w) {
+                            if visited.insert(s) {
+                                next.push(s);
+                            }
+                        }
+                    }
+                    for &s in &next {
+                        if self.img.code[s].slot(fu).is_some() {
+                            self.report(
+                                s,
+                                format!(
+                                    "structural hazard on the {} unit: reissue {} words \
+                                     after an op that occupies it for {} cycles",
+                                    fu.name(),
+                                    dist,
+                                    occ
+                                ),
+                            );
+                        }
+                    }
+                    frontier = next;
+                    if frontier.is_empty() {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Latency-aware forward definedness analysis over the words.
+    fn check_definedness(&mut self) {
+        let len = self.img.code.len();
+        if len == 0 {
+            return;
+        }
+        let nregs = usize::from(self.num_regs());
+        let mut entry: Vec<Option<Vec<RegFact>>> = vec![None; len];
+        let mut start = vec![RegFact::UNDEF; nregs];
+        for i in 0..self.img.param_count {
+            let r = usize::from(Reg::arg(i).0);
+            if r < nregs {
+                start[r] = RegFact::DEF;
+            }
+        }
+        entry[0] = Some(start);
+        let mut worklist = vec![0usize];
+        let mut reads: BTreeSet<(usize, u16)> = BTreeSet::new();
+        while let Some(pc) = worklist.pop() {
+            let Some(state) = entry[pc].clone() else { continue };
+            let outs = self.flow_word(pc, state, &mut reads);
+            for (succ, out) in outs {
+                match &mut entry[succ] {
+                    slot @ None => {
+                        *slot = Some(out);
+                        worklist.push(succ);
+                    }
+                    Some(existing) => {
+                        let mut changed = false;
+                        for (e, o) in existing.iter_mut().zip(out.iter()) {
+                            changed |= e.meet(o);
+                        }
+                        if changed {
+                            worklist.push(succ);
+                        }
+                    }
+                }
+            }
+        }
+        for (pc, r) in reads {
+            self.report(pc, format!("register r{r} may be read before definition"));
+        }
+    }
+
+    /// Transfer function for one word; records maybe-undefined reads
+    /// into `reads` and returns the out-state per successor.
+    fn flow_word(
+        &self,
+        pc: usize,
+        mut s: Vec<RegFact>,
+        reads: &mut BTreeSet<(usize, u16)>,
+    ) -> Vec<(usize, Vec<RegFact>)> {
+        let word = &self.img.code[pc];
+        let nregs = s.len();
+        let mut check_read = |s: &[RegFact], operand: Option<Operand>| -> bool {
+            match operand {
+                Some(Operand::Reg(r)) => {
+                    let i = usize::from(r.0);
+                    if i >= nregs {
+                        return false; // flagged as bad register elsewhere
+                    }
+                    if !s[i].vis {
+                        reads.insert((pc, r.0));
+                    }
+                    s[i].vis
+                }
+                None => true, // flagged as missing operand elsewhere
+                _ => true,    // immediates are always defined
+            }
+        };
+        for (_, op) in word.ops() {
+            let def_a = if reads_a(op.opcode) { check_read(&s, op.a) } else { true };
+            let def_b = if reads_b(op.opcode) { check_read(&s, op.b) } else { true };
+            let result_def = match op.opcode {
+                // Data memory starts defined in the interpreter; a
+                // store of an undefined value is already flagged at the
+                // store's value read, so loads are modelled as defined.
+                Opcode::Load => true,
+                // Queue values were sent defined (or flagged at the
+                // sender's read).
+                Opcode::Recv(_) => true,
+                // Select reads the old destination value when the
+                // condition is false.
+                Opcode::SelT => {
+                    def_a
+                        && def_b
+                        && op
+                            .dst
+                            .map(|d| {
+                                s.get(usize::from(d.0)).map(|f| f.vis).unwrap_or(false)
+                            })
+                            .unwrap_or(false)
+                }
+                _ => def_a && def_b,
+            };
+            if let Some(d) = op.dst {
+                let i = usize::from(d.0);
+                if i < nregs {
+                    s[i].write(op.opcode.timing().latency, result_def);
+                }
+            }
+        }
+        match word.branch {
+            Some(BranchOp::BrTrue(r, _)) => {
+                check_read(&s, Some(Operand::Reg(r)));
+            }
+            Some(BranchOp::Call(_)) => {
+                // The callee runs for many cycles: every in-flight
+                // writeback lands, and the return value arrives in r0.
+                // Other registers are assumed preserved (the register
+                // allocator saves live registers across calls).
+                for f in s.iter_mut() {
+                    f.land_all();
+                }
+                s[usize::from(Reg::RET.0)] = RegFact::DEF;
+            }
+            Some(BranchOp::Ret) if self.img.returns_value => {
+                let mut r0 = s[usize::from(Reg::RET.0)];
+                r0.land_all();
+                if !r0.vis {
+                    reads.insert((pc, Reg::RET.0));
+                }
+            }
+            _ => {}
+        }
+        for f in s.iter_mut() {
+            f.advance();
+        }
+        self.successors(pc).into_iter().map(|succ| (succ, s.clone())).collect()
+    }
+
+    fn run(mut self) -> Vec<MachineError> {
+        if self.img.code.len() as u32 > self.config.inst_mem_words {
+            self.report(
+                0,
+                format!(
+                    "code size {} exceeds instruction memory {}",
+                    self.img.code.len(),
+                    self.config.inst_mem_words
+                ),
+            );
+        }
+        if self.img.data_words > self.config.data_mem_words {
+            self.report(
+                0,
+                format!(
+                    "data size {} exceeds data memory {}",
+                    self.img.data_words, self.config.data_mem_words
+                ),
+            );
+        }
+        self.check_control();
+        self.check_words();
+        self.check_hazards();
+        self.check_definedness();
+        self.errors.sort();
+        self.errors
+    }
+}
+
+/// Statically verifies one function image against a cell
+/// configuration. `function_count` bounds direct call targets when the
+/// image lives inside a linked section; pass `None` for a standalone
+/// (unlinked) image.
+pub fn verify_function_image(
+    img: &FunctionImage,
+    config: &CellConfig,
+    function_count: Option<usize>,
+) -> Vec<MachineError> {
+    Checker {
+        img,
+        config,
+        function_count,
+        errors: Vec::new(),
+        seen: BTreeSet::new(),
+    }
+    .run()
+}
+
+/// Statically verifies every function of a linked section image, plus
+/// the section-level size budgets.
+pub fn verify_section_image(sec: &SectionImage, config: &CellConfig) -> Vec<MachineError> {
+    let mut errors = Vec::new();
+    if sec.code_words() > config.inst_mem_words {
+        errors.push(MachineError {
+            function: sec.name.clone(),
+            word: 0,
+            message: format!(
+                "section code size {} exceeds instruction memory {}",
+                sec.code_words(),
+                config.inst_mem_words
+            ),
+        });
+    }
+    if sec.data_words > config.data_mem_words {
+        errors.push(MachineError {
+            function: sec.name.clone(),
+            word: 0,
+            message: format!(
+                "section data size {} exceeds data memory {}",
+                sec.data_words, config.data_mem_words
+            ),
+        });
+    }
+    for f in &sec.functions {
+        errors.extend(verify_function_image(f, config, Some(sec.functions.len())));
+    }
+    errors
+}
+
+/// Statically verifies every section of a module image.
+pub fn verify_module_image(module: &ModuleImage, config: &CellConfig) -> Vec<MachineError> {
+    module
+        .section_images
+        .iter()
+        .flat_map(|s| verify_section_image(s, config))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warp_target::fu::FuKind;
+    use warp_target::isa::{BranchOp, Op, Opcode, Operand, Reg};
+    use warp_target::word::InstructionWord;
+
+    fn op(opcode: Opcode, dst: u16, a: Operand, b: Operand) -> Op {
+        Op { opcode, dst: Some(Reg(dst)), a: Some(a), b: Some(b) }
+    }
+
+    fn image(words: Vec<InstructionWord>) -> FunctionImage {
+        FunctionImage {
+            name: "t".into(),
+            code: words,
+            data_words: 0,
+            param_count: 1,
+            returns_value: true,
+            call_relocs: Vec::new(),
+        }
+    }
+
+    fn ret_word() -> InstructionWord {
+        InstructionWord::branch_only(BranchOp::Ret)
+    }
+
+    #[test]
+    fn accepts_trivial_function() {
+        // r0 := r1 + 1; ret (Move lands 1 cycle later; drain covers it).
+        let mut w = InstructionWord::new();
+        w.place(FuKind::Alu, op(Opcode::IAdd, 0, Operand::Reg(Reg(1)), Operand::ImmI(1)))
+            .unwrap();
+        let img = image(vec![w, ret_word()]);
+        let errs = verify_function_image(&img, &CellConfig::default(), None);
+        assert!(errs.is_empty(), "{errs:?}");
+    }
+
+    #[test]
+    fn rejects_read_before_definition() {
+        let mut w = InstructionWord::new();
+        // r0 := r5 + 1 where r5 was never written.
+        w.place(FuKind::Alu, op(Opcode::IAdd, 0, Operand::Reg(Reg(5)), Operand::ImmI(1)))
+            .unwrap();
+        let img = image(vec![w, ret_word()]);
+        let errs = verify_function_image(&img, &CellConfig::default(), None);
+        assert!(errs.iter().any(|e| e.message.contains("before definition")), "{errs:?}");
+    }
+
+    #[test]
+    fn rejects_latency_violation() {
+        // FAdd has latency 5: reading the result on the next word is
+        // too early.
+        let mut w0 = InstructionWord::new();
+        w0.place(
+            FuKind::FAdd,
+            op(Opcode::FAdd, 2, Operand::Reg(Reg(1)), Operand::ImmF(1.0)),
+        )
+        .unwrap();
+        let mut w1 = InstructionWord::new();
+        w1.place(FuKind::Mem, Op {
+            opcode: Opcode::Store,
+            dst: None,
+            a: Some(Operand::ImmI(0)),
+            b: Some(Operand::Reg(Reg(2))),
+        })
+        .unwrap();
+        let mut img = image(vec![w0, w1, ret_word()]);
+        img.data_words = 1;
+        // r0 never defined on this path; silence by not returning.
+        img.returns_value = false;
+        let errs = verify_function_image(&img, &CellConfig::default(), None);
+        assert!(
+            errs.iter().any(|e| e.word == 1 && e.message.contains("r2")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn accepts_read_after_latency_elapses() {
+        let mut w0 = InstructionWord::new();
+        w0.place(
+            FuKind::FAdd,
+            op(Opcode::FAdd, 2, Operand::Reg(Reg(1)), Operand::ImmF(1.0)),
+        )
+        .unwrap();
+        let mut words = vec![w0];
+        for _ in 0..5 {
+            words.push(InstructionWord::new());
+        }
+        let mut w6 = InstructionWord::new();
+        w6.place(FuKind::Alu, op(Opcode::Move, 0, Operand::Reg(Reg(2)), Operand::ImmI(0)))
+            .unwrap();
+        words.push(w6);
+        words.push(ret_word());
+        let img = image(words);
+        let errs = verify_function_image(&img, &CellConfig::default(), None);
+        assert!(errs.is_empty(), "{errs:?}");
+    }
+
+    #[test]
+    fn rejects_structural_hazard() {
+        // Two FDiv ops (occupancy 12) back to back on the FMul unit.
+        let fdiv = op(Opcode::FDiv, 2, Operand::Reg(Reg(1)), Operand::ImmF(2.0));
+        let mut w0 = InstructionWord::new();
+        w0.place(FuKind::FMul, fdiv).unwrap();
+        let mut w1 = InstructionWord::new();
+        w1.place(FuKind::FMul, op(Opcode::FDiv, 3, Operand::Reg(Reg(1)), Operand::ImmF(4.0)))
+            .unwrap();
+        let mut img = image(vec![w0, w1, ret_word()]);
+        img.returns_value = false;
+        let errs = verify_function_image(&img, &CellConfig::default(), None);
+        assert!(
+            errs.iter().any(|e| e.message.contains("structural hazard")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_dangling_branch_target() {
+        let w = InstructionWord::branch_only(BranchOp::Jump(99));
+        let img = image(vec![w]);
+        let errs = verify_function_image(&img, &CellConfig::default(), None);
+        assert!(errs.iter().any(|e| e.message.contains("out of range")), "{errs:?}");
+    }
+
+    #[test]
+    fn rejects_fall_off_end() {
+        let mut w = InstructionWord::new();
+        w.place(FuKind::Alu, op(Opcode::IAdd, 0, Operand::Reg(Reg(1)), Operand::ImmI(1)))
+            .unwrap();
+        let img = image(vec![w]);
+        let errs = verify_function_image(&img, &CellConfig::default(), None);
+        assert!(errs.iter().any(|e| e.message.contains("fall off")), "{errs:?}");
+    }
+
+    #[test]
+    fn rejects_wrong_unit_and_bad_register() {
+        let mut w = InstructionWord::new();
+        // FAdd op forced onto the Mem unit via replace().
+        w.replace(FuKind::Mem, op(Opcode::FAdd, 900, Operand::Reg(Reg(1)), Operand::ImmF(0.0)));
+        let mut img = image(vec![w, ret_word()]);
+        img.returns_value = false;
+        let errs = verify_function_image(&img, &CellConfig::default(), None);
+        assert!(errs.iter().any(|e| e.message.contains("cannot issue")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.message.contains("bad register")), "{errs:?}");
+    }
+
+    #[test]
+    fn rejects_constant_zero_divisor() {
+        let mut w = InstructionWord::new();
+        w.place(FuKind::Alu, op(Opcode::IDiv, 0, Operand::Reg(Reg(1)), Operand::ImmI(0)))
+            .unwrap();
+        let img = image(vec![w, ret_word()]);
+        let errs = verify_function_image(&img, &CellConfig::default(), None);
+        assert!(errs.iter().any(|e| e.message.contains("zero divisor")), "{errs:?}");
+    }
+
+    #[test]
+    fn rejects_unresolved_call() {
+        let w = InstructionWord::branch_only(BranchOp::Call(u32::MAX));
+        let img = image(vec![w, ret_word()]);
+        let errs = verify_function_image(&img, &CellConfig::default(), None);
+        assert!(errs.iter().any(|e| e.message.contains("unresolved call")), "{errs:?}");
+    }
+}

@@ -1,0 +1,371 @@
+//! Static checks on software-pipelined loop schedules.
+//!
+//! Phase 3 records a [`PipelinedLoopInfo`] for every modulo-scheduled
+//! loop it emits. This module re-derives the schedule invariants from
+//! first principles and checks them against both the plan and the
+//! emitted instruction words:
+//!
+//! * the initiation interval respects the **resource MII** recomputed
+//!   from the loop body's functional-unit pressure;
+//! * the **modulo reservation table** holds: no two placements occupy
+//!   the same unit in overlapping windows, and no two placements write
+//!   the same register in the same kernel slot;
+//! * every placement's op actually appears in the emitted kernel at
+//!   `kernel_start + time mod II` on its planned unit, and the
+//!   prologue/epilogue rows replay the stage-filtered subsets;
+//! * the **loop-control protocol** is intact: the kernel's last word
+//!   branches back to `kernel_start` on the counter register, the
+//!   counter decrement sits where the [`CounterStrategy`] says (and in
+//!   an earlier word than the branch for
+//!   [`CounterStrategy::EarlierWord`]), and the guard initializes the
+//!   counter with the strategy's start value (`trip − (S−1)` vs
+//!   `trip − S`).
+
+use warp_codegen::{CounterStrategy, PipelinedLoopInfo};
+use warp_target::fu::FuKind;
+use warp_target::isa::{BranchOp, Op, Opcode, Operand};
+use warp_target::program::FunctionImage;
+
+/// One violated schedule invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleError {
+    /// Function the pipelined loop belongs to.
+    pub function: String,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "schedule check failed for `{}`: {}", self.function, self.message)
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// Recomputes the resource-constrained minimum initiation interval
+/// from the loop body ops — the same bound the planner uses: integer
+/// ops can go to either of two units, every other family is tied to
+/// one.
+pub fn resource_mii(ops: &[Op]) -> u32 {
+    let mut single = [0u32; 7];
+    let mut int_load = 0u32;
+    for op in ops {
+        let cands = op.opcode.fu_candidates();
+        let ii = op.opcode.timing().initiation_interval;
+        if cands.len() == 1 {
+            single[cands[0].slot_index()] += ii;
+        } else {
+            int_load += ii;
+        }
+    }
+    let alu = single[FuKind::Alu.slot_index()];
+    let agu = single[FuKind::Agu.slot_index()];
+    let mut mii = 1u32.max((alu + agu + int_load).div_ceil(2));
+    for fu in FuKind::ALL {
+        if !matches!(fu, FuKind::Alu | FuKind::Agu) {
+            mii = mii.max(single[fu.slot_index()]);
+        }
+    }
+    mii
+}
+
+struct SchedChecker<'a> {
+    info: &'a PipelinedLoopInfo,
+    image: &'a FunctionImage,
+    errors: Vec<ScheduleError>,
+}
+
+impl<'a> SchedChecker<'a> {
+    fn report(&mut self, message: String) {
+        self.errors.push(ScheduleError {
+            function: self.image.name.clone(),
+            message,
+        });
+    }
+
+    /// Plan-internal invariants: II vs MII, stage count, reservation
+    /// table, write ports, counter strategy shape.
+    fn check_plan(&mut self) {
+        let plan = &self.info.plan;
+        let ii = plan.ii;
+        if ii == 0 {
+            self.report("initiation interval is zero".to_string());
+            return;
+        }
+        let mii = resource_mii(&self.info.ops);
+        if ii < mii {
+            self.report(format!(
+                "initiation interval {ii} below resource minimum {mii}"
+            ));
+        }
+        if let Some(max_time) = plan.placements.iter().map(|p| p.time).max() {
+            let stages = max_time / ii + 1;
+            if plan.stages != stages {
+                self.report(format!(
+                    "plan claims {} stages but placements span {}",
+                    plan.stages, stages
+                ));
+            }
+        }
+        for p in &plan.placements {
+            if p.op_idx >= self.info.ops.len() {
+                self.report(format!("placement names op {} of {}", p.op_idx, self.info.ops.len()));
+            }
+        }
+        // Modulo reservation table: occupancy windows on one unit must
+        // not overlap, and two ops must not write one register in the
+        // same kernel slot.
+        for (i, a) in plan.placements.iter().enumerate() {
+            let Some(op_a) = self.info.ops.get(a.op_idx) else { continue };
+            let occ_a = op_a.opcode.timing().initiation_interval;
+            for b in plan.placements.iter().skip(i + 1) {
+                let Some(op_b) = self.info.ops.get(b.op_idx) else { continue };
+                if a.fu == b.fu {
+                    let occ_b = op_b.opcode.timing().initiation_interval;
+                    let sa = a.time % ii;
+                    let sb = b.time % ii;
+                    let overlap = (0..occ_a).any(|k| (sa + k) % ii == sb)
+                        || (0..occ_b).any(|k| (sb + k) % ii == sa);
+                    if overlap {
+                        self.report(format!(
+                            "reservation conflict on the {} unit at kernel slot {}",
+                            a.fu.name(),
+                            sb % ii
+                        ));
+                    }
+                }
+                if let (Some(da), Some(db)) = (op_a.dst, op_b.dst) {
+                    if da == db && a.time % ii == b.time % ii {
+                        self.report(format!(
+                            "write-port conflict on r{} at kernel slot {}",
+                            da.0,
+                            a.time % ii
+                        ));
+                    }
+                }
+            }
+        }
+        if let CounterStrategy::EarlierWord { slot, .. } = plan.counter {
+            if slot + 1 >= ii {
+                self.report(format!(
+                    "counter decrement at slot {slot} would not land before the \
+                     kernel branch at slot {}",
+                    ii - 1
+                ));
+            }
+        }
+    }
+
+    /// The emitted words must replay the plan: kernel rows, prologue
+    /// and epilogue rows, backedge, counter decrement and counter
+    /// initialization.
+    fn check_image(&mut self) {
+        let plan = &self.info.plan;
+        let ii = plan.ii;
+        if ii == 0 {
+            return;
+        }
+        let s = plan.stages;
+        let kernel_start = self.info.kernel_start;
+        let kernel_end = kernel_start as u64 + u64::from(ii);
+        if kernel_end > self.image.code.len() as u64 {
+            self.report(format!(
+                "kernel [{kernel_start}, {kernel_end}) exceeds code size {}",
+                self.image.code.len()
+            ));
+            return;
+        }
+        if u64::from(kernel_start) < u64::from(s - 1) * u64::from(ii) {
+            self.report(format!(
+                "kernel at word {kernel_start} leaves no room for {} prologue rows",
+                s - 1
+            ));
+            return;
+        }
+        let prologue_start = kernel_start - (s - 1) * ii;
+
+        // Kernel placements present at their planned word and unit.
+        for pl in &plan.placements {
+            let Some(op) = self.info.ops.get(pl.op_idx) else { continue };
+            let word = (kernel_start + pl.time % ii) as usize;
+            if self.image.code[word].slot(pl.fu) != Some(op) {
+                self.report(format!(
+                    "kernel word {word} does not hold the planned op on the {} unit",
+                    pl.fu.name()
+                ));
+            }
+        }
+        // Prologue rows replay stage-filtered subsets.
+        for p in 0..s - 1 {
+            let base = prologue_start + p * ii;
+            for pl in plan.prologue_row(p) {
+                let Some(op) = self.info.ops.get(pl.op_idx) else { continue };
+                let word = (base + pl.time % ii) as usize;
+                if word >= self.image.code.len()
+                    || self.image.code[word].slot(pl.fu) != Some(op)
+                {
+                    self.report(format!(
+                        "prologue row {p} word {word} does not hold the planned op \
+                         on the {} unit",
+                        pl.fu.name()
+                    ));
+                }
+            }
+        }
+        // Epilogue rows follow the kernel.
+        for r in 1..s {
+            let base = kernel_start + r * ii;
+            for pl in plan.epilogue_row(r) {
+                let Some(op) = self.info.ops.get(pl.op_idx) else { continue };
+                let word = (base + pl.time % ii) as usize;
+                if word >= self.image.code.len()
+                    || self.image.code[word].slot(pl.fu) != Some(op)
+                {
+                    self.report(format!(
+                        "epilogue row {r} word {word} does not hold the planned op \
+                         on the {} unit",
+                        pl.fu.name()
+                    ));
+                }
+            }
+        }
+
+        // Backedge: last kernel word branches to kernel_start on the
+        // counter register.
+        let last = (kernel_start + ii - 1) as usize;
+        let counter = match self.image.code[last].branch {
+            Some(BranchOp::BrTrue(r, t)) if t == kernel_start => r,
+            other => {
+                self.report(format!(
+                    "kernel word {last} ends in {other:?} instead of a backedge \
+                     branch to word {kernel_start}"
+                ));
+                return;
+            }
+        };
+        // Counter decrement where the strategy says.
+        let (dec_word, dec_fu) = match plan.counter {
+            CounterStrategy::EarlierWord { slot, fu } => ((kernel_start + slot) as usize, fu),
+            CounterStrategy::SameWord { fu } => (last, fu),
+        };
+        let is_dec = |op: &Op| {
+            op.opcode == Opcode::ISub
+                && op.dst == Some(counter)
+                && op.a == Some(Operand::Reg(counter))
+                && op.b == Some(Operand::ImmI(1))
+        };
+        if dec_word >= self.image.code.len()
+            || !self.image.code[dec_word].slot(dec_fu).is_some_and(is_dec)
+        {
+            self.report(format!(
+                "kernel word {dec_word} does not decrement the counter r{} on \
+                 the {} unit",
+                counter.0,
+                dec_fu.name()
+            ));
+        }
+        // Counter initialization in the guard: an ISub into the
+        // counter subtracting the strategy's start offset.
+        let init_sub = match plan.counter {
+            CounterStrategy::EarlierWord { .. } => (s - 1) as i32,
+            CounterStrategy::SameWord { .. } => s as i32,
+        };
+        let init_ok = self.image.code[..prologue_start as usize].iter().any(|w| {
+            w.ops().any(|(_, op)| {
+                op.opcode == Opcode::ISub
+                    && op.dst == Some(counter)
+                    && op.b == Some(Operand::ImmI(init_sub))
+            })
+        });
+        if !init_ok {
+            self.report(format!(
+                "no guard word initializes the counter r{} with start offset {init_sub}",
+                counter.0
+            ));
+        }
+    }
+
+    fn run(mut self) -> Vec<ScheduleError> {
+        self.check_plan();
+        self.check_image();
+        self.errors
+    }
+}
+
+/// Checks one pipelined loop's plan and emitted words.
+pub fn verify_pipelined_loop(
+    info: &PipelinedLoopInfo,
+    image: &FunctionImage,
+) -> Vec<ScheduleError> {
+    SchedChecker { info, image, errors: Vec::new() }.run()
+}
+
+/// Checks every pipelined loop phase 3 recorded for a function.
+pub fn verify_function_schedule(
+    pipelined: &[PipelinedLoopInfo],
+    image: &FunctionImage,
+) -> Vec<ScheduleError> {
+    pipelined
+        .iter()
+        .flat_map(|info| verify_pipelined_loop(info, image))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warp_codegen::phase3::{phase3, DEFAULT_MAX_II};
+    use warp_ir::phase2::phase2;
+    use warp_lang::phase1;
+
+    fn compile(body: &str) -> (Vec<PipelinedLoopInfo>, FunctionImage) {
+        let src = format!(
+            "module m; section a on cells 0..0; function f(x: float, n: int): float \
+             var t: float; v: float[32]; i: int; begin {body} end; end;"
+        );
+        let checked = phase1(&src).expect("phase1");
+        let f = &checked.module.sections[0].functions[0];
+        let p2 = phase2(f, &checked.sections[0].symbol_tables[0], &checked.sections[0].signatures)
+            .expect("phase2");
+        let p3 = phase3(&p2, &warp_target::config::CellConfig::default(), DEFAULT_MAX_II)
+            .expect("phase3");
+        (p3.pipelined, p3.image)
+    }
+
+    #[test]
+    fn accepts_compiled_pipelined_loop() {
+        let (plans, image) =
+            compile("t := 0.0; for i := 0 to 31 do t := t + v[i] * x; end; return t;");
+        assert!(!plans.is_empty(), "loop should pipeline");
+        let errs = verify_function_schedule(&plans, &image);
+        assert!(errs.is_empty(), "{errs:?}");
+    }
+
+    #[test]
+    fn rejects_shrunk_initiation_interval() {
+        let (mut plans, image) =
+            compile("t := 0.0; for i := 0 to 31 do t := t + v[i] * x; end; return t;");
+        assert!(!plans.is_empty());
+        plans[0].plan.ii = 1.max(plans[0].plan.ii / 2);
+        let errs = verify_function_schedule(&plans, &image);
+        assert!(!errs.is_empty(), "shrunk II must be rejected");
+    }
+
+    #[test]
+    fn rejects_clobbered_kernel_word() {
+        let (plans, mut image) =
+            compile("t := 0.0; for i := 0 to 31 do t := t + v[i] * x; end; return t;");
+        assert!(!plans.is_empty());
+        let pl = &plans[0].plan.placements[0];
+        let word = (plans[0].kernel_start + pl.time % plans[0].plan.ii) as usize;
+        image.code[word] = warp_target::word::InstructionWord::new();
+        let errs = verify_function_schedule(&plans, &image);
+        assert!(
+            errs.iter().any(|e| e.message.contains("does not hold the planned op")
+                || e.message.contains("backedge")
+                || e.message.contains("decrement")),
+            "{errs:?}"
+        );
+    }
+}

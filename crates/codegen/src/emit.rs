@@ -38,6 +38,23 @@ pub struct EmitStats {
     pub total_iis_tried: u32,
 }
 
+/// Layout metadata for one software-pipelined loop, recorded at
+/// emission time so the static schedule checker (`warp-analyze`) can
+/// audit the emitted region against the plan — II versus resource MII,
+/// stage partitioning, counter start values — without re-running the
+/// modulo scheduler.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelinedLoopInfo {
+    /// Index of the loop block in the vcode function.
+    pub block: usize,
+    /// Address of the kernel's first word in the unlinked image.
+    pub kernel_start: u32,
+    /// The modulo-scheduling plan the region was laid out from.
+    pub plan: LoopPlan,
+    /// The loop body's machine ops, indexed by the plan's `op_idx`.
+    pub ops: Vec<Op>,
+}
+
 /// A branch fixup: the word at `word` targets block `block`.
 #[derive(Debug, Clone, Copy)]
 enum Fixup {
@@ -58,6 +75,8 @@ struct Emitter {
     block_addr: Vec<Option<u32>>,
     /// Address of each pipelined block's fallback region.
     fallback_addr: Vec<Option<u32>>,
+    /// Layout records of the pipelined loops.
+    plans: Vec<PipelinedLoopInfo>,
 }
 
 impl Emitter {
@@ -98,6 +117,20 @@ fn operand_of(v: VOperand) -> Operand {
 ///
 /// Panics if the function still contains virtual registers.
 pub fn emit_function(vf: &VFunc, max_ii: u32) -> (FunctionImage, EmitStats) {
+    let (image, stats, _) = emit_function_with_plans(vf, max_ii);
+    (image, stats)
+}
+
+/// Like [`emit_function`], additionally returning the layout record of
+/// every software-pipelined loop for the static schedule checker.
+///
+/// # Panics
+///
+/// Panics if the function still contains virtual registers.
+pub fn emit_function_with_plans(
+    vf: &VFunc,
+    max_ii: u32,
+) -> (FunctionImage, EmitStats, Vec<PipelinedLoopInfo>) {
     let mut stats = EmitStats::default();
     let n = vf.blocks.len();
     let mut em = Emitter {
@@ -106,6 +139,7 @@ pub fn emit_function(vf: &VFunc, max_ii: u32) -> (FunctionImage, EmitStats) {
         call_relocs: Vec::new(),
         block_addr: vec![None; n],
         fallback_addr: vec![None; n],
+        plans: Vec::new(),
     };
 
     for bi in 0..n {
@@ -184,7 +218,7 @@ pub fn emit_function(vf: &VFunc, max_ii: u32) -> (FunctionImage, EmitStats) {
         returns_value: vf.returns_value,
         call_relocs: em.call_relocs,
     };
-    (image, stats)
+    (image, stats, em.plans)
 }
 
 /// Emits the terminator of a plain block.
@@ -329,6 +363,12 @@ fn emit_pipelined(em: &mut Emitter, vf: &VFunc, bi: usize, plan: &LoopPlan, stat
 
     // ---- kernel ---------------------------------------------------------
     let kernel_start = em.words.len() as u32;
+    em.plans.push(PipelinedLoopInfo {
+        block: bi,
+        kernel_start,
+        plan: plan.clone(),
+        ops: block.ops.iter().map(to_target_op).collect(),
+    });
     let base = em.words.len();
     for _ in 0..ii {
         em.push(InstructionWord::new());

@@ -5,7 +5,7 @@
 //! counters reported here dominate compilation time — exactly the
 //! property that makes function-level parallel compilation worthwhile.
 
-use crate::emit::{emit_function, EmitStats};
+use crate::emit::{emit_function_with_plans, EmitStats, PipelinedLoopInfo};
 use crate::regalloc::{allocate, RegAllocError, RegAllocStats};
 use crate::select::select;
 use serde::{Deserialize, Serialize};
@@ -88,6 +88,9 @@ pub struct Phase3Result {
     pub regalloc: RegAllocStats,
     /// Emission detail.
     pub emit: EmitStats,
+    /// Layout records of the software-pipelined loops (for the static
+    /// schedule checker).
+    pub pipelined: Vec<PipelinedLoopInfo>,
 }
 
 /// Runs phase 3 on the output of phase 2.
@@ -104,7 +107,7 @@ pub fn phase3(
     let ops_selected = vf.op_count();
     let regalloc = allocate(&mut vf, config)
         .map_err(|e| Phase3Error::from((p2.ir.name.clone(), e)))?;
-    let (image, emit) = emit_function(&vf, max_ii);
+    let (image, emit, pipelined) = emit_function_with_plans(&vf, max_ii);
     let work = Phase3Work {
         ops_selected,
         regalloc_rounds: regalloc.rounds,
@@ -116,7 +119,7 @@ pub fn phase3(
         fallback_loops: emit.fallback_loops,
         words: emit.words,
     };
-    Ok(Phase3Result { image, work, regalloc, emit })
+    Ok(Phase3Result { image, work, regalloc, emit, pipelined })
 }
 
 #[cfg(test)]

@@ -3,13 +3,16 @@
 //! ```text
 //! warpcc [OPTIONS] <FILE | ->
 //!
-//!   --emit ast|ir|asm|summary   what to print (default: summary)
+//!   --emit ast|ir|vcode|asm|summary  what to print (default: summary)
 //!   -o FILE                     write the binary download module
 //!   --inline                    enable the §5.1 inlining extension
 //!   --ifconv                    if-convert branchy loop bodies
 //!   --workers N                 compile functions with N threads
 //!   --run FUNC [ARGS...]        execute FUNC on a simulated cell
 //!                               (args are floats; use iN for ints)
+//!   --verify                    run the static verifiers at every
+//!                               pass boundary and over the final image
+//!   --lint                      print W2 source lints and exit
 //!   --time                      print per-phase wall-clock times
 //! ```
 //!
@@ -18,6 +21,8 @@
 //! ```text
 //! warpcc program.w2
 //! warpcc --emit asm program.w2
+//! warpcc --verify program.w2
+//! warpcc --lint program.w2
 //! warpcc --workers 8 --time program.w2
 //! warpcc --run dot8 2.0 i4 program.w2
 //! ```
@@ -33,6 +38,8 @@ struct Args {
     emit: String,
     inline: bool,
     ifconv: bool,
+    verify: bool,
+    lint: bool,
     workers: Option<usize>,
     run: Option<(String, Vec<Value>)>,
     time: bool,
@@ -45,6 +52,8 @@ fn parse_args() -> Result<Args, String> {
         emit: "summary".to_string(),
         inline: false,
         ifconv: false,
+        verify: false,
+        lint: false,
         workers: None,
         run: None,
         time: false,
@@ -56,12 +65,14 @@ fn parse_args() -> Result<Args, String> {
         match a.as_str() {
             "--emit" => {
                 args.emit = it.next().ok_or("--emit needs a value")?;
-                if !["ast", "ir", "asm", "summary"].contains(&args.emit.as_str()) {
+                if !["ast", "ir", "vcode", "asm", "summary"].contains(&args.emit.as_str()) {
                     return Err(format!("unknown emit kind `{}`", args.emit));
                 }
             }
             "--inline" => args.inline = true,
             "--ifconv" => args.ifconv = true,
+            "--verify" => args.verify = true,
+            "--lint" => args.lint = true,
             "-o" => args.output = Some(it.next().ok_or("-o needs a path")?),
             "--time" => args.time = true,
             "--workers" => {
@@ -82,8 +93,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: warpcc [--emit ast|ir|asm|summary] [--inline] [--ifconv] \
-                     [--workers N] [--run FUNC ARGS...] [--time] [-o FILE] <FILE | ->"
+                    "usage: warpcc [--emit ast|ir|vcode|asm|summary] [--inline] [--ifconv] \
+                     [--verify] [--lint] [--workers N] [--run FUNC ARGS...] [--time] \
+                     [-o FILE] <FILE | ->"
                 );
                 std::process::exit(0);
             }
@@ -124,11 +136,12 @@ fn summary(result: &CompileResult) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "module `{}`: {} section(s), {} function(s), {} download words",
+        "module `{}`: {} section(s), {} function(s), {} download words, {} warning(s)",
         result.module_image.name,
         result.module_image.section_images.len(),
         result.records.len(),
-        result.module_image.download_words()
+        result.module_image.download_words(),
+        result.warnings
     );
     let _ = writeln!(
         out,
@@ -163,6 +176,23 @@ fn real_main() -> Result<(), String> {
     if args.ifconv {
         opts.if_convert = Some(warp_ir::IfConvPolicy::default());
     }
+    if args.verify {
+        opts.verify_each_pass = true;
+    }
+
+    // Lint mode: parse + check, then print the W2 lints and stop.
+    if args.lint {
+        let (checked, mut warnings) =
+            warp_lang::phase1_with_warnings(&source).map_err(|e| e.to_string())?;
+        warnings.merge_sorted(warp_lang::lint_module(&checked.module));
+        if warnings.is_empty() {
+            eprintln!("lint: no warnings");
+        } else {
+            print!("{}", warnings.render_all_with_source(&source));
+            eprintln!("lint: {} warning(s)", warnings.warning_count());
+        }
+        return Ok(());
+    }
 
     // Pre-compile emit modes that don't need the full pipeline.
     if args.emit == "ast" {
@@ -171,12 +201,35 @@ fn real_main() -> Result<(), String> {
         return Ok(());
     }
     if args.emit == "ir" {
-        let (checked, _) = parcc::driver::prepare_module(&source, &opts)
+        let (checked, _, _) = parcc::driver::prepare_module(&source, &opts)
             .map_err(|e| e.to_string())?;
         for (_, ir) in warp_ir::lower_module(&checked).map_err(|e| e.to_string())? {
             let mut ir = ir;
             warp_ir::optimize(&mut ir, 10);
             print!("{}", ir.dump());
+        }
+        return Ok(());
+    }
+    if args.emit == "vcode" {
+        let (checked, _, _) = parcc::driver::prepare_module(&source, &opts)
+            .map_err(|e| e.to_string())?;
+        for si in 0..checked.module.sections.len() {
+            for fi in 0..checked.module.sections[si].functions.len() {
+                let func = &checked.module.sections[si].functions[fi];
+                let symbols = &checked.sections[si].symbol_tables[fi];
+                let signatures = &checked.sections[si].signatures;
+                let p2 = warp_ir::phase2_verified(
+                    func,
+                    symbols,
+                    signatures,
+                    opts.unroll.as_ref(),
+                    opts.if_convert.as_ref(),
+                    opts.verify_each_pass,
+                )
+                .map_err(|e| e.to_string())?;
+                let vf = warp_codegen::select(&p2.ir, &p2.loops.pipelinable_blocks());
+                print!("{}", vf.dump());
+            }
         }
         return Ok(());
     }
@@ -197,6 +250,21 @@ fn real_main() -> Result<(), String> {
     };
     if args.time {
         eprintln!("total {:?}", t0.elapsed());
+    }
+
+    if args.verify {
+        // Per-pass IR checks and per-function image checks already ran
+        // inside the compile; re-check the final linked module too.
+        let errs = warp_analyze::verify_module_image(&result.module_image, &opts.cell);
+        if !errs.is_empty() {
+            let msgs: Vec<String> = errs.iter().map(|e| e.to_string()).collect();
+            return Err(msgs.join("\n"));
+        }
+        let functions: usize =
+            result.module_image.section_images.iter().map(|s| s.functions.len()).sum();
+        let words: u32 =
+            result.module_image.section_images.iter().map(|s| s.code_words()).sum();
+        eprintln!("verify: {functions} function(s), {words} words — ok");
     }
 
     if let Some(path) = &args.output {

@@ -9,9 +9,10 @@
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use warp_analyze::{MachineError, ScheduleError};
 use warp_codegen::link::{assemble_module, link_section, LinkWork};
 use warp_codegen::phase3::{phase3, Phase3Work};
-use warp_ir::phase2::{phase2_opts, Phase2Work};
+use warp_ir::phase2::{phase2_verified, Phase2Error, Phase2Work};
 use warp_lang::{CheckedModule, ParseWork, Phase1Error};
 use warp_target::program::{FunctionImage, ModuleImage};
 use warp_target::CellConfig;
@@ -33,6 +34,11 @@ pub struct CompileOptions {
     /// If-conversion: speculate small branch diamonds into selects so
     /// branchy loop bodies become software-pipelinable.
     pub if_convert: Option<warp_ir::IfConvPolicy>,
+    /// Run the static verifiers at every pass boundary: the IR
+    /// verifier after lowering and after each optimization pass, and
+    /// the machine-code + schedule checkers on every emitted function
+    /// image. Compilation fails on the first violated invariant.
+    pub verify_each_pass: bool,
 }
 
 impl Default for CompileOptions {
@@ -43,6 +49,7 @@ impl Default for CompileOptions {
             inline: None,
             unroll: None,
             if_convert: None,
+            verify_each_pass: false,
         }
     }
 }
@@ -66,6 +73,14 @@ pub enum CompileError {
     Phase3(warp_codegen::Phase3Error),
     /// Linking failed.
     Link(warp_codegen::LinkError),
+    /// The IR verifier rejected a pass's output
+    /// (`verify_each_pass` only).
+    Verify(warp_ir::VerifyError),
+    /// The static machine-code verifier rejected an emitted image
+    /// (`verify_each_pass` or an explicit `--verify` run).
+    MachineVerify(Vec<MachineError>),
+    /// The static schedule checker rejected a pipelined loop layout.
+    ScheduleVerify(Vec<ScheduleError>),
 }
 
 impl fmt::Display for CompileError {
@@ -75,6 +90,15 @@ impl fmt::Display for CompileError {
             CompileError::Lower(e) => write!(f, "{e}"),
             CompileError::Phase3(e) => write!(f, "{e}"),
             CompileError::Link(e) => write!(f, "{e}"),
+            CompileError::Verify(e) => write!(f, "{e}"),
+            CompileError::MachineVerify(errs) => {
+                let msgs: Vec<String> = errs.iter().map(|e| e.to_string()).collect();
+                write!(f, "{}", msgs.join("\n"))
+            }
+            CompileError::ScheduleVerify(errs) => {
+                let msgs: Vec<String> = errs.iter().map(|e| e.to_string()).collect();
+                write!(f, "{}", msgs.join("\n"))
+            }
         }
     }
 }
@@ -102,6 +126,15 @@ impl From<warp_codegen::Phase3Error> for CompileError {
 impl From<warp_codegen::LinkError> for CompileError {
     fn from(e: warp_codegen::LinkError) -> Self {
         CompileError::Link(e)
+    }
+}
+
+impl From<Phase2Error> for CompileError {
+    fn from(e: Phase2Error) -> Self {
+        match e {
+            Phase2Error::Lower(e) => CompileError::Lower(e),
+            Phase2Error::Verify(e) => CompileError::Verify(e),
+        }
     }
 }
 
@@ -156,6 +189,9 @@ pub struct CompileResult {
     pub phase1_units: u64,
     /// Phase-4 (assembly/link) work in abstract units.
     pub link_units: u64,
+    /// Warnings the front end produced (the sema checker computes
+    /// these even on success; surfaced in `--emit summary`).
+    pub warnings: usize,
 }
 
 impl CompileResult {
@@ -174,14 +210,16 @@ fn parse_units_of(work: &ParseWork) -> u64 {
 }
 
 /// Runs phase 1 on a module source (the master's sequential step).
+/// Returns the checked module, abstract work units, and the number of
+/// front-end warnings.
 ///
 /// # Errors
 ///
 /// Returns the phase-1 diagnostics on failure.
-pub fn run_phase1(source: &str) -> Result<(CheckedModule, u64), CompileError> {
-    let checked = warp_lang::phase1(source)?;
+pub fn run_phase1(source: &str) -> Result<(CheckedModule, u64, usize), CompileError> {
+    let (checked, diags) = warp_lang::phase1_with_warnings(source)?;
     let units = parse_units_of(&ParseWork::measure(source));
-    Ok((checked, units))
+    Ok((checked, units, diags.warning_count()))
 }
 
 /// Phase 1 plus the optional inlining extension: the checked module the
@@ -194,10 +232,10 @@ pub fn run_phase1(source: &str) -> Result<(CheckedModule, u64), CompileError> {
 pub fn prepare_module(
     source: &str,
     opts: &CompileOptions,
-) -> Result<(CheckedModule, u64), CompileError> {
-    let (checked, mut units) = run_phase1(source)?;
+) -> Result<(CheckedModule, u64, usize), CompileError> {
+    let (checked, mut units, warnings) = run_phase1(source)?;
     match &opts.inline {
-        None => Ok((checked, units)),
+        None => Ok((checked, units, warnings)),
         Some(policy) => {
             let (inlined, stats) = warp_ir::inline_module(&checked.module, policy);
             // Charge the transform + re-check as additional setup work.
@@ -216,7 +254,7 @@ pub fn prepare_module(
                     rendered,
                 }));
             }
-            Ok((rechecked, units))
+            Ok((rechecked, units, warnings))
         }
     }
 }
@@ -236,8 +274,25 @@ pub fn compile_function(
     let func = &checked.module.sections[si].functions[fi];
     let symbols = &checked.sections[si].symbol_tables[fi];
     let signatures = &checked.sections[si].signatures;
-    let p2 = phase2_opts(func, symbols, signatures, opts.unroll.as_ref(), opts.if_convert.as_ref())?;
+    let p2 = phase2_verified(
+        func,
+        symbols,
+        signatures,
+        opts.unroll.as_ref(),
+        opts.if_convert.as_ref(),
+        opts.verify_each_pass,
+    )?;
     let p3 = phase3(&p2, &opts.cell, opts.max_ii)?;
+    if opts.verify_each_pass {
+        let errs = warp_analyze::verify_function_image(&p3.image, &opts.cell, None);
+        if !errs.is_empty() {
+            return Err(CompileError::MachineVerify(errs));
+        }
+        let errs = warp_analyze::verify_function_schedule(&p3.pipelined, &p3.image);
+        if !errs.is_empty() {
+            return Err(CompileError::ScheduleVerify(errs));
+        }
+    }
     let lines = func.line_count(source);
     let func_src_len = func.span.len() as usize;
     // The function master re-parses (roughly) its own function's text.
@@ -303,7 +358,7 @@ pub fn compile_module_source(
     source: &str,
     opts: &CompileOptions,
 ) -> Result<CompileResult, CompileError> {
-    let (checked, phase1_units) = prepare_module(source, opts)?;
+    let (checked, phase1_units, warnings) = prepare_module(source, opts)?;
     let mut images = Vec::new();
     let mut records = Vec::new();
     for si in 0..checked.module.sections.len() {
@@ -314,7 +369,13 @@ pub fn compile_module_source(
         }
     }
     let (module_image, link_units) = link_module(&checked, images, opts)?;
-    Ok(CompileResult { module_image, records, phase1_units, link_units })
+    if opts.verify_each_pass {
+        let errs = warp_analyze::verify_module_image(&module_image, &opts.cell);
+        if !errs.is_empty() {
+            return Err(CompileError::MachineVerify(errs));
+        }
+    }
+    Ok(CompileResult { module_image, records, phase1_units, link_units, warnings })
 }
 
 #[cfg(test)]

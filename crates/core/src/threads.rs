@@ -45,7 +45,7 @@ pub fn compile_parallel(
 ) -> Result<(CompileResult, ThreadReport), CompileError> {
     let workers = workers.max(1);
     let t0 = Instant::now();
-    let (checked, phase1_units) = prepare_module(source, opts)?;
+    let (checked, phase1_units, warnings) = prepare_module(source, opts)?;
     let phase1_wall = t0.elapsed();
 
     // The work list: every (section, function) pair in source order.
@@ -124,7 +124,7 @@ pub fn compile_parallel(
     let link_wall = tl.elapsed();
 
     Ok((
-        CompileResult { module_image, records, phase1_units, link_units },
+        CompileResult { module_image, records, phase1_units, link_units, warnings },
         ThreadReport {
             wall: t0.elapsed(),
             phase1_wall,

@@ -18,7 +18,10 @@
 //! * [`inline`] — procedure inlining, the paper's §5.1 extension for
 //!   programs of many small functions;
 //! * [`phase2`](mod@phase2) — the driver a function master runs, with deterministic
-//!   work counters for the host simulator.
+//!   work counters for the host simulator;
+//! * [`verify`] — the IR verifier (CFG well-formedness, types,
+//!   def-before-use) run at every pass boundary under
+//!   `verify_each_pass`.
 //!
 //! # Example
 //!
@@ -50,6 +53,7 @@ pub mod lower;
 pub mod opt;
 pub mod phase2;
 pub mod unroll;
+pub mod verify;
 
 pub use deps::{DepEdge, DepGraph, DepKind};
 pub use ifconv::{if_convert, IfConvPolicy, IfConvStats};
@@ -57,6 +61,9 @@ pub use inline::{inline_module, InlinePolicy, InlineStats};
 pub use ir::{ArrayId, Block, BlockId, FuncIr, Inst, IrBinOp, IrType, IrUnOp, Term, Val, VirtReg};
 pub use loops::{Loop, LoopInfo};
 pub use lower::{lower_function, lower_module, LowerError};
-pub use opt::{optimize, OptStats};
-pub use phase2::{phase2, phase2_opts, phase2_with_unroll, Phase2Result, Phase2Work};
+pub use opt::{optimize, optimize_verified, OptStats};
+pub use phase2::{
+    phase2, phase2_opts, phase2_verified, phase2_with_unroll, Phase2Error, Phase2Result, Phase2Work,
+};
 pub use unroll::{unroll_loops, UnrollPolicy, UnrollStats};
+pub use verify::{verify_after, verify_func, VerifyError};

@@ -15,6 +15,7 @@
 
 use crate::dataflow::liveness;
 use crate::ir::*;
+use crate::verify::{verify_after, VerifyError};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use warp_target::isa::CmpKind;
@@ -58,22 +59,50 @@ impl OptStats {
 /// Runs the full local-optimization pipeline to a fixpoint (bounded at
 /// `max_iterations`).
 pub fn optimize(f: &mut FuncIr, max_iterations: usize) -> OptStats {
+    optimize_verified(f, max_iterations, false).expect("unverified optimize cannot fail")
+}
+
+/// Like [`optimize`], but when `verify_each_pass` is set the IR verifier
+/// runs after every individual pass, so a miscompile is attributed to
+/// the pass that introduced it.
+///
+/// # Errors
+///
+/// Returns the first [`VerifyError`] (tagged with the offending pass
+/// name) when verification is enabled and a pass breaks an invariant.
+pub fn optimize_verified(
+    f: &mut FuncIr,
+    max_iterations: usize,
+    verify_each_pass: bool,
+) -> Result<OptStats, VerifyError> {
+    type Pass = fn(&mut FuncIr) -> OptStats;
+    const PASSES: [(&str, Pass); 5] = [
+        ("fold_constants", fold_constants),
+        ("local_value_numbering", local_value_numbering),
+        ("dead_code_elimination", dead_code_elimination),
+        ("remove_unreachable_blocks", remove_unreachable_blocks),
+        ("merge_straightline_blocks", merge_straightline_blocks),
+    ];
+    if verify_each_pass {
+        verify_after(f, "input")?;
+    }
     let mut total = OptStats::default();
     for _ in 0..max_iterations {
         total.iterations += 1;
         let mut round = OptStats::default();
-        round.absorb(fold_constants(f));
-        round.absorb(local_value_numbering(f));
-        round.absorb(dead_code_elimination(f));
-        round.absorb(remove_unreachable_blocks(f));
-        round.absorb(merge_straightline_blocks(f));
+        for (name, pass) in PASSES {
+            round.absorb(pass(f));
+            if verify_each_pass {
+                verify_after(f, name)?;
+            }
+        }
         let changed = round.changed();
         total.absorb(round);
         if !changed {
             break;
         }
     }
-    total
+    Ok(total)
 }
 
 // --------------------------------------------------------------------

@@ -6,14 +6,16 @@
 //! pipelining and code generation) lives in `warp-codegen`.
 
 use crate::deps::{dep_graph, DepGraph};
+use crate::ifconv::{if_convert, IfConvPolicy, IfConvStats};
 use crate::ir::{BlockId, FuncIr};
 use crate::loops::{analyze_loops, LoopInfo};
 use crate::lower::{lower_function, LowerError};
-use crate::opt::{optimize, OptStats};
-use crate::ifconv::{if_convert, IfConvPolicy, IfConvStats};
+use crate::opt::{optimize_verified, OptStats};
 use crate::unroll::{unroll_loops, UnrollPolicy, UnrollStats};
+use crate::verify::{verify_after, VerifyError};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::fmt;
 use warp_lang::ast::Function;
 use warp_lang::sema::{Signature, SymbolTable};
 
@@ -110,6 +112,39 @@ pub fn phase2_with_unroll(
     phase2_opts(func, symbols, signatures, unroll, None)
 }
 
+/// A phase-2 failure: either lowering rejected the AST or (with
+/// `verify_each_pass` enabled) a pass broke an IR invariant.
+#[derive(Debug, Clone)]
+pub enum Phase2Error {
+    /// Lowering failed.
+    Lower(LowerError),
+    /// A pass produced IR that fails verification.
+    Verify(VerifyError),
+}
+
+impl fmt::Display for Phase2Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Phase2Error::Lower(e) => e.fmt(f),
+            Phase2Error::Verify(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for Phase2Error {}
+
+impl From<LowerError> for Phase2Error {
+    fn from(e: LowerError) -> Self {
+        Phase2Error::Lower(e)
+    }
+}
+
+impl From<VerifyError> for Phase2Error {
+    fn from(e: VerifyError) -> Self {
+        Phase2Error::Verify(e)
+    }
+}
+
 /// Phase 2 with all optional optimizations: if-conversion (making
 /// branchy loop bodies pipelinable) runs before unrolling.
 ///
@@ -123,14 +158,44 @@ pub fn phase2_opts(
     unroll: Option<&UnrollPolicy>,
     ifconv: Option<&IfConvPolicy>,
 ) -> Result<Phase2Result, LowerError> {
+    match phase2_verified(func, symbols, signatures, unroll, ifconv, false) {
+        Ok(r) => Ok(r),
+        Err(Phase2Error::Lower(e)) => Err(e),
+        Err(Phase2Error::Verify(e)) => unreachable!("verification disabled: {e}"),
+    }
+}
+
+/// Phase 2 with the IR verifier run at every pass boundary: after
+/// lowering, after each individual optimization pass, and after
+/// if-conversion and unrolling. A failure names the pass that broke
+/// the IR.
+///
+/// # Errors
+///
+/// Propagates [`LowerError`]; returns [`Phase2Error::Verify`] when
+/// `verify_each_pass` is set and a pass breaks an invariant.
+pub fn phase2_verified(
+    func: &Function,
+    symbols: &SymbolTable,
+    signatures: &HashMap<String, Signature>,
+    unroll: Option<&UnrollPolicy>,
+    ifconv: Option<&IfConvPolicy>,
+    verify_each_pass: bool,
+) -> Result<Phase2Result, Phase2Error> {
     let mut ir = lower_function(func, symbols, signatures)?;
+    if verify_each_pass {
+        verify_after(&ir, "lower")?;
+    }
     let lowered_insts = ir.inst_count();
-    let mut opt_stats = optimize(&mut ir, 10);
+    let mut opt_stats = optimize_verified(&mut ir, 10, verify_each_pass)?;
     let mut ifconv_stats = IfConvStats::default();
     if let Some(policy) = ifconv {
         ifconv_stats = if_convert(&mut ir, policy);
+        if verify_each_pass {
+            verify_after(&ir, "if_convert")?;
+        }
         if ifconv_stats.converted > 0 {
-            let again = optimize(&mut ir, 6);
+            let again = optimize_verified(&mut ir, 6, verify_each_pass)?;
             opt_stats.insts_visited += again.insts_visited;
             opt_stats.iterations += again.iterations;
         }
@@ -138,9 +203,12 @@ pub fn phase2_opts(
     let mut unroll_stats = UnrollStats::default();
     if let Some(policy) = unroll {
         unroll_stats = unroll_loops(&mut ir, policy);
+        if verify_each_pass {
+            verify_after(&ir, "unroll_loops")?;
+        }
         if unroll_stats.unrolled > 0 {
             // Clean up the duplicated bodies (CSE across copies etc.).
-            let again = optimize(&mut ir, 4);
+            let again = optimize_verified(&mut ir, 4, verify_each_pass)?;
             opt_stats.insts_visited += again.insts_visited;
             opt_stats.iterations += again.iterations;
         }
@@ -196,6 +264,25 @@ mod tests {
         let hdr = r.loops.pipelinable_blocks()[0];
         assert!(r.is_pipeline_loop(hdr));
         assert!(r.deps_of(hdr).carried_edges().count() > 0);
+    }
+
+    #[test]
+    fn verified_phase2_accepts_valid_source() {
+        let src = "module m; section a on cells 0..0; function f(x: float, n: int): float \
+             var t: float; v: float[16]; i: int; begin t := 0.0; \
+             for i := 0 to 15 do t := t + v[i] * x; end; return t; end; end;";
+        let checked = phase1(src).expect("phase1");
+        let f = &checked.module.sections[0].functions[0];
+        let r = phase2_verified(
+            f,
+            &checked.sections[0].symbol_tables[0],
+            &checked.sections[0].signatures,
+            Some(&crate::unroll::UnrollPolicy::default()),
+            Some(&crate::ifconv::IfConvPolicy::default()),
+            true,
+        )
+        .expect("verified phase 2 must pass on valid source");
+        assert_eq!(r.block_deps.len(), r.ir.blocks.len());
     }
 
     #[test]

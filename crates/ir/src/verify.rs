@@ -1,0 +1,350 @@
+//! The IR verifier.
+//!
+//! Statically checks a [`FuncIr`] for structural well-formedness so a
+//! miscompile is caught at the pass boundary that introduced it rather
+//! than by whatever test input happens to execute the broken code:
+//!
+//! * **CFG well-formedness** — every terminator target names an
+//!   existing block, the function has an entry block;
+//! * **operand sanity** — every register and array reference is in
+//!   bounds of the function's declaration tables;
+//! * **type consistency** — operand and destination types agree with
+//!   each instruction's declared type (conversions excepted per their
+//!   semantics);
+//! * **def-before-use** — via the forward definitely-defined-registers
+//!   dataflow ([`crate::dataflow::defined_regs`]): no path from the
+//!   entry can reach a use of an undefined register.
+//!
+//! The checks are deliberately conservative: they accept exactly the
+//! shapes `lower`, `opt`, `ifconv` and `unroll` produce, so any
+//! rejection after one of those passes is a bug in that pass.
+
+use crate::dataflow::defined_regs;
+use crate::ir::{ArrayId, FuncIr, Inst, IrBinOp, IrType, IrUnOp, Term, Val, VirtReg};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A verification failure, locating the offending function (and the
+/// pass that introduced the breakage, when run at a pass boundary).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VerifyError {
+    /// The function that failed verification.
+    pub function: String,
+    /// The pass after which verification failed, if known.
+    pub pass: Option<String>,
+    /// What went wrong (includes the block index).
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.pass {
+            Some(p) => {
+                write!(f, "ir verification failed for `{}` after pass `{p}`: {}", self.function, self.message)
+            }
+            None => write!(f, "ir verification failed for `{}`: {}", self.function, self.message),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+fn err(f: &FuncIr, message: String) -> VerifyError {
+    VerifyError { function: f.name.clone(), pass: None, message }
+}
+
+/// Verifies `f`, returning the first violation found.
+///
+/// # Errors
+///
+/// Returns a [`VerifyError`] describing the first structural, type or
+/// def-before-use violation.
+pub fn verify_func(f: &FuncIr) -> Result<(), VerifyError> {
+    if f.blocks.is_empty() {
+        return Err(err(f, "function has no blocks".into()));
+    }
+    check_bounds(f)?;
+    check_cfg(f)?;
+    check_types(f)?;
+    check_def_before_use(f)?;
+    Ok(())
+}
+
+/// Like [`verify_func`], tagging any error with the pass name that just
+/// ran (for pass-boundary verification).
+///
+/// # Errors
+///
+/// Returns a [`VerifyError`] with `pass` set to `pass_name`.
+pub fn verify_after(f: &FuncIr, pass_name: &str) -> Result<(), VerifyError> {
+    verify_func(f).map_err(|mut e| {
+        e.pass = Some(pass_name.to_string());
+        e
+    })
+}
+
+/// Every register / array mentioned anywhere must be in bounds; checked
+/// first because the type accessors panic on out-of-range registers.
+fn check_bounds(f: &FuncIr) -> Result<(), VerifyError> {
+    let nregs = f.vreg_types.len();
+    let narr = f.arrays.len();
+    let reg_ok = |r: VirtReg| (r.0 as usize) < nregs;
+    let val_ok = |v: Val| v.as_reg().is_none_or(reg_ok);
+    for (r, _) in &f.params {
+        if !reg_ok(*r) {
+            return Err(err(f, format!("parameter register {r} out of range ({nregs} allocated)")));
+        }
+    }
+    for (bi, block) in f.blocks.iter().enumerate() {
+        for inst in &block.insts {
+            if let Some(d) = inst.def() {
+                if !reg_ok(d) {
+                    return Err(err(f, format!("b{bi}: destination register {d} out of range ({nregs} allocated)")));
+                }
+            }
+            for u in inst.uses() {
+                if !val_ok(u) {
+                    return Err(err(f, format!("b{bi}: operand register {u} out of range ({nregs} allocated)")));
+                }
+            }
+            let arr = match inst {
+                Inst::Load { arr, .. } | Inst::Store { arr, .. } => Some(*arr),
+                _ => None,
+            };
+            if let Some(ArrayId(a)) = arr {
+                if a as usize >= narr {
+                    return Err(err(f, format!("b{bi}: array a{a} out of range ({narr} declared)")));
+                }
+            }
+        }
+        let term_val = match &block.term {
+            Term::Branch { cond, .. } => Some(*cond),
+            Term::Return(v) => *v,
+            Term::Jump(_) => None,
+        };
+        if let Some(v) = term_val {
+            if !val_ok(v) {
+                return Err(err(f, format!("b{bi}: terminator register {v} out of range ({nregs} allocated)")));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Every terminator target must name an existing block.
+fn check_cfg(f: &FuncIr) -> Result<(), VerifyError> {
+    let n = f.blocks.len();
+    for (bi, block) in f.blocks.iter().enumerate() {
+        for s in block.term.successors() {
+            if s.index() >= n {
+                return Err(err(f, format!("b{bi}: terminator targets dangling block {s} ({n} blocks)")));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The expected destination type of an instruction, given its declared
+/// operand type.
+fn un_result_type(op: IrUnOp, ty: IrType) -> IrType {
+    match op {
+        IrUnOp::ItoF => IrType::Float,
+        IrUnOp::FtoI | IrUnOp::Floor | IrUnOp::Not => IrType::Int,
+        _ => ty,
+    }
+}
+
+fn check_types(f: &FuncIr) -> Result<(), VerifyError> {
+    for (bi, block) in f.blocks.iter().enumerate() {
+        for inst in &block.insts {
+            check_inst_types(f, bi, inst)?;
+        }
+        match &block.term {
+            Term::Branch { cond, .. } if f.val_type(*cond) != IrType::Int => {
+                return Err(err(f, format!("b{bi}: branch condition {cond} is not an integer")));
+            }
+            Term::Return(Some(v)) => match f.ret {
+                None => {
+                    return Err(err(f, format!("b{bi}: returns a value from a function with no return type")));
+                }
+                Some(rt) => {
+                    if f.val_type(*v) != rt {
+                        return Err(err(f, format!("b{bi}: return value {v} has type {} but the function returns {rt}", f.val_type(*v))));
+                    }
+                }
+            },
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+fn check_inst_types(f: &FuncIr, bi: usize, inst: &Inst) -> Result<(), VerifyError> {
+    let want = |v: Val, ty: IrType, what: &str| -> Result<(), VerifyError> {
+        if f.val_type(v) != ty {
+            return Err(err(f, format!("b{bi}: {what} {v} has type {} in `{inst}` (expected {ty})", f.val_type(v))));
+        }
+        Ok(())
+    };
+    let want_dst = |d: VirtReg, ty: IrType| -> Result<(), VerifyError> {
+        if f.vreg_type(d) != ty {
+            return Err(err(f, format!("b{bi}: destination {d} has type {} in `{inst}` (expected {ty})", f.vreg_type(d))));
+        }
+        Ok(())
+    };
+    match inst {
+        Inst::Bin { op, ty, dst, a, b } => {
+            want(*a, *ty, "operand")?;
+            want(*b, *ty, "operand")?;
+            let res = if *op == IrBinOp::Div { IrType::Float } else { *ty };
+            want_dst(*dst, res)?;
+        }
+        Inst::Un { op, ty, dst, a } => {
+            want(*a, *ty, "operand")?;
+            want_dst(*dst, un_result_type(*op, *ty))?;
+        }
+        Inst::Cmp { ty, dst, a, b, .. } => {
+            want(*a, *ty, "operand")?;
+            want(*b, *ty, "operand")?;
+            want_dst(*dst, IrType::Int)?;
+        }
+        Inst::Copy { dst, src } => {
+            want(*src, f.vreg_type(*dst), "source")?;
+        }
+        Inst::Load { dst, ty, arr, index } => {
+            want(*index, IrType::Int, "index")?;
+            want_dst(*dst, *ty)?;
+            let at = f.arrays[arr.0 as usize].ty;
+            if at != *ty {
+                return Err(err(f, format!("b{bi}: load type {ty} does not match array element type {at} in `{inst}`")));
+            }
+        }
+        Inst::Store { arr, index, value, ty } => {
+            want(*index, IrType::Int, "index")?;
+            want(*value, *ty, "stored value")?;
+            let at = f.arrays[arr.0 as usize].ty;
+            if at != *ty {
+                return Err(err(f, format!("b{bi}: store type {ty} does not match array element type {at} in `{inst}`")));
+            }
+        }
+        Inst::Call { .. } | Inst::Send { .. } => {}
+        Inst::Recv { dst, ty, .. } => {
+            want_dst(*dst, *ty)?;
+        }
+        Inst::Select { dst, cond, then_v, ty } => {
+            want(*cond, IrType::Int, "condition")?;
+            want(*then_v, *ty, "operand")?;
+            want_dst(*dst, *ty)?;
+        }
+    }
+    Ok(())
+}
+
+/// No path from the entry may reach a use of a register that is not
+/// definitely defined on that path.
+fn check_def_before_use(f: &FuncIr) -> Result<(), VerifyError> {
+    let dr = defined_regs(f);
+    for (bi, block) in f.blocks.iter().enumerate() {
+        let mut defined = dr.defined_in[bi].clone();
+        for inst in &block.insts {
+            for u in inst.used_regs() {
+                // A select reads its own destination speculatively (the
+                // keep-old-value leg); lowering zero-initializes locals
+                // so this is never a genuine uninitialized read.
+                if matches!(inst, Inst::Select { dst, .. } if *dst == u) {
+                    continue;
+                }
+                if !defined.contains(u) {
+                    return Err(err(f, format!("b{bi}: use of {u} before definition in `{inst}`")));
+                }
+            }
+            if let Some(d) = inst.def() {
+                defined.insert(d);
+            }
+        }
+        let term_use = match &block.term {
+            Term::Branch { cond, .. } => cond.as_reg(),
+            Term::Return(Some(v)) => v.as_reg(),
+            _ => None,
+        };
+        if let Some(r) = term_use {
+            if !defined.contains(r) {
+                return Err(err(f, format!("b{bi}: use of {r} before definition in `{}`", block.term)));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::BlockId;
+    use crate::lower::lower_module;
+    use warp_lang::phase1;
+
+    fn lowered(body: &str) -> FuncIr {
+        let src = format!(
+            "module m; section a on cells 0..0; function f(x: float, n: int): float \
+             var t: float; u: float; v: float[8]; i: int; begin {body} end; end;"
+        );
+        let checked = phase1(&src).expect("phase1");
+        lower_module(&checked).expect("lower").remove(0).1
+    }
+
+    #[test]
+    fn valid_lowered_ir_verifies() {
+        let f = lowered("t := 0.0; for i := 0 to 7 do t := t + v[i] * x; end; return t;");
+        verify_func(&f).expect("valid IR must verify");
+    }
+
+    #[test]
+    fn optimized_ir_verifies() {
+        let mut f = lowered("t := x * 1.0 + 0.0; u := t; if n > 2 then u := t * 2.0; end; return u;");
+        crate::opt::optimize(&mut f, 10);
+        verify_func(&f).expect("optimized IR must verify");
+    }
+
+    #[test]
+    fn dangling_block_rejected() {
+        let mut f = lowered("return x;");
+        f.blocks[0].term = Term::Jump(BlockId(99));
+        let e = verify_func(&f).unwrap_err();
+        assert!(e.message.contains("dangling block"), "{e}");
+    }
+
+    #[test]
+    fn out_of_range_register_rejected() {
+        let mut f = lowered("return x;");
+        f.blocks[0].term = Term::Return(Some(Val::Reg(VirtReg(9999))));
+        let e = verify_func(&f).unwrap_err();
+        assert!(e.message.contains("out of range"), "{e}");
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let mut f = lowered("t := x; return t;");
+        // Return an int constant from a float function.
+        f.blocks[0].term = Term::Return(Some(Val::ConstI(3)));
+        let e = verify_func(&f).unwrap_err();
+        assert!(e.message.contains("type"), "{e}");
+    }
+
+    #[test]
+    fn use_before_def_rejected() {
+        let mut f = lowered("t := x; return t;");
+        let fresh = f.new_vreg(IrType::Float);
+        f.blocks[0].term = Term::Return(Some(Val::Reg(fresh)));
+        let e = verify_func(&f).unwrap_err();
+        assert!(e.message.contains("before definition"), "{e}");
+    }
+
+    #[test]
+    fn pass_name_is_reported() {
+        let mut f = lowered("return x;");
+        f.blocks[0].term = Term::Jump(BlockId(7));
+        let e = verify_after(&f, "fold_constants").unwrap_err();
+        assert_eq!(e.pass.as_deref(), Some("fold_constants"));
+        assert!(e.to_string().contains("after pass `fold_constants`"), "{e}");
+    }
+}

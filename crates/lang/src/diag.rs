@@ -142,6 +142,11 @@ impl DiagnosticBag {
         self.diagnostics.iter().filter(|d| d.severity == Severity::Error).count()
     }
 
+    /// Number of warning diagnostics.
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Warning).count()
+    }
+
     /// All diagnostics in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = &Diagnostic> {
         self.diagnostics.iter()

@@ -42,6 +42,7 @@ pub mod ast;
 pub mod diag;
 pub mod interp;
 pub mod lexer;
+pub mod lint;
 pub mod parser;
 pub mod pretty;
 pub mod sema;
@@ -50,6 +51,7 @@ pub mod token;
 
 pub use ast::{Direction, Function, Module, ScalarType, Section, Type};
 pub use diag::{Diagnostic, DiagnosticBag, Severity};
+pub use lint::{lint_function, lint_module};
 pub use interp::{AstInterp, EvalError, QueueIo, RtValue};
 pub use sema::{CheckedModule, Signature, Symbol, SymbolTable};
 pub use span::{LineCol, LineMap, Span};
@@ -91,6 +93,21 @@ impl std::error::Error for Phase1Error {}
 /// Returns [`Phase1Error`] carrying every diagnostic if the module does
 /// not lex, parse, or type-check.
 pub fn phase1(source: &str) -> Result<CheckedModule, Phase1Error> {
+    phase1_with_warnings(source).map(|(checked, _)| checked)
+}
+
+/// Like [`phase1`], but on success also returns the non-fatal
+/// diagnostics (warnings and notes) the front end produced, instead of
+/// dropping them. Drivers surface the warning count in their
+/// compilation summaries.
+///
+/// # Errors
+///
+/// Returns [`Phase1Error`] carrying every diagnostic if the module does
+/// not lex, parse, or type-check.
+pub fn phase1_with_warnings(
+    source: &str,
+) -> Result<(CheckedModule, DiagnosticBag), Phase1Error> {
     let parsed = parser::parse(source);
     let mut diagnostics = parsed.diagnostics;
     let (checked, sema_diags) = sema::check(parsed.module);
@@ -99,7 +116,7 @@ pub fn phase1(source: &str) -> Result<CheckedModule, Phase1Error> {
         let rendered = diagnostics.render_all_with_source(source);
         Err(Phase1Error { diagnostics, rendered })
     } else {
-        Ok(checked)
+        Ok((checked, diagnostics))
     }
 }
 

@@ -1,0 +1,253 @@
+//! W2 source lints.
+//!
+//! Advisory checks that run after a module parses: they flag code that
+//! is legal but almost certainly not what the programmer meant. All
+//! lints are emitted as warnings through the standard
+//! [`DiagnosticBag`] machinery, so drivers can render them with source
+//! locations like any other diagnostic.
+//!
+//! Implemented lints:
+//!
+//! * **unused variable** — a local declared but never read or written;
+//! * **assigned but never read** — a local that is only ever stored
+//!   to, so every assignment is dead;
+//! * **unreachable statement** — a statement that follows a `return`
+//!   in the same statement list.
+//!
+//! Parameters are exempt from the unused lints: W2 functions often
+//! take a fixed argument shape dictated by the host interface.
+
+use std::collections::BTreeMap;
+
+use crate::ast::{Expr, ExprKind, Function, LValue, Module, Stmt};
+use crate::diag::DiagnosticBag;
+
+/// How a function body uses each local variable.
+#[derive(Default, Clone, Copy)]
+struct VarUse {
+    read: bool,
+    written: bool,
+}
+
+/// Runs every lint over the module, returning the warnings found.
+pub fn lint_module(module: &Module) -> DiagnosticBag {
+    let mut diags = DiagnosticBag::new();
+    for section in &module.sections {
+        for function in &section.functions {
+            lint_function(function, &mut diags);
+        }
+    }
+    diags
+}
+
+/// Lints a single function.
+pub fn lint_function(function: &Function, diags: &mut DiagnosticBag) {
+    let mut uses: BTreeMap<&str, VarUse> = BTreeMap::new();
+    for v in &function.vars {
+        uses.insert(v.name.as_str(), VarUse::default());
+    }
+    scan_stmts(&function.body, &mut uses);
+    for v in &function.vars {
+        let u = uses[v.name.as_str()];
+        if !u.read && !u.written {
+            diags.warning(v.span, format!("unused variable `{}`", v.name));
+        } else if !u.read {
+            diags.warning(
+                v.span,
+                format!("variable `{}` is assigned but never read", v.name),
+            );
+        }
+    }
+    check_unreachable(&function.body, diags);
+}
+
+fn mark_read<'a>(name: &'a str, uses: &mut BTreeMap<&'a str, VarUse>) {
+    if let Some(u) = uses.get_mut(name) {
+        u.read = true;
+    }
+}
+
+fn mark_written<'a>(name: &'a str, uses: &mut BTreeMap<&'a str, VarUse>) {
+    if let Some(u) = uses.get_mut(name) {
+        u.written = true;
+    }
+}
+
+/// An lvalue used as an assignment *target*: the base variable is
+/// written, but its subscripts are reads.
+fn scan_target<'a>(target: &'a LValue, uses: &mut BTreeMap<&'a str, VarUse>) {
+    mark_written(&target.name, uses);
+    for idx in &target.indices {
+        scan_expr(idx, uses);
+    }
+}
+
+fn scan_expr<'a>(expr: &'a Expr, uses: &mut BTreeMap<&'a str, VarUse>) {
+    match &expr.kind {
+        ExprKind::IntLit(_) | ExprKind::FloatLit(_) | ExprKind::BoolLit(_) => {}
+        ExprKind::LValue(lv) => {
+            mark_read(&lv.name, uses);
+            for idx in &lv.indices {
+                scan_expr(idx, uses);
+            }
+        }
+        ExprKind::Unary { expr, .. } => scan_expr(expr, uses),
+        ExprKind::Binary { lhs, rhs, .. } => {
+            scan_expr(lhs, uses);
+            scan_expr(rhs, uses);
+        }
+        ExprKind::Call { args, .. } => {
+            for a in args {
+                scan_expr(a, uses);
+            }
+        }
+    }
+}
+
+fn scan_stmts<'a>(stmts: &'a [Stmt], uses: &mut BTreeMap<&'a str, VarUse>) {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Assign { target, value, .. } => {
+                scan_target(target, uses);
+                scan_expr(value, uses);
+            }
+            Stmt::If { arms, else_body, .. } => {
+                for arm in arms {
+                    scan_expr(&arm.cond, uses);
+                    scan_stmts(&arm.body, uses);
+                }
+                scan_stmts(else_body, uses);
+            }
+            Stmt::While { cond, body, .. } => {
+                scan_expr(cond, uses);
+                scan_stmts(body, uses);
+            }
+            Stmt::For { var, from, to, by, body, .. } => {
+                // The induction variable is written by the loop header
+                // and read by the exit test.
+                mark_written(var.as_str(), uses);
+                mark_read(var.as_str(), uses);
+                scan_expr(from, uses);
+                scan_expr(to, uses);
+                if let Some(by) = by {
+                    scan_expr(by, uses);
+                }
+                scan_stmts(body, uses);
+            }
+            Stmt::Call { args, .. } => {
+                for a in args {
+                    scan_expr(a, uses);
+                }
+            }
+            Stmt::Send { value, .. } => scan_expr(value, uses),
+            Stmt::Receive { target, .. } => scan_target(target, uses),
+            Stmt::Return { value, .. } => {
+                if let Some(v) = value {
+                    scan_expr(v, uses);
+                }
+            }
+        }
+    }
+}
+
+/// Flags the first statement after a `return` in each statement list,
+/// recursing into nested bodies.
+fn check_unreachable(stmts: &[Stmt], diags: &mut DiagnosticBag) {
+    let mut dead = false;
+    for stmt in stmts {
+        if dead {
+            diags.warning(stmt.span(), "unreachable statement after return".to_string());
+            dead = false; // one warning per list is enough
+        }
+        match stmt {
+            Stmt::Return { .. } => dead = true,
+            Stmt::If { arms, else_body, .. } => {
+                for arm in arms {
+                    check_unreachable(&arm.body, diags);
+                }
+                check_unreachable(else_body, diags);
+            }
+            Stmt::While { body, .. } | Stmt::For { body, .. } => {
+                check_unreachable(body, diags);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser;
+
+    fn lint(src: &str) -> Vec<String> {
+        let parsed = parser::parse(src);
+        assert!(!parsed.diagnostics.has_errors(), "test source must parse");
+        lint_module(&parsed.module)
+            .iter()
+            .map(|d| d.message.clone())
+            .collect()
+    }
+
+    fn wrap(body_decls: &str) -> String {
+        format!("module m; section a on cells 0..1;\n{body_decls}\nend;")
+    }
+
+    #[test]
+    fn flags_unused_variable() {
+        let src = wrap(
+            "function f(x: float): float var dead: int; begin return x; end;",
+        );
+        let msgs = lint(&src);
+        assert!(msgs.iter().any(|m| m.contains("unused variable `dead`")), "{msgs:?}");
+    }
+
+    #[test]
+    fn flags_assigned_never_read() {
+        let src = wrap(
+            "function f(x: float): float var t: float; begin t := x; return x; end;",
+        );
+        let msgs = lint(&src);
+        assert!(
+            msgs.iter().any(|m| m.contains("`t` is assigned but never read")),
+            "{msgs:?}"
+        );
+    }
+
+    #[test]
+    fn flags_unreachable_after_return() {
+        let src = wrap(
+            "function f(x: float): float var t: float; begin \
+             return x; t := x; end;",
+        );
+        let msgs = lint(&src);
+        assert!(msgs.iter().any(|m| m.contains("unreachable statement")), "{msgs:?}");
+    }
+
+    #[test]
+    fn clean_function_produces_no_warnings() {
+        let src = wrap(
+            "function f(x: float): float var t: float; i: int; begin \
+             t := 0.0; for i := 0 to 3 do t := t + x; end; return t; end;",
+        );
+        let msgs = lint(&src);
+        assert!(msgs.is_empty(), "{msgs:?}");
+    }
+
+    #[test]
+    fn parameters_are_exempt() {
+        let src = wrap("function f(x: float, unused: int): float begin return x; end;");
+        let msgs = lint(&src);
+        assert!(msgs.is_empty(), "{msgs:?}");
+    }
+
+    #[test]
+    fn array_subscripts_count_as_reads() {
+        let src = wrap(
+            "function f(x: float): float var v: float[8]; i: int; begin \
+             for i := 0 to 7 do v[i] := x; end; return v[0]; end;",
+        );
+        let msgs = lint(&src);
+        assert!(msgs.is_empty(), "{msgs:?}");
+    }
+}

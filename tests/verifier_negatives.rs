@@ -1,0 +1,123 @@
+//! Golden tests: known-bad images are rejected with stable messages.
+//!
+//! Each case constructs (or corrupts) an image with a specific defect
+//! — a structurally hazardous word, a modulo schedule with an illegal
+//! initiation interval, a dangling branch target — and checks both
+//! that the static verifiers reject it and that the rendered error
+//! text matches the checked-in golden file exactly. The goldens pin
+//! the diagnostic wording: error messages are part of the tool's
+//! interface, and drive-by rewording should show up in review.
+//!
+//! Regenerate with `BLESS=1 cargo test --test verifier_negatives`.
+
+use warp_analyze::{verify_function_image, verify_pipelined_loop};
+use warp_codegen::phase3;
+use warp_target::isa::{BranchOp, Op, Opcode, Operand, Reg};
+use warp_target::program::FunctionImage;
+use warp_target::word::InstructionWord;
+use warp_target::CellConfig;
+
+fn assert_golden(name: &str, actual: &str) {
+    let path = format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {path}: {e} (run with BLESS=1)"));
+    assert_eq!(
+        actual, expected,
+        "rendered errors diverge from golden {name}; run with BLESS=1 to regenerate"
+    );
+}
+
+fn render<E: std::fmt::Display>(errs: &[E]) -> String {
+    let mut out = String::new();
+    for e in errs {
+        out.push_str(&e.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Two divides one word apart on the floating multiplier: the second
+/// issue arrives while the unit is still reserved for eleven more
+/// cycles.
+#[test]
+fn hazardous_word_is_rejected() {
+    let div = Op::new2(
+        Opcode::FDiv,
+        Reg::RET,
+        Operand::Reg(Reg::arg(0)),
+        Operand::Reg(Reg::arg(0)),
+    );
+    let mut w0 = InstructionWord::new();
+    w0.place(warp_target::fu::FuKind::FMul, div).unwrap();
+    let mut w1 = InstructionWord::new();
+    w1.place(warp_target::fu::FuKind::FMul, div).unwrap();
+    w1.branch = Some(BranchOp::Ret);
+    let img = FunctionImage {
+        name: "hazard".to_string(),
+        code: vec![w0, w1],
+        data_words: 0,
+        param_count: 1,
+        returns_value: true,
+        call_relocs: Vec::new(),
+    };
+    let errs = verify_function_image(&img, &CellConfig::default(), Some(1));
+    assert!(!errs.is_empty(), "hazardous image must be rejected");
+    assert_golden("hazard_word.txt", &render(&errs));
+}
+
+/// A compiled software-pipelined loop whose recorded plan claims an
+/// initiation interval below the resource minimum: the schedule
+/// checker must reject the plan and the image that no longer matches
+/// it.
+#[test]
+fn bad_initiation_interval_is_rejected() {
+    let src = "module m; section a on cells 0..0; function f(x: float, n: int): float \
+               var t: float; v: float[32]; i: int; begin \
+               t := 0.0; for i := 0 to 31 do t := t + v[i] * x; end; return t; \
+               end; end;";
+    let checked = warp_lang::phase1(src).expect("phase1");
+    let f = &checked.module.sections[0].functions[0];
+    let p2 = warp_ir::phase2::phase2(
+        f,
+        &checked.sections[0].symbol_tables[0],
+        &checked.sections[0].signatures,
+    )
+    .expect("phase2");
+    let p3 = phase3(&p2, &CellConfig::default(), warp_codegen::DEFAULT_MAX_II).expect("phase3");
+    assert!(!p3.pipelined.is_empty(), "loop should software-pipeline");
+
+    let mut info = p3.pipelined[0].clone();
+    assert!(verify_pipelined_loop(&info, &p3.image).is_empty(), "valid plan verifies clean");
+    info.plan.ii = 1; // below the resource minimum for this loop body
+    let errs = verify_pipelined_loop(&info, &p3.image);
+    assert!(!errs.is_empty(), "shrunk initiation interval must be rejected");
+    assert_golden("bad_ii.txt", &render(&errs));
+}
+
+/// A branch to a word the function does not have — the machine-level
+/// shape of a dangling basic block reference.
+#[test]
+fn dangling_branch_target_is_rejected() {
+    let add =
+        Op::new2(Opcode::IAdd, Reg::RET, Operand::Reg(Reg::arg(0)), Operand::ImmI(1));
+    let mut w0 = InstructionWord::new();
+    w0.place(warp_target::fu::FuKind::Alu, add).unwrap();
+    w0.branch = Some(BranchOp::Jump(7));
+    let mut w1 = InstructionWord::new();
+    w1.branch = Some(BranchOp::Ret);
+    let img = FunctionImage {
+        name: "dangling".to_string(),
+        code: vec![w0, w1],
+        data_words: 0,
+        param_count: 1,
+        returns_value: true,
+        call_relocs: Vec::new(),
+    };
+    let errs = verify_function_image(&img, &CellConfig::default(), Some(1));
+    assert!(!errs.is_empty(), "dangling branch target must be rejected");
+    assert_golden("dangling_block.txt", &render(&errs));
+}

@@ -1,0 +1,303 @@
+//! Differential soundness test for the static machine-code verifier.
+//!
+//! The static verifier in `warp-analyze` claims to reject (at least)
+//! every image the strict cycle-accurate interpreter rejects with a
+//! *statically decidable* fault: uninitialized reads, structural
+//! hazards, bad branch/call targets, missing operands, and bad
+//! register numbers. This test checks the claim empirically: it
+//! compiles a small corpus of call-free W2 functions, applies hundreds
+//! of seeded single-point corruptions to the linked images, runs each
+//! corrupted image on the strict interpreter, and asserts that
+//! whenever the interpreter faults with a statically decidable kind,
+//! the static verifier also flags the image.
+//!
+//! Data-dependent faults (`DivisionByZero`, `MemOutOfBounds`) and
+//! non-fault outcomes (`CycleLimit`, successful halts) carry no
+//! obligation: the verifier is allowed to accept such images. The
+//! reverse direction is deliberately not asserted — the verifier is
+//! conservative and may reject images whose corrupt paths the chosen
+//! arguments never execute.
+
+use parcc::{compile_module_source, CompileOptions};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use warp_analyze::verify_section_image;
+use warp_target::fu::FuKind;
+use warp_target::interp::{Cell, FaultKind, InterpError, Value};
+use warp_target::isa::{BranchOp, Op, Operand, Reg};
+use warp_target::program::SectionImage;
+use warp_target::word::InstructionWord;
+use warp_target::CellConfig;
+
+/// Call-free single-function bodies exercising the code shapes the
+/// compiler produces: straight-line float math, branches, software
+/// pipelined loops, stores, iterative units (div/sqrt), and integer
+/// loops.
+const BODIES: &[&str] = &[
+    // Software-pipelined reduction loop.
+    "t := 0.0;\n     for i := 0 to 31 do t := t + v[i] * x; end;\n     return t;",
+    // Branchy straight-line code.
+    "t := x;\n     if n > 3 then t := t * 2.0; else t := t + 1.0; end;\n     if n > 8 then t := t - x; end;\n     return t;",
+    // Store loop followed by a load loop.
+    "t := 0.0;\n     for i := 0 to 15 do v[i] := x * 3.0 + x; end;\n     for i := 0 to 15 do t := t + v[i]; end;\n     return t;",
+    // Iterative units: divide and square root occupy their FUs for
+    // several cycles, so hazard corruption has something to hit.
+    "t := x;\n     for i := 0 to 7 do t := t + sqrt(t * t) / 2.0; end;\n     return t;",
+    // Integer while-loop with iterative integer ops.
+    "m := n * n + 40;\n     k := 0;\n     while m > 0 do m := m div 2; k := k + 1; end;\n     t := x;\n     for i := 0 to k do t := t * 1.5; end;\n     return t;",
+];
+
+fn wrap(body: &str) -> String {
+    format!(
+        "module m; section s on cells 0..0; function f(x: float, n: int): float \
+         var t: float; v: float[32]; i: int; m: int; k: int; begin {body} end; end;"
+    )
+}
+
+fn compile_corpus() -> Vec<SectionImage> {
+    let opts = CompileOptions::default();
+    BODIES
+        .iter()
+        .map(|body| {
+            let result = compile_module_source(&wrap(body), &opts).expect("corpus compiles");
+            assert_eq!(result.module_image.section_images.len(), 1);
+            result.module_image.section_images[0].clone()
+        })
+        .collect()
+}
+
+/// Runs the strict interpreter over `sec` and classifies the outcome.
+/// Returns `Some(kind)` when it rejects with a statically decidable
+/// fault, `None` otherwise.
+fn strict_run(sec: &SectionImage, config: &CellConfig) -> Option<FaultKind> {
+    let Ok(mut cell) = Cell::new(*config, sec.clone()) else {
+        // Size violations are checked statically too, but our
+        // mutations never change the image size.
+        return None;
+    };
+    cell.set_strict(true);
+    if cell.prepare_call("f", &[Value::F(1.5), Value::I(7)]).is_err() {
+        return None;
+    }
+    let outcome = cell.run(500_000);
+    let kind = match outcome {
+        Err(InterpError::Fault { kind, .. }) => kind,
+        // A successful halt must still deliver a defined return value
+        // to the host; strict mode faults the host-side read.
+        Ok(_) => match cell.reg(Reg::RET) {
+            Err(InterpError::Fault { kind, .. }) => kind,
+            _ => return None,
+        },
+        Err(_) => return None,
+    };
+    match kind {
+        FaultKind::UninitializedRead(_)
+        | FaultKind::StructuralHazard(_)
+        | FaultKind::PcOutOfBounds
+        | FaultKind::BadCallTarget(_)
+        | FaultKind::MissingOperand
+        | FaultKind::BadRegister(_) => Some(kind),
+        // Data-dependent: the verifier only catches constant cases.
+        FaultKind::MemOutOfBounds(_) | FaultKind::DivisionByZero => None,
+    }
+}
+
+/// All `(word, fu)` pairs holding an op.
+fn op_sites(code: &[InstructionWord]) -> Vec<(usize, FuKind)> {
+    code.iter()
+        .enumerate()
+        .flat_map(|(w, word)| word.ops().map(move |(fu, _)| (w, fu)))
+        .collect()
+}
+
+/// Applies one seeded single-point corruption to the entry function of
+/// `sec`. Returns a short label describing the mutation for failure
+/// messages.
+fn mutate(sec: &mut SectionImage, rng: &mut SmallRng, config: &CellConfig) -> &'static str {
+    let img = &mut sec.functions[sec.entry];
+    let len = img.code.len();
+    let sites = op_sites(&img.code);
+    for _ in 0..16 {
+        match rng.gen_range(0..7u32) {
+            0 if len >= 2 => {
+                // Swap two instruction words.
+                let i = rng.gen_range(0..len);
+                let j = rng.gen_range(0..len);
+                if i != j {
+                    img.code.swap(i, j);
+                    return "word swap";
+                }
+            }
+            1 => {
+                // Retarget a branch, half the time out of range.
+                let branchy: Vec<usize> = (0..len)
+                    .filter(|&w| {
+                        matches!(
+                            img.code[w].branch,
+                            Some(BranchOp::Jump(_)) | Some(BranchOp::BrTrue(_, _))
+                        )
+                    })
+                    .collect();
+                if let Some(&w) = pick(&branchy, rng) {
+                    let target = if rng.gen_bool(0.5) {
+                        len as u32 + rng.gen_range(0..8u32)
+                    } else {
+                        rng.gen_range(0..len as u32)
+                    };
+                    img.code[w].branch = match img.code[w].branch {
+                        Some(BranchOp::Jump(_)) => Some(BranchOp::Jump(target)),
+                        Some(BranchOp::BrTrue(r, _)) => Some(BranchOp::BrTrue(r, target)),
+                        other => other,
+                    };
+                    return "branch retarget";
+                }
+            }
+            2 => {
+                // Clobber a register operand with a random (often
+                // never-written or out-of-file) register.
+                if let Some(&(w, fu)) = pick(&sites, rng) {
+                    let mut op = *img.code[w].slot(fu).expect("site");
+                    let junk = Reg(rng.gen_range(0..config.num_regs + 8));
+                    let slot = rng.gen_range(0..2u32);
+                    let target = if slot == 0 { &mut op.a } else { &mut op.b };
+                    if matches!(target, Some(Operand::Reg(_))) {
+                        *target = Some(Operand::Reg(junk));
+                        img.code[w].replace(fu, op);
+                        return "operand clobber";
+                    }
+                }
+            }
+            3 => {
+                // Drop an operand entirely.
+                if let Some(&(w, fu)) = pick(&sites, rng) {
+                    let mut op = *img.code[w].slot(fu).expect("site");
+                    if rng.gen_bool(0.5) && op.a.is_some() {
+                        op.a = None;
+                    } else if op.b.is_some() {
+                        op.b = None;
+                    } else {
+                        continue;
+                    }
+                    img.code[w].replace(fu, op);
+                    return "operand drop";
+                }
+            }
+            4 if len >= 1 => {
+                // Clear a whole word (ops and branch).
+                let w = rng.gen_range(0..len);
+                if !img.code[w].is_empty() || img.code[w].branch.is_some() {
+                    img.code[w] = InstructionWord::new();
+                    return "word clear";
+                }
+            }
+            5 => {
+                // Duplicate an op into a neighbouring word on the same
+                // unit — a structural hazard when the op is iterative.
+                let iterative: Vec<(usize, FuKind, Op)> = sites
+                    .iter()
+                    .filter_map(|&(w, fu)| {
+                        let op = *img.code[w].slot(fu)?;
+                        (op.opcode.timing().initiation_interval > 1).then_some((w, fu, op))
+                    })
+                    .collect();
+                if let Some(&(w, fu, op)) = pick(&iterative, rng) {
+                    let occ = op.opcode.timing().initiation_interval as usize;
+                    let dist = rng.gen_range(1..occ.max(2));
+                    if w + dist < len {
+                        img.code[w + dist].replace(fu, op);
+                        return "hazard injection";
+                    }
+                }
+            }
+            6 => {
+                // Clobber a destination register.
+                if let Some(&(w, fu)) = pick(&sites, rng) {
+                    let mut op = *img.code[w].slot(fu).expect("site");
+                    if op.dst.is_some() {
+                        op.dst = Some(Reg(rng.gen_range(0..config.num_regs + 8)));
+                        img.code[w].replace(fu, op);
+                        return "dst clobber";
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    "no-op"
+}
+
+fn pick<'a, T>(items: &'a [T], rng: &mut SmallRng) -> Option<&'a T> {
+    if items.is_empty() {
+        None
+    } else {
+        Some(&items[rng.gen_range(0..items.len())])
+    }
+}
+
+/// Every valid compiled image passes the static verifier; the
+/// corpus would be useless otherwise.
+#[test]
+fn corpus_verifies_clean() {
+    let config = CellConfig::default();
+    for (i, sec) in compile_corpus().iter().enumerate() {
+        let errs = verify_section_image(sec, &config);
+        assert!(
+            errs.is_empty(),
+            "corpus program {i} should verify clean, got:\n{}",
+            errs.iter().map(|e| e.to_string()).collect::<Vec<_>>().join("\n")
+        );
+        // And the unmutated image runs to completion under strict mode.
+        assert!(strict_run(sec, &config).is_none(), "corpus program {i} should run clean");
+    }
+}
+
+/// ≥ 200 random single-point corruptions: everywhere the strict
+/// interpreter rejects with a statically decidable fault, the static
+/// verifier must reject too.
+#[test]
+fn static_verifier_covers_strict_interpreter() {
+    let config = CellConfig::default();
+    let corpus = compile_corpus();
+    let mutations_per_program = 60;
+    let mut total = 0usize;
+    let mut interp_rejected = 0usize;
+
+    for (pi, sec) in corpus.iter().enumerate() {
+        for seed in 0..mutations_per_program {
+            let mut rng = SmallRng::seed_from_u64((pi as u64) << 32 | seed);
+            let mut mutated = sec.clone();
+            let label = mutate(&mut mutated, &mut rng, &config);
+            if label == "no-op" {
+                continue;
+            }
+            total += 1;
+            if let Some(kind) = strict_run(&mutated, &config) {
+                interp_rejected += 1;
+                let errs = verify_section_image(&mutated, &config);
+                assert!(
+                    !errs.is_empty(),
+                    "program {pi} seed {seed}: interpreter faulted with {kind:?} after \
+                     `{label}` mutation, but the static verifier accepted the image"
+                );
+            }
+        }
+    }
+
+    assert!(total >= 200, "expected at least 200 corruptions, applied {total}");
+    assert!(
+        interp_rejected >= 30,
+        "expected a meaningful number of interpreter rejections, got {interp_rejected}/{total}"
+    );
+}
+
+/// Acceptance check: `verify_each_pass` compiles every workload size
+/// cleanly — the verifiers never misfire on valid compiler output.
+#[test]
+fn verify_each_pass_clean_over_all_workload_sizes() {
+    use warp_workload::{synthetic_program, FunctionSize};
+    let opts = CompileOptions { verify_each_pass: true, ..CompileOptions::default() };
+    for size in FunctionSize::ALL {
+        let src = synthetic_program(size, 2);
+        compile_module_source(&src, &opts)
+            .unwrap_or_else(|e| panic!("{size:?} should verify clean: {e}"));
+    }
+}
