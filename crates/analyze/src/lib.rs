@@ -41,3 +41,52 @@ pub use schedule::{
 // re-export them so drivers depend on one analysis crate.
 pub use warp_ir::verify::{verify_after, verify_func, VerifyError};
 pub use warp_lang::lint::{lint_function, lint_module};
+
+use warp_obs::{Trace, TrackId};
+use warp_target::config::CellConfig;
+use warp_target::program::{FunctionImage, ModuleImage};
+
+/// [`verify_function_image`] with one `"verify"` span
+/// (`machine:<function>`) recorded on `track` of `trace`; the span
+/// carries the error count as an argument.
+pub fn verify_function_image_traced(
+    img: &FunctionImage,
+    config: &CellConfig,
+    function_count: Option<usize>,
+    trace: &Trace,
+    track: TrackId,
+) -> Vec<machine::MachineError> {
+    let mut span = trace.span("verify", format!("machine:{}", img.name), track);
+    let errs = verify_function_image(img, config, function_count);
+    span.arg("errors", errs.len() as f64);
+    errs
+}
+
+/// [`verify_function_schedule`] with one `"verify"` span
+/// (`schedule:<function>`) recorded on `track` of `trace`.
+pub fn verify_function_schedule_traced(
+    pipelined: &[warp_codegen::emit::PipelinedLoopInfo],
+    image: &FunctionImage,
+    trace: &Trace,
+    track: TrackId,
+) -> Vec<schedule::ScheduleError> {
+    let mut span = trace.span("verify", format!("schedule:{}", image.name), track);
+    let errs = verify_function_schedule(pipelined, image);
+    span.arg("errors", errs.len() as f64);
+    span.arg("loops", pipelined.len() as f64);
+    errs
+}
+
+/// [`verify_module_image`] with one `"verify"` span
+/// (`module:<name>`) recorded on `track` of `trace`.
+pub fn verify_module_image_traced(
+    module: &ModuleImage,
+    config: &CellConfig,
+    trace: &Trace,
+    track: TrackId,
+) -> Vec<machine::MachineError> {
+    let mut span = trace.span("verify", format!("module:{}", module.name), track);
+    let errs = verify_module_image(module, config);
+    span.arg("errors", errs.len() as f64);
+    errs
+}

@@ -1,19 +1,45 @@
 //! Regenerates the paper's figures. With no arguments prints all of
 //! them; otherwise prints the named ones (e.g. `figures fig6 fig11`).
+//! `--trace-dir DIR` additionally writes the virtual-time traces
+//! behind the Figure 6 medium series as Chrome trace_event JSON.
 
-use parcc_bench::{render, EvalData, FIGURES};
+use parcc_bench::{render, write_fig6_traces, EvalData, FIGURES};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let wanted: Vec<&str> = if args.is_empty() {
+    let mut trace_dir: Option<String> = None;
+    let mut names: Vec<String> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        if a == "--trace-dir" {
+            match it.next() {
+                Some(d) => trace_dir = Some(d),
+                None => {
+                    eprintln!("--trace-dir needs a directory");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            names.push(a);
+        }
+    }
+    let wanted: Vec<&str> = if names.is_empty() {
         FIGURES.to_vec()
     } else {
-        args.iter().map(String::as_str).collect()
+        names.iter().map(String::as_str).collect()
     };
     for w in &wanted {
         if !FIGURES.contains(w) {
             eprintln!("unknown figure `{w}`; available: {}", FIGURES.join(" "));
             std::process::exit(2);
+        }
+    }
+    if let Some(dir) = &trace_dir {
+        match write_fig6_traces(std::path::Path::new(dir)) {
+            Ok(paths) => eprintln!("wrote {} trace file(s) to {dir}", paths.len()),
+            Err(e) => {
+                eprintln!("writing traces to {dir}: {e}");
+                std::process::exit(1);
+            }
         }
     }
     eprintln!("compiling test programs and simulating (this takes a few seconds)...");

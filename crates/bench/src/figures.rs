@@ -453,6 +453,49 @@ fn utilization() -> String {
     out
 }
 
+/// Writes the virtual-time traces behind the Figure 6 medium-size
+/// series to `dir` as Chrome `trace_event` JSON (one `seq` and one
+/// `par` file per function count), validating each file before it is
+/// written. Returns the written paths. EXPERIMENTS.md documents how
+/// the figures cross-check against these files.
+///
+/// # Errors
+///
+/// Returns an error if a trace fails validation or a file cannot be
+/// written.
+///
+/// # Panics
+///
+/// Panics if a test program fails to compile (a bug in the workload
+/// generator or compiler).
+pub fn write_fig6_traces(dir: &std::path::Path) -> std::io::Result<Vec<std::path::PathBuf>> {
+    use std::io::{Error, ErrorKind};
+    std::fs::create_dir_all(dir)?;
+    let e = Experiment::default();
+    let mut written = Vec::new();
+    for n in NS {
+        let src = warp_workload::synthetic_program(FunctionSize::Medium, n);
+        let result = parcc::compile_module_source(&src, &e.opts)
+            .unwrap_or_else(|err| panic!("compile medium n={n}: {err}"));
+        let (_, traces) = e.compare_result_traced(&result, parcc::Placement::Fcfs);
+        for (kind, snap) in [("seq", &traces.seq), ("par", &traces.par)] {
+            let json = warp_obs::to_chrome_json(snap);
+            let stats = warp_obs::validate_chrome_json(&json)
+                .map_err(|m| Error::new(ErrorKind::InvalidData, m))?;
+            if stats.spans == 0 {
+                return Err(Error::new(
+                    ErrorKind::InvalidData,
+                    format!("fig6 {kind} n={n}: trace has no spans"),
+                ));
+            }
+            let path = dir.join(format!("fig6-medium-n{n}-{kind}.json"));
+            std::fs::write(&path, &json)?;
+            written.push(path);
+        }
+    }
+    Ok(written)
+}
+
 /// Renders one named figure from collected data.
 ///
 /// # Panics

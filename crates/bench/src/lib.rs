@@ -15,4 +15,4 @@
 
 pub mod figures;
 
-pub use figures::{render, EvalData, FIGURES};
+pub use figures::{render, write_fig6_traces, EvalData, FIGURES};

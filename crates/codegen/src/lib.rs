@@ -57,7 +57,7 @@ pub mod vcode;
 
 pub use emit::{emit_function, emit_function_with_plans, EmitStats, PipelinedLoopInfo};
 pub use link::{assemble_module, link_section, LinkError, LinkWork};
-pub use phase3::{phase3, Phase3Error, Phase3Result, Phase3Work, DEFAULT_MAX_II};
+pub use phase3::{phase3, phase3_traced, Phase3Error, Phase3Result, Phase3Work, DEFAULT_MAX_II};
 pub use pipeline::{plan_pipeline, CounterStrategy, LoopPlan, ModPlacement, NoPipeline};
 pub use regalloc::{allocate, RegAllocError, RegAllocStats};
 pub use select::select;

@@ -10,6 +10,7 @@ use crate::regalloc::{allocate, RegAllocError, RegAllocStats};
 use crate::select::select;
 use serde::{Deserialize, Serialize};
 use warp_ir::phase2::Phase2Result;
+use warp_obs::{Trace, TrackId};
 use warp_target::config::CellConfig;
 use warp_target::program::FunctionImage;
 
@@ -103,11 +104,45 @@ pub fn phase3(
     config: &CellConfig,
     max_ii: u32,
 ) -> Result<Phase3Result, Phase3Error> {
-    let mut vf = select(&p2.ir, &p2.loops.pipelinable_blocks());
+    phase3_traced(p2, config, max_ii, &Trace::disabled(), TrackId(0))
+}
+
+/// [`phase3`] with span tracing: records one `"pass"` span per
+/// phase-3 stage (`select`, `regalloc`, `emit` — the latter covering
+/// list scheduling, modulo scheduling and word emission) on `track`
+/// of `trace`. With a disabled trace this is exactly [`phase3`].
+///
+/// # Errors
+///
+/// Returns [`Phase3Error`] if register allocation fails.
+pub fn phase3_traced(
+    p2: &Phase2Result,
+    config: &CellConfig,
+    max_ii: u32,
+    trace: &Trace,
+    track: TrackId,
+) -> Result<Phase3Result, Phase3Error> {
+    let mut vf = {
+        let _span = trace.span("pass", "select", track);
+        select(&p2.ir, &p2.loops.pipelinable_blocks())
+    };
     let ops_selected = vf.op_count();
-    let regalloc = allocate(&mut vf, config)
-        .map_err(|e| Phase3Error::from((p2.ir.name.clone(), e)))?;
-    let (image, emit, pipelined) = emit_function_with_plans(&vf, max_ii);
+    let regalloc = {
+        let mut span = trace.span("pass", "regalloc", track);
+        let r = allocate(&mut vf, config)
+            .map_err(|e| Phase3Error::from((p2.ir.name.clone(), e)))?;
+        span.arg("rounds", r.rounds as f64);
+        span.arg("spills", r.spilled as f64);
+        r
+    };
+    let (image, emit, pipelined) = {
+        let mut span = trace.span("pass", "emit", track);
+        let out = emit_function_with_plans(&vf, max_ii);
+        span.arg("modulo_attempts", out.1.modulo_attempts as f64);
+        span.arg("pipelined_loops", out.1.pipelined_loops as f64);
+        span.arg("words", f64::from(out.1.words));
+        out
+    };
     let work = Phase3Work {
         ops_selected,
         regalloc_rounds: regalloc.rounds,

@@ -14,6 +14,9 @@
 //!                               pass boundary and over the final image
 //!   --lint                      print W2 source lints and exit
 //!   --time                      print per-phase wall-clock times
+//!   --trace FILE                write a Chrome trace_event JSON file
+//!                               (load in Perfetto / chrome://tracing)
+//!                               and print a span summary to stderr
 //! ```
 //!
 //! Examples:
@@ -24,11 +27,13 @@
 //! warpcc --verify program.w2
 //! warpcc --lint program.w2
 //! warpcc --workers 8 --time program.w2
+//! warpcc --trace trace.json program.w2
 //! warpcc --run dot8 2.0 i4 program.w2
 //! ```
 
-use parcc::threads::compile_parallel;
-use parcc::{compile_module_source, CompileOptions, CompileResult};
+use parcc::threads::compile_parallel_traced;
+use parcc::{compile_module_traced, CompileOptions, CompileResult};
+use warp_obs::{ClockDomain, Trace};
 use std::io::Read;
 use std::process::ExitCode;
 use warp_target::interp::{Cell, Value};
@@ -43,6 +48,7 @@ struct Args {
     workers: Option<usize>,
     run: Option<(String, Vec<Value>)>,
     time: bool,
+    trace: Option<String>,
     input: Option<String>,
     output: Option<String>,
 }
@@ -57,6 +63,7 @@ fn parse_args() -> Result<Args, String> {
         workers: None,
         run: None,
         time: false,
+        trace: None,
         input: None,
         output: None,
     };
@@ -74,6 +81,7 @@ fn parse_args() -> Result<Args, String> {
             "--verify" => args.verify = true,
             "--lint" => args.lint = true,
             "-o" => args.output = Some(it.next().ok_or("-o needs a path")?),
+            "--trace" => args.trace = Some(it.next().ok_or("--trace needs a path")?),
             "--time" => args.time = true,
             "--workers" => {
                 let n = it.next().ok_or("--workers needs a number")?;
@@ -95,7 +103,7 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "usage: warpcc [--emit ast|ir|vcode|asm|summary] [--inline] [--ifconv] \
                      [--verify] [--lint] [--workers N] [--run FUNC ARGS...] [--time] \
-                     [-o FILE] <FILE | ->"
+                     [--trace FILE] [-o FILE] <FILE | ->"
                 );
                 std::process::exit(0);
             }
@@ -234,11 +242,16 @@ fn real_main() -> Result<(), String> {
         return Ok(());
     }
 
+    let trace = match &args.trace {
+        Some(_) => Trace::new(ClockDomain::Monotonic),
+        None => Trace::disabled(),
+    };
     let t0 = std::time::Instant::now();
     let result = match args.workers {
-        None => compile_module_source(&source, &opts).map_err(|e| e.to_string())?,
+        None => compile_module_traced(&source, &opts, &trace).map_err(|e| e.to_string())?,
         Some(w) => {
-            let (r, report) = compile_parallel(&source, &opts, w).map_err(|e| e.to_string())?;
+            let (r, report) =
+                compile_parallel_traced(&source, &opts, w, &trace).map_err(|e| e.to_string())?;
             if args.time {
                 eprintln!(
                     "phase1 {:?}, parallel compile {:?} ({w} workers), link {:?}",
@@ -250,6 +263,14 @@ fn real_main() -> Result<(), String> {
     };
     if args.time {
         eprintln!("total {:?}", t0.elapsed());
+    }
+
+    if let Some(path) = &args.trace {
+        let snap = trace.snapshot();
+        let json = warp_obs::to_chrome_json(&snap);
+        std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+        eprint!("{}", warp_obs::render_summary(&snap, 10));
+        eprintln!("trace: wrote {} events to {path}", snap.spans.len() + snap.instants.len());
     }
 
     if args.verify {

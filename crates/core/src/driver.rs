@@ -11,9 +11,10 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 use warp_analyze::{MachineError, ScheduleError};
 use warp_codegen::link::{assemble_module, link_section, LinkWork};
-use warp_codegen::phase3::{phase3, Phase3Work};
-use warp_ir::phase2::{phase2_verified, Phase2Error, Phase2Work};
+use warp_codegen::phase3::{phase3_traced, Phase3Work};
+use warp_ir::phase2::{phase2_traced, Phase2Error, Phase2Work};
 use warp_lang::{CheckedModule, ParseWork, Phase1Error};
+use warp_obs::{Trace, TrackId};
 use warp_target::program::{FunctionImage, ModuleImage};
 use warp_target::CellConfig;
 
@@ -217,9 +218,39 @@ fn parse_units_of(work: &ParseWork) -> u64 {
 ///
 /// Returns the phase-1 diagnostics on failure.
 pub fn run_phase1(source: &str) -> Result<(CheckedModule, u64, usize), CompileError> {
-    let (checked, diags) = warp_lang::phase1_with_warnings(source)?;
+    run_phase1_traced(source, &Trace::disabled(), TrackId(0))
+}
+
+/// [`run_phase1`] with span tracing: the lex/parse and semantic-check
+/// halves of phase 1 become separate `"driver"` spans (`parse`,
+/// `sema`) on `track` of `trace`.
+///
+/// # Errors
+///
+/// Returns the phase-1 diagnostics on failure.
+pub fn run_phase1_traced(
+    source: &str,
+    trace: &Trace,
+    track: TrackId,
+) -> Result<(CheckedModule, u64, usize), CompileError> {
+    let parsed = {
+        let mut span = trace.span("driver", "parse", track);
+        let parsed = warp_lang::parser::parse(source);
+        span.arg("bytes", source.len() as f64);
+        parsed
+    };
+    let mut diagnostics = parsed.diagnostics;
+    let (checked, sema_diags) = {
+        let _span = trace.span("driver", "sema", track);
+        warp_lang::sema::check(parsed.module)
+    };
+    diagnostics.merge_sorted(sema_diags);
+    if diagnostics.has_errors() {
+        let rendered = diagnostics.render_all_with_source(source);
+        return Err(CompileError::Phase1(Phase1Error { diagnostics, rendered }));
+    }
     let units = parse_units_of(&ParseWork::measure(source));
-    Ok((checked, units, diags.warning_count()))
+    Ok((checked, units, diagnostics.warning_count()))
 }
 
 /// Phase 1 plus the optional inlining extension: the checked module the
@@ -233,11 +264,29 @@ pub fn prepare_module(
     source: &str,
     opts: &CompileOptions,
 ) -> Result<(CheckedModule, u64, usize), CompileError> {
-    let (checked, mut units, warnings) = run_phase1(source)?;
+    prepare_module_traced(source, opts, &Trace::disabled(), TrackId(0))
+}
+
+/// [`prepare_module`] with span tracing: phase 1 is recorded via
+/// [`run_phase1_traced`] and the optional inlining extension becomes a
+/// `"driver"` span (`inline`) on `track` of `trace`.
+///
+/// # Errors
+///
+/// Returns the phase-1 diagnostics on failure.
+pub fn prepare_module_traced(
+    source: &str,
+    opts: &CompileOptions,
+    trace: &Trace,
+    track: TrackId,
+) -> Result<(CheckedModule, u64, usize), CompileError> {
+    let (checked, mut units, warnings) = run_phase1_traced(source, trace, track)?;
     match &opts.inline {
         None => Ok((checked, units, warnings)),
         Some(policy) => {
+            let mut span = trace.span("driver", "inline", track);
             let (inlined, stats) = warp_ir::inline_module(&checked.module, policy);
+            span.arg("inlined_calls", stats.inlined_calls as f64);
             // Charge the transform + re-check as additional setup work.
             units += stats.inlined_calls as u64 * 200 + inlined.function_count() as u64 * 50;
             let (rechecked, diags) = warp_lang::sema::check(inlined);
@@ -271,24 +320,48 @@ pub fn compile_function(
     fi: usize,
     opts: &CompileOptions,
 ) -> Result<(FunctionImage, FunctionRecord), CompileError> {
+    compile_function_traced(checked, source, si, fi, opts, &Trace::disabled(), TrackId(0))
+}
+
+/// [`compile_function`] with span tracing: every phase-2 and phase-3
+/// pass (and, under `verify_each_pass`, every static check) is
+/// recorded on `track` of `trace`. With a disabled trace this is
+/// exactly [`compile_function`].
+///
+/// # Errors
+///
+/// Returns [`CompileError`] if lowering or code generation fails.
+pub fn compile_function_traced(
+    checked: &CheckedModule,
+    source: &str,
+    si: usize,
+    fi: usize,
+    opts: &CompileOptions,
+    trace: &Trace,
+    track: TrackId,
+) -> Result<(FunctionImage, FunctionRecord), CompileError> {
     let func = &checked.module.sections[si].functions[fi];
     let symbols = &checked.sections[si].symbol_tables[fi];
     let signatures = &checked.sections[si].signatures;
-    let p2 = phase2_verified(
+    let p2 = phase2_traced(
         func,
         symbols,
         signatures,
         opts.unroll.as_ref(),
         opts.if_convert.as_ref(),
         opts.verify_each_pass,
+        trace,
+        track,
     )?;
-    let p3 = phase3(&p2, &opts.cell, opts.max_ii)?;
+    let p3 = phase3_traced(&p2, &opts.cell, opts.max_ii, trace, track)?;
     if opts.verify_each_pass {
-        let errs = warp_analyze::verify_function_image(&p3.image, &opts.cell, None);
+        let errs =
+            warp_analyze::verify_function_image_traced(&p3.image, &opts.cell, None, trace, track);
         if !errs.is_empty() {
             return Err(CompileError::MachineVerify(errs));
         }
-        let errs = warp_analyze::verify_function_schedule(&p3.pipelined, &p3.image);
+        let errs =
+            warp_analyze::verify_function_schedule_traced(&p3.pipelined, &p3.image, trace, track);
         if !errs.is_empty() {
             return Err(CompileError::ScheduleVerify(errs));
         }
@@ -331,6 +404,24 @@ pub fn link_module(
     images: Vec<FunctionImage>,
     opts: &CompileOptions,
 ) -> Result<(ModuleImage, u64), CompileError> {
+    link_module_traced(checked, images, opts, &Trace::disabled(), TrackId(0))
+}
+
+/// [`link_module`] with span tracing: one `"driver"` span (`link`) on
+/// `track` of `trace` covering every section link plus module
+/// assembly; the span carries the section count as an argument.
+///
+/// # Errors
+///
+/// Returns [`CompileError::Link`] on unresolved calls or overflow.
+pub fn link_module_traced(
+    checked: &CheckedModule,
+    images: Vec<FunctionImage>,
+    opts: &CompileOptions,
+    trace: &Trace,
+    track: TrackId,
+) -> Result<(ModuleImage, u64), CompileError> {
+    let mut span = trace.span("driver", "link", track);
     let mut iter = images.into_iter();
     let mut sections = Vec::new();
     let mut units = 0u64;
@@ -343,6 +434,7 @@ pub fn link_module(
         units += link_units_of(&work);
         sections.push(img);
     }
+    span.arg("sections", sections.len() as f64);
     Ok((assemble_module(&checked.module.name, sections), units))
 }
 
@@ -358,19 +450,49 @@ pub fn compile_module_source(
     source: &str,
     opts: &CompileOptions,
 ) -> Result<CompileResult, CompileError> {
-    let (checked, phase1_units, warnings) = prepare_module(source, opts)?;
+    compile_module_traced(source, opts, &Trace::disabled())
+}
+
+/// [`compile_module_source`] with span tracing. Driver-level work
+/// (`parse`, `sema`, `link`, the module verify) lands on a `driver`
+/// track; each function's compilation is wrapped in a `"worker"` span
+/// on a `worker 0` track (the sequential compiler is the degenerate
+/// one-worker case), with the per-pass spans nested inside it on the
+/// same track. With a disabled trace this is exactly
+/// [`compile_module_source`].
+///
+/// # Errors
+///
+/// Returns the first error of any phase.
+pub fn compile_module_traced(
+    source: &str,
+    opts: &CompileOptions,
+    trace: &Trace,
+) -> Result<CompileResult, CompileError> {
+    let driver_track = trace.track("driver");
+    let worker_track = trace.track("worker 0");
+    let (checked, phase1_units, warnings) = prepare_module_traced(source, opts, trace, driver_track)?;
     let mut images = Vec::new();
     let mut records = Vec::new();
     for si in 0..checked.module.sections.len() {
         for fi in 0..checked.module.sections[si].functions.len() {
-            let (img, rec) = compile_function(&checked, source, si, fi, opts)?;
+            let name = checked.module.sections[si].functions[fi].name.clone();
+            let span = trace.span("worker", name, worker_track);
+            let (img, rec) =
+                compile_function_traced(&checked, source, si, fi, opts, trace, worker_track)?;
+            span.finish();
             images.push(img);
             records.push(rec);
         }
     }
-    let (module_image, link_units) = link_module(&checked, images, opts)?;
+    let (module_image, link_units) = link_module_traced(&checked, images, opts, trace, driver_track)?;
     if opts.verify_each_pass {
-        let errs = warp_analyze::verify_module_image(&module_image, &opts.cell);
+        let errs = warp_analyze::verify_module_image_traced(
+            &module_image,
+            &opts.cell,
+            trace,
+            driver_track,
+        );
         if !errs.is_empty() {
             return Err(CompileError::MachineVerify(errs));
         }

@@ -12,7 +12,8 @@ use crate::metrics::{overheads, speedup, Measurement, Overheads};
 use crate::scheduler::{fcfs, grouped_lpt, Assignment};
 use crate::simspec::{par_spec, seq_spec};
 use serde::{Deserialize, Serialize};
-use warp_netsim::simulate;
+use warp_netsim::simulate_traced;
+use warp_obs::{ClockDomain, Trace, TraceSnapshot};
 use warp_workload::{call_heavy_program, synthetic_program, user_program, FunctionSize};
 
 /// How function masters are placed.
@@ -26,6 +27,16 @@ pub enum Placement {
         /// Number of workstations running function masters.
         processors: usize,
     },
+}
+
+/// The virtual-time traces behind one [`Comparison`] — the sequential
+/// and parallel simulated runs, ready for the Chrome exporter.
+#[derive(Debug, Clone)]
+pub struct ComparisonTraces {
+    /// Trace of the simulated sequential compilation.
+    pub seq: TraceSnapshot,
+    /// Trace of the simulated parallel compilation.
+    pub par: TraceSnapshot,
 }
 
 /// One seq-vs-parallel comparison.
@@ -72,26 +83,47 @@ impl Experiment {
 
     /// Measures an already-compiled result.
     pub fn compare_result(&self, result: &CompileResult, placement: Placement) -> Comparison {
+        self.compare_result_traced(result, placement).0
+    }
+
+    /// [`compare_result`], also returning the virtual-time trace of
+    /// each simulated run. The measurements are *derived from the
+    /// traces* ([`Measurement::from_trace`]), so a figure and the trace
+    /// file it is cross-checked against can never disagree; the legacy
+    /// [`Measurement::from_report`] path is kept for the equivalence
+    /// tests.
+    ///
+    /// [`compare_result`]: Experiment::compare_result
+    pub fn compare_result_traced(
+        &self,
+        result: &CompileResult,
+        placement: Placement,
+    ) -> (Comparison, ComparisonTraces) {
         let assignment: Assignment = match placement {
             Placement::Fcfs => {
                 fcfs(result.records.len(), self.model.host.workstations.saturating_sub(1))
             }
             Placement::Grouped { processors } => grouped_lpt(&result.records, processors),
         };
-        let seq_report = simulate(self.model.host, seq_spec(result, &self.model));
-        let par_report = simulate(self.model.host, par_spec(result, &self.model, &assignment));
-        let seq = Measurement::from_report(&seq_report);
-        let par = Measurement::from_report(&par_report);
+        let seq_trace = Trace::new(ClockDomain::Virtual);
+        let par_trace = Trace::new(ClockDomain::Virtual);
+        simulate_traced(self.model.host, seq_spec(result, &self.model), &seq_trace);
+        simulate_traced(self.model.host, par_spec(result, &self.model, &assignment), &par_trace);
+        let traces =
+            ComparisonTraces { seq: seq_trace.snapshot(), par: par_trace.snapshot() };
+        let seq = Measurement::from_trace(&traces.seq);
+        let par = Measurement::from_trace(&traces.par);
         let k = assignment.processors.max(1);
         let overheads = overheads(&par, &seq, k);
-        Comparison {
+        let cmp = Comparison {
             speedup: speedup(&seq, &par),
             overheads,
             functions: result.records.len(),
             processors: assignment.processors,
             seq,
             par,
-        }
+        };
+        (cmp, traces)
     }
 
     /// The §4.2 synthetic measurement: `S_n` of a given size, FCFS.

@@ -13,7 +13,12 @@
 //! *assembly* of a compiled module (rebasing, call resolution, output
 //! formatting) is data-partitioned across `k` assembler processes on
 //! the simulated host, with a sequential merge — the finer-grain,
-//! lower-computation-per-processor regime Katseff studied.
+//! lower-computation-per-processor regime Katseff studied. The
+//! partition count is bounded by the number of functions, so the
+//! speedup curve saturates exactly when processors outnumber
+//! partitions — the saturation points the paper correlates with its
+//! own measurements (`figures katseff`, EXPERIMENTS.md "Katseff's
+//! parallel assembler").
 
 use crate::costmodel::CostModel;
 use crate::driver::{compile_module_source, CompileError, CompileResult};

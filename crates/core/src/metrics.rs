@@ -16,7 +16,9 @@
 
 use crate::simspec::{FN_PREFIX, MASTER_NAME, PARSER_NAME, SECTION_PREFIX, SEQ_NAME};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use warp_netsim::SimReport;
+use warp_obs::TraceSnapshot;
 
 /// One compilation measurement (sequential or parallel).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -63,6 +65,61 @@ impl Measurement {
     pub fn implementation_overhead_s(&self) -> f64 {
         self.master_cpu_s + self.parser_cpu_s + self.section_cpu_s
     }
+
+    /// Extracts a measurement from a virtual-time trace snapshot — the
+    /// span-buffer route to the same numbers [`from_report`] computes
+    /// from the simulator's counters (`docs/TRACING.md`; the figure
+    /// runs assert the two agree).
+    ///
+    /// Reads `"cpu"` service spans (name = process name, `ws` +
+    /// `overhead_ns` args) and the `workstations` counter; elapsed time
+    /// is the trace horizon.
+    ///
+    /// [`from_report`]: Measurement::from_report
+    pub fn from_trace(snap: &TraceSnapshot) -> Measurement {
+        let counted_ws = snap
+            .counters
+            .iter()
+            .rev()
+            .find(|c| c.name == "workstations")
+            .map(|c| c.value as usize)
+            .unwrap_or(0);
+        // Per-process CPU totals in integer nanoseconds (converted to
+        // seconds once per process, matching the report's rounding).
+        let mut per_proc: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+        let mut cpu_ns: Vec<u64> = vec![0; counted_ws];
+        for s in snap.spans_in("cpu") {
+            let ws = s.arg("ws").unwrap_or(0.0) as usize;
+            if ws >= cpu_ns.len() {
+                cpu_ns.resize(ws + 1, 0);
+            }
+            cpu_ns[ws] += s.dur_ns;
+            let e = per_proc.entry(s.name.as_str()).or_insert((0, 0));
+            e.0 += s.dur_ns;
+            e.1 += s.arg("overhead_ns").unwrap_or(0.0) as u64;
+        }
+        let cpu_of = |prefix: &str| -> f64 {
+            per_proc
+                .iter()
+                .filter(|(name, _)| name.starts_with(prefix))
+                .map(|(_, (ns, _))| *ns as f64 / 1e9)
+                .sum()
+        };
+        let cpu_per_processor: Vec<f64> = cpu_ns.iter().map(|&ns| ns as f64 / 1e9).collect();
+        let max_cpu_s = cpu_per_processor.iter().copied().fold(0.0, f64::max);
+        let memory_overhead_s =
+            per_proc.values().map(|(_, ov)| *ov as f64 / 1e9).sum();
+        Measurement {
+            elapsed_s: snap.end_ns() as f64 / 1e9,
+            cpu_per_processor,
+            max_cpu_s,
+            master_cpu_s: cpu_of(MASTER_NAME),
+            parser_cpu_s: cpu_of(PARSER_NAME),
+            section_cpu_s: cpu_of(SECTION_PREFIX),
+            compile_cpu_s: cpu_of(FN_PREFIX) + cpu_of(SEQ_NAME),
+            memory_overhead_s,
+        }
+    }
 }
 
 /// The overhead decomposition of one parallel run against its
@@ -84,20 +141,23 @@ pub struct Overheads {
     pub system_frac: f64,
 }
 
-/// Computes the §4.2.3 decomposition.
+/// Computes the §4.2.3 decomposition. A zero parallel elapsed time
+/// (possible for degenerate empty workloads) yields zero fractions
+/// rather than NaN.
 pub fn overheads(par: &Measurement, seq: &Measurement, k: usize) -> Overheads {
     let k = k.max(1);
     let ideal = seq.elapsed_s / k as f64;
     let total = par.elapsed_s - ideal;
     let implementation = par.implementation_overhead_s();
     let system = total - implementation;
+    let frac = |x: f64| if par.elapsed_s > 0.0 { x / par.elapsed_s } else { 0.0 };
     Overheads {
         k,
         total_s: total,
         implementation_s: implementation,
         system_s: system,
-        total_frac: total / par.elapsed_s,
-        system_frac: system / par.elapsed_s,
+        total_frac: frac(total),
+        system_frac: frac(system),
     }
 }
 
@@ -150,5 +210,64 @@ mod tests {
         let seq = meas(120.0, 0.0, 0.0, 0.0);
         let par = meas(30.0, 0.0, 0.0, 0.0);
         assert!((speedup(&seq, &par) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_elapsed_yields_finite_fractions() {
+        // A degenerate empty workload: both runs take no time at all.
+        // The decomposition must not produce NaN fractions.
+        let seq = meas(0.0, 0.0, 0.0, 0.0);
+        let par = meas(0.0, 0.0, 0.0, 0.0);
+        let o = overheads(&par, &seq, 4);
+        assert_eq!(o.total_s, 0.0);
+        assert_eq!(o.total_frac, 0.0);
+        assert_eq!(o.system_frac, 0.0);
+        assert!(o.total_frac.is_finite() && o.system_frac.is_finite());
+    }
+
+    #[test]
+    fn k_of_one_compares_against_full_sequential_time() {
+        // On one processor the ideal time IS the sequential time, so
+        // total overhead is just the parallel scheme's slowdown.
+        let seq = meas(100.0, 0.0, 0.0, 0.0);
+        let par = meas(110.0, 3.0, 2.0, 1.0);
+        let o = overheads(&par, &seq, 1);
+        assert_eq!(o.k, 1);
+        assert!((o.total_s - 10.0).abs() < 1e-9);
+        assert!((o.system_s - 4.0).abs() < 1e-9);
+        // k = 0 is clamped to 1, not a division by zero.
+        let o0 = overheads(&par, &seq, 0);
+        assert_eq!(o0.k, 1);
+        assert_eq!(o0.total_s, o.total_s);
+    }
+
+    #[test]
+    fn superlinear_parallel_run_gives_negative_total_overhead() {
+        // Parallel beats even the ideal seq/k split (Figure 9's
+        // thrashing regime): total overhead goes negative and the
+        // fractions follow the sign.
+        let seq = meas(100.0, 0.0, 0.0, 0.0);
+        let par = meas(20.0, 1.0, 0.5, 0.5);
+        let o = overheads(&par, &seq, 4);
+        assert!(o.total_s < 0.0, "{o:?}");
+        assert!(o.system_s < o.total_s, "{o:?}");
+        assert!(o.total_frac < 0.0 && o.total_frac.is_finite());
+        assert!((speedup(&seq, &par) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_trace_of_empty_snapshot_is_all_zero() {
+        let snap = warp_obs::TraceSnapshot {
+            domain: warp_obs::ClockDomain::Virtual,
+            tracks: vec![],
+            spans: vec![],
+            instants: vec![],
+            counters: vec![],
+        };
+        let m = Measurement::from_trace(&snap);
+        assert_eq!(m.elapsed_s, 0.0);
+        assert!(m.cpu_per_processor.is_empty());
+        assert_eq!(m.max_cpu_s, 0.0);
+        assert_eq!(m.implementation_overhead_s(), 0.0);
     }
 }

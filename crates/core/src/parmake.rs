@@ -19,6 +19,12 @@
 //!    by the paper's parallel compiler;
 //! 4. **combined** — dependency levels in parallel *and* the parallel
 //!    compiler per module.
+//!
+//! Parallel make's ceiling is the critical path of the dependency
+//! graph (the deepest chain of modules), whereas the parallel
+//! compiler's ceiling is each module's largest function — which is
+//! why the combined strategy beats either alone (`figures parmake`,
+//! EXPERIMENTS.md "Parallel make").
 
 use crate::costmodel::CostModel;
 use crate::driver::{compile_module_source, CompileError, CompileResult};

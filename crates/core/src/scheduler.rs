@@ -6,6 +6,13 @@
 //! (§4.3: "smaller functions can be grouped and compiled on the same
 //! processor, so the same speedup can be observed using fewer
 //! processors").
+//!
+//! Both strategies schedule from the *a-priori* cost estimate
+//! (`FunctionRecord::cost_estimate`, LoC × nesting), never from the
+//! measured compile time — the master must place functions before
+//! compiling them, exactly the information asymmetry the paper's §4.3
+//! comparison is about. The two are compared head-to-head by
+//! `figures scheduling` (EXPERIMENTS.md, "Scheduling comparison").
 
 use crate::driver::FunctionRecord;
 use serde::{Deserialize, Serialize};

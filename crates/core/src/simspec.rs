@@ -5,6 +5,15 @@
 //! profile into the process structure of paper §3.2 — master → section
 //! masters → function masters — or into the single sequential Lisp
 //! process, for the discrete-event host simulator.
+//!
+//! The naming constants below ([`SEQ_NAME`], [`MASTER_NAME`],
+//! [`PARSER_NAME`], [`SECTION_PREFIX`], [`FN_PREFIX`]) are the shared
+//! vocabulary between spec construction and measurement extraction:
+//! both `Measurement::from_report` (prefix-summing the simulator's
+//! process table) and `Measurement::from_trace` (prefix-summing `cpu`
+//! spans in a virtual-time trace) attribute CPU time to the paper's
+//! §4.2.3 categories by these prefixes. Renaming a process here is a
+//! breaking change to the trace schema (`docs/TRACING.md`).
 
 use crate::costmodel::CostModel;
 use crate::driver::CompileResult;

@@ -8,11 +8,12 @@
 //! demonstrate genuine wall-clock speedup of the same compiler.
 
 use crate::driver::{
-    compile_function, link_module, prepare_module, CompileError, CompileOptions, CompileResult,
-    FunctionRecord,
+    compile_function_traced, link_module_traced, prepare_module_traced, CompileError,
+    CompileOptions, CompileResult, FunctionRecord,
 };
 use crossbeam::channel::bounded;
 use std::time::{Duration, Instant};
+use warp_obs::{Trace, TrackId};
 use warp_target::program::FunctionImage;
 
 /// Timing breakdown of a threaded parallel compilation.
@@ -43,9 +44,30 @@ pub fn compile_parallel(
     opts: &CompileOptions,
     workers: usize,
 ) -> Result<(CompileResult, ThreadReport), CompileError> {
+    compile_parallel_traced(source, opts, workers, &Trace::disabled())
+}
+
+/// [`compile_parallel`] with span tracing on the real monotonic clock:
+/// the sequential `parse`/`sema`/`link` steps and the parallel
+/// `compile` window land on a `driver` track, and every function
+/// compiled by worker *w* becomes a `"worker"` span on a `worker w`
+/// track with the per-pass spans nested inside it. With a disabled
+/// trace this is exactly [`compile_parallel`].
+///
+/// # Errors
+///
+/// Propagates the first compilation error (the whole compilation is
+/// aborted, as the paper's master does).
+pub fn compile_parallel_traced(
+    source: &str,
+    opts: &CompileOptions,
+    workers: usize,
+    trace: &Trace,
+) -> Result<(CompileResult, ThreadReport), CompileError> {
     let workers = workers.max(1);
+    let driver_track = trace.track("driver");
     let t0 = Instant::now();
-    let (checked, phase1_units, warnings) = prepare_module(source, opts)?;
+    let (checked, phase1_units, warnings) = prepare_module_traced(source, opts, trace, driver_track)?;
     let phase1_wall = t0.elapsed();
 
     // The work list: every (section, function) pair in source order.
@@ -70,22 +92,32 @@ pub fn compile_parallel(
 
     let mut images: Vec<Option<FunctionImage>> = vec![None; jobs.len()];
     let mut records: Vec<Option<FunctionRecord>> = vec![None; jobs.len()];
-    let mut timings: Vec<(String, Duration)> = vec![(String::new(), Duration::ZERO); jobs.len()];
+    // `None` until the function's result arrives — never pre-filled
+    // with placeholder names, so a missing result is a bug we catch,
+    // not an empty row in the report.
+    let mut timings: Vec<Option<(String, Duration)>> = vec![None; jobs.len()];
 
+    let pool_size = workers.min(jobs.len().max(1));
+    let worker_tracks: Vec<TrackId> =
+        (0..pool_size).map(|w| trace.track(&format!("worker {w}"))).collect();
+    let compile_span = trace.span("driver", "compile", driver_track);
     std::thread::scope(|scope| {
         // Section masters are folded into a worker pool: each worker
         // plays function master for successive functions (the paper's
         // FCFS distribution).
-        for _ in 0..workers.min(jobs.len().max(1)) {
+        for track in worker_tracks {
             let job_rx = job_rx.clone();
             let done_tx = done_tx.clone();
             let checked = &checked;
             let opts = &*opts;
             scope.spawn(move || {
                 while let Ok((idx, (si, fi))) = job_rx.recv() {
+                    let name = checked.module.sections[si].functions[fi].name.clone();
+                    let span = trace.span("worker", name, track);
                     let t = Instant::now();
-                    let out = compile_function(checked, source, si, fi, opts)
+                    let out = compile_function_traced(checked, source, si, fi, opts, trace, track)
                         .map(|(img, rec)| (img, rec, t.elapsed()));
+                    span.finish();
                     if done_tx.send((idx, out)).is_err() {
                         return;
                     }
@@ -99,7 +131,7 @@ pub fn compile_parallel(
         while let Ok((idx, out)) = done_rx.recv() {
             match out {
                 Ok((img, rec, dt)) => {
-                    timings[idx] = (rec.name.clone(), dt);
+                    timings[idx] = Some((rec.name.clone(), dt));
                     images[idx] = Some(img);
                     records[idx] = Some(rec);
                 }
@@ -115,12 +147,15 @@ pub fn compile_parallel(
         }
         Ok(())
     })?;
+    compile_span.finish();
     let compile_wall = tc.elapsed();
 
     let tl = Instant::now();
     let images: Vec<FunctionImage> = images.into_iter().map(|i| i.expect("image")).collect();
     let records: Vec<FunctionRecord> = records.into_iter().map(|r| r.expect("record")).collect();
-    let (module_image, link_units) = link_module(&checked, images, opts)?;
+    let timings: Vec<(String, Duration)> =
+        timings.into_iter().map(|t| t.expect("timing per function")).collect();
+    let (module_image, link_units) = link_module_traced(&checked, images, opts, trace, driver_track)?;
     let link_wall = tl.elapsed();
 
     Ok((

@@ -61,9 +61,10 @@ pub use inline::{inline_module, InlinePolicy, InlineStats};
 pub use ir::{ArrayId, Block, BlockId, FuncIr, Inst, IrBinOp, IrType, IrUnOp, Term, Val, VirtReg};
 pub use loops::{Loop, LoopInfo};
 pub use lower::{lower_function, lower_module, LowerError};
-pub use opt::{optimize, optimize_verified, OptStats};
+pub use opt::{optimize, optimize_traced, optimize_verified, OptStats};
 pub use phase2::{
-    phase2, phase2_opts, phase2_verified, phase2_with_unroll, Phase2Error, Phase2Result, Phase2Work,
+    phase2, phase2_opts, phase2_traced, phase2_verified, phase2_with_unroll, Phase2Error,
+    Phase2Result, Phase2Work,
 };
 pub use unroll::{unroll_loops, UnrollPolicy, UnrollStats};
 pub use verify::{verify_after, verify_func, VerifyError};

@@ -17,6 +17,7 @@ use crate::dataflow::liveness;
 use crate::ir::*;
 use crate::verify::{verify_after, VerifyError};
 use serde::{Deserialize, Serialize};
+use warp_obs::{Trace, TrackId};
 use std::collections::HashMap;
 use warp_target::isa::CmpKind;
 
@@ -75,6 +76,26 @@ pub fn optimize_verified(
     max_iterations: usize,
     verify_each_pass: bool,
 ) -> Result<OptStats, VerifyError> {
+    optimize_traced(f, max_iterations, verify_each_pass, &Trace::disabled(), TrackId(0))
+}
+
+/// Like [`optimize_verified`], but records one span per individual
+/// pass invocation (category `"pass"`) and one per post-pass IR
+/// verification (category `"verify"`) into `trace` on `track` — the
+/// per-pass timeline of the `warpcc --trace` flow. With a disabled
+/// trace this is exactly [`optimize_verified`].
+///
+/// # Errors
+///
+/// Returns the first [`VerifyError`] when verification is enabled and
+/// a pass breaks an invariant.
+pub fn optimize_traced(
+    f: &mut FuncIr,
+    max_iterations: usize,
+    verify_each_pass: bool,
+    trace: &Trace,
+    track: TrackId,
+) -> Result<OptStats, VerifyError> {
     type Pass = fn(&mut FuncIr) -> OptStats;
     const PASSES: [(&str, Pass); 5] = [
         ("fold_constants", fold_constants),
@@ -91,8 +112,14 @@ pub fn optimize_verified(
         total.iterations += 1;
         let mut round = OptStats::default();
         for (name, pass) in PASSES {
-            round.absorb(pass(f));
+            {
+                let mut span = trace.span("pass", name, track);
+                let stats = pass(f);
+                span.arg("insts_visited", stats.insts_visited as f64);
+                round.absorb(stats);
+            }
             if verify_each_pass {
+                let _span = trace.span("verify", format!("ir:{name}"), track);
                 verify_after(f, name)?;
             }
         }

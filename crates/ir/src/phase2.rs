@@ -10,7 +10,7 @@ use crate::ifconv::{if_convert, IfConvPolicy, IfConvStats};
 use crate::ir::{BlockId, FuncIr};
 use crate::loops::{analyze_loops, LoopInfo};
 use crate::lower::{lower_function, LowerError};
-use crate::opt::{optimize_verified, OptStats};
+use crate::opt::{optimize_traced, OptStats};
 use crate::unroll::{unroll_loops, UnrollPolicy, UnrollStats};
 use crate::verify::{verify_after, VerifyError};
 use serde::{Deserialize, Serialize};
@@ -18,6 +18,7 @@ use std::collections::HashMap;
 use std::fmt;
 use warp_lang::ast::Function;
 use warp_lang::sema::{Signature, SymbolTable};
+use warp_obs::{Trace, TrackId};
 
 /// Deterministic work counters for phase 2, consumed by the host
 /// simulator to convert real compilations into 1989-scale times.
@@ -182,49 +183,103 @@ pub fn phase2_verified(
     ifconv: Option<&IfConvPolicy>,
     verify_each_pass: bool,
 ) -> Result<Phase2Result, Phase2Error> {
-    let mut ir = lower_function(func, symbols, signatures)?;
+    phase2_traced(
+        func,
+        symbols,
+        signatures,
+        unroll,
+        ifconv,
+        verify_each_pass,
+        &Trace::disabled(),
+        TrackId(0),
+    )
+}
+
+/// [`phase2_verified`] with span tracing: records one `"pass"` span
+/// per phase-2 stage (`lower`, each optimization pass via
+/// [`crate::opt::optimize_traced`], `if_convert`, `unroll_loops`,
+/// `analyze_loops`, `dep_graph`) and `"verify"` spans for the per-pass
+/// IR verification, all on `track` of `trace`. With a disabled trace
+/// this is exactly [`phase2_verified`].
+///
+/// # Errors
+///
+/// Propagates [`LowerError`]; returns [`Phase2Error::Verify`] when
+/// `verify_each_pass` is set and a pass breaks an invariant.
+#[allow(clippy::too_many_arguments)]
+pub fn phase2_traced(
+    func: &Function,
+    symbols: &SymbolTable,
+    signatures: &HashMap<String, Signature>,
+    unroll: Option<&UnrollPolicy>,
+    ifconv: Option<&IfConvPolicy>,
+    verify_each_pass: bool,
+    trace: &Trace,
+    track: TrackId,
+) -> Result<Phase2Result, Phase2Error> {
+    let mut ir = {
+        let _span = trace.span("pass", "lower", track);
+        lower_function(func, symbols, signatures)?
+    };
     if verify_each_pass {
+        let _span = trace.span("verify", "ir:lower", track);
         verify_after(&ir, "lower")?;
     }
     let lowered_insts = ir.inst_count();
-    let mut opt_stats = optimize_verified(&mut ir, 10, verify_each_pass)?;
+    let mut opt_stats = optimize_traced(&mut ir, 10, verify_each_pass, trace, track)?;
     let mut ifconv_stats = IfConvStats::default();
     if let Some(policy) = ifconv {
-        ifconv_stats = if_convert(&mut ir, policy);
+        {
+            let _span = trace.span("pass", "if_convert", track);
+            ifconv_stats = if_convert(&mut ir, policy);
+        }
         if verify_each_pass {
+            let _span = trace.span("verify", "ir:if_convert", track);
             verify_after(&ir, "if_convert")?;
         }
         if ifconv_stats.converted > 0 {
-            let again = optimize_verified(&mut ir, 6, verify_each_pass)?;
+            let again = optimize_traced(&mut ir, 6, verify_each_pass, trace, track)?;
             opt_stats.insts_visited += again.insts_visited;
             opt_stats.iterations += again.iterations;
         }
     }
     let mut unroll_stats = UnrollStats::default();
     if let Some(policy) = unroll {
-        unroll_stats = unroll_loops(&mut ir, policy);
+        {
+            let _span = trace.span("pass", "unroll_loops", track);
+            unroll_stats = unroll_loops(&mut ir, policy);
+        }
         if verify_each_pass {
+            let _span = trace.span("verify", "ir:unroll_loops", track);
             verify_after(&ir, "unroll_loops")?;
         }
         if unroll_stats.unrolled > 0 {
             // Clean up the duplicated bodies (CSE across copies etc.).
-            let again = optimize_verified(&mut ir, 4, verify_each_pass)?;
+            let again = optimize_traced(&mut ir, 4, verify_each_pass, trace, track)?;
             opt_stats.insts_visited += again.insts_visited;
             opt_stats.iterations += again.iterations;
         }
     }
     let _ = (&unroll_stats, &ifconv_stats);
-    let loops = analyze_loops(&ir);
+    let loops = {
+        let _span = trace.span("pass", "analyze_loops", track);
+        analyze_loops(&ir)
+    };
     let pipelinable = loops.pipelinable_blocks();
     let mut block_deps = Vec::with_capacity(ir.blocks.len());
     let mut dep_tests = 0;
     let mut dep_edges = 0;
-    for (bi, block) in ir.blocks.iter().enumerate() {
-        let is_loop = pipelinable.contains(&BlockId(bi as u32));
-        let g = dep_graph(&ir, block, is_loop);
-        dep_tests += g.dep_tests;
-        dep_edges += g.edges.len();
-        block_deps.push(g);
+    {
+        let mut span = trace.span("pass", "dep_graph", track);
+        for (bi, block) in ir.blocks.iter().enumerate() {
+            let is_loop = pipelinable.contains(&BlockId(bi as u32));
+            let g = dep_graph(&ir, block, is_loop);
+            dep_tests += g.dep_tests;
+            dep_edges += g.edges.len();
+            block_deps.push(g);
+        }
+        span.arg("dep_tests", dep_tests as f64);
+        span.arg("dep_edges", dep_edges as f64);
     }
     let work = Phase2Work {
         lowered_insts,

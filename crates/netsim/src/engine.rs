@@ -8,11 +8,23 @@
 //! really waits for the others' packets (paper §4.2.3: "multiple lisp
 //! images are downloaded and multiple processes swap off the same file
 //! server").
+//!
+//! Every run can optionally record a virtual-time trace
+//! ([`simulate_traced`], [`Simulation::new_traced`]): service
+//! intervals become spans on their resource's track, process
+//! lifetimes become spans on per-process tracks, and scheduling
+//! decisions become instant events — all on the same
+//! integer-nanosecond clock as the report, so a trace of a
+//! deterministic run is itself bit-for-bit deterministic. The schema
+//! is documented in `docs/TRACING.md`; the untraced entry points cost
+//! nothing (every recording call is a no-op on a disabled
+//! [`Trace`]).
 
 use crate::config::HostConfig;
 use crate::process::{ProcKind, ProcessSpec, Step};
 use crate::report::{ProcessReport, SimReport};
 use std::collections::{BinaryHeap, VecDeque};
+use warp_obs::{Trace, TrackId};
 
 type Ns = u64;
 
@@ -69,6 +81,12 @@ struct Proc {
     disk_ns: Ns,
     wait_ns: Ns,
     queued_since: Ns,
+    /// Trace track this process's lifetime span lands on.
+    track: TrackId,
+    /// Virtual time the current service grant started.
+    serving_since: Ns,
+    /// GC/paging overhead inside the current CPU service interval.
+    serving_overhead: Ns,
 }
 
 #[derive(PartialEq, Eq)]
@@ -101,11 +119,37 @@ pub struct Simulation {
     events: BinaryHeap<Event>,
     time: Ns,
     seq: u64,
+    trace: Trace,
+    cpu_tracks: Vec<TrackId>,
+    eth_track: TrackId,
+    disk_track: TrackId,
 }
 
 impl Simulation {
     /// Creates a simulator for `config`.
     pub fn new(config: HostConfig) -> Self {
+        Simulation::new_traced(config, Trace::disabled())
+    }
+
+    /// Creates a simulator that records every dispatch, block and
+    /// service interval into `trace` on the virtual clock. Resource
+    /// tracks (`workstation N`, `ethernet`, `disk`) are interned up
+    /// front; each process gets its own track when it is spawned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trace` is enabled but not in the
+    /// [`warp_obs::ClockDomain::Virtual`] domain — mixing the netsim
+    /// timeline into a wall-clock trace would silently misalign every
+    /// timestamp.
+    pub fn new_traced(config: HostConfig, trace: Trace) -> Self {
+        assert!(
+            !trace.is_enabled() || trace.domain() == Some(warp_obs::ClockDomain::Virtual),
+            "netsim traces must use ClockDomain::Virtual"
+        );
+        let cpu_tracks = (0..config.workstations.max(1))
+            .map(|w| trace.track(&format!("workstation {w}")))
+            .collect();
         Simulation {
             cpus: (0..config.workstations.max(1)).map(|_| Server::default()).collect(),
             ethernet: Server::default(),
@@ -114,7 +158,27 @@ impl Simulation {
             events: BinaryHeap::new(),
             time: 0,
             seq: 0,
+            cpu_tracks,
+            eth_track: trace.track("ethernet"),
+            disk_track: trace.track("disk"),
+            trace,
             config,
+        }
+    }
+
+    fn res_track(&self, r: ResourceId) -> TrackId {
+        match r {
+            ResourceId::Cpu(w) => self.cpu_tracks[w],
+            ResourceId::Ethernet => self.eth_track,
+            ResourceId::Disk => self.disk_track,
+        }
+    }
+
+    fn res_label(r: ResourceId) -> String {
+        match r {
+            ResourceId::Cpu(w) => format!("cpu {w}"),
+            ResourceId::Ethernet => "ethernet".to_string(),
+            ResourceId::Disk => "disk".to_string(),
         }
     }
 
@@ -127,6 +191,10 @@ impl Simulation {
     /// or if the simulation deadlocks (a bug in the spec: `Join` with a
     /// child that never terminates is impossible by construction).
     pub fn run(&mut self, root: ProcessSpec) -> SimReport {
+        if self.trace.is_enabled() {
+            let sim_track = self.trace.track("sim");
+            self.trace.counter("workstations", sim_track, 0, self.cpus.len() as f64);
+        }
         self.spawn(root, None);
         // Drive: repeatedly dispatch ready processes, then pop events.
         loop {
@@ -160,6 +228,7 @@ impl Simulation {
         }
         steps.extend(spec.steps);
         let id = self.procs.len();
+        let track = self.trace.track(&spec.name);
         self.procs.push(Proc {
             name: spec.name,
             kind: spec.kind,
@@ -179,6 +248,9 @@ impl Simulation {
             disk_ns: 0,
             wait_ns: 0,
             queued_since: 0,
+            track,
+            serving_since: 0,
+            serving_overhead: 0,
         });
         if let Some(p) = parent {
             self.procs[p].live_children += 1;
@@ -266,12 +338,19 @@ impl Simulation {
             server.queue.push_back(pid);
             self.procs[pid].state = ProcState::Queued(r);
             self.procs[pid].queued_since = now;
+            self.trace.instant(
+                "sched",
+                format!("block {}", Self::res_label(r)),
+                self.procs[pid].track,
+                now,
+            );
         } else {
             self.grant(pid, r);
         }
     }
 
     fn grant(&mut self, pid: usize, r: ResourceId) {
+        self.procs[pid].serving_overhead = 0;
         let duration = self.service_duration(pid, r);
         {
             let now = self.time;
@@ -280,6 +359,13 @@ impl Simulation {
             server.last_acquire = now;
         }
         self.procs[pid].state = ProcState::Serving(r);
+        self.procs[pid].serving_since = self.time;
+        self.trace.instant(
+            "sched",
+            format!("dispatch {}", Self::res_label(r)),
+            self.procs[pid].track,
+            self.time,
+        );
         self.seq += 1;
         self.events.push(Event { time: self.time + duration, seq: self.seq, proc: pid });
     }
@@ -308,6 +394,7 @@ impl Simulation {
                 let p = &mut self.procs[pid];
                 p.cpu_ns += total;
                 p.overhead_ns += overhead;
+                p.serving_overhead = overhead;
                 total
             }
             (Step::Net { bytes }, ResourceId::Ethernet) => {
@@ -334,6 +421,25 @@ impl Simulation {
         let ProcState::Serving(r) = self.procs[pid].state else {
             unreachable!("completion event for non-serving process");
         };
+        if self.trace.is_enabled() {
+            let p = &self.procs[pid];
+            let (cat, args) = match r {
+                ResourceId::Cpu(ws) => (
+                    "cpu",
+                    vec![("ws", ws as f64), ("overhead_ns", p.serving_overhead as f64)],
+                ),
+                ResourceId::Ethernet => ("net", vec![("ws", p.workstation as f64)]),
+                ResourceId::Disk => ("disk", vec![("ws", p.workstation as f64)]),
+            };
+            self.trace.record_span(
+                cat,
+                p.name.clone(),
+                self.res_track(r),
+                p.serving_since,
+                self.time - p.serving_since,
+                args,
+            );
+        }
         // Release the resource and grant the next in line.
         {
             let now = self.time;
@@ -362,6 +468,21 @@ impl Simulation {
     fn finish(&mut self, pid: usize) {
         self.procs[pid].state = ProcState::Done;
         self.procs[pid].end_ns = self.time;
+        if self.trace.is_enabled() {
+            let p = &self.procs[pid];
+            self.trace.record_span(
+                "process",
+                p.name.clone(),
+                p.track,
+                p.start_ns,
+                p.end_ns - p.start_ns,
+                vec![
+                    ("ws", p.workstation as f64),
+                    ("cpu_ns", p.cpu_ns as f64),
+                    ("wait_ns", p.wait_ns as f64),
+                ],
+            );
+        }
         if let Some(parent) = self.procs[pid].parent {
             self.procs[parent].live_children -= 1;
             if self.procs[parent].live_children == 0
@@ -403,6 +524,15 @@ impl Simulation {
 /// Convenience: run one spec under `config`.
 pub fn simulate(config: HostConfig, root: ProcessSpec) -> SimReport {
     Simulation::new(config).run(root)
+}
+
+/// [`simulate`] with virtual-time tracing: every service interval
+/// becomes a span on its resource's track (categories `cpu`, `net`,
+/// `disk`), every process lifetime a span on its own track (category
+/// `process`), and every dispatch/block decision an instant event
+/// (category `sched`). See `docs/TRACING.md` for the schema.
+pub fn simulate_traced(config: HostConfig, root: ProcessSpec, trace: &Trace) -> SimReport {
+    Simulation::new_traced(config, trace.clone()).run(root)
 }
 
 #[cfg(test)]
@@ -549,6 +679,49 @@ mod tests {
         let r1 = simulate(cfg(), build());
         let r2 = simulate(cfg(), build());
         assert_eq!(format!("{r1:?}"), format!("{r2:?}"));
+    }
+
+    #[test]
+    fn traced_run_records_service_and_process_spans() {
+        let trace = Trace::new(warp_obs::ClockDomain::Virtual);
+        let root = ProcessSpec::new("m", 0, ProcKind::C)
+            .fork(vec![
+                ProcessSpec::new("a", 1, ProcKind::C).cpu(1000),
+                ProcessSpec::new("b", 1, ProcKind::C).cpu(1000),
+            ])
+            .join();
+        let r = simulate_traced(cfg(), root, &trace);
+        let snap = trace.snapshot();
+        // One cpu span per service interval, durations matching the report.
+        let cpu_total_ns: u64 = snap.spans_in("cpu").map(|s| s.dur_ns).sum();
+        let report_cpu: f64 = r.processes.iter().map(|p| p.cpu_s).sum();
+        assert!((cpu_total_ns as f64 / 1e9 - report_cpu).abs() < 1e-9);
+        // One process-lifetime span per process, ending at the horizon.
+        assert_eq!(snap.spans_in("process").count(), 3);
+        assert_eq!(snap.end_ns() as f64 / 1e9, r.elapsed_s);
+        // `b` contended for workstation 1 → at least one block instant.
+        assert!(snap.instants.iter().any(|i| i.name.starts_with("block cpu")));
+        // Spans carry the workstation tag (children ran on ws 1).
+        assert!(snap
+            .spans_in("cpu")
+            .filter(|s| s.name != "m")
+            .all(|s| s.arg("ws") == Some(1.0)));
+    }
+
+    #[test]
+    fn untraced_run_matches_traced_report() {
+        let build = || {
+            ProcessSpec::new("m", 0, ProcKind::C)
+                .fork(vec![
+                    ProcessSpec::new("a", 1, ProcKind::Lisp).heap(500).cpu(700).disk(300),
+                    ProcessSpec::new("b", 2, ProcKind::Lisp).heap(600).cpu(900).disk(400),
+                ])
+                .join()
+                .cpu(100)
+        };
+        let plain = simulate(cfg(), build());
+        let traced = simulate_traced(cfg(), build(), &Trace::new(warp_obs::ClockDomain::Virtual));
+        assert_eq!(format!("{plain:?}"), format!("{traced:?}"));
     }
 
     #[test]

@@ -42,6 +42,6 @@ pub mod process;
 pub mod report;
 
 pub use config::HostConfig;
-pub use engine::{simulate, Simulation};
+pub use engine::{simulate, simulate_traced, Simulation};
 pub use process::{ProcKind, ProcessSpec, Step};
 pub use report::{ProcessReport, SimReport};

@@ -5,6 +5,14 @@
 //! parent/child-only communication discipline of the paper's process
 //! hierarchy (§3.2: "processes on the same level of the hierarchy
 //! operate completely independent of each other").
+//!
+//! Scripts carry no wall-clock quantities: CPU work is in abstract
+//! units and transfers in bytes, both scaled by the engine's cost
+//! model at run time. The process *name* given to
+//! [`ProcessSpec::new`] is load-bearing downstream — it is the key
+//! `SimReport::cpu_with_prefix` selects on, and the name of every
+//! span the process produces in a trace (see the naming constants in
+//! `parcc::simspec`).
 
 use serde::{Deserialize, Serialize};
 

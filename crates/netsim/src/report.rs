@@ -1,4 +1,19 @@
-//! Simulation reports.
+//! Simulation reports: the aggregated accounting of one run.
+//!
+//! A [`SimReport`] is the engine's summary view — elapsed time,
+//! per-workstation CPU busy time, shared-resource (Ethernet/disk)
+//! occupancy, and one [`ProcessReport`] per spawned process in spawn
+//! order. All times are in seconds, converted once from the engine's
+//! integer-nanosecond clock, so equal inputs produce bit-equal
+//! reports.
+//!
+//! The paper's measurements (§4.2) are projections of this data:
+//! `parcc::Measurement::from_report` selects processes by name prefix
+//! via [`SimReport::cpu_with_prefix`]. The same numbers are also
+//! reachable from a trace recorded by
+//! [`simulate_traced`](crate::simulate_traced) — the report is the
+//! *summary* view and the trace the *timeline* view of one run, and
+//! the two are asserted to agree.
 
 use crate::process::ProcKind;
 use serde::{Deserialize, Serialize};

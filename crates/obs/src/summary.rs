@@ -1,0 +1,110 @@
+//! Compact text rendering of a trace: per-category totals, the top-N
+//! longest spans, and the counter table. This is what `warpcc --trace`
+//! prints to stderr next to the JSON file, so a timeline is readable
+//! without leaving the terminal.
+
+use crate::trace::{ClockDomain, TraceSnapshot};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Formats `ns` in the natural unit of the domain: milliseconds for
+/// host time, simulated seconds for virtual time.
+fn fmt_ns(domain: ClockDomain, ns: u64) -> String {
+    match domain {
+        ClockDomain::Monotonic => format!("{:.3}ms", ns as f64 / 1e6),
+        ClockDomain::Virtual => format!("{:.3}s", ns as f64 / 1e9),
+    }
+}
+
+/// Renders the summary of a snapshot: span/event counts, per-category
+/// totals (time and span count), the `top_n` longest spans with their
+/// tracks, and every counter's last value.
+pub fn render_summary(snap: &TraceSnapshot, top_n: usize) -> String {
+    let mut out = String::new();
+    let domain = match snap.domain {
+        ClockDomain::Monotonic => "monotonic (host)",
+        ClockDomain::Virtual => "virtual (netsim)",
+    };
+    let _ = writeln!(
+        out,
+        "trace: {} span(s), {} instant(s), {} counter sample(s), {} track(s), clock {domain}, horizon {}",
+        snap.spans.len(),
+        snap.instants.len(),
+        snap.counters.len(),
+        snap.tracks.len(),
+        fmt_ns(snap.domain, snap.end_ns()),
+    );
+
+    // Per-category totals.
+    let mut cats: BTreeMap<&str, (u64, usize)> = BTreeMap::new();
+    for s in &snap.spans {
+        let e = cats.entry(s.cat).or_default();
+        e.0 += s.dur_ns;
+        e.1 += 1;
+    }
+    if !cats.is_empty() {
+        let _ = writeln!(out, "per-category totals:");
+        for (cat, (ns, n)) in &cats {
+            let _ = writeln!(out, "  {cat:>10}: {:>12}  ({n} span(s))", fmt_ns(snap.domain, *ns));
+        }
+    }
+
+    // Top-N spans by duration.
+    let mut by_dur: Vec<usize> = (0..snap.spans.len()).collect();
+    by_dur.sort_by_key(|&i| std::cmp::Reverse((snap.spans[i].dur_ns, i)));
+    if !by_dur.is_empty() {
+        let _ = writeln!(out, "top {} span(s):", top_n.min(by_dur.len()));
+        for &i in by_dur.iter().take(top_n) {
+            let s = &snap.spans[i];
+            let _ = writeln!(
+                out,
+                "  {:>12}  {:>8}  {}  [{}]",
+                fmt_ns(snap.domain, s.dur_ns),
+                s.cat,
+                s.name,
+                snap.track_name(s.track)
+            );
+        }
+    }
+
+    // Counters: last sample per name.
+    let mut last: BTreeMap<&str, f64> = BTreeMap::new();
+    for c in &snap.counters {
+        last.insert(&c.name, c.value);
+    }
+    if !last.is_empty() {
+        let _ = writeln!(out, "counters (last value):");
+        for (name, v) in &last {
+            let _ = writeln!(out, "  {name:>16}: {v}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Trace;
+
+    #[test]
+    fn summary_lists_categories_and_top_spans() {
+        let t = Trace::new(ClockDomain::Virtual);
+        let a = t.track("driver");
+        t.record_span("driver", "phase1", a, 0, 5_000_000_000, vec![]);
+        t.record_span("worker", "fn f1", a, 0, 2_000_000_000, vec![]);
+        t.counter("workstations", a, 0, 8.0);
+        let s = render_summary(&t.snapshot(), 10);
+        assert!(s.contains("2 span(s)"), "{s}");
+        assert!(s.contains("driver"), "{s}");
+        assert!(s.contains("phase1"), "{s}");
+        assert!(s.contains("5.000s"), "{s}");
+        assert!(s.contains("workstations"), "{s}");
+    }
+
+    #[test]
+    fn empty_trace_summary_is_benign() {
+        let t = Trace::new(ClockDomain::Monotonic);
+        let s = render_summary(&t.snapshot(), 5);
+        assert!(s.contains("0 span(s)"), "{s}");
+    }
+}
