@@ -1,0 +1,52 @@
+//! Criterion benches for the function-level compilation cache: a cold
+//! build (every probe misses), a warm rebuild (every probe hits), and
+//! the common edit-one-function rebuild. The warm numbers measure the
+//! cache's service path — key hashing, lookup, decode — against the
+//! full phase-2/3 pipeline it replaces.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parcc::threads::compile_parallel_cached;
+use parcc::{CompileOptions, FnCache};
+use warp_workload::{synthetic_program, FunctionSize};
+
+const WORKERS: usize = 4;
+
+fn bench_incremental(c: &mut Criterion) {
+    let src = synthetic_program(FunctionSize::Medium, 8);
+    let opts = CompileOptions::default();
+    let mut group = c.benchmark_group("incremental_s8_medium");
+    group.sample_size(10);
+
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            // Fresh cache every iteration: all 8 functions miss.
+            let cache = FnCache::in_memory();
+            compile_parallel_cached(&src, &opts, WORKERS, &cache).expect("cold")
+        })
+    });
+
+    let warm_cache = FnCache::in_memory();
+    compile_parallel_cached(&src, &opts, WORKERS, &warm_cache).expect("prime");
+    group.bench_function("warm", |b| {
+        b.iter(|| compile_parallel_cached(&src, &opts, WORKERS, &warm_cache).expect("warm"))
+    });
+
+    // Edit one function: same module with one loop bound changed,
+    // compiled against a cache primed with the original — 7 hits + 1
+    // miss per build. Each iteration forks the primed cache so the
+    // edited function's store cannot turn later iterations warm.
+    let edited_src = src.replacen("0 to 15", "0 to 16", 1);
+    assert_ne!(edited_src, src, "workload must contain an editable loop bound");
+    let primed = FnCache::in_memory();
+    compile_parallel_cached(&src, &opts, WORKERS, &primed).expect("prime");
+    group.bench_function("one_edited", |b| {
+        b.iter(|| {
+            let cache = primed.fork_memory();
+            compile_parallel_cached(&edited_src, &opts, WORKERS, &cache).expect("edited")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_incremental);
+criterion_main!(benches);

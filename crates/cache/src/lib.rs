@@ -1,0 +1,154 @@
+//! # warp-cache
+//!
+//! A content-addressed object cache for incremental function
+//! compilation.
+//!
+//! The paper's parallel compiler recompiles every function of a module
+//! on every build; the dominant real-world win — recompiling after a
+//! small edit — needs a *function-level* cache. This crate provides the
+//! storage half of that feature, kept deliberately generic so it sits
+//! below the compiler driver in the crate graph:
+//!
+//! * [`StableHasher`] — a stable 64-bit FNV-1a hasher whose output is
+//!   identical across processes, platforms and compiler versions (the
+//!   standard library's `DefaultHasher` makes no such promise, and an
+//!   on-disk cache outlives the process that wrote it);
+//! * [`CacheKey`] — the content address: whoever builds a key is
+//!   responsible for feeding *everything* the cached artifact depends
+//!   on into the hasher (source text, visible interface, options,
+//!   compiler version — see `parcc::fncache` for the compiler's key);
+//! * [`CacheValue`] — the serialization contract a cached artifact
+//!   implements (a self-validating byte codec);
+//! * [`Cache`] — a thread-safe in-memory map with an optional on-disk
+//!   blob store behind it, plus [`CacheStats`] hit/miss accounting.
+//!
+//! Correctness contract: a cache *lookup* may only succeed for a key
+//! whose artifact is bit-identical to what a fresh compilation would
+//! produce. The cache itself guarantees storage fidelity (checksummed
+//! blobs, decode failures degrade to misses); key completeness is the
+//! caller's obligation and is what the compiler's invalidation tests
+//! pin down.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod stats;
+pub mod store;
+
+pub use stats::CacheStats;
+pub use store::{Cache, CacheValue};
+
+/// A stable 64-bit FNV-1a hasher.
+///
+/// Unlike `std::collections::hash_map::DefaultHasher`, the digest is a
+/// pure function of the bytes fed in — stable across processes, Rust
+/// releases and platforms — so it is safe to use as an on-disk content
+/// address.
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    state: u64,
+}
+
+const FNV64_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV64_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl StableHasher {
+    /// A fresh hasher at the FNV-1a offset basis.
+    pub fn new() -> StableHasher {
+        StableHasher { state: FNV64_OFFSET }
+    }
+
+    /// Feeds raw bytes.
+    pub fn bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV64_PRIME);
+        }
+        self
+    }
+
+    /// Feeds a string, length-prefixed so `("ab", "c")` and
+    /// `("a", "bc")` hash differently.
+    pub fn str(&mut self, s: &str) -> &mut Self {
+        self.u64(s.len() as u64);
+        self.bytes(s.as_bytes())
+    }
+
+    /// Feeds a `u64` as little-endian bytes.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// Feeds a `u32`.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// Feeds a boolean.
+    pub fn bool(&mut self, v: bool) -> &mut Self {
+        self.bytes(&[u8::from(v)])
+    }
+
+    /// The digest of everything fed so far.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+
+    /// Finishes into a [`CacheKey`].
+    pub fn key(&self) -> CacheKey {
+        CacheKey(self.state)
+    }
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        StableHasher::new()
+    }
+}
+
+/// A content address: the stable hash of everything a cached artifact
+/// depends on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CacheKey(pub u64);
+
+impl CacheKey {
+    /// The key as a fixed-width lowercase hex string (used as the
+    /// on-disk file stem).
+    pub fn hex(self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+impl std::fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_vector() {
+        // Known FNV-1a 64 test vector: "foobar" -> 0x85944171f73967e8.
+        let mut h = StableHasher::new();
+        h.bytes(b"foobar");
+        assert_eq!(h.finish(), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn length_prefix_separates_strings() {
+        let mut a = StableHasher::new();
+        a.str("ab").str("c");
+        let mut b = StableHasher::new();
+        b.str("a").str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn hex_is_fixed_width() {
+        assert_eq!(CacheKey(0xab).hex(), "00000000000000ab");
+        assert_eq!(CacheKey(u64::MAX).hex(), "ffffffffffffffff");
+    }
+}

@@ -1,0 +1,106 @@
+//! Hit/miss accounting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A snapshot of cache activity since construction (or since the
+/// counters were read — they only ever grow).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the in-memory map.
+    pub memory_hits: u64,
+    /// Lookups answered from the on-disk store (the object was decoded
+    /// and promoted into memory).
+    pub disk_hits: u64,
+    /// Lookups that found nothing (the caller must compile).
+    pub misses: u64,
+    /// Objects inserted.
+    pub stores: u64,
+    /// On-disk objects that failed to read or decode; each degraded to
+    /// a miss (a corrupt cache never corrupts a build).
+    pub errors: u64,
+}
+
+impl CacheStats {
+    /// Total hits from either tier.
+    pub fn hits(&self) -> u64 {
+        self.memory_hits + self.disk_hits
+    }
+
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits() + self.misses
+    }
+
+    /// Hit rate in `[0, 1]`; 0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let n = self.lookups();
+        if n == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / n as f64
+        }
+    }
+}
+
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} hit(s) ({} memory, {} disk), {} miss(es), {} store(s), {} error(s), {:.0}% hit rate",
+            self.hits(),
+            self.memory_hits,
+            self.disk_hits,
+            self.misses,
+            self.stores,
+            self.errors,
+            self.hit_rate() * 100.0
+        )
+    }
+}
+
+/// Internal atomic counters behind [`CacheStats`].
+#[derive(Debug, Default)]
+pub(crate) struct StatCounters {
+    pub(crate) memory_hits: AtomicU64,
+    pub(crate) disk_hits: AtomicU64,
+    pub(crate) misses: AtomicU64,
+    pub(crate) stores: AtomicU64,
+    pub(crate) errors: AtomicU64,
+}
+
+impl StatCounters {
+    pub(crate) fn snapshot(&self) -> CacheStats {
+        CacheStats {
+            memory_hits: self.memory_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_rates() {
+        let s = CacheStats { memory_hits: 3, disk_hits: 1, misses: 4, stores: 4, errors: 0 };
+        assert_eq!(s.hits(), 4);
+        assert_eq!(s.lookups(), 8);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+        let text = s.to_string();
+        assert!(text.contains("4 hit(s)"), "{text}");
+        assert!(text.contains("50% hit rate"), "{text}");
+    }
+
+    #[test]
+    fn empty_stats_rate_is_zero() {
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+}

@@ -17,6 +17,10 @@
 //!   --trace FILE                write a Chrome trace_event JSON file
 //!                               (load in Perfetto / chrome://tracing)
 //!                               and print a span summary to stderr
+//!   --cache-dir DIR             reuse compiled functions across runs:
+//!                               content-addressed objects under DIR
+//!   --cache-stats               print hit/miss/store counters to
+//!                               stderr after compiling
 //! ```
 //!
 //! Examples:
@@ -28,11 +32,14 @@
 //! warpcc --lint program.w2
 //! warpcc --workers 8 --time program.w2
 //! warpcc --trace trace.json program.w2
+//! warpcc --cache-dir .warpcc-cache --cache-stats program.w2
 //! warpcc --run dot8 2.0 i4 program.w2
 //! ```
 
-use parcc::threads::compile_parallel_traced;
-use parcc::{compile_module_traced, CompileOptions, CompileResult};
+use parcc::threads::{compile_parallel_cached_traced, compile_parallel_traced};
+use parcc::{
+    compile_module_cached_traced, compile_module_traced, CompileOptions, CompileResult, FnCache,
+};
 use warp_obs::{ClockDomain, Trace};
 use std::io::Read;
 use std::process::ExitCode;
@@ -49,6 +56,8 @@ struct Args {
     run: Option<(String, Vec<Value>)>,
     time: bool,
     trace: Option<String>,
+    cache_dir: Option<String>,
+    cache_stats: bool,
     input: Option<String>,
     output: Option<String>,
 }
@@ -64,6 +73,8 @@ fn parse_args() -> Result<Args, String> {
         run: None,
         time: false,
         trace: None,
+        cache_dir: None,
+        cache_stats: false,
         input: None,
         output: None,
     };
@@ -82,6 +93,8 @@ fn parse_args() -> Result<Args, String> {
             "--lint" => args.lint = true,
             "-o" => args.output = Some(it.next().ok_or("-o needs a path")?),
             "--trace" => args.trace = Some(it.next().ok_or("--trace needs a path")?),
+            "--cache-dir" => args.cache_dir = Some(it.next().ok_or("--cache-dir needs a path")?),
+            "--cache-stats" => args.cache_stats = true,
             "--time" => args.time = true,
             "--workers" => {
                 let n = it.next().ok_or("--workers needs a number")?;
@@ -103,7 +116,7 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "usage: warpcc [--emit ast|ir|vcode|asm|summary] [--inline] [--ifconv] \
                      [--verify] [--lint] [--workers N] [--run FUNC ARGS...] [--time] \
-                     [--trace FILE] [-o FILE] <FILE | ->"
+                     [--trace FILE] [--cache-dir DIR] [--cache-stats] [-o FILE] <FILE | ->"
                 );
                 std::process::exit(0);
             }
@@ -246,12 +259,27 @@ fn real_main() -> Result<(), String> {
         Some(_) => Trace::new(ClockDomain::Monotonic),
         None => Trace::disabled(),
     };
+    // A --cache-dir persists compiled functions across runs;
+    // --cache-stats alone still counts hits and misses in memory.
+    let cache = match &args.cache_dir {
+        Some(dir) => {
+            Some(FnCache::with_dir(dir).map_err(|e| format!("opening cache dir {dir}: {e}"))?)
+        }
+        None if args.cache_stats => Some(FnCache::in_memory()),
+        None => None,
+    };
     let t0 = std::time::Instant::now();
-    let result = match args.workers {
-        None => compile_module_traced(&source, &opts, &trace).map_err(|e| e.to_string())?,
-        Some(w) => {
-            let (r, report) =
-                compile_parallel_traced(&source, &opts, w, &trace).map_err(|e| e.to_string())?;
+    let result = match (args.workers, &cache) {
+        (None, None) => compile_module_traced(&source, &opts, &trace).map_err(|e| e.to_string())?,
+        (None, Some(c)) => {
+            compile_module_cached_traced(&source, &opts, c, &trace).map_err(|e| e.to_string())?
+        }
+        (Some(w), c) => {
+            let (r, report) = match c {
+                None => compile_parallel_traced(&source, &opts, w, &trace),
+                Some(c) => compile_parallel_cached_traced(&source, &opts, w, c, &trace),
+            }
+            .map_err(|e| e.to_string())?;
             if args.time {
                 eprintln!(
                     "phase1 {:?}, parallel compile {:?} ({w} workers), link {:?}",
@@ -263,6 +291,11 @@ fn real_main() -> Result<(), String> {
     };
     if args.time {
         eprintln!("total {:?}", t0.elapsed());
+    }
+    if let Some(c) = &cache {
+        if args.cache_stats {
+            eprintln!("cache: {}", c.stats());
+        }
     }
 
     if let Some(path) = &args.trace {

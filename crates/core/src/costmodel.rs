@@ -56,6 +56,14 @@ pub struct CostModel {
     pub msg_bytes: u64,
     /// Bytes of diagnostics a function master ships back.
     pub diag_bytes: u64,
+    /// CPU units the master spends probing the compilation cache for
+    /// one function (hash the key, consult the index). Paid per
+    /// function whenever the cache is enabled, hit or miss.
+    pub cache_lookup_units: u64,
+    /// Framing and metadata bytes fetched from the file server on top
+    /// of the object itself when a cache hit is serviced (key echo,
+    /// length, checksum — the `WARPFC01` envelope).
+    pub cache_hit_overhead_bytes: u64,
 }
 
 impl CostModel {
@@ -79,6 +87,14 @@ impl CostModel {
         }
         let excess = (heap - mem) as f64 / mem as f64;
         (units as f64 * self.swap_bytes_per_unit * excess) as u64
+    }
+
+    /// Bytes fetched from the file server to service a cache hit for
+    /// `rec`: the stored object plus the store's framing overhead.
+    /// This replaces the phase-2/3 CPU burst entirely — a warm build
+    /// trades compilation for I/O.
+    pub fn hit_fetch_bytes(&self, rec: &FunctionRecord) -> u64 {
+        rec.object_bytes + self.cache_hit_overhead_bytes
     }
 }
 
@@ -114,6 +130,8 @@ pub const CALIBRATED: CostModel = CostModel {
     combine_units_per_fn: 90,
     msg_bytes: 2_048,
     diag_bytes: 4_096,
+    cache_lookup_units: 5,
+    cache_hit_overhead_bytes: 512,
 };
 
 impl Default for CostModel {
@@ -163,5 +181,23 @@ mod tests {
         // Paging traffic only above memory, growing with excess.
         assert_eq!(m.swap_bytes(1000, m.host.mem_words), 0);
         assert!(m.swap_bytes(1000, 2 * m.host.mem_words) > 0);
+    }
+
+    #[test]
+    fn hit_service_is_far_cheaper_than_recompilation() {
+        // The whole point of the cache: fetching a stored object costs
+        // orders of magnitude less host time than phases 2 + 3. Check
+        // the calibration preserves that for a real medium function.
+        let m = CALIBRATED;
+        let src = warp_workload::synthetic_program(warp_workload::FunctionSize::Medium, 1);
+        let result =
+            crate::driver::compile_module_source(&src, &crate::driver::CompileOptions::default())
+                .expect("compile");
+        let r = &result.records[0];
+        let fetch_s = m.hit_fetch_bytes(r) as f64 / m.host.disk_bytes_per_sec
+            + m.host.disk_latency_s
+            + m.cache_lookup_units as f64 / m.host.cpu_units_per_sec;
+        let compile_s = r.compile_units() as f64 / m.host.cpu_units_per_sec;
+        assert!(fetch_s * 10.0 < compile_s, "fetch {fetch_s}s !<< compile {compile_s}s");
     }
 }

@@ -7,6 +7,7 @@
 //! executors in [`crate::threads`] and [`crate::simspec`] reuse it so
 //! that the parallel compiler provably performs the same work.
 
+use crate::fncache::{function_key, options_fingerprint, CachedFunction, FnCache};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use warp_analyze::{MachineError, ScheduleError};
@@ -385,6 +386,64 @@ pub fn compile_function_traced(
     Ok((p3.image, record))
 }
 
+/// [`compile_function_traced`] with an incremental cache in front: the
+/// function's content address is probed first, and only a miss pays
+/// for phases 2 + 3 (the result is then stored for the next build).
+/// The probe is recorded as a `"cache"` span named `hit NAME` or
+/// `miss NAME` on `track`, so traces show exactly which functions were
+/// served from the cache.
+///
+/// `options_fp` is the per-build [`options_fingerprint`]; computing it
+/// once and passing it down keeps the per-function key cost to one
+/// hash over the function's own inputs.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] if a cache miss fails to compile.
+#[allow(clippy::too_many_arguments)]
+pub fn compile_function_cached_traced(
+    checked: &CheckedModule,
+    source: &str,
+    si: usize,
+    fi: usize,
+    opts: &CompileOptions,
+    cache: &FnCache,
+    options_fp: u64,
+    trace: &Trace,
+    track: TrackId,
+) -> Result<(FunctionImage, FunctionRecord), CompileError> {
+    let probe_start = trace.now_ns();
+    let key = function_key(checked, source, si, fi, options_fp);
+    if let Some(cached) = cache.lookup(key) {
+        if trace.is_enabled() {
+            let name = &checked.module.sections[si].functions[fi].name;
+            trace.record_span(
+                "cache",
+                format!("hit {name}"),
+                track,
+                probe_start,
+                trace.now_ns().saturating_sub(probe_start),
+                vec![("object_bytes", cached.record.object_bytes as f64)],
+            );
+        }
+        return Ok((cached.image, cached.record));
+    }
+    if trace.is_enabled() {
+        let name = &checked.module.sections[si].functions[fi].name;
+        trace.record_span(
+            "cache",
+            format!("miss {name}"),
+            track,
+            probe_start,
+            trace.now_ns().saturating_sub(probe_start),
+            Vec::new(),
+        );
+    }
+    let (image, record) = compile_function_traced(checked, source, si, fi, opts, trace, track)?;
+    cache.store(key, CachedFunction { image: image.clone(), record: record.clone() });
+    Ok((image, record))
+}
+
 /// Converts link work counters to abstract units.
 fn link_units_of(work: &LinkWork) -> u64 {
     work.words_scanned as u64 + work.addrs_rebased as u64 * 2 + work.calls_resolved as u64 * 4
@@ -469,17 +528,73 @@ pub fn compile_module_traced(
     opts: &CompileOptions,
     trace: &Trace,
 ) -> Result<CompileResult, CompileError> {
+    compile_module_inner(source, opts, None, trace)
+}
+
+/// The sequential compiler with an incremental cache in front of every
+/// function compilation: only functions whose content address misses
+/// `cache` are recompiled, everything else is fetched. The warm-build
+/// entry point of `warpcc --cache-dir` in single-threaded mode.
+///
+/// # Errors
+///
+/// Returns the first error of any phase.
+pub fn compile_module_cached(
+    source: &str,
+    opts: &CompileOptions,
+    cache: &FnCache,
+) -> Result<CompileResult, CompileError> {
+    compile_module_inner(source, opts, Some(cache), &Trace::disabled())
+}
+
+/// [`compile_module_cached`] with span tracing: cache probes appear as
+/// `"cache"` spans (`hit f` / `miss f`) next to the `"worker"` spans.
+///
+/// # Errors
+///
+/// Returns the first error of any phase.
+pub fn compile_module_cached_traced(
+    source: &str,
+    opts: &CompileOptions,
+    cache: &FnCache,
+    trace: &Trace,
+) -> Result<CompileResult, CompileError> {
+    compile_module_inner(source, opts, Some(cache), trace)
+}
+
+fn compile_module_inner(
+    source: &str,
+    opts: &CompileOptions,
+    cache: Option<&FnCache>,
+    trace: &Trace,
+) -> Result<CompileResult, CompileError> {
     let driver_track = trace.track("driver");
     let worker_track = trace.track("worker 0");
     let (checked, phase1_units, warnings) = prepare_module_traced(source, opts, trace, driver_track)?;
+    let options_fp = cache.map(|_| options_fingerprint(opts));
     let mut images = Vec::new();
     let mut records = Vec::new();
     for si in 0..checked.module.sections.len() {
         for fi in 0..checked.module.sections[si].functions.len() {
-            let name = checked.module.sections[si].functions[fi].name.clone();
-            let span = trace.span("worker", name, worker_track);
-            let (img, rec) =
-                compile_function_traced(&checked, source, si, fi, opts, trace, worker_track)?;
+            let span = trace.span(
+                "worker",
+                checked.module.sections[si].functions[fi].name.as_str(),
+                worker_track,
+            );
+            let (img, rec) = match (cache, options_fp) {
+                (Some(cache), Some(fp)) => compile_function_cached_traced(
+                    &checked,
+                    source,
+                    si,
+                    fi,
+                    opts,
+                    cache,
+                    fp,
+                    trace,
+                    worker_track,
+                )?,
+                _ => compile_function_traced(&checked, source, si, fi, opts, trace, worker_track)?,
+            };
             span.finish();
             images.push(img);
             records.push(rec);

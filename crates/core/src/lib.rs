@@ -25,6 +25,7 @@
 pub mod costmodel;
 pub mod driver;
 pub mod experiment;
+pub mod fncache;
 pub mod katseff;
 pub mod metrics;
 pub mod parmake;
@@ -34,12 +35,17 @@ pub mod threads;
 
 pub use costmodel::{CostModel, CALIBRATED};
 pub use driver::{
-    compile_function, compile_function_traced, compile_module_source, compile_module_traced,
-    link_module, link_module_traced, run_phase1, run_phase1_traced, CompileError, CompileOptions,
-    CompileResult, FunctionRecord,
+    compile_function, compile_function_cached_traced, compile_function_traced,
+    compile_module_cached, compile_module_cached_traced, compile_module_source,
+    compile_module_traced, link_module, link_module_traced, run_phase1, run_phase1_traced,
+    CompileError, CompileOptions, CompileResult, FunctionRecord,
 };
 pub use experiment::{Comparison, ComparisonTraces, Experiment, InlineAblation, Placement};
-pub use threads::{compile_parallel, compile_parallel_traced, ThreadReport};
+pub use fncache::{function_key, options_fingerprint, CachedFunction, FnCache};
+pub use threads::{
+    compile_parallel, compile_parallel_cached, compile_parallel_cached_traced,
+    compile_parallel_traced, ThreadReport,
+};
 pub use katseff::{assembler_sweep, katseff_comparison, AssemblerSweep};
 pub use parmake::{parmake_comparison, ParmakeReport, SystemModule};
 pub use metrics::{overheads, speedup, Measurement, Overheads};

@@ -18,7 +18,11 @@
 //! 3. **parallel compiler** — modules one after another, each compiled
 //!    by the paper's parallel compiler;
 //! 4. **combined** — dependency levels in parallel *and* the parallel
-//!    compiler per module.
+//!    compiler per module;
+//! 5. **combined + warm cache** — strategy 4 after a prior identical
+//!    build populated the function cache: every function is a hit, so
+//!    each module's master fetches stored objects instead of forking
+//!    function masters ([`crate::simspec::par_spec_cached`]).
 //!
 //! Parallel make's ceiling is the critical path of the dependency
 //! graph (the deepest chain of modules), whereas the parallel
@@ -30,7 +34,7 @@ use crate::costmodel::CostModel;
 use crate::driver::{compile_module_source, CompileError, CompileResult};
 use crate::experiment::Experiment;
 use crate::scheduler::Assignment;
-use crate::simspec::{par_spec, seq_spec};
+use crate::simspec::{par_spec, par_spec_cached, seq_spec, seq_spec_cached};
 use serde::{Deserialize, Serialize};
 use warp_netsim::{simulate, ProcKind, ProcessSpec};
 use warp_workload::{synthetic_program, FunctionSize};
@@ -58,6 +62,8 @@ pub struct ParmakeReport {
     pub parallel_compiler_s: f64,
     /// Strategy 4: parallel make × parallel compiler.
     pub combined_s: f64,
+    /// Strategy 5: strategy 4 with a fully warm compilation cache.
+    pub combined_warm_s: f64,
 }
 
 /// The default 4-module system: two independent leaf modules, a module
@@ -113,18 +119,28 @@ fn build_spec(
     cm: &CostModel,
     parallel_modules: bool,
     parallel_compiler: bool,
+    warm_cache: bool,
 ) -> ProcessSpec {
     let avail = cm.host.workstations.saturating_sub(1).max(1);
     let mut ws_cursor = 0usize;
     let mut module_spec = |idx: usize, m: &SystemModule| -> ProcessSpec {
+        let n = m.result.records.len();
         if parallel_compiler {
-            let a = offset_fcfs(m.result.records.len(), avail, ws_cursor);
-            ws_cursor += m.result.records.len();
-            let mut spec = par_spec(&m.result, cm, &a);
+            let a = offset_fcfs(n, avail, ws_cursor);
+            ws_cursor += n;
+            let mut spec = if warm_cache {
+                par_spec_cached(&m.result, cm, &a, &vec![true; n])
+            } else {
+                par_spec(&m.result, cm, &a)
+            };
             spec.name = format!("make {} (parallel-cc)", m.name);
             spec
         } else {
-            let mut spec = seq_spec(&m.result, cm);
+            let mut spec = if warm_cache {
+                seq_spec_cached(&m.result, cm, &vec![true; n])
+            } else {
+                seq_spec(&m.result, cm)
+            };
             // Each make job runs its compiler on its own workstation.
             spec.workstation = 1 + idx % avail;
             spec.name = format!("make {} (seqcc)", m.name);
@@ -147,7 +163,7 @@ fn build_spec(
     root
 }
 
-/// Runs all four strategies over [`default_system`].
+/// Runs all five strategies over [`default_system`].
 ///
 /// # Errors
 ///
@@ -157,14 +173,16 @@ pub fn parmake_comparison(e: &Experiment) -> Result<ParmakeReport, CompileError>
     Ok(parmake_comparison_of(&modules, &e.model))
 }
 
-/// Runs all four strategies over a caller-supplied system.
+/// Runs all five strategies over a caller-supplied system.
 pub fn parmake_comparison_of(modules: &[SystemModule], cm: &CostModel) -> ParmakeReport {
-    let run = |pm: bool, pc: bool| simulate(cm.host, build_spec(modules, cm, pm, pc)).elapsed_s;
+    let run =
+        |pm: bool, pc: bool, wc: bool| simulate(cm.host, build_spec(modules, cm, pm, pc, wc)).elapsed_s;
     ParmakeReport {
-        sequential_s: run(false, false),
-        parallel_make_s: run(true, false),
-        parallel_compiler_s: run(false, true),
-        combined_s: run(true, true),
+        sequential_s: run(false, false, false),
+        parallel_make_s: run(true, false, false),
+        parallel_compiler_s: run(false, true, false),
+        combined_s: run(true, true, false),
+        combined_warm_s: run(true, true, true),
     }
 }
 
@@ -183,6 +201,9 @@ mod tests {
         // coexist").
         assert!(r.combined_s <= r.parallel_make_s + 1.0, "{r:?}");
         assert!(r.combined_s <= r.parallel_compiler_s + 1.0, "{r:?}");
+        // A warm cache beats even the combined strategy by a wide
+        // margin: nothing is recompiled, only fetched.
+        assert!(r.combined_warm_s < 0.5 * r.combined_s, "{r:?}");
     }
 
     #[test]

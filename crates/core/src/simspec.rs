@@ -57,14 +57,44 @@ fn compile_burst(mut p: ProcessSpec, cm: &CostModel, units: u64, heap: u64) -> P
 /// plus whole-module data (`seq_extra_heap`), so larger programs push
 /// it past physical memory.
 pub fn seq_spec(result: &CompileResult, cm: &CostModel) -> ProcessSpec {
+    seq_spec_inner(result, cm, None)
+}
+
+/// [`seq_spec`] with a compilation cache enabled: `warm[i]` marks
+/// function `i` as a cache hit. A hit is serviced by probing the
+/// index (`cache_lookup_units`) and fetching the stored object from
+/// the file server ([`CostModel::hit_fetch_bytes`]) instead of the
+/// phase-2/3 compile burst; the compiler still parses the module
+/// (phase 1 builds the interface the cache key hashes) and still
+/// assembles at the end. Misses additionally pay the lookup before
+/// recompiling.
+///
+/// # Panics
+///
+/// Panics if `warm.len() != result.records.len()`.
+pub fn seq_spec_cached(result: &CompileResult, cm: &CostModel, warm: &[bool]) -> ProcessSpec {
+    assert_eq!(warm.len(), result.records.len());
+    seq_spec_inner(result, cm, Some(warm))
+}
+
+fn seq_spec_inner(result: &CompileResult, cm: &CostModel, warm: Option<&[bool]>) -> ProcessSpec {
     let base = cm.base_lisp_heap + cm.seq_extra_heap;
     let mut p = ProcessSpec::new(SEQ_NAME, 0, ProcKind::Lisp)
         .heap(base)
         .cpu(result.phase1_units);
     let mut retained = 0u64;
-    for rec in &result.records {
-        let heap = base + retained + cm.fn_heap(rec);
-        p = compile_burst(p, cm, rec.compile_units(), heap);
+    for (i, rec) in result.records.iter().enumerate() {
+        if warm.is_some() {
+            p = p.cpu(cm.cache_lookup_units);
+        }
+        if warm.is_some_and(|w| w[i]) {
+            // Hit: fetch the cached object instead of compiling. The
+            // image it retains for assembly is the same either way.
+            p = p.disk(cm.hit_fetch_bytes(rec));
+        } else {
+            let heap = base + retained + cm.fn_heap(rec);
+            p = compile_burst(p, cm, rec.compile_units(), heap);
+        }
         retained += cm.seq_retained(rec);
     }
     let object_bytes: u64 = result.records.iter().map(|r| r.object_bytes).sum();
@@ -78,18 +108,58 @@ pub fn seq_spec(result: &CompileResult, cm: &CostModel) -> ProcessSpec {
 /// forks one function master (Lisp) per function on its assigned
 /// workstation; the master finally runs the sequential assembly phase.
 pub fn par_spec(result: &CompileResult, cm: &CostModel, assignment: &Assignment) -> ProcessSpec {
+    par_spec_inner(result, cm, assignment, None)
+}
+
+/// [`par_spec`] with a compilation cache enabled: `warm[i]` marks
+/// function `i` as a cache hit.
+///
+/// This mirrors the real threaded driver (`crate::threads`): the
+/// *master* probes every key itself (`cache_lookup_units` each) and
+/// services hits directly — a fetch of the stored object from the
+/// file server, no fork, no workstation, no section master involved.
+/// Only misses are dispatched to function masters; a section whose
+/// functions all hit forks no section master at all, so a fully warm
+/// build collapses to parse → probe → fetch → assemble on the
+/// master's workstation.
+///
+/// # Panics
+///
+/// Panics if `warm.len() != result.records.len()`.
+pub fn par_spec_cached(
+    result: &CompileResult,
+    cm: &CostModel,
+    assignment: &Assignment,
+    warm: &[bool],
+) -> ProcessSpec {
+    assert_eq!(warm.len(), result.records.len());
+    par_spec_inner(result, cm, assignment, Some(warm))
+}
+
+fn par_spec_inner(
+    result: &CompileResult,
+    cm: &CostModel,
+    assignment: &Assignment,
+    warm: Option<&[bool]>,
+) -> ProcessSpec {
     assert_eq!(assignment.workstation.len(), result.records.len());
     let n_sections = 1 + result.records.iter().map(|r| r.section).max().unwrap_or(0);
+    let is_hit = |i: usize| warm.is_some_and(|w| w[i]);
 
-    let mut sections = Vec::with_capacity(n_sections);
+    let mut sections = Vec::new();
     for si in 0..n_sections {
+        // Only cache misses need a function master; hits were already
+        // serviced by the master before the section masters fork.
         let idxs: Vec<usize> = result
             .records
             .iter()
             .enumerate()
-            .filter(|(_, r)| r.section == si)
+            .filter(|(i, r)| r.section == si && !is_hit(*i))
             .map(|(i, _)| i)
             .collect();
+        if idxs.is_empty() {
+            continue;
+        }
         let mut fn_masters = Vec::with_capacity(idxs.len());
         for &i in &idxs {
             let rec = &result.records[i];
@@ -122,15 +192,36 @@ pub fn par_spec(result: &CompileResult, cm: &CostModel, assignment: &Assignment)
         .cpu(result.phase1_units);
     let object_bytes: u64 = result.records.iter().map(|r| r.object_bytes).sum();
 
-    ProcessSpec::new(MASTER_NAME, 0, ProcKind::C)
+    let mut master = ProcessSpec::new(MASTER_NAME, 0, ProcKind::C)
         // Setup: one extra parse of the program, by a Lisp child.
         .fork(vec![parser])
-        .join()
-        // Scheduling: coordinate section masters.
-        .cpu(cm.sched_units_per_section * n_sections as u64)
-        .net(cm.msg_bytes * n_sections as u64)
-        .fork(sections)
-        .join()
+        .join();
+    if warm.is_some() {
+        // Probe the cache for every function, then fetch the hits'
+        // objects from the file server.
+        master = master.cpu(cm.cache_lookup_units * result.records.len() as u64);
+        let hit_bytes: u64 = result
+            .records
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| is_hit(*i))
+            .map(|(_, r)| cm.hit_fetch_bytes(r))
+            .sum();
+        if hit_bytes > 0 {
+            master = master.disk(hit_bytes);
+        }
+    }
+    let n_live_sections = sections.len() as u64;
+    if n_live_sections > 0 {
+        // Scheduling: coordinate the section masters that still have
+        // work.
+        master = master
+            .cpu(cm.sched_units_per_section * n_live_sections)
+            .net(cm.msg_bytes * n_live_sections)
+            .fork(sections)
+            .join();
+    }
+    master
         // Phase 4: assembly and download-module generation.
         .cpu(result.link_units)
         .disk(object_bytes)
@@ -193,6 +284,82 @@ mod tests {
         assert_eq!(ws.len(), 3);
         let stations: Vec<usize> = ws.iter().map(|(_, w)| *w).collect();
         assert_eq!(stations, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn cold_cached_spec_keeps_paper_hierarchy_plus_probe() {
+        // All-cold warm mask: same process tree as the uncached spec
+        // (master + parser + section masters + function masters); the
+        // only extra work is the per-function probe.
+        let r = compiled(3);
+        let a = fcfs(3, 8);
+        let spec = par_spec_cached(&r, &CALIBRATED, &a, &[false; 3]);
+        assert_eq!(spec.process_count(), 6);
+    }
+
+    #[test]
+    fn fully_warm_par_spec_forks_no_workers() {
+        // Every function hits: the master services everything itself —
+        // no section masters, no function masters.
+        let r = compiled(3);
+        let a = fcfs(3, 8);
+        let spec = par_spec_cached(&r, &CALIBRATED, &a, &[true; 3]);
+        assert_eq!(spec.process_count(), 2, "master + parser only");
+    }
+
+    #[test]
+    fn warm_rebuild_is_under_half_of_cold_on_fig6_workload() {
+        // The acceptance bar for the cache: on the Figure 6 workload
+        // (medium functions, n ∈ {1,2,4,8}), a fully warm parallel
+        // rebuild takes less than 50% of the cold parallel build.
+        for n in [1usize, 2, 4, 8] {
+            let src = synthetic_program(FunctionSize::Medium, n);
+            let r = compile_module_source(&src, &CompileOptions::default()).unwrap();
+            let a = fcfs(n, CALIBRATED.host.workstations - 1);
+            let cold = warp_netsim::simulate(CALIBRATED.host, par_spec(&r, &CALIBRATED, &a));
+            let warm = warp_netsim::simulate(
+                CALIBRATED.host,
+                par_spec_cached(&r, &CALIBRATED, &a, &vec![true; n]),
+            );
+            assert!(
+                warm.elapsed_s < 0.5 * cold.elapsed_s,
+                "n={n}: warm {} !< 50% of cold {}",
+                warm.elapsed_s,
+                cold.elapsed_s
+            );
+        }
+    }
+
+    #[test]
+    fn one_edited_function_dominates_warm_rebuild() {
+        // Editing one function of eight: the rebuild must pay for that
+        // one compilation but stay far below cold (the other seven are
+        // fetched).
+        let n = 8;
+        let src = synthetic_program(FunctionSize::Medium, n);
+        let r = compile_module_source(&src, &CompileOptions::default()).unwrap();
+        let a = fcfs(n, CALIBRATED.host.workstations - 1);
+        let mut warm = vec![true; n];
+        warm[3] = false;
+        let cold = warp_netsim::simulate(CALIBRATED.host, par_spec(&r, &CALIBRATED, &a));
+        let edited =
+            warp_netsim::simulate(CALIBRATED.host, par_spec_cached(&r, &CALIBRATED, &a, &warm));
+        let full =
+            warp_netsim::simulate(CALIBRATED.host, par_spec_cached(&r, &CALIBRATED, &a, &[true; 8]));
+        assert!(edited.elapsed_s < cold.elapsed_s, "{} !< {}", edited.elapsed_s, cold.elapsed_s);
+        assert!(full.elapsed_s < edited.elapsed_s, "{} !< {}", full.elapsed_s, edited.elapsed_s);
+    }
+
+    #[test]
+    fn warm_sequential_beats_cold_sequential() {
+        let src = synthetic_program(FunctionSize::Medium, 4);
+        let r = compile_module_source(&src, &CompileOptions::default()).unwrap();
+        let cold = warp_netsim::simulate(CALIBRATED.host, seq_spec(&r, &CALIBRATED));
+        let warm = warp_netsim::simulate(
+            CALIBRATED.host,
+            seq_spec_cached(&r, &CALIBRATED, &[true; 4]),
+        );
+        assert!(warm.elapsed_s < 0.5 * cold.elapsed_s, "{} {}", warm.elapsed_s, cold.elapsed_s);
     }
 
     #[test]

@@ -6,13 +6,26 @@
 //! compiles concurrently (bounded by a worker budget), then the
 //! sections are linked sequentially. Used by the Criterion benches to
 //! demonstrate genuine wall-clock speedup of the same compiler.
+//!
+//! Two Amdahl leaks of the first implementation are fixed here:
+//!
+//! * **LPT dispatch** — jobs are queued in decreasing a-priori cost
+//!   estimate (LoC × nesting, §4.3) rather than source order, so the
+//!   largest function starts compiling first and can never be the one
+//!   job left running after every other worker drained the queue;
+//! * **cache hits bypass the queue** — with an incremental cache
+//!   ([`crate::fncache`]), the master probes every function's content
+//!   address itself and only queues the misses; a fully warm build
+//!   spawns no workers at all.
 
 use crate::driver::{
     compile_function_traced, link_module_traced, prepare_module_traced, CompileError,
     CompileOptions, CompileResult, FunctionRecord,
 };
+use crate::fncache::{function_key, options_fingerprint, CachedFunction, FnCache};
 use crossbeam::channel::bounded;
 use std::time::{Duration, Instant};
+use warp_cache::CacheKey;
 use warp_obs::{Trace, TrackId};
 use warp_target::program::FunctionImage;
 
@@ -64,97 +77,220 @@ pub fn compile_parallel_traced(
     workers: usize,
     trace: &Trace,
 ) -> Result<(CompileResult, ThreadReport), CompileError> {
+    compile_parallel_inner(source, opts, workers, None, trace)
+}
+
+/// [`compile_parallel`] with an incremental compilation cache: the
+/// master probes every function's content address before dispatching;
+/// hits are materialized directly (no worker queueing, no thread
+/// hand-off) and only misses are compiled — then stored, so the next
+/// build hits. A fully warm build runs phase 1, N cache probes and the
+/// link, nothing else.
+///
+/// # Errors
+///
+/// Propagates the first compilation error.
+pub fn compile_parallel_cached(
+    source: &str,
+    opts: &CompileOptions,
+    workers: usize,
+    cache: &FnCache,
+) -> Result<(CompileResult, ThreadReport), CompileError> {
+    compile_parallel_inner(source, opts, workers, Some(cache), &Trace::disabled())
+}
+
+/// [`compile_parallel_cached`] with span tracing: cache probes become
+/// `"cache"` spans (`hit f` on the driver track for bypassed jobs,
+/// `miss f` next to the worker span that recompiles).
+///
+/// # Errors
+///
+/// Propagates the first compilation error.
+pub fn compile_parallel_cached_traced(
+    source: &str,
+    opts: &CompileOptions,
+    workers: usize,
+    cache: &FnCache,
+    trace: &Trace,
+) -> Result<(CompileResult, ThreadReport), CompileError> {
+    compile_parallel_inner(source, opts, workers, Some(cache), trace)
+}
+
+/// LPT (longest-processing-time-first) dispatch order over a-priori
+/// cost estimates: indices sorted by decreasing estimate, source order
+/// as the tie-break. Queueing jobs in this order means the most
+/// expensive function starts compiling first — it can never be the one
+/// job left running after every other worker has drained the queue,
+/// which is the first-order Amdahl leak of source-order dispatch.
+pub fn lpt_dispatch_order(estimates: impl IntoIterator<Item = u64>) -> Vec<usize> {
+    let est: Vec<u64> = estimates.into_iter().collect();
+    let mut order: Vec<usize> = (0..est.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(est[i]), i));
+    order
+}
+
+fn compile_parallel_inner(
+    source: &str,
+    opts: &CompileOptions,
+    workers: usize,
+    cache: Option<&FnCache>,
+    trace: &Trace,
+) -> Result<(CompileResult, ThreadReport), CompileError> {
     let workers = workers.max(1);
     let driver_track = trace.track("driver");
     let t0 = Instant::now();
     let (checked, phase1_units, warnings) = prepare_module_traced(source, opts, trace, driver_track)?;
     let phase1_wall = t0.elapsed();
 
-    // The work list: every (section, function) pair in source order.
-    let jobs: Vec<(usize, usize)> = checked
+    // The work list: every (section, function) pair, tagged with the
+    // a-priori cost estimate the load balancer would use (§4.3 —
+    // available *before* compilation, from the AST alone).
+    let jobs: Vec<(usize, usize, u64)> = checked
         .module
         .sections
         .iter()
         .enumerate()
-        .flat_map(|(si, s)| (0..s.functions.len()).map(move |fi| (si, fi)))
+        .flat_map(|(si, s)| {
+            s.functions
+                .iter()
+                .enumerate()
+                .map(move |(fi, f)| (si, fi, warp_workload::cost_estimate_of(f, source)))
+        })
         .collect();
 
-    type Job = (usize, (usize, usize));
+    let dispatch = lpt_dispatch_order(jobs.iter().map(|&(_, _, est)| est));
+
+    type Job = (usize, (usize, usize), Option<CacheKey>);
     type Done = (usize, Result<(FunctionImage, FunctionRecord, Duration), CompileError>);
 
     let tc = Instant::now();
-    let (job_tx, job_rx) = bounded::<Job>(jobs.len());
-    let (done_tx, done_rx) = bounded::<Done>(jobs.len());
-    for job in jobs.iter().copied().enumerate() {
-        job_tx.send(job).expect("queue jobs");
-    }
-    drop(job_tx);
-
     let mut images: Vec<Option<FunctionImage>> = vec![None; jobs.len()];
     let mut records: Vec<Option<FunctionRecord>> = vec![None; jobs.len()];
     // `None` until the function's result arrives — never pre-filled
-    // with placeholder names, so a missing result is a bug we catch,
-    // not an empty row in the report.
-    let mut timings: Vec<Option<(String, Duration)>> = vec![None; jobs.len()];
+    // with placeholder durations, so a missing result is a bug we
+    // catch, not an empty row in the report.
+    let mut timings: Vec<Option<Duration>> = vec![None; jobs.len()];
 
-    let pool_size = workers.min(jobs.len().max(1));
-    let worker_tracks: Vec<TrackId> =
-        (0..pool_size).map(|w| trace.track(&format!("worker {w}"))).collect();
-    let compile_span = trace.span("driver", "compile", driver_track);
-    std::thread::scope(|scope| {
-        // Section masters are folded into a worker pool: each worker
-        // plays function master for successive functions (the paper's
-        // FCFS distribution).
-        for track in worker_tracks {
-            let job_rx = job_rx.clone();
-            let done_tx = done_tx.clone();
-            let checked = &checked;
-            let opts = &*opts;
-            scope.spawn(move || {
-                while let Ok((idx, (si, fi))) = job_rx.recv() {
-                    let name = checked.module.sections[si].functions[fi].name.clone();
-                    let span = trace.span("worker", name, track);
-                    let t = Instant::now();
-                    let out = compile_function_traced(checked, source, si, fi, opts, trace, track)
-                        .map(|(img, rec)| (img, rec, t.elapsed()));
-                    span.finish();
-                    if done_tx.send((idx, out)).is_err() {
-                        return;
-                    }
+    // The master probes the cache itself: hits bypass worker queueing
+    // entirely, only misses are dispatched.
+    let options_fp = cache.map(|_| options_fingerprint(opts));
+    let mut queued: Vec<Job> = Vec::with_capacity(jobs.len());
+    for &idx in &dispatch {
+        let (si, fi, _) = jobs[idx];
+        let Some(cache) = cache else {
+            queued.push((idx, (si, fi), None));
+            continue;
+        };
+        let probe_start = trace.now_ns();
+        let t = Instant::now();
+        let key = function_key(&checked, source, si, fi, options_fp.unwrap_or_default());
+        match cache.lookup(key) {
+            Some(cached) => {
+                if trace.is_enabled() {
+                    let name = &checked.module.sections[si].functions[fi].name;
+                    trace.record_span(
+                        "cache",
+                        format!("hit {name}"),
+                        driver_track,
+                        probe_start,
+                        trace.now_ns().saturating_sub(probe_start),
+                        vec![("object_bytes", cached.record.object_bytes as f64)],
+                    );
                 }
-            });
+                timings[idx] = Some(t.elapsed());
+                images[idx] = Some(cached.image);
+                records[idx] = Some(cached.record);
+            }
+            None => queued.push((idx, (si, fi), Some(key))),
         }
-        drop(done_tx);
-        drop(job_rx);
-        // The master collects results (any error aborts).
-        let mut first_err: Option<CompileError> = None;
-        while let Ok((idx, out)) = done_rx.recv() {
-            match out {
-                Ok((img, rec, dt)) => {
-                    timings[idx] = Some((rec.name.clone(), dt));
-                    images[idx] = Some(img);
-                    records[idx] = Some(rec);
-                }
-                Err(e) => {
-                    if first_err.is_none() {
-                        first_err = Some(e);
+    }
+
+    let pool_size = workers.min(queued.len());
+    if pool_size > 0 {
+        let (job_tx, job_rx) = bounded::<Job>(queued.len());
+        let (done_tx, done_rx) = bounded::<Done>(queued.len());
+        for job in queued.drain(..) {
+            job_tx.send(job).expect("queue jobs");
+        }
+        drop(job_tx);
+
+        let worker_tracks: Vec<TrackId> =
+            (0..pool_size).map(|w| trace.track(&format!("worker {w}"))).collect();
+        let compile_span = trace.span("driver", "compile", driver_track);
+        std::thread::scope(|scope| {
+            // Section masters are folded into a worker pool: each worker
+            // plays function master for successive functions.
+            for track in worker_tracks {
+                let job_rx = job_rx.clone();
+                let done_tx = done_tx.clone();
+                let checked = &checked;
+                let opts = &*opts;
+                scope.spawn(move || {
+                    while let Ok((idx, (si, fi), key)) = job_rx.recv() {
+                        // Borrow the name for the span — no per-job
+                        // clone in the hot loop.
+                        let span = trace.span(
+                            "worker",
+                            checked.module.sections[si].functions[fi].name.as_str(),
+                            track,
+                        );
+                        let t = Instant::now();
+                        let out =
+                            compile_function_traced(checked, source, si, fi, opts, trace, track)
+                                .map(|(img, rec)| {
+                                    if let (Some(cache), Some(key)) = (cache, key) {
+                                        cache.store(
+                                            key,
+                                            CachedFunction {
+                                                image: img.clone(),
+                                                record: rec.clone(),
+                                            },
+                                        );
+                                    }
+                                    (img, rec, t.elapsed())
+                                });
+                        span.finish();
+                        if done_tx.send((idx, out)).is_err() {
+                            return;
+                        }
+                    }
+                });
+            }
+            drop(done_tx);
+            drop(job_rx);
+            // The master collects results (any error aborts).
+            let mut first_err: Option<CompileError> = None;
+            while let Ok((idx, out)) = done_rx.recv() {
+                match out {
+                    Ok((img, rec, dt)) => {
+                        timings[idx] = Some(dt);
+                        images[idx] = Some(img);
+                        records[idx] = Some(rec);
+                    }
+                    Err(e) => {
+                        if first_err.is_none() {
+                            first_err = Some(e);
+                        }
                     }
                 }
             }
-        }
-        if let Some(e) = first_err {
-            return Err(e);
-        }
-        Ok(())
-    })?;
-    compile_span.finish();
+            if let Some(e) = first_err {
+                return Err(e);
+            }
+            Ok(())
+        })?;
+        compile_span.finish();
+    }
     let compile_wall = tc.elapsed();
 
     let tl = Instant::now();
     let images: Vec<FunctionImage> = images.into_iter().map(|i| i.expect("image")).collect();
     let records: Vec<FunctionRecord> = records.into_iter().map(|r| r.expect("record")).collect();
-    let timings: Vec<(String, Duration)> =
-        timings.into_iter().map(|t| t.expect("timing per function")).collect();
+    let per_function: Vec<(String, Duration)> = records
+        .iter()
+        .zip(&timings)
+        .map(|(r, t)| (r.name.clone(), t.expect("timing per function")))
+        .collect();
     let (module_image, link_units) = link_module_traced(&checked, images, opts, trace, driver_track)?;
     let link_wall = tl.elapsed();
 
@@ -165,7 +301,7 @@ pub fn compile_parallel_traced(
             phase1_wall,
             compile_wall,
             link_wall,
-            per_function: timings,
+            per_function,
             workers,
         },
     ))
@@ -210,5 +346,49 @@ mod tests {
         let (r, report) = compile_parallel(&src, &CompileOptions::default(), 1).unwrap();
         assert_eq!(r.records.len(), 2);
         assert_eq!(report.workers, 1);
+    }
+
+    #[test]
+    fn lpt_order_is_decreasing_with_stable_ties() {
+        assert_eq!(lpt_dispatch_order([10, 40, 20, 40]), vec![1, 3, 2, 0]);
+        assert_eq!(lpt_dispatch_order([]), Vec::<usize>::new());
+        assert_eq!(lpt_dispatch_order([7]), vec![0]);
+    }
+
+    #[test]
+    fn warm_cached_build_is_bit_identical_and_all_hits() {
+        let src = user_program();
+        let opts = CompileOptions::default();
+        let cache = crate::fncache::FnCache::in_memory();
+        let (cold, _) = compile_parallel_cached(&src, &opts, 4, &cache).expect("cold");
+        let n = cold.records.len() as u64;
+        let after_cold = cache.stats();
+        assert_eq!(after_cold.misses, n, "cold build misses every function");
+        assert_eq!(after_cold.stores, n);
+
+        let (warm, _) = compile_parallel_cached(&src, &opts, 4, &cache).expect("warm");
+        let after_warm = cache.stats();
+        assert_eq!(after_warm.hits() - after_cold.hits(), n, "warm build hits every function");
+        assert_eq!(after_warm.misses, after_cold.misses, "warm build misses nothing");
+        assert_eq!(cold.module_image, warm.module_image, "bit-identical output");
+        assert_eq!(cold.records, warm.records, "identical work records");
+
+        // And both match the plain sequential compiler.
+        let seq = compile_module_source(&src, &opts).expect("seq");
+        assert_eq!(seq.module_image, warm.module_image);
+    }
+
+    #[test]
+    fn sequential_cached_matches_parallel_cached() {
+        let src = synthetic_program(FunctionSize::Small, 4);
+        let opts = CompileOptions::default();
+        let cache = crate::fncache::FnCache::in_memory();
+        let seq = crate::driver::compile_module_cached(&src, &opts, &cache).expect("seq cold");
+        let (par, _) = compile_parallel_cached(&src, &opts, 4, &cache).expect("par warm");
+        assert_eq!(seq.module_image, par.module_image);
+        // The parallel build was entirely served from the sequential
+        // build's stores.
+        assert_eq!(cache.stats().misses, 4);
+        assert_eq!(cache.stats().hits(), 4);
     }
 }

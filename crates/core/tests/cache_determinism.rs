@@ -1,0 +1,74 @@
+//! Determinism of cached and parallel compilation: the bits of the
+//! download module must not depend on worker count, dispatch order, or
+//! whether a function was compiled or fetched from the cache.
+//!
+//! This is what makes the cache sound to use at all — a hit must be
+//! indistinguishable from a recompilation.
+
+use parcc::threads::{compile_parallel, compile_parallel_cached};
+use parcc::{compile_module_source, CompileOptions, CompileResult, FnCache};
+use proptest::prelude::*;
+use warp_workload::{synthetic_program, FunctionSize};
+
+fn image_bytes(r: &CompileResult) -> Vec<u8> {
+    warp_target::download::encode(&r.module_image).expect("encode module")
+}
+
+/// Compiles `src` every way — sequential, parallel at several widths,
+/// cold cached, warm cached — and asserts all outputs are bit-identical.
+fn assert_all_ways_identical(src: &str, opts: &CompileOptions) {
+    let reference = compile_module_source(src, opts).expect("sequential");
+    let ref_bytes = image_bytes(&reference);
+
+    for workers in [1usize, 2, 4, 8] {
+        let (par, _) = compile_parallel(src, opts, workers).expect("parallel");
+        assert_eq!(
+            image_bytes(&par),
+            ref_bytes,
+            "uncached parallel ({workers} workers) diverged from sequential"
+        );
+        assert_eq!(par.records, reference.records, "records diverged at {workers} workers");
+
+        let cache = FnCache::in_memory();
+        let (cold, _) =
+            compile_parallel_cached(src, opts, workers, &cache).expect("cold cached");
+        assert_eq!(
+            image_bytes(&cold),
+            ref_bytes,
+            "cold cached parallel ({workers} workers) diverged"
+        );
+        let (warm, _) =
+            compile_parallel_cached(src, opts, workers, &cache).expect("warm cached");
+        assert_eq!(
+            image_bytes(&warm),
+            ref_bytes,
+            "warm cached parallel ({workers} workers) diverged"
+        );
+        assert_eq!(warm.records, reference.records, "warm records diverged");
+        let stats = cache.stats();
+        assert_eq!(
+            stats.hits(),
+            reference.records.len() as u64,
+            "warm rebuild must hit every function: {stats}"
+        );
+    }
+}
+
+#[test]
+fn fig6_workload_is_bit_identical_every_way() {
+    let src = synthetic_program(FunctionSize::Medium, 8);
+    assert_all_ways_identical(&src, &CompileOptions::default());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// Random (size, n) workloads stay bit-identical across worker
+    /// counts and cache temperature.
+    #[test]
+    fn arbitrary_workloads_are_bit_identical(size_idx in 0usize..3, n in 1usize..5) {
+        let size = [FunctionSize::Tiny, FunctionSize::Small, FunctionSize::Medium][size_idx];
+        let src = synthetic_program(size, n);
+        assert_all_ways_identical(&src, &CompileOptions::default());
+    }
+}

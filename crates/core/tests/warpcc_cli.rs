@@ -123,3 +123,43 @@ fn ifconv_flag_accepted() {
     let out = warpcc().args(["--ifconv", "--inline"]).arg(&f.0).output().expect("run");
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
 }
+
+#[test]
+fn cache_dir_turns_second_run_into_hits() {
+    let f = write_program();
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("warpcc-test-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let run = || {
+        warpcc()
+            .args(["--cache-dir", dir.to_str().unwrap(), "--cache-stats"])
+            .arg(&f.0)
+            .output()
+            .expect("run warpcc")
+    };
+    let cold = run();
+    assert!(cold.status.success(), "{}", String::from_utf8_lossy(&cold.stderr));
+    let cold_err = String::from_utf8_lossy(&cold.stderr);
+    assert!(cold_err.contains("cache:"), "{cold_err}");
+    assert!(cold_err.contains("0 hit(s)"), "cold run must miss: {cold_err}");
+
+    let warm = run();
+    assert!(warm.status.success(), "{}", String::from_utf8_lossy(&warm.stderr));
+    let warm_err = String::from_utf8_lossy(&warm.stderr);
+    assert!(warm_err.contains("1 hit(s)"), "warm run must hit: {warm_err}");
+    assert!(warm_err.contains("0 miss(es)"), "{warm_err}");
+
+    // Identical output either way.
+    assert_eq!(cold.stdout, warm.stdout);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_stats_without_dir_counts_in_memory() {
+    let f = write_program();
+    let out = warpcc().arg("--cache-stats").arg(&f.0).output().expect("run warpcc");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("1 miss(es)"), "{stderr}");
+}

@@ -424,6 +424,56 @@ impl<'a> Reader<'a> {
     }
 }
 
+/// Magic bytes opening a standalone (pre-link) function image — the
+/// unit the incremental compilation cache stores.
+pub const FUNCTION_MAGIC: &[u8; 8] = b"WARPFN01";
+
+/// Encodes a single (possibly unlinked) function image with the same
+/// bit-exact field codec as the download format, framed by
+/// [`FUNCTION_MAGIC`] and a trailing FNV-1a checksum. This is the
+/// serialization `warp-cache` objects use for the image half of a
+/// cached compilation.
+///
+/// # Errors
+///
+/// Returns [`EncodeError`] if a count exceeds the format's `u32`
+/// limits.
+pub fn encode_function(image: &FunctionImage) -> Result<Vec<u8>, EncodeError> {
+    let mut w = Writer { buf: Vec::new() };
+    w.buf.extend_from_slice(FUNCTION_MAGIC);
+    w.function(image)?;
+    let sum = fnv1a(&w.buf);
+    w.u32(sum);
+    Ok(w.buf)
+}
+
+/// Decodes and checksum-verifies a standalone function image written
+/// by [`encode_function`].
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on framing, checksum or field violations.
+pub fn decode_function(bytes: &[u8]) -> Result<FunctionImage, DecodeError> {
+    if bytes.len() < FUNCTION_MAGIC.len() + 4 {
+        return Err(DecodeError::Truncated);
+    }
+    if &bytes[..FUNCTION_MAGIC.len()] != FUNCTION_MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let payload_end = bytes.len() - 4;
+    let stored = u32::from_le_bytes(bytes[payload_end..].try_into().expect("4 bytes"));
+    let computed = fnv1a(&bytes[..payload_end]);
+    if stored != computed {
+        return Err(DecodeError::ChecksumMismatch { stored, computed });
+    }
+    let mut r = Reader { bytes: &bytes[..payload_end], pos: FUNCTION_MAGIC.len() };
+    let image = r.function()?;
+    if r.pos != r.bytes.len() {
+        return Err(DecodeError::TrailingBytes);
+    }
+    Ok(image)
+}
+
 /// Decodes and checksum-verifies a download image.
 pub fn decode(bytes: &[u8]) -> Result<ModuleImage, DecodeError> {
     if bytes.len() < MAGIC.len() + 4 {
@@ -605,6 +655,29 @@ mod tests {
         let m = fixture();
         let bytes = encode(&m).unwrap();
         assert_eq!(decode(&bytes).unwrap(), m);
+    }
+
+    #[test]
+    fn function_round_trip_is_exact() {
+        // The cache stores *pre-link* images: call relocations must
+        // survive the round trip bit-exactly.
+        let f = fixture().section_images[0].functions[0].clone();
+        assert!(!f.call_relocs.is_empty(), "fixture must exercise relocs");
+        let bytes = encode_function(&f).unwrap();
+        assert_eq!(decode_function(&bytes).unwrap(), f);
+    }
+
+    #[test]
+    fn function_corruption_is_detected() {
+        let f = fixture().section_images[0].functions[0].clone();
+        let bytes = encode_function(&f).unwrap();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            assert!(decode_function(&bad).is_err(), "flip at {i} accepted");
+        }
+        assert!(decode_function(&bytes[..bytes.len() - 1]).is_err());
+        assert!(decode_function(b"WARPDL01").is_err(), "module magic rejected");
     }
 
     #[test]
