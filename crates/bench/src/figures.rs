@@ -19,10 +19,10 @@ pub const NS: [usize; 4] = [1, 2, 4, 8];
 pub const USER_PROCS: [usize; 4] = [2, 3, 5, 9];
 
 /// All figure names accepted by [`render`].
-pub const FIGURES: [&str; 24] = [
+pub const FIGURES: [&str; 25] = [
     "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
     "fig14", "fig15", "fig16", "user-table", "headline", "ablation-inline", "ablation-unroll",
-    "parmake", "katseff", "scheduling", "utilization", "ablation-ifconv", "cache",
+    "parmake", "katseff", "scheduling", "utilization", "ablation-ifconv", "cache", "faults",
 ];
 
 /// Every measurement the figures need, collected once.
@@ -326,6 +326,7 @@ fn parmake() -> String {
         ("parallel compiler", r.parallel_compiler_s),
         ("combined", r.combined_s),
         ("combined + warm cache", r.combined_warm_s),
+        ("combined, 3 faults", r.combined_faulted_s),
     ] {
         let _ = writeln!(
             out,
@@ -337,6 +338,54 @@ fn parmake() -> String {
     let _ = writeln!(
         out,
         "\"both approaches could coexist, with the parallel compiler speeding up the\nindividual translations, and the parallel make system organizing the system\ngeneration effort\" (§3.4)"
+    );
+    out
+}
+
+/// Fig. 6 workload under k injected host faults: the medium/8 parallel
+/// compilation re-simulated with seeded crashes, slowdowns, partitions
+/// and server stalls. Speedup degrades gracefully — the master detects
+/// lost function masters by timeout and re-dispatches them — and the
+/// whole curve is a deterministic function of the seed.
+fn faults_figure() -> String {
+    let e = Experiment::default();
+    let f = e
+        .fig6_under_faults(FunctionSize::Medium, 8, 1989, &[0, 1, 2, 4])
+        .expect("fig6 under faults");
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "faults: fig6 medium/8 under k injected faults (seed {}, {} functions)",
+        f.seed, f.functions
+    );
+    let _ = writeln!(
+        out,
+        "sequential {:.1}m, fault-free parallel {:.1}m",
+        minutes(f.seq_elapsed_s),
+        minutes(f.par_elapsed_s)
+    );
+    let _ = writeln!(
+        out,
+        "{:>8} {:>10} {:>9} {:>7} {:>7} {:>12} {:>7}",
+        "k faults", "elapsed", "speedup", "killed", "redisp", "slow/part/st", "parked"
+    );
+    for p in &f.points {
+        let s = p.faults;
+        let _ = writeln!(
+            out,
+            "{:>8} {:>9.1}m {:>9.2} {:>7} {:>7} {:>12} {:>7}",
+            p.k_faults,
+            minutes(p.elapsed_s),
+            p.speedup,
+            s.killed,
+            s.redispatches,
+            format!("{}/{}/{}", s.slowdowns, s.partitions, s.stalls),
+            s.parked,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "every lost function master is re-dispatched after the detection timeout;\nthe same seed reproduces the same curve byte for byte (docs/FAULTS.md)"
     );
     out
 }
@@ -577,6 +626,7 @@ pub fn render(data: &EvalData, figure: &str) -> String {
         "utilization" => utilization(),
         "ablation-ifconv" => ablation_ifconv(),
         "cache" => cache_figure(),
+        "faults" => faults_figure(),
         other => panic!("unknown figure `{other}`"),
     }
 }

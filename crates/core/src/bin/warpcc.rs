@@ -8,6 +8,13 @@
 //!   --inline                    enable the §5.1 inlining extension
 //!   --ifconv                    if-convert branchy loop bodies
 //!   --workers N                 compile functions with N threads
+//!   --fault-seed N              inject seeded worker faults (panics,
+//!                               lost results, stalls) into the thread
+//!                               pool and recover from them; implies
+//!                               the default chaos mix (needs --workers)
+//!   --fault-spec SPEC           tune the injection: comma-separated
+//!                               crash=P,lose=P,stall=P,timeout_ms=N,
+//!                               attempts=N (needs --fault-seed)
 //!   --run FUNC [ARGS...]        execute FUNC on a simulated cell
 //!                               (args are floats; use iN for ints)
 //!   --verify                    run the static verifiers at every
@@ -31,15 +38,21 @@
 //! warpcc --verify program.w2
 //! warpcc --lint program.w2
 //! warpcc --workers 8 --time program.w2
+//! warpcc --workers 8 --fault-seed 7 program.w2
+//! warpcc --workers 8 --fault-seed 7 --fault-spec crash=0.5,attempts=4 program.w2
 //! warpcc --trace trace.json program.w2
 //! warpcc --cache-dir .warpcc-cache --cache-stats program.w2
 //! warpcc --run dot8 2.0 i4 program.w2
 //! ```
 
-use parcc::threads::{compile_parallel_cached_traced, compile_parallel_traced};
+use parcc::threads::{
+    compile_parallel_cached_traced, compile_parallel_chaos_traced, compile_parallel_traced,
+    ChaosPlan, RetryPolicy,
+};
 use parcc::{
     compile_module_cached_traced, compile_module_traced, CompileOptions, CompileResult, FnCache,
 };
+use std::time::Duration;
 use warp_obs::{ClockDomain, Trace};
 use std::io::Read;
 use std::process::ExitCode;
@@ -53,6 +66,8 @@ struct Args {
     verify: bool,
     lint: bool,
     workers: Option<usize>,
+    fault_seed: Option<u64>,
+    fault_spec: Option<String>,
     run: Option<(String, Vec<Value>)>,
     time: bool,
     trace: Option<String>,
@@ -70,6 +85,8 @@ fn parse_args() -> Result<Args, String> {
         verify: false,
         lint: false,
         workers: None,
+        fault_seed: None,
+        fault_spec: None,
         run: None,
         time: false,
         trace: None,
@@ -100,6 +117,14 @@ fn parse_args() -> Result<Args, String> {
                 let n = it.next().ok_or("--workers needs a number")?;
                 args.workers = Some(n.parse().map_err(|_| format!("bad worker count `{n}`"))?);
             }
+            "--fault-seed" => {
+                let n = it.next().ok_or("--fault-seed needs a number")?;
+                args.fault_seed =
+                    Some(n.parse().map_err(|_| format!("bad fault seed `{n}`"))?);
+            }
+            "--fault-spec" => {
+                args.fault_spec = Some(it.next().ok_or("--fault-spec needs a value")?);
+            }
             "--run" => {
                 let func = it.next().ok_or("--run needs a function name")?;
                 let mut vals = Vec::new();
@@ -115,7 +140,8 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: warpcc [--emit ast|ir|vcode|asm|summary] [--inline] [--ifconv] \
-                     [--verify] [--lint] [--workers N] [--run FUNC ARGS...] [--time] \
+                     [--verify] [--lint] [--workers N] [--fault-seed N] [--fault-spec SPEC] \
+                     [--run FUNC ARGS...] [--time] \
                      [--trace FILE] [--cache-dir DIR] [--cache-stats] [-o FILE] <FILE | ->"
                 );
                 std::process::exit(0);
@@ -125,6 +151,49 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     Ok(args)
+}
+
+/// Parses a `--fault-spec` string (`crash=0.5,lose=0.1,stall=0.2,
+/// timeout_ms=500,attempts=4`) on top of the seed's default chaos mix.
+fn parse_fault_spec(
+    spec: &str,
+    mut chaos: ChaosPlan,
+    mut policy: RetryPolicy,
+) -> Result<(ChaosPlan, RetryPolicy), String> {
+    for part in spec.split(',').filter(|p| !p.is_empty()) {
+        let (key, value) =
+            part.split_once('=').ok_or(format!("bad fault-spec entry `{part}` (want key=value)"))?;
+        let prob = |v: &str| -> Result<f64, String> {
+            let p: f64 =
+                v.parse().map_err(|_| format!("bad probability `{v}` in fault-spec"))?;
+            if (0.0..=1.0).contains(&p) {
+                Ok(p)
+            } else {
+                Err(format!("probability `{v}` outside [0, 1]"))
+            }
+        };
+        match key {
+            "crash" => chaos.crash_prob = prob(value)?,
+            "lose" => chaos.lose_prob = prob(value)?,
+            "stall" => chaos.stall_prob = prob(value)?,
+            "timeout_ms" => {
+                let ms: u64 =
+                    value.parse().map_err(|_| format!("bad timeout_ms `{value}`"))?;
+                policy.job_timeout = Duration::from_millis(ms);
+            }
+            "attempts" => {
+                let n: usize =
+                    value.parse().map_err(|_| format!("bad attempts `{value}`"))?;
+                policy.max_attempts = n.max(1);
+            }
+            other => {
+                return Err(format!(
+                    "unknown fault-spec key `{other}` (crash/lose/stall/timeout_ms/attempts)"
+                ))
+            }
+        }
+    }
+    Ok((chaos, policy))
 }
 
 fn looks_like_value(s: &str) -> bool {
@@ -268,6 +337,26 @@ fn real_main() -> Result<(), String> {
         None if args.cache_stats => Some(FnCache::in_memory()),
         None => None,
     };
+    // Fault injection only exists in the threaded executor.
+    let faults = match (args.fault_seed, &args.fault_spec) {
+        (Some(seed), spec) => {
+            if args.workers.is_none() {
+                return Err("--fault-seed needs --workers".to_string());
+            }
+            if cache.is_some() {
+                return Err("--fault-seed does not combine with --cache-dir/--cache-stats"
+                    .to_string());
+            }
+            let chaos = ChaosPlan::from_seed(seed);
+            let policy = RetryPolicy::default();
+            Some(match spec {
+                Some(s) => parse_fault_spec(s, chaos, policy)?,
+                None => (chaos, policy),
+            })
+        }
+        (None, Some(_)) => return Err("--fault-spec needs --fault-seed".to_string()),
+        (None, None) => None,
+    };
     let t0 = std::time::Instant::now();
     let result = match (args.workers, &cache) {
         (None, None) => compile_module_traced(&source, &opts, &trace).map_err(|e| e.to_string())?,
@@ -275,15 +364,26 @@ fn real_main() -> Result<(), String> {
             compile_module_cached_traced(&source, &opts, c, &trace).map_err(|e| e.to_string())?
         }
         (Some(w), c) => {
-            let (r, report) = match c {
-                None => compile_parallel_traced(&source, &opts, w, &trace),
-                Some(c) => compile_parallel_cached_traced(&source, &opts, w, c, &trace),
+            let (r, report) = match (&faults, c) {
+                (Some((chaos, policy)), _) => {
+                    compile_parallel_chaos_traced(&source, &opts, w, chaos, policy, &trace)
+                }
+                (None, None) => compile_parallel_traced(&source, &opts, w, &trace),
+                (None, Some(c)) => compile_parallel_cached_traced(&source, &opts, w, c, &trace),
             }
             .map_err(|e| e.to_string())?;
             if args.time {
                 eprintln!(
                     "phase1 {:?}, parallel compile {:?} ({w} workers), link {:?}",
                     report.phase1_wall, report.compile_wall, report.link_wall
+                );
+            }
+            if let Some((chaos, _)) = &faults {
+                let s = report.faults;
+                eprintln!(
+                    "faults (seed {}): {} panic(s), {} lost, {} timeout(s), {} retry round(s), \
+                     {} in-master fallback(s)",
+                    chaos.seed, s.panics, s.lost, s.timeouts, s.retries, s.sequential_fallbacks
                 );
             }
             r

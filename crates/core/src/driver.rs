@@ -83,6 +83,12 @@ pub enum CompileError {
     MachineVerify(Vec<MachineError>),
     /// The static schedule checker rejected a pipelined loop layout.
     ScheduleVerify(Vec<ScheduleError>),
+    /// A worker thread failed outside the compiler proper — it
+    /// panicked or its channel disconnected — and the failure survived
+    /// every retry and the in-master sequential fallback. The payload
+    /// is a human-readable diagnostic; the master reports it instead
+    /// of panicking itself.
+    Worker(String),
 }
 
 impl fmt::Display for CompileError {
@@ -101,6 +107,7 @@ impl fmt::Display for CompileError {
                 let msgs: Vec<String> = errs.iter().map(|e| e.to_string()).collect();
                 write!(f, "{}", msgs.join("\n"))
             }
+            CompileError::Worker(msg) => write!(f, "worker failure: {msg}"),
         }
     }
 }

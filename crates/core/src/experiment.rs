@@ -12,7 +12,7 @@ use crate::metrics::{overheads, speedup, Measurement, Overheads};
 use crate::scheduler::{fcfs, grouped_lpt, Assignment};
 use crate::simspec::{par_spec, seq_spec};
 use serde::{Deserialize, Serialize};
-use warp_netsim::simulate_traced;
+use warp_netsim::{simulate, simulate_faulted, simulate_traced, FaultPlan, FaultSummary};
 use warp_obs::{ClockDomain, Trace, TraceSnapshot};
 use warp_workload::{call_heavy_program, synthetic_program, user_program, FunctionSize};
 
@@ -148,6 +148,88 @@ impl Experiment {
             Placement::Grouped { processors }
         };
         self.compare_source(&user_program(), placement)
+    }
+}
+
+/// One row of the "Figure 6 under *k* faults" report: the simulated
+/// parallel compilation with a seeded [`FaultPlan`] of `k_faults`
+/// events injected.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultedPoint {
+    /// Number of fault events injected.
+    pub k_faults: usize,
+    /// Simulated elapsed time of the faulted parallel build.
+    pub elapsed_s: f64,
+    /// Speedup over the (fault-free) sequential build.
+    pub speedup: f64,
+    /// What actually struck and what recovery it took.
+    pub faults: FaultSummary,
+}
+
+/// The "Figure 6 under *k* faults" report: how much of the parallel
+/// compilation's speedup survives host failures, for a fixed seed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultedFig6 {
+    /// Seed the fault plans were generated from.
+    pub seed: u64,
+    /// Functions compiled.
+    pub functions: usize,
+    /// Fault-free sequential elapsed time (the speedup baseline).
+    pub seq_elapsed_s: f64,
+    /// Fault-free parallel elapsed time (also the horizon the fault
+    /// plans are spread over).
+    pub par_elapsed_s: f64,
+    /// One row per requested fault count.
+    pub points: Vec<FaultedPoint>,
+}
+
+impl Experiment {
+    /// The fig6 workload under injected faults: compiles `S_n` of
+    /// `size`, then replays the parallel build through the simulator
+    /// once fault-free and once per entry of `ks`, each under a
+    /// [`FaultPlan::generate`]d plan of that many events (seeded by
+    /// `seed`, spread over the fault-free parallel makespan). The
+    /// whole report is deterministic per `(seed, size, n, ks)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation errors.
+    pub fn fig6_under_faults(
+        &self,
+        size: FunctionSize,
+        n: usize,
+        seed: u64,
+        ks: &[usize],
+    ) -> Result<FaultedFig6, CompileError> {
+        let result = compile_module_source(&synthetic_program(size, n), &self.opts)?;
+        let assignment = fcfs(result.records.len(), self.model.host.workstations.saturating_sub(1));
+        let seq = simulate(self.model.host, seq_spec(&result, &self.model));
+        let par = simulate(self.model.host, par_spec(&result, &self.model, &assignment));
+        let points = ks
+            .iter()
+            .map(|&k| {
+                let plan =
+                    FaultPlan::generate(seed, k, self.model.host.workstations, par.elapsed_s);
+                let r = simulate_faulted(
+                    self.model.host,
+                    plan,
+                    par_spec(&result, &self.model, &assignment),
+                );
+                FaultedPoint {
+                    k_faults: k,
+                    elapsed_s: r.elapsed_s,
+                    speedup: seq.elapsed_s / r.elapsed_s,
+                    faults: r.faults,
+                }
+            })
+            .collect();
+        Ok(FaultedFig6 {
+            seed,
+            functions: result.records.len(),
+            seq_elapsed_s: seq.elapsed_s,
+            par_elapsed_s: par.elapsed_s,
+            points,
+        })
     }
 }
 
@@ -368,6 +450,31 @@ mod tests {
         assert_eq!(base.pipelined_loops, 0, "{base:?}");
         assert!(conv.pipelined_loops >= 1, "{conv:?}");
         assert!(conv.cycles < base.cycles, "{base:?} vs {conv:?}");
+    }
+
+    #[test]
+    fn fig6_under_faults_is_deterministic_and_degrades_gracefully() {
+        let e = Experiment::default();
+        let a = e.fig6_under_faults(FunctionSize::Medium, 8, 42, &[0, 2, 4]).expect("run");
+        let b = e.fig6_under_faults(FunctionSize::Medium, 8, 42, &[0, 2, 4]).expect("run");
+        assert_eq!(a, b, "same seed ⇒ identical report");
+        // k = 0 is exactly the fault-free parallel build.
+        assert_eq!(a.points[0].elapsed_s, a.par_elapsed_s);
+        assert!(a.points[0].faults.is_quiet());
+        // Faults only ever delay the build (detection timeouts, parked
+        // transfers, degraded CPUs), never accelerate it.
+        for p in &a.points {
+            assert!(
+                p.elapsed_s >= a.par_elapsed_s - 1e-9,
+                "k={}: {} < fault-free {}",
+                p.k_faults,
+                p.elapsed_s,
+                a.par_elapsed_s
+            );
+        }
+        // A different seed strikes differently.
+        let c = e.fig6_under_faults(FunctionSize::Medium, 8, 43, &[0, 2, 4]).expect("run");
+        assert_ne!(a.points[2], c.points[2], "different seed, different chaos");
     }
 
     #[test]

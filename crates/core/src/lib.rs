@@ -40,13 +40,18 @@ pub use driver::{
     compile_module_traced, link_module, link_module_traced, run_phase1, run_phase1_traced,
     CompileError, CompileOptions, CompileResult, FunctionRecord,
 };
-pub use experiment::{Comparison, ComparisonTraces, Experiment, InlineAblation, Placement};
+pub use experiment::{
+    Comparison, ComparisonTraces, Experiment, FaultedFig6, FaultedPoint, InlineAblation, Placement,
+};
 pub use fncache::{function_key, options_fingerprint, CachedFunction, FnCache};
 pub use threads::{
     compile_parallel, compile_parallel_cached, compile_parallel_cached_traced,
-    compile_parallel_traced, ThreadReport,
+    compile_parallel_chaos, compile_parallel_chaos_traced, compile_parallel_traced, ChaosAction,
+    ChaosPlan, FaultStats, RetryPolicy, ThreadReport,
 };
 pub use katseff::{assembler_sweep, katseff_comparison, AssemblerSweep};
-pub use parmake::{parmake_comparison, ParmakeReport, SystemModule};
+pub use parmake::{
+    parmake_comparison, ParmakeReport, SystemModule, PARMAKE_FAULTS, PARMAKE_FAULT_SEED,
+};
 pub use metrics::{overheads, speedup, Measurement, Overheads};
-pub use scheduler::{fcfs, grouped_lpt, Assignment};
+pub use scheduler::{fcfs, grouped_lpt, rebalance_after_loss, Assignment};

@@ -22,7 +22,12 @@
 //! 5. **combined + warm cache** — strategy 4 after a prior identical
 //!    build populated the function cache: every function is a hit, so
 //!    each module's master fetches stored objects instead of forking
-//!    function masters ([`crate::simspec::par_spec_cached`]).
+//!    function masters ([`crate::simspec::par_spec_cached`]);
+//! 6. **combined, faulted** — strategy 4 again, but with a seeded
+//!    [`FaultPlan`] injected over the fault-free makespan: the cost of
+//!    the combined build when workstations crash, slow down, or drop
+//!    off the Ethernet mid-build and the masters must re-dispatch
+//!    orphaned work.
 //!
 //! Parallel make's ceiling is the critical path of the dependency
 //! graph (the deepest chain of modules), whereas the parallel
@@ -36,7 +41,7 @@ use crate::experiment::Experiment;
 use crate::scheduler::Assignment;
 use crate::simspec::{par_spec, par_spec_cached, seq_spec, seq_spec_cached};
 use serde::{Deserialize, Serialize};
-use warp_netsim::{simulate, ProcKind, ProcessSpec};
+use warp_netsim::{simulate, simulate_faulted, FaultPlan, ProcKind, ProcessSpec};
 use warp_workload::{synthetic_program, FunctionSize};
 
 /// One module of the system plus its dependency level (modules on the
@@ -64,7 +69,17 @@ pub struct ParmakeReport {
     pub combined_s: f64,
     /// Strategy 5: strategy 4 with a fully warm compilation cache.
     pub combined_warm_s: f64,
+    /// Strategy 6: strategy 4 under [`PARMAKE_FAULTS`] injected host
+    /// faults (seed [`PARMAKE_FAULT_SEED`]) — what the combined build
+    /// costs when the farm misbehaves mid-build and the masters must
+    /// re-dispatch lost work.
+    pub combined_faulted_s: f64,
 }
+
+/// Seed of the fault plan behind [`ParmakeReport::combined_faulted_s`].
+pub const PARMAKE_FAULT_SEED: u64 = 0x1989;
+/// Fault events injected for [`ParmakeReport::combined_faulted_s`].
+pub const PARMAKE_FAULTS: usize = 3;
 
 /// The default 4-module system: two independent leaf modules, a module
 /// depending on both, and a final link-ish module.
@@ -163,7 +178,7 @@ fn build_spec(
     root
 }
 
-/// Runs all five strategies over [`default_system`].
+/// Runs all six strategies over [`default_system`].
 ///
 /// # Errors
 ///
@@ -173,16 +188,28 @@ pub fn parmake_comparison(e: &Experiment) -> Result<ParmakeReport, CompileError>
     Ok(parmake_comparison_of(&modules, &e.model))
 }
 
-/// Runs all five strategies over a caller-supplied system.
+/// Runs all six strategies over a caller-supplied system.
 pub fn parmake_comparison_of(modules: &[SystemModule], cm: &CostModel) -> ParmakeReport {
     let run =
         |pm: bool, pc: bool, wc: bool| simulate(cm.host, build_spec(modules, cm, pm, pc, wc)).elapsed_s;
+    let combined_s = run(true, true, false);
+    // Strategy 6: the combined build again, with a seeded fault plan
+    // spread over its fault-free makespan.
+    let plan = FaultPlan::generate(
+        PARMAKE_FAULT_SEED,
+        PARMAKE_FAULTS,
+        cm.host.workstations,
+        combined_s,
+    );
+    let combined_faulted_s =
+        simulate_faulted(cm.host, plan, build_spec(modules, cm, true, true, false)).elapsed_s;
     ParmakeReport {
         sequential_s: run(false, false, false),
         parallel_make_s: run(true, false, false),
         parallel_compiler_s: run(false, true, false),
-        combined_s: run(true, true, false),
+        combined_s,
         combined_warm_s: run(true, true, true),
+        combined_faulted_s,
     }
 }
 
@@ -204,6 +231,10 @@ mod tests {
         // A warm cache beats even the combined strategy by a wide
         // margin: nothing is recompiled, only fetched.
         assert!(r.combined_warm_s < 0.5 * r.combined_s, "{r:?}");
+        // Faults only ever delay the combined build — and the build
+        // still terminates (the masters re-dispatch lost work).
+        assert!(r.combined_faulted_s >= r.combined_s, "{r:?}");
+        assert!(r.combined_faulted_s.is_finite(), "{r:?}");
     }
 
     #[test]

@@ -19,10 +19,24 @@
 //! is documented in `docs/TRACING.md`; the untraced entry points cost
 //! nothing (every recording call is a no-op on a disabled
 //! [`Trace`]).
+//!
+//! # Fault injection
+//!
+//! A [`FaultPlan`] ([`simulate_faulted`], [`Simulation::with_faults`])
+//! scripts host failures onto the same deterministic timeline:
+//! workstation crashes kill every process hosted there (plus their
+//! orphaned descendants), and the master's per-job timeout later
+//! re-dispatches a clone of each lost process tree onto a surviving
+//! workstation with exponential backoff; degraded CPUs stretch
+//! service intervals; Ethernet partitions and file-server stalls park
+//! requesters until the fault heals. Faults never target workstation
+//! 0 (the master's machine), so every run still terminates. The
+//! fault model and recovery policy are documented in `docs/FAULTS.md`.
 
 use crate::config::HostConfig;
+use crate::fault::{FaultKind, FaultPlan};
 use crate::process::{ProcKind, ProcessSpec, Step};
-use crate::report::{ProcessReport, SimReport};
+use crate::report::{FaultSummary, ProcessReport, SimReport};
 use std::collections::{BinaryHeap, VecDeque};
 use warp_obs::{Trace, TrackId};
 
@@ -42,6 +56,9 @@ enum ResourceId {
 #[derive(Debug, Default)]
 struct Server {
     busy: bool,
+    /// Crashed and not yet rebooted (CPUs only; the shared Ethernet
+    /// and disk degrade through windows, they never disappear).
+    down: bool,
     queue: VecDeque<usize>,
     busy_ns: Ns,
     last_acquire: Ns,
@@ -57,6 +74,12 @@ enum ProcState {
     Serving(ResourceId),
     /// Blocked in `Join` until children finish.
     Joining,
+    /// Blocked on a fault window (partition / server stall) until it
+    /// heals.
+    Parked,
+    /// Killed by a workstation crash; a re-dispatched clone carries
+    /// the work on.
+    Lost,
     /// Finished.
     Done,
 }
@@ -87,13 +110,36 @@ struct Proc {
     serving_since: Ns,
     /// GC/paging overhead inside the current CPU service interval.
     serving_overhead: Ns,
+    /// The original spec this process was spawned from (pre-startup
+    /// steps), kept so a crash victim can be re-dispatched.
+    spec: ProcessSpec,
+    /// Which retry generation this incarnation is (0 = original).
+    retry: usize,
+    /// Bumped when the process is killed, so stale completion/unpark
+    /// events in the heap are ignored.
+    epoch: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    /// A resource service interval finished.
+    Complete { pid: usize, epoch: u32 },
+    /// A scripted fault strikes (index into the plan's crash list).
+    Crash { workstation: usize, reboot_after_ns: Ns },
+    /// A crashed workstation comes back.
+    Reboot { workstation: usize },
+    /// The master's per-job timeout fired for a lost process: clone
+    /// and re-dispatch it.
+    Redispatch { pid: usize },
+    /// A fault window blocking a parked process has healed.
+    Unpark { pid: usize, epoch: u32 },
 }
 
 #[derive(PartialEq, Eq)]
 struct Event {
     time: Ns,
     seq: u64,
-    proc: usize,
+    kind: EventKind,
 }
 
 impl Ord for Event {
@@ -109,9 +155,25 @@ impl PartialOrd for Event {
     }
 }
 
+/// A half-open fault window `[start_ns, end_ns)` on one resource.
+#[derive(Debug, Clone, Copy)]
+struct Window {
+    workstation: usize,
+    start_ns: Ns,
+    end_ns: Ns,
+    factor: f64,
+}
+
+impl Window {
+    fn covers(&self, t: Ns) -> bool {
+        self.start_ns <= t && t < self.end_ns
+    }
+}
+
 /// The simulator.
 pub struct Simulation {
     config: HostConfig,
+    plan: FaultPlan,
     procs: Vec<Proc>,
     cpus: Vec<Server>,
     ethernet: Server,
@@ -119,10 +181,18 @@ pub struct Simulation {
     events: BinaryHeap<Event>,
     time: Ns,
     seq: u64,
+    /// Degraded-CPU windows, per workstation.
+    slowdowns: Vec<Window>,
+    /// Ethernet-partition windows, per workstation.
+    partitions: Vec<Window>,
+    /// File-server stall windows (global).
+    stalls: Vec<Window>,
+    summary: FaultSummary,
     trace: Trace,
     cpu_tracks: Vec<TrackId>,
     eth_track: TrackId,
     disk_track: TrackId,
+    sim_track: TrackId,
 }
 
 impl Simulation {
@@ -143,6 +213,22 @@ impl Simulation {
     /// timeline into a wall-clock trace would silently misalign every
     /// timestamp.
     pub fn new_traced(config: HostConfig, trace: Trace) -> Self {
+        Simulation::with_faults_traced(config, FaultPlan::none(), trace)
+    }
+
+    /// Creates a simulator that injects `plan`'s faults.
+    pub fn with_faults(config: HostConfig, plan: FaultPlan) -> Self {
+        Simulation::with_faults_traced(config, plan, Trace::disabled())
+    }
+
+    /// [`Simulation::with_faults`] with virtual-time tracing (see
+    /// [`Simulation::new_traced`] for the tracing contract).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trace` is enabled but not in the virtual clock
+    /// domain.
+    pub fn with_faults_traced(config: HostConfig, plan: FaultPlan, trace: Trace) -> Self {
         assert!(
             !trace.is_enabled() || trace.domain() == Some(warp_obs::ClockDomain::Virtual),
             "netsim traces must use ClockDomain::Virtual"
@@ -158,10 +244,16 @@ impl Simulation {
             events: BinaryHeap::new(),
             time: 0,
             seq: 0,
+            slowdowns: Vec::new(),
+            partitions: Vec::new(),
+            stalls: Vec::new(),
+            summary: FaultSummary::default(),
             cpu_tracks,
             eth_track: trace.track("ethernet"),
             disk_track: trace.track("disk"),
+            sim_track: trace.track("sim"),
             trace,
+            plan,
             config,
         }
     }
@@ -182,8 +274,96 @@ impl Simulation {
         }
     }
 
+    fn push_event(&mut self, time: Ns, kind: EventKind) {
+        self.seq += 1;
+        self.events.push(Event { time, seq: self.seq, kind });
+    }
+
+    /// Turns the fault plan into windows and scheduled events. Faults
+    /// targeting workstation 0 (the master's machine, assumed
+    /// reliable) or out-of-range stations are ignored.
+    fn arm_faults(&mut self) {
+        let n_ws = self.cpus.len();
+        let valid = |ws: usize| ws >= 1 && ws < n_ws;
+        for ev in self.plan.events.clone() {
+            let at = secs_to_ns(ev.at_s.max(0.0));
+            match ev.kind {
+                FaultKind::Crash { workstation, reboot_after_s } => {
+                    if valid(workstation) {
+                        let reboot_after_ns =
+                            if reboot_after_s > 0.0 { secs_to_ns(reboot_after_s) } else { 0 };
+                        self.push_event(at, EventKind::Crash { workstation, reboot_after_ns });
+                    }
+                }
+                FaultKind::Slowdown { workstation, factor, dur_s } => {
+                    if valid(workstation) && factor > 1.0 && dur_s > 0.0 {
+                        let w = Window {
+                            workstation,
+                            start_ns: at,
+                            end_ns: at + secs_to_ns(dur_s),
+                            factor,
+                        };
+                        self.trace.record_span(
+                            "fault",
+                            format!("slowdown ws {workstation}"),
+                            self.cpu_tracks[workstation],
+                            w.start_ns,
+                            w.end_ns - w.start_ns,
+                            vec![("factor", factor)],
+                        );
+                        self.slowdowns.push(w);
+                        self.summary.slowdowns += 1;
+                    }
+                }
+                FaultKind::Partition { workstation, dur_s } => {
+                    if valid(workstation) && dur_s > 0.0 {
+                        let w = Window {
+                            workstation,
+                            start_ns: at,
+                            end_ns: at + secs_to_ns(dur_s),
+                            factor: 1.0,
+                        };
+                        self.trace.record_span(
+                            "fault",
+                            format!("partition ws {workstation}"),
+                            self.eth_track,
+                            w.start_ns,
+                            w.end_ns - w.start_ns,
+                            vec![("ws", workstation as f64)],
+                        );
+                        self.partitions.push(w);
+                        self.summary.partitions += 1;
+                    }
+                }
+                FaultKind::ServerStall { dur_s } => {
+                    if dur_s > 0.0 {
+                        let w = Window {
+                            workstation: 0,
+                            start_ns: at,
+                            end_ns: at + secs_to_ns(dur_s),
+                            factor: 1.0,
+                        };
+                        self.trace.record_span(
+                            "fault",
+                            "stall",
+                            self.disk_track,
+                            w.start_ns,
+                            w.end_ns - w.start_ns,
+                            vec![],
+                        );
+                        self.stalls.push(w);
+                        self.summary.stalls += 1;
+                    }
+                }
+            }
+        }
+    }
+
     /// Runs `root` (plus everything it forks) to completion and returns
-    /// the report.
+    /// the report. Lost processes are re-dispatched per the fault
+    /// plan's recovery policy, so the run terminates even under
+    /// crashes (workstation 0 is never faulted and serves as the
+    /// ultimate fallback).
     ///
     /// # Panics
     ///
@@ -192,31 +372,72 @@ impl Simulation {
     /// child that never terminates is impossible by construction).
     pub fn run(&mut self, root: ProcessSpec) -> SimReport {
         if self.trace.is_enabled() {
-            let sim_track = self.trace.track("sim");
-            self.trace.counter("workstations", sim_track, 0, self.cpus.len() as f64);
+            self.trace.counter("workstations", self.sim_track, 0, self.cpus.len() as f64);
         }
-        self.spawn(root, None);
+        self.arm_faults();
+        self.spawn(root, None, 0, true);
         // Drive: repeatedly dispatch ready processes, then pop events.
         loop {
             self.dispatch_all_ready();
             let Some(ev) = self.events.pop() else { break };
             self.time = ev.time;
-            self.complete(ev.proc);
+            match ev.kind {
+                EventKind::Complete { pid, epoch } => {
+                    // A killed process's completion is stale; ignore.
+                    if self.procs[pid].epoch == epoch {
+                        self.complete(pid);
+                    }
+                }
+                EventKind::Crash { workstation, reboot_after_ns } => {
+                    self.strike_crash(workstation, reboot_after_ns);
+                }
+                EventKind::Reboot { workstation } => {
+                    if self.cpus[workstation].down {
+                        self.cpus[workstation].down = false;
+                        self.summary.reboots += 1;
+                        self.trace.instant(
+                            "fault",
+                            format!("reboot ws {workstation}"),
+                            self.cpu_tracks[workstation],
+                            self.time,
+                        );
+                    }
+                }
+                EventKind::Redispatch { pid } => self.redispatch(pid),
+                EventKind::Unpark { pid, epoch } => {
+                    if self.procs[pid].epoch == epoch
+                        && self.procs[pid].state == ProcState::Parked
+                    {
+                        let waited = self.time - self.procs[pid].queued_since;
+                        self.procs[pid].wait_ns += waited;
+                        self.procs[pid].state = ProcState::Ready;
+                    }
+                }
+            }
         }
         assert!(
-            self.procs.iter().all(|p| p.state == ProcState::Done),
+            self.procs
+                .iter()
+                .all(|p| matches!(p.state, ProcState::Done | ProcState::Lost)),
             "simulation ended with live processes (deadlock in spec?)"
         );
         self.report()
     }
 
-    fn spawn(&mut self, spec: ProcessSpec, parent: Option<usize>) -> usize {
+    fn spawn(
+        &mut self,
+        spec: ProcessSpec,
+        parent: Option<usize>,
+        retry: usize,
+        count_child: bool,
+    ) -> usize {
         assert!(
             spec.workstation < self.cpus.len(),
             "workstation {} out of range ({} exist)",
             spec.workstation,
             self.cpus.len()
         );
+        let original = spec.clone();
         // Prepend startup activities.
         let mut steps = Vec::with_capacity(spec.steps.len() + 2);
         match spec.kind {
@@ -228,9 +449,14 @@ impl Simulation {
         }
         steps.extend(spec.steps);
         let id = self.procs.len();
-        let track = self.trace.track(&spec.name);
+        let name = if retry == 0 {
+            spec.name
+        } else {
+            format!("{} [retry {retry}]", spec.name)
+        };
+        let track = self.trace.track(&name);
         self.procs.push(Proc {
-            name: spec.name,
+            name,
             kind: spec.kind,
             workstation: spec.workstation,
             steps,
@@ -251,9 +477,14 @@ impl Simulation {
             track,
             serving_since: 0,
             serving_overhead: 0,
+            spec: original,
+            retry,
+            epoch: 0,
         });
-        if let Some(p) = parent {
-            self.procs[p].live_children += 1;
+        if count_child {
+            if let Some(p) = parent {
+                self.procs[p].live_children += 1;
+            }
         }
         id
     }
@@ -288,7 +519,7 @@ impl Simulation {
                 Step::Fork { children } => {
                     self.procs[pid].step += 1;
                     for child in children {
-                        self.spawn(child, Some(pid));
+                        self.spawn(child, Some(pid), 0, true);
                     }
                     // Children are now Ready; the dispatch loop will
                     // pick them up.
@@ -331,7 +562,50 @@ impl Simulation {
         }
     }
 
+    /// If a fault window currently blocks `pid` from being served on
+    /// `r`, returns the virtual time the last covering window heals.
+    fn fault_block_until(&self, pid: usize, r: ResourceId) -> Option<Ns> {
+        let now = self.time;
+        let ws = self.procs[pid].workstation;
+        let windows: &[Window] = match r {
+            ResourceId::Ethernet => &self.partitions,
+            ResourceId::Disk => &self.stalls,
+            ResourceId::Cpu(_) => return None,
+        };
+        windows
+            .iter()
+            .filter(|w| w.covers(now) && (r == ResourceId::Disk || w.workstation == ws))
+            .map(|w| w.end_ns)
+            .max()
+    }
+
+    /// Parks `pid` until `heal_ns` (a fault window blocks its request).
+    fn park(&mut self, pid: usize, r: ResourceId, heal_ns: Ns) {
+        self.procs[pid].state = ProcState::Parked;
+        self.procs[pid].queued_since = self.time;
+        self.summary.parked += 1;
+        self.trace.instant(
+            "fault",
+            format!("park {}", Self::res_label(r)),
+            self.procs[pid].track,
+            self.time,
+        );
+        let epoch = self.procs[pid].epoch;
+        self.push_event(heal_ns, EventKind::Unpark { pid, epoch });
+    }
+
     fn request(&mut self, pid: usize, r: ResourceId) {
+        if let Some(heal) = self.fault_block_until(pid, r) {
+            self.park(pid, r, heal);
+            return;
+        }
+        if let ResourceId::Cpu(w) = r {
+            assert!(
+                !self.cpus[w].down,
+                "process `{}` requested crashed workstation {w}",
+                self.procs[pid].name
+            );
+        }
         let now = self.time;
         let server = self.server_mut(r);
         if server.busy {
@@ -366,8 +640,18 @@ impl Simulation {
             self.procs[pid].track,
             self.time,
         );
-        self.seq += 1;
-        self.events.push(Event { time: self.time + duration, seq: self.seq, proc: pid });
+        let epoch = self.procs[pid].epoch;
+        self.push_event(self.time + duration, EventKind::Complete { pid, epoch });
+    }
+
+    /// Combined degraded-CPU multiplier for workstation `ws` at the
+    /// current virtual time (1.0 when no slowdown window covers it).
+    fn slowdown_factor(&self, ws: usize) -> f64 {
+        self.slowdowns
+            .iter()
+            .filter(|w| w.workstation == ws && w.covers(self.time))
+            .map(|w| w.factor)
+            .product()
     }
 
     /// Service time of `pid`'s current step on resource `r`.
@@ -385,11 +669,14 @@ impl Simulation {
                         // working set is resident (a queued process is
                         // swapped out; its swap traffic is part of the
                         // paging multiplier when *it* runs).
-                        let _ = ws;
                         cfg.lisp_burst_factor(p.heap, p.heap)
                     }
                 };
-                let total = secs_to_ns(base * factor);
+                // A degraded CPU stretches the whole burst; the stretch
+                // counts as overhead (it is system time lost to the
+                // fault, not compiler work).
+                let slow = self.slowdown_factor(ws);
+                let total = secs_to_ns(base * factor * slow);
                 let overhead = total.saturating_sub(secs_to_ns(base));
                 let p = &mut self.procs[pid];
                 p.cpu_ns += total;
@@ -413,6 +700,29 @@ impl Simulation {
                 d
             }
             (s, r) => unreachable!("step {s:?} serving on {r:?}"),
+        }
+    }
+
+    /// Releases `r` (bookkeeping its busy time) and grants it to the
+    /// next queued process that is not fault-blocked; blocked ones are
+    /// parked instead.
+    fn release_and_grant_next(&mut self, r: ResourceId) {
+        {
+            let now = self.time;
+            let server = self.server_mut(r);
+            server.busy = false;
+            server.busy_ns += now - server.last_acquire;
+        }
+        while let Some(next) = self.server_mut(r).queue.pop_front() {
+            let waited = self.time - self.procs[next].queued_since;
+            self.procs[next].wait_ns += waited;
+            if let Some(heal) = self.fault_block_until(next, r) {
+                // The fault window opened while it was queued.
+                self.park(next, r, heal);
+                continue;
+            }
+            self.grant(next, r);
+            return;
         }
     }
 
@@ -441,17 +751,7 @@ impl Simulation {
             );
         }
         // Release the resource and grant the next in line.
-        {
-            let now = self.time;
-            let server = self.server_mut(r);
-            server.busy = false;
-            server.busy_ns += now - server.last_acquire;
-        }
-        if let Some(next) = self.server_mut(r).queue.pop_front() {
-            let waited = self.time - self.procs[next].queued_since;
-            self.procs[next].wait_ns += waited;
-            self.grant(next, r);
-        }
+        self.release_and_grant_next(r);
 
         // Advance the step (Disk has two phases).
         let p = &mut self.procs[pid];
@@ -463,6 +763,141 @@ impl Simulation {
             p.step += 1;
         }
         p.state = ProcState::Ready;
+    }
+
+    /// A workstation crash: take the CPU down, kill every process
+    /// hosted there plus their orphaned descendants, and schedule the
+    /// master's timeout-driven re-dispatch for each lost subtree root.
+    fn strike_crash(&mut self, ws: usize, reboot_after_ns: Ns) {
+        if ws == 0 || ws >= self.cpus.len() || self.cpus[ws].down {
+            return;
+        }
+        self.summary.crashes += 1;
+        self.cpus[ws].down = true;
+        self.trace.instant("fault", format!("crash ws {ws}"), self.cpu_tracks[ws], self.time);
+        if reboot_after_ns > 0 {
+            self.push_event(self.time + reboot_after_ns, EventKind::Reboot { workstation: ws });
+        }
+        // Victims: every live process hosted on the dead machine, plus
+        // (transitively) the children of any victim — a dead section
+        // master orphans its whole subtree.
+        let alive = |p: &Proc| !matches!(p.state, ProcState::Done | ProcState::Lost);
+        let mut killed = vec![false; self.procs.len()];
+        loop {
+            let mut grew = false;
+            for pid in 0..self.procs.len() {
+                if killed[pid] || !alive(&self.procs[pid]) {
+                    continue;
+                }
+                let orphaned = self.procs[pid].parent.is_some_and(|pp| killed[pp]);
+                if self.procs[pid].workstation == ws || orphaned {
+                    killed[pid] = true;
+                    grew = true;
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        for pid in 0..self.procs.len() {
+            if !killed[pid] {
+                continue;
+            }
+            self.kill(pid);
+            // Subtree roots (parent survived) are the master's lost
+            // jobs: its per-job timeout fires detect_timeout_s later,
+            // then it re-dispatches with exponential backoff.
+            if self.procs[pid].parent.is_some_and(|pp| !killed[pp]) {
+                let backoff =
+                    self.plan.backoff_s * (1u64 << self.procs[pid].retry.min(16)) as f64;
+                let delay = secs_to_ns(self.plan.detect_timeout_s + backoff);
+                self.push_event(self.time + delay, EventKind::Redispatch { pid });
+            }
+        }
+    }
+
+    /// Marks `pid` lost: frees whatever resource it held or queued
+    /// for, truncates its lifetime, and invalidates its in-flight
+    /// events.
+    fn kill(&mut self, pid: usize) {
+        match self.procs[pid].state {
+            ProcState::Serving(r) => self.release_and_grant_next(r),
+            ProcState::Queued(r) => {
+                self.server_mut(r).queue.retain(|&q| q != pid);
+            }
+            _ => {}
+        }
+        let now = self.time;
+        let p = &mut self.procs[pid];
+        p.state = ProcState::Lost;
+        p.end_ns = now;
+        p.epoch += 1;
+        self.summary.killed += 1;
+        self.trace.instant("fault", format!("kill {}", self.procs[pid].name), self.procs[pid].track, now);
+        if self.trace.is_enabled() {
+            let p = &self.procs[pid];
+            self.trace.record_span(
+                "process",
+                p.name.clone(),
+                p.track,
+                p.start_ns,
+                p.end_ns - p.start_ns,
+                vec![
+                    ("ws", p.workstation as f64),
+                    ("cpu_ns", p.cpu_ns as f64),
+                    ("wait_ns", p.wait_ns as f64),
+                    ("lost", 1.0),
+                ],
+            );
+        }
+    }
+
+    /// The deterministic choice of where a lost job restarts: the
+    /// up workstation (other than 0) hosting the fewest live
+    /// processes, lowest index breaking ties; workstation 0 — the
+    /// master's machine, never faulted — once retries are exhausted
+    /// or nothing else survives.
+    fn respawn_workstation(&self, retries_exhausted: bool) -> usize {
+        if retries_exhausted {
+            return 0;
+        }
+        let live_on = |w: usize| {
+            self.procs
+                .iter()
+                .filter(|p| {
+                    p.workstation == w && !matches!(p.state, ProcState::Done | ProcState::Lost)
+                })
+                .count()
+        };
+        (1..self.cpus.len())
+            .filter(|&w| !self.cpus[w].down)
+            .min_by_key(|&w| (live_on(w), w))
+            .unwrap_or(0)
+    }
+
+    /// Re-dispatches lost process `pid` as a fresh clone of its
+    /// original spec on a surviving workstation.
+    fn redispatch(&mut self, pid: usize) {
+        debug_assert_eq!(self.procs[pid].state, ProcState::Lost);
+        let retry = self.procs[pid].retry + 1;
+        let target = self.respawn_workstation(retry > self.plan.max_retries);
+        let mut spec = self.procs[pid].spec.clone();
+        // Remap the clone (and any descendants scripted onto machines
+        // that are currently down) onto live stations.
+        spec.workstation = target;
+        remap_down_workstations(&mut spec.steps, &|w| self.cpus[w].down, target);
+        self.summary.redispatches += 1;
+        self.trace.instant(
+            "retry",
+            format!("redispatch {} -> ws {target}", self.procs[pid].name),
+            self.sim_track,
+            self.time,
+        );
+        // The clone inherits the parent's child slot — the count was
+        // deliberately not decremented at kill time, so a Join can
+        // never slip through while the work is in flight.
+        let parent = self.procs[pid].parent;
+        self.spawn(spec, parent, retry, false);
     }
 
     fn finish(&mut self, pid: usize) {
@@ -509,6 +944,7 @@ impl Simulation {
                 net_s: p.net_ns as f64 / 1e9,
                 disk_s: p.disk_ns as f64 / 1e9,
                 wait_s: p.wait_ns as f64 / 1e9,
+                lost: p.state == ProcState::Lost,
             })
             .collect();
         SimReport {
@@ -516,7 +952,23 @@ impl Simulation {
             ethernet_busy_s: self.ethernet.busy_ns as f64 / 1e9,
             disk_busy_s: self.disk.busy_ns as f64 / 1e9,
             cpu_busy_s: self.cpus.iter().map(|c| c.busy_ns as f64 / 1e9).collect(),
+            faults: self.summary,
             processes,
+        }
+    }
+}
+
+/// Rewrites every workstation in `steps`' forked subtrees for which
+/// `down` holds to `target`.
+fn remap_down_workstations(steps: &mut [Step], down: &dyn Fn(usize) -> bool, target: usize) {
+    for step in steps {
+        if let Step::Fork { children } = step {
+            for child in children {
+                if down(child.workstation) {
+                    child.workstation = target;
+                }
+                remap_down_workstations(&mut child.steps, down, target);
+            }
         }
     }
 }
@@ -535,9 +987,30 @@ pub fn simulate_traced(config: HostConfig, root: ProcessSpec, trace: &Trace) -> 
     Simulation::new_traced(config, trace.clone()).run(root)
 }
 
+/// [`simulate`] under an injected [`FaultPlan`]: workstation crashes,
+/// degraded CPUs, Ethernet partitions and file-server stalls strike
+/// on the deterministic virtual timeline; lost work is re-dispatched
+/// by the master's timeout/backoff policy. See `docs/FAULTS.md`.
+pub fn simulate_faulted(config: HostConfig, plan: FaultPlan, root: ProcessSpec) -> SimReport {
+    Simulation::with_faults(config, plan).run(root)
+}
+
+/// [`simulate_faulted`] with virtual-time tracing; fault strikes,
+/// kills, reboots and re-dispatches appear under the `fault` and
+/// `retry` categories (`docs/TRACING.md`).
+pub fn simulate_faulted_traced(
+    config: HostConfig,
+    plan: FaultPlan,
+    root: ProcessSpec,
+    trace: &Trace,
+) -> SimReport {
+    Simulation::with_faults_traced(config, plan, trace.clone()).run(root)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultEvent;
 
     fn cfg() -> HostConfig {
         HostConfig {
@@ -745,5 +1218,214 @@ mod tests {
         let r = simulate(cfg(), root);
         assert!(r.elapsed_s >= 1.0);
         assert!(r.processes.iter().all(|p| p.end_s > 0.0 || p.cpu_s == 0.0));
+    }
+
+    // ---- fault injection ----
+
+    fn forked_pair() -> ProcessSpec {
+        ProcessSpec::new("m", 0, ProcKind::C)
+            .fork(vec![
+                ProcessSpec::new("a", 1, ProcKind::C).cpu(1000),
+                ProcessSpec::new("b", 2, ProcKind::C).cpu(1000),
+            ])
+            .join()
+    }
+
+    #[test]
+    fn crash_kills_and_redispatches() {
+        // `a` dies at 0.5 s; the master's 5 s timeout + 1 s backoff
+        // re-dispatches it. With ws 1 down forever, the retry lands on
+        // the emptier surviving station.
+        let plan = FaultPlan::single(
+            0.5,
+            FaultKind::Crash { workstation: 1, reboot_after_s: 0.0 },
+        );
+        let r = simulate_faulted(cfg(), plan, forked_pair());
+        assert_eq!(r.faults.crashes, 1);
+        assert_eq!(r.faults.killed, 1);
+        assert_eq!(r.faults.redispatches, 1);
+        // Retry starts at 0.5 + 5 + 1 = 6.5 s and runs 1 s.
+        assert!((r.elapsed_s - 7.5).abs() < 1e-6, "{}", r.elapsed_s);
+        let retry = r.processes.iter().find(|p| p.name == "a [retry 1]").expect("retry proc");
+        assert!(!retry.lost);
+        assert_ne!(retry.workstation, 1, "must not respawn on the dead machine");
+        // The victim's truncated record is still in the report.
+        let victim = r.processes.iter().find(|p| p.name == "a").unwrap();
+        assert!(victim.lost);
+        assert!((victim.end_s - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reboot_brings_workstation_back() {
+        let plan = FaultPlan::single(
+            0.5,
+            FaultKind::Crash { workstation: 1, reboot_after_s: 2.0 },
+        );
+        let r = simulate_faulted(cfg(), plan, forked_pair());
+        assert_eq!(r.faults.reboots, 1);
+        assert_eq!(r.faults.redispatches, 1);
+        assert!(r.processes.iter().any(|p| p.name == "a [retry 1]"));
+    }
+
+    #[test]
+    fn crash_on_idle_workstation_changes_nothing_but_counters() {
+        let plan = FaultPlan::single(
+            0.5,
+            FaultKind::Crash { workstation: 3, reboot_after_s: 0.0 },
+        );
+        let r = simulate_faulted(cfg(), plan, forked_pair());
+        assert_eq!(r.faults.crashes, 1);
+        assert_eq!(r.faults.killed, 0);
+        assert!((r.elapsed_s - 1.0).abs() < 1e-6, "{}", r.elapsed_s);
+    }
+
+    #[test]
+    fn faults_on_workstation_zero_are_ignored() {
+        let plan = FaultPlan::single(
+            0.1,
+            FaultKind::Crash { workstation: 0, reboot_after_s: 0.0 },
+        );
+        let r = simulate_faulted(cfg(), plan, forked_pair());
+        assert_eq!(r.faults.crashes, 0);
+        assert!((r.elapsed_s - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn slowdown_stretches_bursts_as_overhead() {
+        // Factor 3 for the whole run on ws 1: `a` takes 3 s, 2 of it
+        // overhead.
+        let plan = FaultPlan::single(
+            0.0,
+            FaultKind::Slowdown { workstation: 1, factor: 3.0, dur_s: 100.0 },
+        );
+        let r = simulate_faulted(cfg(), plan, forked_pair());
+        assert!((r.elapsed_s - 3.0).abs() < 1e-6, "{}", r.elapsed_s);
+        let a = r.processes.iter().find(|p| p.name == "a").unwrap();
+        assert!((a.cpu_s - 3.0).abs() < 1e-6);
+        assert!((a.overhead_s - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn partition_parks_transfers_until_heal() {
+        // `a` on ws 1 wants the Ethernet at t=0 but is partitioned for
+        // 2 s; its 1 s transfer lands afterwards.
+        let plan =
+            FaultPlan::single(0.0, FaultKind::Partition { workstation: 1, dur_s: 2.0 });
+        let root = ProcessSpec::new("m", 0, ProcKind::C)
+            .fork(vec![ProcessSpec::new("a", 1, ProcKind::C).net(1000)])
+            .join();
+        let r = simulate_faulted(cfg(), plan, root);
+        assert!((r.elapsed_s - 3.0).abs() < 1e-6, "{}", r.elapsed_s);
+        assert_eq!(r.faults.parked, 1);
+        let a = r.processes.iter().find(|p| p.name == "a").unwrap();
+        assert!((a.wait_s - 2.0).abs() < 1e-6, "{}", a.wait_s);
+    }
+
+    #[test]
+    fn partition_does_not_touch_other_workstations() {
+        let plan =
+            FaultPlan::single(0.0, FaultKind::Partition { workstation: 1, dur_s: 2.0 });
+        let root = ProcessSpec::new("m", 0, ProcKind::C)
+            .fork(vec![ProcessSpec::new("b", 2, ProcKind::C).net(1000)])
+            .join();
+        let r = simulate_faulted(cfg(), plan, root);
+        assert!((r.elapsed_s - 1.0).abs() < 1e-6, "{}", r.elapsed_s);
+        assert_eq!(r.faults.parked, 0);
+    }
+
+    #[test]
+    fn server_stall_parks_disk_requests() {
+        // Disk step: 1 s network (unaffected), then the disk phase
+        // parks until the stall window [0, 3) heals.
+        let plan = FaultPlan::single(0.0, FaultKind::ServerStall { dur_s: 3.0 });
+        let r = simulate_faulted(cfg(), plan, ProcessSpec::new("p", 0, ProcKind::C).disk(1000));
+        assert!((r.elapsed_s - 4.0).abs() < 1e-6, "{}", r.elapsed_s);
+        assert_eq!(r.faults.parked, 1);
+    }
+
+    #[test]
+    fn faulted_run_is_deterministic_and_matches_traced() {
+        let build = || {
+            ProcessSpec::new("m", 0, ProcKind::C)
+                .fork(vec![
+                    ProcessSpec::new("a", 1, ProcKind::Lisp).heap(500).cpu(700).disk(300),
+                    ProcessSpec::new("b", 2, ProcKind::Lisp).heap(600).cpu(900).disk(400),
+                    ProcessSpec::new("c", 3, ProcKind::Lisp).heap(700).cpu(1100).disk(500),
+                ])
+                .join()
+                .cpu(100)
+        };
+        let plan = FaultPlan::generate(7, 4, 4, 3.0);
+        let r1 = simulate_faulted(cfg(), plan.clone(), build());
+        let r2 = simulate_faulted(cfg(), plan.clone(), build());
+        assert_eq!(format!("{r1:?}"), format!("{r2:?}"));
+        let traced = simulate_faulted_traced(
+            cfg(),
+            plan,
+            build(),
+            &Trace::new(warp_obs::ClockDomain::Virtual),
+        );
+        assert_eq!(format!("{r1:?}"), format!("{traced:?}"));
+    }
+
+    #[test]
+    fn dead_section_master_orphans_and_retries_whole_subtree() {
+        // A section master on ws 1 forks a leaf on ws 2 at 0.5 s; the
+        // crash on ws 1 at 0.7 s kills both (the leaf, though on a
+        // healthy machine, is orphaned), and the re-dispatch respawns
+        // the subtree with the dead station remapped.
+        let leaf = ProcessSpec::new("leaf", 2, ProcKind::C).cpu(1000);
+        let mid = ProcessSpec::new("mid", 1, ProcKind::C).cpu(500).fork(vec![leaf]).join();
+        let root = ProcessSpec::new("root", 0, ProcKind::C).fork(vec![mid]).join();
+        let plan = FaultPlan::single(
+            0.7,
+            FaultKind::Crash { workstation: 1, reboot_after_s: 0.0 },
+        );
+        let r = simulate_faulted(cfg(), plan, root);
+        assert_eq!(r.faults.killed, 2, "{:?}", r.faults);
+        assert_eq!(r.faults.redispatches, 1, "one subtree root re-dispatched");
+        let retry = r.processes.iter().find(|p| p.name == "mid [retry 1]").unwrap();
+        assert_ne!(retry.workstation, 1);
+        assert!(r.processes.iter().any(|p| p.name == "leaf" && !p.lost),
+            "respawned leaf completes: {:?}", r.processes);
+    }
+
+    #[test]
+    fn repeated_crashes_eventually_fall_back_to_master_station() {
+        // Both worker stations die and never reboot: after the retries
+        // exhaust the spares, the job lands on workstation 0 and
+        // completes there.
+        let mut c = cfg();
+        c.workstations = 3;
+        let plan = FaultPlan {
+            detect_timeout_s: 0.5,
+            backoff_s: 0.1,
+            max_retries: 1,
+            events: vec![
+                FaultEvent {
+                    at_s: 0.2,
+                    kind: FaultKind::Crash { workstation: 1, reboot_after_s: 0.0 },
+                },
+                FaultEvent {
+                    at_s: 0.4,
+                    kind: FaultKind::Crash { workstation: 2, reboot_after_s: 0.0 },
+                },
+            ],
+            ..FaultPlan::default()
+        };
+        let root = ProcessSpec::new("m", 0, ProcKind::C)
+            .fork(vec![ProcessSpec::new("job", 1, ProcKind::C).cpu(1000)])
+            .join();
+        let r = simulate_faulted(c, plan, root);
+        let done: Vec<_> = r.processes.iter().filter(|p| !p.lost && p.name.contains("job")).collect();
+        assert_eq!(done.len(), 1, "{:?}", r.processes);
+        assert_eq!(done[0].workstation, 0, "fell back to the master's machine");
+    }
+
+    #[test]
+    fn empty_plan_matches_plain_simulation() {
+        let plain = simulate(cfg(), forked_pair());
+        let faulted = simulate_faulted(cfg(), FaultPlan::none(), forked_pair());
+        assert_eq!(format!("{plain:?}"), format!("{faulted:?}"));
     }
 }

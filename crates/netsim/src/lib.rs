@@ -14,6 +14,9 @@
 //! * [`process`] — process scripts: CPU bursts, network and file-server
 //!   transfers, heap changes, fork/join;
 //! * [`engine`] — the event-driven core with FIFO resources;
+//! * [`fault`] — seeded fault injection: crashes, degraded CPUs,
+//!   partitions and file-server stalls scripted onto the virtual
+//!   timeline ([`fault::FaultPlan`]);
 //! * [`report`] — per-process and per-resource accounting.
 //!
 //! # Example
@@ -38,10 +41,14 @@
 
 pub mod config;
 pub mod engine;
+pub mod fault;
 pub mod process;
 pub mod report;
 
 pub use config::HostConfig;
-pub use engine::{simulate, simulate_traced, Simulation};
+pub use engine::{
+    simulate, simulate_faulted, simulate_faulted_traced, simulate_traced, Simulation,
+};
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use process::{ProcKind, ProcessSpec, Step};
-pub use report::{ProcessReport, SimReport};
+pub use report::{FaultSummary, ProcessReport, SimReport};

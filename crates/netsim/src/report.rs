@@ -41,12 +41,47 @@ pub struct ProcessReport {
     pub disk_s: f64,
     /// Seconds spent waiting in resource queues.
     pub wait_s: f64,
+    /// `true` if the process was killed by an injected workstation
+    /// crash (a re-dispatched clone carries the work; this record is
+    /// the truncated original).
+    pub lost: bool,
 }
 
 impl ProcessReport {
     /// Wall-clock lifetime of the process.
     pub fn elapsed_s(&self) -> f64 {
         self.end_s - self.start_s
+    }
+}
+
+/// Aggregated fault-injection accounting for one run (all zeros when
+/// the plan is empty).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultSummary {
+    /// Workstation crashes that actually struck (faults aimed at
+    /// workstation 0 or out-of-range stations are ignored).
+    pub crashes: usize,
+    /// Crashed workstations that came back.
+    pub reboots: usize,
+    /// Processes killed by crashes (victims plus orphaned descendants).
+    pub killed: usize,
+    /// Lost subtree roots the master re-dispatched after its per-job
+    /// timeout.
+    pub redispatches: usize,
+    /// Degraded-CPU windows armed.
+    pub slowdowns: usize,
+    /// Ethernet-partition windows armed.
+    pub partitions: usize,
+    /// File-server stall windows armed.
+    pub stalls: usize,
+    /// Requests parked behind a partition or stall window.
+    pub parked: usize,
+}
+
+impl FaultSummary {
+    /// `true` when nothing struck and nothing was armed.
+    pub fn is_quiet(&self) -> bool {
+        *self == FaultSummary::default()
     }
 }
 
@@ -62,6 +97,8 @@ pub struct SimReport {
     pub disk_busy_s: f64,
     /// Per-workstation CPU busy time.
     pub cpu_busy_s: Vec<f64>,
+    /// Fault-injection accounting (all zeros for fault-free runs).
+    pub faults: FaultSummary,
     /// Per-process detail, in spawn order (index 0 is the root).
     pub processes: Vec<ProcessReport>,
 }
@@ -92,6 +129,11 @@ impl SimReport {
     pub fn workstations_used(&self) -> usize {
         self.cpu_busy_s.iter().filter(|&&b| b > 0.0).count()
     }
+
+    /// Processes lost to injected crashes.
+    pub fn lost_processes(&self) -> impl Iterator<Item = &ProcessReport> {
+        self.processes.iter().filter(|p| p.lost)
+    }
 }
 
 #[cfg(test)]
@@ -104,6 +146,7 @@ mod tests {
             ethernet_busy_s: 2.0,
             disk_busy_s: 1.0,
             cpu_busy_s: vec![5.0, 7.0, 0.0],
+            faults: FaultSummary::default(),
             processes: vec![
                 ProcessReport {
                     name: "master".into(),
@@ -116,6 +159,7 @@ mod tests {
                     net_s: 0.1,
                     disk_s: 0.0,
                     wait_s: 0.0,
+                    lost: false,
                 },
                 ProcessReport {
                     name: "fn-master 1".into(),
@@ -128,6 +172,7 @@ mod tests {
                     net_s: 0.5,
                     disk_s: 0.3,
                     wait_s: 0.2,
+                    lost: false,
                 },
             ],
         }
@@ -141,5 +186,7 @@ mod tests {
         assert_eq!(r.max_cpu_busy_s(), 7.0);
         assert_eq!(r.workstations_used(), 2);
         assert_eq!(r.processes[1].elapsed_s(), 8.0);
+        assert_eq!(r.lost_processes().count(), 0);
+        assert!(r.faults.is_quiet());
     }
 }

@@ -1,12 +1,14 @@
-//! Offline stand-in for `crossbeam`, covering `channel::bounded` — the
-//! only API the workspace uses (the compilation driver's job queue).
-//! Implemented as a Mutex/Condvar MPMC queue; both ends are cloneable
-//! like the real thing.
+//! Offline stand-in for `crossbeam`, covering `channel::bounded` with
+//! blocking and timed receives — the API surface the workspace uses
+//! (the compilation driver's job queue and its fault-detection
+//! timeout). Implemented as a Mutex/Condvar MPMC queue; both ends are
+//! cloneable like the real thing.
 
 pub mod channel {
     use std::collections::VecDeque;
     use std::fmt;
     use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
 
     struct State<T> {
         buf: VecDeque<T>,
@@ -48,6 +50,36 @@ pub mod channel {
     }
 
     impl std::error::Error for RecvError {}
+
+    /// Error from [`Receiver::recv_timeout`]: either nothing arrived in
+    /// time, or the channel is empty and every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The timeout elapsed with the channel still empty.
+        Timeout,
+        /// Every sender dropped and the buffer is drained.
+        Disconnected,
+    }
+
+    impl RecvTimeoutError {
+        /// `true` for the [`RecvTimeoutError::Timeout`] case.
+        pub fn is_timeout(&self) -> bool {
+            matches!(self, RecvTimeoutError::Timeout)
+        }
+    }
+
+    impl fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => write!(f, "timed out waiting on channel"),
+                RecvTimeoutError::Disconnected => {
+                    write!(f, "receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for RecvTimeoutError {}
 
     /// The sending half; cloneable for multiple producers.
     pub struct Sender<T>(Arc<Chan<T>>);
@@ -99,6 +131,30 @@ pub mod channel {
                     return Err(RecvError);
                 }
                 st = self.0.recv_ready.wait(st).unwrap();
+            }
+        }
+
+        /// Blocks until an item arrives or `timeout` elapses. Fails with
+        /// [`RecvTimeoutError::Disconnected`] once the channel is empty
+        /// and all senders have been dropped.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.0.state.lock().unwrap();
+            loop {
+                if let Some(v) = st.buf.pop_front() {
+                    self.0.send_ready.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                let Some(left) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
+                else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                let (guard, _) = self.0.recv_ready.wait_timeout(st, left).unwrap();
+                st = guard;
             }
         }
     }
@@ -185,5 +241,32 @@ mod tests {
         let (tx, rx) = bounded::<u8>(1);
         drop(rx);
         assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        use super::channel::RecvTimeoutError;
+        use std::time::Duration;
+        let (tx, rx) = bounded::<u8>(1);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Err(RecvTimeoutError::Timeout));
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(7));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn recv_timeout_wakes_on_cross_thread_send() {
+        use std::time::Duration;
+        let (tx, rx) = bounded::<u8>(1);
+        let t = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(20));
+            tx.send(9).unwrap();
+        });
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(9));
+        t.join().unwrap();
     }
 }
