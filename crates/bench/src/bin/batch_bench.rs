@@ -1,0 +1,328 @@
+//! `batch_bench` — lanes-vs-throughput for the batched interpreter,
+//! written as machine-readable JSON (`BENCH_batch.json`).
+//!
+//! ```text
+//! cargo run -p parcc-bench --release --bin batch_bench [-- OUT.json]
+//! ```
+//!
+//! Both sides do the same work the way the differential-fuzzing
+//! harness really does it:
+//!
+//! * **strict** — one fresh strict [`Cell`] per run. This is the only
+//!   correct way to use the strict interpreter for independent runs:
+//!   `prepare_call` deliberately does not reset data memory, so a
+//!   `Cell` cannot be reused across inputs. Every run pays the image
+//!   clone, the decode, and the data-memory fills.
+//! * **batch** — one long-lived [`BatchInterp`], reset between runs
+//!   with its slabs recycled, exactly like the fuzzing loop in
+//!   `parcc::fuzz` runs chunk after chunk.
+//!
+//! Scenarios:
+//!
+//! * `sweep` — a corpus of compiled W2 kernels, each the size and
+//!   shape of a generated fuzz program (tens to a few hundred cycles
+//!   per run), each swept over many inputs at 16/64/256 lanes. This is
+//!   the differential harness's inner loop, program by program.
+//!   **This is the gated row**: the acceptance budget is ≥ 5× at 64
+//!   lanes and up.
+//! * `longrun` — a long-running kernel (~8.6k cycles per lane) at 64
+//!   lanes; per-run construction amortizes away on both sides, so this
+//!   row shows the pure stepping-speed ratio. Not gated.
+//! * `divergent` — a data-dependent loop whose trip count differs per
+//!   lane. Not gated.
+//! * `mutants` — 256 distinct tiny programs run once each (the
+//!   mutation-sweep shape, no cross-lane decode sharing). Not gated.
+//!
+//! Throughput is reported as executed cell cycles per second; both
+//! engines execute bit-identical cycle counts (asserted, together with
+//! per-lane results) so the speedup is a pure wall-clock ratio.
+//! The harness asserts the acceptance budget and exits non-zero
+//! otherwise.
+
+use parcc::{compile_module_source, CompileOptions};
+use std::fmt::Write as _;
+use std::time::Instant;
+use warp_target::batch::{BatchInterp, LaneInput, LaneStatus};
+use warp_target::interp::{Cell, InterpError, Value};
+use warp_target::isa::Reg;
+use warp_target::program::SectionImage;
+use warp_target::CellConfig;
+
+const RUNS: usize = 7;
+const MAX_CYCLES: u64 = 10_000_000;
+/// Acceptance: batch ≥ 5× strict at 64+ lanes on the sweep scenario.
+const SPEEDUP_BUDGET: f64 = 5.0;
+
+fn compile_one(body: &str) -> SectionImage {
+    let src = format!(
+        "module b; section s on cells 0..0; function f(x: float, n: int): float \
+         var t: float; v: float[64]; i: int; k: int; begin {body} end; end;"
+    );
+    let result = compile_module_source(&src, &CompileOptions::default()).expect("bench compiles");
+    result.module_image.section_images[0].clone()
+}
+
+/// Minimum wall-clock seconds over `RUNS` invocations of `f` — the
+/// least-noise estimate, applied to both engines alike.
+fn min_secs(mut f: impl FnMut()) -> f64 {
+    (0..RUNS)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Runs every input on a fresh strict `Cell` (the pre-batch harness
+/// pattern); returns (total cycles, per-lane RET bits).
+fn strict_side(programs: &[SectionImage], inputs: &[LaneInput]) -> (u64, Vec<Option<u64>>) {
+    let mut cycles = 0u64;
+    let mut rets = Vec::with_capacity(inputs.len());
+    for input in inputs {
+        let mut cell =
+            Cell::new(CellConfig::default(), programs[input.program].clone()).expect("cell");
+        cell.set_strict(true);
+        cell.prepare_call(&input.function, &input.args).expect("args");
+        match cell.run(MAX_CYCLES) {
+            Ok(c) => {
+                cycles += c;
+                rets.push(cell.reg(Reg::RET).ok().map(Value::to_bits));
+            }
+            Err(InterpError::Fault { .. }) | Err(InterpError::CycleLimit { .. }) => {
+                cycles += cell.cycle();
+                rets.push(None);
+            }
+            Err(e) => panic!("unexpected strict error: {e}"),
+        }
+    }
+    (cycles, rets)
+}
+
+/// Runs the same work on the long-lived `BatchInterp`, recycling its
+/// slabs; returns (total cycles, per-lane RET bits).
+fn batch_side(
+    batch: &mut BatchInterp,
+    programs: &[SectionImage],
+    inputs: &[LaneInput],
+) -> (u64, Vec<Option<u64>>) {
+    batch.reset();
+    for image in programs {
+        batch.add_program(image).expect("program");
+    }
+    for input in inputs {
+        batch.add_lane(input).expect("lane");
+    }
+    batch.execute(MAX_CYCLES);
+    let mut cycles = 0u64;
+    let mut rets = Vec::with_capacity(inputs.len());
+    for lane in 0..batch.lane_count() {
+        let report = batch.report(lane);
+        cycles += report.cycles;
+        rets.push(match report.status {
+            LaneStatus::Halted => batch.reg(lane, Reg::RET).ok().map(Value::to_bits),
+            _ => None,
+        });
+    }
+    (cycles, rets)
+}
+
+/// One unit of work: a set of registered programs and the lanes to run
+/// over them. A scenario is a sequence of these, processed chunk by
+/// chunk exactly like the fuzzing loop (the batch resets between
+/// chunks, recycling its slabs).
+type Work = (Vec<SectionImage>, Vec<LaneInput>);
+
+fn strict_all(work: &[Work]) -> (u64, Vec<Option<u64>>) {
+    let mut cycles = 0u64;
+    let mut rets = Vec::new();
+    for (programs, inputs) in work {
+        let (c, r) = strict_side(programs, inputs);
+        cycles += c;
+        rets.extend(r);
+    }
+    (cycles, rets)
+}
+
+fn batch_all(batch: &mut BatchInterp, work: &[Work]) -> (u64, Vec<Option<u64>>) {
+    let mut cycles = 0u64;
+    let mut rets = Vec::new();
+    for (programs, inputs) in work {
+        let (c, r) = batch_side(batch, programs, inputs);
+        cycles += c;
+        rets.extend(r);
+    }
+    (cycles, rets)
+}
+
+struct Row {
+    scenario: &'static str,
+    lanes: usize,
+    cycles: u64,
+    strict_s: f64,
+    batch_s: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.strict_s / self.batch_s
+    }
+}
+
+/// Measures one scenario at one lane count, asserting bit-identity
+/// between the two engines on the way (which also warms the batch
+/// slabs before the timed runs).
+fn measure(scenario: &'static str, batch: &mut BatchInterp, lanes: usize, work: &[Work]) -> Row {
+    let (strict_cycles, strict_rets) = strict_all(work);
+    let (batch_cycles, batch_rets) = batch_all(batch, work);
+    assert_eq!(strict_cycles, batch_cycles, "{scenario}: cycle counts diverge");
+    assert_eq!(strict_rets, batch_rets, "{scenario}: results diverge");
+    eprintln!("measuring {scenario} at {lanes} lanes ({RUNS} runs per engine)...");
+    let strict_s = min_secs(|| {
+        strict_all(work);
+    });
+    let batch_s = min_secs(|| {
+        batch_all(batch, work);
+    });
+    Row { scenario, lanes, cycles: strict_cycles, strict_s, batch_s }
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_batch.json".to_string());
+
+    // The gated corpus: kernels the size and shape of generated fuzz
+    // programs — tens to a few hundred cycles per run. The harness
+    // sweeps each over its inputs, program by program, like the
+    // differential fuzzing loop.
+    let corpus: Vec<SectionImage> = [
+        "t := x * 0.5 + 1.25;\n         v[0] := t;\n         t := t + v[0] * x;\n         return t;",
+        "k := n * 3;\n         i := k - n;\n         t := x + 0.5;\n         v[1] := t * t;\n         return v[1];",
+        "t := x;\n         for i := 0 to 4 do t := t * 0.5 + v[i]; end;\n         return t;",
+        "t := x;\n         for i := 0 to 8 do t := t + v[i] * x; end;\n         return t;",
+        "t := 0.0;\n         k := n;\n         while k > 0 do t := t + x; k := k - 1; end;\n         return t;",
+        "for i := 0 to 7 do v[i] := x * 2.0; end;\n         t := v[3] + v[6];\n         return t;",
+        "t := x;\n         for k := 0 to 2 do\n           for i := 0 to 3 do t := t + v[i] * 0.25; end;\n         end;\n         return t;",
+        "t := x;\n         for i := 0 to 15 do t := t * 1.0625 + 0.125; end;\n         return t;",
+    ]
+    .iter()
+    .map(|b| compile_one(b))
+    .collect();
+    // Long-running kernel: construction amortizes away on both sides.
+    let longrun = compile_one(
+        "t := x;\n         for k := 0 to 7 do\n           for i := 0 to 63 do v[i] := t * 0.5 + v[i]; end;\n           for i := 0 to 63 do t := t + v[i] * x; end;\n         end;\n         return t;",
+    );
+    // Data-dependent trip count: lanes diverge on `n`.
+    let divergent = compile_one(
+        "t := x;\n         k := n;\n         while k > 0 do\n           t := t * 1.0625 + 0.25;\n           k := k - 1;\n         end;\n         return t;",
+    );
+
+    let mut batch = BatchInterp::new(CellConfig::default(), true);
+    let mut rows: Vec<Row> = Vec::new();
+    for lanes in [16usize, 64, 256] {
+        let work: Vec<Work> = corpus
+            .iter()
+            .map(|img| {
+                let inputs: Vec<LaneInput> = (0..lanes)
+                    .map(|i| {
+                        LaneInput::call(
+                            0,
+                            "f",
+                            vec![
+                                Value::F(0.25 + i as f32 * 0.125),
+                                Value::I(5 + (i as i32 * 7) % 13),
+                            ],
+                        )
+                    })
+                    .collect();
+                (vec![img.clone()], inputs)
+            })
+            .collect();
+        rows.push(measure("sweep", &mut batch, lanes, &work));
+    }
+    {
+        let inputs: Vec<LaneInput> = (0..64)
+            .map(|i| {
+                LaneInput::call(0, "f", vec![Value::F(0.25 + i as f32 * 0.125), Value::I(5)])
+            })
+            .collect();
+        let work = vec![(vec![longrun], inputs)];
+        rows.push(measure("longrun", &mut batch, 64, &work));
+    }
+    {
+        let inputs: Vec<LaneInput> = (0..64)
+            .map(|i| {
+                LaneInput::call(
+                    0,
+                    "f",
+                    vec![Value::F(1.5 + i as f32 * 0.25), Value::I(50 + (i * 37) % 400)],
+                )
+            })
+            .collect();
+        let work = vec![(vec![divergent], inputs)];
+        rows.push(measure("divergent", &mut batch, 64, &work));
+    }
+    {
+        // 256 distinct small programs, one run each — the mutation
+        // sweep shape (different code per lane, short runs).
+        let mutants: Vec<SectionImage> = (0..256)
+            .map(|i| {
+                compile_one(&format!(
+                    "t := x * {c:.4};\n  for i := 0 to {hi} do t := t + v[i] + {c:.4}; end;\n  return t;",
+                    c = 0.5 + (i as f64) * 0.01,
+                    hi = 8 + i % 24,
+                ))
+            })
+            .collect();
+        let inputs: Vec<LaneInput> = (0..mutants.len())
+            .map(|p| LaneInput::call(p, "f", vec![Value::F(2.0), Value::I(3)]))
+            .collect();
+        let work = vec![(mutants, inputs)];
+        rows.push(measure("mutants", &mut batch, 256, &work));
+    }
+
+    let mut body = String::new();
+    for (i, row) in rows.iter().enumerate() {
+        let strict_ips = row.cycles as f64 / row.strict_s;
+        let batch_ips = row.cycles as f64 / row.batch_s;
+        let _ = write!(
+            body,
+            "    {{\"scenario\": \"{}\", \"lanes\": {}, \"cycles\": {}, \
+             \"strict_s\": {:.6}, \"batch_s\": {:.6}, \"strict_ips\": {:.0}, \
+             \"batch_ips\": {:.0}, \"speedup\": {:.2}}}{}",
+            row.scenario,
+            row.lanes,
+            row.cycles,
+            row.strict_s,
+            row.batch_s,
+            strict_ips,
+            batch_ips,
+            row.speedup(),
+            if i + 1 < rows.len() { ",\n" } else { "\n" }
+        );
+    }
+    let json = format!(
+        "{{\n  \"schema\": \"warp-bench-batch/1\",\n  \"runs\": {RUNS},\n  \
+         \"budget_speedup_at_64_lanes\": {SPEEDUP_BUDGET},\n  \"results\": [\n{body}  ]\n}}\n"
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("batch_bench: writing {out_path}: {e}");
+        std::process::exit(1);
+    }
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+
+    let mut failed = false;
+    for row in &rows {
+        if row.scenario == "sweep" && row.lanes >= 64 && row.speedup() < SPEEDUP_BUDGET {
+            eprintln!(
+                "batch_bench: sweep at {} lanes reached only {:.2}x (budget {SPEEDUP_BUDGET}x)",
+                row.lanes,
+                row.speedup()
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

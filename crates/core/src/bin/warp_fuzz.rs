@@ -1,0 +1,71 @@
+//! `warp_fuzz` — command-line driver for the differential fuzzing
+//! harness ([`parcc::fuzz`]).
+//!
+//! Environment knobs (all optional; defaults give the bounded CI run):
+//!
+//! * `WARP_FUZZ_SEED` — master seed (default 1);
+//! * `WARP_FUZZ_ITERS` — number of programs (default 200; the nightly
+//!   depth knob);
+//! * `WARP_FUZZ_LANES` — batch lanes per program (default 8);
+//! * `WARP_FUZZ_ARTIFACTS` — directory for disagreement reproducers
+//!   (default `fuzz-artifacts`).
+//!
+//! Exits nonzero iff any program produced an engine disagreement; each
+//! disagreement is written as a shrunk fixture file that can be moved
+//! under `tests/fixtures/fuzz/` once the bug is fixed.
+
+use parcc::fuzz::{run, write_fixture, FuzzConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn main() -> ExitCode {
+    let cfg = FuzzConfig {
+        seed: env_u64("WARP_FUZZ_SEED", 1),
+        programs: env_u64("WARP_FUZZ_ITERS", 200) as usize,
+        lanes: env_u64("WARP_FUZZ_LANES", 8) as usize,
+        ..FuzzConfig::default()
+    };
+    let artifacts = PathBuf::from(
+        std::env::var("WARP_FUZZ_ARTIFACTS").unwrap_or_else(|_| "fuzz-artifacts".into()),
+    );
+
+    println!(
+        "warp-fuzz: seed={} programs={} lanes={} max_cycles={}",
+        cfg.seed, cfg.programs, cfg.lanes, cfg.max_cycles
+    );
+    let report = run(&cfg);
+    println!(
+        "warp-fuzz: {} programs, {} lanes, {} trapped lanes, {} disagreements",
+        report.programs,
+        report.lanes,
+        report.trapped_lanes,
+        report.disagreements.len()
+    );
+
+    if report.disagreements.is_empty() {
+        return ExitCode::SUCCESS;
+    }
+    if let Err(e) = std::fs::create_dir_all(&artifacts) {
+        eprintln!("warp-fuzz: cannot create {}: {e}", artifacts.display());
+        return ExitCode::FAILURE;
+    }
+    for d in &report.disagreements {
+        let path = artifacts.join(format!("disagree_{:016x}.w2", d.program_seed));
+        eprintln!("warp-fuzz: DISAGREEMENT (seed {:#x}): {}", d.program_seed, d.detail);
+        let meta = [
+            ("seed", format!("{}", d.program_seed)),
+            ("lanes", format!("{}", cfg.lanes)),
+            ("max_cycles", format!("{}", cfg.max_cycles)),
+            ("disagreement", d.detail.clone()),
+        ];
+        match write_fixture(&path, &d.source, &meta) {
+            Ok(()) => eprintln!("warp-fuzz: reproducer written to {}", path.display()),
+            Err(e) => eprintln!("warp-fuzz: failed to write {}: {e}", path.display()),
+        }
+    }
+    ExitCode::FAILURE
+}

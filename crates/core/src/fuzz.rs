@@ -1,0 +1,694 @@
+//! `warp-fuzz`: the large-scale differential fuzzing harness.
+//!
+//! The repository has *three* independent opinions about what a
+//! compiled W2 program means: the strict reference interpreter
+//! ([`warp_target::interp::Cell`]), the batched vectorized interpreter
+//! ([`warp_target::batch::BatchInterp`]), and the static machine-code
+//! verifier ([`warp_analyze::verify_section_image`]). This module
+//! generates seeded corpora far beyond the paper's `f_huge` — deep
+//! loop nests, adversarial register pressure, data-dependent trip
+//! counts, division traps, pipelined-loop edge cases — and runs every
+//! program all three ways:
+//!
+//! 1. the **verifier** must accept every compiler-produced image;
+//! 2. the **batch** interpreter must agree with a solo **strict** run
+//!    lane for lane: same halt/trap status, same cycle count, same
+//!    register file down to the bit and poison-bit level.
+//!
+//! Any disagreement is shrunk to a minimal reproducer by greedy line
+//! removal (re-compiling each candidate) and surfaced as a
+//! [`Disagreement`]; CI commits shrunk reproducers under
+//! `tests/fixtures/fuzz/` where [`replay_fixture`] keeps them green
+//! forever. The `warp_fuzz` binary drives the same loop from the
+//! command line, honouring `WARP_FUZZ_SEED` / `WARP_FUZZ_ITERS` so a
+//! nightly job can dig deeper than the bounded PR job. See
+//! `docs/FUZZING.md` for the full protocol.
+
+use crate::driver::{compile_module_source, CompileOptions};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+use warp_target::batch::{BatchInterp, LaneInput, LaneStatus};
+use warp_target::interp::{Cell, Value};
+use warp_target::isa::Reg;
+
+/// Knobs of one fuzzing run. Everything is derived from `seed`, so a
+/// `(seed, programs, lanes)` triple names a corpus exactly.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Master seed; program `p` uses a splitmix of `seed` and `p`.
+    pub seed: u64,
+    /// Number of programs to generate and check.
+    pub programs: usize,
+    /// Independent input lanes run per program (the batch width).
+    pub lanes: usize,
+    /// Cycle budget per lane; exceeding it is a `CycleLimit` trap,
+    /// which both engines must report identically.
+    pub max_cycles: u64,
+    /// Body statement budget per generated function.
+    pub max_stmts: usize,
+    /// Maximum loop nesting depth in generated bodies.
+    pub max_depth: usize,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> FuzzConfig {
+        FuzzConfig {
+            seed: 1,
+            programs: 100,
+            lanes: 8,
+            max_cycles: 200_000,
+            max_stmts: 28,
+            max_depth: 3,
+        }
+    }
+}
+
+/// One engine disagreement (or a generator-produced compile failure),
+/// shrunk as far as the shrinker could take it.
+#[derive(Debug, Clone)]
+pub struct Disagreement {
+    /// The per-program seed that produced the original source.
+    pub program_seed: u64,
+    /// Human-readable description of the first divergence found.
+    pub detail: String,
+    /// The (shrunk) W2 module source that reproduces it.
+    pub source: String,
+}
+
+/// Aggregate result of [`run`].
+#[derive(Debug, Clone, Default)]
+pub struct FuzzReport {
+    /// Programs generated and checked.
+    pub programs: usize,
+    /// Total lanes executed across all programs.
+    pub lanes: usize,
+    /// Lanes that trapped (identically in both engines) — traps are
+    /// expected outcomes, not failures.
+    pub trapped_lanes: usize,
+    /// Engine disagreements, each shrunk to a minimal reproducer.
+    pub disagreements: Vec<Disagreement>,
+}
+
+/// Outcome of checking one source program three ways.
+#[derive(Debug, Clone)]
+pub enum CheckOutcome {
+    /// All three engines agree; the payload counts `(lanes, trapped)`.
+    Agree {
+        /// Lanes executed.
+        lanes: usize,
+        /// Lanes that trapped, identically in both interpreters.
+        trapped: usize,
+    },
+    /// The source did not compile — a generator bug, not an engine
+    /// disagreement (the shrinker never trades one for the other).
+    CompileError(String),
+    /// Two engines produced different answers.
+    Disagree(String),
+}
+
+fn splitmix(seed: u64, stream: u64) -> u64 {
+    let mut z = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+// ---------------------------------------------------------------------------
+// Generator
+// ---------------------------------------------------------------------------
+
+struct FuzzGen<'a> {
+    rng: &'a mut SmallRng,
+    out: Vec<String>,
+    indent: usize,
+    /// Loop indices currently in scope (i0..i3), innermost last.
+    loop_vars: usize,
+    /// Inside a `while`: statements must not write the counter `k`.
+    in_while: bool,
+}
+
+impl FuzzGen<'_> {
+    fn push(&mut self, text: &str) {
+        let mut s = String::with_capacity(2 * self.indent + text.len());
+        for _ in 0..self.indent {
+            s.push_str("  ");
+        }
+        s.push_str(text);
+        self.out.push(s);
+    }
+
+    fn fconst(&mut self) -> String {
+        format!("{:.4}", self.rng.gen_range(0.05..3.5))
+    }
+
+    /// An in-bounds index expression for the 48-element arrays.
+    fn index(&mut self) -> String {
+        if self.loop_vars > 0 {
+            let d = if self.rng.gen_bool(0.7) {
+                self.loop_vars - 1
+            } else {
+                self.rng.gen_range(0..self.loop_vars)
+            };
+            if self.loop_vars >= 2 && self.rng.gen_bool(0.2) {
+                // Two loop indices, each bounded by 15: max 30 < 48.
+                format!("i{} + i{}", d, self.rng.gen_range(0..self.loop_vars))
+            } else {
+                format!("i{d}")
+            }
+        } else {
+            self.rng.gen_range(0..48usize).to_string()
+        }
+    }
+
+    /// One straight-line statement.
+    fn statement(&mut self) {
+        let a = self.rng.gen_range(0..8);
+        let b = self.rng.gen_range(0..8);
+        let c = self.fconst();
+        let idx = self.index();
+        let stmt = match self.rng.gen_range(0..100) {
+            // Register-pressure chains over the eight live floats.
+            0..=19 => format!("t{a} := t{b} * {c} + t{};", (a + 1) % 8),
+            20..=29 => format!("t{a} := t{a} - t{b} * {c};"),
+            30..=36 => format!("t{a} := t{b} / ({c} + abs(x));"),
+            37..=44 => format!("v[{idx}] := t{a} * {c} + w[{idx}];"),
+            45..=52 => format!("acc := acc + v[{idx}] * {c};"),
+            // Pipelined reduction shape.
+            53..=60 => format!("acc := acc + v[{idx}] * w[{idx}];"),
+            61..=66 => format!("w[{idx}] := sqrt(abs(t{b}) + {c});"),
+            67..=72 => "s := (s * 25173 + 13849) mod 8192;".to_string(),
+            // Data-dependent divisor: traps on lanes where n mod m = 0.
+            73..=77 => {
+                let m = self.rng.gen_range(3..6);
+                format!("s := (s + {}) mod (n mod {m});", self.rng.gen_range(1..9))
+            }
+            78..=84 => format!("t{a} := float(s) * 0.0001 + x * {c};"),
+            85..=90 => format!("t{a} := exp(min(t{b}, 2.0)) * {c};"),
+            91..=95 => format!("t{a} := max(t{b}, {c}) * min(x, 4.0);"),
+            _ => format!("acc := acc + t{a} * {c};"),
+        };
+        self.push(&stmt);
+    }
+
+    /// Emits statements consuming `budget`, recursing into loops and
+    /// conditionals while `depth_left` allows.
+    fn block(&mut self, budget: usize, depth_left: usize) {
+        let mut remaining = budget;
+        while remaining > 0 {
+            let want_loop = remaining >= 5 && depth_left > 0 && self.rng.gen_bool(0.38);
+            if want_loop {
+                let inner = self.rng.gen_range(3..(remaining - 2).min(10) + 1);
+                match self.rng.gen_range(0..10) {
+                    // A while with a guaranteed-decrementing counter.
+                    0..=2 if !self.in_while => {
+                        let init = if self.rng.gen_bool(0.5) {
+                            format!("k := {};", self.rng.gen_range(2..9))
+                        } else {
+                            // Data-dependent trip count (0 when n <= 0).
+                            format!("k := n mod {};", self.rng.gen_range(4..11))
+                        };
+                        self.push(&init);
+                        self.push("while k > 0 do");
+                        self.indent += 1;
+                        self.in_while = true;
+                        self.block(inner.saturating_sub(1), depth_left - 1);
+                        self.in_while = false;
+                        self.push("k := k - 1;");
+                        self.indent -= 1;
+                        self.push("end;");
+                    }
+                    // A branch diamond on data.
+                    3..=4 => {
+                        let g = self.fconst();
+                        let cond = match self.rng.gen_range(0..3) {
+                            0 => format!("t{} > {g}", self.rng.gen_range(0..8)),
+                            1 => format!("x < {g}"),
+                            _ => format!("n > {}", self.rng.gen_range(0..6)),
+                        };
+                        self.push(&format!("if {cond} then"));
+                        self.indent += 1;
+                        let half = (inner / 2).max(1);
+                        self.block(half, depth_left - 1);
+                        self.indent -= 1;
+                        self.push("else");
+                        self.indent += 1;
+                        self.block(inner - half, depth_left - 1);
+                        self.indent -= 1;
+                        self.push("end;");
+                    }
+                    // A for loop; trip-count edge cases included. Never
+                    // reuse an index already live in an enclosing loop:
+                    // an inner `for i3` resetting an outer `i3` would
+                    // keep the outer loop from ever terminating.
+                    _ if self.loop_vars >= 4 => {
+                        for _ in 0..inner + 2 {
+                            self.statement();
+                        }
+                    }
+                    _ => {
+                        let d = self.loop_vars;
+                        let header = match self.rng.gen_range(0..10) {
+                            0 => format!("for i{d} := 0 to 0 do"),
+                            1 => format!("for i{d} := 0 to 1 do"),
+                            2 => format!("for i{d} := 0 to n mod 7 do"),
+                            3 => format!("for i{d} := {} downto 0 do", self.rng.gen_range(2..9)),
+                            4 => format!(
+                                "for i{d} := 0 to {} by 2 do",
+                                self.rng.gen_range(4..15)
+                            ),
+                            _ => format!("for i{d} := 0 to {} do", self.rng.gen_range(2..15)),
+                        };
+                        self.push(&header);
+                        self.indent += 1;
+                        self.loop_vars += 1;
+                        self.block(inner, depth_left - 1);
+                        self.loop_vars -= 1;
+                        self.indent -= 1;
+                        self.push("end;");
+                    }
+                }
+                remaining -= (inner + 2).min(remaining);
+            } else {
+                self.statement();
+                remaining -= 1;
+            }
+        }
+    }
+}
+
+/// Generates one seeded W2 module: a single `fz(x: float, n: int)`
+/// function whose body mixes deep loop nests, register-pressure
+/// chains, data-dependent trip counts and trap-capable arithmetic.
+/// Deterministic in `(seed, cfg.max_stmts, cfg.max_depth)`.
+pub fn generate_source(seed: u64, cfg: &FuzzConfig) -> String {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let budget = rng.gen_range((cfg.max_stmts / 2).max(4)..cfg.max_stmts.max(5) + 1);
+    let mut g = FuzzGen {
+        rng: &mut rng,
+        out: Vec::new(),
+        indent: 2,
+        loop_vars: 0,
+        in_while: false,
+    };
+    g.block(budget, cfg.max_depth);
+    let body = g.out.join("\n");
+    format!(
+        "module fuzz_{seed:x};\n\
+         section main on cells 0..9;\n\
+         \x20 function fz(x: float, n: int): float\n\
+         \x20 var\n\
+         \x20   acc: float; t0: float; t1: float; t2: float; t3: float;\n\
+         \x20   t4: float; t5: float; t6: float; t7: float;\n\
+         \x20   v: float[48]; w: float[48];\n\
+         \x20   k: int; s: int; i0: int; i1: int; i2: int; i3: int;\n\
+         \x20 begin\n\
+         {body}\n\
+         \x20   return acc + t0 + float(s) * 0.001;\n\
+         \x20 end;\n\
+         end;\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Three-way differential check
+// ---------------------------------------------------------------------------
+
+/// The lane input vector used for a program with `param_count` formal
+/// parameters. The harness convention (and the generator's signature)
+/// is `(x: float, n: int)`; the `n` values deliberately include 0,
+/// negatives and values that zero out small moduli, so division traps
+/// and zero-trip loops are exercised on some lanes of every corpus.
+pub fn lane_args(lane: usize, param_count: usize) -> Vec<Value> {
+    const NS: [i32; 8] = [-5, 0, 1, 2, 3, 7, 12, 60];
+    (0..param_count)
+        .map(|p| {
+            if p == 1 {
+                Value::I(NS[lane % NS.len()] + (lane / NS.len()) as i32 * 17)
+            } else {
+                Value::F(-1.5 + 0.733 * lane as f32 + p as f32)
+            }
+        })
+        .collect()
+}
+
+fn check_with(batch: &mut BatchInterp, source: &str, cfg: &FuzzConfig) -> CheckOutcome {
+    let opts = CompileOptions::default();
+    let compiled = match compile_module_source(source, &opts) {
+        Ok(r) => r,
+        Err(e) => return CheckOutcome::CompileError(e.to_string()),
+    };
+    let sec = &compiled.module_image.section_images[0];
+
+    // Opinion 1: the static verifier must accept compiler output.
+    let errs = warp_analyze::verify_section_image(sec, &opts.cell);
+    if !errs.is_empty() {
+        let mut d = String::from("static verifier rejects compiler output:");
+        for e in errs.iter().take(4) {
+            let _ = write!(d, " [{e}]");
+        }
+        return CheckOutcome::Disagree(d);
+    }
+
+    let entry = &sec.functions[sec.entry];
+    let fn_name = entry.name.clone();
+    let n_params = entry.param_count as usize;
+
+    // Opinion 2: the batched interpreter, all lanes at once.
+    batch.reset();
+    let pid = match batch.add_program(sec) {
+        Ok(p) => p,
+        Err(e) => return CheckOutcome::Disagree(format!("batch rejects image: {e}")),
+    };
+    for lane in 0..cfg.lanes {
+        let input = LaneInput::call(pid, &fn_name, lane_args(lane, n_params));
+        if let Err(e) = batch.add_lane(&input) {
+            return CheckOutcome::Disagree(format!("batch rejects lane {lane}: {e}"));
+        }
+    }
+    batch.execute(cfg.max_cycles);
+
+    // Opinion 3: a solo strict run per lane, compared bit for bit.
+    let mut trapped = 0usize;
+    for lane in 0..cfg.lanes {
+        let mut cell = match Cell::new(opts.cell, sec.clone()) {
+            Ok(c) => c,
+            Err(e) => return CheckOutcome::Disagree(format!("strict rejects image: {e}")),
+        };
+        cell.set_strict(true);
+        if let Err(e) = cell.prepare_call(&fn_name, &lane_args(lane, n_params)) {
+            return CheckOutcome::Disagree(format!("strict rejects lane {lane} call: {e}"));
+        }
+        let strict = cell.run(cfg.max_cycles);
+        let report = batch.report(lane);
+        match (&strict, &report.status) {
+            (Ok(cycles), LaneStatus::Halted) => {
+                if report.cycles != *cycles {
+                    return CheckOutcome::Disagree(format!(
+                        "lane {lane}: strict halted at cycle {cycles}, batch at {}",
+                        report.cycles
+                    ));
+                }
+            }
+            (Err(se), LaneStatus::Trapped(be)) => {
+                trapped += 1;
+                if se != be {
+                    return CheckOutcome::Disagree(format!(
+                        "lane {lane}: strict trapped with `{se}`, batch with `{be}`"
+                    ));
+                }
+            }
+            (s, b) => {
+                return CheckOutcome::Disagree(format!(
+                    "lane {lane}: strict {s:?} vs batch {b:?}"
+                ));
+            }
+        }
+        // Register file + poison bits, bit for bit.
+        let (regs, defs) = batch.lane_regs(lane);
+        for (ri, (&bv, &bd)) in regs.iter().zip(defs.iter()).enumerate() {
+            let r = Reg(ri as u16);
+            let strict_read = cell.reg(r);
+            if bd != strict_read.is_ok() {
+                return CheckOutcome::Disagree(format!(
+                    "lane {lane}: poison bit of {r} differs (batch def={bd})"
+                ));
+            }
+            if let Ok(sv) = strict_read {
+                if bv.to_bits() != sv.to_bits() {
+                    return CheckOutcome::Disagree(format!(
+                        "lane {lane}: {r} = {bv:?} in batch but {sv:?} in strict"
+                    ));
+                }
+            }
+        }
+        // Output queues (empty for standalone programs, but cheap).
+        let (bl, br) = (batch.out_left(lane), batch.out_right(lane));
+        let sl: Vec<Value> = cell.out_left.iter().copied().collect();
+        let sr: Vec<Value> = cell.out_right.iter().copied().collect();
+        if bl != sl.as_slice() || br != sr.as_slice() {
+            return CheckOutcome::Disagree(format!("lane {lane}: output queues differ"));
+        }
+    }
+    CheckOutcome::Agree { lanes: cfg.lanes, trapped }
+}
+
+/// Runs one source program through all three engines and compares.
+pub fn check_source(source: &str, cfg: &FuzzConfig) -> CheckOutcome {
+    let mut batch = BatchInterp::new(CompileOptions::default().cell, true);
+    check_with(&mut batch, source, cfg)
+}
+
+// ---------------------------------------------------------------------------
+// Shrinker
+// ---------------------------------------------------------------------------
+
+/// Greedy ddmin-style line removal: repeatedly drops chunks of lines
+/// (halving the chunk size down to single lines) and keeps a candidate
+/// iff `still_fails` holds for it. Candidates that unbalance a loop or
+/// otherwise stop compiling simply fail the predicate and are
+/// discarded, so no grammar knowledge is needed here.
+pub fn shrink<F>(source: &str, mut still_fails: F) -> String
+where
+    F: FnMut(&str) -> bool,
+{
+    let mut lines: Vec<&str> = source.lines().collect();
+    let mut chunk = (lines.len() / 2).max(1);
+    loop {
+        let mut i = 0;
+        while i < lines.len() && lines.len() > 4 {
+            let end = (i + chunk).min(lines.len());
+            let mut candidate = lines.clone();
+            candidate.drain(i..end);
+            let text = candidate.join("\n");
+            if still_fails(&text) {
+                lines = candidate;
+            } else {
+                i += chunk;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+    lines.join("\n")
+}
+
+/// Shrinks a disagreeing program with the engine check itself as the
+/// predicate: a candidate survives only if it still *compiles* and
+/// still *disagrees* (compile failures never replace a real
+/// disagreement).
+pub fn shrink_disagreement(source: &str, cfg: &FuzzConfig) -> String {
+    let mut batch = BatchInterp::new(CompileOptions::default().cell, true);
+    shrink(source, move |src| {
+        matches!(check_with(&mut batch, src, cfg), CheckOutcome::Disagree(_))
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Campaign driver
+// ---------------------------------------------------------------------------
+
+/// Runs a whole fuzzing campaign: `cfg.programs` seeded programs, each
+/// checked three ways, each disagreement shrunk. One [`BatchInterp`]
+/// is reused across all programs (lane slabs recycle), which is what
+/// makes the batched engine the throughput backbone of the harness.
+pub fn run(cfg: &FuzzConfig) -> FuzzReport {
+    let mut report = FuzzReport::default();
+    let mut batch = BatchInterp::new(CompileOptions::default().cell, true);
+    for p in 0..cfg.programs {
+        let pseed = splitmix(cfg.seed, p as u64);
+        let source = generate_source(pseed, cfg);
+        report.programs += 1;
+        match check_with(&mut batch, &source, cfg) {
+            CheckOutcome::Agree { lanes, trapped } => {
+                report.lanes += lanes;
+                report.trapped_lanes += trapped;
+            }
+            CheckOutcome::CompileError(e) => {
+                report.disagreements.push(Disagreement {
+                    program_seed: pseed,
+                    detail: format!("generated program failed to compile: {e}"),
+                    source,
+                });
+            }
+            CheckOutcome::Disagree(detail) => {
+                let shrunk = shrink_disagreement(&source, cfg);
+                report.disagreements.push(Disagreement {
+                    program_seed: pseed,
+                    detail,
+                    source: shrunk,
+                });
+            }
+        }
+    }
+    report
+}
+
+// ---------------------------------------------------------------------------
+// Regression fixtures
+// ---------------------------------------------------------------------------
+
+/// A fixture file: `-- key: value` metadata lines followed by W2
+/// source. The metadata records provenance (seed, original
+/// disagreement) and replay parameters (`lanes`, `max_cycles`).
+#[derive(Debug, Clone)]
+pub struct Fixture {
+    /// `(key, value)` pairs from the `--` header, in file order.
+    pub meta: Vec<(String, String)>,
+    /// The W2 module source (everything after the header).
+    pub source: String,
+}
+
+impl Fixture {
+    /// First value for `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.meta.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Writes a reproducer as a fixture file.
+///
+/// # Errors
+///
+/// Propagates I/O errors from writing `path`.
+pub fn write_fixture(
+    path: &Path,
+    source: &str,
+    meta: &[(&str, String)],
+) -> io::Result<()> {
+    let mut text = String::from("-- warp-fuzz fixture\n");
+    for (k, v) in meta {
+        let _ = writeln!(text, "-- {k}: {v}");
+    }
+    text.push_str(source);
+    if !text.ends_with('\n') {
+        text.push('\n');
+    }
+    fs::write(path, text)
+}
+
+/// Parses a fixture file: leading `--` lines are metadata, the rest is
+/// source.
+///
+/// # Errors
+///
+/// Propagates I/O errors from reading `path`.
+pub fn read_fixture(path: &Path) -> io::Result<Fixture> {
+    let text = fs::read_to_string(path)?;
+    let mut meta = Vec::new();
+    let mut body_start = 0;
+    for line in text.lines() {
+        let trimmed = line.trim_start();
+        if let Some(rest) = trimmed.strip_prefix("--") {
+            if let Some((k, v)) = rest.split_once(':') {
+                meta.push((k.trim().to_string(), v.trim().to_string()));
+            }
+            body_start += line.len() + 1;
+        } else {
+            break;
+        }
+    }
+    Ok(Fixture { meta, source: text[body_start.min(text.len())..].to_string() })
+}
+
+/// Replays one committed fixture: the program must now *agree* across
+/// all three engines (fixtures are disagreements that have been
+/// fixed — they stay green forever).
+///
+/// # Errors
+///
+/// Returns a description of the failure if the fixture cannot be read,
+/// no longer compiles, or the engines disagree again.
+pub fn replay_fixture(path: &Path) -> Result<(), String> {
+    let fixture = read_fixture(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut cfg = FuzzConfig::default();
+    if let Some(l) = fixture.get("lanes").and_then(|v| v.parse().ok()) {
+        cfg.lanes = l;
+    }
+    if let Some(m) = fixture.get("max_cycles").and_then(|v| v.parse().ok()) {
+        cfg.max_cycles = m;
+    }
+    match check_source(&fixture.source, &cfg) {
+        CheckOutcome::Agree { .. } => Ok(()),
+        CheckOutcome::CompileError(e) => {
+            Err(format!("{}: fixture no longer compiles: {e}", path.display()))
+        }
+        CheckOutcome::Disagree(d) => {
+            Err(format!("{}: engines disagree again: {d}", path.display()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_deterministic_and_compiles() {
+        let cfg = FuzzConfig::default();
+        let a = generate_source(42, &cfg);
+        let b = generate_source(42, &cfg);
+        assert_eq!(a, b);
+        assert_ne!(a, generate_source(43, &cfg));
+        match check_source(&a, &cfg) {
+            CheckOutcome::Agree { lanes, .. } => assert_eq!(lanes, cfg.lanes),
+            other => panic!("seed 42 should agree, got {other:?}\n{a}"),
+        }
+    }
+
+    #[test]
+    fn small_campaign_has_no_disagreements() {
+        let cfg = FuzzConfig { programs: 8, max_stmts: 16, ..FuzzConfig::default() };
+        let report = run(&cfg);
+        assert_eq!(report.programs, 8);
+        assert!(
+            report.disagreements.is_empty(),
+            "{:#?}",
+            report
+                .disagreements
+                .iter()
+                .map(|d| (&d.detail, &d.source))
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(report.lanes, 8 * cfg.lanes);
+    }
+
+    #[test]
+    fn some_lanes_trap_somewhere_in_the_corpus() {
+        // The corpus must actually exercise the trap paths: across a
+        // handful of programs at least one lane should divide by zero
+        // (lane args include n values that zero out every modulus).
+        let cfg = FuzzConfig { programs: 12, seed: 7, ..FuzzConfig::default() };
+        let report = run(&cfg);
+        assert!(report.disagreements.is_empty());
+        assert!(report.trapped_lanes > 0, "corpus never trapped: too tame");
+    }
+
+    #[test]
+    fn shrinker_reduces_while_preserving_the_predicate() {
+        let source = "alpha\nbeta\ngamma\nMAGIC\ndelta\nepsilon\nzeta\neta";
+        let shrunk = shrink(source, |s| s.contains("MAGIC"));
+        assert!(shrunk.contains("MAGIC"));
+        assert!(shrunk.lines().count() <= 4, "{shrunk}");
+    }
+
+    #[test]
+    fn fixture_roundtrip_preserves_source_and_meta() {
+        let dir = std::env::temp_dir().join("warp_fuzz_fixture_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.w2");
+        let src = "module m;\nsection s on cells 0..9;\nend;\n";
+        write_fixture(&path, src, &[("seed", "99".into()), ("lanes", "4".into())])
+            .unwrap();
+        let fixture = read_fixture(&path).unwrap();
+        assert_eq!(fixture.source, src);
+        assert_eq!(fixture.get("seed"), Some("99"));
+        assert_eq!(fixture.get("lanes"), Some("4"));
+        fs::remove_file(&path).ok();
+    }
+}

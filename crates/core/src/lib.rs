@@ -18,7 +18,10 @@
 //! * [`parmake`] — the §3.4 parallel-make baseline and the combined
 //!   parallel-make × parallel-compiler mode;
 //! * [`threads`] — real parallel compilation with OS threads (the same
-//!   hierarchy, on today's hardware).
+//!   hierarchy, on today's hardware);
+//! * [`fuzz`] — the differential fuzzing harness: seeded W2 corpora
+//!   run through the strict interpreter, the batched interpreter and
+//!   the static verifier, with shrinking and regression fixtures.
 
 #![warn(missing_docs)]
 
@@ -26,6 +29,7 @@ pub mod costmodel;
 pub mod driver;
 pub mod experiment;
 pub mod fncache;
+pub mod fuzz;
 pub mod katseff;
 pub mod metrics;
 pub mod parmake;

@@ -1,0 +1,988 @@
+//! The batched data-parallel interpreter: N independent cell-program
+//! lanes in struct-of-arrays state.
+//!
+//! The strict [`crate::interp::Cell`] is the semantic reference, but
+//! it is built for one program at a time: every run pays a fresh
+//! image clone, a fresh decode, and three large memory fills, and
+//! every step re-walks heap-allocated bookkeeping. Differential
+//! fuzzing wants to run *thousands* of short programs, which makes the
+//! strict interpreter the throughput bottleneck of the whole harness.
+//!
+//! [`BatchInterp`] removes the per-program overheads without touching
+//! the semantics:
+//!
+//! * **Decode once.** Programs are registered with
+//!   [`BatchInterp::add_program`] and pre-decoded a single time
+//!   ([`crate::decode`]); any number of lanes then execute the decoded
+//!   form. The strict interpreter decodes per `Cell`.
+//! * **Struct-of-arrays lanes.** Registers, poison bits, data memory,
+//!   PCs, and pipelines live in flat slabs indexed by lane. Slabs are
+//!   recycled across [`BatchInterp::reset`] with a dirty-word reset,
+//!   so a long-running fuzzing loop pays the large zero-fills once,
+//!   not once per program.
+//! * **Run-to-completion stepping.** Each lane executes to its halt,
+//!   trap, or budget with the hot scalars (pc, cycle, unit
+//!   reservations) promoted to locals and the per-word commit buffers
+//!   reused, never reallocated. Lanes are stepped to completion one
+//!   at a time rather than in cross-lane lockstep: lockstep execution
+//!   was measured and rejected — with 64+ lanes the combined register
+//!   and pipeline state of all lanes overflows the cache, and every
+//!   lane access becomes a miss, costing far more than the word-fetch
+//!   sharing saves. Lanes share no state, so execution order between
+//!   them is unobservable.
+//! * **Per-lane fault latching.** A trap latches into that lane's
+//!   [`LaneStatus`] — recorded as the exact [`InterpError`] the strict
+//!   interpreter would have returned — and the rest of the batch keeps
+//!   running.
+//!
+//! Lanes model *standalone* cells: outgoing queues are unbounded
+//! (exactly like a fresh `Cell`, whose queue caps are only set by
+//! `ArrayMachine`), and incoming queues hold whatever the
+//! [`LaneInput`] preloaded. Inter-cell arrays stay the business of
+//! [`crate::interp::ArrayMachine`].
+//!
+//! Bit-identity with the strict interpreter is asserted lane-for-lane
+//! by `tests/batch_props.rs` and the fuzzing harness in
+//! `parcc::fuzz`: same halt/trap outcome (including fault kind and
+//! coordinates), same cycle count, and bit-identical registers,
+//! poison bits, memory, and output queues. The value-level semantics
+//! are shared outright via [`crate::exec`]; the step scaffolding
+//! below mirrors `Cell::step` commit-for-commit.
+
+use crate::config::CellConfig;
+use crate::decode::{decode_image, DecodedImage, DecodedOp, DecodedWord};
+use crate::exec;
+use crate::interp::{FaultKind, InterpError, Value, Writeback};
+use crate::isa::{BranchOp, Opcode, Operand, QueueDir, Reg};
+use crate::program::SectionImage;
+use std::collections::VecDeque;
+
+/// Options for the one-shot [`BatchInterp::run`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchOptions {
+    /// Cell configuration every lane runs under.
+    pub config: CellConfig,
+    /// Strict mode (fault on hazards and consumed poison) — the
+    /// default, since the batch engine exists for differential
+    /// testing.
+    pub strict: bool,
+    /// Per-lane cycle budget; a lane still running at the budget traps
+    /// with [`InterpError::CycleLimit`], exactly like
+    /// `Cell::run(max_cycles)`.
+    pub max_cycles: u64,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions { config: CellConfig::default(), strict: true, max_cycles: 1_000_000 }
+    }
+}
+
+/// What to run on one lane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaneInput {
+    /// Index returned by [`BatchInterp::add_program`].
+    pub program: usize,
+    /// Entry function name (looked up like `Cell::prepare_call`).
+    pub function: String,
+    /// Arguments, placed in `r1..`.
+    pub args: Vec<Value>,
+    /// Values preloaded into the lane's left input queue.
+    pub in_left: Vec<Value>,
+    /// Values preloaded into the lane's right input queue.
+    pub in_right: Vec<Value>,
+}
+
+impl LaneInput {
+    /// A lane calling `function` of `program` with `args` and empty
+    /// input queues.
+    pub fn call(program: usize, function: &str, args: Vec<Value>) -> LaneInput {
+        LaneInput {
+            program,
+            function: function.to_string(),
+            args,
+            in_left: Vec::new(),
+            in_right: Vec::new(),
+        }
+    }
+}
+
+/// Where a lane stands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LaneStatus {
+    /// Still executing.
+    Running,
+    /// Halted normally (return with an empty call stack).
+    Halted,
+    /// Latched a trap: the exact error a solo strict-interpreter run
+    /// would have returned, including fault coordinates.
+    Trapped(InterpError),
+}
+
+/// Per-lane summary after [`BatchInterp::execute`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaneReport {
+    /// Final status (never [`LaneStatus::Running`] after `execute`
+    /// unless the lane's budget was `0`).
+    pub status: LaneStatus,
+    /// Cycles executed (stalled cycles included), matching
+    /// `Cell::run`'s return value on a halted lane.
+    pub cycles: u64,
+    /// Cycles spent stalled on an empty input queue.
+    pub stalls: u64,
+}
+
+/// A registered program: its one-time decode plus the entry-point
+/// table needed to arm lanes. The section image itself is *not*
+/// retained — unlike `Cell::new`, registering a program does not cost
+/// an image clone.
+struct BatchProgram {
+    decoded: DecodedImage,
+    fn_names: Vec<String>,
+    fn_params: Vec<u16>,
+}
+
+/// Stop recording dirty memory words (and fall back to a full-slab
+/// reset) once the list would cost more than the fill it avoids.
+fn dirty_limit(mem_words: usize) -> usize {
+    (mem_words / 8).max(64)
+}
+
+/// Struct-of-arrays lane state. Flat slabs (`regs`, `reg_def`, `mem`,
+/// `mem_def`) hold `n_alloc` lane-sized blocks; per-lane vectors keep
+/// their capacity across recycling.
+#[derive(Default)]
+struct Lanes {
+    n_active: usize,
+    n_alloc: usize,
+    program: Vec<u32>,
+    fn_idx: Vec<u32>,
+    pc: Vec<u32>,
+    cycle: Vec<u64>,
+    stalls: Vec<u64>,
+    status: Vec<LaneStatus>,
+    regs: Vec<Value>,
+    reg_def: Vec<bool>,
+    mem: Vec<Value>,
+    mem_def: Vec<bool>,
+    /// Memory words written since the slab was last clean, for the
+    /// cheap recycle; emptied + `dirty_overflow` set when the list
+    /// outgrows [`dirty_limit`].
+    dirty: Vec<Vec<u32>>,
+    dirty_overflow: Vec<bool>,
+    pending: Vec<Vec<Writeback>>,
+    fu_free: Vec<[u64; 7]>,
+    call_stack: Vec<Vec<(u32, u32)>>,
+    in_left: Vec<VecDeque<Value>>,
+    in_right: Vec<VecDeque<Value>>,
+    out_left: Vec<Vec<Value>>,
+    out_right: Vec<Vec<Value>>,
+}
+
+impl Lanes {
+    /// Claims a lane slot, recycling a previously allocated slab when
+    /// one is free (dirty-word reset) or growing the slabs otherwise.
+    fn alloc(&mut self, nr: usize, mw: usize) -> usize {
+        let lane = self.n_active;
+        self.n_active += 1;
+        if lane < self.n_alloc {
+            let rb = lane * nr;
+            self.regs[rb..rb + nr].fill(Value::I(0));
+            self.reg_def[rb..rb + nr].fill(false);
+            let mb = lane * mw;
+            if self.dirty_overflow[lane] {
+                self.mem[mb..mb + mw].fill(Value::I(0));
+                self.mem_def[mb..mb + mw].fill(true);
+            } else {
+                for i in 0..self.dirty[lane].len() {
+                    let a = mb + self.dirty[lane][i] as usize;
+                    self.mem[a] = Value::I(0);
+                    self.mem_def[a] = true;
+                }
+            }
+            self.dirty[lane].clear();
+            self.dirty_overflow[lane] = false;
+            self.pending[lane].clear();
+            self.fu_free[lane] = [0; 7];
+            self.call_stack[lane].clear();
+            self.in_left[lane].clear();
+            self.in_right[lane].clear();
+            self.out_left[lane].clear();
+            self.out_right[lane].clear();
+            self.program[lane] = 0;
+            self.fn_idx[lane] = 0;
+            self.pc[lane] = 0;
+            self.cycle[lane] = 0;
+            self.stalls[lane] = 0;
+            self.status[lane] = LaneStatus::Running;
+        } else {
+            self.n_alloc += 1;
+            self.program.push(0);
+            self.fn_idx.push(0);
+            self.pc.push(0);
+            self.cycle.push(0);
+            self.stalls.push(0);
+            self.status.push(LaneStatus::Running);
+            self.regs.resize(self.n_alloc * nr, Value::I(0));
+            self.reg_def.resize(self.n_alloc * nr, false);
+            self.mem.resize(self.n_alloc * mw, Value::I(0));
+            // Zero-filled data memory is defined by design, matching
+            // `Cell::new`.
+            self.mem_def.resize(self.n_alloc * mw, true);
+            self.dirty.push(Vec::new());
+            self.dirty_overflow.push(false);
+            self.pending.push(Vec::new());
+            self.fu_free.push([0; 7]);
+            self.call_stack.push(Vec::new());
+            self.in_left.push(VecDeque::new());
+            self.in_right.push(VecDeque::new());
+            self.out_left.push(Vec::new());
+            self.out_right.push(Vec::new());
+        }
+        lane
+    }
+}
+
+/// Executes one op for one lane: hazard check, unit reservation, then
+/// effect into the word's commit buffers. The order of checks and
+/// side effects is exactly that of the op loop in `Cell::step`; on
+/// `Err` the caller latches the trap, and the partial unit
+/// reservations / queue pops persist, as they do in the strict
+/// interpreter.
+#[expect(clippy::too_many_arguments)]
+#[inline(always)]
+fn lane_op(
+    op: &DecodedOp,
+    strict: bool,
+    cycle: u64,
+    nr: usize,
+    mw: usize,
+    fu_free: &mut [u64; 7],
+    regs: &[Value],
+    reg_def: &[bool],
+    mem: &[Value],
+    mem_def: &[bool],
+    in_left: &mut VecDeque<Value>,
+    in_right: &mut VecDeque<Value>,
+    pending: &mut Vec<Writeback>,
+    next_due: &mut u64,
+    mem_write: &mut Option<(usize, Value, bool)>,
+    queue_push: &mut Option<(QueueDir, Value)>,
+) -> Result<(), FaultKind> {
+    let slot = usize::from(op.slot);
+    if strict && fu_free[slot] > cycle {
+        return Err(FaultKind::StructuralHazard(op.fu));
+    }
+    fu_free[slot] = cycle + op.init_interval;
+
+    let result = match op.opcode {
+        Opcode::Store => {
+            exec::require_def(strict, reg_def, op.a)?;
+            let addr = exec::mem_addr(mw, exec::read_operand(regs, op.a)?)?;
+            let v = exec::read_operand(regs, op.b)?;
+            *mem_write = Some((addr, v, exec::operand_def(reg_def, op.b)));
+            None
+        }
+        Opcode::Send(dir) => {
+            // The value leaves the cell: undefinedness would become
+            // visible, so it must be defined.
+            exec::require_def(strict, reg_def, op.a)?;
+            let v = exec::read_operand(regs, op.a)?;
+            *queue_push = Some((dir, v));
+            None
+        }
+        Opcode::Recv(dir) => {
+            // Checked nonempty by the stall check; popped now, visible
+            // at writeback like any other result.
+            let v = match dir {
+                QueueDir::Left => in_left.pop_front(),
+                QueueDir::Right => in_right.pop_front(),
+            };
+            Some((v.expect("stall check guarantees a value"), true))
+        }
+        _ => Some(exec::compute(strict, regs, reg_def, mem, mem_def, op)?),
+    };
+    if let (Some(dst), Some((v, def))) = (op.dst, result) {
+        if usize::from(dst.0) >= nr {
+            return Err(FaultKind::BadRegister(dst));
+        }
+        // Pushed straight onto the pipeline; the caller truncates back
+        // to the word's base on a fault, which is the same observable
+        // behaviour as `Cell::step` discarding its local `reg_writes`.
+        let due = cycle + op.latency;
+        *next_due = (*next_due).min(due);
+        pending.push((due, dst, v, def));
+    }
+    Ok(())
+}
+
+/// Runs one lane until it halts, traps, or exhausts `max_cycles`
+/// cycles (counted from where the lane stands, like `Cell::run`).
+///
+/// The hot per-lane scalars live in locals for the whole run and are
+/// stored back to the struct-of-arrays state once at the end; the
+/// cycle loop itself mirrors `Cell::step` check-for-check and
+/// commit-for-commit.
+fn run_lane(
+    prog: &BatchProgram,
+    lanes: &mut Lanes,
+    nr: usize,
+    mw: usize,
+    strict: bool,
+    lane: usize,
+    max_cycles: u64,
+) {
+    let rb = lane * nr;
+    let mb = lane * mw;
+    let Lanes {
+        fn_idx,
+        pc,
+        cycle,
+        stalls,
+        status,
+        regs,
+        reg_def,
+        mem,
+        mem_def,
+        dirty,
+        dirty_overflow,
+        pending,
+        fu_free,
+        call_stack,
+        in_left,
+        in_right,
+        out_left,
+        out_right,
+        ..
+    } = lanes;
+    let regs = &mut regs[rb..rb + nr];
+    let reg_def = &mut reg_def[rb..rb + nr];
+    let mem = &mut mem[mb..mb + mw];
+    let mem_def = &mut mem_def[mb..mb + mw];
+    let pending = &mut pending[lane];
+    let dirty = &mut dirty[lane];
+    let dirty_overflow = &mut dirty_overflow[lane];
+    let call_stack = &mut call_stack[lane];
+    let in_left = &mut in_left[lane];
+    let in_right = &mut in_right[lane];
+    let out_left = &mut out_left[lane];
+    let out_right = &mut out_right[lane];
+    let mut fu = fu_free[lane];
+    let mut f = fn_idx[lane] as usize;
+    let mut p = pc[lane] as usize;
+    let mut cyc = cycle[lane];
+    let mut stl = stalls[lane];
+    let start = cyc;
+    // Earliest landing cycle in the pipeline, so quiet cycles skip the
+    // writeback scan entirely.
+    let mut next_due = pending.iter().map(|w| w.0).min().unwrap_or(u64::MAX);
+
+    let functions = &prog.decoded.functions;
+    let n_functions = functions.len();
+    let mut words: &[DecodedWord] = match functions.get(f) {
+        Some(func) => &func.words,
+        None => &[],
+    };
+
+    let outcome = 'run: loop {
+        if cyc - start >= max_cycles {
+            break LaneStatus::Trapped(InterpError::CycleLimit { limit: max_cycles });
+        }
+        // Writebacks land at the start of the cycle (in-order
+        // scan-and-remove, like `Cell::apply_due_writebacks`), before
+        // the fetch can fault.
+        if cyc >= next_due {
+            let mut i = 0;
+            next_due = u64::MAX;
+            while i < pending.len() {
+                if pending[i].0 <= cyc {
+                    let (_, r, v, def) = pending.remove(i);
+                    regs[usize::from(r.0)] = v;
+                    reg_def[usize::from(r.0)] = def;
+                } else {
+                    next_due = next_due.min(pending[i].0);
+                    i += 1;
+                }
+            }
+        }
+        let Some(word) = words.get(p) else {
+            break LaneStatus::Trapped(InterpError::Fault {
+                function: f,
+                pc: p,
+                kind: FaultKind::PcOutOfBounds,
+            });
+        };
+        // Stall check before any side effect. Lanes are standalone
+        // cells: outgoing queues are unbounded, so only `Recv` can
+        // stall; a starved lane spins until the budget trips.
+        if word.has_queue_op {
+            let mut stalled = false;
+            for op in word.ops.iter() {
+                if let Opcode::Recv(dir) = op.opcode {
+                    let empty = match dir {
+                        QueueDir::Left => in_left.is_empty(),
+                        QueueDir::Right => in_right.is_empty(),
+                    };
+                    if empty {
+                        stalled = true;
+                        break;
+                    }
+                }
+            }
+            if stalled {
+                cyc += 1;
+                stl += 1;
+                continue 'run;
+            }
+        }
+
+        // Writebacks of this word go straight onto the pipeline; on a
+        // fault anywhere in the word (ops or branch) they are
+        // truncated away again, matching `Cell::step`, whose local
+        // `reg_writes` only reaches the pipeline at commit.
+        let base = pending.len();
+        let mut mem_write: Option<(usize, Value, bool)> = None;
+        let mut queue_push: Option<(QueueDir, Value)> = None;
+        for op in word.ops.iter() {
+            if let Err(kind) = lane_op(
+                op, strict, cyc, nr, mw, &mut fu, regs, reg_def, mem, mem_def, in_left,
+                in_right, pending, &mut next_due, &mut mem_write, &mut queue_push,
+            ) {
+                pending.truncate(base);
+                break 'run LaneStatus::Trapped(InterpError::Fault { function: f, pc: p, kind });
+            }
+        }
+
+        // The branch condition reads the same cycle-start state as the
+        // rest of the word.
+        let mut next_f = f;
+        let mut next_p = p + 1;
+        let mut halt = false;
+        match word.branch {
+            None => {}
+            Some(BranchOp::Jump(t)) => next_p = t as usize,
+            Some(BranchOp::BrTrue(r, t)) => {
+                // An undefined condition means control flow the
+                // program never decided — consume, so strict faults.
+                if let Err(kind) = exec::require_def(strict, reg_def, Some(Operand::Reg(r))) {
+                    pending.truncate(base);
+                    break 'run LaneStatus::Trapped(InterpError::Fault {
+                        function: f,
+                        pc: p,
+                        kind,
+                    });
+                }
+                let i = usize::from(r.0);
+                if i >= nr {
+                    pending.truncate(base);
+                    break 'run LaneStatus::Trapped(InterpError::Fault {
+                        function: f,
+                        pc: p,
+                        kind: FaultKind::BadRegister(r),
+                    });
+                }
+                if regs[i].truthy() {
+                    next_p = t as usize;
+                }
+            }
+            Some(BranchOp::Call(t)) => {
+                if t as usize >= n_functions {
+                    pending.truncate(base);
+                    break 'run LaneStatus::Trapped(InterpError::Fault {
+                        function: f,
+                        pc: p,
+                        kind: FaultKind::BadCallTarget(t),
+                    });
+                }
+                call_stack.push((f as u32, (p + 1) as u32));
+                next_f = t as usize;
+                next_p = 0;
+            }
+            Some(BranchOp::Ret) => match call_stack.pop() {
+                Some((rf, rp)) => {
+                    next_f = rf as usize;
+                    next_p = rp as usize;
+                }
+                None => halt = true,
+            },
+        }
+
+        // Commit.
+        if let Some((addr, v, def)) = mem_write {
+            mem[addr] = v;
+            mem_def[addr] = def;
+            if !*dirty_overflow {
+                if dirty.len() >= dirty_limit(mw) {
+                    dirty.clear();
+                    *dirty_overflow = true;
+                } else {
+                    dirty.push(addr as u32);
+                }
+            }
+        }
+        if let Some((dir, v)) = queue_push {
+            match dir {
+                QueueDir::Left => out_left.push(v),
+                QueueDir::Right => out_right.push(v),
+            }
+        }
+        if next_f != f {
+            f = next_f;
+            // Calls are bounds-checked above and returns only pop
+            // previously valid indices.
+            words = &functions[f].words;
+        }
+        p = next_p;
+        cyc += 1;
+        if halt {
+            // Drain the pipeline in issue order, like
+            // `Cell::drain_writebacks`.
+            for &(_, r, v, def) in pending.iter() {
+                regs[usize::from(r.0)] = v;
+                reg_def[usize::from(r.0)] = def;
+            }
+            pending.clear();
+            break LaneStatus::Halted;
+        }
+    };
+
+    fn_idx[lane] = f as u32;
+    pc[lane] = p as u32;
+    cycle[lane] = cyc;
+    stalls[lane] = stl;
+    fu_free[lane] = fu;
+    status[lane] = outcome;
+}
+
+/// The batched interpreter. See the module docs for the execution
+/// model; the expected life cycle is
+/// [`add_program`](BatchInterp::add_program) →
+/// [`add_lane`](BatchInterp::add_lane)× →
+/// [`execute`](BatchInterp::execute) → inspect, optionally
+/// [`reset`](BatchInterp::reset) and go again reusing the slabs — or
+/// the one-shot [`BatchInterp::run`].
+pub struct BatchInterp {
+    config: CellConfig,
+    strict: bool,
+    programs: Vec<BatchProgram>,
+    lanes: Lanes,
+}
+
+impl BatchInterp {
+    /// An empty batch under `config`.
+    pub fn new(config: CellConfig, strict: bool) -> BatchInterp {
+        BatchInterp { config, strict, programs: Vec::new(), lanes: Lanes::default() }
+    }
+
+    /// Registers a linked section image, validating it exactly like
+    /// `Cell::new` and decoding it once. Returns the program index for
+    /// [`LaneInput::program`].
+    pub fn add_program(&mut self, image: &SectionImage) -> Result<usize, InterpError> {
+        let code_words = u64::from(image.code_words());
+        if code_words > u64::from(self.config.inst_mem_words) {
+            return Err(InterpError::CodeTooLarge {
+                needed: code_words,
+                available: self.config.inst_mem_words,
+            });
+        }
+        if u64::from(image.data_words) > u64::from(self.config.data_mem_words) {
+            return Err(InterpError::DataTooLarge {
+                needed: u64::from(image.data_words),
+                available: self.config.data_mem_words,
+            });
+        }
+        if let Some(unlinked) = image.functions.iter().find(|f| !f.is_linked()) {
+            return Err(InterpError::Unlinked(unlinked.name.clone()));
+        }
+        let decoded = decode_image(image);
+        self.programs.push(BatchProgram {
+            decoded,
+            fn_names: image.functions.iter().map(|f| f.name.clone()).collect(),
+            fn_params: image.functions.iter().map(|f| f.param_count).collect(),
+        });
+        Ok(self.programs.len() - 1)
+    }
+
+    /// Adds a lane, arming it like `Cell::prepare_call`: the entry
+    /// function is resolved by name and arity-checked, arguments land
+    /// in `r1..` as defined values, and the input queues are
+    /// preloaded. Returns the lane index.
+    pub fn add_lane(&mut self, input: &LaneInput) -> Result<usize, InterpError> {
+        assert!(input.program < self.programs.len(), "unknown program index {}", input.program);
+        let prog = &self.programs[input.program];
+        let idx = prog
+            .fn_names
+            .iter()
+            .position(|n| *n == input.function)
+            .ok_or_else(|| InterpError::UnknownFunction(input.function.clone()))?;
+        let expected = prog.fn_params[idx];
+        if usize::from(expected) != input.args.len() {
+            return Err(InterpError::ArityMismatch {
+                name: input.function.clone(),
+                expected,
+                got: input.args.len(),
+            });
+        }
+        let nr = usize::from(self.config.num_regs);
+        let mw = self.config.data_mem_words as usize;
+        let lane = self.lanes.alloc(nr, mw);
+        self.lanes.program[lane] = input.program as u32;
+        self.lanes.fn_idx[lane] = idx as u32;
+        let rb = lane * nr;
+        for (i, &v) in input.args.iter().enumerate() {
+            let r = usize::from(Reg::arg(i as u16).0);
+            self.lanes.regs[rb + r] = v;
+            self.lanes.reg_def[rb + r] = true;
+        }
+        self.lanes.in_left[lane].extend(input.in_left.iter().copied());
+        self.lanes.in_right[lane].extend(input.in_right.iter().copied());
+        Ok(lane)
+    }
+
+    /// Runs every running lane until it halts, traps, or exhausts the
+    /// per-lane `max_cycles` budget (then it traps with
+    /// [`InterpError::CycleLimit`], like `Cell::run`).
+    pub fn execute(&mut self, max_cycles: u64) {
+        let nr = usize::from(self.config.num_regs);
+        let mw = self.config.data_mem_words as usize;
+        for lane in 0..self.lanes.n_active {
+            if !matches!(self.lanes.status[lane], LaneStatus::Running) {
+                continue;
+            }
+            let prog = &self.programs[self.lanes.program[lane] as usize];
+            run_lane(prog, &mut self.lanes, nr, mw, self.strict, lane, max_cycles);
+        }
+    }
+
+    /// One-shot convenience: register `programs`, add one lane per
+    /// input, execute, and return the finished batch for inspection.
+    pub fn run(
+        programs: &[SectionImage],
+        inputs: &[LaneInput],
+        opts: &BatchOptions,
+    ) -> Result<BatchInterp, InterpError> {
+        let mut batch = BatchInterp::new(opts.config, opts.strict);
+        for image in programs {
+            batch.add_program(image)?;
+        }
+        for input in inputs {
+            batch.add_lane(input)?;
+        }
+        batch.execute(opts.max_cycles);
+        Ok(batch)
+    }
+
+    /// Forgets all programs and lanes but keeps the lane slabs for
+    /// recycling — the cheap way to fuzz in chunks.
+    pub fn reset(&mut self) {
+        self.programs.clear();
+        self.lanes.n_active = 0;
+    }
+
+    /// Number of active lanes.
+    pub fn lane_count(&self) -> usize {
+        self.lanes.n_active
+    }
+
+    /// The configuration the batch was built with.
+    pub fn config(&self) -> &CellConfig {
+        &self.config
+    }
+
+    /// The lane's status.
+    pub fn status(&self, lane: usize) -> &LaneStatus {
+        assert!(lane < self.lanes.n_active, "lane {lane} out of range");
+        &self.lanes.status[lane]
+    }
+
+    /// The lane's summary.
+    pub fn report(&self, lane: usize) -> LaneReport {
+        LaneReport {
+            status: self.status(lane).clone(),
+            cycles: self.lanes.cycle[lane],
+            stalls: self.lanes.stalls[lane],
+        }
+    }
+
+    /// Host-side register read with `Cell::reg` semantics: undefined
+    /// registers fault in strict mode, since a value the program never
+    /// produced is about to become visible.
+    pub fn reg(&self, lane: usize, r: Reg) -> Result<Value, InterpError> {
+        assert!(lane < self.lanes.n_active, "lane {lane} out of range");
+        let nr = usize::from(self.config.num_regs);
+        let i = usize::from(r.0);
+        let fault = |kind| InterpError::Fault {
+            function: self.lanes.fn_idx[lane] as usize,
+            pc: self.lanes.pc[lane] as usize,
+            kind,
+        };
+        if i >= nr {
+            return Err(fault(FaultKind::BadRegister(r)));
+        }
+        if !self.lanes.reg_def[lane * nr + i] && self.strict {
+            return Err(fault(FaultKind::UninitializedRead(r)));
+        }
+        Ok(self.lanes.regs[lane * nr + i])
+    }
+
+    /// The lane's raw register file and poison bits.
+    pub fn lane_regs(&self, lane: usize) -> (&[Value], &[bool]) {
+        assert!(lane < self.lanes.n_active, "lane {lane} out of range");
+        let nr = usize::from(self.config.num_regs);
+        (
+            &self.lanes.regs[lane * nr..(lane + 1) * nr],
+            &self.lanes.reg_def[lane * nr..(lane + 1) * nr],
+        )
+    }
+
+    /// The lane's raw data memory and poison bits.
+    pub fn lane_mem(&self, lane: usize) -> (&[Value], &[bool]) {
+        assert!(lane < self.lanes.n_active, "lane {lane} out of range");
+        let mw = self.config.data_mem_words as usize;
+        (
+            &self.lanes.mem[lane * mw..(lane + 1) * mw],
+            &self.lanes.mem_def[lane * mw..(lane + 1) * mw],
+        )
+    }
+
+    /// Values the lane sent towards its left neighbour, in order.
+    pub fn out_left(&self, lane: usize) -> &[Value] {
+        assert!(lane < self.lanes.n_active, "lane {lane} out of range");
+        &self.lanes.out_left[lane]
+    }
+
+    /// Values the lane sent towards its right neighbour, in order.
+    pub fn out_right(&self, lane: usize) -> &[Value] {
+        assert!(lane < self.lanes.n_active, "lane {lane} out of range");
+        &self.lanes.out_right[lane]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fu::FuKind;
+    use crate::interp::{Cell, StepOutcome};
+    use crate::isa::Op;
+    use crate::program::{FunctionImage, SectionImage};
+    use crate::word::InstructionWord;
+
+    fn word(places: &[(FuKind, Op)], branch: Option<BranchOp>) -> InstructionWord {
+        let mut w = InstructionWord::new();
+        for &(fu, op) in places {
+            w.place(fu, op).expect("free slot");
+        }
+        w.branch = branch;
+        w
+    }
+
+    fn section(code: Vec<InstructionWord>, param_count: u16) -> SectionImage {
+        SectionImage {
+            name: "s".into(),
+            first_cell: 0,
+            last_cell: 0,
+            functions: vec![FunctionImage {
+                name: "f".into(),
+                code,
+                data_words: 16,
+                param_count,
+                returns_value: true,
+                call_relocs: vec![],
+            }],
+            data_bases: vec![0],
+            data_words: 16,
+            entry: 0,
+        }
+    }
+
+    fn mov(dst: Reg, v: Operand) -> Op {
+        Op::new1(Opcode::Move, dst, v)
+    }
+
+    /// A tiny program: r0 := arg * 2 + 1 (integer), then return.
+    fn double_inc() -> SectionImage {
+        let mul = Op::new2(Opcode::IMul, Reg(10), Operand::Reg(Reg(1)), Operand::ImmI(2));
+        let add = Op::new2(Opcode::IAdd, Reg(0), Operand::Reg(Reg(10)), Operand::ImmI(1));
+        section(
+            vec![
+                word(&[(FuKind::Alu, mul)], None),
+                word(&[(FuKind::Alu, add)], None),
+                InstructionWord::branch_only(BranchOp::Ret),
+            ],
+            1,
+        )
+    }
+
+    #[test]
+    fn lanes_match_solo_strict_runs() {
+        let img = double_inc();
+        let inputs: Vec<LaneInput> =
+            (0..17).map(|i| LaneInput::call(0, "f", vec![Value::I(i)])).collect();
+        let batch =
+            BatchInterp::run(std::slice::from_ref(&img), &inputs, &BatchOptions::default())
+                .unwrap();
+        for (lane, input) in inputs.iter().enumerate() {
+            let mut cell = Cell::new(CellConfig::default(), img.clone()).unwrap();
+            cell.set_strict(true);
+            cell.prepare_call("f", &input.args).unwrap();
+            let cycles = cell.run(1_000_000).unwrap();
+            let report = batch.report(lane);
+            assert_eq!(report.status, LaneStatus::Halted, "lane {lane}");
+            assert_eq!(report.cycles, cycles, "lane {lane}");
+            assert_eq!(batch.reg(lane, Reg::RET).unwrap(), cell.reg(Reg::RET).unwrap());
+        }
+    }
+
+    #[test]
+    fn one_lane_trap_does_not_stop_the_batch() {
+        let div = Op::new2(Opcode::IDiv, Reg(0), Operand::ImmI(10), Operand::Reg(Reg(1)));
+        let img = section(
+            vec![word(&[(FuKind::Alu, div)], None), InstructionWord::branch_only(BranchOp::Ret)],
+            1,
+        );
+        let inputs = vec![
+            LaneInput::call(0, "f", vec![Value::I(5)]),
+            LaneInput::call(0, "f", vec![Value::I(0)]), // divides by zero
+            LaneInput::call(0, "f", vec![Value::I(2)]),
+        ];
+        let batch = BatchInterp::run(&[img], &inputs, &BatchOptions::default()).unwrap();
+        assert_eq!(*batch.status(0), LaneStatus::Halted);
+        assert_eq!(
+            *batch.status(1),
+            LaneStatus::Trapped(InterpError::Fault {
+                function: 0,
+                pc: 0,
+                kind: FaultKind::DivisionByZero
+            })
+        );
+        assert_eq!(*batch.status(2), LaneStatus::Halted);
+        assert_eq!(batch.reg(0, Reg::RET).unwrap(), Value::I(2));
+        assert_eq!(batch.reg(2, Reg::RET).unwrap(), Value::I(5));
+    }
+
+    #[test]
+    fn starved_recv_traps_with_cycle_limit() {
+        let recv =
+            Op { opcode: Opcode::Recv(QueueDir::Left), dst: Some(Reg(0)), a: None, b: None };
+        let img = section(
+            vec![word(&[(FuKind::Queue, recv)], None), InstructionWord::branch_only(BranchOp::Ret)],
+            0,
+        );
+        let fed = LaneInput {
+            in_left: vec![Value::F(2.5)],
+            ..LaneInput::call(0, "f", vec![])
+        };
+        let starved = LaneInput::call(0, "f", vec![]);
+        let opts = BatchOptions { max_cycles: 50, ..BatchOptions::default() };
+        let batch = BatchInterp::run(&[img], &[fed, starved], &opts).unwrap();
+        assert_eq!(*batch.status(0), LaneStatus::Halted);
+        assert_eq!(batch.reg(0, Reg::RET).unwrap(), Value::F(2.5));
+        assert_eq!(
+            *batch.status(1),
+            LaneStatus::Trapped(InterpError::CycleLimit { limit: 50 })
+        );
+        assert_eq!(batch.report(1).stalls, 50);
+    }
+
+    #[test]
+    fn reset_recycles_slabs_to_a_clean_state() {
+        // First generation stores into memory; after reset, a fresh
+        // lane must read zeros again.
+        let store = Op {
+            opcode: Opcode::Store,
+            dst: None,
+            a: Some(Operand::ImmI(3)),
+            b: Some(Operand::ImmF(9.5)),
+        };
+        let writer = section(
+            vec![word(&[(FuKind::Mem, store)], None), InstructionWord::branch_only(BranchOp::Ret)],
+            0,
+        );
+        let load = Op::new1(Opcode::Load, Reg(0), Operand::ImmI(3));
+        let reader = section(
+            vec![
+                word(&[(FuKind::Mem, load)], None),
+                InstructionWord::new(),
+                InstructionWord::branch_only(BranchOp::Ret),
+            ],
+            0,
+        );
+        let mut batch = BatchInterp::new(CellConfig::default(), true);
+        let w = batch.add_program(&writer).unwrap();
+        batch.add_lane(&LaneInput::call(w, "f", vec![])).unwrap();
+        batch.execute(100);
+        assert_eq!(batch.lane_mem(0).0[3], Value::F(9.5));
+        batch.reset();
+        let r = batch.add_program(&reader).unwrap();
+        batch.add_lane(&LaneInput::call(r, "f", vec![])).unwrap();
+        batch.execute(100);
+        assert_eq!(*batch.status(0), LaneStatus::Halted);
+        assert_eq!(batch.reg(0, Reg::RET).unwrap(), Value::I(0));
+    }
+
+    #[test]
+    fn divergent_lanes_still_match_strict_runs() {
+        // A data-dependent loop: lanes with different trip counts.
+        let dec = Op::new2(Opcode::ISub, Reg(1), Operand::Reg(Reg(1)), Operand::ImmI(1));
+        let acc = Op::new2(Opcode::IAdd, Reg(0), Operand::Reg(Reg(0)), Operand::ImmI(3));
+        let init = mov(Reg(0), Operand::ImmI(0));
+        let img = section(
+            vec![
+                word(&[(FuKind::Alu, init)], None),
+                word(&[(FuKind::Alu, dec), (FuKind::Agu, acc)], None),
+                word(&[], Some(BranchOp::BrTrue(Reg(1), 1))),
+                InstructionWord::branch_only(BranchOp::Ret),
+            ],
+            1,
+        );
+        let inputs: Vec<LaneInput> = [7, 1, 12, 3, 3, 9]
+            .iter()
+            .map(|&n| LaneInput::call(0, "f", vec![Value::I(n)]))
+            .collect();
+        let batch = BatchInterp::run(std::slice::from_ref(&img), &inputs, &BatchOptions::default())
+            .unwrap();
+        for (lane, input) in inputs.iter().enumerate() {
+            let mut cell = Cell::new(CellConfig::default(), img.clone()).unwrap();
+            cell.set_strict(true);
+            cell.prepare_call("f", &input.args).unwrap();
+            let cycles = cell.run(1_000_000).unwrap();
+            assert_eq!(batch.report(lane).cycles, cycles, "lane {lane}");
+            assert_eq!(
+                batch.reg(lane, Reg::RET).unwrap(),
+                cell.reg(Reg::RET).unwrap(),
+                "lane {lane}"
+            );
+            // Full register-file and poison-bit identity.
+            let (regs, defs) = batch.lane_regs(lane);
+            for (ri, (&bv, &bd)) in regs.iter().zip(defs.iter()).enumerate() {
+                let r = Reg(ri as u16);
+                let cd = cell.reg(r).is_ok();
+                assert_eq!(bd, cd, "lane {lane} def of {r}");
+                if bd {
+                    assert_eq!(bv.to_bits(), cell.reg(r).unwrap().to_bits(), "lane {lane} {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stalled_step_matches_cell_semantics() {
+        // The cycle counter advances on a stall but nothing else
+        // happens — mirrors the `Cell` unit test.
+        let recv =
+            Op { opcode: Opcode::Recv(QueueDir::Left), dst: Some(Reg(12)), a: None, b: None };
+        let code = vec![
+            word(&[(FuKind::Queue, recv)], None),
+            InstructionWord::branch_only(BranchOp::Ret),
+        ];
+        let img = section(code.clone(), 0);
+        let mut cell = Cell::new(CellConfig::default(), img.clone()).unwrap();
+        cell.prepare_call("f", &[]).unwrap();
+        assert_eq!(cell.step().unwrap(), StepOutcome::Stalled);
+        let opts = BatchOptions { strict: false, max_cycles: 7, ..BatchOptions::default() };
+        let batch = BatchInterp::run(&[img], &[LaneInput::call(0, "f", vec![])], &opts).unwrap();
+        let report = batch.report(0);
+        assert_eq!(report.cycles, 7);
+        assert_eq!(report.stalls, 7);
+    }
+}

@@ -1,0 +1,221 @@
+//! Pre-decoded instruction words, shared by the strict interpreter and
+//! the batched interpreter.
+//!
+//! [`crate::interp::Cell`] used to re-interpret the raw
+//! [`InstructionWord`] on every cycle: iterate the seven option slots,
+//! look up each opcode's timing, and copy the whole word out of the
+//! image. That work is identical on every execution of the same word,
+//! so it is hoisted here: [`decode_image`] runs once per
+//! [`SectionImage`] and produces a [`DecodedImage`] whose words carry
+//! their placed operations densely, in slot order, with the slot index
+//! and timing already resolved. Both execution engines — the
+//! cycle-accurate [`crate::interp::Cell`] and the data-parallel
+//! [`crate::batch::BatchInterp`] — fetch from the decoded form, so a
+//! word is decoded exactly once no matter how many cycles or lanes
+//! execute it.
+//!
+//! Decode is a *pure reshaping*: no operand is altered, no op is
+//! reordered, and the branch slot is copied verbatim. The golden test
+//! in `tests/decode_golden.rs` pins this equivalence against both a
+//! committed fixture and freshly compiled workloads.
+
+use crate::fu::FuKind;
+use crate::isa::{BranchOp, Op, Opcode, Operand, Reg};
+use crate::program::SectionImage;
+use crate::word::InstructionWord;
+
+/// One placed operation with its slot and timing resolved at decode
+/// time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecodedOp {
+    /// The functional unit the op is placed on.
+    pub fu: FuKind,
+    /// `fu.slot_index()`, precomputed for the hazard table.
+    pub slot: u8,
+    /// The opcode.
+    pub opcode: Opcode,
+    /// Destination register, if the op produces a value.
+    pub dst: Option<Reg>,
+    /// First operand.
+    pub a: Option<Operand>,
+    /// Second operand.
+    pub b: Option<Operand>,
+    /// `opcode.timing().latency`, widened to cycle arithmetic.
+    pub latency: u64,
+    /// `opcode.timing().initiation_interval`, widened likewise.
+    pub init_interval: u64,
+}
+
+/// A pre-decoded instruction word: the placed operations densely in
+/// slot order, plus the branch slot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodedWord {
+    /// Placed operations in slot order (the order
+    /// [`InstructionWord::ops`] yields them).
+    pub ops: Box<[DecodedOp]>,
+    /// The branch slot, copied verbatim.
+    pub branch: Option<BranchOp>,
+    /// `true` if any op is a `Send` or `Recv` — only such words can
+    /// stall, so engines skip the stall check otherwise.
+    pub has_queue_op: bool,
+}
+
+/// A pre-decoded function: one [`DecodedWord`] per instruction word.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodedFunction {
+    /// The decoded words, parallel to `FunctionImage::code`.
+    pub words: Box<[DecodedWord]>,
+}
+
+/// A pre-decoded section image: one [`DecodedFunction`] per function,
+/// parallel to [`SectionImage::functions`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodedImage {
+    /// The decoded functions.
+    pub functions: Box<[DecodedFunction]>,
+}
+
+/// Decodes one placed operation.
+pub fn decode_op(fu: FuKind, op: &Op) -> DecodedOp {
+    let timing = op.opcode.timing();
+    DecodedOp {
+        fu,
+        slot: fu.slot_index() as u8,
+        opcode: op.opcode,
+        dst: op.dst,
+        a: op.a,
+        b: op.b,
+        latency: u64::from(timing.latency),
+        init_interval: u64::from(timing.initiation_interval),
+    }
+}
+
+/// Decodes one instruction word.
+pub fn decode_word(word: &InstructionWord) -> DecodedWord {
+    let ops: Vec<DecodedOp> = word.ops().map(|(fu, op)| decode_op(fu, op)).collect();
+    let has_queue_op = ops
+        .iter()
+        .any(|op| matches!(op.opcode, Opcode::Send(_) | Opcode::Recv(_)));
+    DecodedWord { ops: ops.into_boxed_slice(), branch: word.branch, has_queue_op }
+}
+
+/// Decodes every word of every function of a linked section image.
+pub fn decode_image(image: &SectionImage) -> DecodedImage {
+    let functions = image
+        .functions
+        .iter()
+        .map(|f| DecodedFunction {
+            words: f.code.iter().map(decode_word).collect::<Vec<_>>().into_boxed_slice(),
+        })
+        .collect::<Vec<_>>()
+        .into_boxed_slice();
+    DecodedImage { functions }
+}
+
+impl DecodedWord {
+    /// A one-line listing of the decoded word, used by the golden
+    /// decode fixture: each op as
+    /// `slot:unit mnemonic dst, a, b (lat/ii)`, then the branch.
+    pub fn listing(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::from("[");
+        let mut first = true;
+        for op in self.ops.iter() {
+            if !first {
+                s.push_str(" | ");
+            }
+            let _ = write!(s, "{}:{} {} ", op.slot, op.fu, op.opcode.mnemonic());
+            match op.dst {
+                Some(r) => {
+                    let _ = write!(s, "{r}");
+                }
+                None => s.push('_'),
+            }
+            for o in op.a.iter().chain(op.b.iter()) {
+                let _ = write!(s, ", {o}");
+            }
+            let _ = write!(s, " ({}/{})", op.latency, op.init_interval);
+            first = false;
+        }
+        if let Some(b) = &self.branch {
+            if !first {
+                s.push_str(" | ");
+            }
+            let _ = write!(s, "br: {b}");
+            first = false;
+        }
+        if first {
+            s.push_str("nop");
+        }
+        s.push(']');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{CmpKind, QueueDir};
+
+    fn word_with(ops: &[(FuKind, Op)], branch: Option<BranchOp>) -> InstructionWord {
+        let mut w = InstructionWord::new();
+        for &(fu, op) in ops {
+            w.place(fu, op).expect("free slot");
+        }
+        w.branch = branch;
+        w
+    }
+
+    #[test]
+    fn decode_preserves_ops_order_and_timing() {
+        let fadd = Op::new2(Opcode::FAdd, Reg(9), Operand::Reg(Reg(1)), Operand::ImmF(2.0));
+        let idiv = Op::new2(Opcode::IDiv, Reg(10), Operand::ImmI(9), Operand::ImmI(3));
+        let w = word_with(
+            &[(FuKind::Alu, idiv), (FuKind::FAdd, fadd)],
+            Some(BranchOp::BrTrue(Reg(3), 7)),
+        );
+        let d = decode_word(&w);
+        // Slot order: FAdd (slot 0) before Alu (slot 2).
+        assert_eq!(d.ops.len(), 2);
+        assert_eq!(d.ops[0].fu, FuKind::FAdd);
+        assert_eq!(d.ops[0].slot, 0);
+        assert_eq!(d.ops[0].latency, 5);
+        assert_eq!(d.ops[0].init_interval, 1);
+        assert_eq!(d.ops[1].fu, FuKind::Alu);
+        assert_eq!(d.ops[1].opcode, Opcode::IDiv);
+        assert_eq!(d.ops[1].latency, 8);
+        assert_eq!(d.ops[1].init_interval, 8);
+        assert_eq!(d.branch, Some(BranchOp::BrTrue(Reg(3), 7)));
+        assert!(!d.has_queue_op);
+        // Every decoded field round-trips from the word's own ops.
+        for ((fu, op), dop) in w.ops().zip(d.ops.iter()) {
+            assert_eq!(dop.fu, fu);
+            assert_eq!(dop.opcode, op.opcode);
+            assert_eq!(dop.dst, op.dst);
+            assert_eq!(dop.a, op.a);
+            assert_eq!(dop.b, op.b);
+            assert_eq!(dop.latency, u64::from(op.opcode.timing().latency));
+        }
+    }
+
+    #[test]
+    fn queue_ops_are_flagged() {
+        let recv =
+            Op { opcode: Opcode::Recv(QueueDir::Left), dst: Some(Reg(4)), a: None, b: None };
+        let d = decode_word(&word_with(&[(FuKind::Queue, recv)], None));
+        assert!(d.has_queue_op);
+        let mov = Op::new1(Opcode::Move, Reg(4), Operand::ImmI(1));
+        let d = decode_word(&word_with(&[(FuKind::Alu, mov)], None));
+        assert!(!d.has_queue_op);
+    }
+
+    #[test]
+    fn listing_mentions_slots_and_timing() {
+        let cmp = Op::new2(Opcode::ICmp(CmpKind::Lt), Reg(5), Operand::Reg(Reg(6)), Operand::ImmI(3));
+        let d = decode_word(&word_with(&[(FuKind::Agu, cmp)], Some(BranchOp::Ret)));
+        let text = d.listing();
+        assert!(text.contains("3:agu icmp.lt r5, r6, #3 (1/1)"), "{text}");
+        assert!(text.contains("br: ret"), "{text}");
+        assert_eq!(decode_word(&InstructionWord::new()).listing(), "[nop]");
+    }
+}

@@ -1,0 +1,184 @@
+//! The shared execution kernel: one implementation of operand access,
+//! definedness (poison) propagation, and per-opcode arithmetic.
+//!
+//! Two engines execute cell programs — the cycle-accurate
+//! [`crate::interp::Cell`] and the data-parallel
+//! [`crate::batch::BatchInterp`] — and "bit-identical" between them is
+//! a hard requirement of the differential-testing harness. The parts
+//! of the semantics where a silent divergence would be hardest to spot
+//! (float arithmetic, comparison edge cases, poison propagation rules,
+//! fault precedence inside a single operation) therefore live here as
+//! free functions over raw lane state, and both engines call them.
+//! The step *scaffolding* (stall checks, hazard checks, branch
+//! evaluation, commit order) is small enough to pin with property
+//! tests and stays with each engine.
+//!
+//! All functions report faults as bare [`FaultKind`]; the caller wraps
+//! them with its own function/pc coordinates.
+
+use crate::decode::DecodedOp;
+use crate::interp::{FaultKind, Value};
+use crate::isa::{CmpKind, Opcode, Operand};
+use std::cmp::Ordering;
+
+/// The concrete value of an operand; undefined registers read as
+/// integer zero (definedness travels separately, see [`operand_def`]).
+#[inline]
+pub fn read_operand(regs: &[Value], o: Option<Operand>) -> Result<Value, FaultKind> {
+    match o {
+        None => Err(FaultKind::MissingOperand),
+        Some(Operand::Reg(r)) => match regs.get(usize::from(r.0)) {
+            Some(&v) => Ok(v),
+            None => Err(FaultKind::BadRegister(r)),
+        },
+        Some(Operand::ImmI(v)) => Ok(Value::I(v)),
+        Some(Operand::ImmF(v)) => Ok(Value::F(v)),
+        Some(Operand::Addr(a)) => Ok(Value::I(a as i32)),
+    }
+}
+
+/// `true` if the operand carries a defined value. Immediates are
+/// always defined; a register is defined once a writeback landed in it
+/// on the executed path.
+#[inline]
+pub fn operand_def(reg_def: &[bool], o: Option<Operand>) -> bool {
+    match o {
+        Some(Operand::Reg(r)) => reg_def.get(usize::from(r.0)).copied().unwrap_or(false),
+        _ => true,
+    }
+}
+
+/// Strict mode: faults if `o` is an undefined register. Used where an
+/// undefined value would be *consumed* rather than merely copied
+/// around — addresses, divisors, branch conditions, sends.
+#[inline]
+pub fn require_def(strict: bool, reg_def: &[bool], o: Option<Operand>) -> Result<(), FaultKind> {
+    if strict && !operand_def(reg_def, o) {
+        if let Some(Operand::Reg(r)) = o {
+            return Err(FaultKind::UninitializedRead(r));
+        }
+    }
+    Ok(())
+}
+
+/// Converts a value to a data-memory word index, faulting when it
+/// falls outside `mem_words`.
+#[inline]
+pub fn mem_addr(mem_words: usize, v: Value) -> Result<usize, FaultKind> {
+    let a = i64::from(v.as_i());
+    if a < 0 || a >= mem_words as i64 {
+        return Err(FaultKind::MemOutOfBounds(a));
+    }
+    Ok(a as usize)
+}
+
+/// Whether comparison kind `k` holds for ordering `ord`.
+#[inline]
+pub fn cmp_holds(k: CmpKind, ord: Ordering) -> bool {
+    match k {
+        CmpKind::Eq => ord == Ordering::Equal,
+        CmpKind::Ne => ord != Ordering::Equal,
+        CmpKind::Lt => ord == Ordering::Less,
+        CmpKind::Le => ord != Ordering::Greater,
+        CmpKind::Gt => ord == Ordering::Greater,
+        CmpKind::Ge => ord != Ordering::Less,
+    }
+}
+
+/// Pure computation of every opcode except `Store`, `Send`, and
+/// `Recv` (those touch engine-owned state and stay with the engines).
+/// Returns the result and whether it is defined: an op computing on an
+/// undefined input *propagates* undefinedness instead of faulting, so
+/// speculative if-converted code can save and discard values it may
+/// never need. Consumption points (addresses, divisors) fault in
+/// strict mode.
+#[inline]
+pub fn compute(
+    strict: bool,
+    regs: &[Value],
+    reg_def: &[bool],
+    mem: &[Value],
+    mem_def: &[bool],
+    op: &DecodedOp,
+) -> Result<(Value, bool), FaultKind> {
+    use Opcode::*;
+    let a = || read_operand(regs, op.a);
+    let b = || read_operand(regs, op.b);
+    // Default: defined iff every operand the op reads is defined.
+    // Unary ops carry no `b`, so the blanket check is exact.
+    let def = operand_def(reg_def, op.a) && operand_def(reg_def, op.b);
+    let v = match op.opcode {
+        IAdd => Value::I(a()?.as_i().wrapping_add(b()?.as_i())),
+        ISub => Value::I(a()?.as_i().wrapping_sub(b()?.as_i())),
+        IMul => Value::I(a()?.as_i().wrapping_mul(b()?.as_i())),
+        IDiv | IMod => {
+            // A divisor the program never produced is consumed here:
+            // its concrete value decides a fault.
+            require_def(strict, reg_def, op.b)?;
+            let (x, y) = (a()?.as_i(), b()?.as_i());
+            if y == 0 {
+                return Err(FaultKind::DivisionByZero);
+            }
+            if op.opcode == IDiv {
+                Value::I(x.wrapping_div(y))
+            } else {
+                Value::I(x.wrapping_rem(y))
+            }
+        }
+        INeg => Value::I(a()?.as_i().wrapping_neg()),
+        IAbs => Value::I(a()?.as_i().wrapping_abs()),
+        IMin => Value::I(a()?.as_i().min(b()?.as_i())),
+        IMax => Value::I(a()?.as_i().max(b()?.as_i())),
+        ICmp(k) => Value::I(cmp_holds(k, a()?.as_i().cmp(&b()?.as_i())) as i32),
+        FAdd => Value::F(a()?.as_f() + b()?.as_f()),
+        FSub => Value::F(a()?.as_f() - b()?.as_f()),
+        FMul => Value::F(a()?.as_f() * b()?.as_f()),
+        FDiv => Value::F(a()?.as_f() / b()?.as_f()),
+        FNeg => Value::F(-a()?.as_f()),
+        FAbs => Value::F(a()?.as_f().abs()),
+        FMin => Value::F(a()?.as_f().min(b()?.as_f())),
+        FMax => Value::F(a()?.as_f().max(b()?.as_f())),
+        FSqrt => Value::F(a()?.as_f().sqrt()),
+        FSin => Value::F(a()?.as_f().sin()),
+        FCos => Value::F(a()?.as_f().cos()),
+        FExp => Value::F(a()?.as_f().exp()),
+        FLog => Value::F(a()?.as_f().ln()),
+        FFloor => Value::I(a()?.as_f().floor() as i32),
+        FCmp(k) => {
+            let holds = match a()?.as_f().partial_cmp(&b()?.as_f()) {
+                Some(ord) => cmp_holds(k, ord),
+                None => k == CmpKind::Ne,
+            };
+            Value::I(holds as i32)
+        }
+        ItoF => Value::F(a()?.as_f()),
+        FtoI => Value::I(a()?.as_i()),
+        BAnd => Value::I((a()?.truthy() && b()?.truthy()) as i32),
+        BOr => Value::I((a()?.truthy() || b()?.truthy()) as i32),
+        BNot => Value::I(!a()?.truthy() as i32),
+        Move => a()?,
+        Load => {
+            // An undefined address could reach anywhere: consume.
+            require_def(strict, reg_def, op.a)?;
+            let addr = mem_addr(mem.len(), a()?)?;
+            return Ok((mem[addr], mem_def[addr]));
+        }
+        SelT => {
+            let dst = op.dst.ok_or(FaultKind::MissingOperand)?;
+            let di = usize::from(dst.0);
+            if di >= regs.len() {
+                return Err(FaultKind::BadRegister(dst));
+            }
+            // dst keeps its own (possibly undefined) value when the
+            // condition is false; only the *selected* input decides
+            // definedness, plus the condition itself.
+            let cond = a()?;
+            let picked_def =
+                if cond.truthy() { operand_def(reg_def, op.b) } else { reg_def[di] };
+            let picked = if cond.truthy() { b()? } else { regs[di] };
+            return Ok((picked, operand_def(reg_def, op.a) && picked_def));
+        }
+        Store | Send(_) | Recv(_) => unreachable!("handled by the engines"),
+    };
+    Ok((v, def))
+}

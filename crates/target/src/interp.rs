@@ -25,12 +25,13 @@
 //! machine: a fast producer stalls when its consumer falls behind.
 
 use crate::config::CellConfig;
+use crate::decode::{decode_image, DecodedImage, DecodedOp};
+use crate::exec;
 use crate::fu::FuKind;
-use crate::isa::{BranchOp, CmpKind, Op, Opcode, Operand, QueueDir, Reg};
+use crate::isa::{BranchOp, Opcode, Operand, QueueDir, Reg};
 use crate::program::SectionImage;
 use crate::word::InstructionWord;
 use serde::{Deserialize, Serialize};
-use std::cmp::Ordering;
 use std::collections::VecDeque;
 use std::fmt;
 
@@ -45,24 +46,36 @@ pub enum Value {
 }
 
 impl Value {
-    fn as_f(self) -> f32 {
+    /// The value as a float (integers convert).
+    pub fn as_f(self) -> f32 {
         match self {
             Value::F(x) => x,
             Value::I(x) => x as f32,
         }
     }
 
-    fn as_i(self) -> i32 {
+    /// The value as an integer (floats truncate).
+    pub fn as_i(self) -> i32 {
         match self {
             Value::I(x) => x,
             Value::F(x) => x as i32,
         }
     }
 
-    fn truthy(self) -> bool {
+    /// Branch-condition truth: nonzero in either representation.
+    pub fn truthy(self) -> bool {
         match self {
             Value::I(x) => x != 0,
             Value::F(x) => x != 0.0,
+        }
+    }
+
+    /// The raw bit pattern, for bit-exact comparison across engines
+    /// (NaNs compare by representation, not by float equality).
+    pub fn to_bits(self) -> u64 {
+        match self {
+            Value::F(x) => u64::from(x.to_bits()),
+            Value::I(x) => 0x1_0000_0000 | u64::from(x as u32),
         }
     }
 }
@@ -210,12 +223,15 @@ pub enum StepOutcome {
 }
 
 /// A register writeback in flight: `(due_cycle, dst, value, defined)`.
-type Writeback = (u64, Reg, Value, bool);
+pub type Writeback = (u64, Reg, Value, bool);
 
 /// One Warp cell executing a linked [`SectionImage`].
 pub struct Cell {
     config: CellConfig,
     image: SectionImage,
+    /// The image's code, decoded once at construction; `step` fetches
+    /// from here so no word is re-decoded per cycle.
+    decoded: DecodedImage,
     regs: Vec<Value>,
     reg_def: Vec<bool>,
     mem: Vec<Value>,
@@ -261,7 +277,9 @@ impl Cell {
             return Err(InterpError::Unlinked(unlinked.name.clone()));
         }
         let entry = image.entry.min(image.functions.len().saturating_sub(1));
+        let decoded = decode_image(&image);
         Ok(Cell {
+            decoded,
             regs: vec![Value::I(0); usize::from(config.num_regs)],
             reg_def: vec![false; usize::from(config.num_regs)],
             mem: vec![Value::I(0); config.data_mem_words as usize],
@@ -423,52 +441,16 @@ impl Cell {
 
     /// The concrete value of an operand; undefined registers read as
     /// integer zero (definedness travels separately, see
-    /// [`Cell::operand_def`]).
+    /// [`exec::operand_def`]).
     fn read_operand(&self, o: Option<Operand>) -> Result<Value, InterpError> {
-        match o {
-            None => Err(self.fault(FaultKind::MissingOperand)),
-            Some(Operand::Reg(r)) => {
-                if usize::from(r.0) >= self.regs.len() {
-                    return Err(self.fault(FaultKind::BadRegister(r)));
-                }
-                Ok(self.regs[usize::from(r.0)])
-            }
-            Some(Operand::ImmI(v)) => Ok(Value::I(v)),
-            Some(Operand::ImmF(v)) => Ok(Value::F(v)),
-            Some(Operand::Addr(a)) => Ok(Value::I(a as i32)),
-        }
-    }
-
-    /// `true` if the operand carries a defined value. Immediates are
-    /// always defined; a register is defined once a writeback landed
-    /// in it on the executed path.
-    fn operand_def(&self, o: Option<Operand>) -> bool {
-        match o {
-            Some(Operand::Reg(r)) => {
-                self.reg_def.get(usize::from(r.0)).copied().unwrap_or(false)
-            }
-            _ => true,
-        }
+        exec::read_operand(&self.regs, o).map_err(|k| self.fault(k))
     }
 
     /// Strict mode: faults if `o` is an undefined register. Used where
     /// an undefined value would be *consumed* rather than merely
     /// copied around — addresses, divisors, branch conditions, sends.
     fn require_def(&self, o: Option<Operand>) -> Result<(), InterpError> {
-        if self.strict && !self.operand_def(o) {
-            if let Some(Operand::Reg(r)) = o {
-                return Err(self.fault(FaultKind::UninitializedRead(r)));
-            }
-        }
-        Ok(())
-    }
-
-    fn mem_addr(&self, v: Value) -> Result<usize, InterpError> {
-        let a = i64::from(v.as_i());
-        if a < 0 || a >= self.mem.len() as i64 {
-            return Err(self.fault(FaultKind::MemOutOfBounds(a)));
-        }
-        Ok(a as usize)
+        exec::require_def(self.strict, &self.reg_def, o).map_err(|k| self.fault(k))
     }
 
     fn in_queue(&self, dir: QueueDir) -> &VecDeque<Value> {
@@ -500,26 +482,36 @@ impl Cell {
         // reads observe them.
         self.apply_due_writebacks();
 
-        let func = match self.image.functions.get(self.fn_idx) {
-            Some(f) => f,
-            None => return Err(self.fault(FaultKind::PcOutOfBounds)),
+        let (n_ops, branch, has_queue_op) = {
+            let word = match self
+                .decoded
+                .functions
+                .get(self.fn_idx)
+                .and_then(|f| f.words.get(self.pc))
+            {
+                Some(w) => w,
+                None => return Err(self.fault(FaultKind::PcOutOfBounds)),
+            };
+            (word.ops.len(), word.branch, word.has_queue_op)
         };
-        let word = match func.code.get(self.pc) {
-            Some(w) => *w,
-            None => return Err(self.fault(FaultKind::PcOutOfBounds)),
+        let at = |i: usize| -> DecodedOp {
+            self.decoded.functions[self.fn_idx].words[self.pc].ops[i]
         };
 
         // Stall check before any side effect: the word issues
-        // atomically or not at all.
-        for (_, op) in word.ops() {
-            let stalled = match op.opcode {
-                Opcode::Recv(dir) => self.in_queue(dir).is_empty(),
-                Opcode::Send(dir) => self.out_queue_full(dir),
-                _ => false,
-            };
-            if stalled {
-                self.cycle += 1;
-                return Ok(StepOutcome::Stalled);
+        // atomically or not at all. Only queue ops can stall.
+        if has_queue_op {
+            for i in 0..n_ops {
+                let op = at(i);
+                let stalled = match op.opcode {
+                    Opcode::Recv(dir) => self.in_queue(dir).is_empty(),
+                    Opcode::Send(dir) => self.out_queue_full(dir),
+                    _ => false,
+                };
+                if stalled {
+                    self.cycle += 1;
+                    return Ok(StepOutcome::Stalled);
+                }
             }
         }
 
@@ -527,20 +519,21 @@ impl Cell {
         let mut mem_write: Option<(usize, Value, bool)> = None;
         let mut queue_push: Option<(QueueDir, Value)> = None;
 
-        for (fu, op) in word.ops() {
-            let slot = fu.slot_index();
+        for i in 0..n_ops {
+            let op = at(i);
+            let slot = usize::from(op.slot);
             if self.strict && self.fu_free[slot] > self.cycle {
-                return Err(self.fault(FaultKind::StructuralHazard(fu)));
+                return Err(self.fault(FaultKind::StructuralHazard(op.fu)));
             }
-            let timing = op.opcode.timing();
-            self.fu_free[slot] = self.cycle + u64::from(timing.initiation_interval);
+            self.fu_free[slot] = self.cycle + op.init_interval;
 
             let result = match op.opcode {
                 Opcode::Store => {
                     self.require_def(op.a)?;
-                    let addr = self.mem_addr(self.read_operand(op.a)?)?;
+                    let addr = exec::mem_addr(self.mem.len(), self.read_operand(op.a)?)
+                        .map_err(|k| self.fault(k))?;
                     let v = self.read_operand(op.b)?;
-                    mem_write = Some((addr, v, self.operand_def(op.b)));
+                    mem_write = Some((addr, v, exec::operand_def(&self.reg_def, op.b)));
                     None
                 }
                 Opcode::Send(dir) => {
@@ -560,13 +553,23 @@ impl Cell {
                     };
                     Some((v.expect("stall check guarantees a value"), true))
                 }
-                _ => Some(self.compute(op)?),
+                _ => Some(
+                    exec::compute(
+                        self.strict,
+                        &self.regs,
+                        &self.reg_def,
+                        &self.mem,
+                        &self.mem_def,
+                        &op,
+                    )
+                    .map_err(|k| self.fault(k))?,
+                ),
             };
             if let (Some(dst), Some((v, def))) = (op.dst, result) {
                 if usize::from(dst.0) >= self.regs.len() {
                     return Err(self.fault(FaultKind::BadRegister(dst)));
                 }
-                reg_writes.push((self.cycle + u64::from(timing.latency), dst, v, def));
+                reg_writes.push((self.cycle + op.latency, dst, v, def));
             }
         }
 
@@ -575,7 +578,7 @@ impl Cell {
         let mut next_fn = self.fn_idx;
         let mut next_pc = self.pc + 1;
         let mut halt = false;
-        match word.branch {
+        match branch {
             None => {}
             Some(BranchOp::Jump(t)) => next_pc = t as usize,
             Some(BranchOp::BrTrue(r, t)) => {
@@ -626,108 +629,6 @@ impl Cell {
         Ok(StepOutcome::Ran)
     }
 
-    /// Pure computation of every opcode except memory and queue ops.
-    /// Returns the result and whether it is defined: an op computing
-    /// on an undefined input *propagates* undefinedness instead of
-    /// faulting, so speculative if-converted code can save and discard
-    /// values it may never need. Consumption points (addresses,
-    /// divisors) fault in strict mode.
-    fn compute(&self, op: &Op) -> Result<(Value, bool), InterpError> {
-        use Opcode::*;
-        let a = || self.read_operand(op.a);
-        let b = || self.read_operand(op.b);
-        // Default: defined iff every operand the op reads is defined.
-        // Unary ops carry no `b`, so the blanket check is exact.
-        let def = self.operand_def(op.a) && self.operand_def(op.b);
-        let v = match op.opcode {
-            IAdd => Value::I(a()?.as_i().wrapping_add(b()?.as_i())),
-            ISub => Value::I(a()?.as_i().wrapping_sub(b()?.as_i())),
-            IMul => Value::I(a()?.as_i().wrapping_mul(b()?.as_i())),
-            IDiv | IMod => {
-                // A divisor the program never produced is consumed
-                // here: its concrete value decides a fault.
-                self.require_def(op.b)?;
-                let (x, y) = (a()?.as_i(), b()?.as_i());
-                if y == 0 {
-                    return Err(self.fault(FaultKind::DivisionByZero));
-                }
-                if op.opcode == IDiv {
-                    Value::I(x.wrapping_div(y))
-                } else {
-                    Value::I(x.wrapping_rem(y))
-                }
-            }
-            INeg => Value::I(a()?.as_i().wrapping_neg()),
-            IAbs => Value::I(a()?.as_i().wrapping_abs()),
-            IMin => Value::I(a()?.as_i().min(b()?.as_i())),
-            IMax => Value::I(a()?.as_i().max(b()?.as_i())),
-            ICmp(k) => Value::I(cmp_holds(k, a()?.as_i().cmp(&b()?.as_i())) as i32),
-            FAdd => Value::F(a()?.as_f() + b()?.as_f()),
-            FSub => Value::F(a()?.as_f() - b()?.as_f()),
-            FMul => Value::F(a()?.as_f() * b()?.as_f()),
-            FDiv => Value::F(a()?.as_f() / b()?.as_f()),
-            FNeg => Value::F(-a()?.as_f()),
-            FAbs => Value::F(a()?.as_f().abs()),
-            FMin => Value::F(a()?.as_f().min(b()?.as_f())),
-            FMax => Value::F(a()?.as_f().max(b()?.as_f())),
-            FSqrt => Value::F(a()?.as_f().sqrt()),
-            FSin => Value::F(a()?.as_f().sin()),
-            FCos => Value::F(a()?.as_f().cos()),
-            FExp => Value::F(a()?.as_f().exp()),
-            FLog => Value::F(a()?.as_f().ln()),
-            FFloor => Value::I(a()?.as_f().floor() as i32),
-            FCmp(k) => {
-                let holds = match a()?.as_f().partial_cmp(&b()?.as_f()) {
-                    Some(ord) => cmp_holds(k, ord),
-                    None => k == CmpKind::Ne,
-                };
-                Value::I(holds as i32)
-            }
-            ItoF => Value::F(a()?.as_f()),
-            FtoI => Value::I(a()?.as_i()),
-            BAnd => Value::I((a()?.truthy() && b()?.truthy()) as i32),
-            BOr => Value::I((a()?.truthy() || b()?.truthy()) as i32),
-            BNot => Value::I(!a()?.truthy() as i32),
-            Move => a()?,
-            Load => {
-                // An undefined address could reach anywhere: consume.
-                self.require_def(op.a)?;
-                let addr = self.mem_addr(a()?)?;
-                return Ok((self.mem[addr], self.mem_def[addr]));
-            }
-            SelT => {
-                let dst = op.dst.ok_or_else(|| self.fault(FaultKind::MissingOperand))?;
-                if usize::from(dst.0) >= self.regs.len() {
-                    return Err(self.fault(FaultKind::BadRegister(dst)));
-                }
-                // dst keeps its own (possibly undefined) value when the
-                // condition is false; only the *selected* input decides
-                // definedness, plus the condition itself.
-                let cond = a()?;
-                let picked_def = if cond.truthy() {
-                    self.operand_def(op.b)
-                } else {
-                    self.reg_def[usize::from(dst.0)]
-                };
-                let picked =
-                    if cond.truthy() { b()? } else { self.regs[usize::from(dst.0)] };
-                return Ok((picked, self.operand_def(op.a) && picked_def));
-            }
-            Store | Send(_) | Recv(_) => unreachable!("handled in step"),
-        };
-        Ok((v, def))
-    }
-}
-
-fn cmp_holds(k: CmpKind, ord: Ordering) -> bool {
-    match k {
-        CmpKind::Eq => ord == Ordering::Equal,
-        CmpKind::Ne => ord != Ordering::Equal,
-        CmpKind::Lt => ord == Ordering::Less,
-        CmpKind::Le => ord != Ordering::Greater,
-        CmpKind::Gt => ord == Ordering::Greater,
-        CmpKind::Ge => ord != Ordering::Less,
-    }
 }
 
 /// Run statistics of an [`ArrayMachine`].
@@ -830,6 +731,7 @@ impl ArrayMachine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::isa::Op;
     use crate::program::{FunctionImage, SectionImage};
 
     fn word(places: &[(FuKind, Op)], branch: Option<BranchOp>) -> InstructionWord {

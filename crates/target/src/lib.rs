@@ -12,14 +12,24 @@
 //! * [`word`] — the wide microinstruction word, one slot per unit;
 //! * [`config`] — cell and array sizes ([`CellConfig`]);
 //! * [`program`] — function, section, and module code images;
+//! * [`decode`] — instruction words pre-decoded once, shared by both
+//!   execution engines;
+//! * [`exec`] — the shared execution kernel (operand access, poison
+//!   propagation, per-opcode arithmetic);
 //! * [`interp`] — the cycle-accurate interpreter: a single
 //!   [`interp::Cell`] or a full [`interp::ArrayMachine`] with bounded
 //!   inter-cell queues;
+//! * [`batch`] — the data-parallel batched interpreter: N independent
+//!   cell-program lanes in struct-of-arrays state, with per-lane
+//!   fault latching;
 //! * [`download`] — the checksummed binary download-module format of
 //!   compiler phase 4.
 
+pub mod batch;
 pub mod config;
+pub mod decode;
 pub mod download;
+pub mod exec;
 pub mod fu;
 pub mod interp;
 pub mod isa;

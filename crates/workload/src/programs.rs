@@ -22,6 +22,37 @@ pub fn synthetic_program(size: FunctionSize, n_functions: usize) -> String {
     s
 }
 
+/// A fully parameterized `S_n`: `n_functions` copies with an explicit
+/// body line count and loop nesting depth, not restricted to the five
+/// paper sizes. This is the scale knob of the fuzzing harness — it
+/// supports corpora far beyond `f_huge` (tens of thousands of
+/// functions, §4.1 only went to n = 8) while staying deterministic:
+/// function `k` is named `{name_prefix}_{k}` and, as everywhere else,
+/// the body is seeded by that name.
+///
+/// Generation is O(total lines); nothing is parsed here, so `S_10000`
+/// is cheap to *produce* even when compiling it would not be.
+pub fn synthetic_program_custom(
+    name_prefix: &str,
+    n_functions: usize,
+    lines: usize,
+    max_depth: usize,
+) -> String {
+    assert!(n_functions >= 1, "a section needs at least one function");
+    assert!(lines >= 2, "a function needs at least a statement and a return");
+    assert!((1..=4).contains(&max_depth), "loop depth must be 1..=4");
+    let mut s = format!(
+        "module s_{name_prefix}_{n_functions};\nsection main on cells 0..9;\n"
+    );
+    for k in 1..=n_functions {
+        let name = format!("{name_prefix}_{k}");
+        s.push_str(&crate::gen::function_source_with(&name, lines, max_depth));
+        s.push('\n');
+    }
+    s.push_str("end;\n");
+    s
+}
+
 /// Description of one function of the user program.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct UserFunction {
@@ -162,6 +193,33 @@ mod tests {
                 assert_eq!(checked.module.function_count(), n);
             }
         }
+    }
+
+    #[test]
+    fn custom_program_checks_at_small_n() {
+        let src = synthetic_program_custom("fz", 3, 24, 2);
+        let checked = phase1(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+        assert_eq!(checked.module.function_count(), 3);
+        // Every copy has exactly the requested body line count.
+        for part in src.split("function fz_").skip(1) {
+            let begin = part.find("begin\n").unwrap() + 6;
+            let end = part.find("\n  end;").unwrap();
+            assert_eq!(part[begin..end].lines().count(), 24);
+        }
+    }
+
+    #[test]
+    fn custom_program_scales_to_ten_thousand_functions() {
+        // Generation-only: S_10000 is a fuzz corpus, not a compile test.
+        let n = 10_000;
+        let src = synthetic_program_custom("bulk", n, 6, 1);
+        assert_eq!(src.matches("function bulk_").count(), n);
+        assert!(src.contains("function bulk_10000("));
+        // Distinct seeded bodies, not one body repeated n times.
+        let f1 = src.find("function bulk_1(").unwrap();
+        let f2 = src.find("function bulk_2(").unwrap();
+        let f3 = src.find("function bulk_3(").unwrap();
+        assert_ne!(src[f1..f2], src[f2..f3]);
     }
 
     #[test]

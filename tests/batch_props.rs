@@ -1,0 +1,88 @@
+//! Property tests: every lane of the batched interpreter is
+//! bit-identical to a solo strict-interpreter run.
+//!
+//! The comparison inside [`parcc::fuzz::check_source`] is total: it
+//! matches halt/trap status (including the exact fault and the cycle
+//! it latched on), the full register file down to bit patterns, the
+//! poison (definedness) bits of every register, and the output
+//! queues. The properties here drive that check across randomly
+//! seeded corpora and harness shapes; the final test is the
+//! acceptance-criterion bulk run — over a thousand generated programs
+//! with zero disagreements.
+
+use parcc::fuzz::{check_source, generate_source, run, CheckOutcome, FuzzConfig};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+fn assert_agrees(seed: u64, cfg: &FuzzConfig) -> Result<(), TestCaseError> {
+    let src = generate_source(seed, cfg);
+    match check_source(&src, cfg) {
+        CheckOutcome::Agree { lanes, .. } => {
+            prop_assert_eq!(lanes, cfg.lanes);
+            Ok(())
+        }
+        CheckOutcome::CompileError(e) => {
+            Err(TestCaseError::fail(format!("seed {seed}: generator bug: {e}\n{src}")))
+        }
+        CheckOutcome::Disagree(d) => {
+            Err(TestCaseError::fail(format!("seed {seed}: engines disagree: {d}\n{src}")))
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Batch lanes equal solo strict runs — registers, poison bits and
+    /// trap cycles included — across random seeds at the default shape.
+    #[test]
+    fn batch_lane_equals_solo_strict_run(seed in any::<u64>()) {
+        assert_agrees(seed, &FuzzConfig::default())?;
+    }
+
+    /// The same property when the harness shape itself varies: lane
+    /// counts from 1 to 24, shallow to deep nests, small to fat bodies.
+    #[test]
+    fn agreement_is_shape_independent(
+        seed in any::<u64>(),
+        lanes in 1usize..24,
+        max_depth in 1usize..4,
+        max_stmts in 8usize..40,
+    ) {
+        let cfg = FuzzConfig { lanes, max_depth, max_stmts, ..FuzzConfig::default() };
+        assert_agrees(seed, &cfg)?;
+    }
+
+    /// Tight cycle budgets make `CycleLimit` traps common; both
+    /// engines must latch them at the same cycle with the same error.
+    #[test]
+    fn trap_cycles_match_under_tight_budgets(
+        seed in any::<u64>(),
+        max_cycles in 8u64..600,
+    ) {
+        let cfg = FuzzConfig { max_cycles, ..FuzzConfig::default() };
+        assert_agrees(seed, &cfg)?;
+    }
+}
+
+/// Acceptance criterion: the batch interpreter is bit-identical to the
+/// strict interpreter on more than a thousand generated programs
+/// (every lane compared register-for-register, poison bits and all).
+#[test]
+fn a_thousand_generated_programs_with_zero_disagreements() {
+    let cfg = FuzzConfig { programs: 1000, seed: 0xBA7C4, ..FuzzConfig::default() };
+    let report = run(&cfg);
+    assert_eq!(report.programs, 1000);
+    assert_eq!(report.lanes, 1000 * cfg.lanes);
+    assert!(
+        report.disagreements.is_empty(),
+        "disagreements: {:#?}",
+        report
+            .disagreements
+            .iter()
+            .map(|d| (&d.detail, &d.source))
+            .collect::<Vec<_>>()
+    );
+    // The corpus genuinely exercises the trap paths.
+    assert!(report.trapped_lanes > 0, "corpus never trapped: too tame");
+}

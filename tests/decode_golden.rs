@@ -1,0 +1,81 @@
+//! Golden-file test pinning the shared decoded instruction form.
+//!
+//! Both execution engines — the strict [`warp_target::interp::Cell`]
+//! and the batched [`warp_target::batch::BatchInterp`] — consume the
+//! same [`warp_target::decode::DecodedImage`], produced once per
+//! program by [`warp_target::decode::decode_image`]. This test
+//! compiles a fixed W2 program and pins the decoded listing of every
+//! instruction word against `tests/golden/decode_listing.txt`: any
+//! change to decoding (slot order, latencies, operand forms, branch
+//! lowering) or to the scheduler's output for this program shows up as
+//! a diff here and must be deliberate. Regenerate with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test decode_golden
+//! ```
+
+use parcc::{compile_module_source, CompileOptions};
+use warp_target::decode::decode_image;
+
+const GOLDEN: &str = "tests/golden/decode_listing.txt";
+
+const SOURCE: &str = "module decode_fixture;
+section main on cells 0..9;
+  function kernel(x: float, n: int): float
+  var
+    acc: float; t: float; v: float[16]; i: int;
+  begin
+    t := x * 0.5 + 1.25;
+    for i := 0 to 7 do
+      v[i] := t * float(i);
+      acc := acc + v[i] * 0.25;
+    end;
+    if acc > 2.0 then
+      acc := acc / (1.0 + abs(x));
+    else
+      acc := acc + t;
+    end;
+    return acc;
+  end;
+end;
+";
+
+fn decoded_listing() -> String {
+    let result = compile_module_source(SOURCE, &CompileOptions::default())
+        .expect("fixture compiles");
+    let sec = &result.module_image.section_images[0];
+    let decoded = decode_image(sec);
+    let mut out = String::new();
+    for (f, func) in decoded.functions.iter().enumerate() {
+        let name = &sec.functions[f].name;
+        out.push_str(&format!("function {name}:\n"));
+        for (i, word) in func.words.iter().enumerate() {
+            out.push_str(&format!("{i:4}: {}\n", word.listing()));
+        }
+    }
+    out
+}
+
+#[test]
+fn decoded_form_matches_the_golden_listing() {
+    let listing = decoded_listing();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN, &listing).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN)
+        .expect("golden file missing — run with UPDATE_GOLDEN=1 to create it");
+    assert_eq!(
+        listing, golden,
+        "decoded instruction form changed; if intentional, regenerate \
+         with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn decoding_is_deterministic() {
+    // The engines rely on decode being a pure function of the image:
+    // the strict interpreter and the batch interpreter each decode the
+    // same section and must see the very same words.
+    assert_eq!(decoded_listing(), decoded_listing());
+}

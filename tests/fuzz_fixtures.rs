@@ -1,0 +1,48 @@
+//! Regression-fixture runner: replays every corpus file under
+//! `tests/fixtures/fuzz/` through the three-way differential check.
+//!
+//! Fixtures are shrunk reproducers of past (or representative)
+//! disagreements between the strict interpreter, the batched
+//! interpreter and the static verifier. A committed fixture means the
+//! bug is fixed, so replay asserts *agreement* — this is how shrunk
+//! reproducers stay green forever. Dropping a new `.w2` file into the
+//! directory is all it takes to add one; the runner discovers files
+//! itself.
+
+use parcc::fuzz::replay_fixture;
+use std::path::PathBuf;
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/fuzz")
+}
+
+#[test]
+fn every_committed_fixture_replays_clean() {
+    let dir = fixture_dir();
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("{}: {e}", dir.display()))
+        .filter_map(|entry| {
+            let path = entry.ok()?.path();
+            (path.extension().is_some_and(|e| e == "w2")).then_some(path)
+        })
+        .collect();
+    paths.sort();
+    assert!(
+        !paths.is_empty(),
+        "no fixtures found in {} — the seed corpus should be committed",
+        dir.display()
+    );
+    let mut failures = Vec::new();
+    for path in &paths {
+        if let Err(e) = replay_fixture(path) {
+            failures.push(e);
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} of {} fixtures failed:\n{}",
+        failures.len(),
+        paths.len(),
+        failures.join("\n")
+    );
+}

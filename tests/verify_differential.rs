@@ -21,6 +21,7 @@
 use parcc::{compile_module_source, CompileOptions};
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 use warp_analyze::verify_section_image;
+use warp_target::batch::{BatchInterp, LaneInput, LaneStatus};
 use warp_target::fu::FuKind;
 use warp_target::interp::{Cell, FaultKind, InterpError, Value};
 use warp_target::isa::{BranchOp, Op, Operand, Reg};
@@ -65,30 +66,14 @@ fn compile_corpus() -> Vec<SectionImage> {
         .collect()
 }
 
-/// Runs the strict interpreter over `sec` and classifies the outcome.
-/// Returns `Some(kind)` when it rejects with a statically decidable
-/// fault, `None` otherwise.
-fn strict_run(sec: &SectionImage, config: &CellConfig) -> Option<FaultKind> {
-    let Ok(mut cell) = Cell::new(*config, sec.clone()) else {
-        // Size violations are checked statically too, but our
-        // mutations never change the image size.
-        return None;
-    };
-    cell.set_strict(true);
-    if cell.prepare_call("f", &[Value::F(1.5), Value::I(7)]).is_err() {
-        return None;
-    }
-    let outcome = cell.run(500_000);
-    let kind = match outcome {
-        Err(InterpError::Fault { kind, .. }) => kind,
-        // A successful halt must still deliver a defined return value
-        // to the host; strict mode faults the host-side read.
-        Ok(_) => match cell.reg(Reg::RET) {
-            Err(InterpError::Fault { kind, .. }) => kind,
-            _ => return None,
-        },
-        Err(_) => return None,
-    };
+/// The mutant cycle budget, shared by both engines.
+const MUTANT_CYCLES: u64 = 500_000;
+
+/// The arguments every mutant is called with.
+const MUTANT_ARGS: [Value; 2] = [Value::F(1.5), Value::I(7)];
+
+/// Keeps only statically decidable fault kinds.
+fn classify(kind: FaultKind) -> Option<FaultKind> {
     match kind {
         FaultKind::UninitializedRead(_)
         | FaultKind::StructuralHazard(_)
@@ -99,6 +84,47 @@ fn strict_run(sec: &SectionImage, config: &CellConfig) -> Option<FaultKind> {
         // Data-dependent: the verifier only catches constant cases.
         FaultKind::MemOutOfBounds(_) | FaultKind::DivisionByZero => None,
     }
+}
+
+/// Runs the strict interpreter over `sec` and classifies the outcome.
+/// Returns `Some(kind)` when it rejects with a statically decidable
+/// fault, `None` otherwise.
+fn strict_run(sec: &SectionImage, config: &CellConfig) -> Option<FaultKind> {
+    let Ok(mut cell) = Cell::new(*config, sec.clone()) else {
+        // Size violations are checked statically too, but our
+        // mutations never change the image size.
+        return None;
+    };
+    cell.set_strict(true);
+    if cell.prepare_call("f", &MUTANT_ARGS).is_err() {
+        return None;
+    }
+    let outcome = cell.run(MUTANT_CYCLES);
+    let kind = match outcome {
+        Err(InterpError::Fault { kind, .. }) => kind,
+        // A successful halt must still deliver a defined return value
+        // to the host; strict mode faults the host-side read.
+        Ok(_) => match cell.reg(Reg::RET) {
+            Err(InterpError::Fault { kind, .. }) => kind,
+            _ => return None,
+        },
+        Err(_) => return None,
+    };
+    classify(kind)
+}
+
+/// The batch-engine equivalent of [`strict_run`]'s classification for
+/// one finished lane.
+fn batch_outcome(batch: &BatchInterp, lane: usize) -> Option<FaultKind> {
+    let kind = match batch.status(lane) {
+        LaneStatus::Trapped(InterpError::Fault { kind, .. }) => *kind,
+        LaneStatus::Halted => match batch.reg(lane, Reg::RET) {
+            Err(InterpError::Fault { kind, .. }) => kind,
+            _ => return None,
+        },
+        _ => return None,
+    };
+    classify(kind)
 }
 
 /// All `(word, fu)` pairs holding an op.
@@ -250,17 +276,26 @@ fn corpus_verifies_clean() {
     }
 }
 
-/// ≥ 200 random single-point corruptions: everywhere the strict
-/// interpreter rejects with a statically decidable fault, the static
-/// verifier must reject too.
+/// ≥ 2,000 random single-point corruptions (600 seeds × 5 programs):
+/// everywhere the interpreter rejects with a statically decidable
+/// fault, the static verifier must reject too.
+///
+/// The batched interpreter is the runtime engine of the sweep — each
+/// mutant becomes one lane, run in chunks on a single reused
+/// [`BatchInterp`] — which is what makes a 10× larger sweep than the
+/// original (60 seeds per program) affordable. Every 10th mutant is
+/// also run solo on the strict interpreter and its classification
+/// compared, so the sweep doubles as a batch-vs-strict differential on
+/// thousands of *corrupted* (not just compiler-produced) images.
 #[test]
 fn static_verifier_covers_strict_interpreter() {
     let config = CellConfig::default();
     let corpus = compile_corpus();
-    let mutations_per_program = 60;
-    let mut total = 0usize;
-    let mut interp_rejected = 0usize;
+    let mutations_per_program = 600u64;
+    const CHUNK: usize = 64;
 
+    // Generate the whole mutant population first.
+    let mut mutants: Vec<(usize, u64, &'static str, SectionImage)> = Vec::new();
     for (pi, sec) in corpus.iter().enumerate() {
         for seed in 0..mutations_per_program {
             let mut rng = SmallRng::seed_from_u64((pi as u64) << 32 | seed);
@@ -269,10 +304,48 @@ fn static_verifier_covers_strict_interpreter() {
             if label == "no-op" {
                 continue;
             }
-            total += 1;
-            if let Some(kind) = strict_run(&mutated, &config) {
+            mutants.push((pi, seed, label, mutated));
+        }
+    }
+    let total = mutants.len();
+
+    let mut interp_rejected = 0usize;
+    let mut spot_checked = 0usize;
+    let mut batch = BatchInterp::new(config, true);
+    for chunk in mutants.chunks(CHUNK) {
+        batch.reset();
+        // One program and one lane per mutant; mutants whose image the
+        // engine rejects at load time mirror `Cell::new` failures and
+        // carry no obligation (mutations never change image sizes, so
+        // this is not expected to trigger).
+        let mut lane_of: Vec<Option<usize>> = Vec::with_capacity(chunk.len());
+        for (_, _, _, img) in chunk {
+            match batch.add_program(img) {
+                Ok(p) => {
+                    let input = LaneInput::call(p, "f", MUTANT_ARGS.to_vec());
+                    lane_of.push(batch.add_lane(&input).ok());
+                }
+                Err(_) => lane_of.push(None),
+            }
+        }
+        batch.execute(MUTANT_CYCLES);
+
+        for (i, (pi, seed, label, img)) in chunk.iter().enumerate() {
+            let outcome = lane_of[i].and_then(|lane| batch_outcome(&batch, lane));
+            // Strict spot-check: the batch classification must equal a
+            // solo strict run on a sample of the population.
+            if (pi * mutations_per_program as usize + *seed as usize).is_multiple_of(10) {
+                spot_checked += 1;
+                assert_eq!(
+                    outcome,
+                    strict_run(img, &config),
+                    "program {pi} seed {seed}: batch and strict classify \
+                     the `{label}` mutant differently"
+                );
+            }
+            if let Some(kind) = outcome {
                 interp_rejected += 1;
-                let errs = verify_section_image(&mutated, &config);
+                let errs = verify_section_image(img, &config);
                 assert!(
                     !errs.is_empty(),
                     "program {pi} seed {seed}: interpreter faulted with {kind:?} after \
@@ -282,11 +355,12 @@ fn static_verifier_covers_strict_interpreter() {
         }
     }
 
-    assert!(total >= 200, "expected at least 200 corruptions, applied {total}");
+    assert!(total >= 2000, "expected at least 2,000 corruptions, applied {total}");
     assert!(
-        interp_rejected >= 30,
+        interp_rejected >= 300,
         "expected a meaningful number of interpreter rejections, got {interp_rejected}/{total}"
     );
+    assert!(spot_checked >= 200, "spot-check sample too small: {spot_checked}");
 }
 
 /// Acceptance check: `verify_each_pass` compiles every workload size
