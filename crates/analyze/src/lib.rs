@@ -7,7 +7,10 @@
 //!   here): unused variables, dead assignments, unreachable code;
 //! * **IR** — the phase-2 verifier ([`warp_ir::verify`], re-exported
 //!   here): CFG well-formedness, type consistency, def-before-use. It
-//!   runs at every pass boundary when `verify_each_pass` is enabled;
+//!   runs at every pass boundary when `verify_each_pass` is enabled.
+//!   The [`absint`] abstract interpreter (also re-exported from
+//!   `warp_ir`) runs on the same representation and proves per-function
+//!   value/poison facts — see `docs/ANALYSIS.md`;
 //! * **machine code** — the [`machine`] verifier replays reservation
 //!   tables and writeback latencies over emitted
 //!   [`warp_target::program::FunctionImage`]s without executing them,
@@ -39,6 +42,8 @@ pub use schedule::{
 
 // The source- and IR-level layers live with their representations;
 // re-export them so drivers depend on one analysis crate.
+pub use warp_ir::absint;
+pub use warp_ir::absint::{analyze, Analysis, FactSet};
 pub use warp_ir::verify::{verify_after, verify_func, VerifyError};
 pub use warp_lang::lint::{lint_function, lint_module};
 

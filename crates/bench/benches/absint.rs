@@ -1,0 +1,68 @@
+//! Criterion benches for the abstract interpreter: raw analysis cost
+//! per function size, the fact-driven rewrite stage, and the marginal
+//! cost `--absint` adds to a full compile.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parcc::{compile_module_source, CompileOptions};
+use warp_ir::phase2::phase2;
+use warp_lang::phase1;
+use warp_workload::{synthetic_program, FunctionSize};
+
+fn bench_analyze_by_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("absint_analyze");
+    for size in [FunctionSize::Tiny, FunctionSize::Small, FunctionSize::Medium] {
+        let src = synthetic_program(size, 1);
+        let checked = phase1(&src).unwrap();
+        let f = &checked.module.sections[0].functions[0];
+        let p2 = phase2(
+            f,
+            &checked.sections[0].symbol_tables[0],
+            &checked.sections[0].signatures,
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(size), &p2.ir, |b, ir| {
+            b.iter(|| warp_ir::analyze(std::hint::black_box(ir)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_apply_facts(c: &mut Criterion) {
+    let src = synthetic_program(FunctionSize::Medium, 1);
+    let checked = phase1(&src).unwrap();
+    let f = &checked.module.sections[0].functions[0];
+    let p2 = phase2(
+        f,
+        &checked.sections[0].symbol_tables[0],
+        &checked.sections[0].signatures,
+    )
+    .unwrap();
+    let analysis = warp_ir::analyze(&p2.ir);
+    c.bench_function("absint_apply_facts/medium", |b| {
+        b.iter(|| {
+            let mut ir = p2.ir.clone();
+            warp_ir::apply_facts(&mut ir, std::hint::black_box(&analysis.rewrites))
+        })
+    });
+}
+
+fn bench_compile_with_and_without(c: &mut Criterion) {
+    let src = synthetic_program(FunctionSize::Small, 2);
+    let mut group = c.benchmark_group("compile_small_x2");
+    group.sample_size(10);
+    for (label, absint) in [("absint_off", false), ("absint_on", true)] {
+        let opts = CompileOptions { absint, ..CompileOptions::default() };
+        group.bench_function(label, |b| {
+            b.iter(|| compile_module_source(std::hint::black_box(&src), &opts).expect("compile"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_analyze_by_size,
+    bench_apply_facts,
+    bench_compile_with_and_without
+);
+criterion_main!(benches);

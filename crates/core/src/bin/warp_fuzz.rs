@@ -45,6 +45,13 @@ fn main() -> ExitCode {
         report.trapped_lanes,
         report.disagreements.len()
     );
+    println!(
+        "warp-fuzz: absint oracle: {} functions, {} claims, {} eval runs, {} rewrites",
+        report.facts.functions,
+        report.facts.claims,
+        report.facts.eval_runs,
+        report.facts.rewrites
+    );
 
     if report.disagreements.is_empty() {
         return ExitCode::SUCCESS;

@@ -3,10 +3,17 @@
 //! ```text
 //! warpcc [OPTIONS] <FILE | ->
 //!
-//!   --emit ast|ir|vcode|asm|summary  what to print (default: summary)
+//!   --emit ast|ir|vcode|asm|summary|facts  what to print
+//!                               (default: summary)
 //!   -o FILE                     write the binary download module
 //!   --inline                    enable the §5.1 inlining extension
 //!   --ifconv                    if-convert branchy loop bodies
+//!   --absint                    run the abstract-interpretation
+//!                               value/poison analysis per function,
+//!                               apply its fact-driven rewrites, and
+//!                               report proven facts (--emit facts
+//!                               prints the full per-function report
+//!                               and implies this flag)
 //!   --workers N                 compile functions with N threads
 //!   --fault-seed N              inject seeded worker faults (panics,
 //!                               lost results, stalls) into the thread
@@ -63,6 +70,7 @@ struct Args {
     emit: String,
     inline: bool,
     ifconv: bool,
+    absint: bool,
     verify: bool,
     lint: bool,
     workers: Option<usize>,
@@ -82,6 +90,7 @@ fn parse_args() -> Result<Args, String> {
         emit: "summary".to_string(),
         inline: false,
         ifconv: false,
+        absint: false,
         verify: false,
         lint: false,
         workers: None,
@@ -100,12 +109,15 @@ fn parse_args() -> Result<Args, String> {
         match a.as_str() {
             "--emit" => {
                 args.emit = it.next().ok_or("--emit needs a value")?;
-                if !["ast", "ir", "vcode", "asm", "summary"].contains(&args.emit.as_str()) {
+                if !["ast", "ir", "vcode", "asm", "summary", "facts"]
+                    .contains(&args.emit.as_str())
+                {
                     return Err(format!("unknown emit kind `{}`", args.emit));
                 }
             }
             "--inline" => args.inline = true,
             "--ifconv" => args.ifconv = true,
+            "--absint" => args.absint = true,
             "--verify" => args.verify = true,
             "--lint" => args.lint = true,
             "-o" => args.output = Some(it.next().ok_or("-o needs a path")?),
@@ -139,9 +151,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: warpcc [--emit ast|ir|vcode|asm|summary] [--inline] [--ifconv] \
-                     [--verify] [--lint] [--workers N] [--fault-seed N] [--fault-spec SPEC] \
-                     [--run FUNC ARGS...] [--time] \
+                    "usage: warpcc [--emit ast|ir|vcode|asm|summary|facts] [--inline] [--ifconv] \
+                     [--absint] [--verify] [--lint] [--workers N] [--fault-seed N] \
+                     [--fault-spec SPEC] [--run FUNC ARGS...] [--time] \
                      [--trace FILE] [--cache-dir DIR] [--cache-stats] [-o FILE] <FILE | ->"
                 );
                 std::process::exit(0);
@@ -233,13 +245,33 @@ fn summary(result: &CompileResult) -> String {
         result.module_image.download_words(),
         result.warnings
     );
-    let _ = writeln!(
-        out,
-        "{:>18} {:>6} {:>6} {:>7} {:>10} {:>9} {:>7}",
-        "function", "lines", "depth", "words", "units", "pipelined", "spills"
-    );
-    for r in &result.records {
+    // Absint columns only appear on --absint builds, so the default
+    // summary layout (and everything that parses it) is unchanged.
+    let absint = result.records.iter().any(|r| r.facts.is_some());
+    if absint {
         let _ = writeln!(
+            out,
+            "{:>18} {:>6} {:>6} {:>7} {:>10} {:>9} {:>7} {:>9} {:>7} {:>7}",
+            "function",
+            "lines",
+            "depth",
+            "words",
+            "units",
+            "pipelined",
+            "spills",
+            "absint-it",
+            "pruned",
+            "elided"
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "{:>18} {:>6} {:>6} {:>7} {:>10} {:>9} {:>7}",
+            "function", "lines", "depth", "words", "units", "pipelined", "spills"
+        );
+    }
+    for r in &result.records {
+        let _ = write!(
             out,
             "{:>18} {:>6} {:>6} {:>7} {:>10} {:>9} {:>7}",
             r.name,
@@ -250,6 +282,14 @@ fn summary(result: &CompileResult) -> String {
             r.p3.pipelined_loops,
             r.p3.spills
         );
+        if absint {
+            let _ = write!(
+                out,
+                " {:>9} {:>7} {:>7}",
+                r.p2.absint_iterations, r.p2.branches_pruned, r.p2.trap_checks_elided
+            );
+        }
+        let _ = writeln!(out);
     }
     out
 }
@@ -265,6 +305,9 @@ fn real_main() -> Result<(), String> {
     }
     if args.ifconv {
         opts.if_convert = Some(warp_ir::IfConvPolicy::default());
+    }
+    if args.absint || args.emit == "facts" {
+        opts.absint = true;
     }
     if args.verify {
         opts.verify_each_pass = true;
@@ -314,6 +357,7 @@ fn real_main() -> Result<(), String> {
                     signatures,
                     opts.unroll.as_ref(),
                     opts.if_convert.as_ref(),
+                    opts.absint,
                     opts.verify_each_pass,
                 )
                 .map_err(|e| e.to_string())?;
@@ -434,6 +478,7 @@ fn real_main() -> Result<(), String> {
                 print!("{}", sec.disassemble());
             }
         }
+        "facts" => print!("{}", parcc::facts_report(&result.records)),
         _ => print!("{}", summary(&result)),
     }
 

@@ -157,6 +157,7 @@ mod tests {
             p3: Phase3Work::default(),
             object_bytes: 1000,
             cost_estimate: 100,
+            facts: None,
         }
     }
 

@@ -14,6 +14,7 @@ use warp_analyze::{MachineError, ScheduleError};
 use warp_codegen::link::{assemble_module, link_section, LinkWork};
 use warp_codegen::phase3::{phase3_traced, Phase3Work};
 use warp_ir::phase2::{phase2_traced, Phase2Error, Phase2Work};
+use warp_ir::FactSet;
 use warp_lang::{CheckedModule, ParseWork, Phase1Error};
 use warp_obs::{Trace, TrackId};
 use warp_target::program::{FunctionImage, ModuleImage};
@@ -41,6 +42,11 @@ pub struct CompileOptions {
     /// the machine-code + schedule checkers on every emitted function
     /// image. Compilation fails on the first violated invariant.
     pub verify_each_pass: bool,
+    /// Run the abstract-interpretation value/poison analysis per
+    /// function (after lowering and again after optimization), apply
+    /// its fact-driven rewrites, and ship the proven [`FactSet`] in
+    /// the function record (and through the incremental cache).
+    pub absint: bool,
 }
 
 impl Default for CompileOptions {
@@ -52,6 +58,7 @@ impl Default for CompileOptions {
             unroll: None,
             if_convert: None,
             verify_each_pass: false,
+            absint: false,
         }
     }
 }
@@ -172,6 +179,10 @@ pub struct FunctionRecord {
     /// The load balancer's a-priori cost estimate (LoC × nesting,
     /// §4.3) — available to the master *before* compilation.
     pub cost_estimate: u64,
+    /// Facts proven by the abstract interpreter about the final IR
+    /// (`None` unless [`CompileOptions::absint`] was set). Cached with
+    /// the function, so warm rebuilds skip re-analysis.
+    pub facts: Option<FactSet>,
 }
 
 impl FunctionRecord {
@@ -357,6 +368,7 @@ pub fn compile_function_traced(
         signatures,
         opts.unroll.as_ref(),
         opts.if_convert.as_ref(),
+        opts.absint,
         opts.verify_each_pass,
         trace,
         track,
@@ -389,6 +401,7 @@ pub fn compile_function_traced(
         p3: p3.work,
         object_bytes,
         cost_estimate: warp_workload::cost_estimate(lines, func.max_loop_depth()),
+        facts: p2.facts,
     };
     Ok((p3.image, record))
 }
@@ -449,6 +462,58 @@ pub fn compile_function_cached_traced(
     let (image, record) = compile_function_traced(checked, source, si, fi, opts, trace, track)?;
     cache.store(key, CachedFunction { image: image.clone(), record: record.clone() });
     Ok((image, record))
+}
+
+/// Renders the per-function fact report of an `--absint` build — the
+/// `warpcc --emit facts` output and the golden files under
+/// `tests/golden/absint/` compare this text verbatim, so the format is
+/// deterministic: fixed line order, fixed flag order, claim lists in
+/// program order.
+pub fn facts_report(records: &[FunctionRecord]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for r in records {
+        let _ = writeln!(out, "== {}", r.name);
+        let Some(f) = &r.facts else {
+            let _ = writeln!(out, "facts: none (absint disabled)");
+            continue;
+        };
+        let _ = writeln!(out, "iterations {}", f.iterations);
+        let _ = writeln!(
+            out,
+            "sites div {}/{} mem {}/{} consume {}/{}",
+            f.div_safe, f.div_sites, f.mem_safe, f.mem_sites, f.consume_safe, f.consume_sites
+        );
+        let mut flags: Vec<&str> = Vec::new();
+        if f.div_trap_free {
+            flags.push("div-trap-free");
+        }
+        if f.mem_trap_free {
+            flags.push("mem-trap-free");
+        }
+        if f.def_free {
+            flags.push("def-free");
+        }
+        if f.finite_return {
+            flags.push("finite-return");
+        }
+        let _ =
+            writeln!(out, "flags {}", if flags.is_empty() { "-".into() } else { flags.join(" ") });
+        for s in &f.safe_divs {
+            let _ = writeln!(out, "safe-div b{}:{}", s.block, s.inst);
+        }
+        for s in &f.safe_mems {
+            let _ = writeln!(out, "safe-mem b{}:{}", s.block, s.inst);
+        }
+        for e in &f.dead_edges {
+            let _ =
+                writeln!(out, "dead-edge b{} {}", e.block, if e.always_then { "else" } else { "then" });
+        }
+        for l in &f.loop_bounds {
+            let _ = writeln!(out, "loop-bound b{} {}", l.block, l.max_trips);
+        }
+    }
+    out
 }
 
 /// Converts link work counters to abstract units.

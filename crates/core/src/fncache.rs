@@ -28,6 +28,7 @@ use crate::driver::{CompileOptions, FunctionRecord};
 use warp_cache::{Cache, CacheKey, CacheValue, StableHasher};
 use warp_codegen::phase3::Phase3Work;
 use warp_ir::phase2::Phase2Work;
+use warp_ir::{DeadEdge, FactSet, LoopBound, Site};
 use warp_lang::ast::Function;
 use warp_lang::CheckedModule;
 use warp_target::download::{decode_function, encode_function};
@@ -36,7 +37,7 @@ use warp_target::program::FunctionImage;
 /// Bump when the cached payload layout or the key recipe changes:
 /// old on-disk objects then decode-fail (payload) or simply never
 /// match (key), both degrading to misses.
-pub const KEY_SCHEMA_VERSION: u32 = 1;
+pub const KEY_SCHEMA_VERSION: u32 = 2;
 
 /// The function-compilation cache: what `warpcc --cache-dir` opens and
 /// the cached driver entry points consume.
@@ -83,6 +84,7 @@ pub fn options_fingerprint(opts: &CompileOptions) -> u64 {
         Some(p) => h.bool(true).u64(p.max_side_insts as u64).u64(p.max_rounds as u64),
     };
     h.bool(opts.verify_each_pass);
+    h.bool(opts.absint);
     h.finish()
 }
 
@@ -213,6 +215,9 @@ impl CacheValue for CachedFunction {
             r.p2.dep_tests,
             r.p2.dep_edges,
             r.p2.loops,
+            r.p2.absint_iterations,
+            r.p2.branches_pruned,
+            r.p2.trap_checks_elided,
             r.p3.ops_selected,
             r.p3.regalloc_rounds,
             r.p3.spills,
@@ -227,6 +232,7 @@ impl CacheValue for CachedFunction {
         put_u64(&mut buf, u64::from(r.p3.words));
         put_u64(&mut buf, r.object_bytes);
         put_u64(&mut buf, r.cost_estimate);
+        put_facts(&mut buf, r.facts.as_ref());
         buf
     }
 
@@ -248,6 +254,9 @@ impl CacheValue for CachedFunction {
             &mut p2.dep_tests,
             &mut p2.dep_edges,
             &mut p2.loops,
+            &mut p2.absint_iterations,
+            &mut p2.branches_pruned,
+            &mut p2.trap_checks_elided,
             &mut p3.ops_selected,
             &mut p3.regalloc_rounds,
             &mut p3.spills,
@@ -262,6 +271,7 @@ impl CacheValue for CachedFunction {
         p3.words = u32::try_from(t.u64()?).ok()?;
         let object_bytes = t.u64()?;
         let cost_estimate = t.u64()?;
+        let facts = take_facts(&mut t)?;
         if t.pos != bytes.len() {
             return None;
         }
@@ -277,9 +287,102 @@ impl CacheValue for CachedFunction {
                 p3,
                 object_bytes,
                 cost_estimate,
+                facts,
             },
         })
     }
+}
+
+/// Appends an optional [`FactSet`] to the payload (presence flag, the
+/// scalar counters and summary bits, then the three claim lists).
+fn put_facts(buf: &mut Vec<u8>, facts: Option<&FactSet>) {
+    let Some(f) = facts else {
+        put_u64(buf, 0);
+        return;
+    };
+    put_u64(buf, 1);
+    put_u64(buf, f.iterations as u64);
+    for v in [f.div_sites, f.div_safe, f.mem_sites, f.mem_safe, f.consume_sites, f.consume_safe] {
+        put_u64(buf, u64::from(v));
+    }
+    for b in [f.div_trap_free, f.mem_trap_free, f.def_free, f.finite_return] {
+        put_u64(buf, u64::from(b));
+    }
+    for sites in [&f.safe_divs, &f.safe_mems] {
+        put_u64(buf, sites.len() as u64);
+        for s in sites {
+            put_u64(buf, u64::from(s.block));
+            put_u64(buf, u64::from(s.inst));
+        }
+    }
+    put_u64(buf, f.dead_edges.len() as u64);
+    for e in &f.dead_edges {
+        put_u64(buf, u64::from(e.block));
+        put_u64(buf, u64::from(e.always_then));
+    }
+    put_u64(buf, f.loop_bounds.len() as u64);
+    for l in &f.loop_bounds {
+        put_u64(buf, u64::from(l.block));
+        put_u64(buf, l.max_trips);
+    }
+}
+
+fn take_facts(t: &mut Take<'_>) -> Option<Option<FactSet>> {
+    let tag = t.u64()?;
+    if tag == 0 {
+        return Some(None);
+    }
+    if tag != 1 {
+        return None;
+    }
+    let mut f = FactSet { iterations: t.usize()?, ..FactSet::default() };
+    for field in [
+        &mut f.div_sites,
+        &mut f.div_safe,
+        &mut f.mem_sites,
+        &mut f.mem_safe,
+        &mut f.consume_sites,
+        &mut f.consume_safe,
+    ] {
+        *field = u32::try_from(t.u64()?).ok()?;
+    }
+    for field in [
+        &mut f.div_trap_free,
+        &mut f.mem_trap_free,
+        &mut f.def_free,
+        &mut f.finite_return,
+    ] {
+        *field = match t.u64()? {
+            0 => false,
+            1 => true,
+            _ => return None,
+        };
+    }
+    for sites in [&mut f.safe_divs, &mut f.safe_mems] {
+        let n = t.usize()?;
+        for _ in 0..n {
+            let block = u32::try_from(t.u64()?).ok()?;
+            let inst = u32::try_from(t.u64()?).ok()?;
+            sites.push(Site { block, inst });
+        }
+    }
+    let n = t.usize()?;
+    for _ in 0..n {
+        let block = u32::try_from(t.u64()?).ok()?;
+        let always_then = match t.u64()? {
+            0 => false,
+            1 => true,
+            _ => return None,
+        };
+        f.dead_edges.push(DeadEdge { block, always_then });
+    }
+    let n = t.usize()?;
+    for _ in 0..n {
+        let block = u32::try_from(t.u64()?).ok()?;
+        let max_trips = t.u64()?;
+        f.loop_bounds.push(LoopBound { block, max_trips });
+    }
+    Some(Some(f))
 }
 
 #[cfg(test)]
@@ -306,6 +409,18 @@ mod tests {
         // Any truncation is rejected, not misread.
         assert_eq!(CachedFunction::from_bytes(&bytes[..bytes.len() - 1]), None);
         assert_eq!(CachedFunction::from_bytes(&[]), None);
+    }
+
+    #[test]
+    fn payload_round_trips_with_facts() {
+        let (checked, src) = checked_small();
+        let opts = CompileOptions { absint: true, ..CompileOptions::default() };
+        let (image, record) = compile_function(&checked, &src, 0, 0, &opts).expect("compile");
+        assert!(record.facts.is_some(), "absint build must ship facts");
+        let cached = CachedFunction { image, record };
+        let bytes = cached.to_bytes();
+        assert_eq!(CachedFunction::from_bytes(&bytes), Some(cached));
+        assert_eq!(CachedFunction::from_bytes(&bytes[..bytes.len() - 1]), None);
     }
 
     #[test]
@@ -349,8 +464,11 @@ mod tests {
             ..CompileOptions::default()
         };
         let verify = CompileOptions { verify_each_pass: true, ..CompileOptions::default() };
-        let fps: Vec<u64> =
-            [cell, ii, inline, unroll, ifc, verify].iter().map(options_fingerprint).collect();
+        let absint = CompileOptions { absint: true, ..CompileOptions::default() };
+        let fps: Vec<u64> = [cell, ii, inline, unroll, ifc, verify, absint]
+            .iter()
+            .map(options_fingerprint)
+            .collect();
         for (i, fp) in fps.iter().enumerate() {
             assert_ne!(*fp, base, "knob {i} did not change the fingerprint");
         }

@@ -23,8 +23,19 @@
 //! command line, honouring `WARP_FUZZ_SEED` / `WARP_FUZZ_ITERS` so a
 //! nightly job can dig deeper than the bounded PR job. See
 //! `docs/FUZZING.md` for the full protocol.
+//!
+//! The harness doubles as the soundness oracle for the abstract
+//! interpreter ([`warp_ir::absint`]): for every agreeing program,
+//! [`check_absint`] re-derives each function's final IR and
+//! [`warp_ir::FactSet`], replays every lane through the strict IR
+//! evaluator and rejects any *false fact* — a "no-trap" claim on a
+//! site that traps concretely, a "dead" edge that is taken, a loop
+//! bound that is exceeded. It also compiles the module a second time
+//! with the fact-driven optimization enabled and requires the strict
+//! machine outcomes (halt/trap, return bits, output queues) to be
+//! unchanged lane for lane. See `docs/ANALYSIS.md` for the protocol.
 
-use crate::driver::{compile_module_source, CompileOptions};
+use crate::driver::{compile_module_source, run_phase1, CompileOptions};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::fmt::Write as _;
@@ -32,8 +43,9 @@ use std::fs;
 use std::io;
 use std::path::Path;
 use warp_target::batch::{BatchInterp, LaneInput, LaneStatus};
-use warp_target::interp::{Cell, Value};
+use warp_target::interp::{Cell, InterpError, Value};
 use warp_target::isa::Reg;
+use warp_target::program::SectionImage;
 
 /// Knobs of one fuzzing run. Everything is derived from `seed`, so a
 /// `(seed, programs, lanes)` triple names a corpus exactly.
@@ -52,6 +64,9 @@ pub struct FuzzConfig {
     pub max_stmts: usize,
     /// Maximum loop nesting depth in generated bodies.
     pub max_depth: usize,
+    /// Run the absint soundness oracle ([`check_absint`]) on every
+    /// agreeing program.
+    pub check_facts: bool,
 }
 
 impl Default for FuzzConfig {
@@ -63,6 +78,7 @@ impl Default for FuzzConfig {
             max_cycles: 200_000,
             max_stmts: 28,
             max_depth: 3,
+            check_facts: true,
         }
     }
 }
@@ -91,6 +107,9 @@ pub struct FuzzReport {
     pub trapped_lanes: usize,
     /// Engine disagreements, each shrunk to a minimal reproducer.
     pub disagreements: Vec<Disagreement>,
+    /// Absint oracle statistics (all zero unless
+    /// [`FuzzConfig::check_facts`] is set).
+    pub facts: FactOracleStats,
 }
 
 /// Outcome of checking one source program three ways.
@@ -443,6 +462,190 @@ pub fn check_source(source: &str, cfg: &FuzzConfig) -> CheckOutcome {
 }
 
 // ---------------------------------------------------------------------------
+// Absint soundness oracle
+// ---------------------------------------------------------------------------
+
+/// Aggregate counters of the absint soundness oracle: how much static
+/// claim surface the campaign actually checked.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FactOracleStats {
+    /// Functions analyzed (facts derived and checked).
+    pub functions: usize,
+    /// Machine-checkable claims across all fact sets
+    /// ([`warp_ir::FactSet::claim_count`]).
+    pub claims: usize,
+    /// Concrete strict-evaluator runs the claims were checked against.
+    pub eval_runs: usize,
+    /// Fact-driven rewrites performed (branches pruned + trap checks
+    /// elided) while compiling with `absint` on.
+    pub rewrites: usize,
+}
+
+/// Observables of one strict lane run that the fact-driven
+/// optimization must preserve (cycle counts deliberately excluded —
+/// pruning code shortens schedules).
+struct StrictLane {
+    status: Result<(), InterpError>,
+    /// `(defined, bits)` of the return register, when halted.
+    ret: Option<(bool, u64)>,
+    out_left: Vec<u64>,
+    out_right: Vec<u64>,
+}
+
+fn value_bits(v: &Value) -> u64 {
+    match v {
+        // Tag ints so `I(0)` and `F(0.0)` never compare equal.
+        Value::I(i) => 0x1_0000_0000 | u64::from(*i as u32),
+        Value::F(f) => u64::from(f.to_bits()),
+    }
+}
+
+fn strict_lane(
+    sec: &SectionImage,
+    opts: &CompileOptions,
+    fn_name: &str,
+    args: &[Value],
+    max_cycles: u64,
+) -> Result<StrictLane, String> {
+    let mut cell =
+        Cell::new(opts.cell, sec.clone()).map_err(|e| format!("strict rejects image: {e}"))?;
+    cell.set_strict(true);
+    cell.prepare_call(fn_name, args).map_err(|e| format!("strict rejects call: {e}"))?;
+    let status = cell.run(max_cycles).map(|_| ());
+    let ret = if status.is_ok() {
+        match cell.reg(Reg::RET) {
+            Ok(v) => Some((true, value_bits(&v))),
+            Err(_) => Some((false, 0)),
+        }
+    } else {
+        None
+    };
+    Ok(StrictLane {
+        status,
+        ret,
+        out_left: cell.out_left.iter().map(value_bits).collect(),
+        out_right: cell.out_right.iter().map(value_bits).collect(),
+    })
+}
+
+/// The absint soundness oracle, run per agreeing program.
+///
+/// Two layers:
+///
+/// 1. **Fact soundness** — every function's final IR and
+///    [`warp_ir::FactSet`] are re-derived (phase 1 + phase 2 with
+///    `absint` on, exactly as the driver runs them) and every lane's
+///    arguments are replayed through [`warp_ir::eval_ir`]; any
+///    [`warp_ir::eval::fact_violations`] hit is a false fact.
+/// 2. **Rewrite transparency** — the module is compiled with and
+///    without `absint` and each lane is run on the strict interpreter
+///    both ways; halt/trap status, trap payloads, return-register bits
+///    and output queues must match (cycle counts may differ — pruning
+///    shortens schedules, so lanes that exhaust the cycle budget on
+///    either image are skipped).
+///
+/// # Errors
+///
+/// Returns a description of the first false fact or observable
+/// divergence found.
+pub fn check_absint(
+    source: &str,
+    cfg: &FuzzConfig,
+    stats: &mut FactOracleStats,
+) -> Result<(), String> {
+    let opts_off = CompileOptions::default();
+    let opts_on = CompileOptions { absint: true, ..CompileOptions::default() };
+
+    // Layer 1: claims vs the strict IR evaluator, lane for lane.
+    let (checked, _, _) = run_phase1(source).map_err(|e| format!("phase1: {e}"))?;
+    for (si, sec) in checked.module.sections.iter().enumerate() {
+        for (fi, func) in sec.functions.iter().enumerate() {
+            let p2 = warp_ir::phase2_verified(
+                func,
+                checked.symbols(si, fi),
+                &checked.sections[si].signatures,
+                opts_on.unroll.as_ref(),
+                opts_on.if_convert.as_ref(),
+                true,
+                false,
+            )
+            .map_err(|e| format!("phase2({}): {e}", func.name))?;
+            let facts = p2.facts.as_ref().expect("absint requested");
+            stats.functions += 1;
+            stats.claims += facts.claim_count();
+            stats.rewrites += p2.work.branches_pruned + p2.work.trap_checks_elided;
+            for lane in 0..cfg.lanes {
+                let args = lane_args(lane, p2.ir.params.len());
+                let outcome = warp_ir::eval_ir(&p2.ir, &args, cfg.max_cycles);
+                if !outcome.unsupported {
+                    stats.eval_runs += 1;
+                }
+                let bad = warp_ir::eval::fact_violations(facts, &outcome);
+                if !bad.is_empty() {
+                    return Err(format!(
+                        "false fact in `{}` on lane {lane} (args {args:?}): {}",
+                        func.name,
+                        bad.join("; ")
+                    ));
+                }
+            }
+        }
+    }
+
+    // Layer 2: absint-on vs absint-off machine behaviour.
+    let on = compile_module_source(source, &opts_on)
+        .map_err(|e| format!("absint-on compile: {e}"))?;
+    let off = compile_module_source(source, &opts_off)
+        .map_err(|e| format!("absint-off compile: {e}"))?;
+    let sec_on = &on.module_image.section_images[0];
+    let sec_off = &off.module_image.section_images[0];
+    let errs = warp_analyze::verify_section_image(sec_on, &opts_on.cell);
+    if !errs.is_empty() {
+        return Err(format!("verifier rejects absint-on image: {}", errs[0]));
+    }
+    let entry = &sec_on.functions[sec_on.entry];
+    let fn_name = entry.name.clone();
+    let n_params = entry.param_count as usize;
+    for lane in 0..cfg.lanes {
+        let args = lane_args(lane, n_params);
+        let a = strict_lane(sec_on, &opts_on, &fn_name, &args, cfg.max_cycles)?;
+        let b = strict_lane(sec_off, &opts_off, &fn_name, &args, cfg.max_cycles)?;
+        if matches!(a.status, Err(InterpError::CycleLimit { .. }))
+            || matches!(b.status, Err(InterpError::CycleLimit { .. }))
+        {
+            continue;
+        }
+        match (&a.status, &b.status) {
+            (Ok(()), Ok(())) => {
+                if a.ret != b.ret {
+                    return Err(format!(
+                        "lane {lane}: absint changed the return register: \
+                         {:?} (on) vs {:?} (off)",
+                        a.ret, b.ret
+                    ));
+                }
+            }
+            // Traps compare modulo the faulting pc: the same data fault
+            // fires at a different schedule address once code has been
+            // pruned, but its function and kind are observables.
+            (Err(InterpError::Fault { function: fa, kind: ka, .. }),
+             Err(InterpError::Fault { function: fb, kind: kb, .. }))
+                if fa == fb && ka == kb => {}
+            (Err(x), Err(y)) if x == y => {}
+            (x, y) => {
+                return Err(format!(
+                    "lane {lane}: absint changed the outcome: {x:?} (on) vs {y:?} (off)"
+                ));
+            }
+        }
+        if a.out_left != b.out_left || a.out_right != b.out_right {
+            return Err(format!("lane {lane}: absint changed the output queues"));
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
 // Shrinker
 // ---------------------------------------------------------------------------
 
@@ -508,6 +711,25 @@ pub fn run(cfg: &FuzzConfig) -> FuzzReport {
             CheckOutcome::Agree { lanes, trapped } => {
                 report.lanes += lanes;
                 report.trapped_lanes += trapped;
+                if cfg.check_facts {
+                    if let Err(detail) = check_absint(&source, cfg, &mut report.facts) {
+                        // A false fact shrinks like any disagreement:
+                        // keep a candidate iff it still compiles and
+                        // the oracle still rejects it (a candidate that
+                        // stopped compiling fails the oracle too, so
+                        // the compile gate comes first).
+                        let mut scratch = FactOracleStats::default();
+                        let shrunk = shrink(&source, |src| {
+                            compile_module_source(src, &CompileOptions::default()).is_ok()
+                                && check_absint(src, cfg, &mut scratch).is_err()
+                        });
+                        report.disagreements.push(Disagreement {
+                            program_seed: pseed,
+                            detail: format!("absint: {detail}"),
+                            source: shrunk,
+                        });
+                    }
+                }
             }
             CheckOutcome::CompileError(e) => {
                 report.disagreements.push(Disagreement {
@@ -667,6 +889,46 @@ mod tests {
         let report = run(&cfg);
         assert!(report.disagreements.is_empty());
         assert!(report.trapped_lanes > 0, "corpus never trapped: too tame");
+    }
+
+    #[test]
+    fn absint_oracle_finds_no_false_facts_on_a_small_campaign() {
+        // The soundness gate in miniature: every fact the analyzer
+        // proves over a seeded corpus must hold on every lane, and the
+        // fact-driven rewrites must be observably transparent. The
+        // full-size version of this gate is the CI fuzz job.
+        let cfg = FuzzConfig { programs: 10, seed: 1989, ..FuzzConfig::default() };
+        assert!(cfg.check_facts, "oracle must be on by default");
+        let report = run(&cfg);
+        assert!(
+            report.disagreements.is_empty(),
+            "{:#?}",
+            report
+                .disagreements
+                .iter()
+                .map(|d| (&d.detail, &d.source))
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(report.facts.functions, 10);
+        assert!(report.facts.claims > 0, "corpus proved no facts: too tame");
+        assert!(report.facts.eval_runs > 0);
+    }
+
+    #[test]
+    fn absint_oracle_checks_trapping_programs() {
+        // A program whose divisor is data-dependent: some lanes trap.
+        // The analyzer must not claim div-trap freedom, and the oracle
+        // must agree fact-by-fact on both the trapping and the clean
+        // lanes.
+        let src = "module m;\nsection s on cells 0..9;\n\
+                   function fz(x: float, n: int): float\n\
+                   var s: int;\n\
+                   begin\n  s := 100 mod (n mod 3);\n  return float(s);\nend;\nend;\n";
+        let cfg = FuzzConfig::default();
+        let mut stats = FactOracleStats::default();
+        check_absint(src, &cfg, &mut stats).expect("oracle must pass");
+        assert_eq!(stats.functions, 1);
+        assert!(stats.eval_runs >= cfg.lanes);
     }
 
     #[test]

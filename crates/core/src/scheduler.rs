@@ -123,6 +123,7 @@ mod tests {
             p3: Phase3Work::default(),
             object_bytes: 1,
             cost_estimate: cost,
+            facts: None,
         }
     }
 

@@ -81,6 +81,36 @@ fn emit_ast_round_trips() {
 }
 
 #[test]
+fn emit_facts_prints_the_fact_report() {
+    const LOOPY: &str = "module cli;\nsection s on cells 0..1;\n\
+      function f(x: float): float\n\
+      var t: float; v: float[16]; i: int;\n\
+      begin\n  t := x;\n  for i := 0 to 15 do v[i] := t; t := t + v[i]; end;\n\
+      return t;\nend;\nend;\n";
+    let f = tempfile_path::write(LOOPY);
+    let out = warpcc().args(["--emit", "facts"]).arg(&f.0).output().expect("run");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("== f"), "{stdout}");
+    assert!(stdout.contains("iterations "), "{stdout}");
+    assert!(stdout.contains("mem-trap-free"), "{stdout}");
+}
+
+#[test]
+fn absint_flag_adds_summary_columns() {
+    let f = write_program();
+    let out = warpcc().arg("--absint").arg(&f.0).output().expect("run");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("absint-it"), "{stdout}");
+    assert!(stdout.contains("pruned"), "{stdout}");
+    // Without the flag the summary layout is unchanged.
+    let out = warpcc().arg(&f.0).output().expect("run");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!stdout.contains("absint-it"), "{stdout}");
+}
+
+#[test]
 fn stdin_input_works() {
     use std::io::Write as _;
     let mut child = warpcc()

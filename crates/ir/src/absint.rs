@@ -1,0 +1,1823 @@
+//! Abstract interpretation over the mid-level IR: a worklist
+//! interpreter computing, for every virtual register at every block
+//! entry, a *product* abstraction of
+//!
+//! * an **integer interval** (`i64` bounds on the `i32` value),
+//! * a **float envelope** — the finiteness domain of the analysis
+//!   refined to an outward-rounded `f64` interval plus a may-be-NaN
+//!   flag, and
+//! * a **definedness (poison) bit** — `true` means the register
+//!   provably carries a written value on every path, mirroring the
+//!   `reg_def` bits of [`warp_target::exec`].
+//!
+//! The fixpoint uses widening after [`WIDEN_AFTER`] joins per block
+//! (changed bounds jump to the type extreme) followed by
+//! [`NARROW_PASSES`] truncated narrowing sweeps, with integer
+//! branch-condition refinement on CFG edges. Array contents are
+//! summarized flow-insensitively as one value hull per array
+//! (data memory starts zero-filled and defined, so hulls start at
+//! exactly zero and grow with every store).
+//!
+//! The result is a machine-checkable [`FactSet`] — per-site
+//! no-trap claims, infeasible branch edges, loop trip bounds,
+//! whole-function trap-freedom summaries — plus a list of proposed
+//! [`Rewrite`]s that `opt::apply_facts` turns into code improvements
+//! with bit-identical execution. Every claim is phrased so the
+//! concrete oracles (the strict interpreter, `BatchInterp`, and the
+//! IR evaluator in [`crate::eval`]) can falsify it: an unsound fact
+//! is a test failure, never a silent miscompile.
+//!
+//! Soundness notes on the two subtle corners:
+//!
+//! * Float transfer functions compute corner cases in `f64` and then
+//!   widen each bound outward by two `f32` ulps, so the envelope
+//!   always contains every achievable `f32` result even though the
+//!   analysis does not model the rounding mode exactly.
+//! * A register whose definedness bit is `false` gets the full range
+//!   of its type: after register allocation an undefined virtual
+//!   register may alias any physical register, so no numeric claim
+//!   about it survives to machine level.
+
+use crate::ir::{FuncIr, Inst, IrBinOp, IrType, IrUnOp, Term, Val, VirtReg};
+use serde::{Deserialize, Serialize};
+use warp_target::isa::CmpKind;
+
+/// Joins per block before widening kicks in.
+pub const WIDEN_AFTER: u32 = 3;
+/// Truncated narrowing sweeps after the widened fixpoint stabilizes.
+pub const NARROW_PASSES: usize = 2;
+
+// ---------------------------------------------------------------------------
+// Integer intervals
+// ---------------------------------------------------------------------------
+
+/// Inclusive interval of `i32` values, held as `i64` so refinement
+/// arithmetic never overflows. `lo > hi` encodes the empty interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntItv {
+    /// Lower bound (inclusive).
+    pub lo: i64,
+    /// Upper bound (inclusive).
+    pub hi: i64,
+}
+
+impl IntItv {
+    /// Every `i32` value.
+    pub const FULL: IntItv = IntItv { lo: i32::MIN as i64, hi: i32::MAX as i64 };
+    /// No value (an infeasible path).
+    pub const EMPTY: IntItv = IntItv { lo: 1, hi: 0 };
+
+    /// The single value `v`.
+    pub fn exact(v: i64) -> IntItv {
+        IntItv { lo: v, hi: v }
+    }
+
+    /// `true` if no concrete value is contained.
+    pub fn is_empty(self) -> bool {
+        self.lo > self.hi
+    }
+
+    /// `true` if `v` is contained.
+    pub fn contains(self, v: i64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Number of contained values (saturating).
+    pub fn width(self) -> u64 {
+        if self.is_empty() { 0 } else { (self.hi - self.lo) as u64 + 1 }
+    }
+
+    fn join(self, o: IntItv) -> IntItv {
+        if self.is_empty() {
+            o
+        } else if o.is_empty() {
+            self
+        } else {
+            IntItv { lo: self.lo.min(o.lo), hi: self.hi.max(o.hi) }
+        }
+    }
+
+    fn meet(self, o: IntItv) -> IntItv {
+        IntItv { lo: self.lo.max(o.lo), hi: self.hi.min(o.hi) }
+    }
+
+    fn clamp32(lo: i64, hi: i64) -> IntItv {
+        if lo < i32::MIN as i64 || hi > i32::MAX as i64 {
+            IntItv::FULL
+        } else {
+            IntItv { lo, hi }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Float envelopes
+// ---------------------------------------------------------------------------
+
+/// Sound envelope of an `f32` value: `f64` bounds (always kept as a
+/// non-empty superset) plus a may-be-NaN flag. Finiteness — the fact
+/// the analysis actually reports — is `!nan && lo > -inf && hi < inf`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FltItv {
+    /// Lower bound (inclusive, may be `-inf`).
+    pub lo: f64,
+    /// Upper bound (inclusive, may be `+inf`).
+    pub hi: f64,
+    /// Whether the value may be NaN.
+    pub nan: bool,
+}
+
+impl FltItv {
+    /// Any float, NaN included.
+    pub const FULL: FltItv = FltItv { lo: f64::NEG_INFINITY, hi: f64::INFINITY, nan: true };
+
+    /// The single value `v` (a NaN constant becomes the pure-NaN
+    /// envelope around zero).
+    pub fn exact(v: f32) -> FltItv {
+        if v.is_nan() {
+            FltItv { lo: 0.0, hi: 0.0, nan: true }
+        } else {
+            FltItv { lo: v as f64, hi: v as f64, nan: false }
+        }
+    }
+
+    /// `true` if every contained value is a finite non-NaN float.
+    pub fn finite(self) -> bool {
+        !self.nan && self.lo.is_finite() && self.hi.is_finite()
+    }
+
+    fn may_be_inf(self) -> bool {
+        self.lo == f64::NEG_INFINITY || self.hi == f64::INFINITY
+    }
+
+    fn contains_zero(self) -> bool {
+        self.lo <= 0.0 && self.hi >= 0.0
+    }
+
+    fn join(self, o: FltItv) -> FltItv {
+        FltItv { lo: self.lo.min(o.lo), hi: self.hi.max(o.hi), nan: self.nan || o.nan }
+    }
+
+    fn widen_from(self, prev: FltItv) -> FltItv {
+        FltItv {
+            lo: if self.lo < prev.lo { f64::NEG_INFINITY } else { self.lo },
+            hi: if self.hi > prev.hi { f64::INFINITY } else { self.hi },
+            nan: self.nan,
+        }
+    }
+}
+
+/// The next `f32` below `f`, as the ±0 / infinity-preserving bit walk.
+fn f32_next_down(f: f32) -> f32 {
+    if f.is_nan() || f == f32::NEG_INFINITY {
+        return f;
+    }
+    let bits = f.to_bits();
+    let next = if bits == 0 {
+        0x8000_0001 // +0.0 -> smallest negative subnormal
+    } else if bits >> 31 == 0 {
+        bits - 1
+    } else {
+        bits + 1
+    };
+    f32::from_bits(next)
+}
+
+fn f32_next_up(f: f32) -> f32 {
+    if f.is_nan() || f == f32::INFINITY {
+        return f;
+    }
+    let bits = f.to_bits();
+    let next = if bits == 0x8000_0000 {
+        1 // -0.0 -> smallest positive subnormal
+    } else if bits >> 31 == 0 {
+        bits + 1
+    } else {
+        bits - 1
+    };
+    f32::from_bits(next)
+}
+
+/// Widen an `f64` corner value downward past the nearest `f32`: the
+/// result is `<=` every `f32` that any concrete evaluation within the
+/// corner's envelope can round to.
+fn env_lo(x: f64) -> f64 {
+    if x.is_nan() {
+        return f64::NEG_INFINITY;
+    }
+    let f = x as f32; // round to nearest
+    let f = if (f as f64) > x { f32_next_down(f) } else { f };
+    f32_next_down(f) as f64
+}
+
+/// Mirror of [`env_lo`] for upper bounds.
+fn env_hi(x: f64) -> f64 {
+    if x.is_nan() {
+        return f64::INFINITY;
+    }
+    let f = x as f32;
+    let f = if (f as f64) < x { f32_next_up(f) } else { f };
+    f32_next_up(f) as f64
+}
+
+fn env(lo: f64, hi: f64, nan: bool) -> FltItv {
+    let (mut lo, mut hi) = (env_lo(lo), env_hi(hi));
+    if lo > hi {
+        // Pure-NaN or inconsistent corner set: keep a non-empty
+        // superset so interval arithmetic never sees an empty range.
+        lo = f64::NEG_INFINITY;
+        hi = f64::INFINITY;
+    }
+    FltItv { lo, hi, nan }
+}
+
+// ---------------------------------------------------------------------------
+// Abstract values and states
+// ---------------------------------------------------------------------------
+
+/// The numeric component of the product domain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AbsNum {
+    /// Integer interval.
+    Int(IntItv),
+    /// Float envelope.
+    Flt(FltItv),
+}
+
+/// One register's abstraction: numeric range × definedness bit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AbsVal {
+    /// Numeric component.
+    pub num: AbsNum,
+    /// `true` when the register is provably defined here.
+    pub def: bool,
+}
+
+impl AbsVal {
+    /// The full range of `ty`, with the given definedness.
+    pub fn top(ty: IrType, def: bool) -> AbsVal {
+        let num = match ty {
+            IrType::Int => AbsNum::Int(IntItv::FULL),
+            IrType::Float => AbsNum::Flt(FltItv::FULL),
+        };
+        AbsVal { num, def }
+    }
+
+    fn join(self, o: AbsVal) -> AbsVal {
+        let num = match (self.num, o.num) {
+            (AbsNum::Int(a), AbsNum::Int(b)) => AbsNum::Int(a.join(b)),
+            (AbsNum::Flt(a), AbsNum::Flt(b)) => AbsNum::Flt(a.join(b)),
+            // A type mismatch can only come from ill-typed IR; give up
+            // soundly on the register.
+            (AbsNum::Int(_), _) => AbsNum::Int(IntItv::FULL),
+            (AbsNum::Flt(_), _) => AbsNum::Flt(FltItv::FULL),
+        };
+        AbsVal { num, def: self.def && o.def }
+    }
+
+}
+
+/// Threshold widening: a bound that moved since the previous state
+/// jumps to the nearest program constant beyond it (then to the type
+/// extreme), so loop bounds converge without a full descent.
+fn widen_val(j: AbsVal, prev: AbsVal, thresholds: &[i64]) -> AbsVal {
+    let num = match (j.num, prev.num) {
+        (AbsNum::Int(a), AbsNum::Int(p)) => {
+            if p.is_empty() || a.is_empty() {
+                AbsNum::Int(a)
+            } else {
+                let lo = if a.lo < p.lo {
+                    thresholds
+                        .iter()
+                        .rev()
+                        .find(|&&t| t <= a.lo)
+                        .copied()
+                        .unwrap_or(IntItv::FULL.lo)
+                        .max(IntItv::FULL.lo)
+                } else {
+                    a.lo
+                };
+                let hi = if a.hi > p.hi {
+                    thresholds
+                        .iter()
+                        .find(|&&t| t >= a.hi)
+                        .copied()
+                        .unwrap_or(IntItv::FULL.hi)
+                        .min(IntItv::FULL.hi)
+                } else {
+                    a.hi
+                };
+                AbsNum::Int(IntItv { lo, hi })
+            }
+        }
+        (AbsNum::Flt(a), AbsNum::Flt(p)) => AbsNum::Flt(a.widen_from(p)),
+        (n, _) => n,
+    };
+    AbsVal { num, def: j.def }
+}
+
+/// Per-block-entry register state. `None` in the analysis tables
+/// means the block is unreachable so far.
+type State = Vec<AbsVal>;
+
+// ---------------------------------------------------------------------------
+// Facts
+// ---------------------------------------------------------------------------
+
+/// A program point: instruction `inst` of block `block`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Site {
+    /// Block index.
+    pub block: u32,
+    /// Instruction index within the block.
+    pub inst: u32,
+}
+
+/// A branch edge proven infeasible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeadEdge {
+    /// Block whose terminator is the branch.
+    pub block: u32,
+    /// `true`: the then-edge is always taken (else-edge dead);
+    /// `false`: the else-edge is always taken.
+    pub always_then: bool,
+}
+
+/// An upper bound on consecutive executions of a self-loop block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoopBound {
+    /// The single-block loop's header (and body).
+    pub block: u32,
+    /// The body runs at most this many consecutive times per entry.
+    pub max_trips: u64,
+}
+
+/// Machine-readable facts about one function, every one of which the
+/// concrete engines can check. Counts are split *sites* / *safe* so a
+/// report can show proof coverage; the whole-function booleans are
+/// the claims the fuzzing oracle holds against observed faults.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct FactSet {
+    /// Worklist iterations spent (block transfers, all passes).
+    pub iterations: usize,
+    /// Integer division/modulo sites (the only div-trap sites).
+    pub div_sites: u32,
+    /// Division sites proven free of `DivisionByZero` and undefined
+    /// divisors.
+    pub div_safe: u32,
+    /// Load/store sites.
+    pub mem_sites: u32,
+    /// Memory sites proven in-bounds with a defined address.
+    pub mem_safe: u32,
+    /// Points that *consume* a value (divisors, addresses, branch
+    /// conditions, sent values, returns) and so fault on poison.
+    pub consume_sites: u32,
+    /// Consumption points with a provably defined operand.
+    pub consume_safe: u32,
+    /// No execution of this function's code raises `DivisionByZero`.
+    pub div_trap_free: bool,
+    /// No execution raises `MemOutOfBounds`.
+    pub mem_trap_free: bool,
+    /// No execution raises `UninitializedRead`.
+    pub def_free: bool,
+    /// The function returns a float that is always finite non-NaN.
+    pub finite_return: bool,
+    /// Division sites individually proven safe.
+    pub safe_divs: Vec<Site>,
+    /// Memory sites individually proven safe.
+    pub safe_mems: Vec<Site>,
+    /// Branch edges proven infeasible.
+    pub dead_edges: Vec<DeadEdge>,
+    /// Self-loop trip bounds.
+    pub loop_bounds: Vec<LoopBound>,
+}
+
+impl FactSet {
+    /// Total number of individually checkable claims carried.
+    pub fn claim_count(&self) -> usize {
+        self.safe_divs.len()
+            + self.safe_mems.len()
+            + self.dead_edges.len()
+            + self.loop_bounds.len()
+            + usize::from(self.div_trap_free)
+            + usize::from(self.mem_trap_free)
+            + usize::from(self.def_free)
+            + usize::from(self.finite_return)
+    }
+}
+
+/// A semantics-preserving transformation the facts license.
+/// `opt::apply_facts` performs these; each is only proposed when the
+/// involved operands are provably *defined*, so the rewritten code is
+/// bit-identical under both strict and speculative execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Rewrite {
+    /// The branch condition is provably nonzero: the else-edge is
+    /// infeasible and the terminator can become `Jump(then)`.
+    PruneElse {
+        /// Branching block.
+        block: u32,
+    },
+    /// The branch condition is provably zero: prune the then-edge.
+    PruneThen {
+        /// Branching block.
+        block: u32,
+    },
+    /// `dst := a mod c` with `a ∈ [0, c-1]`: the (trap-checked)
+    /// modulo is the identity, rewrite to `dst := a`.
+    ModIdentity {
+        /// Block index.
+        block: u32,
+        /// Instruction index.
+        inst: u32,
+    },
+    /// `dst := a idiv c` with `a ∈ [0, c-1]`: the quotient is zero.
+    DivToZero {
+        /// Block index.
+        block: u32,
+        /// Instruction index.
+        inst: u32,
+    },
+}
+
+/// Analysis result: the fact set plus the rewrites it licenses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Analysis {
+    /// Proven facts.
+    pub facts: FactSet,
+    /// Licensed rewrites for `opt::apply_facts`.
+    pub rewrites: Vec<Rewrite>,
+}
+
+// ---------------------------------------------------------------------------
+// Operand evaluation
+// ---------------------------------------------------------------------------
+
+fn reg_val(st: &State, r: VirtReg) -> AbsVal {
+    st[r.0 as usize]
+}
+
+/// Integer view of a value, mirroring `Value::as_i` (floats truncate
+/// with saturation; NaN becomes 0).
+fn val_int(f: &FuncIr, st: &State, v: Val) -> (IntItv, bool) {
+    match v {
+        Val::ConstI(k) => (IntItv::exact(k as i64), true),
+        Val::ConstF(c) => (IntItv::exact((c as i32) as i64), true),
+        Val::Reg(r) => {
+            let av = reg_val(st, r);
+            let itv = match av.num {
+                AbsNum::Int(i) => i,
+                AbsNum::Flt(fl) => ftoi_itv(fl),
+            };
+            let _ = f;
+            (if av.def { itv } else { IntItv::FULL }, av.def)
+        }
+    }
+}
+
+/// Float view of a value, mirroring `Value::as_f`.
+fn val_flt(f: &FuncIr, st: &State, v: Val) -> (FltItv, bool) {
+    match v {
+        Val::ConstI(k) => (FltItv::exact(k as f32), true),
+        Val::ConstF(c) => (FltItv::exact(c), true),
+        Val::Reg(r) => {
+            let av = reg_val(st, r);
+            let itv = match av.num {
+                AbsNum::Flt(fl) => fl,
+                AbsNum::Int(i) => itof_itv(i),
+            };
+            let _ = f;
+            (if av.def { itv } else { FltItv::FULL }, av.def)
+        }
+    }
+}
+
+/// `i32 as f32` over an interval (monotone, so corners suffice).
+fn itof_itv(i: IntItv) -> FltItv {
+    if i.is_empty() {
+        return FltItv::FULL;
+    }
+    env(i.lo as f64, i.hi as f64, false)
+}
+
+/// `f32 as i32` (saturating trunc, NaN → 0) over an envelope.
+fn ftoi_itv(fl: FltItv) -> IntItv {
+    let sat = |x: f64| -> i64 {
+        if x.is_nan() {
+            0
+        } else if x <= i32::MIN as f64 {
+            i32::MIN as i64
+        } else if x >= i32::MAX as f64 {
+            i32::MAX as i64
+        } else {
+            x.trunc() as i64
+        }
+    };
+    let mut lo = sat(fl.lo);
+    let mut hi = sat(fl.hi);
+    if fl.nan {
+        lo = lo.min(0);
+        hi = hi.max(0);
+    }
+    IntItv { lo, hi }
+}
+
+/// `f32.floor() as i32` over an envelope.
+fn floor_itv(fl: FltItv) -> IntItv {
+    let sat = |x: f64| -> i64 {
+        if x.is_nan() {
+            0
+        } else if x <= i32::MIN as f64 {
+            i32::MIN as i64
+        } else if x >= i32::MAX as f64 {
+            i32::MAX as i64
+        } else {
+            x.floor() as i64
+        }
+    };
+    // floor can undershoot the f64 corner by one: pad the low end.
+    let mut lo = sat(fl.lo).saturating_sub(1).max(i32::MIN as i64);
+    let mut hi = sat(fl.hi);
+    if fl.nan {
+        lo = lo.min(0);
+        hi = hi.max(0);
+    }
+    IntItv { lo, hi }
+}
+
+// ---------------------------------------------------------------------------
+// Transfer functions
+// ---------------------------------------------------------------------------
+
+fn bin_int(op: IrBinOp, a: IntItv, b: IntItv) -> IntItv {
+    if a.is_empty() || b.is_empty() {
+        return IntItv::EMPTY;
+    }
+    match op {
+        IrBinOp::Add => IntItv::clamp32(a.lo + b.lo, a.hi + b.hi),
+        IrBinOp::Sub => IntItv::clamp32(a.lo - b.hi, a.hi - b.lo),
+        IrBinOp::Mul => {
+            let cs = [a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi];
+            IntItv::clamp32(*cs.iter().min().unwrap(), *cs.iter().max().unwrap())
+        }
+        IrBinOp::IDiv => idiv_itv(a, b),
+        IrBinOp::Mod => imod_itv(a, b),
+        IrBinOp::Min => IntItv { lo: a.lo.min(b.lo), hi: a.hi.min(b.hi) },
+        IrBinOp::Max => IntItv { lo: a.lo.max(b.lo), hi: a.hi.max(b.hi) },
+        IrBinOp::And | IrBinOp::Or => IntItv { lo: 0, hi: 1 },
+        // `Div` on an Int-typed Bin cannot be produced by lowering;
+        // stay sound anyway.
+        IrBinOp::Div => IntItv::FULL,
+    }
+}
+
+/// Quotient interval of `a idiv b` over the non-zero part of `b`
+/// (the zero part traps and produces no value).
+fn idiv_itv(a: IntItv, b: IntItv) -> IntItv {
+    // i32::MIN / -1 wraps: give up on the whole range.
+    if a.contains(i32::MIN as i64) && b.contains(-1) {
+        return IntItv::FULL;
+    }
+    let mut out = IntItv::EMPTY;
+    let parts = [
+        IntItv { lo: b.lo, hi: b.hi.min(-1) }, // negative divisors
+        IntItv { lo: b.lo.max(1), hi: b.hi },  // positive divisors
+    ];
+    for p in parts {
+        if p.is_empty() {
+            continue;
+        }
+        let cs = [a.lo / p.lo, a.lo / p.hi, a.hi / p.lo, a.hi / p.hi];
+        out = out.join(IntItv {
+            lo: *cs.iter().min().unwrap(),
+            hi: *cs.iter().max().unwrap(),
+        });
+    }
+    if out.is_empty() { IntItv::FULL } else { out }
+}
+
+/// Remainder interval of `a mod b` (sign follows the dividend).
+fn imod_itv(a: IntItv, b: IntItv) -> IntItv {
+    // Largest |divisor| minus one bounds the magnitude; i32::MIN as a
+    // divisor still bounds |rem| by i32::MAX.
+    let m = b.lo.unsigned_abs().max(b.hi.unsigned_abs()).min(i32::MAX as u64 + 1) as i64;
+    if m == 0 {
+        // Divisor is exactly zero: always traps, no value produced.
+        return IntItv::EMPTY;
+    }
+    let mag = m - 1;
+    let lo = if a.lo >= 0 { 0 } else { (-mag).max(a.lo) };
+    let hi = if a.hi <= 0 { 0 } else { mag.min(a.hi) };
+    IntItv { lo, hi }
+}
+
+fn cmp_int(kind: CmpKind, a: IntItv, b: IntItv) -> IntItv {
+    if a.is_empty() || b.is_empty() {
+        return IntItv::EMPTY;
+    }
+    let (always, never) = match kind {
+        CmpKind::Lt => (a.hi < b.lo, a.lo >= b.hi),
+        CmpKind::Le => (a.hi <= b.lo, a.lo > b.hi),
+        CmpKind::Gt => (a.lo > b.hi, a.hi <= b.lo),
+        CmpKind::Ge => (a.lo >= b.hi, a.hi < b.lo),
+        CmpKind::Eq => (a.lo == a.hi && b.lo == b.hi && a.lo == b.lo, a.hi < b.lo || b.hi < a.lo),
+        CmpKind::Ne => (a.hi < b.lo || b.hi < a.lo, a.lo == a.hi && b.lo == b.hi && a.lo == b.lo),
+    };
+    bool_itv(always, never)
+}
+
+fn cmp_flt(kind: CmpKind, a: FltItv, b: FltItv) -> IntItv {
+    let (mut always, mut never) = match kind {
+        CmpKind::Lt => (a.hi < b.lo, a.lo >= b.hi),
+        CmpKind::Le => (a.hi <= b.lo, a.lo > b.hi),
+        CmpKind::Gt => (a.lo > b.hi, a.hi <= b.lo),
+        CmpKind::Ge => (a.lo >= b.hi, a.hi < b.lo),
+        CmpKind::Eq => (a.lo == a.hi && b.lo == b.hi && a.lo == b.lo, a.hi < b.lo || b.hi < a.lo),
+        CmpKind::Ne => (a.hi < b.lo || b.hi < a.lo, a.lo == a.hi && b.lo == b.hi && a.lo == b.lo),
+    };
+    // NaN operands make every comparison false except Ne, which is true.
+    if a.nan || b.nan {
+        if kind == CmpKind::Ne {
+            never = false;
+        } else {
+            always = false;
+        }
+    }
+    bool_itv(always, never)
+}
+
+fn bool_itv(always: bool, never: bool) -> IntItv {
+    match (always, never) {
+        (true, false) => IntItv::exact(1),
+        (false, true) => IntItv::exact(0),
+        _ => IntItv { lo: 0, hi: 1 },
+    }
+}
+
+fn bin_flt(op: IrBinOp, a: FltItv, b: FltItv) -> FltItv {
+    let nan_in = a.nan || b.nan;
+    match op {
+        IrBinOp::Add => {
+            let nan = nan_in
+                || (a.hi == f64::INFINITY && b.lo == f64::NEG_INFINITY)
+                || (a.lo == f64::NEG_INFINITY && b.hi == f64::INFINITY);
+            env(a.lo + b.lo, a.hi + b.hi, nan)
+        }
+        IrBinOp::Sub => {
+            let nan = nan_in
+                || (a.hi == f64::INFINITY && b.hi == f64::INFINITY)
+                || (a.lo == f64::NEG_INFINITY && b.lo == f64::NEG_INFINITY);
+            env(a.lo - b.hi, a.hi - b.lo, nan)
+        }
+        IrBinOp::Mul => {
+            let nan = nan_in
+                || (a.contains_zero() && b.may_be_inf())
+                || (b.contains_zero() && a.may_be_inf());
+            let cs = [a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi];
+            let lo = cs.iter().copied().fold(f64::INFINITY, fold_min);
+            let hi = cs.iter().copied().fold(f64::NEG_INFINITY, fold_max);
+            env(lo, hi, nan)
+        }
+        IrBinOp::Div => {
+            let nan = nan_in
+                || (a.contains_zero() && b.contains_zero())
+                || (a.may_be_inf() && b.may_be_inf());
+            if b.contains_zero() {
+                return FltItv { lo: f64::NEG_INFINITY, hi: f64::INFINITY, nan };
+            }
+            let cs = [a.lo / b.lo, a.lo / b.hi, a.hi / b.lo, a.hi / b.hi];
+            let lo = cs.iter().copied().fold(f64::INFINITY, fold_min);
+            let hi = cs.iter().copied().fold(f64::NEG_INFINITY, fold_max);
+            env(lo, hi, nan)
+        }
+        IrBinOp::Min => {
+            // f32::min ignores a single NaN and returns the other arm.
+            let mut hi = a.hi.min(b.hi);
+            if a.nan {
+                hi = hi.max(b.hi);
+            }
+            if b.nan {
+                hi = hi.max(a.hi);
+            }
+            FltItv { lo: a.lo.min(b.lo), hi, nan: a.nan && b.nan }
+        }
+        IrBinOp::Max => {
+            let mut lo = a.lo.max(b.lo);
+            if a.nan {
+                lo = lo.min(b.lo);
+            }
+            if b.nan {
+                lo = lo.min(a.lo);
+            }
+            FltItv { lo, hi: a.hi.max(b.hi), nan: a.nan && b.nan }
+        }
+        // Boolean and integer ops on a Float-typed Bin cannot be
+        // produced by lowering; stay sound.
+        _ => FltItv::FULL,
+    }
+}
+
+fn fold_min(acc: f64, x: f64) -> f64 {
+    if x.is_nan() { f64::NEG_INFINITY } else { acc.min(x) }
+}
+
+fn fold_max(acc: f64, x: f64) -> f64 {
+    if x.is_nan() { f64::INFINITY } else { acc.max(x) }
+}
+
+fn un_flt(op: IrUnOp, a: FltItv) -> FltItv {
+    match op {
+        IrUnOp::Neg => FltItv { lo: -a.hi, hi: -a.lo, nan: a.nan },
+        IrUnOp::Abs => {
+            if a.lo >= 0.0 {
+                a
+            } else if a.hi <= 0.0 {
+                FltItv { lo: -a.hi, hi: -a.lo, nan: a.nan }
+            } else {
+                FltItv { lo: 0.0, hi: (-a.lo).max(a.hi), nan: a.nan }
+            }
+        }
+        IrUnOp::Sqrt => {
+            let nan = a.nan || a.lo < 0.0;
+            env((a.lo.max(0.0)).sqrt(), (a.hi.max(0.0)).sqrt(), nan)
+        }
+        IrUnOp::Sin | IrUnOp::Cos => {
+            FltItv { lo: -1.0, hi: 1.0, nan: a.nan || a.may_be_inf() }
+        }
+        IrUnOp::Exp => env(a.lo.exp(), a.hi.exp(), a.nan),
+        IrUnOp::Log => {
+            let nan = a.nan || a.lo < 0.0;
+            env((a.lo.max(0.0)).ln(), (a.hi.max(0.0)).ln(), nan)
+        }
+        _ => FltItv::FULL,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The analyzer
+// ---------------------------------------------------------------------------
+
+struct Analyzer<'a> {
+    f: &'a FuncIr,
+    in_states: Vec<Option<State>>,
+    hulls: Vec<AbsVal>,
+    hulls_grew: bool,
+    has_calls: bool,
+    visits: Vec<u32>,
+    iterations: usize,
+    /// Sorted threshold set for widening: the function's integer
+    /// constants (±1), so loop bounds are guessed before the bound
+    /// jumps to the type extreme.
+    thresholds: Vec<i64>,
+}
+
+fn collect_thresholds(f: &FuncIr) -> Vec<i64> {
+    let mut t = vec![-1, 0, 1];
+    let mut push = |v: Val| {
+        if let Val::ConstI(k) = v {
+            t.extend([k as i64 - 1, k as i64, k as i64 + 1]);
+        }
+    };
+    for block in &f.blocks {
+        for inst in &block.insts {
+            match inst {
+                Inst::Bin { a, b, .. } | Inst::Cmp { a, b, .. } => {
+                    push(*a);
+                    push(*b);
+                }
+                Inst::Un { a, .. } => push(*a),
+                Inst::Copy { src, .. } => push(*src),
+                Inst::Load { index, .. } => push(*index),
+                Inst::Store { index, value, .. } => {
+                    push(*index);
+                    push(*value);
+                }
+                _ => {}
+            }
+        }
+    }
+    t.sort_unstable();
+    t.dedup();
+    t
+}
+
+/// Hard cap on block transfers; reaching it abandons the analysis
+/// with an empty fact set (sound: nothing is claimed).
+fn transfer_budget(f: &FuncIr) -> usize {
+    64 * f.blocks.len().max(1) + 512
+}
+
+/// Runs the analysis on `f` and returns the proven facts plus the
+/// rewrites they license. Never fails: an over-budget or degenerate
+/// function simply yields an empty fact set.
+pub fn analyze(f: &FuncIr) -> Analysis {
+    let nregs = f.vreg_types.len();
+    let has_calls =
+        f.blocks.iter().any(|b| b.insts.iter().any(|i| matches!(i, Inst::Call { .. })));
+    let hulls = f
+        .arrays
+        .iter()
+        .map(|a| {
+            if has_calls {
+                // Cross-function memory effects are out of scope: any
+                // call clobbers every hull.
+                AbsVal::top(a.ty, false)
+            } else {
+                // Data memory starts zero-filled and defined.
+                let num = match a.ty {
+                    IrType::Int => AbsNum::Int(IntItv::exact(0)),
+                    IrType::Float => AbsNum::Flt(FltItv::exact(0.0)),
+                };
+                AbsVal { num, def: true }
+            }
+        })
+        .collect();
+
+    let mut entry: State = Vec::with_capacity(nregs);
+    for (i, &ty) in f.vreg_types.iter().enumerate() {
+        let is_param = f.params.iter().any(|&(r, _)| r.0 as usize == i);
+        // An undefined virtual register may alias any physical
+        // register after allocation: full range, undefined.
+        entry.push(AbsVal::top(ty, is_param));
+    }
+
+    let mut az = Analyzer {
+        f,
+        in_states: vec![None; f.blocks.len()],
+        hulls,
+        hulls_grew: false,
+        has_calls,
+        visits: vec![0; f.blocks.len()],
+        iterations: 0,
+        thresholds: collect_thresholds(f),
+    };
+    az.in_states[0] = Some(entry);
+
+    let budget = transfer_budget(f);
+    if !az.fixpoint(budget) {
+        return Analysis {
+            facts: FactSet { iterations: az.iterations, ..FactSet::default() },
+            rewrites: Vec::new(),
+        };
+    }
+    az.narrow();
+    let (mut facts, rewrites) = az.collect_facts();
+    facts.iterations = az.iterations;
+    Analysis { facts, rewrites }
+}
+
+impl<'a> Analyzer<'a> {
+    /// Widened worklist fixpoint, re-seeded while array hulls grow.
+    /// Returns `false` on budget exhaustion.
+    fn fixpoint(&mut self, budget: usize) -> bool {
+        for _hull_round in 0..6 {
+            let mut work: Vec<usize> = vec![0];
+            let mut queued = vec![false; self.f.blocks.len()];
+            queued[0] = true;
+            // Re-seed every reachable block: a hull change can affect
+            // any load anywhere.
+            for (b, q) in queued.iter_mut().enumerate().skip(1) {
+                if self.in_states[b].is_some() {
+                    work.push(b);
+                    *q = true;
+                }
+            }
+            self.hulls_grew = false;
+            while let Some(b) = work.pop() {
+                queued[b] = false;
+                self.iterations += 1;
+                if self.iterations > budget {
+                    return false;
+                }
+                let in_state = match &self.in_states[b] {
+                    Some(s) => s.clone(),
+                    None => continue,
+                };
+                let out = self.transfer_block(b, in_state);
+                for (succ, edge_state) in self.successor_states(b, &out) {
+                    let Some(edge_state) = edge_state else { continue };
+                    let changed = match &mut self.in_states[succ] {
+                        slot @ None => {
+                            *slot = Some(edge_state);
+                            true
+                        }
+                        Some(cur) => {
+                            let mut joined: State = cur
+                                .iter()
+                                .zip(&edge_state)
+                                .map(|(c, n)| c.join(*n))
+                                .collect();
+                            if joined != *cur {
+                                self.visits[succ] += 1;
+                                if self.visits[succ] > WIDEN_AFTER {
+                                    joined = joined
+                                        .iter()
+                                        .zip(cur.iter())
+                                        .map(|(j, c)| widen_val(*j, *c, &self.thresholds))
+                                        .collect();
+                                }
+                                *cur = joined;
+                                true
+                            } else {
+                                false
+                            }
+                        }
+                    };
+                    if changed && !queued[succ] {
+                        queued[succ] = true;
+                        work.push(succ);
+                    }
+                }
+            }
+            if !self.hulls_grew {
+                return true;
+            }
+            // Hulls widen like registers: after a few growth rounds,
+            // jump straight to top-of-type.
+            if _hull_round >= 2 {
+                for h in &mut self.hulls {
+                    let ty = match h.num {
+                        AbsNum::Int(_) => IrType::Int,
+                        AbsNum::Flt(_) => IrType::Float,
+                    };
+                    *h = AbsVal::top(ty, h.def);
+                }
+            }
+        }
+        true
+    }
+
+    /// Truncated narrowing: recompute each reachable block's in-state
+    /// from its predecessors and meet it into the current state.
+    fn narrow(&mut self) {
+        let n = self.f.blocks.len();
+        for _ in 0..NARROW_PASSES {
+            // Precompute refined out-states per edge.
+            let mut incoming: Vec<Option<State>> = vec![None; n];
+            incoming[0] = self.in_states[0].clone(); // entry keeps its state
+            for b in 0..n {
+                let Some(in_state) = self.in_states[b].clone() else { continue };
+                self.iterations += 1;
+                let out = self.transfer_block(b, in_state);
+                for (succ, edge_state) in self.successor_states(b, &out) {
+                    let Some(edge_state) = edge_state else { continue };
+                    incoming[succ] = Some(match incoming[succ].take() {
+                        None => edge_state,
+                        Some(cur) => {
+                            cur.iter().zip(&edge_state).map(|(c, e)| c.join(*e)).collect()
+                        }
+                    });
+                }
+            }
+            for (b, inc) in incoming.iter_mut().enumerate() {
+                match (&mut self.in_states[b], inc.take()) {
+                    (Some(cur), Some(new)) => {
+                        // x ← x ⊓ F(x): sound truncated narrowing.
+                        let met: State =
+                            cur.iter().zip(&new).map(|(c, e)| meet_val(*c, *e)).collect();
+                        *cur = met;
+                    }
+                    (slot @ Some(_), None) if b != 0 => *slot = None,
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Applies the block's instructions to `st`, updating hulls.
+    fn transfer_block(&mut self, b: usize, mut st: State) -> State {
+        // Split borrows: transfer_inst needs &FuncIr and &mut hulls.
+        let f = self.f;
+        let insts = &f.blocks[b].insts;
+        for inst in insts {
+            transfer_inst(f, &mut st, &mut self.hulls, &mut self.hulls_grew, self.has_calls, inst);
+        }
+        st
+    }
+
+    /// Successor blocks with edge-refined states. `None` marks an
+    /// edge proven infeasible.
+    fn successor_states(&self, b: usize, out: &State) -> Vec<(usize, Option<State>)> {
+        match &self.f.blocks[b].term {
+            Term::Jump(t) => vec![(t.0 as usize, Some(out.clone()))],
+            Term::Return(_) => vec![],
+            Term::Branch { cond, then_blk, else_blk } => {
+                let (citv, _) = val_int(self.f, out, *cond);
+                // A decided condition, or a refinement that empties an
+                // interval, proves the edge infeasible (`None`).
+                let then_state = if citv == IntItv::exact(0) {
+                    None
+                } else {
+                    refine_edge(self.f, out, b, *cond, true)
+                };
+                let else_state = if citv == IntItv::exact(1) {
+                    None
+                } else {
+                    refine_edge(self.f, out, b, *cond, false)
+                };
+                vec![(then_blk.0 as usize, then_state), (else_blk.0 as usize, else_state)]
+            }
+        }
+    }
+
+    /// Walks every reachable block once, recording facts and rewrites.
+    fn collect_facts(&mut self) -> (FactSet, Vec<Rewrite>) {
+        let f = self.f;
+        let mut facts = FactSet::default();
+        let mut rewrites = Vec::new();
+        let mut all_returns_finite = f.ret == Some(IrType::Float);
+        let mut saw_return = false;
+
+        for (bi, block) in f.blocks.iter().enumerate() {
+            let Some(in_state) = self.in_states[bi].clone() else { continue };
+            let mut st = in_state;
+            for (ii, inst) in block.insts.iter().enumerate() {
+                let site = Site { block: bi as u32, inst: ii as u32 };
+                match inst {
+                    Inst::Bin { op: op @ (IrBinOp::IDiv | IrBinOp::Mod), ty: IrType::Int, a, b, .. } => {
+                        facts.div_sites += 1;
+                        let (bd, bdef) = val_int(f, &st, *b);
+                        let (ad, adef) = val_int(f, &st, *a);
+                        facts.consume_sites += 1;
+                        if bdef {
+                            facts.consume_safe += 1;
+                        }
+                        if bdef && !bd.contains(0) && !bd.is_empty() {
+                            facts.div_safe += 1;
+                            facts.safe_divs.push(site);
+                            // Identity rewrites additionally need a
+                            // defined, range-proven dividend.
+                            if let Val::ConstI(c) = *b {
+                                if c > 0 && adef && ad.lo >= 0 && ad.hi < c as i64 {
+                                    rewrites.push(match op {
+                                        IrBinOp::Mod => Rewrite::ModIdentity {
+                                            block: site.block,
+                                            inst: site.inst,
+                                        },
+                                        _ => Rewrite::DivToZero {
+                                            block: site.block,
+                                            inst: site.inst,
+                                        },
+                                    });
+                                }
+                            }
+                        }
+                    }
+                    Inst::Load { arr, index, .. } | Inst::Store { arr, index, .. } => {
+                        facts.mem_sites += 1;
+                        facts.consume_sites += 1;
+                        let (idx, idef) = val_int(f, &st, *index);
+                        if idef {
+                            facts.consume_safe += 1;
+                        }
+                        let words = f.arrays[arr.0 as usize].words() as i64;
+                        if idef && !idx.is_empty() && idx.lo >= 0 && idx.hi < words {
+                            facts.mem_safe += 1;
+                            facts.safe_mems.push(site);
+                        }
+                    }
+                    Inst::Send { value, .. } => {
+                        facts.consume_sites += 1;
+                        let def = val_def(f, &st, *value);
+                        if def {
+                            facts.consume_safe += 1;
+                        }
+                    }
+                    _ => {}
+                }
+                transfer_inst(f, &mut st, &mut self.hulls, &mut self.hulls_grew, self.has_calls, inst);
+            }
+            match &block.term {
+                Term::Branch { cond, .. } => {
+                    facts.consume_sites += 1;
+                    let (citv, cdef) = val_int(f, &st, *cond);
+                    if cdef {
+                        facts.consume_safe += 1;
+                    }
+                    if citv == IntItv::exact(1) {
+                        facts.dead_edges.push(DeadEdge { block: bi as u32, always_then: true });
+                        if cdef {
+                            rewrites.push(Rewrite::PruneElse { block: bi as u32 });
+                        }
+                    } else if citv == IntItv::exact(0) {
+                        facts.dead_edges.push(DeadEdge { block: bi as u32, always_then: false });
+                        if cdef {
+                            rewrites.push(Rewrite::PruneThen { block: bi as u32 });
+                        }
+                    }
+                }
+                Term::Return(Some(v)) => {
+                    saw_return = true;
+                    facts.consume_sites += 1;
+                    let def = val_def(f, &st, *v);
+                    if def {
+                        facts.consume_safe += 1;
+                    }
+                    if f.ret == Some(IrType::Float) {
+                        let (fv, fdef) = val_flt(f, &st, *v);
+                        if !(fdef && fv.finite()) {
+                            all_returns_finite = false;
+                        }
+                    }
+                }
+                _ => {}
+            }
+            // Self-loop trip bounds.
+            if let Some(bound) = self.self_loop_bound(bi) {
+                facts.loop_bounds.push(bound);
+            }
+        }
+
+        facts.div_trap_free = facts.div_safe == facts.div_sites;
+        facts.mem_trap_free = facts.mem_safe == facts.mem_sites;
+        facts.def_free = facts.consume_safe == facts.consume_sites;
+        facts.finite_return = saw_return && all_returns_finite;
+        (facts, rewrites)
+    }
+
+    /// Trip bound for a single-block self loop: the block must step
+    /// one integer register by a constant each iteration; the
+    /// register's interval invariant then bounds consecutive runs.
+    fn self_loop_bound(&self, bi: usize) -> Option<LoopBound> {
+        let f = self.f;
+        let block = &f.blocks[bi];
+        let is_self = match &block.term {
+            Term::Branch { then_blk, else_blk, .. } => {
+                then_blk.0 as usize == bi || else_blk.0 as usize == bi
+            }
+            _ => false,
+        };
+        if !is_self {
+            return None;
+        }
+        let in_state = self.in_states[bi].as_ref()?;
+        // Candidate counters: registers written exactly once in the
+        // block, by `i := i ± const` (directly or through one copy of
+        // a register itself written once by the step).
+        let writes = |r: VirtReg| block.insts.iter().filter(|i| i.def() == Some(r)).count();
+        let mut best: Option<u64> = None;
+        for (pos, inst) in block.insts.iter().enumerate() {
+            let (i_reg, step) = match inst {
+                Inst::Bin { op, ty: IrType::Int, dst, a: Val::Reg(r), b: Val::ConstI(s), .. }
+                    if *r == *dst && matches!(op, IrBinOp::Add | IrBinOp::Sub) =>
+                {
+                    let s = if *op == IrBinOp::Add { *s as i64 } else { -(*s as i64) };
+                    (*dst, s)
+                }
+                Inst::Bin { op: IrBinOp::Add, ty: IrType::Int, dst, a: Val::ConstI(s), b: Val::Reg(r), .. }
+                    if *r == *dst =>
+                {
+                    (*dst, *s as i64)
+                }
+                Inst::Copy { dst, src: Val::Reg(t) } => {
+                    // i := t  where  t := i ± const  earlier in the block.
+                    let mut found = None;
+                    for prior in &block.insts[..pos] {
+                        if let Inst::Bin {
+                            op,
+                            ty: IrType::Int,
+                            dst: td,
+                            a: Val::Reg(base),
+                            b: Val::ConstI(s),
+                            ..
+                        } = prior
+                        {
+                            if td == t
+                                && *base == *dst
+                                && matches!(op, IrBinOp::Add | IrBinOp::Sub)
+                                && writes(*t) == 1
+                            {
+                                let s =
+                                    if *op == IrBinOp::Add { *s as i64 } else { -(*s as i64) };
+                                found = Some((*dst, s));
+                            }
+                        }
+                    }
+                    match found {
+                        Some(x) => x,
+                        None => continue,
+                    }
+                }
+                _ => continue,
+            };
+            if step == 0 || writes(i_reg) != 1 {
+                continue;
+            }
+            let AbsNum::Int(itv) = in_state[i_reg.0 as usize].num else { continue };
+            if itv.is_empty() {
+                continue;
+            }
+            let w = itv.width();
+            // Keep well clear of i32 wraparound re-entry.
+            if w == 0 || w > (1u64 << 31) {
+                continue;
+            }
+            let trips = (w - 1) / step.unsigned_abs() + 1;
+            best = Some(best.map_or(trips, |b: u64| b.min(trips)));
+        }
+        best.map(|max_trips| LoopBound { block: bi as u32, max_trips })
+    }
+}
+
+fn meet_val(c: AbsVal, e: AbsVal) -> AbsVal {
+    let num = match (c.num, e.num) {
+        (AbsNum::Int(a), AbsNum::Int(b)) => {
+            let m = a.meet(b);
+            // Both inputs are sound supersets; an empty meet can only
+            // mean the value never flows here, but keep the fresh
+            // state so later arithmetic never sees inverted bounds.
+            AbsNum::Int(if m.is_empty() && !a.is_empty() && !b.is_empty() { b } else { m })
+        }
+        (AbsNum::Flt(a), AbsNum::Flt(b)) => {
+            let m = FltItv { lo: a.lo.max(b.lo), hi: a.hi.min(b.hi), nan: a.nan && b.nan };
+            AbsNum::Flt(if m.lo > m.hi { b } else { m })
+        }
+        (n, _) => n,
+    };
+    // Definedness is precise without widening; keep the fixpoint value.
+    AbsVal { num, def: c.def }
+}
+
+fn val_def(f: &FuncIr, st: &State, v: Val) -> bool {
+    let _ = f;
+    match v {
+        Val::Reg(r) => reg_val(st, r).def,
+        _ => true,
+    }
+}
+
+/// One instruction's abstract effect.
+fn transfer_inst(
+    f: &FuncIr,
+    st: &mut State,
+    hulls: &mut [AbsVal],
+    hulls_grew: &mut bool,
+    has_calls: bool,
+    inst: &Inst,
+) {
+    match inst {
+        Inst::Bin { op, ty, dst, a, b } => {
+            let out = match ty {
+                IrType::Int => {
+                    let (ai, ad) = val_int(f, st, *a);
+                    let (bi, bd) = val_int(f, st, *b);
+                    AbsVal { num: AbsNum::Int(bin_int(*op, ai, bi)), def: ad && bd }
+                }
+                IrType::Float => {
+                    let (af, ad) = val_flt(f, st, *a);
+                    let (bf, bd) = val_flt(f, st, *b);
+                    AbsVal { num: AbsNum::Flt(bin_flt(*op, af, bf)), def: ad && bd }
+                }
+            };
+            set_reg(f, st, *dst, out);
+        }
+        Inst::Un { op, ty, dst, a } => {
+            let out = match op {
+                IrUnOp::ItoF => {
+                    let (af, ad) = val_flt(f, st, *a);
+                    AbsVal { num: AbsNum::Flt(af), def: ad }
+                }
+                IrUnOp::FtoI => {
+                    let (ai, ad) = val_int(f, st, *a);
+                    AbsVal { num: AbsNum::Int(ai), def: ad }
+                }
+                IrUnOp::Floor => {
+                    let (af, ad) = val_flt(f, st, *a);
+                    AbsVal { num: AbsNum::Int(floor_itv(af)), def: ad }
+                }
+                IrUnOp::Neg | IrUnOp::Abs => match ty {
+                    IrType::Int => {
+                        let (ai, ad) = val_int(f, st, *a);
+                        let out = if *op == IrUnOp::Neg { ineg_itv(ai) } else { iabs_itv(ai) };
+                        AbsVal { num: AbsNum::Int(out), def: ad }
+                    }
+                    IrType::Float => {
+                        let (af, ad) = val_flt(f, st, *a);
+                        let uop = if *op == IrUnOp::Neg { IrUnOp::Neg } else { IrUnOp::Abs };
+                        AbsVal { num: AbsNum::Flt(un_flt(uop, af)), def: ad }
+                    }
+                },
+                IrUnOp::Not => {
+                    let (_, ad) = val_int(f, st, *a);
+                    AbsVal { num: AbsNum::Int(IntItv { lo: 0, hi: 1 }), def: ad }
+                }
+                IrUnOp::Sqrt | IrUnOp::Sin | IrUnOp::Cos | IrUnOp::Exp | IrUnOp::Log => {
+                    let (af, ad) = val_flt(f, st, *a);
+                    AbsVal { num: AbsNum::Flt(un_flt(*op, af)), def: ad }
+                }
+            };
+            set_reg(f, st, *dst, out);
+        }
+        Inst::Cmp { kind, ty, dst, a, b } => {
+            let (itv, def) = match ty {
+                IrType::Int => {
+                    let (ai, ad) = val_int(f, st, *a);
+                    let (bi, bd) = val_int(f, st, *b);
+                    (cmp_int(*kind, ai, bi), ad && bd)
+                }
+                IrType::Float => {
+                    let (af, ad) = val_flt(f, st, *a);
+                    let (bf, bd) = val_flt(f, st, *b);
+                    (cmp_flt(*kind, af, bf), ad && bd)
+                }
+            };
+            set_reg(f, st, *dst, AbsVal { num: AbsNum::Int(itv), def });
+        }
+        Inst::Copy { dst, src } => {
+            let out = match f.vreg_types[dst.0 as usize] {
+                IrType::Int => {
+                    let (i, d) = val_int(f, st, *src);
+                    AbsVal { num: AbsNum::Int(i), def: d }
+                }
+                IrType::Float => {
+                    let (fl, d) = val_flt(f, st, *src);
+                    AbsVal { num: AbsNum::Flt(fl), def: d }
+                }
+            };
+            set_reg(f, st, *dst, out);
+        }
+        Inst::Load { dst, arr, .. } => {
+            let hull = hulls[arr.0 as usize];
+            // Coerce to the destination register's type view.
+            let out = coerce(hull, f.vreg_types[dst.0 as usize]);
+            set_reg(f, st, *dst, out);
+        }
+        Inst::Store { arr, value, ty, .. } => {
+            let stored = match ty {
+                IrType::Int => {
+                    let (i, d) = val_int(f, st, *value);
+                    AbsVal { num: AbsNum::Int(i), def: d }
+                }
+                IrType::Float => {
+                    let (fl, d) = val_flt(f, st, *value);
+                    AbsVal { num: AbsNum::Flt(fl), def: d }
+                }
+            };
+            let cur = hulls[arr.0 as usize];
+            let joined = cur.join(coerce(stored, hull_ty(cur)));
+            if joined != cur {
+                hulls[arr.0 as usize] = joined;
+                *hulls_grew = true;
+            }
+        }
+        Inst::Call { dst, .. } => {
+            let _ = has_calls; // hulls already topped when calls exist
+            if let Some(d) = dst {
+                // Unknown callee result; conservatively maybe-undef.
+                set_reg(f, st, *d, AbsVal::top(f.vreg_types[d.0 as usize], false));
+            }
+        }
+        Inst::Send { .. } => {}
+        Inst::Recv { dst, ty, .. } => {
+            set_reg(f, st, *dst, AbsVal::top(*ty, true));
+        }
+        Inst::Select { dst, cond, then_v, ty } => {
+            let (citv, cdef) = val_int(f, st, *cond);
+            let old = st[dst.0 as usize];
+            let new = match ty {
+                IrType::Int => {
+                    let (i, d) = val_int(f, st, *then_v);
+                    AbsVal { num: AbsNum::Int(i), def: d }
+                }
+                IrType::Float => {
+                    let (fl, d) = val_flt(f, st, *then_v);
+                    AbsVal { num: AbsNum::Flt(fl), def: d }
+                }
+            };
+            let picked = if citv == IntItv::exact(0) {
+                old
+            } else if citv.is_empty() || !citv.contains(0) {
+                new
+            } else {
+                old.join(new)
+            };
+            set_reg(f, st, *dst, AbsVal { num: picked.num, def: cdef && picked.def });
+        }
+    }
+}
+
+fn hull_ty(h: AbsVal) -> IrType {
+    match h.num {
+        AbsNum::Int(_) => IrType::Int,
+        AbsNum::Flt(_) => IrType::Float,
+    }
+}
+
+fn coerce(v: AbsVal, ty: IrType) -> AbsVal {
+    let num = match (v.num, ty) {
+        (AbsNum::Int(i), IrType::Int) => AbsNum::Int(i),
+        (AbsNum::Flt(fl), IrType::Float) => AbsNum::Flt(fl),
+        (AbsNum::Int(i), IrType::Float) => AbsNum::Flt(itof_itv(i)),
+        (AbsNum::Flt(fl), IrType::Int) => AbsNum::Int(ftoi_itv(fl)),
+    };
+    AbsVal { num, def: v.def }
+}
+
+fn set_reg(f: &FuncIr, st: &mut State, r: VirtReg, v: AbsVal) {
+    // Keep the register's declared type view.
+    st[r.0 as usize] = coerce(v, f.vreg_types[r.0 as usize]);
+}
+
+fn ineg_itv(a: IntItv) -> IntItv {
+    if a.is_empty() {
+        return IntItv::EMPTY;
+    }
+    if a.contains(i32::MIN as i64) {
+        return IntItv::FULL; // wrapping_neg(i32::MIN) == i32::MIN
+    }
+    IntItv { lo: -a.hi, hi: -a.lo }
+}
+
+fn iabs_itv(a: IntItv) -> IntItv {
+    if a.is_empty() {
+        return IntItv::EMPTY;
+    }
+    if a.contains(i32::MIN as i64) {
+        return IntItv::FULL; // wrapping_abs(i32::MIN) == i32::MIN
+    }
+    if a.lo >= 0 {
+        a
+    } else if a.hi <= 0 {
+        IntItv { lo: -a.hi, hi: -a.lo }
+    } else {
+        IntItv { lo: 0, hi: (-a.lo).max(a.hi) }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Edge refinement
+// ---------------------------------------------------------------------------
+
+/// State for the `taken`-edge out of branch block `b`. Returns `None`
+/// when the refinement proves the edge infeasible.
+fn refine_edge(f: &FuncIr, out: &State, b: usize, cond: Val, taken: bool) -> Option<State> {
+    let mut st = out.clone();
+    let Val::Reg(c) = cond else {
+        // Constant condition: feasibility was already decided.
+        return Some(st);
+    };
+    // The condition register itself is 0/1-valued on the edge when it
+    // is an integer.
+    if f.vreg_types[c.0 as usize] == IrType::Int {
+        let cur = match st[c.0 as usize].num {
+            AbsNum::Int(i) => i,
+            AbsNum::Flt(_) => IntItv::FULL,
+        };
+        let refined = if taken {
+            // nonzero: only trimmable at the 0 boundary.
+            let mut r = cur;
+            if r.lo == 0 {
+                r.lo = 1;
+            }
+            if r.hi == 0 {
+                r.hi = -1;
+            }
+            r
+        } else {
+            cur.meet(IntItv::exact(0))
+        };
+        if refined.is_empty() {
+            return None;
+        }
+        st[c.0 as usize].num = AbsNum::Int(refined);
+    }
+    // Find the comparison defining `c` in this block, with no later
+    // redefinition of `c` or its operands.
+    let block = &f.blocks[b];
+    let mut cmp: Option<(CmpKind, Val, Val)> = None;
+    for (pos, inst) in block.insts.iter().enumerate() {
+        if inst.def() == Some(c) {
+            cmp = match inst {
+                Inst::Cmp { kind, ty: IrType::Int, a, b: rhs, .. } => {
+                    // The comparison's operands must still hold their
+                    // compared values at the branch.
+                    let ops_stable = block.insts[pos + 1..].iter().all(|later| match later.def() {
+                        None => true,
+                        Some(d) => Some(d) != a.as_reg() && Some(d) != rhs.as_reg(),
+                    });
+                    if ops_stable { Some((*kind, *a, *rhs)) } else { None }
+                }
+                _ => None,
+            };
+        }
+    }
+    if let Some((kind, a, rhs)) = cmp {
+        let k = if taken { kind } else { negate(kind) };
+        if !apply_cmp(f, &mut st, k, a, rhs) {
+            return None;
+        }
+    }
+    // A `dst := src` copy where neither side is redefined afterwards
+    // means both registers hold the same value at the branch, so a
+    // refinement of one transfers to the other (loop lowering ends
+    // blocks with `i := i_next` right before the exit test — without
+    // this the refined bound never reaches the induction variable).
+    for (pos, inst) in block.insts.iter().enumerate() {
+        let Inst::Copy { dst, src: Val::Reg(s) } = inst else { continue };
+        let stable =
+            block.insts[pos + 1..].iter().all(|l| l.def() != Some(*dst) && l.def() != Some(*s));
+        if !stable
+            || f.vreg_types[dst.0 as usize] != IrType::Int
+            || f.vreg_types[s.0 as usize] != IrType::Int
+        {
+            continue;
+        }
+        let (AbsNum::Int(di), AbsNum::Int(si)) = (st[dst.0 as usize].num, st[s.0 as usize].num)
+        else {
+            continue;
+        };
+        let m = di.meet(si);
+        if m.is_empty() {
+            // Both sides provably hold the same concrete value, so an
+            // empty meet means no execution reaches this branch.
+            return None;
+        }
+        st[dst.0 as usize].num = AbsNum::Int(m);
+        st[s.0 as usize].num = AbsNum::Int(m);
+    }
+    Some(st)
+}
+
+fn negate(k: CmpKind) -> CmpKind {
+    match k {
+        CmpKind::Eq => CmpKind::Ne,
+        CmpKind::Ne => CmpKind::Eq,
+        CmpKind::Lt => CmpKind::Ge,
+        CmpKind::Ge => CmpKind::Lt,
+        CmpKind::Le => CmpKind::Gt,
+        CmpKind::Gt => CmpKind::Le,
+    }
+}
+
+/// Narrows register intervals so `a k rhs` holds. Returns `false`
+/// when that is impossible (the edge is infeasible).
+fn apply_cmp(f: &FuncIr, st: &mut State, k: CmpKind, a: Val, rhs: Val) -> bool {
+    let (ai, _) = val_int(f, st, a);
+    let (bi, _) = val_int(f, st, rhs);
+    if ai.is_empty() || bi.is_empty() {
+        return false;
+    }
+    // New bounds for each side.
+    let (na, nb) = match k {
+        CmpKind::Lt => (
+            ai.meet(IntItv { lo: i64::MIN, hi: bi.hi - 1 }),
+            bi.meet(IntItv { lo: ai.lo + 1, hi: i64::MAX }),
+        ),
+        CmpKind::Le => (
+            ai.meet(IntItv { lo: i64::MIN, hi: bi.hi }),
+            bi.meet(IntItv { lo: ai.lo, hi: i64::MAX }),
+        ),
+        CmpKind::Gt => (
+            ai.meet(IntItv { lo: bi.lo + 1, hi: i64::MAX }),
+            bi.meet(IntItv { lo: i64::MIN, hi: ai.hi - 1 }),
+        ),
+        CmpKind::Ge => (
+            ai.meet(IntItv { lo: bi.lo, hi: i64::MAX }),
+            bi.meet(IntItv { lo: i64::MIN, hi: ai.hi }),
+        ),
+        CmpKind::Eq => (ai.meet(bi), bi.meet(ai)),
+        CmpKind::Ne => {
+            let trim = |mut x: IntItv, y: IntItv| {
+                if y.lo == y.hi {
+                    if x.lo == y.lo {
+                        x.lo += 1;
+                    }
+                    if x.hi == y.lo {
+                        x.hi -= 1;
+                    }
+                }
+                x
+            };
+            (trim(ai, bi), trim(bi, ai))
+        }
+    };
+    if na.is_empty() || nb.is_empty() {
+        return false;
+    }
+    // Only write back to integer registers whose view was integral.
+    if let Val::Reg(r) = a {
+        if f.vreg_types[r.0 as usize] == IrType::Int {
+            st[r.0 as usize].num = AbsNum::Int(na);
+        }
+    }
+    if let Val::Reg(r) = rhs {
+        if f.vreg_types[r.0 as usize] == IrType::Int {
+            st[r.0 as usize].num = AbsNum::Int(nb);
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Block, BlockId};
+
+    fn func_with(blocks: Vec<Block>, vreg_types: Vec<IrType>, ret: Option<IrType>) -> FuncIr {
+        FuncIr { name: "t".into(), params: vec![], ret, blocks, arrays: vec![], vreg_types }
+    }
+
+    #[test]
+    fn interval_arith_soundness_spot_checks() {
+        let a = IntItv { lo: -3, hi: 5 };
+        let b = IntItv { lo: 2, hi: 4 };
+        let m = bin_int(IrBinOp::Mul, a, b);
+        for x in -3..=5i64 {
+            for y in 2..=4i64 {
+                assert!(m.contains(x * y), "{x}*{y} outside {m:?}");
+            }
+        }
+        let d = bin_int(IrBinOp::IDiv, a, b);
+        for x in -3..=5i64 {
+            for y in 2..=4i64 {
+                assert!(d.contains(x / y));
+            }
+        }
+        let r = bin_int(IrBinOp::Mod, a, b);
+        for x in -3..=5i64 {
+            for y in 2..=4i64 {
+                assert!(r.contains(x % y));
+            }
+        }
+    }
+
+    #[test]
+    fn idiv_min_by_minus_one_goes_full() {
+        let a = IntItv { lo: i32::MIN as i64, hi: i32::MIN as i64 };
+        let b = IntItv::exact(-1);
+        assert_eq!(bin_int(IrBinOp::IDiv, a, b), IntItv::FULL);
+    }
+
+    #[test]
+    fn float_envelope_contains_f32_results() {
+        let a = FltItv::exact(0.1);
+        let b = FltItv::exact(0.2);
+        let s = bin_flt(IrBinOp::Add, a, b);
+        let concrete = 0.1f32 + 0.2f32;
+        assert!(s.lo <= concrete as f64 && concrete as f64 <= s.hi);
+        assert!(!s.nan);
+        // Large but finite stays finite; overflow to inf is detected.
+        let big = FltItv::exact(3.0e38);
+        let sum = bin_flt(IrBinOp::Add, big, big);
+        let concrete = 3.0e38f32 + 3.0e38f32;
+        assert!(concrete.is_infinite());
+        assert!(!sum.finite());
+    }
+
+    #[test]
+    fn constant_branch_is_pruned_and_else_edge_reported_dead() {
+        // b0: c := 0 <= 15; branch c -> b1 / b2 ; b1,b2: return 0
+        let c = VirtReg(0);
+        let blocks = vec![
+            Block {
+                insts: vec![Inst::Cmp {
+                    kind: CmpKind::Le,
+                    ty: IrType::Int,
+                    dst: c,
+                    a: Val::ConstI(0),
+                    b: Val::ConstI(15),
+                }],
+                term: Term::Branch { cond: Val::Reg(c), then_blk: BlockId(1), else_blk: BlockId(2) },
+            },
+            Block { insts: vec![], term: Term::Return(Some(Val::ConstI(0))) },
+            Block { insts: vec![], term: Term::Return(Some(Val::ConstI(1))) },
+        ];
+        let f = func_with(blocks, vec![IrType::Int], Some(IrType::Int));
+        let a = analyze(&f);
+        assert_eq!(a.facts.dead_edges, vec![DeadEdge { block: 0, always_then: true }]);
+        assert!(a.rewrites.contains(&Rewrite::PruneElse { block: 0 }));
+        // The dead block is never analyzed, so its return does not
+        // pollute facts.
+        assert!(a.facts.def_free);
+    }
+
+    #[test]
+    fn counting_loop_gets_interval_and_trip_bound() {
+        // b0: i := 0 ; jump b1
+        // b1: i := i + 1 ; c := i <= 15 ; branch c -> b1 / b2
+        // b2: d := i mod 32 ; return d
+        let i = VirtReg(0);
+        let c = VirtReg(1);
+        let d = VirtReg(2);
+        let blocks = vec![
+            Block {
+                insts: vec![Inst::Copy { dst: i, src: Val::ConstI(0) }],
+                term: Term::Jump(BlockId(1)),
+            },
+            Block {
+                insts: vec![
+                    Inst::Bin {
+                        op: IrBinOp::Add,
+                        ty: IrType::Int,
+                        dst: i,
+                        a: Val::Reg(i),
+                        b: Val::ConstI(1),
+                    },
+                    Inst::Cmp {
+                        kind: CmpKind::Le,
+                        ty: IrType::Int,
+                        dst: c,
+                        a: Val::Reg(i),
+                        b: Val::ConstI(15),
+                    },
+                ],
+                term: Term::Branch { cond: Val::Reg(c), then_blk: BlockId(1), else_blk: BlockId(2) },
+            },
+            Block {
+                insts: vec![Inst::Bin {
+                    op: IrBinOp::Mod,
+                    ty: IrType::Int,
+                    dst: d,
+                    a: Val::Reg(i),
+                    b: Val::ConstI(32),
+                }],
+                term: Term::Return(Some(Val::Reg(d))),
+            },
+        ];
+        let f = func_with(blocks, vec![IrType::Int; 3], Some(IrType::Int));
+        let a = analyze(&f);
+        // Division is safe (constant divisor 32) and the dividend is
+        // provably 16 at the exit, so the mod folds to the identity.
+        assert_eq!(a.facts.div_safe, 1);
+        assert!(a.rewrites.iter().any(|r| matches!(r, Rewrite::ModIdentity { .. })),
+            "rewrites: {:?}", a.rewrites);
+        assert!(a.facts.div_trap_free);
+        // Trip bound: i ∈ [0,16] at the header entry, step 1.
+        let lb = a.facts.loop_bounds.iter().find(|l| l.block == 1).expect("loop bound");
+        assert!(lb.max_trips >= 16 && lb.max_trips <= 18, "trips {}", lb.max_trips);
+    }
+
+    #[test]
+    fn division_by_maybe_zero_is_not_claimed_safe() {
+        // d := p mod q with both params unknown.
+        let p = VirtReg(0);
+        let q = VirtReg(1);
+        let d = VirtReg(2);
+        let blocks = vec![Block {
+            insts: vec![Inst::Bin {
+                op: IrBinOp::Mod,
+                ty: IrType::Int,
+                dst: d,
+                a: Val::Reg(p),
+                b: Val::Reg(q),
+            }],
+            term: Term::Return(Some(Val::Reg(d))),
+        }];
+        let mut f = func_with(blocks, vec![IrType::Int; 3], Some(IrType::Int));
+        f.params = vec![(p, IrType::Int), (q, IrType::Int)];
+        let a = analyze(&f);
+        assert_eq!(a.facts.div_sites, 1);
+        assert_eq!(a.facts.div_safe, 0);
+        assert!(!a.facts.div_trap_free);
+        assert!(a.rewrites.is_empty());
+    }
+
+    #[test]
+    fn zero_init_float_compare_prunes_padding_diamond() {
+        // t := 0.0 ; c := t > 0.7 ; branch c -> b1 / b2 — the then
+        // edge is infeasible (t is exactly zero, no NaN).
+        let t = VirtReg(0);
+        let c = VirtReg(1);
+        let blocks = vec![
+            Block {
+                insts: vec![
+                    Inst::Copy { dst: t, src: Val::ConstF(0.0) },
+                    Inst::Cmp {
+                        kind: CmpKind::Gt,
+                        ty: IrType::Float,
+                        dst: c,
+                        a: Val::Reg(t),
+                        b: Val::ConstF(0.7),
+                    },
+                ],
+                term: Term::Branch { cond: Val::Reg(c), then_blk: BlockId(1), else_blk: BlockId(2) },
+            },
+            Block { insts: vec![], term: Term::Return(Some(Val::ConstF(1.0))) },
+            Block { insts: vec![], term: Term::Return(Some(Val::ConstF(2.0))) },
+        ];
+        let f = func_with(blocks, vec![IrType::Float, IrType::Int], Some(IrType::Float));
+        let a = analyze(&f);
+        assert_eq!(a.facts.dead_edges, vec![DeadEdge { block: 0, always_then: false }]);
+        assert!(a.rewrites.contains(&Rewrite::PruneThen { block: 0 }));
+        assert!(a.facts.finite_return);
+    }
+
+    #[test]
+    fn undefined_register_blocks_claims() {
+        // Branch on a never-written register: consumption unsafe.
+        let c = VirtReg(0);
+        let blocks = vec![
+            Block {
+                insts: vec![],
+                term: Term::Branch { cond: Val::Reg(c), then_blk: BlockId(1), else_blk: BlockId(1) },
+            },
+            Block { insts: vec![], term: Term::Return(Some(Val::ConstI(0))) },
+        ];
+        let f = func_with(blocks, vec![IrType::Int], Some(IrType::Int));
+        let a = analyze(&f);
+        assert!(!a.facts.def_free);
+        // No prune rewrite may fire on an undefined condition even if
+        // its interval were to collapse.
+        assert!(a.rewrites.is_empty());
+    }
+}

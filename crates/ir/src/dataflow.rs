@@ -21,18 +21,25 @@ impl RegSet {
         RegSet { words: vec![0; n.div_ceil(64)] }
     }
 
-    /// Inserts `r`; returns `true` if it was newly inserted.
+    /// Inserts `r`, growing the set if `r` is beyond its current
+    /// capacity; returns `true` if it was newly inserted.
     pub fn insert(&mut self, r: VirtReg) -> bool {
         let (w, b) = (r.0 as usize / 64, r.0 as usize % 64);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
         let old = self.words[w];
         self.words[w] |= 1 << b;
         self.words[w] != old
     }
 
-    /// Removes `r`.
+    /// Removes `r`. A register beyond the set's capacity is already
+    /// absent, so this never grows (or panics).
     pub fn remove(&mut self, r: VirtReg) {
         let (w, b) = (r.0 as usize / 64, r.0 as usize % 64);
-        self.words[w] &= !(1 << b);
+        if let Some(word) = self.words.get_mut(w) {
+            *word &= !(1 << b);
+        }
     }
 
     /// Membership test.
@@ -42,7 +49,13 @@ impl RegSet {
     }
 
     /// Unions `other` into `self`; returns `true` if `self` changed.
+    /// The sets may be sized for different register counts: `self`
+    /// grows to cover every member of `other` (a zip over the shorter
+    /// word vector would silently drop the high members).
     pub fn union_with(&mut self, other: &RegSet) -> bool {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
         let mut changed = false;
         for (a, b) in self.words.iter_mut().zip(&other.words) {
             let old = *a;
@@ -52,10 +65,13 @@ impl RegSet {
         changed
     }
 
-    /// Intersects `other` into `self`; returns `true` if `self` changed.
+    /// Intersects `other` into `self`; returns `true` if `self`
+    /// changed. Words of `self` beyond `other`'s capacity intersect
+    /// with the implicit empty set there, i.e. they are cleared.
     pub fn intersect_with(&mut self, other: &RegSet) -> bool {
         let mut changed = false;
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
+        for (i, a) in self.words.iter_mut().enumerate() {
+            let b = other.words.get(i).copied().unwrap_or(0);
             let old = *a;
             *a &= b;
             changed |= *a != old;
@@ -287,6 +303,87 @@ mod tests {
         assert!(a.union_with(&b));
         assert!(!a.union_with(&b));
         assert_eq!(a.len(), 2);
+    }
+
+    /// Model-based property test: RegSet against a `HashSet<u32>`
+    /// reference model over randomized op sequences whose two operand
+    /// sets are deliberately sized for *different* register counts
+    /// (ragged word vectors). union/intersect/insert must behave as
+    /// set algebra regardless of capacity mismatch.
+    #[test]
+    fn regset_properties_ragged_sizes() {
+        use std::collections::HashSet;
+        let mut rng = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        let members = |s: &RegSet| -> HashSet<u32> { s.iter().map(|r| r.0).collect() };
+        for _case in 0..500 {
+            // Capacities land on and around word boundaries: 0, 1,
+            // 63..65, 127..129, and a larger one.
+            let caps = [0usize, 1, 63, 64, 65, 127, 128, 129, 300];
+            let ca = caps[(next() % caps.len() as u64) as usize];
+            let cb = caps[(next() % caps.len() as u64) as usize];
+            let mut a = RegSet::new(ca);
+            let mut b = RegSet::new(cb);
+            let mut ma: HashSet<u32> = HashSet::new();
+            let mut mb: HashSet<u32> = HashSet::new();
+            let max_reg = 320u64;
+            for _ in 0..(next() % 64) {
+                let r = VirtReg((next() % max_reg) as u32);
+                match next() % 5 {
+                    0 => {
+                        assert_eq!(a.insert(r), ma.insert(r.0), "insert {r:?}");
+                    }
+                    1 => {
+                        assert_eq!(b.insert(r), mb.insert(r.0));
+                    }
+                    2 => {
+                        a.remove(r);
+                        ma.remove(&r.0);
+                    }
+                    3 => {
+                        let changed = a.union_with(&b);
+                        let before = ma.len();
+                        ma.extend(&mb);
+                        assert_eq!(changed, ma.len() != before, "union changed-flag");
+                    }
+                    _ => {
+                        let before = ma.clone();
+                        let changed = a.intersect_with(&b);
+                        ma = ma.intersection(&mb).copied().collect();
+                        assert_eq!(changed, ma != before, "intersect changed-flag");
+                    }
+                }
+                assert_eq!(members(&a), ma, "membership after op");
+                assert_eq!(a.len(), ma.len());
+                assert_eq!(a.is_empty(), ma.is_empty());
+                for probe in [0u32, 63, 64, 65, 128, 299, 319, 4000] {
+                    assert_eq!(a.contains(VirtReg(probe)), ma.contains(&probe));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn regset_ragged_union_keeps_high_members() {
+        let mut small = RegSet::new(4);
+        let mut big = RegSet::new(200);
+        big.insert(VirtReg(150));
+        assert!(small.union_with(&big), "union must grow and report change");
+        assert!(small.contains(VirtReg(150)));
+        // And the reverse direction: intersect clears high members not
+        // present in the (shorter) other set.
+        assert!(big.intersect_with(&RegSet::new(4)));
+        assert!(big.is_empty());
+        // Out-of-capacity insert grows instead of panicking.
+        let mut s = RegSet::new(1);
+        assert!(s.insert(VirtReg(1000)));
+        assert!(s.contains(VirtReg(1000)));
+        s.remove(VirtReg(5000)); // beyond capacity: no-op, no panic
     }
 
     fn simple_loop_func() -> FuncIr {

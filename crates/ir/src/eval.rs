@@ -1,0 +1,430 @@
+//! A strict concrete evaluator for the mid-level IR — the reference
+//! oracle for [`crate::absint`].
+//!
+//! The evaluator mirrors the machine semantics of
+//! `warp_target::exec::compute` (wrapping `i32` arithmetic, `f32`
+//! float operations, truncating/saturating coercions, poison
+//! propagation with strict consumption faults) while keeping IR-level
+//! coordinates: every trap carries the `(block, inst)` [`Site`] that
+//! raised it, every branch edge and every consecutive self-loop run
+//! is counted. That lets the fuzzing harness hold each per-site claim
+//! of a [`FactSet`] against a concrete execution: a claimed-safe site
+//! that traps, a claimed-dead edge that is traversed, or a loop that
+//! runs past its claimed bound is a soundness violation.
+//!
+//! One deliberate divergence from the machine: memory bounds are
+//! checked *per array*, which is exactly the property the memory
+//! facts claim. (The machine checks the flat data-memory frame, so it
+//! may tolerate a cross-array index that this evaluator reports.)
+
+use crate::absint::{FactSet, Site};
+use crate::ir::{FuncIr, Inst, IrBinOp, IrType, IrUnOp, Term, Val};
+use warp_target::exec::cmp_holds;
+use warp_target::interp::Value;
+use warp_target::isa::CmpKind;
+
+/// Instruction index marking a trap raised by a block's terminator.
+pub const TERM_SITE: u32 = u32::MAX;
+
+/// Why an evaluation stopped early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalTrap {
+    /// Integer division or modulo by zero.
+    DivisionByZero,
+    /// Array index outside the accessed array.
+    MemOutOfBounds(i64),
+    /// Strict consumption of an undefined value.
+    UninitializedRead,
+}
+
+/// Everything a fact check needs from one evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalOutcome {
+    /// Returned value (raw register contents), if the function
+    /// returned one.
+    pub ret: Option<Value>,
+    /// Whether the returned value was defined.
+    pub ret_def: bool,
+    /// The trap that stopped execution, with its site
+    /// ([`TERM_SITE`] marks a terminator).
+    pub trap: Option<(Site, EvalTrap)>,
+    /// `true` when the instruction budget ran out first.
+    pub fuel_exhausted: bool,
+    /// The program used `Call` or `Recv`, which this evaluator does
+    /// not model; all other outcome fields are unusable.
+    pub unsupported: bool,
+    /// Per block: times the then-edge was taken.
+    pub then_taken: Vec<u64>,
+    /// Per block: times the else-edge was taken.
+    pub else_taken: Vec<u64>,
+    /// Per block: longest consecutive self-execution run.
+    pub max_run: Vec<u64>,
+    /// Bit patterns of sent values, in program order.
+    pub sent: Vec<u64>,
+}
+
+/// Runs `f` on `args` (one [`Value`] per parameter) with an
+/// instruction budget of `fuel`.
+pub fn eval_ir(f: &FuncIr, args: &[Value], fuel: u64) -> EvalOutcome {
+    let n = f.blocks.len();
+    let mut out = EvalOutcome {
+        ret: None,
+        ret_def: false,
+        trap: None,
+        fuel_exhausted: false,
+        unsupported: false,
+        then_taken: vec![0; n],
+        else_taken: vec![0; n],
+        max_run: vec![0; n],
+        sent: Vec::new(),
+    };
+    // Registers mirror machine registers: integer zero, undefined.
+    let mut regs: Vec<(Value, bool)> = vec![(Value::I(0), false); f.vreg_types.len()];
+    for (&(r, _), &v) in f.params.iter().zip(args.iter()) {
+        regs[r.0 as usize] = (v, true);
+    }
+    // Data memory starts zero-filled and defined.
+    let mut mem: Vec<Vec<(Value, bool)>> = f
+        .arrays
+        .iter()
+        .map(|a| vec![(Value::I(0), true); a.words() as usize])
+        .collect();
+
+    let rd = |regs: &[(Value, bool)], v: Val| -> (Value, bool) {
+        match v {
+            Val::ConstI(k) => (Value::I(k), true),
+            Val::ConstF(c) => (Value::F(c), true),
+            Val::Reg(r) => regs[r.0 as usize],
+        }
+    };
+
+    let mut fuel = fuel;
+    let mut bi = 0usize;
+    let mut run = 0u64;
+    let mut prev: Option<usize> = None;
+    loop {
+        if prev == Some(bi) {
+            run += 1;
+        } else {
+            run = 1;
+        }
+        out.max_run[bi] = out.max_run[bi].max(run);
+        prev = Some(bi);
+
+        let block = &f.blocks[bi];
+        let mut trapped = false;
+        for (ii, inst) in block.insts.iter().enumerate() {
+            if fuel == 0 {
+                out.fuel_exhausted = true;
+                return out;
+            }
+            fuel -= 1;
+            let site = Site { block: bi as u32, inst: ii as u32 };
+            let trap = |o: &mut EvalOutcome, t: EvalTrap| {
+                o.trap = Some((site, t));
+            };
+            match inst {
+                Inst::Bin { op, ty, dst, a, b } => {
+                    let (av, ad) = rd(&regs, *a);
+                    let (bv, bd) = rd(&regs, *b);
+                    let def = ad && bd;
+                    let v = match (op, ty) {
+                        (IrBinOp::Add, IrType::Int) => Value::I(av.as_i().wrapping_add(bv.as_i())),
+                        (IrBinOp::Sub, IrType::Int) => Value::I(av.as_i().wrapping_sub(bv.as_i())),
+                        (IrBinOp::Mul, IrType::Int) => Value::I(av.as_i().wrapping_mul(bv.as_i())),
+                        (IrBinOp::Min, IrType::Int) => Value::I(av.as_i().min(bv.as_i())),
+                        (IrBinOp::Max, IrType::Int) => Value::I(av.as_i().max(bv.as_i())),
+                        (IrBinOp::Add, IrType::Float) => Value::F(av.as_f() + bv.as_f()),
+                        (IrBinOp::Sub, IrType::Float) => Value::F(av.as_f() - bv.as_f()),
+                        (IrBinOp::Mul, IrType::Float) => Value::F(av.as_f() * bv.as_f()),
+                        (IrBinOp::Min, IrType::Float) => Value::F(av.as_f().min(bv.as_f())),
+                        (IrBinOp::Max, IrType::Float) => Value::F(av.as_f().max(bv.as_f())),
+                        (IrBinOp::Div, _) => Value::F(av.as_f() / bv.as_f()),
+                        (IrBinOp::IDiv | IrBinOp::Mod, _) => {
+                            // The divisor is consumed: strict check,
+                            // then the concrete zero test.
+                            if !bd {
+                                trap(&mut out, EvalTrap::UninitializedRead);
+                                trapped = true;
+                                break;
+                            }
+                            let (x, y) = (av.as_i(), bv.as_i());
+                            if y == 0 {
+                                trap(&mut out, EvalTrap::DivisionByZero);
+                                trapped = true;
+                                break;
+                            }
+                            if *op == IrBinOp::IDiv {
+                                Value::I(x.wrapping_div(y))
+                            } else {
+                                Value::I(x.wrapping_rem(y))
+                            }
+                        }
+                        (IrBinOp::And, _) => Value::I((av.truthy() && bv.truthy()) as i32),
+                        (IrBinOp::Or, _) => Value::I((av.truthy() || bv.truthy()) as i32),
+                    };
+                    regs[dst.0 as usize] = (v, def);
+                }
+                Inst::Un { op, ty, dst, a } => {
+                    let (av, ad) = rd(&regs, *a);
+                    let v = match (op, ty) {
+                        (IrUnOp::Neg, IrType::Int) => Value::I(av.as_i().wrapping_neg()),
+                        (IrUnOp::Abs, IrType::Int) => Value::I(av.as_i().wrapping_abs()),
+                        (IrUnOp::Neg, IrType::Float) => Value::F(-av.as_f()),
+                        (IrUnOp::Abs, IrType::Float) => Value::F(av.as_f().abs()),
+                        (IrUnOp::Not, _) => Value::I(!av.truthy() as i32),
+                        (IrUnOp::ItoF, _) => Value::F(av.as_f()),
+                        (IrUnOp::FtoI, _) => Value::I(av.as_i()),
+                        (IrUnOp::Floor, _) => Value::I(av.as_f().floor() as i32),
+                        (IrUnOp::Sqrt, _) => Value::F(av.as_f().sqrt()),
+                        (IrUnOp::Sin, _) => Value::F(av.as_f().sin()),
+                        (IrUnOp::Cos, _) => Value::F(av.as_f().cos()),
+                        (IrUnOp::Exp, _) => Value::F(av.as_f().exp()),
+                        (IrUnOp::Log, _) => Value::F(av.as_f().ln()),
+                    };
+                    regs[dst.0 as usize] = (v, ad);
+                }
+                Inst::Cmp { kind, ty, dst, a, b } => {
+                    let (av, ad) = rd(&regs, *a);
+                    let (bv, bd) = rd(&regs, *b);
+                    let holds = match ty {
+                        IrType::Int => cmp_holds(*kind, av.as_i().cmp(&bv.as_i())),
+                        IrType::Float => match av.as_f().partial_cmp(&bv.as_f()) {
+                            Some(ord) => cmp_holds(*kind, ord),
+                            None => *kind == CmpKind::Ne,
+                        },
+                    };
+                    regs[dst.0 as usize] = (Value::I(holds as i32), ad && bd);
+                }
+                Inst::Copy { dst, src } => {
+                    regs[dst.0 as usize] = rd(&regs, *src);
+                }
+                Inst::Load { dst, arr, index, .. } => {
+                    let (iv, idef) = rd(&regs, *index);
+                    if !idef {
+                        trap(&mut out, EvalTrap::UninitializedRead);
+                        trapped = true;
+                        break;
+                    }
+                    let a = i64::from(iv.as_i());
+                    let words = mem[arr.0 as usize].len() as i64;
+                    if a < 0 || a >= words {
+                        trap(&mut out, EvalTrap::MemOutOfBounds(a));
+                        trapped = true;
+                        break;
+                    }
+                    regs[dst.0 as usize] = mem[arr.0 as usize][a as usize];
+                }
+                Inst::Store { arr, index, value, .. } => {
+                    let (iv, idef) = rd(&regs, *index);
+                    if !idef {
+                        trap(&mut out, EvalTrap::UninitializedRead);
+                        trapped = true;
+                        break;
+                    }
+                    let a = i64::from(iv.as_i());
+                    let words = mem[arr.0 as usize].len() as i64;
+                    if a < 0 || a >= words {
+                        trap(&mut out, EvalTrap::MemOutOfBounds(a));
+                        trapped = true;
+                        break;
+                    }
+                    mem[arr.0 as usize][a as usize] = rd(&regs, *value);
+                }
+                Inst::Send { value, .. } => {
+                    let (v, d) = rd(&regs, *value);
+                    if !d {
+                        trap(&mut out, EvalTrap::UninitializedRead);
+                        trapped = true;
+                        break;
+                    }
+                    out.sent.push(v.to_bits());
+                }
+                Inst::Select { dst, cond, then_v, .. } => {
+                    let (cv, cd) = rd(&regs, *cond);
+                    let (old, old_def) = regs[dst.0 as usize];
+                    let (nv, nd) = rd(&regs, *then_v);
+                    let (picked, pdef) = if cv.truthy() { (nv, nd) } else { (old, old_def) };
+                    regs[dst.0 as usize] = (picked, cd && pdef);
+                }
+                Inst::Call { .. } | Inst::Recv { .. } => {
+                    out.unsupported = true;
+                    return out;
+                }
+            }
+        }
+        if trapped {
+            return out;
+        }
+        if fuel == 0 {
+            out.fuel_exhausted = true;
+            return out;
+        }
+        fuel -= 1;
+        let term_site = Site { block: bi as u32, inst: TERM_SITE };
+        match &block.term {
+            Term::Jump(t) => bi = t.0 as usize,
+            Term::Branch { cond, then_blk, else_blk } => {
+                let (cv, cd) = rd(&regs, *cond);
+                if !cd {
+                    out.trap = Some((term_site, EvalTrap::UninitializedRead));
+                    return out;
+                }
+                if cv.truthy() {
+                    out.then_taken[bi] += 1;
+                    bi = then_blk.0 as usize;
+                } else {
+                    out.else_taken[bi] += 1;
+                    bi = else_blk.0 as usize;
+                }
+            }
+            Term::Return(v) => {
+                if let Some(v) = v {
+                    let (rv, rdz) = rd(&regs, *v);
+                    if !rdz {
+                        out.trap = Some((term_site, EvalTrap::UninitializedRead));
+                        return out;
+                    }
+                    out.ret = Some(rv);
+                    out.ret_def = true;
+                }
+                return out;
+            }
+        }
+    }
+}
+
+/// Holds every claim in `facts` against one concrete evaluation of
+/// the same IR. Returns human-readable descriptions of violations —
+/// an empty vector means no claim was falsified. Partial runs (fuel
+/// exhausted, traps) still check everything they observed.
+pub fn fact_violations(facts: &FactSet, o: &EvalOutcome) -> Vec<String> {
+    let mut v = Vec::new();
+    if o.unsupported {
+        return v;
+    }
+    if let Some((site, trap)) = &o.trap {
+        if site.inst != TERM_SITE {
+            if facts.safe_divs.contains(site) {
+                v.push(format!(
+                    "claimed-safe div site b{}:{} trapped {trap:?}",
+                    site.block, site.inst
+                ));
+            }
+            if facts.safe_mems.contains(site) {
+                v.push(format!(
+                    "claimed-safe mem site b{}:{} trapped {trap:?}",
+                    site.block, site.inst
+                ));
+            }
+        }
+        match trap {
+            EvalTrap::DivisionByZero if facts.div_trap_free => {
+                v.push("div_trap_free function raised DivisionByZero".into());
+            }
+            EvalTrap::MemOutOfBounds(a) if facts.mem_trap_free => {
+                v.push(format!("mem_trap_free function went out of bounds ({a})"));
+            }
+            EvalTrap::UninitializedRead if facts.def_free => {
+                v.push("def_free function consumed an undefined value".into());
+            }
+            _ => {}
+        }
+    }
+    for e in &facts.dead_edges {
+        let b = e.block as usize;
+        if e.always_then && o.else_taken.get(b).copied().unwrap_or(0) > 0 {
+            v.push(format!("dead else-edge of b{b} was taken"));
+        }
+        if !e.always_then && o.then_taken.get(b).copied().unwrap_or(0) > 0 {
+            v.push(format!("dead then-edge of b{b} was taken"));
+        }
+    }
+    for l in &facts.loop_bounds {
+        let b = l.block as usize;
+        let run = o.max_run.get(b).copied().unwrap_or(0);
+        if run > l.max_trips {
+            v.push(format!("loop b{b} ran {run} consecutive trips, bound {}", l.max_trips));
+        }
+    }
+    if facts.finite_return {
+        if let Some(Value::F(x)) = o.ret {
+            if !x.is_finite() {
+                v.push(format!("finite_return function returned {x}"));
+            }
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::absint;
+    use crate::ir::{Block, VirtReg};
+
+    /// Analyze-then-evaluate must never produce violations on a
+    /// straight-line arithmetic function.
+    #[test]
+    fn facts_hold_on_concrete_run() {
+        // d := p mod 7 (p param); loop-free.
+        let p = VirtReg(0);
+        let d = VirtReg(1);
+        let f = FuncIr {
+            name: "t".into(),
+            params: vec![(p, IrType::Int)],
+            ret: Some(IrType::Int),
+            blocks: vec![Block {
+                insts: vec![Inst::Bin {
+                    op: IrBinOp::Mod,
+                    ty: IrType::Int,
+                    dst: d,
+                    a: Val::Reg(p),
+                    b: Val::ConstI(7),
+                }],
+                term: Term::Return(Some(Val::Reg(d))),
+            }],
+            arrays: vec![],
+            vreg_types: vec![IrType::Int, IrType::Int],
+        };
+        let a = absint::analyze(&f);
+        assert!(a.facts.div_trap_free, "constant divisor is safe");
+        for x in [-9i32, -1, 0, 1, 6, 7, 100, i32::MIN, i32::MAX] {
+            let o = eval_ir(&f, &[Value::I(x)], 1_000);
+            assert_eq!(o.ret, Some(Value::I(x.wrapping_rem(7))));
+            assert!(fact_violations(&a.facts, &o).is_empty());
+        }
+    }
+
+    #[test]
+    fn division_by_zero_is_reported_at_its_site() {
+        let p = VirtReg(0);
+        let d = VirtReg(1);
+        let f = FuncIr {
+            name: "t".into(),
+            params: vec![(p, IrType::Int)],
+            ret: Some(IrType::Int),
+            blocks: vec![Block {
+                insts: vec![Inst::Bin {
+                    op: IrBinOp::IDiv,
+                    ty: IrType::Int,
+                    dst: d,
+                    a: Val::ConstI(1),
+                    b: Val::Reg(p),
+                }],
+                term: Term::Return(Some(Val::Reg(d))),
+            }],
+            arrays: vec![],
+            vreg_types: vec![IrType::Int, IrType::Int],
+        };
+        let o = eval_ir(&f, &[Value::I(0)], 1_000);
+        assert_eq!(
+            o.trap,
+            Some((Site { block: 0, inst: 0 }, EvalTrap::DivisionByZero))
+        );
+        // A (deliberately wrong) claim of safety is falsified.
+        let mut facts = FactSet { div_trap_free: true, ..FactSet::default() };
+        facts.safe_divs.push(Site { block: 0, inst: 0 });
+        assert_eq!(fact_violations(&facts, &o).len(), 2);
+    }
+}

@@ -43,8 +43,10 @@
 
 #![warn(missing_docs)]
 
+pub mod absint;
 pub mod dataflow;
 pub mod deps;
+pub mod eval;
 pub mod ifconv;
 pub mod inline;
 pub mod ir;
@@ -55,13 +57,17 @@ pub mod phase2;
 pub mod unroll;
 pub mod verify;
 
+pub use absint::{analyze, Analysis, DeadEdge, FactSet, LoopBound, Rewrite, Site};
 pub use deps::{DepEdge, DepGraph, DepKind};
+pub use eval::{eval_ir, EvalOutcome, EvalTrap};
 pub use ifconv::{if_convert, IfConvPolicy, IfConvStats};
 pub use inline::{inline_module, InlinePolicy, InlineStats};
 pub use ir::{ArrayId, Block, BlockId, FuncIr, Inst, IrBinOp, IrType, IrUnOp, Term, Val, VirtReg};
 pub use loops::{Loop, LoopInfo};
 pub use lower::{lower_function, lower_module, LowerError};
-pub use opt::{optimize, optimize_traced, optimize_verified, OptStats};
+pub use opt::{
+    apply_facts, optimize, optimize_traced, optimize_verified, FactOptStats, OptStats,
+};
 pub use phase2::{
     phase2, phase2_opts, phase2_traced, phase2_verified, phase2_with_unroll, Phase2Error,
     Phase2Result, Phase2Work,

@@ -179,7 +179,12 @@ fn fold_bin(op: IrBinOp, ty: IrType, a: Val, b: Val) -> Option<Val> {
         (Val::ConstI(0), _) if op == IrBinOp::Mul && ty == IrType::Int => Some(Val::ConstI(0)),
         (x, Val::ConstF(c)) if op == IrBinOp::Mul && c == 1.0 => Some(x),
         (Val::ConstF(c), x) if op == IrBinOp::Mul && c == 1.0 => Some(x),
-        (x, Val::ConstF(c)) if (op == IrBinOp::Add || op == IrBinOp::Sub) && c == 0.0 => Some(x),
+        // Signed zeros: x + (-0.0) = x and x - (+0.0) = x for every x
+        // (including x = -0.0); the opposite zero sign is NOT an
+        // identity there (-0.0 + 0.0 = +0.0), so match the exact bit
+        // pattern, not `c == 0.0` which compares both zeros equal.
+        (x, Val::ConstF(c)) if op == IrBinOp::Add && c.to_bits() == (-0.0f32).to_bits() => Some(x),
+        (x, Val::ConstF(c)) if op == IrBinOp::Sub && c.to_bits() == 0.0f32.to_bits() => Some(x),
         _ => None,
     }
 }
@@ -711,6 +716,96 @@ pub fn merge_straightline_blocks(f: &mut FuncIr) -> OptStats {
     stats
 }
 
+// --------------------------------------------------------------------
+// Fact-driven optimization
+// --------------------------------------------------------------------
+
+/// What [`apply_facts`] changed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FactOptStats {
+    /// Statically-infeasible branch edges replaced by jumps.
+    pub branches_pruned: usize,
+    /// Trapping divisions rewritten into trap-free forms because the
+    /// analysis proved the operand range (the runtime divide-by-zero
+    /// check disappears with the divide).
+    pub trap_checks_elided: usize,
+}
+
+impl FactOptStats {
+    /// `true` if any rewrite was applied.
+    pub fn changed(&self) -> bool {
+        self.branches_pruned + self.trap_checks_elided > 0
+    }
+}
+
+/// Applies the rewrites proven sound by [`crate::absint::analyze`].
+///
+/// Every rewrite re-checks the instruction shape it was derived from,
+/// so a stale rewrite list (the function changed since the analysis
+/// ran) degrades to a no-op instead of a miscompile:
+///
+/// * [`Rewrite::PruneThen`](crate::absint::Rewrite::PruneThen) / [`Rewrite::PruneElse`](crate::absint::Rewrite::PruneElse) — the branch
+///   condition is a proven constant; the infeasible edge is removed by
+///   turning the branch into a jump.
+/// * [`Rewrite::ModIdentity`](crate::absint::Rewrite::ModIdentity) — `a mod c` with `a` proven in
+///   `[0, c-1]` is `a` itself; the divide (and its divide-by-zero trap
+///   check) is replaced by a copy.
+/// * [`Rewrite::DivToZero`](crate::absint::Rewrite::DivToZero) — `a idiv c` with `a` proven in
+///   `[0, c-1]` is `0`.
+pub fn apply_facts(f: &mut FuncIr, rewrites: &[crate::absint::Rewrite]) -> FactOptStats {
+    use crate::absint::Rewrite;
+    let mut stats = FactOptStats::default();
+    for rw in rewrites {
+        match *rw {
+            Rewrite::PruneElse { block } => {
+                let Some(b) = f.blocks.get_mut(block as usize) else { continue };
+                if let Term::Branch { then_blk, .. } = b.term {
+                    b.term = Term::Jump(then_blk);
+                    stats.branches_pruned += 1;
+                }
+            }
+            Rewrite::PruneThen { block } => {
+                let Some(b) = f.blocks.get_mut(block as usize) else { continue };
+                if let Term::Branch { else_blk, .. } = b.term {
+                    b.term = Term::Jump(else_blk);
+                    stats.branches_pruned += 1;
+                }
+            }
+            Rewrite::ModIdentity { block, inst } => {
+                let Some(i) =
+                    f.blocks.get_mut(block as usize).and_then(|b| b.insts.get_mut(inst as usize))
+                else {
+                    continue;
+                };
+                if let Inst::Bin { op: IrBinOp::Mod, ty: IrType::Int, dst, a, b: Val::ConstI(c) } =
+                    *i
+                {
+                    if c > 0 {
+                        *i = Inst::Copy { dst, src: a };
+                        stats.trap_checks_elided += 1;
+                    }
+                }
+            }
+            Rewrite::DivToZero { block, inst } => {
+                let Some(i) =
+                    f.blocks.get_mut(block as usize).and_then(|b| b.insts.get_mut(inst as usize))
+                else {
+                    continue;
+                };
+                if let Inst::Bin { op: IrBinOp::IDiv, ty: IrType::Int, dst, b: Val::ConstI(c), .. } =
+                    *i
+                {
+                    if c > 0 {
+                        *i = Inst::Copy { dst, src: Val::ConstI(0) };
+                        stats.trap_checks_elided += 1;
+                    }
+                }
+            }
+        }
+    }
+    stats
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -845,6 +940,203 @@ mod tests {
         let stats = optimize(&mut f, 10);
         assert_eq!(f, once);
         assert_eq!(stats.folded + stats.cse_hits + stats.dead_removed, 0, "{stats:?}");
+    }
+
+    /// Satellite audit of `fold_bin`: every constant fold (and every
+    /// algebraic-identity fold with a runtime operand) must produce a
+    /// value bit-identical to what the strict interpreter computes at
+    /// runtime for the same operation, over boundary operands —
+    /// `i32::MIN`, `-1`, `0`, subnormals, signed zeros, infinities and
+    /// NaN.
+    #[test]
+    fn fold_bin_bit_identical_to_strict_interpreter() {
+        use warp_target::decode::decode_op;
+        use warp_target::exec::compute;
+        use warp_target::fu::FuKind;
+        use warp_target::interp::Value;
+        use warp_target::isa::{Op, Opcode, Operand, Reg};
+
+        fn opcode_for(op: IrBinOp, ty: IrType) -> Opcode {
+            match (op, ty) {
+                (IrBinOp::Add, IrType::Int) => Opcode::IAdd,
+                (IrBinOp::Sub, IrType::Int) => Opcode::ISub,
+                (IrBinOp::Mul, IrType::Int) => Opcode::IMul,
+                (IrBinOp::Min, IrType::Int) => Opcode::IMin,
+                (IrBinOp::Max, IrType::Int) => Opcode::IMax,
+                (IrBinOp::Add, IrType::Float) => Opcode::FAdd,
+                (IrBinOp::Sub, IrType::Float) => Opcode::FSub,
+                (IrBinOp::Mul, IrType::Float) => Opcode::FMul,
+                (IrBinOp::Min, IrType::Float) => Opcode::FMin,
+                (IrBinOp::Max, IrType::Float) => Opcode::FMax,
+                (IrBinOp::Div, _) => Opcode::FDiv,
+                (IrBinOp::IDiv, _) => Opcode::IDiv,
+                (IrBinOp::Mod, _) => Opcode::IMod,
+                (IrBinOp::And, _) => Opcode::BAnd,
+                (IrBinOp::Or, _) => Opcode::BOr,
+            }
+        }
+
+        // Runs one op on the strict interpreter core. `regs[0]` backs
+        // `Val::Reg(VirtReg(0))` operands.
+        fn machine(op: IrBinOp, ty: IrType, a: Val, b: Val, reg0: Value) -> Option<Value> {
+            let to_operand = |v: Val| match v {
+                Val::ConstI(k) => Operand::ImmI(k),
+                Val::ConstF(c) => Operand::ImmF(c),
+                Val::Reg(_) => Operand::Reg(Reg(0)),
+            };
+            let decoded = decode_op(
+                FuKind::Alu,
+                &Op {
+                    opcode: opcode_for(op, ty),
+                    dst: Some(Reg(1)),
+                    a: Some(to_operand(a)),
+                    b: Some(to_operand(b)),
+                },
+            );
+            let regs = [reg0, Value::I(0)];
+            let defs = [true, true];
+            compute(true, &regs, &defs, &[], &[], &decoded).ok().map(|(v, _)| v)
+        }
+
+        let fold_result = |v: Val, reg0: Value| match v {
+            Val::ConstI(k) => Value::I(k),
+            Val::ConstF(c) => Value::F(c),
+            Val::Reg(_) => reg0,
+        };
+
+        let ints = [i32::MIN, i32::MIN + 1, -7, -1, 0, 1, 2, 7, i32::MAX - 1, i32::MAX];
+        let subnormal = f32::from_bits(1); // smallest positive subnormal
+        let floats = [
+            0.0f32,
+            -0.0,
+            1.0,
+            -1.0,
+            subnormal,
+            -subnormal,
+            f32::MIN_POSITIVE,
+            2.5,
+            f32::MAX,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::NAN,
+        ];
+        let int_ops = [
+            IrBinOp::Add,
+            IrBinOp::Sub,
+            IrBinOp::Mul,
+            IrBinOp::Div,
+            IrBinOp::IDiv,
+            IrBinOp::Mod,
+            IrBinOp::Min,
+            IrBinOp::Max,
+            IrBinOp::And,
+            IrBinOp::Or,
+        ];
+        let flt_ops =
+            [IrBinOp::Add, IrBinOp::Sub, IrBinOp::Mul, IrBinOp::Div, IrBinOp::Min, IrBinOp::Max];
+
+        let mut checked = 0usize;
+        let mut case = |op: IrBinOp, ty: IrType, a: Val, b: Val, reg0: Value| {
+            let Some(folded) = fold_bin(op, ty, a, b) else {
+                return; // no fold: runtime semantics untouched
+            };
+            let got = fold_result(folded, reg0);
+            let want = machine(op, ty, a, b, reg0)
+                .unwrap_or_else(|| panic!("fold {op:?}/{ty:?} {a:?} {b:?} but machine traps"));
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "fold {op:?}/{ty:?} {a:?} {b:?}: folded {got:?}, machine {want:?}"
+            );
+            checked += 1;
+        };
+
+        // Constant-constant folds.
+        for &op in &int_ops {
+            let ty = if op == IrBinOp::Div { IrType::Float } else { IrType::Int };
+            for &x in &ints {
+                for &y in &ints {
+                    case(op, ty, Val::ConstI(x), Val::ConstI(y), Value::I(0));
+                }
+            }
+        }
+        for &op in &flt_ops {
+            for &x in &floats {
+                for &y in &floats {
+                    case(op, IrType::Float, Val::ConstF(x), Val::ConstF(y), Value::F(0.0));
+                }
+            }
+        }
+        // Identity folds with a runtime register operand: the folded
+        // `Val::Reg` must match the machine result for every concrete
+        // register value, including -0.0 and NaN.
+        let r = Val::Reg(VirtReg(0));
+        for &x in &ints {
+            for &c in &ints {
+                for &op in &int_ops {
+                    let ty = if op == IrBinOp::Div { IrType::Float } else { IrType::Int };
+                    case(op, ty, r, Val::ConstI(c), Value::I(x));
+                    case(op, ty, Val::ConstI(c), r, Value::I(x));
+                }
+            }
+        }
+        for &x in &floats {
+            for &c in &floats {
+                for &op in &flt_ops {
+                    case(op, IrType::Float, r, Val::ConstF(c), Value::F(x));
+                    case(op, IrType::Float, Val::ConstF(c), r, Value::F(x));
+                }
+            }
+        }
+        assert!(checked > 500, "only {checked} folds exercised");
+    }
+
+    #[test]
+    fn fold_preserves_signed_zero_identities() {
+        // x + 0.0 with x = -0.0 yields +0.0 at runtime, so it must NOT
+        // fold to x; x + (-0.0) and x - 0.0 are true identities.
+        let r = Val::Reg(VirtReg(0));
+        assert_eq!(fold_bin(IrBinOp::Add, IrType::Float, r, Val::ConstF(0.0)), None);
+        assert_eq!(fold_bin(IrBinOp::Sub, IrType::Float, r, Val::ConstF(-0.0)), None);
+        assert_eq!(fold_bin(IrBinOp::Add, IrType::Float, r, Val::ConstF(-0.0)), Some(r));
+        assert_eq!(fold_bin(IrBinOp::Sub, IrType::Float, r, Val::ConstF(0.0)), Some(r));
+    }
+
+    #[test]
+    fn apply_facts_rewrites_and_is_shape_defensive() {
+        use crate::absint::Rewrite;
+        let mut f = lowered("i := n mod 8; if i < 99 then t := 1.0; else t := 2.0; end; return t;");
+        // Find the mod instruction and the branch block.
+        let (mb, mi) = f
+            .blocks
+            .iter()
+            .enumerate()
+            .find_map(|(bi, b)| {
+                b.insts.iter().position(|i| matches!(i, Inst::Bin { op: IrBinOp::Mod, .. })).map(
+                    |ii| (bi as u32, ii as u32),
+                )
+            })
+            .expect("mod lowered");
+        let bb = f
+            .blocks
+            .iter()
+            .position(|b| matches!(b.term, Term::Branch { .. }))
+            .expect("branch lowered") as u32;
+        let stats = apply_facts(
+            &mut f,
+            &[
+                Rewrite::ModIdentity { block: mb, inst: mi },
+                Rewrite::PruneElse { block: bb },
+                // Stale rewrites aimed at wrong shapes: all no-ops.
+                Rewrite::DivToZero { block: mb, inst: mi },
+                Rewrite::PruneThen { block: bb },
+                Rewrite::ModIdentity { block: 99, inst: 0 },
+            ],
+        );
+        assert_eq!(stats.branches_pruned, 1);
+        assert_eq!(stats.trap_checks_elided, 1);
+        assert!(matches!(f.blocks[mb as usize].insts[mi as usize], Inst::Copy { .. }));
+        assert!(matches!(f.blocks[bb as usize].term, Term::Jump(_)));
     }
 
     #[test]

@@ -5,12 +5,13 @@
 //! parallel compiler (paper §3.2); the second half (phase 3, software
 //! pipelining and code generation) lives in `warp-codegen`.
 
+use crate::absint::{analyze, FactSet};
 use crate::deps::{dep_graph, DepGraph};
 use crate::ifconv::{if_convert, IfConvPolicy, IfConvStats};
 use crate::ir::{BlockId, FuncIr};
 use crate::loops::{analyze_loops, LoopInfo};
 use crate::lower::{lower_function, LowerError};
-use crate::opt::{optimize_traced, OptStats};
+use crate::opt::{apply_facts, optimize_traced, OptStats};
 use crate::unroll::{unroll_loops, UnrollPolicy, UnrollStats};
 use crate::verify::{verify_after, VerifyError};
 use serde::{Deserialize, Serialize};
@@ -38,6 +39,14 @@ pub struct Phase2Work {
     pub dep_edges: usize,
     /// Number of loops analyzed.
     pub loops: usize,
+    /// Abstract-interpretation worklist iterations (0 when the absint
+    /// pass is disabled), reported alongside the dataflow iteration
+    /// counts so the cost model can charge the analysis work.
+    pub absint_iterations: usize,
+    /// Statically-infeasible branches pruned by the fact-driven pass.
+    pub branches_pruned: usize,
+    /// Trap checks elided by the fact-driven pass.
+    pub trap_checks_elided: usize,
 }
 
 impl Phase2Work {
@@ -50,6 +59,7 @@ impl Phase2Work {
             + self.dep_tests as u64 * 6
             + self.dep_edges as u64 * 2
             + self.loops as u64 * 20
+            + self.absint_iterations as u64 * 5
     }
 }
 
@@ -68,6 +78,9 @@ pub struct Phase2Result {
     pub unroll_stats: UnrollStats,
     /// If-conversion statistics (zero unless requested).
     pub ifconv_stats: IfConvStats,
+    /// Facts proven by the abstract interpreter about the *final* IR
+    /// (`None` unless the absint pass was requested).
+    pub facts: Option<FactSet>,
     /// Work counters.
     pub work: Phase2Work,
 }
@@ -159,7 +172,7 @@ pub fn phase2_opts(
     unroll: Option<&UnrollPolicy>,
     ifconv: Option<&IfConvPolicy>,
 ) -> Result<Phase2Result, LowerError> {
-    match phase2_verified(func, symbols, signatures, unroll, ifconv, false) {
+    match phase2_verified(func, symbols, signatures, unroll, ifconv, false, false) {
         Ok(r) => Ok(r),
         Err(Phase2Error::Lower(e)) => Err(e),
         Err(Phase2Error::Verify(e)) => unreachable!("verification disabled: {e}"),
@@ -168,19 +181,21 @@ pub fn phase2_opts(
 
 /// Phase 2 with the IR verifier run at every pass boundary: after
 /// lowering, after each individual optimization pass, and after
-/// if-conversion and unrolling. A failure names the pass that broke
-/// the IR.
+/// if-conversion, unrolling and the fact-driven absint pass. A
+/// failure names the pass that broke the IR.
 ///
 /// # Errors
 ///
 /// Propagates [`LowerError`]; returns [`Phase2Error::Verify`] when
 /// `verify_each_pass` is set and a pass breaks an invariant.
+#[allow(clippy::too_many_arguments)]
 pub fn phase2_verified(
     func: &Function,
     symbols: &SymbolTable,
     signatures: &HashMap<String, Signature>,
     unroll: Option<&UnrollPolicy>,
     ifconv: Option<&IfConvPolicy>,
+    absint: bool,
     verify_each_pass: bool,
 ) -> Result<Phase2Result, Phase2Error> {
     phase2_traced(
@@ -189,18 +204,61 @@ pub fn phase2_verified(
         signatures,
         unroll,
         ifconv,
+        absint,
         verify_each_pass,
         &Trace::disabled(),
         TrackId(0),
     )
 }
 
+/// One analyze→apply round of the fact-driven absint pass, iterated
+/// until no rewrite fires (bounded). Emits `"absint"` spans for the
+/// analysis and the rewrite application.
+fn absint_stage(
+    ir: &mut FuncIr,
+    stage: &str,
+    verify_each_pass: bool,
+    trace: &Trace,
+    track: TrackId,
+) -> Result<(usize, usize, usize), Phase2Error> {
+    let (mut iterations, mut pruned, mut elided) = (0usize, 0usize, 0usize);
+    for round in 0..3 {
+        let analysis = {
+            let mut span = trace.span("absint", format!("absint:{stage}:analyze"), track);
+            let a = analyze(ir);
+            span.arg("iterations", a.facts.iterations as f64);
+            span.arg("claims", a.facts.claim_count() as f64);
+            span.arg("round", round as f64);
+            a
+        };
+        iterations += analysis.facts.iterations;
+        if analysis.rewrites.is_empty() {
+            break;
+        }
+        let stats = {
+            let _span = trace.span("absint", format!("absint:{stage}:apply_facts"), track);
+            apply_facts(ir, &analysis.rewrites)
+        };
+        if verify_each_pass {
+            let _span = trace.span("verify", "ir:apply_facts", track);
+            verify_after(ir, "apply_facts")?;
+        }
+        pruned += stats.branches_pruned;
+        elided += stats.trap_checks_elided;
+        if !stats.changed() {
+            break;
+        }
+    }
+    Ok((iterations, pruned, elided))
+}
+
 /// [`phase2_verified`] with span tracing: records one `"pass"` span
 /// per phase-2 stage (`lower`, each optimization pass via
 /// [`crate::opt::optimize_traced`], `if_convert`, `unroll_loops`,
-/// `analyze_loops`, `dep_graph`) and `"verify"` spans for the per-pass
-/// IR verification, all on `track` of `trace`. With a disabled trace
-/// this is exactly [`phase2_verified`].
+/// `analyze_loops`, `dep_graph`), `"absint"` spans for the abstract
+/// interpreter and its fact-driven rewrites, and `"verify"` spans for
+/// the per-pass IR verification, all on `track` of `trace`. With a
+/// disabled trace this is exactly [`phase2_verified`].
 ///
 /// # Errors
 ///
@@ -213,6 +271,7 @@ pub fn phase2_traced(
     signatures: &HashMap<String, Signature>,
     unroll: Option<&UnrollPolicy>,
     ifconv: Option<&IfConvPolicy>,
+    absint: bool,
     verify_each_pass: bool,
     trace: &Trace,
     track: TrackId,
@@ -226,6 +285,17 @@ pub fn phase2_traced(
         verify_after(&ir, "lower")?;
     }
     let lowered_insts = ir.inst_count();
+    // The absint pass runs right after lowering — cross-block facts
+    // (zero-initialized accumulators, loop ranges) are visible here
+    // that the purely local optimizer cannot see — and again after the
+    // optimization pipeline, once cleanup has exposed new constants.
+    let (mut absint_iterations, mut branches_pruned, mut trap_checks_elided) = (0, 0, 0);
+    if absint {
+        let (it, p, e) = absint_stage(&mut ir, "post-lower", verify_each_pass, trace, track)?;
+        absint_iterations += it;
+        branches_pruned += p;
+        trap_checks_elided += e;
+    }
     let mut opt_stats = optimize_traced(&mut ir, 10, verify_each_pass, trace, track)?;
     let mut ifconv_stats = IfConvStats::default();
     if let Some(policy) = ifconv {
@@ -261,6 +331,29 @@ pub fn phase2_traced(
         }
     }
     let _ = (&unroll_stats, &ifconv_stats);
+    // Post-optimization absint round, then a final analysis so the
+    // shipped facts describe the exact IR phase 3 will consume.
+    let mut facts = None;
+    if absint {
+        let (it, p, e) = absint_stage(&mut ir, "post-opt", verify_each_pass, trace, track)?;
+        absint_iterations += it;
+        branches_pruned += p;
+        trap_checks_elided += e;
+        if p + e > 0 {
+            let again = optimize_traced(&mut ir, 4, verify_each_pass, trace, track)?;
+            opt_stats.insts_visited += again.insts_visited;
+            opt_stats.iterations += again.iterations;
+        }
+        let final_analysis = {
+            let mut span = trace.span("absint", "absint:final:analyze", track);
+            let a = analyze(&ir);
+            span.arg("iterations", a.facts.iterations as f64);
+            span.arg("claims", a.facts.claim_count() as f64);
+            a
+        };
+        absint_iterations += final_analysis.facts.iterations;
+        facts = Some(final_analysis.facts);
+    }
     let loops = {
         let _span = trace.span("pass", "analyze_loops", track);
         analyze_loops(&ir)
@@ -289,8 +382,11 @@ pub fn phase2_traced(
         dep_tests,
         dep_edges,
         loops: loops.loops.len(),
+        absint_iterations,
+        branches_pruned,
+        trap_checks_elided,
     };
-    Ok(Phase2Result { ir, loops, block_deps, opt_stats, unroll_stats, ifconv_stats, work })
+    Ok(Phase2Result { ir, loops, block_deps, opt_stats, unroll_stats, ifconv_stats, facts, work })
 }
 
 #[cfg(test)]
@@ -335,9 +431,53 @@ mod tests {
             Some(&crate::unroll::UnrollPolicy::default()),
             Some(&crate::ifconv::IfConvPolicy::default()),
             true,
+            true,
         )
         .expect("verified phase 2 must pass on valid source");
         assert_eq!(r.block_deps.len(), r.ir.blocks.len());
+        let facts = r.facts.expect("absint requested");
+        assert!(r.work.absint_iterations > 0);
+        // No division anywhere, every consumed value defined, and the
+        // base load of each unrolled group has a proven-bounded index.
+        // (The +1/+2/+3 offset loads are beyond the interval domain:
+        // the stride-4 entry set {0,4,8,12} abstracts to [0,15].)
+        assert!(facts.div_trap_free, "{facts:?}");
+        assert!(facts.def_free, "{facts:?}");
+        assert!(facts.mem_safe >= 1, "{facts:?}");
+    }
+
+    #[test]
+    fn absint_pass_prunes_infeasible_branch_and_elides_trap_check() {
+        // t starts at 0.0, so `t > 0.5` is statically false on the
+        // first branch... but t changes in the loop; instead use a
+        // plainly infeasible diamond on a zero-initialized scalar
+        // *before* the loop, plus an `i mod 16` whose left operand is
+        // the loop counter bounded by the loop range — both beyond
+        // the local optimizer (cross-block; non-constant operand).
+        let src = "module m; section a on cells 0..0; \
+             function f(x: float, n: int): float \
+             var t: float; g: float; v: float[16]; i: int; k: int; begin \
+             t := 0.0; g := 0.1; \
+             if t > g then t := x; end; \
+             for i := 0 to 15 do k := i mod 16; t := t + v[k] * x; end; \
+             return t; end; end;";
+        let checked = phase1(src).expect("phase1");
+        let f = &checked.module.sections[0].functions[0];
+        let r = phase2_verified(
+            f,
+            &checked.sections[0].symbol_tables[0],
+            &checked.sections[0].signatures,
+            None,
+            None,
+            true,
+            true,
+        )
+        .expect("phase2");
+        assert!(r.work.branches_pruned >= 1, "{:?}\n{}", r.work, r.ir.dump());
+        assert!(r.work.trap_checks_elided >= 1, "{:?}\n{}", r.work, r.ir.dump());
+        assert!(r.work.units() > 0);
+        let facts = r.facts.expect("facts shipped");
+        assert!(facts.div_trap_free, "the mod was elided: {facts:?}");
     }
 
     #[test]

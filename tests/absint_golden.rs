@@ -1,0 +1,53 @@
+//! Golden fact reports for the checked-in example programs.
+//!
+//! Every `examples/*.w2` is compiled with the abstract interpreter on
+//! and its [`parcc::facts_report`] — the exact text `warpcc --absint
+//! --emit facts` prints — is compared verbatim against
+//! `tests/golden/absint/<example>.facts`. Any analysis change that
+//! strengthens, weakens or reorders the proven facts shows up as a
+//! reviewable diff. Regenerate with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test absint_golden
+//! ```
+
+use parcc::{compile_module_source, facts_report, CompileOptions};
+use std::path::Path;
+
+#[test]
+fn example_fact_reports_match_golden() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    std::fs::create_dir_all(root.join("tests/golden/absint")).expect("golden dir");
+    let opts = CompileOptions { absint: true, ..CompileOptions::default() };
+
+    let mut examples: Vec<String> = std::fs::read_dir(root.join("examples"))
+        .expect("examples dir")
+        .filter_map(|e| {
+            let p = e.ok()?.path();
+            (p.extension()? == "w2").then(|| p.file_stem().unwrap().to_str().unwrap().to_string())
+        })
+        .collect();
+    examples.sort();
+    assert!(!examples.is_empty(), "no .w2 examples found");
+
+    for name in &examples {
+        let src = std::fs::read_to_string(root.join(format!("examples/{name}.w2")))
+            .expect("read example");
+        let r = compile_module_source(&src, &opts).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let report = facts_report(&r.records);
+        let golden_path = root.join(format!("tests/golden/absint/{name}.facts"));
+        if update {
+            std::fs::write(&golden_path, &report).expect("write golden");
+            continue;
+        }
+        let golden = std::fs::read_to_string(&golden_path).unwrap_or_else(|_| {
+            panic!("{name}: golden file missing — run with UPDATE_GOLDEN=1 to create it")
+        });
+        assert_eq!(
+            report, golden,
+            "{name}: fact report drifted from tests/golden/absint/{name}.facts — \
+             rerun with UPDATE_GOLDEN=1 and review the diff"
+        );
+    }
+}

@@ -309,6 +309,17 @@ fn option_matrix() -> Vec<(CompileOptions, &'static str)> {
         if_convert: Some(warp_ir::IfConvPolicy::default()),
         ..CompileOptions::default()
     };
+    // Abstract interpretation with fact-driven rewrites: pruned
+    // branches and elided trap checks must still match the reference
+    // bit for bit, alone and stacked on the full optimizer.
+    let absint = CompileOptions { absint: true, ..CompileOptions::default() };
+    let absint_all = CompileOptions {
+        inline: Some(warp_ir::InlinePolicy::default()),
+        unroll: Some(warp_ir::UnrollPolicy::default()),
+        if_convert: Some(warp_ir::IfConvPolicy::default()),
+        absint: true,
+        ..CompileOptions::default()
+    };
     vec![
         (CompileOptions::default(), "baseline"),
         (inlined, "inline"),
@@ -316,6 +327,8 @@ fn option_matrix() -> Vec<(CompileOptions, &'static str)> {
         (ifconv, "ifconv"),
         (all, "inline+unroll+ifconv"),
         (tight, "tight-regs+ifconv"),
+        (absint, "absint"),
+        (absint_all, "absint+inline+unroll+ifconv"),
     ]
 }
 

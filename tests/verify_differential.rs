@@ -363,6 +363,128 @@ fn static_verifier_covers_strict_interpreter() {
     assert!(spot_checked >= 200, "spot-check sample too small: {spot_checked}");
 }
 
+/// One seeded *source-level* mutation of a corpus body: integer-literal
+/// replacement, comparison flip, arithmetic-operator swap, or
+/// statement-line swap. Returns `None` when the chosen strategy finds
+/// no site (the caller just skips the seed). Mutants that no longer
+/// compile are likewise skipped — the interesting population is the
+/// semantically *changed but valid* programs.
+fn mutate_body(body: &str, rng: &mut SmallRng) -> Option<String> {
+    match rng.gen_range(0..4u32) {
+        0 => {
+            // Replace an integer literal (loop bounds, divisors,
+            // thresholds) with one from a pool that includes values
+            // driving indices out of bounds and divisors to zero.
+            let bytes = body.as_bytes();
+            let mut spans: Vec<(usize, usize)> = Vec::new();
+            let mut i = 0;
+            while i < bytes.len() {
+                if bytes[i].is_ascii_digit() {
+                    let st = i;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    // Skip fraction digits of float literals.
+                    if st == 0 || bytes[st - 1] != b'.' {
+                        spans.push((st, i));
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+            let &(st, en) = pick(&spans, rng)?;
+            const POOL: &[&str] = &["0", "1", "2", "3", "7", "15", "31", "40", "100"];
+            let repl = POOL[rng.gen_range(0..POOL.len())];
+            if &body[st..en] == repl {
+                return None;
+            }
+            Some(format!("{}{}{}", &body[..st], repl, &body[en..]))
+        }
+        1 => {
+            // Flip a comparison operator.
+            const CMPS: &[&str] = &[" > ", " < ", " >= ", " <= "];
+            let sites: Vec<(usize, usize)> = CMPS
+                .iter()
+                .enumerate()
+                .flat_map(|(ci, pat)| {
+                    body.match_indices(pat).map(move |(at, _)| (at, ci)).collect::<Vec<_>>()
+                })
+                .collect();
+            let &(at, ci) = pick(&sites, rng)?;
+            let to = rng.gen_range(0..CMPS.len());
+            if to == ci {
+                return None;
+            }
+            Some(format!("{}{}{}", &body[..at], CMPS[to], &body[at + CMPS[ci].len()..]))
+        }
+        2 => {
+            // Swap an arithmetic operator.
+            const OPS: &[&str] = &[" + ", " - ", " * "];
+            let sites: Vec<(usize, usize)> = OPS
+                .iter()
+                .enumerate()
+                .flat_map(|(oi, pat)| {
+                    body.match_indices(pat).map(move |(at, _)| (at, oi)).collect::<Vec<_>>()
+                })
+                .collect();
+            let &(at, oi) = pick(&sites, rng)?;
+            let to = rng.gen_range(0..OPS.len());
+            if to == oi {
+                return None;
+            }
+            Some(format!("{}{}{}", &body[..at], OPS[to], &body[at + OPS[oi].len()..]))
+        }
+        _ => {
+            // Swap two whole lines (statement reorder; unbalanced
+            // results simply fail to compile and are skipped).
+            let lines: Vec<&str> = body.lines().collect();
+            if lines.len() < 2 {
+                return None;
+            }
+            let i = rng.gen_range(0..lines.len());
+            let j = rng.gen_range(0..lines.len());
+            if i == j {
+                return None;
+            }
+            let mut swapped: Vec<&str> = lines.clone();
+            swapped.swap(i, j);
+            Some(swapped.join("\n"))
+        }
+    }
+}
+
+/// Absint soundness over *source-level* mutants: mutating literals,
+/// comparisons, operators and statement order must never make the
+/// abstract interpreter claim a false "no-trap" or "dead-branch" fact.
+/// Every valid mutant is compiled with `absint` on, its facts are
+/// checked on every lane by the strict IR evaluator, and the
+/// fact-driven rewrites must leave machine outcomes unchanged
+/// ([`parcc::fuzz::check_absint`]).
+#[test]
+fn absint_facts_stay_sound_on_source_mutants() {
+    use parcc::fuzz::{check_absint, FactOracleStats, FuzzConfig};
+    let cfg = FuzzConfig::default();
+    let mut stats = FactOracleStats::default();
+    let mut valid = 0usize;
+    for (pi, body) in BODIES.iter().enumerate() {
+        for seed in 0..80u64 {
+            let mut rng = SmallRng::seed_from_u64(0x4A42_0000_0000_0000 | (pi as u64) << 32 | seed);
+            let Some(mutant) = mutate_body(body, &mut rng) else { continue };
+            let src = wrap(&mutant);
+            if compile_module_source(&src, &CompileOptions::default()).is_err() {
+                continue;
+            }
+            valid += 1;
+            if let Err(e) = check_absint(&src, &cfg, &mut stats) {
+                panic!("program {pi} seed {seed}: mutant gained a false fact: {e}\n{mutant}");
+            }
+        }
+    }
+    assert!(valid >= 250, "expected at least 250 valid mutants, got {valid}");
+    assert!(stats.claims > 0, "mutant population proved no facts at all");
+    assert!(stats.eval_runs > 0);
+}
+
 /// Acceptance check: `verify_each_pass` compiles every workload size
 /// cleanly — the verifiers never misfire on valid compiler output.
 #[test]
