@@ -1,0 +1,145 @@
+//! In-flight deduplication of concurrent compilations of one key.
+//!
+//! A multi-tenant compile service (`warpd`) shares one [`Cache`] across
+//! every client. When two clients request the same cold build at the
+//! same time, a plain cache gives each of them a miss and both pay for
+//! the compilation — the classic *thundering herd*. [`InFlight`] closes
+//! that window: before probing the cache for a key, a builder takes a
+//! [`Lease`] on it. The first taker (the *leader*) proceeds
+//! immediately; anyone else leasing the same key blocks until the
+//! leader's lease drops — by which time the leader has stored its
+//! result, so the follower's probe is a hit.
+//!
+//! The discipline callers must follow, in order:
+//!
+//! 1. `let lease = inflight.lease(key);`
+//! 2. probe the cache — on a **hit**, drop the lease and return;
+//! 3. on a **miss**, compile, `store` the result, then drop the lease.
+//!
+//! Probing *before* leasing would re-open the race (a follower's early
+//! probe records a spurious miss); the service tests pin "N concurrent
+//! identical requests → exactly one miss per function" through this
+//! type.
+//!
+//! Leases on *different* keys never wait on each other; the shared
+//! mutex only guards the key-set bookkeeping, never a compilation.
+//!
+//! [`Cache`]: crate::Cache
+
+use crate::CacheKey;
+use std::collections::HashSet;
+use std::sync::{Condvar, Mutex};
+
+/// The set of cache keys currently being built, with blocking lease
+/// acquisition. See the [module docs](self) for the calling discipline.
+#[derive(Debug, Default)]
+pub struct InFlight {
+    building: Mutex<HashSet<CacheKey>>,
+    done: Condvar,
+}
+
+impl InFlight {
+    /// An empty in-flight table.
+    pub fn new() -> InFlight {
+        InFlight::default()
+    }
+
+    /// Takes the lease on `key`, blocking while another lease on the
+    /// same key is live. Returns once this caller is the (unique)
+    /// holder.
+    pub fn lease(&self, key: CacheKey) -> Lease<'_> {
+        let mut building = self.building.lock().expect("inflight lock");
+        while building.contains(&key) {
+            building = self.done.wait(building).expect("inflight lock");
+        }
+        building.insert(key);
+        Lease { owner: self, key }
+    }
+
+    /// Number of keys currently under lease.
+    pub fn len(&self) -> usize {
+        self.building.lock().expect("inflight lock").len()
+    }
+
+    /// `true` if no key is currently under lease.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Exclusive permission to build one key; dropping it wakes every
+/// waiter of that key. Obtained from [`InFlight::lease`].
+#[derive(Debug)]
+pub struct Lease<'a> {
+    owner: &'a InFlight,
+    key: CacheKey,
+}
+
+impl Lease<'_> {
+    /// The leased key.
+    pub fn key(&self) -> CacheKey {
+        self.key
+    }
+}
+
+impl Drop for Lease<'_> {
+    fn drop(&mut self) {
+        let mut building = self.owner.building.lock().expect("inflight lock");
+        building.remove(&self.key);
+        // Waiters of *any* key share the condvar; each re-checks its
+        // own key, so waking all is correct (if chatty under load).
+        self.owner.done.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn lease_is_exclusive_per_key() {
+        let inflight = Arc::new(InFlight::new());
+        let concurrent = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let inflight = Arc::clone(&inflight);
+            let concurrent = Arc::clone(&concurrent);
+            let peak = Arc::clone(&peak);
+            handles.push(std::thread::spawn(move || {
+                let _lease = inflight.lease(CacheKey(42));
+                let now = concurrent.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                concurrent.fetch_sub(1, Ordering::SeqCst);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(peak.load(Ordering::SeqCst), 1, "two leases on one key overlapped");
+        assert!(inflight.is_empty());
+    }
+
+    #[test]
+    fn distinct_keys_do_not_block_each_other() {
+        let inflight = InFlight::new();
+        let a = inflight.lease(CacheKey(1));
+        // Must not deadlock: key 2 is free even while key 1 is leased.
+        let b = inflight.lease(CacheKey(2));
+        assert_eq!(inflight.len(), 2);
+        drop(a);
+        drop(b);
+        assert!(inflight.is_empty());
+    }
+
+    #[test]
+    fn release_after_drop_succeeds() {
+        let inflight = InFlight::new();
+        drop(inflight.lease(CacheKey(7)));
+        let lease = inflight.lease(CacheKey(7));
+        assert_eq!(lease.key(), CacheKey(7));
+    }
+}

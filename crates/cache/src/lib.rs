@@ -20,7 +20,10 @@
 //! * [`CacheValue`] — the serialization contract a cached artifact
 //!   implements (a self-validating byte codec);
 //! * [`Cache`] — a thread-safe in-memory map with an optional on-disk
-//!   blob store behind it, plus [`CacheStats`] hit/miss accounting.
+//!   blob store behind it, plus [`CacheStats`] hit/miss accounting;
+//! * [`InFlight`] — in-flight deduplication for concurrent builders
+//!   sharing one cache (the `warpd` service leases a key before
+//!   probing, so N simultaneous identical requests compile once).
 //!
 //! Correctness contract: a cache *lookup* may only succeed for a key
 //! whose artifact is bit-identical to what a fresh compilation would
@@ -32,9 +35,11 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod inflight;
 pub mod stats;
 pub mod store;
 
+pub use inflight::{InFlight, Lease};
 pub use stats::CacheStats;
 pub use store::{Cache, CacheValue};
 

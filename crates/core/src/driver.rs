@@ -10,6 +10,7 @@
 use crate::fncache::{function_key, options_fingerprint, CachedFunction, FnCache};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use warp_cache::{CacheKey, InFlight};
 use warp_analyze::{MachineError, ScheduleError};
 use warp_codegen::link::{assemble_module, link_section, LinkWork};
 use warp_codegen::phase3::{phase3_traced, Phase3Work};
@@ -432,8 +433,30 @@ pub fn compile_function_cached_traced(
     trace: &Trace,
     track: TrackId,
 ) -> Result<(FunctionImage, FunctionRecord), CompileError> {
-    let probe_start = trace.now_ns();
     let key = function_key(checked, source, si, fi, options_fp);
+    compile_function_keyed_traced(checked, source, si, fi, opts, cache, key, trace, track)
+}
+
+/// [`compile_function_cached_traced`] for a caller that already holds
+/// the function's [`CacheKey`] — the dedup path computes the key first
+/// (to lease it) and must not pay for hashing the function twice.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] if a cache miss fails to compile.
+#[allow(clippy::too_many_arguments)]
+pub fn compile_function_keyed_traced(
+    checked: &CheckedModule,
+    source: &str,
+    si: usize,
+    fi: usize,
+    opts: &CompileOptions,
+    cache: &FnCache,
+    key: CacheKey,
+    trace: &Trace,
+    track: TrackId,
+) -> Result<(FunctionImage, FunctionRecord), CompileError> {
+    let probe_start = trace.now_ns();
     if let Some(cached) = cache.lookup(key) {
         if trace.is_enabled() {
             let name = &checked.module.sections[si].functions[fi].name;
@@ -462,6 +485,85 @@ pub fn compile_function_cached_traced(
     let (image, record) = compile_function_traced(checked, source, si, fi, opts, trace, track)?;
     cache.store(key, CachedFunction { image: image.clone(), record: record.clone() });
     Ok((image, record))
+}
+
+/// [`compile_function_cached_traced`] with in-flight deduplication: the
+/// function's key is leased in `inflight` *before* the cache is probed,
+/// so of N concurrent builders of the same key exactly one compiles (and
+/// records the single miss) while the rest block on the lease and then
+/// hit. This is the per-function compile path of the `warpd` service,
+/// where many tenants race on one shared cache.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] if a cache miss fails to compile.
+#[allow(clippy::too_many_arguments)]
+pub fn compile_function_deduped_traced(
+    checked: &CheckedModule,
+    source: &str,
+    si: usize,
+    fi: usize,
+    opts: &CompileOptions,
+    cache: &FnCache,
+    inflight: &InFlight,
+    options_fp: u64,
+    trace: &Trace,
+    track: TrackId,
+) -> Result<(FunctionImage, FunctionRecord), CompileError> {
+    let key = function_key(checked, source, si, fi, options_fp);
+    let _lease = inflight.lease(key);
+    compile_function_keyed_traced(checked, source, si, fi, opts, cache, key, trace, track)
+}
+
+/// Compiles a whole module against a *shared* cache with in-flight
+/// deduplication — the request path of the `warpd` daemon. Unlike
+/// [`compile_module_cached_traced`] this entry point is meant to be
+/// called concurrently from many threads over the same `cache` and
+/// `inflight`: each call compiles its functions sequentially (requests
+/// are the unit of parallelism in the service), every function probe is
+/// dedup-guarded, and **all** spans — driver, worker, cache — land on
+/// the single `track` so a request's latency decomposes on its own
+/// trace row.
+///
+/// # Errors
+///
+/// Returns the first error of any phase.
+pub fn compile_module_shared_traced(
+    source: &str,
+    opts: &CompileOptions,
+    cache: &FnCache,
+    inflight: &InFlight,
+    trace: &Trace,
+    track: TrackId,
+) -> Result<CompileResult, CompileError> {
+    let (checked, phase1_units, warnings) = prepare_module_traced(source, opts, trace, track)?;
+    let options_fp = options_fingerprint(opts);
+    let mut images = Vec::new();
+    let mut records = Vec::new();
+    for si in 0..checked.module.sections.len() {
+        for fi in 0..checked.module.sections[si].functions.len() {
+            let span = trace.span(
+                "worker",
+                checked.module.sections[si].functions[fi].name.as_str(),
+                track,
+            );
+            let (img, rec) = compile_function_deduped_traced(
+                &checked, source, si, fi, opts, cache, inflight, options_fp, trace, track,
+            )?;
+            span.finish();
+            images.push(img);
+            records.push(rec);
+        }
+    }
+    let (module_image, link_units) = link_module_traced(&checked, images, opts, trace, track)?;
+    if opts.verify_each_pass {
+        let errs =
+            warp_analyze::verify_module_image_traced(&module_image, &opts.cell, trace, track);
+        if !errs.is_empty() {
+            return Err(CompileError::MachineVerify(errs));
+        }
+    }
+    Ok(CompileResult { module_image, records, phase1_units, link_units, warnings })
 }
 
 /// Renders the per-function fact report of an `--absint` build — the

@@ -39,8 +39,9 @@ pub mod threads;
 
 pub use costmodel::{CostModel, CALIBRATED};
 pub use driver::{
-    compile_function, compile_function_cached_traced, compile_function_traced,
-    compile_module_cached, compile_module_cached_traced, compile_module_source,
+    compile_function, compile_function_cached_traced, compile_function_deduped_traced,
+    compile_function_keyed_traced, compile_function_traced, compile_module_cached,
+    compile_module_cached_traced, compile_module_shared_traced, compile_module_source,
     compile_module_traced, facts_report, link_module, link_module_traced, run_phase1,
     run_phase1_traced, CompileError, CompileOptions, CompileResult, FunctionRecord,
 };

@@ -45,8 +45,8 @@ pub struct SpanRecord {
     /// Span name (e.g. `"fn dot8"`, `"fold_constants"`).
     pub name: String,
     /// Category: `"driver"`, `"worker"`, `"pass"`, `"verify"`,
-    /// `"cache"`, `"process"`, `"cpu"`, `"net"`, `"disk"`, `"fault"`,
-    /// `"retry"` (see docs/TRACING.md).
+    /// `"cache"`, `"service"`, `"process"`, `"cpu"`, `"net"`, `"disk"`,
+    /// `"fault"`, `"retry"` (see docs/TRACING.md).
     pub cat: &'static str,
     /// Track the span belongs to.
     pub track: TrackId,

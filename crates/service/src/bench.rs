@@ -1,0 +1,490 @@
+//! `warpctl bench`: a load generator that replays simulated users
+//! against a running `warpd` and reports latency percentiles,
+//! throughput, and a dedup probe to `BENCH_service.json`
+//! (schema `warp-bench-service/1`, documented in `EXPERIMENTS.md`).
+//!
+//! Three request classes model how users hit a compilation service:
+//!
+//! * **cold** — a module the daemon has never seen (every function
+//!   misses and compiles);
+//! * **warm** — an unchanged re-compile of a seeded module (every
+//!   function hits the shared cache);
+//! * **edit** — a seeded module with exactly one function body
+//!   changed (one miss, the rest hit) — the single-function-edit loop
+//!   the incremental cache is built for.
+//!
+//! The replay is deterministic: module sources come from
+//! `warp_workload::function_source_with` (seeded by name and length)
+//! and the class schedule is a fixed rotation, so two runs against
+//! equal daemons issue byte-identical request streams.
+
+use crate::client::{Client, ClientError};
+use crate::daemon::Endpoint;
+use crate::proto::{from_hex, RequestOptions, Response};
+use std::collections::VecDeque;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Load-generator configuration.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Daemon to target.
+    pub endpoint: Endpoint,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Total requests in the mixed replay (on top of seeding).
+    pub requests: usize,
+    /// Seeded base modules (the warm/edit working set).
+    pub tenants: usize,
+    /// Functions per module.
+    pub functions: usize,
+    /// Approximate lines per function body.
+    pub lines: usize,
+    /// Per-request compile options.
+    pub options: RequestOptions,
+    /// Re-compile every image locally and require byte equality with
+    /// the daemon's (slow; the CI job uses a bounded run).
+    pub verify_identical: bool,
+}
+
+impl BenchConfig {
+    /// Defaults sized for a meaningful local run (8 clients, 1,000
+    /// mixed requests over 16 seeded modules).
+    pub fn new(endpoint: Endpoint) -> BenchConfig {
+        BenchConfig {
+            endpoint,
+            clients: 8,
+            requests: 1000,
+            tenants: 16,
+            functions: 5,
+            lines: 16,
+            options: RequestOptions::default(),
+            verify_identical: false,
+        }
+    }
+}
+
+/// Latency summary for one request class. Client-observed latency
+/// (`p50_ms`/`p99_ms`) includes queueing at the daemon; the
+/// `compile_*` fields are the daemon's own compile time from the
+/// response, which isolates the per-class cost from load.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClassStats {
+    /// Requests in this class.
+    pub count: u64,
+    /// Median client-observed latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile client-observed latency, milliseconds.
+    pub p99_ms: f64,
+    /// Mean client-observed latency, milliseconds.
+    pub mean_ms: f64,
+    /// Median daemon-side compile time, milliseconds.
+    pub compile_p50_ms: f64,
+    /// 99th-percentile daemon-side compile time, milliseconds.
+    pub compile_p99_ms: f64,
+}
+
+/// The dedup probe's outcome: `clients` concurrent compiles of one
+/// fresh module caused `misses_delta` cache misses; dedup holds when
+/// that equals `functions` (each function compiled once, not once per
+/// client).
+#[derive(Debug, Clone, Copy)]
+pub struct DedupProbe {
+    /// Concurrent identical requests issued.
+    pub clients: u64,
+    /// Functions in the probe module.
+    pub functions: u64,
+    /// Cache-miss counter delta across the probe.
+    pub misses_delta: u64,
+    /// Cache-store counter delta across the probe.
+    pub stores_delta: u64,
+}
+
+/// Everything a bench run produced.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Per-class latency: seeding (cold), warm, edit, mixed-cold.
+    pub seed: ClassStats,
+    /// Warm re-compiles.
+    pub warm: ClassStats,
+    /// Single-function edits.
+    pub edit: ClassStats,
+    /// Cold modules inside the mixed replay.
+    pub cold: ClassStats,
+    /// Total replay requests (excludes seeding).
+    pub requests: u64,
+    /// Requests that failed (any non-`compiled` response).
+    pub failures: u64,
+    /// Replay wall-clock, seconds.
+    pub wall_s: f64,
+    /// Replay throughput, requests/second.
+    pub throughput_rps: f64,
+    /// Dedup probe outcome.
+    pub dedup: DedupProbe,
+    /// Images checked byte-identical against local compilation.
+    pub verified_identical: u64,
+}
+
+/// One scheduled request.
+#[derive(Debug, Clone)]
+enum Job {
+    Warm { tenant: usize },
+    Edit { tenant: usize, function: usize, generation: usize },
+    Cold { serial: usize },
+}
+
+/// Builds a module with `functions` functions named
+/// `{prefix}_f{j}`; `bump[j]` lengthens function `j`'s body, changing
+/// its body (and only its body — all generated functions share one
+/// signature, so the other functions' keys survive).
+fn module_source(prefix: &str, functions: usize, lines: usize, bump: &[(usize, usize)]) -> String {
+    let mut s = format!("module {prefix};\nsection main on cells 0..9;\n");
+    for j in 0..functions {
+        let extra = bump
+            .iter()
+            .find(|(idx, _)| *idx == j)
+            .map_or(0, |(_, generation)| *generation);
+        s.push_str(&warp_workload::function_source_with(
+            &format!("{prefix}_f{j}"),
+            lines + extra,
+            2,
+        ));
+        s.push('\n');
+    }
+    s.push_str("end;\n");
+    s
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+/// Builds a [`ClassStats`] from `(observed_ms, compile_ms)` samples.
+fn class_stats(samples: Vec<(f64, f64)>) -> ClassStats {
+    if samples.is_empty() {
+        return ClassStats::default();
+    }
+    let mut observed: Vec<f64> = samples.iter().map(|s| s.0).collect();
+    let mut compile: Vec<f64> = samples.iter().map(|s| s.1).collect();
+    observed.sort_by(f64::total_cmp);
+    compile.sort_by(f64::total_cmp);
+    let mean = observed.iter().sum::<f64>() / observed.len() as f64;
+    ClassStats {
+        count: observed.len() as u64,
+        p50_ms: percentile(&observed, 0.50),
+        p99_ms: percentile(&observed, 0.99),
+        mean_ms: mean,
+        compile_p50_ms: percentile(&compile, 0.50),
+        compile_p99_ms: percentile(&compile, 0.99),
+    }
+}
+
+fn stats_counters(client: &mut Client) -> Result<(u64, u64), ClientError> {
+    match client.cache_stats()? {
+        Response::CacheStats { stats, .. } => Ok((stats.misses, stats.stores)),
+        other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
+    }
+}
+
+/// Runs the full bench: seed, dedup probe, mixed replay. Prints
+/// nothing; the caller renders the report.
+///
+/// # Errors
+///
+/// Transport/protocol failures and — when `verify_identical` is on —
+/// the first daemon image that differs from local compilation.
+/// Ordinary per-request compile failures do *not* abort the run; they
+/// are tallied in [`BenchReport::failures`].
+pub fn run(config: &BenchConfig) -> Result<BenchReport, ClientError> {
+    let tenants = config.tenants.max(1);
+    let mut control = Client::connect(&config.endpoint, Duration::from_secs(5))?;
+
+    // --- seed: compile every tenant's base module once (cold) -------
+    let mut seed_ms = Vec::new();
+    for t in 0..tenants {
+        let source = module_source(&format!("t{t}"), config.functions, config.lines, &[]);
+        let started = Instant::now();
+        let resp = control.compile(&source, config.options)?;
+        let observed = started.elapsed().as_secs_f64() * 1e3;
+        let Response::Compiled { compile_ns, .. } = resp else {
+            return Err(ClientError::Protocol(format!("seeding tenant {t} failed: {resp:?}")));
+        };
+        seed_ms.push((observed, compile_ns as f64 / 1e6));
+    }
+
+    // --- dedup probe: many clients compile one fresh module at once.
+    // At least 8 connections regardless of the replay's client count:
+    // the probe is about concurrency, not steady-state load.
+    let probe_clients = config.clients.max(8);
+    let probe_source =
+        Arc::new(module_source("probe", config.functions, config.lines, &[]));
+    let (misses_before, stores_before) = stats_counters(&mut control)?;
+    let barrier = Arc::new(std::sync::Barrier::new(probe_clients));
+    let mut probes = Vec::new();
+    for _ in 0..probe_clients {
+        let endpoint = config.endpoint.clone();
+        let source = Arc::clone(&probe_source);
+        let barrier = Arc::clone(&barrier);
+        let options = config.options;
+        probes.push(std::thread::spawn(move || -> Result<(), ClientError> {
+            let mut c = Client::connect(&endpoint, Duration::from_secs(5))?;
+            barrier.wait();
+            match c.compile(&source, options)? {
+                Response::Compiled { .. } => Ok(()),
+                other => Err(ClientError::Protocol(format!("probe failed: {other:?}"))),
+            }
+        }));
+    }
+    for p in probes {
+        p.join().expect("probe thread")?;
+    }
+    let (misses_after, stores_after) = stats_counters(&mut control)?;
+    let dedup = DedupProbe {
+        clients: probe_clients as u64,
+        functions: config.functions as u64,
+        misses_delta: misses_after - misses_before,
+        stores_delta: stores_after - stores_before,
+    };
+
+    // --- mixed replay -----------------------------------------------
+    // Deterministic 10-step rotation: 6 warm, 3 edits, 1 cold.
+    let mut jobs = VecDeque::new();
+    let mut cold_serial = 0usize;
+    let mut edit_serial = 0usize;
+    for i in 0..config.requests {
+        let job = match i % 10 {
+            9 => {
+                cold_serial += 1;
+                Job::Cold { serial: cold_serial }
+            }
+            3 | 6 | 8 => {
+                edit_serial += 1;
+                Job::Edit {
+                    tenant: edit_serial % tenants,
+                    function: edit_serial % config.functions.max(1),
+                    generation: edit_serial,
+                }
+            }
+            n => Job::Warm { tenant: (i / 10 * 7 + n) % tenants },
+        };
+        jobs.push_back(job);
+    }
+    let jobs = Arc::new(Mutex::new(jobs));
+    let failures = Arc::new(Mutex::new(0u64));
+    let verified = Arc::new(Mutex::new(0u64));
+    type Samples = Vec<(f64, f64)>;
+    let samples: Arc<Mutex<(Samples, Samples, Samples)>> =
+        Arc::new(Mutex::new((Vec::new(), Vec::new(), Vec::new())));
+
+    let replay_start = Instant::now();
+    let mut workers = Vec::new();
+    for _ in 0..config.clients.max(1) {
+        let endpoint = config.endpoint.clone();
+        let jobs = Arc::clone(&jobs);
+        let failures = Arc::clone(&failures);
+        let verified = Arc::clone(&verified);
+        let samples = Arc::clone(&samples);
+        let cfg = config.clone();
+        workers.push(std::thread::spawn(move || -> Result<(), ClientError> {
+            let mut client = Client::connect(&endpoint, Duration::from_secs(5))?;
+            loop {
+                let job = { jobs.lock().expect("job queue").pop_front() };
+                let Some(job) = job else { return Ok(()) };
+                let source = match &job {
+                    Job::Warm { tenant } => {
+                        module_source(&format!("t{tenant}"), cfg.functions, cfg.lines, &[])
+                    }
+                    Job::Edit { tenant, function, generation } => module_source(
+                        &format!("t{tenant}"),
+                        cfg.functions,
+                        cfg.lines,
+                        &[(*function, 1 + generation % 7)],
+                    ),
+                    Job::Cold { serial } => {
+                        module_source(&format!("cold{serial}"), cfg.functions, cfg.lines, &[])
+                    }
+                };
+                let started = Instant::now();
+                let resp = client.compile(&source, cfg.options)?;
+                let ms = started.elapsed().as_secs_f64() * 1e3;
+                let compile_ms = match resp {
+                    Response::Compiled { image_hex, compile_ns, .. } => {
+                        if cfg.verify_identical {
+                            verify_image(&source, cfg.options, &image_hex)?;
+                            *verified.lock().expect("verified") += 1;
+                        }
+                        compile_ns as f64 / 1e6
+                    }
+                    _ => {
+                        *failures.lock().expect("failures") += 1;
+                        0.0
+                    }
+                };
+                let mut s = samples.lock().expect("samples");
+                match job {
+                    Job::Warm { .. } => s.0.push((ms, compile_ms)),
+                    Job::Edit { .. } => s.1.push((ms, compile_ms)),
+                    Job::Cold { .. } => s.2.push((ms, compile_ms)),
+                }
+            }
+        }));
+    }
+    for w in workers {
+        w.join().expect("replay thread")?;
+    }
+    let wall_s = replay_start.elapsed().as_secs_f64();
+
+    let (warm_ms, edit_ms, cold_ms) =
+        Arc::try_unwrap(samples).expect("samples refs").into_inner().expect("samples lock");
+    let requests = (warm_ms.len() + edit_ms.len() + cold_ms.len()) as u64;
+    let failures = *failures.lock().expect("failures");
+    let verified_identical = *verified.lock().expect("verified");
+    Ok(BenchReport {
+        seed: class_stats(seed_ms),
+        warm: class_stats(warm_ms),
+        edit: class_stats(edit_ms),
+        cold: class_stats(cold_ms),
+        requests,
+        failures,
+        wall_s,
+        throughput_rps: if wall_s > 0.0 { requests as f64 / wall_s } else { 0.0 },
+        dedup,
+        verified_identical,
+    })
+}
+
+/// Compiles `source` locally and requires the daemon's image to be
+/// byte-identical.
+fn verify_image(
+    source: &str,
+    options: RequestOptions,
+    image_hex: &str,
+) -> Result<(), ClientError> {
+    let local = parcc::compile_module_source(source, &options.to_compile_options())
+        .map_err(|e| ClientError::Protocol(format!("local compile failed: {e}")))?;
+    let local_bytes = warp_target::download::encode(&local.module_image)
+        .map_err(|e| ClientError::Protocol(format!("local encode failed: {e}")))?;
+    let remote_bytes = from_hex(image_hex).map_err(ClientError::Protocol)?;
+    if local_bytes != remote_bytes {
+        return Err(ClientError::Protocol(
+            "daemon image differs from local compilation".to_string(),
+        ));
+    }
+    Ok(())
+}
+
+/// Renders the report as `BENCH_service.json` (schema
+/// `warp-bench-service/1`; see EXPERIMENTS.md).
+pub fn report_json(report: &BenchReport, config: &BenchConfig) -> String {
+    let class = |name: &str, s: &ClassStats| {
+        format!(
+            "    \"{name}\": {{ \"count\": {}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"mean_ms\": {:.3}, \"compile_p50_ms\": {:.3}, \"compile_p99_ms\": {:.3} }}",
+            s.count, s.p50_ms, s.p99_ms, s.mean_ms, s.compile_p50_ms, s.compile_p99_ms
+        )
+    };
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"warp-bench-service/1\",\n");
+    s.push_str(&format!(
+        "  \"config\": {{ \"clients\": {}, \"requests\": {}, \"tenants\": {}, \"functions\": {}, \"lines\": {} }},\n",
+        config.clients, config.requests, config.tenants, config.functions, config.lines
+    ));
+    s.push_str("  \"classes\": {\n");
+    s.push_str(&class("seed_cold", &report.seed));
+    s.push_str(",\n");
+    s.push_str(&class("warm", &report.warm));
+    s.push_str(",\n");
+    s.push_str(&class("edit", &report.edit));
+    s.push_str(",\n");
+    s.push_str(&class("cold", &report.cold));
+    s.push_str("\n  },\n");
+    s.push_str(&format!(
+        "  \"replay\": {{ \"requests\": {}, \"failures\": {}, \"wall_s\": {:.3}, \"throughput_rps\": {:.1} }},\n",
+        report.requests, report.failures, report.wall_s, report.throughput_rps
+    ));
+    s.push_str(&format!(
+        "  \"dedup\": {{ \"clients\": {}, \"functions\": {}, \"misses_delta\": {}, \"stores_delta\": {} }},\n",
+        report.dedup.clients, report.dedup.functions, report.dedup.misses_delta, report.dedup.stores_delta
+    ));
+    s.push_str(&format!("  \"verified_identical\": {}\n", report.verified_identical));
+    s.push_str("}\n");
+    s
+}
+
+/// Writes `BENCH_service.json` to `path`.
+///
+/// # Errors
+///
+/// Propagates file I/O failures.
+pub fn write_report(
+    report: &BenchReport,
+    config: &BenchConfig,
+    path: &Path,
+) -> std::io::Result<()> {
+    std::fs::write(path, report_json(report, config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn module_source_edit_changes_exactly_one_body() {
+        let base = module_source("t0", 4, 12, &[]);
+        let edited = module_source("t0", 4, 12, &[(2, 1)]);
+        assert_ne!(base, edited);
+        // Names and count unchanged.
+        for j in 0..4 {
+            assert!(base.contains(&format!("t0_f{j}")));
+            assert!(edited.contains(&format!("t0_f{j}")));
+        }
+        // Deterministic: same args, same bytes.
+        assert_eq!(base, module_source("t0", 4, 12, &[]));
+    }
+
+    #[test]
+    fn percentiles_are_order_statistics() {
+        let s = class_stats(vec![(4.0, 0.4), (1.0, 0.1), (3.0, 0.3), (2.0, 0.2)]);
+        assert_eq!(s.count, 4);
+        assert!((s.p50_ms - 3.0).abs() < 1e-9 || (s.p50_ms - 2.0).abs() < 1e-9);
+        assert!((s.p99_ms - 4.0).abs() < 1e-9);
+        assert!((s.mean_ms - 2.5).abs() < 1e-9);
+        assert!((s.compile_p99_ms - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_json_is_valid_and_carries_schema() {
+        let report = BenchReport {
+            seed: ClassStats::default(),
+            warm: ClassStats {
+                count: 1,
+                p50_ms: 1.0,
+                p99_ms: 1.0,
+                mean_ms: 1.0,
+                compile_p50_ms: 0.5,
+                compile_p99_ms: 0.5,
+            },
+            edit: ClassStats::default(),
+            cold: ClassStats::default(),
+            requests: 1,
+            failures: 0,
+            wall_s: 0.5,
+            throughput_rps: 2.0,
+            dedup: DedupProbe { clients: 4, functions: 5, misses_delta: 5, stores_delta: 5 },
+            verified_identical: 0,
+        };
+        let cfg = BenchConfig::new(Endpoint::Tcp("127.0.0.1:0".to_string()));
+        let text = report_json(&report, &cfg);
+        let parsed = crate::json::parse(&text).expect("valid JSON");
+        assert_eq!(parsed.str_field("schema"), Some("warp-bench-service/1"));
+        assert_eq!(
+            parsed.get("dedup").and_then(|d| d.u64_field("misses_delta")),
+            Some(5)
+        );
+    }
+}

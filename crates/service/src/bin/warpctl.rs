@@ -1,0 +1,321 @@
+//! `warpctl` — client for the `warpd` compilation daemon.
+//!
+//! ```text
+//! warpctl [--socket PATH | --tcp ADDR] <COMMAND>
+//!
+//!   compile <FILE | -> [-o FILE] [--inline] [--ifconv] [--absint] [--verify]
+//!                 compile a W2 module on the daemon; with -o, write
+//!                 the binary download image (byte-identical to
+//!                 `warpcc -o` for the same source and options)
+//!   fingerprint [--inline] [--ifconv] [--absint] [--verify]
+//!                 print the options fingerprint (cache-key prefix)
+//!   health        print daemon status
+//!   stats         print shared-cache counters
+//!   drain         stop admission of new compiles
+//!   shutdown      terminate the daemon
+//!   bench [--clients N] [--requests N] [--tenants N] [--functions N]
+//!         [--lines N] [--verify-identical] [--out FILE]
+//!                 replay a deterministic cold/warm/edit request mix
+//!                 and report p50/p99 latency + throughput; with
+//!                 --out, write BENCH_service.json
+//!                 (schema warp-bench-service/1)
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+use warp_service::bench::{run as run_bench, BenchConfig};
+use warp_service::daemon::Endpoint;
+use warp_service::proto::{from_hex, RequestOptions};
+use warp_service::{Client, Response};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: warpctl [--socket PATH | --tcp ADDR] \
+         <compile|fingerprint|health|stats|drain|shutdown|bench> [ARGS]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_options(rest: &mut Vec<String>) -> RequestOptions {
+    let mut opts = RequestOptions::default();
+    rest.retain(|a| match a.as_str() {
+        "--inline" => {
+            opts.inline = true;
+            false
+        }
+        "--ifconv" => {
+            opts.ifconv = true;
+            false
+        }
+        "--absint" => {
+            opts.absint = true;
+            false
+        }
+        "--verify" => {
+            opts.verify = true;
+            false
+        }
+        _ => true,
+    });
+    opts
+}
+
+/// Pulls `--flag VALUE` out of `rest`, returning the value.
+fn take_value(rest: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = rest.iter().position(|a| a == flag)?;
+    if i + 1 >= rest.len() {
+        eprintln!("warpctl: {flag} needs a value");
+        usage()
+    }
+    let v = rest.remove(i + 1);
+    rest.remove(i);
+    Some(v)
+}
+
+fn connect(endpoint: &Endpoint) -> Client {
+    match Client::connect(endpoint, Duration::from_secs(5)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("warpctl: cannot reach warpd at {endpoint}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn read_module(path: &str) -> String {
+    if path == "-" {
+        let mut s = String::new();
+        use std::io::Read;
+        if std::io::stdin().read_to_string(&mut s).is_err() {
+            eprintln!("warpctl: failed to read stdin");
+            std::process::exit(1);
+        }
+        s
+    } else {
+        match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("warpctl: cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut rest: Vec<String> = std::env::args().skip(1).collect();
+    let mut endpoint = Endpoint::Unix(PathBuf::from("/tmp/warpd.sock"));
+    if let Some(p) = take_value(&mut rest, "--socket") {
+        endpoint = Endpoint::Unix(PathBuf::from(p));
+    }
+    if let Some(a) = take_value(&mut rest, "--tcp") {
+        endpoint = Endpoint::Tcp(a);
+    }
+    if rest.is_empty() {
+        usage()
+    }
+    let command = rest.remove(0);
+    match command.as_str() {
+        "compile" => {
+            let out = take_value(&mut rest, "-o").map(PathBuf::from);
+            let opts = parse_options(&mut rest);
+            let Some(path) = rest.first() else { usage() };
+            let module = read_module(path);
+            let mut client = connect(&endpoint);
+            match client.compile(&module, opts) {
+                Ok(Response::Compiled {
+                    image_hex,
+                    functions,
+                    warnings,
+                    cache_hits,
+                    cache_misses,
+                    queue_ns,
+                    compile_ns,
+                    ..
+                }) => {
+                    println!(
+                        "compiled: {functions} function(s), {warnings} warning(s); \
+                         cache {cache_hits} hit(s) / {cache_misses} miss(es); \
+                         queue {:.3} ms, compile {:.3} ms",
+                        queue_ns as f64 / 1e6,
+                        compile_ns as f64 / 1e6
+                    );
+                    if let Some(out) = out {
+                        let bytes = match from_hex(&image_hex) {
+                            Ok(b) => b,
+                            Err(e) => {
+                                eprintln!("warpctl: bad image from daemon: {e}");
+                                return ExitCode::FAILURE;
+                            }
+                        };
+                        if let Err(e) = std::fs::write(&out, bytes) {
+                            eprintln!("warpctl: cannot write {}: {e}", out.display());
+                            return ExitCode::FAILURE;
+                        }
+                        println!("wrote {}", out.display());
+                    }
+                    ExitCode::SUCCESS
+                }
+                Ok(other) => {
+                    eprintln!("warpctl: {other:?}");
+                    ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("warpctl: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "fingerprint" => {
+            let opts = parse_options(&mut rest);
+            let mut client = connect(&endpoint);
+            match client.fingerprint(opts) {
+                Ok(Response::Fingerprint { fingerprint, .. }) => {
+                    println!("{fingerprint}");
+                    ExitCode::SUCCESS
+                }
+                other => {
+                    eprintln!("warpctl: {other:?}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "health" => {
+            let mut client = connect(&endpoint);
+            match client.health() {
+                Ok(Response::Health { info, .. }) => {
+                    println!(
+                        "status {} protocol {} uptime_ms {} requests {} active {} queued {}",
+                        info.status,
+                        info.protocol,
+                        info.uptime_ms,
+                        info.requests,
+                        info.active,
+                        info.queued
+                    );
+                    ExitCode::SUCCESS
+                }
+                other => {
+                    eprintln!("warpctl: {other:?}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "stats" => {
+            let mut client = connect(&endpoint);
+            match client.cache_stats() {
+                Ok(Response::CacheStats { stats, .. }) => {
+                    println!(
+                        "memory_hits {} disk_hits {} misses {} stores {} errors {} resident {}",
+                        stats.memory_hits,
+                        stats.disk_hits,
+                        stats.misses,
+                        stats.stores,
+                        stats.errors,
+                        stats.resident
+                    );
+                    ExitCode::SUCCESS
+                }
+                other => {
+                    eprintln!("warpctl: {other:?}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "drain" => {
+            let mut client = connect(&endpoint);
+            match client.drain() {
+                Ok(Response::Draining { .. }) => {
+                    println!("draining");
+                    ExitCode::SUCCESS
+                }
+                other => {
+                    eprintln!("warpctl: {other:?}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "shutdown" => {
+            let mut client = connect(&endpoint);
+            match client.shutdown() {
+                Ok(Response::Bye { .. }) => {
+                    println!("bye");
+                    ExitCode::SUCCESS
+                }
+                other => {
+                    eprintln!("warpctl: {other:?}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "bench" => {
+            let mut config = BenchConfig::new(endpoint);
+            let number = |rest: &mut Vec<String>, flag: &str, default: usize| {
+                take_value(rest, flag)
+                    .map_or(default, |v| v.parse().unwrap_or_else(|_| usage()))
+            };
+            config.clients = number(&mut rest, "--clients", config.clients);
+            config.requests = number(&mut rest, "--requests", config.requests);
+            config.tenants = number(&mut rest, "--tenants", config.tenants);
+            config.functions = number(&mut rest, "--functions", config.functions);
+            config.lines = number(&mut rest, "--lines", config.lines);
+            let out = take_value(&mut rest, "--out").map(PathBuf::from);
+            if let Some(i) = rest.iter().position(|a| a == "--verify-identical") {
+                rest.remove(i);
+                config.verify_identical = true;
+            }
+            config.options = parse_options(&mut rest);
+            if !rest.is_empty() {
+                eprintln!("warpctl: unknown bench argument `{}`", rest[0]);
+                usage()
+            }
+            let report = match run_bench(&config) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("warpctl: bench failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let row = |name: &str, s: &warp_service::ClassStats| {
+                println!(
+                    "{name:<10} n={:<4} p50 {:>7.1} ms  p99 {:>7.1} ms  (compile p50 {:>6.1} ms)",
+                    s.count, s.p50_ms, s.p99_ms, s.compile_p50_ms
+                );
+            };
+            row("seed(cold)", &report.seed);
+            row("warm", &report.warm);
+            row("edit", &report.edit);
+            row("cold", &report.cold);
+            println!(
+                "replay: {} requests, {} failure(s), {:.2} s, {:.1} req/s",
+                report.requests, report.failures, report.wall_s, report.throughput_rps
+            );
+            println!(
+                "dedup probe: {} clients x {} functions -> {} miss(es), {} store(s)",
+                report.dedup.clients,
+                report.dedup.functions,
+                report.dedup.misses_delta,
+                report.dedup.stores_delta
+            );
+            if config.verify_identical {
+                println!("verified identical: {}", report.verified_identical);
+            }
+            if let Some(out) = out {
+                if let Err(e) = warp_service::bench::write_report(&report, &config, &out) {
+                    eprintln!("warpctl: cannot write {}: {e}", out.display());
+                    return ExitCode::FAILURE;
+                }
+                println!("wrote {}", out.display());
+            }
+            if report.failures > 0 {
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("warpctl: unknown command `{other}`");
+            usage()
+        }
+    }
+}

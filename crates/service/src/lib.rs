@@ -1,0 +1,68 @@
+//! `warpd` — compilation as a service for the Warp parallel compiler.
+//!
+//! The paper's compiler runs once per build. This crate keeps it
+//! *resident*: a daemon owns one persistent function cache and serves
+//! many users' builds over a Unix socket (TCP behind a flag), so the
+//! incremental-compilation economics of `parcc::fncache` compound
+//! across tenants instead of resetting with every process.
+//!
+//! The pieces, bottom-up:
+//!
+//! * [`json`] — a minimal strict JSON parser/writer (the build is
+//!   hermetic; there is no serde_json here);
+//! * [`proto`] — the wire protocol: 4-byte length-prefixed JSON
+//!   frames, request/response types, stable error codes. The
+//!   normative spec is `docs/SERVICE.md`;
+//! * [`daemon`] — [`Warpd`]: accept loop, per-connection handler
+//!   threads, shared [`parcc::FnCache`], in-flight dedup
+//!   ([`warp_cache::InFlight`]), bounded admission control with
+//!   explicit `overloaded` backpressure, and per-request `service`
+//!   trace spans;
+//! * [`client`] — [`Client`]: a blocking connection used by `warpctl`
+//!   and the tests;
+//! * [`bench`](mod@bench) — the `warpctl bench` load generator: deterministic
+//!   cold/warm/single-function-edit replay, latency percentiles,
+//!   dedup probe, `BENCH_service.json` writer.
+//!
+//! # Example
+//!
+//! Spin a daemon up on a temporary Unix socket, compile a module,
+//! and shut it down:
+//!
+//! ```
+//! use warp_service::{Client, DaemonConfig, Endpoint, RequestOptions, Response, Warpd};
+//! use std::time::Duration;
+//!
+//! let sock = std::env::temp_dir().join(format!("warpd-doc-{}.sock", std::process::id()));
+//! let daemon = Warpd::start(DaemonConfig::new(Endpoint::Unix(sock.clone()))).unwrap();
+//!
+//! let mut client = Client::connect(daemon.endpoint(), Duration::from_secs(5)).unwrap();
+//! let mut module = String::from("module hello;\nsection main on cells 0..9;\n");
+//! module.push_str(&warp_workload::function_source_with("hello_f0", 12, 2));
+//! module.push_str("\nend;\n");
+//! match client.compile(&module, RequestOptions::default()).unwrap() {
+//!     Response::Compiled { functions, .. } => assert_eq!(functions, 1),
+//!     other => panic!("unexpected reply: {other:?}"),
+//! }
+//!
+//! assert!(matches!(client.shutdown().unwrap(), Response::Bye { .. }));
+//! daemon.join();
+//! assert!(!sock.exists()); // the socket file is unlinked on shutdown
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod client;
+pub mod daemon;
+pub mod json;
+pub mod proto;
+
+pub use bench::{BenchConfig, BenchReport, ClassStats, DedupProbe};
+pub use client::{Client, ClientError};
+pub use daemon::{DaemonConfig, Endpoint, Warpd};
+pub use proto::{
+    ErrorCode, FrameError, HealthInfo, Request, RequestOptions, Response, WireCacheStats,
+    MAX_FRAME_DEFAULT, PROTOCOL_VERSION,
+};

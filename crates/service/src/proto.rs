@@ -1,0 +1,823 @@
+//! The `warpd` wire protocol: framing, request/response types and
+//! their JSON codec.
+//!
+//! The normative specification lives in `docs/SERVICE.md`; this module
+//! implements it and the protocol tests pin the two against each
+//! other. In short:
+//!
+//! * every message is one **frame**: a 4-byte little-endian payload
+//!   length followed by that many bytes of UTF-8 JSON (one object);
+//! * requests carry `id` (echoed verbatim in the response) and `kind`;
+//! * responses carry `id` and `kind`; errors are ordinary responses of
+//!   kind `error` with a stable machine-readable `code` from
+//!   [`ErrorCode`];
+//! * a frame whose declared length exceeds the receiver's limit is
+//!   answered with `frame-too-large` (id 0 — the payload was never
+//!   read) and the connection is closed.
+
+use crate::json::{obj, parse, Json};
+use parcc::CompileOptions;
+use std::io::{self, Read, Write};
+
+/// Default maximum frame payload size (16 MiB) — generous for module
+/// sources and hex-encoded images, small enough that a bad length
+/// prefix cannot balloon memory.
+pub const MAX_FRAME_DEFAULT: usize = 16 * 1024 * 1024;
+
+/// Protocol version, carried in `health` responses. Bump on breaking
+/// wire changes.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Stable machine-readable error codes (`docs/SERVICE.md` §Errors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The frame payload was not valid JSON.
+    BadJson,
+    /// The JSON was valid but not a valid request shape.
+    BadRequest,
+    /// The request `kind` is not known to this daemon.
+    UnknownKind,
+    /// The declared frame length exceeds the daemon's limit.
+    FrameTooLarge,
+    /// Compilation failed; `message` carries the compiler diagnostics.
+    CompileFailed,
+    /// The daemon is draining and no longer accepts compile requests.
+    Draining,
+}
+
+impl ErrorCode {
+    /// The wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadJson => "bad-json",
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::UnknownKind => "unknown-kind",
+            ErrorCode::FrameTooLarge => "frame-too-large",
+            ErrorCode::CompileFailed => "compile-failed",
+            ErrorCode::Draining => "draining",
+        }
+    }
+
+    /// Parses the wire spelling.
+    pub fn parse(s: &str) -> Option<ErrorCode> {
+        Some(match s {
+            "bad-json" => ErrorCode::BadJson,
+            "bad-request" => ErrorCode::BadRequest,
+            "unknown-kind" => ErrorCode::UnknownKind,
+            "frame-too-large" => ErrorCode::FrameTooLarge,
+            "compile-failed" => ErrorCode::CompileFailed,
+            "draining" => ErrorCode::Draining,
+            _ => return None,
+        })
+    }
+}
+
+/// The compilation knobs a request may set — the subset of
+/// [`CompileOptions`] that is meaningful per request (cell geometry
+/// stays a daemon-wide setting).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RequestOptions {
+    /// Enable the §5.1 inlining extension.
+    pub inline: bool,
+    /// Enable if-conversion.
+    pub ifconv: bool,
+    /// Run the abstract interpreter and its fact-driven rewrites.
+    pub absint: bool,
+    /// Run the static verifiers at every pass boundary.
+    pub verify: bool,
+}
+
+impl RequestOptions {
+    /// Expands to full [`CompileOptions`] (defaults for everything the
+    /// wire does not carry).
+    pub fn to_compile_options(self) -> CompileOptions {
+        CompileOptions {
+            inline: self.inline.then(warp_ir::InlinePolicy::default),
+            if_convert: self.ifconv.then(warp_ir::IfConvPolicy::default),
+            absint: self.absint,
+            verify_each_pass: self.verify,
+            ..CompileOptions::default()
+        }
+    }
+
+    fn to_json(self) -> Json {
+        obj(vec![
+            ("inline", Json::Bool(self.inline)),
+            ("ifconv", Json::Bool(self.ifconv)),
+            ("absint", Json::Bool(self.absint)),
+            ("verify", Json::Bool(self.verify)),
+        ])
+    }
+
+    fn from_json(v: Option<&Json>) -> Option<RequestOptions> {
+        let Some(v) = v else { return Some(RequestOptions::default()) };
+        if !matches!(v, Json::Obj(_)) {
+            return None;
+        }
+        let flag = |key: &str| match v.get(key) {
+            None => Some(false),
+            Some(Json::Bool(b)) => Some(*b),
+            Some(_) => None,
+        };
+        Some(RequestOptions {
+            inline: flag("inline")?,
+            ifconv: flag("ifconv")?,
+            absint: flag("absint")?,
+            verify: flag("verify")?,
+        })
+    }
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Compile a module and return its download image.
+    Compile {
+        /// Request id, echoed in the response.
+        id: u64,
+        /// W2 module source text.
+        module: String,
+        /// Per-request compilation knobs.
+        options: RequestOptions,
+    },
+    /// Return the options fingerprint these knobs produce — the prefix
+    /// of every function cache key, letting clients predict cache
+    /// affinity without compiling.
+    Fingerprint {
+        /// Request id.
+        id: u64,
+        /// The knobs to fingerprint.
+        options: RequestOptions,
+    },
+    /// Return the shared cache's counters.
+    CacheStats {
+        /// Request id.
+        id: u64,
+    },
+    /// Liveness/status probe.
+    Health {
+        /// Request id.
+        id: u64,
+    },
+    /// Stop admitting compile requests; in-flight work completes.
+    Drain {
+        /// Request id.
+        id: u64,
+    },
+    /// Terminate the daemon (implies drain).
+    Shutdown {
+        /// Request id.
+        id: u64,
+    },
+}
+
+impl Request {
+    /// The request id.
+    pub fn id(&self) -> u64 {
+        match self {
+            Request::Compile { id, .. }
+            | Request::Fingerprint { id, .. }
+            | Request::CacheStats { id }
+            | Request::Health { id }
+            | Request::Drain { id }
+            | Request::Shutdown { id } => *id,
+        }
+    }
+
+    /// Serializes to the wire JSON.
+    pub fn to_json(&self) -> Json {
+        let (kind, mut fields) = match self {
+            Request::Compile { id, module, options } => (
+                "compile",
+                vec![
+                    ("id", Json::Num(*id as f64)),
+                    ("module", Json::Str(module.clone())),
+                    ("options", options.to_json()),
+                ],
+            ),
+            Request::Fingerprint { id, options } => (
+                "fingerprint",
+                vec![("id", Json::Num(*id as f64)), ("options", options.to_json())],
+            ),
+            Request::CacheStats { id } => ("cache_stats", vec![("id", Json::Num(*id as f64))]),
+            Request::Health { id } => ("health", vec![("id", Json::Num(*id as f64))]),
+            Request::Drain { id } => ("drain", vec![("id", Json::Num(*id as f64))]),
+            Request::Shutdown { id } => ("shutdown", vec![("id", Json::Num(*id as f64))]),
+        };
+        fields.push(("kind", Json::Str(kind.to_string())));
+        obj(fields)
+    }
+
+    /// Parses a request from its wire JSON. `Err` carries the error
+    /// code the daemon must answer with (plus the id, when one could
+    /// be recovered).
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::BadRequest`] for shape violations,
+    /// [`ErrorCode::UnknownKind`] for an unrecognized `kind`.
+    pub fn from_json(v: &Json) -> Result<Request, (u64, ErrorCode, String)> {
+        let id = v.u64_field("id").unwrap_or(0);
+        let bad = |msg: &str| (id, ErrorCode::BadRequest, msg.to_string());
+        if !matches!(v, Json::Obj(_)) {
+            return Err(bad("request must be a JSON object"));
+        }
+        if v.u64_field("id").is_none() {
+            return Err(bad("missing or non-integer `id`"));
+        }
+        let kind = v.str_field("kind").ok_or_else(|| bad("missing string `kind`"))?;
+        let options = || {
+            RequestOptions::from_json(v.get("options"))
+                .ok_or_else(|| bad("`options` must be an object of booleans"))
+        };
+        match kind {
+            "compile" => {
+                let module = v
+                    .str_field("module")
+                    .ok_or_else(|| bad("compile needs a string `module`"))?;
+                Ok(Request::Compile { id, module: module.to_string(), options: options()? })
+            }
+            "fingerprint" => Ok(Request::Fingerprint { id, options: options()? }),
+            "cache_stats" => Ok(Request::CacheStats { id }),
+            "health" => Ok(Request::Health { id }),
+            "drain" => Ok(Request::Drain { id }),
+            "shutdown" => Ok(Request::Shutdown { id }),
+            other => {
+                Err((id, ErrorCode::UnknownKind, format!("unknown request kind `{other}`")))
+            }
+        }
+    }
+}
+
+/// Shared-cache counters as carried on the wire (mirrors
+/// `warp_cache::CacheStats`, plus the number of resident objects).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireCacheStats {
+    /// Lookups served from the in-memory map.
+    pub memory_hits: u64,
+    /// Lookups served from the on-disk store.
+    pub disk_hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Objects stored.
+    pub stores: u64,
+    /// I/O or decode errors (each degraded to a miss).
+    pub errors: u64,
+    /// Objects currently resident in memory.
+    pub resident: u64,
+}
+
+/// What the daemon reports about itself in a `health` response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthInfo {
+    /// `"ok"` or `"draining"`.
+    pub status: String,
+    /// Protocol version ([`PROTOCOL_VERSION`]).
+    pub protocol: u32,
+    /// Milliseconds since the daemon started.
+    pub uptime_ms: u64,
+    /// Requests handled (all kinds) since start.
+    pub requests: u64,
+    /// Compile requests currently executing.
+    pub active: u64,
+    /// Compile requests currently waiting for a worker slot.
+    pub queued: u64,
+}
+
+/// A daemon response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Successful compilation.
+    Compiled {
+        /// Echoed request id.
+        id: u64,
+        /// The linked module image in download format, hex-encoded —
+        /// byte-identical to `warpcc -o`'s output for the same source
+        /// and options.
+        image_hex: String,
+        /// Functions compiled (records in the module).
+        functions: u64,
+        /// Front-end warnings.
+        warnings: u64,
+        /// Function-cache hits while serving this request.
+        cache_hits: u64,
+        /// Function-cache misses (functions actually compiled here).
+        cache_misses: u64,
+        /// Nanoseconds spent waiting for a worker slot.
+        queue_ns: u64,
+        /// Nanoseconds spent compiling (phase 1 through link).
+        compile_ns: u64,
+    },
+    /// The options fingerprint for the requested knobs.
+    Fingerprint {
+        /// Echoed request id.
+        id: u64,
+        /// `parcc::options_fingerprint` as 16 lowercase hex digits.
+        fingerprint: String,
+    },
+    /// Shared cache counters.
+    CacheStats {
+        /// Echoed request id.
+        id: u64,
+        /// The counters.
+        stats: WireCacheStats,
+    },
+    /// Daemon status.
+    Health {
+        /// Echoed request id.
+        id: u64,
+        /// The status report.
+        info: HealthInfo,
+    },
+    /// Drain acknowledged: no new compile requests will be admitted.
+    Draining {
+        /// Echoed request id.
+        id: u64,
+    },
+    /// Shutdown acknowledged; the daemon exits after this frame.
+    Bye {
+        /// Echoed request id.
+        id: u64,
+    },
+    /// Admission control rejected the request: the queue is full. The
+    /// client may retry with backoff.
+    Overloaded {
+        /// Echoed request id.
+        id: u64,
+        /// Compile requests executing when the request was rejected.
+        active: u64,
+        /// Compile requests already waiting.
+        queued: u64,
+        /// The daemon's queue capacity.
+        limit: u64,
+    },
+    /// Any failure. `code` is stable ([`ErrorCode`]); `message` is
+    /// human-readable and unstable.
+    Error {
+        /// Echoed request id (0 when the request was unreadable).
+        id: u64,
+        /// Stable machine-readable code.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Response {
+    /// The echoed request id.
+    pub fn id(&self) -> u64 {
+        match self {
+            Response::Compiled { id, .. }
+            | Response::Fingerprint { id, .. }
+            | Response::CacheStats { id, .. }
+            | Response::Health { id, .. }
+            | Response::Draining { id }
+            | Response::Bye { id }
+            | Response::Overloaded { id, .. }
+            | Response::Error { id, .. } => *id,
+        }
+    }
+
+    /// Serializes to the wire JSON.
+    pub fn to_json(&self) -> Json {
+        let num = |v: u64| Json::Num(v as f64);
+        match self {
+            Response::Compiled {
+                id,
+                image_hex,
+                functions,
+                warnings,
+                cache_hits,
+                cache_misses,
+                queue_ns,
+                compile_ns,
+            } => obj(vec![
+                ("id", num(*id)),
+                ("kind", Json::Str("compiled".into())),
+                ("image_hex", Json::Str(image_hex.clone())),
+                ("functions", num(*functions)),
+                ("warnings", num(*warnings)),
+                ("cache_hits", num(*cache_hits)),
+                ("cache_misses", num(*cache_misses)),
+                ("queue_ns", num(*queue_ns)),
+                ("compile_ns", num(*compile_ns)),
+            ]),
+            Response::Fingerprint { id, fingerprint } => obj(vec![
+                ("id", num(*id)),
+                ("kind", Json::Str("fingerprint".into())),
+                ("fingerprint", Json::Str(fingerprint.clone())),
+            ]),
+            Response::CacheStats { id, stats } => obj(vec![
+                ("id", num(*id)),
+                ("kind", Json::Str("cache_stats".into())),
+                ("memory_hits", num(stats.memory_hits)),
+                ("disk_hits", num(stats.disk_hits)),
+                ("misses", num(stats.misses)),
+                ("stores", num(stats.stores)),
+                ("errors", num(stats.errors)),
+                ("resident", num(stats.resident)),
+            ]),
+            Response::Health { id, info } => obj(vec![
+                ("id", num(*id)),
+                ("kind", Json::Str("health".into())),
+                ("status", Json::Str(info.status.clone())),
+                ("protocol", num(u64::from(info.protocol))),
+                ("uptime_ms", num(info.uptime_ms)),
+                ("requests", num(info.requests)),
+                ("active", num(info.active)),
+                ("queued", num(info.queued)),
+            ]),
+            Response::Draining { id } => {
+                obj(vec![("id", num(*id)), ("kind", Json::Str("draining".into()))])
+            }
+            Response::Bye { id } => {
+                obj(vec![("id", num(*id)), ("kind", Json::Str("bye".into()))])
+            }
+            Response::Overloaded { id, active, queued, limit } => obj(vec![
+                ("id", num(*id)),
+                ("kind", Json::Str("overloaded".into())),
+                ("active", num(*active)),
+                ("queued", num(*queued)),
+                ("limit", num(*limit)),
+            ]),
+            Response::Error { id, code, message } => obj(vec![
+                ("id", num(*id)),
+                ("kind", Json::Str("error".into())),
+                ("code", Json::Str(code.as_str().into())),
+                ("message", Json::Str(message.clone())),
+            ]),
+        }
+    }
+
+    /// Parses a response from its wire JSON (the client side).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the shape violation.
+    pub fn from_json(v: &Json) -> Result<Response, String> {
+        let id = v.u64_field("id").ok_or("response missing `id`")?;
+        let kind = v.str_field("kind").ok_or("response missing `kind`")?;
+        let field = |key: &str| {
+            v.u64_field(key).ok_or_else(|| format!("`{kind}` response missing `{key}`"))
+        };
+        let strf = |key: &str| {
+            v.str_field(key)
+                .map(str::to_string)
+                .ok_or_else(|| format!("`{kind}` response missing `{key}`"))
+        };
+        Ok(match kind {
+            "compiled" => Response::Compiled {
+                id,
+                image_hex: strf("image_hex")?,
+                functions: field("functions")?,
+                warnings: field("warnings")?,
+                cache_hits: field("cache_hits")?,
+                cache_misses: field("cache_misses")?,
+                queue_ns: field("queue_ns")?,
+                compile_ns: field("compile_ns")?,
+            },
+            "fingerprint" => Response::Fingerprint { id, fingerprint: strf("fingerprint")? },
+            "cache_stats" => Response::CacheStats {
+                id,
+                stats: WireCacheStats {
+                    memory_hits: field("memory_hits")?,
+                    disk_hits: field("disk_hits")?,
+                    misses: field("misses")?,
+                    stores: field("stores")?,
+                    errors: field("errors")?,
+                    resident: field("resident")?,
+                },
+            },
+            "health" => Response::Health {
+                id,
+                info: HealthInfo {
+                    status: strf("status")?,
+                    protocol: u32::try_from(field("protocol")?)
+                        .map_err(|_| "protocol out of range".to_string())?,
+                    uptime_ms: field("uptime_ms")?,
+                    requests: field("requests")?,
+                    active: field("active")?,
+                    queued: field("queued")?,
+                },
+            },
+            "draining" => Response::Draining { id },
+            "bye" => Response::Bye { id },
+            "overloaded" => Response::Overloaded {
+                id,
+                active: field("active")?,
+                queued: field("queued")?,
+                limit: field("limit")?,
+            },
+            "error" => {
+                let code = strf("code")?;
+                Response::Error {
+                    id,
+                    code: ErrorCode::parse(&code)
+                        .ok_or_else(|| format!("unknown error code `{code}`"))?,
+                    message: strf("message")?,
+                }
+            }
+            other => return Err(format!("unknown response kind `{other}`")),
+        })
+    }
+}
+
+// ---- framing -------------------------------------------------------
+
+/// What went wrong while reading a frame.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the connection cleanly between frames.
+    Closed,
+    /// The declared payload length exceeds the receiver's limit.
+    TooLarge {
+        /// The declared length.
+        declared: usize,
+        /// The receiver's limit.
+        limit: usize,
+    },
+    /// The connection died mid-frame (truncation) or another I/O
+    /// error.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::TooLarge { declared, limit } => {
+                write!(f, "frame of {declared} bytes exceeds the {limit}-byte limit")
+            }
+            FrameError::Io(e) => write!(f, "frame I/O: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Writes one frame: 4-byte little-endian length, then the payload.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame over 4 GiB"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame, retrying reads that time out for as long as
+/// `keep_going()` returns true (the daemon polls its shutdown flag
+/// between read timeouts; clients pass `|| true`).
+///
+/// On [`FrameError::TooLarge`] **nothing past the length prefix has
+/// been consumed**: the caller must treat the connection as poisoned
+/// (answer once, then close), because the oversized payload is still
+/// in the pipe.
+///
+/// # Errors
+///
+/// [`FrameError::Closed`] on clean EOF between frames, `TooLarge` on a
+/// length over `max`, `Io` on truncation or transport failure.
+pub fn read_frame(
+    r: &mut impl Read,
+    max: usize,
+    keep_going: impl Fn() -> bool,
+) -> Result<Vec<u8>, FrameError> {
+    let mut header = [0u8; 4];
+    read_exact_retry(r, &mut header, true, &keep_going)?;
+    let len = u32::from_le_bytes(header) as usize;
+    if len > max {
+        return Err(FrameError::TooLarge { declared: len, limit: max });
+    }
+    let mut payload = vec![0u8; len];
+    read_exact_retry(r, &mut payload, false, &keep_going)?;
+    Ok(payload)
+}
+
+/// `read_exact` that tolerates read-timeout errors by re-checking
+/// `keep_going`. EOF before the first byte of the *header* is a clean
+/// close; EOF anywhere else is a truncated frame.
+fn read_exact_retry(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    eof_is_close: bool,
+    keep_going: &impl Fn() -> bool,
+) -> Result<(), FrameError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if eof_is_close && filled == 0 {
+                    Err(FrameError::Closed)
+                } else {
+                    Err(FrameError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "truncated frame",
+                    )))
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+                    || e.kind() == io::ErrorKind::Interrupted =>
+            {
+                if !keep_going() {
+                    return Err(FrameError::Io(io::Error::new(
+                        io::ErrorKind::ConnectionAborted,
+                        "shutting down",
+                    )));
+                }
+            }
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Writes `msg` as one JSON frame.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_message(w: &mut impl Write, msg: &Json) -> io::Result<()> {
+    write_frame(w, msg.to_string().as_bytes())
+}
+
+/// Reads one frame and parses it as JSON. A payload that is not valid
+/// UTF-8 JSON yields `Ok(Err(description))` — a *protocol*-level
+/// error the daemon answers with `bad-json`, distinct from the
+/// transport-level [`FrameError`].
+///
+/// # Errors
+///
+/// [`FrameError`] on transport problems.
+pub fn read_message(
+    r: &mut impl Read,
+    max: usize,
+    keep_going: impl Fn() -> bool,
+) -> Result<Result<Json, String>, FrameError> {
+    let payload = read_frame(r, max, keep_going)?;
+    let Ok(text) = std::str::from_utf8(&payload) else {
+        return Ok(Err("frame payload is not UTF-8".to_string()));
+    };
+    Ok(parse(text).map_err(|e| e.to_string()))
+}
+
+/// Hex-encodes bytes (lowercase).
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+/// Decodes a lowercase/uppercase hex string.
+///
+/// # Errors
+///
+/// Describes the first bad digit or an odd length.
+pub fn from_hex(s: &str) -> Result<Vec<u8>, String> {
+    if !s.len().is_multiple_of(2) {
+        return Err("odd-length hex string".to_string());
+    }
+    let digit = |c: u8| -> Result<u8, String> {
+        match c {
+            b'0'..=b'9' => Ok(c - b'0'),
+            b'a'..=b'f' => Ok(c - b'a' + 10),
+            b'A'..=b'F' => Ok(c - b'A' + 10),
+            _ => Err(format!("bad hex digit `{}`", c as char)),
+        }
+    };
+    s.as_bytes()
+        .chunks(2)
+        .map(|pair| Ok(digit(pair[0])? << 4 | digit(pair[1])?))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Compile {
+                id: 1,
+                module: "module m;\nend;".into(),
+                options: RequestOptions { inline: true, ..RequestOptions::default() },
+            },
+            Request::Fingerprint { id: 2, options: RequestOptions::default() },
+            Request::CacheStats { id: 3 },
+            Request::Health { id: 4 },
+            Request::Drain { id: 5 },
+            Request::Shutdown { id: 6 },
+        ];
+        for req in reqs {
+            let json = req.to_json();
+            let back = Request::from_json(&crate::json::parse(&json.to_string()).unwrap())
+                .expect("parse");
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resps = [
+            Response::Compiled {
+                id: 1,
+                image_hex: "a0b1".into(),
+                functions: 4,
+                warnings: 0,
+                cache_hits: 3,
+                cache_misses: 1,
+                queue_ns: 1_000,
+                compile_ns: 2_000_000,
+            },
+            Response::Fingerprint { id: 2, fingerprint: "00ff00ff00ff00ff".into() },
+            Response::CacheStats {
+                id: 3,
+                stats: WireCacheStats { memory_hits: 9, misses: 1, ..Default::default() },
+            },
+            Response::Health {
+                id: 4,
+                info: HealthInfo {
+                    status: "ok".into(),
+                    protocol: PROTOCOL_VERSION,
+                    uptime_ms: 12,
+                    requests: 34,
+                    active: 1,
+                    queued: 0,
+                },
+            },
+            Response::Draining { id: 5 },
+            Response::Bye { id: 6 },
+            Response::Overloaded { id: 7, active: 2, queued: 8, limit: 8 },
+            Response::Error { id: 8, code: ErrorCode::CompileFailed, message: "boom".into() },
+        ];
+        for resp in resps {
+            let json = resp.to_json();
+            let back = Response::from_json(&crate::json::parse(&json.to_string()).unwrap())
+                .expect("parse");
+            assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn unknown_kind_is_distinguished_from_bad_shape() {
+        let v = crate::json::parse(r#"{"id": 3, "kind": "florp"}"#).unwrap();
+        let (id, code, _) = Request::from_json(&v).unwrap_err();
+        assert_eq!((id, code), (3, ErrorCode::UnknownKind));
+
+        let v = crate::json::parse(r#"{"id": 4, "kind": "compile"}"#).unwrap();
+        let (id, code, _) = Request::from_json(&v).unwrap_err();
+        assert_eq!((id, code), (4, ErrorCode::BadRequest));
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_frame(&mut r, 1024, || true).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r, 1024, || true).unwrap(), b"");
+        assert!(matches!(read_frame(&mut r, 1024, || true), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn oversized_and_truncated_frames_are_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &[0u8; 100]).unwrap();
+        let mut r = Cursor::new(buf.clone());
+        assert!(matches!(
+            read_frame(&mut r, 99, || true),
+            Err(FrameError::TooLarge { declared: 100, limit: 99 })
+        ));
+
+        // Truncate mid-payload.
+        let mut r = Cursor::new(buf[..50].to_vec());
+        match read_frame(&mut r, 1024, || true) {
+            Err(FrameError::Io(e)) => assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof),
+            other => panic!("expected truncation error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        let bytes: Vec<u8> = (0..=255).collect();
+        assert_eq!(from_hex(&to_hex(&bytes)).unwrap(), bytes);
+        assert!(from_hex("abc").is_err());
+        assert!(from_hex("zz").is_err());
+    }
+}

@@ -1,0 +1,70 @@
+//! Pins `docs/SERVICE.md` (the normative protocol spec) against the
+//! implementation: every request kind, response kind, and error code
+//! the code knows must be named in the spec, and the documented
+//! defaults must match the constants. A failure here means the spec
+//! and the implementation diverged — fix whichever is wrong.
+
+use warp_service::proto::{ErrorCode, MAX_FRAME_DEFAULT, PROTOCOL_VERSION};
+
+fn spec() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/SERVICE.md");
+    std::fs::read_to_string(path).expect("docs/SERVICE.md must exist — it is normative")
+}
+
+#[test]
+fn every_request_kind_is_documented() {
+    let spec = spec();
+    for kind in ["compile", "fingerprint", "cache_stats", "health", "drain", "shutdown"] {
+        assert!(
+            spec.contains(&format!("### `{kind}`")),
+            "request kind `{kind}` has no spec section"
+        );
+    }
+}
+
+#[test]
+fn every_response_kind_is_documented() {
+    let spec = spec();
+    for kind in
+        ["compiled", "fingerprint", "cache_stats", "health", "draining", "bye", "overloaded"]
+    {
+        assert!(spec.contains(&format!("`{kind}`")), "response kind `{kind}` is not in the spec");
+    }
+}
+
+#[test]
+fn every_error_code_is_documented() {
+    let spec = spec();
+    for code in [
+        ErrorCode::BadJson,
+        ErrorCode::BadRequest,
+        ErrorCode::UnknownKind,
+        ErrorCode::FrameTooLarge,
+        ErrorCode::CompileFailed,
+        ErrorCode::Draining,
+    ] {
+        assert!(
+            spec.contains(&format!("`{}`", code.as_str())),
+            "error code `{}` is not in the spec",
+            code.as_str()
+        );
+    }
+}
+
+#[test]
+fn documented_constants_match_the_implementation() {
+    let spec = spec();
+    assert_eq!(MAX_FRAME_DEFAULT, 16 * 1024 * 1024);
+    assert!(spec.contains("16 MiB"), "spec must state the default frame bound");
+    assert_eq!(PROTOCOL_VERSION, 1);
+    assert!(
+        spec.contains("protocol version **1**"),
+        "spec must state the protocol version it describes"
+    );
+    // The compile response fields the spec tabulates.
+    for field in
+        ["image_hex", "functions", "warnings", "cache_hits", "cache_misses", "queue_ns", "compile_ns"]
+    {
+        assert!(spec.contains(&format!("`{field}`")), "compiled field `{field}` undocumented");
+    }
+}
