@@ -1,0 +1,183 @@
+//! `threads_bench` — per-worker-count speedup of the work-stealing
+//! executor on the Figure 6 workload, written as machine-readable JSON
+//! (`BENCH_threads.json`, schema `warp-bench-threads/1`) for CI and
+//! regression tracking.
+//!
+//! ```text
+//! cargo run -p parcc-bench --release --bin threads_bench [-- OUT.json]
+//! cargo run -p parcc-bench --release --bin threads_bench -- --check BENCH_threads.json
+//! ```
+//!
+//! Two speedup columns per worker count W ∈ {1, 2, 4, 8}:
+//!
+//! * `modeled_speedup` — abstract work units through the executor's
+//!   scheduling model: phase 1 and phase 4 divide by W (they fan out
+//!   over the same stealing pool), the per-function compiles go
+//!   through an LPT-order greedy makespan. Deterministic on any host:
+//!   it depends only on the workload, so CI can gate on it even on a
+//!   single-core runner.
+//! * `wall_speedup` — median real wall-clock of the sequential
+//!   compiler over the threaded driver. Informational only (it
+//!   saturates at `host_cores`, recorded alongside).
+//!
+//! `--check BASELINE.json` re-derives the modeled numbers and exits
+//! non-zero if the 8-worker modeled speedup fell more than 10% below
+//! the committed baseline or under the 6× acceptance floor.
+
+use parcc::threads::compile_parallel;
+use parcc::{compile_module_source, CompileOptions, FunctionRecord};
+use std::fmt::Write as _;
+use std::time::Instant;
+use warp_workload::{synthetic_program, FunctionSize};
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const RUNS: usize = 5;
+/// The acceptance floor for the 8-worker modeled speedup on fig6.
+const FLOOR_8W: f64 = 6.0;
+/// Allowed relative drop from the committed baseline before CI fails.
+const REGRESSION_TOLERANCE: f64 = 0.10;
+
+/// Median wall-clock seconds of `RUNS` invocations of `f`.
+fn median_secs(mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..RUNS)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[RUNS / 2]
+}
+
+/// LPT-order greedy makespan over per-job unit costs: jobs sorted by
+/// decreasing cost (index tie-break, same as `lpt_dispatch_order`),
+/// each assigned to the least-loaded worker — the classic bound the
+/// stealing executor tracks, since a worker that runs dry immediately
+/// steals the next job.
+fn lpt_makespan(units: &[u64], workers: usize) -> u64 {
+    let mut order: Vec<usize> = (0..units.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(units[i]), i));
+    let mut load = vec![0u64; workers.max(1)];
+    for i in order {
+        let w = (0..load.len()).min_by_key(|&w| load[w]).expect("nonempty");
+        load[w] += units[i];
+    }
+    load.into_iter().max().unwrap_or(0)
+}
+
+/// Modeled speedup at `workers`: sequential total units over the
+/// parallel critical path (phase 1 / W + compile makespan + link / W).
+fn modeled_speedup(phase1: u64, compile_units: &[u64], link: u64, workers: usize) -> f64 {
+    let seq = phase1 + compile_units.iter().sum::<u64>() + link;
+    let w = workers as u64;
+    let par = phase1.div_ceil(w) + lpt_makespan(compile_units, workers) + link.div_ceil(w);
+    seq as f64 / par.max(1) as f64
+}
+
+/// Pulls `"modeled_speedup": <num>` out of the baseline's
+/// `"workers": 8` row with plain string scanning (the bench crates
+/// carry no JSON dependency).
+fn baseline_speedup_8w(json: &str) -> Option<f64> {
+    let row = json.split('{').find(|part| part.contains("\"workers\": 8"))?;
+    let after = row.split("\"modeled_speedup\":").nth(1)?;
+    let num: String = after
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check_path = match args.first().map(String::as_str) {
+        Some("--check") => Some(args.get(1).cloned().unwrap_or_else(|| {
+            eprintln!("threads_bench: --check needs a baseline path");
+            std::process::exit(2);
+        })),
+        _ => None,
+    };
+    let out_path = if check_path.is_some() {
+        None
+    } else {
+        Some(args.first().cloned().unwrap_or_else(|| "BENCH_threads.json".to_string()))
+    };
+
+    let opts = CompileOptions::default();
+    let src = synthetic_program(FunctionSize::Medium, 8);
+    let reference = compile_module_source(&src, &opts).expect("sequential compile");
+    let compile_units: Vec<u64> =
+        reference.records.iter().map(FunctionRecord::compile_units).collect();
+    let (phase1, link) = (reference.phase1_units, reference.link_units);
+
+    let host_cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let seq_wall_s = median_secs(|| {
+        compile_module_source(&src, &opts).expect("seq");
+    });
+
+    let mut rows = String::new();
+    let mut speedup_8w = 0.0;
+    for (i, workers) in WORKER_COUNTS.into_iter().enumerate() {
+        let modeled = modeled_speedup(phase1, &compile_units, link, workers);
+        if workers == 8 {
+            speedup_8w = modeled;
+        }
+        let par_wall_s = median_secs(|| {
+            compile_parallel(&src, &opts, workers).expect("par");
+        });
+        let wall = seq_wall_s / par_wall_s;
+        eprintln!(
+            "workers {workers}: modeled {modeled:.2}x, wall {wall:.2}x \
+             ({seq_wall_s:.4}s -> {par_wall_s:.4}s)"
+        );
+        let _ = write!(
+            rows,
+            "    {{\"workers\": {workers}, \"modeled_speedup\": {modeled:.4}, \
+             \"wall_speedup\": {wall:.4}, \"seq_wall_s\": {seq_wall_s:.6}, \
+             \"par_wall_s\": {par_wall_s:.6}}}{}",
+            if i + 1 < WORKER_COUNTS.len() { ",\n" } else { "\n" }
+        );
+    }
+
+    if let Some(baseline_path) = check_path {
+        let baseline_json = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+            eprintln!("threads_bench: reading {baseline_path}: {e}");
+            std::process::exit(2);
+        });
+        let baseline = baseline_speedup_8w(&baseline_json).unwrap_or_else(|| {
+            eprintln!("threads_bench: no 8-worker modeled_speedup in {baseline_path}");
+            std::process::exit(2);
+        });
+        let bar = baseline * (1.0 - REGRESSION_TOLERANCE);
+        eprintln!(
+            "gate: fresh 8-worker modeled speedup {speedup_8w:.2}x vs baseline \
+             {baseline:.2}x (bar {bar:.2}x, floor {FLOOR_8W:.1}x)"
+        );
+        if speedup_8w < bar {
+            eprintln!(
+                "threads_bench: 8-worker modeled speedup regressed >10% below the \
+                 committed baseline"
+            );
+            std::process::exit(1);
+        }
+        if speedup_8w < FLOOR_8W {
+            eprintln!("threads_bench: 8-worker modeled speedup under the {FLOOR_8W}x floor");
+            std::process::exit(1);
+        }
+        println!("ok: {speedup_8w:.2}x >= max({bar:.2}x, {FLOOR_8W:.1}x)");
+        return;
+    }
+
+    let json = format!(
+        "{{\n  \"schema\": \"warp-bench-threads/1\",\n  \"workload\": \"fig6-medium-n8\",\n  \
+         \"runs\": {RUNS},\n  \"host_cores\": {host_cores},\n  \"results\": [\n{rows}  ]\n}}\n"
+    );
+    let out_path = out_path.expect("write mode has a path");
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("threads_bench: writing {out_path}: {e}");
+        std::process::exit(1);
+    }
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}

@@ -76,7 +76,145 @@ pub struct LinkWork {
     pub calls_resolved: usize,
 }
 
-/// Links the functions of one section into a [`SectionImage`].
+/// The data-layout plan for one section: the *collect* step of the
+/// parallel phase 4. Computed sequentially (it is a prefix sum over
+/// per-function data sizes), it provides each function's data base so
+/// the per-function [`resolve_function`] rebasing can run in parallel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SectionPlan {
+    /// Base address of each function's data region, in function order.
+    pub data_bases: Vec<u32>,
+    /// Total data words of the section.
+    pub data_words: u32,
+    /// Callee-name → function-index map for call resolution.
+    pub name_to_index: std::collections::HashMap<String, u32>,
+}
+
+/// Computes the section's data layout and checks its memory budgets.
+///
+/// # Errors
+///
+/// Returns [`LinkError::DataTooLarge`] / [`LinkError::CodeTooLarge`]
+/// when the section exceeds cell memory (checked in that order, like
+/// the sequential linker).
+pub fn plan_section(
+    functions: &[FunctionImage],
+    config: &CellConfig,
+) -> Result<SectionPlan, LinkError> {
+    let mut data_bases = Vec::with_capacity(functions.len());
+    let mut next = 0u32;
+    for f in functions {
+        data_bases.push(next);
+        next += f.data_words;
+    }
+    if u64::from(next) > u64::from(config.data_mem_words) {
+        return Err(LinkError::DataTooLarge {
+            needed: u64::from(next),
+            available: config.data_mem_words,
+        });
+    }
+    let code_words: u64 = functions.iter().map(|f| u64::from(f.code_words())).sum();
+    if code_words > u64::from(config.inst_mem_words) {
+        return Err(LinkError::CodeTooLarge { needed: code_words, available: config.inst_mem_words });
+    }
+    let name_to_index = functions
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.name.clone(), i as u32))
+        .collect();
+    Ok(SectionPlan { data_bases, data_words: next, name_to_index })
+}
+
+/// Rebases one function's address operands onto its data base and
+/// resolves its call relocations: the per-function *resolve* step of
+/// phase 4, independent across functions once the [`SectionPlan`] is
+/// known, so the parallel driver fans it out over workers.
+///
+/// Returns the function's callees (its row of the section call graph)
+/// plus the work counters for this function.
+///
+/// # Errors
+///
+/// Returns [`LinkError::UnresolvedCall`] for a callee missing from the
+/// plan's name map; relocations are processed in order, so the first
+/// bad one wins, exactly like the sequential linker.
+pub fn resolve_function(
+    f: &mut FunctionImage,
+    base: u32,
+    plan_names: &std::collections::HashMap<String, u32>,
+) -> Result<(Vec<u32>, LinkWork), LinkError> {
+    let mut work = LinkWork::default();
+    for w in &mut f.code {
+        work.words_scanned += 1;
+        for fu in warp_target::fu::FuKind::ALL {
+            if fu == warp_target::fu::FuKind::Branch {
+                continue;
+            }
+            // Rewrite in place via a take/modify/put on the slot.
+            if let Some(op) = w.slot(fu).copied() {
+                let mut op = op;
+                let mut changed = false;
+                for o in [&mut op.a, &mut op.b] {
+                    if let Some(Operand::Addr(a)) = o {
+                        *o = Some(Operand::ImmI((base + *a) as i32));
+                        changed = true;
+                        work.addrs_rebased += 1;
+                    }
+                }
+                if changed {
+                    w.replace(fu, op);
+                }
+            }
+        }
+    }
+    let mut callees = Vec::new();
+    let relocs = std::mem::take(&mut f.call_relocs);
+    for r in relocs {
+        let Some(&target) = plan_names.get(&r.callee) else {
+            return Err(LinkError::UnresolvedCall { caller: f.name.clone(), callee: r.callee });
+        };
+        f.code[r.word as usize].branch = Some(BranchOp::Call(target));
+        callees.push(target);
+        work.calls_resolved += 1;
+    }
+    Ok((callees, work))
+}
+
+/// The final *merge* step of phase 4: whole-section recursion check,
+/// entry selection, and [`SectionImage`] construction from resolved
+/// functions. `call_graph[fi]` must be the callee list
+/// [`resolve_function`] returned for function `fi`.
+///
+/// # Errors
+///
+/// Returns [`LinkError::Recursive`] if the call graph has a cycle.
+pub fn finish_section(
+    section_name: &str,
+    first_cell: u32,
+    last_cell: u32,
+    functions: Vec<FunctionImage>,
+    plan: SectionPlan,
+    call_graph: &[Vec<u32>],
+) -> Result<SectionImage, LinkError> {
+    // Reject recursion: static data areas cannot support it.
+    if let Some(cycle_node) = find_cycle(call_graph) {
+        return Err(LinkError::Recursive { name: functions[cycle_node].name.clone() });
+    }
+    let entry = functions.iter().position(|f| f.name == "main").unwrap_or(0);
+    Ok(SectionImage {
+        name: section_name.to_string(),
+        first_cell,
+        last_cell,
+        functions,
+        data_bases: plan.data_bases,
+        data_words: plan.data_words,
+        entry,
+    })
+}
+
+/// Links the functions of one section into a [`SectionImage`] — the
+/// sequential composition of [`plan_section`], per-function
+/// [`resolve_function`], and [`finish_section`].
 ///
 /// `entry` rules: the function named `main` if present, else index 0.
 ///
@@ -91,94 +229,18 @@ pub fn link_section(
     mut functions: Vec<FunctionImage>,
     config: &CellConfig,
 ) -> Result<(SectionImage, LinkWork), LinkError> {
+    let plan = plan_section(&functions, config)?;
     let mut work = LinkWork::default();
-
-    // Data layout.
-    let mut data_bases = Vec::with_capacity(functions.len());
-    let mut next = 0u32;
-    for f in &functions {
-        data_bases.push(next);
-        next += f.data_words;
-    }
-    if u64::from(next) > u64::from(config.data_mem_words) {
-        return Err(LinkError::DataTooLarge {
-            needed: u64::from(next),
-            available: config.data_mem_words,
-        });
-    }
-    let code_words: u64 = functions.iter().map(|f| u64::from(f.code_words())).sum();
-    if code_words > u64::from(config.inst_mem_words) {
-        return Err(LinkError::CodeTooLarge { needed: code_words, available: config.inst_mem_words });
-    }
-
-    // Rebase addresses.
+    let mut call_graph: Vec<Vec<u32>> = Vec::with_capacity(functions.len());
     for (fi, f) in functions.iter_mut().enumerate() {
-        let base = data_bases[fi];
-        for w in &mut f.code {
-            work.words_scanned += 1;
-            for fu in warp_target::fu::FuKind::ALL {
-                if fu == warp_target::fu::FuKind::Branch {
-                    continue;
-                }
-                // Rewrite in place via a take/modify/put on the slot.
-                if let Some(op) = w.slot(fu).copied() {
-                    let mut op = op;
-                    let mut changed = false;
-                    for o in [&mut op.a, &mut op.b] {
-                        if let Some(Operand::Addr(a)) = o {
-                            *o = Some(Operand::ImmI((base + *a) as i32));
-                            changed = true;
-                            work.addrs_rebased += 1;
-                        }
-                    }
-                    if changed {
-                        w.replace(fu, op);
-                    }
-                }
-            }
-        }
+        let (callees, w) = resolve_function(f, plan.data_bases[fi], &plan.name_to_index)?;
+        call_graph.push(callees);
+        work.words_scanned += w.words_scanned;
+        work.addrs_rebased += w.addrs_rebased;
+        work.calls_resolved += w.calls_resolved;
     }
-
-    // Resolve calls.
-    let name_to_index: std::collections::HashMap<String, u32> = functions
-        .iter()
-        .enumerate()
-        .map(|(i, f)| (f.name.clone(), i as u32))
-        .collect();
-    let mut call_graph: Vec<Vec<u32>> = vec![Vec::new(); functions.len()];
-    for fi in 0..functions.len() {
-        let relocs = std::mem::take(&mut functions[fi].call_relocs);
-        for r in relocs {
-            let Some(&target) = name_to_index.get(&r.callee) else {
-                return Err(LinkError::UnresolvedCall {
-                    caller: functions[fi].name.clone(),
-                    callee: r.callee,
-                });
-            };
-            functions[fi].code[r.word as usize].branch = Some(BranchOp::Call(target));
-            call_graph[fi].push(target);
-            work.calls_resolved += 1;
-        }
-    }
-
-    // Reject recursion: static data areas cannot support it.
-    if let Some(cycle_node) = find_cycle(&call_graph) {
-        return Err(LinkError::Recursive { name: functions[cycle_node].name.clone() });
-    }
-
-    let entry = functions.iter().position(|f| f.name == "main").unwrap_or(0);
-    Ok((
-        SectionImage {
-            name: section_name.to_string(),
-            first_cell,
-            last_cell,
-            functions,
-            data_bases,
-            data_words: next,
-            entry,
-        },
-        work,
-    ))
+    let image = finish_section(section_name, first_cell, last_cell, functions, plan, &call_graph)?;
+    Ok((image, work))
 }
 
 fn find_cycle(graph: &[Vec<u32>]) -> Option<usize> {

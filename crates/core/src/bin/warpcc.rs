@@ -14,7 +14,10 @@
 //!                               report proven facts (--emit facts
 //!                               prints the full per-function report
 //!                               and implies this flag)
-//!   --workers N                 compile functions with N threads
+//!   --jobs N, -j N              compile with N parallel jobs; 0 means
+//!                               the machine's available parallelism
+//!   --workers N                 alias for --jobs (the historical
+//!                               spelling)
 //!   --fault-seed N              inject seeded worker faults (panics,
 //!                               lost results, stalls) into the thread
 //!                               pool and recover from them; implies
@@ -44,9 +47,10 @@
 //! warpcc --emit asm program.w2
 //! warpcc --verify program.w2
 //! warpcc --lint program.w2
-//! warpcc --workers 8 --time program.w2
-//! warpcc --workers 8 --fault-seed 7 program.w2
-//! warpcc --workers 8 --fault-seed 7 --fault-spec crash=0.5,attempts=4 program.w2
+//! warpcc --jobs 8 --time program.w2
+//! warpcc --jobs 0 program.w2        # all available cores
+//! warpcc --jobs 8 --fault-seed 7 program.w2
+//! warpcc --jobs 8 --fault-seed 7 --fault-spec crash=0.5,attempts=4 program.w2
 //! warpcc --trace trace.json program.w2
 //! warpcc --cache-dir .warpcc-cache --cache-stats program.w2
 //! warpcc --run dot8 2.0 i4 program.w2
@@ -125,9 +129,12 @@ fn parse_args() -> Result<Args, String> {
             "--cache-dir" => args.cache_dir = Some(it.next().ok_or("--cache-dir needs a path")?),
             "--cache-stats" => args.cache_stats = true,
             "--time" => args.time = true,
-            "--workers" => {
-                let n = it.next().ok_or("--workers needs a number")?;
-                args.workers = Some(n.parse().map_err(|_| format!("bad worker count `{n}`"))?);
+            "--jobs" | "-j" | "--workers" => {
+                let n = it.next().ok_or(format!("{a} needs a number"))?;
+                let raw: usize = n.parse().map_err(|_| format!("bad job count `{n}`"))?;
+                // 0 = "use the machine": resolve through the shared
+                // default instead of a hardcoded count.
+                args.workers = Some(parcc::resolve_jobs(raw));
             }
             "--fault-seed" => {
                 let n = it.next().ok_or("--fault-seed needs a number")?;
@@ -152,7 +159,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: warpcc [--emit ast|ir|vcode|asm|summary|facts] [--inline] [--ifconv] \
-                     [--absint] [--verify] [--lint] [--workers N] [--fault-seed N] \
+                     [--absint] [--verify] [--lint] [--jobs N] [--fault-seed N] \
                      [--fault-spec SPEC] [--run FUNC ARGS...] [--time] \
                      [--trace FILE] [--cache-dir DIR] [--cache-stats] [-o FILE] <FILE | ->"
                 );
@@ -385,7 +392,7 @@ fn real_main() -> Result<(), String> {
     let faults = match (args.fault_seed, &args.fault_spec) {
         (Some(seed), spec) => {
             if args.workers.is_none() {
-                return Err("--fault-seed needs --workers".to_string());
+                return Err("--fault-seed needs --jobs".to_string());
             }
             if cache.is_some() {
                 return Err("--fault-seed does not combine with --cache-dir/--cache-stats"

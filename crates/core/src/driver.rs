@@ -12,7 +12,9 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 use warp_cache::{CacheKey, InFlight};
 use warp_analyze::{MachineError, ScheduleError};
-use warp_codegen::link::{assemble_module, link_section, LinkWork};
+use warp_codegen::link::{
+    assemble_module, finish_section, link_section, plan_section, resolve_function, LinkWork,
+};
 use warp_codegen::phase3::{phase3_traced, Phase3Work};
 use warp_ir::phase2::{phase2_traced, Phase2Error, Phase2Work};
 use warp_ir::FactSet;
@@ -328,6 +330,134 @@ pub fn prepare_module_traced(
     }
 }
 
+/// [`run_phase1_traced`] with the lexer, parser, and checker fanned out
+/// over `workers` work-stealing threads: the source is chunk-lexed at
+/// comment-safe newline boundaries, the token stream is split at every
+/// `section` keyword and the pieces parsed independently, and each
+/// section is semantically checked in isolation before a sequential
+/// merge rebuilds the module-wide result (collect → merge → resolve;
+/// see `docs/PARALLELISM.md`).
+///
+/// The result is identical to [`run_phase1_traced`] on every input: on
+/// a clean module the piece-wise pipeline is exact by construction, and
+/// whenever the combined diagnostics contain errors — where parser
+/// error recovery could cross a piece boundary — the function discards
+/// the parallel attempt and re-runs the sequential path verbatim.
+///
+/// # Errors
+///
+/// Returns the phase-1 diagnostics on failure.
+pub fn run_phase1_parallel_traced(
+    source: &str,
+    workers: usize,
+    trace: &Trace,
+    track: TrackId,
+) -> Result<(CheckedModule, u64, usize), CompileError> {
+    let workers = workers.max(1);
+    let worker_tracks = crate::exec::worker_tracks(trace, workers);
+    let (parsed, token_count) = {
+        let mut span = trace.span("driver", "parse", track);
+        let bounds = warp_lang::lexer::chunk_boundaries(source, workers);
+        let chunks: Vec<(usize, usize)> = bounds.windows(2).map(|w| (w[0], w[1])).collect();
+        let parts = crate::exec::run_stealing(
+            workers,
+            chunks,
+            &worker_tracks,
+            trace,
+            |_, _, (start, end)| warp_lang::lexer::lex_chunk(source, start, end),
+        );
+        let lexed = warp_lang::lexer::merge_lexed_chunks(source.len(), parts);
+        let token_count = lexed.tokens.len();
+        let eof_span = lexed.tokens.last().expect("EOF-terminated").span;
+        let pieces = warp_lang::parser::split_tokens(lexed.tokens);
+        let header = warp_lang::parser::parse_header_piece(pieces.header);
+        let piece_results = crate::exec::run_stealing(
+            workers,
+            pieces.sections,
+            &worker_tracks,
+            trace,
+            |_, _, tokens| warp_lang::parser::parse_section_piece(tokens),
+        );
+        let parsed =
+            warp_lang::parser::assemble_pieces(lexed.diagnostics, header, piece_results, eof_span);
+        span.arg("bytes", source.len() as f64);
+        (parsed, token_count)
+    };
+    let mut diagnostics = parsed.diagnostics;
+    let (checked, sema_diags) = {
+        let _span = trace.span("driver", "sema", track);
+        let module = parsed.module;
+        let section_indices: Vec<usize> = (0..module.sections.len()).collect();
+        let parts = crate::exec::run_stealing(
+            workers,
+            section_indices,
+            &worker_tracks,
+            trace,
+            |_, _, si| warp_lang::sema::check_section_isolated(&module.sections[si]),
+        );
+        warp_lang::sema::merge_checked(module, parts)
+    };
+    diagnostics.merge_sorted(sema_diags);
+    if diagnostics.has_errors() {
+        // Error recovery may have consumed tokens across piece
+        // boundaries; rebuild sequentially so the reported diagnostics
+        // are exactly the sequential compiler's.
+        return run_phase1_traced(source, trace, track);
+    }
+    // Same numbers `ParseWork::measure` would produce, without the
+    // re-lex/re-parse it performs.
+    let work = ParseWork {
+        tokens: token_count,
+        statements: warp_lang::statement_count(&checked.module),
+        source_bytes: source.len(),
+    };
+    let units = parse_units_of(&work);
+    Ok((checked, units, diagnostics.warning_count()))
+}
+
+/// [`prepare_module_traced`] with phase 1 running on the parallel
+/// pipeline of [`run_phase1_parallel_traced`]. The optional inlining
+/// extension (and its defensive re-check) stays sequential — it is a
+/// whole-module transform.
+///
+/// # Errors
+///
+/// Returns the phase-1 diagnostics on failure.
+pub fn prepare_module_parallel_traced(
+    source: &str,
+    opts: &CompileOptions,
+    workers: usize,
+    trace: &Trace,
+    track: TrackId,
+) -> Result<(CheckedModule, u64, usize), CompileError> {
+    let (checked, mut units, warnings) = run_phase1_parallel_traced(source, workers, trace, track)?;
+    match &opts.inline {
+        None => Ok((checked, units, warnings)),
+        Some(policy) => {
+            let mut span = trace.span("driver", "inline", track);
+            let (inlined, stats) = warp_ir::inline_module(&checked.module, policy);
+            span.arg("inlined_calls", stats.inlined_calls as f64);
+            // Charge the transform + re-check as additional setup work.
+            units += stats.inlined_calls as u64 * 200 + inlined.function_count() as u64 * 50;
+            let (rechecked, diags) = warp_lang::sema::check(inlined);
+            if diags.has_errors() {
+                // Cannot happen for a module that passed phase 1; keep a
+                // defensive error path rather than panicking.
+                let rendered = diags
+                    .iter()
+                    .map(|d| d.message.clone())
+                    .collect::<Vec<_>>()
+                    .join("; ");
+                return Err(CompileError::Phase1(warp_lang::Phase1Error {
+                    diagnostics: diags,
+                    rendered,
+                }));
+            }
+            Ok((rechecked, units, warnings))
+        }
+    }
+}
+
 /// Compiles one function (phases 2 + 3): the function master's job.
 ///
 /// # Errors
@@ -566,6 +696,86 @@ pub fn compile_module_shared_traced(
     Ok(CompileResult { module_image, records, phase1_units, link_units, warnings })
 }
 
+/// [`compile_module_shared_traced`] with intra-request parallelism —
+/// the `jobs` field of a `warpd` compile request. Phase 1 (chunked
+/// lex/parse + sema merge), the per-function compiles, and the phase-4
+/// resolve all run on up to `jobs` stealing workers; every cache probe
+/// remains dedup-guarded by `inflight`, so concurrent tenants racing on
+/// one key still compile it exactly once. `jobs <= 1` is exactly
+/// [`compile_module_shared_traced`] (all spans on the request's own
+/// track); with more jobs the function compiles land on shared
+/// `worker N` tracks instead. The output is byte-identical either way.
+///
+/// # Errors
+///
+/// Returns the first error of any phase, in the sequential compiler's
+/// (section, function) order.
+#[allow(clippy::too_many_arguments)]
+pub fn compile_module_shared_jobs_traced(
+    source: &str,
+    opts: &CompileOptions,
+    jobs: usize,
+    cache: &FnCache,
+    inflight: &InFlight,
+    trace: &Trace,
+    track: TrackId,
+) -> Result<CompileResult, CompileError> {
+    if jobs <= 1 {
+        return compile_module_shared_traced(source, opts, cache, inflight, trace, track);
+    }
+    let (checked, phase1_units, warnings) =
+        prepare_module_parallel_traced(source, opts, jobs, trace, track)?;
+    let options_fp = options_fingerprint(opts);
+    let worker_tracks = crate::exec::worker_tracks(trace, jobs);
+    let fn_jobs: Vec<(usize, usize)> = checked
+        .module
+        .sections
+        .iter()
+        .enumerate()
+        .flat_map(|(si, s)| (0..s.functions.len()).map(move |fi| (si, fi)))
+        .collect();
+    let checked_ref = &checked;
+    let tracks_ref = &worker_tracks;
+    let outcomes = crate::exec::run_stealing(
+        jobs,
+        fn_jobs,
+        &worker_tracks,
+        trace,
+        move |w, _, (si, fi)| {
+            let wt = tracks_ref[w];
+            let span = trace.span(
+                "worker",
+                checked_ref.module.sections[si].functions[fi].name.as_str(),
+                wt,
+            );
+            let r = compile_function_deduped_traced(
+                checked_ref, source, si, fi, opts, cache, inflight, options_fp, trace, wt,
+            );
+            span.finish();
+            r
+        },
+    );
+    let mut images = Vec::with_capacity(outcomes.len());
+    let mut records = Vec::with_capacity(outcomes.len());
+    // Results come back in (section, function) order, so `?` here
+    // surfaces the same first error the sequential loop would.
+    for outcome in outcomes {
+        let (img, rec) = outcome?;
+        images.push(img);
+        records.push(rec);
+    }
+    let (module_image, link_units) =
+        link_module_parallel_traced(&checked, images, opts, jobs, trace, track)?;
+    if opts.verify_each_pass {
+        let errs =
+            warp_analyze::verify_module_image_traced(&module_image, &opts.cell, trace, track);
+        if !errs.is_empty() {
+            return Err(CompileError::MachineVerify(errs));
+        }
+    }
+    Ok(CompileResult { module_image, records, phase1_units, link_units, warnings })
+}
+
 /// Renders the per-function fact report of an `--absint` build — the
 /// `warpcc --emit facts` output and the golden files under
 /// `tests/golden/absint/` compare this text verbatim, so the format is
@@ -664,6 +874,100 @@ pub fn link_module_traced(
             .collect();
         let (img, work) =
             link_section(&section.name, section.first_cell, section.last_cell, fns, &opts.cell)?;
+        units += link_units_of(&work);
+        sections.push(img);
+    }
+    span.arg("sections", sections.len() as f64);
+    Ok((assemble_module(&checked.module.name, sections), units))
+}
+
+/// [`link_module_traced`] with the per-function resolve step fanned out
+/// over `workers` work-stealing threads: every section's data layout is
+/// planned sequentially (a cheap prefix sum), all functions of all
+/// well-planned sections are rebased and call-resolved in parallel, and
+/// the per-section recursion check + image assembly runs sequentially
+/// in section order. Byte-identical to the sequential path — including
+/// which error is reported when several sections fail, since errors are
+/// surfaced in (section, function) order.
+///
+/// # Errors
+///
+/// Returns [`CompileError::Link`] on unresolved calls or overflow.
+pub fn link_module_parallel_traced(
+    checked: &CheckedModule,
+    images: Vec<FunctionImage>,
+    opts: &CompileOptions,
+    workers: usize,
+    trace: &Trace,
+    track: TrackId,
+) -> Result<(ModuleImage, u64), CompileError> {
+    let workers = workers.max(1);
+    let mut span = trace.span("driver", "link", track);
+    let worker_tracks = crate::exec::worker_tracks(trace, workers);
+
+    // Collect: group images per section and plan each layout.
+    let mut iter = images.into_iter();
+    let mut per_section: Vec<Vec<FunctionImage>> = checked
+        .module
+        .sections
+        .iter()
+        .map(|s| (0..s.functions.len()).map(|_| iter.next().expect("image per function")).collect())
+        .collect();
+    let plans: Vec<Result<warp_codegen::link::SectionPlan, warp_codegen::LinkError>> =
+        per_section.iter().map(|fns| plan_section(fns, &opts.cell)).collect();
+
+    // Resolve: rebase + call-resolve every function of every
+    // well-planned section in parallel. Jobs are in (section, function)
+    // order and `run_stealing` returns results in job order, so the
+    // sequential error priority is preserved below.
+    let mut jobs: Vec<(usize, usize, FunctionImage, u32)> = Vec::new();
+    for (si, fns) in per_section.iter_mut().enumerate() {
+        if let Ok(plan) = &plans[si] {
+            for (fi, f) in std::mem::take(fns).into_iter().enumerate() {
+                jobs.push((si, fi, f, plan.data_bases[fi]));
+            }
+        }
+    }
+    let plans_ref = &plans;
+    let mut resolved = crate::exec::run_stealing(
+        workers,
+        jobs,
+        &worker_tracks,
+        trace,
+        move |_, _, (si, fi, mut img, base)| {
+            let plan = plans_ref[si].as_ref().expect("only planned sections are resolved");
+            let r = resolve_function(&mut img, base, &plan.name_to_index);
+            (fi, img, r)
+        },
+    )
+    .into_iter();
+
+    // Finish: surface errors and assemble images in section order.
+    let mut sections = Vec::with_capacity(checked.module.sections.len());
+    let mut units = 0u64;
+    for (section, plan) in checked.module.sections.iter().zip(plans) {
+        let plan = plan?;
+        let n = section.functions.len();
+        let mut fns = Vec::with_capacity(n);
+        let mut call_graph: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut work = LinkWork::default();
+        for _ in 0..n {
+            let (fi, img, r) = resolved.next().expect("one result per planned function");
+            let (callees, w) = r?;
+            call_graph[fi] = callees;
+            work.words_scanned += w.words_scanned;
+            work.addrs_rebased += w.addrs_rebased;
+            work.calls_resolved += w.calls_resolved;
+            fns.push(img);
+        }
+        let img = finish_section(
+            &section.name,
+            section.first_cell,
+            section.last_cell,
+            fns,
+            plan,
+            &call_graph,
+        )?;
         units += link_units_of(&work);
         sections.push(img);
     }
@@ -844,6 +1148,76 @@ mod tests {
         assert!(rec.lines >= 280);
         assert!(rec.loop_depth >= 2);
         assert!(rec.object_bytes > 0);
+    }
+
+    #[test]
+    fn parallel_phase1_is_identical_to_sequential() {
+        use warp_workload::user_program;
+        let mut sources = vec![user_program(), synthetic_program(FunctionSize::Small, 3)];
+        // Comment-heavy source exercises the chunk-boundary scanner.
+        sources.push(format!(
+            "{{ leading block\ncomment }}\n{}\n-- trailing line comment",
+            user_program()
+        ));
+        for src in &sources {
+            let (seq, seq_units, seq_warn) = run_phase1(src).expect("sequential phase 1");
+            for workers in [1, 2, 4, 8] {
+                let (par, par_units, par_warn) =
+                    run_phase1_parallel_traced(src, workers, &Trace::disabled(), TrackId(0))
+                        .expect("parallel phase 1");
+                assert_eq!(par, seq, "checked module mismatch at {workers} workers");
+                assert_eq!(par_units, seq_units, "units mismatch at {workers} workers");
+                assert_eq!(par_warn, seq_warn, "warning count mismatch at {workers} workers");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_phase1_reports_sequential_errors() {
+        for src in [
+            "module broken;",
+            "module m; section a on cells 0..0; function f(): float begin return q; end; end;",
+            "module m; section a on cells 0..0; function f() begin x := section; end; end;",
+            "module m; section a on cells 0..0; function f() begin t := ; end; end;",
+        ] {
+            let seq = run_phase1(src).expect_err("sequential rejects");
+            let par = run_phase1_parallel_traced(src, 4, &Trace::disabled(), TrackId(0))
+                .expect_err("parallel rejects");
+            let (CompileError::Phase1(s), CompileError::Phase1(p)) = (seq, par) else {
+                panic!("non-phase1 error")
+            };
+            assert_eq!(p.diagnostics, s.diagnostics, "diagnostics differ on {src:?}");
+            assert_eq!(p.rendered, s.rendered, "rendering differs on {src:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_link_is_identical_to_sequential() {
+        let src = warp_workload::user_program();
+        let opts = CompileOptions::default();
+        let (checked, _, _) = run_phase1(&src).expect("phase 1");
+        let mut images = Vec::new();
+        for si in 0..checked.module.sections.len() {
+            for fi in 0..checked.module.sections[si].functions.len() {
+                let (img, _) = compile_function(&checked, &src, si, fi, &opts).expect("compile");
+                images.push(img);
+            }
+        }
+        let (seq_image, seq_units) =
+            link_module(&checked, images.clone(), &opts).expect("sequential link");
+        for workers in [1, 2, 4, 8] {
+            let (par_image, par_units) = link_module_parallel_traced(
+                &checked,
+                images.clone(),
+                &opts,
+                workers,
+                &Trace::disabled(),
+                TrackId(0),
+            )
+            .expect("parallel link");
+            assert_eq!(par_image, seq_image, "module image mismatch at {workers} workers");
+            assert_eq!(par_units, seq_units, "link units mismatch at {workers} workers");
+        }
     }
 }
 

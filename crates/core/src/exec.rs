@@ -1,0 +1,238 @@
+//! The work-stealing stage executor.
+//!
+//! [`run_stealing`] fans a list of independent jobs out over a fixed
+//! set of worker threads using per-worker deques ([`crossbeam::deque`])
+//! seeded round-robin in the caller's order: each worker drains its own
+//! queue first and steals from siblings when it runs dry, so the stage
+//! finishes when the *slowest single job* finishes, not when the
+//! unluckiest worker's pre-assigned share does. Used for the phases the
+//! 1989 paper left sequential — chunked lexing, per-section parsing and
+//! sema (phase 1), and per-function address resolution (phase 4) — and
+//! as the substrate of the compile-stage scheduler in
+//! [`crate::threads`].
+//!
+//! Results are returned **in job order** regardless of which worker ran
+//! what, which is what makes every parallel stage bit-identical to its
+//! sequential counterpart: ordering is decided by the job list, never
+//! by thread timing.
+//!
+//! # Observability
+//!
+//! With an enabled [`Trace`] the executor records the scheduler events
+//! documented in `docs/TRACING.md`:
+//!
+//! * `sched` **steal** instants on the thief's track (`steal from
+//!   worker V`);
+//! * `sched` **idle** instants when a worker finds no work anywhere
+//!   (one per idle episode, not per poll);
+//! * a **`queue w`** counter per worker tracking its deque depth as
+//!   jobs are seeded and drained.
+
+use crossbeam::deque::{Stealer, Worker};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use warp_obs::{Trace, TrackId};
+
+/// Interns one trace track per worker (`worker 0` … `worker N-1`).
+/// Tracks are interned by name, so repeated calls — and the sequential
+/// driver's own `worker 0` — share rows.
+pub(crate) fn worker_tracks(trace: &Trace, workers: usize) -> Vec<TrackId> {
+    (0..workers).map(|w| trace.track(&format!("worker {w}"))).collect()
+}
+
+/// Runs `jobs` to completion on up to `workers` stealing workers and
+/// returns the results in job order.
+///
+/// Jobs are seeded round-robin over per-worker FIFO deques in the given
+/// order (pass an LPT-sorted list to spread the expensive heads across
+/// workers). `f` is called as `f(worker, job_index, job)`. With one
+/// worker (or one job) everything runs inline on the calling thread as
+/// worker 0 — no threads are spawned, which keeps the degenerate case
+/// exactly as cheap as a sequential loop.
+///
+/// A panic inside `f` propagates to the caller once the scope joins,
+/// the same way it would in a sequential loop.
+pub(crate) fn run_stealing<T, R, F>(
+    workers: usize,
+    jobs: Vec<T>,
+    tracks: &[TrackId],
+    trace: &Trace,
+    f: F,
+) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, usize, T) -> R + Sync,
+{
+    let n = jobs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.max(1).min(n);
+    if workers == 1 {
+        return jobs.into_iter().enumerate().map(|(i, job)| f(0, i, job)).collect();
+    }
+
+    let locals: Vec<Worker<(usize, T)>> = (0..workers).map(|_| Worker::new_fifo()).collect();
+    let stealers: Vec<Stealer<(usize, T)>> = locals.iter().map(Worker::stealer).collect();
+    for (i, job) in jobs.into_iter().enumerate() {
+        locals[i % workers].push((i, job));
+    }
+    if trace.is_enabled() {
+        let ts = trace.now_ns();
+        for (w, local) in locals.iter().enumerate() {
+            let track = tracks.get(w).copied().unwrap_or(TrackId(0));
+            trace.counter(format!("queue {w}"), track, ts, local.len() as f64);
+        }
+    }
+
+    let completed = AtomicUsize::new(0);
+    let mut results: Vec<Option<R>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = locals
+            .into_iter()
+            .enumerate()
+            .map(|(w, local)| {
+                let stealers = &stealers;
+                let completed = &completed;
+                let f = &f;
+                let track = tracks.get(w).copied().unwrap_or(TrackId(0));
+                scope.spawn(move || {
+                    let mut out: Vec<(usize, R)> = Vec::new();
+                    let mut was_idle = false;
+                    loop {
+                        let task = local.pop().or_else(|| {
+                            steal_from_siblings(w, stealers, trace, track)
+                        });
+                        match task {
+                            Some((i, job)) => {
+                                if trace.is_enabled() {
+                                    trace.counter(
+                                        format!("queue {w}"),
+                                        track,
+                                        trace.now_ns(),
+                                        local.len() as f64,
+                                    );
+                                }
+                                was_idle = false;
+                                out.push((i, f(w, i, job)));
+                                completed.fetch_add(1, Ordering::Release);
+                            }
+                            None => {
+                                if completed.load(Ordering::Acquire) >= n {
+                                    break;
+                                }
+                                if !was_idle {
+                                    was_idle = true;
+                                    trace.instant_now("sched", "idle", track);
+                                }
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("stage worker panicked") {
+                results[i] = Some(r);
+            }
+        }
+    });
+    results.into_iter().map(|r| r.expect("every job produced a result")).collect()
+}
+
+/// One steal sweep over the victim ring starting after `w`. Records a
+/// `sched` steal instant on success.
+fn steal_from_siblings<T>(
+    w: usize,
+    stealers: &[Stealer<T>],
+    trace: &Trace,
+    track: TrackId,
+) -> Option<T> {
+    let k = stealers.len();
+    for off in 1..k {
+        let victim = (w + off) % k;
+        if let Some(task) = stealers[victim].steal().success() {
+            if trace.is_enabled() {
+                trace.instant_now("sched", format!("steal from worker {victim}"), track);
+            }
+            return Some(task);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_come_back_in_job_order() {
+        let jobs: Vec<usize> = (0..100).collect();
+        let out = run_stealing(4, jobs, &[], &Trace::disabled(), |_, i, job| {
+            assert_eq!(i, job);
+            job * 3
+        });
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_job_lists() {
+        let out: Vec<u32> =
+            run_stealing(8, Vec::<u32>::new(), &[], &Trace::disabled(), |_, _, j| j);
+        assert!(out.is_empty());
+        let out = run_stealing(8, vec![7u32], &[], &Trace::disabled(), |w, _, j| {
+            assert_eq!(w, 0, "single job runs inline");
+            j + 1
+        });
+        assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn uneven_jobs_are_stolen_not_stranded() {
+        // Worker 0's seeded share includes one slow job; the other
+        // workers must steal the rest of its queue rather than idle.
+        let ran_by: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(usize::MAX)).collect();
+        let jobs: Vec<usize> = (0..64).collect();
+        let out = run_stealing(4, jobs, &[], &Trace::disabled(), |w, i, job| {
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+            }
+            ran_by[i].store(w, Ordering::Relaxed);
+            job
+        });
+        assert_eq!(out.len(), 64);
+        let thieves: std::collections::BTreeSet<usize> =
+            ran_by.iter().map(|a| a.load(Ordering::Relaxed)).collect();
+        assert!(thieves.len() > 1, "work spread across workers: {thieves:?}");
+    }
+
+    #[test]
+    fn sched_instants_and_queue_counters_are_recorded() {
+        let trace = Trace::new(warp_obs::ClockDomain::Monotonic);
+        let tracks = worker_tracks(&trace, 4);
+        let jobs: Vec<usize> = (0..32).collect();
+        let _ = run_stealing(4, jobs, &tracks, &trace, |_, _, j| {
+            if j % 4 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            j
+        });
+        let snap = trace.snapshot();
+        assert!(
+            snap.counters.iter().any(|c| c.name.starts_with("queue ")),
+            "queue-depth counters recorded"
+        );
+        // Steal/idle instants are timing-dependent, but with stalled
+        // jobs on a seeded share at least one worker must have gone
+        // hunting or idle at some point.
+        assert!(
+            snap.instants.iter().any(|i| i.cat == "sched"),
+            "sched instants recorded: {:?}",
+            snap.instants
+        );
+    }
+}

@@ -27,6 +27,7 @@
 
 pub mod costmodel;
 pub mod driver;
+mod exec;
 pub mod experiment;
 pub mod fncache;
 pub mod fuzz;
@@ -41,8 +42,10 @@ pub use costmodel::{CostModel, CALIBRATED};
 pub use driver::{
     compile_function, compile_function_cached_traced, compile_function_deduped_traced,
     compile_function_keyed_traced, compile_function_traced, compile_module_cached,
-    compile_module_cached_traced, compile_module_shared_traced, compile_module_source,
-    compile_module_traced, facts_report, link_module, link_module_traced, run_phase1,
+    compile_module_cached_traced, compile_module_shared_jobs_traced, compile_module_shared_traced,
+    compile_module_source,
+    compile_module_traced, facts_report, link_module, link_module_parallel_traced,
+    link_module_traced, prepare_module_parallel_traced, run_phase1, run_phase1_parallel_traced,
     run_phase1_traced, CompileError, CompileOptions, CompileResult, FunctionRecord,
 };
 pub use experiment::{
@@ -51,8 +54,9 @@ pub use experiment::{
 pub use fncache::{function_key, options_fingerprint, CachedFunction, FnCache};
 pub use threads::{
     compile_parallel, compile_parallel_cached, compile_parallel_cached_traced,
-    compile_parallel_chaos, compile_parallel_chaos_traced, compile_parallel_traced, ChaosAction,
-    ChaosPlan, FaultStats, RetryPolicy, ThreadReport,
+    compile_parallel_chaos, compile_parallel_chaos_cached, compile_parallel_chaos_traced,
+    compile_parallel_traced, default_jobs,
+    resolve_jobs, ChaosAction, ChaosPlan, FaultStats, RetryPolicy, ThreadReport,
 };
 pub use katseff::{assembler_sweep, katseff_comparison, AssemblerSweep};
 pub use parmake::{

@@ -1,21 +1,34 @@
-//! Real parallel compilation with OS threads.
+//! Real parallel compilation with OS threads on a work-stealing
+//! scheduler.
 //!
 //! The same master / section-master / function-master structure as the
 //! simulated 1989 system, executed with actual parallelism on the host
-//! machine: phase 1 runs sequentially, then one worker per function
-//! compiles concurrently (bounded by a worker budget), then the
-//! sections are linked sequentially. Used by the Criterion benches to
-//! demonstrate genuine wall-clock speedup of the same compiler.
+//! machine. Where the paper (and the first implementations here) left
+//! phases 1 and 4 sequential, this driver parallelizes all four:
+//! phase 1 runs as chunked parallel lexing plus per-section parsing
+//! and sema with a sequential merge, phases 2–3 run one function per
+//! stealing worker, and phase 4 resolves per-function addresses in
+//! parallel with a sequential per-section finish — all bit-identical
+//! to the sequential compiler.
 //!
-//! Two Amdahl leaks of the first implementation are fixed here:
+//! The compile stage itself is no longer round-based: workers own
+//! per-thread deques ([`crossbeam::deque`]) seeded round-robin in LPT
+//! order, pull continuously, and steal from siblings (then from the
+//! master's retry injector) when their own queue runs dry. A worker
+//! that finishes early immediately takes load off the laggards instead
+//! of idling at a round barrier — `sched` steal/idle instants and
+//! per-worker queue-depth counters make the behaviour visible in
+//! traces (`docs/PARALLELISM.md`, `docs/TRACING.md`).
 //!
-//! * **LPT dispatch** — jobs are queued in decreasing a-priori cost
+//! Two Amdahl leaks of the first implementation remain fixed here:
+//!
+//! * **LPT dispatch** — jobs are seeded in decreasing a-priori cost
 //!   estimate (LoC × nesting, §4.3) rather than source order, so the
 //!   largest function starts compiling first and can never be the one
-//!   job left running after every other worker drained the queue;
+//!   job left running after every other worker drained the queues;
 //! * **cache hits bypass the queue** — with an incremental cache
 //!   ([`crate::fncache`]), the master probes every function's content
-//!   address itself and only queues the misses; a fully warm build
+//!   address itself and only seeds the misses; a fully warm build
 //!   spawns no workers at all.
 //!
 //! # Fault tolerance
@@ -28,11 +41,14 @@
 //!   the result channel, never unwinding into the master;
 //! * the master collects results with a per-job timeout
 //!   ([`RetryPolicy::job_timeout`]); jobs whose results never arrive
-//!   (a lost message, a dead worker) are re-dispatched in a fresh
-//!   round on a fresh worker pool, with bounded exponential backoff;
+//!   (a lost message, a dead worker) are re-injected onto the running
+//!   pool, with bounded exponential backoff — no pool teardown, no
+//!   round barrier;
 //! * results that arrive *late* (a stalled worker) are still used —
-//!   the drain after each round keeps every completed compilation;
-//! * when the retry budget is exhausted the master compiles the
+//!   after a timeout the master waits for the pool to go quiet and
+//!   drains every completed compilation before declaring anything
+//!   lost;
+//! * when a job's attempt budget is exhausted the master compiles the
 //!   leftovers itself, sequentially, in-process — the same "the
 //!   master's own workstation always works" fallback the simulator's
 //!   [`warp_netsim::FaultPlan`] models — so a build always terminates
@@ -48,15 +64,17 @@
 //! knobs and semantics are documented in `docs/FAULTS.md`.
 
 use crate::driver::{
-    compile_function_traced, link_module_traced, prepare_module_traced, CompileError,
-    CompileOptions, CompileResult, FunctionRecord,
+    compile_function_traced, link_module_parallel_traced, prepare_module_parallel_traced,
+    CompileError, CompileOptions, CompileResult, FunctionRecord,
 };
 use crate::fncache::{function_key, options_fingerprint, CachedFunction, FnCache};
 use crossbeam::channel::bounded;
+use crossbeam::deque::{Injector, Stealer, Worker as JobDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 use warp_cache::CacheKey;
-use warp_obs::{Trace, TrackId};
+use warp_obs::Trace;
 use warp_target::program::FunctionImage;
 
 /// Fault and recovery counters for one threaded compilation (all
@@ -256,6 +274,25 @@ impl ChaosPlan {
     }
 }
 
+/// The default job count for parallel compilation: the machine's
+/// available parallelism, or 1 when it cannot be queried. This is the
+/// single source of truth behind `warpcc --jobs 0` and a `warpd`
+/// compile request without a `jobs` field — callers that used to
+/// hardcode worker counts resolve through here instead.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Resolves a requested job count: `0` (the wire/CLI spelling of
+/// "default") becomes [`default_jobs`], anything else is used as-is.
+pub fn resolve_jobs(requested: usize) -> usize {
+    if requested == 0 {
+        default_jobs()
+    } else {
+        requested
+    }
+}
+
 /// Compiles `source` with up to `workers` concurrent function masters.
 ///
 /// # Errors
@@ -380,6 +417,34 @@ pub fn compile_parallel_chaos_traced(
     compile_parallel_inner(source, opts, workers, None, Some(chaos), policy, trace)
 }
 
+/// [`compile_parallel_chaos`] with an incremental cache: faults strike
+/// the compiles that actually run, cache hits bypass the executor
+/// entirely. The combination is what a warm production daemon under
+/// churn looks like, and the output must still be bit-identical.
+///
+/// # Errors
+///
+/// Propagates the first *compilation* error; injected faults are
+/// recovered, not propagated.
+pub fn compile_parallel_chaos_cached(
+    source: &str,
+    opts: &CompileOptions,
+    workers: usize,
+    cache: &FnCache,
+    chaos: &ChaosPlan,
+    policy: &RetryPolicy,
+) -> Result<(CompileResult, ThreadReport), CompileError> {
+    compile_parallel_inner(
+        source,
+        opts,
+        workers,
+        Some(cache),
+        Some(chaos),
+        policy,
+        &Trace::disabled(),
+    )
+}
+
 /// LPT (longest-processing-time-first) dispatch order over a-priori
 /// cost estimates: indices sorted by decreasing estimate, source order
 /// as the tie-break. Queueing jobs in this order means the most
@@ -419,6 +484,97 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Coordination state shared by the master and the stealing workers.
+struct PoolState {
+    /// Jobs seeded or injected whose *execution* has not finished yet
+    /// (delivery is separate — a lost result still finishes
+    /// executing). When this hits zero the pool is quiescent: any
+    /// result that has not arrived by then never will.
+    unfinished: usize,
+    /// Set once by the master; workers exit after draining all work.
+    shutdown: bool,
+}
+
+/// The work-stealing compile pool: a shared retry injector plus
+/// condition variables for worker sleep ([`Pool::wait_for_work`]) and
+/// master quiescence waits ([`Pool::wait_quiet`]). The per-worker
+/// deques live on the worker threads themselves; only their stealers
+/// are shared.
+struct Pool {
+    injector: Injector<(Job, usize)>,
+    state: Mutex<PoolState>,
+    /// Signalled on injection and shutdown.
+    work_ready: Condvar,
+    /// Signalled when `unfinished` reaches zero.
+    quiet: Condvar,
+}
+
+impl Pool {
+    fn new(seeded: usize) -> Pool {
+        Pool {
+            injector: Injector::new(),
+            state: Mutex::new(PoolState { unfinished: seeded, shutdown: false }),
+            work_ready: Condvar::new(),
+            quiet: Condvar::new(),
+        }
+    }
+
+    /// Injects a retry attempt and wakes sleeping workers. Holding the
+    /// state lock across the push keeps the injector check in
+    /// [`Pool::wait_for_work`] race-free.
+    fn submit(&self, job: Job, attempt: usize) {
+        let mut st = self.state.lock().expect("pool lock");
+        st.unfinished += 1;
+        self.injector.push((job, attempt));
+        self.work_ready.notify_all();
+    }
+
+    /// A worker finished executing one job (whether or not the result
+    /// was delivered). Must be called *after* the result send, so that
+    /// quiescence implies every delivered result is already buffered.
+    fn finish_one(&self) {
+        let mut st = self.state.lock().expect("pool lock");
+        st.unfinished -= 1;
+        if st.unfinished == 0 {
+            self.quiet.notify_all();
+        }
+    }
+
+    /// Blocks until every seeded and injected job has finished
+    /// executing — the point after which a missing result is a *lost*
+    /// result, not a slow one.
+    fn wait_quiet(&self) {
+        let mut st = self.state.lock().expect("pool lock");
+        while st.unfinished > 0 {
+            st = self.quiet.wait(st).expect("pool lock");
+        }
+    }
+
+    /// Parks an idle worker until the injector has work or the pool
+    /// shuts down. Returns `false` on shutdown. (Sibling deques never
+    /// grow after seeding, so a failed steal sweep before this call
+    /// cannot miss local work — only the injector can produce more.)
+    fn wait_for_work(&self) -> bool {
+        let mut st = self.state.lock().expect("pool lock");
+        loop {
+            if st.shutdown {
+                return false;
+            }
+            if !self.injector.is_empty() {
+                return true;
+            }
+            st = self.work_ready.wait(st).expect("pool lock");
+        }
+    }
+
+    /// Tells the workers no further work will ever be injected.
+    fn shutdown(&self) {
+        let mut st = self.state.lock().expect("pool lock");
+        st.shutdown = true;
+        self.work_ready.notify_all();
+    }
+}
+
 #[allow(clippy::too_many_lines)]
 fn compile_parallel_inner(
     source: &str,
@@ -432,7 +588,8 @@ fn compile_parallel_inner(
     let workers = workers.max(1);
     let driver_track = trace.track("driver");
     let t0 = Instant::now();
-    let (checked, phase1_units, warnings) = prepare_module_traced(source, opts, trace, driver_track)?;
+    let (checked, phase1_units, warnings) =
+        prepare_module_parallel_traced(source, opts, workers, trace, driver_track)?;
     let phase1_wall = t0.elapsed();
 
     // The work list: every (section, function) pair, tagged with the
@@ -498,67 +655,108 @@ fn compile_parallel_inner(
 
     let compile_span = trace.span("driver", "compile", driver_track);
     let mut first_err: Option<CompileError> = None;
-    let mut round = 0usize;
-    // Round-based recovery: dispatch the outstanding jobs onto a fresh
-    // worker pool, collect with a per-job timeout, drain stragglers
-    // after the pool joins, and re-queue whatever is still missing.
-    // Attempt 0 is the normal build; a healthy run makes exactly one
-    // pass and never sleeps.
-    loop {
-        let round_jobs: Vec<Job> =
-            queued.iter().filter(|&&(idx, _, _)| images[idx].is_none()).copied().collect();
-        if round_jobs.is_empty() || round >= policy.max_attempts || first_err.is_some() {
-            break;
+    let total = queued.len();
+    // The work-stealing pool: spawned once, fed the LPT-ordered misses
+    // through per-worker deques, kept running across retries. A
+    // healthy run seeds, drains, and shuts down without ever sleeping.
+    if total > 0 && policy.max_attempts > 0 {
+        let pool_size = workers.min(total);
+        // Result capacity covers every possible attempt of every job,
+        // so a send can never block: workers never wedge on a
+        // straggler and the final join cannot deadlock.
+        let (done_tx, done_rx) = bounded::<Done>(total * policy.max_attempts);
+        let pool = Pool::new(total);
+        // Seed the per-worker deques round-robin in LPT order: the
+        // pool_size most expensive jobs start first, one per worker,
+        // and whoever finishes early steals from the laggards.
+        let locals: Vec<JobDeque<(Job, usize)>> =
+            (0..pool_size).map(|_| JobDeque::new_fifo()).collect();
+        let stealers: Vec<Stealer<(Job, usize)>> =
+            locals.iter().map(JobDeque::stealer).collect();
+        for (i, &job) in queued.iter().enumerate() {
+            locals[i % pool_size].push((job, 0));
         }
-        if round > 0 {
-            stats.retries += round_jobs.len();
-            if trace.is_enabled() {
-                for &(idx, (si, fi), _) in &round_jobs {
-                    let name = &checked.module.sections[si].functions[fi].name;
-                    trace.instant(
-                        "retry",
-                        format!("retry {name} (attempt {round}, job {idx})"),
-                        driver_track,
-                        trace.now_ns(),
-                    );
-                }
-            }
-            // Bounded exponential backoff before re-dispatching.
-            let shift = (round - 1).min(16) as u32;
-            let backoff = policy.backoff.saturating_mul(1u32 << shift);
-            if !backoff.is_zero() {
-                std::thread::sleep(backoff);
+        let worker_tracks = crate::exec::worker_tracks(trace, pool_size);
+        if trace.is_enabled() {
+            let ts = trace.now_ns();
+            for (w, local) in locals.iter().enumerate() {
+                trace.counter(format!("queue {w}"), worker_tracks[w], ts, local.len() as f64);
             }
         }
 
-        let pool_size = workers.min(round_jobs.len());
-        let sent = round_jobs.len();
-        let (job_tx, job_rx) = bounded::<Job>(sent);
-        // Result capacity covers every job, so a straggler's late send
-        // can never block its worker (and thus never wedge the scope
-        // join below).
-        let (done_tx, done_rx) = bounded::<Done>(sent);
-        for job in round_jobs {
-            if job_tx.send(job).is_err() {
-                return Err(CompileError::Worker("dispatch channel disconnected".into()));
-            }
+        // Per-job dispatch bookkeeping, indexed like `jobs`.
+        // `attempts_used[idx]` counts dispatches so far, so the next
+        // attempt number equals it — the same 0,1,2… sequence the
+        // round-based scheduler produced, which keeps every
+        // [`ChaosPlan::decide`] draw (and thus every seeded chaos run)
+        // bit-identical across the migration.
+        let mut job_by_idx: Vec<Option<Job>> = vec![None; jobs.len()];
+        let mut attempts_used: Vec<usize> = vec![0; jobs.len()];
+        let mut in_flight: Vec<bool> = vec![false; jobs.len()];
+        for &job in &queued {
+            job_by_idx[job.0] = Some(job);
+            attempts_used[job.0] = 1;
+            in_flight[job.0] = true;
         }
-        drop(job_tx);
+        let mut outstanding = total;
 
-        let worker_tracks: Vec<TrackId> =
-            (0..pool_size).map(|w| trace.track(&format!("worker {w}"))).collect();
-        let attempt = round;
-        let mut panicked = vec![false; jobs.len()];
         std::thread::scope(|scope| {
-            // Section masters are folded into a worker pool: each worker
-            // plays function master for successive functions.
-            for track in worker_tracks {
-                let job_rx = job_rx.clone();
+            // Section masters are folded into a stealing worker pool:
+            // each worker plays function master for successive
+            // functions, pulling continuously — local deque first,
+            // then the master's retry injector, then the siblings.
+            for (w, local) in locals.into_iter().enumerate() {
                 let done_tx = done_tx.clone();
+                let stealers = &stealers;
+                let pool = &pool;
                 let checked = &checked;
                 let opts = &*opts;
+                let track = worker_tracks[w];
                 scope.spawn(move || {
-                    while let Ok((idx, (si, fi), key)) = job_rx.recv() {
+                    let mut was_idle = false;
+                    loop {
+                        let mut task = local.pop();
+                        if task.is_none() {
+                            task = pool.injector.steal().success();
+                            if task.is_some() && trace.is_enabled() {
+                                trace.instant_now("sched", "steal from injector", track);
+                            }
+                        }
+                        if task.is_none() {
+                            for off in 1..stealers.len() {
+                                let victim = (w + off) % stealers.len();
+                                if let Some(t) = stealers[victim].steal().success() {
+                                    if trace.is_enabled() {
+                                        trace.instant_now(
+                                            "sched",
+                                            format!("steal from worker {victim}"),
+                                            track,
+                                        );
+                                    }
+                                    task = Some(t);
+                                    break;
+                                }
+                            }
+                        }
+                        let Some(((idx, (si, fi), key), attempt)) = task else {
+                            if !was_idle {
+                                was_idle = true;
+                                trace.instant_now("sched", "idle", track);
+                            }
+                            if pool.wait_for_work() {
+                                continue;
+                            }
+                            break;
+                        };
+                        was_idle = false;
+                        if trace.is_enabled() {
+                            trace.counter(
+                                format!("queue {w}"),
+                                track,
+                                trace.now_ns(),
+                                local.len() as f64,
+                            );
+                        }
                         let action =
                             chaos.map_or(ChaosAction::None, |c| c.decide(idx, attempt));
                         if action == ChaosAction::Stall {
@@ -601,102 +799,133 @@ fn compile_parallel_inner(
                                 (idx, Err(JobFailure::Panicked(panic_message(payload))))
                             }
                         };
-                        if action == ChaosAction::Lose {
-                            // The result message is dropped on the
-                            // floor; the master's timeout will notice.
-                            continue;
+                        if action != ChaosAction::Lose {
+                            // Deliver before `finish_one`: quiescence
+                            // must imply every delivered result is
+                            // already buffered. (A `Lose` drops the
+                            // message on the floor; the master's
+                            // timeout will notice.)
+                            let _ = done_tx.send(out);
                         }
-                        if done_tx.send(out).is_err() {
-                            return;
-                        }
+                        pool.finish_one();
                     }
                 });
             }
             drop(done_tx);
-            drop(job_rx);
-            // The master collects results under a per-job timeout; a
-            // deterministic compile error aborts, a contained panic
-            // marks the job for retry, silence marks the whole
-            // remainder of the round lost.
-            let mut pending = sent;
-            while pending > 0 {
-                match done_rx.recv_timeout(policy.job_timeout) {
-                    Ok((idx, out)) => {
-                        pending -= 1;
-                        match out {
-                            Ok((img, rec, dt)) => {
+
+            // One result-handling path for both the live loop and the
+            // post-quiescence drain: fills images, aborts on a
+            // deterministic compile error, queues contained panics for
+            // retry.
+            macro_rules! on_done {
+                ($idx:expr, $res:expr, $to_retry:expr) => {{
+                    let idx: usize = $idx;
+                    if in_flight[idx] {
+                        in_flight[idx] = false;
+                        outstanding -= 1;
+                    }
+                    match $res {
+                        Ok((img, rec, dt)) => {
+                            if images[idx].is_none() {
                                 timings[idx] = Some(dt);
                                 images[idx] = Some(img);
                                 records[idx] = Some(rec);
                             }
-                            Err(JobFailure::Error(e)) => {
-                                if first_err.is_none() {
-                                    first_err = Some(e);
-                                }
+                        }
+                        Err(JobFailure::Error(e)) => {
+                            if first_err.is_none() {
+                                first_err = Some(e);
                             }
-                            Err(JobFailure::Panicked(msg)) => {
-                                stats.panics += 1;
-                                panicked[idx] = true;
-                                trace.instant(
-                                    "fault",
-                                    format!("panic (job {idx}): {msg}"),
-                                    driver_track,
-                                    trace.now_ns(),
-                                );
+                        }
+                        Err(JobFailure::Panicked(msg)) => {
+                            stats.panics += 1;
+                            trace.instant(
+                                "fault",
+                                format!("panic (job {idx}): {msg}"),
+                                driver_track,
+                                trace.now_ns(),
+                            );
+                            if attempts_used[idx] < policy.max_attempts {
+                                $to_retry.push(idx);
                             }
                         }
                     }
+                }};
+            }
+
+            // The master collects results one event at a time under the
+            // per-job timeout; there are no rounds. A contained panic
+            // is re-injected immediately, silence past the timeout
+            // triggers a quiescence wait + drain so late (stalled)
+            // results are kept before anything is declared lost.
+            while outstanding > 0 && first_err.is_none() {
+                let mut to_retry: Vec<usize> = Vec::new();
+                match done_rx.recv_timeout(policy.job_timeout) {
+                    Ok((idx, res)) => on_done!(idx, res, to_retry),
                     Err(e) if e.is_timeout() => {
                         stats.timeouts += 1;
                         trace.instant(
                             "fault",
-                            format!("timeout ({pending} jobs outstanding, attempt {attempt})"),
+                            format!("timeout ({outstanding} jobs outstanding)"),
                             driver_track,
                             trace.now_ns(),
                         );
-                        break;
+                        // Let stragglers finish, keep every late
+                        // result, and only then call the rest lost.
+                        pool.wait_quiet();
+                        while let Ok((idx, res)) = done_rx.recv_timeout(Duration::ZERO) {
+                            on_done!(idx, res, to_retry);
+                        }
+                        for idx in 0..in_flight.len() {
+                            if in_flight[idx] {
+                                stats.lost += 1;
+                                in_flight[idx] = false;
+                                outstanding -= 1;
+                                if attempts_used[idx] < policy.max_attempts {
+                                    to_retry.push(idx);
+                                }
+                            }
+                        }
                     }
-                    Err(_) => break, // Every worker exited.
+                    Err(_) => break, // Workers gone — unreachable while the pool lives.
+                }
+                if to_retry.is_empty() {
+                    continue;
+                }
+                // Re-inject onto the *running* pool with bounded
+                // exponential backoff; the workers keep compiling
+                // other jobs while the master sleeps.
+                stats.retries += to_retry.len();
+                if trace.is_enabled() {
+                    for &idx in &to_retry {
+                        let (_, (si, fi), _) =
+                            job_by_idx[idx].expect("retried job was queued");
+                        let name = &checked.module.sections[si].functions[fi].name;
+                        let attempt = attempts_used[idx];
+                        trace.instant(
+                            "retry",
+                            format!("retry {name} (attempt {attempt}, job {idx})"),
+                            driver_track,
+                            trace.now_ns(),
+                        );
+                    }
+                }
+                let worst = to_retry.iter().map(|&i| attempts_used[i]).max().unwrap_or(1);
+                let shift = (worst - 1).min(16) as u32;
+                let backoff = policy.backoff.saturating_mul(1u32 << shift);
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                }
+                for &idx in &to_retry {
+                    let attempt = attempts_used[idx];
+                    attempts_used[idx] += 1;
+                    in_flight[idx] = true;
+                    outstanding += 1;
+                    pool.submit(job_by_idx[idx].expect("retried job was queued"), attempt);
                 }
             }
+            pool.shutdown();
         });
-        // The scope has joined: stragglers have finished and their
-        // sends are buffered. Drain and keep them — a stalled worker's
-        // output is still a perfectly good compilation.
-        while let Ok((idx, out)) = done_rx.recv_timeout(Duration::ZERO) {
-            match out {
-                Ok((img, rec, dt)) => {
-                    if images[idx].is_none() {
-                        timings[idx] = Some(dt);
-                        images[idx] = Some(img);
-                        records[idx] = Some(rec);
-                    }
-                }
-                Err(JobFailure::Error(e)) => {
-                    if first_err.is_none() {
-                        first_err = Some(e);
-                    }
-                }
-                Err(JobFailure::Panicked(msg)) => {
-                    stats.panics += 1;
-                    panicked[idx] = true;
-                    trace.instant(
-                        "fault",
-                        format!("panic (job {idx}): {msg}"),
-                        driver_track,
-                        trace.now_ns(),
-                    );
-                }
-            }
-        }
-        // Anything still missing that did not visibly panic vanished
-        // without a trace: a lost message or a dead worker.
-        for &(idx, _, _) in &queued {
-            if images[idx].is_none() && !panicked[idx] {
-                stats.lost += 1;
-            }
-        }
-        round += 1;
     }
     if let Some(e) = first_err {
         return Err(e);
@@ -765,7 +994,7 @@ fn compile_parallel_inner(
         }
     }
     let (module_image, link_units) =
-        link_module_traced(&checked, final_images, opts, trace, driver_track)?;
+        link_module_parallel_traced(&checked, final_images, opts, workers, trace, driver_track)?;
     let link_wall = tl.elapsed();
 
     Ok((
@@ -829,6 +1058,42 @@ mod tests {
         assert_eq!(lpt_dispatch_order([10, 40, 20, 40]), vec![1, 3, 2, 0]);
         assert_eq!(lpt_dispatch_order([]), Vec::<usize>::new());
         assert_eq!(lpt_dispatch_order([7]), vec![0]);
+    }
+
+    mod lpt_props {
+        use super::super::lpt_dispatch_order;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+            /// The dispatch order is a total, platform-independent
+            /// function of the estimates: a permutation sorted by
+            /// decreasing estimate with the job index as the explicit
+            /// secondary key, so equal-cost estimates can never reorder
+            /// output across platforms or sort implementations. The
+            /// narrow estimate range forces heavy tie collisions.
+            #[test]
+            fn order_is_a_sorted_permutation_with_index_tiebreak(
+                est in prop::collection::vec(0u64..4, 0..48),
+            ) {
+                let order = lpt_dispatch_order(est.iter().copied());
+                let mut seen = order.clone();
+                seen.sort_unstable();
+                prop_assert_eq!(seen, (0..est.len()).collect::<Vec<_>>(), "permutation");
+                for pair in order.windows(2) {
+                    let (a, b) = (pair[0], pair[1]);
+                    prop_assert!(
+                        est[a] > est[b] || (est[a] == est[b] && a < b),
+                        "jobs {} (est {}) and {} (est {}) out of LPT order",
+                        a, est[a], b, est[b]
+                    );
+                }
+                // Re-running on the same input reproduces the order
+                // exactly (no unstable-sort nondeterminism).
+                prop_assert_eq!(order, lpt_dispatch_order(est.iter().copied()));
+            }
+        }
     }
 
     #[test]

@@ -5,9 +5,13 @@
 //! This is what makes the cache sound to use at all — a hit must be
 //! indistinguishable from a recompilation.
 
-use parcc::threads::{compile_parallel, compile_parallel_cached};
+use parcc::threads::{
+    compile_parallel, compile_parallel_cached, compile_parallel_chaos_cached, ChaosPlan,
+    RetryPolicy,
+};
 use parcc::{compile_module_source, CompileOptions, CompileResult, FnCache};
 use proptest::prelude::*;
+use std::time::Duration;
 use warp_workload::{synthetic_program, FunctionSize};
 
 fn image_bytes(r: &CompileResult) -> Vec<u8> {
@@ -58,6 +62,83 @@ fn assert_all_ways_identical(src: &str, opts: &CompileOptions) {
 fn fig6_workload_is_bit_identical_every_way() {
     let src = synthetic_program(FunctionSize::Medium, 8);
     assert_all_ways_identical(&src, &CompileOptions::default());
+}
+
+#[test]
+fn chaos_matrix_is_bit_identical_across_workers_and_cache_temperature() {
+    // The full determinism matrix the work-stealing executor must
+    // survive: 1/2/4/8 workers × {cold, warm cache} × the eight CI
+    // chaos seeds. Warm runs take pure cache hits, so faults there
+    // only strike the (empty) compile set — the interesting half is
+    // cold-with-chaos, but warm must stay byte-stable too.
+    let opts = CompileOptions::default();
+    let src = synthetic_program(FunctionSize::Small, 6);
+    let reference = compile_module_source(&src, &opts).expect("sequential");
+    let ref_bytes = image_bytes(&reference);
+    let policy = RetryPolicy::fast(Duration::from_millis(200), 3);
+
+    for workers in [1usize, 2, 4, 8] {
+        for seed in 1u64..=8 {
+            let chaos = ChaosPlan::from_seed(seed);
+            let cache = FnCache::in_memory();
+            let (cold, _) =
+                compile_parallel_chaos_cached(&src, &opts, workers, &cache, &chaos, &policy)
+                    .expect("cold chaos compile");
+            assert_eq!(
+                image_bytes(&cold),
+                ref_bytes,
+                "cold cache, {workers} workers, seed {seed}: diverged"
+            );
+            let (warm, _) =
+                compile_parallel_chaos_cached(&src, &opts, workers, &cache, &chaos, &policy)
+                    .expect("warm chaos compile");
+            assert_eq!(
+                image_bytes(&warm),
+                ref_bytes,
+                "warm cache, {workers} workers, seed {seed}: diverged"
+            );
+            assert_eq!(warm.records, reference.records, "warm records diverged");
+        }
+    }
+}
+
+#[test]
+fn every_example_program_is_bit_identical_under_chaos() {
+    // The acceptance bar from the executor rewrite: every checked-in
+    // example reproduces the sequential bits under every chaos seed.
+    let opts = CompileOptions::default();
+    let policy = RetryPolicy::fast(Duration::from_millis(200), 3);
+    let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples");
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&dir).expect("read examples/") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_none_or(|e| e != "w2") {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path).expect("read example");
+        let reference = compile_module_source(&src, &opts).expect("sequential");
+        let ref_bytes = image_bytes(&reference);
+        for seed in 1u64..=8 {
+            let cache = FnCache::in_memory();
+            let (got, _) = compile_parallel_chaos_cached(
+                &src,
+                &opts,
+                4,
+                &cache,
+                &ChaosPlan::from_seed(seed),
+                &policy,
+            )
+            .expect("chaos compile");
+            assert_eq!(
+                image_bytes(&got),
+                ref_bytes,
+                "{}: seed {seed} diverged from sequential",
+                path.display()
+            );
+        }
+        checked += 1;
+    }
+    assert!(checked >= 3, "expected at least 3 example programs, found {checked}");
 }
 
 proptest! {

@@ -83,16 +83,20 @@ fn fast_policy() -> RetryPolicy {
 fn seeded_chaos_is_bit_identical_for_every_matrix_seed() {
     let opts = CompileOptions::default();
     let src = synthetic_program(FunctionSize::Medium, 8);
-    for seed in seeds() {
-        let chaos = ChaosPlan::from_seed(seed);
-        assert_chaos_identical(
-            &src,
-            &opts,
-            4,
-            &chaos,
-            &fast_policy(),
-            &format!("threads-seed-{seed}"),
-        );
+    // Worker-count sweep × the seed matrix: the work-stealing executor
+    // must reproduce the sequential bits at every pool width.
+    for workers in [1, 2, 4, 8] {
+        for seed in seeds() {
+            let chaos = ChaosPlan::from_seed(seed);
+            assert_chaos_identical(
+                &src,
+                &opts,
+                workers,
+                &chaos,
+                &fast_policy(),
+                &format!("threads-w{workers}-seed-{seed}"),
+            );
+        }
     }
 }
 

@@ -64,6 +64,59 @@ fn warpcc_trace_with_workers_and_verify_adds_verify_spans() {
 }
 
 #[test]
+fn parallel_compile_trace_has_the_documented_sched_shape() {
+    // The scheduler-observability contract from docs/TRACING.md:
+    // per-worker queue-depth counters always appear; any steal/idle
+    // instants that do appear use the documented names and land on
+    // worker tracks. (Whether a steal happens is timing-dependent, so
+    // only the *shape* is asserted, never the count.)
+    let workers = 4;
+    let src = synthetic_program(FunctionSize::Small, 8);
+    let trace = warp_obs::Trace::new(warp_obs::ClockDomain::Monotonic);
+    let (result, _) =
+        parcc::compile_parallel_traced(&src, &CompileOptions::default(), workers, &trace)
+            .expect("parallel compile");
+    assert_eq!(result.records.len(), 8);
+
+    let snap = trace.snapshot();
+    let worker_tracks: Vec<_> = (0..workers)
+        .filter_map(|w| snap.tracks.iter().position(|t| t == &format!("worker {w}")))
+        .collect();
+    assert_eq!(worker_tracks.len(), workers, "one track per worker: {:?}", snap.tracks);
+
+    // Every worker's deque depth is counted, and counters live on
+    // that worker's own track.
+    for (w, &track) in worker_tracks.iter().enumerate() {
+        let name = format!("queue {w}");
+        let counters: Vec<_> = snap.counters.iter().filter(|c| c.name == name).collect();
+        assert!(!counters.is_empty(), "no `{name}` counter in {:?}", snap.counters);
+        for c in &counters {
+            assert_eq!(c.track.0 as usize, track, "`{name}` on the wrong track");
+        }
+    }
+
+    // Sched instants are optional per run but constrained in shape.
+    for i in snap.instants.iter().filter(|i| i.cat == "sched") {
+        assert!(
+            i.name == "idle"
+                || i.name == "steal from injector"
+                || i.name.starts_with("steal from worker "),
+            "undocumented sched instant `{}`",
+            i.name
+        );
+        assert!(
+            worker_tracks.contains(&(i.track.0 as usize)),
+            "sched instant `{}` off the worker tracks",
+            i.name
+        );
+    }
+
+    // The whole thing still exports as a loadable Chrome trace.
+    let json = warp_obs::to_chrome_json(&snap);
+    warp_obs::validate_chrome_json(&json).expect("valid Chrome trace");
+}
+
+#[test]
 fn figure_run_produces_virtual_time_traces() {
     let e = Experiment::default();
     let src = synthetic_program(FunctionSize::Medium, 2);

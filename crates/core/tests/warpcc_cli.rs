@@ -155,6 +155,31 @@ fn ifconv_flag_accepted() {
 }
 
 #[test]
+fn jobs_flag_output_matches_sequential() {
+    let f = write_program();
+    let run = |args: &[&str]| {
+        let out = warpcc().args(args).arg(&f.0).output().expect("run warpcc");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        out.stdout
+    };
+    let sequential = run(&[]);
+    assert_eq!(run(&["--jobs", "2"]), sequential);
+    // 0 = all available cores; -j and --workers are spellings of --jobs.
+    assert_eq!(run(&["--jobs", "0"]), sequential);
+    assert_eq!(run(&["-j", "4"]), sequential);
+    assert_eq!(run(&["--workers", "4"]), sequential);
+}
+
+#[test]
+fn bad_jobs_count_rejected() {
+    let f = write_program();
+    let out = warpcc().args(["--jobs", "lots"]).arg(&f.0).output().expect("run");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("bad job count"), "{stderr}");
+}
+
+#[test]
 fn cache_dir_turns_second_run_into_hits() {
     let f = write_program();
     let mut dir = std::env::temp_dir();

@@ -137,35 +137,41 @@ impl ParseWork {
     /// Measures the phase-1 work for `source` (tokens, statements,
     /// bytes). Runs the lexer and parser but not the checker.
     pub fn measure(source: &str) -> ParseWork {
-        fn count_stmts(stmts: &[ast::Stmt]) -> usize {
-            stmts
-                .iter()
-                .map(|s| {
-                    1 + match s {
-                        ast::Stmt::If { arms, else_body, .. } => {
-                            arms.iter().map(|a| count_stmts(&a.body)).sum::<usize>()
-                                + count_stmts(else_body)
-                        }
-                        ast::Stmt::While { body, .. } | ast::Stmt::For { body, .. } => {
-                            count_stmts(body)
-                        }
-                        _ => 0,
-                    }
-                })
-                .sum()
-        }
         let lexed = lexer::lex(source);
         let tokens = lexed.tokens.len();
         let parsed = parser::parse(source);
-        let statements = parsed
-            .module
-            .sections
-            .iter()
-            .flat_map(|s| &s.functions)
-            .map(|f| count_stmts(&f.body))
-            .sum();
-        ParseWork { tokens, statements, source_bytes: source.len() }
+        ParseWork {
+            tokens,
+            statements: statement_count(&parsed.module),
+            source_bytes: source.len(),
+        }
     }
+}
+
+/// Counts the statements of every function body in `module`, recursing
+/// into `if`/`while`/`for` bodies — the statement metric of
+/// [`ParseWork`]. Exposed so a driver that already holds a parsed
+/// module (e.g. the parallel phase-1 path) can compute the same work
+/// numbers without re-parsing the source.
+pub fn statement_count(module: &ast::Module) -> usize {
+    fn count_stmts(stmts: &[ast::Stmt]) -> usize {
+        stmts
+            .iter()
+            .map(|s| {
+                1 + match s {
+                    ast::Stmt::If { arms, else_body, .. } => {
+                        arms.iter().map(|a| count_stmts(&a.body)).sum::<usize>()
+                            + count_stmts(else_body)
+                    }
+                    ast::Stmt::While { body, .. } | ast::Stmt::For { body, .. } => {
+                        count_stmts(body)
+                    }
+                    _ => 0,
+                }
+            })
+            .sum()
+    }
+    module.sections.iter().flat_map(|s| &s.functions).map(|f| count_stmts(&f.body)).sum()
 }
 
 #[cfg(test)]

@@ -53,6 +53,149 @@ pub fn parse(source: &str) -> ParseOutput {
     ParseOutput { module, diagnostics: parser.diagnostics }
 }
 
+// ---- split parsing ------------------------------------------------------
+//
+// The parallel driver splits the token stream at every `section`
+// keyword and parses the pieces on separate workers. On a module that
+// parses cleanly this is exact: `section` is only legal at a section
+// start, so a clean sequential parse consumes exactly the tokens of
+// each piece for each section. Error recovery *can* consume a `section`
+// token (crossing a piece boundary), so callers must fall back to the
+// sequential [`parse`] whenever the combined diagnostics contain errors
+// — see `docs/PARALLELISM.md` for the contract.
+
+/// A token stream split at every `section` keyword for piece-wise
+/// parallel parsing. Produced by [`split_tokens`].
+#[derive(Debug, Clone)]
+pub struct TokenPieces {
+    /// Everything before the first `section` token (the module header
+    /// plus any stray tokens), terminated by a synthesized EOF.
+    pub header: Vec<Token>,
+    /// One piece per `section` token: the token through everything
+    /// before the next `section` (trailing junk included), terminated
+    /// by a synthesized EOF (the last piece keeps the real one).
+    pub sections: Vec<Vec<Token>>,
+}
+
+/// Splits an EOF-terminated token stream at every `section` keyword.
+pub fn split_tokens(tokens: Vec<Token>) -> TokenPieces {
+    let starts: Vec<usize> = tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| matches!(t.kind, TokenKind::Section))
+        .map(|(i, _)| i)
+        .collect();
+    if starts.is_empty() {
+        return TokenPieces { header: tokens, sections: Vec::new() };
+    }
+    let mut pieces: Vec<Vec<Token>> = Vec::with_capacity(starts.len());
+    let mut rest = tokens;
+    // Split back-to-front so each boundary is a cheap split_off; the
+    // prefix is re-terminated with a synthesized EOF at the start of
+    // the `section` keyword just split away, so the preceding piece's
+    // parser stops exactly where the sequential parser would meet the
+    // next section.
+    for &s in starts.iter().rev() {
+        let piece = rest.split_off(s);
+        let eof_at = piece[0].span.start;
+        rest.push(Token::new(TokenKind::Eof, Span::point(eof_at)));
+        pieces.push(piece);
+    }
+    pieces.reverse();
+    TokenPieces { header: rest, sections: pieces }
+}
+
+/// Result of parsing a header piece via [`parse_header_piece`].
+#[derive(Debug, Clone)]
+pub struct HeaderParse {
+    /// The module's name (`"<error>"` when missing).
+    pub name: String,
+    /// Span of the first token — the module span's start anchor.
+    pub start: Span,
+    /// Syntax diagnostics from the header tokens.
+    pub diagnostics: DiagnosticBag,
+}
+
+/// Parses a [`TokenPieces::header`] piece: `module NAME ;` plus an
+/// error for every stray token before the first section, exactly as the
+/// sequential parser reports them.
+pub fn parse_header_piece(header: Vec<Token>) -> HeaderParse {
+    let mut p = Parser { tokens: header, pos: 0, diagnostics: DiagnosticBag::new() };
+    let start = p.peek_span();
+    p.expect(&TokenKind::Module);
+    let name =
+        p.expect_ident("module").map(|(n, _)| n).unwrap_or_else(|| "<error>".to_string());
+    p.expect(&TokenKind::Semicolon);
+    while !p.at_eof() {
+        // Only stray tokens can appear here: the split gave every
+        // `section` keyword its own piece. This mirrors the sequential
+        // module loop's non-`section` arm.
+        p.diagnostics.error(
+            p.peek_span(),
+            format!("expected `section`, found {}", p.peek().describe()),
+        );
+        p.recover();
+    }
+    HeaderParse { name, start, diagnostics: p.diagnostics }
+}
+
+/// Result of parsing one section piece via [`parse_section_piece`].
+#[derive(Debug, Clone)]
+pub struct PieceParse {
+    /// The sections recognized in the piece (one, for a clean piece).
+    pub sections: Vec<Section>,
+    /// Syntax diagnostics from the piece's tokens.
+    pub diagnostics: DiagnosticBag,
+}
+
+/// Parses one [`TokenPieces::sections`] piece — a `section` keyword
+/// through everything before the next one — by running the sequential
+/// parser's module loop over the piece's tokens.
+pub fn parse_section_piece(tokens: Vec<Token>) -> PieceParse {
+    let mut p = Parser { tokens, pos: 0, diagnostics: DiagnosticBag::new() };
+    let mut sections = Vec::new();
+    while !p.at_eof() {
+        if matches!(p.peek(), TokenKind::Section) {
+            if let Some(s) = p.section() {
+                sections.push(s);
+            }
+        } else {
+            p.diagnostics.error(
+                p.peek_span(),
+                format!("expected `section`, found {}", p.peek().describe()),
+            );
+            p.recover();
+        }
+    }
+    PieceParse { sections, diagnostics: p.diagnostics }
+}
+
+/// Reassembles piece-parse results into a [`ParseOutput`] with the same
+/// module and the same diagnostic order as the sequential [`parse`]:
+/// lexer diagnostics first, then header diagnostics, then each piece's
+/// diagnostics in source order. `eof_span` is the real EOF token's span
+/// (the module span's end anchor).
+pub fn assemble_pieces(
+    lex_diagnostics: DiagnosticBag,
+    header: HeaderParse,
+    pieces: Vec<PieceParse>,
+    eof_span: Span,
+) -> ParseOutput {
+    let mut diagnostics = lex_diagnostics;
+    diagnostics.extend(header.diagnostics);
+    let mut sections = Vec::new();
+    for piece in pieces {
+        sections.extend(piece.sections);
+        diagnostics.extend(piece.diagnostics);
+    }
+    if sections.is_empty() {
+        diagnostics.error(header.start, "module contains no section programs");
+    }
+    let module =
+        Module { name: header.name, sections, span: header.start.merge(eof_span) };
+    ParseOutput { module, diagnostics }
+}
+
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
@@ -937,5 +1080,63 @@ end;
         let Stmt::Return { value: Some(e), .. } = &f.body[0] else { panic!() };
         let ExprKind::Binary { op: BinOp::Mul, lhs, .. } = &e.kind else { panic!() };
         assert!(matches!(lhs.kind, ExprKind::Binary { op: BinOp::Add, .. }));
+    }
+
+    /// Runs the split pipeline (split at sections, parse pieces,
+    /// reassemble) and compares with the sequential parser. On clean
+    /// inputs the results must be identical; on erroring inputs the
+    /// split path must also report errors (the fall-back-to-sequential
+    /// trigger), though the exact diagnostics may differ.
+    fn split_parse(src: &str) -> ParseOutput {
+        let lexed = lex(src);
+        let eof_span = lexed.tokens.last().expect("EOF-terminated").span;
+        let pieces = split_tokens(lexed.tokens);
+        let header = parse_header_piece(pieces.header);
+        let parsed: Vec<PieceParse> =
+            pieces.sections.into_iter().map(parse_section_piece).collect();
+        assemble_pieces(lexed.diagnostics, header, parsed, eof_span)
+    }
+
+    fn assert_split_matches(src: &str) {
+        let seq = parse(src);
+        let split = split_parse(src);
+        if seq.diagnostics.has_errors() {
+            assert!(
+                split.diagnostics.has_errors(),
+                "split parse missed errors on {src:?}"
+            );
+            return;
+        }
+        assert_eq!(split.module, seq.module, "module mismatch on {src:?}");
+        assert_eq!(
+            split.diagnostics.iter().collect::<Vec<_>>(),
+            seq.diagnostics.iter().collect::<Vec<_>>(),
+            "diagnostics mismatch on {src:?}"
+        );
+    }
+
+    #[test]
+    fn split_parse_matches_sequential_on_clean_modules() {
+        assert_split_matches(OK_PROGRAM);
+        assert_split_matches(
+            "module m;\n\
+             section a on cells 0..1; function f() begin return; end; end;\n\
+             section b on cells 2..9; function g() begin return; end; function h() begin g(); end; end;\n\
+             section c on cells 10..10; function k(x: int): int begin return x + 1; end; end;",
+        );
+    }
+
+    #[test]
+    fn split_parse_flags_errors_on_broken_modules() {
+        for src in [
+            "module m;",                                // no sections
+            "section a on cells 0..0; function f() begin return; end; end;", // no header
+            "module m; section a on cells 0..0; begin end;", // junk in section
+            "module m; section a on cells 0..0; function f() begin x := section; end; end;", // `section` mid-body
+            "module m; stray tokens here; section a on cells 0..0; function f() begin return; end; end;",
+            "module m; section a on cells 0..0; function f() begin return; end; end; trailing junk",
+        ] {
+            assert_split_matches(src);
+        }
     }
 }

@@ -168,6 +168,55 @@ pub fn check(module: Module) -> (CheckedModule, DiagnosticBag) {
     (CheckedModule { module, sections }, diags)
 }
 
+/// Checks one section in isolation, returning its [`CheckedSection`]
+/// and the diagnostics it produced. Sections are independent (calls may
+/// only target functions in the same section, §3.2), so the parallel
+/// driver fans sections out to workers and recombines the results with
+/// [`merge_checked`].
+pub fn check_section_isolated(section: &Section) -> (CheckedSection, DiagnosticBag) {
+    let mut diags = DiagnosticBag::new();
+    let checked = check_section(section, &mut diags);
+    (checked, diags)
+}
+
+/// Merges per-section results from [`check_section_isolated`] into the
+/// output [`check`] would produce for the whole module: the module-wide
+/// checks (cell-range overlap, duplicate section names) run here, and
+/// diagnostics are recombined in exactly the sequential order.
+///
+/// `parts` must be parallel to `module.sections`.
+///
+/// # Panics
+///
+/// Panics if `parts` and `module.sections` have different lengths.
+pub fn merge_checked(
+    module: Module,
+    parts: Vec<(CheckedSection, DiagnosticBag)>,
+) -> (CheckedModule, DiagnosticBag) {
+    assert_eq!(module.sections.len(), parts.len(), "one part per section");
+    let mut diags = DiagnosticBag::new();
+    check_cell_ranges(&module, &mut diags);
+    let mut seen_section_names: HashMap<&str, Span> = HashMap::new();
+    let mut sections = Vec::with_capacity(parts.len());
+    for (section, (checked, part_diags)) in module.sections.iter().zip(parts) {
+        if let Some(&prev) = seen_section_names.get(section.name.as_str()) {
+            diags.error(
+                section.span,
+                format!(
+                    "duplicate section name `{}` (first declared at byte {})",
+                    section.name, prev.start
+                ),
+            );
+        } else {
+            seen_section_names.insert(&section.name, section.span);
+        }
+        diags.extend(part_diags);
+        sections.push(checked);
+    }
+    drop(seen_section_names);
+    (CheckedModule { module, sections }, diags)
+}
+
 fn check_cell_ranges(module: &Module, diags: &mut DiagnosticBag) {
     let mut ranges: Vec<(u32, u32, &str, Span)> = module
         .sections
@@ -677,6 +726,41 @@ mod tests {
             "module m; section a on cells 0..0; function f(x: float, n: int): float \
              var t: float; v: float[8]; i: int; b: bool; begin {body} end; end;"
         )
+    }
+
+    /// Per-section isolated checking merged via `merge_checked` must be
+    /// indistinguishable from the whole-module `check`.
+    fn assert_merged_matches(src: &str) {
+        let module = parse(src).module;
+        let (seq_checked, seq_diags) = check(module.clone());
+        let parts: Vec<_> = module.sections.iter().map(check_section_isolated).collect();
+        let (par_checked, par_diags) = merge_checked(module, parts);
+        assert_eq!(par_checked, seq_checked, "checked module mismatch on {src:?}");
+        assert_eq!(
+            par_diags.iter().collect::<Vec<_>>(),
+            seq_diags.iter().collect::<Vec<_>>(),
+            "diagnostics mismatch on {src:?}"
+        );
+    }
+
+    #[test]
+    fn merge_checked_matches_sequential_check() {
+        // Clean multi-section module.
+        assert_merged_matches(
+            "module m;\n\
+             section a on cells 0..1; function f(x: float): float begin return x; end; end;\n\
+             section b on cells 2..3; function g() begin f2(); end; function f2() begin return; end; end;",
+        );
+        // Duplicate section names + overlapping cells + per-function
+        // warnings: the module-wide and per-section diagnostics must
+        // interleave exactly as `check` emits them.
+        assert_merged_matches(
+            "module m;\n\
+             section a on cells 0..1; function f(): float begin return 1.0; end; end;\n\
+             section a on cells 1..2; function g(x: int): int var u: int; begin return x; end; end;",
+        );
+        // Errors inside functions (undeclared variable, bad call).
+        assert_merged_matches(&wrap("zz := 1.0; return x;"));
     }
 
     #[test]

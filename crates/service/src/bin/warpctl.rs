@@ -3,10 +3,13 @@
 //! ```text
 //! warpctl [--socket PATH | --tcp ADDR] <COMMAND>
 //!
-//!   compile <FILE | -> [-o FILE] [--inline] [--ifconv] [--absint] [--verify]
+//!   compile <FILE | -> [-o FILE] [--jobs N] [--inline] [--ifconv] [--absint]
+//!           [--verify]
 //!                 compile a W2 module on the daemon; with -o, write
 //!                 the binary download image (byte-identical to
-//!                 `warpcc -o` for the same source and options)
+//!                 `warpcc -o` for the same source and options);
+//!                 --jobs asks the daemon to use N threads for this
+//!                 request (0 or absent = daemon default)
 //!   fingerprint [--inline] [--ifconv] [--absint] [--verify]
 //!                 print the options fingerprint (cache-key prefix)
 //!   health        print daemon status
@@ -119,11 +122,17 @@ fn main() -> ExitCode {
     match command.as_str() {
         "compile" => {
             let out = take_value(&mut rest, "-o").map(PathBuf::from);
+            let jobs: u64 = take_value(&mut rest, "--jobs").map_or(0, |v| {
+                v.parse().unwrap_or_else(|_| {
+                    eprintln!("warpctl: bad job count `{v}`");
+                    usage()
+                })
+            });
             let opts = parse_options(&mut rest);
             let Some(path) = rest.first() else { usage() };
             let module = read_module(path);
             let mut client = connect(&endpoint);
-            match client.compile(&module, opts) {
+            match client.compile_jobs(&module, opts, jobs) {
                 Ok(Response::Compiled {
                     image_hex,
                     functions,

@@ -191,8 +191,25 @@ impl Client {
         module: &str,
         options: crate::proto::RequestOptions,
     ) -> Result<Response, ClientError> {
+        self.compile_jobs(module, options, 0)
+    }
+
+    /// Compiles `module` with `options`, asking the daemon to use
+    /// `jobs` threads for this request (`0` = daemon default, the
+    /// machine's available parallelism).
+    ///
+    /// # Errors
+    ///
+    /// Transport or protocol failures (a compile *failure* is an
+    /// ordinary [`Response::Error`], not a `ClientError`).
+    pub fn compile_jobs(
+        &mut self,
+        module: &str,
+        options: crate::proto::RequestOptions,
+        jobs: u64,
+    ) -> Result<Response, ClientError> {
         let id = self.fresh_id();
-        self.call(&Request::Compile { id, module: module.to_string(), options })
+        self.call(&Request::Compile { id, module: module.to_string(), options, jobs })
     }
 
     /// Asks for the options fingerprint.

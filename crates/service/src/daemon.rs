@@ -26,7 +26,7 @@ use crate::proto::{
     read_message, write_message, ErrorCode, FrameError, HealthInfo, Request, Response,
     WireCacheStats, MAX_FRAME_DEFAULT, PROTOCOL_VERSION,
 };
-use parcc::{compile_module_shared_traced, options_fingerprint, FnCache};
+use parcc::{compile_module_shared_jobs_traced, options_fingerprint, resolve_jobs, FnCache};
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -36,6 +36,11 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use warp_cache::InFlight;
 use warp_obs::{ClockDomain, Trace};
+
+/// Upper bound on per-request `jobs`: more threads than this buys
+/// nothing and would let one request intern an unbounded number of
+/// worker tracks in the shared trace.
+pub const MAX_JOBS_PER_REQUEST: usize = 256;
 
 /// Where the daemon listens.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -173,7 +178,9 @@ impl Shared {
     fn handle(&self, req: Request, conn_id: u64) -> Response {
         self.requests.fetch_add(1, Ordering::Relaxed);
         match req {
-            Request::Compile { id, module, options } => self.compile(id, &module, options, conn_id),
+            Request::Compile { id, module, options, jobs } => {
+                self.compile(id, &module, options, jobs, conn_id)
+            }
             Request::Fingerprint { id, options } => Response::Fingerprint {
                 id,
                 fingerprint: format!(
@@ -230,6 +237,7 @@ impl Shared {
         id: u64,
         module: &str,
         options: crate::proto::RequestOptions,
+        jobs: u64,
         conn_id: u64,
     ) -> Response {
         if !self.accepting.load(Ordering::Relaxed) {
@@ -255,8 +263,18 @@ impl Shared {
         let before = self.cache.stats();
         let compile_start = Instant::now();
         let opts = options.to_compile_options();
-        let result =
-            compile_module_shared_traced(module, &opts, &self.cache, &self.inflight, &self.trace, track);
+        // `0` means "daemon default"; the cap keeps a hostile request
+        // from interning an unbounded number of worker tracks.
+        let jobs = resolve_jobs(jobs as usize).min(MAX_JOBS_PER_REQUEST);
+        let result = compile_module_shared_jobs_traced(
+            module,
+            &opts,
+            jobs,
+            &self.cache,
+            &self.inflight,
+            &self.trace,
+            track,
+        );
         let compile_ns = compile_start.elapsed().as_nanos() as u64;
         let after = self.cache.stats();
         drop(permit);

@@ -139,6 +139,13 @@ pub enum Request {
         module: String,
         /// Per-request compilation knobs.
         options: RequestOptions,
+        /// Intra-request parallelism: how many jobs (threads) the
+        /// daemon may use for this compilation. `0` — also what a
+        /// request without the field decodes to, keeping old clients
+        /// wire-compatible — means "daemon default", the machine's
+        /// available parallelism. Does not affect cache keys or the
+        /// output bytes, only latency.
+        jobs: u64,
     },
     /// Return the options fingerprint these knobs produce — the prefix
     /// of every function cache key, letting clients predict cache
@@ -187,12 +194,13 @@ impl Request {
     /// Serializes to the wire JSON.
     pub fn to_json(&self) -> Json {
         let (kind, mut fields) = match self {
-            Request::Compile { id, module, options } => (
+            Request::Compile { id, module, options, jobs } => (
                 "compile",
                 vec![
                     ("id", Json::Num(*id as f64)),
                     ("module", Json::Str(module.clone())),
                     ("options", options.to_json()),
+                    ("jobs", Json::Num(*jobs as f64)),
                 ],
             ),
             Request::Fingerprint { id, options } => (
@@ -235,7 +243,14 @@ impl Request {
                 let module = v
                     .str_field("module")
                     .ok_or_else(|| bad("compile needs a string `module`"))?;
-                Ok(Request::Compile { id, module: module.to_string(), options: options()? })
+                // Absent (old clients) decodes as 0 = daemon default.
+                let jobs = match v.get("jobs") {
+                    None => 0,
+                    Some(_) => v
+                        .u64_field("jobs")
+                        .ok_or_else(|| bad("`jobs` must be a non-negative integer"))?,
+                };
+                Ok(Request::Compile { id, module: module.to_string(), options: options()?, jobs })
             }
             "fingerprint" => Ok(Request::Fingerprint { id, options: options()? }),
             "cache_stats" => Ok(Request::CacheStats { id }),
@@ -716,6 +731,13 @@ mod tests {
                 id: 1,
                 module: "module m;\nend;".into(),
                 options: RequestOptions { inline: true, ..RequestOptions::default() },
+                jobs: 0,
+            },
+            Request::Compile {
+                id: 7,
+                module: "module m;\nend;".into(),
+                options: RequestOptions::default(),
+                jobs: 8,
             },
             Request::Fingerprint { id: 2, options: RequestOptions::default() },
             Request::CacheStats { id: 3 },
@@ -770,6 +792,33 @@ mod tests {
             let back = Response::from_json(&crate::json::parse(&json.to_string()).unwrap())
                 .expect("parse");
             assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn compile_without_jobs_field_decodes_as_daemon_default() {
+        // Old clients never send `jobs`; the daemon must keep
+        // accepting them, decoding the absence as 0 = "default".
+        let v = crate::json::parse(
+            r#"{"id": 9, "kind": "compile", "module": "module m;\nend;", "options": {}}"#,
+        )
+        .unwrap();
+        match Request::from_json(&v).expect("parse") {
+            Request::Compile { jobs, .. } => assert_eq!(jobs, 0),
+            other => panic!("unexpected request {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compile_with_bad_jobs_is_a_bad_request() {
+        for bad in [r#""four""#, "-2", "1.5", "true"] {
+            let raw = format!(
+                r#"{{"id": 9, "kind": "compile", "module": "m", "options": {{}}, "jobs": {bad}}}"#
+            );
+            let v = crate::json::parse(&raw).unwrap();
+            let (id, code, msg) = Request::from_json(&v).unwrap_err();
+            assert_eq!((id, code), (9, ErrorCode::BadRequest), "jobs: {bad}");
+            assert!(msg.contains("jobs"), "message should name the field: {msg}");
         }
     }
 

@@ -53,6 +53,34 @@ fn daemon_image_is_bit_identical_to_direct_compilation() {
 }
 
 #[test]
+fn jobs_request_is_bit_identical_to_sequential_and_direct() {
+    let daemon = Warpd::start(tcp_config()).expect("start");
+    let mut client = connect(&daemon);
+    let source = module("jobs", 6, 18);
+
+    // Per-request parallelism must never change the output bytes —
+    // only latency. Compare jobs=1, an explicit jobs=4, and the
+    // absent-field default against a direct in-process compile.
+    let compile = |client: &mut Client, jobs: u64| {
+        match client.compile_jobs(&source, RequestOptions::default(), jobs).expect("compile") {
+            Response::Compiled { image_hex, .. } => from_hex(&image_hex).expect("hex"),
+            other => panic!("compile (jobs={jobs}) failed: {other:?}"),
+        }
+    };
+    let sequential = compile(&mut client, 1);
+    let parallel = compile(&mut client, 4);
+    let defaulted = compile(&mut client, 0);
+    let local = parcc::compile_module_source(&source, &RequestOptions::default().to_compile_options())
+        .expect("local compile");
+    let local_bytes = warp_target::download::encode(&local.module_image).expect("encode");
+    assert_eq!(parallel, sequential, "jobs=4 must be byte-identical to jobs=1");
+    assert_eq!(defaulted, sequential, "daemon-default jobs must be byte-identical too");
+    assert_eq!(sequential, local_bytes, "daemon and warpcc images must be byte-identical");
+    daemon.stop();
+    daemon.join();
+}
+
+#[test]
 fn warm_recompile_hits_cache_for_every_function() {
     let daemon = Warpd::start(tcp_config()).expect("start");
     let mut client = connect(&daemon);

@@ -52,6 +52,17 @@ fn every_error_code_is_documented() {
 }
 
 #[test]
+fn per_request_jobs_field_is_documented() {
+    let spec = spec();
+    assert!(spec.contains("`jobs`"), "the compile request's `jobs` field is undocumented");
+    assert_eq!(warp_service::daemon::MAX_JOBS_PER_REQUEST, 256);
+    assert!(
+        spec.contains("capped at 256"),
+        "spec must state the per-request jobs cap"
+    );
+}
+
+#[test]
 fn documented_constants_match_the_implementation() {
     let spec = spec();
     assert_eq!(MAX_FRAME_DEFAULT, 16 * 1024 * 1024);
