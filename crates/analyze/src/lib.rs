@@ -33,12 +33,8 @@
 pub mod machine;
 pub mod schedule;
 
-pub use machine::{
-    verify_function_image, verify_module_image, verify_section_image, MachineError,
-};
-pub use schedule::{
-    resource_mii, verify_function_schedule, verify_pipelined_loop, ScheduleError,
-};
+pub use machine::{verify_function_image, verify_module_image, verify_section_image, MachineError};
+pub use schedule::{resource_mii, verify_function_schedule, verify_pipelined_loop, ScheduleError};
 
 // The source- and IR-level layers live with their representations;
 // re-export them so drivers depend on one analysis crate.

@@ -107,8 +107,16 @@ struct RegFact {
 }
 
 impl RegFact {
-    const UNDEF: RegFact = RegFact { vis: false, pend: 0, pend_def: 0 };
-    const DEF: RegFact = RegFact { vis: true, pend: 0, pend_def: 0 };
+    const UNDEF: RegFact = RegFact {
+        vis: false,
+        pend: 0,
+        pend_def: 0,
+    };
+    const DEF: RegFact = RegFact {
+        vis: true,
+        pend: 0,
+        pend_def: 0,
+    };
 
     /// Meet of two facts: defined only if defined on both paths, a
     /// pending write survives only if present on both paths at the
@@ -308,8 +316,7 @@ impl<'a> Checker<'a> {
                     self.report(pc, format!("branch target {t} out of range"));
                 }
                 Some(BranchOp::Call(t)) => {
-                    let has_reloc =
-                        self.img.call_relocs.iter().any(|r| r.word as usize == pc);
+                    let has_reloc = self.img.call_relocs.iter().any(|r| r.word as usize == pc);
                     if has_reloc {
                         // The linker will patch this word; nothing to check.
                     } else if t == u32::MAX {
@@ -391,7 +398,9 @@ impl<'a> Checker<'a> {
         let mut worklist = vec![0usize];
         let mut reads: BTreeSet<(usize, u16)> = BTreeSet::new();
         while let Some(pc) = worklist.pop() {
-            let Some(state) = entry[pc].clone() else { continue };
+            let Some(state) = entry[pc].clone() else {
+                continue;
+            };
             let outs = self.flow_word(pc, state, &mut reads);
             for (succ, out) in outs {
                 match &mut entry[succ] {
@@ -443,8 +452,16 @@ impl<'a> Checker<'a> {
             }
         };
         for (_, op) in word.ops() {
-            let def_a = if reads_a(op.opcode) { check_read(&s, op.a) } else { true };
-            let def_b = if reads_b(op.opcode) { check_read(&s, op.b) } else { true };
+            let def_a = if reads_a(op.opcode) {
+                check_read(&s, op.a)
+            } else {
+                true
+            };
+            let def_b = if reads_b(op.opcode) {
+                check_read(&s, op.b)
+            } else {
+                true
+            };
             let result_def = match op.opcode {
                 // Data memory starts defined in the interpreter; a
                 // store of an undefined value is already flagged at the
@@ -460,9 +477,7 @@ impl<'a> Checker<'a> {
                         && def_b
                         && op
                             .dst
-                            .map(|d| {
-                                s.get(usize::from(d.0)).map(|f| f.vis).unwrap_or(false)
-                            })
+                            .map(|d| s.get(usize::from(d.0)).map(|f| f.vis).unwrap_or(false))
                             .unwrap_or(false)
                 }
                 _ => def_a && def_b,
@@ -500,7 +515,10 @@ impl<'a> Checker<'a> {
         for f in s.iter_mut() {
             f.advance();
         }
-        self.successors(pc).into_iter().map(|succ| (succ, s.clone())).collect()
+        self.successors(pc)
+            .into_iter()
+            .map(|succ| (succ, s.clone()))
+            .collect()
     }
 
     fn run(mut self) -> Vec<MachineError> {
@@ -599,7 +617,12 @@ mod tests {
     use warp_target::word::InstructionWord;
 
     fn op(opcode: Opcode, dst: u16, a: Operand, b: Operand) -> Op {
-        Op { opcode, dst: Some(Reg(dst)), a: Some(a), b: Some(b) }
+        Op {
+            opcode,
+            dst: Some(Reg(dst)),
+            a: Some(a),
+            b: Some(b),
+        }
     }
 
     fn image(words: Vec<InstructionWord>) -> FunctionImage {
@@ -621,8 +644,11 @@ mod tests {
     fn accepts_trivial_function() {
         // r0 := r1 + 1; ret (Move lands 1 cycle later; drain covers it).
         let mut w = InstructionWord::new();
-        w.place(FuKind::Alu, op(Opcode::IAdd, 0, Operand::Reg(Reg(1)), Operand::ImmI(1)))
-            .unwrap();
+        w.place(
+            FuKind::Alu,
+            op(Opcode::IAdd, 0, Operand::Reg(Reg(1)), Operand::ImmI(1)),
+        )
+        .unwrap();
         let img = image(vec![w, ret_word()]);
         let errs = verify_function_image(&img, &CellConfig::default(), None);
         assert!(errs.is_empty(), "{errs:?}");
@@ -632,11 +658,17 @@ mod tests {
     fn rejects_read_before_definition() {
         let mut w = InstructionWord::new();
         // r0 := r5 + 1 where r5 was never written.
-        w.place(FuKind::Alu, op(Opcode::IAdd, 0, Operand::Reg(Reg(5)), Operand::ImmI(1)))
-            .unwrap();
+        w.place(
+            FuKind::Alu,
+            op(Opcode::IAdd, 0, Operand::Reg(Reg(5)), Operand::ImmI(1)),
+        )
+        .unwrap();
         let img = image(vec![w, ret_word()]);
         let errs = verify_function_image(&img, &CellConfig::default(), None);
-        assert!(errs.iter().any(|e| e.message.contains("before definition")), "{errs:?}");
+        assert!(
+            errs.iter().any(|e| e.message.contains("before definition")),
+            "{errs:?}"
+        );
     }
 
     #[test]
@@ -650,12 +682,15 @@ mod tests {
         )
         .unwrap();
         let mut w1 = InstructionWord::new();
-        w1.place(FuKind::Mem, Op {
-            opcode: Opcode::Store,
-            dst: None,
-            a: Some(Operand::ImmI(0)),
-            b: Some(Operand::Reg(Reg(2))),
-        })
+        w1.place(
+            FuKind::Mem,
+            Op {
+                opcode: Opcode::Store,
+                dst: None,
+                a: Some(Operand::ImmI(0)),
+                b: Some(Operand::Reg(Reg(2))),
+            },
+        )
         .unwrap();
         let mut img = image(vec![w0, w1, ret_word()]);
         img.data_words = 1;
@@ -681,8 +716,11 @@ mod tests {
             words.push(InstructionWord::new());
         }
         let mut w6 = InstructionWord::new();
-        w6.place(FuKind::Alu, op(Opcode::Move, 0, Operand::Reg(Reg(2)), Operand::ImmI(0)))
-            .unwrap();
+        w6.place(
+            FuKind::Alu,
+            op(Opcode::Move, 0, Operand::Reg(Reg(2)), Operand::ImmI(0)),
+        )
+        .unwrap();
         words.push(w6);
         words.push(ret_word());
         let img = image(words);
@@ -697,8 +735,11 @@ mod tests {
         let mut w0 = InstructionWord::new();
         w0.place(FuKind::FMul, fdiv).unwrap();
         let mut w1 = InstructionWord::new();
-        w1.place(FuKind::FMul, op(Opcode::FDiv, 3, Operand::Reg(Reg(1)), Operand::ImmF(4.0)))
-            .unwrap();
+        w1.place(
+            FuKind::FMul,
+            op(Opcode::FDiv, 3, Operand::Reg(Reg(1)), Operand::ImmF(4.0)),
+        )
+        .unwrap();
         let mut img = image(vec![w0, w1, ret_word()]);
         img.returns_value = false;
         let errs = verify_function_image(&img, &CellConfig::default(), None);
@@ -713,39 +754,63 @@ mod tests {
         let w = InstructionWord::branch_only(BranchOp::Jump(99));
         let img = image(vec![w]);
         let errs = verify_function_image(&img, &CellConfig::default(), None);
-        assert!(errs.iter().any(|e| e.message.contains("out of range")), "{errs:?}");
+        assert!(
+            errs.iter().any(|e| e.message.contains("out of range")),
+            "{errs:?}"
+        );
     }
 
     #[test]
     fn rejects_fall_off_end() {
         let mut w = InstructionWord::new();
-        w.place(FuKind::Alu, op(Opcode::IAdd, 0, Operand::Reg(Reg(1)), Operand::ImmI(1)))
-            .unwrap();
+        w.place(
+            FuKind::Alu,
+            op(Opcode::IAdd, 0, Operand::Reg(Reg(1)), Operand::ImmI(1)),
+        )
+        .unwrap();
         let img = image(vec![w]);
         let errs = verify_function_image(&img, &CellConfig::default(), None);
-        assert!(errs.iter().any(|e| e.message.contains("fall off")), "{errs:?}");
+        assert!(
+            errs.iter().any(|e| e.message.contains("fall off")),
+            "{errs:?}"
+        );
     }
 
     #[test]
     fn rejects_wrong_unit_and_bad_register() {
         let mut w = InstructionWord::new();
         // FAdd op forced onto the Mem unit via replace().
-        w.replace(FuKind::Mem, op(Opcode::FAdd, 900, Operand::Reg(Reg(1)), Operand::ImmF(0.0)));
+        w.replace(
+            FuKind::Mem,
+            op(Opcode::FAdd, 900, Operand::Reg(Reg(1)), Operand::ImmF(0.0)),
+        );
         let mut img = image(vec![w, ret_word()]);
         img.returns_value = false;
         let errs = verify_function_image(&img, &CellConfig::default(), None);
-        assert!(errs.iter().any(|e| e.message.contains("cannot issue")), "{errs:?}");
-        assert!(errs.iter().any(|e| e.message.contains("bad register")), "{errs:?}");
+        assert!(
+            errs.iter().any(|e| e.message.contains("cannot issue")),
+            "{errs:?}"
+        );
+        assert!(
+            errs.iter().any(|e| e.message.contains("bad register")),
+            "{errs:?}"
+        );
     }
 
     #[test]
     fn rejects_constant_zero_divisor() {
         let mut w = InstructionWord::new();
-        w.place(FuKind::Alu, op(Opcode::IDiv, 0, Operand::Reg(Reg(1)), Operand::ImmI(0)))
-            .unwrap();
+        w.place(
+            FuKind::Alu,
+            op(Opcode::IDiv, 0, Operand::Reg(Reg(1)), Operand::ImmI(0)),
+        )
+        .unwrap();
         let img = image(vec![w, ret_word()]);
         let errs = verify_function_image(&img, &CellConfig::default(), None);
-        assert!(errs.iter().any(|e| e.message.contains("zero divisor")), "{errs:?}");
+        assert!(
+            errs.iter().any(|e| e.message.contains("zero divisor")),
+            "{errs:?}"
+        );
     }
 
     #[test]
@@ -753,6 +818,9 @@ mod tests {
         let w = InstructionWord::branch_only(BranchOp::Call(u32::MAX));
         let img = image(vec![w, ret_word()]);
         let errs = verify_function_image(&img, &CellConfig::default(), None);
-        assert!(errs.iter().any(|e| e.message.contains("unresolved call")), "{errs:?}");
+        assert!(
+            errs.iter().any(|e| e.message.contains("unresolved call")),
+            "{errs:?}"
+        );
     }
 }

@@ -37,7 +37,11 @@ pub struct ScheduleError {
 
 impl std::fmt::Display for ScheduleError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "schedule check failed for `{}`: {}", self.function, self.message)
+        write!(
+            f,
+            "schedule check failed for `{}`: {}",
+            self.function, self.message
+        )
     }
 }
 
@@ -110,17 +114,25 @@ impl<'a> SchedChecker<'a> {
         }
         for p in &plan.placements {
             if p.op_idx >= self.info.ops.len() {
-                self.report(format!("placement names op {} of {}", p.op_idx, self.info.ops.len()));
+                self.report(format!(
+                    "placement names op {} of {}",
+                    p.op_idx,
+                    self.info.ops.len()
+                ));
             }
         }
         // Modulo reservation table: occupancy windows on one unit must
         // not overlap, and two ops must not write one register in the
         // same kernel slot.
         for (i, a) in plan.placements.iter().enumerate() {
-            let Some(op_a) = self.info.ops.get(a.op_idx) else { continue };
+            let Some(op_a) = self.info.ops.get(a.op_idx) else {
+                continue;
+            };
             let occ_a = op_a.opcode.timing().initiation_interval;
             for b in plan.placements.iter().skip(i + 1) {
-                let Some(op_b) = self.info.ops.get(b.op_idx) else { continue };
+                let Some(op_b) = self.info.ops.get(b.op_idx) else {
+                    continue;
+                };
                 if a.fu == b.fu {
                     let occ_b = op_b.opcode.timing().initiation_interval;
                     let sa = a.time % ii;
@@ -187,7 +199,9 @@ impl<'a> SchedChecker<'a> {
 
         // Kernel placements present at their planned word and unit.
         for pl in &plan.placements {
-            let Some(op) = self.info.ops.get(pl.op_idx) else { continue };
+            let Some(op) = self.info.ops.get(pl.op_idx) else {
+                continue;
+            };
             let word = (kernel_start + pl.time % ii) as usize;
             if self.image.code[word].slot(pl.fu) != Some(op) {
                 self.report(format!(
@@ -200,11 +214,11 @@ impl<'a> SchedChecker<'a> {
         for p in 0..s - 1 {
             let base = prologue_start + p * ii;
             for pl in plan.prologue_row(p) {
-                let Some(op) = self.info.ops.get(pl.op_idx) else { continue };
+                let Some(op) = self.info.ops.get(pl.op_idx) else {
+                    continue;
+                };
                 let word = (base + pl.time % ii) as usize;
-                if word >= self.image.code.len()
-                    || self.image.code[word].slot(pl.fu) != Some(op)
-                {
+                if word >= self.image.code.len() || self.image.code[word].slot(pl.fu) != Some(op) {
                     self.report(format!(
                         "prologue row {p} word {word} does not hold the planned op \
                          on the {} unit",
@@ -217,11 +231,11 @@ impl<'a> SchedChecker<'a> {
         for r in 1..s {
             let base = kernel_start + r * ii;
             for pl in plan.epilogue_row(r) {
-                let Some(op) = self.info.ops.get(pl.op_idx) else { continue };
+                let Some(op) = self.info.ops.get(pl.op_idx) else {
+                    continue;
+                };
                 let word = (base + pl.time % ii) as usize;
-                if word >= self.image.code.len()
-                    || self.image.code[word].slot(pl.fu) != Some(op)
-                {
+                if word >= self.image.code.len() || self.image.code[word].slot(pl.fu) != Some(op) {
                     self.report(format!(
                         "epilogue row {r} word {word} does not hold the planned op \
                          on the {} unit",
@@ -298,7 +312,12 @@ pub fn verify_pipelined_loop(
     info: &PipelinedLoopInfo,
     image: &FunctionImage,
 ) -> Vec<ScheduleError> {
-    SchedChecker { info, image, errors: Vec::new() }.run()
+    SchedChecker {
+        info,
+        image,
+        errors: Vec::new(),
+    }
+    .run()
 }
 
 /// Checks every pipelined loop phase 3 recorded for a function.
@@ -326,10 +345,18 @@ mod tests {
         );
         let checked = phase1(&src).expect("phase1");
         let f = &checked.module.sections[0].functions[0];
-        let p2 = phase2(f, &checked.sections[0].symbol_tables[0], &checked.sections[0].signatures)
-            .expect("phase2");
-        let p3 = phase3(&p2, &warp_target::config::CellConfig::default(), DEFAULT_MAX_II)
-            .expect("phase3");
+        let p2 = phase2(
+            f,
+            &checked.sections[0].symbol_tables[0],
+            &checked.sections[0].signatures,
+        )
+        .expect("phase2");
+        let p3 = phase3(
+            &p2,
+            &warp_target::config::CellConfig::default(),
+            DEFAULT_MAX_II,
+        )
+        .expect("phase3");
         (p3.pipelined, p3.image)
     }
 
@@ -362,9 +389,10 @@ mod tests {
         image.code[word] = warp_target::word::InstructionWord::new();
         let errs = verify_function_schedule(&plans, &image);
         assert!(
-            errs.iter().any(|e| e.message.contains("does not hold the planned op")
-                || e.message.contains("backedge")
-                || e.message.contains("decrement")),
+            errs.iter()
+                .any(|e| e.message.contains("does not hold the planned op")
+                    || e.message.contains("backedge")
+                    || e.message.contains("decrement")),
             "{errs:?}"
         );
     }

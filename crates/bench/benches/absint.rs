@@ -10,7 +10,11 @@ use warp_workload::{synthetic_program, FunctionSize};
 
 fn bench_analyze_by_size(c: &mut Criterion) {
     let mut group = c.benchmark_group("absint_analyze");
-    for size in [FunctionSize::Tiny, FunctionSize::Small, FunctionSize::Medium] {
+    for size in [
+        FunctionSize::Tiny,
+        FunctionSize::Small,
+        FunctionSize::Medium,
+    ] {
         let src = synthetic_program(size, 1);
         let checked = phase1(&src).unwrap();
         let f = &checked.module.sections[0].functions[0];
@@ -51,7 +55,10 @@ fn bench_compile_with_and_without(c: &mut Criterion) {
     let mut group = c.benchmark_group("compile_small_x2");
     group.sample_size(10);
     for (label, absint) in [("absint_off", false), ("absint_on", true)] {
-        let opts = CompileOptions { absint, ..CompileOptions::default() };
+        let opts = CompileOptions {
+            absint,
+            ..CompileOptions::default()
+        };
         group.bench_function(label, |b| {
             b.iter(|| compile_module_source(std::hint::black_box(&src), &opts).expect("compile"))
         });

@@ -37,8 +37,12 @@ fn bench_phase3(c: &mut Criterion) {
     let src = synthetic_program(FunctionSize::Medium, 1);
     let checked = phase1(&src).unwrap();
     let f = &checked.module.sections[0].functions[0];
-    let p2 = phase2(f, &checked.sections[0].symbol_tables[0], &checked.sections[0].signatures)
-        .unwrap();
+    let p2 = phase2(
+        f,
+        &checked.sections[0].symbol_tables[0],
+        &checked.sections[0].signatures,
+    )
+    .unwrap();
     let cfg = CellConfig::default();
     c.bench_function("phase3/medium", |b| {
         b.iter(|| phase3(std::hint::black_box(&p2), &cfg, DEFAULT_MAX_II).expect("phase3"))
@@ -48,8 +52,12 @@ fn bench_phase3(c: &mut Criterion) {
 fn bench_full_compile_by_size(c: &mut Criterion) {
     let mut group = c.benchmark_group("full_compile");
     group.sample_size(10);
-    for size in [FunctionSize::Tiny, FunctionSize::Small, FunctionSize::Medium, FunctionSize::Large]
-    {
+    for size in [
+        FunctionSize::Tiny,
+        FunctionSize::Small,
+        FunctionSize::Medium,
+        FunctionSize::Large,
+    ] {
         let src = synthetic_program(size, 1);
         group.bench_with_input(BenchmarkId::from_parameter(size), &src, |b, src| {
             b.iter(|| compile_module_source(src, &CompileOptions::default()).expect("compile"))
@@ -58,5 +66,11 @@ fn bench_full_compile_by_size(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_phase1, bench_phase2, bench_phase3, bench_full_compile_by_size);
+criterion_group!(
+    benches,
+    bench_phase1,
+    bench_phase2,
+    bench_phase3,
+    bench_full_compile_by_size
+);
 criterion_main!(benches);

@@ -36,7 +36,10 @@ fn bench_incremental(c: &mut Criterion) {
     // miss per build. Each iteration forks the primed cache so the
     // edited function's store cannot turn later iterations warm.
     let edited_src = src.replacen("0 to 15", "0 to 16", 1);
-    assert_ne!(edited_src, src, "workload must contain an editable loop bound");
+    assert_ne!(
+        edited_src, src,
+        "workload must contain an editable loop bound"
+    );
     let primed = FnCache::in_memory();
     compile_parallel_cached(&src, &opts, WORKERS, &primed).expect("prime");
     group.bench_function("one_edited", |b| {

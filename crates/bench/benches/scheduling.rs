@@ -53,5 +53,10 @@ fn bench_end_to_end_experiment(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_assignment, bench_simulator, bench_end_to_end_experiment);
+criterion_group!(
+    benches,
+    bench_assignment,
+    bench_simulator,
+    bench_end_to_end_experiment
+);
 criterion_main!(benches);

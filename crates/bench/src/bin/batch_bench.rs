@@ -83,7 +83,8 @@ fn strict_side(programs: &[SectionImage], inputs: &[LaneInput]) -> (u64, Vec<Opt
         let mut cell =
             Cell::new(CellConfig::default(), programs[input.program].clone()).expect("cell");
         cell.set_strict(true);
-        cell.prepare_call(&input.function, &input.args).expect("args");
+        cell.prepare_call(&input.function, &input.args)
+            .expect("args");
         match cell.run(MAX_CYCLES) {
             Ok(c) => {
                 cycles += c;
@@ -175,7 +176,10 @@ impl Row {
 fn measure(scenario: &'static str, batch: &mut BatchInterp, lanes: usize, work: &[Work]) -> Row {
     let (strict_cycles, strict_rets) = strict_all(work);
     let (batch_cycles, batch_rets) = batch_all(batch, work);
-    assert_eq!(strict_cycles, batch_cycles, "{scenario}: cycle counts diverge");
+    assert_eq!(
+        strict_cycles, batch_cycles,
+        "{scenario}: cycle counts diverge"
+    );
     assert_eq!(strict_rets, batch_rets, "{scenario}: results diverge");
     eprintln!("measuring {scenario} at {lanes} lanes ({RUNS} runs per engine)...");
     let strict_s = min_secs(|| {
@@ -184,11 +188,19 @@ fn measure(scenario: &'static str, batch: &mut BatchInterp, lanes: usize, work: 
     let batch_s = min_secs(|| {
         batch_all(batch, work);
     });
-    Row { scenario, lanes, cycles: strict_cycles, strict_s, batch_s }
+    Row {
+        scenario,
+        lanes,
+        cycles: strict_cycles,
+        strict_s,
+        batch_s,
+    }
 }
 
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_batch.json".to_string());
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_batch.json".to_string());
 
     // The gated corpus: kernels the size and shape of generated fuzz
     // programs — tens to a few hundred cycles per run. The harness
@@ -241,9 +253,7 @@ fn main() {
     }
     {
         let inputs: Vec<LaneInput> = (0..64)
-            .map(|i| {
-                LaneInput::call(0, "f", vec![Value::F(0.25 + i as f32 * 0.125), Value::I(5)])
-            })
+            .map(|i| LaneInput::call(0, "f", vec![Value::F(0.25 + i as f32 * 0.125), Value::I(5)]))
             .collect();
         let work = vec![(vec![longrun], inputs)];
         rows.push(measure("longrun", &mut batch, 64, &work));
@@ -254,7 +264,10 @@ fn main() {
                 LaneInput::call(
                     0,
                     "f",
-                    vec![Value::F(1.5 + i as f32 * 0.25), Value::I(50 + (i * 37) % 400)],
+                    vec![
+                        Value::F(1.5 + i as f32 * 0.25),
+                        Value::I(50 + (i * 37) % 400),
+                    ],
                 )
             })
             .collect();

@@ -54,8 +54,9 @@ fn median_secs(mut f: impl FnMut()) -> f64 {
 }
 
 fn main() {
-    let out_path =
-        std::env::args().nth(1).unwrap_or_else(|| "BENCH_parallel.json".to_string());
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_parallel.json".to_string());
     let opts = CompileOptions::default();
 
     let mut rows = String::new();

@@ -79,7 +79,9 @@ fn modeled_speedup(phase1: u64, compile_units: &[u64], link: u64, workers: usize
 /// `"workers": 8` row with plain string scanning (the bench crates
 /// carry no JSON dependency).
 fn baseline_speedup_8w(json: &str) -> Option<f64> {
-    let row = json.split('{').find(|part| part.contains("\"workers\": 8"))?;
+    let row = json
+        .split('{')
+        .find(|part| part.contains("\"workers\": 8"))?;
     let after = row.split("\"modeled_speedup\":").nth(1)?;
     let num: String = after
         .trim_start()
@@ -101,14 +103,21 @@ fn main() {
     let out_path = if check_path.is_some() {
         None
     } else {
-        Some(args.first().cloned().unwrap_or_else(|| "BENCH_threads.json".to_string()))
+        Some(
+            args.first()
+                .cloned()
+                .unwrap_or_else(|| "BENCH_threads.json".to_string()),
+        )
     };
 
     let opts = CompileOptions::default();
     let src = synthetic_program(FunctionSize::Medium, 8);
     let reference = compile_module_source(&src, &opts).expect("sequential compile");
-    let compile_units: Vec<u64> =
-        reference.records.iter().map(FunctionRecord::compile_units).collect();
+    let compile_units: Vec<u64> = reference
+        .records
+        .iter()
+        .map(FunctionRecord::compile_units)
+        .collect();
     let (phase1, link) = (reference.phase1_units, reference.link_units);
 
     let host_cores = std::thread::available_parallelism().map_or(1, usize::from);
@@ -136,7 +145,11 @@ fn main() {
             "    {{\"workers\": {workers}, \"modeled_speedup\": {modeled:.4}, \
              \"wall_speedup\": {wall:.4}, \"seq_wall_s\": {seq_wall_s:.6}, \
              \"par_wall_s\": {par_wall_s:.6}}}{}",
-            if i + 1 < WORKER_COUNTS.len() { ",\n" } else { "\n" }
+            if i + 1 < WORKER_COUNTS.len() {
+                ",\n"
+            } else {
+                "\n"
+            }
         );
     }
 

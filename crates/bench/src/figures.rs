@@ -20,9 +20,31 @@ pub const USER_PROCS: [usize; 4] = [2, 3, 5, 9];
 
 /// All figure names accepted by [`render`].
 pub const FIGURES: [&str; 25] = [
-    "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-    "fig14", "fig15", "fig16", "user-table", "headline", "ablation-inline", "ablation-unroll",
-    "parmake", "katseff", "scheduling", "utilization", "ablation-ifconv", "cache", "faults",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "user-table",
+    "headline",
+    "ablation-inline",
+    "ablation-unroll",
+    "parmake",
+    "katseff",
+    "scheduling",
+    "utilization",
+    "ablation-ifconv",
+    "cache",
+    "faults",
 ];
 
 /// Every measurement the figures need, collected once.
@@ -54,11 +76,8 @@ impl EvalData {
         }
         // Per-function sequential times: replay each function's units
         // through the cost model at the sequential compiler's heap.
-        let result = parcc::compile_module_source(
-            &warp_workload::user_program(),
-            &e.opts,
-        )
-        .expect("user program");
+        let result = parcc::compile_module_source(&warp_workload::user_program(), &e.opts)
+            .expect("user program");
         let seq_total: f64 = user[&9].seq.elapsed_s;
         let total_units: u64 = result.records.iter().map(|r| r.compile_units()).sum();
         let user_fn_seconds = result
@@ -72,7 +91,11 @@ impl EvalData {
                 (r.name.clone(), r.lines, seq_total * frac)
             })
             .collect();
-        EvalData { synthetic, user, user_fn_seconds }
+        EvalData {
+            synthetic,
+            user,
+            user_fn_seconds,
+        }
     }
 
     fn cmp(&self, size: FunctionSize, n: usize) -> &Comparison {
@@ -152,17 +175,30 @@ fn fig7(data: &EvalData) -> String {
 /// (Figures 8, 9, 10).
 fn overhead_figure(data: &EvalData, sizes: &[FunctionSize], fig: &str) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "{fig}: overheads as percentage of parallel elapsed time");
+    let _ = writeln!(
+        out,
+        "{fig}: overheads as percentage of parallel elapsed time"
+    );
     let mut header = format!("{:>4}", "n");
     for size in sizes {
-        let _ = write!(header, " {:>12} {:>12}", format!("tot {size}"), format!("sys {size}"));
+        let _ = write!(
+            header,
+            " {:>12} {:>12}",
+            format!("tot {size}"),
+            format!("sys {size}")
+        );
     }
     let _ = writeln!(out, "{header}");
     for n in NS {
         let mut row = format!("{n:>4}");
         for size in sizes {
             let o = &data.cmp(*size, n).overheads;
-            let _ = write!(row, " {:>11.1}% {:>11.1}%", o.total_frac * 100.0, o.system_frac * 100.0);
+            let _ = write!(
+                row,
+                " {:>11.1}% {:>11.1}%",
+                o.total_frac * 100.0,
+                o.system_frac * 100.0
+            );
         }
         let _ = writeln!(out, "{row}");
     }
@@ -175,14 +211,24 @@ fn abs_overhead_figure(data: &EvalData, sizes: &[FunctionSize], fig: &str) -> St
     let _ = writeln!(out, "{fig}: absolute overheads (minutes)");
     let mut header = format!("{:>4}", "n");
     for size in sizes {
-        let _ = write!(header, " {:>12} {:>12}", format!("tot {size}"), format!("sys {size}"));
+        let _ = write!(
+            header,
+            " {:>12} {:>12}",
+            format!("tot {size}"),
+            format!("sys {size}")
+        );
     }
     let _ = writeln!(out, "{header}");
     for n in NS {
         let mut row = format!("{n:>4}");
         for size in sizes {
             let o = &data.cmp(*size, n).overheads;
-            let _ = write!(row, " {:>11.2}m {:>11.2}m", minutes(o.total_s), minutes(o.system_s));
+            let _ = write!(
+                row,
+                " {:>11.2}m {:>11.2}m",
+                minutes(o.total_s),
+                minutes(o.system_s)
+            );
         }
         let _ = writeln!(out, "{row}");
     }
@@ -193,7 +239,11 @@ fn abs_overhead_figure(data: &EvalData, sizes: &[FunctionSize], fig: &str) -> St
 fn fig11(data: &EvalData) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "fig11: speedup for the user program (9 functions)");
-    let _ = writeln!(out, "{:>6} {:>9} {:>14} {:>14}", "procs", "speedup", "seq elapsed", "par elapsed");
+    let _ = writeln!(
+        out,
+        "{:>6} {:>9} {:>14} {:>14}",
+        "procs", "speedup", "seq elapsed", "par elapsed"
+    );
     for p in 2..=9usize {
         let c = &data.user[&p];
         let _ = writeln!(
@@ -211,7 +261,10 @@ fn fig11(data: &EvalData) -> String {
 /// program, plus the idle-time observation at 9 processors.
 fn user_table(data: &EvalData) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "user-table: sequential compile time per user-program function");
+    let _ = writeln!(
+        out,
+        "user-table: sequential compile time per user-program function"
+    );
     let _ = writeln!(out, "{:>16} {:>6} {:>10}", "function", "lines", "seq time");
     for (name, lines, secs) in &data.user_fn_seconds {
         let _ = writeln!(out, "{name:>16} {lines:>6} {:>9.1}m", minutes(*secs));
@@ -262,7 +315,10 @@ fn ablation_inline() -> String {
     let e = Experiment::default();
     let a = e.inline_ablation().expect("ablation");
     let mut out = String::new();
-    let _ = writeln!(out, "ablation-inline: §5.1 procedure inlining on a call-heavy program");
+    let _ = writeln!(
+        out,
+        "ablation-inline: §5.1 procedure inlining on a call-heavy program"
+    );
     let _ = writeln!(
         out,
         "{:>12} {:>10} {:>12} {:>12} {:>9}",
@@ -292,7 +348,10 @@ fn ablation_unroll() -> String {
     let e = Experiment::default();
     let points = e.unroll_ablation().expect("ablation");
     let mut out = String::new();
-    let _ = writeln!(out, "ablation-unroll: §6 compile time vs code quality (64-element saxpy)");
+    let _ = writeln!(
+        out,
+        "ablation-unroll: §6 compile time vs code quality (64-element saxpy)"
+    );
     let _ = writeln!(
         out,
         "{:>8} {:>14} {:>11} {:>12}",
@@ -318,7 +377,10 @@ fn parmake() -> String {
     let e = Experiment::default();
     let r = parcc::parmake::parmake_comparison(&e).expect("parmake");
     let mut out = String::new();
-    let _ = writeln!(out, "parmake: §3.4 parallel make vs parallel compiler (4-module system)");
+    let _ = writeln!(
+        out,
+        "parmake: §3.4 parallel make vs parallel compiler (4-module system)"
+    );
     let _ = writeln!(out, "{:>22} {:>14} {:>9}", "strategy", "elapsed", "speedup");
     for (label, elapsed) in [
         ("sequential make", r.sequential_s),
@@ -396,7 +458,10 @@ fn ablation_ifconv() -> String {
     let e = Experiment::default();
     let points = e.ifconv_ablation().expect("ablation");
     let mut out = String::new();
-    let _ = writeln!(out, "ablation-ifconv: branchy 64-iteration kernel, with/without if-conversion");
+    let _ = writeln!(
+        out,
+        "ablation-ifconv: branchy 64-iteration kernel, with/without if-conversion"
+    );
     let _ = writeln!(
         out,
         "{:>12} {:>14} {:>10} {:>12}",
@@ -406,7 +471,11 @@ fn ablation_ifconv() -> String {
         let _ = writeln!(
             out,
             "{:>12} {:>14} {:>10} {:>12}",
-            if p.converted { "if-convert" } else { "baseline" },
+            if p.converted {
+                "if-convert"
+            } else {
+                "baseline"
+            },
             p.compile_units,
             p.pipelined_loops,
             p.cycles
@@ -426,7 +495,10 @@ fn cache_figure() -> String {
     use parcc::simspec::{par_spec, par_spec_cached};
     let e = Experiment::default();
     let mut out = String::new();
-    let _ = writeln!(out, "cache: warm-cache rebuilds of the fig6 workload (parallel compiler)");
+    let _ = writeln!(
+        out,
+        "cache: warm-cache rebuilds of the fig6 workload (parallel compiler)"
+    );
     let _ = writeln!(
         out,
         "{:>4} {:>12} {:>12} {:>12} {:>10}",
@@ -437,8 +509,7 @@ fn cache_figure() -> String {
         let result = parcc::compile_module_source(&src, &e.opts)
             .unwrap_or_else(|err| panic!("compile medium n={n}: {err}"));
         let a = parcc::fcfs(n, e.model.host.workstations - 1);
-        let cold =
-            warp_netsim::simulate(e.model.host, par_spec(&result, &e.model, &a)).elapsed_s;
+        let cold = warp_netsim::simulate(e.model.host, par_spec(&result, &e.model, &a)).elapsed_s;
         let warm = warp_netsim::simulate(
             e.model.host,
             par_spec_cached(&result, &e.model, &a, &vec![true; n]),
@@ -499,7 +570,10 @@ fn scheduling() -> String {
     let src = warp_workload::user_program();
     let result = parcc::compile_module_source(&src, &e.opts).expect("compile");
     let mut out = String::new();
-    let _ = writeln!(out, "scheduling: FCFS wrap-around vs LPT grouping (user program)");
+    let _ = writeln!(
+        out,
+        "scheduling: FCFS wrap-around vs LPT grouping (user program)"
+    );
     let _ = writeln!(out, "{:>6} {:>12} {:>12}", "procs", "fcfs", "grouped");
     for p in [2usize, 3, 5, 9] {
         // FCFS restricted to p machines: emulate by a model with fewer
@@ -508,7 +582,11 @@ fn scheduling() -> String {
         fcfs_model.model.host.workstations = p + 1; // + the master's
         let fcfs = fcfs_model.compare_result(&result, Placement::Fcfs);
         let grouped = e.compare_result(&result, Placement::Grouped { processors: p });
-        let _ = writeln!(out, "{p:>6} {:>12.2} {:>12.2}", fcfs.speedup, grouped.speedup);
+        let _ = writeln!(
+            out,
+            "{p:>6} {:>12.2} {:>12.2}",
+            fcfs.speedup, grouped.speedup
+        );
     }
     let _ = writeln!(
         out,
@@ -524,9 +602,15 @@ fn utilization() -> String {
     let src = warp_workload::synthetic_program(FunctionSize::Large, 8);
     let result = parcc::compile_module_source(&src, &e.opts).expect("compile");
     let a = parcc::fcfs(result.records.len(), e.model.host.workstations - 1);
-    let rep = warp_netsim::simulate(e.model.host, parcc::simspec::par_spec(&result, &e.model, &a));
+    let rep = warp_netsim::simulate(
+        e.model.host,
+        parcc::simspec::par_spec(&result, &e.model, &a),
+    );
     let mut out = String::new();
-    let _ = writeln!(out, "utilization: shared resources during parallel S8(f_large)");
+    let _ = writeln!(
+        out,
+        "utilization: shared resources during parallel S8(f_large)"
+    );
     let _ = writeln!(out, "  elapsed          {:>8.1} min", rep.elapsed_s / 60.0);
     let _ = writeln!(
         out,
@@ -543,7 +627,10 @@ fn utilization() -> String {
     let used = rep.workstations_used();
     let avg_cpu: f64 =
         rep.cpu_busy_s.iter().sum::<f64>() / used.max(1) as f64 / rep.elapsed_s * 100.0;
-    let _ = writeln!(out, "  workstations     {used} used, avg CPU utilization {avg_cpu:.1}%");
+    let _ = writeln!(
+        out,
+        "  workstations     {used} used, avg CPU utilization {avg_cpu:.1}%"
+    );
     let _ = writeln!(
         out,
         "\"general purpose systems such as workstations connected by local networks can\nserve as efficient parallel hosts\" (§5) — the file server is the shared\nbottleneck that limits scaling (§5.2)"

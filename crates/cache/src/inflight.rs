@@ -119,7 +119,11 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(peak.load(Ordering::SeqCst), 1, "two leases on one key overlapped");
+        assert_eq!(
+            peak.load(Ordering::SeqCst),
+            1,
+            "two leases on one key overlapped"
+        );
         assert!(inflight.is_empty());
     }
 

@@ -60,7 +60,9 @@ const FNV64_PRIME: u64 = 0x0000_0100_0000_01b3;
 impl StableHasher {
     /// A fresh hasher at the FNV-1a offset basis.
     pub fn new() -> StableHasher {
-        StableHasher { state: FNV64_OFFSET }
+        StableHasher {
+            state: FNV64_OFFSET,
+        }
     }
 
     /// Feeds raw bytes.

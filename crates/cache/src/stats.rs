@@ -90,7 +90,13 @@ mod tests {
 
     #[test]
     fn display_and_rates() {
-        let s = CacheStats { memory_hits: 3, disk_hits: 1, misses: 4, stores: 4, errors: 0 };
+        let s = CacheStats {
+            memory_hits: 3,
+            disk_hits: 1,
+            misses: 4,
+            stores: 4,
+            errors: 0,
+        };
         assert_eq!(s.hits(), 4);
         assert_eq!(s.lookups(), 8);
         assert!((s.hit_rate() - 0.5).abs() < 1e-12);

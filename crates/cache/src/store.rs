@@ -48,7 +48,11 @@ impl<V: CacheValue> Cache<V> {
     /// `compile_parallel_cached` uses within one build, and what tests
     /// use for warm-rebuild scenarios).
     pub fn in_memory() -> Cache<V> {
-        Cache { map: Mutex::new(HashMap::new()), dir: None, stats: StatCounters::default() }
+        Cache {
+            map: Mutex::new(HashMap::new()),
+            dir: None,
+            stats: StatCounters::default(),
+        }
     }
 
     /// A cache backed by an on-disk object directory (`warpcc

@@ -85,7 +85,12 @@ impl Emitter {
         self.words.len() - 1
     }
 
-    fn place_scheduled(&mut self, block: &crate::vcode::VBlock, sched: &BlockSchedule, base: usize) {
+    fn place_scheduled(
+        &mut self,
+        block: &crate::vcode::VBlock,
+        sched: &BlockSchedule,
+        base: usize,
+    ) {
         // Ensure capacity: words base .. base+len.
         while self.words.len() < base + sched.len as usize {
             self.words.push(InstructionWord::new());
@@ -234,21 +239,37 @@ fn emit_terminator(em: &mut Emitter, bi: usize, term: &VTerm, nblocks: usize) {
                 em.fixups.push(Fixup::Jump { word: w, block: *t });
             }
         }
-        VTerm::Branch { cond, then_blk, else_blk } => {
+        VTerm::Branch {
+            cond,
+            then_blk,
+            else_blk,
+        } => {
             let cond = cond.as_phys().expect("allocated condition");
             let w = em.push(InstructionWord::branch_only(BranchOp::BrTrue(cond, 0)));
-            em.fixups.push(Fixup::BrTrue { word: w, block: *then_blk });
+            em.fixups.push(Fixup::BrTrue {
+                word: w,
+                block: *then_blk,
+            });
             if *else_blk != bi + 1 {
                 let w = em.push(InstructionWord::branch_only(BranchOp::Jump(0)));
-                em.fixups.push(Fixup::Jump { word: w, block: *else_blk });
+                em.fixups.push(Fixup::Jump {
+                    word: w,
+                    block: *else_blk,
+                });
             }
         }
         VTerm::Call { callee, next } => {
             let w = em.push(InstructionWord::branch_only(BranchOp::Call(u32::MAX)));
-            em.call_relocs.push(CallReloc { word: w as u32, callee: callee.clone() });
+            em.call_relocs.push(CallReloc {
+                word: w as u32,
+                callee: callee.clone(),
+            });
             if *next != bi + 1 {
                 let w = em.push(InstructionWord::branch_only(BranchOp::Jump(0)));
-                em.fixups.push(Fixup::Jump { word: w, block: *next });
+                em.fixups.push(Fixup::Jump {
+                    word: w,
+                    block: *next,
+                });
             }
         }
     }
@@ -273,9 +294,19 @@ fn emit_pipelined(em: &mut Emitter, vf: &VFunc, bi: usize, plan: &LoopPlan, stat
     // trip = (limit - i) + 1   (step = +1)   or (i - limit) + 1.
     let mut w = InstructionWord::new();
     let sub = if plan.step > 0 {
-        Op { opcode: Opcode::ISub, dst: Some(tmp_reg), a: Some(limit), b: Some(ind) }
+        Op {
+            opcode: Opcode::ISub,
+            dst: Some(tmp_reg),
+            a: Some(limit),
+            b: Some(ind),
+        }
     } else {
-        Op { opcode: Opcode::ISub, dst: Some(tmp_reg), a: Some(ind), b: Some(limit) }
+        Op {
+            opcode: Opcode::ISub,
+            dst: Some(tmp_reg),
+            a: Some(ind),
+            b: Some(limit),
+        }
     };
     w.place(FuKind::Alu, sub).expect("guard word");
     em.push(w);
@@ -345,7 +376,10 @@ fn emit_pipelined(em: &mut Emitter, vf: &VFunc, bi: usize, plan: &LoopPlan, stat
         .expect("guard word");
         em.push(w);
         let gw = em.push(InstructionWord::branch_only(BranchOp::BrTrue(guard_reg, 0)));
-        em.fixups.push(Fixup::BrTrueFallback { word: gw, block: bi });
+        em.fixups.push(Fixup::BrTrueFallback {
+            word: gw,
+            block: bi,
+        });
     }
 
     // ---- prologue rows ------------------------------------------------
@@ -357,7 +391,9 @@ fn emit_pipelined(em: &mut Emitter, vf: &VFunc, bi: usize, plan: &LoopPlan, stat
         for pl in plan.prologue_row(p) {
             let op = to_target_op(&block.ops[pl.op_idx]);
             let slot = (pl.time % ii) as usize;
-            em.words[base + slot].place(pl.fu, op).expect("prologue placement");
+            em.words[base + slot]
+                .place(pl.fu, op)
+                .expect("prologue placement");
         }
     }
 
@@ -376,7 +412,9 @@ fn emit_pipelined(em: &mut Emitter, vf: &VFunc, bi: usize, plan: &LoopPlan, stat
     for pl in &plan.placements {
         let op = to_target_op(&block.ops[pl.op_idx]);
         let slot = (pl.time % ii) as usize;
-        em.words[base + slot].place(pl.fu, op).expect("kernel placement");
+        em.words[base + slot]
+            .place(pl.fu, op)
+            .expect("kernel placement");
     }
     // Counter decrement.
     let dec = Op {
@@ -387,10 +425,14 @@ fn emit_pipelined(em: &mut Emitter, vf: &VFunc, bi: usize, plan: &LoopPlan, stat
     };
     match plan.counter {
         CounterStrategy::EarlierWord { slot, fu } => {
-            em.words[base + slot as usize].place(fu, dec).expect("counter slot");
+            em.words[base + slot as usize]
+                .place(fu, dec)
+                .expect("counter slot");
         }
         CounterStrategy::SameWord { fu } => {
-            em.words[base + ii as usize - 1].place(fu, dec).expect("counter slot");
+            em.words[base + ii as usize - 1]
+                .place(fu, dec)
+                .expect("counter slot");
         }
     }
     // Loop-back branch in the kernel's last word.
@@ -405,7 +447,9 @@ fn emit_pipelined(em: &mut Emitter, vf: &VFunc, bi: usize, plan: &LoopPlan, stat
         for pl in plan.epilogue_row(r) {
             let op = to_target_op(&block.ops[pl.op_idx]);
             let slot = (pl.time % ii) as usize;
-            em.words[base + slot].place(pl.fu, op).expect("epilogue placement");
+            em.words[base + slot]
+                .place(pl.fu, op)
+                .expect("epilogue placement");
         }
     }
 
@@ -414,7 +458,10 @@ fn emit_pipelined(em: &mut Emitter, vf: &VFunc, bi: usize, plan: &LoopPlan, stat
         em.push(InstructionWord::new());
     }
     let jw = em.push(InstructionWord::branch_only(BranchOp::Jump(0)));
-    em.fixups.push(Fixup::Jump { word: jw, block: exit });
+    em.fixups.push(Fixup::Jump {
+        word: jw,
+        block: exit,
+    });
 
     // ---- fallback: plain scheduled loop body ------------------------------
     em.fallback_addr[bi] = Some(em.words.len() as u32);
@@ -425,10 +472,15 @@ fn emit_pipelined(em: &mut Emitter, vf: &VFunc, bi: usize, plan: &LoopPlan, stat
     stats.list_attempts += sched.attempts;
     let base = em.words.len();
     em.place_scheduled(block, &sched, base);
-    let bw = em.push(InstructionWord::branch_only(BranchOp::BrTrue(cond, fb_start)));
+    let bw = em.push(InstructionWord::branch_only(BranchOp::BrTrue(
+        cond, fb_start,
+    )));
     let _ = bw;
     let jw = em.push(InstructionWord::branch_only(BranchOp::Jump(0)));
-    em.fixups.push(Fixup::Jump { word: jw, block: exit });
+    em.fixups.push(Fixup::Jump {
+        word: jw,
+        block: exit,
+    });
 }
 
 #[cfg(test)]
@@ -446,8 +498,12 @@ mod tests {
     fn compile_fn(src: &str, idx: usize) -> (FunctionImage, EmitStats) {
         let checked = phase1(src).expect("phase1");
         let f = &checked.module.sections[0].functions[idx];
-        let r = phase2(f, &checked.sections[0].symbol_tables[idx], &checked.sections[0].signatures)
-            .expect("phase2");
+        let r = phase2(
+            f,
+            &checked.sections[0].symbol_tables[idx],
+            &checked.sections[0].signatures,
+        )
+        .expect("phase2");
         let mut vf = select(&r.ir, &r.loops.pipelinable_blocks());
         allocate(&mut vf, &CellConfig::default()).expect("regalloc");
         emit_function(&vf, 256)
@@ -492,8 +548,14 @@ mod tests {
             0,
         );
         let sec = image_of(vec![img]);
-        assert_eq!(run_f32(&sec, "f", &[Value::F(2.0), Value::I(0)], true), 10.0);
-        assert_eq!(run_f32(&sec, "f", &[Value::F(0.5), Value::I(0)], true), 20.0);
+        assert_eq!(
+            run_f32(&sec, "f", &[Value::F(2.0), Value::I(0)], true),
+            10.0
+        );
+        assert_eq!(
+            run_f32(&sec, "f", &[Value::F(0.5), Value::I(0)], true),
+            20.0
+        );
     }
 
     #[test]
@@ -547,7 +609,10 @@ mod tests {
             0,
         );
         let sec = image_of(vec![img]);
-        assert_eq!(run_f32(&sec, "f", &[Value::F(0.0), Value::I(0)], true), 55.0);
+        assert_eq!(
+            run_f32(&sec, "f", &[Value::F(0.0), Value::I(0)], true),
+            55.0
+        );
     }
 
     #[test]
@@ -557,7 +622,10 @@ mod tests {
             0,
         );
         let sec = image_of(vec![img]);
-        assert_eq!(run_f32(&sec, "f", &[Value::F(3.0), Value::I(0)], true), 192.0);
+        assert_eq!(
+            run_f32(&sec, "f", &[Value::F(3.0), Value::I(0)], true),
+            192.0
+        );
     }
 
     #[test]
@@ -568,14 +636,9 @@ mod tests {
              t := x + 1.0; u := g(x); return t + u; end; end;";
         let (g_img, _) = compile_fn(src, 0);
         let (f_img, _) = compile_fn(src, 1);
-        let (sec, _) = crate::link::link_section(
-            "a",
-            0,
-            0,
-            vec![g_img, f_img],
-            &CellConfig::default(),
-        )
-        .expect("link");
+        let (sec, _) =
+            crate::link::link_section("a", 0, 0, vec![g_img, f_img], &CellConfig::default())
+                .expect("link");
         let got = run_f32(&sec, "f", &[Value::F(2.0)], true);
         assert_eq!(got, 9.0); // (2+1) + 2*3
     }
@@ -589,7 +652,8 @@ mod tests {
         let sec = image_of(vec![img]);
         let mut cell = Cell::new(CellConfig::default(), sec).unwrap();
         cell.set_strict(true);
-        cell.prepare_call("f", &[Value::F(0.0), Value::I(0)]).unwrap();
+        cell.prepare_call("f", &[Value::F(0.0), Value::I(0)])
+            .unwrap();
         cell.run(1_000_000).unwrap();
         let got: Vec<f32> = cell
             .out_right
@@ -615,7 +679,8 @@ mod tests {
         let sec = image_of(vec![img.clone()]);
         let mut cell = Cell::new(CellConfig::default(), sec).unwrap();
         cell.set_strict(true);
-        cell.prepare_call("f", &[Value::F(0.0), Value::I(0)]).unwrap();
+        cell.prepare_call("f", &[Value::F(0.0), Value::I(0)])
+            .unwrap();
         cell.run(1_000_000).unwrap();
         let pipelined_cycles = cell.cycle();
         // Each serial body is ~15+ cycles; 2 × 64 iterations serial
@@ -633,7 +698,10 @@ mod tests {
             0,
         );
         let sec = image_of(vec![img]);
-        assert_eq!(run_f32(&sec, "f", &[Value::F(0.0), Value::I(0)], true), 64.0);
+        assert_eq!(
+            run_f32(&sec, "f", &[Value::F(0.0), Value::I(0)], true),
+            64.0
+        );
     }
 }
 
@@ -663,8 +731,12 @@ pub(crate) mod tests_debug_helper {
              for i := 0 to 63 do v[i] := w[i] * 2.0 + 1.0; end; return t; end; end;";
         let checked = phase1(src).expect("phase1");
         let f = &checked.module.sections[0].functions[0];
-        let r = phase2(f, &checked.sections[0].symbol_tables[0], &checked.sections[0].signatures)
-            .expect("phase2");
+        let r = phase2(
+            f,
+            &checked.sections[0].symbol_tables[0],
+            &checked.sections[0].signatures,
+        )
+        .expect("phase2");
         let mut vf = select(&r.ir, &r.loops.pipelinable_blocks());
         allocate(&mut vf, &CellConfig::default()).expect("regalloc");
         let (img, _) = crate::emit::emit_function(&vf, 256);
@@ -676,7 +748,8 @@ pub(crate) mod tests_debug_helper {
         }
         let mut cell = Cell::new(CellConfig::default(), sec).unwrap();
         cell.set_strict(true);
-        cell.prepare_call("f", &[Value::F(0.0), Value::I(0)]).unwrap();
+        cell.prepare_call("f", &[Value::F(0.0), Value::I(0)])
+            .unwrap();
         for _ in 0..100000 {
             let (fi, pc, word) = cell.debug_position();
             match cell.step() {

@@ -51,7 +51,10 @@ impl std::fmt::Display for LinkError {
                 write!(f, "unresolved call from `{caller}` to `{callee}`")
             }
             LinkError::CodeTooLarge { needed, available } => {
-                write!(f, "code needs {needed} words, instruction memory has {available}")
+                write!(
+                    f,
+                    "code needs {needed} words, instruction memory has {available}"
+                )
             }
             LinkError::DataTooLarge { needed, available } => {
                 write!(f, "data needs {needed} words, data memory has {available}")
@@ -115,14 +118,21 @@ pub fn plan_section(
     }
     let code_words: u64 = functions.iter().map(|f| u64::from(f.code_words())).sum();
     if code_words > u64::from(config.inst_mem_words) {
-        return Err(LinkError::CodeTooLarge { needed: code_words, available: config.inst_mem_words });
+        return Err(LinkError::CodeTooLarge {
+            needed: code_words,
+            available: config.inst_mem_words,
+        });
     }
     let name_to_index = functions
         .iter()
         .enumerate()
         .map(|(i, f)| (f.name.clone(), i as u32))
         .collect();
-    Ok(SectionPlan { data_bases, data_words: next, name_to_index })
+    Ok(SectionPlan {
+        data_bases,
+        data_words: next,
+        name_to_index,
+    })
 }
 
 /// Rebases one function's address operands onto its data base and
@@ -171,7 +181,10 @@ pub fn resolve_function(
     let relocs = std::mem::take(&mut f.call_relocs);
     for r in relocs {
         let Some(&target) = plan_names.get(&r.callee) else {
-            return Err(LinkError::UnresolvedCall { caller: f.name.clone(), callee: r.callee });
+            return Err(LinkError::UnresolvedCall {
+                caller: f.name.clone(),
+                callee: r.callee,
+            });
         };
         f.code[r.word as usize].branch = Some(BranchOp::Call(target));
         callees.push(target);
@@ -198,7 +211,9 @@ pub fn finish_section(
 ) -> Result<SectionImage, LinkError> {
     // Reject recursion: static data areas cannot support it.
     if let Some(cycle_node) = find_cycle(call_graph) {
-        return Err(LinkError::Recursive { name: functions[cycle_node].name.clone() });
+        return Err(LinkError::Recursive {
+            name: functions[cycle_node].name.clone(),
+        });
     }
     let entry = functions.iter().position(|f| f.name == "main").unwrap_or(0);
     Ok(SectionImage {
@@ -239,7 +254,14 @@ pub fn link_section(
         work.addrs_rebased += w.addrs_rebased;
         work.calls_resolved += w.calls_resolved;
     }
-    let image = finish_section(section_name, first_cell, last_cell, functions, plan, &call_graph)?;
+    let image = finish_section(
+        section_name,
+        first_cell,
+        last_cell,
+        functions,
+        plan,
+        &call_graph,
+    )?;
     Ok((image, work))
 }
 
@@ -302,7 +324,11 @@ pub fn generate_io_driver(name: &str, sections: &[SectionImage]) -> String {
 /// Combines linked sections into the final downloadable module image.
 pub fn assemble_module(name: &str, sections: Vec<SectionImage>) -> ModuleImage {
     let io_driver = generate_io_driver(name, &sections);
-    ModuleImage { name: name.to_string(), section_images: sections, io_driver }
+    ModuleImage {
+        name: name.to_string(),
+        section_images: sections,
+        io_driver,
+    }
 }
 
 #[cfg(test)]
@@ -326,7 +352,11 @@ mod tests {
 
     fn load_addr_word(addr: u32) -> InstructionWord {
         let mut w = InstructionWord::new();
-        w.place(FuKind::Mem, Op::new1(Opcode::Load, Reg(12), Operand::Addr(addr))).unwrap();
+        w.place(
+            FuKind::Mem,
+            Op::new1(Opcode::Load, Reg(12), Operand::Addr(addr)),
+        )
+        .unwrap();
         w
     }
 
@@ -334,8 +364,7 @@ mod tests {
     fn data_bases_are_cumulative_and_addrs_rebased() {
         let f1 = img("a", 10, vec![load_addr_word(3)]);
         let f2 = img("b", 5, vec![load_addr_word(0)]);
-        let (sec, work) =
-            link_section("s", 0, 0, vec![f1, f2], &CellConfig::default()).unwrap();
+        let (sec, work) = link_section("s", 0, 0, vec![f1, f2], &CellConfig::default()).unwrap();
         assert_eq!(sec.data_bases, vec![0, 10]);
         assert_eq!(sec.data_words, 15);
         assert_eq!(work.addrs_rebased, 2);
@@ -347,29 +376,60 @@ mod tests {
 
     #[test]
     fn calls_resolved_by_name() {
-        let mut f1 = img("caller", 0, vec![InstructionWord::branch_only(BranchOp::Call(u32::MAX))]);
-        f1.call_relocs.push(CallReloc { word: 0, callee: "callee".into() });
-        let f2 = img("callee", 0, vec![InstructionWord::branch_only(BranchOp::Ret)]);
-        let (sec, work) =
-            link_section("s", 0, 0, vec![f1, f2], &CellConfig::default()).unwrap();
+        let mut f1 = img(
+            "caller",
+            0,
+            vec![InstructionWord::branch_only(BranchOp::Call(u32::MAX))],
+        );
+        f1.call_relocs.push(CallReloc {
+            word: 0,
+            callee: "callee".into(),
+        });
+        let f2 = img(
+            "callee",
+            0,
+            vec![InstructionWord::branch_only(BranchOp::Ret)],
+        );
+        let (sec, work) = link_section("s", 0, 0, vec![f1, f2], &CellConfig::default()).unwrap();
         assert_eq!(work.calls_resolved, 1);
         assert_eq!(sec.functions[0].code[0].branch, Some(BranchOp::Call(1)));
     }
 
     #[test]
     fn unresolved_call_is_error() {
-        let mut f1 = img("caller", 0, vec![InstructionWord::branch_only(BranchOp::Call(u32::MAX))]);
-        f1.call_relocs.push(CallReloc { word: 0, callee: "ghost".into() });
+        let mut f1 = img(
+            "caller",
+            0,
+            vec![InstructionWord::branch_only(BranchOp::Call(u32::MAX))],
+        );
+        f1.call_relocs.push(CallReloc {
+            word: 0,
+            callee: "ghost".into(),
+        });
         let err = link_section("s", 0, 0, vec![f1], &CellConfig::default()).unwrap_err();
         assert!(matches!(err, LinkError::UnresolvedCall { .. }));
     }
 
     #[test]
     fn recursion_rejected() {
-        let mut f1 = img("a", 0, vec![InstructionWord::branch_only(BranchOp::Call(u32::MAX))]);
-        f1.call_relocs.push(CallReloc { word: 0, callee: "b".into() });
-        let mut f2 = img("b", 0, vec![InstructionWord::branch_only(BranchOp::Call(u32::MAX))]);
-        f2.call_relocs.push(CallReloc { word: 0, callee: "a".into() });
+        let mut f1 = img(
+            "a",
+            0,
+            vec![InstructionWord::branch_only(BranchOp::Call(u32::MAX))],
+        );
+        f1.call_relocs.push(CallReloc {
+            word: 0,
+            callee: "b".into(),
+        });
+        let mut f2 = img(
+            "b",
+            0,
+            vec![InstructionWord::branch_only(BranchOp::Call(u32::MAX))],
+        );
+        f2.call_relocs.push(CallReloc {
+            word: 0,
+            callee: "a".into(),
+        });
         let err = link_section("s", 0, 0, vec![f1, f2], &CellConfig::default()).unwrap_err();
         assert!(matches!(err, LinkError::Recursive { .. }));
     }

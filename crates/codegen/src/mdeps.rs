@@ -113,8 +113,17 @@ pub fn induction_deltas(block: &VBlock) -> Option<(Reg, i64, ChainMap)> {
     for op in &block.ops {
         let d = def(op);
         match (op.opcode, d, op.a, op.b) {
-            (Opcode::IAdd | Opcode::ISub, Some(d), Some(VOperand::Phys(s)), Some(VOperand::ImmI(c))) => {
-                let c = if op.opcode == Opcode::IAdd { c as i64 } else { -(c as i64) };
+            (
+                Opcode::IAdd | Opcode::ISub,
+                Some(d),
+                Some(VOperand::Phys(s)),
+                Some(VOperand::ImmI(c)),
+            ) => {
+                let c = if op.opcode == Opcode::IAdd {
+                    c as i64
+                } else {
+                    -(c as i64)
+                };
                 let entry = if let Some(&(root, delta)) = expr.get(&s) {
                     Some((root, delta + c))
                 } else if !defined.contains(&s) {
@@ -191,19 +200,30 @@ fn maffine(
         return None;
     }
     match o {
-        VOperand::ImmI(c) => Some(MAffine { coeff: 0, base: None, offset: c as i64 }),
-        VOperand::Addr(b) => Some(MAffine { coeff: 0, base: Some(b), offset: 0 }),
+        VOperand::ImmI(c) => Some(MAffine {
+            coeff: 0,
+            base: None,
+            offset: c as i64,
+        }),
+        VOperand::Addr(b) => Some(MAffine {
+            coeff: 0,
+            base: Some(b),
+            offset: 0,
+        }),
         VOperand::ImmF(_) => None,
         VOperand::Virt(_) => panic!("mdeps requires allocated code"),
         VOperand::Phys(r) => {
             if let Some((ind, _)) = induction {
                 if r == ind {
-                    let updated_before =
-                        block.ops[..pos].iter().any(|op| def(op) == Some(r));
+                    let updated_before = block.ops[..pos].iter().any(|op| def(op) == Some(r));
                     return if updated_before {
                         None
                     } else {
-                        Some(MAffine { coeff: 1, base: None, offset: 0 })
+                        Some(MAffine {
+                            coeff: 1,
+                            base: None,
+                            offset: 0,
+                        })
                     };
                 }
             }
@@ -219,12 +239,20 @@ fn maffine(
                     }
                     let base = fa.base.or(fb.base);
                     Some(if dop.opcode == Opcode::IAdd {
-                        MAffine { coeff: fa.coeff + fb.coeff, base, offset: fa.offset + fb.offset }
+                        MAffine {
+                            coeff: fa.coeff + fb.coeff,
+                            base,
+                            offset: fa.offset + fb.offset,
+                        }
                     } else {
                         if fb.base.is_some() {
                             return None; // base subtracted — not an address
                         }
-                        MAffine { coeff: fa.coeff - fb.coeff, base, offset: fa.offset - fb.offset }
+                        MAffine {
+                            coeff: fa.coeff - fb.coeff,
+                            base,
+                            offset: fa.offset - fb.offset,
+                        }
                     })
                 }
                 Opcode::IMul => {
@@ -312,16 +340,32 @@ pub fn mdep_graph(block: &VBlock, is_loop: bool) -> MDepGraph {
     let n = block.ops.len();
     let mut edges: Vec<MDep> = Vec::new();
     let mut dep_tests = 0usize;
-    let induction = if is_loop { find_induction_phys(block) } else { None };
+    let induction = if is_loop {
+        find_induction_phys(block)
+    } else {
+        None
+    };
 
-    let push = |edges: &mut Vec<MDep>, from: usize, to: usize, kind: DepKind, distance: u32, delay: u32| {
+    let push = |edges: &mut Vec<MDep>,
+                from: usize,
+                to: usize,
+                kind: DepKind,
+                distance: u32,
+                delay: u32| {
         if from == to && distance == 0 {
             return;
         }
-        if !edges.iter().any(|e| {
-            e.from == from && e.to == to && e.kind == kind && e.distance == distance
-        }) {
-            edges.push(MDep { from, to, kind, distance, delay });
+        if !edges
+            .iter()
+            .any(|e| e.from == from && e.to == to && e.kind == kind && e.distance == distance)
+        {
+            edges.push(MDep {
+                from,
+                to,
+                kind,
+                distance,
+                delay,
+            });
         }
     };
 
@@ -337,9 +381,7 @@ pub fn mdep_graph(block: &VBlock, is_loop: bool) -> MDepGraph {
                     if is_loop {
                         // The value read comes from the previous
                         // iteration, i.e. the block's *last* def.
-                        if let Some(i) =
-                            block.ops.iter().rposition(|op| def(op) == Some(u))
-                        {
+                        if let Some(i) = block.ops.iter().rposition(|op| def(op) == Some(u)) {
                             if i >= j {
                                 let d = delay_for(DepKind::Flow, &block.ops[i]);
                                 push(&mut edges, i, j, DepKind::Flow, 1, d);
@@ -459,7 +501,11 @@ pub fn mdep_graph(block: &VBlock, is_loop: bool) -> MDepGraph {
         }
     }
 
-    MDepGraph { n, edges, dep_tests }
+    MDepGraph {
+        n,
+        edges,
+        dep_tests,
+    }
 }
 
 #[cfg(test)]
@@ -473,11 +519,20 @@ mod tests {
     }
 
     fn block(ops: Vec<VOp>) -> VBlock {
-        VBlock { ops, term: VTerm::Return, is_pipeline_loop: false }
+        VBlock {
+            ops,
+            term: VTerm::Return,
+            is_pipeline_loop: false,
+        }
     }
 
     fn op2(opcode: Opcode, dst: u16, a: VOperand, b: VOperand) -> VOp {
-        VOp { opcode, dst: VDest::Phys(Reg(dst)), a: Some(a), b: Some(b) }
+        VOp {
+            opcode,
+            dst: VDest::Phys(Reg(dst)),
+            a: Some(a),
+            b: Some(b),
+        }
     }
 
     #[test]
@@ -533,7 +588,12 @@ mod tests {
                 a: Some(VOperand::Addr(0)),
                 b: Some(r(12)),
             },
-            VOp { opcode: Opcode::Load, dst: VDest::Phys(Reg(13)), a: Some(VOperand::Addr(8)), b: None },
+            VOp {
+                opcode: Opcode::Load,
+                dst: VDest::Phys(Reg(13)),
+                a: Some(VOperand::Addr(8)),
+                b: None,
+            },
         ]);
         let g = mdep_graph(&b, false);
         assert!(
@@ -553,7 +613,12 @@ mod tests {
                 a: Some(VOperand::Addr(4)),
                 b: Some(r(12)),
             },
-            VOp { opcode: Opcode::Load, dst: VDest::Phys(Reg(13)), a: Some(VOperand::Addr(4)), b: None },
+            VOp {
+                opcode: Opcode::Load,
+                dst: VDest::Phys(Reg(13)),
+                a: Some(VOperand::Addr(4)),
+                b: None,
+            },
         ]);
         let g = mdep_graph(&b, false);
         let e = g.edges.iter().find(|e| e.from == 0 && e.to == 1).unwrap();
@@ -567,9 +632,18 @@ mod tests {
         let b = VBlock {
             ops: vec![
                 op2(Opcode::IAdd, 13, r(12), VOperand::ImmI(1)),
-                VOp { opcode: Opcode::Move, dst: VDest::Phys(Reg(12)), a: Some(r(13)), b: None },
+                VOp {
+                    opcode: Opcode::Move,
+                    dst: VDest::Phys(Reg(12)),
+                    a: Some(r(13)),
+                    b: None,
+                },
             ],
-            term: VTerm::Branch { cond: r(14), then_blk: 0, else_blk: 1 },
+            term: VTerm::Branch {
+                cond: r(14),
+                then_blk: 0,
+                else_blk: 1,
+            },
             is_pipeline_loop: true,
         };
         let (reg, step) = find_induction_phys(&b).unwrap();
@@ -591,7 +665,11 @@ mod tests {
                 },
                 op2(Opcode::IAdd, 12, r(12), VOperand::ImmI(1)),
             ],
-            term: VTerm::Branch { cond: r(15), then_blk: 0, else_blk: 1 },
+            term: VTerm::Branch {
+                cond: r(15),
+                then_blk: 0,
+                else_blk: 1,
+            },
             is_pipeline_loop: true,
         };
         let g = mdep_graph(&b, true);

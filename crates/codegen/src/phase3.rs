@@ -66,7 +66,11 @@ pub struct Phase3Error {
 
 impl std::fmt::Display for Phase3Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "phase 3 failed for `{}`: {}", self.function, self.message)
+        write!(
+            f,
+            "phase 3 failed for `{}`: {}",
+            self.function, self.message
+        )
     }
 }
 
@@ -74,7 +78,10 @@ impl std::error::Error for Phase3Error {}
 
 impl From<(String, RegAllocError)> for Phase3Error {
     fn from((function, e): (String, RegAllocError)) -> Self {
-        Phase3Error { function, message: e.to_string() }
+        Phase3Error {
+            function,
+            message: e.to_string(),
+        }
     }
 }
 
@@ -129,8 +136,8 @@ pub fn phase3_traced(
     let ops_selected = vf.op_count();
     let regalloc = {
         let mut span = trace.span("pass", "regalloc", track);
-        let r = allocate(&mut vf, config)
-            .map_err(|e| Phase3Error::from((p2.ir.name.clone(), e)))?;
+        let r =
+            allocate(&mut vf, config).map_err(|e| Phase3Error::from((p2.ir.name.clone(), e)))?;
         span.arg("rounds", r.rounds as f64);
         span.arg("spills", r.spilled as f64);
         r
@@ -154,7 +161,13 @@ pub fn phase3_traced(
         fallback_loops: emit.fallback_loops,
         words: emit.words,
     };
-    Ok(Phase3Result { image, work, regalloc, emit, pipelined })
+    Ok(Phase3Result {
+        image,
+        work,
+        regalloc,
+        emit,
+        pipelined,
+    })
 }
 
 #[cfg(test)]
@@ -170,8 +183,12 @@ mod tests {
         );
         let checked = phase1(&src).expect("phase1");
         let f = &checked.module.sections[0].functions[0];
-        let p2 = phase2(f, &checked.sections[0].symbol_tables[0], &checked.sections[0].signatures)
-            .expect("phase2");
+        let p2 = phase2(
+            f,
+            &checked.sections[0].symbol_tables[0],
+            &checked.sections[0].signatures,
+        )
+        .expect("phase2");
         phase3(&p2, &CellConfig::default(), DEFAULT_MAX_II).expect("phase3")
     }
 
@@ -197,9 +214,7 @@ mod tests {
 
     #[test]
     fn modulo_scheduling_dominates_work_for_loopy_code() {
-        let r = run(
-            "t := 0.0; for i := 0 to 31 do t := t + v[i] * x + sqrt(v[i]); end; return t;",
-        );
+        let r = run("t := 0.0; for i := 0 to 31 do t := t + v[i] * x + sqrt(v[i]); end; return t;");
         assert!(
             r.work.modulo_attempts > 0,
             "loop should exercise the modulo scheduler: {:?}",

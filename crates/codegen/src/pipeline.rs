@@ -93,12 +93,16 @@ pub struct LoopPlan {
 impl LoopPlan {
     /// Ops of prologue row `p` (0-based): those with `stage ≤ p`.
     pub fn prologue_row(&self, p: u32) -> impl Iterator<Item = &ModPlacement> {
-        self.placements.iter().filter(move |pl| pl.time / self.ii <= p)
+        self.placements
+            .iter()
+            .filter(move |pl| pl.time / self.ii <= p)
     }
 
     /// Ops of epilogue row `r` (1-based): those with `stage ≥ r`.
     pub fn epilogue_row(&self, r: u32) -> impl Iterator<Item = &ModPlacement> {
-        self.placements.iter().filter(move |pl| pl.time / self.ii >= r)
+        self.placements
+            .iter()
+            .filter(move |pl| pl.time / self.ii >= r)
     }
 }
 
@@ -134,7 +138,9 @@ pub struct PipelineOutcome {
 /// (step −1) where `i'` is the induction register and `limit` is an
 /// immediate or a register not written in the block.
 fn recognize_exit(block: &VBlock, induction: Reg, step: i64) -> Option<VOperand> {
-    let VTerm::Branch { cond, .. } = &block.term else { return None };
+    let VTerm::Branch { cond, .. } = &block.term else {
+        return None;
+    };
     let cond_reg = cond.as_phys()?;
     // Registers holding the *final* induction value (entry + net step):
     // the register itself plus any chain temporary with the same delta
@@ -147,9 +153,15 @@ fn recognize_exit(block: &VBlock, induction: Reg, step: i64) -> Option<VOperand>
         }
     }
     // Find the last op defining the condition register.
-    let def = block.ops.iter().rev().find(|op| matches!(op.dst, VDest::Phys(r) if r == cond_reg))?;
+    let def = block
+        .ops
+        .iter()
+        .rev()
+        .find(|op| matches!(op.dst, VDest::Phys(r) if r == cond_reg))?;
     let want = if step > 0 { CmpKind::Le } else { CmpKind::Ge };
-    let Opcode::ICmp(kind) = def.opcode else { return None };
+    let Opcode::ICmp(kind) = def.opcode else {
+        return None;
+    };
     if kind != want {
         return None;
     }
@@ -161,7 +173,10 @@ fn recognize_exit(block: &VBlock, induction: Reg, step: i64) -> Option<VOperand>
     match limit {
         VOperand::ImmI(_) => Some(limit),
         VOperand::Phys(r) => {
-            let written = block.ops.iter().any(|op| matches!(op.dst, VDest::Phys(d) if d == r));
+            let written = block
+                .ops
+                .iter()
+                .any(|op| matches!(op.dst, VDest::Phys(d) if d == r));
             if written {
                 None
             } else {
@@ -208,7 +223,11 @@ struct Mrt {
 
 impl Mrt {
     fn new(ii: u32) -> Self {
-        Mrt { ii, busy: vec![vec![false; ii as usize]; 7], writes: HashMap::new() }
+        Mrt {
+            ii,
+            busy: vec![vec![false; ii as usize]; 7],
+            writes: HashMap::new(),
+        }
     }
 
     fn fits(&self, fu: FuKind, time: u32, occ: u32, dst: Option<Reg>, op_idx: usize) -> bool {
@@ -306,7 +325,11 @@ fn try_ii(
                 if mrt.fits(fu, t as u32, timing.initiation_interval, dst, i) {
                     mrt.reserve(fu, t as u32, timing.initiation_interval, dst, i);
                     time[i] = Some(t as u32);
-                    placements.push(ModPlacement { op_idx: i, time: t as u32, fu });
+                    placements.push(ModPlacement {
+                        op_idx: i,
+                        time: t as u32,
+                        fu,
+                    });
                     placed = true;
                     break;
                 }
@@ -340,7 +363,10 @@ fn try_ii(
 pub fn plan_pipeline(block: &VBlock, self_idx: usize, max_ii: u32) -> PipelineOutcome {
     let graph = mdep_graph(block, true);
     let plan = plan_inner(block, self_idx, &graph, max_ii);
-    PipelineOutcome { result: plan, graph }
+    PipelineOutcome {
+        result: plan,
+        graph,
+    }
 }
 
 fn plan_inner(
@@ -435,8 +461,12 @@ mod tests {
         );
         let checked = phase1(&src).expect("phase1");
         let f = &checked.module.sections[0].functions[0];
-        let r = phase2(f, &checked.sections[0].symbol_tables[0], &checked.sections[0].signatures)
-            .expect("phase2");
+        let r = phase2(
+            f,
+            &checked.sections[0].symbol_tables[0],
+            &checked.sections[0].signatures,
+        )
+        .expect("phase2");
         let mut vf = select(&r.ir, &r.loops.pipelinable_blocks());
         allocate(&mut vf, &CellConfig::default()).expect("regalloc");
         let idx = vf
@@ -449,9 +479,7 @@ mod tests {
 
     #[test]
     fn simple_vector_scale_pipelines() {
-        let (vf, idx) = pipelined_block(
-            "for i := 0 to 63 do v[i] := w[i] * 2.0; end; return 0.0;",
-        );
+        let (vf, idx) = pipelined_block("for i := 0 to 63 do v[i] := w[i] * 2.0; end; return 0.0;");
         let out = plan_pipeline(&vf.blocks[idx], idx, 256);
         let plan = out.result.expect("should pipeline");
         assert!(plan.ii >= 1);
@@ -471,9 +499,8 @@ mod tests {
 
     #[test]
     fn accumulator_ii_bounded_by_fadd_latency() {
-        let (vf, idx) = pipelined_block(
-            "t := 0.0; for i := 0 to 63 do t := t + v[i]; end; return t;",
-        );
+        let (vf, idx) =
+            pipelined_block("t := 0.0; for i := 0 to 63 do t := t + v[i]; end; return t;");
         let out = plan_pipeline(&vf.blocks[idx], idx, 256);
         let plan = out.result.expect("should pipeline");
         // The t += … recurrence forces II ≥ FAdd latency (5).
@@ -482,9 +509,8 @@ mod tests {
 
     #[test]
     fn downto_loop_recognized() {
-        let (vf, idx) = pipelined_block(
-            "t := 0.0; for i := 63 downto 0 do t := t + v[i]; end; return t;",
-        );
+        let (vf, idx) =
+            pipelined_block("t := 0.0; for i := 63 downto 0 do t := t + v[i]; end; return t;");
         let out = plan_pipeline(&vf.blocks[idx], idx, 256);
         let plan = out.result.expect("should pipeline");
         assert_eq!(plan.step, -1);
@@ -497,11 +523,15 @@ mod tests {
         );
         let out = plan_pipeline(&vf.blocks[idx], idx, 512);
         let plan = out.result.expect("should pipeline");
-        let time: HashMap<usize, i64> =
-            plan.placements.iter().map(|p| (p.op_idx, p.time as i64)).collect();
+        let time: HashMap<usize, i64> = plan
+            .placements
+            .iter()
+            .map(|p| (p.op_idx, p.time as i64))
+            .collect();
         for e in &out.graph.edges {
             assert!(
-                time[&e.to] >= time[&e.from] + e.delay as i64 - (plan.ii as i64) * e.distance as i64,
+                time[&e.to]
+                    >= time[&e.from] + e.delay as i64 - (plan.ii as i64) * e.distance as i64,
                 "violated {e:?}"
             );
         }
@@ -509,9 +539,8 @@ mod tests {
 
     #[test]
     fn prologue_epilogue_rows_partition_consistently() {
-        let (vf, idx) = pipelined_block(
-            "t := 0.0; for i := 0 to 63 do t := t + v[i] * w[i]; end; return t;",
-        );
+        let (vf, idx) =
+            pipelined_block("t := 0.0; for i := 0 to 63 do t := t + v[i] * w[i]; end; return t;");
         let out = plan_pipeline(&vf.blocks[idx], idx, 256);
         let plan = out.result.expect("pipeline");
         let n_ops = plan.placements.len();
@@ -529,7 +558,10 @@ mod tests {
         let (vf, _) = pipelined_block("for i := 0 to 3 do t := t + v[i]; end; return t;");
         // Block 0 is the entry — not a self loop.
         let out = plan_pipeline(&vf.blocks[0], 0, 64);
-        assert!(matches!(out.result, Err(NoPipeline::NotSelfLoop) | Err(NoPipeline::NoInduction)));
+        assert!(matches!(
+            out.result,
+            Err(NoPipeline::NotSelfLoop) | Err(NoPipeline::NoInduction)
+        ));
     }
 
     #[test]
@@ -547,9 +579,8 @@ mod tests {
 
     #[test]
     fn counter_slot_found_or_loop_unpipelined() {
-        let (vf, idx) = pipelined_block(
-            "t := 0.0; for i := 0 to 63 do t := t + v[i]; end; return t;",
-        );
+        let (vf, idx) =
+            pipelined_block("t := 0.0; for i := 0 to 63 do t := t + v[i]; end; return t;");
         let out = plan_pipeline(&vf.blocks[idx], idx, 256);
         let plan = out.result.expect("pipeline");
         match plan.counter {
@@ -560,9 +591,7 @@ mod tests {
 
     #[test]
     fn sends_in_loop_still_pipeline() {
-        let (vf, idx) = pipelined_block(
-            "for i := 0 to 63 do send(right, v[i]); end; return 0.0;",
-        );
+        let (vf, idx) = pipelined_block("for i := 0 to 63 do send(right, v[i]); end; return 0.0;");
         let out = plan_pipeline(&vf.blocks[idx], idx, 256);
         let plan = out.result.expect("pipeline");
         // Queue unit is serial: II at least 1 and sends stay ordered.

@@ -129,7 +129,9 @@ fn insert_call_saves(vf: &mut VFunc) -> usize {
     let mut slot_of: HashMap<VirtReg, u32> = HashMap::new();
     let mut added = 0usize;
     for bi in 0..vf.blocks.len() {
-        let VTerm::Call { next, .. } = vf.blocks[bi].term else { continue };
+        let VTerm::Call { next, .. } = vf.blocks[bi].term else {
+            continue;
+        };
         let mut live: Vec<VirtReg> = live_in[next].iter().copied().collect();
         live.sort();
         for v in live {
@@ -176,7 +178,11 @@ fn intervals(vf: &VFunc) -> Vec<Interval> {
     }
     let mut map: HashMap<VirtReg, Interval> = HashMap::new();
     let touch = |v: VirtReg, p: usize, map: &mut HashMap<VirtReg, Interval>| {
-        let e = map.entry(v).or_insert(Interval { vreg: v, start: p, end: p });
+        let e = map.entry(v).or_insert(Interval {
+            vreg: v,
+            start: p,
+            end: p,
+        });
         e.start = e.start.min(p);
         e.end = e.end.max(p);
     };
@@ -225,7 +231,10 @@ fn spill(vf: &mut VFunc, victims: &HashSet<VirtReg>) -> usize {
         let mut new_ops = Vec::with_capacity(old_ops.len());
         for mut op in old_ops {
             // Loads before uses.
-            let patch = |o: &mut Option<VOperand>, vf: &mut VFunc, new_ops: &mut Vec<VOp>, inserted: &mut usize| {
+            let patch = |o: &mut Option<VOperand>,
+                         vf: &mut VFunc,
+                         new_ops: &mut Vec<VOp>,
+                         inserted: &mut usize| {
                 if let Some(VOperand::Virt(v)) = o {
                     if let Some(&slot) = slots.get(v) {
                         let t = vf.new_vreg();
@@ -276,9 +285,7 @@ fn spill(vf: &mut VFunc, victims: &HashSet<VirtReg>) -> usize {
         vf.blocks[bi].ops = new_ops;
         // Branch conditions can also be spilled vregs.
         let cond_slot = match &vf.blocks[bi].term {
-            VTerm::Branch { cond, .. } => {
-                cond.as_virt().and_then(|v| slots.get(&v).copied())
-            }
+            VTerm::Branch { cond, .. } => cond.as_virt().and_then(|v| slots.get(&v).copied()),
             _ => None,
         };
         if let Some(slot) = cond_slot {
@@ -306,20 +313,23 @@ fn spill(vf: &mut VFunc, victims: &HashSet<VirtReg>) -> usize {
 /// Fails if a valid allocation cannot be found after bounded respill
 /// rounds (pathological register pressure).
 pub fn allocate(vf: &mut VFunc, config: &CellConfig) -> Result<RegAllocStats, RegAllocError> {
-    let mut stats =
-        RegAllocStats { call_save_ops: insert_call_saves(vf), ..Default::default() };
+    let mut stats = RegAllocStats {
+        call_save_ops: insert_call_saves(vf),
+        ..Default::default()
+    };
 
     let pool_size = config.num_regs.saturating_sub(FIRST_ALLOCATABLE);
     if pool_size < 4 {
-        return Err(RegAllocError { message: "machine has too few registers".into() });
+        return Err(RegAllocError {
+            message: "machine has too few registers".into(),
+        });
     }
 
     for round in 0..10 {
         stats.rounds = round + 1;
         let ivs = intervals(vf);
         // Linear scan.
-        let mut free: VecDeque<Reg> =
-            (FIRST_ALLOCATABLE..config.num_regs).map(Reg).collect();
+        let mut free: VecDeque<Reg> = (FIRST_ALLOCATABLE..config.num_regs).map(Reg).collect();
         let mut active: Vec<(usize, Reg, VirtReg)> = Vec::new(); // (end, reg, vreg)
         let mut assignment: HashMap<VirtReg, Reg> = HashMap::new();
         let mut victims: HashSet<VirtReg> = HashSet::new();
@@ -365,7 +375,9 @@ pub fn allocate(vf: &mut VFunc, config: &CellConfig) -> Result<RegAllocStats, Re
         stats.spilled += victims.len();
         stats.spill_ops += spill(vf, &victims);
     }
-    Err(RegAllocError { message: "unresolvable register pressure after 10 spill rounds".into() })
+    Err(RegAllocError {
+        message: "unresolvable register pressure after 10 spill rounds".into(),
+    })
 }
 
 /// Rewrites all virtual operands with their assigned registers, then
@@ -383,7 +395,10 @@ fn rewrite(vf: &mut VFunc, assignment: &HashMap<VirtReg, Reg>) {
             map(&mut op.a);
             map(&mut op.b);
             if let VDest::Virt(v) = op.dst {
-                let r = assignment.get(&v).copied().unwrap_or(Reg(FIRST_ALLOCATABLE));
+                let r = assignment
+                    .get(&v)
+                    .copied()
+                    .unwrap_or(Reg(FIRST_ALLOCATABLE));
                 op.dst = VDest::Phys(r);
             }
         }
@@ -393,7 +408,10 @@ fn rewrite(vf: &mut VFunc, assignment: &HashMap<VirtReg, Reg>) {
         });
         if let VTerm::Branch { cond, .. } = &mut b.term {
             if let Some(VOperand::Virt(v)) = cond.as_virt().map(VOperand::Virt) {
-                let r = assignment.get(&v).copied().unwrap_or(Reg(FIRST_ALLOCATABLE));
+                let r = assignment
+                    .get(&v)
+                    .copied()
+                    .unwrap_or(Reg(FIRST_ALLOCATABLE));
                 *cond = VOperand::Phys(r);
             }
         }
@@ -425,8 +443,12 @@ mod tests {
     fn vfunc_for(src: &str, fn_idx: usize) -> VFunc {
         let checked = phase1(src).expect("phase1");
         let f = &checked.module.sections[0].functions[fn_idx];
-        let r = phase2(f, &checked.sections[0].symbol_tables[fn_idx], &checked.sections[0].signatures)
-            .expect("phase2");
+        let r = phase2(
+            f,
+            &checked.sections[0].symbol_tables[fn_idx],
+            &checked.sections[0].signatures,
+        )
+        .expect("phase2");
         select(&r.ir, &r.loops.pipelinable_blocks())
     }
 

@@ -78,7 +78,12 @@ pub fn to_target_op(vop: &VOp) -> Op {
         VDest::Phys(r) => Some(r),
         VDest::Virt(v) => panic!("unallocated destination {v}"),
     };
-    Op { opcode: vop.opcode, dst, a: vop.a.map(conv), b: vop.b.map(conv) }
+    Op {
+        opcode: vop.opcode,
+        dst,
+        a: vop.a.map(conv),
+        b: vop.b.map(conv),
+    }
 }
 
 /// Critical-path height of every op over the distance-0 subgraph.
@@ -142,7 +147,11 @@ pub fn list_schedule(block: &VBlock, graph: &MDepGraph) -> BlockSchedule {
         };
         resources.reserve(fu, at, timing.initiation_interval);
         scheduled_at[i] = Some(at);
-        out.push(ScheduledOp { op_idx: i, cycle: at, fu });
+        out.push(ScheduledOp {
+            op_idx: i,
+            cycle: at,
+            fu,
+        });
         placed += 1;
         for e in graph.succs_of(i).filter(|e| e.distance == 0) {
             remaining_preds[e.to] -= 1;
@@ -163,7 +172,11 @@ pub fn list_schedule(block: &VBlock, graph: &MDepGraph) -> BlockSchedule {
         .max()
         .unwrap_or(0);
     out.sort_by_key(|s| (s.cycle, s.fu.slot_index()));
-    BlockSchedule { ops: out, len, attempts }
+    BlockSchedule {
+        ops: out,
+        len,
+        attempts,
+    }
 }
 
 #[cfg(test)]
@@ -178,11 +191,20 @@ mod tests {
     }
 
     fn op2(opcode: Opcode, dst: u16, a: VOperand, b: VOperand) -> VOp {
-        VOp { opcode, dst: VDest::Phys(Reg(dst)), a: Some(a), b: Some(b) }
+        VOp {
+            opcode,
+            dst: VDest::Phys(Reg(dst)),
+            a: Some(a),
+            b: Some(b),
+        }
     }
 
     fn block(ops: Vec<VOp>) -> VBlock {
-        VBlock { ops, term: VTerm::Return, is_pipeline_loop: false }
+        VBlock {
+            ops,
+            term: VTerm::Return,
+            is_pipeline_loop: false,
+        }
     }
 
     fn verify(block: &VBlock, graph: &MDepGraph, sched: &BlockSchedule) {

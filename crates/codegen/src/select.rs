@@ -97,7 +97,11 @@ pub fn select(f: &FuncIr, pipelinable: &[BlockId]) -> VFunc {
     let mut count = 0usize;
     for b in &f.blocks {
         first_vblock.push(count);
-        let calls = b.insts.iter().filter(|i| matches!(i, Inst::Call { .. })).count();
+        let calls = b
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Call { .. }))
+            .count();
         count += 1 + calls;
     }
 
@@ -118,12 +122,23 @@ pub fn select(f: &FuncIr, pipelinable: &[BlockId]) -> VFunc {
         for inst in &block.insts {
             match inst {
                 Inst::Bin { op, ty, dst, a, b } => {
-                    cur_ops.push(VOp::v2(bin_opcode(*op, *ty), *dst, operand(*a), operand(*b)));
+                    cur_ops.push(VOp::v2(
+                        bin_opcode(*op, *ty),
+                        *dst,
+                        operand(*a),
+                        operand(*b),
+                    ));
                 }
                 Inst::Un { op, ty, dst, a } => {
                     cur_ops.push(VOp::v1(un_opcode(*op, *ty), *dst, operand(*a)));
                 }
-                Inst::Cmp { kind, ty, dst, a, b } => {
+                Inst::Cmp {
+                    kind,
+                    ty,
+                    dst,
+                    a,
+                    b,
+                } => {
                     let opc = match ty {
                         IrType::Int => Opcode::ICmp(*kind),
                         IrType::Float => Opcode::FCmp(*kind),
@@ -133,7 +148,9 @@ pub fn select(f: &FuncIr, pipelinable: &[BlockId]) -> VFunc {
                 Inst::Copy { dst, src } => {
                     cur_ops.push(VOp::v1(Opcode::Move, *dst, operand(*src)));
                 }
-                Inst::Load { dst, arr, index, .. } => {
+                Inst::Load {
+                    dst, arr, index, ..
+                } => {
                     let base = array_base[arr.0 as usize];
                     let addr = match index {
                         Val::ConstI(c) => VOperand::Addr(base.wrapping_add(*c as u32)),
@@ -150,7 +167,9 @@ pub fn select(f: &FuncIr, pipelinable: &[BlockId]) -> VFunc {
                     };
                     cur_ops.push(VOp::v1(Opcode::Load, *dst, addr));
                 }
-                Inst::Store { arr, index, value, .. } => {
+                Inst::Store {
+                    arr, index, value, ..
+                } => {
                     let base = array_base[arr.0 as usize];
                     let addr = match index {
                         Val::ConstI(c) => VOperand::Addr(base.wrapping_add(*c as u32)),
@@ -186,7 +205,10 @@ pub fn select(f: &FuncIr, pipelinable: &[BlockId]) -> VFunc {
                     let this_idx = first_vblock[bi] + emitted_blocks;
                     vf.blocks.push(VBlock {
                         ops: std::mem::take(&mut cur_ops),
-                        term: VTerm::Call { callee: callee.clone(), next: this_idx + 1 },
+                        term: VTerm::Call {
+                            callee: callee.clone(),
+                            next: this_idx + 1,
+                        },
                         is_pipeline_loop: false,
                     });
                     emitted_blocks += 1;
@@ -215,7 +237,9 @@ pub fn select(f: &FuncIr, pipelinable: &[BlockId]) -> VFunc {
                         b: None,
                     });
                 }
-                Inst::Select { dst, cond, then_v, .. } => {
+                Inst::Select {
+                    dst, cond, then_v, ..
+                } => {
                     cur_ops.push(VOp {
                         opcode: Opcode::SelT,
                         dst: VDest::Virt(*dst),
@@ -228,7 +252,11 @@ pub fn select(f: &FuncIr, pipelinable: &[BlockId]) -> VFunc {
         // Terminator.
         let term = match &block.term {
             Term::Jump(t) => VTerm::Jump(first_vblock[t.index()]),
-            Term::Branch { cond, then_blk, else_blk } => {
+            Term::Branch {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
                 let cond = operand(*cond);
                 VTerm::Branch {
                     cond,
@@ -250,7 +278,11 @@ pub fn select(f: &FuncIr, pipelinable: &[BlockId]) -> VFunc {
                 VTerm::Return
             }
         };
-        vf.blocks.push(VBlock { ops: cur_ops, term, is_pipeline_loop: false });
+        vf.blocks.push(VBlock {
+            ops: cur_ops,
+            term,
+            is_pipeline_loop: false,
+        });
     }
 
     // Mark pipeline loops: a vblock that still branches to itself and
@@ -261,7 +293,9 @@ pub fn select(f: &FuncIr, pipelinable: &[BlockId]) -> VFunc {
         // only if the IR block emitted exactly one vblock).
         let vb = &vf.blocks[v];
         let selfloop = match &vb.term {
-            VTerm::Branch { then_blk, else_blk, .. } => *then_blk == v || *else_blk == v,
+            VTerm::Branch {
+                then_blk, else_blk, ..
+            } => *then_blk == v || *else_blk == v,
             _ => false,
         };
         if selfloop {
@@ -281,8 +315,12 @@ mod tests {
     fn select_first(src: &str) -> VFunc {
         let checked = phase1(src).expect("phase1");
         let f = &checked.module.sections[0].functions[0];
-        let r = phase2(f, &checked.sections[0].symbol_tables[0], &checked.sections[0].signatures)
-            .expect("phase2");
+        let r = phase2(
+            f,
+            &checked.sections[0].symbol_tables[0],
+            &checked.sections[0].signatures,
+        )
+        .expect("phase2");
         select(&r.ir, &r.loops.pipelinable_blocks())
     }
 
@@ -326,8 +364,12 @@ mod tests {
              function f(x: float): float var t: float; begin t := g(x) + 1.0; return t; end; end;";
         let checked = phase1(src).unwrap();
         let f = &checked.module.sections[0].functions[1];
-        let r = phase2(f, &checked.sections[0].symbol_tables[1], &checked.sections[0].signatures)
-            .unwrap();
+        let r = phase2(
+            f,
+            &checked.sections[0].symbol_tables[1],
+            &checked.sections[0].signatures,
+        )
+        .unwrap();
         let vf = select(&r.ir, &r.loops.pipelinable_blocks());
         assert!(vf.blocks.len() >= 2, "{}", vf.dump());
         let has_call = vf
@@ -346,7 +388,11 @@ mod tests {
         let vf = select_first(&wrap(
             "t := 0.0; for i := 0 to 7 do t := t + v[i]; end; return t;",
         ));
-        assert!(vf.blocks.iter().any(|b| b.is_pipeline_loop), "{}", vf.dump());
+        assert!(
+            vf.blocks.iter().any(|b| b.is_pipeline_loop),
+            "{}",
+            vf.dump()
+        );
     }
 
     #[test]
@@ -357,10 +403,18 @@ mod tests {
              t := 0.0; for i := 0 to 7 do t := t + g(x); end; return t; end; end;";
         let checked = phase1(src).unwrap();
         let f = &checked.module.sections[0].functions[1];
-        let r = phase2(f, &checked.sections[0].symbol_tables[1], &checked.sections[0].signatures)
-            .unwrap();
+        let r = phase2(
+            f,
+            &checked.sections[0].symbol_tables[1],
+            &checked.sections[0].signatures,
+        )
+        .unwrap();
         let vf = select(&r.ir, &r.loops.pipelinable_blocks());
-        assert!(!vf.blocks.iter().any(|b| b.is_pipeline_loop), "{}", vf.dump());
+        assert!(
+            !vf.blocks.iter().any(|b| b.is_pipeline_loop),
+            "{}",
+            vf.dump()
+        );
     }
 
     #[test]

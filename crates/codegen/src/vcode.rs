@@ -107,12 +107,22 @@ pub struct VOp {
 impl VOp {
     /// Builds a two-operand op writing a virtual register.
     pub fn v2(opcode: Opcode, dst: VirtReg, a: VOperand, b: VOperand) -> Self {
-        VOp { opcode, dst: VDest::Virt(dst), a: Some(a), b: Some(b) }
+        VOp {
+            opcode,
+            dst: VDest::Virt(dst),
+            a: Some(a),
+            b: Some(b),
+        }
     }
 
     /// Builds a one-operand op writing a virtual register.
     pub fn v1(opcode: Opcode, dst: VirtReg, a: VOperand) -> Self {
-        VOp { opcode, dst: VDest::Virt(dst), a: Some(a), b: None }
+        VOp {
+            opcode,
+            dst: VDest::Virt(dst),
+            a: Some(a),
+            b: None,
+        }
     }
 
     /// Operands in order.
@@ -164,7 +174,9 @@ impl VTerm {
     pub fn successors(&self) -> Vec<usize> {
         match self {
             VTerm::Jump(t) => vec![*t],
-            VTerm::Branch { then_blk, else_blk, .. } => vec![*then_blk, *else_blk],
+            VTerm::Branch {
+                then_blk, else_blk, ..
+            } => vec![*then_blk, *else_blk],
             VTerm::Call { next, .. } => vec![*next],
             VTerm::Return => vec![],
         }
@@ -240,14 +252,22 @@ impl VFunc {
         let mut s = String::new();
         let _ = writeln!(s, "vfunc {}", self.name);
         for (i, b) in self.blocks.iter().enumerate() {
-            let pl = if b.is_pipeline_loop { " (pipeline loop)" } else { "" };
+            let pl = if b.is_pipeline_loop {
+                " (pipeline loop)"
+            } else {
+                ""
+            };
             let _ = writeln!(s, "vb{i}:{pl}");
             for op in &b.ops {
                 let _ = writeln!(s, "  {op}");
             }
             let _ = match &b.term {
                 VTerm::Jump(t) => writeln!(s, "  jump vb{t}"),
-                VTerm::Branch { cond, then_blk, else_blk } => {
+                VTerm::Branch {
+                    cond,
+                    then_blk,
+                    else_blk,
+                } => {
                     writeln!(s, "  br {cond} ? vb{then_blk} : vb{else_blk}")
                 }
                 VTerm::Call { callee, next } => writeln!(s, "  call {callee} -> vb{next}"),
@@ -280,11 +300,22 @@ mod tests {
     fn vterm_successors() {
         assert_eq!(VTerm::Jump(3).successors(), vec![3]);
         assert_eq!(
-            VTerm::Branch { cond: VOperand::Virt(VirtReg(0)), then_blk: 1, else_blk: 2 }
-                .successors(),
+            VTerm::Branch {
+                cond: VOperand::Virt(VirtReg(0)),
+                then_blk: 1,
+                else_blk: 2
+            }
+            .successors(),
             vec![1, 2]
         );
-        assert_eq!(VTerm::Call { callee: "g".into(), next: 4 }.successors(), vec![4]);
+        assert_eq!(
+            VTerm::Call {
+                callee: "g".into(),
+                next: 4
+            }
+            .successors(),
+            vec![4]
+        );
         assert!(VTerm::Return.successors().is_empty());
     }
 

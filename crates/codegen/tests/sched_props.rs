@@ -58,7 +58,11 @@ fn block_strategy() -> impl Strategy<Value = VBlock> {
                 }
             })
             .collect();
-        VBlock { ops, term: VTerm::Return, is_pipeline_loop: false }
+        VBlock {
+            ops,
+            term: VTerm::Return,
+            is_pipeline_loop: false,
+        }
     })
 }
 

@@ -19,7 +19,10 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn main() -> ExitCode {
@@ -47,10 +50,7 @@ fn main() -> ExitCode {
     );
     println!(
         "warp-fuzz: absint oracle: {} functions, {} claims, {} eval runs, {} rewrites",
-        report.facts.functions,
-        report.facts.claims,
-        report.facts.eval_runs,
-        report.facts.rewrites
+        report.facts.functions, report.facts.claims, report.facts.eval_runs, report.facts.rewrites
     );
 
     if report.disagreements.is_empty() {
@@ -62,7 +62,10 @@ fn main() -> ExitCode {
     }
     for d in &report.disagreements {
         let path = artifacts.join(format!("disagree_{:016x}.w2", d.program_seed));
-        eprintln!("warp-fuzz: DISAGREEMENT (seed {:#x}): {}", d.program_seed, d.detail);
+        eprintln!(
+            "warp-fuzz: DISAGREEMENT (seed {:#x}): {}",
+            d.program_seed, d.detail
+        );
         let meta = [
             ("seed", format!("{}", d.program_seed)),
             ("lanes", format!("{}", cfg.lanes)),

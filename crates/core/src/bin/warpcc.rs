@@ -63,10 +63,10 @@ use parcc::threads::{
 use parcc::{
     compile_module_cached_traced, compile_module_traced, CompileOptions, CompileResult, FnCache,
 };
-use std::time::Duration;
-use warp_obs::{ClockDomain, Trace};
 use std::io::Read;
 use std::process::ExitCode;
+use std::time::Duration;
+use warp_obs::{ClockDomain, Trace};
 use warp_target::interp::{Cell, Value};
 use warp_target::isa::Reg;
 
@@ -113,8 +113,7 @@ fn parse_args() -> Result<Args, String> {
         match a.as_str() {
             "--emit" => {
                 args.emit = it.next().ok_or("--emit needs a value")?;
-                if !["ast", "ir", "vcode", "asm", "summary", "facts"]
-                    .contains(&args.emit.as_str())
+                if !["ast", "ir", "vcode", "asm", "summary", "facts"].contains(&args.emit.as_str())
                 {
                     return Err(format!("unknown emit kind `{}`", args.emit));
                 }
@@ -138,8 +137,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--fault-seed" => {
                 let n = it.next().ok_or("--fault-seed needs a number")?;
-                args.fault_seed =
-                    Some(n.parse().map_err(|_| format!("bad fault seed `{n}`"))?);
+                args.fault_seed = Some(n.parse().map_err(|_| format!("bad fault seed `{n}`"))?);
             }
             "--fault-spec" => {
                 args.fault_spec = Some(it.next().ok_or("--fault-spec needs a value")?);
@@ -180,11 +178,13 @@ fn parse_fault_spec(
     mut policy: RetryPolicy,
 ) -> Result<(ChaosPlan, RetryPolicy), String> {
     for part in spec.split(',').filter(|p| !p.is_empty()) {
-        let (key, value) =
-            part.split_once('=').ok_or(format!("bad fault-spec entry `{part}` (want key=value)"))?;
+        let (key, value) = part
+            .split_once('=')
+            .ok_or(format!("bad fault-spec entry `{part}` (want key=value)"))?;
         let prob = |v: &str| -> Result<f64, String> {
-            let p: f64 =
-                v.parse().map_err(|_| format!("bad probability `{v}` in fault-spec"))?;
+            let p: f64 = v
+                .parse()
+                .map_err(|_| format!("bad probability `{v}` in fault-spec"))?;
             if (0.0..=1.0).contains(&p) {
                 Ok(p)
             } else {
@@ -196,13 +196,15 @@ fn parse_fault_spec(
             "lose" => chaos.lose_prob = prob(value)?,
             "stall" => chaos.stall_prob = prob(value)?,
             "timeout_ms" => {
-                let ms: u64 =
-                    value.parse().map_err(|_| format!("bad timeout_ms `{value}`"))?;
+                let ms: u64 = value
+                    .parse()
+                    .map_err(|_| format!("bad timeout_ms `{value}`"))?;
                 policy.job_timeout = Duration::from_millis(ms);
             }
             "attempts" => {
-                let n: usize =
-                    value.parse().map_err(|_| format!("bad attempts `{value}`"))?;
+                let n: usize = value
+                    .parse()
+                    .map_err(|_| format!("bad attempts `{value}`"))?;
                 policy.max_attempts = n.max(1);
             }
             other => {
@@ -225,7 +227,9 @@ fn parse_value(s: &str) -> Result<Value, String> {
             return Ok(Value::I(v));
         }
     }
-    s.parse::<f32>().map(Value::F).map_err(|_| format!("bad argument `{s}` (float or iN)"))
+    s.parse::<f32>()
+        .map(Value::F)
+        .map_err(|_| format!("bad argument `{s}` (float or iN)"))
 }
 
 fn read_input(path: &str) -> Result<String, String> {
@@ -303,7 +307,10 @@ fn summary(result: &CompileResult) -> String {
 
 fn real_main() -> Result<(), String> {
     let args = parse_args()?;
-    let path = args.input.as_deref().ok_or("no input file (use - for stdin)")?;
+    let path = args
+        .input
+        .as_deref()
+        .ok_or("no input file (use - for stdin)")?;
     let source = read_input(path)?;
 
     let mut opts = CompileOptions::default();
@@ -341,8 +348,8 @@ fn real_main() -> Result<(), String> {
         return Ok(());
     }
     if args.emit == "ir" {
-        let (checked, _, _) = parcc::driver::prepare_module(&source, &opts)
-            .map_err(|e| e.to_string())?;
+        let (checked, _, _) =
+            parcc::driver::prepare_module(&source, &opts).map_err(|e| e.to_string())?;
         for (_, ir) in warp_ir::lower_module(&checked).map_err(|e| e.to_string())? {
             let mut ir = ir;
             warp_ir::optimize(&mut ir, 10);
@@ -351,8 +358,8 @@ fn real_main() -> Result<(), String> {
         return Ok(());
     }
     if args.emit == "vcode" {
-        let (checked, _, _) = parcc::driver::prepare_module(&source, &opts)
-            .map_err(|e| e.to_string())?;
+        let (checked, _, _) =
+            parcc::driver::prepare_module(&source, &opts).map_err(|e| e.to_string())?;
         for si in 0..checked.module.sections.len() {
             for fi in 0..checked.module.sections[si].functions.len() {
                 let func = &checked.module.sections[si].functions[fi];
@@ -395,8 +402,9 @@ fn real_main() -> Result<(), String> {
                 return Err("--fault-seed needs --jobs".to_string());
             }
             if cache.is_some() {
-                return Err("--fault-seed does not combine with --cache-dir/--cache-stats"
-                    .to_string());
+                return Err(
+                    "--fault-seed does not combine with --cache-dir/--cache-stats".to_string(),
+                );
             }
             let chaos = ChaosPlan::from_seed(seed);
             let policy = RetryPolicy::default();
@@ -454,7 +462,10 @@ fn real_main() -> Result<(), String> {
         let json = warp_obs::to_chrome_json(&snap);
         std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
         eprint!("{}", warp_obs::render_summary(&snap, 10));
-        eprintln!("trace: wrote {} events to {path}", snap.spans.len() + snap.instants.len());
+        eprintln!(
+            "trace: wrote {} events to {path}",
+            snap.spans.len() + snap.instants.len()
+        );
     }
 
     if args.verify {
@@ -465,16 +476,24 @@ fn real_main() -> Result<(), String> {
             let msgs: Vec<String> = errs.iter().map(|e| e.to_string()).collect();
             return Err(msgs.join("\n"));
         }
-        let functions: usize =
-            result.module_image.section_images.iter().map(|s| s.functions.len()).sum();
-        let words: u32 =
-            result.module_image.section_images.iter().map(|s| s.code_words()).sum();
+        let functions: usize = result
+            .module_image
+            .section_images
+            .iter()
+            .map(|s| s.functions.len())
+            .sum();
+        let words: u32 = result
+            .module_image
+            .section_images
+            .iter()
+            .map(|s| s.code_words())
+            .sum();
         eprintln!("verify: {functions} function(s), {words} words — ok");
     }
 
     if let Some(path) = &args.output {
-        let bytes = warp_target::download::encode(&result.module_image)
-            .map_err(|e| e.to_string())?;
+        let bytes =
+            warp_target::download::encode(&result.module_image).map_err(|e| e.to_string())?;
         std::fs::write(path, &bytes).map_err(|e| format!("writing {path}: {e}"))?;
         eprintln!("wrote {} bytes to {path}", bytes.len());
     }
@@ -503,7 +522,10 @@ fn real_main() -> Result<(), String> {
         cell.run(100_000_000).map_err(|e| e.to_string())?;
         println!(
             "{func}({}) = {} ({} cycles)",
-            vals.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", "),
+            vals.iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
             cell.reg(Reg::RET).map_err(|e| e.to_string())?,
             cell.cycle()
         );

@@ -143,8 +143,8 @@ impl Default for CostModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use warp_ir::phase2::Phase2Work;
     use warp_codegen::phase3::Phase3Work;
+    use warp_ir::phase2::Phase2Work;
 
     fn rec(lines: usize) -> FunctionRecord {
         FunctionRecord {
@@ -199,6 +199,9 @@ mod tests {
             + m.host.disk_latency_s
             + m.cache_lookup_units as f64 / m.host.cpu_units_per_sec;
         let compile_s = r.compile_units() as f64 / m.host.cpu_units_per_sec;
-        assert!(fetch_s * 10.0 < compile_s, "fetch {fetch_s}s !<< compile {compile_s}s");
+        assert!(
+            fetch_s * 10.0 < compile_s,
+            "fetch {fetch_s}s !<< compile {compile_s}s"
+        );
     }
 }

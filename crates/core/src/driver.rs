@@ -10,8 +10,8 @@
 use crate::fncache::{function_key, options_fingerprint, CachedFunction, FnCache};
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use warp_cache::{CacheKey, InFlight};
 use warp_analyze::{MachineError, ScheduleError};
+use warp_cache::{CacheKey, InFlight};
 use warp_codegen::link::{
     assemble_module, finish_section, link_section, plan_section, resolve_function, LinkWork,
 };
@@ -69,7 +69,10 @@ impl Default for CompileOptions {
 impl CompileOptions {
     /// Options with the §5.1 inlining extension enabled.
     pub fn with_inlining() -> Self {
-        CompileOptions { inline: Some(warp_ir::InlinePolicy::default()), ..Self::default() }
+        CompileOptions {
+            inline: Some(warp_ir::InlinePolicy::default()),
+            ..Self::default()
+        }
     }
 }
 
@@ -222,7 +225,11 @@ impl CompileResult {
     /// CPU demand).
     pub fn total_units(&self) -> u64 {
         self.phase1_units
-            + self.records.iter().map(FunctionRecord::compile_units).sum::<u64>()
+            + self
+                .records
+                .iter()
+                .map(FunctionRecord::compile_units)
+                .sum::<u64>()
             + self.link_units
     }
 }
@@ -269,7 +276,10 @@ pub fn run_phase1_traced(
     diagnostics.merge_sorted(sema_diags);
     if diagnostics.has_errors() {
         let rendered = diagnostics.render_all_with_source(source);
-        return Err(CompileError::Phase1(Phase1Error { diagnostics, rendered }));
+        return Err(CompileError::Phase1(Phase1Error {
+            diagnostics,
+            rendered,
+        }));
     }
     let units = parse_units_of(&ParseWork::measure(source));
     Ok((checked, units, diagnostics.warning_count()))
@@ -470,7 +480,15 @@ pub fn compile_function(
     fi: usize,
     opts: &CompileOptions,
 ) -> Result<(FunctionImage, FunctionRecord), CompileError> {
-    compile_function_traced(checked, source, si, fi, opts, &Trace::disabled(), TrackId(0))
+    compile_function_traced(
+        checked,
+        source,
+        si,
+        fi,
+        opts,
+        &Trace::disabled(),
+        TrackId(0),
+    )
 }
 
 /// [`compile_function`] with span tracing: every phase-2 and phase-3
@@ -613,7 +631,13 @@ pub fn compile_function_keyed_traced(
         );
     }
     let (image, record) = compile_function_traced(checked, source, si, fi, opts, trace, track)?;
-    cache.store(key, CachedFunction { image: image.clone(), record: record.clone() });
+    cache.store(
+        key,
+        CachedFunction {
+            image: image.clone(),
+            record: record.clone(),
+        },
+    );
     Ok((image, record))
 }
 
@@ -693,7 +717,13 @@ pub fn compile_module_shared_traced(
             return Err(CompileError::MachineVerify(errs));
         }
     }
-    Ok(CompileResult { module_image, records, phase1_units, link_units, warnings })
+    Ok(CompileResult {
+        module_image,
+        records,
+        phase1_units,
+        link_units,
+        warnings,
+    })
 }
 
 /// [`compile_module_shared_traced`] with intra-request parallelism —
@@ -749,7 +779,16 @@ pub fn compile_module_shared_jobs_traced(
                 wt,
             );
             let r = compile_function_deduped_traced(
-                checked_ref, source, si, fi, opts, cache, inflight, options_fp, trace, wt,
+                checked_ref,
+                source,
+                si,
+                fi,
+                opts,
+                cache,
+                inflight,
+                options_fp,
+                trace,
+                wt,
             );
             span.finish();
             r
@@ -773,7 +812,13 @@ pub fn compile_module_shared_jobs_traced(
             return Err(CompileError::MachineVerify(errs));
         }
     }
-    Ok(CompileResult { module_image, records, phase1_units, link_units, warnings })
+    Ok(CompileResult {
+        module_image,
+        records,
+        phase1_units,
+        link_units,
+        warnings,
+    })
 }
 
 /// Renders the per-function fact report of an `--absint` build — the
@@ -809,8 +854,15 @@ pub fn facts_report(records: &[FunctionRecord]) -> String {
         if f.finite_return {
             flags.push("finite-return");
         }
-        let _ =
-            writeln!(out, "flags {}", if flags.is_empty() { "-".into() } else { flags.join(" ") });
+        let _ = writeln!(
+            out,
+            "flags {}",
+            if flags.is_empty() {
+                "-".into()
+            } else {
+                flags.join(" ")
+            }
+        );
         for s in &f.safe_divs {
             let _ = writeln!(out, "safe-div b{}:{}", s.block, s.inst);
         }
@@ -818,8 +870,12 @@ pub fn facts_report(records: &[FunctionRecord]) -> String {
             let _ = writeln!(out, "safe-mem b{}:{}", s.block, s.inst);
         }
         for e in &f.dead_edges {
-            let _ =
-                writeln!(out, "dead-edge b{} {}", e.block, if e.always_then { "else" } else { "then" });
+            let _ = writeln!(
+                out,
+                "dead-edge b{} {}",
+                e.block,
+                if e.always_then { "else" } else { "then" }
+            );
         }
         for l in &f.loop_bounds {
             let _ = writeln!(out, "loop-bound b{} {}", l.block, l.max_trips);
@@ -872,8 +928,13 @@ pub fn link_module_traced(
         let fns: Vec<FunctionImage> = (0..section.functions.len())
             .map(|_| iter.next().expect("image per function"))
             .collect();
-        let (img, work) =
-            link_section(&section.name, section.first_cell, section.last_cell, fns, &opts.cell)?;
+        let (img, work) = link_section(
+            &section.name,
+            section.first_cell,
+            section.last_cell,
+            fns,
+            &opts.cell,
+        )?;
         units += link_units_of(&work);
         sections.push(img);
     }
@@ -911,10 +972,16 @@ pub fn link_module_parallel_traced(
         .module
         .sections
         .iter()
-        .map(|s| (0..s.functions.len()).map(|_| iter.next().expect("image per function")).collect())
+        .map(|s| {
+            (0..s.functions.len())
+                .map(|_| iter.next().expect("image per function"))
+                .collect()
+        })
         .collect();
-    let plans: Vec<Result<warp_codegen::link::SectionPlan, warp_codegen::LinkError>> =
-        per_section.iter().map(|fns| plan_section(fns, &opts.cell)).collect();
+    let plans: Vec<Result<warp_codegen::link::SectionPlan, warp_codegen::LinkError>> = per_section
+        .iter()
+        .map(|fns| plan_section(fns, &opts.cell))
+        .collect();
 
     // Resolve: rebase + call-resolve every function of every
     // well-planned section in parallel. Jobs are in (section, function)
@@ -935,7 +1002,9 @@ pub fn link_module_parallel_traced(
         &worker_tracks,
         trace,
         move |_, _, (si, fi, mut img, base)| {
-            let plan = plans_ref[si].as_ref().expect("only planned sections are resolved");
+            let plan = plans_ref[si]
+                .as_ref()
+                .expect("only planned sections are resolved");
             let r = resolve_function(&mut img, base, &plan.name_to_index);
             (fi, img, r)
         },
@@ -1048,7 +1117,8 @@ fn compile_module_inner(
 ) -> Result<CompileResult, CompileError> {
     let driver_track = trace.track("driver");
     let worker_track = trace.track("worker 0");
-    let (checked, phase1_units, warnings) = prepare_module_traced(source, opts, trace, driver_track)?;
+    let (checked, phase1_units, warnings) =
+        prepare_module_traced(source, opts, trace, driver_track)?;
     let options_fp = cache.map(|_| options_fingerprint(opts));
     let mut images = Vec::new();
     let mut records = Vec::new();
@@ -1078,7 +1148,8 @@ fn compile_module_inner(
             records.push(rec);
         }
     }
-    let (module_image, link_units) = link_module_traced(&checked, images, opts, trace, driver_track)?;
+    let (module_image, link_units) =
+        link_module_traced(&checked, images, opts, trace, driver_track)?;
     if opts.verify_each_pass {
         let errs = warp_analyze::verify_module_image_traced(
             &module_image,
@@ -1090,7 +1161,13 @@ fn compile_module_inner(
             return Err(CompileError::MachineVerify(errs));
         }
     }
-    Ok(CompileResult { module_image, records, phase1_units, link_units, warnings })
+    Ok(CompileResult {
+        module_image,
+        records,
+        phase1_units,
+        link_units,
+        warnings,
+    })
 }
 
 #[cfg(test)]
@@ -1104,7 +1181,10 @@ mod tests {
         let r = compile_module_source(&src, &CompileOptions::default()).expect("compile");
         assert_eq!(r.records.len(), 2);
         assert_eq!(r.module_image.section_images.len(), 1);
-        assert!(r.module_image.section_images[0].functions.iter().all(|f| f.is_linked()));
+        assert!(r.module_image.section_images[0]
+            .functions
+            .iter()
+            .all(|f| f.is_linked()));
         assert!(r.phase1_units > 0);
         assert!(r.link_units > 0);
         assert!(r.total_units() > r.phase1_units);
@@ -1114,7 +1194,11 @@ mod tests {
     fn work_grows_with_size() {
         let opts = CompileOptions::default();
         let mut last = 0u64;
-        for size in [FunctionSize::Tiny, FunctionSize::Small, FunctionSize::Medium] {
+        for size in [
+            FunctionSize::Tiny,
+            FunctionSize::Small,
+            FunctionSize::Medium,
+        ] {
             let src = synthetic_program(size, 1);
             let r = compile_module_source(&src, &opts).expect("compile");
             let units = r.records[0].compile_units();
@@ -1167,7 +1251,10 @@ mod tests {
                         .expect("parallel phase 1");
                 assert_eq!(par, seq, "checked module mismatch at {workers} workers");
                 assert_eq!(par_units, seq_units, "units mismatch at {workers} workers");
-                assert_eq!(par_warn, seq_warn, "warning count mismatch at {workers} workers");
+                assert_eq!(
+                    par_warn, seq_warn,
+                    "warning count mismatch at {workers} workers"
+                );
             }
         }
     }
@@ -1186,7 +1273,10 @@ mod tests {
             let (CompileError::Phase1(s), CompileError::Phase1(p)) = (seq, par) else {
                 panic!("non-phase1 error")
             };
-            assert_eq!(p.diagnostics, s.diagnostics, "diagnostics differ on {src:?}");
+            assert_eq!(
+                p.diagnostics, s.diagnostics,
+                "diagnostics differ on {src:?}"
+            );
             assert_eq!(p.rendered, s.rendered, "rendering differs on {src:?}");
         }
     }
@@ -1215,8 +1305,14 @@ mod tests {
                 TrackId(0),
             )
             .expect("parallel link");
-            assert_eq!(par_image, seq_image, "module image mismatch at {workers} workers");
-            assert_eq!(par_units, seq_units, "link units mismatch at {workers} workers");
+            assert_eq!(
+                par_image, seq_image,
+                "module image mismatch at {workers} workers"
+            );
+            assert_eq!(
+                par_units, seq_units,
+                "link units mismatch at {workers} workers"
+            );
         }
     }
 }
@@ -1256,7 +1352,11 @@ mod probe {
         let src = user_program();
         let t0 = std::time::Instant::now();
         let r = compile_module_source(&src, &opts).expect("user program");
-        println!("user program: total_u={} wall={:?}", r.total_units(), t0.elapsed());
+        println!(
+            "user program: total_u={} wall={:?}",
+            r.total_units(),
+            t0.elapsed()
+        );
         for rec in &r.records {
             println!(
                 "  {:>14}: lines={:>3} units={:>9} est={:>6}",

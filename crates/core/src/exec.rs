@@ -36,7 +36,9 @@ use warp_obs::{Trace, TrackId};
 /// Tracks are interned by name, so repeated calls — and the sequential
 /// driver's own `worker 0` — share rows.
 pub(crate) fn worker_tracks(trace: &Trace, workers: usize) -> Vec<TrackId> {
-    (0..workers).map(|w| trace.track(&format!("worker {w}"))).collect()
+    (0..workers)
+        .map(|w| trace.track(&format!("worker {w}")))
+        .collect()
 }
 
 /// Runs `jobs` to completion on up to `workers` stealing workers and
@@ -69,7 +71,11 @@ where
     }
     let workers = workers.max(1).min(n);
     if workers == 1 {
-        return jobs.into_iter().enumerate().map(|(i, job)| f(0, i, job)).collect();
+        return jobs
+            .into_iter()
+            .enumerate()
+            .map(|(i, job)| f(0, i, job))
+            .collect();
     }
 
     let locals: Vec<Worker<(usize, T)>> = (0..workers).map(|_| Worker::new_fifo()).collect();
@@ -101,9 +107,9 @@ where
                     let mut out: Vec<(usize, R)> = Vec::new();
                     let mut was_idle = false;
                     loop {
-                        let task = local.pop().or_else(|| {
-                            steal_from_siblings(w, stealers, trace, track)
-                        });
+                        let task = local
+                            .pop()
+                            .or_else(|| steal_from_siblings(w, stealers, trace, track));
                         match task {
                             Some((i, job)) => {
                                 if trace.is_enabled() {
@@ -140,7 +146,10 @@ where
             }
         }
     });
-    results.into_iter().map(|r| r.expect("every job produced a result")).collect()
+    results
+        .into_iter()
+        .map(|r| r.expect("every job produced a result"))
+        .collect()
 }
 
 /// One steal sweep over the victim ring starting after `w`. Records a

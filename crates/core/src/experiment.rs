@@ -100,17 +100,24 @@ impl Experiment {
         placement: Placement,
     ) -> (Comparison, ComparisonTraces) {
         let assignment: Assignment = match placement {
-            Placement::Fcfs => {
-                fcfs(result.records.len(), self.model.host.workstations.saturating_sub(1))
-            }
+            Placement::Fcfs => fcfs(
+                result.records.len(),
+                self.model.host.workstations.saturating_sub(1),
+            ),
             Placement::Grouped { processors } => grouped_lpt(&result.records, processors),
         };
         let seq_trace = Trace::new(ClockDomain::Virtual);
         let par_trace = Trace::new(ClockDomain::Virtual);
         simulate_traced(self.model.host, seq_spec(result, &self.model), &seq_trace);
-        simulate_traced(self.model.host, par_spec(result, &self.model, &assignment), &par_trace);
-        let traces =
-            ComparisonTraces { seq: seq_trace.snapshot(), par: par_trace.snapshot() };
+        simulate_traced(
+            self.model.host,
+            par_spec(result, &self.model, &assignment),
+            &par_trace,
+        );
+        let traces = ComparisonTraces {
+            seq: seq_trace.snapshot(),
+            par: par_trace.snapshot(),
+        };
         let seq = Measurement::from_trace(&traces.seq);
         let par = Measurement::from_trace(&traces.par);
         let k = assignment.processors.max(1);
@@ -202,7 +209,10 @@ impl Experiment {
         ks: &[usize],
     ) -> Result<FaultedFig6, CompileError> {
         let result = compile_module_source(&synthetic_program(size, n), &self.opts)?;
-        let assignment = fcfs(result.records.len(), self.model.host.workstations.saturating_sub(1));
+        let assignment = fcfs(
+            result.records.len(),
+            self.model.host.workstations.saturating_sub(1),
+        );
         let seq = simulate(self.model.host, seq_spec(&result, &self.model));
         let par = simulate(self.model.host, par_spec(&result, &self.model, &assignment));
         let points = ks
@@ -268,7 +278,12 @@ impl Experiment {
               return t;
             end;
 end;";
-        let mut out = [IfConvPoint { converted: false, compile_units: 0, pipelined_loops: 0, cycles: 0 }; 2];
+        let mut out = [IfConvPoint {
+            converted: false,
+            compile_units: 0,
+            pipelined_loops: 0,
+            cycles: 0,
+        }; 2];
         for (k, convert) in [false, true].into_iter().enumerate() {
             let mut opts = self.opts;
             opts.if_convert = convert.then_some(warp_ir::IfConvPolicy::default());
@@ -381,8 +396,7 @@ end;";
             let result = compile_module_source(KERNEL, &opts)?;
             let rec = &result.records[0];
             let image = result.module_image.section_images[0].clone();
-            let mut cell =
-                warp_target::interp::Cell::new(opts.cell, image).expect("cell");
+            let mut cell = warp_target::interp::Cell::new(opts.cell, image).expect("cell");
             cell.set_strict(true);
             cell.prepare_call("saxpy", &[warp_target::interp::Value::F(1.5)])
                 .expect("prepare");
@@ -437,7 +451,10 @@ mod tests {
         let points = e.unroll_ablation().expect("ablation");
         assert_eq!(points.len(), 3);
         // Compile work and code size rise with the factor…
-        assert!(points[2].compile_units > points[0].compile_units, "{points:?}");
+        assert!(
+            points[2].compile_units > points[0].compile_units,
+            "{points:?}"
+        );
         assert!(points[2].code_words > points[0].code_words, "{points:?}");
         // …and the kernel gets faster (or at worst no slower).
         assert!(points[2].cycles < points[0].cycles, "{points:?}");
@@ -455,8 +472,12 @@ mod tests {
     #[test]
     fn fig6_under_faults_is_deterministic_and_degrades_gracefully() {
         let e = Experiment::default();
-        let a = e.fig6_under_faults(FunctionSize::Medium, 8, 42, &[0, 2, 4]).expect("run");
-        let b = e.fig6_under_faults(FunctionSize::Medium, 8, 42, &[0, 2, 4]).expect("run");
+        let a = e
+            .fig6_under_faults(FunctionSize::Medium, 8, 42, &[0, 2, 4])
+            .expect("run");
+        let b = e
+            .fig6_under_faults(FunctionSize::Medium, 8, 42, &[0, 2, 4])
+            .expect("run");
         assert_eq!(a, b, "same seed ⇒ identical report");
         // k = 0 is exactly the fault-free parallel build.
         assert_eq!(a.points[0].elapsed_s, a.par_elapsed_s);
@@ -473,7 +494,9 @@ mod tests {
             );
         }
         // A different seed strikes differently.
-        let c = e.fig6_under_faults(FunctionSize::Medium, 8, 43, &[0, 2, 4]).expect("run");
+        let c = e
+            .fig6_under_faults(FunctionSize::Medium, 8, 43, &[0, 2, 4])
+            .expect("run");
         assert_ne!(a.points[2], c.points[2], "different seed, different chaos");
     }
 
@@ -482,7 +505,12 @@ mod tests {
         let e = Experiment::default();
         let c9 = e.user_program(9).expect("compile");
         let c2 = e.user_program(2).expect("compile");
-        assert!(c9.speedup > c2.speedup, "9p {} vs 2p {}", c9.speedup, c2.speedup);
+        assert!(
+            c9.speedup > c2.speedup,
+            "9p {} vs 2p {}",
+            c9.speedup,
+            c2.speedup
+        );
         assert!(c2.speedup > 1.0);
     }
 }

@@ -81,7 +81,10 @@ pub fn options_fingerprint(opts: &CompileOptions) -> u64 {
     };
     match &opts.if_convert {
         None => h.bool(false),
-        Some(p) => h.bool(true).u64(p.max_side_insts as u64).u64(p.max_rounds as u64),
+        Some(p) => h
+            .bool(true)
+            .u64(p.max_side_insts as u64)
+            .u64(p.max_rounds as u64),
     };
     h.bool(opts.verify_each_pass);
     h.bool(opts.absint);
@@ -302,10 +305,22 @@ fn put_facts(buf: &mut Vec<u8>, facts: Option<&FactSet>) {
     };
     put_u64(buf, 1);
     put_u64(buf, f.iterations as u64);
-    for v in [f.div_sites, f.div_safe, f.mem_sites, f.mem_safe, f.consume_sites, f.consume_safe] {
+    for v in [
+        f.div_sites,
+        f.div_safe,
+        f.mem_sites,
+        f.mem_safe,
+        f.consume_sites,
+        f.consume_safe,
+    ] {
         put_u64(buf, u64::from(v));
     }
-    for b in [f.div_trap_free, f.mem_trap_free, f.def_free, f.finite_return] {
+    for b in [
+        f.div_trap_free,
+        f.mem_trap_free,
+        f.def_free,
+        f.finite_return,
+    ] {
         put_u64(buf, u64::from(b));
     }
     for sites in [&f.safe_divs, &f.safe_mems] {
@@ -335,7 +350,10 @@ fn take_facts(t: &mut Take<'_>) -> Option<Option<FactSet>> {
     if tag != 1 {
         return None;
     }
-    let mut f = FactSet { iterations: t.usize()?, ..FactSet::default() };
+    let mut f = FactSet {
+        iterations: t.usize()?,
+        ..FactSet::default()
+    };
     for field in [
         &mut f.div_sites,
         &mut f.div_safe,
@@ -414,7 +432,10 @@ mod tests {
     #[test]
     fn payload_round_trips_with_facts() {
         let (checked, src) = checked_small();
-        let opts = CompileOptions { absint: true, ..CompileOptions::default() };
+        let opts = CompileOptions {
+            absint: true,
+            ..CompileOptions::default()
+        };
         let (image, record) = compile_function(&checked, &src, 0, 0, &opts).expect("compile");
         assert!(record.facts.is_some(), "absint build must ship facts");
         let cached = CachedFunction { image, record };
@@ -453,7 +474,10 @@ mod tests {
         let base = options_fingerprint(&CompileOptions::default());
         let mut cell = CompileOptions::default();
         cell.cell.num_regs += 1;
-        let ii = CompileOptions { max_ii: CompileOptions::default().max_ii + 1, ..CompileOptions::default() };
+        let ii = CompileOptions {
+            max_ii: CompileOptions::default().max_ii + 1,
+            ..CompileOptions::default()
+        };
         let inline = CompileOptions::with_inlining();
         let unroll = CompileOptions {
             unroll: Some(warp_ir::UnrollPolicy::default()),
@@ -463,8 +487,14 @@ mod tests {
             if_convert: Some(warp_ir::IfConvPolicy::default()),
             ..CompileOptions::default()
         };
-        let verify = CompileOptions { verify_each_pass: true, ..CompileOptions::default() };
-        let absint = CompileOptions { absint: true, ..CompileOptions::default() };
+        let verify = CompileOptions {
+            verify_each_pass: true,
+            ..CompileOptions::default()
+        };
+        let absint = CompileOptions {
+            absint: true,
+            ..CompileOptions::default()
+        };
         let fps: Vec<u64> = [cell, ii, inline, unroll, ifc, verify, absint]
             .iter()
             .map(options_fingerprint)

@@ -275,10 +275,7 @@ impl FuzzGen<'_> {
                             1 => format!("for i{d} := 0 to 1 do"),
                             2 => format!("for i{d} := 0 to n mod 7 do"),
                             3 => format!("for i{d} := {} downto 0 do", self.rng.gen_range(2..9)),
-                            4 => format!(
-                                "for i{d} := 0 to {} by 2 do",
-                                self.rng.gen_range(4..15)
-                            ),
+                            4 => format!("for i{d} := 0 to {} by 2 do", self.rng.gen_range(4..15)),
                             _ => format!("for i{d} := 0 to {} do", self.rng.gen_range(2..15)),
                         };
                         self.push(&header);
@@ -421,9 +418,7 @@ fn check_with(batch: &mut BatchInterp, source: &str, cfg: &FuzzConfig) -> CheckO
                 }
             }
             (s, b) => {
-                return CheckOutcome::Disagree(format!(
-                    "lane {lane}: strict {s:?} vs batch {b:?}"
-                ));
+                return CheckOutcome::Disagree(format!("lane {lane}: strict {s:?} vs batch {b:?}"));
             }
         }
         // Register file + poison bits, bit for bit.
@@ -452,7 +447,10 @@ fn check_with(batch: &mut BatchInterp, source: &str, cfg: &FuzzConfig) -> CheckO
             return CheckOutcome::Disagree(format!("lane {lane}: output queues differ"));
         }
     }
-    CheckOutcome::Agree { lanes: cfg.lanes, trapped }
+    CheckOutcome::Agree {
+        lanes: cfg.lanes,
+        trapped,
+    }
 }
 
 /// Runs one source program through all three engines and compares.
@@ -510,7 +508,8 @@ fn strict_lane(
     let mut cell =
         Cell::new(opts.cell, sec.clone()).map_err(|e| format!("strict rejects image: {e}"))?;
     cell.set_strict(true);
-    cell.prepare_call(fn_name, args).map_err(|e| format!("strict rejects call: {e}"))?;
+    cell.prepare_call(fn_name, args)
+        .map_err(|e| format!("strict rejects call: {e}"))?;
     let status = cell.run(max_cycles).map(|_| ());
     let ret = if status.is_ok() {
         match cell.reg(Reg::RET) {
@@ -554,7 +553,10 @@ pub fn check_absint(
     stats: &mut FactOracleStats,
 ) -> Result<(), String> {
     let opts_off = CompileOptions::default();
-    let opts_on = CompileOptions { absint: true, ..CompileOptions::default() };
+    let opts_on = CompileOptions {
+        absint: true,
+        ..CompileOptions::default()
+    };
 
     // Layer 1: claims vs the strict IR evaluator, lane for lane.
     let (checked, _, _) = run_phase1(source).map_err(|e| format!("phase1: {e}"))?;
@@ -593,10 +595,10 @@ pub fn check_absint(
     }
 
     // Layer 2: absint-on vs absint-off machine behaviour.
-    let on = compile_module_source(source, &opts_on)
-        .map_err(|e| format!("absint-on compile: {e}"))?;
-    let off = compile_module_source(source, &opts_off)
-        .map_err(|e| format!("absint-off compile: {e}"))?;
+    let on =
+        compile_module_source(source, &opts_on).map_err(|e| format!("absint-on compile: {e}"))?;
+    let off =
+        compile_module_source(source, &opts_off).map_err(|e| format!("absint-off compile: {e}"))?;
     let sec_on = &on.module_image.section_images[0];
     let sec_off = &off.module_image.section_images[0];
     let errs = warp_analyze::verify_section_image(sec_on, &opts_on.cell);
@@ -628,9 +630,18 @@ pub fn check_absint(
             // Traps compare modulo the faulting pc: the same data fault
             // fires at a different schedule address once code has been
             // pruned, but its function and kind are observables.
-            (Err(InterpError::Fault { function: fa, kind: ka, .. }),
-             Err(InterpError::Fault { function: fb, kind: kb, .. }))
-                if fa == fb && ka == kb => {}
+            (
+                Err(InterpError::Fault {
+                    function: fa,
+                    kind: ka,
+                    ..
+                }),
+                Err(InterpError::Fault {
+                    function: fb,
+                    kind: kb,
+                    ..
+                }),
+            ) if fa == fb && ka == kb => {}
             (Err(x), Err(y)) if x == y => {}
             (x, y) => {
                 return Err(format!(
@@ -769,7 +780,10 @@ pub struct Fixture {
 impl Fixture {
     /// First value for `key`, if present.
     pub fn get(&self, key: &str) -> Option<&str> {
-        self.meta.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+        self.meta
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
     }
 }
 
@@ -778,11 +792,7 @@ impl Fixture {
 /// # Errors
 ///
 /// Propagates I/O errors from writing `path`.
-pub fn write_fixture(
-    path: &Path,
-    source: &str,
-    meta: &[(&str, String)],
-) -> io::Result<()> {
+pub fn write_fixture(path: &Path, source: &str, meta: &[(&str, String)]) -> io::Result<()> {
     let mut text = String::from("-- warp-fuzz fixture\n");
     for (k, v) in meta {
         let _ = writeln!(text, "-- {k}: {v}");
@@ -815,7 +825,10 @@ pub fn read_fixture(path: &Path) -> io::Result<Fixture> {
             break;
         }
     }
-    Ok(Fixture { meta, source: text[body_start.min(text.len())..].to_string() })
+    Ok(Fixture {
+        meta,
+        source: text[body_start.min(text.len())..].to_string(),
+    })
 }
 
 /// Replays one committed fixture: the program must now *agree* across
@@ -837,9 +850,10 @@ pub fn replay_fixture(path: &Path) -> Result<(), String> {
     }
     match check_source(&fixture.source, &cfg) {
         CheckOutcome::Agree { .. } => Ok(()),
-        CheckOutcome::CompileError(e) => {
-            Err(format!("{}: fixture no longer compiles: {e}", path.display()))
-        }
+        CheckOutcome::CompileError(e) => Err(format!(
+            "{}: fixture no longer compiles: {e}",
+            path.display()
+        )),
         CheckOutcome::Disagree(d) => {
             Err(format!("{}: engines disagree again: {d}", path.display()))
         }
@@ -865,7 +879,11 @@ mod tests {
 
     #[test]
     fn small_campaign_has_no_disagreements() {
-        let cfg = FuzzConfig { programs: 8, max_stmts: 16, ..FuzzConfig::default() };
+        let cfg = FuzzConfig {
+            programs: 8,
+            max_stmts: 16,
+            ..FuzzConfig::default()
+        };
         let report = run(&cfg);
         assert_eq!(report.programs, 8);
         assert!(
@@ -885,7 +903,11 @@ mod tests {
         // The corpus must actually exercise the trap paths: across a
         // handful of programs at least one lane should divide by zero
         // (lane args include n values that zero out every modulus).
-        let cfg = FuzzConfig { programs: 12, seed: 7, ..FuzzConfig::default() };
+        let cfg = FuzzConfig {
+            programs: 12,
+            seed: 7,
+            ..FuzzConfig::default()
+        };
         let report = run(&cfg);
         assert!(report.disagreements.is_empty());
         assert!(report.trapped_lanes > 0, "corpus never trapped: too tame");
@@ -897,7 +919,11 @@ mod tests {
         // proves over a seeded corpus must hold on every lane, and the
         // fact-driven rewrites must be observably transparent. The
         // full-size version of this gate is the CI fuzz job.
-        let cfg = FuzzConfig { programs: 10, seed: 1989, ..FuzzConfig::default() };
+        let cfg = FuzzConfig {
+            programs: 10,
+            seed: 1989,
+            ..FuzzConfig::default()
+        };
         assert!(cfg.check_facts, "oracle must be on by default");
         let report = run(&cfg);
         assert!(
@@ -945,8 +971,7 @@ mod tests {
         fs::create_dir_all(&dir).unwrap();
         let path = dir.join("roundtrip.w2");
         let src = "module m;\nsection s on cells 0..9;\nend;\n";
-        write_fixture(&path, src, &[("seed", "99".into()), ("lanes", "4".into())])
-            .unwrap();
+        write_fixture(&path, src, &[("seed", "99".into()), ("lanes", "4".into())]).unwrap();
         let fixture = read_fixture(&path).unwrap();
         assert_eq!(fixture.source, src);
         assert_eq!(fixture.get("seed"), Some("99"));

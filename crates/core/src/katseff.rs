@@ -66,8 +66,10 @@ fn assembly_spec(result: &CompileResult, cm: &CostModel, k: usize) -> ProcessSpe
     order.sort_by_key(|&i| std::cmp::Reverse(asm_units(&result.records[i])));
     let mut shares: Vec<(u64, Vec<usize>)> = vec![(0, Vec::new()); k.min(order.len()).max(1)];
     for i in order {
-        let (load, items) =
-            shares.iter_mut().min_by_key(|(l, _)| *l).expect("at least one share");
+        let (load, items) = shares
+            .iter_mut()
+            .min_by_key(|(l, _)| *l)
+            .expect("at least one share");
         *load += asm_units(&result.records[i]);
         items.push(i);
     }
@@ -78,18 +80,22 @@ fn assembly_spec(result: &CompileResult, cm: &CostModel, k: usize) -> ProcessSpe
         .filter(|(_, (_, items))| !items.is_empty())
         .map(|(a, (load, items))| {
             let objects: u64 = items.iter().map(|&i| result.records[i].object_bytes).sum();
-            ProcessSpec::new(format!("assembler {a}"), 1 + a % (cm.host.workstations - 1), ProcKind::C)
-                // Read the objects from the file server, assemble, write
-                // the partial output back.
-                .disk(objects)
-                .cpu(*load)
-                .disk(objects / 2)
+            ProcessSpec::new(
+                format!("assembler {a}"),
+                1 + a % (cm.host.workstations - 1),
+                ProcKind::C,
+            )
+            // Read the objects from the file server, assemble, write
+            // the partial output back.
+            .disk(objects)
+            .cpu(*load)
+            .disk(objects / 2)
         })
         .collect();
 
     let total_out: u64 = result.records.iter().map(|r| r.object_bytes).sum();
-    let merge_units: u64 = result.records.iter().map(asm_units).sum::<u64>() / 18
-        + result.records.len() as u64 * 40;
+    let merge_units: u64 =
+        result.records.iter().map(asm_units).sum::<u64>() / 18 + result.records.len() as u64 * 40;
     ProcessSpec::new("asm-master", 0, ProcKind::C)
         .fork(assemblers)
         .join()
@@ -116,10 +122,18 @@ pub fn assembler_sweep(
     let points = (1..=max_procs)
         .map(|k| {
             let elapsed = simulate(e.model.host, assembly_spec(&result, &e.model, k)).elapsed_s;
-            AssemblerPoint { processors: k, elapsed_s: elapsed, speedup: base / elapsed }
+            AssemblerPoint {
+                processors: k,
+                elapsed_s: elapsed,
+                speedup: base / elapsed,
+            }
         })
         .collect();
-    Ok(AssemblerSweep { label: label.to_string(), functions: result.records.len(), points })
+    Ok(AssemblerSweep {
+        label: label.to_string(),
+        functions: result.records.len(),
+        points,
+    })
 }
 
 /// The two sweeps of the Katseff comparison: a large and a small
@@ -152,12 +166,18 @@ mod tests {
         // …and flattens beyond it (paper: "adding processors past 8 …
         // yields no further decrease in elapsed time").
         let s12 = large.points[11].speedup;
-        assert!((s12 - s8).abs() / s8 < 0.02, "large saturation: {s8} vs {s12}");
+        assert!(
+            (s12 - s8).abs() / s8 < 0.02,
+            "large saturation: {s8} vs {s12}"
+        );
 
         // The small program saturates at its 5 functions.
         let s5 = small.points[4].speedup;
         let s12s = small.points[11].speedup;
-        assert!((s12s - s5).abs() / s5 < 0.02, "small saturation: {s5} vs {s12s}");
+        assert!(
+            (s12s - s5).abs() / s5 < 0.02,
+            "small saturation: {s5} vs {s12s}"
+        );
         // And tops out below the large program.
         assert!(s5 < s8, "small {s5} !< large {s8}");
     }

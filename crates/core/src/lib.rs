@@ -43,24 +43,24 @@ pub use driver::{
     compile_function, compile_function_cached_traced, compile_function_deduped_traced,
     compile_function_keyed_traced, compile_function_traced, compile_module_cached,
     compile_module_cached_traced, compile_module_shared_jobs_traced, compile_module_shared_traced,
-    compile_module_source,
-    compile_module_traced, facts_report, link_module, link_module_parallel_traced,
-    link_module_traced, prepare_module_parallel_traced, run_phase1, run_phase1_parallel_traced,
-    run_phase1_traced, CompileError, CompileOptions, CompileResult, FunctionRecord,
+    compile_module_source, compile_module_traced, facts_report, link_module,
+    link_module_parallel_traced, link_module_traced, prepare_module_parallel_traced, run_phase1,
+    run_phase1_parallel_traced, run_phase1_traced, CompileError, CompileOptions, CompileResult,
+    FunctionRecord,
 };
 pub use experiment::{
     Comparison, ComparisonTraces, Experiment, FaultedFig6, FaultedPoint, InlineAblation, Placement,
 };
 pub use fncache::{function_key, options_fingerprint, CachedFunction, FnCache};
-pub use threads::{
-    compile_parallel, compile_parallel_cached, compile_parallel_cached_traced,
-    compile_parallel_chaos, compile_parallel_chaos_cached, compile_parallel_chaos_traced,
-    compile_parallel_traced, default_jobs,
-    resolve_jobs, ChaosAction, ChaosPlan, FaultStats, RetryPolicy, ThreadReport,
-};
 pub use katseff::{assembler_sweep, katseff_comparison, AssemblerSweep};
+pub use metrics::{overheads, speedup, Measurement, Overheads};
 pub use parmake::{
     parmake_comparison, ParmakeReport, SystemModule, PARMAKE_FAULTS, PARMAKE_FAULT_SEED,
 };
-pub use metrics::{overheads, speedup, Measurement, Overheads};
 pub use scheduler::{fcfs, grouped_lpt, rebalance_after_loss, Assignment};
+pub use threads::{
+    compile_parallel, compile_parallel_cached, compile_parallel_cached_traced,
+    compile_parallel_chaos, compile_parallel_chaos_cached, compile_parallel_chaos_traced,
+    compile_parallel_traced, default_jobs, resolve_jobs, ChaosAction, ChaosPlan, FaultStats,
+    RetryPolicy, ThreadReport,
+};

@@ -107,8 +107,7 @@ impl Measurement {
         };
         let cpu_per_processor: Vec<f64> = cpu_ns.iter().map(|&ns| ns as f64 / 1e9).collect();
         let max_cpu_s = cpu_per_processor.iter().copied().fold(0.0, f64::max);
-        let memory_overhead_s =
-            per_proc.values().map(|(_, ov)| *ov as f64 / 1e9).sum();
+        let memory_overhead_s = per_proc.values().map(|(_, ov)| *ov as f64 / 1e9).sum();
         Measurement {
             elapsed_s: snap.end_ns() as f64 / 1e9,
             cpu_per_processor,
@@ -150,7 +149,13 @@ pub fn overheads(par: &Measurement, seq: &Measurement, k: usize) -> Overheads {
     let total = par.elapsed_s - ideal;
     let implementation = par.implementation_overhead_s();
     let system = total - implementation;
-    let frac = |x: f64| if par.elapsed_s > 0.0 { x / par.elapsed_s } else { 0.0 };
+    let frac = |x: f64| {
+        if par.elapsed_s > 0.0 {
+            x / par.elapsed_s
+        } else {
+            0.0
+        }
+    };
     Overheads {
         k,
         total_s: total,

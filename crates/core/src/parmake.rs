@@ -125,7 +125,10 @@ fn levels(modules: &[SystemModule]) -> Vec<Vec<usize>> {
 fn offset_fcfs(n: usize, available: usize, start: usize) -> Assignment {
     let available = available.max(1);
     let workstation = (0..n).map(|i| 1 + (start + i) % available).collect();
-    Assignment { workstation, processors: n.min(available) }
+    Assignment {
+        workstation,
+        processors: n.min(available),
+    }
 }
 
 /// Builds the simulation spec for one strategy.
@@ -166,8 +169,10 @@ fn build_spec(
     let mut root = ProcessSpec::new("make", 0, ProcKind::C);
     if parallel_modules {
         for level in levels(modules) {
-            let children: Vec<ProcessSpec> =
-                level.into_iter().map(|i| module_spec(i, &modules[i])).collect();
+            let children: Vec<ProcessSpec> = level
+                .into_iter()
+                .map(|i| module_spec(i, &modules[i]))
+                .collect();
             root = root.fork(children).join();
         }
     } else {
@@ -190,8 +195,9 @@ pub fn parmake_comparison(e: &Experiment) -> Result<ParmakeReport, CompileError>
 
 /// Runs all six strategies over a caller-supplied system.
 pub fn parmake_comparison_of(modules: &[SystemModule], cm: &CostModel) -> ParmakeReport {
-    let run =
-        |pm: bool, pc: bool, wc: bool| simulate(cm.host, build_spec(modules, cm, pm, pc, wc)).elapsed_s;
+    let run = |pm: bool, pc: bool, wc: bool| {
+        simulate(cm.host, build_spec(modules, cm, pm, pc, wc)).elapsed_s
+    };
     let combined_s = run(true, true, false);
     // Strategy 6: the combined build again, with a seeded fault plan
     // spread over its fault-free makespan.

@@ -36,7 +36,10 @@ pub fn fcfs(n_functions: usize, available: usize) -> Assignment {
     let available = available.max(1);
     let workstation: Vec<usize> = (0..n_functions).map(|i| 1 + i % available).collect();
     let processors = n_functions.min(available);
-    Assignment { workstation, processors }
+    Assignment {
+        workstation,
+        processors,
+    }
 }
 
 /// Grouped assignment onto exactly `processors` workstations using the
@@ -58,7 +61,10 @@ pub fn grouped_lpt(records: &[FunctionRecord], processors: usize) -> Assignment 
         workstation[i] = 1 + best;
         load[best] += records[i].cost_estimate.max(1);
     }
-    Assignment { workstation, processors: records.len().min(processors) }
+    Assignment {
+        workstation,
+        processors: records.len().min(processors),
+    }
 }
 
 /// Repairs an assignment after losing workstations mid-build: every
@@ -94,8 +100,7 @@ pub fn rebalance_after_loss(
         match load.iter().min_by_key(|&(&w, &l)| (l, w)).map(|(&w, _)| w) {
             Some(best) => {
                 workstation[i] = best;
-                *load.get_mut(&best).expect("surviving station") +=
-                    records[i].cost_estimate.max(1);
+                *load.get_mut(&best).expect("surviving station") += records[i].cost_estimate.max(1);
             }
             None => workstation[i] = 0,
         }
@@ -103,7 +108,10 @@ pub fn rebalance_after_loss(
     let mut used: Vec<usize> = workstation.clone();
     used.sort_unstable();
     used.dedup();
-    Assignment { workstation, processors: used.len() }
+    Assignment {
+        workstation,
+        processors: used.len(),
+    }
 }
 
 #[cfg(test)]
@@ -147,7 +155,11 @@ mod tests {
         let mut sorted = heavy_ws.clone();
         sorted.sort();
         sorted.dedup();
-        assert_eq!(sorted.len(), 3, "each heavy function on its own machine: {a:?}");
+        assert_eq!(
+            sorted.len(),
+            3,
+            "each heavy function on its own machine: {a:?}"
+        );
     }
 
     #[test]
@@ -191,7 +203,10 @@ mod tests {
         // the lost machine: 40 → lighter (ws of load 10), 30 → the
         // other (now 20 < 50).
         let records = vec![rec(10), rec(20), rec(40), rec(30)];
-        let a = Assignment { workstation: vec![1, 2, 3, 3], processors: 3 };
+        let a = Assignment {
+            workstation: vec![1, 2, 3, 3],
+            processors: 3,
+        };
         let r = rebalance_after_loss(&a, &records, &[3]);
         assert_eq!(r.workstation, vec![1, 2, 1, 2]);
     }
@@ -199,9 +214,16 @@ mod tests {
     #[test]
     fn rebalance_with_no_survivors_falls_back_to_master() {
         let records = vec![rec(10), rec(20)];
-        let a = Assignment { workstation: vec![1, 1], processors: 1 };
+        let a = Assignment {
+            workstation: vec![1, 1],
+            processors: 1,
+        };
         let r = rebalance_after_loss(&a, &records, &[1]);
-        assert_eq!(r.workstation, vec![0, 0], "everything on the master's machine");
+        assert_eq!(
+            r.workstation,
+            vec![0, 0],
+            "everything on the master's machine"
+        );
     }
 
     #[test]

@@ -344,10 +344,22 @@ mod tests {
         let cold = warp_netsim::simulate(CALIBRATED.host, par_spec(&r, &CALIBRATED, &a));
         let edited =
             warp_netsim::simulate(CALIBRATED.host, par_spec_cached(&r, &CALIBRATED, &a, &warm));
-        let full =
-            warp_netsim::simulate(CALIBRATED.host, par_spec_cached(&r, &CALIBRATED, &a, &[true; 8]));
-        assert!(edited.elapsed_s < cold.elapsed_s, "{} !< {}", edited.elapsed_s, cold.elapsed_s);
-        assert!(full.elapsed_s < edited.elapsed_s, "{} !< {}", full.elapsed_s, edited.elapsed_s);
+        let full = warp_netsim::simulate(
+            CALIBRATED.host,
+            par_spec_cached(&r, &CALIBRATED, &a, &[true; 8]),
+        );
+        assert!(
+            edited.elapsed_s < cold.elapsed_s,
+            "{} !< {}",
+            edited.elapsed_s,
+            cold.elapsed_s
+        );
+        assert!(
+            full.elapsed_s < edited.elapsed_s,
+            "{} !< {}",
+            full.elapsed_s,
+            edited.elapsed_s
+        );
     }
 
     #[test]
@@ -359,7 +371,12 @@ mod tests {
             CALIBRATED.host,
             seq_spec_cached(&r, &CALIBRATED, &[true; 4]),
         );
-        assert!(warm.elapsed_s < 0.5 * cold.elapsed_s, "{} {}", warm.elapsed_s, cold.elapsed_s);
+        assert!(
+            warm.elapsed_s < 0.5 * cold.elapsed_s,
+            "{} {}",
+            warm.elapsed_s,
+            cold.elapsed_s
+        );
     }
 
     #[test]

@@ -149,7 +149,11 @@ impl RetryPolicy {
     /// A tight policy for tests and chaos runs: `timeout` per job,
     /// `max_attempts` rounds, 1 ms backoff.
     pub fn fast(timeout: Duration, max_attempts: usize) -> RetryPolicy {
-        RetryPolicy { job_timeout: timeout, max_attempts, backoff: Duration::from_millis(1) }
+        RetryPolicy {
+            job_timeout: timeout,
+            max_attempts,
+            backoff: Duration::from_millis(1),
+        }
     }
 }
 
@@ -235,18 +239,31 @@ impl ChaosPlan {
 
     /// A plan that panics exactly one job's first attempt.
     pub fn crash_one(job: usize) -> ChaosPlan {
-        ChaosPlan { crash_prob: 1.0, only_job: Some(job), ..ChaosPlan::default() }
+        ChaosPlan {
+            crash_prob: 1.0,
+            only_job: Some(job),
+            ..ChaosPlan::default()
+        }
     }
 
     /// A plan that loses exactly one job's first result.
     pub fn lose_one(job: usize) -> ChaosPlan {
-        ChaosPlan { lose_prob: 1.0, only_job: Some(job), ..ChaosPlan::default() }
+        ChaosPlan {
+            lose_prob: 1.0,
+            only_job: Some(job),
+            ..ChaosPlan::default()
+        }
     }
 
     /// A plan that stalls exactly one job's first attempt for
     /// `stall_for`.
     pub fn stall_one(job: usize, stall_for: Duration) -> ChaosPlan {
-        ChaosPlan { stall_prob: 1.0, stall_for, only_job: Some(job), ..ChaosPlan::default() }
+        ChaosPlan {
+            stall_prob: 1.0,
+            stall_for,
+            only_job: Some(job),
+            ..ChaosPlan::default()
+        }
     }
 
     /// The deterministic fault draw for `(job, attempt)`.
@@ -324,7 +341,15 @@ pub fn compile_parallel_traced(
     workers: usize,
     trace: &Trace,
 ) -> Result<(CompileResult, ThreadReport), CompileError> {
-    compile_parallel_inner(source, opts, workers, None, None, &RetryPolicy::default(), trace)
+    compile_parallel_inner(
+        source,
+        opts,
+        workers,
+        None,
+        None,
+        &RetryPolicy::default(),
+        trace,
+    )
 }
 
 /// [`compile_parallel`] with an incremental compilation cache: the
@@ -395,7 +420,15 @@ pub fn compile_parallel_chaos(
     chaos: &ChaosPlan,
     policy: &RetryPolicy,
 ) -> Result<(CompileResult, ThreadReport), CompileError> {
-    compile_parallel_inner(source, opts, workers, None, Some(chaos), policy, &Trace::disabled())
+    compile_parallel_inner(
+        source,
+        opts,
+        workers,
+        None,
+        Some(chaos),
+        policy,
+        &Trace::disabled(),
+    )
 }
 
 /// [`compile_parallel_chaos`] with span tracing: injected faults and
@@ -471,7 +504,10 @@ enum JobFailure {
     Panicked(String),
 }
 
-type Done = (usize, Result<(FunctionImage, FunctionRecord, Duration), JobFailure>);
+type Done = (
+    usize,
+    Result<(FunctionImage, FunctionRecord, Duration), JobFailure>,
+);
 
 /// Extracts a readable message from a caught panic payload.
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -513,7 +549,10 @@ impl Pool {
     fn new(seeded: usize) -> Pool {
         Pool {
             injector: Injector::new(),
-            state: Mutex::new(PoolState { unfinished: seeded, shutdown: false }),
+            state: Mutex::new(PoolState {
+                unfinished: seeded,
+                shutdown: false,
+            }),
             work_ready: Condvar::new(),
             quiet: Condvar::new(),
         }
@@ -671,8 +710,7 @@ fn compile_parallel_inner(
         // and whoever finishes early steals from the laggards.
         let locals: Vec<JobDeque<(Job, usize)>> =
             (0..pool_size).map(|_| JobDeque::new_fifo()).collect();
-        let stealers: Vec<Stealer<(Job, usize)>> =
-            locals.iter().map(JobDeque::stealer).collect();
+        let stealers: Vec<Stealer<(Job, usize)>> = locals.iter().map(JobDeque::stealer).collect();
         for (i, &job) in queued.iter().enumerate() {
             locals[i % pool_size].push((job, 0));
         }
@@ -680,7 +718,12 @@ fn compile_parallel_inner(
         if trace.is_enabled() {
             let ts = trace.now_ns();
             for (w, local) in locals.iter().enumerate() {
-                trace.counter(format!("queue {w}"), worker_tracks[w], ts, local.len() as f64);
+                trace.counter(
+                    format!("queue {w}"),
+                    worker_tracks[w],
+                    ts,
+                    local.len() as f64,
+                );
             }
         }
 
@@ -757,14 +800,11 @@ fn compile_parallel_inner(
                                 local.len() as f64,
                             );
                         }
-                        let action =
-                            chaos.map_or(ChaosAction::None, |c| c.decide(idx, attempt));
+                        let action = chaos.map_or(ChaosAction::None, |c| c.decide(idx, attempt));
                         if action == ChaosAction::Stall {
                             // A wedged worker: the result will arrive
                             // long after the master's timeout.
-                            std::thread::sleep(
-                                chaos.map_or(Duration::ZERO, |c| c.stall_for),
-                            );
+                            std::thread::sleep(chaos.map_or(Duration::ZERO, |c| c.stall_for));
                         }
                         // Borrow the name for the span — no per-job
                         // clone in the hot loop.
@@ -898,8 +938,7 @@ fn compile_parallel_inner(
                 stats.retries += to_retry.len();
                 if trace.is_enabled() {
                     for &idx in &to_retry {
-                        let (_, (si, fi), _) =
-                            job_by_idx[idx].expect("retried job was queued");
+                        let (_, (si, fi), _) = job_by_idx[idx].expect("retried job was queued");
                         let name = &checked.module.sections[si].functions[fi].name;
                         let attempt = attempts_used[idx];
                         trace.instant(
@@ -910,7 +949,11 @@ fn compile_parallel_inner(
                         );
                     }
                 }
-                let worst = to_retry.iter().map(|&i| attempts_used[i]).max().unwrap_or(1);
+                let worst = to_retry
+                    .iter()
+                    .map(|&i| attempts_used[i])
+                    .max()
+                    .unwrap_or(1);
                 let shift = (worst - 1).min(16) as u32;
                 let backoff = policy.backoff.saturating_mul(1u32 << shift);
                 if !backoff.is_zero() {
@@ -961,7 +1004,13 @@ fn compile_parallel_inner(
         })??;
         let (img, rec) = out;
         if let (Some(cache), Some(key)) = (cache, key) {
-            cache.store(key, CachedFunction { image: img.clone(), record: rec.clone() });
+            cache.store(
+                key,
+                CachedFunction {
+                    image: img.clone(),
+                    record: rec.clone(),
+                },
+            );
         }
         timings[idx] = Some(t.elapsed());
         images[idx] = Some(img);
@@ -977,8 +1026,10 @@ fn compile_parallel_inner(
     let mut final_images = Vec::with_capacity(jobs.len());
     let mut final_records = Vec::with_capacity(jobs.len());
     let mut per_function = Vec::with_capacity(jobs.len());
-    for (idx, (img, (rec, dt))) in
-        images.into_iter().zip(records.into_iter().zip(timings)).enumerate()
+    for (idx, (img, (rec, dt))) in images
+        .into_iter()
+        .zip(records.into_iter().zip(timings))
+        .enumerate()
     {
         match (img, rec, dt) {
             (Some(img), Some(rec), Some(dt)) => {
@@ -998,7 +1049,13 @@ fn compile_parallel_inner(
     let link_wall = tl.elapsed();
 
     Ok((
-        CompileResult { module_image, records: final_records, phase1_units, link_units, warnings },
+        CompileResult {
+            module_image,
+            records: final_records,
+            phase1_units,
+            link_units,
+            warnings,
+        },
         ThreadReport {
             wall: t0.elapsed(),
             phase1_wall,
@@ -1109,8 +1166,15 @@ mod tests {
 
         let (warm, _) = compile_parallel_cached(&src, &opts, 4, &cache).expect("warm");
         let after_warm = cache.stats();
-        assert_eq!(after_warm.hits() - after_cold.hits(), n, "warm build hits every function");
-        assert_eq!(after_warm.misses, after_cold.misses, "warm build misses nothing");
+        assert_eq!(
+            after_warm.hits() - after_cold.hits(),
+            n,
+            "warm build hits every function"
+        );
+        assert_eq!(
+            after_warm.misses, after_cold.misses,
+            "warm build misses nothing"
+        );
         assert_eq!(cold.module_image, warm.module_image, "bit-identical output");
         assert_eq!(cold.records, warm.records, "identical work records");
 
@@ -1148,7 +1212,10 @@ mod tests {
             let chaos = ChaosPlan::crash_one(job);
             let (par, report) =
                 compile_parallel_chaos(&src, &opts, 4, &chaos, &fast_policy()).expect("par");
-            assert_eq!(seq.module_image, par.module_image, "bit-identical despite crash of {job}");
+            assert_eq!(
+                seq.module_image, par.module_image,
+                "bit-identical despite crash of {job}"
+            );
             assert_eq!(report.faults.panics, 1, "{:?}", report.faults);
             assert_eq!(report.faults.retries, 1, "{:?}", report.faults);
             assert_eq!(report.faults.sequential_fallbacks, 0, "{:?}", report.faults);
@@ -1163,7 +1230,10 @@ mod tests {
         let chaos = ChaosPlan::lose_one(1);
         let (par, report) =
             compile_parallel_chaos(&src, &opts, 4, &chaos, &fast_policy()).expect("par");
-        assert_eq!(seq.module_image, par.module_image, "bit-identical despite lost result");
+        assert_eq!(
+            seq.module_image, par.module_image,
+            "bit-identical despite lost result"
+        );
         // The loss is noticed either by the per-job timeout (workers
         // still busy) or by pool disconnection (workers all drained
         // the queue and exited); both mark the job lost and retry it.
@@ -1181,9 +1251,16 @@ mod tests {
         let chaos = ChaosPlan::stall_one(2, Duration::from_millis(250));
         let (par, report) =
             compile_parallel_chaos(&src, &opts, 4, &chaos, &fast_policy()).expect("par");
-        assert_eq!(seq.module_image, par.module_image, "bit-identical despite stall");
+        assert_eq!(
+            seq.module_image, par.module_image,
+            "bit-identical despite stall"
+        );
         assert!(report.faults.timeouts >= 1, "{:?}", report.faults);
-        assert_eq!(report.faults.retries, 0, "late result used, no retry: {:?}", report.faults);
+        assert_eq!(
+            report.faults.retries, 0,
+            "late result used, no retry: {:?}",
+            report.faults
+        );
     }
 
     #[test]
@@ -1199,11 +1276,17 @@ mod tests {
             ..ChaosPlan::default()
         };
         let policy = RetryPolicy::fast(Duration::from_millis(80), 2);
-        let (par, report) =
-            compile_parallel_chaos(&src, &opts, 4, &chaos, &policy).expect("par");
-        assert_eq!(seq.module_image, par.module_image, "bit-identical via fallback");
+        let (par, report) = compile_parallel_chaos(&src, &opts, 4, &chaos, &policy).expect("par");
+        assert_eq!(
+            seq.module_image, par.module_image,
+            "bit-identical via fallback"
+        );
         assert_eq!(report.faults.sequential_fallbacks, 4, "{:?}", report.faults);
-        assert_eq!(report.faults.panics, 8, "4 jobs × 2 attempts: {:?}", report.faults);
+        assert_eq!(
+            report.faults.panics, 8,
+            "4 jobs × 2 attempts: {:?}",
+            report.faults
+        );
     }
 
     #[test]
@@ -1249,11 +1332,15 @@ mod tests {
         assert_eq!(report.faults.panics, 1);
         let snap = trace.snapshot();
         assert!(
-            snap.instants.iter().any(|i| i.cat == "fault" && i.name.starts_with("panic")),
+            snap.instants
+                .iter()
+                .any(|i| i.cat == "fault" && i.name.starts_with("panic")),
             "panic instant recorded"
         );
         assert!(
-            snap.instants.iter().any(|i| i.cat == "retry" && i.name.starts_with("retry")),
+            snap.instants
+                .iter()
+                .any(|i| i.cat == "retry" && i.name.starts_with("retry")),
             "retry instant recorded"
         );
     }

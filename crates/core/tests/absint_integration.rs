@@ -3,13 +3,14 @@
 //! rebuilds re-analyze nothing, and the facts report is stable across
 //! cold and warm builds.
 
-use parcc::{
-    compile_module_cached, compile_module_source, facts_report, CompileOptions, FnCache,
-};
+use parcc::{compile_module_cached, compile_module_source, facts_report, CompileOptions, FnCache};
 use warp_workload::{synthetic_program, FunctionSize};
 
 fn absint_opts() -> CompileOptions {
-    CompileOptions { absint: true, ..CompileOptions::default() }
+    CompileOptions {
+        absint: true,
+        ..CompileOptions::default()
+    }
 }
 
 /// The fig6 workload (the paper's S_n benchmark modules) contains
@@ -22,11 +23,21 @@ fn fig6_workload_prunes_branches_and_elides_trap_checks() {
     let r = compile_module_source(&src, &absint_opts()).expect("compile");
     let pruned: usize = r.records.iter().map(|x| x.p2.branches_pruned).sum();
     let elided: usize = r.records.iter().map(|x| x.p2.trap_checks_elided).sum();
-    assert!(pruned >= 1, "no infeasible branch pruned on the fig6 workload");
+    assert!(
+        pruned >= 1,
+        "no infeasible branch pruned on the fig6 workload"
+    );
     assert!(elided >= 1, "no trap check elided on the fig6 workload");
     for rec in &r.records {
-        let facts = rec.facts.as_ref().unwrap_or_else(|| panic!("{}: no facts", rec.name));
-        assert!(rec.p2.absint_iterations > 0, "{}: analysis did no work", rec.name);
+        let facts = rec
+            .facts
+            .as_ref()
+            .unwrap_or_else(|| panic!("{}: no facts", rec.name));
+        assert!(
+            rec.p2.absint_iterations > 0,
+            "{}: analysis did no work",
+            rec.name
+        );
         assert!(facts.claim_count() > 0, "{}: no claims proven", rec.name);
     }
     // Without absint: no iterations charged, no facts shipped.
@@ -80,7 +91,11 @@ fn absint_option_does_not_share_cache_entries() {
     let warm = cache.fork_memory();
     let on = compile_module_cached(&src, &absint_opts(), &warm).expect("absint build");
     let s = warm.stats();
-    assert_eq!(s.hits(), 0, "absint build must not reuse absint-off entries: {s}");
+    assert_eq!(
+        s.hits(),
+        0,
+        "absint build must not reuse absint-off entries: {s}"
+    );
     assert!(on.records.iter().all(|r| r.facts.is_some()));
 }
 
@@ -92,7 +107,11 @@ fn facts_report_covers_every_function() {
     let r = compile_module_source(&src, &absint_opts()).expect("compile");
     let report = facts_report(&r.records);
     for rec in &r.records {
-        assert!(report.contains(&format!("== {}", rec.name)), "missing {}", rec.name);
+        assert!(
+            report.contains(&format!("== {}", rec.name)),
+            "missing {}",
+            rec.name
+        );
     }
     assert!(report.contains("iterations "));
     assert!(report.contains("sites "));

@@ -31,18 +31,19 @@ fn assert_all_ways_identical(src: &str, opts: &CompileOptions) {
             ref_bytes,
             "uncached parallel ({workers} workers) diverged from sequential"
         );
-        assert_eq!(par.records, reference.records, "records diverged at {workers} workers");
+        assert_eq!(
+            par.records, reference.records,
+            "records diverged at {workers} workers"
+        );
 
         let cache = FnCache::in_memory();
-        let (cold, _) =
-            compile_parallel_cached(src, opts, workers, &cache).expect("cold cached");
+        let (cold, _) = compile_parallel_cached(src, opts, workers, &cache).expect("cold cached");
         assert_eq!(
             image_bytes(&cold),
             ref_bytes,
             "cold cached parallel ({workers} workers) diverged"
         );
-        let (warm, _) =
-            compile_parallel_cached(src, opts, workers, &cache).expect("warm cached");
+        let (warm, _) = compile_parallel_cached(src, opts, workers, &cache).expect("warm cached");
         assert_eq!(
             image_bytes(&warm),
             ref_bytes,
@@ -138,7 +139,10 @@ fn every_example_program_is_bit_identical_under_chaos() {
         }
         checked += 1;
     }
-    assert!(checked >= 3, "expected at least 3 example programs, found {checked}");
+    assert!(
+        checked >= 3,
+        "expected at least 3 example programs, found {checked}"
+    );
 }
 
 proptest! {

@@ -21,7 +21,11 @@ fn primed() -> (String, FnCache) {
     let cache = FnCache::in_memory();
     compile_module_cached(&src, &CompileOptions::default(), &cache).expect("prime");
     let s = cache.stats();
-    assert_eq!((s.hits(), s.misses, s.stores), (0, N as u64, N as u64), "cold prime: {s}");
+    assert_eq!(
+        (s.hits(), s.misses, s.stores),
+        (0, N as u64, N as u64),
+        "cold prime: {s}"
+    );
     (src, cache)
 }
 
@@ -57,7 +61,10 @@ fn changing_compile_options_invalidates_everything() {
     for (label, opts) in [
         (
             "verify_each_pass",
-            CompileOptions { verify_each_pass: true, ..CompileOptions::default() },
+            CompileOptions {
+                verify_each_pass: true,
+                ..CompileOptions::default()
+            },
         ),
         (
             "inline",
@@ -88,14 +95,20 @@ fn changing_module_interface_invalidates_the_section() {
     // Add a function to the (single) section: every function in it now
     // sees a different interface, so nothing may hit. The module's
     // closing `end;` is the last one in the source.
-    let body = src.strip_suffix("end;\n").expect("module must end with end;");
+    let body = src
+        .strip_suffix("end;\n")
+        .expect("module must end with end;");
     let grown =
         format!("{body}function cache_probe(x: float): float begin return x + 1.0; end;\nend;\n");
     assert_ne!(grown, src);
     let warm = cache.fork_memory();
     compile_module_cached(&grown, &CompileOptions::default(), &warm).expect("rebuild");
     let s = warm.stats();
-    assert_eq!(s.hits(), 0, "interface change must invalidate the section: {s}");
+    assert_eq!(
+        s.hits(),
+        0,
+        "interface change must invalidate the section: {s}"
+    );
     assert_eq!(s.misses, N as u64 + 1, "{s}");
 }
 
@@ -104,7 +117,10 @@ fn options_roundtrip_back_to_hits() {
     // Sanity: invalidation is keyed, not a flush — switching options
     // away and back hits the original entries again.
     let (src, cache) = primed();
-    let other = CompileOptions { verify_each_pass: true, ..CompileOptions::default() };
+    let other = CompileOptions {
+        verify_each_pass: true,
+        ..CompileOptions::default()
+    };
     compile_module_cached(&src, &other, &cache).expect("other options");
     let warm = cache.fork_memory();
     compile_module_cached(&src, &CompileOptions::default(), &warm).expect("back");

@@ -24,7 +24,9 @@ const DEFAULT_SEEDS: [u64; 8] = [1, 2, 3, 4, 5, 6, 7, 8];
 fn seeds() -> Vec<u64> {
     match std::env::var("WARP_FAULT_SEED") {
         Ok(s) => {
-            let seed = s.parse().unwrap_or_else(|_| panic!("bad WARP_FAULT_SEED `{s}`"));
+            let seed = s
+                .parse()
+                .unwrap_or_else(|_| panic!("bad WARP_FAULT_SEED `{s}`"));
             vec![seed]
         }
         Err(_) => DEFAULT_SEEDS.to_vec(),
@@ -104,7 +106,10 @@ fn seeded_chaos_is_bit_identical_for_every_matrix_seed() {
 fn every_single_job_crash_is_bit_identical() {
     let opts = CompileOptions::default();
     let src = synthetic_program(FunctionSize::Small, 6);
-    let n = compile_module_source(&src, &opts).expect("sequential").records.len();
+    let n = compile_module_source(&src, &opts)
+        .expect("sequential")
+        .records
+        .len();
     for job in 0..n {
         assert_chaos_identical(
             &src,
@@ -177,8 +182,11 @@ proptest! {
 fn faulted_netsim_run(e: &Experiment, result: &CompileResult, seed: u64) -> (String, String) {
     let avail = e.model.host.workstations.saturating_sub(1);
     let assignment = parcc::fcfs(result.records.len(), avail);
-    let horizon =
-        simulate(e.model.host, parcc::simspec::par_spec(result, &e.model, &assignment)).elapsed_s;
+    let horizon = simulate(
+        e.model.host,
+        parcc::simspec::par_spec(result, &e.model, &assignment),
+    )
+    .elapsed_s;
     let plan = FaultPlan::generate(seed, 3, e.model.host.workstations, horizon);
     let trace = Trace::new(ClockDomain::Virtual);
     let report = simulate_faulted_traced(
@@ -187,7 +195,10 @@ fn faulted_netsim_run(e: &Experiment, result: &CompileResult, seed: u64) -> (Str
         parcc::simspec::par_spec(result, &e.model, &assignment),
         &trace,
     );
-    (format!("{report:#?}"), warp_obs::to_chrome_json(&trace.snapshot()))
+    (
+        format!("{report:#?}"),
+        warp_obs::to_chrome_json(&trace.snapshot()),
+    )
 }
 
 #[test]
@@ -225,11 +236,17 @@ fn netsim_fault_runs_are_byte_identical_per_seed() {
 fn fig6_under_faults_matches_itself_per_seed() {
     let e = Experiment::default();
     for seed in seeds() {
-        let a = e.fig6_under_faults(FunctionSize::Medium, 8, seed, &[0, 2]).expect("fig6");
-        let b = e.fig6_under_faults(FunctionSize::Medium, 8, seed, &[0, 2]).expect("fig6");
+        let a = e
+            .fig6_under_faults(FunctionSize::Medium, 8, seed, &[0, 2])
+            .expect("fig6");
+        let b = e
+            .fig6_under_faults(FunctionSize::Medium, 8, seed, &[0, 2])
+            .expect("fig6");
         assert_eq!(a, b, "seed {seed}: fig6-under-faults not deterministic");
         assert!(
-            a.points.iter().all(|p| p.elapsed_s >= a.par_elapsed_s - 1e-9),
+            a.points
+                .iter()
+                .all(|p| p.elapsed_s >= a.par_elapsed_s - 1e-9),
             "seed {seed}: faults made the build faster: {a:?}"
         );
     }

@@ -6,15 +6,15 @@
 //! report-based route on the Figure 6 workload.
 
 use parcc::simspec::{par_spec, seq_spec};
-use parcc::{
-    fcfs, overheads, CompileOptions, Experiment, Measurement, Placement,
-};
+use parcc::{fcfs, overheads, CompileOptions, Experiment, Measurement, Placement};
 use std::path::PathBuf;
 use std::process::Command;
 use warp_workload::{synthetic_program, FunctionSize};
 
 fn example_path(name: &str) -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples").join(name)
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples")
+        .join(name)
 }
 
 fn temp_path(tag: &str) -> PathBuf {
@@ -38,7 +38,10 @@ fn warpcc_trace_writes_chrome_trace_with_expected_scopes() {
     // Spans from the driver, per-pass, and worker scopes must all be
     // present (the acceptance bar for the tracing layer).
     for cat in ["driver", "pass", "worker"] {
-        assert!(json.contains(&format!("\"cat\":\"{cat}\"")), "no {cat} spans in {json}");
+        assert!(
+            json.contains(&format!("\"cat\":\"{cat}\"")),
+            "no {cat} spans in {json}"
+        );
     }
     // Monotonic clock domain is declared in the file metadata.
     assert!(json.contains("\"clock_domain\":\"monotonic\""));
@@ -59,7 +62,10 @@ fn warpcc_trace_with_workers_and_verify_adds_verify_spans() {
     let stats = warp_obs::validate_chrome_json(&json).expect("valid Chrome trace");
     assert!(stats.spans > 0);
     for cat in ["driver", "pass", "worker", "verify"] {
-        assert!(json.contains(&format!("\"cat\":\"{cat}\"")), "no {cat} spans");
+        assert!(
+            json.contains(&format!("\"cat\":\"{cat}\"")),
+            "no {cat} spans"
+        );
     }
 }
 
@@ -82,14 +88,23 @@ fn parallel_compile_trace_has_the_documented_sched_shape() {
     let worker_tracks: Vec<_> = (0..workers)
         .filter_map(|w| snap.tracks.iter().position(|t| t == &format!("worker {w}")))
         .collect();
-    assert_eq!(worker_tracks.len(), workers, "one track per worker: {:?}", snap.tracks);
+    assert_eq!(
+        worker_tracks.len(),
+        workers,
+        "one track per worker: {:?}",
+        snap.tracks
+    );
 
     // Every worker's deque depth is counted, and counters live on
     // that worker's own track.
     for (w, &track) in worker_tracks.iter().enumerate() {
         let name = format!("queue {w}");
         let counters: Vec<_> = snap.counters.iter().filter(|c| c.name == name).collect();
-        assert!(!counters.is_empty(), "no `{name}` counter in {:?}", snap.counters);
+        assert!(
+            !counters.is_empty(),
+            "no `{name}` counter in {:?}",
+            snap.counters
+        );
         for c in &counters {
             assert_eq!(c.track.0 as usize, track, "`{name}` on the wrong track");
         }
@@ -133,7 +148,10 @@ fn figure_run_produces_virtual_time_traces() {
     }
     // The parallel run exercises the paper's process hierarchy.
     assert!(traces.par.spans_in("process").any(|s| s.name == "master"));
-    assert!(traces.par.spans_in("process").any(|s| s.name.starts_with("fn-master")));
+    assert!(traces
+        .par
+        .spans_in("process")
+        .any(|s| s.name.starts_with("fn-master")));
 }
 
 #[test]
@@ -141,7 +159,10 @@ fn trace_derived_measurement_matches_report_on_fig6_workload() {
     let e = Experiment::default();
     let src = synthetic_program(FunctionSize::Medium, 4);
     let result = parcc::compile_module_source(&src, &CompileOptions::default()).expect("compile");
-    let assignment = fcfs(result.records.len(), e.model.host.workstations.saturating_sub(1));
+    let assignment = fcfs(
+        result.records.len(),
+        e.model.host.workstations.saturating_sub(1),
+    );
 
     // Legacy route: simulator report → Measurement.
     let seq_report = warp_netsim::simulate(e.model.host, seq_spec(&result, &e.model));
@@ -154,15 +175,25 @@ fn trace_derived_measurement_matches_report_on_fig6_workload() {
 
     let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0);
     for (trace_m, legacy_m) in [(&cmp.seq, &seq_legacy), (&cmp.par, &par_legacy)] {
-        assert!(close(trace_m.elapsed_s, legacy_m.elapsed_s), "{trace_m:?}\n{legacy_m:?}");
+        assert!(
+            close(trace_m.elapsed_s, legacy_m.elapsed_s),
+            "{trace_m:?}\n{legacy_m:?}"
+        );
         assert!(close(trace_m.max_cpu_s, legacy_m.max_cpu_s));
         assert!(close(trace_m.master_cpu_s, legacy_m.master_cpu_s));
         assert!(close(trace_m.parser_cpu_s, legacy_m.parser_cpu_s));
         assert!(close(trace_m.section_cpu_s, legacy_m.section_cpu_s));
         assert!(close(trace_m.compile_cpu_s, legacy_m.compile_cpu_s));
         assert!(close(trace_m.memory_overhead_s, legacy_m.memory_overhead_s));
-        assert_eq!(trace_m.cpu_per_processor.len(), legacy_m.cpu_per_processor.len());
-        for (a, b) in trace_m.cpu_per_processor.iter().zip(&legacy_m.cpu_per_processor) {
+        assert_eq!(
+            trace_m.cpu_per_processor.len(),
+            legacy_m.cpu_per_processor.len()
+        );
+        for (a, b) in trace_m
+            .cpu_per_processor
+            .iter()
+            .zip(&legacy_m.cpu_per_processor)
+        {
             assert!(close(*a, *b));
         }
     }
@@ -173,7 +204,10 @@ fn trace_derived_measurement_matches_report_on_fig6_workload() {
     let legacy_o = overheads(&par_legacy, &seq_legacy, k);
     assert_eq!(cmp.overheads.k, legacy_o.k);
     assert!(close(cmp.overheads.total_s, legacy_o.total_s));
-    assert!(close(cmp.overheads.implementation_s, legacy_o.implementation_s));
+    assert!(close(
+        cmp.overheads.implementation_s,
+        legacy_o.implementation_s
+    ));
     assert!(close(cmp.overheads.system_s, legacy_o.system_s));
     assert!(close(cmp.overheads.total_frac, legacy_o.total_frac));
     assert!(close(cmp.overheads.system_frac, legacy_o.system_frac));

@@ -42,7 +42,11 @@ mod tempfile_path {
 fn summary_lists_functions() {
     let f = write_program();
     let out = warpcc().arg(&f.0).output().expect("run warpcc");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("module `cli`"), "{stdout}");
     assert!(stdout.contains("triple"), "{stdout}");
@@ -56,7 +60,11 @@ fn run_executes_function() {
         .arg(&f.0)
         .output()
         .expect("run warpcc");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("triple(14.0) = 42"), "{stdout}");
 }
@@ -64,7 +72,11 @@ fn run_executes_function() {
 #[test]
 fn emit_asm_disassembles() {
     let f = write_program();
-    let out = warpcc().args(["--emit", "asm"]).arg(&f.0).output().expect("run");
+    let out = warpcc()
+        .args(["--emit", "asm"])
+        .arg(&f.0)
+        .output()
+        .expect("run");
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("section s"), "{stdout}");
@@ -74,7 +86,11 @@ fn emit_asm_disassembles() {
 #[test]
 fn emit_ast_round_trips() {
     let f = write_program();
-    let out = warpcc().args(["--emit", "ast"]).arg(&f.0).output().expect("run");
+    let out = warpcc()
+        .args(["--emit", "ast"])
+        .arg(&f.0)
+        .output()
+        .expect("run");
     assert!(out.status.success());
     let printed = String::from_utf8_lossy(&out.stdout).to_string();
     assert!(warp_lang::phase1(&printed).is_ok(), "{printed}");
@@ -88,8 +104,16 @@ fn emit_facts_prints_the_fact_report() {
       begin\n  t := x;\n  for i := 0 to 15 do v[i] := t; t := t + v[i]; end;\n\
       return t;\nend;\nend;\n";
     let f = tempfile_path::write(LOOPY);
-    let out = warpcc().args(["--emit", "facts"]).arg(&f.0).output().expect("run");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = warpcc()
+        .args(["--emit", "facts"])
+        .arg(&f.0)
+        .output()
+        .expect("run");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("== f"), "{stdout}");
     assert!(stdout.contains("iterations "), "{stdout}");
@@ -100,7 +124,11 @@ fn emit_facts_prints_the_fact_report() {
 fn absint_flag_adds_summary_columns() {
     let f = write_program();
     let out = warpcc().arg("--absint").arg(&f.0).output().expect("run");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("absint-it"), "{stdout}");
     assert!(stdout.contains("pruned"), "{stdout}");
@@ -119,7 +147,12 @@ fn stdin_input_works() {
         .stdout(std::process::Stdio::piped())
         .spawn()
         .expect("spawn");
-    child.stdin.as_mut().unwrap().write_all(PROGRAM.as_bytes()).unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(PROGRAM.as_bytes())
+        .unwrap();
     let out = child.wait_with_output().unwrap();
     assert!(out.status.success());
 }
@@ -150,8 +183,16 @@ fn help_exits_cleanly() {
 #[test]
 fn ifconv_flag_accepted() {
     let f = tempfile_path::write(PROGRAM);
-    let out = warpcc().args(["--ifconv", "--inline"]).arg(&f.0).output().expect("run");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = warpcc()
+        .args(["--ifconv", "--inline"])
+        .arg(&f.0)
+        .output()
+        .expect("run");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 }
 
 #[test]
@@ -159,7 +200,11 @@ fn jobs_flag_output_matches_sequential() {
     let f = write_program();
     let run = |args: &[&str]| {
         let out = warpcc().args(args).arg(&f.0).output().expect("run warpcc");
-        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
         out.stdout
     };
     let sequential = run(&[]);
@@ -173,7 +218,11 @@ fn jobs_flag_output_matches_sequential() {
 #[test]
 fn bad_jobs_count_rejected() {
     let f = write_program();
-    let out = warpcc().args(["--jobs", "lots"]).arg(&f.0).output().expect("run");
+    let out = warpcc()
+        .args(["--jobs", "lots"])
+        .arg(&f.0)
+        .output()
+        .expect("run");
     assert!(!out.status.success());
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("bad job count"), "{stderr}");
@@ -194,15 +243,29 @@ fn cache_dir_turns_second_run_into_hits() {
             .expect("run warpcc")
     };
     let cold = run();
-    assert!(cold.status.success(), "{}", String::from_utf8_lossy(&cold.stderr));
+    assert!(
+        cold.status.success(),
+        "{}",
+        String::from_utf8_lossy(&cold.stderr)
+    );
     let cold_err = String::from_utf8_lossy(&cold.stderr);
     assert!(cold_err.contains("cache:"), "{cold_err}");
-    assert!(cold_err.contains("0 hit(s)"), "cold run must miss: {cold_err}");
+    assert!(
+        cold_err.contains("0 hit(s)"),
+        "cold run must miss: {cold_err}"
+    );
 
     let warm = run();
-    assert!(warm.status.success(), "{}", String::from_utf8_lossy(&warm.stderr));
+    assert!(
+        warm.status.success(),
+        "{}",
+        String::from_utf8_lossy(&warm.stderr)
+    );
     let warm_err = String::from_utf8_lossy(&warm.stderr);
-    assert!(warm_err.contains("1 hit(s)"), "warm run must hit: {warm_err}");
+    assert!(
+        warm_err.contains("1 hit(s)"),
+        "warm run must hit: {warm_err}"
+    );
     assert!(warm_err.contains("0 miss(es)"), "{warm_err}");
 
     // Identical output either way.
@@ -213,8 +276,16 @@ fn cache_dir_turns_second_run_into_hits() {
 #[test]
 fn cache_stats_without_dir_counts_in_memory() {
     let f = write_program();
-    let out = warpcc().arg("--cache-stats").arg(&f.0).output().expect("run warpcc");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = warpcc()
+        .arg("--cache-stats")
+        .arg(&f.0)
+        .output()
+        .expect("run warpcc");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("1 miss(es)"), "{stderr}");
 }

@@ -63,7 +63,10 @@ pub struct IntItv {
 
 impl IntItv {
     /// Every `i32` value.
-    pub const FULL: IntItv = IntItv { lo: i32::MIN as i64, hi: i32::MAX as i64 };
+    pub const FULL: IntItv = IntItv {
+        lo: i32::MIN as i64,
+        hi: i32::MAX as i64,
+    };
     /// No value (an infeasible path).
     pub const EMPTY: IntItv = IntItv { lo: 1, hi: 0 };
 
@@ -84,7 +87,11 @@ impl IntItv {
 
     /// Number of contained values (saturating).
     pub fn width(self) -> u64 {
-        if self.is_empty() { 0 } else { (self.hi - self.lo) as u64 + 1 }
+        if self.is_empty() {
+            0
+        } else {
+            (self.hi - self.lo) as u64 + 1
+        }
     }
 
     fn join(self, o: IntItv) -> IntItv {
@@ -93,12 +100,18 @@ impl IntItv {
         } else if o.is_empty() {
             self
         } else {
-            IntItv { lo: self.lo.min(o.lo), hi: self.hi.max(o.hi) }
+            IntItv {
+                lo: self.lo.min(o.lo),
+                hi: self.hi.max(o.hi),
+            }
         }
     }
 
     fn meet(self, o: IntItv) -> IntItv {
-        IntItv { lo: self.lo.max(o.lo), hi: self.hi.min(o.hi) }
+        IntItv {
+            lo: self.lo.max(o.lo),
+            hi: self.hi.min(o.hi),
+        }
     }
 
     fn clamp32(lo: i64, hi: i64) -> IntItv {
@@ -129,15 +142,27 @@ pub struct FltItv {
 
 impl FltItv {
     /// Any float, NaN included.
-    pub const FULL: FltItv = FltItv { lo: f64::NEG_INFINITY, hi: f64::INFINITY, nan: true };
+    pub const FULL: FltItv = FltItv {
+        lo: f64::NEG_INFINITY,
+        hi: f64::INFINITY,
+        nan: true,
+    };
 
     /// The single value `v` (a NaN constant becomes the pure-NaN
     /// envelope around zero).
     pub fn exact(v: f32) -> FltItv {
         if v.is_nan() {
-            FltItv { lo: 0.0, hi: 0.0, nan: true }
+            FltItv {
+                lo: 0.0,
+                hi: 0.0,
+                nan: true,
+            }
         } else {
-            FltItv { lo: v as f64, hi: v as f64, nan: false }
+            FltItv {
+                lo: v as f64,
+                hi: v as f64,
+                nan: false,
+            }
         }
     }
 
@@ -155,13 +180,25 @@ impl FltItv {
     }
 
     fn join(self, o: FltItv) -> FltItv {
-        FltItv { lo: self.lo.min(o.lo), hi: self.hi.max(o.hi), nan: self.nan || o.nan }
+        FltItv {
+            lo: self.lo.min(o.lo),
+            hi: self.hi.max(o.hi),
+            nan: self.nan || o.nan,
+        }
     }
 
     fn widen_from(self, prev: FltItv) -> FltItv {
         FltItv {
-            lo: if self.lo < prev.lo { f64::NEG_INFINITY } else { self.lo },
-            hi: if self.hi > prev.hi { f64::INFINITY } else { self.hi },
+            lo: if self.lo < prev.lo {
+                f64::NEG_INFINITY
+            } else {
+                self.lo
+            },
+            hi: if self.hi > prev.hi {
+                f64::INFINITY
+            } else {
+                self.hi
+            },
             nan: self.nan,
         }
     }
@@ -272,9 +309,11 @@ impl AbsVal {
             (AbsNum::Int(_), _) => AbsNum::Int(IntItv::FULL),
             (AbsNum::Flt(_), _) => AbsNum::Flt(FltItv::FULL),
         };
-        AbsVal { num, def: self.def && o.def }
+        AbsVal {
+            num,
+            def: self.def && o.def,
+        }
     }
-
 }
 
 /// Threshold widening: a bound that moved since the previous state
@@ -562,8 +601,14 @@ fn bin_int(op: IrBinOp, a: IntItv, b: IntItv) -> IntItv {
         }
         IrBinOp::IDiv => idiv_itv(a, b),
         IrBinOp::Mod => imod_itv(a, b),
-        IrBinOp::Min => IntItv { lo: a.lo.min(b.lo), hi: a.hi.min(b.hi) },
-        IrBinOp::Max => IntItv { lo: a.lo.max(b.lo), hi: a.hi.max(b.hi) },
+        IrBinOp::Min => IntItv {
+            lo: a.lo.min(b.lo),
+            hi: a.hi.min(b.hi),
+        },
+        IrBinOp::Max => IntItv {
+            lo: a.lo.max(b.lo),
+            hi: a.hi.max(b.hi),
+        },
         IrBinOp::And | IrBinOp::Or => IntItv { lo: 0, hi: 1 },
         // `Div` on an Int-typed Bin cannot be produced by lowering;
         // stay sound anyway.
@@ -580,8 +625,14 @@ fn idiv_itv(a: IntItv, b: IntItv) -> IntItv {
     }
     let mut out = IntItv::EMPTY;
     let parts = [
-        IntItv { lo: b.lo, hi: b.hi.min(-1) }, // negative divisors
-        IntItv { lo: b.lo.max(1), hi: b.hi },  // positive divisors
+        IntItv {
+            lo: b.lo,
+            hi: b.hi.min(-1),
+        }, // negative divisors
+        IntItv {
+            lo: b.lo.max(1),
+            hi: b.hi,
+        }, // positive divisors
     ];
     for p in parts {
         if p.is_empty() {
@@ -593,14 +644,21 @@ fn idiv_itv(a: IntItv, b: IntItv) -> IntItv {
             hi: *cs.iter().max().unwrap(),
         });
     }
-    if out.is_empty() { IntItv::FULL } else { out }
+    if out.is_empty() {
+        IntItv::FULL
+    } else {
+        out
+    }
 }
 
 /// Remainder interval of `a mod b` (sign follows the dividend).
 fn imod_itv(a: IntItv, b: IntItv) -> IntItv {
     // Largest |divisor| minus one bounds the magnitude; i32::MIN as a
     // divisor still bounds |rem| by i32::MAX.
-    let m = b.lo.unsigned_abs().max(b.hi.unsigned_abs()).min(i32::MAX as u64 + 1) as i64;
+    let m =
+        b.lo.unsigned_abs()
+            .max(b.hi.unsigned_abs())
+            .min(i32::MAX as u64 + 1) as i64;
     if m == 0 {
         // Divisor is exactly zero: always traps, no value produced.
         return IntItv::EMPTY;
@@ -620,8 +678,14 @@ fn cmp_int(kind: CmpKind, a: IntItv, b: IntItv) -> IntItv {
         CmpKind::Le => (a.hi <= b.lo, a.lo > b.hi),
         CmpKind::Gt => (a.lo > b.hi, a.hi <= b.lo),
         CmpKind::Ge => (a.lo >= b.hi, a.hi < b.lo),
-        CmpKind::Eq => (a.lo == a.hi && b.lo == b.hi && a.lo == b.lo, a.hi < b.lo || b.hi < a.lo),
-        CmpKind::Ne => (a.hi < b.lo || b.hi < a.lo, a.lo == a.hi && b.lo == b.hi && a.lo == b.lo),
+        CmpKind::Eq => (
+            a.lo == a.hi && b.lo == b.hi && a.lo == b.lo,
+            a.hi < b.lo || b.hi < a.lo,
+        ),
+        CmpKind::Ne => (
+            a.hi < b.lo || b.hi < a.lo,
+            a.lo == a.hi && b.lo == b.hi && a.lo == b.lo,
+        ),
     };
     bool_itv(always, never)
 }
@@ -632,8 +696,14 @@ fn cmp_flt(kind: CmpKind, a: FltItv, b: FltItv) -> IntItv {
         CmpKind::Le => (a.hi <= b.lo, a.lo > b.hi),
         CmpKind::Gt => (a.lo > b.hi, a.hi <= b.lo),
         CmpKind::Ge => (a.lo >= b.hi, a.hi < b.lo),
-        CmpKind::Eq => (a.lo == a.hi && b.lo == b.hi && a.lo == b.lo, a.hi < b.lo || b.hi < a.lo),
-        CmpKind::Ne => (a.hi < b.lo || b.hi < a.lo, a.lo == a.hi && b.lo == b.hi && a.lo == b.lo),
+        CmpKind::Eq => (
+            a.lo == a.hi && b.lo == b.hi && a.lo == b.lo,
+            a.hi < b.lo || b.hi < a.lo,
+        ),
+        CmpKind::Ne => (
+            a.hi < b.lo || b.hi < a.lo,
+            a.lo == a.hi && b.lo == b.hi && a.lo == b.lo,
+        ),
     };
     // NaN operands make every comparison false except Ne, which is true.
     if a.nan || b.nan {
@@ -683,7 +753,11 @@ fn bin_flt(op: IrBinOp, a: FltItv, b: FltItv) -> FltItv {
                 || (a.contains_zero() && b.contains_zero())
                 || (a.may_be_inf() && b.may_be_inf());
             if b.contains_zero() {
-                return FltItv { lo: f64::NEG_INFINITY, hi: f64::INFINITY, nan };
+                return FltItv {
+                    lo: f64::NEG_INFINITY,
+                    hi: f64::INFINITY,
+                    nan,
+                };
             }
             let cs = [a.lo / b.lo, a.lo / b.hi, a.hi / b.lo, a.hi / b.hi];
             let lo = cs.iter().copied().fold(f64::INFINITY, fold_min);
@@ -699,7 +773,11 @@ fn bin_flt(op: IrBinOp, a: FltItv, b: FltItv) -> FltItv {
             if b.nan {
                 hi = hi.max(a.hi);
             }
-            FltItv { lo: a.lo.min(b.lo), hi, nan: a.nan && b.nan }
+            FltItv {
+                lo: a.lo.min(b.lo),
+                hi,
+                nan: a.nan && b.nan,
+            }
         }
         IrBinOp::Max => {
             let mut lo = a.lo.max(b.lo);
@@ -709,7 +787,11 @@ fn bin_flt(op: IrBinOp, a: FltItv, b: FltItv) -> FltItv {
             if b.nan {
                 lo = lo.min(a.lo);
             }
-            FltItv { lo, hi: a.hi.max(b.hi), nan: a.nan && b.nan }
+            FltItv {
+                lo,
+                hi: a.hi.max(b.hi),
+                nan: a.nan && b.nan,
+            }
         }
         // Boolean and integer ops on a Float-typed Bin cannot be
         // produced by lowering; stay sound.
@@ -718,32 +800,54 @@ fn bin_flt(op: IrBinOp, a: FltItv, b: FltItv) -> FltItv {
 }
 
 fn fold_min(acc: f64, x: f64) -> f64 {
-    if x.is_nan() { f64::NEG_INFINITY } else { acc.min(x) }
+    if x.is_nan() {
+        f64::NEG_INFINITY
+    } else {
+        acc.min(x)
+    }
 }
 
 fn fold_max(acc: f64, x: f64) -> f64 {
-    if x.is_nan() { f64::INFINITY } else { acc.max(x) }
+    if x.is_nan() {
+        f64::INFINITY
+    } else {
+        acc.max(x)
+    }
 }
 
 fn un_flt(op: IrUnOp, a: FltItv) -> FltItv {
     match op {
-        IrUnOp::Neg => FltItv { lo: -a.hi, hi: -a.lo, nan: a.nan },
+        IrUnOp::Neg => FltItv {
+            lo: -a.hi,
+            hi: -a.lo,
+            nan: a.nan,
+        },
         IrUnOp::Abs => {
             if a.lo >= 0.0 {
                 a
             } else if a.hi <= 0.0 {
-                FltItv { lo: -a.hi, hi: -a.lo, nan: a.nan }
+                FltItv {
+                    lo: -a.hi,
+                    hi: -a.lo,
+                    nan: a.nan,
+                }
             } else {
-                FltItv { lo: 0.0, hi: (-a.lo).max(a.hi), nan: a.nan }
+                FltItv {
+                    lo: 0.0,
+                    hi: (-a.lo).max(a.hi),
+                    nan: a.nan,
+                }
             }
         }
         IrUnOp::Sqrt => {
             let nan = a.nan || a.lo < 0.0;
             env((a.lo.max(0.0)).sqrt(), (a.hi.max(0.0)).sqrt(), nan)
         }
-        IrUnOp::Sin | IrUnOp::Cos => {
-            FltItv { lo: -1.0, hi: 1.0, nan: a.nan || a.may_be_inf() }
-        }
+        IrUnOp::Sin | IrUnOp::Cos => FltItv {
+            lo: -1.0,
+            hi: 1.0,
+            nan: a.nan || a.may_be_inf(),
+        },
         IrUnOp::Exp => env(a.lo.exp(), a.hi.exp(), a.nan),
         IrUnOp::Log => {
             let nan = a.nan || a.lo < 0.0;
@@ -812,8 +916,10 @@ fn transfer_budget(f: &FuncIr) -> usize {
 /// function simply yields an empty fact set.
 pub fn analyze(f: &FuncIr) -> Analysis {
     let nregs = f.vreg_types.len();
-    let has_calls =
-        f.blocks.iter().any(|b| b.insts.iter().any(|i| matches!(i, Inst::Call { .. })));
+    let has_calls = f
+        .blocks
+        .iter()
+        .any(|b| b.insts.iter().any(|i| matches!(i, Inst::Call { .. })));
     let hulls = f
         .arrays
         .iter()
@@ -856,7 +962,10 @@ pub fn analyze(f: &FuncIr) -> Analysis {
     let budget = transfer_budget(f);
     if !az.fixpoint(budget) {
         return Analysis {
-            facts: FactSet { iterations: az.iterations, ..FactSet::default() },
+            facts: FactSet {
+                iterations: az.iterations,
+                ..FactSet::default()
+            },
             rewrites: Vec::new(),
         };
     }
@@ -895,7 +1004,9 @@ impl<'a> Analyzer<'a> {
                 };
                 let out = self.transfer_block(b, in_state);
                 for (succ, edge_state) in self.successor_states(b, &out) {
-                    let Some(edge_state) = edge_state else { continue };
+                    let Some(edge_state) = edge_state else {
+                        continue;
+                    };
                     let changed = match &mut self.in_states[succ] {
                         slot @ None => {
                             *slot = Some(edge_state);
@@ -956,16 +1067,22 @@ impl<'a> Analyzer<'a> {
             let mut incoming: Vec<Option<State>> = vec![None; n];
             incoming[0] = self.in_states[0].clone(); // entry keeps its state
             for b in 0..n {
-                let Some(in_state) = self.in_states[b].clone() else { continue };
+                let Some(in_state) = self.in_states[b].clone() else {
+                    continue;
+                };
                 self.iterations += 1;
                 let out = self.transfer_block(b, in_state);
                 for (succ, edge_state) in self.successor_states(b, &out) {
-                    let Some(edge_state) = edge_state else { continue };
+                    let Some(edge_state) = edge_state else {
+                        continue;
+                    };
                     incoming[succ] = Some(match incoming[succ].take() {
                         None => edge_state,
-                        Some(cur) => {
-                            cur.iter().zip(&edge_state).map(|(c, e)| c.join(*e)).collect()
-                        }
+                        Some(cur) => cur
+                            .iter()
+                            .zip(&edge_state)
+                            .map(|(c, e)| c.join(*e))
+                            .collect(),
                     });
                 }
             }
@@ -973,8 +1090,11 @@ impl<'a> Analyzer<'a> {
                 match (&mut self.in_states[b], inc.take()) {
                     (Some(cur), Some(new)) => {
                         // x ← x ⊓ F(x): sound truncated narrowing.
-                        let met: State =
-                            cur.iter().zip(&new).map(|(c, e)| meet_val(*c, *e)).collect();
+                        let met: State = cur
+                            .iter()
+                            .zip(&new)
+                            .map(|(c, e)| meet_val(*c, *e))
+                            .collect();
                         *cur = met;
                     }
                     (slot @ Some(_), None) if b != 0 => *slot = None,
@@ -990,7 +1110,14 @@ impl<'a> Analyzer<'a> {
         let f = self.f;
         let insts = &f.blocks[b].insts;
         for inst in insts {
-            transfer_inst(f, &mut st, &mut self.hulls, &mut self.hulls_grew, self.has_calls, inst);
+            transfer_inst(
+                f,
+                &mut st,
+                &mut self.hulls,
+                &mut self.hulls_grew,
+                self.has_calls,
+                inst,
+            );
         }
         st
     }
@@ -1001,7 +1128,11 @@ impl<'a> Analyzer<'a> {
         match &self.f.blocks[b].term {
             Term::Jump(t) => vec![(t.0 as usize, Some(out.clone()))],
             Term::Return(_) => vec![],
-            Term::Branch { cond, then_blk, else_blk } => {
+            Term::Branch {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
                 let (citv, _) = val_int(self.f, out, *cond);
                 // A decided condition, or a refinement that empties an
                 // interval, proves the edge infeasible (`None`).
@@ -1015,7 +1146,10 @@ impl<'a> Analyzer<'a> {
                 } else {
                     refine_edge(self.f, out, b, *cond, false)
                 };
-                vec![(then_blk.0 as usize, then_state), (else_blk.0 as usize, else_state)]
+                vec![
+                    (then_blk.0 as usize, then_state),
+                    (else_blk.0 as usize, else_state),
+                ]
             }
         }
     }
@@ -1029,12 +1163,23 @@ impl<'a> Analyzer<'a> {
         let mut saw_return = false;
 
         for (bi, block) in f.blocks.iter().enumerate() {
-            let Some(in_state) = self.in_states[bi].clone() else { continue };
+            let Some(in_state) = self.in_states[bi].clone() else {
+                continue;
+            };
             let mut st = in_state;
             for (ii, inst) in block.insts.iter().enumerate() {
-                let site = Site { block: bi as u32, inst: ii as u32 };
+                let site = Site {
+                    block: bi as u32,
+                    inst: ii as u32,
+                };
                 match inst {
-                    Inst::Bin { op: op @ (IrBinOp::IDiv | IrBinOp::Mod), ty: IrType::Int, a, b, .. } => {
+                    Inst::Bin {
+                        op: op @ (IrBinOp::IDiv | IrBinOp::Mod),
+                        ty: IrType::Int,
+                        a,
+                        b,
+                        ..
+                    } => {
                         facts.div_sites += 1;
                         let (bd, bdef) = val_int(f, &st, *b);
                         let (ad, adef) = val_int(f, &st, *a);
@@ -1085,7 +1230,14 @@ impl<'a> Analyzer<'a> {
                     }
                     _ => {}
                 }
-                transfer_inst(f, &mut st, &mut self.hulls, &mut self.hulls_grew, self.has_calls, inst);
+                transfer_inst(
+                    f,
+                    &mut st,
+                    &mut self.hulls,
+                    &mut self.hulls_grew,
+                    self.has_calls,
+                    inst,
+                );
             }
             match &block.term {
                 Term::Branch { cond, .. } => {
@@ -1095,12 +1247,18 @@ impl<'a> Analyzer<'a> {
                         facts.consume_safe += 1;
                     }
                     if citv == IntItv::exact(1) {
-                        facts.dead_edges.push(DeadEdge { block: bi as u32, always_then: true });
+                        facts.dead_edges.push(DeadEdge {
+                            block: bi as u32,
+                            always_then: true,
+                        });
                         if cdef {
                             rewrites.push(Rewrite::PruneElse { block: bi as u32 });
                         }
                     } else if citv == IntItv::exact(0) {
-                        facts.dead_edges.push(DeadEdge { block: bi as u32, always_then: false });
+                        facts.dead_edges.push(DeadEdge {
+                            block: bi as u32,
+                            always_then: false,
+                        });
                         if cdef {
                             rewrites.push(Rewrite::PruneThen { block: bi as u32 });
                         }
@@ -1142,9 +1300,9 @@ impl<'a> Analyzer<'a> {
         let f = self.f;
         let block = &f.blocks[bi];
         let is_self = match &block.term {
-            Term::Branch { then_blk, else_blk, .. } => {
-                then_blk.0 as usize == bi || else_blk.0 as usize == bi
-            }
+            Term::Branch {
+                then_blk, else_blk, ..
+            } => then_blk.0 as usize == bi || else_blk.0 as usize == bi,
             _ => false,
         };
         if !is_self {
@@ -1158,18 +1316,33 @@ impl<'a> Analyzer<'a> {
         let mut best: Option<u64> = None;
         for (pos, inst) in block.insts.iter().enumerate() {
             let (i_reg, step) = match inst {
-                Inst::Bin { op, ty: IrType::Int, dst, a: Val::Reg(r), b: Val::ConstI(s), .. }
-                    if *r == *dst && matches!(op, IrBinOp::Add | IrBinOp::Sub) =>
-                {
-                    let s = if *op == IrBinOp::Add { *s as i64 } else { -(*s as i64) };
+                Inst::Bin {
+                    op,
+                    ty: IrType::Int,
+                    dst,
+                    a: Val::Reg(r),
+                    b: Val::ConstI(s),
+                    ..
+                } if *r == *dst && matches!(op, IrBinOp::Add | IrBinOp::Sub) => {
+                    let s = if *op == IrBinOp::Add {
+                        *s as i64
+                    } else {
+                        -(*s as i64)
+                    };
                     (*dst, s)
                 }
-                Inst::Bin { op: IrBinOp::Add, ty: IrType::Int, dst, a: Val::ConstI(s), b: Val::Reg(r), .. }
-                    if *r == *dst =>
-                {
-                    (*dst, *s as i64)
-                }
-                Inst::Copy { dst, src: Val::Reg(t) } => {
+                Inst::Bin {
+                    op: IrBinOp::Add,
+                    ty: IrType::Int,
+                    dst,
+                    a: Val::ConstI(s),
+                    b: Val::Reg(r),
+                    ..
+                } if *r == *dst => (*dst, *s as i64),
+                Inst::Copy {
+                    dst,
+                    src: Val::Reg(t),
+                } => {
                     // i := t  where  t := i ± const  earlier in the block.
                     let mut found = None;
                     for prior in &block.insts[..pos] {
@@ -1187,8 +1360,11 @@ impl<'a> Analyzer<'a> {
                                 && matches!(op, IrBinOp::Add | IrBinOp::Sub)
                                 && writes(*t) == 1
                             {
-                                let s =
-                                    if *op == IrBinOp::Add { *s as i64 } else { -(*s as i64) };
+                                let s = if *op == IrBinOp::Add {
+                                    *s as i64
+                                } else {
+                                    -(*s as i64)
+                                };
                                 found = Some((*dst, s));
                             }
                         }
@@ -1203,7 +1379,9 @@ impl<'a> Analyzer<'a> {
             if step == 0 || writes(i_reg) != 1 {
                 continue;
             }
-            let AbsNum::Int(itv) = in_state[i_reg.0 as usize].num else { continue };
+            let AbsNum::Int(itv) = in_state[i_reg.0 as usize].num else {
+                continue;
+            };
             if itv.is_empty() {
                 continue;
             }
@@ -1215,7 +1393,10 @@ impl<'a> Analyzer<'a> {
             let trips = (w - 1) / step.unsigned_abs() + 1;
             best = Some(best.map_or(trips, |b: u64| b.min(trips)));
         }
-        best.map(|max_trips| LoopBound { block: bi as u32, max_trips })
+        best.map(|max_trips| LoopBound {
+            block: bi as u32,
+            max_trips,
+        })
     }
 }
 
@@ -1226,10 +1407,18 @@ fn meet_val(c: AbsVal, e: AbsVal) -> AbsVal {
             // Both inputs are sound supersets; an empty meet can only
             // mean the value never flows here, but keep the fresh
             // state so later arithmetic never sees inverted bounds.
-            AbsNum::Int(if m.is_empty() && !a.is_empty() && !b.is_empty() { b } else { m })
+            AbsNum::Int(if m.is_empty() && !a.is_empty() && !b.is_empty() {
+                b
+            } else {
+                m
+            })
         }
         (AbsNum::Flt(a), AbsNum::Flt(b)) => {
-            let m = FltItv { lo: a.lo.max(b.lo), hi: a.hi.min(b.hi), nan: a.nan && b.nan };
+            let m = FltItv {
+                lo: a.lo.max(b.lo),
+                hi: a.hi.min(b.hi),
+                nan: a.nan && b.nan,
+            };
             AbsNum::Flt(if m.lo > m.hi { b } else { m })
         }
         (n, _) => n,
@@ -1261,12 +1450,18 @@ fn transfer_inst(
                 IrType::Int => {
                     let (ai, ad) = val_int(f, st, *a);
                     let (bi, bd) = val_int(f, st, *b);
-                    AbsVal { num: AbsNum::Int(bin_int(*op, ai, bi)), def: ad && bd }
+                    AbsVal {
+                        num: AbsNum::Int(bin_int(*op, ai, bi)),
+                        def: ad && bd,
+                    }
                 }
                 IrType::Float => {
                     let (af, ad) = val_flt(f, st, *a);
                     let (bf, bd) = val_flt(f, st, *b);
-                    AbsVal { num: AbsNum::Flt(bin_flt(*op, af, bf)), def: ad && bd }
+                    AbsVal {
+                        num: AbsNum::Flt(bin_flt(*op, af, bf)),
+                        def: ad && bd,
+                    }
                 }
             };
             set_reg(f, st, *dst, out);
@@ -1275,40 +1470,75 @@ fn transfer_inst(
             let out = match op {
                 IrUnOp::ItoF => {
                     let (af, ad) = val_flt(f, st, *a);
-                    AbsVal { num: AbsNum::Flt(af), def: ad }
+                    AbsVal {
+                        num: AbsNum::Flt(af),
+                        def: ad,
+                    }
                 }
                 IrUnOp::FtoI => {
                     let (ai, ad) = val_int(f, st, *a);
-                    AbsVal { num: AbsNum::Int(ai), def: ad }
+                    AbsVal {
+                        num: AbsNum::Int(ai),
+                        def: ad,
+                    }
                 }
                 IrUnOp::Floor => {
                     let (af, ad) = val_flt(f, st, *a);
-                    AbsVal { num: AbsNum::Int(floor_itv(af)), def: ad }
+                    AbsVal {
+                        num: AbsNum::Int(floor_itv(af)),
+                        def: ad,
+                    }
                 }
                 IrUnOp::Neg | IrUnOp::Abs => match ty {
                     IrType::Int => {
                         let (ai, ad) = val_int(f, st, *a);
-                        let out = if *op == IrUnOp::Neg { ineg_itv(ai) } else { iabs_itv(ai) };
-                        AbsVal { num: AbsNum::Int(out), def: ad }
+                        let out = if *op == IrUnOp::Neg {
+                            ineg_itv(ai)
+                        } else {
+                            iabs_itv(ai)
+                        };
+                        AbsVal {
+                            num: AbsNum::Int(out),
+                            def: ad,
+                        }
                     }
                     IrType::Float => {
                         let (af, ad) = val_flt(f, st, *a);
-                        let uop = if *op == IrUnOp::Neg { IrUnOp::Neg } else { IrUnOp::Abs };
-                        AbsVal { num: AbsNum::Flt(un_flt(uop, af)), def: ad }
+                        let uop = if *op == IrUnOp::Neg {
+                            IrUnOp::Neg
+                        } else {
+                            IrUnOp::Abs
+                        };
+                        AbsVal {
+                            num: AbsNum::Flt(un_flt(uop, af)),
+                            def: ad,
+                        }
                     }
                 },
                 IrUnOp::Not => {
                     let (_, ad) = val_int(f, st, *a);
-                    AbsVal { num: AbsNum::Int(IntItv { lo: 0, hi: 1 }), def: ad }
+                    AbsVal {
+                        num: AbsNum::Int(IntItv { lo: 0, hi: 1 }),
+                        def: ad,
+                    }
                 }
                 IrUnOp::Sqrt | IrUnOp::Sin | IrUnOp::Cos | IrUnOp::Exp | IrUnOp::Log => {
                     let (af, ad) = val_flt(f, st, *a);
-                    AbsVal { num: AbsNum::Flt(un_flt(*op, af)), def: ad }
+                    AbsVal {
+                        num: AbsNum::Flt(un_flt(*op, af)),
+                        def: ad,
+                    }
                 }
             };
             set_reg(f, st, *dst, out);
         }
-        Inst::Cmp { kind, ty, dst, a, b } => {
+        Inst::Cmp {
+            kind,
+            ty,
+            dst,
+            a,
+            b,
+        } => {
             let (itv, def) = match ty {
                 IrType::Int => {
                     let (ai, ad) = val_int(f, st, *a);
@@ -1321,17 +1551,31 @@ fn transfer_inst(
                     (cmp_flt(*kind, af, bf), ad && bd)
                 }
             };
-            set_reg(f, st, *dst, AbsVal { num: AbsNum::Int(itv), def });
+            set_reg(
+                f,
+                st,
+                *dst,
+                AbsVal {
+                    num: AbsNum::Int(itv),
+                    def,
+                },
+            );
         }
         Inst::Copy { dst, src } => {
             let out = match f.vreg_types[dst.0 as usize] {
                 IrType::Int => {
                     let (i, d) = val_int(f, st, *src);
-                    AbsVal { num: AbsNum::Int(i), def: d }
+                    AbsVal {
+                        num: AbsNum::Int(i),
+                        def: d,
+                    }
                 }
                 IrType::Float => {
                     let (fl, d) = val_flt(f, st, *src);
-                    AbsVal { num: AbsNum::Flt(fl), def: d }
+                    AbsVal {
+                        num: AbsNum::Flt(fl),
+                        def: d,
+                    }
                 }
             };
             set_reg(f, st, *dst, out);
@@ -1346,11 +1590,17 @@ fn transfer_inst(
             let stored = match ty {
                 IrType::Int => {
                     let (i, d) = val_int(f, st, *value);
-                    AbsVal { num: AbsNum::Int(i), def: d }
+                    AbsVal {
+                        num: AbsNum::Int(i),
+                        def: d,
+                    }
                 }
                 IrType::Float => {
                     let (fl, d) = val_flt(f, st, *value);
-                    AbsVal { num: AbsNum::Flt(fl), def: d }
+                    AbsVal {
+                        num: AbsNum::Flt(fl),
+                        def: d,
+                    }
                 }
             };
             let cur = hulls[arr.0 as usize];
@@ -1371,17 +1621,28 @@ fn transfer_inst(
         Inst::Recv { dst, ty, .. } => {
             set_reg(f, st, *dst, AbsVal::top(*ty, true));
         }
-        Inst::Select { dst, cond, then_v, ty } => {
+        Inst::Select {
+            dst,
+            cond,
+            then_v,
+            ty,
+        } => {
             let (citv, cdef) = val_int(f, st, *cond);
             let old = st[dst.0 as usize];
             let new = match ty {
                 IrType::Int => {
                     let (i, d) = val_int(f, st, *then_v);
-                    AbsVal { num: AbsNum::Int(i), def: d }
+                    AbsVal {
+                        num: AbsNum::Int(i),
+                        def: d,
+                    }
                 }
                 IrType::Float => {
                     let (fl, d) = val_flt(f, st, *then_v);
-                    AbsVal { num: AbsNum::Flt(fl), def: d }
+                    AbsVal {
+                        num: AbsNum::Flt(fl),
+                        def: d,
+                    }
                 }
             };
             let picked = if citv == IntItv::exact(0) {
@@ -1391,7 +1652,15 @@ fn transfer_inst(
             } else {
                 old.join(new)
             };
-            set_reg(f, st, *dst, AbsVal { num: picked.num, def: cdef && picked.def });
+            set_reg(
+                f,
+                st,
+                *dst,
+                AbsVal {
+                    num: picked.num,
+                    def: cdef && picked.def,
+                },
+            );
         }
     }
 }
@@ -1425,7 +1694,10 @@ fn ineg_itv(a: IntItv) -> IntItv {
     if a.contains(i32::MIN as i64) {
         return IntItv::FULL; // wrapping_neg(i32::MIN) == i32::MIN
     }
-    IntItv { lo: -a.hi, hi: -a.lo }
+    IntItv {
+        lo: -a.hi,
+        hi: -a.lo,
+    }
 }
 
 fn iabs_itv(a: IntItv) -> IntItv {
@@ -1438,9 +1710,15 @@ fn iabs_itv(a: IntItv) -> IntItv {
     if a.lo >= 0 {
         a
     } else if a.hi <= 0 {
-        IntItv { lo: -a.hi, hi: -a.lo }
+        IntItv {
+            lo: -a.hi,
+            hi: -a.lo,
+        }
     } else {
-        IntItv { lo: 0, hi: (-a.lo).max(a.hi) }
+        IntItv {
+            lo: 0,
+            hi: (-a.lo).max(a.hi),
+        }
     }
 }
 
@@ -1488,14 +1766,26 @@ fn refine_edge(f: &FuncIr, out: &State, b: usize, cond: Val, taken: bool) -> Opt
     for (pos, inst) in block.insts.iter().enumerate() {
         if inst.def() == Some(c) {
             cmp = match inst {
-                Inst::Cmp { kind, ty: IrType::Int, a, b: rhs, .. } => {
+                Inst::Cmp {
+                    kind,
+                    ty: IrType::Int,
+                    a,
+                    b: rhs,
+                    ..
+                } => {
                     // The comparison's operands must still hold their
                     // compared values at the branch.
-                    let ops_stable = block.insts[pos + 1..].iter().all(|later| match later.def() {
-                        None => true,
-                        Some(d) => Some(d) != a.as_reg() && Some(d) != rhs.as_reg(),
-                    });
-                    if ops_stable { Some((*kind, *a, *rhs)) } else { None }
+                    let ops_stable = block.insts[pos + 1..]
+                        .iter()
+                        .all(|later| match later.def() {
+                            None => true,
+                            Some(d) => Some(d) != a.as_reg() && Some(d) != rhs.as_reg(),
+                        });
+                    if ops_stable {
+                        Some((*kind, *a, *rhs))
+                    } else {
+                        None
+                    }
                 }
                 _ => None,
             };
@@ -1513,9 +1803,16 @@ fn refine_edge(f: &FuncIr, out: &State, b: usize, cond: Val, taken: bool) -> Opt
     // blocks with `i := i_next` right before the exit test — without
     // this the refined bound never reaches the induction variable).
     for (pos, inst) in block.insts.iter().enumerate() {
-        let Inst::Copy { dst, src: Val::Reg(s) } = inst else { continue };
-        let stable =
-            block.insts[pos + 1..].iter().all(|l| l.def() != Some(*dst) && l.def() != Some(*s));
+        let Inst::Copy {
+            dst,
+            src: Val::Reg(s),
+        } = inst
+        else {
+            continue;
+        };
+        let stable = block.insts[pos + 1..]
+            .iter()
+            .all(|l| l.def() != Some(*dst) && l.def() != Some(*s));
         if !stable
             || f.vreg_types[dst.0 as usize] != IrType::Int
             || f.vreg_types[s.0 as usize] != IrType::Int
@@ -1560,20 +1857,44 @@ fn apply_cmp(f: &FuncIr, st: &mut State, k: CmpKind, a: Val, rhs: Val) -> bool {
     // New bounds for each side.
     let (na, nb) = match k {
         CmpKind::Lt => (
-            ai.meet(IntItv { lo: i64::MIN, hi: bi.hi - 1 }),
-            bi.meet(IntItv { lo: ai.lo + 1, hi: i64::MAX }),
+            ai.meet(IntItv {
+                lo: i64::MIN,
+                hi: bi.hi - 1,
+            }),
+            bi.meet(IntItv {
+                lo: ai.lo + 1,
+                hi: i64::MAX,
+            }),
         ),
         CmpKind::Le => (
-            ai.meet(IntItv { lo: i64::MIN, hi: bi.hi }),
-            bi.meet(IntItv { lo: ai.lo, hi: i64::MAX }),
+            ai.meet(IntItv {
+                lo: i64::MIN,
+                hi: bi.hi,
+            }),
+            bi.meet(IntItv {
+                lo: ai.lo,
+                hi: i64::MAX,
+            }),
         ),
         CmpKind::Gt => (
-            ai.meet(IntItv { lo: bi.lo + 1, hi: i64::MAX }),
-            bi.meet(IntItv { lo: i64::MIN, hi: ai.hi - 1 }),
+            ai.meet(IntItv {
+                lo: bi.lo + 1,
+                hi: i64::MAX,
+            }),
+            bi.meet(IntItv {
+                lo: i64::MIN,
+                hi: ai.hi - 1,
+            }),
         ),
         CmpKind::Ge => (
-            ai.meet(IntItv { lo: bi.lo, hi: i64::MAX }),
-            bi.meet(IntItv { lo: i64::MIN, hi: ai.hi }),
+            ai.meet(IntItv {
+                lo: bi.lo,
+                hi: i64::MAX,
+            }),
+            bi.meet(IntItv {
+                lo: i64::MIN,
+                hi: ai.hi,
+            }),
         ),
         CmpKind::Eq => (ai.meet(bi), bi.meet(ai)),
         CmpKind::Ne => {
@@ -1614,7 +1935,14 @@ mod tests {
     use crate::ir::{Block, BlockId};
 
     fn func_with(blocks: Vec<Block>, vreg_types: Vec<IrType>, ret: Option<IrType>) -> FuncIr {
-        FuncIr { name: "t".into(), params: vec![], ret, blocks, arrays: vec![], vreg_types }
+        FuncIr {
+            name: "t".into(),
+            params: vec![],
+            ret,
+            blocks,
+            arrays: vec![],
+            vreg_types,
+        }
     }
 
     #[test]
@@ -1643,7 +1971,10 @@ mod tests {
 
     #[test]
     fn idiv_min_by_minus_one_goes_full() {
-        let a = IntItv { lo: i32::MIN as i64, hi: i32::MIN as i64 };
+        let a = IntItv {
+            lo: i32::MIN as i64,
+            hi: i32::MIN as i64,
+        };
         let b = IntItv::exact(-1);
         assert_eq!(bin_int(IrBinOp::IDiv, a, b), IntItv::FULL);
     }
@@ -1677,14 +2008,30 @@ mod tests {
                     a: Val::ConstI(0),
                     b: Val::ConstI(15),
                 }],
-                term: Term::Branch { cond: Val::Reg(c), then_blk: BlockId(1), else_blk: BlockId(2) },
+                term: Term::Branch {
+                    cond: Val::Reg(c),
+                    then_blk: BlockId(1),
+                    else_blk: BlockId(2),
+                },
             },
-            Block { insts: vec![], term: Term::Return(Some(Val::ConstI(0))) },
-            Block { insts: vec![], term: Term::Return(Some(Val::ConstI(1))) },
+            Block {
+                insts: vec![],
+                term: Term::Return(Some(Val::ConstI(0))),
+            },
+            Block {
+                insts: vec![],
+                term: Term::Return(Some(Val::ConstI(1))),
+            },
         ];
         let f = func_with(blocks, vec![IrType::Int], Some(IrType::Int));
         let a = analyze(&f);
-        assert_eq!(a.facts.dead_edges, vec![DeadEdge { block: 0, always_then: true }]);
+        assert_eq!(
+            a.facts.dead_edges,
+            vec![DeadEdge {
+                block: 0,
+                always_then: true
+            }]
+        );
         assert!(a.rewrites.contains(&Rewrite::PruneElse { block: 0 }));
         // The dead block is never analyzed, so its return does not
         // pollute facts.
@@ -1701,7 +2048,10 @@ mod tests {
         let d = VirtReg(2);
         let blocks = vec![
             Block {
-                insts: vec![Inst::Copy { dst: i, src: Val::ConstI(0) }],
+                insts: vec![Inst::Copy {
+                    dst: i,
+                    src: Val::ConstI(0),
+                }],
                 term: Term::Jump(BlockId(1)),
             },
             Block {
@@ -1721,7 +2071,11 @@ mod tests {
                         b: Val::ConstI(15),
                     },
                 ],
-                term: Term::Branch { cond: Val::Reg(c), then_blk: BlockId(1), else_blk: BlockId(2) },
+                term: Term::Branch {
+                    cond: Val::Reg(c),
+                    then_blk: BlockId(1),
+                    else_blk: BlockId(2),
+                },
             },
             Block {
                 insts: vec![Inst::Bin {
@@ -1739,12 +2093,26 @@ mod tests {
         // Division is safe (constant divisor 32) and the dividend is
         // provably 16 at the exit, so the mod folds to the identity.
         assert_eq!(a.facts.div_safe, 1);
-        assert!(a.rewrites.iter().any(|r| matches!(r, Rewrite::ModIdentity { .. })),
-            "rewrites: {:?}", a.rewrites);
+        assert!(
+            a.rewrites
+                .iter()
+                .any(|r| matches!(r, Rewrite::ModIdentity { .. })),
+            "rewrites: {:?}",
+            a.rewrites
+        );
         assert!(a.facts.div_trap_free);
         // Trip bound: i ∈ [0,16] at the header entry, step 1.
-        let lb = a.facts.loop_bounds.iter().find(|l| l.block == 1).expect("loop bound");
-        assert!(lb.max_trips >= 16 && lb.max_trips <= 18, "trips {}", lb.max_trips);
+        let lb = a
+            .facts
+            .loop_bounds
+            .iter()
+            .find(|l| l.block == 1)
+            .expect("loop bound");
+        assert!(
+            lb.max_trips >= 16 && lb.max_trips <= 18,
+            "trips {}",
+            lb.max_trips
+        );
     }
 
     #[test]
@@ -1781,7 +2149,10 @@ mod tests {
         let blocks = vec![
             Block {
                 insts: vec![
-                    Inst::Copy { dst: t, src: Val::ConstF(0.0) },
+                    Inst::Copy {
+                        dst: t,
+                        src: Val::ConstF(0.0),
+                    },
                     Inst::Cmp {
                         kind: CmpKind::Gt,
                         ty: IrType::Float,
@@ -1790,14 +2161,34 @@ mod tests {
                         b: Val::ConstF(0.7),
                     },
                 ],
-                term: Term::Branch { cond: Val::Reg(c), then_blk: BlockId(1), else_blk: BlockId(2) },
+                term: Term::Branch {
+                    cond: Val::Reg(c),
+                    then_blk: BlockId(1),
+                    else_blk: BlockId(2),
+                },
             },
-            Block { insts: vec![], term: Term::Return(Some(Val::ConstF(1.0))) },
-            Block { insts: vec![], term: Term::Return(Some(Val::ConstF(2.0))) },
+            Block {
+                insts: vec![],
+                term: Term::Return(Some(Val::ConstF(1.0))),
+            },
+            Block {
+                insts: vec![],
+                term: Term::Return(Some(Val::ConstF(2.0))),
+            },
         ];
-        let f = func_with(blocks, vec![IrType::Float, IrType::Int], Some(IrType::Float));
+        let f = func_with(
+            blocks,
+            vec![IrType::Float, IrType::Int],
+            Some(IrType::Float),
+        );
         let a = analyze(&f);
-        assert_eq!(a.facts.dead_edges, vec![DeadEdge { block: 0, always_then: false }]);
+        assert_eq!(
+            a.facts.dead_edges,
+            vec![DeadEdge {
+                block: 0,
+                always_then: false
+            }]
+        );
         assert!(a.rewrites.contains(&Rewrite::PruneThen { block: 0 }));
         assert!(a.facts.finite_return);
     }
@@ -1809,9 +2200,16 @@ mod tests {
         let blocks = vec![
             Block {
                 insts: vec![],
-                term: Term::Branch { cond: Val::Reg(c), then_blk: BlockId(1), else_blk: BlockId(1) },
+                term: Term::Branch {
+                    cond: Val::Reg(c),
+                    then_blk: BlockId(1),
+                    else_blk: BlockId(1),
+                },
             },
-            Block { insts: vec![], term: Term::Return(Some(Val::ConstI(0))) },
+            Block {
+                insts: vec![],
+                term: Term::Return(Some(Val::ConstI(0))),
+            },
         ];
         let f = func_with(blocks, vec![IrType::Int], Some(IrType::Int));
         let a = analyze(&f);

@@ -18,7 +18,9 @@ pub struct RegSet {
 impl RegSet {
     /// An empty set sized for `n` registers.
     pub fn new(n: usize) -> Self {
-        RegSet { words: vec![0; n.div_ceil(64)] }
+        RegSet {
+            words: vec![0; n.div_ceil(64)],
+        }
     }
 
     /// Inserts `r`, growing the set if `r` is beyond its current
@@ -176,8 +178,7 @@ pub fn liveness(f: &FuncIr) -> Liveness {
     let nregs = f.vreg_types.len();
     let mut live_in = vec![RegSet::new(nregs); nblocks];
     let mut live_out = vec![RegSet::new(nregs); nblocks];
-    let use_def: Vec<(RegSet, RegSet)> =
-        (0..nblocks).map(|b| block_use_def(f, b, nregs)).collect();
+    let use_def: Vec<(RegSet, RegSet)> = (0..nblocks).map(|b| block_use_def(f, b, nregs)).collect();
     let preds = f.predecessors();
 
     // Worklist seeded with all blocks in reverse order (approximates
@@ -213,7 +214,11 @@ pub fn liveness(f: &FuncIr) -> Liveness {
             }
         }
     }
-    Liveness { live_in, live_out, iterations }
+    Liveness {
+        live_in,
+        live_out,
+        iterations,
+    }
 }
 
 /// Result of the forward *definitely-defined registers* analysis.
@@ -241,7 +246,13 @@ pub fn defined_regs(f: &FuncIr) -> DefinedRegs {
     // Non-entry blocks start at top (everything defined) and are only
     // ever narrowed by the meet.
     let mut defined_in: Vec<RegSet> = (0..nblocks)
-        .map(|b| if b == 0 { entry.clone() } else { RegSet::full(nregs) })
+        .map(|b| {
+            if b == 0 {
+                entry.clone()
+            } else {
+                RegSet::full(nregs)
+            }
+        })
         .collect();
     let defs: Vec<RegSet> = (0..nblocks)
         .map(|b| {
@@ -270,7 +281,10 @@ pub fn defined_regs(f: &FuncIr) -> DefinedRegs {
             }
         }
     }
-    DefinedRegs { defined_in, iterations }
+    DefinedRegs {
+        defined_in,
+        iterations,
+    }
 }
 
 #[cfg(test)]
@@ -406,8 +420,14 @@ mod tests {
         f.blocks = vec![
             Block {
                 insts: vec![
-                    Inst::Copy { dst: v0, src: Val::ConstI(0) },
-                    Inst::Copy { dst: v1, src: Val::ConstI(10) },
+                    Inst::Copy {
+                        dst: v0,
+                        src: Val::ConstI(0),
+                    },
+                    Inst::Copy {
+                        dst: v1,
+                        src: Val::ConstI(10),
+                    },
                 ],
                 term: Term::Jump(BlockId(1)),
             },
@@ -419,16 +439,32 @@ mod tests {
                     a: Val::Reg(v0),
                     b: Val::Reg(v1),
                 }],
-                term: Term::Branch { cond: Val::Reg(v2), then_blk: BlockId(2), else_blk: BlockId(3) },
+                term: Term::Branch {
+                    cond: Val::Reg(v2),
+                    then_blk: BlockId(2),
+                    else_blk: BlockId(3),
+                },
             },
             Block {
                 insts: vec![
-                    Inst::Bin { op: IrBinOp::Add, ty: IrType::Int, dst: v3, a: Val::Reg(v0), b: Val::ConstI(1) },
-                    Inst::Copy { dst: v0, src: Val::Reg(v3) },
+                    Inst::Bin {
+                        op: IrBinOp::Add,
+                        ty: IrType::Int,
+                        dst: v3,
+                        a: Val::Reg(v0),
+                        b: Val::ConstI(1),
+                    },
+                    Inst::Copy {
+                        dst: v0,
+                        src: Val::Reg(v3),
+                    },
                 ],
                 term: Term::Jump(BlockId(1)),
             },
-            Block { insts: vec![], term: Term::Return(Some(Val::Reg(v0))) },
+            Block {
+                insts: vec![],
+                term: Term::Return(Some(Val::Reg(v0))),
+            },
         ];
         f
     }
@@ -463,8 +499,17 @@ mod tests {
         let b = f.new_vreg(IrType::Int);
         f.blocks = vec![Block {
             insts: vec![
-                Inst::Copy { dst: a, src: Val::ConstI(1) },
-                Inst::Bin { op: IrBinOp::Add, ty: IrType::Int, dst: b, a: Val::Reg(a), b: Val::ConstI(2) },
+                Inst::Copy {
+                    dst: a,
+                    src: Val::ConstI(1),
+                },
+                Inst::Bin {
+                    op: IrBinOp::Add,
+                    ty: IrType::Int,
+                    dst: b,
+                    a: Val::Reg(a),
+                    b: Val::ConstI(2),
+                },
             ],
             term: Term::Return(Some(Val::Reg(b))),
         }];
@@ -507,17 +552,30 @@ mod tests {
         f.blocks = vec![
             Block {
                 insts: vec![],
-                term: Term::Branch { cond: Val::Reg(c), then_blk: BlockId(1), else_blk: BlockId(2) },
+                term: Term::Branch {
+                    cond: Val::Reg(c),
+                    then_blk: BlockId(1),
+                    else_blk: BlockId(2),
+                },
             },
             Block {
-                insts: vec![Inst::Copy { dst: x, src: Val::ConstI(1) }],
+                insts: vec![Inst::Copy {
+                    dst: x,
+                    src: Val::ConstI(1),
+                }],
                 term: Term::Jump(BlockId(3)),
             },
             Block {
-                insts: vec![Inst::Copy { dst: y, src: Val::ConstI(2) }],
+                insts: vec![Inst::Copy {
+                    dst: y,
+                    src: Val::ConstI(2),
+                }],
                 term: Term::Jump(BlockId(3)),
             },
-            Block { insts: vec![], term: Term::Return(None) },
+            Block {
+                insts: vec![],
+                term: Term::Return(None),
+            },
         ];
         let dr = defined_regs(&f);
         assert!(dr.defined_in[3].contains(c));

@@ -95,10 +95,18 @@ pub fn find_induction(block: &Block) -> Option<(VirtReg, i64)> {
     let mut defined: HashSet<VirtReg> = HashSet::new();
     for inst in &block.insts {
         match inst {
-            Inst::Bin { op, ty: IrType::Int, dst, a: Val::Reg(src), b: Val::ConstI(c) }
-                if *op == IrBinOp::Add || *op == IrBinOp::Sub =>
-            {
-                let c = if *op == IrBinOp::Add { *c as i64 } else { -(*c as i64) };
+            Inst::Bin {
+                op,
+                ty: IrType::Int,
+                dst,
+                a: Val::Reg(src),
+                b: Val::ConstI(c),
+            } if *op == IrBinOp::Add || *op == IrBinOp::Sub => {
+                let c = if *op == IrBinOp::Add {
+                    *c as i64
+                } else {
+                    -(*c as i64)
+                };
                 let entry = if let Some(&(root, delta)) = expr.get(src) {
                     Some((root, delta + c))
                 } else if !defined.contains(src) {
@@ -116,7 +124,10 @@ pub fn find_induction(block: &Block) -> Option<(VirtReg, i64)> {
                 }
                 defined.insert(*dst);
             }
-            Inst::Copy { dst, src: Val::Reg(s) } => {
+            Inst::Copy {
+                dst,
+                src: Val::Reg(s),
+            } => {
                 let entry = if let Some(&e) = expr.get(s) {
                     Some(e)
                 } else if !defined.contains(s) {
@@ -168,7 +179,10 @@ fn affine_of(
         return None;
     }
     match index {
-        Val::ConstI(c) => Some(Affine { coeff: 0, offset: c as i64 }),
+        Val::ConstI(c) => Some(Affine {
+            coeff: 0,
+            offset: c as i64,
+        }),
         Val::ConstF(_) => None,
         Val::Reg(r) => {
             if let Some((ind, _)) = induction {
@@ -177,26 +191,39 @@ fn affine_of(
                     // iteration* — valid if no update precedes `pos`.
                     let updated_before = block.insts[..pos].iter().any(|i| i.def() == Some(r));
                     if !updated_before {
-                        return Some(Affine { coeff: 1, offset: 0 });
+                        return Some(Affine {
+                            coeff: 1,
+                            offset: 0,
+                        });
                     } else {
                         return None;
                     }
                 }
             }
             // Chase the defining instruction before `pos`.
-            let def_pos = block.insts[..pos].iter().rposition(|i| i.def() == Some(r))?;
+            let def_pos = block.insts[..pos]
+                .iter()
+                .rposition(|i| i.def() == Some(r))?;
             match &block.insts[def_pos] {
                 Inst::Copy { src, .. } => affine_of(block, def_pos, *src, induction, depth + 1),
-                Inst::Bin { op, ty: IrType::Int, a, b, .. } => {
+                Inst::Bin {
+                    op,
+                    ty: IrType::Int,
+                    a,
+                    b,
+                    ..
+                } => {
                     let fa = affine_of(block, def_pos, *a, induction, depth + 1)?;
                     let fb = affine_of(block, def_pos, *b, induction, depth + 1)?;
                     match op {
-                        IrBinOp::Add => {
-                            Some(Affine { coeff: fa.coeff + fb.coeff, offset: fa.offset + fb.offset })
-                        }
-                        IrBinOp::Sub => {
-                            Some(Affine { coeff: fa.coeff - fb.coeff, offset: fa.offset - fb.offset })
-                        }
+                        IrBinOp::Add => Some(Affine {
+                            coeff: fa.coeff + fb.coeff,
+                            offset: fa.offset + fb.offset,
+                        }),
+                        IrBinOp::Sub => Some(Affine {
+                            coeff: fa.coeff - fb.coeff,
+                            offset: fa.offset - fb.offset,
+                        }),
                         IrBinOp::Mul => {
                             if fa.coeff == 0 {
                                 Some(Affine {
@@ -236,7 +263,12 @@ enum SubscriptDep {
 /// block) and access B at `a2*i + b2`, where the induction register
 /// advances by `step` per block iteration (so the per-iteration index
 /// delta is `coeff * step`).
-fn subscript_test(fa: Option<Affine>, fb: Option<Affine>, step: i64, is_loop: bool) -> SubscriptDep {
+fn subscript_test(
+    fa: Option<Affine>,
+    fb: Option<Affine>,
+    step: i64,
+    is_loop: bool,
+) -> SubscriptDep {
     match (fa, fb) {
         (Some(x), Some(y)) => {
             if x.coeff == y.coeff {
@@ -299,7 +331,12 @@ pub fn dep_graph(_func: &FuncIr, block: &Block, is_loop: bool) -> DepGraph {
             .iter()
             .any(|e| e.from == from && e.to == to && e.kind == kind && e.distance == distance)
         {
-            edges.push(DepEdge { from, to, kind, distance });
+            edges.push(DepEdge {
+                from,
+                to,
+                kind,
+                distance,
+            });
         }
     };
 
@@ -317,9 +354,7 @@ pub fn dep_graph(_func: &FuncIr, block: &Block, is_loop: bool) -> DepGraph {
                         // Defined later in the block? Then the use reads
                         // last iteration's value — which comes from the
                         // *last* def of the block.
-                        if let Some(i) =
-                            block.insts.iter().rposition(|i| i.def() == Some(u))
-                        {
+                        if let Some(i) = block.insts.iter().rposition(|i| i.def() == Some(u)) {
                             if i >= j {
                                 push(&mut edges, i, j, DepKind::Flow, 1);
                             }
@@ -429,7 +464,11 @@ pub fn dep_graph(_func: &FuncIr, block: &Block, is_loop: bool) -> DepGraph {
         }
     }
 
-    DepGraph { n, edges, dep_tests }
+    DepGraph {
+        n,
+        edges,
+        dep_tests,
+    }
 }
 
 /// The scheduling delay an edge imposes between its endpoints.
@@ -498,8 +537,8 @@ pub fn rec_mii(graph: &DepGraph, latency: &[u32], max_ii: u32) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::lower::lower_module;
     use crate::loops::analyze_loops;
+    use crate::lower::lower_module;
     use warp_lang::phase1;
 
     fn lowered(body: &str) -> FuncIr {
@@ -566,7 +605,8 @@ mod tests {
     #[test]
     fn recurrence_through_array_distance_detected() {
         // v[i] := v[i-1] + 1.0: distance-1 flow from store to load.
-        let f = lowered("v[0] := x; for i := 1 to 63 do v[i] := v[i - 1] + 1.0; end; return v[63];");
+        let f =
+            lowered("v[0] := x; for i := 1 to 63 do v[i] := v[i - 1] + 1.0; end; return v[63];");
         let blk = loop_block(&f);
         let g = dep_graph(&f, blk, true);
         let found = g.edges.iter().any(|e| {
@@ -596,14 +636,11 @@ mod tests {
 
     #[test]
     fn sends_are_ordered() {
-        let f = lowered("for i := 0 to 7 do send(right, v[i]); send(right, w[i]); end; return 0.0;");
+        let f =
+            lowered("for i := 0 to 7 do send(right, v[i]); send(right, w[i]); end; return 0.0;");
         let blk = loop_block(&f);
         let g = dep_graph(&f, blk, true);
-        let order_edges = g
-            .edges
-            .iter()
-            .filter(|e| e.kind == DepKind::Order)
-            .count();
+        let order_edges = g.edges.iter().filter(|e| e.kind == DepKind::Order).count();
         assert!(order_edges >= 2, "{:?}", g.edges); // intra + carried
     }
 
@@ -617,7 +654,9 @@ mod tests {
             .insts
             .iter()
             .map(|i| match i {
-                Inst::Bin { ty: IrType::Float, .. } => 5,
+                Inst::Bin {
+                    ty: IrType::Float, ..
+                } => 5,
                 Inst::Load { .. } => 3,
                 _ => 1,
             })

@@ -119,7 +119,10 @@ pub fn eval_ir(f: &FuncIr, args: &[Value], fuel: u64) -> EvalOutcome {
                 return out;
             }
             fuel -= 1;
-            let site = Site { block: bi as u32, inst: ii as u32 };
+            let site = Site {
+                block: bi as u32,
+                inst: ii as u32,
+            };
             let trap = |o: &mut EvalOutcome, t: EvalTrap| {
                 o.trap = Some((site, t));
             };
@@ -184,7 +187,13 @@ pub fn eval_ir(f: &FuncIr, args: &[Value], fuel: u64) -> EvalOutcome {
                     };
                     regs[dst.0 as usize] = (v, ad);
                 }
-                Inst::Cmp { kind, ty, dst, a, b } => {
+                Inst::Cmp {
+                    kind,
+                    ty,
+                    dst,
+                    a,
+                    b,
+                } => {
                     let (av, ad) = rd(&regs, *a);
                     let (bv, bd) = rd(&regs, *b);
                     let holds = match ty {
@@ -199,7 +208,9 @@ pub fn eval_ir(f: &FuncIr, args: &[Value], fuel: u64) -> EvalOutcome {
                 Inst::Copy { dst, src } => {
                     regs[dst.0 as usize] = rd(&regs, *src);
                 }
-                Inst::Load { dst, arr, index, .. } => {
+                Inst::Load {
+                    dst, arr, index, ..
+                } => {
                     let (iv, idef) = rd(&regs, *index);
                     if !idef {
                         trap(&mut out, EvalTrap::UninitializedRead);
@@ -215,7 +226,9 @@ pub fn eval_ir(f: &FuncIr, args: &[Value], fuel: u64) -> EvalOutcome {
                     }
                     regs[dst.0 as usize] = mem[arr.0 as usize][a as usize];
                 }
-                Inst::Store { arr, index, value, .. } => {
+                Inst::Store {
+                    arr, index, value, ..
+                } => {
                     let (iv, idef) = rd(&regs, *index);
                     if !idef {
                         trap(&mut out, EvalTrap::UninitializedRead);
@@ -240,11 +253,17 @@ pub fn eval_ir(f: &FuncIr, args: &[Value], fuel: u64) -> EvalOutcome {
                     }
                     out.sent.push(v.to_bits());
                 }
-                Inst::Select { dst, cond, then_v, .. } => {
+                Inst::Select {
+                    dst, cond, then_v, ..
+                } => {
                     let (cv, cd) = rd(&regs, *cond);
                     let (old, old_def) = regs[dst.0 as usize];
                     let (nv, nd) = rd(&regs, *then_v);
-                    let (picked, pdef) = if cv.truthy() { (nv, nd) } else { (old, old_def) };
+                    let (picked, pdef) = if cv.truthy() {
+                        (nv, nd)
+                    } else {
+                        (old, old_def)
+                    };
                     regs[dst.0 as usize] = (picked, cd && pdef);
                 }
                 Inst::Call { .. } | Inst::Recv { .. } => {
@@ -261,10 +280,17 @@ pub fn eval_ir(f: &FuncIr, args: &[Value], fuel: u64) -> EvalOutcome {
             return out;
         }
         fuel -= 1;
-        let term_site = Site { block: bi as u32, inst: TERM_SITE };
+        let term_site = Site {
+            block: bi as u32,
+            inst: TERM_SITE,
+        };
         match &block.term {
             Term::Jump(t) => bi = t.0 as usize,
-            Term::Branch { cond, then_blk, else_blk } => {
+            Term::Branch {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
                 let (cv, cd) = rd(&regs, *cond);
                 if !cd {
                     out.trap = Some((term_site, EvalTrap::UninitializedRead));
@@ -344,7 +370,10 @@ pub fn fact_violations(facts: &FactSet, o: &EvalOutcome) -> Vec<String> {
         let b = l.block as usize;
         let run = o.max_run.get(b).copied().unwrap_or(0);
         if run > l.max_trips {
-            v.push(format!("loop b{b} ran {run} consecutive trips, bound {}", l.max_trips));
+            v.push(format!(
+                "loop b{b} ran {run} consecutive trips, bound {}",
+                l.max_trips
+            ));
         }
     }
     if facts.finite_return {
@@ -423,7 +452,10 @@ mod tests {
             Some((Site { block: 0, inst: 0 }, EvalTrap::DivisionByZero))
         );
         // A (deliberately wrong) claim of safety is falsified.
-        let mut facts = FactSet { div_trap_free: true, ..FactSet::default() };
+        let mut facts = FactSet {
+            div_trap_free: true,
+            ..FactSet::default()
+        };
         facts.safe_divs.push(Site { block: 0, inst: 0 });
         assert_eq!(fact_violations(&facts, &o).len(), 2);
     }

@@ -36,7 +36,10 @@ pub struct IfConvPolicy {
 
 impl Default for IfConvPolicy {
     fn default() -> Self {
-        IfConvPolicy { max_side_insts: 12, max_rounds: 3 }
+        IfConvPolicy {
+            max_side_insts: 12,
+            max_rounds: 3,
+        }
     }
 }
 
@@ -75,7 +78,13 @@ struct Diamond {
     join: BlockId,
 }
 
-fn side_ok(f: &FuncIr, b: BlockId, join: BlockId, preds: &[Vec<BlockId>], policy: &IfConvPolicy) -> bool {
+fn side_ok(
+    f: &FuncIr,
+    b: BlockId,
+    join: BlockId,
+    preds: &[Vec<BlockId>],
+    policy: &IfConvPolicy,
+) -> bool {
     let blk = &f.blocks[b.index()];
     blk.term == Term::Jump(join)
         && preds[b.index()].len() == 1
@@ -83,8 +92,16 @@ fn side_ok(f: &FuncIr, b: BlockId, join: BlockId, preds: &[Vec<BlockId>], policy
         && blk.insts.iter().all(speculable)
 }
 
-fn recognize(f: &FuncIr, head: BlockId, preds: &[Vec<BlockId>], policy: &IfConvPolicy) -> Option<Diamond> {
-    let Term::Branch { then_blk, else_blk, .. } = f.blocks[head.index()].term else {
+fn recognize(
+    f: &FuncIr,
+    head: BlockId,
+    preds: &[Vec<BlockId>],
+    policy: &IfConvPolicy,
+) -> Option<Diamond> {
+    let Term::Branch {
+        then_blk, else_blk, ..
+    } = f.blocks[head.index()].term
+    else {
         return None;
     };
     if then_blk == else_blk || then_blk == head || else_blk == head {
@@ -93,9 +110,10 @@ fn recognize(f: &FuncIr, head: BlockId, preds: &[Vec<BlockId>], policy: &IfConvP
     let then_full = side_ok(f, then_blk, else_blk, preds, policy);
     let else_full = side_ok(f, else_blk, then_blk, preds, policy);
     // Full diamond: both sides jump to a common join.
-    if let (Term::Jump(jt), Term::Jump(je)) =
-        (&f.blocks[then_blk.index()].term, &f.blocks[else_blk.index()].term)
-    {
+    if let (Term::Jump(jt), Term::Jump(je)) = (
+        &f.blocks[then_blk.index()].term,
+        &f.blocks[else_blk.index()].term,
+    ) {
         if jt == je
             && side_ok(f, then_blk, *jt, preds, policy)
             && side_ok(f, else_blk, *je, preds, policy)
@@ -112,10 +130,18 @@ fn recognize(f: &FuncIr, head: BlockId, preds: &[Vec<BlockId>], policy: &IfConvP
     // join).
     if then_full {
         // then_blk jumps to else_blk: `if c then S end` shape.
-        return Some(Diamond { then_side: Some(then_blk), else_side: None, join: else_blk });
+        return Some(Diamond {
+            then_side: Some(then_blk),
+            else_side: None,
+            join: else_blk,
+        });
     }
     if else_full {
-        return Some(Diamond { then_side: None, else_side: Some(else_blk), join: then_blk });
+        return Some(Diamond {
+            then_side: None,
+            else_side: Some(else_blk),
+            join: then_blk,
+        });
     }
     None
 }
@@ -136,7 +162,10 @@ fn clone_side(f: &mut FuncIr, side: BlockId) -> (Vec<Inst>, HashMap<VirtReg, Vir
     let mut out = Vec::with_capacity(insts.len() + written.len());
     for x in &written {
         let t = f.new_vreg(f.vreg_type(*x));
-        out.push(Inst::Copy { dst: t, src: Val::Reg(*x) });
+        out.push(Inst::Copy {
+            dst: t,
+            src: Val::Reg(*x),
+        });
         rename.insert(*x, t);
     }
     for mut inst in insts {
@@ -171,8 +200,12 @@ pub fn if_convert(f: &mut FuncIr, policy: &IfConvPolicy) -> IfConvStats {
         let mut converted_this_round = false;
         for hi in 0..f.blocks.len() {
             let head = BlockId(hi as u32);
-            let Some(d) = recognize(f, head, &preds, policy) else { continue };
-            let Term::Branch { cond, .. } = f.blocks[head.index()].term else { unreachable!() };
+            let Some(d) = recognize(f, head, &preds, policy) else {
+                continue;
+            };
+            let Term::Branch { cond, .. } = f.blocks[head.index()].term else {
+                unreachable!()
+            };
 
             let (then_insts, then_map) = match d.then_side {
                 Some(b) => clone_side(f, b),
@@ -200,7 +233,10 @@ pub fn if_convert(f: &mut FuncIr, policy: &IfConvPolicy) -> IfConvStats {
                 match (t_then, t_else) {
                     (Some(tt), Some(te)) => {
                         let head_blk = &mut f.blocks[head.index()];
-                        head_blk.insts.push(Inst::Copy { dst: x, src: Val::Reg(te) });
+                        head_blk.insts.push(Inst::Copy {
+                            dst: x,
+                            src: Val::Reg(te),
+                        });
                         head_blk.insts.push(Inst::Select {
                             dst: x,
                             cond,
@@ -225,8 +261,14 @@ pub fn if_convert(f: &mut FuncIr, policy: &IfConvPolicy) -> IfConvStats {
                         // original so the true path can restore it.
                         let orig = f.new_vreg(ty);
                         let head_blk = &mut f.blocks[head.index()];
-                        head_blk.insts.push(Inst::Copy { dst: orig, src: Val::Reg(x) });
-                        head_blk.insts.push(Inst::Copy { dst: x, src: Val::Reg(te) });
+                        head_blk.insts.push(Inst::Copy {
+                            dst: orig,
+                            src: Val::Reg(x),
+                        });
+                        head_blk.insts.push(Inst::Copy {
+                            dst: x,
+                            src: Val::Reg(te),
+                        });
                         head_blk.insts.push(Inst::Select {
                             dst: x,
                             cond,
@@ -278,9 +320,8 @@ mod tests {
 
     #[test]
     fn full_diamond_converts_to_selects() {
-        let (f, stats) = convert(
-            "if x > 1.0 then t := x * 0.5; else t := x + 0.25; end; return t;",
-        );
+        let (f, stats) =
+            convert("if x > 1.0 then t := x * 0.5; else t := x + 0.25; end; return t;");
         assert_eq!(stats.converted, 1, "{}", f.dump());
         assert!(stats.selects >= 1);
         // Straight-line: a single block, no branches.
@@ -304,17 +345,14 @@ mod tests {
 
     #[test]
     fn sides_with_stores_not_converted() {
-        let (f, stats) = convert(
-            "if x > 1.0 then v[0] := x; else v[1] := x; end; return v[0];",
-        );
+        let (f, stats) = convert("if x > 1.0 then v[0] := x; else v[1] := x; end; return v[0];");
         assert_eq!(stats.converted, 0, "{}", f.dump());
     }
 
     #[test]
     fn sides_with_integer_division_not_converted() {
-        let (_, stats) = convert(
-            "if x > 1.0 then i := n div 2; else i := n div 3; end; return float(i);",
-        );
+        let (_, stats) =
+            convert("if x > 1.0 then i := n div 2; else i := n div 3; end; return float(i);");
         assert_eq!(stats.converted, 0);
     }
 

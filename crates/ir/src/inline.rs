@@ -45,7 +45,11 @@ pub struct InlinePolicy {
 
 impl Default for InlinePolicy {
     fn default() -> Self {
-        InlinePolicy { max_callee_stmts: 40, max_rounds: 3, drop_subsumed: false }
+        InlinePolicy {
+            max_callee_stmts: 40,
+            max_rounds: 3,
+            drop_subsumed: false,
+        }
     }
 }
 
@@ -70,7 +74,9 @@ fn count_stmts(stmts: &[Stmt]) -> usize {
         .iter()
         .map(|s| {
             1 + match s {
-                Stmt::If { arms, else_body, .. } => {
+                Stmt::If {
+                    arms, else_body, ..
+                } => {
                     arms.iter().map(|a| count_stmts(&a.body)).sum::<usize>()
                         + count_stmts(else_body)
                 }
@@ -87,9 +93,9 @@ fn simple_return_structure(body: &[Stmt]) -> bool {
     fn no_returns(stmts: &[Stmt]) -> bool {
         stmts.iter().all(|s| match s {
             Stmt::Return { .. } => false,
-            Stmt::If { arms, else_body, .. } => {
-                arms.iter().all(|a| no_returns(&a.body)) && no_returns(else_body)
-            }
+            Stmt::If {
+                arms, else_body, ..
+            } => arms.iter().all(|a| no_returns(&a.body)) && no_returns(else_body),
             Stmt::While { body, .. } | Stmt::For { body, .. } => no_returns(body),
             _ => true,
         })
@@ -130,7 +136,9 @@ fn is_recursive(name: &str, fns: &HashMap<String, &Function>) -> bool {
                     target.indices.iter().for_each(|i| in_expr(i, out));
                     in_expr(value, out);
                 }
-                Stmt::If { arms, else_body, .. } => {
+                Stmt::If {
+                    arms, else_body, ..
+                } => {
                     for a in arms {
                         in_expr(&a.cond, out);
                         callees(&a.body, out);
@@ -141,7 +149,9 @@ fn is_recursive(name: &str, fns: &HashMap<String, &Function>) -> bool {
                     in_expr(cond, out);
                     callees(body, out);
                 }
-                Stmt::For { from, to, by, body, .. } => {
+                Stmt::For {
+                    from, to, by, body, ..
+                } => {
                     in_expr(from, out);
                     in_expr(to, out);
                     if let Some(b) = by {
@@ -154,9 +164,7 @@ fn is_recursive(name: &str, fns: &HashMap<String, &Function>) -> bool {
                     args.iter().for_each(|a| in_expr(a, out));
                 }
                 Stmt::Send { value, .. } => in_expr(value, out),
-                Stmt::Receive { target, .. } => {
-                    target.indices.iter().for_each(|i| in_expr(i, out))
-                }
+                Stmt::Receive { target, .. } => target.indices.iter().for_each(|i| in_expr(i, out)),
                 Stmt::Return { value: Some(v), .. } => in_expr(v, out),
                 Stmt::Return { value: None, .. } => {}
             }
@@ -214,8 +222,8 @@ pub fn inline_module(module: &Module, policy: &InlinePolicy) -> (Module, InlineS
             }
             let keep_at_least_one = section.functions.len();
             section.functions.retain(|f| {
-                let subsumed = ever_inlined.contains(&(si, f.name.clone()))
-                    && !called.contains(&f.name);
+                let subsumed =
+                    ever_inlined.contains(&(si, f.name.clone())) && !called.contains(&f.name);
                 if subsumed {
                     stats.functions_dropped += 1;
                 }
@@ -253,7 +261,9 @@ fn collect_callees(stmts: &[Stmt], out: &mut Vec<String>) {
                 target.indices.iter().for_each(|i| in_expr(i, out));
                 in_expr(value, out);
             }
-            Stmt::If { arms, else_body, .. } => {
+            Stmt::If {
+                arms, else_body, ..
+            } => {
                 for a in arms {
                     in_expr(&a.cond, out);
                     collect_callees(&a.body, out);
@@ -264,7 +274,9 @@ fn collect_callees(stmts: &[Stmt], out: &mut Vec<String>) {
                 in_expr(cond, out);
                 collect_callees(body, out);
             }
-            Stmt::For { from, to, by, body, .. } => {
+            Stmt::For {
+                from, to, by, body, ..
+            } => {
                 in_expr(from, out);
                 in_expr(to, out);
                 if let Some(b) = by {
@@ -286,8 +298,11 @@ fn collect_callees(stmts: &[Stmt], out: &mut Vec<String>) {
 
 fn inline_section(section: &mut Section, policy: &InlinePolicy, stats: &mut InlineStats) -> bool {
     // Snapshot callees (cloned) that qualify for inlining.
-    let originals: HashMap<String, Function> =
-        section.functions.iter().map(|f| (f.name.clone(), f.clone())).collect();
+    let originals: HashMap<String, Function> = section
+        .functions
+        .iter()
+        .map(|f| (f.name.clone(), f.clone()))
+        .collect();
     let by_ref: HashMap<String, &Function> =
         originals.iter().map(|(k, v)| (k.clone(), v)).collect();
     let inlinable: HashMap<String, Function> = originals
@@ -352,20 +367,39 @@ impl Inliner<'_> {
 
     fn stmt(&mut self, s: Stmt, out: &mut Vec<Stmt>) {
         match s {
-            Stmt::Assign { target, value, span } => {
+            Stmt::Assign {
+                target,
+                value,
+                span,
+            } => {
                 let value = self.expr(value, out);
                 let target = self.lvalue(target, out);
-                out.push(Stmt::Assign { target, value, span });
+                out.push(Stmt::Assign {
+                    target,
+                    value,
+                    span,
+                });
             }
-            Stmt::If { arms, else_body, span } => {
+            Stmt::If {
+                arms,
+                else_body,
+                span,
+            } => {
                 // Conditions are hoisted before the `if` (they are
                 // evaluated exactly once on entry in either form).
                 let arms = arms
                     .into_iter()
-                    .map(|a| IfArm { cond: self.expr(a.cond, out), body: self.stmts(a.body) })
+                    .map(|a| IfArm {
+                        cond: self.expr(a.cond, out),
+                        body: self.stmts(a.body),
+                    })
                     .collect();
                 let else_body = self.stmts(else_body);
-                out.push(Stmt::If { arms, else_body, span });
+                out.push(Stmt::If {
+                    arms,
+                    else_body,
+                    span,
+                });
             }
             Stmt::While { cond, body, span } => {
                 // A call in a while condition would need re-evaluation
@@ -373,16 +407,35 @@ impl Inliner<'_> {
                 let body = self.stmts(body);
                 out.push(Stmt::While { cond, body, span });
             }
-            Stmt::For { var, from, to, downto, by, body, span } => {
+            Stmt::For {
+                var,
+                from,
+                to,
+                downto,
+                by,
+                body,
+                span,
+            } => {
                 let from = self.expr(from, out);
                 let to = self.expr(to, out);
                 let by = by.map(|b| self.expr(b, out));
                 let body = self.stmts(body);
-                out.push(Stmt::For { var, from, to, downto, by, body, span });
+                out.push(Stmt::For {
+                    var,
+                    from,
+                    to,
+                    downto,
+                    by,
+                    body,
+                    span,
+                });
             }
             Stmt::Call { name, args, span } => {
                 if let Some(callee) = self.inlinable.get(&name).cloned() {
-                    let args = args.into_iter().map(|a| self.expr(a, out)).collect::<Vec<_>>();
+                    let args = args
+                        .into_iter()
+                        .map(|a| self.expr(a, out))
+                        .collect::<Vec<_>>();
                     self.splice(&callee, args, out);
                 } else {
                     let args = args.into_iter().map(|a| self.expr(a, out)).collect();
@@ -432,7 +485,10 @@ impl Inliner<'_> {
                         };
                     }
                 }
-                Expr { kind: ExprKind::Call { name, args }, span }
+                Expr {
+                    kind: ExprKind::Call { name, args },
+                    span,
+                }
             }
             ExprKind::Binary { op, lhs, rhs } => Expr {
                 kind: ExprKind::Binary {
@@ -443,12 +499,18 @@ impl Inliner<'_> {
                 span,
             },
             ExprKind::Unary { op, expr } => Expr {
-                kind: ExprKind::Unary { op, expr: Box::new(self.expr(*expr, out)) },
+                kind: ExprKind::Unary {
+                    op,
+                    expr: Box::new(self.expr(*expr, out)),
+                },
                 span,
             },
             ExprKind::LValue(lv) => {
                 let lv = self.lvalue(lv, out);
-                Expr { kind: ExprKind::LValue(lv), span }
+                Expr {
+                    kind: ExprKind::LValue(lv),
+                    span,
+                }
             }
             other => Expr { kind: other, span },
         }
@@ -472,11 +534,22 @@ impl Inliner<'_> {
     ) -> String {
         let prefix = self.fresh_prefix();
         let result = format!("{prefix}ret");
-        self.new_vars.push(VarDecl { name: result.clone(), ty: ret_ty, span: Span::point(0) });
+        self.new_vars.push(VarDecl {
+            name: result.clone(),
+            ty: ret_ty,
+            span: Span::point(0),
+        });
         let ret_expr = self.emit_body(callee, args, &prefix, out);
-        let value = ret_expr.unwrap_or(Expr { kind: ExprKind::IntLit(0), span: Span::point(0) });
+        let value = ret_expr.unwrap_or(Expr {
+            kind: ExprKind::IntLit(0),
+            span: Span::point(0),
+        });
         out.push(Stmt::Assign {
-            target: LValue { name: result.clone(), indices: vec![], span: Span::point(0) },
+            target: LValue {
+                name: result.clone(),
+                indices: vec![],
+                span: Span::point(0),
+            },
             value,
             span: Span::point(0),
         });
@@ -499,9 +572,17 @@ impl Inliner<'_> {
         for (p, arg) in callee.params.iter().zip(args) {
             let new = format!("{prefix}{}", p.name);
             rename.insert(p.name.clone(), new.clone());
-            self.new_vars.push(VarDecl { name: new.clone(), ty: p.ty.clone(), span: p.span });
+            self.new_vars.push(VarDecl {
+                name: new.clone(),
+                ty: p.ty.clone(),
+                span: p.span,
+            });
             out.push(Stmt::Assign {
-                target: LValue { name: new, indices: vec![], span: p.span },
+                target: LValue {
+                    name: new,
+                    indices: vec![],
+                    span: p.span,
+                },
                 value: arg,
                 span: p.span,
             });
@@ -509,7 +590,11 @@ impl Inliner<'_> {
         for v in &callee.vars {
             let new = format!("{prefix}{}", v.name);
             rename.insert(v.name.clone(), new.clone());
-            self.new_vars.push(VarDecl { name: new, ty: v.ty.clone(), span: v.span });
+            self.new_vars.push(VarDecl {
+                name: new,
+                ty: v.ty.clone(),
+                span: v.span,
+            });
         }
         // Split a trailing return off the body.
         let mut body = callee.body.clone();
@@ -530,14 +615,28 @@ impl Inliner<'_> {
 fn rename_stmt(s: Stmt, map: &HashMap<String, String>) -> Stmt {
     let rl = |lv: LValue| LValue {
         name: map.get(&lv.name).cloned().unwrap_or(lv.name),
-        indices: lv.indices.into_iter().map(|i| rename_expr(i, map)).collect(),
+        indices: lv
+            .indices
+            .into_iter()
+            .map(|i| rename_expr(i, map))
+            .collect(),
         span: lv.span,
     };
     match s {
-        Stmt::Assign { target, value, span } => {
-            Stmt::Assign { target: rl(target), value: rename_expr(value, map), span }
-        }
-        Stmt::If { arms, else_body, span } => Stmt::If {
+        Stmt::Assign {
+            target,
+            value,
+            span,
+        } => Stmt::Assign {
+            target: rl(target),
+            value: rename_expr(value, map),
+            span,
+        },
+        Stmt::If {
+            arms,
+            else_body,
+            span,
+        } => Stmt::If {
             arms: arms
                 .into_iter()
                 .map(|a| IfArm {
@@ -553,7 +652,15 @@ fn rename_stmt(s: Stmt, map: &HashMap<String, String>) -> Stmt {
             body: body.into_iter().map(|s| rename_stmt(s, map)).collect(),
             span,
         },
-        Stmt::For { var, from, to, downto, by, body, span } => Stmt::For {
+        Stmt::For {
+            var,
+            from,
+            to,
+            downto,
+            by,
+            body,
+            span,
+        } => Stmt::For {
             var: map.get(&var).cloned().unwrap_or(var),
             from: rename_expr(from, map),
             to: rename_expr(to, map),
@@ -567,13 +674,20 @@ fn rename_stmt(s: Stmt, map: &HashMap<String, String>) -> Stmt {
             args: args.into_iter().map(|a| rename_expr(a, map)).collect(),
             span,
         },
-        Stmt::Send { dir, value, span } => {
-            Stmt::Send { dir, value: rename_expr(value, map), span }
-        }
-        Stmt::Receive { dir, target, span } => Stmt::Receive { dir, target: rl(target), span },
-        Stmt::Return { value, span } => {
-            Stmt::Return { value: value.map(|v| rename_expr(v, map)), span }
-        }
+        Stmt::Send { dir, value, span } => Stmt::Send {
+            dir,
+            value: rename_expr(value, map),
+            span,
+        },
+        Stmt::Receive { dir, target, span } => Stmt::Receive {
+            dir,
+            target: rl(target),
+            span,
+        },
+        Stmt::Return { value, span } => Stmt::Return {
+            value: value.map(|v| rename_expr(v, map)),
+            span,
+        },
     }
 }
 
@@ -583,7 +697,11 @@ fn rename_expr(e: Expr, map: &HashMap<String, String>) -> Expr {
         ExprKind::LValue(lv) => Expr {
             kind: ExprKind::LValue(LValue {
                 name: map.get(&lv.name).cloned().unwrap_or(lv.name),
-                indices: lv.indices.into_iter().map(|i| rename_expr(i, map)).collect(),
+                indices: lv
+                    .indices
+                    .into_iter()
+                    .map(|i| rename_expr(i, map))
+                    .collect(),
                 span: lv.span,
             }),
             span,
@@ -596,9 +714,13 @@ fn rename_expr(e: Expr, map: &HashMap<String, String>) -> Expr {
             },
             span,
         },
-        ExprKind::Unary { op, expr } => {
-            Expr { kind: ExprKind::Unary { op, expr: Box::new(rename_expr(*expr, map)) }, span }
-        }
+        ExprKind::Unary { op, expr } => Expr {
+            kind: ExprKind::Unary {
+                op,
+                expr: Box::new(rename_expr(*expr, map)),
+            },
+            span,
+        },
         ExprKind::Call { name, args } => Expr {
             kind: ExprKind::Call {
                 name,
@@ -634,7 +756,11 @@ mod tests {
     fn expression_calls_inlined() {
         let (m, stats) = inline_src(CALLER);
         assert_eq!(stats.inlined_calls, 2);
-        let f = m.sections[0].functions.iter().find(|f| f.name == "f").unwrap();
+        let f = m.sections[0]
+            .functions
+            .iter()
+            .find(|f| f.name == "f")
+            .unwrap();
         // No calls remain in f.
         let has_call = format!("{:?}", f.body).contains("Call");
         assert!(!has_call, "{:#?}", f.body);
@@ -665,7 +791,11 @@ mod tests {
             end;";
         let (m, stats) = inline_src(src);
         assert_eq!(stats.inlined_calls, 2);
-        let f = m.sections[0].functions.iter().find(|f| f.name == "f").unwrap();
+        let f = m.sections[0]
+            .functions
+            .iter()
+            .find(|f| f.name == "f")
+            .unwrap();
         let sends = format!("{:?}", f.body).matches("Send").count();
         assert_eq!(sends, 2);
     }
@@ -709,11 +839,23 @@ mod tests {
              end;"
         );
         let checked = phase1(&src).expect("phase1");
-        let (_, stats) =
-            inline_module(&checked.module, &InlinePolicy { max_callee_stmts: 40, max_rounds: 3, drop_subsumed: false });
+        let (_, stats) = inline_module(
+            &checked.module,
+            &InlinePolicy {
+                max_callee_stmts: 40,
+                max_rounds: 3,
+                drop_subsumed: false,
+            },
+        );
         assert_eq!(stats.inlined_calls, 0);
-        let (_, stats) =
-            inline_module(&checked.module, &InlinePolicy { max_callee_stmts: 100, max_rounds: 3, drop_subsumed: false });
+        let (_, stats) = inline_module(
+            &checked.module,
+            &InlinePolicy {
+                max_callee_stmts: 100,
+                max_rounds: 3,
+                drop_subsumed: false,
+            },
+        );
         assert_eq!(stats.inlined_calls, 1);
     }
 
@@ -726,7 +868,11 @@ mod tests {
             end;";
         let (m, stats) = inline_src(src);
         assert!(stats.rounds >= 2);
-        let f = m.sections[0].functions.iter().find(|f| f.name == "f").unwrap();
+        let f = m.sections[0]
+            .functions
+            .iter()
+            .find(|f| f.name == "f")
+            .unwrap();
         assert!(!format!("{:?}", f.body).contains("Call"), "{stats:?}");
         // Verify semantics end to end.
         let (chk, d) = sema::check(m);

@@ -312,7 +312,9 @@ impl Inst {
             Inst::Recv { .. } => vec![],
             // Select also reads its destination (kept when the
             // condition is false).
-            Inst::Select { dst, cond, then_v, .. } => vec![Val::Reg(*dst), *cond, *then_v],
+            Inst::Select {
+                dst, cond, then_v, ..
+            } => vec![Val::Reg(*dst), *cond, *then_v],
         }
     }
 
@@ -373,10 +375,26 @@ impl fmt::Display for Inst {
         match self {
             Inst::Bin { op, ty, dst, a, b } => write!(f, "{dst} := {op:?}.{ty} {a}, {b}"),
             Inst::Un { op, ty, dst, a } => write!(f, "{dst} := {op:?}.{ty} {a}"),
-            Inst::Cmp { kind, ty, dst, a, b } => write!(f, "{dst} := cmp.{kind}.{ty} {a}, {b}"),
+            Inst::Cmp {
+                kind,
+                ty,
+                dst,
+                a,
+                b,
+            } => write!(f, "{dst} := cmp.{kind}.{ty} {a}, {b}"),
             Inst::Copy { dst, src } => write!(f, "{dst} := {src}"),
-            Inst::Load { dst, ty, arr, index } => write!(f, "{dst} := load.{ty} {arr}[{index}]"),
-            Inst::Store { arr, index, value, ty } => {
+            Inst::Load {
+                dst,
+                ty,
+                arr,
+                index,
+            } => write!(f, "{dst} := load.{ty} {arr}[{index}]"),
+            Inst::Store {
+                arr,
+                index,
+                value,
+                ty,
+            } => {
                 write!(f, "store.{ty} {arr}[{index}] := {value}")
             }
             Inst::Call { dst, callee, args } => {
@@ -395,7 +413,12 @@ impl fmt::Display for Inst {
             }
             Inst::Send { dir, value } => write!(f, "send.{dir} {value}"),
             Inst::Recv { dst, dir, ty } => write!(f, "{dst} := recv.{dir}.{ty}"),
-            Inst::Select { dst, cond, then_v, ty } => {
+            Inst::Select {
+                dst,
+                cond,
+                then_v,
+                ty,
+            } => {
                 write!(f, "{dst} := select.{ty} {cond} ? {then_v} : {dst}")
             }
         }
@@ -425,7 +448,9 @@ impl Term {
     pub fn successors(&self) -> Vec<BlockId> {
         match self {
             Term::Jump(b) => vec![*b],
-            Term::Branch { then_blk, else_blk, .. } => vec![*then_blk, *else_blk],
+            Term::Branch {
+                then_blk, else_blk, ..
+            } => vec![*then_blk, *else_blk],
             Term::Return(_) => vec![],
         }
     }
@@ -435,7 +460,11 @@ impl fmt::Display for Term {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Term::Jump(b) => write!(f, "jump {b}"),
-            Term::Branch { cond, then_blk, else_blk } => {
+            Term::Branch {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
                 write!(f, "br {cond} ? {then_blk} : {else_blk}")
             }
             Term::Return(Some(v)) => write!(f, "ret {v}"),
@@ -589,10 +618,21 @@ mod tests {
         let mut f = func();
         let d = f.new_vreg(IrType::Int);
         let s = f.new_vreg(IrType::Int);
-        let i = Inst::Bin { op: IrBinOp::Add, ty: IrType::Int, dst: d, a: Val::Reg(s), b: Val::ConstI(1) };
+        let i = Inst::Bin {
+            op: IrBinOp::Add,
+            ty: IrType::Int,
+            dst: d,
+            a: Val::Reg(s),
+            b: Val::ConstI(1),
+        };
         assert_eq!(i.def(), Some(d));
         assert_eq!(i.used_regs(), vec![s]);
-        let st = Inst::Store { arr: ArrayId(0), index: Val::Reg(s), value: Val::Reg(d), ty: IrType::Int };
+        let st = Inst::Store {
+            arr: ArrayId(0),
+            index: Val::Reg(s),
+            value: Val::Reg(d),
+            ty: IrType::Int,
+        };
         assert_eq!(st.def(), None);
         assert_eq!(st.used_regs(), vec![s, d]);
         assert!(st.has_side_effects());
@@ -603,7 +643,13 @@ mod tests {
         let mut f = func();
         let a = f.new_vreg(IrType::Int);
         let d = f.new_vreg(IrType::Int);
-        let mut i = Inst::Bin { op: IrBinOp::Mul, ty: IrType::Int, dst: d, a: Val::Reg(a), b: Val::Reg(a) };
+        let mut i = Inst::Bin {
+            op: IrBinOp::Mul,
+            ty: IrType::Int,
+            dst: d,
+            a: Val::Reg(a),
+            b: Val::Reg(a),
+        };
         i.replace_uses(a, Val::ConstI(7));
         assert_eq!(i.used_regs(), Vec::<VirtReg>::new());
         if let Inst::Bin { a, b, .. } = i {
@@ -619,10 +665,20 @@ mod tests {
         f.blocks = vec![
             Block {
                 insts: vec![],
-                term: Term::Branch { cond: Val::Reg(c), then_blk: BlockId(1), else_blk: BlockId(2) },
+                term: Term::Branch {
+                    cond: Val::Reg(c),
+                    then_blk: BlockId(1),
+                    else_blk: BlockId(2),
+                },
             },
-            Block { insts: vec![], term: Term::Jump(BlockId(2)) },
-            Block { insts: vec![], term: Term::Return(None) },
+            Block {
+                insts: vec![],
+                term: Term::Jump(BlockId(2)),
+            },
+            Block {
+                insts: vec![],
+                term: Term::Return(None),
+            },
         ];
         let preds = f.predecessors();
         assert_eq!(preds[0], vec![]);
@@ -632,9 +688,17 @@ mod tests {
 
     #[test]
     fn array_words() {
-        let a = ArrayInfo { name: "m".into(), dims: vec![4, 8], ty: IrType::Float };
+        let a = ArrayInfo {
+            name: "m".into(),
+            dims: vec![4, 8],
+            ty: IrType::Float,
+        };
         assert_eq!(a.words(), 32);
-        let s = ArrayInfo { name: "x".into(), dims: vec![], ty: IrType::Float };
+        let s = ArrayInfo {
+            name: "x".into(),
+            dims: vec![],
+            ty: IrType::Float,
+        };
         assert_eq!(s.words(), 1);
     }
 
@@ -643,7 +707,10 @@ mod tests {
         let mut f = func();
         let d = f.new_vreg(IrType::Int);
         f.blocks = vec![Block {
-            insts: vec![Inst::Copy { dst: d, src: Val::ConstI(1) }],
+            insts: vec![Inst::Copy {
+                dst: d,
+                src: Val::ConstI(1),
+            }],
             term: Term::Return(Some(Val::Reg(d))),
         }];
         let text = f.dump();

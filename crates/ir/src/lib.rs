@@ -65,9 +65,7 @@ pub use inline::{inline_module, InlinePolicy, InlineStats};
 pub use ir::{ArrayId, Block, BlockId, FuncIr, Inst, IrBinOp, IrType, IrUnOp, Term, Val, VirtReg};
 pub use loops::{Loop, LoopInfo};
 pub use lower::{lower_function, lower_module, LowerError};
-pub use opt::{
-    apply_facts, optimize, optimize_traced, optimize_verified, FactOptStats, OptStats,
-};
+pub use opt::{apply_facts, optimize, optimize_traced, optimize_verified, FactOptStats, OptStats};
 pub use phase2::{
     phase2, phase2_opts, phase2_traced, phase2_verified, phase2_with_unroll, Phase2Error,
     Phase2Result, Phase2Work,

@@ -92,8 +92,11 @@ pub fn dominators(f: &FuncIr) -> Dominators {
             }
         }
     }
-    let idom: Vec<BlockId> =
-        idom.into_iter().enumerate().map(|(i, d)| d.unwrap_or(BlockId(i as u32))).collect();
+    let idom: Vec<BlockId> = idom
+        .into_iter()
+        .enumerate()
+        .map(|(i, d)| d.unwrap_or(BlockId(i as u32)))
+        .collect();
     Dominators { idom, rpo }
 }
 
@@ -191,7 +194,11 @@ pub fn find_loops(f: &FuncIr, dom: &Dominators) -> LoopInfo {
                     }
                     existing.blocks.sort_by_key(|b| b.0);
                 } else {
-                    loops.push(Loop { header, blocks: body, depth: 0 });
+                    loops.push(Loop {
+                        header,
+                        blocks: body,
+                        depth: 0,
+                    });
                 }
             }
         }
@@ -199,7 +206,10 @@ pub fn find_loops(f: &FuncIr, dom: &Dominators) -> LoopInfo {
     // Depth: number of loops containing each block.
     let mut block_depth = vec![0usize; n];
     for (i, d) in block_depth.iter_mut().enumerate() {
-        *d = loops.iter().filter(|l| l.blocks.contains(&BlockId(i as u32))).count();
+        *d = loops
+            .iter()
+            .filter(|l| l.blocks.contains(&BlockId(i as u32)))
+            .count();
     }
     for l in &mut loops {
         l.depth = block_depth[l.header.index()];
@@ -241,7 +251,12 @@ mod tests {
         let f = lowered("t := 0.0; for i := 0 to 7 do t := t + v[i]; end; return t;");
         let li = analyze_loops(&f);
         assert_eq!(li.loops.len(), 1);
-        assert!(li.loops[0].is_single_block(), "{:?}\n{}", li.loops, f.dump());
+        assert!(
+            li.loops[0].is_single_block(),
+            "{:?}\n{}",
+            li.loops,
+            f.dump()
+        );
         assert_eq!(li.max_depth(), 1);
         assert_eq!(li.pipelinable_blocks().len(), 1);
     }

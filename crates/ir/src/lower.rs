@@ -47,7 +47,10 @@ impl std::error::Error for LowerError {}
 type Result<T> = std::result::Result<T, LowerError>;
 
 fn err<T>(span: Span, message: impl Into<String>) -> Result<T> {
-    Err(LowerError { message: message.into(), span })
+    Err(LowerError {
+        message: message.into(),
+        span,
+    })
 }
 
 #[derive(Debug, Clone)]
@@ -116,8 +119,13 @@ pub fn lower_function(
         } else {
             let ty = scalar_ir_type(&v.ty);
             let id = ArrayId(lw.func.arrays.len() as u32);
-            lw.func.arrays.push(ArrayInfo { name: v.name.clone(), dims: v.ty.dims.clone(), ty });
-            lw.storage.insert(v.name.clone(), Storage::Array(id, v.ty.dims.clone(), ty));
+            lw.func.arrays.push(ArrayInfo {
+                name: v.name.clone(),
+                dims: v.ty.dims.clone(),
+                ty,
+            });
+            lw.storage
+                .insert(v.name.clone(), Storage::Array(id, v.ty.dims.clone(), ty));
         }
         // Shadowing a parameter is a sema error; keep last binding.
     }
@@ -161,9 +169,10 @@ impl Lowerer<'_> {
     fn start_block(&mut self) -> BlockId {
         debug_assert!(self.cur.is_none(), "previous block not sealed");
         let id = BlockId(self.func.blocks.len() as u32);
-        self.func
-            .blocks
-            .push(Block { insts: Vec::new(), term: Term::Return(None) });
+        self.func.blocks.push(Block {
+            insts: Vec::new(),
+            term: Term::Return(None),
+        });
         self.cur = Some(id);
         self.cur_insts = Vec::new();
         id
@@ -232,30 +241,55 @@ impl Lowerer<'_> {
 
     fn stmt(&mut self, stmt: &Stmt) -> Result<()> {
         match stmt {
-            Stmt::Assign { target, value, span } => {
+            Stmt::Assign {
+                target,
+                value,
+                span,
+            } => {
                 let (v, vt) = self.expr(value)?;
                 match self.storage.get(&target.name).cloned() {
                     Some(Storage::Scalar(dst, ty)) => {
                         if !target.indices.is_empty() {
                             return err(*span, "subscript on scalar");
                         }
-                        let v = if ty == IrType::Float { self.to_float(v, vt) } else { v };
+                        let v = if ty == IrType::Float {
+                            self.to_float(v, vt)
+                        } else {
+                            v
+                        };
                         self.emit(Inst::Copy { dst, src: v });
                     }
                     Some(Storage::Array(arr, dims, ty)) => {
                         let index = self.linear_index(target, &dims, *span)?;
-                        let v = if ty == IrType::Float { self.to_float(v, vt) } else { v };
-                        self.emit(Inst::Store { arr, index, value: v, ty });
+                        let v = if ty == IrType::Float {
+                            self.to_float(v, vt)
+                        } else {
+                            v
+                        };
+                        self.emit(Inst::Store {
+                            arr,
+                            index,
+                            value: v,
+                            ty,
+                        });
                     }
                     None => return err(*span, format!("undeclared `{}`", target.name)),
                 }
                 Ok(())
             }
-            Stmt::If { arms, else_body, .. } => self.lower_if(arms, else_body),
+            Stmt::If {
+                arms, else_body, ..
+            } => self.lower_if(arms, else_body),
             Stmt::While { cond, body, .. } => self.lower_while(cond, body),
-            Stmt::For { var, from, to, downto, by, body, span } => {
-                self.lower_for(var, from, to, *downto, by.as_ref(), body, *span)
-            }
+            Stmt::For {
+                var,
+                from,
+                to,
+                downto,
+                by,
+                body,
+                span,
+            } => self.lower_for(var, from, to, *downto, by.as_ref(), body, *span),
             Stmt::Call { name, args, span } => {
                 self.lower_call(name, args, *span)?;
                 Ok(())
@@ -264,7 +298,10 @@ impl Lowerer<'_> {
                 let (v, vt) = self.expr(value)?;
                 // Queues carry typed words; send floats as floats.
                 let _ = vt;
-                self.emit(Inst::Send { dir: *dir, value: v });
+                self.emit(Inst::Send {
+                    dir: *dir,
+                    value: v,
+                });
                 Ok(())
             }
             Stmt::Receive { dir, target, span } => {
@@ -277,9 +314,18 @@ impl Lowerer<'_> {
                     }
                     Some(Storage::Array(arr, dims, ty)) => {
                         let tmp = self.func.new_vreg(ty);
-                        self.emit(Inst::Recv { dst: tmp, dir: *dir, ty });
+                        self.emit(Inst::Recv {
+                            dst: tmp,
+                            dir: *dir,
+                            ty,
+                        });
                         let index = self.linear_index(target, &dims, *span)?;
-                        self.emit(Inst::Store { arr, index, value: Val::Reg(tmp), ty });
+                        self.emit(Inst::Store {
+                            arr,
+                            index,
+                            value: Val::Reg(tmp),
+                            ty,
+                        });
                     }
                     None => return err(*span, format!("undeclared `{}`", target.name)),
                 }
@@ -289,7 +335,11 @@ impl Lowerer<'_> {
                 let v = match (value, self.func.ret) {
                     (Some(e), Some(ret_ty)) => {
                         let (v, vt) = self.expr(e)?;
-                        Some(if ret_ty == IrType::Float { self.to_float(v, vt) } else { v })
+                        Some(if ret_ty == IrType::Float {
+                            self.to_float(v, vt)
+                        } else {
+                            v
+                        })
                     }
                     (Some(e), None) => {
                         let (v, _) = self.expr(e)?;
@@ -323,19 +373,29 @@ impl Lowerer<'_> {
             // Body
             let body_id = self.start_block();
             self.stmts(&arm.body)?;
-            let body_exit = if self.cur.is_some() { Some(self.seal(Term::Return(None))) } else { None };
+            let body_exit = if self.cur.is_some() {
+                Some(self.seal(Term::Return(None)))
+            } else {
+                None
+            };
             if let Some(e) = body_exit {
                 exits.push(e);
             }
             // Next arm / else
             let next_id = self.start_block();
-            self.func.blocks[here.index()].term =
-                Term::Branch { cond: c, then_blk: body_id, else_blk: next_id };
+            self.func.blocks[here.index()].term = Term::Branch {
+                cond: c,
+                then_blk: body_id,
+                else_blk: next_id,
+            };
             if arm_iter.peek().is_none() {
                 // `next_id` holds the else body.
                 self.stmts(else_body)?;
-                let else_exit =
-                    if self.cur.is_some() { Some(self.seal(Term::Return(None))) } else { None };
+                let else_exit = if self.cur.is_some() {
+                    Some(self.seal(Term::Return(None)))
+                } else {
+                    None
+                };
                 if let Some(e) = else_exit {
                     exits.push(e);
                 }
@@ -364,8 +424,11 @@ impl Lowerer<'_> {
             self.seal(Term::Jump(header));
         }
         let exit = self.start_block();
-        self.func.blocks[header_sealed.index()].term =
-            Term::Branch { cond: c, then_blk: body_id, else_blk: exit };
+        self.func.blocks[header_sealed.index()].term = Term::Branch {
+            cond: c,
+            then_blk: body_id,
+            else_blk: exit,
+        };
         Ok(())
     }
 
@@ -381,7 +444,10 @@ impl Lowerer<'_> {
         span: Span,
     ) -> Result<()> {
         let Some(Storage::Scalar(ivar, IrType::Int)) = self.storage.get(var).cloned() else {
-            return err(span, format!("loop variable `{var}` must be a declared int"));
+            return err(
+                span,
+                format!("loop variable `{var}` must be a declared int"),
+            );
         };
         // Evaluate bounds and step once, in the preheader.
         let (from_v, _) = self.expr(from)?;
@@ -406,15 +472,27 @@ impl Lowerer<'_> {
             step_v
         } else {
             let r = self.func.new_vreg(IrType::Int);
-            self.emit(Inst::Copy { dst: r, src: step_v });
+            self.emit(Inst::Copy {
+                dst: r,
+                src: step_v,
+            });
             Val::Reg(r)
         };
-        self.emit(Inst::Copy { dst: ivar, src: from_v });
+        self.emit(Inst::Copy {
+            dst: ivar,
+            src: from_v,
+        });
 
         // Guard: skip the loop entirely when the trip count is zero.
         let cmp = if downto { CmpKind::Ge } else { CmpKind::Le };
         let guard = self.func.new_vreg(IrType::Int);
-        self.emit(Inst::Cmp { kind: cmp, ty: IrType::Int, dst: guard, a: Val::Reg(ivar), b: limit });
+        self.emit(Inst::Cmp {
+            kind: cmp,
+            ty: IrType::Int,
+            dst: guard,
+            a: Val::Reg(ivar),
+            b: limit,
+        });
         let pre = self.seal(Term::Return(None));
 
         // Loop body (do-while shape: body, increment, test, branch back).
@@ -423,8 +501,11 @@ impl Lowerer<'_> {
         if self.cur.is_none() {
             // Body ended with `return` on every path; no back edge.
             let exit = self.start_block();
-            self.func.blocks[pre.index()].term =
-                Term::Branch { cond: Val::Reg(guard), then_blk: body_id, else_blk: exit };
+            self.func.blocks[pre.index()].term = Term::Branch {
+                cond: Val::Reg(guard),
+                then_blk: body_id,
+                else_blk: exit,
+            };
             return Ok(());
         }
         let next = if downto {
@@ -432,21 +513,41 @@ impl Lowerer<'_> {
         } else {
             self.emit_bin(IrBinOp::Add, IrType::Int, Val::Reg(ivar), step)
         };
-        self.emit(Inst::Copy { dst: ivar, src: next });
+        self.emit(Inst::Copy {
+            dst: ivar,
+            src: next,
+        });
         let again = self.func.new_vreg(IrType::Int);
-        self.emit(Inst::Cmp { kind: cmp, ty: IrType::Int, dst: again, a: Val::Reg(ivar), b: limit });
+        self.emit(Inst::Cmp {
+            kind: cmp,
+            ty: IrType::Int,
+            dst: again,
+            a: Val::Reg(ivar),
+            b: limit,
+        });
         let body_sealed = self.seal(Term::Return(None));
 
         let exit = self.start_block();
-        self.func.blocks[pre.index()].term =
-            Term::Branch { cond: Val::Reg(guard), then_blk: body_id, else_blk: exit };
-        self.func.blocks[body_sealed.index()].term =
-            Term::Branch { cond: Val::Reg(again), then_blk: body_id, else_blk: exit };
+        self.func.blocks[pre.index()].term = Term::Branch {
+            cond: Val::Reg(guard),
+            then_blk: body_id,
+            else_blk: exit,
+        };
+        self.func.blocks[body_sealed.index()].term = Term::Branch {
+            cond: Val::Reg(again),
+            then_blk: body_id,
+            else_blk: exit,
+        };
         Ok(())
     }
 
     /// Lowers a call; returns the result value if the callee returns one.
-    fn lower_call(&mut self, name: &str, args: &[Expr], span: Span) -> Result<Option<(Val, IrType)>> {
+    fn lower_call(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        span: Span,
+    ) -> Result<Option<(Val, IrType)>> {
         // Builtins lower to IR operators.
         if let Some(arity) = ast::builtin_arity(name) {
             if args.len() != arity {
@@ -465,12 +566,20 @@ impl Lowerer<'_> {
         for (a, pty) in args.iter().zip(&sig.params) {
             let (v, vt) = self.expr(a)?;
             let want = scalar_ir_type(pty);
-            let v = if want == IrType::Float { self.to_float(v, vt) } else { v };
+            let v = if want == IrType::Float {
+                self.to_float(v, vt)
+            } else {
+                v
+            };
             arg_vals.push(v);
         }
         let ret_ty = sig.ret.as_ref().map(scalar_ir_type);
         let dst = ret_ty.map(|ty| self.func.new_vreg(ty));
-        self.emit(Inst::Call { dst, callee: name.to_string(), args: arg_vals });
+        self.emit(Inst::Call {
+            dst,
+            callee: name.to_string(),
+            args: arg_vals,
+        });
         Ok(dst.map(|d| (Val::Reg(d), ret_ty.unwrap())))
     }
 
@@ -503,7 +612,11 @@ impl Lowerer<'_> {
                 let (a, at) = vals[0];
                 let (b, bt) = vals[1];
                 let (a, b, ty) = self.unify(a, at, b, bt);
-                let op = if name == "min" { IrBinOp::Min } else { IrBinOp::Max };
+                let op = if name == "min" {
+                    IrBinOp::Min
+                } else {
+                    IrBinOp::Max
+                };
                 (self.emit_bin(op, ty, a, b), ty)
             }
             "float" => {
@@ -524,7 +637,10 @@ impl Lowerer<'_> {
     /// Computes the row-major linear index of an array access.
     fn linear_index(&mut self, lv: &LValue, dims: &[u32], span: Span) -> Result<Val> {
         if lv.indices.len() != dims.len() {
-            return err(span, format!("`{}` needs {} subscripts", lv.name, dims.len()));
+            return err(
+                span,
+                format!("`{}` needs {} subscripts", lv.name, dims.len()),
+            );
         }
         let mut acc: Option<Val> = None;
         for (idx_expr, (i, _dim)) in lv.indices.iter().zip(dims.iter().enumerate()) {
@@ -536,7 +652,8 @@ impl Lowerer<'_> {
                 None => v,
                 Some(prev) => {
                     let stride = dims[i] as i32;
-                    let scaled = self.emit_bin(IrBinOp::Mul, IrType::Int, prev, Val::ConstI(stride));
+                    let scaled =
+                        self.emit_bin(IrBinOp::Mul, IrType::Int, prev, Val::ConstI(stride));
                     self.emit_bin(IrBinOp::Add, IrType::Int, scaled, v)
                 }
             });
@@ -548,8 +665,10 @@ impl Lowerer<'_> {
     fn expr(&mut self, e: &Expr) -> Result<(Val, IrType)> {
         match &e.kind {
             ExprKind::IntLit(v) => {
-                let v32 = i32::try_from(*v)
-                    .map_err(|_| LowerError { message: "int literal out of range".into(), span: e.span })?;
+                let v32 = i32::try_from(*v).map_err(|_| LowerError {
+                    message: "int literal out of range".into(),
+                    span: e.span,
+                })?;
                 Ok((Val::ConstI(v32), IrType::Int))
             }
             ExprKind::FloatLit(v) => Ok((Val::ConstF(*v as f32), IrType::Float)),
@@ -564,7 +683,12 @@ impl Lowerer<'_> {
                 Some(Storage::Array(arr, dims, ty)) => {
                     let index = self.linear_index(lv, &dims, e.span)?;
                     let dst = self.func.new_vreg(ty);
-                    self.emit(Inst::Load { dst, ty, arr, index });
+                    self.emit(Inst::Load {
+                        dst,
+                        ty,
+                        arr,
+                        index,
+                    });
                     Ok((Val::Reg(dst), ty))
                 }
                 None => err(e.span, format!("undeclared `{}`", lv.name)),
@@ -612,7 +736,13 @@ impl Lowerer<'_> {
                     _ => CmpKind::Ge,
                 };
                 let dst = self.func.new_vreg(IrType::Int);
-                self.emit(Inst::Cmp { kind, ty, dst, a, b });
+                self.emit(Inst::Cmp {
+                    kind,
+                    ty,
+                    dst,
+                    a,
+                    b,
+                });
                 Ok((Val::Reg(dst), IrType::Int))
             }
             BinOp::Add | BinOp::Sub | BinOp::Mul => {
@@ -627,7 +757,10 @@ impl Lowerer<'_> {
             BinOp::Div => {
                 let a = self.to_float(a, at);
                 let b = self.to_float(b, bt);
-                Ok((self.emit_bin(IrBinOp::Div, IrType::Float, a, b), IrType::Float))
+                Ok((
+                    self.emit_bin(IrBinOp::Div, IrType::Float, a, b),
+                    IrType::Float,
+                ))
             }
             BinOp::IDiv => Ok((self.emit_bin(IrBinOp::IDiv, IrType::Int, a, b), IrType::Int)),
             BinOp::Mod => Ok((self.emit_bin(IrBinOp::Mod, IrType::Int, a, b), IrType::Int)),
@@ -703,10 +836,15 @@ mod tests {
     #[test]
     fn int_to_float_promotion_inserted() {
         let f = lower_first(&wrap("t := x + n; return t;"));
-        let has_itof = f.blocks[0]
-            .insts
-            .iter()
-            .any(|i| matches!(i, Inst::Un { op: IrUnOp::ItoF, .. }));
+        let has_itof = f.blocks[0].insts.iter().any(|i| {
+            matches!(
+                i,
+                Inst::Un {
+                    op: IrUnOp::ItoF,
+                    ..
+                }
+            )
+        });
         assert!(has_itof, "{}", f.dump());
     }
 
@@ -716,22 +854,35 @@ mod tests {
         let dump = f.dump();
         // Store with computed index: i*4 + j
         assert!(dump.contains("store"), "{dump}");
-        assert!(f.arrays.iter().any(|a| a.name == "m2" && a.dims == vec![4, 4]));
-        let has_mul = f.blocks[0]
-            .insts
+        assert!(f
+            .arrays
             .iter()
-            .any(|i| matches!(i, Inst::Bin { op: IrBinOp::Mul, b: Val::ConstI(4), .. }));
+            .any(|a| a.name == "m2" && a.dims == vec![4, 4]));
+        let has_mul = f.blocks[0].insts.iter().any(|i| {
+            matches!(
+                i,
+                Inst::Bin {
+                    op: IrBinOp::Mul,
+                    b: Val::ConstI(4),
+                    ..
+                }
+            )
+        });
         assert!(has_mul, "{dump}");
     }
 
     #[test]
     fn for_loop_shape_is_guarded_do_while() {
-        let f = lower_first(&wrap("t := 0.0; for i := 0 to 7 do t := t + v[i]; end; return t;"));
+        let f = lower_first(&wrap(
+            "t := 0.0; for i := 0 to 7 do t := t + v[i]; end; return t;",
+        ));
         // Blocks: pre (guard), body (self-loop via branch), exit.
         assert_eq!(f.blocks.len(), 3, "{}", f.dump());
         let body = &f.blocks[1];
         match &body.term {
-            Term::Branch { then_blk, .. } => assert_eq!(*then_blk, BlockId(1), "body must self-loop"),
+            Term::Branch { then_blk, .. } => {
+                assert_eq!(*then_blk, BlockId(1), "body must self-loop")
+            }
             t => panic!("body terminator {t}"),
         }
     }
@@ -740,15 +891,26 @@ mod tests {
     fn downto_uses_sub_and_ge() {
         let f = lower_first(&wrap("for i := 7 downto 0 do t := t + 1.0; end; return t;"));
         let body = &f.blocks[1];
-        let has_sub = body
-            .insts
-            .iter()
-            .any(|i| matches!(i, Inst::Bin { op: IrBinOp::Sub, ty: IrType::Int, .. }));
+        let has_sub = body.insts.iter().any(|i| {
+            matches!(
+                i,
+                Inst::Bin {
+                    op: IrBinOp::Sub,
+                    ty: IrType::Int,
+                    ..
+                }
+            )
+        });
         assert!(has_sub, "{}", f.dump());
-        let has_ge = body
-            .insts
-            .iter()
-            .any(|i| matches!(i, Inst::Cmp { kind: CmpKind::Ge, .. }));
+        let has_ge = body.insts.iter().any(|i| {
+            matches!(
+                i,
+                Inst::Cmp {
+                    kind: CmpKind::Ge,
+                    ..
+                }
+            )
+        });
         assert!(has_ge);
     }
 
@@ -788,7 +950,9 @@ mod tests {
 
     #[test]
     fn builtins_lower_to_ops() {
-        let f = lower_first(&wrap("t := sqrt(x) + min(x, 1.0); i := floor(x); return t;"));
+        let f = lower_first(&wrap(
+            "t := sqrt(x) + min(x, 1.0); i := floor(x); return t;",
+        ));
         let dump = f.dump();
         assert!(dump.contains("Sqrt"), "{dump}");
         assert!(dump.contains("Min"), "{dump}");
@@ -826,18 +990,26 @@ mod tests {
             "for i := 0 to 7 do if v[i] > 1.0 then return v[i]; end; end; return 0.0;",
         ));
         // Should produce a valid CFG with multiple returns.
-        let rets = f.blocks.iter().filter(|b| matches!(b.term, Term::Return(_))).count();
+        let rets = f
+            .blocks
+            .iter()
+            .filter(|b| matches!(b.term, Term::Return(_)))
+            .count();
         assert!(rets >= 2, "{}", f.dump());
     }
 
     #[test]
     fn bool_ops_eager() {
         let f = lower_first(&wrap("if x > 0.0 and n > 1 then t := 1.0; end; return t;"));
-        let has_and = f
-            .blocks
-            .iter()
-            .flat_map(|b| &b.insts)
-            .any(|i| matches!(i, Inst::Bin { op: IrBinOp::And, .. }));
+        let has_and = f.blocks.iter().flat_map(|b| &b.insts).any(|i| {
+            matches!(
+                i,
+                Inst::Bin {
+                    op: IrBinOp::And,
+                    ..
+                }
+            )
+        });
         assert!(has_and, "{}", f.dump());
     }
 }

@@ -17,8 +17,8 @@ use crate::dataflow::liveness;
 use crate::ir::*;
 use crate::verify::{verify_after, VerifyError};
 use serde::{Deserialize, Serialize};
-use warp_obs::{Trace, TrackId};
 use std::collections::HashMap;
+use warp_obs::{Trace, TrackId};
 use warp_target::isa::CmpKind;
 
 /// Counters describing the work done and the improvements found.
@@ -76,7 +76,13 @@ pub fn optimize_verified(
     max_iterations: usize,
     verify_each_pass: bool,
 ) -> Result<OptStats, VerifyError> {
-    optimize_traced(f, max_iterations, verify_each_pass, &Trace::disabled(), TrackId(0))
+    optimize_traced(
+        f,
+        max_iterations,
+        verify_each_pass,
+        &Trace::disabled(),
+        TrackId(0),
+    )
 }
 
 /// Like [`optimize_verified`], but records one span per individual
@@ -230,15 +236,26 @@ pub fn fold_constants(f: &mut FuncIr) -> OptStats {
                 Inst::Un { op, dst, a, .. } => {
                     fold_un(*op, *a).map(|v| Inst::Copy { dst: *dst, src: v })
                 }
-                Inst::Cmp { kind, dst, a, b, .. } => {
-                    fold_cmp(*kind, *a, *b).map(|v| Inst::Copy { dst: *dst, src: v })
-                }
-                Inst::Select { dst, cond: Val::ConstI(c), then_v, .. } => Some(if *c != 0 {
-                    Inst::Copy { dst: *dst, src: *then_v }
+                Inst::Cmp {
+                    kind, dst, a, b, ..
+                } => fold_cmp(*kind, *a, *b).map(|v| Inst::Copy { dst: *dst, src: v }),
+                Inst::Select {
+                    dst,
+                    cond: Val::ConstI(c),
+                    then_v,
+                    ..
+                } => Some(if *c != 0 {
+                    Inst::Copy {
+                        dst: *dst,
+                        src: *then_v,
+                    }
                 } else {
                     // Condition statically false: the select keeps the
                     // old value — an identity copy DCE can drop.
-                    Inst::Copy { dst: *dst, src: Val::Reg(*dst) }
+                    Inst::Copy {
+                        dst: *dst,
+                        src: Val::Reg(*dst),
+                    }
                 }),
                 _ => None,
             };
@@ -248,7 +265,12 @@ pub fn fold_constants(f: &mut FuncIr) -> OptStats {
             }
         }
         // Constant branches become jumps.
-        if let Term::Branch { cond: Val::ConstI(c), then_blk, else_blk } = block.term {
+        if let Term::Branch {
+            cond: Val::ConstI(c),
+            then_blk,
+            else_blk,
+        } = block.term
+        {
             block.term = Term::Jump(if c != 0 { then_blk } else { else_blk });
             stats.folded += 1;
         }
@@ -308,11 +330,11 @@ fn lvn_block(f: &mut FuncIr, b: usize, stats: &mut OptStats) {
     let mut insts = std::mem::take(&mut f.blocks[b].insts);
 
     let vn_of_val = |v: Val,
-                         reg_vn: &mut HashMap<VirtReg, Vn>,
-                         vn_const: &mut HashMap<Vn, VnConst>,
-                         const_vn: &mut Vec<(VnConst, Vn)>,
-                         leader: &mut HashMap<Vn, VirtReg>,
-                         fresh: &mut dyn FnMut() -> Vn|
+                     reg_vn: &mut HashMap<VirtReg, Vn>,
+                     vn_const: &mut HashMap<Vn, VnConst>,
+                     const_vn: &mut Vec<(VnConst, Vn)>,
+                     leader: &mut HashMap<Vn, VirtReg>,
+                     fresh: &mut dyn FnMut() -> Vn|
      -> Vn {
         match v {
             Val::Reg(r) => *reg_vn.entry(r).or_insert_with(|| {
@@ -394,49 +416,147 @@ fn lvn_block(f: &mut FuncIr, b: usize, stats: &mut OptStats) {
         // Rewrite uses first.
         match inst {
             Inst::Bin { a, b, .. } | Inst::Cmp { a, b, .. } => {
-                rewrite(a, &mut reg_vn, &mut vn_const, &mut const_vn, &mut leader, &mut fresh, stats);
-                rewrite(b, &mut reg_vn, &mut vn_const, &mut const_vn, &mut leader, &mut fresh, stats);
+                rewrite(
+                    a,
+                    &mut reg_vn,
+                    &mut vn_const,
+                    &mut const_vn,
+                    &mut leader,
+                    &mut fresh,
+                    stats,
+                );
+                rewrite(
+                    b,
+                    &mut reg_vn,
+                    &mut vn_const,
+                    &mut const_vn,
+                    &mut leader,
+                    &mut fresh,
+                    stats,
+                );
             }
-            Inst::Un { a, .. } => {
-                rewrite(a, &mut reg_vn, &mut vn_const, &mut const_vn, &mut leader, &mut fresh, stats)
-            }
-            Inst::Copy { src, .. } => {
-                rewrite(src, &mut reg_vn, &mut vn_const, &mut const_vn, &mut leader, &mut fresh, stats)
-            }
-            Inst::Load { index, .. } => {
-                rewrite(index, &mut reg_vn, &mut vn_const, &mut const_vn, &mut leader, &mut fresh, stats)
-            }
+            Inst::Un { a, .. } => rewrite(
+                a,
+                &mut reg_vn,
+                &mut vn_const,
+                &mut const_vn,
+                &mut leader,
+                &mut fresh,
+                stats,
+            ),
+            Inst::Copy { src, .. } => rewrite(
+                src,
+                &mut reg_vn,
+                &mut vn_const,
+                &mut const_vn,
+                &mut leader,
+                &mut fresh,
+                stats,
+            ),
+            Inst::Load { index, .. } => rewrite(
+                index,
+                &mut reg_vn,
+                &mut vn_const,
+                &mut const_vn,
+                &mut leader,
+                &mut fresh,
+                stats,
+            ),
             Inst::Store { index, value, .. } => {
-                rewrite(index, &mut reg_vn, &mut vn_const, &mut const_vn, &mut leader, &mut fresh, stats);
-                rewrite(value, &mut reg_vn, &mut vn_const, &mut const_vn, &mut leader, &mut fresh, stats);
+                rewrite(
+                    index,
+                    &mut reg_vn,
+                    &mut vn_const,
+                    &mut const_vn,
+                    &mut leader,
+                    &mut fresh,
+                    stats,
+                );
+                rewrite(
+                    value,
+                    &mut reg_vn,
+                    &mut vn_const,
+                    &mut const_vn,
+                    &mut leader,
+                    &mut fresh,
+                    stats,
+                );
             }
             Inst::Call { args, .. } => {
                 for a in args {
-                    rewrite(a, &mut reg_vn, &mut vn_const, &mut const_vn, &mut leader, &mut fresh, stats);
+                    rewrite(
+                        a,
+                        &mut reg_vn,
+                        &mut vn_const,
+                        &mut const_vn,
+                        &mut leader,
+                        &mut fresh,
+                        stats,
+                    );
                 }
             }
-            Inst::Send { value, .. } => {
-                rewrite(value, &mut reg_vn, &mut vn_const, &mut const_vn, &mut leader, &mut fresh, stats)
-            }
+            Inst::Send { value, .. } => rewrite(
+                value,
+                &mut reg_vn,
+                &mut vn_const,
+                &mut const_vn,
+                &mut leader,
+                &mut fresh,
+                stats,
+            ),
             Inst::Recv { .. } => {}
             Inst::Select { cond, then_v, .. } => {
-                rewrite(cond, &mut reg_vn, &mut vn_const, &mut const_vn, &mut leader, &mut fresh, stats);
-                rewrite(then_v, &mut reg_vn, &mut vn_const, &mut const_vn, &mut leader, &mut fresh, stats);
+                rewrite(
+                    cond,
+                    &mut reg_vn,
+                    &mut vn_const,
+                    &mut const_vn,
+                    &mut leader,
+                    &mut fresh,
+                    stats,
+                );
+                rewrite(
+                    then_v,
+                    &mut reg_vn,
+                    &mut vn_const,
+                    &mut const_vn,
+                    &mut leader,
+                    &mut fresh,
+                    stats,
+                );
             }
         }
 
         // Number the definition / find redundancies.
         match inst {
             Inst::Copy { dst, src } => {
-                let vn =
-                    vn_of_val(*src, &mut reg_vn, &mut vn_const, &mut const_vn, &mut leader, &mut fresh);
+                let vn = vn_of_val(
+                    *src,
+                    &mut reg_vn,
+                    &mut vn_const,
+                    &mut const_vn,
+                    &mut leader,
+                    &mut fresh,
+                );
                 define(*dst, vn, &mut reg_vn, &mut leader);
             }
             Inst::Bin { op, ty, dst, a, b } => {
-                let mut va =
-                    vn_of_val(*a, &mut reg_vn, &mut vn_const, &mut const_vn, &mut leader, &mut fresh);
-                let mut vb =
-                    vn_of_val(*b, &mut reg_vn, &mut vn_const, &mut const_vn, &mut leader, &mut fresh);
+                let mut va = vn_of_val(
+                    *a,
+                    &mut reg_vn,
+                    &mut vn_const,
+                    &mut const_vn,
+                    &mut leader,
+                    &mut fresh,
+                );
+                let mut vb = vn_of_val(
+                    *b,
+                    &mut reg_vn,
+                    &mut vn_const,
+                    &mut const_vn,
+                    &mut leader,
+                    &mut fresh,
+                );
                 if op.is_commutative() && va > vb {
                     std::mem::swap(&mut va, &mut vb);
                 }
@@ -444,7 +564,10 @@ fn lvn_block(f: &mut FuncIr, b: usize, stats: &mut OptStats) {
                 if let Some((_, vn)) = exprs.iter().find(|(k, _)| *k == key) {
                     if let Some(l) = leader.get(vn).copied() {
                         let d = *dst;
-                        *inst = Inst::Copy { dst: d, src: Val::Reg(l) };
+                        *inst = Inst::Copy {
+                            dst: d,
+                            src: Val::Reg(l),
+                        };
                         stats.cse_hits += 1;
                         define(d, *vn, &mut reg_vn, &mut leader);
                         continue;
@@ -455,12 +578,22 @@ fn lvn_block(f: &mut FuncIr, b: usize, stats: &mut OptStats) {
                 define(*dst, vn, &mut reg_vn, &mut leader);
             }
             Inst::Un { op, ty, dst, a } => {
-                let va = vn_of_val(*a, &mut reg_vn, &mut vn_const, &mut const_vn, &mut leader, &mut fresh);
+                let va = vn_of_val(
+                    *a,
+                    &mut reg_vn,
+                    &mut vn_const,
+                    &mut const_vn,
+                    &mut leader,
+                    &mut fresh,
+                );
                 let key = ExprKey::Un(*op, *ty, va);
                 if let Some((_, vn)) = exprs.iter().find(|(k, _)| *k == key) {
                     if let Some(l) = leader.get(vn).copied() {
                         let d = *dst;
-                        *inst = Inst::Copy { dst: d, src: Val::Reg(l) };
+                        *inst = Inst::Copy {
+                            dst: d,
+                            src: Val::Reg(l),
+                        };
                         stats.cse_hits += 1;
                         define(d, *vn, &mut reg_vn, &mut leader);
                         continue;
@@ -470,14 +603,37 @@ fn lvn_block(f: &mut FuncIr, b: usize, stats: &mut OptStats) {
                 exprs.push((key, vn));
                 define(*dst, vn, &mut reg_vn, &mut leader);
             }
-            Inst::Cmp { kind, ty, dst, a, b } => {
-                let va = vn_of_val(*a, &mut reg_vn, &mut vn_const, &mut const_vn, &mut leader, &mut fresh);
-                let vb = vn_of_val(*b, &mut reg_vn, &mut vn_const, &mut const_vn, &mut leader, &mut fresh);
+            Inst::Cmp {
+                kind,
+                ty,
+                dst,
+                a,
+                b,
+            } => {
+                let va = vn_of_val(
+                    *a,
+                    &mut reg_vn,
+                    &mut vn_const,
+                    &mut const_vn,
+                    &mut leader,
+                    &mut fresh,
+                );
+                let vb = vn_of_val(
+                    *b,
+                    &mut reg_vn,
+                    &mut vn_const,
+                    &mut const_vn,
+                    &mut leader,
+                    &mut fresh,
+                );
                 let key = ExprKey::Cmp(*kind, *ty, va, vb);
                 if let Some((_, vn)) = exprs.iter().find(|(k, _)| *k == key) {
                     if let Some(l) = leader.get(vn).copied() {
                         let d = *dst;
-                        *inst = Inst::Copy { dst: d, src: Val::Reg(l) };
+                        *inst = Inst::Copy {
+                            dst: d,
+                            src: Val::Reg(l),
+                        };
                         stats.cse_hits += 1;
                         define(d, *vn, &mut reg_vn, &mut leader);
                         continue;
@@ -487,13 +643,25 @@ fn lvn_block(f: &mut FuncIr, b: usize, stats: &mut OptStats) {
                 exprs.push((key, vn));
                 define(*dst, vn, &mut reg_vn, &mut leader);
             }
-            Inst::Load { dst, arr, index, .. } => {
-                let vi = vn_of_val(*index, &mut reg_vn, &mut vn_const, &mut const_vn, &mut leader, &mut fresh);
+            Inst::Load {
+                dst, arr, index, ..
+            } => {
+                let vi = vn_of_val(
+                    *index,
+                    &mut reg_vn,
+                    &mut vn_const,
+                    &mut const_vn,
+                    &mut leader,
+                    &mut fresh,
+                );
                 let key = ExprKey::Load(*arr, vi);
                 if let Some((_, vn)) = exprs.iter().find(|(k, _)| *k == key) {
                     if let Some(l) = leader.get(vn).copied() {
                         let d = *dst;
-                        *inst = Inst::Copy { dst: d, src: Val::Reg(l) };
+                        *inst = Inst::Copy {
+                            dst: d,
+                            src: Val::Reg(l),
+                        };
                         stats.cse_hits += 1;
                         define(d, *vn, &mut reg_vn, &mut leader);
                         continue;
@@ -665,7 +833,9 @@ pub fn remove_unreachable_blocks(f: &mut FuncIr) -> OptStats {
         }
         match &mut b.term {
             Term::Jump(t) => *t = BlockId(remap[t.index()]),
-            Term::Branch { then_blk, else_blk, .. } => {
+            Term::Branch {
+                then_blk, else_blk, ..
+            } => {
                 *then_blk = BlockId(remap[then_blk.index()]);
                 *else_blk = BlockId(remap[else_blk.index()]);
             }
@@ -690,7 +860,9 @@ pub fn merge_straightline_blocks(f: &mut FuncIr) -> OptStats {
         let preds = f.predecessors();
         let mut merged = false;
         for a in 0..f.blocks.len() {
-            let Term::Jump(b) = f.blocks[a].term else { continue };
+            let Term::Jump(b) = f.blocks[a].term else {
+                continue;
+            };
             if b.index() == a {
                 continue; // self-loop
             }
@@ -758,27 +930,38 @@ pub fn apply_facts(f: &mut FuncIr, rewrites: &[crate::absint::Rewrite]) -> FactO
     for rw in rewrites {
         match *rw {
             Rewrite::PruneElse { block } => {
-                let Some(b) = f.blocks.get_mut(block as usize) else { continue };
+                let Some(b) = f.blocks.get_mut(block as usize) else {
+                    continue;
+                };
                 if let Term::Branch { then_blk, .. } = b.term {
                     b.term = Term::Jump(then_blk);
                     stats.branches_pruned += 1;
                 }
             }
             Rewrite::PruneThen { block } => {
-                let Some(b) = f.blocks.get_mut(block as usize) else { continue };
+                let Some(b) = f.blocks.get_mut(block as usize) else {
+                    continue;
+                };
                 if let Term::Branch { else_blk, .. } = b.term {
                     b.term = Term::Jump(else_blk);
                     stats.branches_pruned += 1;
                 }
             }
             Rewrite::ModIdentity { block, inst } => {
-                let Some(i) =
-                    f.blocks.get_mut(block as usize).and_then(|b| b.insts.get_mut(inst as usize))
+                let Some(i) = f
+                    .blocks
+                    .get_mut(block as usize)
+                    .and_then(|b| b.insts.get_mut(inst as usize))
                 else {
                     continue;
                 };
-                if let Inst::Bin { op: IrBinOp::Mod, ty: IrType::Int, dst, a, b: Val::ConstI(c) } =
-                    *i
+                if let Inst::Bin {
+                    op: IrBinOp::Mod,
+                    ty: IrType::Int,
+                    dst,
+                    a,
+                    b: Val::ConstI(c),
+                } = *i
                 {
                     if c > 0 {
                         *i = Inst::Copy { dst, src: a };
@@ -787,16 +970,26 @@ pub fn apply_facts(f: &mut FuncIr, rewrites: &[crate::absint::Rewrite]) -> FactO
                 }
             }
             Rewrite::DivToZero { block, inst } => {
-                let Some(i) =
-                    f.blocks.get_mut(block as usize).and_then(|b| b.insts.get_mut(inst as usize))
+                let Some(i) = f
+                    .blocks
+                    .get_mut(block as usize)
+                    .and_then(|b| b.insts.get_mut(inst as usize))
                 else {
                     continue;
                 };
-                if let Inst::Bin { op: IrBinOp::IDiv, ty: IrType::Int, dst, b: Val::ConstI(c), .. } =
-                    *i
+                if let Inst::Bin {
+                    op: IrBinOp::IDiv,
+                    ty: IrType::Int,
+                    dst,
+                    b: Val::ConstI(c),
+                    ..
+                } = *i
                 {
                     if c > 0 {
-                        *i = Inst::Copy { dst, src: Val::ConstI(0) };
+                        *i = Inst::Copy {
+                            dst,
+                            src: Val::ConstI(0),
+                        };
                         stats.trap_checks_elided += 1;
                     }
                 }
@@ -839,7 +1032,13 @@ mod tests {
         // n*1+0 should reduce to just the parameter register feeding ItoF.
         let insts: Vec<_> = f.blocks[0].insts.iter().collect();
         assert!(
-            !insts.iter().any(|i| matches!(i, Inst::Bin { op: IrBinOp::Mul, .. })),
+            !insts.iter().any(|i| matches!(
+                i,
+                Inst::Bin {
+                    op: IrBinOp::Mul,
+                    ..
+                }
+            )),
             "{}",
             f.dump()
         );
@@ -854,7 +1053,15 @@ mod tests {
         let muls = f.blocks[0]
             .insts
             .iter()
-            .filter(|i| matches!(i, Inst::Bin { op: IrBinOp::Mul, .. }))
+            .filter(|i| {
+                matches!(
+                    i,
+                    Inst::Bin {
+                        op: IrBinOp::Mul,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(muls, 1, "{}", f.dump());
     }
@@ -880,7 +1087,15 @@ mod tests {
         let muls = f.blocks[0]
             .insts
             .iter()
-            .filter(|i| matches!(i, Inst::Bin { op: IrBinOp::Mul, .. }))
+            .filter(|i| {
+                matches!(
+                    i,
+                    Inst::Bin {
+                        op: IrBinOp::Mul,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(muls, 1, "{}", f.dump());
     }
@@ -890,7 +1105,10 @@ mod tests {
         let mut f = lowered("send(right, x * 2.0); return 0.0;");
         optimize(&mut f, 10);
         assert!(
-            f.blocks[0].insts.iter().any(|i| matches!(i, Inst::Send { .. })),
+            f.blocks[0]
+                .insts
+                .iter()
+                .any(|i| matches!(i, Inst::Send { .. })),
             "{}",
             f.dump()
         );
@@ -902,7 +1120,11 @@ mod tests {
         let stats = optimize(&mut f, 10);
         assert!(stats.unreachable_removed >= 1, "{stats:?}\n{}", f.dump());
         // Result must be the constant 2.0.
-        let last = f.blocks.iter().find(|b| matches!(b.term, Term::Return(_))).unwrap();
+        let last = f
+            .blocks
+            .iter()
+            .find(|b| matches!(b.term, Term::Return(_)))
+            .unwrap();
         match last.term {
             Term::Return(Some(Val::ConstF(v))) => assert_eq!(v, 2.0),
             ref t => panic!("{t:?}\n{}", f.dump()),
@@ -923,9 +1145,8 @@ mod tests {
 
     #[test]
     fn loop_body_shrinks_but_loop_survives() {
-        let mut f = lowered(
-            "t := 0.0; for i := 0 to 7 do t := t + v[i] * 1.0 + 0.0; end; return t;",
-        );
+        let mut f =
+            lowered("t := 0.0; for i := 0 to 7 do t := t + v[i] * 1.0 + 0.0; end; return t;");
         let before = f.inst_count();
         let stats = optimize(&mut f, 10);
         assert!(f.inst_count() < before, "{stats:?}");
@@ -939,7 +1160,11 @@ mod tests {
         let once = f.clone();
         let stats = optimize(&mut f, 10);
         assert_eq!(f, once);
-        assert_eq!(stats.folded + stats.cse_hits + stats.dead_removed, 0, "{stats:?}");
+        assert_eq!(
+            stats.folded + stats.cse_hits + stats.dead_removed,
+            0,
+            "{stats:?}"
+        );
     }
 
     /// Satellite audit of `fold_bin`: every constant fold (and every
@@ -995,7 +1220,9 @@ mod tests {
             );
             let regs = [reg0, Value::I(0)];
             let defs = [true, true];
-            compute(true, &regs, &defs, &[], &[], &decoded).ok().map(|(v, _)| v)
+            compute(true, &regs, &defs, &[], &[], &decoded)
+                .ok()
+                .map(|(v, _)| v)
         }
 
         let fold_result = |v: Val, reg0: Value| match v {
@@ -1004,7 +1231,18 @@ mod tests {
             Val::Reg(_) => reg0,
         };
 
-        let ints = [i32::MIN, i32::MIN + 1, -7, -1, 0, 1, 2, 7, i32::MAX - 1, i32::MAX];
+        let ints = [
+            i32::MIN,
+            i32::MIN + 1,
+            -7,
+            -1,
+            0,
+            1,
+            2,
+            7,
+            i32::MAX - 1,
+            i32::MAX,
+        ];
         let subnormal = f32::from_bits(1); // smallest positive subnormal
         let floats = [
             0.0f32,
@@ -1032,8 +1270,14 @@ mod tests {
             IrBinOp::And,
             IrBinOp::Or,
         ];
-        let flt_ops =
-            [IrBinOp::Add, IrBinOp::Sub, IrBinOp::Mul, IrBinOp::Div, IrBinOp::Min, IrBinOp::Max];
+        let flt_ops = [
+            IrBinOp::Add,
+            IrBinOp::Sub,
+            IrBinOp::Mul,
+            IrBinOp::Div,
+            IrBinOp::Min,
+            IrBinOp::Max,
+        ];
 
         let mut checked = 0usize;
         let mut case = |op: IrBinOp, ty: IrType, a: Val, b: Val, reg0: Value| {
@@ -1053,7 +1297,11 @@ mod tests {
 
         // Constant-constant folds.
         for &op in &int_ops {
-            let ty = if op == IrBinOp::Div { IrType::Float } else { IrType::Int };
+            let ty = if op == IrBinOp::Div {
+                IrType::Float
+            } else {
+                IrType::Int
+            };
             for &x in &ints {
                 for &y in &ints {
                     case(op, ty, Val::ConstI(x), Val::ConstI(y), Value::I(0));
@@ -1063,7 +1311,13 @@ mod tests {
         for &op in &flt_ops {
             for &x in &floats {
                 for &y in &floats {
-                    case(op, IrType::Float, Val::ConstF(x), Val::ConstF(y), Value::F(0.0));
+                    case(
+                        op,
+                        IrType::Float,
+                        Val::ConstF(x),
+                        Val::ConstF(y),
+                        Value::F(0.0),
+                    );
                 }
             }
         }
@@ -1074,7 +1328,11 @@ mod tests {
         for &x in &ints {
             for &c in &ints {
                 for &op in &int_ops {
-                    let ty = if op == IrBinOp::Div { IrType::Float } else { IrType::Int };
+                    let ty = if op == IrBinOp::Div {
+                        IrType::Float
+                    } else {
+                        IrType::Int
+                    };
                     case(op, ty, r, Val::ConstI(c), Value::I(x));
                     case(op, ty, Val::ConstI(c), r, Value::I(x));
                 }
@@ -1096,10 +1354,22 @@ mod tests {
         // x + 0.0 with x = -0.0 yields +0.0 at runtime, so it must NOT
         // fold to x; x + (-0.0) and x - 0.0 are true identities.
         let r = Val::Reg(VirtReg(0));
-        assert_eq!(fold_bin(IrBinOp::Add, IrType::Float, r, Val::ConstF(0.0)), None);
-        assert_eq!(fold_bin(IrBinOp::Sub, IrType::Float, r, Val::ConstF(-0.0)), None);
-        assert_eq!(fold_bin(IrBinOp::Add, IrType::Float, r, Val::ConstF(-0.0)), Some(r));
-        assert_eq!(fold_bin(IrBinOp::Sub, IrType::Float, r, Val::ConstF(0.0)), Some(r));
+        assert_eq!(
+            fold_bin(IrBinOp::Add, IrType::Float, r, Val::ConstF(0.0)),
+            None
+        );
+        assert_eq!(
+            fold_bin(IrBinOp::Sub, IrType::Float, r, Val::ConstF(-0.0)),
+            None
+        );
+        assert_eq!(
+            fold_bin(IrBinOp::Add, IrType::Float, r, Val::ConstF(-0.0)),
+            Some(r)
+        );
+        assert_eq!(
+            fold_bin(IrBinOp::Sub, IrType::Float, r, Val::ConstF(0.0)),
+            Some(r)
+        );
     }
 
     #[test]
@@ -1112,9 +1382,18 @@ mod tests {
             .iter()
             .enumerate()
             .find_map(|(bi, b)| {
-                b.insts.iter().position(|i| matches!(i, Inst::Bin { op: IrBinOp::Mod, .. })).map(
-                    |ii| (bi as u32, ii as u32),
-                )
+                b.insts
+                    .iter()
+                    .position(|i| {
+                        matches!(
+                            i,
+                            Inst::Bin {
+                                op: IrBinOp::Mod,
+                                ..
+                            }
+                        )
+                    })
+                    .map(|ii| (bi as u32, ii as u32))
             })
             .expect("mod lowered");
         let bb = f
@@ -1125,17 +1404,26 @@ mod tests {
         let stats = apply_facts(
             &mut f,
             &[
-                Rewrite::ModIdentity { block: mb, inst: mi },
+                Rewrite::ModIdentity {
+                    block: mb,
+                    inst: mi,
+                },
                 Rewrite::PruneElse { block: bb },
                 // Stale rewrites aimed at wrong shapes: all no-ops.
-                Rewrite::DivToZero { block: mb, inst: mi },
+                Rewrite::DivToZero {
+                    block: mb,
+                    inst: mi,
+                },
                 Rewrite::PruneThen { block: bb },
                 Rewrite::ModIdentity { block: 99, inst: 0 },
             ],
         );
         assert_eq!(stats.branches_pruned, 1);
         assert_eq!(stats.trap_checks_elided, 1);
-        assert!(matches!(f.blocks[mb as usize].insts[mi as usize], Inst::Copy { .. }));
+        assert!(matches!(
+            f.blocks[mb as usize].insts[mi as usize],
+            Inst::Copy { .. }
+        ));
         assert!(matches!(f.blocks[bb as usize].term, Term::Jump(_)));
     }
 
@@ -1149,7 +1437,15 @@ mod tests {
         let adds = f.blocks[0]
             .insts
             .iter()
-            .filter(|i| matches!(i, Inst::Bin { op: IrBinOp::Add, .. }))
+            .filter(|i| {
+                matches!(
+                    i,
+                    Inst::Bin {
+                        op: IrBinOp::Add,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(adds, 2, "{}", f.dump());
     }

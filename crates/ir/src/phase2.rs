@@ -386,7 +386,16 @@ pub fn phase2_traced(
         branches_pruned,
         trap_checks_elided,
     };
-    Ok(Phase2Result { ir, loops, block_deps, opt_stats, unroll_stats, ifconv_stats, facts, work })
+    Ok(Phase2Result {
+        ir,
+        loops,
+        block_deps,
+        opt_stats,
+        unroll_stats,
+        ifconv_stats,
+        facts,
+        work,
+    })
 }
 
 #[cfg(test)]
@@ -401,8 +410,12 @@ mod tests {
         );
         let checked = phase1(&src).expect("phase1");
         let f = &checked.module.sections[0].functions[0];
-        phase2(f, &checked.sections[0].symbol_tables[0], &checked.sections[0].signatures)
-            .expect("phase2")
+        phase2(
+            f,
+            &checked.sections[0].symbol_tables[0],
+            &checked.sections[0].signatures,
+        )
+        .expect("phase2")
     }
 
     #[test]
@@ -474,7 +487,12 @@ mod tests {
         )
         .expect("phase2");
         assert!(r.work.branches_pruned >= 1, "{:?}\n{}", r.work, r.ir.dump());
-        assert!(r.work.trap_checks_elided >= 1, "{:?}\n{}", r.work, r.ir.dump());
+        assert!(
+            r.work.trap_checks_elided >= 1,
+            "{:?}\n{}",
+            r.work,
+            r.ir.dump()
+        );
         assert!(r.work.units() > 0);
         let facts = r.facts.expect("facts shipped");
         assert!(facts.div_trap_free, "the mod was elided: {facts:?}");

@@ -33,7 +33,10 @@ pub struct UnrollPolicy {
 
 impl Default for UnrollPolicy {
     fn default() -> Self {
-        UnrollPolicy { factor: 4, max_body_insts: 60 }
+        UnrollPolicy {
+            factor: 4,
+            max_body_insts: 60,
+        }
     }
 }
 
@@ -73,7 +76,10 @@ fn const_init(f: &FuncIr, block: BlockId, ivar: VirtReg) -> Option<i32> {
         for inst in f.blocks[p.index()].insts.iter().rev() {
             if inst.def() == Some(ivar) {
                 match inst {
-                    Inst::Copy { src: Val::ConstI(c), .. } => {
+                    Inst::Copy {
+                        src: Val::ConstI(c),
+                        ..
+                    } => {
                         if init.is_some_and(|v| v != *c) {
                             return None; // conflicting inits
                         }
@@ -90,7 +96,9 @@ fn const_init(f: &FuncIr, block: BlockId, ivar: VirtReg) -> Option<i32> {
 
 fn recognize(f: &FuncIr, block: BlockId) -> Option<Counted> {
     let b = &f.blocks[block.index()];
-    let Term::Branch { cond, then_blk, .. } = &b.term else { return None };
+    let Term::Branch { cond, then_blk, .. } = &b.term else {
+        return None;
+    };
     if *then_blk != block {
         return None;
     }
@@ -98,7 +106,15 @@ fn recognize(f: &FuncIr, block: BlockId) -> Option<Counted> {
     // Exit compare: last def of the condition register.
     let cond_reg = cond.as_reg()?;
     let cmp_idx = b.insts.iter().rposition(|i| i.def() == Some(cond_reg))?;
-    let Inst::Cmp { kind, a, b: limit_v, .. } = &b.insts[cmp_idx] else { return None };
+    let Inst::Cmp {
+        kind,
+        a,
+        b: limit_v,
+        ..
+    } = &b.insts[cmp_idx]
+    else {
+        return None;
+    };
     let want = if step > 0 { CmpKind::Le } else { CmpKind::Ge };
     if *kind != want {
         return None;
@@ -114,12 +130,21 @@ fn recognize(f: &FuncIr, block: BlockId) -> Option<Counted> {
     if !reads_induction {
         return None;
     }
-    let Val::ConstI(limit) = limit_v else { return None };
+    let Val::ConstI(limit) = limit_v else {
+        return None;
+    };
     if step.abs() != 1 {
         return None;
     }
     let init = const_init(f, block, ivar)?;
-    Some(Counted { block, ivar, step, limit: *limit, init, cmp_idx })
+    Some(Counted {
+        block,
+        ivar,
+        step,
+        limit: *limit,
+        init,
+        cmp_idx,
+    })
 }
 
 /// Unrolls eligible loops of `f` in place.
@@ -127,7 +152,9 @@ pub fn unroll_loops(f: &mut FuncIr, policy: &UnrollPolicy) -> UnrollStats {
     let mut stats = UnrollStats::default();
     let loops = analyze_loops(f);
     for header in loops.pipelinable_blocks() {
-        let Some(counted) = recognize(f, header) else { continue };
+        let Some(counted) = recognize(f, header) else {
+            continue;
+        };
         let b = &f.blocks[header.index()];
         if b.insts.len() > policy.max_body_insts {
             continue;
@@ -192,7 +219,13 @@ mod tests {
         let li = analyze_loops(&f);
         let hdr = li.pipelinable_blocks()[0];
         let before = f.blocks[hdr.index()].insts.len();
-        let stats = unroll_loops(&mut f, &UnrollPolicy { factor: 4, max_body_insts: 60 });
+        let stats = unroll_loops(
+            &mut f,
+            &UnrollPolicy {
+                factor: 4,
+                max_body_insts: 60,
+            },
+        );
         assert_eq!(stats.unrolled, 1, "{stats:?}");
         let after = f.blocks[hdr.index()].insts.len();
         // 4 copies minus 3 dropped compares.
@@ -203,7 +236,13 @@ mod tests {
     fn indivisible_factor_falls_back_to_divisor() {
         // Trip count 15 (0..=14): factor 4 doesn't divide, 3 does.
         let mut f = lowered("t := 0.0; for i := 0 to 14 do t := t + v[i]; end; return t;");
-        let stats = unroll_loops(&mut f, &UnrollPolicy { factor: 4, max_body_insts: 60 });
+        let stats = unroll_loops(
+            &mut f,
+            &UnrollPolicy {
+                factor: 4,
+                max_body_insts: 60,
+            },
+        );
         assert_eq!(stats.unrolled, 1);
         let li = analyze_loops(&f);
         let hdr = li.pipelinable_blocks()[0];
@@ -216,7 +255,13 @@ mod tests {
     fn prime_trip_count_not_unrolled() {
         let mut f = lowered("t := 0.0; for i := 0 to 12 do t := t + v[i]; end; return t;");
         // Trip 13 is prime and > factor: nothing divides.
-        let stats = unroll_loops(&mut f, &UnrollPolicy { factor: 4, max_body_insts: 60 });
+        let stats = unroll_loops(
+            &mut f,
+            &UnrollPolicy {
+                factor: 4,
+                max_body_insts: 60,
+            },
+        );
         assert_eq!(stats.unrolled, 0);
     }
 
@@ -232,14 +277,26 @@ mod tests {
         let mut f = lowered(
             "t := 0.0; for i := 0 to 15 do t := t + v[i] * w[i] + sqrt(abs(t) + 1.0); end; return t;",
         );
-        let stats = unroll_loops(&mut f, &UnrollPolicy { factor: 4, max_body_insts: 2 });
+        let stats = unroll_loops(
+            &mut f,
+            &UnrollPolicy {
+                factor: 4,
+                max_body_insts: 2,
+            },
+        );
         assert_eq!(stats.unrolled, 0);
     }
 
     #[test]
     fn downto_loops_unroll() {
         let mut f = lowered("t := 0.0; for i := 15 downto 0 do t := t + v[i]; end; return t;");
-        let stats = unroll_loops(&mut f, &UnrollPolicy { factor: 2, max_body_insts: 60 });
+        let stats = unroll_loops(
+            &mut f,
+            &UnrollPolicy {
+                factor: 2,
+                max_body_insts: 60,
+            },
+        );
         assert_eq!(stats.unrolled, 1, "{stats:?}\n{}", f.dump());
     }
 }

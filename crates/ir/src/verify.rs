@@ -40,9 +40,17 @@ impl fmt::Display for VerifyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.pass {
             Some(p) => {
-                write!(f, "ir verification failed for `{}` after pass `{p}`: {}", self.function, self.message)
+                write!(
+                    f,
+                    "ir verification failed for `{}` after pass `{p}`: {}",
+                    self.function, self.message
+                )
             }
-            None => write!(f, "ir verification failed for `{}`: {}", self.function, self.message),
+            None => write!(
+                f,
+                "ir verification failed for `{}`: {}",
+                self.function, self.message
+            ),
         }
     }
 }
@@ -50,7 +58,11 @@ impl fmt::Display for VerifyError {
 impl std::error::Error for VerifyError {}
 
 fn err(f: &FuncIr, message: String) -> VerifyError {
-    VerifyError { function: f.name.clone(), pass: None, message }
+    VerifyError {
+        function: f.name.clone(),
+        pass: None,
+        message,
+    }
 }
 
 /// Verifies `f`, returning the first violation found.
@@ -92,19 +104,28 @@ fn check_bounds(f: &FuncIr) -> Result<(), VerifyError> {
     let val_ok = |v: Val| v.as_reg().is_none_or(reg_ok);
     for (r, _) in &f.params {
         if !reg_ok(*r) {
-            return Err(err(f, format!("parameter register {r} out of range ({nregs} allocated)")));
+            return Err(err(
+                f,
+                format!("parameter register {r} out of range ({nregs} allocated)"),
+            ));
         }
     }
     for (bi, block) in f.blocks.iter().enumerate() {
         for inst in &block.insts {
             if let Some(d) = inst.def() {
                 if !reg_ok(d) {
-                    return Err(err(f, format!("b{bi}: destination register {d} out of range ({nregs} allocated)")));
+                    return Err(err(
+                        f,
+                        format!("b{bi}: destination register {d} out of range ({nregs} allocated)"),
+                    ));
                 }
             }
             for u in inst.uses() {
                 if !val_ok(u) {
-                    return Err(err(f, format!("b{bi}: operand register {u} out of range ({nregs} allocated)")));
+                    return Err(err(
+                        f,
+                        format!("b{bi}: operand register {u} out of range ({nregs} allocated)"),
+                    ));
                 }
             }
             let arr = match inst {
@@ -113,7 +134,10 @@ fn check_bounds(f: &FuncIr) -> Result<(), VerifyError> {
             };
             if let Some(ArrayId(a)) = arr {
                 if a as usize >= narr {
-                    return Err(err(f, format!("b{bi}: array a{a} out of range ({narr} declared)")));
+                    return Err(err(
+                        f,
+                        format!("b{bi}: array a{a} out of range ({narr} declared)"),
+                    ));
                 }
             }
         }
@@ -124,7 +148,10 @@ fn check_bounds(f: &FuncIr) -> Result<(), VerifyError> {
         };
         if let Some(v) = term_val {
             if !val_ok(v) {
-                return Err(err(f, format!("b{bi}: terminator register {v} out of range ({nregs} allocated)")));
+                return Err(err(
+                    f,
+                    format!("b{bi}: terminator register {v} out of range ({nregs} allocated)"),
+                ));
             }
         }
     }
@@ -137,7 +164,10 @@ fn check_cfg(f: &FuncIr) -> Result<(), VerifyError> {
     for (bi, block) in f.blocks.iter().enumerate() {
         for s in block.term.successors() {
             if s.index() >= n {
-                return Err(err(f, format!("b{bi}: terminator targets dangling block {s} ({n} blocks)")));
+                return Err(err(
+                    f,
+                    format!("b{bi}: terminator targets dangling block {s} ({n} blocks)"),
+                ));
             }
         }
     }
@@ -161,18 +191,26 @@ fn check_types(f: &FuncIr) -> Result<(), VerifyError> {
         }
         match &block.term {
             Term::Branch { cond, .. } if f.val_type(*cond) != IrType::Int => {
-                return Err(err(f, format!("b{bi}: branch condition {cond} is not an integer")));
+                return Err(err(
+                    f,
+                    format!("b{bi}: branch condition {cond} is not an integer"),
+                ));
             }
-            Term::Return(Some(v)) => match f.ret {
-                None => {
-                    return Err(err(f, format!("b{bi}: returns a value from a function with no return type")));
-                }
-                Some(rt) => {
-                    if f.val_type(*v) != rt {
-                        return Err(err(f, format!("b{bi}: return value {v} has type {} but the function returns {rt}", f.val_type(*v))));
+            Term::Return(Some(v)) => {
+                match f.ret {
+                    None => {
+                        return Err(err(
+                            f,
+                            format!("b{bi}: returns a value from a function with no return type"),
+                        ));
+                    }
+                    Some(rt) => {
+                        if f.val_type(*v) != rt {
+                            return Err(err(f, format!("b{bi}: return value {v} has type {} but the function returns {rt}", f.val_type(*v))));
+                        }
                     }
                 }
-            },
+            }
             _ => {}
         }
     }
@@ -182,13 +220,25 @@ fn check_types(f: &FuncIr) -> Result<(), VerifyError> {
 fn check_inst_types(f: &FuncIr, bi: usize, inst: &Inst) -> Result<(), VerifyError> {
     let want = |v: Val, ty: IrType, what: &str| -> Result<(), VerifyError> {
         if f.val_type(v) != ty {
-            return Err(err(f, format!("b{bi}: {what} {v} has type {} in `{inst}` (expected {ty})", f.val_type(v))));
+            return Err(err(
+                f,
+                format!(
+                    "b{bi}: {what} {v} has type {} in `{inst}` (expected {ty})",
+                    f.val_type(v)
+                ),
+            ));
         }
         Ok(())
     };
     let want_dst = |d: VirtReg, ty: IrType| -> Result<(), VerifyError> {
         if f.vreg_type(d) != ty {
-            return Err(err(f, format!("b{bi}: destination {d} has type {} in `{inst}` (expected {ty})", f.vreg_type(d))));
+            return Err(err(
+                f,
+                format!(
+                    "b{bi}: destination {d} has type {} in `{inst}` (expected {ty})",
+                    f.vreg_type(d)
+                ),
+            ));
         }
         Ok(())
     };
@@ -196,7 +246,11 @@ fn check_inst_types(f: &FuncIr, bi: usize, inst: &Inst) -> Result<(), VerifyErro
         Inst::Bin { op, ty, dst, a, b } => {
             want(*a, *ty, "operand")?;
             want(*b, *ty, "operand")?;
-            let res = if *op == IrBinOp::Div { IrType::Float } else { *ty };
+            let res = if *op == IrBinOp::Div {
+                IrType::Float
+            } else {
+                *ty
+            };
             want_dst(*dst, res)?;
         }
         Inst::Un { op, ty, dst, a } => {
@@ -211,27 +265,52 @@ fn check_inst_types(f: &FuncIr, bi: usize, inst: &Inst) -> Result<(), VerifyErro
         Inst::Copy { dst, src } => {
             want(*src, f.vreg_type(*dst), "source")?;
         }
-        Inst::Load { dst, ty, arr, index } => {
+        Inst::Load {
+            dst,
+            ty,
+            arr,
+            index,
+        } => {
             want(*index, IrType::Int, "index")?;
             want_dst(*dst, *ty)?;
             let at = f.arrays[arr.0 as usize].ty;
             if at != *ty {
-                return Err(err(f, format!("b{bi}: load type {ty} does not match array element type {at} in `{inst}`")));
+                return Err(err(
+                    f,
+                    format!(
+                        "b{bi}: load type {ty} does not match array element type {at} in `{inst}`"
+                    ),
+                ));
             }
         }
-        Inst::Store { arr, index, value, ty } => {
+        Inst::Store {
+            arr,
+            index,
+            value,
+            ty,
+        } => {
             want(*index, IrType::Int, "index")?;
             want(*value, *ty, "stored value")?;
             let at = f.arrays[arr.0 as usize].ty;
             if at != *ty {
-                return Err(err(f, format!("b{bi}: store type {ty} does not match array element type {at} in `{inst}`")));
+                return Err(err(
+                    f,
+                    format!(
+                        "b{bi}: store type {ty} does not match array element type {at} in `{inst}`"
+                    ),
+                ));
             }
         }
         Inst::Call { .. } | Inst::Send { .. } => {}
         Inst::Recv { dst, ty, .. } => {
             want_dst(*dst, *ty)?;
         }
-        Inst::Select { dst, cond, then_v, ty } => {
+        Inst::Select {
+            dst,
+            cond,
+            then_v,
+            ty,
+        } => {
             want(*cond, IrType::Int, "condition")?;
             want(*then_v, *ty, "operand")?;
             want_dst(*dst, *ty)?;
@@ -255,7 +334,10 @@ fn check_def_before_use(f: &FuncIr) -> Result<(), VerifyError> {
                     continue;
                 }
                 if !defined.contains(u) {
-                    return Err(err(f, format!("b{bi}: use of {u} before definition in `{inst}`")));
+                    return Err(err(
+                        f,
+                        format!("b{bi}: use of {u} before definition in `{inst}`"),
+                    ));
                 }
             }
             if let Some(d) = inst.def() {
@@ -269,7 +351,10 @@ fn check_def_before_use(f: &FuncIr) -> Result<(), VerifyError> {
         };
         if let Some(r) = term_use {
             if !defined.contains(r) {
-                return Err(err(f, format!("b{bi}: use of {r} before definition in `{}`", block.term)));
+                return Err(err(
+                    f,
+                    format!("b{bi}: use of {r} before definition in `{}`", block.term),
+                ));
             }
         }
     }
@@ -300,7 +385,8 @@ mod tests {
 
     #[test]
     fn optimized_ir_verifies() {
-        let mut f = lowered("t := x * 1.0 + 0.0; u := t; if n > 2 then u := t * 2.0; end; return u;");
+        let mut f =
+            lowered("t := x * 1.0 + 0.0; u := t; if n > 2 then u := t * 2.0; end; return u;");
         crate::opt::optimize(&mut f, 10);
         verify_func(&f).expect("optimized IR must verify");
     }

@@ -92,7 +92,9 @@ impl Function {
                 .iter()
                 .map(|s| match s {
                     Stmt::While { body, .. } | Stmt::For { body, .. } => 1 + depth(body),
-                    Stmt::If { arms, else_body, .. } => arms
+                    Stmt::If {
+                        arms, else_body, ..
+                    } => arms
                         .iter()
                         .map(|a| depth(&a.body))
                         .chain(std::iter::once(depth(else_body)))
@@ -164,7 +166,10 @@ pub struct Type {
 impl Type {
     /// A scalar type with no array dimensions.
     pub fn scalar(scalar: ScalarType) -> Self {
-        Type { scalar, dims: Vec::new() }
+        Type {
+            scalar,
+            dims: Vec::new(),
+        }
     }
 
     /// The `int` scalar type.
@@ -190,7 +195,9 @@ impl Type {
     /// Total number of scalar elements (product of dimensions; 1 for
     /// scalars). Saturates instead of overflowing.
     pub fn element_count(&self) -> u64 {
-        self.dims.iter().fold(1u64, |acc, &d| acc.saturating_mul(d as u64))
+        self.dims
+            .iter()
+            .fold(1u64, |acc, &d| acc.saturating_mul(d as u64))
     }
 
     /// Size in 32-bit words when stored in cell data memory.
@@ -387,7 +394,10 @@ pub enum BinOp {
 impl BinOp {
     /// `true` for `= <> < <= > >=`.
     pub fn is_comparison(self) -> bool {
-        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
     }
 
     /// `true` for `and`/`or`.
@@ -493,7 +503,10 @@ pub enum ExprKind {
 impl Expr {
     /// Convenience constructor for an integer literal.
     pub fn int(value: i64, span: Span) -> Self {
-        Expr { kind: ExprKind::IntLit(value), span }
+        Expr {
+            kind: ExprKind::IntLit(value),
+            span,
+        }
     }
 
     /// `true` if this expression is a compile-time integer literal.
@@ -563,7 +576,10 @@ mod tests {
 
     #[test]
     fn loop_depth_of_straightline_is_zero() {
-        let f = dummy_fn(vec![Stmt::Return { value: None, span: Span::point(0) }]);
+        let f = dummy_fn(vec![Stmt::Return {
+            value: None,
+            span: Span::point(0),
+        }]);
         assert_eq!(f.max_loop_depth(), 0);
     }
 
@@ -572,7 +588,10 @@ mod tests {
         let inner = for_loop(vec![]);
         let f = dummy_fn(vec![Stmt::If {
             arms: vec![IfArm {
-                cond: Expr { kind: ExprKind::BoolLit(true), span: Span::point(0) },
+                cond: Expr {
+                    kind: ExprKind::BoolLit(true),
+                    span: Span::point(0),
+                },
                 body: vec![inner],
             }],
             else_body: vec![],
@@ -583,7 +602,10 @@ mod tests {
 
     #[test]
     fn type_display_and_size() {
-        let t = Type { scalar: ScalarType::Float, dims: vec![16, 16] };
+        let t = Type {
+            scalar: ScalarType::Float,
+            dims: vec![16, 16],
+        };
         assert_eq!(t.to_string(), "float[16][16]");
         assert_eq!(t.element_count(), 256);
         assert!(!t.is_scalar());

@@ -47,17 +47,29 @@ pub struct Diagnostic {
 impl Diagnostic {
     /// Creates an error diagnostic.
     pub fn error(span: Span, message: impl Into<String>) -> Self {
-        Diagnostic { severity: Severity::Error, span, message: message.into() }
+        Diagnostic {
+            severity: Severity::Error,
+            span,
+            message: message.into(),
+        }
     }
 
     /// Creates a warning diagnostic.
     pub fn warning(span: Span, message: impl Into<String>) -> Self {
-        Diagnostic { severity: Severity::Warning, span, message: message.into() }
+        Diagnostic {
+            severity: Severity::Warning,
+            span,
+            message: message.into(),
+        }
     }
 
     /// Creates a note diagnostic.
     pub fn note(span: Span, message: impl Into<String>) -> Self {
-        Diagnostic { severity: Severity::Note, span, message: message.into() }
+        Diagnostic {
+            severity: Severity::Note,
+            span,
+            message: message.into(),
+        }
     }
 
     /// Renders the diagnostic as `line:col: severity: message` using
@@ -134,17 +146,25 @@ impl DiagnosticBag {
 
     /// `true` if any diagnostic is an [`Severity::Error`].
     pub fn has_errors(&self) -> bool {
-        self.diagnostics.iter().any(|d| d.severity == Severity::Error)
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
     }
 
     /// Number of error diagnostics.
     pub fn error_count(&self) -> usize {
-        self.diagnostics.iter().filter(|d| d.severity == Severity::Error).count()
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
     }
 
     /// Number of warning diagnostics.
     pub fn warning_count(&self) -> usize {
-        self.diagnostics.iter().filter(|d| d.severity == Severity::Warning).count()
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
     }
 
     /// All diagnostics in insertion order.
@@ -206,7 +226,9 @@ impl IntoIterator for DiagnosticBag {
 
 impl FromIterator<Diagnostic> for DiagnosticBag {
     fn from_iter<I: IntoIterator<Item = Diagnostic>>(iter: I) -> Self {
-        DiagnosticBag { diagnostics: iter.into_iter().collect() }
+        DiagnosticBag {
+            diagnostics: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -272,8 +294,9 @@ mod tests {
 
     #[test]
     fn collect_and_iterate() {
-        let bag: DiagnosticBag =
-            vec![Diagnostic::note(Span::point(0), "n")].into_iter().collect();
+        let bag: DiagnosticBag = vec![Diagnostic::note(Span::point(0), "n")]
+            .into_iter()
+            .collect();
         assert_eq!(bag.len(), 1);
         assert_eq!(bag.into_iter().count(), 1);
     }

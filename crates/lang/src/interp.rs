@@ -127,7 +127,12 @@ pub struct AstInterp<'a> {
 impl<'a> AstInterp<'a> {
     /// Creates an interpreter for section `section` with a step budget.
     pub fn new(checked: &'a CheckedModule, section: usize, max_steps: u64) -> Self {
-        AstInterp { checked, section, queues: QueueIo::default(), steps_left: max_steps }
+        AstInterp {
+            checked,
+            section,
+            queues: QueueIo::default(),
+            steps_left: max_steps,
+        }
     }
 
     /// Calls function `name` with `args`, returning its value (`None`
@@ -156,7 +161,10 @@ impl<'a> AstInterp<'a> {
                 Binding::Scalar(default_of(&d.ty))
             } else {
                 let n = d.ty.element_count() as usize;
-                Binding::Array { dims: d.ty.dims.clone(), data: vec![default_of(&d.ty); n] }
+                Binding::Array {
+                    dims: d.ty.dims.clone(),
+                    data: vec![default_of(&d.ty); n],
+                }
             };
             env.insert(d.name.clone(), b);
         }
@@ -188,11 +196,7 @@ impl<'a> AstInterp<'a> {
         Ok(Flow::Normal)
     }
 
-    fn stmt(
-        &mut self,
-        stmt: &Stmt,
-        env: &mut HashMap<String, Binding>,
-    ) -> Result<Flow, EvalError> {
+    fn stmt(&mut self, stmt: &Stmt, env: &mut HashMap<String, Binding>) -> Result<Flow, EvalError> {
         self.tick()?;
         match stmt {
             Stmt::Assign { target, value, .. } => {
@@ -200,7 +204,9 @@ impl<'a> AstInterp<'a> {
                 self.store(target, v, env)?;
                 Ok(Flow::Normal)
             }
-            Stmt::If { arms, else_body, .. } => {
+            Stmt::If {
+                arms, else_body, ..
+            } => {
                 for arm in arms {
                     if self.expr(&arm.cond, env)?.truthy()? {
                         return self.block(&arm.body, env);
@@ -218,7 +224,15 @@ impl<'a> AstInterp<'a> {
                 }
                 Ok(Flow::Normal)
             }
-            Stmt::For { var, from, to, downto, by, body, .. } => {
+            Stmt::For {
+                var,
+                from,
+                to,
+                downto,
+                by,
+                body,
+                ..
+            } => {
                 let from = self.expr(from, env)?.as_i()?;
                 let to = self.expr(to, env)?.as_i()?;
                 let step = match by {
@@ -239,7 +253,11 @@ impl<'a> AstInterp<'a> {
                     }
                     // Re-read: the body may assign the loop variable.
                     i = get_scalar(env, var)?.as_i()?;
-                    i = if *downto { i.wrapping_sub(step) } else { i.wrapping_add(step) };
+                    i = if *downto {
+                        i.wrapping_sub(step)
+                    } else {
+                        i.wrapping_add(step)
+                    };
                     set_scalar(env, var, RtValue::I(i))?;
                 }
                 Ok(Flow::Normal)
@@ -287,7 +305,9 @@ impl<'a> AstInterp<'a> {
     ) -> Result<(), EvalError> {
         // Evaluate subscripts before borrowing the binding mutably.
         let idx = self.linear_index(lv, env)?;
-        let binding = env.get_mut(&lv.name).ok_or_else(|| EvalError::Unbound(lv.name.clone()))?;
+        let binding = env
+            .get_mut(&lv.name)
+            .ok_or_else(|| EvalError::Unbound(lv.name.clone()))?;
         match binding {
             Binding::Scalar(slot) => {
                 let v = match *slot {
@@ -299,9 +319,10 @@ impl<'a> AstInterp<'a> {
             Binding::Array { data, .. } => {
                 let i = idx.ok_or(EvalError::Type("array store needs subscripts"))?;
                 let v = promote(v); // all generated arrays are float; int arrays keep ints below
-                let slot = data
-                    .get_mut(i as usize)
-                    .ok_or(EvalError::Bounds { name: lv.name.clone(), index: i })?;
+                let slot = data.get_mut(i as usize).ok_or(EvalError::Bounds {
+                    name: lv.name.clone(),
+                    index: i,
+                })?;
                 let v = match *slot {
                     RtValue::I(_) => v, // int array: keep as stored
                     RtValue::F(_) => v,
@@ -335,9 +356,16 @@ impl<'a> AstInterp<'a> {
         let mut acc: i64 = 0;
         for (k, (&i, &d)) in idxs.iter().zip(dims.iter()).enumerate() {
             if i < 0 || i as u32 >= d {
-                return Err(EvalError::Bounds { name: lv.name.clone(), index: i as i64 });
+                return Err(EvalError::Bounds {
+                    name: lv.name.clone(),
+                    index: i as i64,
+                });
             }
-            acc = if k == 0 { i as i64 } else { acc * d as i64 + i as i64 };
+            acc = if k == 0 {
+                i as i64
+            } else {
+                acc * d as i64 + i as i64
+            };
         }
         Ok(Some(acc))
     }
@@ -349,11 +377,7 @@ impl<'a> AstInterp<'a> {
         self.call(name, args)
     }
 
-    fn expr(
-        &mut self,
-        e: &Expr,
-        env: &mut HashMap<String, Binding>,
-    ) -> Result<RtValue, EvalError> {
+    fn expr(&mut self, e: &Expr, env: &mut HashMap<String, Binding>) -> Result<RtValue, EvalError> {
         self.tick()?;
         match &e.kind {
             ExprKind::IntLit(v) => Ok(RtValue::I(*v as i32)),
@@ -363,10 +387,12 @@ impl<'a> AstInterp<'a> {
                 let idx = self.linear_index(lv, env)?;
                 match (env.get(&lv.name), idx) {
                     (Some(Binding::Scalar(v)), None) => Ok(*v),
-                    (Some(Binding::Array { data, .. }), Some(i)) => data
-                        .get(i as usize)
-                        .copied()
-                        .ok_or(EvalError::Bounds { name: lv.name.clone(), index: i }),
+                    (Some(Binding::Array { data, .. }), Some(i)) => {
+                        data.get(i as usize).copied().ok_or(EvalError::Bounds {
+                            name: lv.name.clone(),
+                            index: i,
+                        })
+                    }
                     (Some(_), _) => Err(EvalError::Type("subscript mismatch")),
                     (None, _) => Err(EvalError::Unbound(lv.name.clone())),
                 }
@@ -430,11 +456,7 @@ fn get_scalar(env: &HashMap<String, Binding>, name: &str) -> Result<RtValue, Eva
     }
 }
 
-fn set_scalar(
-    env: &mut HashMap<String, Binding>,
-    name: &str,
-    v: RtValue,
-) -> Result<(), EvalError> {
+fn set_scalar(env: &mut HashMap<String, Binding>, name: &str, v: RtValue) -> Result<(), EvalError> {
     match env.get_mut(name) {
         Some(Binding::Scalar(slot)) => {
             *slot = v;
@@ -671,13 +693,21 @@ mod tests {
 
     #[test]
     fn implicit_promotion_in_assignment() {
-        let got = run_f(&wrap("t := n; return t;"), "f", &[RtValue::F(0.0), RtValue::I(7)]);
+        let got = run_f(
+            &wrap("t := n; return t;"),
+            "f",
+            &[RtValue::F(0.0), RtValue::I(7)],
+        );
         assert_eq!(got, RtValue::F(7.0));
     }
 
     #[test]
     fn uninitialized_defaults_are_zero() {
-        let got = run_f(&wrap("return t + v[3];"), "f", &[RtValue::F(0.0), RtValue::I(0)]);
+        let got = run_f(
+            &wrap("return t + v[3];"),
+            "f",
+            &[RtValue::F(0.0), RtValue::I(0)],
+        );
         assert_eq!(got, RtValue::F(0.0));
     }
 }

@@ -67,7 +67,10 @@ impl<'src> Lexer<'src> {
         }
         let eof = Span::point(self.src.len() as u32);
         self.tokens.push(Token::new(TokenKind::Eof, eof));
-        LexOutput { tokens: self.tokens, diagnostics: self.diagnostics }
+        LexOutput {
+            tokens: self.tokens,
+            diagnostics: self.diagnostics,
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -160,8 +163,10 @@ impl<'src> Lexer<'src> {
             match text.parse::<f64>() {
                 Ok(v) => self.emit(TokenKind::FloatLit(v), start),
                 Err(_) => {
-                    self.diagnostics
-                        .error(self.span_from(start), format!("invalid float literal `{text}`"));
+                    self.diagnostics.error(
+                        self.span_from(start),
+                        format!("invalid float literal `{text}`"),
+                    );
                 }
             }
         } else {
@@ -179,7 +184,10 @@ impl<'src> Lexer<'src> {
 
     fn ident_or_keyword(&mut self) {
         let start = self.pos;
-        while matches!(self.peek(), Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')) {
+        while matches!(
+            self.peek(),
+            Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')
+        ) {
             self.bump();
         }
         let text = &self.src[start..self.pos];
@@ -215,7 +223,8 @@ impl<'src> Lexer<'src> {
                     self.bump();
                     TokenKind::DotDot
                 } else {
-                    self.diagnostics.error(self.span_from(start), "unexpected character `.`");
+                    self.diagnostics
+                        .error(self.span_from(start), "unexpected character `.`");
                     return;
                 }
             }
@@ -355,10 +364,7 @@ pub fn lex_chunk(source: &str, start: usize, end: usize) -> (Vec<Token>, Diagnos
 /// Concatenates chunk-lex results (in source order) into a [`LexOutput`]
 /// equal to `lex(source)`: tokens from every chunk, one EOF token at
 /// `source_len`, and diagnostics in source order.
-pub fn merge_lexed_chunks(
-    source_len: usize,
-    parts: Vec<(Vec<Token>, DiagnosticBag)>,
-) -> LexOutput {
+pub fn merge_lexed_chunks(source_len: usize, parts: Vec<(Vec<Token>, DiagnosticBag)>) -> LexOutput {
     let mut tokens = Vec::with_capacity(parts.iter().map(|(t, _)| t.len()).sum::<usize>() + 1);
     let mut diagnostics = DiagnosticBag::new();
     for (part_tokens, part_diags) in parts {
@@ -366,7 +372,10 @@ pub fn merge_lexed_chunks(
         diagnostics.extend(part_diags);
     }
     tokens.push(Token::new(TokenKind::Eof, Span::point(source_len as u32)));
-    LexOutput { tokens, diagnostics }
+    LexOutput {
+        tokens,
+        diagnostics,
+    }
 }
 
 #[cfg(test)]
@@ -375,7 +384,11 @@ mod tests {
 
     fn kinds(src: &str) -> Vec<TokenKind> {
         let out = lex(src);
-        assert!(out.diagnostics.is_empty(), "unexpected diagnostics: {:?}", out.diagnostics);
+        assert!(
+            out.diagnostics.is_empty(),
+            "unexpected diagnostics: {:?}",
+            out.diagnostics
+        );
         out.tokens.into_iter().map(|t| t.kind).collect()
     }
 
@@ -448,7 +461,11 @@ mod tests {
     fn line_comments_are_skipped() {
         assert_eq!(
             kinds("a -- comment\nb"),
-            vec![TokenKind::Ident("a".into()), TokenKind::Ident("b".into()), TokenKind::Eof]
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
         );
     }
 
@@ -456,7 +473,11 @@ mod tests {
     fn block_comments_are_skipped() {
         assert_eq!(
             kinds("a { anything \n at all } b"),
-            vec![TokenKind::Ident("a".into()), TokenKind::Ident("b".into()), TokenKind::Eof]
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
         );
     }
 
@@ -504,7 +525,11 @@ mod tests {
     fn bool_literals() {
         assert_eq!(
             kinds("true false"),
-            vec![TokenKind::BoolLit(true), TokenKind::BoolLit(false), TokenKind::Eof]
+            vec![
+                TokenKind::BoolLit(true),
+                TokenKind::BoolLit(false),
+                TokenKind::Eof
+            ]
         );
     }
 
@@ -521,9 +546,14 @@ mod tests {
         let bounds = chunk_boundaries(src, chunks);
         assert_eq!(*bounds.first().unwrap(), 0);
         assert_eq!(*bounds.last().unwrap(), src.len());
-        assert!(bounds.windows(2).all(|w| w[0] < w[1] || src.is_empty()), "{bounds:?}");
-        let parts: Vec<_> =
-            bounds.windows(2).map(|w| lex_chunk(src, w[0], w[1])).collect();
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1] || src.is_empty()),
+            "{bounds:?}"
+        );
+        let parts: Vec<_> = bounds
+            .windows(2)
+            .map(|w| lex_chunk(src, w[0], w[1]))
+            .collect();
         let merged = merge_lexed_chunks(src.len(), parts);
         assert_eq!(merged.tokens, seq.tokens, "chunks={chunks} src={src:?}");
         assert_eq!(
@@ -547,10 +577,10 @@ mod tests {
         for src in [
             "",
             "\n\n\n",
-            "a\n#\nb\n",                      // invalid char diagnostics
-            "{ never closed\nacross lines",   // unterminated block comment
+            "a\n#\nb\n",                    // invalid char diagnostics
+            "{ never closed\nacross lines", // unterminated block comment
             "x -- tail comment no newline",
-            "1e--3\n2\n",                     // `--` right after a number
+            "1e--3\n2\n", // `--` right after a number
             "module m; -- all on one line, no safe cuts",
         ] {
             for chunks in [2, 4, 7] {

@@ -51,8 +51,8 @@ pub mod token;
 
 pub use ast::{Direction, Function, Module, ScalarType, Section, Type};
 pub use diag::{Diagnostic, DiagnosticBag, Severity};
-pub use lint::{lint_function, lint_module};
 pub use interp::{AstInterp, EvalError, QueueIo, RtValue};
+pub use lint::{lint_function, lint_module};
 pub use sema::{CheckedModule, Signature, Symbol, SymbolTable};
 pub use span::{LineCol, LineMap, Span};
 
@@ -105,16 +105,17 @@ pub fn phase1(source: &str) -> Result<CheckedModule, Phase1Error> {
 ///
 /// Returns [`Phase1Error`] carrying every diagnostic if the module does
 /// not lex, parse, or type-check.
-pub fn phase1_with_warnings(
-    source: &str,
-) -> Result<(CheckedModule, DiagnosticBag), Phase1Error> {
+pub fn phase1_with_warnings(source: &str) -> Result<(CheckedModule, DiagnosticBag), Phase1Error> {
     let parsed = parser::parse(source);
     let mut diagnostics = parsed.diagnostics;
     let (checked, sema_diags) = sema::check(parsed.module);
     diagnostics.merge_sorted(sema_diags);
     if diagnostics.has_errors() {
         let rendered = diagnostics.render_all_with_source(source);
-        Err(Phase1Error { diagnostics, rendered })
+        Err(Phase1Error {
+            diagnostics,
+            rendered,
+        })
     } else {
         Ok((checked, diagnostics))
     }
@@ -159,7 +160,9 @@ pub fn statement_count(module: &ast::Module) -> usize {
             .iter()
             .map(|s| {
                 1 + match s {
-                    ast::Stmt::If { arms, else_body, .. } => {
+                    ast::Stmt::If {
+                        arms, else_body, ..
+                    } => {
                         arms.iter().map(|a| count_stmts(&a.body)).sum::<usize>()
                             + count_stmts(else_body)
                     }
@@ -171,7 +174,12 @@ pub fn statement_count(module: &ast::Module) -> usize {
             })
             .sum()
     }
-    module.sections.iter().flat_map(|s| &s.functions).map(|f| count_stmts(&f.body)).sum()
+    module
+        .sections
+        .iter()
+        .flat_map(|s| &s.functions)
+        .map(|f| count_stmts(&f.body))
+        .sum()
 }
 
 #[cfg(test)]

@@ -111,7 +111,9 @@ fn scan_stmts<'a>(stmts: &'a [Stmt], uses: &mut BTreeMap<&'a str, VarUse>) {
                 scan_target(target, uses);
                 scan_expr(value, uses);
             }
-            Stmt::If { arms, else_body, .. } => {
+            Stmt::If {
+                arms, else_body, ..
+            } => {
                 for arm in arms {
                     scan_expr(&arm.cond, uses);
                     scan_stmts(&arm.body, uses);
@@ -122,7 +124,14 @@ fn scan_stmts<'a>(stmts: &'a [Stmt], uses: &mut BTreeMap<&'a str, VarUse>) {
                 scan_expr(cond, uses);
                 scan_stmts(body, uses);
             }
-            Stmt::For { var, from, to, by, body, .. } => {
+            Stmt::For {
+                var,
+                from,
+                to,
+                by,
+                body,
+                ..
+            } => {
                 // The induction variable is written by the loop header
                 // and read by the exit test.
                 mark_written(var.as_str(), uses);
@@ -156,12 +165,17 @@ fn check_unreachable(stmts: &[Stmt], diags: &mut DiagnosticBag) {
     let mut dead = false;
     for stmt in stmts {
         if dead {
-            diags.warning(stmt.span(), "unreachable statement after return".to_string());
+            diags.warning(
+                stmt.span(),
+                "unreachable statement after return".to_string(),
+            );
             dead = false; // one warning per list is enough
         }
         match stmt {
             Stmt::Return { .. } => dead = true,
-            Stmt::If { arms, else_body, .. } => {
+            Stmt::If {
+                arms, else_body, ..
+            } => {
                 for arm in arms {
                     check_unreachable(&arm.body, diags);
                 }
@@ -195,21 +209,21 @@ mod tests {
 
     #[test]
     fn flags_unused_variable() {
-        let src = wrap(
-            "function f(x: float): float var dead: int; begin return x; end;",
-        );
+        let src = wrap("function f(x: float): float var dead: int; begin return x; end;");
         let msgs = lint(&src);
-        assert!(msgs.iter().any(|m| m.contains("unused variable `dead`")), "{msgs:?}");
+        assert!(
+            msgs.iter().any(|m| m.contains("unused variable `dead`")),
+            "{msgs:?}"
+        );
     }
 
     #[test]
     fn flags_assigned_never_read() {
-        let src = wrap(
-            "function f(x: float): float var t: float; begin t := x; return x; end;",
-        );
+        let src = wrap("function f(x: float): float var t: float; begin t := x; return x; end;");
         let msgs = lint(&src);
         assert!(
-            msgs.iter().any(|m| m.contains("`t` is assigned but never read")),
+            msgs.iter()
+                .any(|m| m.contains("`t` is assigned but never read")),
             "{msgs:?}"
         );
     }
@@ -221,7 +235,10 @@ mod tests {
              return x; t := x; end;",
         );
         let msgs = lint(&src);
-        assert!(msgs.iter().any(|m| m.contains("unreachable statement")), "{msgs:?}");
+        assert!(
+            msgs.iter().any(|m| m.contains("unreachable statement")),
+            "{msgs:?}"
+        );
     }
 
     #[test]

@@ -50,7 +50,10 @@ pub fn parse(source: &str) -> ParseOutput {
         diagnostics: lexed.diagnostics,
     };
     let module = parser.module();
-    ParseOutput { module, diagnostics: parser.diagnostics }
+    ParseOutput {
+        module,
+        diagnostics: parser.diagnostics,
+    }
 }
 
 // ---- split parsing ------------------------------------------------------
@@ -86,7 +89,10 @@ pub fn split_tokens(tokens: Vec<Token>) -> TokenPieces {
         .map(|(i, _)| i)
         .collect();
     if starts.is_empty() {
-        return TokenPieces { header: tokens, sections: Vec::new() };
+        return TokenPieces {
+            header: tokens,
+            sections: Vec::new(),
+        };
     }
     let mut pieces: Vec<Vec<Token>> = Vec::with_capacity(starts.len());
     let mut rest = tokens;
@@ -102,7 +108,10 @@ pub fn split_tokens(tokens: Vec<Token>) -> TokenPieces {
         pieces.push(piece);
     }
     pieces.reverse();
-    TokenPieces { header: rest, sections: pieces }
+    TokenPieces {
+        header: rest,
+        sections: pieces,
+    }
 }
 
 /// Result of parsing a header piece via [`parse_header_piece`].
@@ -120,11 +129,17 @@ pub struct HeaderParse {
 /// error for every stray token before the first section, exactly as the
 /// sequential parser reports them.
 pub fn parse_header_piece(header: Vec<Token>) -> HeaderParse {
-    let mut p = Parser { tokens: header, pos: 0, diagnostics: DiagnosticBag::new() };
+    let mut p = Parser {
+        tokens: header,
+        pos: 0,
+        diagnostics: DiagnosticBag::new(),
+    };
     let start = p.peek_span();
     p.expect(&TokenKind::Module);
-    let name =
-        p.expect_ident("module").map(|(n, _)| n).unwrap_or_else(|| "<error>".to_string());
+    let name = p
+        .expect_ident("module")
+        .map(|(n, _)| n)
+        .unwrap_or_else(|| "<error>".to_string());
     p.expect(&TokenKind::Semicolon);
     while !p.at_eof() {
         // Only stray tokens can appear here: the split gave every
@@ -136,7 +151,11 @@ pub fn parse_header_piece(header: Vec<Token>) -> HeaderParse {
         );
         p.recover();
     }
-    HeaderParse { name, start, diagnostics: p.diagnostics }
+    HeaderParse {
+        name,
+        start,
+        diagnostics: p.diagnostics,
+    }
 }
 
 /// Result of parsing one section piece via [`parse_section_piece`].
@@ -152,7 +171,11 @@ pub struct PieceParse {
 /// through everything before the next one — by running the sequential
 /// parser's module loop over the piece's tokens.
 pub fn parse_section_piece(tokens: Vec<Token>) -> PieceParse {
-    let mut p = Parser { tokens, pos: 0, diagnostics: DiagnosticBag::new() };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        diagnostics: DiagnosticBag::new(),
+    };
     let mut sections = Vec::new();
     while !p.at_eof() {
         if matches!(p.peek(), TokenKind::Section) {
@@ -167,7 +190,10 @@ pub fn parse_section_piece(tokens: Vec<Token>) -> PieceParse {
             p.recover();
         }
     }
-    PieceParse { sections, diagnostics: p.diagnostics }
+    PieceParse {
+        sections,
+        diagnostics: p.diagnostics,
+    }
 }
 
 /// Reassembles piece-parse results into a [`ParseOutput`] with the same
@@ -191,9 +217,15 @@ pub fn assemble_pieces(
     if sections.is_empty() {
         diagnostics.error(header.start, "module contains no section programs");
     }
-    let module =
-        Module { name: header.name, sections, span: header.start.merge(eof_span) };
-    ParseOutput { module, diagnostics }
+    let module = Module {
+        name: header.name,
+        sections,
+        span: header.start.merge(eof_span),
+    };
+    ParseOutput {
+        module,
+        diagnostics,
+    }
 }
 
 struct Parser {
@@ -238,7 +270,11 @@ impl Parser {
         } else {
             self.diagnostics.error(
                 self.peek_span(),
-                format!("expected {}, found {}", kind.describe(), self.peek().describe()),
+                format!(
+                    "expected {}, found {}",
+                    kind.describe(),
+                    self.peek().describe()
+                ),
             );
             None
         }
@@ -333,7 +369,11 @@ impl Parser {
                 .error(start, "module contains no section programs");
         }
         let end = self.peek_span();
-        Module { name, sections, span: start.merge(end) }
+        Module {
+            name,
+            sections,
+            span: start.merge(end),
+        }
     }
 
     fn section(&mut self) -> Option<Section> {
@@ -420,7 +460,11 @@ impl Parser {
         }
         self.expect(&TokenKind::RParen)?;
 
-        let ret = if self.eat(&TokenKind::Colon) { Some(self.ty()?) } else { None };
+        let ret = if self.eat(&TokenKind::Colon) {
+            Some(self.ty()?)
+        } else {
+            None
+        };
 
         let mut vars = Vec::new();
         if self.eat(&TokenKind::Var) {
@@ -452,7 +496,11 @@ impl Parser {
                 };
                 self.expect(&TokenKind::Semicolon);
                 for (n, sp) in names {
-                    vars.push(VarDecl { name: n, ty: ty.clone(), span: sp });
+                    vars.push(VarDecl {
+                        name: n,
+                        ty: ty.clone(),
+                        span: sp,
+                    });
                 }
             }
         }
@@ -462,7 +510,14 @@ impl Parser {
         let end_tok = self.expect(&TokenKind::End);
         self.expect(&TokenKind::Semicolon);
         let end_span = end_tok.map(|t| t.span).unwrap_or_else(|| self.peek_span());
-        Some(Function { name, params, ret, vars, body, span: start.merge(end_span) })
+        Some(Function {
+            name,
+            params,
+            ret,
+            vars,
+            body,
+            span: start.merge(end_span),
+        })
     }
 
     fn param(&mut self) -> Option<Param> {
@@ -558,7 +613,11 @@ impl Parser {
         let end_tok = self.expect(&TokenKind::End);
         self.expect(&TokenKind::Semicolon);
         let end_span = end_tok.map(|t| t.span).unwrap_or(start);
-        Some(Stmt::If { arms, else_body, span: start.merge(end_span) })
+        Some(Stmt::If {
+            arms,
+            else_body,
+            span: start.merge(end_span),
+        })
     }
 
     fn while_stmt(&mut self) -> Option<Stmt> {
@@ -570,7 +629,11 @@ impl Parser {
         let end_tok = self.expect(&TokenKind::End);
         self.expect(&TokenKind::Semicolon);
         let end_span = end_tok.map(|t| t.span).unwrap_or(start);
-        Some(Stmt::While { cond, body, span: start.merge(end_span) })
+        Some(Stmt::While {
+            cond,
+            body,
+            span: start.merge(end_span),
+        })
     }
 
     fn for_stmt(&mut self) -> Option<Stmt> {
@@ -595,13 +658,25 @@ impl Parser {
             }
         };
         let to = self.expr()?;
-        let by = if self.eat(&TokenKind::By) { Some(self.expr()?) } else { None };
+        let by = if self.eat(&TokenKind::By) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         self.expect(&TokenKind::Do)?;
         let body = self.stmts_until_block_end();
         let end_tok = self.expect(&TokenKind::End);
         self.expect(&TokenKind::Semicolon);
         let end_span = end_tok.map(|t| t.span).unwrap_or(start);
-        Some(Stmt::For { var, from, to, downto, by, body, span: start.merge(end_span) })
+        Some(Stmt::For {
+            var,
+            from,
+            to,
+            downto,
+            by,
+            body,
+            span: start.merge(end_span),
+        })
     }
 
     fn direction(&mut self) -> Option<Direction> {
@@ -618,7 +693,10 @@ impl Parser {
         }
         self.diagnostics.error(
             self.peek_span(),
-            format!("expected `left` or `right`, found {}", self.peek().describe()),
+            format!(
+                "expected `left` or `right`, found {}",
+                self.peek().describe()
+            ),
         );
         None
     }
@@ -633,7 +711,11 @@ impl Parser {
         self.expect(&TokenKind::RParen)?;
         let semi = self.expect(&TokenKind::Semicolon);
         let end = semi.map(|t| t.span).unwrap_or(start);
-        Some(Stmt::Send { dir, value, span: start.merge(end) })
+        Some(Stmt::Send {
+            dir,
+            value,
+            span: start.merge(end),
+        })
     }
 
     fn receive_stmt(&mut self) -> Option<Stmt> {
@@ -646,7 +728,11 @@ impl Parser {
         self.expect(&TokenKind::RParen)?;
         let semi = self.expect(&TokenKind::Semicolon);
         let end = semi.map(|t| t.span).unwrap_or(start);
-        Some(Stmt::Receive { dir, target, span: start.merge(end) })
+        Some(Stmt::Receive {
+            dir,
+            target,
+            span: start.merge(end),
+        })
     }
 
     fn return_stmt(&mut self) -> Option<Stmt> {
@@ -659,7 +745,10 @@ impl Parser {
         };
         let semi = self.expect(&TokenKind::Semicolon);
         let end = semi.map(|t| t.span).unwrap_or(start);
-        Some(Stmt::Return { value, span: start.merge(end) })
+        Some(Stmt::Return {
+            value,
+            span: start.merge(end),
+        })
     }
 
     fn assign_or_call(&mut self) -> Option<Stmt> {
@@ -679,7 +768,11 @@ impl Parser {
             self.expect(&TokenKind::RParen)?;
             let semi = self.expect(&TokenKind::Semicolon);
             let end = semi.map(|t| t.span).unwrap_or(start);
-            return Some(Stmt::Call { name, args, span: start.merge(end) });
+            return Some(Stmt::Call {
+                name,
+                args,
+                span: start.merge(end),
+            });
         }
         // Assignment: optional subscripts then `:=`.
         let mut indices = Vec::new();
@@ -688,12 +781,20 @@ impl Parser {
             self.expect(&TokenKind::RBracket)?;
         }
         let lv_span = start.merge(self.peek_span());
-        let target = LValue { name, indices, span: name_span.merge(lv_span) };
+        let target = LValue {
+            name,
+            indices,
+            span: name_span.merge(lv_span),
+        };
         self.expect(&TokenKind::Assign)?;
         let value = self.expr()?;
         let semi = self.expect(&TokenKind::Semicolon);
         let end = semi.map(|t| t.span).unwrap_or(start);
-        Some(Stmt::Assign { target, value, span: start.merge(end) })
+        Some(Stmt::Assign {
+            target,
+            value,
+            span: start.merge(end),
+        })
     }
 
     fn lvalue(&mut self) -> Option<LValue> {
@@ -705,7 +806,11 @@ impl Parser {
             let rb = self.expect(&TokenKind::RBracket)?;
             span = span.merge(rb.span);
         }
-        Some(LValue { name, indices, span })
+        Some(LValue {
+            name,
+            indices,
+            span,
+        })
     }
 
     // ---- expressions ---------------------------------------------------
@@ -720,7 +825,11 @@ impl Parser {
             let rhs = self.and_expr()?;
             let span = lhs.span.merge(rhs.span);
             lhs = Expr {
-                kind: ExprKind::Binary { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                kind: ExprKind::Binary {
+                    op: BinOp::Or,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
                 span,
             };
         }
@@ -733,7 +842,11 @@ impl Parser {
             let rhs = self.cmp_expr()?;
             let span = lhs.span.merge(rhs.span);
             lhs = Expr {
-                kind: ExprKind::Binary { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                kind: ExprKind::Binary {
+                    op: BinOp::And,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
                 span,
             };
         }
@@ -755,7 +868,11 @@ impl Parser {
         let rhs = self.add_expr()?;
         let span = lhs.span.merge(rhs.span);
         Some(Expr {
-            kind: ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+            kind: ExprKind::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            },
             span,
         })
     }
@@ -772,7 +889,11 @@ impl Parser {
             let rhs = self.mul_expr()?;
             let span = lhs.span.merge(rhs.span);
             lhs = Expr {
-                kind: ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                kind: ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
                 span,
             };
         }
@@ -792,7 +913,11 @@ impl Parser {
             let rhs = self.unary_expr()?;
             let span = lhs.span.merge(rhs.span);
             lhs = Expr {
-                kind: ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                kind: ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
                 span,
             };
         }
@@ -809,7 +934,13 @@ impl Parser {
             self.bump();
             let expr = self.unary_expr()?;
             let span = start.merge(expr.span);
-            return Some(Expr { kind: ExprKind::Unary { op, expr: Box::new(expr) }, span });
+            return Some(Expr {
+                kind: ExprKind::Unary {
+                    op,
+                    expr: Box::new(expr),
+                },
+                span,
+            });
         }
         self.primary_expr()
     }
@@ -819,15 +950,24 @@ impl Parser {
         match self.peek().clone() {
             TokenKind::IntLit(v) => {
                 self.bump();
-                Some(Expr { kind: ExprKind::IntLit(v), span })
+                Some(Expr {
+                    kind: ExprKind::IntLit(v),
+                    span,
+                })
             }
             TokenKind::FloatLit(v) => {
                 self.bump();
-                Some(Expr { kind: ExprKind::FloatLit(v), span })
+                Some(Expr {
+                    kind: ExprKind::FloatLit(v),
+                    span,
+                })
             }
             TokenKind::BoolLit(v) => {
                 self.bump();
-                Some(Expr { kind: ExprKind::BoolLit(v), span })
+                Some(Expr {
+                    kind: ExprKind::BoolLit(v),
+                    span,
+                })
             }
             TokenKind::LParen => {
                 self.bump();
@@ -839,12 +979,19 @@ impl Parser {
             // keywords, so they need a dedicated production.
             kw @ (TokenKind::Float | TokenKind::Int) => {
                 self.bump();
-                let name = if matches!(kw, TokenKind::Float) { "float" } else { "int" };
+                let name = if matches!(kw, TokenKind::Float) {
+                    "float"
+                } else {
+                    "int"
+                };
                 self.expect(&TokenKind::LParen)?;
                 let arg = self.expr()?;
                 let rp = self.expect(&TokenKind::RParen)?;
                 Some(Expr {
-                    kind: ExprKind::Call { name: name.to_string(), args: vec![arg] },
+                    kind: ExprKind::Call {
+                        name: name.to_string(),
+                        args: vec![arg],
+                    },
                     span: span.merge(rp.span),
                 })
             }
@@ -874,7 +1021,11 @@ impl Parser {
                         full = full.merge(rb.span);
                     }
                     Some(Expr {
-                        kind: ExprKind::LValue(LValue { name, indices, span: full }),
+                        kind: ExprKind::LValue(LValue {
+                            name,
+                            indices,
+                            span: full,
+                        }),
                         span: full,
                     })
                 }
@@ -954,8 +1105,15 @@ end;
         );
         assert!(!out.diagnostics.has_errors());
         let f = &out.module.sections[0].functions[0];
-        let Stmt::Return { value: Some(e), .. } = &f.body[0] else { panic!("not return") };
-        let ExprKind::Binary { op: BinOp::Add, rhs, .. } = &e.kind else {
+        let Stmt::Return { value: Some(e), .. } = &f.body[0] else {
+            panic!("not return")
+        };
+        let ExprKind::Binary {
+            op: BinOp::Add,
+            rhs,
+            ..
+        } = &e.kind
+        else {
             panic!("top is not +: {e:?}")
         };
         assert!(matches!(rhs.kind, ExprKind::Binary { op: BinOp::Mul, .. }));
@@ -968,9 +1126,18 @@ end;
         );
         assert!(!out.diagnostics.has_errors());
         let f = &out.module.sections[0].functions[0];
-        let Stmt::Return { value: Some(e), .. } = &f.body[0] else { panic!() };
+        let Stmt::Return { value: Some(e), .. } = &f.body[0] else {
+            panic!()
+        };
         // or(x>1, and(x<0, true))
-        let ExprKind::Binary { op: BinOp::Or, lhs, rhs } = &e.kind else { panic!("{e:?}") };
+        let ExprKind::Binary {
+            op: BinOp::Or,
+            lhs,
+            rhs,
+        } = &e.kind
+        else {
+            panic!("{e:?}")
+        };
         assert!(matches!(lhs.kind, ExprKind::Binary { op: BinOp::Gt, .. }));
         assert!(matches!(rhs.kind, ExprKind::Binary { op: BinOp::And, .. }));
     }
@@ -982,8 +1149,17 @@ end;
         );
         assert!(!out.diagnostics.has_errors());
         let f = &out.module.sections[0].functions[0];
-        let Stmt::Return { value: Some(e), .. } = &f.body[0] else { panic!() };
-        let ExprKind::Binary { op: BinOp::Mul, lhs, .. } = &e.kind else { panic!("{e:?}") };
+        let Stmt::Return { value: Some(e), .. } = &f.body[0] else {
+            panic!()
+        };
+        let ExprKind::Binary {
+            op: BinOp::Mul,
+            lhs,
+            ..
+        } = &e.kind
+        else {
+            panic!("{e:?}")
+        };
         assert!(matches!(lhs.kind, ExprKind::Unary { op: UnOp::Neg, .. }));
     }
 
@@ -994,7 +1170,9 @@ end;
         );
         assert!(!out.diagnostics.has_errors());
         let f = &out.module.sections[0].functions[0];
-        let Stmt::For { downto, by, .. } = &f.body[1] else { panic!() };
+        let Stmt::For { downto, by, .. } = &f.body[1] else {
+            panic!()
+        };
         assert!(*downto);
         assert!(by.is_some());
     }
@@ -1018,9 +1196,8 @@ end;
 
     #[test]
     fn missing_semicolon_is_reported() {
-        let out = parse(
-            "module m; section a on cells 0..0; function f(): int begin return 1 end; end;",
-        );
+        let out =
+            parse("module m; section a on cells 0..0; function f(): int begin return 1 end; end;");
         assert!(out.diagnostics.has_errors());
     }
 
@@ -1043,9 +1220,7 @@ end;
 
     #[test]
     fn descending_cell_range_is_error() {
-        let out = parse(
-            "module m; section a on cells 5..2; function f() begin return; end; end;",
-        );
+        let out = parse("module m; section a on cells 5..2; function f() begin return; end; end;");
         assert!(out.diagnostics.has_errors());
     }
 
@@ -1066,7 +1241,9 @@ end;
         );
         assert!(!out.diagnostics.has_errors());
         let f = &out.module.sections[0].functions[0];
-        let Stmt::Assign { target, .. } = &f.body[0] else { panic!() };
+        let Stmt::Assign { target, .. } = &f.body[0] else {
+            panic!()
+        };
         assert_eq!(target.indices.len(), 2);
     }
 
@@ -1077,8 +1254,17 @@ end;
         );
         assert!(!out.diagnostics.has_errors());
         let f = &out.module.sections[0].functions[0];
-        let Stmt::Return { value: Some(e), .. } = &f.body[0] else { panic!() };
-        let ExprKind::Binary { op: BinOp::Mul, lhs, .. } = &e.kind else { panic!() };
+        let Stmt::Return { value: Some(e), .. } = &f.body[0] else {
+            panic!()
+        };
+        let ExprKind::Binary {
+            op: BinOp::Mul,
+            lhs,
+            ..
+        } = &e.kind
+        else {
+            panic!()
+        };
         assert!(matches!(lhs.kind, ExprKind::Binary { op: BinOp::Add, .. }));
     }
 
@@ -1092,8 +1278,11 @@ end;
         let eof_span = lexed.tokens.last().expect("EOF-terminated").span;
         let pieces = split_tokens(lexed.tokens);
         let header = parse_header_piece(pieces.header);
-        let parsed: Vec<PieceParse> =
-            pieces.sections.into_iter().map(parse_section_piece).collect();
+        let parsed: Vec<PieceParse> = pieces
+            .sections
+            .into_iter()
+            .map(parse_section_piece)
+            .collect();
         assemble_pieces(lexed.diagnostics, header, parsed, eof_span)
     }
 

@@ -62,7 +62,10 @@ impl Printer {
     }
 
     fn section(&mut self, s: &Section) {
-        self.line(&format!("section {} on cells {}..{};", s.name, s.first_cell, s.last_cell));
+        self.line(&format!(
+            "section {} on cells {}..{};",
+            s.name, s.first_cell, s.last_cell
+        ));
         self.indent += 1;
         for f in &s.functions {
             self.function(f);
@@ -72,10 +75,18 @@ impl Printer {
     }
 
     fn function(&mut self, f: &Function) {
-        let params: Vec<String> =
-            f.params.iter().map(|p| format!("{}: {}", p.name, p.ty)).collect();
+        let params: Vec<String> = f
+            .params
+            .iter()
+            .map(|p| format!("{}: {}", p.name, p.ty))
+            .collect();
         let ret = f.ret.as_ref().map(|t| format!(": {t}")).unwrap_or_default();
-        self.line(&format!("function {}({}){}", f.name, params.join(", "), ret));
+        self.line(&format!(
+            "function {}({}){}",
+            f.name,
+            params.join(", "),
+            ret
+        ));
         if !f.vars.is_empty() {
             self.line("var");
             self.indent += 1;
@@ -100,7 +111,9 @@ impl Printer {
                 let v = expr_str(value);
                 self.line(&format!("{t} := {v};"));
             }
-            Stmt::If { arms, else_body, .. } => {
+            Stmt::If {
+                arms, else_body, ..
+            } => {
                 for (i, arm) in arms.iter().enumerate() {
                     let kw = if i == 0 { "if" } else { "elsif" };
                     self.line(&format!("{kw} {} then", expr_str(&arm.cond)));
@@ -129,9 +142,20 @@ impl Printer {
                 self.indent -= 1;
                 self.line("end;");
             }
-            Stmt::For { var, from, to, downto, by, body, .. } => {
+            Stmt::For {
+                var,
+                from,
+                to,
+                downto,
+                by,
+                body,
+                ..
+            } => {
                 let dir = if *downto { "downto" } else { "to" };
-                let by = by.as_ref().map(|b| format!(" by {}", expr_str(b))).unwrap_or_default();
+                let by = by
+                    .as_ref()
+                    .map(|b| format!(" by {}", expr_str(b)))
+                    .unwrap_or_default();
                 self.line(&format!(
                     "for {var} := {} {dir} {}{by} do",
                     expr_str(from),
@@ -237,7 +261,11 @@ mod tests {
         assert!(!first.diagnostics.has_errors(), "{:?}", first.diagnostics);
         let printed = module_to_source(&first.module);
         let second = parse(&printed);
-        assert!(!second.diagnostics.has_errors(), "reparse failed:\n{printed}\n{:?}", second.diagnostics);
+        assert!(
+            !second.diagnostics.has_errors(),
+            "reparse failed:\n{printed}\n{:?}",
+            second.diagnostics
+        );
         assert_eq!(normalize(&first.module), normalize(&second.module));
     }
 
@@ -246,7 +274,11 @@ mod tests {
         let out = parse(SRC);
         let sec_src = section_to_source(&out.module.name, &out.module.sections[0]);
         let re = parse(&sec_src);
-        assert!(!re.diagnostics.has_errors(), "{sec_src}\n{:?}", re.diagnostics);
+        assert!(
+            !re.diagnostics.has_errors(),
+            "{sec_src}\n{:?}",
+            re.diagnostics
+        );
         assert_eq!(re.module.sections.len(), 1);
     }
 

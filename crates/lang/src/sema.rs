@@ -246,7 +246,10 @@ fn check_section(section: &Section, diags: &mut DiagnosticBag) -> CheckedSection
         if signatures.contains_key(&f.name) {
             diags.error(
                 f.span,
-                format!("duplicate function `{}` in section `{}`", f.name, section.name),
+                format!(
+                    "duplicate function `{}` in section `{}`",
+                    f.name, section.name
+                ),
             );
             continue;
         }
@@ -265,7 +268,10 @@ fn check_section(section: &Section, diags: &mut DiagnosticBag) -> CheckedSection
         symbol_tables.push(check_function(f, &signatures, diags));
     }
 
-    CheckedSection { signatures, symbol_tables }
+    CheckedSection {
+        signatures,
+        symbol_tables,
+    }
 }
 
 fn check_function(
@@ -278,15 +284,28 @@ fn check_function(
         if !p.ty.is_scalar() {
             // The calling convention passes arguments in registers, so
             // parameters must be scalar (arrays are local to a function).
-            diags.error(p.span, format!("parameter `{}` has array type `{}`", p.name, p.ty));
+            diags.error(
+                p.span,
+                format!("parameter `{}` has array type `{}`", p.name, p.ty),
+            );
         }
-        let sym = Symbol { name: p.name.clone(), ty: p.ty.clone(), kind: SymbolKind::Param, span: p.span };
+        let sym = Symbol {
+            name: p.name.clone(),
+            ty: p.ty.clone(),
+            kind: SymbolKind::Param,
+            span: p.span,
+        };
         if table.insert(sym).is_some() {
             diags.error(p.span, format!("duplicate parameter `{}`", p.name));
         }
     }
     for v in &f.vars {
-        let sym = Symbol { name: v.name.clone(), ty: v.ty.clone(), kind: SymbolKind::Var, span: v.span };
+        let sym = Symbol {
+            name: v.name.clone(),
+            ty: v.ty.clone(),
+            kind: SymbolKind::Var,
+            span: v.span,
+        };
         if table.insert(sym).is_some() {
             diags.error(v.span, format!("duplicate declaration of `{}`", v.name));
         }
@@ -294,17 +313,29 @@ fn check_function(
 
     if let Some(ret) = &f.ret {
         if !ret.is_scalar() {
-            diags.error(f.span, format!("function `{}` returns an array type", f.name));
+            diags.error(
+                f.span,
+                format!("function `{}` returns an array type", f.name),
+            );
         }
     }
 
-    let mut ck = FnChecker { table: &table, signatures, ret: f.ret.clone(), diags, fn_name: &f.name };
+    let mut ck = FnChecker {
+        table: &table,
+        signatures,
+        ret: f.ret.clone(),
+        diags,
+        fn_name: &f.name,
+    };
     ck.stmts(&f.body);
 
     if f.ret.is_some() && !always_returns(&f.body) {
         diags.warning(
             f.span,
-            format!("function `{}` may reach end of body without returning a value", f.name),
+            format!(
+                "function `{}` may reach end of body without returning a value",
+                f.name
+            ),
         );
     }
 
@@ -315,7 +346,9 @@ fn check_function(
 fn always_returns(stmts: &[Stmt]) -> bool {
     stmts.iter().any(|s| match s {
         Stmt::Return { .. } => true,
-        Stmt::If { arms, else_body, .. } => {
+        Stmt::If {
+            arms, else_body, ..
+        } => {
             !else_body.is_empty()
                 && arms.iter().all(|a| always_returns(&a.body))
                 && always_returns(else_body)
@@ -353,7 +386,9 @@ impl FnChecker<'_> {
                     }
                 }
             }
-            Stmt::If { arms, else_body, .. } => {
+            Stmt::If {
+                arms, else_body, ..
+            } => {
                 for arm in arms {
                     self.expect_bool(&arm.cond, "if condition");
                     self.stmts(&arm.body);
@@ -364,12 +399,19 @@ impl FnChecker<'_> {
                 self.expect_bool(cond, "while condition");
                 self.stmts(body);
             }
-            Stmt::For { var, from, to, by, body, span, .. } => {
+            Stmt::For {
+                var,
+                from,
+                to,
+                by,
+                body,
+                span,
+                ..
+            } => {
                 match self.table.get(var) {
-                    None => self.diags.error(
-                        *span,
-                        format!("loop variable `{var}` is not declared"),
-                    ),
+                    None => self
+                        .diags
+                        .error(*span, format!("loop variable `{var}` is not declared")),
                     Some(sym) if sym.ty != Type::int() => self.diags.error(
                         *span,
                         format!("loop variable `{var}` must be `int`, found `{}`", sym.ty),
@@ -391,10 +433,8 @@ impl FnChecker<'_> {
                 // (not procedure) here is legal but pointless → warning.
                 if let Some(ret) = self.check_call(name, args, *span) {
                     if ret.is_some() {
-                        self.diags.warning(
-                            *span,
-                            format!("result of function `{name}` is discarded"),
-                        );
+                        self.diags
+                            .warning(*span, format!("result of function `{name}` is discarded"));
                     }
                 }
             }
@@ -408,7 +448,8 @@ impl FnChecker<'_> {
             Stmt::Receive { target, .. } => {
                 if let Some(ty) = self.lvalue_type(target) {
                     if !ty.is_scalar() {
-                        self.diags.error(target.span, "can only receive into a scalar location");
+                        self.diags
+                            .error(target.span, "can only receive into a scalar location");
                     }
                 }
             }
@@ -429,7 +470,10 @@ impl FnChecker<'_> {
                 }
                 (Some(expected), None) => self.diags.error(
                     *span,
-                    format!("function `{}` must return a `{expected}` value", self.fn_name),
+                    format!(
+                        "function `{}` must return a `{expected}` value",
+                        self.fn_name
+                    ),
                 ),
                 (None, Some(e)) => self.diags.error(
                     e.span,
@@ -443,7 +487,8 @@ impl FnChecker<'_> {
     fn expect_bool(&mut self, e: &Expr, what: &str) {
         if let Some(ty) = self.expr(e) {
             if ty != Type::bool() {
-                self.diags.error(e.span, format!("{what} must be `bool`, found `{ty}`"));
+                self.diags
+                    .error(e.span, format!("{what} must be `bool`, found `{ty}`"));
             }
         }
     }
@@ -451,7 +496,8 @@ impl FnChecker<'_> {
     fn expect_int(&mut self, e: &Expr, what: &str) {
         if let Some(ty) = self.expr(e) {
             if ty != Type::int() {
-                self.diags.error(e.span, format!("{what} must be `int`, found `{ty}`"));
+                self.diags
+                    .error(e.span, format!("{what} must be `int`, found `{ty}`"));
             }
         }
     }
@@ -459,7 +505,8 @@ impl FnChecker<'_> {
     /// Type of an lvalue after applying its subscripts.
     fn lvalue_type(&mut self, lv: &LValue) -> Option<Type> {
         let Some(sym) = self.table.get(&lv.name) else {
-            self.diags.error(lv.span, format!("undeclared variable `{}`", lv.name));
+            self.diags
+                .error(lv.span, format!("undeclared variable `{}`", lv.name));
             // Still check subscripts for nested errors.
             for idx in &lv.indices {
                 self.expr(idx);
@@ -483,7 +530,11 @@ impl FnChecker<'_> {
             self.expect_int(idx, "array subscript");
             // Static bounds check for constant subscripts.
             if let Some(c) = idx.as_int_lit() {
-                let dim_pos = lv.indices.iter().position(|i| std::ptr::eq(i, idx)).unwrap();
+                let dim_pos = lv
+                    .indices
+                    .iter()
+                    .position(|i| std::ptr::eq(i, idx))
+                    .unwrap();
                 let dim = ty.dims[dim_pos];
                 if c < 0 || c as u64 >= dim as u64 {
                     self.diags.error(
@@ -493,7 +544,10 @@ impl FnChecker<'_> {
                 }
             }
         }
-        Some(Type { scalar: ty.scalar, dims: ty.dims[lv.indices.len()..].to_vec() })
+        Some(Type {
+            scalar: ty.scalar,
+            dims: ty.dims[lv.indices.len()..].to_vec(),
+        })
     }
 
     /// Checks a call and returns `Some(return type)` when the callee is
@@ -506,7 +560,10 @@ impl FnChecker<'_> {
             if args.len() != arity {
                 self.diags.error(
                     span,
-                    format!("builtin `{name}` takes {arity} argument(s), {} given", args.len()),
+                    format!(
+                        "builtin `{name}` takes {arity} argument(s), {} given",
+                        args.len()
+                    ),
                 );
                 return None;
             }
@@ -515,7 +572,9 @@ impl FnChecker<'_> {
                     if !ty.is_scalar() || ty.scalar == ScalarType::Bool {
                         self.diags.error(
                             a.span,
-                            format!("builtin `{name}` requires numeric scalar arguments, found `{ty}`"),
+                            format!(
+                                "builtin `{name}` requires numeric scalar arguments, found `{ty}`"
+                            ),
                         );
                     }
                 }
@@ -529,7 +588,11 @@ impl FnChecker<'_> {
                         .iter()
                         .flatten()
                         .any(|t| t.scalar == ScalarType::Float);
-                    if any_float { Type::float() } else { Type::int() }
+                    if any_float {
+                        Type::float()
+                    } else {
+                        Type::int()
+                    }
                 }
                 _ => Type::float(),
             };
@@ -558,7 +621,9 @@ impl FnChecker<'_> {
                 if !assignable(expected, actual) {
                     self.diags.error(
                         a.span,
-                        format!("argument type `{actual}` does not match parameter type `{expected}`"),
+                        format!(
+                            "argument type `{actual}` does not match parameter type `{expected}`"
+                        ),
                     );
                 }
             }
@@ -622,8 +687,7 @@ impl FnChecker<'_> {
             self.diags.error(span, "operators require scalar operands");
             return None;
         }
-        let numeric =
-            |t: &Type| t.scalar == ScalarType::Int || t.scalar == ScalarType::Float;
+        let numeric = |t: &Type| t.scalar == ScalarType::Int || t.scalar == ScalarType::Float;
         match op {
             BinOp::And | BinOp::Or => {
                 if lt == &Type::bool() && rt == &Type::bool() {
@@ -640,10 +704,8 @@ impl FnChecker<'_> {
                 if (numeric(lt) && numeric(rt)) || (lt == &Type::bool() && rt == &Type::bool()) {
                     Some(Type::bool())
                 } else {
-                    self.diags.error(
-                        span,
-                        format!("cannot compare `{lt}` with `{rt}`"),
-                    );
+                    self.diags
+                        .error(span, format!("cannot compare `{lt}` with `{rt}`"));
                     None
                 }
             }
@@ -651,10 +713,8 @@ impl FnChecker<'_> {
                 if numeric(lt) && numeric(rt) {
                     Some(Type::bool())
                 } else {
-                    self.diags.error(
-                        span,
-                        format!("cannot order `{lt}` and `{rt}`"),
-                    );
+                    self.diags
+                        .error(span, format!("cannot order `{lt}` and `{rt}`"));
                     None
                 }
             }
@@ -673,8 +733,10 @@ impl FnChecker<'_> {
                 if numeric(lt) && numeric(rt) {
                     Some(Type::float())
                 } else {
-                    self.diags
-                        .error(span, format!("`/` requires numeric operands, found `{lt}` and `{rt}`"));
+                    self.diags.error(
+                        span,
+                        format!("`/` requires numeric operands, found `{lt}` and `{rt}`"),
+                    );
                     None
                 }
             }
@@ -716,7 +778,11 @@ mod tests {
 
     fn check_src(src: &str) -> DiagnosticBag {
         let out = parse(src);
-        assert!(!out.diagnostics.has_errors(), "parse failed: {:?}", out.diagnostics);
+        assert!(
+            !out.diagnostics.has_errors(),
+            "parse failed: {:?}",
+            out.diagnostics
+        );
         let (_, diags) = check(out.module);
         diags
     }
@@ -735,7 +801,10 @@ mod tests {
         let (seq_checked, seq_diags) = check(module.clone());
         let parts: Vec<_> = module.sections.iter().map(check_section_isolated).collect();
         let (par_checked, par_diags) = merge_checked(module, parts);
-        assert_eq!(par_checked, seq_checked, "checked module mismatch on {src:?}");
+        assert_eq!(
+            par_checked, seq_checked,
+            "checked module mismatch on {src:?}"
+        );
         assert_eq!(
             par_diags.iter().collect::<Vec<_>>(),
             seq_diags.iter().collect::<Vec<_>>(),
@@ -874,7 +943,9 @@ mod tests {
 
     #[test]
     fn builtin_calls() {
-        let d = check_src(&wrap("t := sqrt(x) + min(x, 2.0); i := floor(x); return t;"));
+        let d = check_src(&wrap(
+            "t := sqrt(x) + min(x, 2.0); i := floor(x); return t;",
+        ));
         assert!(!d.has_errors(), "{d:?}");
         let d = check_src(&wrap("t := sqrt(x, x); return t;"));
         assert!(d.has_errors());

@@ -30,7 +30,10 @@ impl Span {
 
     /// A zero-length span at `pos`, used for synthesized nodes.
     pub fn point(pos: u32) -> Self {
-        Span { start: pos, end: pos }
+        Span {
+            start: pos,
+            end: pos,
+        }
     }
 
     /// The smallest span covering both `self` and `other`.

@@ -125,7 +125,10 @@ enum EventKind {
     /// A resource service interval finished.
     Complete { pid: usize, epoch: u32 },
     /// A scripted fault strikes (index into the plan's crash list).
-    Crash { workstation: usize, reboot_after_ns: Ns },
+    Crash {
+        workstation: usize,
+        reboot_after_ns: Ns,
+    },
     /// A crashed workstation comes back.
     Reboot { workstation: usize },
     /// The master's per-job timeout fired for a lost process: clone
@@ -237,7 +240,9 @@ impl Simulation {
             .map(|w| trace.track(&format!("workstation {w}")))
             .collect();
         Simulation {
-            cpus: (0..config.workstations.max(1)).map(|_| Server::default()).collect(),
+            cpus: (0..config.workstations.max(1))
+                .map(|_| Server::default())
+                .collect(),
             ethernet: Server::default(),
             disk: Server::default(),
             procs: Vec::new(),
@@ -276,7 +281,11 @@ impl Simulation {
 
     fn push_event(&mut self, time: Ns, kind: EventKind) {
         self.seq += 1;
-        self.events.push(Event { time, seq: self.seq, kind });
+        self.events.push(Event {
+            time,
+            seq: self.seq,
+            kind,
+        });
     }
 
     /// Turns the fault plan into windows and scheduled events. Faults
@@ -288,14 +297,30 @@ impl Simulation {
         for ev in self.plan.events.clone() {
             let at = secs_to_ns(ev.at_s.max(0.0));
             match ev.kind {
-                FaultKind::Crash { workstation, reboot_after_s } => {
+                FaultKind::Crash {
+                    workstation,
+                    reboot_after_s,
+                } => {
                     if valid(workstation) {
-                        let reboot_after_ns =
-                            if reboot_after_s > 0.0 { secs_to_ns(reboot_after_s) } else { 0 };
-                        self.push_event(at, EventKind::Crash { workstation, reboot_after_ns });
+                        let reboot_after_ns = if reboot_after_s > 0.0 {
+                            secs_to_ns(reboot_after_s)
+                        } else {
+                            0
+                        };
+                        self.push_event(
+                            at,
+                            EventKind::Crash {
+                                workstation,
+                                reboot_after_ns,
+                            },
+                        );
                     }
                 }
-                FaultKind::Slowdown { workstation, factor, dur_s } => {
+                FaultKind::Slowdown {
+                    workstation,
+                    factor,
+                    dur_s,
+                } => {
                     if valid(workstation) && factor > 1.0 && dur_s > 0.0 {
                         let w = Window {
                             workstation,
@@ -372,7 +397,8 @@ impl Simulation {
     /// child that never terminates is impossible by construction).
     pub fn run(&mut self, root: ProcessSpec) -> SimReport {
         if self.trace.is_enabled() {
-            self.trace.counter("workstations", self.sim_track, 0, self.cpus.len() as f64);
+            self.trace
+                .counter("workstations", self.sim_track, 0, self.cpus.len() as f64);
         }
         self.arm_faults();
         self.spawn(root, None, 0, true);
@@ -388,7 +414,10 @@ impl Simulation {
                         self.complete(pid);
                     }
                 }
-                EventKind::Crash { workstation, reboot_after_ns } => {
+                EventKind::Crash {
+                    workstation,
+                    reboot_after_ns,
+                } => {
                     self.strike_crash(workstation, reboot_after_ns);
                 }
                 EventKind::Reboot { workstation } => {
@@ -405,8 +434,7 @@ impl Simulation {
                 }
                 EventKind::Redispatch { pid } => self.redispatch(pid),
                 EventKind::Unpark { pid, epoch } => {
-                    if self.procs[pid].epoch == epoch
-                        && self.procs[pid].state == ProcState::Parked
+                    if self.procs[pid].epoch == epoch && self.procs[pid].state == ProcState::Parked
                     {
                         let waited = self.time - self.procs[pid].queued_since;
                         self.procs[pid].wait_ns += waited;
@@ -441,10 +469,16 @@ impl Simulation {
         // Prepend startup activities.
         let mut steps = Vec::with_capacity(spec.steps.len() + 2);
         match spec.kind {
-            ProcKind::C => steps.push(Step::Cpu { units: self.config.c_startup_units }),
+            ProcKind::C => steps.push(Step::Cpu {
+                units: self.config.c_startup_units,
+            }),
             ProcKind::Lisp => {
-                steps.push(Step::Disk { bytes: self.config.lisp_image_bytes });
-                steps.push(Step::Cpu { units: self.config.lisp_init_units });
+                steps.push(Step::Disk {
+                    bytes: self.config.lisp_image_bytes,
+                });
+                steps.push(Step::Cpu {
+                    units: self.config.lisp_init_units,
+                });
             }
         }
         steps.extend(spec.steps);
@@ -491,11 +525,7 @@ impl Simulation {
 
     fn dispatch_all_ready(&mut self) {
         loop {
-            let Some(pid) = self
-                .procs
-                .iter()
-                .position(|p| p.state == ProcState::Ready)
-            else {
+            let Some(pid) = self.procs.iter().position(|p| p.state == ProcState::Ready) else {
                 return;
             };
             self.advance(pid);
@@ -736,7 +766,10 @@ impl Simulation {
             let (cat, args) = match r {
                 ResourceId::Cpu(ws) => (
                     "cpu",
-                    vec![("ws", ws as f64), ("overhead_ns", p.serving_overhead as f64)],
+                    vec![
+                        ("ws", ws as f64),
+                        ("overhead_ns", p.serving_overhead as f64),
+                    ],
                 ),
                 ResourceId::Ethernet => ("net", vec![("ws", p.workstation as f64)]),
                 ResourceId::Disk => ("disk", vec![("ws", p.workstation as f64)]),
@@ -774,9 +807,17 @@ impl Simulation {
         }
         self.summary.crashes += 1;
         self.cpus[ws].down = true;
-        self.trace.instant("fault", format!("crash ws {ws}"), self.cpu_tracks[ws], self.time);
+        self.trace.instant(
+            "fault",
+            format!("crash ws {ws}"),
+            self.cpu_tracks[ws],
+            self.time,
+        );
         if reboot_after_ns > 0 {
-            self.push_event(self.time + reboot_after_ns, EventKind::Reboot { workstation: ws });
+            self.push_event(
+                self.time + reboot_after_ns,
+                EventKind::Reboot { workstation: ws },
+            );
         }
         // Victims: every live process hosted on the dead machine, plus
         // (transitively) the children of any victim — a dead section
@@ -808,8 +849,7 @@ impl Simulation {
             // jobs: its per-job timeout fires detect_timeout_s later,
             // then it re-dispatches with exponential backoff.
             if self.procs[pid].parent.is_some_and(|pp| !killed[pp]) {
-                let backoff =
-                    self.plan.backoff_s * (1u64 << self.procs[pid].retry.min(16)) as f64;
+                let backoff = self.plan.backoff_s * (1u64 << self.procs[pid].retry.min(16)) as f64;
                 let delay = secs_to_ns(self.plan.detect_timeout_s + backoff);
                 self.push_event(self.time + delay, EventKind::Redispatch { pid });
             }
@@ -833,7 +873,12 @@ impl Simulation {
         p.end_ns = now;
         p.epoch += 1;
         self.summary.killed += 1;
-        self.trace.instant("fault", format!("kill {}", self.procs[pid].name), self.procs[pid].track, now);
+        self.trace.instant(
+            "fault",
+            format!("kill {}", self.procs[pid].name),
+            self.procs[pid].track,
+            now,
+        );
         if self.trace.is_enabled() {
             let p = &self.procs[pid];
             self.trace.record_span(
@@ -1103,7 +1148,9 @@ mod tests {
         // heap = 2×memory → factor 1 + (1000/1000)^1 = 2.
         let r = simulate(
             c,
-            ProcessSpec::new("l", 0, ProcKind::Lisp).heap(2000).cpu(1000),
+            ProcessSpec::new("l", 0, ProcKind::Lisp)
+                .heap(2000)
+                .cpu(1000),
         );
         assert!((r.elapsed_s - 2.0).abs() < 1e-6, "{}", r.elapsed_s);
         assert!((r.processes[0].overhead_s - 1.0).abs() < 1e-6);
@@ -1132,7 +1179,12 @@ mod tests {
         let mut c = cfg();
         c.gc_coeff = 0.5;
         c.gc_scale = 1000.0;
-        let r = simulate(c, ProcessSpec::new("l", 0, ProcKind::Lisp).heap(1000).cpu(1000));
+        let r = simulate(
+            c,
+            ProcessSpec::new("l", 0, ProcKind::Lisp)
+                .heap(1000)
+                .cpu(1000),
+        );
         // factor = 1.5 → 1.5 s.
         assert!((r.elapsed_s - 1.5).abs() < 1e-6, "{}", r.elapsed_s);
     }
@@ -1142,9 +1194,18 @@ mod tests {
         let build = || {
             ProcessSpec::new("m", 0, ProcKind::C)
                 .fork(vec![
-                    ProcessSpec::new("a", 1, ProcKind::Lisp).heap(500).cpu(700).disk(300),
-                    ProcessSpec::new("b", 2, ProcKind::Lisp).heap(600).cpu(900).disk(400),
-                    ProcessSpec::new("c", 3, ProcKind::Lisp).heap(700).cpu(1100).disk(500),
+                    ProcessSpec::new("a", 1, ProcKind::Lisp)
+                        .heap(500)
+                        .cpu(700)
+                        .disk(300),
+                    ProcessSpec::new("b", 2, ProcKind::Lisp)
+                        .heap(600)
+                        .cpu(900)
+                        .disk(400),
+                    ProcessSpec::new("c", 3, ProcKind::Lisp)
+                        .heap(700)
+                        .cpu(1100)
+                        .disk(500),
                 ])
                 .join()
                 .cpu(100)
@@ -1173,7 +1234,10 @@ mod tests {
         assert_eq!(snap.spans_in("process").count(), 3);
         assert_eq!(snap.end_ns() as f64 / 1e9, r.elapsed_s);
         // `b` contended for workstation 1 → at least one block instant.
-        assert!(snap.instants.iter().any(|i| i.name.starts_with("block cpu")));
+        assert!(snap
+            .instants
+            .iter()
+            .any(|i| i.name.starts_with("block cpu")));
         // Spans carry the workstation tag (children ran on ws 1).
         assert!(snap
             .spans_in("cpu")
@@ -1186,8 +1250,14 @@ mod tests {
         let build = || {
             ProcessSpec::new("m", 0, ProcKind::C)
                 .fork(vec![
-                    ProcessSpec::new("a", 1, ProcKind::Lisp).heap(500).cpu(700).disk(300),
-                    ProcessSpec::new("b", 2, ProcKind::Lisp).heap(600).cpu(900).disk(400),
+                    ProcessSpec::new("a", 1, ProcKind::Lisp)
+                        .heap(500)
+                        .cpu(700)
+                        .disk(300),
+                    ProcessSpec::new("b", 2, ProcKind::Lisp)
+                        .heap(600)
+                        .cpu(900)
+                        .disk(400),
                 ])
                 .join()
                 .cpu(100)
@@ -1213,8 +1283,12 @@ mod tests {
     #[test]
     fn grandchildren_joined_transitively() {
         let leaf = ProcessSpec::new("leaf", 2, ProcKind::C).cpu(1000);
-        let mid = ProcessSpec::new("mid", 1, ProcKind::C).fork(vec![leaf]).join();
-        let root = ProcessSpec::new("root", 0, ProcKind::C).fork(vec![mid]).join();
+        let mid = ProcessSpec::new("mid", 1, ProcKind::C)
+            .fork(vec![leaf])
+            .join();
+        let root = ProcessSpec::new("root", 0, ProcKind::C)
+            .fork(vec![mid])
+            .join();
         let r = simulate(cfg(), root);
         assert!(r.elapsed_s >= 1.0);
         assert!(r.processes.iter().all(|p| p.end_s > 0.0 || p.cpu_s == 0.0));
@@ -1238,7 +1312,10 @@ mod tests {
         // the emptier surviving station.
         let plan = FaultPlan::single(
             0.5,
-            FaultKind::Crash { workstation: 1, reboot_after_s: 0.0 },
+            FaultKind::Crash {
+                workstation: 1,
+                reboot_after_s: 0.0,
+            },
         );
         let r = simulate_faulted(cfg(), plan, forked_pair());
         assert_eq!(r.faults.crashes, 1);
@@ -1246,7 +1323,11 @@ mod tests {
         assert_eq!(r.faults.redispatches, 1);
         // Retry starts at 0.5 + 5 + 1 = 6.5 s and runs 1 s.
         assert!((r.elapsed_s - 7.5).abs() < 1e-6, "{}", r.elapsed_s);
-        let retry = r.processes.iter().find(|p| p.name == "a [retry 1]").expect("retry proc");
+        let retry = r
+            .processes
+            .iter()
+            .find(|p| p.name == "a [retry 1]")
+            .expect("retry proc");
         assert!(!retry.lost);
         assert_ne!(retry.workstation, 1, "must not respawn on the dead machine");
         // The victim's truncated record is still in the report.
@@ -1259,7 +1340,10 @@ mod tests {
     fn reboot_brings_workstation_back() {
         let plan = FaultPlan::single(
             0.5,
-            FaultKind::Crash { workstation: 1, reboot_after_s: 2.0 },
+            FaultKind::Crash {
+                workstation: 1,
+                reboot_after_s: 2.0,
+            },
         );
         let r = simulate_faulted(cfg(), plan, forked_pair());
         assert_eq!(r.faults.reboots, 1);
@@ -1271,7 +1355,10 @@ mod tests {
     fn crash_on_idle_workstation_changes_nothing_but_counters() {
         let plan = FaultPlan::single(
             0.5,
-            FaultKind::Crash { workstation: 3, reboot_after_s: 0.0 },
+            FaultKind::Crash {
+                workstation: 3,
+                reboot_after_s: 0.0,
+            },
         );
         let r = simulate_faulted(cfg(), plan, forked_pair());
         assert_eq!(r.faults.crashes, 1);
@@ -1283,7 +1370,10 @@ mod tests {
     fn faults_on_workstation_zero_are_ignored() {
         let plan = FaultPlan::single(
             0.1,
-            FaultKind::Crash { workstation: 0, reboot_after_s: 0.0 },
+            FaultKind::Crash {
+                workstation: 0,
+                reboot_after_s: 0.0,
+            },
         );
         let r = simulate_faulted(cfg(), plan, forked_pair());
         assert_eq!(r.faults.crashes, 0);
@@ -1296,7 +1386,11 @@ mod tests {
         // overhead.
         let plan = FaultPlan::single(
             0.0,
-            FaultKind::Slowdown { workstation: 1, factor: 3.0, dur_s: 100.0 },
+            FaultKind::Slowdown {
+                workstation: 1,
+                factor: 3.0,
+                dur_s: 100.0,
+            },
         );
         let r = simulate_faulted(cfg(), plan, forked_pair());
         assert!((r.elapsed_s - 3.0).abs() < 1e-6, "{}", r.elapsed_s);
@@ -1309,8 +1403,13 @@ mod tests {
     fn partition_parks_transfers_until_heal() {
         // `a` on ws 1 wants the Ethernet at t=0 but is partitioned for
         // 2 s; its 1 s transfer lands afterwards.
-        let plan =
-            FaultPlan::single(0.0, FaultKind::Partition { workstation: 1, dur_s: 2.0 });
+        let plan = FaultPlan::single(
+            0.0,
+            FaultKind::Partition {
+                workstation: 1,
+                dur_s: 2.0,
+            },
+        );
         let root = ProcessSpec::new("m", 0, ProcKind::C)
             .fork(vec![ProcessSpec::new("a", 1, ProcKind::C).net(1000)])
             .join();
@@ -1323,8 +1422,13 @@ mod tests {
 
     #[test]
     fn partition_does_not_touch_other_workstations() {
-        let plan =
-            FaultPlan::single(0.0, FaultKind::Partition { workstation: 1, dur_s: 2.0 });
+        let plan = FaultPlan::single(
+            0.0,
+            FaultKind::Partition {
+                workstation: 1,
+                dur_s: 2.0,
+            },
+        );
         let root = ProcessSpec::new("m", 0, ProcKind::C)
             .fork(vec![ProcessSpec::new("b", 2, ProcKind::C).net(1000)])
             .join();
@@ -1338,7 +1442,11 @@ mod tests {
         // Disk step: 1 s network (unaffected), then the disk phase
         // parks until the stall window [0, 3) heals.
         let plan = FaultPlan::single(0.0, FaultKind::ServerStall { dur_s: 3.0 });
-        let r = simulate_faulted(cfg(), plan, ProcessSpec::new("p", 0, ProcKind::C).disk(1000));
+        let r = simulate_faulted(
+            cfg(),
+            plan,
+            ProcessSpec::new("p", 0, ProcKind::C).disk(1000),
+        );
         assert!((r.elapsed_s - 4.0).abs() < 1e-6, "{}", r.elapsed_s);
         assert_eq!(r.faults.parked, 1);
     }
@@ -1348,9 +1456,18 @@ mod tests {
         let build = || {
             ProcessSpec::new("m", 0, ProcKind::C)
                 .fork(vec![
-                    ProcessSpec::new("a", 1, ProcKind::Lisp).heap(500).cpu(700).disk(300),
-                    ProcessSpec::new("b", 2, ProcKind::Lisp).heap(600).cpu(900).disk(400),
-                    ProcessSpec::new("c", 3, ProcKind::Lisp).heap(700).cpu(1100).disk(500),
+                    ProcessSpec::new("a", 1, ProcKind::Lisp)
+                        .heap(500)
+                        .cpu(700)
+                        .disk(300),
+                    ProcessSpec::new("b", 2, ProcKind::Lisp)
+                        .heap(600)
+                        .cpu(900)
+                        .disk(400),
+                    ProcessSpec::new("c", 3, ProcKind::Lisp)
+                        .heap(700)
+                        .cpu(1100)
+                        .disk(500),
                 ])
                 .join()
                 .cpu(100)
@@ -1375,19 +1492,34 @@ mod tests {
         // healthy machine, is orphaned), and the re-dispatch respawns
         // the subtree with the dead station remapped.
         let leaf = ProcessSpec::new("leaf", 2, ProcKind::C).cpu(1000);
-        let mid = ProcessSpec::new("mid", 1, ProcKind::C).cpu(500).fork(vec![leaf]).join();
-        let root = ProcessSpec::new("root", 0, ProcKind::C).fork(vec![mid]).join();
+        let mid = ProcessSpec::new("mid", 1, ProcKind::C)
+            .cpu(500)
+            .fork(vec![leaf])
+            .join();
+        let root = ProcessSpec::new("root", 0, ProcKind::C)
+            .fork(vec![mid])
+            .join();
         let plan = FaultPlan::single(
             0.7,
-            FaultKind::Crash { workstation: 1, reboot_after_s: 0.0 },
+            FaultKind::Crash {
+                workstation: 1,
+                reboot_after_s: 0.0,
+            },
         );
         let r = simulate_faulted(cfg(), plan, root);
         assert_eq!(r.faults.killed, 2, "{:?}", r.faults);
         assert_eq!(r.faults.redispatches, 1, "one subtree root re-dispatched");
-        let retry = r.processes.iter().find(|p| p.name == "mid [retry 1]").unwrap();
+        let retry = r
+            .processes
+            .iter()
+            .find(|p| p.name == "mid [retry 1]")
+            .unwrap();
         assert_ne!(retry.workstation, 1);
-        assert!(r.processes.iter().any(|p| p.name == "leaf" && !p.lost),
-            "respawned leaf completes: {:?}", r.processes);
+        assert!(
+            r.processes.iter().any(|p| p.name == "leaf" && !p.lost),
+            "respawned leaf completes: {:?}",
+            r.processes
+        );
     }
 
     #[test]
@@ -1404,11 +1536,17 @@ mod tests {
             events: vec![
                 FaultEvent {
                     at_s: 0.2,
-                    kind: FaultKind::Crash { workstation: 1, reboot_after_s: 0.0 },
+                    kind: FaultKind::Crash {
+                        workstation: 1,
+                        reboot_after_s: 0.0,
+                    },
                 },
                 FaultEvent {
                     at_s: 0.4,
-                    kind: FaultKind::Crash { workstation: 2, reboot_after_s: 0.0 },
+                    kind: FaultKind::Crash {
+                        workstation: 2,
+                        reboot_after_s: 0.0,
+                    },
                 },
             ],
             ..FaultPlan::default()
@@ -1417,7 +1555,11 @@ mod tests {
             .fork(vec![ProcessSpec::new("job", 1, ProcKind::C).cpu(1000)])
             .join();
         let r = simulate_faulted(c, plan, root);
-        let done: Vec<_> = r.processes.iter().filter(|p| !p.lost && p.name.contains("job")).collect();
+        let done: Vec<_> = r
+            .processes
+            .iter()
+            .filter(|p| !p.lost && p.name.contains("job"))
+            .collect();
         assert_eq!(done.len(), 1, "{:?}", r.processes);
         assert_eq!(done[0].workstation, 0, "fell back to the master's machine");
     }

@@ -148,7 +148,10 @@ impl FaultPlan {
     /// The same `(seed, k, workstations, horizon_s)` always produces
     /// the same plan.
     pub fn generate(seed: u64, k: usize, workstations: usize, horizon_s: f64) -> FaultPlan {
-        let mut plan = FaultPlan { seed, ..FaultPlan::default() };
+        let mut plan = FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        };
         if workstations < 2 || horizon_s <= 0.0 {
             return plan;
         }
@@ -165,7 +168,10 @@ impl FaultPlan {
                 } else {
                     0.0
                 };
-                FaultKind::Crash { workstation: ws, reboot_after_s }
+                FaultKind::Crash {
+                    workstation: ws,
+                    reboot_after_s,
+                }
             } else if roll < 0.65 {
                 FaultKind::Slowdown {
                     workstation: ws,
@@ -194,7 +200,10 @@ impl FaultPlan {
     /// A plan containing exactly one fault, with the default recovery
     /// policy — convenient for targeted tests.
     pub fn single(at_s: f64, kind: FaultKind) -> FaultPlan {
-        FaultPlan { events: vec![FaultEvent { at_s, kind }], ..FaultPlan::default() }
+        FaultPlan {
+            events: vec![FaultEvent { at_s, kind }],
+            ..FaultPlan::default()
+        }
     }
 }
 

@@ -81,7 +81,12 @@ pub struct ProcessSpec {
 impl ProcessSpec {
     /// Creates a process with an empty script.
     pub fn new(name: impl Into<String>, workstation: usize, kind: ProcKind) -> Self {
-        ProcessSpec { name: name.into(), workstation, kind, steps: Vec::new() }
+        ProcessSpec {
+            name: name.into(),
+            workstation,
+            kind,
+            steps: Vec::new(),
+        }
     }
 
     /// Appends a CPU burst.
@@ -154,7 +159,9 @@ mod tests {
         let mid = ProcessSpec::new("mid", 1, ProcKind::C)
             .fork(vec![leaf.clone(), leaf.clone(), leaf])
             .join();
-        let root = ProcessSpec::new("root", 0, ProcKind::C).fork(vec![mid]).join();
+        let root = ProcessSpec::new("root", 0, ProcKind::C)
+            .fork(vec![mid])
+            .join();
         assert_eq!(root.process_count(), 5);
     }
 }

@@ -106,7 +106,11 @@ pub struct SimReport {
 impl SimReport {
     /// CPU seconds of the process named `name` (0.0 if absent).
     pub fn cpu_of(&self, name: &str) -> f64 {
-        self.processes.iter().filter(|p| p.name == name).map(|p| p.cpu_s).sum()
+        self.processes
+            .iter()
+            .filter(|p| p.name == name)
+            .map(|p| p.cpu_s)
+            .sum()
     }
 
     /// Sum of CPU seconds over processes whose name starts with

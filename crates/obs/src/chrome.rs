@@ -94,7 +94,12 @@ pub fn to_chrome_json(snap: &TraceSnapshot) -> String {
         escape_into(&mut out, &e.name);
         out.push_str("\",\"cat\":\"");
         escape_into(&mut out, e.cat);
-        let _ = write!(out, "\",\"pid\":1,\"tid\":{},\"ts\":{}}}", e.track.0, us(e.ts_ns));
+        let _ = write!(
+            out,
+            "\",\"pid\":1,\"tid\":{},\"ts\":{}}}",
+            e.track.0,
+            us(e.ts_ns)
+        );
     }
     for c in &snap.counters {
         sep(&mut out);
@@ -181,7 +186,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn new(s: &'a str) -> Self {
-        Parser { bytes: s.as_bytes(), pos: 0 }
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
     }
 
     fn err(&self, msg: &str) -> String {
@@ -309,8 +317,8 @@ impl<'a> Parser<'a> {
                                 .bytes
                                 .get(self.pos..self.pos + 4)
                                 .ok_or_else(|| self.err("bad \\u escape"))?;
-                            let hex = std::str::from_utf8(hex)
-                                .map_err(|_| self.err("bad \\u escape"))?;
+                            let hex =
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?;
                             let code = u32::from_str_radix(hex, 16)
                                 .map_err(|_| self.err("bad \\u escape"))?;
                             self.pos += 4;
@@ -324,7 +332,10 @@ impl<'a> Parser<'a> {
                     // boundaries are valid).
                     let rest = &self.bytes[self.pos..];
                     let s = std::str::from_utf8(rest).map_err(|_| self.err("bad utf8"))?;
-                    let c = s.chars().next().ok_or_else(|| self.err("unterminated string"))?;
+                    let c = s
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.err("unterminated string"))?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -343,7 +354,9 @@ impl<'a> Parser<'a> {
         }
         let s = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| self.err("bad number"))?;
-        s.parse::<f64>().map(Json::Num).map_err(|_| self.err("bad number"))
+        s.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("bad number"))
     }
 }
 
@@ -367,9 +380,7 @@ fn parse(s: &str) -> Result<Json, String> {
 /// Returns a description of the first malformed construct.
 pub fn validate_chrome_json(json: &str) -> Result<ChromeTraceStats, String> {
     let root = parse(json)?;
-    let events = root
-        .get("traceEvents")
-        .ok_or("missing `traceEvents`")?;
+    let events = root.get("traceEvents").ok_or("missing `traceEvents`")?;
     let Json::Arr(events) = events else {
         return Err("`traceEvents` is not an array".into());
     };
@@ -380,25 +391,40 @@ pub fn validate_chrome_json(json: &str) -> Result<ChromeTraceStats, String> {
             .get("ph")
             .and_then(Json::as_str)
             .ok_or_else(|| ctx("missing `ph`"))?;
-        ev.get("pid").and_then(Json::as_num).ok_or_else(|| ctx("missing `pid`"))?;
-        ev.get("tid").and_then(Json::as_num).ok_or_else(|| ctx("missing `tid`"))?;
+        ev.get("pid")
+            .and_then(Json::as_num)
+            .ok_or_else(|| ctx("missing `pid`"))?;
+        ev.get("tid")
+            .and_then(Json::as_num)
+            .ok_or_else(|| ctx("missing `tid`"))?;
         match ph {
             "X" => {
-                ev.get("name").and_then(Json::as_str).ok_or_else(|| ctx("span without name"))?;
-                let ts = ev.get("ts").and_then(Json::as_num).ok_or_else(|| ctx("span without ts"))?;
-                let dur =
-                    ev.get("dur").and_then(Json::as_num).ok_or_else(|| ctx("span without dur"))?;
+                ev.get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| ctx("span without name"))?;
+                let ts = ev
+                    .get("ts")
+                    .and_then(Json::as_num)
+                    .ok_or_else(|| ctx("span without ts"))?;
+                let dur = ev
+                    .get("dur")
+                    .and_then(Json::as_num)
+                    .ok_or_else(|| ctx("span without dur"))?;
                 if ts < 0.0 || dur < 0.0 {
                     return Err(ctx("negative timestamp"));
                 }
                 stats.spans += 1;
             }
             "i" => {
-                ev.get("ts").and_then(Json::as_num).ok_or_else(|| ctx("instant without ts"))?;
+                ev.get("ts")
+                    .and_then(Json::as_num)
+                    .ok_or_else(|| ctx("instant without ts"))?;
                 stats.instants += 1;
             }
             "C" => {
-                ev.get("ts").and_then(Json::as_num).ok_or_else(|| ctx("counter without ts"))?;
+                ev.get("ts")
+                    .and_then(Json::as_num)
+                    .ok_or_else(|| ctx("counter without ts"))?;
                 ev.get("args").ok_or_else(|| ctx("counter without args"))?;
                 stats.counters += 1;
             }
@@ -419,7 +445,14 @@ mod tests {
         let drv = t.track("driver");
         let w = t.track("worker \"0\"");
         t.record_span("driver", "phase1", drv, 0, 1_500, vec![]);
-        t.record_span("worker", "fn dot8\n", w, 1_500, 2_000, vec![("units", 42.0)]);
+        t.record_span(
+            "worker",
+            "fn dot8\n",
+            w,
+            1_500,
+            2_000,
+            vec![("units", 42.0)],
+        );
         t.instant("sched", "dispatch", w, 1_500);
         t.counter("workstations", drv, 0, 8.0);
         t.snapshot()
@@ -451,8 +484,7 @@ mod tests {
         assert!(validate_chrome_json("{}").is_err());
         assert!(validate_chrome_json("{\"traceEvents\":{}}").is_err());
         assert!(
-            validate_chrome_json("{\"traceEvents\":[{\"ph\":\"X\",\"pid\":1,\"tid\":0}]}")
-                .is_err()
+            validate_chrome_json("{\"traceEvents\":[{\"ph\":\"X\",\"pid\":1,\"tid\":0}]}").is_err()
         );
     }
 

@@ -53,6 +53,5 @@ pub mod trace;
 pub use chrome::{to_chrome_json, validate_chrome_json, ChromeTraceStats};
 pub use summary::render_summary;
 pub use trace::{
-    ClockDomain, CounterRecord, InstantRecord, SpanGuard, SpanRecord, TraceSnapshot, Trace,
-    TrackId,
+    ClockDomain, CounterRecord, InstantRecord, SpanGuard, SpanRecord, Trace, TraceSnapshot, TrackId,
 };

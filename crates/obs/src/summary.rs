@@ -45,7 +45,11 @@ pub fn render_summary(snap: &TraceSnapshot, top_n: usize) -> String {
     if !cats.is_empty() {
         let _ = writeln!(out, "per-category totals:");
         for (cat, (ns, n)) in &cats {
-            let _ = writeln!(out, "  {cat:>10}: {:>12}  ({n} span(s))", fmt_ns(snap.domain, *ns));
+            let _ = writeln!(
+                out,
+                "  {cat:>10}: {:>12}  ({n} span(s))",
+                fmt_ns(snap.domain, *ns)
+            );
         }
     }
 

@@ -131,7 +131,9 @@ impl TraceSnapshot {
     /// Name of `track` (`"?"` if out of range — only possible for
     /// hand-built snapshots).
     pub fn track_name(&self, track: TrackId) -> &str {
-        self.tracks.get(track.0 as usize).map_or("?", String::as_str)
+        self.tracks
+            .get(track.0 as usize)
+            .map_or("?", String::as_str)
     }
 
     /// Largest span end timestamp, i.e. the trace's horizon (0 for an
@@ -187,14 +189,18 @@ impl Trace {
     /// [`ClockDomain::Virtual`] traces, whose writers supply their own
     /// timestamps.
     pub fn now_ns(&self) -> u64 {
-        self.inner.as_ref().map_or(0, |i| i.epoch.elapsed().as_nanos() as u64)
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.epoch.elapsed().as_nanos() as u64)
     }
 
     /// Interns a track by name, returning its id. Repeated calls with
     /// the same name return the same id. On a disabled trace returns
     /// `TrackId(0)`.
     pub fn track(&self, name: &str) -> TrackId {
-        let Some(inner) = &self.inner else { return TrackId(0) };
+        let Some(inner) = &self.inner else {
+            return TrackId(0);
+        };
         let mut st = inner.state.lock().expect("trace lock");
         if let Some(i) = st.tracks.iter().position(|t| t == name) {
             TrackId(i as u32)
@@ -207,7 +213,12 @@ impl Trace {
     /// Opens a span on the monotonic clock; it is recorded when the
     /// returned guard is dropped (or [`SpanGuard::finish`]ed). On a
     /// disabled trace the guard is inert and no clock is read.
-    pub fn span(&self, cat: &'static str, name: impl Into<String>, track: TrackId) -> SpanGuard<'_> {
+    pub fn span(
+        &self,
+        cat: &'static str,
+        name: impl Into<String>,
+        track: TrackId,
+    ) -> SpanGuard<'_> {
         if self.inner.is_some() {
             SpanGuard {
                 trace: self,
@@ -244,14 +255,26 @@ impl Trace {
         args: Vec<(&'static str, f64)>,
     ) {
         let Some(inner) = &self.inner else { return };
-        let rec = SpanRecord { name: name.into(), cat, track, start_ns, dur_ns, args };
+        let rec = SpanRecord {
+            name: name.into(),
+            cat,
+            track,
+            start_ns,
+            dur_ns,
+            args,
+        };
         inner.state.lock().expect("trace lock").spans.push(rec);
     }
 
     /// Records a point event at an explicit timestamp.
     pub fn instant(&self, cat: &'static str, name: impl Into<String>, track: TrackId, ts_ns: u64) {
         let Some(inner) = &self.inner else { return };
-        let rec = InstantRecord { name: name.into(), cat, track, ts_ns };
+        let rec = InstantRecord {
+            name: name.into(),
+            cat,
+            track,
+            ts_ns,
+        };
         inner.state.lock().expect("trace lock").instants.push(rec);
     }
 
@@ -264,7 +287,12 @@ impl Trace {
     /// Records a counter sample at an explicit timestamp.
     pub fn counter(&self, name: impl Into<String>, track: TrackId, ts_ns: u64, value: f64) {
         let Some(inner) = &self.inner else { return };
-        let rec = CounterRecord { name: name.into(), track, ts_ns, value };
+        let rec = CounterRecord {
+            name: name.into(),
+            track,
+            ts_ns,
+            value,
+        };
         inner.state.lock().expect("trace lock").counters.push(rec);
     }
 

@@ -129,9 +129,17 @@ pub struct BenchReport {
 /// One scheduled request.
 #[derive(Debug, Clone)]
 enum Job {
-    Warm { tenant: usize },
-    Edit { tenant: usize, function: usize, generation: usize },
-    Cold { serial: usize },
+    Warm {
+        tenant: usize,
+    },
+    Edit {
+        tenant: usize,
+        function: usize,
+        generation: usize,
+    },
+    Cold {
+        serial: usize,
+    },
 }
 
 /// Builds a module with `functions` functions named
@@ -212,7 +220,9 @@ pub fn run(config: &BenchConfig) -> Result<BenchReport, ClientError> {
         let resp = control.compile(&source, config.options)?;
         let observed = started.elapsed().as_secs_f64() * 1e3;
         let Response::Compiled { compile_ns, .. } = resp else {
-            return Err(ClientError::Protocol(format!("seeding tenant {t} failed: {resp:?}")));
+            return Err(ClientError::Protocol(format!(
+                "seeding tenant {t} failed: {resp:?}"
+            )));
         };
         seed_ms.push((observed, compile_ns as f64 / 1e6));
     }
@@ -221,8 +231,7 @@ pub fn run(config: &BenchConfig) -> Result<BenchReport, ClientError> {
     // At least 8 connections regardless of the replay's client count:
     // the probe is about concurrency, not steady-state load.
     let probe_clients = config.clients.max(8);
-    let probe_source =
-        Arc::new(module_source("probe", config.functions, config.lines, &[]));
+    let probe_source = Arc::new(module_source("probe", config.functions, config.lines, &[]));
     let (misses_before, stores_before) = stats_counters(&mut control)?;
     let barrier = Arc::new(std::sync::Barrier::new(probe_clients));
     let mut probes = Vec::new();
@@ -260,7 +269,9 @@ pub fn run(config: &BenchConfig) -> Result<BenchReport, ClientError> {
         let job = match i % 10 {
             9 => {
                 cold_serial += 1;
-                Job::Cold { serial: cold_serial }
+                Job::Cold {
+                    serial: cold_serial,
+                }
             }
             3 | 6 | 8 => {
                 edit_serial += 1;
@@ -270,7 +281,9 @@ pub fn run(config: &BenchConfig) -> Result<BenchReport, ClientError> {
                     generation: edit_serial,
                 }
             }
-            n => Job::Warm { tenant: (i / 10 * 7 + n) % tenants },
+            n => Job::Warm {
+                tenant: (i / 10 * 7 + n) % tenants,
+            },
         };
         jobs.push_back(job);
     }
@@ -299,7 +312,11 @@ pub fn run(config: &BenchConfig) -> Result<BenchReport, ClientError> {
                     Job::Warm { tenant } => {
                         module_source(&format!("t{tenant}"), cfg.functions, cfg.lines, &[])
                     }
-                    Job::Edit { tenant, function, generation } => module_source(
+                    Job::Edit {
+                        tenant,
+                        function,
+                        generation,
+                    } => module_source(
                         &format!("t{tenant}"),
                         cfg.functions,
                         cfg.lines,
@@ -313,7 +330,11 @@ pub fn run(config: &BenchConfig) -> Result<BenchReport, ClientError> {
                 let resp = client.compile(&source, cfg.options)?;
                 let ms = started.elapsed().as_secs_f64() * 1e3;
                 let compile_ms = match resp {
-                    Response::Compiled { image_hex, compile_ns, .. } => {
+                    Response::Compiled {
+                        image_hex,
+                        compile_ns,
+                        ..
+                    } => {
                         if cfg.verify_identical {
                             verify_image(&source, cfg.options, &image_hex)?;
                             *verified.lock().expect("verified") += 1;
@@ -339,8 +360,10 @@ pub fn run(config: &BenchConfig) -> Result<BenchReport, ClientError> {
     }
     let wall_s = replay_start.elapsed().as_secs_f64();
 
-    let (warm_ms, edit_ms, cold_ms) =
-        Arc::try_unwrap(samples).expect("samples refs").into_inner().expect("samples lock");
+    let (warm_ms, edit_ms, cold_ms) = Arc::try_unwrap(samples)
+        .expect("samples refs")
+        .into_inner()
+        .expect("samples lock");
     let requests = (warm_ms.len() + edit_ms.len() + cold_ms.len()) as u64;
     let failures = *failures.lock().expect("failures");
     let verified_identical = *verified.lock().expect("verified");
@@ -352,7 +375,11 @@ pub fn run(config: &BenchConfig) -> Result<BenchReport, ClientError> {
         requests,
         failures,
         wall_s,
-        throughput_rps: if wall_s > 0.0 { requests as f64 / wall_s } else { 0.0 },
+        throughput_rps: if wall_s > 0.0 {
+            requests as f64 / wall_s
+        } else {
+            0.0
+        },
         dedup,
         verified_identical,
     })
@@ -360,11 +387,7 @@ pub fn run(config: &BenchConfig) -> Result<BenchReport, ClientError> {
 
 /// Compiles `source` locally and requires the daemon's image to be
 /// byte-identical.
-fn verify_image(
-    source: &str,
-    options: RequestOptions,
-    image_hex: &str,
-) -> Result<(), ClientError> {
+fn verify_image(source: &str, options: RequestOptions, image_hex: &str) -> Result<(), ClientError> {
     let local = parcc::compile_module_source(source, &options.to_compile_options())
         .map_err(|e| ClientError::Protocol(format!("local compile failed: {e}")))?;
     let local_bytes = warp_target::download::encode(&local.module_image)
@@ -411,7 +434,10 @@ pub fn report_json(report: &BenchReport, config: &BenchConfig) -> String {
         "  \"dedup\": {{ \"clients\": {}, \"functions\": {}, \"misses_delta\": {}, \"stores_delta\": {} }},\n",
         report.dedup.clients, report.dedup.functions, report.dedup.misses_delta, report.dedup.stores_delta
     ));
-    s.push_str(&format!("  \"verified_identical\": {}\n", report.verified_identical));
+    s.push_str(&format!(
+        "  \"verified_identical\": {}\n",
+        report.verified_identical
+    ));
     s.push_str("}\n");
     s
 }
@@ -475,7 +501,12 @@ mod tests {
             failures: 0,
             wall_s: 0.5,
             throughput_rps: 2.0,
-            dedup: DedupProbe { clients: 4, functions: 5, misses_delta: 5, stores_delta: 5 },
+            dedup: DedupProbe {
+                clients: 4,
+                functions: 5,
+                misses_delta: 5,
+                stores_delta: 5,
+            },
             verified_identical: 0,
         };
         let cfg = BenchConfig::new(Endpoint::Tcp("127.0.0.1:0".to_string()));
@@ -483,7 +514,9 @@ mod tests {
         let parsed = crate::json::parse(&text).expect("valid JSON");
         assert_eq!(parsed.str_field("schema"), Some("warp-bench-service/1"));
         assert_eq!(
-            parsed.get("dedup").and_then(|d| d.u64_field("misses_delta")),
+            parsed
+                .get("dedup")
+                .and_then(|d| d.u64_field("misses_delta")),
             Some(5)
         );
     }

@@ -261,8 +261,7 @@ fn main() -> ExitCode {
         "bench" => {
             let mut config = BenchConfig::new(endpoint);
             let number = |rest: &mut Vec<String>, flag: &str, default: usize| {
-                take_value(rest, flag)
-                    .map_or(default, |v| v.parse().unwrap_or_else(|_| usage()))
+                take_value(rest, flag).map_or(default, |v| v.parse().unwrap_or_else(|_| usage()))
             };
             config.clients = number(&mut rest, "--clients", config.clients);
             config.requests = number(&mut rest, "--requests", config.requests);

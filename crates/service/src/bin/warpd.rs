@@ -51,10 +51,12 @@ fn parse_args() -> Args {
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
-        let mut value = |flag: &str| it.next().unwrap_or_else(|| {
-            eprintln!("warpd: {flag} needs a value");
-            usage()
-        });
+        let mut value = |flag: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("warpd: {flag} needs a value");
+                usage()
+            })
+        };
         match arg.as_str() {
             "--socket" => args.endpoint = Endpoint::Unix(PathBuf::from(value("--socket"))),
             "--tcp" => args.endpoint = Endpoint::Tcp(value("--tcp")),

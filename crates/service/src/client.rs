@@ -209,7 +209,12 @@ impl Client {
         jobs: u64,
     ) -> Result<Response, ClientError> {
         let id = self.fresh_id();
-        self.call(&Request::Compile { id, module: module.to_string(), options, jobs })
+        self.call(&Request::Compile {
+            id,
+            module: module.to_string(),
+            options,
+            jobs,
+        })
     }
 
     /// Asks for the options fingerprint.

@@ -178,9 +178,12 @@ impl Shared {
     fn handle(&self, req: Request, conn_id: u64) -> Response {
         self.requests.fetch_add(1, Ordering::Relaxed);
         match req {
-            Request::Compile { id, module, options, jobs } => {
-                self.compile(id, &module, options, jobs, conn_id)
-            }
+            Request::Compile {
+                id,
+                module,
+                options,
+                jobs,
+            } => self.compile(id, &module, options, jobs, conn_id),
             Request::Fingerprint { id, options } => Response::Fingerprint {
                 id,
                 fingerprint: format!(
@@ -252,13 +255,19 @@ impl Shared {
         let permit = match self.admission.try_enter() {
             Ok(p) => p,
             Err((active, queued, limit)) => {
-                return Response::Overloaded { id, active, queued, limit }
+                return Response::Overloaded {
+                    id,
+                    active,
+                    queued,
+                    limit,
+                }
             }
         };
         let queue_ns = enq.elapsed().as_nanos() as u64;
         let track = self.trace.track(&format!("conn {conn_id} req {id}"));
         if queue_ns > 0 {
-            self.trace.record_span("service", "queue", track, arrive_ns, queue_ns, vec![]);
+            self.trace
+                .record_span("service", "queue", track, arrive_ns, queue_ns, vec![]);
         }
         let before = self.cache.stats();
         let compile_start = Instant::now();
@@ -281,8 +290,8 @@ impl Shared {
         // Deltas of the shared counters: exact when this request runs
         // alone, approximate under concurrent tenants (documented in
         // SERVICE.md).
-        let cache_hits =
-            (after.memory_hits + after.disk_hits).saturating_sub(before.memory_hits + before.disk_hits);
+        let cache_hits = (after.memory_hits + after.disk_hits)
+            .saturating_sub(before.memory_hits + before.disk_hits);
         let cache_misses = after.misses.saturating_sub(before.misses);
         self.trace.record_span(
             "service",
@@ -455,7 +464,11 @@ impl Warpd {
         let accept_thread = std::thread::Builder::new()
             .name("warpd-accept".to_string())
             .spawn(move || accept_loop(listener, accept_shared))?;
-        Ok(Warpd { shared, endpoint, accept_thread: Some(accept_thread) })
+        Ok(Warpd {
+            shared,
+            endpoint,
+            accept_thread: Some(accept_thread),
+        })
     }
 
     /// The bound endpoint, with OS-assigned TCP ports resolved.
@@ -552,7 +565,11 @@ fn handle_conn(shared: &Shared, mut conn: Conn, conn_id: u64) {
         let resp = match msg {
             Err(detail) => {
                 shared.requests.fetch_add(1, Ordering::Relaxed);
-                Response::Error { id: 0, code: ErrorCode::BadJson, message: detail }
+                Response::Error {
+                    id: 0,
+                    code: ErrorCode::BadJson,
+                    message: detail,
+                }
             }
             Ok(json) => match Request::from_json(&json) {
                 Err((id, code, message)) => {
@@ -596,7 +613,13 @@ mod tests {
 
     #[test]
     fn endpoint_display_is_schemed() {
-        assert_eq!(Endpoint::Unix(PathBuf::from("/tmp/w.sock")).to_string(), "unix:/tmp/w.sock");
-        assert_eq!(Endpoint::Tcp("127.0.0.1:1".to_string()).to_string(), "tcp:127.0.0.1:1");
+        assert_eq!(
+            Endpoint::Unix(PathBuf::from("/tmp/w.sock")).to_string(),
+            "unix:/tmp/w.sock"
+        );
+        assert_eq!(
+            Endpoint::Tcp("127.0.0.1:1".to_string()).to_string(),
+            "tcp:127.0.0.1:1"
+        );
     }
 }

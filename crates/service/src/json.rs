@@ -81,7 +81,12 @@ impl Json {
 /// Builds an object from key/value pairs (a tidy literal syntax for
 /// protocol encoders).
 pub fn obj(fields: Vec<(&str, Json)>) -> Json {
-    Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
 }
 
 impl fmt::Display for Json {
@@ -181,7 +186,10 @@ struct Parser<'a> {
 
 impl Parser<'_> {
     fn err(&self, message: &str) -> JsonError {
-        JsonError { at: self.pos, message: message.to_string() }
+        JsonError {
+            at: self.pos,
+            message: message.to_string(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -383,7 +391,10 @@ mod tests {
             ("id", Json::Num(7.0)),
             ("kind", Json::Str("compile".into())),
             ("module", Json::Str("module m;\n\"quoted\"\t\\".into())),
-            ("flags", Json::Arr(vec![Json::Bool(true), Json::Null, Json::Num(-1.5)])),
+            (
+                "flags",
+                Json::Arr(vec![Json::Bool(true), Json::Null, Json::Num(-1.5)]),
+            ),
         ]);
         let text = v.to_string();
         assert_eq!(parse(&text).unwrap(), v);
@@ -392,8 +403,16 @@ mod tests {
     #[test]
     fn rejects_malformed() {
         for bad in [
-            "", "{", "{\"a\":}", "[1,]", "{\"a\" 1}", "tru", "\"unterminated",
-            "{\"a\":1} trailing", "1e999", "\u{1}",
+            "",
+            "{",
+            "{\"a\":}",
+            "[1,]",
+            "{\"a\" 1}",
+            "tru",
+            "\"unterminated",
+            "{\"a\":1} trailing",
+            "1e999",
+            "\u{1}",
         ] {
             assert!(parse(bad).is_err(), "accepted {bad:?}");
         }

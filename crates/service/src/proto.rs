@@ -110,7 +110,9 @@ impl RequestOptions {
     }
 
     fn from_json(v: Option<&Json>) -> Option<RequestOptions> {
-        let Some(v) = v else { return Some(RequestOptions::default()) };
+        let Some(v) = v else {
+            return Some(RequestOptions::default());
+        };
         if !matches!(v, Json::Obj(_)) {
             return None;
         }
@@ -194,7 +196,12 @@ impl Request {
     /// Serializes to the wire JSON.
     pub fn to_json(&self) -> Json {
         let (kind, mut fields) = match self {
-            Request::Compile { id, module, options, jobs } => (
+            Request::Compile {
+                id,
+                module,
+                options,
+                jobs,
+            } => (
                 "compile",
                 vec![
                     ("id", Json::Num(*id as f64)),
@@ -205,7 +212,10 @@ impl Request {
             ),
             Request::Fingerprint { id, options } => (
                 "fingerprint",
-                vec![("id", Json::Num(*id as f64)), ("options", options.to_json())],
+                vec![
+                    ("id", Json::Num(*id as f64)),
+                    ("options", options.to_json()),
+                ],
             ),
             Request::CacheStats { id } => ("cache_stats", vec![("id", Json::Num(*id as f64))]),
             Request::Health { id } => ("health", vec![("id", Json::Num(*id as f64))]),
@@ -233,7 +243,9 @@ impl Request {
         if v.u64_field("id").is_none() {
             return Err(bad("missing or non-integer `id`"));
         }
-        let kind = v.str_field("kind").ok_or_else(|| bad("missing string `kind`"))?;
+        let kind = v
+            .str_field("kind")
+            .ok_or_else(|| bad("missing string `kind`"))?;
         let options = || {
             RequestOptions::from_json(v.get("options"))
                 .ok_or_else(|| bad("`options` must be an object of booleans"))
@@ -250,16 +262,26 @@ impl Request {
                         .u64_field("jobs")
                         .ok_or_else(|| bad("`jobs` must be a non-negative integer"))?,
                 };
-                Ok(Request::Compile { id, module: module.to_string(), options: options()?, jobs })
+                Ok(Request::Compile {
+                    id,
+                    module: module.to_string(),
+                    options: options()?,
+                    jobs,
+                })
             }
-            "fingerprint" => Ok(Request::Fingerprint { id, options: options()? }),
+            "fingerprint" => Ok(Request::Fingerprint {
+                id,
+                options: options()?,
+            }),
             "cache_stats" => Ok(Request::CacheStats { id }),
             "health" => Ok(Request::Health { id }),
             "drain" => Ok(Request::Drain { id }),
             "shutdown" => Ok(Request::Shutdown { id }),
-            other => {
-                Err((id, ErrorCode::UnknownKind, format!("unknown request kind `{other}`")))
-            }
+            other => Err((
+                id,
+                ErrorCode::UnknownKind,
+                format!("unknown request kind `{other}`"),
+            )),
         }
     }
 }
@@ -442,13 +464,17 @@ impl Response {
                 ("active", num(info.active)),
                 ("queued", num(info.queued)),
             ]),
-            Response::Draining { id } => {
-                obj(vec![("id", num(*id)), ("kind", Json::Str("draining".into()))])
-            }
-            Response::Bye { id } => {
-                obj(vec![("id", num(*id)), ("kind", Json::Str("bye".into()))])
-            }
-            Response::Overloaded { id, active, queued, limit } => obj(vec![
+            Response::Draining { id } => obj(vec![
+                ("id", num(*id)),
+                ("kind", Json::Str("draining".into())),
+            ]),
+            Response::Bye { id } => obj(vec![("id", num(*id)), ("kind", Json::Str("bye".into()))]),
+            Response::Overloaded {
+                id,
+                active,
+                queued,
+                limit,
+            } => obj(vec![
                 ("id", num(*id)),
                 ("kind", Json::Str("overloaded".into())),
                 ("active", num(*active)),
@@ -473,7 +499,8 @@ impl Response {
         let id = v.u64_field("id").ok_or("response missing `id`")?;
         let kind = v.str_field("kind").ok_or("response missing `kind`")?;
         let field = |key: &str| {
-            v.u64_field(key).ok_or_else(|| format!("`{kind}` response missing `{key}`"))
+            v.u64_field(key)
+                .ok_or_else(|| format!("`{kind}` response missing `{key}`"))
         };
         let strf = |key: &str| {
             v.str_field(key)
@@ -491,7 +518,10 @@ impl Response {
                 queue_ns: field("queue_ns")?,
                 compile_ns: field("compile_ns")?,
             },
-            "fingerprint" => Response::Fingerprint { id, fingerprint: strf("fingerprint")? },
+            "fingerprint" => Response::Fingerprint {
+                id,
+                fingerprint: strf("fingerprint")?,
+            },
             "cache_stats" => Response::CacheStats {
                 id,
                 stats: WireCacheStats {
@@ -561,7 +591,10 @@ impl std::fmt::Display for FrameError {
         match self {
             FrameError::Closed => write!(f, "connection closed"),
             FrameError::TooLarge { declared, limit } => {
-                write!(f, "frame of {declared} bytes exceeds the {limit}-byte limit")
+                write!(
+                    f,
+                    "frame of {declared} bytes exceeds the {limit}-byte limit"
+                )
             }
             FrameError::Io(e) => write!(f, "frame I/O: {e}"),
         }
@@ -611,7 +644,10 @@ pub fn read_frame(
     read_exact_retry(r, &mut header, true, &keep_going)?;
     let len = u32::from_le_bytes(header) as usize;
     if len > max {
-        return Err(FrameError::TooLarge { declared: len, limit: max });
+        return Err(FrameError::TooLarge {
+            declared: len,
+            limit: max,
+        });
     }
     let mut payload = vec![0u8; len];
     read_exact_retry(r, &mut payload, false, &keep_going)?;
@@ -642,8 +678,10 @@ fn read_exact_retry(
             }
             Ok(n) => filled += n,
             Err(e)
-                if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
-                    || e.kind() == io::ErrorKind::Interrupted =>
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) || e.kind() == io::ErrorKind::Interrupted =>
             {
                 if !keep_going() {
                     return Err(FrameError::Io(io::Error::new(
@@ -730,7 +768,10 @@ mod tests {
             Request::Compile {
                 id: 1,
                 module: "module m;\nend;".into(),
-                options: RequestOptions { inline: true, ..RequestOptions::default() },
+                options: RequestOptions {
+                    inline: true,
+                    ..RequestOptions::default()
+                },
                 jobs: 0,
             },
             Request::Compile {
@@ -739,7 +780,10 @@ mod tests {
                 options: RequestOptions::default(),
                 jobs: 8,
             },
-            Request::Fingerprint { id: 2, options: RequestOptions::default() },
+            Request::Fingerprint {
+                id: 2,
+                options: RequestOptions::default(),
+            },
             Request::CacheStats { id: 3 },
             Request::Health { id: 4 },
             Request::Drain { id: 5 },
@@ -747,8 +791,8 @@ mod tests {
         ];
         for req in reqs {
             let json = req.to_json();
-            let back = Request::from_json(&crate::json::parse(&json.to_string()).unwrap())
-                .expect("parse");
+            let back =
+                Request::from_json(&crate::json::parse(&json.to_string()).unwrap()).expect("parse");
             assert_eq!(back, req);
         }
     }
@@ -766,10 +810,17 @@ mod tests {
                 queue_ns: 1_000,
                 compile_ns: 2_000_000,
             },
-            Response::Fingerprint { id: 2, fingerprint: "00ff00ff00ff00ff".into() },
+            Response::Fingerprint {
+                id: 2,
+                fingerprint: "00ff00ff00ff00ff".into(),
+            },
             Response::CacheStats {
                 id: 3,
-                stats: WireCacheStats { memory_hits: 9, misses: 1, ..Default::default() },
+                stats: WireCacheStats {
+                    memory_hits: 9,
+                    misses: 1,
+                    ..Default::default()
+                },
             },
             Response::Health {
                 id: 4,
@@ -784,8 +835,17 @@ mod tests {
             },
             Response::Draining { id: 5 },
             Response::Bye { id: 6 },
-            Response::Overloaded { id: 7, active: 2, queued: 8, limit: 8 },
-            Response::Error { id: 8, code: ErrorCode::CompileFailed, message: "boom".into() },
+            Response::Overloaded {
+                id: 7,
+                active: 2,
+                queued: 8,
+                limit: 8,
+            },
+            Response::Error {
+                id: 8,
+                code: ErrorCode::CompileFailed,
+                message: "boom".into(),
+            },
         ];
         for resp in resps {
             let json = resp.to_json();
@@ -841,7 +901,10 @@ mod tests {
         let mut r = Cursor::new(buf);
         assert_eq!(read_frame(&mut r, 1024, || true).unwrap(), b"hello");
         assert_eq!(read_frame(&mut r, 1024, || true).unwrap(), b"");
-        assert!(matches!(read_frame(&mut r, 1024, || true), Err(FrameError::Closed)));
+        assert!(matches!(
+            read_frame(&mut r, 1024, || true),
+            Err(FrameError::Closed)
+        ));
     }
 
     #[test]
@@ -851,7 +914,10 @@ mod tests {
         let mut r = Cursor::new(buf.clone());
         assert!(matches!(
             read_frame(&mut r, 99, || true),
-            Err(FrameError::TooLarge { declared: 100, limit: 99 })
+            Err(FrameError::TooLarge {
+                declared: 100,
+                limit: 99
+            })
         ));
 
         // Truncate mid-payload.

@@ -62,7 +62,10 @@ fn oversized_frame_gets_frame_too_large_then_close() {
 
     // The daemon itself is unharmed.
     let mut fresh = connect(&daemon);
-    assert!(matches!(fresh.health().expect("health"), Response::Health { .. }));
+    assert!(matches!(
+        fresh.health().expect("health"),
+        Response::Health { .. }
+    ));
     stop(daemon);
 }
 
@@ -79,7 +82,10 @@ fn truncated_frame_drops_connection_but_not_daemon() {
     drop(client);
 
     let mut fresh = connect(&daemon);
-    assert!(matches!(fresh.health().expect("health"), Response::Health { .. }));
+    assert!(matches!(
+        fresh.health().expect("health"),
+        Response::Health { .. }
+    ));
     stop(daemon);
 }
 
@@ -121,7 +127,10 @@ fn unknown_kind_and_bad_shapes_get_stable_codes() {
         }
         other => panic!("expected bad-json, got {other:?}"),
     }
-    assert!(matches!(client.health().expect("health"), Response::Health { .. }));
+    assert!(matches!(
+        client.health().expect("health"),
+        Response::Health { .. }
+    ));
     stop(daemon);
 }
 
@@ -156,7 +165,8 @@ fn concurrent_duplicates_compile_each_function_once() {
             std::thread::spawn(move || {
                 let mut c = Client::connect(&endpoint, Duration::from_secs(5)).expect("connect");
                 barrier.wait();
-                c.compile(&source, RequestOptions::default()).expect("compile")
+                c.compile(&source, RequestOptions::default())
+                    .expect("compile")
             })
         })
         .collect();
@@ -214,8 +224,16 @@ fn full_admission_queue_answers_overloaded() {
 
     // ...then the next compile must be refused, not queued.
     let tiny = module("tiny", 1, 8);
-    match control.compile(&tiny, RequestOptions::default()).expect("reply") {
-        Response::Overloaded { active, queued, limit, .. } => {
+    match control
+        .compile(&tiny, RequestOptions::default())
+        .expect("reply")
+    {
+        Response::Overloaded {
+            active,
+            queued,
+            limit,
+            ..
+        } => {
             assert_eq!(active, 1);
             assert_eq!(queued, 0);
             assert_eq!(limit, 0);
@@ -223,10 +241,15 @@ fn full_admission_queue_answers_overloaded() {
         other => panic!("expected overloaded, got {other:?}"),
     }
 
-    assert!(matches!(busy.join().expect("busy thread"), Response::Compiled { .. }));
+    assert!(matches!(
+        busy.join().expect("busy thread"),
+        Response::Compiled { .. }
+    ));
     // With the worker free again the same request succeeds.
     assert!(matches!(
-        control.compile(&tiny, RequestOptions::default()).expect("reply"),
+        control
+            .compile(&tiny, RequestOptions::default())
+            .expect("reply"),
         Response::Compiled { .. }
     ));
     stop(daemon);

@@ -36,7 +36,12 @@ fn daemon_image_is_bit_identical_to_direct_compilation() {
 
     for options in [
         RequestOptions::default(),
-        RequestOptions { inline: true, ifconv: true, absint: true, verify: false },
+        RequestOptions {
+            inline: true,
+            ifconv: true,
+            absint: true,
+            verify: false,
+        },
     ] {
         let source = module("ident", 3, 20);
         let remote = match client.compile(&source, options).expect("compile") {
@@ -46,7 +51,10 @@ fn daemon_image_is_bit_identical_to_direct_compilation() {
         let local = parcc::compile_module_source(&source, &options.to_compile_options())
             .expect("local compile");
         let local_bytes = warp_target::download::encode(&local.module_image).expect("encode");
-        assert_eq!(remote, local_bytes, "daemon and warpcc images must be byte-identical");
+        assert_eq!(
+            remote, local_bytes,
+            "daemon and warpcc images must be byte-identical"
+        );
     }
     daemon.stop();
     daemon.join();
@@ -61,21 +69,32 @@ fn jobs_request_is_bit_identical_to_sequential_and_direct() {
     // Per-request parallelism must never change the output bytes —
     // only latency. Compare jobs=1, an explicit jobs=4, and the
     // absent-field default against a direct in-process compile.
-    let compile = |client: &mut Client, jobs: u64| {
-        match client.compile_jobs(&source, RequestOptions::default(), jobs).expect("compile") {
-            Response::Compiled { image_hex, .. } => from_hex(&image_hex).expect("hex"),
-            other => panic!("compile (jobs={jobs}) failed: {other:?}"),
-        }
+    let compile = |client: &mut Client, jobs: u64| match client
+        .compile_jobs(&source, RequestOptions::default(), jobs)
+        .expect("compile")
+    {
+        Response::Compiled { image_hex, .. } => from_hex(&image_hex).expect("hex"),
+        other => panic!("compile (jobs={jobs}) failed: {other:?}"),
     };
     let sequential = compile(&mut client, 1);
     let parallel = compile(&mut client, 4);
     let defaulted = compile(&mut client, 0);
-    let local = parcc::compile_module_source(&source, &RequestOptions::default().to_compile_options())
-        .expect("local compile");
+    let local =
+        parcc::compile_module_source(&source, &RequestOptions::default().to_compile_options())
+            .expect("local compile");
     let local_bytes = warp_target::download::encode(&local.module_image).expect("encode");
-    assert_eq!(parallel, sequential, "jobs=4 must be byte-identical to jobs=1");
-    assert_eq!(defaulted, sequential, "daemon-default jobs must be byte-identical too");
-    assert_eq!(sequential, local_bytes, "daemon and warpcc images must be byte-identical");
+    assert_eq!(
+        parallel, sequential,
+        "jobs=4 must be byte-identical to jobs=1"
+    );
+    assert_eq!(
+        defaulted, sequential,
+        "daemon-default jobs must be byte-identical too"
+    );
+    assert_eq!(
+        sequential, local_bytes,
+        "daemon and warpcc images must be byte-identical"
+    );
     daemon.stop();
     daemon.join();
 }
@@ -86,16 +105,30 @@ fn warm_recompile_hits_cache_for_every_function() {
     let mut client = connect(&daemon);
     let source = module("warm", 4, 16);
 
-    match client.compile(&source, RequestOptions::default()).expect("cold") {
-        Response::Compiled { cache_hits, cache_misses, .. } => {
+    match client
+        .compile(&source, RequestOptions::default())
+        .expect("cold")
+    {
+        Response::Compiled {
+            cache_hits,
+            cache_misses,
+            ..
+        } => {
             assert_eq!((cache_hits, cache_misses), (0, 4));
         }
         other => panic!("cold compile failed: {other:?}"),
     }
     // A second tenant compiling the identical module takes pure hits.
     let mut second = connect(&daemon);
-    match second.compile(&source, RequestOptions::default()).expect("warm") {
-        Response::Compiled { cache_hits, cache_misses, .. } => {
+    match second
+        .compile(&source, RequestOptions::default())
+        .expect("warm")
+    {
+        Response::Compiled {
+            cache_hits,
+            cache_misses,
+            ..
+        } => {
             assert_eq!((cache_hits, cache_misses), (4, 0));
         }
         other => panic!("warm compile failed: {other:?}"),
@@ -111,7 +144,9 @@ fn single_function_edit_misses_exactly_once() {
 
     let base = module("edit", 5, 16);
     assert!(matches!(
-        client.compile(&base, RequestOptions::default()).expect("seed"),
+        client
+            .compile(&base, RequestOptions::default())
+            .expect("seed"),
         Response::Compiled { .. }
     ));
 
@@ -120,13 +155,24 @@ fn single_function_edit_misses_exactly_once() {
     let mut edited = String::from("module edit;\nsection main on cells 0..9;\n");
     for j in 0..5 {
         let lines = if j == 2 { 17 } else { 16 };
-        edited.push_str(&warp_workload::function_source_with(&format!("edit_f{j}"), lines, 2));
+        edited.push_str(&warp_workload::function_source_with(
+            &format!("edit_f{j}"),
+            lines,
+            2,
+        ));
         edited.push('\n');
     }
     edited.push_str("end;\n");
 
-    match client.compile(&edited, RequestOptions::default()).expect("edit") {
-        Response::Compiled { cache_hits, cache_misses, .. } => {
+    match client
+        .compile(&edited, RequestOptions::default())
+        .expect("edit")
+    {
+        Response::Compiled {
+            cache_hits,
+            cache_misses,
+            ..
+        } => {
             assert_eq!(
                 (cache_hits, cache_misses),
                 (4, 1),
@@ -145,17 +191,26 @@ fn fingerprint_matches_local_and_distinguishes_options() {
     let mut client = connect(&daemon);
 
     let plain = RequestOptions::default();
-    let tuned = RequestOptions { inline: true, ..RequestOptions::default() };
+    let tuned = RequestOptions {
+        inline: true,
+        ..RequestOptions::default()
+    };
     let fp = |client: &mut Client, o: RequestOptions| match client.fingerprint(o).expect("fp") {
         Response::Fingerprint { fingerprint, .. } => fingerprint,
         other => panic!("unexpected {other:?}"),
     };
     let fp_plain = fp(&mut client, plain);
     let fp_tuned = fp(&mut client, tuned);
-    assert_ne!(fp_plain, fp_tuned, "different options, different cache keyspace");
+    assert_ne!(
+        fp_plain, fp_tuned,
+        "different options, different cache keyspace"
+    );
     assert_eq!(
         fp_plain,
-        format!("{:016x}", parcc::options_fingerprint(&plain.to_compile_options())),
+        format!(
+            "{:016x}",
+            parcc::options_fingerprint(&plain.to_compile_options())
+        ),
         "daemon fingerprint must match the library's"
     );
     daemon.stop();
@@ -167,11 +222,17 @@ fn drain_refuses_compiles_but_serves_introspection() {
     let daemon = Warpd::start(tcp_config()).expect("start");
     let mut client = connect(&daemon);
 
-    assert!(matches!(client.drain().expect("drain"), Response::Draining { .. }));
+    assert!(matches!(
+        client.drain().expect("drain"),
+        Response::Draining { .. }
+    ));
 
     // Compiles are refused with the stable `draining` code...
     let source = module("late", 1, 10);
-    match client.compile(&source, RequestOptions::default()).expect("reply") {
+    match client
+        .compile(&source, RequestOptions::default())
+        .expect("reply")
+    {
         Response::Error { code, .. } => assert_eq!(code, ErrorCode::Draining),
         other => panic!("expected draining error, got {other:?}"),
     }
@@ -180,9 +241,15 @@ fn drain_refuses_compiles_but_serves_introspection() {
         Response::Health { info, .. } => assert_eq!(info.status, "draining"),
         other => panic!("unexpected {other:?}"),
     }
-    assert!(matches!(client.cache_stats().expect("stats"), Response::CacheStats { .. }));
+    assert!(matches!(
+        client.cache_stats().expect("stats"),
+        Response::CacheStats { .. }
+    ));
 
-    assert!(matches!(client.shutdown().expect("shutdown"), Response::Bye { .. }));
+    assert!(matches!(
+        client.shutdown().expect("shutdown"),
+        Response::Bye { .. }
+    ));
     daemon.join();
 }
 
@@ -199,10 +266,15 @@ fn unix_socket_lifecycle_unlinks_on_shutdown() {
     let mut client = connect(&daemon);
     let source = module("unix", 2, 12);
     assert!(matches!(
-        client.compile(&source, RequestOptions::default()).expect("compile"),
+        client
+            .compile(&source, RequestOptions::default())
+            .expect("compile"),
         Response::Compiled { .. }
     ));
-    assert!(matches!(client.shutdown().expect("shutdown"), Response::Bye { .. }));
+    assert!(matches!(
+        client.shutdown().expect("shutdown"),
+        Response::Bye { .. }
+    ));
     daemon.join();
     assert!(!sock.exists(), "socket file must be unlinked on shutdown");
 }
@@ -215,17 +287,29 @@ fn requests_land_on_service_spans() {
     let mut client = connect(&daemon);
 
     let source = module("traced", 2, 12);
-    let (queue_ns, compile_ns) =
-        match client.compile(&source, RequestOptions::default()).expect("compile") {
-            Response::Compiled { queue_ns, compile_ns, .. } => (queue_ns, compile_ns),
-            other => panic!("compile failed: {other:?}"),
-        };
+    let (queue_ns, compile_ns) = match client
+        .compile(&source, RequestOptions::default())
+        .expect("compile")
+    {
+        Response::Compiled {
+            queue_ns,
+            compile_ns,
+            ..
+        } => (queue_ns, compile_ns),
+        other => panic!("compile failed: {other:?}"),
+    };
     assert!(compile_ns > 0);
 
     let snap = daemon.trace().snapshot();
-    let request_spans: Vec<_> =
-        snap.spans_in("service").filter(|s| s.name.starts_with("request")).collect();
-    assert_eq!(request_spans.len(), 1, "one service request span per compile");
+    let request_spans: Vec<_> = snap
+        .spans_in("service")
+        .filter(|s| s.name.starts_with("request"))
+        .collect();
+    assert_eq!(
+        request_spans.len(),
+        1,
+        "one service request span per compile"
+    );
     let span = request_spans[0];
     assert_eq!(span.arg("compile_ns"), Some(compile_ns as f64));
     assert_eq!(span.arg("queue_ns"), Some(queue_ns as f64));

@@ -14,7 +14,14 @@ fn spec() -> String {
 #[test]
 fn every_request_kind_is_documented() {
     let spec = spec();
-    for kind in ["compile", "fingerprint", "cache_stats", "health", "drain", "shutdown"] {
+    for kind in [
+        "compile",
+        "fingerprint",
+        "cache_stats",
+        "health",
+        "drain",
+        "shutdown",
+    ] {
         assert!(
             spec.contains(&format!("### `{kind}`")),
             "request kind `{kind}` has no spec section"
@@ -25,10 +32,19 @@ fn every_request_kind_is_documented() {
 #[test]
 fn every_response_kind_is_documented() {
     let spec = spec();
-    for kind in
-        ["compiled", "fingerprint", "cache_stats", "health", "draining", "bye", "overloaded"]
-    {
-        assert!(spec.contains(&format!("`{kind}`")), "response kind `{kind}` is not in the spec");
+    for kind in [
+        "compiled",
+        "fingerprint",
+        "cache_stats",
+        "health",
+        "draining",
+        "bye",
+        "overloaded",
+    ] {
+        assert!(
+            spec.contains(&format!("`{kind}`")),
+            "response kind `{kind}` is not in the spec"
+        );
     }
 }
 
@@ -54,7 +70,10 @@ fn every_error_code_is_documented() {
 #[test]
 fn per_request_jobs_field_is_documented() {
     let spec = spec();
-    assert!(spec.contains("`jobs`"), "the compile request's `jobs` field is undocumented");
+    assert!(
+        spec.contains("`jobs`"),
+        "the compile request's `jobs` field is undocumented"
+    );
     assert_eq!(warp_service::daemon::MAX_JOBS_PER_REQUEST, 256);
     assert!(
         spec.contains("capped at 256"),
@@ -66,16 +85,28 @@ fn per_request_jobs_field_is_documented() {
 fn documented_constants_match_the_implementation() {
     let spec = spec();
     assert_eq!(MAX_FRAME_DEFAULT, 16 * 1024 * 1024);
-    assert!(spec.contains("16 MiB"), "spec must state the default frame bound");
+    assert!(
+        spec.contains("16 MiB"),
+        "spec must state the default frame bound"
+    );
     assert_eq!(PROTOCOL_VERSION, 1);
     assert!(
         spec.contains("protocol version **1**"),
         "spec must state the protocol version it describes"
     );
     // The compile response fields the spec tabulates.
-    for field in
-        ["image_hex", "functions", "warnings", "cache_hits", "cache_misses", "queue_ns", "compile_ns"]
-    {
-        assert!(spec.contains(&format!("`{field}`")), "compiled field `{field}` undocumented");
+    for field in [
+        "image_hex",
+        "functions",
+        "warnings",
+        "cache_hits",
+        "cache_misses",
+        "queue_ns",
+        "compile_ns",
+    ] {
+        assert!(
+            spec.contains(&format!("`{field}`")),
+            "compiled field `{field}` undocumented"
+        );
     }
 }

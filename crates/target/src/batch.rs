@@ -74,7 +74,11 @@ pub struct BatchOptions {
 
 impl Default for BatchOptions {
     fn default() -> Self {
-        BatchOptions { config: CellConfig::default(), strict: true, max_cycles: 1_000_000 }
+        BatchOptions {
+            config: CellConfig::default(),
+            strict: true,
+            max_cycles: 1_000_000,
+        }
     }
 }
 
@@ -445,11 +449,29 @@ fn run_lane(
         let mut queue_push: Option<(QueueDir, Value)> = None;
         for op in word.ops.iter() {
             if let Err(kind) = lane_op(
-                op, strict, cyc, nr, mw, &mut fu, regs, reg_def, mem, mem_def, in_left,
-                in_right, pending, &mut next_due, &mut mem_write, &mut queue_push,
+                op,
+                strict,
+                cyc,
+                nr,
+                mw,
+                &mut fu,
+                regs,
+                reg_def,
+                mem,
+                mem_def,
+                in_left,
+                in_right,
+                pending,
+                &mut next_due,
+                &mut mem_write,
+                &mut queue_push,
             ) {
                 pending.truncate(base);
-                break 'run LaneStatus::Trapped(InterpError::Fault { function: f, pc: p, kind });
+                break 'run LaneStatus::Trapped(InterpError::Fault {
+                    function: f,
+                    pc: p,
+                    kind,
+                });
             }
         }
 
@@ -571,7 +593,12 @@ pub struct BatchInterp {
 impl BatchInterp {
     /// An empty batch under `config`.
     pub fn new(config: CellConfig, strict: bool) -> BatchInterp {
-        BatchInterp { config, strict, programs: Vec::new(), lanes: Lanes::default() }
+        BatchInterp {
+            config,
+            strict,
+            programs: Vec::new(),
+            lanes: Lanes::default(),
+        }
     }
 
     /// Registers a linked section image, validating it exactly like
@@ -608,7 +635,11 @@ impl BatchInterp {
     /// in `r1..` as defined values, and the input queues are
     /// preloaded. Returns the lane index.
     pub fn add_lane(&mut self, input: &LaneInput) -> Result<usize, InterpError> {
-        assert!(input.program < self.programs.len(), "unknown program index {}", input.program);
+        assert!(
+            input.program < self.programs.len(),
+            "unknown program index {}",
+            input.program
+        );
         let prog = &self.programs[input.program];
         let idx = prog
             .fn_names
@@ -801,8 +832,18 @@ mod tests {
 
     /// A tiny program: r0 := arg * 2 + 1 (integer), then return.
     fn double_inc() -> SectionImage {
-        let mul = Op::new2(Opcode::IMul, Reg(10), Operand::Reg(Reg(1)), Operand::ImmI(2));
-        let add = Op::new2(Opcode::IAdd, Reg(0), Operand::Reg(Reg(10)), Operand::ImmI(1));
+        let mul = Op::new2(
+            Opcode::IMul,
+            Reg(10),
+            Operand::Reg(Reg(1)),
+            Operand::ImmI(2),
+        );
+        let add = Op::new2(
+            Opcode::IAdd,
+            Reg(0),
+            Operand::Reg(Reg(10)),
+            Operand::ImmI(1),
+        );
         section(
             vec![
                 word(&[(FuKind::Alu, mul)], None),
@@ -816,11 +857,15 @@ mod tests {
     #[test]
     fn lanes_match_solo_strict_runs() {
         let img = double_inc();
-        let inputs: Vec<LaneInput> =
-            (0..17).map(|i| LaneInput::call(0, "f", vec![Value::I(i)])).collect();
-        let batch =
-            BatchInterp::run(std::slice::from_ref(&img), &inputs, &BatchOptions::default())
-                .unwrap();
+        let inputs: Vec<LaneInput> = (0..17)
+            .map(|i| LaneInput::call(0, "f", vec![Value::I(i)]))
+            .collect();
+        let batch = BatchInterp::run(
+            std::slice::from_ref(&img),
+            &inputs,
+            &BatchOptions::default(),
+        )
+        .unwrap();
         for (lane, input) in inputs.iter().enumerate() {
             let mut cell = Cell::new(CellConfig::default(), img.clone()).unwrap();
             cell.set_strict(true);
@@ -829,15 +874,26 @@ mod tests {
             let report = batch.report(lane);
             assert_eq!(report.status, LaneStatus::Halted, "lane {lane}");
             assert_eq!(report.cycles, cycles, "lane {lane}");
-            assert_eq!(batch.reg(lane, Reg::RET).unwrap(), cell.reg(Reg::RET).unwrap());
+            assert_eq!(
+                batch.reg(lane, Reg::RET).unwrap(),
+                cell.reg(Reg::RET).unwrap()
+            );
         }
     }
 
     #[test]
     fn one_lane_trap_does_not_stop_the_batch() {
-        let div = Op::new2(Opcode::IDiv, Reg(0), Operand::ImmI(10), Operand::Reg(Reg(1)));
+        let div = Op::new2(
+            Opcode::IDiv,
+            Reg(0),
+            Operand::ImmI(10),
+            Operand::Reg(Reg(1)),
+        );
         let img = section(
-            vec![word(&[(FuKind::Alu, div)], None), InstructionWord::branch_only(BranchOp::Ret)],
+            vec![
+                word(&[(FuKind::Alu, div)], None),
+                InstructionWord::branch_only(BranchOp::Ret),
+            ],
             1,
         );
         let inputs = vec![
@@ -862,10 +918,17 @@ mod tests {
 
     #[test]
     fn starved_recv_traps_with_cycle_limit() {
-        let recv =
-            Op { opcode: Opcode::Recv(QueueDir::Left), dst: Some(Reg(0)), a: None, b: None };
+        let recv = Op {
+            opcode: Opcode::Recv(QueueDir::Left),
+            dst: Some(Reg(0)),
+            a: None,
+            b: None,
+        };
         let img = section(
-            vec![word(&[(FuKind::Queue, recv)], None), InstructionWord::branch_only(BranchOp::Ret)],
+            vec![
+                word(&[(FuKind::Queue, recv)], None),
+                InstructionWord::branch_only(BranchOp::Ret),
+            ],
             0,
         );
         let fed = LaneInput {
@@ -873,7 +936,10 @@ mod tests {
             ..LaneInput::call(0, "f", vec![])
         };
         let starved = LaneInput::call(0, "f", vec![]);
-        let opts = BatchOptions { max_cycles: 50, ..BatchOptions::default() };
+        let opts = BatchOptions {
+            max_cycles: 50,
+            ..BatchOptions::default()
+        };
         let batch = BatchInterp::run(&[img], &[fed, starved], &opts).unwrap();
         assert_eq!(*batch.status(0), LaneStatus::Halted);
         assert_eq!(batch.reg(0, Reg::RET).unwrap(), Value::F(2.5));
@@ -895,7 +961,10 @@ mod tests {
             b: Some(Operand::ImmF(9.5)),
         };
         let writer = section(
-            vec![word(&[(FuKind::Mem, store)], None), InstructionWord::branch_only(BranchOp::Ret)],
+            vec![
+                word(&[(FuKind::Mem, store)], None),
+                InstructionWord::branch_only(BranchOp::Ret),
+            ],
             0,
         );
         let load = Op::new1(Opcode::Load, Reg(0), Operand::ImmI(3));
@@ -939,8 +1008,12 @@ mod tests {
             .iter()
             .map(|&n| LaneInput::call(0, "f", vec![Value::I(n)]))
             .collect();
-        let batch = BatchInterp::run(std::slice::from_ref(&img), &inputs, &BatchOptions::default())
-            .unwrap();
+        let batch = BatchInterp::run(
+            std::slice::from_ref(&img),
+            &inputs,
+            &BatchOptions::default(),
+        )
+        .unwrap();
         for (lane, input) in inputs.iter().enumerate() {
             let mut cell = Cell::new(CellConfig::default(), img.clone()).unwrap();
             cell.set_strict(true);
@@ -959,7 +1032,11 @@ mod tests {
                 let cd = cell.reg(r).is_ok();
                 assert_eq!(bd, cd, "lane {lane} def of {r}");
                 if bd {
-                    assert_eq!(bv.to_bits(), cell.reg(r).unwrap().to_bits(), "lane {lane} {r}");
+                    assert_eq!(
+                        bv.to_bits(),
+                        cell.reg(r).unwrap().to_bits(),
+                        "lane {lane} {r}"
+                    );
                 }
             }
         }
@@ -969,8 +1046,12 @@ mod tests {
     fn stalled_step_matches_cell_semantics() {
         // The cycle counter advances on a stall but nothing else
         // happens — mirrors the `Cell` unit test.
-        let recv =
-            Op { opcode: Opcode::Recv(QueueDir::Left), dst: Some(Reg(12)), a: None, b: None };
+        let recv = Op {
+            opcode: Opcode::Recv(QueueDir::Left),
+            dst: Some(Reg(12)),
+            a: None,
+            b: None,
+        };
         let code = vec![
             word(&[(FuKind::Queue, recv)], None),
             InstructionWord::branch_only(BranchOp::Ret),
@@ -979,7 +1060,11 @@ mod tests {
         let mut cell = Cell::new(CellConfig::default(), img.clone()).unwrap();
         cell.prepare_call("f", &[]).unwrap();
         assert_eq!(cell.step().unwrap(), StepOutcome::Stalled);
-        let opts = BatchOptions { strict: false, max_cycles: 7, ..BatchOptions::default() };
+        let opts = BatchOptions {
+            strict: false,
+            max_cycles: 7,
+            ..BatchOptions::default()
+        };
         let batch = BatchInterp::run(&[img], &[LaneInput::call(0, "f", vec![])], &opts).unwrap();
         let report = batch.report(0);
         assert_eq!(report.cycles, 7);

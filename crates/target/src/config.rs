@@ -42,6 +42,9 @@ mod tests {
         assert_eq!(c.cells, 10);
         assert_eq!(c.num_regs, 64);
         assert!(c.data_mem_words < 1 << 20, "link tests overflow this bound");
-        assert!(c.queue_depth < 256, "backpressure tests rely on a small depth");
+        assert!(
+            c.queue_depth < 256,
+            "backpressure tests rely on a small depth"
+        );
     }
 }

@@ -96,7 +96,11 @@ pub fn decode_word(word: &InstructionWord) -> DecodedWord {
     let has_queue_op = ops
         .iter()
         .any(|op| matches!(op.opcode, Opcode::Send(_) | Opcode::Recv(_)));
-    DecodedWord { ops: ops.into_boxed_slice(), branch: word.branch, has_queue_op }
+    DecodedWord {
+        ops: ops.into_boxed_slice(),
+        branch: word.branch,
+        has_queue_op,
+    }
 }
 
 /// Decodes every word of every function of a linked section image.
@@ -105,7 +109,12 @@ pub fn decode_image(image: &SectionImage) -> DecodedImage {
         .functions
         .iter()
         .map(|f| DecodedFunction {
-            words: f.code.iter().map(decode_word).collect::<Vec<_>>().into_boxed_slice(),
+            words: f
+                .code
+                .iter()
+                .map(decode_word)
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
         })
         .collect::<Vec<_>>()
         .into_boxed_slice();
@@ -168,7 +177,12 @@ mod tests {
 
     #[test]
     fn decode_preserves_ops_order_and_timing() {
-        let fadd = Op::new2(Opcode::FAdd, Reg(9), Operand::Reg(Reg(1)), Operand::ImmF(2.0));
+        let fadd = Op::new2(
+            Opcode::FAdd,
+            Reg(9),
+            Operand::Reg(Reg(1)),
+            Operand::ImmF(2.0),
+        );
         let idiv = Op::new2(Opcode::IDiv, Reg(10), Operand::ImmI(9), Operand::ImmI(3));
         let w = word_with(
             &[(FuKind::Alu, idiv), (FuKind::FAdd, fadd)],
@@ -200,8 +214,12 @@ mod tests {
 
     #[test]
     fn queue_ops_are_flagged() {
-        let recv =
-            Op { opcode: Opcode::Recv(QueueDir::Left), dst: Some(Reg(4)), a: None, b: None };
+        let recv = Op {
+            opcode: Opcode::Recv(QueueDir::Left),
+            dst: Some(Reg(4)),
+            a: None,
+            b: None,
+        };
         let d = decode_word(&word_with(&[(FuKind::Queue, recv)], None));
         assert!(d.has_queue_op);
         let mov = Op::new1(Opcode::Move, Reg(4), Operand::ImmI(1));
@@ -211,7 +229,12 @@ mod tests {
 
     #[test]
     fn listing_mentions_slots_and_timing() {
-        let cmp = Op::new2(Opcode::ICmp(CmpKind::Lt), Reg(5), Operand::Reg(Reg(6)), Operand::ImmI(3));
+        let cmp = Op::new2(
+            Opcode::ICmp(CmpKind::Lt),
+            Reg(5),
+            Operand::Reg(Reg(6)),
+            Operand::ImmI(3),
+        );
         let d = decode_word(&word_with(&[(FuKind::Agu, cmp)], Some(BranchOp::Ret)));
         let text = d.listing();
         assert!(text.contains("3:agu icmp.lt r5, r6, #3 (1/1)"), "{text}");

@@ -280,15 +280,21 @@ impl<'a> Reader<'a> {
     }
 
     fn u16(&mut self) -> Result<u16, DecodeError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
     }
 
     fn u32(&mut self) -> Result<u32, DecodeError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     fn i32(&mut self) -> Result<i32, DecodeError> {
-        Ok(i32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(i32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     fn f32(&mut self) -> Result<f32, DecodeError> {
@@ -345,7 +351,12 @@ impl<'a> Reader<'a> {
                 t => return Err(DecodeError::BadTag("operand presence", t)),
             };
         }
-        Ok(Op { opcode, dst, a: operands[0], b: operands[1] })
+        Ok(Op {
+            opcode,
+            dst,
+            a: operands[0],
+            b: operands[1],
+        })
     }
 
     fn branch(&mut self) -> Result<BranchOp, DecodeError> {
@@ -401,7 +412,14 @@ impl<'a> Reader<'a> {
         for _ in 0..n_words {
             code.push(self.word()?);
         }
-        Ok(FunctionImage { name, code, data_words, param_count, returns_value, call_relocs })
+        Ok(FunctionImage {
+            name,
+            code,
+            data_words,
+            param_count,
+            returns_value,
+            call_relocs,
+        })
     }
 
     fn section(&mut self) -> Result<SectionImage, DecodeError> {
@@ -420,7 +438,15 @@ impl<'a> Reader<'a> {
         for _ in 0..n_functions {
             functions.push(self.function()?);
         }
-        Ok(SectionImage { name, first_cell, last_cell, functions, data_bases, data_words, entry })
+        Ok(SectionImage {
+            name,
+            first_cell,
+            last_cell,
+            functions,
+            data_bases,
+            data_words,
+            entry,
+        })
     }
 }
 
@@ -466,7 +492,10 @@ pub fn decode_function(bytes: &[u8]) -> Result<FunctionImage, DecodeError> {
     if stored != computed {
         return Err(DecodeError::ChecksumMismatch { stored, computed });
     }
-    let mut r = Reader { bytes: &bytes[..payload_end], pos: FUNCTION_MAGIC.len() };
+    let mut r = Reader {
+        bytes: &bytes[..payload_end],
+        pos: FUNCTION_MAGIC.len(),
+    };
     let image = r.function()?;
     if r.pos != r.bytes.len() {
         return Err(DecodeError::TrailingBytes);
@@ -488,7 +517,10 @@ pub fn decode(bytes: &[u8]) -> Result<ModuleImage, DecodeError> {
     if stored != computed {
         return Err(DecodeError::ChecksumMismatch { stored, computed });
     }
-    let mut r = Reader { bytes: &bytes[..payload_end], pos: MAGIC.len() };
+    let mut r = Reader {
+        bytes: &bytes[..payload_end],
+        pos: MAGIC.len(),
+    };
     let name = r.str()?;
     let io_driver = r.str()?;
     let n_sections = r.count()?;
@@ -499,7 +531,11 @@ pub fn decode(bytes: &[u8]) -> Result<ModuleImage, DecodeError> {
     if r.pos != r.bytes.len() {
         return Err(DecodeError::TrailingBytes);
     }
-    Ok(ModuleImage { name, section_images, io_driver })
+    Ok(ModuleImage {
+        name,
+        section_images,
+        io_driver,
+    })
 }
 
 fn opcode_tag(op: Opcode) -> (u8, Option<u8>) {
@@ -625,8 +661,24 @@ mod tests {
 
     fn fixture() -> ModuleImage {
         let mut w0 = InstructionWord::new();
-        w0.replace(FuKind::Alu, Op::new2(Opcode::IAdd, Reg(12), Operand::Reg(Reg(1)), Operand::ImmI(3)));
-        w0.replace(FuKind::FAdd, Op::new2(Opcode::FAdd, Reg(13), Operand::ImmF(1.5), Operand::Reg(Reg(12))));
+        w0.replace(
+            FuKind::Alu,
+            Op::new2(
+                Opcode::IAdd,
+                Reg(12),
+                Operand::Reg(Reg(1)),
+                Operand::ImmI(3),
+            ),
+        );
+        w0.replace(
+            FuKind::FAdd,
+            Op::new2(
+                Opcode::FAdd,
+                Reg(13),
+                Operand::ImmF(1.5),
+                Operand::Reg(Reg(12)),
+            ),
+        );
         let w1 = InstructionWord::branch_only(BranchOp::Ret);
         ModuleImage {
             name: "m".into(),
@@ -641,7 +693,10 @@ mod tests {
                     data_words: 12,
                     param_count: 1,
                     returns_value: true,
-                    call_relocs: vec![CallReloc { word: 0, callee: "g".into() }],
+                    call_relocs: vec![CallReloc {
+                        word: 0,
+                        callee: "g".into(),
+                    }],
                 }],
                 data_bases: vec![0],
                 data_words: 12,
@@ -677,7 +732,10 @@ mod tests {
             assert!(decode_function(&bad).is_err(), "flip at {i} accepted");
         }
         assert!(decode_function(&bytes[..bytes.len() - 1]).is_err());
-        assert!(decode_function(b"WARPDL01").is_err(), "module magic rejected");
+        assert!(
+            decode_function(b"WARPDL01").is_err(),
+            "module magic rejected"
+        );
     }
 
     #[test]

@@ -173,8 +173,11 @@ pub fn compute(
             // condition is false; only the *selected* input decides
             // definedness, plus the condition itself.
             let cond = a()?;
-            let picked_def =
-                if cond.truthy() { operand_def(reg_def, op.b) } else { reg_def[di] };
+            let picked_def = if cond.truthy() {
+                operand_def(reg_def, op.b)
+            } else {
+                reg_def[di]
+            };
             let picked = if cond.truthy() { b()? } else { regs[di] };
             return Ok((picked, operand_def(reg_def, op.a) && picked_def));
         }

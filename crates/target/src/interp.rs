@@ -186,16 +186,29 @@ impl fmt::Display for InterpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             InterpError::CodeTooLarge { needed, available } => {
-                write!(f, "code of {needed} words exceeds instruction memory of {available}")
+                write!(
+                    f,
+                    "code of {needed} words exceeds instruction memory of {available}"
+                )
             }
             InterpError::DataTooLarge { needed, available } => {
-                write!(f, "data of {needed} words exceeds data memory of {available}")
+                write!(
+                    f,
+                    "data of {needed} words exceeds data memory of {available}"
+                )
             }
             InterpError::Unlinked(name) => {
-                write!(f, "function {name} has unresolved calls; link the section first")
+                write!(
+                    f,
+                    "function {name} has unresolved calls; link the section first"
+                )
             }
             InterpError::UnknownFunction(name) => write!(f, "no function named {name}"),
-            InterpError::ArityMismatch { name, expected, got } => {
+            InterpError::ArityMismatch {
+                name,
+                expected,
+                got,
+            } => {
                 write!(f, "{name} takes {expected} arguments, got {got}")
             }
             InterpError::CycleLimit { limit } => {
@@ -409,7 +422,11 @@ impl Cell {
     }
 
     fn fault(&self, kind: FaultKind) -> InterpError {
-        InterpError::Fault { function: self.fn_idx, pc: self.pc, kind }
+        InterpError::Fault {
+            function: self.fn_idx,
+            pc: self.pc,
+            kind,
+        }
     }
 
     /// Applies every writeback due at or before the current cycle.
@@ -464,12 +481,12 @@ impl Cell {
     /// another value this cycle.
     fn out_queue_full(&self, dir: QueueDir) -> bool {
         match dir {
-            QueueDir::Left => {
-                self.cap_out_left.is_some_and(|cap| self.out_left.len() >= cap)
-            }
-            QueueDir::Right => {
-                self.cap_out_right.is_some_and(|cap| self.out_right.len() >= cap)
-            }
+            QueueDir::Left => self
+                .cap_out_left
+                .is_some_and(|cap| self.out_left.len() >= cap),
+            QueueDir::Right => self
+                .cap_out_right
+                .is_some_and(|cap| self.out_right.len() >= cap),
         }
     }
 
@@ -494,9 +511,8 @@ impl Cell {
             };
             (word.ops.len(), word.branch, word.has_queue_op)
         };
-        let at = |i: usize| -> DecodedOp {
-            self.decoded.functions[self.fn_idx].words[self.pc].ops[i]
-        };
+        let at =
+            |i: usize| -> DecodedOp { self.decoded.functions[self.fn_idx].words[self.pc].ops[i] };
 
         // Stall check before any side effect: the word issues
         // atomically or not at all. Only queue ops can stall.
@@ -628,7 +644,6 @@ impl Cell {
         }
         Ok(StepOutcome::Ran)
     }
-
 }
 
 /// Run statistics of an [`ArrayMachine`].
@@ -674,7 +689,10 @@ impl ArrayMachine {
                 cell.cap_out_right = Some(depth);
             }
         }
-        Ok(ArrayMachine { cells, queue_depth: depth })
+        Ok(ArrayMachine {
+            cells,
+            queue_depth: depth,
+        })
     }
 
     /// Number of cells in the array.
@@ -697,10 +715,13 @@ impl ArrayMachine {
             let left = &mut left_half[i];
             let right = &mut right_half[0];
             while !left.out_right.is_empty() && right.in_left.len() < depth {
-                right.in_left.push_back(left.out_right.pop_front().expect("nonempty"));
+                right
+                    .in_left
+                    .push_back(left.out_right.pop_front().expect("nonempty"));
             }
             while !right.out_left.is_empty() && left.in_right.len() < depth {
-                left.in_right.push_back(right.out_left.pop_front().expect("nonempty"));
+                left.in_right
+                    .push_back(right.out_left.pop_front().expect("nonempty"));
             }
         }
     }
@@ -776,7 +797,12 @@ mod tests {
                     (FuKind::Alu, mov(Reg(12), Operand::ImmI(7))),
                     (
                         FuKind::FAdd,
-                        Op::new2(Opcode::FAdd, Reg(13), Operand::ImmF(1.0), Operand::ImmF(2.0)),
+                        Op::new2(
+                            Opcode::FAdd,
+                            Reg(13),
+                            Operand::ImmF(1.0),
+                            Operand::ImmF(2.0),
+                        ),
                     ),
                 ],
                 None,
@@ -816,7 +842,10 @@ mod tests {
         assert!(
             matches!(
                 err,
-                InterpError::Fault { kind: FaultKind::UninitializedRead(Reg(0)), .. }
+                InterpError::Fault {
+                    kind: FaultKind::UninitializedRead(Reg(0)),
+                    ..
+                }
             ),
             "{err}"
         );
@@ -840,7 +869,10 @@ mod tests {
         assert!(
             matches!(
                 err,
-                InterpError::Fault { kind: FaultKind::UninitializedRead(Reg(20)), .. }
+                InterpError::Fault {
+                    kind: FaultKind::UninitializedRead(Reg(20)),
+                    ..
+                }
             ),
             "{err}"
         );
@@ -872,8 +904,7 @@ mod tests {
     fn strict_mode_faults_on_structural_hazard() {
         // Back-to-back integer divides on the ALU violate the 8-cycle
         // initiation interval.
-        let div =
-            Op::new2(Opcode::IDiv, Reg(12), Operand::ImmI(9), Operand::ImmI(3));
+        let div = Op::new2(Opcode::IDiv, Reg(12), Operand::ImmI(9), Operand::ImmI(3));
         let code = vec![
             word(&[(FuKind::Alu, div)], None),
             word(&[(FuKind::Alu, div)], None),
@@ -886,7 +917,10 @@ mod tests {
         assert!(
             matches!(
                 err,
-                InterpError::Fault { kind: FaultKind::StructuralHazard(FuKind::Alu), .. }
+                InterpError::Fault {
+                    kind: FaultKind::StructuralHazard(FuKind::Alu),
+                    ..
+                }
             ),
             "{err}"
         );
@@ -894,8 +928,18 @@ mod tests {
 
     #[test]
     fn recv_stalls_until_data_arrives() {
-        let recv = Op { opcode: Opcode::Recv(QueueDir::Left), dst: Some(Reg(12)), a: None, b: None };
-        let send = Op { opcode: Opcode::Send(QueueDir::Right), dst: None, a: Some(Operand::Reg(Reg(12))), b: None };
+        let recv = Op {
+            opcode: Opcode::Recv(QueueDir::Left),
+            dst: Some(Reg(12)),
+            a: None,
+            b: None,
+        };
+        let send = Op {
+            opcode: Opcode::Send(QueueDir::Right),
+            dst: None,
+            a: Some(Operand::Reg(Reg(12))),
+            b: None,
+        };
         let code = vec![
             word(&[(FuKind::Queue, recv)], None),
             word(&[(FuKind::Queue, send)], None),
@@ -915,8 +959,18 @@ mod tests {
     fn in_flight_writebacks_survive_a_taken_branch() {
         // Kernel of a pipelined loop: the FAdd issued in the branch
         // word completes after the backward branch is taken.
-        let fadd = Op::new2(Opcode::FAdd, Reg(13), Operand::Reg(Reg(13)), Operand::ImmF(1.0));
-        let dec = Op::new2(Opcode::ISub, Reg(12), Operand::Reg(Reg(12)), Operand::ImmI(1));
+        let fadd = Op::new2(
+            Opcode::FAdd,
+            Reg(13),
+            Operand::Reg(Reg(13)),
+            Operand::ImmF(1.0),
+        );
+        let dec = Op::new2(
+            Opcode::ISub,
+            Reg(12),
+            Operand::Reg(Reg(12)),
+            Operand::ImmI(1),
+        );
         let code = vec![
             // r13 := 0.0; r12 := 3 (counter)
             word(
@@ -952,8 +1006,18 @@ mod tests {
     fn array_backpressure_counts_stalls() {
         // Producer floods 200 sends; consumer of one section recv-adds
         // slowly. Queue depth limits occupancy and forces stalls.
-        let send = Op { opcode: Opcode::Send(QueueDir::Right), dst: None, a: Some(Operand::ImmF(2.0)), b: None };
-        let dec = Op::new2(Opcode::ISub, Reg(12), Operand::Reg(Reg(12)), Operand::ImmI(1));
+        let send = Op {
+            opcode: Opcode::Send(QueueDir::Right),
+            dst: None,
+            a: Some(Operand::ImmF(2.0)),
+            b: None,
+        };
+        let dec = Op::new2(
+            Opcode::ISub,
+            Reg(12),
+            Operand::Reg(Reg(12)),
+            Operand::ImmI(1),
+        );
         let producer = SectionImage {
             name: "p".into(),
             first_cell: 0,
@@ -962,7 +1026,10 @@ mod tests {
                 name: "main".into(),
                 code: vec![
                     word(&[(FuKind::Alu, mov(Reg(12), Operand::ImmI(199)))], None),
-                    word(&[(FuKind::Queue, send), (FuKind::Alu, dec)], Some(BranchOp::BrTrue(Reg(12), 1))),
+                    word(
+                        &[(FuKind::Queue, send), (FuKind::Alu, dec)],
+                        Some(BranchOp::BrTrue(Reg(12), 1)),
+                    ),
                     InstructionWord::branch_only(BranchOp::Ret),
                 ],
                 data_words: 0,
@@ -974,7 +1041,12 @@ mod tests {
             data_words: 0,
             entry: 0,
         };
-        let recv = Op { opcode: Opcode::Recv(QueueDir::Left), dst: Some(Reg(13)), a: None, b: None };
+        let recv = Op {
+            opcode: Opcode::Recv(QueueDir::Left),
+            dst: Some(Reg(13)),
+            a: None,
+            b: None,
+        };
         let mut consumer = producer.clone();
         consumer.name = "c".into();
         consumer.first_cell = 1;
@@ -990,7 +1062,10 @@ mod tests {
             word(&[], Some(BranchOp::BrTrue(Reg(12), 1))),
             InstructionWord::branch_only(BranchOp::Ret),
         ];
-        let config = CellConfig { queue_depth: 4, ..CellConfig::default() };
+        let config = CellConfig {
+            queue_depth: 4,
+            ..CellConfig::default()
+        };
         let mut array = ArrayMachine::new(config, &[producer, consumer]).unwrap();
         let stats = array.run(100_000).unwrap();
         assert!(stats.stall_cycles > 0, "{stats:?}");

@@ -12,9 +12,7 @@ use std::fmt;
 
 /// A physical register. The calling convention fixes `r0` as the
 /// return-value register and `r1..` as argument registers.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Reg(pub u16);
 
 impl Reg {
@@ -124,7 +122,10 @@ pub struct Timing {
 }
 
 const fn t(latency: u32, initiation_interval: u32) -> Timing {
-    Timing { latency, initiation_interval }
+    Timing {
+        latency,
+        initiation_interval,
+    }
 }
 
 /// Latency of the integer units (ALU and AGU).
@@ -368,12 +369,22 @@ pub struct Op {
 impl Op {
     /// Builds a one-operand op writing `dst`.
     pub fn new1(opcode: Opcode, dst: Reg, a: Operand) -> Op {
-        Op { opcode, dst: Some(dst), a: Some(a), b: None }
+        Op {
+            opcode,
+            dst: Some(dst),
+            a: Some(a),
+            b: None,
+        }
     }
 
     /// Builds a two-operand op writing `dst`.
     pub fn new2(opcode: Opcode, dst: Reg, a: Operand, b: Operand) -> Op {
-        Op { opcode, dst: Some(dst), a: Some(a), b: Some(b) }
+        Op {
+            opcode,
+            dst: Some(dst),
+            a: Some(a),
+            b: Some(b),
+        }
     }
 }
 
@@ -442,8 +453,17 @@ mod tests {
     fn iterative_ops_reserve_their_unit() {
         assert_eq!(Opcode::FDiv.timing().initiation_interval, 12);
         assert_eq!(Opcode::IDiv.timing(), Opcode::IMod.timing());
-        assert_eq!(Opcode::IDiv.timing().latency, Opcode::IDiv.timing().initiation_interval);
-        assert_eq!(Opcode::FAdd.timing(), Timing { latency: 5, initiation_interval: 1 });
+        assert_eq!(
+            Opcode::IDiv.timing().latency,
+            Opcode::IDiv.timing().initiation_interval
+        );
+        assert_eq!(
+            Opcode::FAdd.timing(),
+            Timing {
+                latency: 5,
+                initiation_interval: 1
+            }
+        );
     }
 
     #[test]

@@ -40,7 +40,10 @@ impl InstructionWord {
 
     /// A word holding only a branch.
     pub fn branch_only(branch: BranchOp) -> InstructionWord {
-        InstructionWord { slots: Default::default(), branch: Some(branch) }
+        InstructionWord {
+            slots: Default::default(),
+            branch: Some(branch),
+        }
     }
 
     /// Places `op` in the slot of `fu`; fails if the slot is taken.
@@ -107,7 +110,12 @@ mod tests {
     use crate::isa::{Opcode, Operand, Reg};
 
     fn iadd() -> Op {
-        Op::new2(Opcode::IAdd, Reg(12), Operand::Reg(Reg(13)), Operand::ImmI(1))
+        Op::new2(
+            Opcode::IAdd,
+            Reg(12),
+            Operand::Reg(Reg(13)),
+            Operand::ImmI(1),
+        )
     }
 
     #[test]
@@ -115,7 +123,10 @@ mod tests {
         let mut w = InstructionWord::new();
         assert!(w.is_empty());
         w.place(FuKind::Alu, iadd()).unwrap();
-        assert_eq!(w.place(FuKind::Alu, iadd()), Err(SlotOccupied { fu: FuKind::Alu }));
+        assert_eq!(
+            w.place(FuKind::Alu, iadd()),
+            Err(SlotOccupied { fu: FuKind::Alu })
+        );
         w.place(FuKind::Agu, iadd()).unwrap();
         assert_eq!(w.ops().count(), 2);
         assert!(w.slot(FuKind::Alu).is_some());

@@ -112,7 +112,11 @@ pub fn function_source_shaped(
     seed = seed.wrapping_add(lines as u64);
     let mut rng = SmallRng::seed_from_u64(seed);
 
-    let mut g = Gen { rng: &mut rng, lines: Vec::new(), indent: 2 };
+    let mut g = Gen {
+        rng: &mut rng,
+        lines: Vec::new(),
+        indent: 2,
+    };
     g.skeleton(lines.saturating_sub(1).max(1), max_depth, kernel_width);
     let mut body = g.lines;
     // Final accumulator return (1 line).
@@ -165,8 +169,7 @@ impl Gen<'_> {
         let mut kernel_seq = 0usize;
         while remaining > 0 {
             let overhead = 2 * max_depth;
-            if remaining > overhead && kernel_width > 1 || remaining == overhead + kernel_width
-            {
+            if remaining > overhead && kernel_width > 1 || remaining == overhead + kernel_width {
                 // A perfect nest: max_depth headers, B statements, ends.
                 let b = kernel_width.min(remaining - overhead);
                 if b >= 1 {
@@ -229,7 +232,11 @@ impl Gen<'_> {
             "0".to_string()
         } else {
             // Prefer the innermost index (unit-stride kernels).
-            let d = if self.rng.gen_bool(0.7) { depth - 1 } else { self.rng.gen_range(0..depth) };
+            let d = if self.rng.gen_bool(0.7) {
+                depth - 1
+            } else {
+                self.rng.gen_range(0..depth)
+            };
             format!("i{}", d.min(5))
         };
         let c = self.float_const();
@@ -297,7 +304,11 @@ mod tests {
             let f = function_source("k", size);
             let module = format!("module t;\nsection s on cells 0..9;\n{f}\nend;");
             let checked = warp_lang::phase1(&module);
-            assert!(checked.is_ok(), "{size} failed: {}\n{module}", checked.unwrap_err());
+            assert!(
+                checked.is_ok(),
+                "{size} failed: {}\n{module}",
+                checked.unwrap_err()
+            );
         }
     }
 

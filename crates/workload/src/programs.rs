@@ -12,7 +12,11 @@ use serde::{Deserialize, Serialize};
 /// methodology requires while still being real, different functions.
 pub fn synthetic_program(size: FunctionSize, n_functions: usize) -> String {
     assert!(n_functions >= 1, "a section needs at least one function");
-    let mut s = format!("module s_{}_{};\nsection main on cells 0..9;\n", size.paper_name(), n_functions);
+    let mut s = format!(
+        "module s_{}_{};\nsection main on cells 0..9;\n",
+        size.paper_name(),
+        n_functions
+    );
     for k in 1..=n_functions {
         let name = format!("{}_{k}", size.paper_name());
         s.push_str(&function_source(&name, size));
@@ -39,11 +43,12 @@ pub fn synthetic_program_custom(
     max_depth: usize,
 ) -> String {
     assert!(n_functions >= 1, "a section needs at least one function");
-    assert!(lines >= 2, "a function needs at least a statement and a return");
-    assert!((1..=4).contains(&max_depth), "loop depth must be 1..=4");
-    let mut s = format!(
-        "module s_{name_prefix}_{n_functions};\nsection main on cells 0..9;\n"
+    assert!(
+        lines >= 2,
+        "a function needs at least a statement and a return"
     );
+    assert!((1..=4).contains(&max_depth), "loop depth must be 1..=4");
+    let mut s = format!("module s_{name_prefix}_{n_functions};\nsection main on cells 0..9;\n");
     for k in 1..=n_functions {
         let name = format!("{name_prefix}_{k}");
         s.push_str(&crate::gen::function_source_with(&name, lines, max_depth));
@@ -75,19 +80,64 @@ pub struct UserFunction {
 pub fn user_program_functions() -> Vec<Vec<UserFunction>> {
     vec![
         vec![
-            UserFunction { name: "stress_solve".into(), lines: 300, depth: 4, width: None },
-            UserFunction { name: "load_vector".into(), lines: 10, depth: 1, width: Some(8) },
-            UserFunction { name: "clamp_bounds".into(), lines: 30, depth: 2, width: Some(22) },
+            UserFunction {
+                name: "stress_solve".into(),
+                lines: 300,
+                depth: 4,
+                width: None,
+            },
+            UserFunction {
+                name: "load_vector".into(),
+                lines: 10,
+                depth: 1,
+                width: Some(8),
+            },
+            UserFunction {
+                name: "clamp_bounds".into(),
+                lines: 30,
+                depth: 2,
+                width: Some(22),
+            },
         ],
         vec![
-            UserFunction { name: "stiffness_mat".into(), lines: 305, depth: 4, width: None },
-            UserFunction { name: "shape_fn".into(), lines: 20, depth: 2, width: Some(16) },
-            UserFunction { name: "jacobian".into(), lines: 45, depth: 2, width: Some(22) },
+            UserFunction {
+                name: "stiffness_mat".into(),
+                lines: 305,
+                depth: 4,
+                width: None,
+            },
+            UserFunction {
+                name: "shape_fn".into(),
+                lines: 20,
+                depth: 2,
+                width: Some(16),
+            },
+            UserFunction {
+                name: "jacobian".into(),
+                lines: 45,
+                depth: 2,
+                width: Some(22),
+            },
         ],
         vec![
-            UserFunction { name: "displacement".into(), lines: 295, depth: 4, width: None },
-            UserFunction { name: "residual".into(), lines: 5, depth: 1, width: Some(3) },
-            UserFunction { name: "convergence".into(), lines: 38, depth: 2, width: Some(22) },
+            UserFunction {
+                name: "displacement".into(),
+                lines: 295,
+                depth: 4,
+                width: None,
+            },
+            UserFunction {
+                name: "residual".into(),
+                lines: 5,
+                depth: 1,
+                width: Some(3),
+            },
+            UserFunction {
+                name: "convergence".into(),
+                lines: 38,
+                depth: 2,
+                width: Some(22),
+            },
         ],
     ]
 }
@@ -117,9 +167,11 @@ pub fn user_program() -> String {
 /// `drivers` medium ones.
 pub fn call_heavy_program(drivers: usize, helpers: usize) -> String {
     assert!(drivers >= 1 && helpers >= 1);
-    let mut s = String::from("module callheavy;
+    let mut s = String::from(
+        "module callheavy;
 section main on cells 0..9;
-");
+",
+    );
     for d in 0..drivers {
         for h in 0..helpers {
             s.push_str(&format!(
@@ -141,8 +193,10 @@ section main on cells 0..9;
         }
         let mut calls = String::new();
         for h in 0..helpers {
-            calls.push_str(&format!("      t := t + help_{d}_{h}(v[i]);
-"));
+            calls.push_str(&format!(
+                "      t := t + help_{d}_{h}(v[i]);
+"
+            ));
         }
         s.push_str(&format!(
             "  function drive_{d}(x: float): float
@@ -157,8 +211,10 @@ section main on cells 0..9;
 "
         ));
     }
-    s.push_str("end;
-");
+    s.push_str(
+        "end;
+",
+    );
     s
 }
 
@@ -188,8 +244,7 @@ mod tests {
         for size in [FunctionSize::Tiny, FunctionSize::Medium, FunctionSize::Huge] {
             for n in [1usize, 2, 8] {
                 let src = synthetic_program(size, n);
-                let checked = phase1(&src)
-                    .unwrap_or_else(|e| panic!("{size} n={n} failed:\n{e}"));
+                let checked = phase1(&src).unwrap_or_else(|e| panic!("{size} n={n} failed:\n{e}"));
                 assert_eq!(checked.module.function_count(), n);
             }
         }

@@ -13,7 +13,10 @@ use warp_workload::FunctionSize;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let e = Experiment::default();
     println!("Figure 6 — speedup over the sequential compiler:");
-    println!("{:>4} {:>8} {:>8} {:>8} {:>8} {:>8}", "n", "tiny", "small", "medium", "large", "huge");
+    println!(
+        "{:>4} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "n", "tiny", "small", "medium", "large", "huge"
+    );
     for n in [1usize, 2, 4, 8] {
         print!("{n:>4}");
         for size in FunctionSize::ALL {

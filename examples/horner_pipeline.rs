@@ -67,7 +67,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         array.cell_mut(0).in_left.push_back(Value::F(0.0));
     }
     let stats = array.run(10_000_000)?;
-    println!("ran {} cycles ({} stalled cell-cycles)\n", stats.cycles, stats.stall_cycles);
+    println!(
+        "ran {} cycles ({} stalled cell-cycles)\n",
+        stats.cycles, stats.stall_cycles
+    );
 
     println!("{:>8} {:>12} {:>12}", "x", "p(x) array", "p(x) host");
     let last = array.cell_count() - 1;

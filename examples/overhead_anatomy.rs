@@ -17,7 +17,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:>9} {:>3} {:>10} {:>10} {:>8} {:>9} {:>9} {:>9}",
         "size", "n", "seq", "par", "speedup", "total%", "impl%", "system%"
     );
-    for size in [FunctionSize::Tiny, FunctionSize::Medium, FunctionSize::Large] {
+    for size in [
+        FunctionSize::Tiny,
+        FunctionSize::Medium,
+        FunctionSize::Large,
+    ] {
         for n in [1usize, 2, 4, 8] {
             let c = e.synthetic(size, n)?;
             let o = &c.overheads;

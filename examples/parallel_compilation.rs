@@ -15,7 +15,9 @@ use warp_parallel_compilation::parcc::{compile_module_source, CompileOptions};
 use warp_workload::user_program;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     println!("host reports {cores} usable core(s) — wall-clock speedup is bounded by this\n");
     let src = user_program();
     let opts = CompileOptions::default();
@@ -32,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for workers in [1usize, 2, 4, 8] {
         let (par, report) = compile_parallel(&src, &opts, workers)?;
-        assert_eq!(par.module_image, seq.module_image, "identical output required");
+        assert_eq!(
+            par.module_image, seq.module_image,
+            "identical output required"
+        );
         println!(
             "{workers:>2} worker(s): {:?} total ({:?} phase1 + {:?} compile + {:?} link) \
              speedup {:.2}",

@@ -46,6 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     cell.set_strict(true);
     cell.prepare_call("dot8", &[Value::F(2.0)])?;
     cell.run(1_000_000)?;
-    println!("dot8(2.0) = {} in {} cell cycles", cell.reg(Reg::RET)?, cell.cycle());
+    println!(
+        "dot8(2.0) = {} in {} cell cycles",
+        cell.reg(Reg::RET)?,
+        cell.cycle()
+    );
     Ok(())
 }

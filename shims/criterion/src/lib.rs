@@ -15,12 +15,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// An id built from a function name and a parameter.
     pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
-        BenchmarkId { name: format!("{}/{parameter}", function.into()) }
+        BenchmarkId {
+            name: format!("{}/{parameter}", function.into()),
+        }
     }
 
     /// An id built from the parameter alone.
     pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
-        BenchmarkId { name: parameter.to_string() }
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
     }
 }
 
@@ -69,7 +73,10 @@ impl Criterion {
 
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { _c: self, name: name.to_string() }
+        BenchmarkGroup {
+            _c: self,
+            name: name.to_string(),
+        }
     }
 }
 

@@ -93,7 +93,11 @@ pub mod channel {
     /// Creates a bounded channel of capacity `cap`.
     pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
         let chan = Arc::new(Chan {
-            state: Mutex::new(State { buf: VecDeque::new(), senders: 1, receivers: 1 }),
+            state: Mutex::new(State {
+                buf: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
             cap: cap.max(1),
             recv_ready: Condvar::new(),
             send_ready: Condvar::new(),
@@ -152,7 +156,9 @@ pub mod channel {
                     return Err(RecvTimeoutError::Disconnected);
                 }
                 let now = Instant::now();
-                let Some(left) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
+                let Some(left) = deadline
+                    .checked_duration_since(now)
+                    .filter(|d| !d.is_zero())
                 else {
                     return Err(RecvTimeoutError::Timeout);
                 };
@@ -270,18 +276,26 @@ pub mod deque {
         /// A FIFO worker: `pop` takes the oldest task, same end the
         /// stealers take from (fair queue order).
         pub fn new_fifo() -> Worker<T> {
-            Worker { shared: Arc::new(Mutex::new(VecDeque::new())), flavor: Flavor::Fifo }
+            Worker {
+                shared: Arc::new(Mutex::new(VecDeque::new())),
+                flavor: Flavor::Fifo,
+            }
         }
 
         /// A LIFO worker: `pop` takes the newest task (depth-first),
         /// stealers still take the oldest.
         pub fn new_lifo() -> Worker<T> {
-            Worker { shared: Arc::new(Mutex::new(VecDeque::new())), flavor: Flavor::Lifo }
+            Worker {
+                shared: Arc::new(Mutex::new(VecDeque::new())),
+                flavor: Flavor::Lifo,
+            }
         }
 
         /// Creates a stealer handle for this worker's deque.
         pub fn stealer(&self) -> Stealer<T> {
-            Stealer { shared: self.shared.clone() }
+            Stealer {
+                shared: self.shared.clone(),
+            }
         }
 
         /// Pushes a task onto the owner end.
@@ -331,7 +345,9 @@ pub mod deque {
 
     impl<T> Clone for Stealer<T> {
         fn clone(&self) -> Stealer<T> {
-            Stealer { shared: self.shared.clone() }
+            Stealer {
+                shared: self.shared.clone(),
+            }
         }
     }
 
@@ -349,7 +365,9 @@ pub mod deque {
     impl<T> Injector<T> {
         /// Creates an empty injector.
         pub fn new() -> Injector<T> {
-            Injector { shared: Mutex::new(VecDeque::new()) }
+            Injector {
+                shared: Mutex::new(VecDeque::new()),
+            }
         }
 
         /// Pushes a task onto the back of the queue.
@@ -508,7 +526,10 @@ mod tests {
         use super::channel::RecvTimeoutError;
         use std::time::Duration;
         let (tx, rx) = bounded::<u8>(1);
-        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Err(RecvTimeoutError::Timeout));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
         tx.send(7).unwrap();
         assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(7));
         drop(tx);

@@ -23,7 +23,9 @@ impl<T> Mutex<T> {
 
     /// Consumes the mutex, returning the value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(sync::PoisonError::into_inner)
+        self.0
+            .into_inner()
+            .unwrap_or_else(sync::PoisonError::into_inner)
     }
 }
 

@@ -60,7 +60,10 @@ pub struct ProptestConfig {
 
 impl Default for ProptestConfig {
     fn default() -> ProptestConfig {
-        ProptestConfig { cases: 256, max_shrink_iters: 1024 }
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 1024,
+        }
     }
 }
 
@@ -524,9 +527,11 @@ mod tests {
             }
         }
 
-        let strat = (0u32..100).prop_map(Tree::Leaf).prop_recursive(3, 24, 4, |inner| {
-            prop::collection::vec(inner, 1..4).prop_map(Tree::Node)
-        });
+        let strat = (0u32..100)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 24, 4, |inner| {
+                prop::collection::vec(inner, 1..4).prop_map(Tree::Node)
+            });
         let mut rng = TestRng::for_test("recursive");
         let mut saw_node = false;
         for _ in 0..200 {

@@ -133,7 +133,9 @@ mod tests {
     fn seeds_give_distinct_deterministic_streams() {
         let draw = |seed| {
             let mut rng = SmallRng::seed_from_u64(seed);
-            (0..8).map(|_| rng.gen_range(0..1_000_000)).collect::<Vec<i32>>()
+            (0..8)
+                .map(|_| rng.gen_range(0..1_000_000))
+                .collect::<Vec<i32>>()
         };
         assert_eq!(draw(1), draw(1));
         assert_ne!(draw(1), draw(2));

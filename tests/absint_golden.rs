@@ -19,7 +19,10 @@ fn example_fact_reports_match_golden() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
     let update = std::env::var_os("UPDATE_GOLDEN").is_some();
     std::fs::create_dir_all(root.join("tests/golden/absint")).expect("golden dir");
-    let opts = CompileOptions { absint: true, ..CompileOptions::default() };
+    let opts = CompileOptions {
+        absint: true,
+        ..CompileOptions::default()
+    };
 
     let mut examples: Vec<String> = std::fs::read_dir(root.join("examples"))
         .expect("examples dir")

@@ -21,12 +21,12 @@ fn assert_agrees(seed: u64, cfg: &FuzzConfig) -> Result<(), TestCaseError> {
             prop_assert_eq!(lanes, cfg.lanes);
             Ok(())
         }
-        CheckOutcome::CompileError(e) => {
-            Err(TestCaseError::fail(format!("seed {seed}: generator bug: {e}\n{src}")))
-        }
-        CheckOutcome::Disagree(d) => {
-            Err(TestCaseError::fail(format!("seed {seed}: engines disagree: {d}\n{src}")))
-        }
+        CheckOutcome::CompileError(e) => Err(TestCaseError::fail(format!(
+            "seed {seed}: generator bug: {e}\n{src}"
+        ))),
+        CheckOutcome::Disagree(d) => Err(TestCaseError::fail(format!(
+            "seed {seed}: engines disagree: {d}\n{src}"
+        ))),
     }
 }
 
@@ -70,7 +70,11 @@ proptest! {
 /// (every lane compared register-for-register, poison bits and all).
 #[test]
 fn a_thousand_generated_programs_with_zero_disagreements() {
-    let cfg = FuzzConfig { programs: 1000, seed: 0xBA7C4, ..FuzzConfig::default() };
+    let cfg = FuzzConfig {
+        programs: 1000,
+        seed: 0xBA7C4,
+        ..FuzzConfig::default()
+    };
     let report = run(&cfg);
     assert_eq!(report.programs, 1000);
     assert_eq!(report.lanes, 1000 * cfg.lanes);

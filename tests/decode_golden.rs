@@ -41,8 +41,8 @@ end;
 ";
 
 fn decoded_listing() -> String {
-    let result = compile_module_source(SOURCE, &CompileOptions::default())
-        .expect("fixture compiles");
+    let result =
+        compile_module_source(SOURCE, &CompileOptions::default()).expect("fixture compiles");
     let sec = &result.module_image.section_images[0];
     let decoded = decode_image(sec);
     let mut out = String::new();

@@ -100,10 +100,8 @@ fn gen_stmt(rng: &mut SmallRng, out: &mut String, depth: usize) {
             let lo = rng.gen_range(0..8);
             let hi = rng.gen_range(12..24);
             let arr = if rng.gen_bool(0.5) { "a" } else { "b" };
-            let _ = std::fmt::Write::write_fmt(
-                out,
-                format_args!("for i := {lo} to {} do\n", hi - 1),
-            );
+            let _ =
+                std::fmt::Write::write_fmt(out, format_args!("for i := {lo} to {} do\n", hi - 1));
             let inner = rng.gen_range(1..4);
             for _ in 0..inner {
                 match rng.gen_range(0..4) {
@@ -133,7 +131,12 @@ fn gen_stmt(rng: &mut SmallRng, out: &mut String, depth: usize) {
                             out,
                             format_args!(
                                 "if {} > {} then {} := {} * 0.5; else {} := {} + 0.25; end;\n",
-                                tvar(rng), fconst(rng), tvar(rng), tvar(rng), tvar(rng), tvar(rng)
+                                tvar(rng),
+                                fconst(rng),
+                                tvar(rng),
+                                tvar(rng),
+                                tvar(rng),
+                                tvar(rng)
                             ),
                         );
                     }
@@ -179,10 +182,8 @@ fn gen_stmt(rng: &mut SmallRng, out: &mut String, depth: usize) {
         7 if depth == 0 => {
             // Send a value to a neighbor.
             let dir = if rng.gen_bool(0.5) { "left" } else { "right" };
-            let _ = std::fmt::Write::write_fmt(
-                out,
-                format_args!("send({dir}, {});\n", fexpr(rng, 0)),
-            );
+            let _ =
+                std::fmt::Write::write_fmt(out, format_args!("send({dir}, {});\n", fexpr(rng, 0)));
         }
         _ => {
             // downto loop accumulating.
@@ -212,12 +213,18 @@ fn machine_run_named(
     n: i32,
     opts: &CompileOptions,
 ) -> (f32, Vec<f32>, Vec<f32>) {
-    let result = compile_module_source(src, opts)
-        .unwrap_or_else(|e| panic!("compile failed: {e}\n{src}"));
-    let image = result.module_image.section_images.into_iter().next().expect("section");
+    let result =
+        compile_module_source(src, opts).unwrap_or_else(|e| panic!("compile failed: {e}\n{src}"));
+    let image = result
+        .module_image
+        .section_images
+        .into_iter()
+        .next()
+        .expect("section");
     let mut cell = Cell::new(opts.cell, image).expect("cell");
     cell.set_strict(true);
-    cell.prepare_call(fname, &[Value::F(x), Value::I(n)]).expect("prepare");
+    cell.prepare_call(fname, &[Value::F(x), Value::I(n)])
+        .expect("prepare");
     cell.run(4_000_000_000).unwrap_or_else(|e| {
         let (fi, pc, word) = cell.debug_position();
         panic!("machine error at fn{fi} pc{pc} ({word}): {e}\n{src}")
@@ -273,8 +280,16 @@ fn check_one_with(seed: u64, x: f32, n: i32, opts: &CompileOptions, label: &str)
         "seed {seed} [{label}]: machine {m_ret} vs reference {r_ret}\n{src}"
     );
     let bits = |v: &[f32]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
-    assert_eq!(bits(&m_l), bits(&r_l), "seed {seed} [{label}]: left queue\n{src}");
-    assert_eq!(bits(&m_r), bits(&r_r), "seed {seed} [{label}]: right queue\n{src}");
+    assert_eq!(
+        bits(&m_l),
+        bits(&r_l),
+        "seed {seed} [{label}]: left queue\n{src}"
+    );
+    assert_eq!(
+        bits(&m_r),
+        bits(&r_r),
+        "seed {seed} [{label}]: right queue\n{src}"
+    );
 }
 
 fn check_one(seed: u64, x: f32, n: i32) {
@@ -305,14 +320,20 @@ fn option_matrix() -> Vec<(CompileOptions, &'static str)> {
     // forcing heavy spilling (including the SelT read-modify-write
     // spill path) through the whole pipeline.
     let tight = CompileOptions {
-        cell: CellConfig { num_regs: 20, ..CellConfig::default() },
+        cell: CellConfig {
+            num_regs: 20,
+            ..CellConfig::default()
+        },
         if_convert: Some(warp_ir::IfConvPolicy::default()),
         ..CompileOptions::default()
     };
     // Abstract interpretation with fact-driven rewrites: pruned
     // branches and elided trap checks must still match the reference
     // bit for bit, alone and stacked on the full optimizer.
-    let absint = CompileOptions { absint: true, ..CompileOptions::default() };
+    let absint = CompileOptions {
+        absint: true,
+        ..CompileOptions::default()
+    };
     let absint_all = CompileOptions {
         inline: Some(warp_ir::InlinePolicy::default()),
         unroll: Some(warp_ir::UnrollPolicy::default()),
@@ -402,19 +423,34 @@ fn workload_f_tiny_matches_reference() {
 
 #[test]
 fn workload_f_small_matches_reference() {
-    check_workload(warp_workload::FunctionSize::Small, 2, &CompileOptions::default(), "baseline");
+    check_workload(
+        warp_workload::FunctionSize::Small,
+        2,
+        &CompileOptions::default(),
+        "baseline",
+    );
 }
 
 #[test]
 fn workload_f_medium_matches_reference() {
-    check_workload(warp_workload::FunctionSize::Medium, 2, &CompileOptions::default(), "baseline");
+    check_workload(
+        warp_workload::FunctionSize::Medium,
+        2,
+        &CompileOptions::default(),
+        "baseline",
+    );
 }
 
 #[test]
 fn workload_f_large_matches_reference() {
     // The two largest sizes run billions of machine cycles; one
     // function each keeps the suite's runtime in check.
-    check_workload(warp_workload::FunctionSize::Large, 1, &CompileOptions::default(), "baseline");
+    check_workload(
+        warp_workload::FunctionSize::Large,
+        1,
+        &CompileOptions::default(),
+        "baseline",
+    );
 }
 
 #[test]
@@ -427,5 +463,10 @@ fn workload_f_huge_matches_reference() {
         if_convert: Some(warp_ir::IfConvPolicy::default()),
         ..CompileOptions::default()
     };
-    check_workload(warp_workload::FunctionSize::Huge, 1, &all, "inline+unroll+ifconv");
+    check_workload(
+        warp_workload::FunctionSize::Huge,
+        1,
+        &all,
+        "inline+unroll+ifconv",
+    );
 }

@@ -10,10 +10,10 @@
 //! ```
 
 use warp_target::download;
+use warp_target::fu::FuKind;
 use warp_target::isa::{BranchOp, CmpKind, Op, Opcode, Operand, Reg};
 use warp_target::program::{CallReloc, FunctionImage, ModuleImage, SectionImage};
 use warp_target::word::InstructionWord;
-use warp_target::fu::FuKind;
 
 const GOLDEN: &str = "tests/golden/download_fixture.bin";
 
@@ -23,18 +23,45 @@ const GOLDEN: &str = "tests/golden/download_fixture.bin";
 fn fixture() -> ModuleImage {
     let mut kernel_word = InstructionWord::new();
     kernel_word
-        .place(FuKind::FAdd, Op::new2(Opcode::FAdd, Reg(13), Operand::Reg(Reg(13)), Operand::ImmF(1.5)))
+        .place(
+            FuKind::FAdd,
+            Op::new2(
+                Opcode::FAdd,
+                Reg(13),
+                Operand::Reg(Reg(13)),
+                Operand::ImmF(1.5),
+            ),
+        )
         .unwrap();
     kernel_word
-        .place(FuKind::Alu, Op::new2(Opcode::ISub, Reg(12), Operand::Reg(Reg(12)), Operand::ImmI(1)))
+        .place(
+            FuKind::Alu,
+            Op::new2(
+                Opcode::ISub,
+                Reg(12),
+                Operand::Reg(Reg(12)),
+                Operand::ImmI(1),
+            ),
+        )
         .unwrap();
     kernel_word
-        .place(FuKind::Mem, Op::new1(Opcode::Load, Reg(14), Operand::Addr(2)))
+        .place(
+            FuKind::Mem,
+            Op::new1(Opcode::Load, Reg(14), Operand::Addr(2)),
+        )
         .unwrap();
 
     let mut cmp_word = InstructionWord::new();
     cmp_word
-        .place(FuKind::Agu, Op::new2(Opcode::ICmp(CmpKind::Ge), Reg(15), Operand::Reg(Reg(12)), Operand::ImmI(0)))
+        .place(
+            FuKind::Agu,
+            Op::new2(
+                Opcode::ICmp(CmpKind::Ge),
+                Reg(15),
+                Operand::Reg(Reg(12)),
+                Operand::ImmI(0),
+            ),
+        )
         .unwrap();
     cmp_word.branch = Some(BranchOp::BrTrue(Reg(15), 0));
 
@@ -50,7 +77,10 @@ fn fixture() -> ModuleImage {
         data_words: 4,
         param_count: 2,
         returns_value: true,
-        call_relocs: vec![CallReloc { word: 2, callee: "helper".into() }],
+        call_relocs: vec![CallReloc {
+            word: 2,
+            callee: "helper".into(),
+        }],
     };
     let helper = FunctionImage {
         name: "helper".into(),
@@ -79,17 +109,22 @@ fn fixture() -> ModuleImage {
 fn download_encoding_matches_golden_file() {
     let module = fixture();
     let bytes = download::encode(&module).expect("encode");
-    assert_eq!(&bytes[..8], download::MAGIC, "image must open with the magic");
+    assert_eq!(
+        &bytes[..8],
+        download::MAGIC,
+        "image must open with the magic"
+    );
     assert_eq!(download::decode(&bytes).expect("decode"), module);
 
     if std::env::var_os("UPDATE_GOLDEN").is_some() {
         std::fs::write(GOLDEN, &bytes).expect("write golden");
         return;
     }
-    let golden = std::fs::read(GOLDEN)
-        .expect("golden file missing — run with UPDATE_GOLDEN=1 to create it");
+    let golden =
+        std::fs::read(GOLDEN).expect("golden file missing — run with UPDATE_GOLDEN=1 to create it");
     assert_eq!(
-        bytes, golden,
+        bytes,
+        golden,
         "download encoding changed ({} vs {} bytes); if intentional, \
          regenerate with UPDATE_GOLDEN=1",
         bytes.len(),

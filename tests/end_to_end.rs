@@ -40,9 +40,8 @@ end;\n";
 fn compiled_sections_run_as_systolic_pipeline() {
     let result = compile_module_source(PIPELINE, &CompileOptions::default()).expect("compile");
     assert_eq!(result.module_image.section_images.len(), 2);
-    let mut array =
-        ArrayMachine::new(CellConfig::default(), &result.module_image.section_images)
-            .expect("array");
+    let mut array = ArrayMachine::new(CellConfig::default(), &result.module_image.section_images)
+        .expect("array");
     assert_eq!(array.cell_count(), 2);
     let stats = array.run(1_000_000).expect("run");
     assert!(stats.cycles > 0);
@@ -143,5 +142,8 @@ fn downloaded_module_still_executes() {
     let back = decode(&bytes).unwrap();
     let mut array = ArrayMachine::new(CellConfig::default(), &back.section_images).unwrap();
     array.run(1_000_000).unwrap();
-    assert_eq!(array.cell_mut(1).out_right.pop_front(), Some(Value::F(204.0)));
+    assert_eq!(
+        array.cell_mut(1).out_right.pop_front(),
+        Some(Value::F(204.0))
+    );
 }

@@ -25,7 +25,11 @@ fn speedup_grows_with_function_count() {
     // Paper Fig. 6: speedup > 1 and increasing with n for everything
     // beyond f_tiny.
     let e = Experiment::default();
-    for size in [FunctionSize::Small, FunctionSize::Medium, FunctionSize::Large] {
+    for size in [
+        FunctionSize::Small,
+        FunctionSize::Medium,
+        FunctionSize::Large,
+    ] {
         let s2 = e.synthetic(size, 2).unwrap().speedup;
         let s8 = e.synthetic(size, 8).unwrap().speedup;
         assert!(s2 > 1.0, "{size} n=2: {s2}");
@@ -40,7 +44,10 @@ fn speedup_peaks_before_the_largest_size() {
     let e = Experiment::default();
     let large = e.synthetic(FunctionSize::Large, 8).unwrap().speedup;
     let huge = e.synthetic(FunctionSize::Huge, 8).unwrap().speedup;
-    assert!(huge < large, "f_huge {huge} must trail f_large {large} at n=8");
+    assert!(
+        huge < large,
+        "f_huge {huge} must trail f_large {large} at n=8"
+    );
 }
 
 #[test]
@@ -48,7 +55,11 @@ fn size_barely_matters_at_one_function() {
     // Paper Fig. 7: "If the number of functions is small, the size of
     // the function does not influence speedup" (≈1 at n=1).
     let e = Experiment::default();
-    for size in [FunctionSize::Medium, FunctionSize::Large, FunctionSize::Huge] {
+    for size in [
+        FunctionSize::Medium,
+        FunctionSize::Large,
+        FunctionSize::Huge,
+    ] {
         let s = e.synthetic(size, 1).unwrap().speedup;
         assert!((0.8..1.35).contains(&s), "{size} n=1 speedup {s} not ≈ 1");
     }
@@ -74,10 +85,17 @@ fn relative_overhead_increases_with_function_count() {
     // Paper §4.2.3: "in all tests the relative overhead increases with
     // the number of functions, regardless of their size."
     let e = Experiment::default();
-    for size in [FunctionSize::Small, FunctionSize::Medium, FunctionSize::Large] {
+    for size in [
+        FunctionSize::Small,
+        FunctionSize::Medium,
+        FunctionSize::Large,
+    ] {
         let o2 = e.synthetic(size, 2).unwrap().overheads.total_frac;
         let o8 = e.synthetic(size, 8).unwrap().overheads.total_frac;
-        assert!(o8 > o2, "{size}: overhead fraction must grow with n ({o2} → {o8})");
+        assert!(
+            o8 > o2,
+            "{size}: overhead fraction must grow with n ({o2} → {o8})"
+        );
     }
 }
 
@@ -102,7 +120,11 @@ fn user_program_matches_section_4_3() {
     // Super-ideal at 2 processors (sequential swapping).
     assert!(c2.speedup > 2.0, "user @2: {}", c2.speedup);
     // Headline range with ≤ 9 processors.
-    assert!(c9.speedup > 3.0 && c9.speedup < 6.0, "user @9: {}", c9.speedup);
+    assert!(
+        c9.speedup > 3.0 && c9.speedup < 6.0,
+        "user @9: {}",
+        c9.speedup
+    );
     // "the speedup for 5 processors is almost as good as … 9 processors".
     assert!(
         (c9.speedup - c5.speedup).abs() / c9.speedup < 0.1,

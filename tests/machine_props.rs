@@ -208,14 +208,19 @@ fn function_strategy() -> impl Strategy<Value = FunctionImage> {
         0u16..4,
         proptest::bool::ANY,
     )
-        .prop_map(|(name, code, data_words, param_count, returns_value)| FunctionImage {
-            name: name.to_string(),
-            code,
-            data_words,
-            param_count,
-            returns_value,
-            call_relocs: vec![CallReloc { word: 0, callee: "g".into() }],
-        })
+        .prop_map(
+            |(name, code, data_words, param_count, returns_value)| FunctionImage {
+                name: name.to_string(),
+                code,
+                data_words,
+                param_count,
+                returns_value,
+                call_relocs: vec![CallReloc {
+                    word: 0,
+                    callee: "g".into(),
+                }],
+            },
+        )
 }
 
 fn module_strategy() -> impl Strategy<Value = ModuleImage> {

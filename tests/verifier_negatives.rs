@@ -91,10 +91,16 @@ fn bad_initiation_interval_is_rejected() {
     assert!(!p3.pipelined.is_empty(), "loop should software-pipeline");
 
     let mut info = p3.pipelined[0].clone();
-    assert!(verify_pipelined_loop(&info, &p3.image).is_empty(), "valid plan verifies clean");
+    assert!(
+        verify_pipelined_loop(&info, &p3.image).is_empty(),
+        "valid plan verifies clean"
+    );
     info.plan.ii = 1; // below the resource minimum for this loop body
     let errs = verify_pipelined_loop(&info, &p3.image);
-    assert!(!errs.is_empty(), "shrunk initiation interval must be rejected");
+    assert!(
+        !errs.is_empty(),
+        "shrunk initiation interval must be rejected"
+    );
     assert_golden("bad_ii.txt", &render(&errs));
 }
 
@@ -102,8 +108,12 @@ fn bad_initiation_interval_is_rejected() {
 /// shape of a dangling basic block reference.
 #[test]
 fn dangling_branch_target_is_rejected() {
-    let add =
-        Op::new2(Opcode::IAdd, Reg::RET, Operand::Reg(Reg::arg(0)), Operand::ImmI(1));
+    let add = Op::new2(
+        Opcode::IAdd,
+        Reg::RET,
+        Operand::Reg(Reg::arg(0)),
+        Operand::ImmI(1),
+    );
     let mut w0 = InstructionWord::new();
     w0.place(warp_target::fu::FuKind::Alu, add).unwrap();
     w0.branch = Some(BranchOp::Jump(7));

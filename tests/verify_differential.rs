@@ -269,10 +269,16 @@ fn corpus_verifies_clean() {
         assert!(
             errs.is_empty(),
             "corpus program {i} should verify clean, got:\n{}",
-            errs.iter().map(|e| e.to_string()).collect::<Vec<_>>().join("\n")
+            errs.iter()
+                .map(|e| e.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
         );
         // And the unmutated image runs to completion under strict mode.
-        assert!(strict_run(sec, &config).is_none(), "corpus program {i} should run clean");
+        assert!(
+            strict_run(sec, &config).is_none(),
+            "corpus program {i} should run clean"
+        );
     }
 }
 
@@ -355,12 +361,18 @@ fn static_verifier_covers_strict_interpreter() {
         }
     }
 
-    assert!(total >= 2000, "expected at least 2,000 corruptions, applied {total}");
+    assert!(
+        total >= 2000,
+        "expected at least 2,000 corruptions, applied {total}"
+    );
     assert!(
         interp_rejected >= 300,
         "expected a meaningful number of interpreter rejections, got {interp_rejected}/{total}"
     );
-    assert!(spot_checked >= 200, "spot-check sample too small: {spot_checked}");
+    assert!(
+        spot_checked >= 200,
+        "spot-check sample too small: {spot_checked}"
+    );
 }
 
 /// One seeded *source-level* mutation of a corpus body: integer-literal
@@ -407,7 +419,9 @@ fn mutate_body(body: &str, rng: &mut SmallRng) -> Option<String> {
                 .iter()
                 .enumerate()
                 .flat_map(|(ci, pat)| {
-                    body.match_indices(pat).map(move |(at, _)| (at, ci)).collect::<Vec<_>>()
+                    body.match_indices(pat)
+                        .map(move |(at, _)| (at, ci))
+                        .collect::<Vec<_>>()
                 })
                 .collect();
             let &(at, ci) = pick(&sites, rng)?;
@@ -415,7 +429,12 @@ fn mutate_body(body: &str, rng: &mut SmallRng) -> Option<String> {
             if to == ci {
                 return None;
             }
-            Some(format!("{}{}{}", &body[..at], CMPS[to], &body[at + CMPS[ci].len()..]))
+            Some(format!(
+                "{}{}{}",
+                &body[..at],
+                CMPS[to],
+                &body[at + CMPS[ci].len()..]
+            ))
         }
         2 => {
             // Swap an arithmetic operator.
@@ -424,7 +443,9 @@ fn mutate_body(body: &str, rng: &mut SmallRng) -> Option<String> {
                 .iter()
                 .enumerate()
                 .flat_map(|(oi, pat)| {
-                    body.match_indices(pat).map(move |(at, _)| (at, oi)).collect::<Vec<_>>()
+                    body.match_indices(pat)
+                        .map(move |(at, _)| (at, oi))
+                        .collect::<Vec<_>>()
                 })
                 .collect();
             let &(at, oi) = pick(&sites, rng)?;
@@ -432,7 +453,12 @@ fn mutate_body(body: &str, rng: &mut SmallRng) -> Option<String> {
             if to == oi {
                 return None;
             }
-            Some(format!("{}{}{}", &body[..at], OPS[to], &body[at + OPS[oi].len()..]))
+            Some(format!(
+                "{}{}{}",
+                &body[..at],
+                OPS[to],
+                &body[at + OPS[oi].len()..]
+            ))
         }
         _ => {
             // Swap two whole lines (statement reorder; unbalanced
@@ -469,7 +495,9 @@ fn absint_facts_stay_sound_on_source_mutants() {
     for (pi, body) in BODIES.iter().enumerate() {
         for seed in 0..80u64 {
             let mut rng = SmallRng::seed_from_u64(0x4A42_0000_0000_0000 | (pi as u64) << 32 | seed);
-            let Some(mutant) = mutate_body(body, &mut rng) else { continue };
+            let Some(mutant) = mutate_body(body, &mut rng) else {
+                continue;
+            };
             let src = wrap(&mutant);
             if compile_module_source(&src, &CompileOptions::default()).is_err() {
                 continue;
@@ -480,7 +508,10 @@ fn absint_facts_stay_sound_on_source_mutants() {
             }
         }
     }
-    assert!(valid >= 250, "expected at least 250 valid mutants, got {valid}");
+    assert!(
+        valid >= 250,
+        "expected at least 250 valid mutants, got {valid}"
+    );
     assert!(stats.claims > 0, "mutant population proved no facts at all");
     assert!(stats.eval_runs > 0);
 }
@@ -490,7 +521,10 @@ fn absint_facts_stay_sound_on_source_mutants() {
 #[test]
 fn verify_each_pass_clean_over_all_workload_sizes() {
     use warp_workload::{synthetic_program, FunctionSize};
-    let opts = CompileOptions { verify_each_pass: true, ..CompileOptions::default() };
+    let opts = CompileOptions {
+        verify_each_pass: true,
+        ..CompileOptions::default()
+    };
     for size in FunctionSize::ALL {
         let src = synthetic_program(size, 2);
         compile_module_source(&src, &opts)
