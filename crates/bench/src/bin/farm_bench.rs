@@ -1,0 +1,208 @@
+//! `farm_bench` — per-worker-count speedup of the multi-process build
+//! farm on the Figure 6 workload, cross-validated three ways and
+//! written as machine-readable JSON (`BENCH_farm.json`, schema
+//! `warp-bench-farm/1`) for CI and regression tracking.
+//!
+//! ```text
+//! cargo run -p parcc-bench --release --bin farm_bench [-- OUT.json]
+//! cargo run -p parcc-bench --release --bin farm_bench -- --check BENCH_farm.json
+//! ```
+//!
+//! Three speedup columns per worker count W ∈ {1, 2, 4, 8}:
+//!
+//! * `netsim_speedup` — the 1989 network simulator's prediction for
+//!   the same placement the farm uses (`Placement::Grouped` over W
+//!   workstations): the real compilation is replayed through the host
+//!   model in virtual time. Deterministic on any host; this is the
+//!   column `--check` gates on.
+//! * `threads_modeled` — the work-unit model `threads_bench` gates on
+//!   (phase 1 / W + LPT makespan + link / W), reproduced here so the
+//!   two executors' predictions sit side by side in one file.
+//! * `farm_wall_speedup` — median real wall-clock of the sequential
+//!   compiler over an actual W-process farm build (real `warpd-worker`
+//!   processes over sockets). Informational only: it saturates at
+//!   `host_cores` and pays real fork/socket overhead.
+//!
+//! Write mode needs the `warpd-worker` binary next to this one (build
+//! with `cargo build --release -p parcc` first). `--check` re-derives
+//! only the deterministic netsim column — no processes are spawned —
+//! and exits non-zero if the 8-worker prediction fell more than 10%
+//! below the committed baseline or under the acceptance floor.
+
+use parcc::farm::{compile_farm, FarmConfig};
+use parcc::{compile_module_source, CompileOptions, Experiment, FunctionRecord, Placement};
+use std::fmt::Write as _;
+use std::time::Instant;
+use warp_workload::{synthetic_program, FunctionSize};
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const RUNS: usize = 5;
+/// Acceptance floor for the 8-worker netsim-predicted speedup on fig6.
+const FLOOR_8W: f64 = 3.0;
+/// Allowed relative drop from the committed baseline before CI fails.
+const REGRESSION_TOLERANCE: f64 = 0.10;
+
+/// Median wall-clock seconds of `RUNS` invocations of `f`.
+fn median_secs(mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..RUNS)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[RUNS / 2]
+}
+
+/// LPT-order greedy makespan — the same bound `threads_bench` uses.
+fn lpt_makespan(units: &[u64], workers: usize) -> u64 {
+    let mut order: Vec<usize> = (0..units.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(units[i]), i));
+    let mut load = vec![0u64; workers.max(1)];
+    for i in order {
+        let w = (0..load.len()).min_by_key(|&w| load[w]).expect("nonempty");
+        load[w] += units[i];
+    }
+    load.into_iter().max().unwrap_or(0)
+}
+
+/// The threaded executor's modeled speedup, reproduced verbatim from
+/// `threads_bench` for the side-by-side column.
+fn threads_modeled(phase1: u64, compile_units: &[u64], link: u64, workers: usize) -> f64 {
+    let seq = phase1 + compile_units.iter().sum::<u64>() + link;
+    let w = workers as u64;
+    let par = phase1.div_ceil(w) + lpt_makespan(compile_units, workers) + link.div_ceil(w);
+    seq as f64 / par.max(1) as f64
+}
+
+/// Pulls `"netsim_speedup": <num>` out of the baseline's
+/// `"workers": 8` row with plain string scanning (the bench crates
+/// carry no JSON dependency).
+fn baseline_speedup_8w(json: &str) -> Option<f64> {
+    let row = json
+        .split('{')
+        .find(|part| part.contains("\"workers\": 8"))?;
+    let after = row.split("\"netsim_speedup\":").nth(1)?;
+    let num: String = after
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check_path = match args.first().map(String::as_str) {
+        Some("--check") => Some(args.get(1).cloned().unwrap_or_else(|| {
+            eprintln!("farm_bench: --check needs a baseline path");
+            std::process::exit(2);
+        })),
+        _ => None,
+    };
+    let out_path = if check_path.is_some() {
+        None
+    } else {
+        Some(
+            args.first()
+                .cloned()
+                .unwrap_or_else(|| "BENCH_farm.json".to_string()),
+        )
+    };
+
+    let opts = CompileOptions::default();
+    let src = synthetic_program(FunctionSize::Medium, 8);
+    let reference = compile_module_source(&src, &opts).expect("sequential compile");
+    let compile_units: Vec<u64> = reference
+        .records
+        .iter()
+        .map(FunctionRecord::compile_units)
+        .collect();
+    let (phase1, link) = (reference.phase1_units, reference.link_units);
+    let experiment = Experiment::default();
+
+    // The deterministic gate number, available with zero processes.
+    let netsim_at = |workers: usize| {
+        experiment
+            .compare_result(
+                &reference,
+                Placement::Grouped {
+                    processors: workers,
+                },
+            )
+            .speedup
+    };
+
+    if let Some(baseline_path) = check_path {
+        let speedup_8w = netsim_at(8);
+        let baseline_json = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+            eprintln!("farm_bench: reading {baseline_path}: {e}");
+            std::process::exit(2);
+        });
+        let baseline = baseline_speedup_8w(&baseline_json).unwrap_or_else(|| {
+            eprintln!("farm_bench: no 8-worker netsim_speedup in {baseline_path}");
+            std::process::exit(2);
+        });
+        let bar = baseline * (1.0 - REGRESSION_TOLERANCE);
+        eprintln!(
+            "gate: fresh 8-worker netsim-predicted speedup {speedup_8w:.2}x vs baseline \
+             {baseline:.2}x (bar {bar:.2}x, floor {FLOOR_8W:.1}x)"
+        );
+        if speedup_8w < bar {
+            eprintln!(
+                "farm_bench: 8-worker netsim-predicted speedup regressed >10% below the \
+                 committed baseline"
+            );
+            std::process::exit(1);
+        }
+        if speedup_8w < FLOOR_8W {
+            eprintln!("farm_bench: 8-worker netsim-predicted speedup under the {FLOOR_8W}x floor");
+            std::process::exit(1);
+        }
+        println!("ok: {speedup_8w:.2}x >= max({bar:.2}x, {FLOOR_8W:.1}x)");
+        return;
+    }
+
+    let host_cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let seq_wall_s = median_secs(|| {
+        compile_module_source(&src, &opts).expect("seq");
+    });
+
+    let mut rows = String::new();
+    for (i, workers) in WORKER_COUNTS.into_iter().enumerate() {
+        let netsim = netsim_at(workers);
+        let modeled = threads_modeled(phase1, &compile_units, link, workers);
+        let farm_wall_s = median_secs(|| {
+            compile_farm(&src, &opts, &FarmConfig::new(workers)).expect("farm build");
+        });
+        let wall = seq_wall_s / farm_wall_s;
+        eprintln!(
+            "workers {workers}: netsim {netsim:.2}x, threads-modeled {modeled:.2}x, \
+             farm wall {wall:.2}x ({seq_wall_s:.4}s -> {farm_wall_s:.4}s)"
+        );
+        let _ = write!(
+            rows,
+            "    {{\"workers\": {workers}, \"netsim_speedup\": {netsim:.4}, \
+             \"threads_modeled\": {modeled:.4}, \"farm_wall_speedup\": {wall:.4}, \
+             \"seq_wall_s\": {seq_wall_s:.6}, \"farm_wall_s\": {farm_wall_s:.6}}}{}",
+            if i + 1 < WORKER_COUNTS.len() {
+                ",\n"
+            } else {
+                "\n"
+            }
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"schema\": \"warp-bench-farm/1\",\n  \"workload\": \"fig6-medium-n8\",\n  \
+         \"runs\": {RUNS},\n  \"host_cores\": {host_cores},\n  \"results\": [\n{rows}  ]\n}}\n"
+    );
+    let out_path = out_path.expect("write mode has a path");
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("farm_bench: writing {out_path}: {e}");
+        std::process::exit(1);
+    }
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}

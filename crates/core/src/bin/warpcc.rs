@@ -18,10 +18,18 @@
 //!                               the machine's available parallelism
 //!   --workers N                 alias for --jobs (the historical
 //!                               spelling)
+//!   --farm N                    compile on a build farm of N real
+//!                               `warpd-worker` OS processes over
+//!                               sockets (0 = available parallelism);
+//!                               combines with --cache-dir (shared
+//!                               object store), --fault-seed (real
+//!                               process kills), --trace and --time
 //!   --fault-seed N              inject seeded worker faults (panics,
 //!                               lost results, stalls) into the thread
-//!                               pool and recover from them; implies
-//!                               the default chaos mix (needs --workers)
+//!                               pool — or real process kills/exits/
+//!                               stalls with --farm — and recover from
+//!                               them; implies the default chaos mix
+//!                               (needs --workers or --farm)
 //!   --fault-spec SPEC           tune the injection: comma-separated
 //!                               crash=P,lose=P,stall=P,timeout_ms=N,
 //!                               attempts=N (needs --fault-seed)
@@ -50,6 +58,9 @@
 //! warpcc --jobs 8 --time program.w2
 //! warpcc --jobs 0 program.w2        # all available cores
 //! warpcc --jobs 8 --fault-seed 7 program.w2
+//! warpcc --farm 4 program.w2
+//! warpcc --farm 4 --cache-dir .warpcc-cache program.w2
+//! warpcc --farm 4 --fault-seed 7 program.w2
 //! warpcc --jobs 8 --fault-seed 7 --fault-spec crash=0.5,attempts=4 program.w2
 //! warpcc --trace trace.json program.w2
 //! warpcc --cache-dir .warpcc-cache --cache-stats program.w2
@@ -78,6 +89,7 @@ struct Args {
     verify: bool,
     lint: bool,
     workers: Option<usize>,
+    farm: Option<usize>,
     fault_seed: Option<u64>,
     fault_spec: Option<String>,
     run: Option<(String, Vec<Value>)>,
@@ -98,6 +110,7 @@ fn parse_args() -> Result<Args, String> {
         verify: false,
         lint: false,
         workers: None,
+        farm: None,
         fault_seed: None,
         fault_spec: None,
         run: None,
@@ -135,6 +148,11 @@ fn parse_args() -> Result<Args, String> {
                 // default instead of a hardcoded count.
                 args.workers = Some(parcc::resolve_jobs(raw));
             }
+            "--farm" => {
+                let n = it.next().ok_or("--farm needs a number")?;
+                let raw: usize = n.parse().map_err(|_| format!("bad worker count `{n}`"))?;
+                args.farm = Some(parcc::resolve_jobs(raw));
+            }
             "--fault-seed" => {
                 let n = it.next().ok_or("--fault-seed needs a number")?;
                 args.fault_seed = Some(n.parse().map_err(|_| format!("bad fault seed `{n}`"))?);
@@ -157,7 +175,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: warpcc [--emit ast|ir|vcode|asm|summary|facts] [--inline] [--ifconv] \
-                     [--absint] [--verify] [--lint] [--jobs N] [--fault-seed N] \
+                     [--absint] [--verify] [--lint] [--jobs N] [--farm N] [--fault-seed N] \
                      [--fault-spec SPEC] [--run FUNC ARGS...] [--time] \
                      [--trace FILE] [--cache-dir DIR] [--cache-stats] [-o FILE] <FILE | ->"
                 );
@@ -386,20 +404,26 @@ fn real_main() -> Result<(), String> {
         Some(_) => Trace::new(ClockDomain::Monotonic),
         None => Trace::disabled(),
     };
+    if args.farm.is_some() && args.workers.is_some() {
+        return Err("--farm does not combine with --jobs (pick one executor)".to_string());
+    }
     // A --cache-dir persists compiled functions across runs;
     // --cache-stats alone still counts hits and misses in memory.
+    // The farm opens the shared store itself (it is the transport),
+    // so farm mode skips the in-process handle.
     let cache = match &args.cache_dir {
+        _ if args.farm.is_some() => None,
         Some(dir) => {
             Some(FnCache::with_dir(dir).map_err(|e| format!("opening cache dir {dir}: {e}"))?)
         }
         None if args.cache_stats => Some(FnCache::in_memory()),
         None => None,
     };
-    // Fault injection only exists in the threaded executor.
+    // Fault injection exists in the threaded executor and the farm.
     let faults = match (args.fault_seed, &args.fault_spec) {
         (Some(seed), spec) => {
-            if args.workers.is_none() {
-                return Err("--fault-seed needs --jobs".to_string());
+            if args.workers.is_none() && args.farm.is_none() {
+                return Err("--fault-seed needs --jobs or --farm".to_string());
             }
             if cache.is_some() {
                 return Err(
@@ -417,35 +441,79 @@ fn real_main() -> Result<(), String> {
         (None, None) => None,
     };
     let t0 = std::time::Instant::now();
-    let result = match (args.workers, &cache) {
-        (None, None) => compile_module_traced(&source, &opts, &trace).map_err(|e| e.to_string())?,
-        (None, Some(c)) => {
-            compile_module_cached_traced(&source, &opts, c, &trace).map_err(|e| e.to_string())?
+    let result = if let Some(w) = args.farm {
+        let mut cfg = parcc::FarmConfig::new(w);
+        cfg.cache_dir = args.cache_dir.as_ref().map(std::path::PathBuf::from);
+        if let Some((chaos, policy)) = &faults {
+            cfg.chaos = Some(chaos.clone());
+            cfg.policy = policy.clone();
         }
-        (Some(w), c) => {
-            let (r, report) = match (&faults, c) {
-                (Some((chaos, policy)), _) => {
-                    compile_parallel_chaos_traced(&source, &opts, w, chaos, policy, &trace)
+        let (r, report) =
+            parcc::compile_farm_traced(&source, &opts, &cfg, &trace).map_err(|e| e.to_string())?;
+        if args.time {
+            eprintln!(
+                "phase1 {:?}, farm compile {:?} ({} worker(s), {} lost), link {:?}",
+                report.phase1_wall,
+                report.compile_wall,
+                report.workers_spawned,
+                report.workers_lost,
+                report.link_wall
+            );
+        }
+        if args.cache_stats || args.cache_dir.is_some() {
+            eprintln!(
+                "farm cache: {} pre-dispatch hit(s), {} hash-shipped, {} bytes-shipped",
+                report.cache_hits, report.hash_shipped, report.bytes_shipped
+            );
+        }
+        if let Some((chaos, _)) = &faults {
+            let s = &report.faults;
+            eprintln!(
+                "farm faults (seed {}): {} kill(s), {} exit(s), {} stall(s), {} timeout(s), \
+                 {} retry(ies), {} rebalance(s), {} coordinator fallback(s)",
+                chaos.seed,
+                s.kills,
+                s.exits,
+                s.stalls,
+                s.timeouts,
+                s.retries,
+                s.rebalances,
+                s.coordinator_fallbacks
+            );
+        }
+        r
+    } else {
+        match (args.workers, &cache) {
+            (None, None) => {
+                compile_module_traced(&source, &opts, &trace).map_err(|e| e.to_string())?
+            }
+            (None, Some(c)) => compile_module_cached_traced(&source, &opts, c, &trace)
+                .map_err(|e| e.to_string())?,
+            (Some(w), c) => {
+                let (r, report) = match (&faults, c) {
+                    (Some((chaos, policy)), _) => {
+                        compile_parallel_chaos_traced(&source, &opts, w, chaos, policy, &trace)
+                    }
+                    (None, None) => compile_parallel_traced(&source, &opts, w, &trace),
+                    (None, Some(c)) => compile_parallel_cached_traced(&source, &opts, w, c, &trace),
                 }
-                (None, None) => compile_parallel_traced(&source, &opts, w, &trace),
-                (None, Some(c)) => compile_parallel_cached_traced(&source, &opts, w, c, &trace),
-            }
-            .map_err(|e| e.to_string())?;
-            if args.time {
-                eprintln!(
-                    "phase1 {:?}, parallel compile {:?} ({w} workers), link {:?}",
-                    report.phase1_wall, report.compile_wall, report.link_wall
-                );
-            }
-            if let Some((chaos, _)) = &faults {
-                let s = report.faults;
-                eprintln!(
+                .map_err(|e| e.to_string())?;
+                if args.time {
+                    eprintln!(
+                        "phase1 {:?}, parallel compile {:?} ({w} workers), link {:?}",
+                        report.phase1_wall, report.compile_wall, report.link_wall
+                    );
+                }
+                if let Some((chaos, _)) = &faults {
+                    let s = report.faults;
+                    eprintln!(
                     "faults (seed {}): {} panic(s), {} lost, {} timeout(s), {} retry round(s), \
                      {} in-master fallback(s)",
                     chaos.seed, s.panics, s.lost, s.timeouts, s.retries, s.sequential_fallbacks
                 );
+                }
+                r
             }
-            r
         }
     };
     if args.time {

@@ -19,6 +19,10 @@
 //!   parallel-make × parallel-compiler mode;
 //! * [`threads`] — real parallel compilation with OS threads (the same
 //!   hierarchy, on today's hardware);
+//! * [`farm`] — the distributed version: a coordinator driving real
+//!   `warpd-worker` OS processes over sockets, content-addressed
+//!   object exchange through the shared cache, seeded real-process
+//!   fault injection;
 //! * [`fuzz`] — the differential fuzzing harness: seeded W2 corpora
 //!   run through the strict interpreter, the batched interpreter and
 //!   the static verifier, with shrinking and regression fixtures.
@@ -29,6 +33,7 @@ pub mod costmodel;
 pub mod driver;
 mod exec;
 pub mod experiment;
+pub mod farm;
 pub mod fncache;
 pub mod fuzz;
 pub mod katseff;
@@ -51,13 +56,20 @@ pub use driver::{
 pub use experiment::{
     Comparison, ComparisonTraces, Experiment, FaultedFig6, FaultedPoint, InlineAblation, Placement,
 };
+pub use farm::{
+    compile_farm, compile_farm_traced, run_worker, FarmConfig, FarmFaultStats, FarmReport,
+    FARM_PROTOCOL_VERSION,
+};
 pub use fncache::{function_key, options_fingerprint, CachedFunction, FnCache};
 pub use katseff::{assembler_sweep, katseff_comparison, AssemblerSweep};
 pub use metrics::{overheads, speedup, Measurement, Overheads};
 pub use parmake::{
     parmake_comparison, ParmakeReport, SystemModule, PARMAKE_FAULTS, PARMAKE_FAULT_SEED,
 };
-pub use scheduler::{fcfs, grouped_lpt, rebalance_after_loss, Assignment};
+pub use scheduler::{
+    fcfs, grouped_lpt, grouped_lpt_estimates, rebalance_after_loss, rebalance_after_loss_estimates,
+    Assignment,
+};
 pub use threads::{
     compile_parallel, compile_parallel_cached, compile_parallel_cached_traced,
     compile_parallel_chaos, compile_parallel_chaos_cached, compile_parallel_chaos_traced,

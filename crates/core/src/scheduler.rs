@@ -47,11 +47,20 @@ pub fn fcfs(n_functions: usize, available: usize) -> Assignment {
 /// sort functions by decreasing estimate, always placing the next one
 /// on the least-loaded machine.
 pub fn grouped_lpt(records: &[FunctionRecord], processors: usize) -> Assignment {
+    let estimates: Vec<u64> = records.iter().map(|r| r.cost_estimate).collect();
+    grouped_lpt_estimates(&estimates, processors)
+}
+
+/// [`grouped_lpt`] over bare estimates — the schedulers only ever read
+/// `FunctionRecord::cost_estimate`, and callers that plan before the
+/// records exist (the farm coordinator, benches) pass the estimates
+/// directly.
+pub fn grouped_lpt_estimates(estimates: &[u64], processors: usize) -> Assignment {
     let processors = processors.max(1);
-    let mut order: Vec<usize> = (0..records.len()).collect();
-    order.sort_by_key(|&i| std::cmp::Reverse(records[i].cost_estimate));
+    let mut order: Vec<usize> = (0..estimates.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(estimates[i]));
     let mut load = vec![0u64; processors];
-    let mut workstation = vec![0usize; records.len()];
+    let mut workstation = vec![0usize; estimates.len()];
     for i in order {
         let (best, _) = load
             .iter()
@@ -59,11 +68,11 @@ pub fn grouped_lpt(records: &[FunctionRecord], processors: usize) -> Assignment 
             .min_by_key(|&(w, l)| (*l, w))
             .expect("at least one processor");
         workstation[i] = 1 + best;
-        load[best] += records[i].cost_estimate.max(1);
+        load[best] += estimates[i].max(1);
     }
     Assignment {
         workstation,
-        processors: records.len().min(processors),
+        processors: estimates.len().min(processors),
     }
 }
 
@@ -83,24 +92,35 @@ pub fn rebalance_after_loss(
     records: &[FunctionRecord],
     lost: &[usize],
 ) -> Assignment {
+    let estimates: Vec<u64> = records.iter().map(|r| r.cost_estimate).collect();
+    rebalance_after_loss_estimates(assignment, &estimates, lost)
+}
+
+/// [`rebalance_after_loss`] over bare estimates (see
+/// [`grouped_lpt_estimates`]).
+pub fn rebalance_after_loss_estimates(
+    assignment: &Assignment,
+    estimates: &[u64],
+    lost: &[usize],
+) -> Assignment {
     let is_lost = |w: usize| lost.contains(&w);
     // Surviving stations and their retained load.
     let mut load: std::collections::BTreeMap<usize, u64> = std::collections::BTreeMap::new();
     for (i, &w) in assignment.workstation.iter().enumerate() {
         if !is_lost(w) {
-            *load.entry(w).or_insert(0) += records[i].cost_estimate.max(1);
+            *load.entry(w).or_insert(0) += estimates[i].max(1);
         }
     }
     let mut workstation = assignment.workstation.clone();
     let mut displaced: Vec<usize> = (0..workstation.len())
         .filter(|&i| is_lost(workstation[i]))
         .collect();
-    displaced.sort_by_key(|&i| (std::cmp::Reverse(records[i].cost_estimate), i));
+    displaced.sort_by_key(|&i| (std::cmp::Reverse(estimates[i]), i));
     for i in displaced {
         match load.iter().min_by_key(|&(&w, &l)| (l, w)).map(|(&w, _)| w) {
             Some(best) => {
                 workstation[i] = best;
-                *load.get_mut(&best).expect("surviving station") += records[i].cost_estimate.max(1);
+                *load.get_mut(&best).expect("surviving station") += estimates[i].max(1);
             }
             None => workstation[i] = 0,
         }

@@ -289,3 +289,40 @@ fn cache_stats_without_dir_counts_in_memory() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("1 miss(es)"), "{stderr}");
 }
+
+#[test]
+fn farm_flag_output_matches_sequential() {
+    let f = write_program();
+    let run = |args: &[&str]| {
+        let out = warpcc()
+            .env("WARPD_WORKER", env!("CARGO_BIN_EXE_warpd-worker"))
+            .args(args)
+            .arg(&f.0)
+            .output()
+            .expect("run warpcc");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+    let sequential = run(&[]);
+    assert_eq!(run(&["--farm", "2"]), sequential);
+}
+
+#[test]
+fn farm_and_jobs_are_mutually_exclusive() {
+    let f = write_program();
+    let out = warpcc()
+        .args(["--farm", "2", "--jobs", "2"])
+        .arg(&f.0)
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--farm") && stderr.contains("--jobs"),
+        "{stderr}"
+    );
+}

@@ -11,6 +11,10 @@
 //!   --queue N           admission queue depth before `overloaded`
 //!                       (default: 64)
 //!   --cache-dir DIR     persistent cache tier (default: in-memory)
+//!   --farm N            compile on a build farm of N warpd-worker
+//!                       OS processes instead of in-process threads;
+//!                       the farm shares --cache-dir as its object
+//!                       store (see docs/FARM.md)
 //!   --max-frame BYTES   frame size limit (default: 16777216)
 //!   --trace FILE        write a Chrome trace_event JSON file with
 //!                       per-request `service` spans on shutdown
@@ -28,6 +32,7 @@ struct Args {
     workers: Option<usize>,
     queue: Option<usize>,
     cache_dir: Option<PathBuf>,
+    farm: Option<usize>,
     max_frame: Option<usize>,
     trace: Option<PathBuf>,
 }
@@ -35,7 +40,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: warpd [--socket PATH | --tcp ADDR] [--workers N] [--queue N] \
-         [--cache-dir DIR] [--max-frame BYTES] [--trace FILE]"
+         [--cache-dir DIR] [--farm N] [--max-frame BYTES] [--trace FILE]"
     );
     std::process::exit(2);
 }
@@ -46,6 +51,7 @@ fn parse_args() -> Args {
         workers: None,
         queue: None,
         cache_dir: None,
+        farm: None,
         max_frame: None,
         trace: None,
     };
@@ -65,6 +71,7 @@ fn parse_args() -> Args {
             }
             "--queue" => args.queue = Some(value("--queue").parse().unwrap_or_else(|_| usage())),
             "--cache-dir" => args.cache_dir = Some(PathBuf::from(value("--cache-dir"))),
+            "--farm" => args.farm = Some(value("--farm").parse().unwrap_or_else(|_| usage())),
             "--max-frame" => {
                 args.max_frame = Some(value("--max-frame").parse().unwrap_or_else(|_| usage()))
             }
@@ -92,6 +99,7 @@ fn main() -> ExitCode {
         config.max_frame = m;
     }
     config.cache_dir = args.cache_dir;
+    config.farm_workers = args.farm;
     config.trace = args.trace.is_some();
 
     let daemon = match Warpd::start(config) {

@@ -77,6 +77,11 @@ pub struct DaemonConfig {
     /// Directory for the persistent cache tier; `None` keeps the
     /// cache purely in memory.
     pub cache_dir: Option<PathBuf>,
+    /// Compile on a build farm of this many real `warpd-worker` OS
+    /// processes ([`parcc::farm`]) instead of in-process threads.
+    /// The farm shares `cache_dir` as its content-addressed object
+    /// store when one is set.
+    pub farm_workers: Option<usize>,
     /// Maximum accepted frame payload, bytes.
     pub max_frame: usize,
     /// Record `service`/`driver`/`worker`/`cache` spans for every
@@ -92,6 +97,7 @@ impl DaemonConfig {
             workers: std::thread::available_parallelism().map_or(4, usize::from),
             queue_depth: 64,
             cache_dir: None,
+            farm_workers: None,
             max_frame: MAX_FRAME_DEFAULT,
             trace: false,
         }
@@ -159,6 +165,10 @@ impl Drop for Permit<'_> {
 /// State shared by the accept loop and every connection handler.
 struct Shared {
     cache: FnCache,
+    /// `Some(n)` routes compiles through an n-process build farm.
+    farm_workers: Option<usize>,
+    /// The farm's shared object store (the daemon's `cache_dir`).
+    farm_cache_dir: Option<PathBuf>,
     inflight: InFlight,
     admission: Admission,
     trace: Trace,
@@ -275,15 +285,26 @@ impl Shared {
         // `0` means "daemon default"; the cap keeps a hostile request
         // from interning an unbounded number of worker tracks.
         let jobs = resolve_jobs(jobs as usize).min(MAX_JOBS_PER_REQUEST);
-        let result = compile_module_shared_jobs_traced(
-            module,
-            &opts,
-            jobs,
-            &self.cache,
-            &self.inflight,
-            &self.trace,
-            track,
-        );
+        let result = match self.farm_workers {
+            // Farm mode: real worker processes over sockets, objects
+            // exchanged through the shared on-disk store. The farm
+            // coordinator owns scheduling and retries; the daemon
+            // keeps admission control and tracing.
+            Some(fw) => {
+                let mut cfg = parcc::FarmConfig::new(fw);
+                cfg.cache_dir = self.farm_cache_dir.clone();
+                parcc::compile_farm_traced(module, &opts, &cfg, &self.trace).map(|(r, _)| r)
+            }
+            None => compile_module_shared_jobs_traced(
+                module,
+                &opts,
+                jobs,
+                &self.cache,
+                &self.inflight,
+                &self.trace,
+                track,
+            ),
+        };
         let compile_ns = compile_start.elapsed().as_nanos() as u64;
         let after = self.cache.stats();
         drop(permit);
@@ -444,6 +465,8 @@ impl Warpd {
         };
         let shared = Arc::new(Shared {
             cache,
+            farm_workers: config.farm_workers,
+            farm_cache_dir: config.cache_dir.clone(),
             inflight: InFlight::new(),
             admission: Admission::new(config.workers, config.queue_depth),
             trace: if config.trace {

@@ -8,11 +8,12 @@
 //!
 //! The pieces, bottom-up:
 //!
-//! * [`json`] — a minimal strict JSON parser/writer (the build is
-//!   hermetic; there is no serde_json here);
-//! * [`proto`] — the wire protocol: 4-byte length-prefixed JSON
-//!   frames, request/response types, stable error codes. The
-//!   normative spec is `docs/SERVICE.md`;
+//! * [`warp_wire`](json) — the shared wire substrate: a minimal strict
+//!   JSON parser/writer and 4-byte length-prefixed framing (the build
+//!   is hermetic; there is no serde_json here);
+//! * [`proto`] — the daemon's wire protocol on top of it:
+//!   request/response types and stable error codes. The normative
+//!   spec is `docs/SERVICE.md`;
 //! * [`daemon`] — [`Warpd`]: accept loop, per-connection handler
 //!   threads, shared [`parcc::FnCache`], in-flight dedup
 //!   ([`warp_cache::InFlight`]), bounded admission control with
@@ -56,8 +57,12 @@
 pub mod bench;
 pub mod client;
 pub mod daemon;
-pub mod json;
 pub mod proto;
+
+// The JSON value and the framing substrate moved to `warp-wire` so the
+// build farm (`parcc::farm`) can share them; re-exported under the old
+// paths for compatibility.
+pub use warp_wire::json;
 
 pub use bench::{BenchConfig, BenchReport, ClassStats, DedupProbe};
 pub use client::{Client, ClientError};

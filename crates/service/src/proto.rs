@@ -15,14 +15,15 @@
 //!   answered with `frame-too-large` (id 0 — the payload was never
 //!   read) and the connection is closed.
 
-use crate::json::{obj, parse, Json};
+use crate::json::{obj, Json};
 use parcc::CompileOptions;
-use std::io::{self, Read, Write};
 
-/// Default maximum frame payload size (16 MiB) — generous for module
-/// sources and hex-encoded images, small enough that a bad length
-/// prefix cannot balloon memory.
-pub const MAX_FRAME_DEFAULT: usize = 16 * 1024 * 1024;
+// The framing substrate lives in `warp-wire` (shared with the build
+// farm); re-exported here so the daemon's public API is unchanged.
+pub use warp_wire::frame::{
+    from_hex, read_frame, read_message, to_hex, write_frame, write_message, FrameError,
+    MAX_FRAME_DEFAULT,
+};
 
 /// Protocol version, carried in `health` responses. Bump on breaking
 /// wire changes.
@@ -567,200 +568,9 @@ impl Response {
     }
 }
 
-// ---- framing -------------------------------------------------------
-
-/// What went wrong while reading a frame.
-#[derive(Debug)]
-pub enum FrameError {
-    /// The peer closed the connection cleanly between frames.
-    Closed,
-    /// The declared payload length exceeds the receiver's limit.
-    TooLarge {
-        /// The declared length.
-        declared: usize,
-        /// The receiver's limit.
-        limit: usize,
-    },
-    /// The connection died mid-frame (truncation) or another I/O
-    /// error.
-    Io(io::Error),
-}
-
-impl std::fmt::Display for FrameError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            FrameError::Closed => write!(f, "connection closed"),
-            FrameError::TooLarge { declared, limit } => {
-                write!(
-                    f,
-                    "frame of {declared} bytes exceeds the {limit}-byte limit"
-                )
-            }
-            FrameError::Io(e) => write!(f, "frame I/O: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for FrameError {}
-
-impl From<io::Error> for FrameError {
-    fn from(e: io::Error) -> Self {
-        FrameError::Io(e)
-    }
-}
-
-/// Writes one frame: 4-byte little-endian length, then the payload.
-///
-/// # Errors
-///
-/// Propagates the underlying I/O error.
-pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
-    let len = u32::try_from(payload.len())
-        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame over 4 GiB"))?;
-    w.write_all(&len.to_le_bytes())?;
-    w.write_all(payload)?;
-    w.flush()
-}
-
-/// Reads one frame, retrying reads that time out for as long as
-/// `keep_going()` returns true (the daemon polls its shutdown flag
-/// between read timeouts; clients pass `|| true`).
-///
-/// On [`FrameError::TooLarge`] **nothing past the length prefix has
-/// been consumed**: the caller must treat the connection as poisoned
-/// (answer once, then close), because the oversized payload is still
-/// in the pipe.
-///
-/// # Errors
-///
-/// [`FrameError::Closed`] on clean EOF between frames, `TooLarge` on a
-/// length over `max`, `Io` on truncation or transport failure.
-pub fn read_frame(
-    r: &mut impl Read,
-    max: usize,
-    keep_going: impl Fn() -> bool,
-) -> Result<Vec<u8>, FrameError> {
-    let mut header = [0u8; 4];
-    read_exact_retry(r, &mut header, true, &keep_going)?;
-    let len = u32::from_le_bytes(header) as usize;
-    if len > max {
-        return Err(FrameError::TooLarge {
-            declared: len,
-            limit: max,
-        });
-    }
-    let mut payload = vec![0u8; len];
-    read_exact_retry(r, &mut payload, false, &keep_going)?;
-    Ok(payload)
-}
-
-/// `read_exact` that tolerates read-timeout errors by re-checking
-/// `keep_going`. EOF before the first byte of the *header* is a clean
-/// close; EOF anywhere else is a truncated frame.
-fn read_exact_retry(
-    r: &mut impl Read,
-    buf: &mut [u8],
-    eof_is_close: bool,
-    keep_going: &impl Fn() -> bool,
-) -> Result<(), FrameError> {
-    let mut filled = 0;
-    while filled < buf.len() {
-        match r.read(&mut buf[filled..]) {
-            Ok(0) => {
-                return if eof_is_close && filled == 0 {
-                    Err(FrameError::Closed)
-                } else {
-                    Err(FrameError::Io(io::Error::new(
-                        io::ErrorKind::UnexpectedEof,
-                        "truncated frame",
-                    )))
-                };
-            }
-            Ok(n) => filled += n,
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                ) || e.kind() == io::ErrorKind::Interrupted =>
-            {
-                if !keep_going() {
-                    return Err(FrameError::Io(io::Error::new(
-                        io::ErrorKind::ConnectionAborted,
-                        "shutting down",
-                    )));
-                }
-            }
-            Err(e) => return Err(FrameError::Io(e)),
-        }
-    }
-    Ok(())
-}
-
-/// Writes `msg` as one JSON frame.
-///
-/// # Errors
-///
-/// Propagates the underlying I/O error.
-pub fn write_message(w: &mut impl Write, msg: &Json) -> io::Result<()> {
-    write_frame(w, msg.to_string().as_bytes())
-}
-
-/// Reads one frame and parses it as JSON. A payload that is not valid
-/// UTF-8 JSON yields `Ok(Err(description))` — a *protocol*-level
-/// error the daemon answers with `bad-json`, distinct from the
-/// transport-level [`FrameError`].
-///
-/// # Errors
-///
-/// [`FrameError`] on transport problems.
-pub fn read_message(
-    r: &mut impl Read,
-    max: usize,
-    keep_going: impl Fn() -> bool,
-) -> Result<Result<Json, String>, FrameError> {
-    let payload = read_frame(r, max, keep_going)?;
-    let Ok(text) = std::str::from_utf8(&payload) else {
-        return Ok(Err("frame payload is not UTF-8".to_string()));
-    };
-    Ok(parse(text).map_err(|e| e.to_string()))
-}
-
-/// Hex-encodes bytes (lowercase).
-pub fn to_hex(bytes: &[u8]) -> String {
-    let mut s = String::with_capacity(bytes.len() * 2);
-    for b in bytes {
-        s.push_str(&format!("{b:02x}"));
-    }
-    s
-}
-
-/// Decodes a lowercase/uppercase hex string.
-///
-/// # Errors
-///
-/// Describes the first bad digit or an odd length.
-pub fn from_hex(s: &str) -> Result<Vec<u8>, String> {
-    if !s.len().is_multiple_of(2) {
-        return Err("odd-length hex string".to_string());
-    }
-    let digit = |c: u8| -> Result<u8, String> {
-        match c {
-            b'0'..=b'9' => Ok(c - b'0'),
-            b'a'..=b'f' => Ok(c - b'a' + 10),
-            b'A'..=b'F' => Ok(c - b'A' + 10),
-            _ => Err(format!("bad hex digit `{}`", c as char)),
-        }
-    };
-    s.as_bytes()
-        .chunks(2)
-        .map(|pair| Ok(digit(pair[0])? << 4 | digit(pair[1])?))
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::Cursor;
 
     #[test]
     fn requests_round_trip() {
@@ -891,48 +701,5 @@ mod tests {
         let v = crate::json::parse(r#"{"id": 4, "kind": "compile"}"#).unwrap();
         let (id, code, _) = Request::from_json(&v).unwrap_err();
         assert_eq!((id, code), (4, ErrorCode::BadRequest));
-    }
-
-    #[test]
-    fn frames_round_trip() {
-        let mut buf = Vec::new();
-        write_frame(&mut buf, b"hello").unwrap();
-        write_frame(&mut buf, b"").unwrap();
-        let mut r = Cursor::new(buf);
-        assert_eq!(read_frame(&mut r, 1024, || true).unwrap(), b"hello");
-        assert_eq!(read_frame(&mut r, 1024, || true).unwrap(), b"");
-        assert!(matches!(
-            read_frame(&mut r, 1024, || true),
-            Err(FrameError::Closed)
-        ));
-    }
-
-    #[test]
-    fn oversized_and_truncated_frames_are_rejected() {
-        let mut buf = Vec::new();
-        write_frame(&mut buf, &[0u8; 100]).unwrap();
-        let mut r = Cursor::new(buf.clone());
-        assert!(matches!(
-            read_frame(&mut r, 99, || true),
-            Err(FrameError::TooLarge {
-                declared: 100,
-                limit: 99
-            })
-        ));
-
-        // Truncate mid-payload.
-        let mut r = Cursor::new(buf[..50].to_vec());
-        match read_frame(&mut r, 1024, || true) {
-            Err(FrameError::Io(e)) => assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof),
-            other => panic!("expected truncation error, got {other:?}"),
-        }
-    }
-
-    #[test]
-    fn hex_round_trips() {
-        let bytes: Vec<u8> = (0..=255).collect();
-        assert_eq!(from_hex(&to_hex(&bytes)).unwrap(), bytes);
-        assert!(from_hex("abc").is_err());
-        assert!(from_hex("zz").is_err());
     }
 }

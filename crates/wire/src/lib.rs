@@ -1,0 +1,32 @@
+//! The wire layer shared by every networked component of the
+//! workspace: `warpd` (compilation as a service) and the `warp-farm`
+//! multi-process build farm.
+//!
+//! Two modules, both dependency-free (the build is hermetic — no
+//! serde, no registry access):
+//!
+//! * [`json`] — a strict minimal JSON value type, parser and
+//!   deterministic writer covering exactly the subset the protocols
+//!   use;
+//! * [`frame`] — 4-byte little-endian length-prefixed frames with a
+//!   hard size limit, timeout-tolerant reads, and the hex codecs used
+//!   for binary payloads.
+//!
+//! This crate deliberately knows nothing about requests, responses or
+//! compilation: `warp_service::proto` layers the daemon's
+//! request/response types on top, and `parcc::farm` layers the
+//! coordinator/worker job protocol on top. Keeping the substrate here
+//! lets both ends of every connection agree on framing without
+//! `warp-service` and `parcc` depending on each other.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod frame;
+pub mod json;
+
+pub use frame::{
+    from_hex, read_frame, read_message, to_hex, write_frame, write_message, FrameError,
+    MAX_FRAME_DEFAULT,
+};
+pub use json::{obj, parse, Json, JsonError};
